@@ -1,0 +1,210 @@
+//! Criterion microbenchmarks: real wall time of the real components.
+//!
+//! These complement the figure harnesses (which use the calibrated virtual
+//! clock) by measuring what this implementation actually costs on the host
+//! machine: crypto primitives, VM dispatch with and without OPT4 fusion,
+//! code-cache effects, CCLe field-level vs whole-state encryption, and
+//! end-to-end engine execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use confide_ccle::codec::{encode, EncryptionContext};
+use confide_ccle::parse_schema;
+use confide_ccle::value::Value;
+use confide_contracts::{abs, synthetic};
+use confide_core::context::ExecContext;
+use confide_core::engine::{EngineConfig, VmKind};
+use confide_crypto::ed25519::SigningKey;
+use confide_crypto::envelope::{Envelope, EnvelopeKeyPair};
+use confide_crypto::gcm::AesGcm;
+use confide_crypto::HmacDrbg;
+use confide_storage::versioned::StateDb;
+use confide_vm::{ExecConfig, MockHost, Module, Vm};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let gcm = AesGcm::new(&[7u8; 32]).unwrap();
+    for size in [256usize, 4096] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("aes256_gcm_seal", size), &data, |b, d| {
+            b.iter(|| gcm.seal(&[1u8; 12], b"aad", black_box(d)));
+        });
+    }
+    let data4k = vec![0u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4k", |b| {
+        b.iter(|| confide_crypto::sha256(black_box(&data4k)))
+    });
+    g.bench_function("keccak256_4k", |b| {
+        b.iter(|| confide_crypto::keccak256(black_box(&data4k)))
+    });
+    g.throughput(Throughput::Elements(1));
+    let key = SigningKey::from_seed(&[1u8; 32]);
+    let msg = b"a typical transaction body for signing";
+    let sig = key.sign(msg);
+    g.bench_function("ed25519_sign", |b| b.iter(|| key.sign(black_box(msg))));
+    g.bench_function("ed25519_verify", |b| {
+        b.iter(|| key.verifying_key().verify(black_box(msg), &sig).unwrap())
+    });
+    let mut rng = HmacDrbg::from_u64(1);
+    let kp = EnvelopeKeyPair::generate(&mut rng);
+    let k_tx = rng.gen32();
+    let env = Envelope::seal(&kp.public(), &k_tx, b"", &vec![0u8; 512], &mut rng).unwrap();
+    g.bench_function("envelope_open_asymmetric", |b| {
+        b.iter(|| env.open(black_box(&kp), b"").unwrap())
+    });
+    g.bench_function("envelope_open_body_symmetric", |b| {
+        b.iter(|| env.open_body(black_box(&k_tx), b"").unwrap())
+    });
+    g.finish();
+}
+
+fn bench_vms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_vs_evm");
+    g.sample_size(20);
+    let mut rng = HmacDrbg::from_u64(2);
+    for (i, (name, src)) in synthetic::ALL.iter().enumerate() {
+        let input = synthetic::input_for(i, &mut rng);
+        let vm_code = confide_lang::build_vm(src).unwrap();
+        let module = Module::decode(&vm_code).unwrap();
+        let vm = Vm::from_module(module.clone(), ExecConfig::default());
+        g.bench_function(BenchmarkId::new("confide_vm", *name), |b| {
+            b.iter(|| {
+                let mut host = MockHost {
+                    input: input.clone(),
+                    ..MockHost::default()
+                };
+                let mut mem = Vec::new();
+                vm.invoke("main", &[], &mut host, &mut mem).unwrap()
+            });
+        });
+        let evm_code = confide_lang::build_evm(src).unwrap();
+        let evm = confide_evm::Evm::new(evm_code, confide_evm::EvmConfig::default());
+        let calldata = confide_lang::evm_calldata("main", &input);
+        g.bench_function(BenchmarkId::new("evm", *name), |b| {
+            b.iter(|| {
+                let mut host = confide_evm::MockEvmHost::default();
+                evm.run(&calldata, &mut host).unwrap()
+            });
+        });
+        // OPT4 ablation on the real interpreter.
+        let unfused = Vm::from_module(
+            module.clone(),
+            ExecConfig {
+                fusion: false,
+                ..ExecConfig::default()
+            },
+        );
+        g.bench_function(BenchmarkId::new("confide_vm_no_fusion", *name), |b| {
+            b.iter(|| {
+                let mut host = MockHost {
+                    input: input.clone(),
+                    ..MockHost::default()
+                };
+                let mut mem = Vec::new();
+                unfused.invoke("main", &[], &mut host, &mut mem).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_code_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("code_cache");
+    let src = abs::abs_fb_src();
+    let code = confide_lang::build_vm(&src).unwrap();
+    g.bench_function("decode_prepare_miss", |b| {
+        b.iter(|| {
+            let module = Module::decode(black_box(&code)).unwrap();
+            confide_vm::Prepared::new(module, &ExecConfig::default())
+        });
+    });
+    let cache = confide_vm::CodeCache::new(true);
+    cache.get_or_prepare(&code, &ExecConfig::default()).unwrap();
+    g.bench_function("cache_hit", |b| {
+        b.iter(|| cache.get_or_prepare(black_box(&code), &ExecConfig::default()).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_ccle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ccle");
+    let schema_partial = parse_schema(
+        r#"
+        attribute "confidential";
+        table Rec { id: string; public_note: string; secret: string(confidential); }
+        root_type Rec;
+        "#,
+    )
+    .unwrap();
+    let schema_full = parse_schema(
+        r#"
+        attribute "confidential";
+        table Inner { id: string; public_note: string; secret: string; }
+        table Rec { all: Inner(confidential); }
+        root_type Rec;
+        "#,
+    )
+    .unwrap();
+    let note = "x".repeat(800);
+    let secret = "s".repeat(200);
+    let partial = Value::Table(vec![
+        ("id".into(), Value::Str("rec-1".into())),
+        ("public_note".into(), Value::Str(note.clone())),
+        ("secret".into(), Value::Str(secret.clone())),
+    ]);
+    let full = Value::Table(vec![(
+        "all".into(),
+        Value::Table(vec![
+            ("id".into(), Value::Str("rec-1".into())),
+            ("public_note".into(), Value::Str(note)),
+            ("secret".into(), Value::Str(secret)),
+        ]),
+    )]);
+    g.bench_function("field_level_encryption", |b| {
+        let mut ctx = EncryptionContext::new(&[1u8; 32], b"aad", 1);
+        b.iter(|| encode(&schema_partial, black_box(&partial), Some(&mut ctx)).unwrap());
+    });
+    g.bench_function("whole_state_encryption", |b| {
+        let mut ctx = EncryptionContext::new(&[1u8; 32], b"aad", 1);
+        b.iter(|| encode(&schema_full, black_box(&full), Some(&mut ctx)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    let engine = confide_bench::make_engine(true, EngineConfig::default(), 9);
+    let code = confide_lang::build_vm(&abs::abs_fb_src()).unwrap();
+    let contract = [0x70; 32];
+    engine.deploy(contract, &code, VmKind::ConfideVm, true);
+    let state = StateDb::new();
+    let sender = [5u8; 32];
+    let mut rng = HmacDrbg::from_u64(3);
+    let req = abs::AbsRequest::random(&mut rng).to_fb();
+    g.bench_function("abs_transfer_confidential_invoke", |b| {
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            for (k, v) in abs::genesis_state(&confide_crypto::hex(&sender)) {
+                ctx.write(confide_core::engine::full_key(&contract, &k), Some(v));
+            }
+            engine
+                .invoke_inner(&state, &mut ctx, &contract, "transfer", black_box(&req), &sender)
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_vms,
+    bench_code_cache,
+    bench_ccle,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Ablations for the §5.3 TEE engineering techniques:
+//!
+//! 1. **EDL `user_check` vs copy-and-check marshalling** ("Optimized data
+//!    structure") — measured on the real ABS workload through the engine.
+//! 2. **One-time vs multi-time ocalls** — the paper's balance calculation
+//!    between one big serialized fetch and several small field fetches.
+//! 3. **Exit-less monitoring vs ocall-per-status** ("Improved enclave's
+//!    monitor system") — the lock-free ring buffer against paying an
+//!    enclave transition per status record.
+//!
+//! ```text
+//! cargo run -p confide-bench --release --bin ablation_tee
+//! ```
+
+use confide_bench::rule;
+use confide_core::engine::EngineConfig;
+use confide_tee::enclave::CrossingMode;
+use confide_tee::meter::CostModel;
+use confide_tee::ringbuf::RingBuffer;
+
+fn main() {
+    let model = CostModel::default();
+
+    // ---- 1. user_check vs copy-and-check ----
+    // The paper: "for large memory buffer, the copy-and-check process will
+    // have a significant impact" — so measure a large-buffer workload: a
+    // 128 KB e-note deposited through the engine.
+    println!("Ablation 1 — EDL marshalling mode (128 KB depository tx, per-tx cycles)");
+    println!("{}", rule());
+    let measure_big = |mode: CrossingMode, seed: u64| {
+        use confide_bench::{make_engine, measure_contract};
+        use confide_core::context::ExecContext;
+        use confide_core::engine::VmKind;
+        use confide_storage::versioned::StateDb;
+        let engine = make_engine(
+            true,
+            EngineConfig {
+                crossing: mode,
+                ..EngineConfig::default()
+            },
+            seed,
+        );
+        let src = r#"
+            export fn main() {
+                let note: bytes = input();
+                storage_set(b"note", note);
+                ret(itoa(len(note)));
+            }
+        "#;
+        let code = confide_lang::build_vm(src).unwrap();
+        let contract = [0x90; 32];
+        engine.deploy(contract, &code, VmKind::ConfideVm, true);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let inputs: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 128 * 1024]).collect();
+        measure_contract(&engine, &state, &mut ctx, &contract, "main", &inputs, &[9u8; 32], 2)
+    };
+    let copy = measure_big(CrossingMode::CopyAndCheck, 81);
+    let user_check = measure_big(CrossingMode::UserCheck, 82);
+    let saved = copy.exec_cycles.saturating_sub(user_check.exec_cycles);
+    println!(
+        "copy-and-check: {:>10} cycles/tx\nuser_check:     {:>10} cycles/tx  (saves {} cycles, {:.1}%)",
+        copy.exec_cycles,
+        user_check.exec_cycles,
+        saved,
+        saved as f64 / copy.exec_cycles as f64 * 100.0
+    );
+    assert!(
+        saved as f64 / copy.exec_cycles as f64 > 0.05,
+        "user_check should save >5% on large-buffer transactions"
+    );
+
+    // ---- 2. one-time vs multi-time ocalls ----
+    // Fetching a complex record: one ocall that serializes the whole
+    // structure (copy S bytes) vs k ocalls that fetch only the needed
+    // sub-fields (k transitions, f bytes each). The paper: an ocall costs
+    // 8,314–14,160 cycles, so "balance between the cost of one-time ocall
+    // and multi-times ocall can be achieved".
+    println!("\nAblation 2 — one-time vs multi-time ocalls (cycles per record fetch)");
+    println!("{}", rule());
+    println!(
+        "{:<14} {:>16} {:>8} {:>18} {:>10}",
+        "record size", "one-time ocall", "fields", "multi-time ocalls", "winner"
+    );
+    println!("{}", rule());
+    let one_time = |record_bytes: u64| {
+        model.transition_warm_cycles + record_bytes * model.copy_check_cycles_per_byte
+            // serializing a complex class is not free (RLP-style encode).
+            + record_bytes * 3
+    };
+    let multi_time = |fields: u64, field_bytes: u64| {
+        fields * (model.transition_warm_cycles + field_bytes * model.copy_check_cycles_per_byte)
+    };
+    let mut flipped = (false, false);
+    for record_kb in [1u64, 4, 16, 64, 256] {
+        let record = record_kb * 1024;
+        let needed_fields = 3u64;
+        let field_bytes = 64u64;
+        let ot = one_time(record);
+        let mt = multi_time(needed_fields, field_bytes);
+        let winner = if mt < ot { "multi" } else { "one" };
+        if mt < ot {
+            flipped.1 = true;
+        } else {
+            flipped.0 = true;
+        }
+        println!(
+            "{:>10} KB {:>16} {:>8} {:>18} {:>10}",
+            record_kb, ot, needed_fields, mt, winner
+        );
+    }
+    println!("{}", rule());
+    assert!(
+        flipped.0 && flipped.1,
+        "both regimes must appear — that's the paper's 'balance' point"
+    );
+    println!("small records: take the whole thing; large records: pay extra transitions\nfor just the sub-fields — the §5.3 trade-off.");
+
+    // ---- 3. exit-less monitoring ----
+    println!("\nAblation 3 — status streaming out of the enclave (10,000 records)");
+    println!("{}", rule());
+    let records = 10_000u64;
+    let ocall_based = records * model.transition_warm_cycles;
+    // Exit-less: a lock-free ring push is a few dozen cycles; drain happens
+    // on an untrusted polling thread off the enclave's critical path.
+    let ring_push_cycles = 60u64;
+    let exitless = records * ring_push_cycles;
+    println!(
+        "ocall per status:   {:>12} cycles ({:.2} ms)\nexit-less ring:     {:>12} cycles ({:.3} ms)   => {:.0}x cheaper",
+        ocall_based,
+        model.cycles_to_ms(ocall_based),
+        exitless,
+        model.cycles_to_ms(exitless),
+        ocall_based as f64 / exitless as f64
+    );
+    // And the real data structure actually works at this rate:
+    let rb = RingBuffer::with_capacity(16_384);
+    let (px, cx) = rb.split();
+    let start = std::time::Instant::now();
+    for i in 0..records {
+        px.push(i);
+    }
+    let produced = start.elapsed();
+    let drained = cx.drain().len();
+    println!(
+        "real ring buffer: {} pushes in {:?} ({} drained, {} dropped)",
+        records,
+        produced,
+        drained,
+        rb.dropped()
+    );
+    assert!(ocall_based > 100 * exitless);
+    println!("{}", rule());
+    println!("all three §5.3 ablations hold");
+}

@@ -1,0 +1,98 @@
+//! Figure 10 reproduction: throughput of the four synthetic workloads on
+//! {EVM, CONFIDE-VM} × {public, confidential(TEE)}, four nodes, 4 KB
+//! blocks (§6.1).
+//!
+//! ```text
+//! cargo run -p confide-bench --release --bin fig10
+//! ```
+
+use confide_bench::{make_engine, measure_contract, rule, Measured};
+use confide_chain::{ChainConfig, ChainSim, SimTx};
+use confide_contracts::synthetic;
+use confide_core::context::ExecContext;
+use confide_core::engine::{EngineConfig, VmKind};
+use confide_crypto::HmacDrbg;
+use confide_sim::network::NetworkModel;
+use confide_storage::versioned::StateDb;
+
+fn measure_workload(
+    workload: usize,
+    vm: VmKind,
+    confidential: bool,
+    seed: u64,
+) -> Measured {
+    let (_, src) = synthetic::ALL[workload];
+    let engine = make_engine(confidential, EngineConfig::default(), seed);
+    let code = match vm {
+        VmKind::ConfideVm => confide_lang::build_vm(src).unwrap(),
+        VmKind::Evm => confide_lang::build_evm(src).unwrap(),
+    };
+    let contract = [0x33; 32];
+    engine.deploy(contract, &code, vm, confidential);
+    let state = StateDb::new();
+    let mut ctx = ExecContext::new();
+    let mut rng = HmacDrbg::from_u64(seed);
+    let inputs: Vec<Vec<u8>> = (0..12).map(|_| synthetic::input_for(workload, &mut rng)).collect();
+    measure_contract(&engine, &state, &mut ctx, &contract, "main", &inputs, &[9u8; 32], 2)
+}
+
+fn tps(m: &Measured, confidential: bool) -> f64 {
+    // Drive the measured costs through the 4-node LAN chain of §6.1.
+    let mut cfg = ChainConfig::local(4);
+    cfg.threads = 1;
+    let txs: Vec<(u64, SimTx)> = (0..120)
+        .map(|i| {
+            let tx = if confidential {
+                SimTx::confidential(
+                    m.tx_bytes,
+                    i % 24,
+                    m.exec_cycles,
+                    m.envelope_cycles,
+                    m.verify_cycles,
+                    m.symmetric_cycles,
+                )
+            } else {
+                SimTx::public(m.tx_bytes, i % 24, m.exec_cycles)
+            };
+            (i * 100_000, tx)
+        })
+        .collect();
+    ChainSim::new(cfg, NetworkModel::lan(7)).run(txs).tps
+}
+
+fn main() {
+    println!("Figure 10 — Performance on 4 Synthetic workloads (TPS, 4 nodes, 4KB blocks)");
+    println!("{}", rule());
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>12}",
+        "Workload", "EVM", "EVM+TEE", "CONFIDE-VM", "CONF-VM+TEE"
+    );
+    println!("{}", rule());
+    let mut rows = Vec::new();
+    for (i, (name, _)) in synthetic::ALL.iter().enumerate() {
+        let evm_pub = tps(&measure_workload(i, VmKind::Evm, false, 1), false);
+        let evm_tee = tps(&measure_workload(i, VmKind::Evm, true, 2), true);
+        let cvm_pub = tps(&measure_workload(i, VmKind::ConfideVm, false, 3), false);
+        let cvm_tee = tps(&measure_workload(i, VmKind::ConfideVm, true, 4), true);
+        println!(
+            "{name:<26} {evm_pub:>12.0} {evm_tee:>12.0} {cvm_pub:>12.0} {cvm_tee:>12.0}"
+        );
+        rows.push((name, evm_pub, evm_tee, cvm_pub, cvm_tee));
+    }
+    println!("{}", rule());
+    println!("Shape checks vs the paper:");
+    for (name, evm_pub, evm_tee, cvm_pub, cvm_tee) in rows {
+        let vm_adv = cvm_pub / evm_pub.max(1e-9);
+        let evm_slow = (evm_pub - evm_tee) / evm_pub.max(1e-9) * 100.0;
+        let cvm_slow = (cvm_pub - cvm_tee) / cvm_pub.max(1e-9) * 100.0;
+        println!(
+            "  {name:<26} CONFIDE-VM/EVM = {vm_adv:>5.1}x | TEE slowdown: EVM {evm_slow:>4.1}%, CONFIDE-VM {cvm_slow:>4.1}%"
+        );
+        assert!(vm_adv > 1.0, "CONFIDE-VM must beat EVM ({name})");
+        assert!(
+            cvm_slow <= evm_slow + 1.0,
+            "CONFIDE-VM's confidentiality slowdown should not exceed EVM's ({name})"
+        );
+    }
+    println!("(paper: CONFIDE-VM ≫ EVM on all workloads; TEE slowdown visibly smaller for CONFIDE-VM)");
+}

@@ -1,0 +1,109 @@
+//! Figure 11 reproduction: scalability with the ABS workload —
+//! confidential transactions only, node counts 4→20, 1/4/6-way parallel
+//! execution, and the two-zone (Shanghai/Beijing, 1:2) setting (§6.2).
+//!
+//! ```text
+//! cargo run -p confide-bench --release --bin fig11
+//! ```
+
+use confide_bench::{measure_abs, rule};
+use confide_chain::{ChainConfig, ChainSim, SimTx};
+use confide_core::engine::EngineConfig;
+use confide_sim::network::NetworkModel;
+
+fn run(nodes: usize, threads: usize, two_zone: bool, m: &confide_bench::Measured) -> f64 {
+    let mut cfg = if two_zone {
+        ChainConfig::two_zone(nodes)
+    } else {
+        ChainConfig::local(nodes)
+    };
+    cfg.threads = threads;
+    cfg.block_max_txs = 32;
+    cfg.block_max_bytes = 16 * 1024;
+    let network = if two_zone {
+        NetworkModel::two_zone(5)
+    } else {
+        NetworkModel::lan(5)
+    };
+    // Offered load: 400 ABS transfers at 10k TPS offered. Conflict
+    // structure mirrors production ABS: about half of all transfers
+    // touch the central securitization pool account (one hot conflict
+    // group), the rest spread across originator accounts — which is why
+    // the paper sees ~2x at 4-way and nothing more at 6-way ("not all the
+    // transactions can be executed in parallel", §6.2).
+    let txs: Vec<(u64, SimTx)> = (0..400u64)
+        .map(|i| {
+            let conflict = if i % 2 == 0 { 0 } else { 1 + (i % 23) };
+            (
+                i * 100_000,
+                SimTx::confidential(
+                    m.tx_bytes,
+                    conflict,
+                    m.exec_cycles,
+                    m.envelope_cycles,
+                    m.verify_cycles,
+                    m.symmetric_cycles,
+                ),
+            )
+        })
+        .collect();
+    ChainSim::new(cfg, network).run(txs).tps
+}
+
+fn main() {
+    println!("Figure 11 — Scalability with ABS workload (confidential txs, TPS)");
+    let m = measure_abs(true, EngineConfig::default(), true, 20, 11);
+    println!(
+        "measured ABS transfer: {} exec cycles/tx ({:.3} ms), {} VM instructions",
+        m.exec_cycles,
+        m.exec_cycles as f64 / 3.7e6,
+        m.instret
+    );
+    println!("{}", rule());
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14}",
+        "Nodes", "serial", "4-way", "6-way", "two-zone(1:2)"
+    );
+    println!("{}", rule());
+    let mut series: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
+    for nodes in [4usize, 8, 12, 16, 20] {
+        let serial = run(nodes, 1, false, &m);
+        let par4 = run(nodes, 4, false, &m);
+        let par6 = run(nodes, 6, false, &m);
+        let wan = run(nodes, 4, true, &m);
+        println!("{nodes:<8} {serial:>12.0} {par4:>12.0} {par6:>12.0} {wan:>14.0}");
+        series.push((nodes, serial, par4, par6, wan));
+    }
+    println!("{}", rule());
+
+    // Shape checks vs the paper.
+    let first = series.first().unwrap();
+    let last = series.last().unwrap();
+    // 1. Single-zone curves stay roughly flat from 4 to 20 nodes.
+    for (idx, label) in [(1usize, "serial"), (2, "4-way"), (3, "6-way")] {
+        let vals: Vec<f64> = series
+            .iter()
+            .map(|row| match idx {
+                1 => row.1,
+                2 => row.2,
+                _ => row.3,
+            })
+            .collect();
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        println!("  {label}: 4→20 nodes spread {:.1}% (paper: stable)", (max / min - 1.0) * 100.0);
+        assert!(max / min < 1.5, "{label} not stable: {vals:?}");
+    }
+    // 2. 4-way ≈ 2× serial; 6-way adds nothing.
+    let speedup4 = first.2 / first.1;
+    let speedup6 = first.3 / first.2;
+    println!("  parallel execution: 4-way = {speedup4:.2}x serial (paper ~2x), 6-way/4-way = {speedup6:.2}x (paper ~1x)");
+    assert!(speedup4 > 1.5 && speedup4 < 2.8, "4-way should give ~2x, got {speedup4:.2}");
+    assert!((0.9..1.15).contains(&speedup6), "6-way should saturate");
+    // 3. Two-zone decreases as nodes increase.
+    println!(
+        "  two-zone: {:.0} TPS at 4 nodes → {:.0} TPS at 20 nodes (paper: decreasing)",
+        first.4, last.4
+    );
+    assert!(last.4 < first.4, "two-zone should degrade with node count");
+}

@@ -1,0 +1,135 @@
+//! Figure 12 reproduction: the ABS optimization waterfall (§6.4).
+//!
+//! ```text
+//! cargo run -p confide-bench --release --bin fig12
+//! ```
+//!
+//! Starting from a pessimal baseline (JSON-encoded assets, no code cache,
+//! no memory pool, no pre-verification, no fusion), apply the paper's four
+//! optimizations cumulatively:
+//!
+//! * **OPT1** — code cache + memory management (paper: ~2×)
+//! * **OPT2** — Flatbuffers-style encoding instead of JSON (paper: ~2.5×)
+//! * **OPT3** — transaction pre-verification (paper: +6%)
+//! * **OPT4** — instruction-set reduction / superinstruction fusion
+//!   (paper: +17%)
+//!
+//! Throughput proxy: single-stream transactions/second =
+//! CPU_HZ / per-transaction cycles (execution phase + the T-Protocol cost
+//! the phase pays under each configuration).
+
+use confide_bench::{measure_abs, rule, Measured};
+use confide_core::engine::EngineConfig;
+
+struct Step {
+    name: &'static str,
+    flatbuffers: bool,
+    config: EngineConfig,
+    paper_gain: &'static str,
+}
+
+fn per_tx_cycles(m: &Measured, preverify: bool) -> u64 {
+    if preverify {
+        // P1–P5 ran off the critical path; execution pays symmetric only.
+        m.exec_cycles + m.symmetric_cycles + m.verify_cycles_attributed()
+    } else {
+        m.exec_cycles + m.envelope_cycles + m.verify_cycles
+    }
+}
+
+trait VerifyAttr {
+    fn verify_cycles_attributed(&self) -> u64;
+}
+impl VerifyAttr for Measured {
+    fn verify_cycles_attributed(&self) -> u64 {
+        0 // verification was pipelined; §5.2's point
+    }
+}
+
+fn main() {
+    let baseline_cfg = EngineConfig {
+        fusion: false,
+        code_cache: false,
+        memory_pool: false,
+        preverify_cache: false,
+        ..EngineConfig::default()
+    };
+    let opt1_cfg = EngineConfig {
+        code_cache: true,
+        memory_pool: true,
+        ..baseline_cfg
+    };
+    let opt3_cfg = EngineConfig {
+        preverify_cache: true,
+        ..opt1_cfg
+    };
+    let opt4_cfg = EngineConfig {
+        fusion: true,
+        ..opt3_cfg
+    };
+    let steps = [
+        Step {
+            name: "Baseline",
+            flatbuffers: false,
+            config: baseline_cfg,
+            paper_gain: "-",
+        },
+        Step {
+            name: "+OPT1 code cache/memmgmt",
+            flatbuffers: false,
+            config: opt1_cfg,
+            paper_gain: "~2x",
+        },
+        Step {
+            name: "+OPT2 Flatbuffers",
+            flatbuffers: true,
+            config: opt1_cfg,
+            paper_gain: "~2.5x",
+        },
+        Step {
+            name: "+OPT3 pre-verification",
+            flatbuffers: true,
+            config: opt3_cfg,
+            paper_gain: "+6%",
+        },
+        Step {
+            name: "+OPT4 instruction opt",
+            flatbuffers: true,
+            config: opt4_cfg,
+            paper_gain: "+17%",
+        },
+    ];
+
+    println!("Figure 12 — Optimizations on ABS contract (confidential, single stream)");
+    println!("{}", rule());
+    println!(
+        "{:<28} {:>12} {:>10} {:>10} {:>10}",
+        "Configuration", "cycles/tx", "TPS", "step gain", "paper"
+    );
+    println!("{}", rule());
+    let mut prev_tps = 0.0f64;
+    let mut gains = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        let m = measure_abs(true, step.config, step.flatbuffers, 15, 21 + i as u64);
+        let preverified = step.config.preverify_cache;
+        let cycles = per_tx_cycles(&m, preverified);
+        let tps = 3.7e9 / cycles as f64;
+        let gain = if i == 0 { 1.0 } else { tps / prev_tps };
+        println!(
+            "{:<28} {:>12} {:>10.0} {:>9.2}x {:>10}",
+            step.name, cycles, tps, gain, step.paper_gain
+        );
+        gains.push(gain);
+        prev_tps = tps;
+    }
+    println!("{}", rule());
+    println!(
+        "cumulative speedup over baseline: {:.1}x (paper: ~2 * 2.5 * 1.06 * 1.17 ≈ 6.2x)",
+        gains.iter().product::<f64>()
+    );
+    // Shape assertions.
+    assert!(gains[1] > 1.3, "OPT1 should give a large gain, got {:.2}", gains[1]);
+    assert!(gains[2] > 1.8 && gains[2] < 3.5, "OPT2 ~2.5x, got {:.2}", gains[2]);
+    assert!(gains[3] > 1.02 && gains[3] < 1.45, "OPT3 modest gain, got {:.2}", gains[3]);
+    assert!(gains[4] > 1.03 && gains[4] < 1.5, "OPT4 modest gain, got {:.2}", gains[4]);
+}

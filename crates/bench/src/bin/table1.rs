@@ -1,0 +1,90 @@
+//! Table 1 reproduction: per-operation profile of the production SCF-AR
+//! asset-transfer flow (§6.3).
+//!
+//! ```text
+//! cargo run -p confide-bench --release --bin table1
+//! ```
+//!
+//! Runs the typical transfer through the Gateway→Manager→services chain as
+//! a full confidential transaction (envelope open + signature verify
+//! included, as the production profiler sees them) and prints the measured
+//! rows next to the paper's.
+
+use confide_bench::rule;
+use confide_contracts::scf;
+use confide_core::client::ConfideClient;
+use confide_core::engine::EngineConfig;
+use confide_core::keys::NodeKeys;
+use confide_core::node::ConfideNode;
+use confide_crypto::HmacDrbg;
+use confide_tee::platform::TeePlatform;
+
+/// Paper values: (method, duration ms, counts, ratio %).
+const PAPER: [(&str, f64, u64, f64); 5] = [
+    ("Contract Call", 32.46, 31, 86.1),
+    ("GetStorage", 4.80, 151, 12.7),
+    ("SetStorage", 0.55, 9, 1.5),
+    ("Transaction Verify", 0.22, 1, 0.6),
+    ("Transaction Decryption", 0.10, 1, 0.3),
+];
+
+fn main() {
+    let platform = TeePlatform::new(1, 31);
+    let mut rng = HmacDrbg::from_u64(31);
+    let keys = NodeKeys::generate(&mut rng);
+    let mut node = ConfideNode::new(platform, keys, EngineConfig::default(), 31);
+    let addrs = scf::deploy_suite(&node.confidential_engine, true);
+
+    // Genesis block: configs, accounts, asset with a 16-step custody chain
+    // (the depth production receivables accumulate).
+    node.run_genesis(|engine, state, ctx| {
+        scf::run_genesis(engine, state, ctx, &addrs, 16);
+    })
+    .expect("genesis");
+
+    // The profiled flow: one confidential transfer transaction.
+    let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+    let req = scf::transfer_request("alice", "bob", "AR-7788", 25_000);
+    let (tx, _, _) = client
+        .confidential_tx(&node.pk_tx(), addrs.gateway, "main", &req)
+        .expect("seal");
+    let result = node.execute_block(&[tx]).expect("execute");
+    assert!(result.receipts[0].success, "transfer must succeed");
+    let counters = &result.tx_stats[0].counters;
+    let model = node.confidential_engine.model();
+
+    println!("Table 1 — Operations of SCF-AR contract (typical asset transfer flow)");
+    println!("{}", rule());
+    println!(
+        "{:<24} {:>13} {:>8} {:>8}   | {:>13} {:>8} {:>8}",
+        "Method", "Duration(ms)", "Counts", "Ratio", "paper ms", "paper n", "paper %"
+    );
+    println!("{}", rule());
+    let rows = counters.table1_rows(model);
+    for ((name, ms, count, ratio), (pname, pms, pn, ppct)) in rows.iter().zip(PAPER.iter()) {
+        assert_eq!(name, pname);
+        println!(
+            "{name:<24} {ms:>13.2} {count:>8} {:>7.1}%   | {pms:>13.2} {pn:>8} {ppct:>7.1}%",
+            ratio * 100.0
+        );
+    }
+    println!("{}", rule());
+
+    // Shape checks: same ordering and the same operation-count regime.
+    let calls = counters.contract_calls;
+    let gets = counters.get_storage;
+    let sets = counters.set_storage;
+    println!(
+        "operation mix: {calls} contract calls (paper 31), {gets} GetStorage (paper 151), {sets} SetStorage (paper 9)"
+    );
+    assert!((24..=42).contains(&calls), "contract calls {calls}");
+    assert!((100..=200).contains(&gets), "get storage {gets}");
+    assert!((6..=14).contains(&sets), "set storage {sets}");
+    assert_eq!(counters.verifies, 1);
+    assert_eq!(counters.decrypts, 1);
+    // Contract Call dominates; decryption cheapest — the paper's ordering.
+    let ratios: Vec<f64> = rows.iter().map(|r| r.3).collect();
+    assert!(ratios[0] > 0.5, "Contract Call should dominate: {ratios:?}");
+    assert!(ratios[1] > ratios[2] && ratios[2] > ratios[4], "{ratios:?}");
+    println!("ordering matches Table 1: Contract Call ≫ GetStorage > SetStorage > crypto");
+}

@@ -1,0 +1,183 @@
+//! # confide-bench
+//!
+//! The §6 reproduction harness. Every table and figure in the paper's
+//! evaluation has a binary here that regenerates it (see DESIGN.md §4):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig10` | Figure 10 — four synthetic workloads × {EVM, CONFIDE-VM} × {public, TEE} |
+//! | `fig11` | Figure 11 — ABS scalability, 4→20 nodes, 1/4/6-way parallel, two-zone |
+//! | `fig12` | Figure 12 — ABS optimization waterfall OPT1→OPT4 |
+//! | `table1` | Table 1 — SCF-AR per-operation profile |
+//! | `prod64` | §6.4 prose — production block execution / empty-block / disk-write times |
+//!
+//! Methodology (DESIGN.md §5): compute costs are **measured** by really
+//! executing the workload bytecode through the engines (instruction
+//! counts, crypto byte counts, cache hits); the environment (network,
+//! disk, enclave transitions) is the calibrated model. Criterion benches
+//! (in `benches/`) additionally measure real wall time of the components.
+
+#![forbid(unsafe_code)]
+
+use confide_contracts::abs;
+use confide_core::context::ExecContext;
+use confide_core::engine::{Engine, EngineConfig, VmKind};
+use confide_core::keys::NodeKeys;
+use confide_crypto::HmacDrbg;
+use confide_storage::versioned::StateDb;
+use confide_tee::platform::TeePlatform;
+
+/// One measured workload configuration.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Mean execution-phase cycles per transaction (contract + state I/O).
+    pub exec_cycles: u64,
+    /// Mean per-transaction envelope-open cycles (0 for public).
+    pub envelope_cycles: u64,
+    /// Mean signature-verify cycles (0 for public).
+    pub verify_cycles: u64,
+    /// Mean symmetric-only decrypt cycles (the preverified fast path).
+    pub symmetric_cycles: u64,
+    /// Mean VM instructions retired.
+    pub instret: u64,
+    /// Transaction wire size used.
+    pub tx_bytes: usize,
+}
+
+/// Build an engine in the given mode.
+pub fn make_engine(confidential: bool, config: EngineConfig, seed: u64) -> Engine {
+    if confidential {
+        let platform = TeePlatform::new(seed, seed);
+        let mut rng = HmacDrbg::from_u64(seed);
+        let keys = NodeKeys::generate(&mut rng);
+        Engine::confidential(platform, keys, config)
+    } else {
+        Engine::public(config)
+    }
+}
+
+/// Measure a contract under an engine: run `inputs` through `method`,
+/// averaging the per-transaction cost counters. Warmup runs populate the
+/// code cache first (steady-state measurement, as the paper's throughput
+/// numbers are).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_contract(
+    engine: &Engine,
+    state: &StateDb,
+    ctx: &mut ExecContext,
+    contract: &[u8; 32],
+    method: &str,
+    inputs: &[Vec<u8>],
+    sender: &[u8; 32],
+    warmup: usize,
+) -> Measured {
+    for input in inputs.iter().take(warmup) {
+        engine
+            .invoke_inner(state, ctx, contract, method, input, sender)
+            .expect("warmup invoke");
+    }
+    ctx.take_counters();
+    let mut total_cycles = 0u64;
+    let mut total_instret = 0u64;
+    let mut total_bytes = 0usize;
+    let measured = &inputs[warmup.min(inputs.len())..];
+    for input in measured {
+        engine
+            .invoke_inner(state, ctx, contract, method, input, sender)
+            .expect("measured invoke");
+        let c = ctx.take_counters();
+        total_cycles += c.total_cycles();
+        total_instret += c.vm_instret;
+        total_bytes += input.len();
+    }
+    let n = measured.len().max(1) as u64;
+    let model = engine.model();
+    let avg_bytes = total_bytes / measured.len().max(1);
+    let confidential = engine.is_confidential();
+    Measured {
+        exec_cycles: total_cycles / n,
+        envelope_cycles: if confidential {
+            model.envelope_open_cycles + avg_bytes as u64 * model.aes_gcm_cycles_per_byte
+        } else {
+            0
+        },
+        verify_cycles: if confidential { model.sig_verify_cycles } else { 0 },
+        symmetric_cycles: if confidential {
+            model.aes_gcm_fixed_cycles + avg_bytes as u64 * model.aes_gcm_cycles_per_byte
+        } else {
+            0
+        },
+        instret: total_instret / n,
+        tx_bytes: avg_bytes + 170, // envelope framing + signature overhead
+    }
+}
+
+/// Deploy + genesis an ABS contract (FB or JSON variant) and return the
+/// measurement over `n` random requests.
+pub fn measure_abs(
+    confidential: bool,
+    config: EngineConfig,
+    flatbuffers: bool,
+    n: usize,
+    seed: u64,
+) -> Measured {
+    let engine = make_engine(confidential, config, seed);
+    let src = if flatbuffers {
+        abs::abs_fb_src()
+    } else {
+        abs::abs_json_src()
+    };
+    let code = confide_lang::build_vm(&src).expect("abs compiles");
+    let contract = [0x70; 32];
+    engine.deploy(contract, &code, VmKind::ConfideVm, confidential);
+    let state = StateDb::new();
+    let mut ctx = ExecContext::new();
+    let sender = [5u8; 32];
+    for (k, v) in abs::genesis_state(&confide_crypto::hex(&sender)) {
+        ctx.write(confide_core::engine::full_key(&contract, &k), Some(v));
+    }
+    let mut rng = HmacDrbg::from_u64(seed.wrapping_add(1));
+    let inputs: Vec<Vec<u8>> = (0..n + 2)
+        .map(|_| {
+            let req = abs::AbsRequest::random(&mut rng);
+            if flatbuffers {
+                req.to_fb()
+            } else {
+                req.to_json()
+            }
+        })
+        .collect();
+    measure_contract(&engine, &state, &mut ctx, &contract, "transfer", &inputs, &sender, 2)
+}
+
+/// Pretty horizontal rule for harness output.
+pub fn rule() -> String {
+    "-".repeat(78)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_measurement_is_stable_and_confidentiality_costs_more() {
+        let public = measure_abs(false, EngineConfig::default(), true, 10, 1);
+        let conf = measure_abs(true, EngineConfig::default(), true, 10, 1);
+        assert!(public.exec_cycles > 0);
+        // TEE mode charges boundary + crypto on the same workload.
+        assert!(conf.exec_cycles > public.exec_cycles);
+        assert!(conf.envelope_cycles > 0 && public.envelope_cycles == 0);
+    }
+
+    #[test]
+    fn json_costs_more_than_flatbuffers() {
+        let json = measure_abs(false, EngineConfig::default(), false, 10, 2);
+        let fb = measure_abs(false, EngineConfig::default(), true, 10, 2);
+        assert!(
+            json.exec_cycles > fb.exec_cycles * 3 / 2,
+            "json {} fb {}",
+            json.exec_cycles,
+            fb.exec_cycles
+        );
+    }
+}

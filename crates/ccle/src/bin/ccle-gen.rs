@@ -1,0 +1,61 @@
+//! The CCLe codegen tool of paper Fig. 5: compile a `.ccle` schema file
+//! and emit Rust data-model definitions.
+//!
+//! ```text
+//! ccle-gen <schema.ccle> [out.rs]
+//! ```
+//!
+//! With no output path, the generated source is written to stdout. Pass
+//! `--check` as the second argument to only validate the schema.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(schema_path) = args.first() else {
+        eprintln!("usage: ccle-gen <schema.ccle> [out.rs | --check]");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(schema_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccle-gen: cannot read {schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = match confide_ccle::parse_schema(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccle-gen: {schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let confidential_fields: usize = schema
+        .tables
+        .iter()
+        .flat_map(|t| &t.fields)
+        .filter(|f| f.confidential)
+        .count();
+    eprintln!(
+        "ccle-gen: {} tables, root `{}`, {} confidential field(s)",
+        schema.tables.len(),
+        schema.root_type,
+        confidential_fields
+    );
+    match args.get(1).map(String::as_str) {
+        Some("--check") => ExitCode::SUCCESS,
+        Some(out_path) => {
+            let generated = confide_ccle::codegen::generate_rust(&schema);
+            if let Err(e) = std::fs::write(out_path, generated) {
+                eprintln!("ccle-gen: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("ccle-gen: wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{}", confide_ccle::codegen::generate_rust(&schema));
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,880 @@
+//! Schema-driven serialization with field-level encryption.
+//!
+//! The encoding is a compact schema-driven TLV (the wire role Flatbuffers
+//! plays in the paper). Encryption granularity follows §4: the *topmost*
+//! `confidential` field is the sealing unit — everything beneath it is
+//! encrypted wholesale ("the composite data types will be parsed
+//! recursively, and all the primitive data in it will be set
+//! confidential"). Every sealed blob is bound by AAD to the contract
+//! context **and the field path**, so a malicious host cannot splice the
+//! ciphertext of one field (or one contract) into another — D-Protocol
+//! formula (3) with path separation.
+
+use crate::schema::*;
+use crate::value::{conforms, Value};
+use confide_crypto::drbg::HmacDrbg;
+use confide_crypto::gcm::AesGcm;
+use std::collections::HashMap;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended early.
+    Truncated,
+    /// Unknown tag or tag inconsistent with the schema position.
+    BadTag(u8),
+    /// Value does not conform to the schema.
+    Mismatch(String),
+    /// AEAD failure (wrong key, tampered blob, or spliced field path).
+    Crypto,
+    /// Encoding confidential plaintext without a key context.
+    MissingKey,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("truncated input"),
+            CodecError::BadTag(t) => write!(f, "bad tag {t}"),
+            CodecError::Mismatch(m) => write!(f, "schema mismatch: {m}"),
+            CodecError::Crypto => f.write_str("field decryption failed"),
+            CodecError::MissingKey => f.write_str("confidential field but no key context"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Key + AAD context for sealing/opening confidential fields.
+///
+/// The full (enclave-side) context holds `k_states` and can derive every
+/// role subkey; a [`EncryptionContext::role_only`] context holds one
+/// role's subkey — the §4 "data access control" extension: release
+/// `role_key(k_states, "auditor")` to the audit firm and they can open
+/// exactly the fields marked `access("auditor")`, nothing else.
+pub struct EncryptionContext {
+    /// Master key cipher (None for role-only contexts).
+    gcm: Option<AesGcm>,
+    /// k_states, kept to derive role subkeys lazily.
+    master: Option<[u8; 32]>,
+    /// Role subkey ciphers available to this holder.
+    role_gcms: HashMap<String, AesGcm>,
+    /// Base AAD: contract identity, owner, security version (formula (3)).
+    aad: Vec<u8>,
+    rng: HmacDrbg,
+}
+
+impl EncryptionContext {
+    /// Build from the consortium state root key `k_states` and the
+    /// contract-scoped AAD. `nonce_seed` feeds the nonce DRBG.
+    pub fn new(k_states: &[u8; 32], aad: &[u8], nonce_seed: u64) -> EncryptionContext {
+        EncryptionContext {
+            gcm: Some(AesGcm::new(k_states).expect("32-byte key")),
+            master: Some(*k_states),
+            role_gcms: HashMap::new(),
+            aad: aad.to_vec(),
+            rng: HmacDrbg::new(&[&nonce_seed.to_le_bytes()[..], aad].concat()),
+        }
+    }
+
+    /// Derive the subkey for `role` — what the enclave releases to a class
+    /// of authorized parties.
+    pub fn role_key(k_states: &[u8; 32], role: &str) -> [u8; 32] {
+        confide_crypto::hkdf::derive_key32(
+            role.as_bytes(),
+            k_states,
+            b"confide/ccle/role-key-v1",
+        )
+    }
+
+    /// A context holding only one role's subkey: can open (and re-seal)
+    /// exactly the fields marked `access(role)`.
+    pub fn role_only(role: &str, role_key: &[u8; 32], aad: &[u8], nonce_seed: u64) -> EncryptionContext {
+        let mut role_gcms = HashMap::new();
+        role_gcms.insert(
+            role.to_string(),
+            AesGcm::new(role_key).expect("32-byte role key"),
+        );
+        EncryptionContext {
+            gcm: None,
+            master: None,
+            role_gcms,
+            aad: aad.to_vec(),
+            rng: HmacDrbg::new(&[&nonce_seed.to_le_bytes()[..], aad, role.as_bytes()].concat()),
+        }
+    }
+
+    /// The cipher for a field's protection domain, deriving role subkeys
+    /// from the master on demand. `None` when this holder lacks the key.
+    fn cipher_for(&mut self, role: Option<&str>) -> Option<&AesGcm> {
+        match role {
+            None => self.gcm.as_ref(),
+            Some(r) => {
+                if !self.role_gcms.contains_key(r) {
+                    let master = self.master?;
+                    let key = Self::role_key(&master, r);
+                    self.role_gcms
+                        .insert(r.to_string(), AesGcm::new(&key).expect("role key"));
+                }
+                self.role_gcms.get(r)
+            }
+        }
+    }
+
+    fn field_aad(&self, path: &str) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(self.aad.len() + path.len() + 1);
+        aad.extend_from_slice(&self.aad);
+        aad.push(0);
+        aad.extend_from_slice(path.as_bytes());
+        aad
+    }
+
+    fn seal(&mut self, path: &str, role: Option<&str>, plain: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let nonce = self.rng.gen_nonce();
+        let aad = self.field_aad(path);
+        let Some(gcm) = self.cipher_for(role) else {
+            return Err(CodecError::MissingKey);
+        };
+        let mut blob = Vec::with_capacity(12 + plain.len() + 16);
+        blob.extend_from_slice(&nonce);
+        blob.extend_from_slice(&gcm.seal(&nonce, &aad, plain));
+        Ok(blob)
+    }
+
+    /// Ok(Some(plain)) on success, Ok(None) when this holder lacks the
+    /// key for the field's domain, Err on tamper/wrong key.
+    fn open(
+        &mut self,
+        path: &str,
+        role: Option<&str>,
+        blob: &[u8],
+    ) -> Result<Option<Vec<u8>>, CodecError> {
+        if blob.len() < 12 {
+            return Err(CodecError::Truncated);
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&blob[..12]);
+        let aad = self.field_aad(path);
+        let Some(gcm) = self.cipher_for(role) else {
+            return Ok(None);
+        };
+        gcm.open(&nonce, &aad, &blob[12..])
+            .map(Some)
+            .map_err(|_| CodecError::Crypto)
+    }
+}
+
+// ---- varint helpers (LEB128) ----
+
+fn write_u(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_u(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 70 {
+            return Err(CodecError::BadTag(b));
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---- tags ----
+const TAG_UINT: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_TABLE: u8 = 4;
+const TAG_VECTOR: u8 = 5;
+const TAG_MAP: u8 = 6;
+const TAG_ENCRYPTED: u8 = 7;
+
+/// Encode `value` (which must conform to `schema`'s root) with
+/// confidential fields sealed through `ctx`. Pass `None` only when the
+/// value's confidential positions already hold [`Value::Encrypted`] blobs
+/// (re-serializing an audit view).
+pub fn encode(
+    schema: &Schema,
+    value: &Value,
+    mut ctx: Option<&mut EncryptionContext>,
+) -> Result<Vec<u8>, CodecError> {
+    let root_ty = FieldType::Table(schema.root_type.clone());
+    if !conforms(schema, &root_ty, value) {
+        return Err(CodecError::Mismatch("root value".into()));
+    }
+    let mut out = Vec::with_capacity(256);
+    encode_node(
+        schema,
+        &root_ty,
+        false,
+        None,
+        value,
+        &schema.root_type.clone(),
+        &mut ctx,
+        &mut out,
+        false,
+    )?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
+fn encode_node(
+    schema: &Schema,
+    ty: &FieldType,
+    is_map: bool,
+    role: Option<&str>,
+    value: &Value,
+    path: &str,
+    ctx: &mut Option<&mut EncryptionContext>,
+    out: &mut Vec<u8>,
+    inside_sealed: bool,
+) -> Result<(), CodecError> {
+    if let Value::Encrypted(blob) = value {
+        // Pass an existing ciphertext through unchanged.
+        out.push(TAG_ENCRYPTED);
+        write_u(out, blob.len() as u64);
+        out.extend_from_slice(blob);
+        return Ok(());
+    }
+    match (ty, value) {
+        (FieldType::Scalar(_), Value::UInt(v)) => {
+            out.push(TAG_UINT);
+            write_u(out, *v);
+        }
+        (FieldType::Scalar(ScalarType::Bool), Value::Bool(b)) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        (FieldType::Scalar(_), Value::Int(v)) => {
+            out.push(TAG_INT);
+            write_u(out, zigzag(*v));
+        }
+        (FieldType::Str, Value::Str(s)) => {
+            out.push(TAG_STR);
+            write_u(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        (FieldType::Table(name), Value::Table(fields)) => {
+            let table = schema
+                .table(name)
+                .ok_or_else(|| CodecError::Mismatch(format!("unknown table {name}")))?;
+            out.push(TAG_TABLE);
+            write_u(out, fields.len() as u64);
+            for (field, (_, v)) in table.fields.iter().zip(fields) {
+                let child_path = format!("{path}.{}", field.name);
+                if field.confidential && !inside_sealed && !matches!(v, Value::Encrypted(_)) {
+                    // Topmost confidential field: seal the plain encoding
+                    // of the whole subtree, under the field's protection
+                    // domain (master key, or a role subkey).
+                    let field_role = field.access_role.as_deref();
+                    let mut plain = Vec::new();
+                    encode_node(
+                        schema,
+                        &field.ty,
+                        field.map,
+                        field_role,
+                        v,
+                        &child_path,
+                        ctx,
+                        &mut plain,
+                        true,
+                    )?;
+                    let Some(c) = ctx.as_deref_mut() else {
+                        return Err(CodecError::MissingKey);
+                    };
+                    let blob = c.seal(&child_path, field_role, &plain)?;
+                    out.push(TAG_ENCRYPTED);
+                    write_u(out, blob.len() as u64);
+                    out.extend_from_slice(&blob);
+                } else {
+                    encode_node(
+                        schema,
+                        &field.ty,
+                        field.map,
+                        field.access_role.as_deref(),
+                        v,
+                        &child_path,
+                        ctx,
+                        out,
+                        inside_sealed,
+                    )?;
+                }
+            }
+        }
+        (FieldType::Vector(inner), Value::Map(entries)) if is_map => {
+            out.push(TAG_MAP);
+            write_u(out, entries.len() as u64);
+            for (key, v) in entries {
+                write_u(out, key.len() as u64);
+                out.extend_from_slice(key.as_bytes());
+                encode_node(schema, inner, false, role, v, path, ctx, out, inside_sealed)?;
+            }
+        }
+        (FieldType::Vector(inner), Value::Vector(items)) => {
+            out.push(TAG_VECTOR);
+            write_u(out, items.len() as u64);
+            for v in items {
+                encode_node(schema, inner, false, role, v, path, ctx, out, inside_sealed)?;
+            }
+        }
+        (t, v) => {
+            return Err(CodecError::Mismatch(format!(
+                "at {path}: type {t:?} vs value {v:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Decode with `ctx`: confidential fields whose keys the context holds
+/// are opened and verified; fields in protection domains the holder lacks
+/// remain [`Value::Encrypted`] (a role-only auditor sees exactly their
+/// slice of the state).
+pub fn decode(
+    schema: &Schema,
+    bytes: &[u8],
+    ctx: &EncryptionContext,
+) -> Result<Value, CodecError> {
+    // Cloning the key material into a scratch context lets role subkeys be
+    // derived lazily during decoding without mutating the caller's ctx.
+    let mut scratch = EncryptionContext {
+        gcm: ctx.gcm.clone(),
+        master: ctx.master,
+        role_gcms: ctx.role_gcms.clone(),
+        aad: ctx.aad.clone(),
+        rng: ctx.rng.clone(),
+    };
+    decode_inner(schema, bytes, Some(&mut scratch))
+}
+
+/// Decode the public (audit) view: confidential fields come back as
+/// [`Value::Encrypted`] leaves — readable structure, opaque secrets.
+pub fn decode_public(schema: &Schema, bytes: &[u8]) -> Result<Value, CodecError> {
+    decode_inner(schema, bytes, None)
+}
+
+fn decode_inner(
+    schema: &Schema,
+    bytes: &[u8],
+    mut ctx: Option<&mut EncryptionContext>,
+) -> Result<Value, CodecError> {
+    let mut pos = 0usize;
+    let root_ty = FieldType::Table(schema.root_type.clone());
+    let v = decode_node(
+        schema,
+        &root_ty,
+        false,
+        None,
+        bytes,
+        &mut pos,
+        &schema.root_type.clone(),
+        &mut ctx,
+    )?;
+    if pos != bytes.len() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(v)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_node(
+    schema: &Schema,
+    ty: &FieldType,
+    is_map: bool,
+    role: Option<&str>,
+    buf: &[u8],
+    pos: &mut usize,
+    path: &str,
+    ctx: &mut Option<&mut EncryptionContext>,
+) -> Result<Value, CodecError> {
+    let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    match tag {
+        TAG_ENCRYPTED => {
+            let len = read_u(buf, pos)? as usize;
+            let blob = buf
+                .get(*pos..*pos + len)
+                .ok_or(CodecError::Truncated)?
+                .to_vec();
+            *pos += len;
+            match ctx.as_deref_mut() {
+                Some(c) => match c.open(path, role, &blob)? {
+                    Some(plain) => {
+                        let mut inner_pos = 0usize;
+                        let v = decode_node(
+                            schema, ty, is_map, role, &plain, &mut inner_pos, path, ctx,
+                        )?;
+                        if inner_pos != plain.len() {
+                            return Err(CodecError::Truncated);
+                        }
+                        Ok(v)
+                    }
+                    // The holder lacks this protection domain's key.
+                    None => Ok(Value::Encrypted(blob)),
+                },
+                None => Ok(Value::Encrypted(blob)),
+            }
+        }
+        TAG_UINT => {
+            let v = read_u(buf, pos)?;
+            Ok(Value::UInt(v))
+        }
+        TAG_INT => {
+            let v = read_u(buf, pos)?;
+            Ok(Value::Int(unzigzag(v)))
+        }
+        TAG_BOOL => {
+            let b = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+            *pos += 1;
+            Ok(Value::Bool(b != 0))
+        }
+        TAG_STR => {
+            let len = read_u(buf, pos)? as usize;
+            let s = buf.get(*pos..*pos + len).ok_or(CodecError::Truncated)?;
+            *pos += len;
+            Ok(Value::Str(
+                String::from_utf8(s.to_vec()).map_err(|_| CodecError::Mismatch("utf8".into()))?,
+            ))
+        }
+        TAG_TABLE => {
+            let FieldType::Table(name) = ty else {
+                return Err(CodecError::Mismatch(format!("unexpected table at {path}")));
+            };
+            let table = schema
+                .table(name)
+                .ok_or_else(|| CodecError::Mismatch(format!("unknown table {name}")))?;
+            let count = read_u(buf, pos)? as usize;
+            if count != table.fields.len() {
+                return Err(CodecError::Mismatch(format!(
+                    "table {name}: {count} fields on wire, schema has {}",
+                    table.fields.len()
+                )));
+            }
+            let mut fields = Vec::with_capacity(count);
+            for field in &table.fields {
+                let child_path = format!("{path}.{}", field.name);
+                let field_role = field.access_role.as_deref().or(role);
+                let v = decode_node(
+                    schema, &field.ty, field.map, field_role, buf, pos, &child_path, ctx,
+                )?;
+                fields.push((field.name.clone(), v));
+            }
+            Ok(Value::Table(fields))
+        }
+        TAG_VECTOR => {
+            let FieldType::Vector(inner) = ty else {
+                return Err(CodecError::Mismatch(format!("unexpected vector at {path}")));
+            };
+            let count = read_u(buf, pos)? as usize;
+            let mut items = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                items.push(decode_node(schema, inner, false, role, buf, pos, path, ctx)?);
+            }
+            Ok(Value::Vector(items))
+        }
+        TAG_MAP => {
+            let FieldType::Vector(inner) = ty else {
+                return Err(CodecError::Mismatch(format!("unexpected map at {path}")));
+            };
+            if !is_map {
+                return Err(CodecError::Mismatch(format!("map tag at non-map {path}")));
+            }
+            let count = read_u(buf, pos)? as usize;
+            let mut entries = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let klen = read_u(buf, pos)? as usize;
+                let key = buf.get(*pos..*pos + klen).ok_or(CodecError::Truncated)?;
+                let key = String::from_utf8(key.to_vec())
+                    .map_err(|_| CodecError::Mismatch("utf8 key".into()))?;
+                *pos += klen;
+                let v = decode_node(schema, inner, false, role, buf, pos, path, ctx)?;
+                entries.push((key, v));
+            }
+            Ok(Value::Map(entries))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+
+    fn paper_schema() -> Schema {
+        parse_schema(
+            r#"
+            attribute "map";
+            attribute "confidential";
+            table Demo {
+              owner: string;
+              admin: [Administrator];
+              account_map: [Account](map);
+            }
+            table Administrator {
+              identity: string;
+              name: string;
+            }
+            table Account {
+              user_id: string;
+              organization: string(confidential);
+              asset_map: [Asset](map, confidential);
+            }
+            table Asset {
+              asset_id: string;
+              type: ubyte;
+              amount: ulong;
+            }
+            root_type Demo;
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn demo_value() -> Value {
+        let asset = |id: &str, ty: u64, amount: u64| {
+            Value::Table(vec![
+                ("asset_id".into(), Value::Str(id.into())),
+                ("type".into(), Value::UInt(ty)),
+                ("amount".into(), Value::UInt(amount)),
+            ])
+        };
+        let account = |uid: &str, org: &str, assets: Vec<(String, Value)>| {
+            Value::Table(vec![
+                ("user_id".into(), Value::Str(uid.into())),
+                ("organization".into(), Value::Str(org.into())),
+                ("asset_map".into(), Value::Map(assets)),
+            ])
+        };
+        Value::Table(vec![
+            ("owner".into(), Value::Str("consortium-admin".into())),
+            (
+                "admin".into(),
+                Value::Vector(vec![Value::Table(vec![
+                    ("identity".into(), Value::Str("0xadmin".into())),
+                    ("name".into(), Value::Str("ops".into())),
+                ])]),
+            ),
+            (
+                "account_map".into(),
+                Value::Map(vec![
+                    (
+                        "alice".into(),
+                        account(
+                            "alice",
+                            "bank-A",
+                            vec![("ar-1".into(), asset("ar-1", 1, 1000))],
+                        ),
+                    ),
+                    (
+                        "bob".into(),
+                        account("bob", "bank-B", vec![("ar-2".into(), asset("ar-2", 2, 50))]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    fn ctx() -> EncryptionContext {
+        EncryptionContext::new(&[7u8; 32], b"contract:demo|owner:anyone|sv:1", 42)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let schema = paper_schema();
+        let value = demo_value();
+        let mut c = ctx();
+        let bytes = encode(&schema, &value, Some(&mut c)).unwrap();
+        let back = decode(&schema, &bytes, &c).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn audit_view_shows_public_hides_confidential() {
+        let schema = paper_schema();
+        let mut c = ctx();
+        let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
+        let public = decode_public(&schema, &bytes).unwrap();
+        // Public fields readable.
+        assert_eq!(
+            public.get("owner").unwrap().as_str(),
+            Some("consortium-admin")
+        );
+        let alice = public.get("account_map").unwrap().get_key("alice").unwrap();
+        assert_eq!(alice.get("user_id").unwrap().as_str(), Some("alice"));
+        // Confidential fields opaque.
+        assert!(matches!(
+            alice.get("organization").unwrap(),
+            Value::Encrypted(_)
+        ));
+        assert!(matches!(alice.get("asset_map").unwrap(), Value::Encrypted(_)));
+        assert!(public.has_encrypted());
+    }
+
+    #[test]
+    fn audit_view_reencodes_and_still_decrypts() {
+        // A node without keys can re-serialize state (e.g. to move it)
+        // without breaking the ciphertexts.
+        let schema = paper_schema();
+        let mut c = ctx();
+        let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
+        let public = decode_public(&schema, &bytes).unwrap();
+        let re = encode(&schema, &public, None).unwrap();
+        let back = decode(&schema, &re, &c).unwrap();
+        assert_eq!(back, demo_value());
+    }
+
+    #[test]
+    fn confidential_without_key_fails() {
+        let schema = paper_schema();
+        assert_eq!(
+            encode(&schema, &demo_value(), None).unwrap_err(),
+            CodecError::MissingKey
+        );
+    }
+
+    #[test]
+    fn wrong_key_fails_open() {
+        let schema = paper_schema();
+        let mut c = ctx();
+        let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
+        let wrong = EncryptionContext::new(&[8u8; 32], b"contract:demo|owner:anyone|sv:1", 42);
+        assert_eq!(decode(&schema, &bytes, &wrong).unwrap_err(), CodecError::Crypto);
+    }
+
+    #[test]
+    fn contract_aad_mismatch_fails() {
+        // Same key, different contract AAD — splicing across contracts.
+        let schema = paper_schema();
+        let mut c = ctx();
+        let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
+        let other = EncryptionContext::new(&[7u8; 32], b"contract:OTHER|owner:x|sv:1", 42);
+        assert_eq!(decode(&schema, &bytes, &other).unwrap_err(), CodecError::Crypto);
+    }
+
+    #[test]
+    fn field_path_splicing_detected() {
+        // Move the ciphertext of `organization` into `asset_map` — the
+        // path-bound AAD must reject it even under the right key.
+        let schema = paper_schema();
+        let mut c = ctx();
+        let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
+        let mut public = decode_public(&schema, &bytes).unwrap();
+        // Swap the two encrypted blobs inside alice.
+        let (org, assets) = {
+            let alice = public.get("account_map").unwrap().get_key("alice").unwrap();
+            (
+                alice.get("organization").unwrap().clone(),
+                alice.get("asset_map").unwrap().clone(),
+            )
+        };
+        if let Value::Table(fields) = &mut public {
+            if let Some((_, Value::Map(accounts))) =
+                fields.iter_mut().find(|(n, _)| n == "account_map")
+            {
+                if let Some((_, Value::Table(alice))) =
+                    accounts.iter_mut().find(|(k, _)| k == "alice")
+                {
+                    for (n, v) in alice.iter_mut() {
+                        if n == "organization" {
+                            *v = assets.clone();
+                        } else if n == "asset_map" {
+                            *v = org.clone();
+                        }
+                    }
+                }
+            }
+        }
+        let spliced = encode(&schema, &public, None).unwrap();
+        assert_eq!(decode(&schema, &spliced, &c).unwrap_err(), CodecError::Crypto);
+    }
+
+    #[test]
+    fn tampered_ciphertext_detected() {
+        let schema = paper_schema();
+        let mut c = ctx();
+        let mut bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
+        // Flip a late byte (inside some ciphertext).
+        let n = bytes.len();
+        bytes[n - 3] ^= 1;
+        assert!(decode(&schema, &bytes, &c).is_err());
+    }
+
+    #[test]
+    fn only_sensitive_fields_pay_encryption() {
+        // The public part of the encoding is identical across two values
+        // differing only in confidential content? Not byte-identical (blob
+        // sizes differ) — but a fully-public schema encodes with no
+        // ciphertext at all.
+        let schema = parse_schema("table T { a: ulong; b: string; }\nroot_type T;").unwrap();
+        let v = Value::Table(vec![
+            ("a".into(), Value::UInt(5)),
+            ("b".into(), Value::Str("public".into())),
+        ]);
+        let bytes = encode(&schema, &v, None).unwrap();
+        assert!(!bytes.contains(&TAG_ENCRYPTED));
+        assert_eq!(decode_public(&schema, &bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn signed_scalars_round_trip() {
+        let schema = parse_schema("table T { a: long; b: int; }\nroot_type T;").unwrap();
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            let val = Value::Table(vec![
+                ("a".into(), Value::Int(v)),
+                ("b".into(), Value::Int(v.clamp(i32::MIN as i64, i32::MAX as i64))),
+            ]);
+            let bytes = encode(&schema, &val, None).unwrap();
+            assert_eq!(decode_public(&schema, &bytes).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let schema = paper_schema();
+        let mut c = ctx();
+        let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_public(&schema, &bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage too.
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(decode_public(&schema, &extended).is_err());
+    }
+
+    #[test]
+    fn nonces_are_unique_per_seal() {
+        let schema = parse_schema(
+            "attribute \"confidential\";\ntable T { s: string(confidential); }\nroot_type T;",
+        )
+        .unwrap();
+        let v = Value::Table(vec![("s".into(), Value::Str("same".into()))]);
+        let mut c = EncryptionContext::new(&[1u8; 32], b"aad", 1);
+        let b1 = encode(&schema, &v, Some(&mut c)).unwrap();
+        let b2 = encode(&schema, &v, Some(&mut c)).unwrap();
+        assert_ne!(b1, b2, "re-encryption must not repeat ciphertexts");
+        assert_eq!(decode(&schema, &b1, &c).unwrap(), decode(&schema, &b2, &c).unwrap());
+    }
+
+    // ---- §4 extension: access("role") attribute ----
+
+    fn access_schema() -> Schema {
+        parse_schema(
+            r#"
+            attribute "confidential";
+            attribute "access";
+            table Deal {
+              deal_id: string;
+              price: ulong(confidential);
+              audit_note: string(confidential, access("auditor"));
+              regulator_flag: string(confidential, access("regulator"));
+            }
+            root_type Deal;
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn deal() -> Value {
+        Value::Table(vec![
+            ("deal_id".into(), Value::Str("D-100".into())),
+            ("price".into(), Value::UInt(42_000)),
+            ("audit_note".into(), Value::Str("checked by KPMG".into())),
+            ("regulator_flag".into(), Value::Str("reported".into())),
+        ])
+    }
+
+    #[test]
+    fn role_holder_sees_exactly_their_fields() {
+        let schema = access_schema();
+        let k_states = [3u8; 32];
+        let mut full = EncryptionContext::new(&k_states, b"contract:deals", 7);
+        let wire = encode(&schema, &deal(), Some(&mut full)).unwrap();
+
+        // The enclave (master key) sees everything.
+        let all = decode(&schema, &wire, &full).unwrap();
+        assert_eq!(all, deal());
+
+        // The auditor holds only the auditor role key.
+        let auditor_key = EncryptionContext::role_key(&k_states, "auditor");
+        let auditor = EncryptionContext::role_only("auditor", &auditor_key, b"contract:deals", 8);
+        let view = decode(&schema, &wire, &auditor).unwrap();
+        assert_eq!(view.get("deal_id").unwrap().as_str(), Some("D-100"));
+        assert_eq!(
+            view.get("audit_note").unwrap().as_str(),
+            Some("checked by KPMG"),
+            "the auditor's field opens"
+        );
+        assert!(matches!(view.get("price").unwrap(), Value::Encrypted(_)));
+        assert!(matches!(
+            view.get("regulator_flag").unwrap(),
+            Value::Encrypted(_)
+        ));
+    }
+
+    #[test]
+    fn wrong_role_key_cannot_forge_another_domain() {
+        let schema = access_schema();
+        let k_states = [3u8; 32];
+        let mut full = EncryptionContext::new(&k_states, b"contract:deals", 7);
+        let wire = encode(&schema, &deal(), Some(&mut full)).unwrap();
+        // A malicious auditor registering their key under the regulator
+        // role name gets an AEAD failure, not data.
+        let auditor_key = EncryptionContext::role_key(&k_states, "auditor");
+        let mallory = EncryptionContext::role_only("regulator", &auditor_key, b"contract:deals", 9);
+        assert_eq!(decode(&schema, &wire, &mallory).unwrap_err(), CodecError::Crypto);
+    }
+
+    #[test]
+    fn access_requires_confidential_and_declared_attribute() {
+        assert!(matches!(
+            parse_schema(
+                "attribute \"confidential\";\nattribute \"access\";\ntable T { x: int(access(\"a\")); }\nroot_type T;",
+            ),
+            Err(crate::SchemaError::AccessOnPublicField(..))
+        ));
+        assert!(matches!(
+            parse_schema(
+                "attribute \"confidential\";\ntable T { x: int(confidential, access(\"a\")); }\nroot_type T;",
+            ),
+            Err(crate::SchemaError::UndeclaredAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn role_keys_are_independent_per_role() {
+        let k = [9u8; 32];
+        assert_ne!(
+            EncryptionContext::role_key(&k, "auditor"),
+            EncryptionContext::role_key(&k, "regulator")
+        );
+        // And not equal to the master.
+        assert_ne!(EncryptionContext::role_key(&k, "auditor"), k);
+    }
+}

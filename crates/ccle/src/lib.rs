@@ -1,0 +1,42 @@
+//! # confide-ccle
+//!
+//! The Confidential Smart Contract Language Extension (CCLe) of paper §4:
+//! a Flatbuffers-style IDL extended with two attributes —
+//!
+//! * `confidential` — marks a field (primitive or composite) as sensitive.
+//!   Composite types are "parsed recursively, and all the primitive data in
+//!   it will be set confidential".
+//! * `map` — declares a vector-of-tables field as a key:value map, the
+//!   `account:asset` shape financial contracts live on.
+//!
+//! The paper's Listing 1 parses verbatim (see the tests).
+//!
+//! The payoff (§4): instead of encrypting whole contract states, only the
+//! *sensitive fields* are sealed — public fields remain readable by
+//! third-party auditors without any key sharing, and encryption cost
+//! scales with the confidential fraction of the state (Figure 12 OPT2's
+//! companion effect).
+//!
+//! * [`schema`] / [`parser`] — the IDL model and its parser.
+//! * [`value`] — dynamic values conforming to a schema.
+//! * [`codec`] — schema-driven encode/decode with **field-level
+//!   AES-256-GCM**: confidential subtrees are sealed with AAD binding
+//!   (contract identity ‖ field path), D-Protocol formula (3); decoding
+//!   without the key yields an audit view with opaque
+//!   [`value::Value::Encrypted`] leaves.
+//! * [`codegen`] — the §4 "codegen tool": emits Rust struct definitions
+//!   from a schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod codegen;
+pub mod parser;
+pub mod schema;
+pub mod value;
+
+pub use codec::{decode, decode_public, encode, EncryptionContext};
+pub use parser::parse_schema;
+pub use schema::{Field, FieldType, ScalarType, Schema, SchemaError, Table};
+pub use value::Value;

@@ -1,0 +1,346 @@
+//! The CCLe schema model and its validation rules.
+
+use std::collections::HashMap;
+
+/// Scalar field types (the Flatbuffers-ish set the paper's examples use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarType {
+    /// `bool`
+    Bool,
+    /// `byte` (i8)
+    Byte,
+    /// `ubyte` (u8)
+    UByte,
+    /// `short` (i16)
+    Short,
+    /// `ushort` (u16)
+    UShort,
+    /// `int` (i32)
+    Int,
+    /// `uint` (u32)
+    UInt,
+    /// `long` (i64)
+    Long,
+    /// `ulong` (u64)
+    ULong,
+}
+
+impl ScalarType {
+    /// Parse a scalar type name.
+    pub fn from_name(name: &str) -> Option<ScalarType> {
+        Some(match name {
+            "bool" => ScalarType::Bool,
+            "byte" => ScalarType::Byte,
+            "ubyte" => ScalarType::UByte,
+            "short" => ScalarType::Short,
+            "ushort" => ScalarType::UShort,
+            "int" => ScalarType::Int,
+            "uint" => ScalarType::UInt,
+            "long" => ScalarType::Long,
+            "ulong" => ScalarType::ULong,
+            _ => return None,
+        })
+    }
+
+    /// Whether the scalar is signed.
+    pub fn is_signed(&self) -> bool {
+        matches!(
+            self,
+            ScalarType::Byte | ScalarType::Short | ScalarType::Int | ScalarType::Long
+        )
+    }
+}
+
+/// A field's type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldType {
+    /// A scalar.
+    Scalar(ScalarType),
+    /// UTF-8 string.
+    Str,
+    /// A nested table by name.
+    Table(String),
+    /// `[T]` — vector of `T`.
+    Vector(Box<FieldType>),
+}
+
+/// A table field with its CCLe attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Type.
+    pub ty: FieldType,
+    /// `(confidential)` attribute.
+    pub confidential: bool,
+    /// `(map)` attribute — key:value semantics over a vector of tables.
+    pub map: bool,
+    /// `(access("role"))` attribute — the §4 "data access control"
+    /// extension: this confidential field is sealed under a *role-derived*
+    /// subkey of `k_states`, so the role key can be released to a class of
+    /// parties (e.g. auditors) without exposing anything else.
+    pub access_role: Option<String>,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+impl Table {
+    /// Find a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A parsed and validated schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Declared attributes (e.g. "map", "confidential").
+    pub attributes: Vec<String>,
+    /// Tables by declaration order.
+    pub tables: Vec<Table>,
+    /// The root table name.
+    pub root_type: String,
+}
+
+impl Schema {
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// The root table.
+    pub fn root(&self) -> &Table {
+        self.table(&self.root_type).expect("validated root")
+    }
+
+    /// Validate structural rules; called by the parser.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        let names: HashMap<&str, &Table> =
+            self.tables.iter().map(|t| (t.name.as_str(), t)).collect();
+        if names.len() != self.tables.len() {
+            return Err(SchemaError::DuplicateTable);
+        }
+        if !names.contains_key(self.root_type.as_str()) {
+            return Err(SchemaError::UnknownRoot(self.root_type.clone()));
+        }
+        for t in &self.tables {
+            let mut seen = std::collections::HashSet::new();
+            for f in &t.fields {
+                if !seen.insert(&f.name) {
+                    return Err(SchemaError::DuplicateField(t.name.clone(), f.name.clone()));
+                }
+                check_type(&f.ty, &names, t, f)?;
+                if f.map {
+                    // map requires a vector of tables whose element table has
+                    // a string first field (the key).
+                    match &f.ty {
+                        FieldType::Vector(inner) => match inner.as_ref() {
+                            FieldType::Table(name) => {
+                                let elem = names
+                                    .get(name.as_str())
+                                    .ok_or_else(|| SchemaError::UnknownTable(name.clone()))?;
+                                match elem.fields.first().map(|f| &f.ty) {
+                                    Some(FieldType::Str) => {}
+                                    _ => {
+                                        return Err(SchemaError::BadMapKey(
+                                            t.name.clone(),
+                                            f.name.clone(),
+                                        ))
+                                    }
+                                }
+                            }
+                            _ => {
+                                return Err(SchemaError::BadMapField(
+                                    t.name.clone(),
+                                    f.name.clone(),
+                                ))
+                            }
+                        },
+                        _ => {
+                            return Err(SchemaError::BadMapField(t.name.clone(), f.name.clone()))
+                        }
+                    }
+                }
+                if (f.map && !self.attributes.iter().any(|a| a == "map"))
+                    || (f.confidential && !self.attributes.iter().any(|a| a == "confidential"))
+                    || (f.access_role.is_some()
+                        && !self.attributes.iter().any(|a| a == "access"))
+                {
+                    return Err(SchemaError::UndeclaredAttribute(f.name.clone()));
+                }
+                if f.access_role.is_some() && !f.confidential {
+                    return Err(SchemaError::AccessOnPublicField(
+                        t.name.clone(),
+                        f.name.clone(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_type(
+    ty: &FieldType,
+    names: &HashMap<&str, &Table>,
+    t: &Table,
+    f: &Field,
+) -> Result<(), SchemaError> {
+    match ty {
+        FieldType::Scalar(_) | FieldType::Str => Ok(()),
+        FieldType::Table(name) => {
+            if names.contains_key(name.as_str()) {
+                Ok(())
+            } else {
+                Err(SchemaError::UnknownTable(name.clone()))
+            }
+        }
+        FieldType::Vector(inner) => {
+            if matches!(inner.as_ref(), FieldType::Vector(_)) {
+                Err(SchemaError::NestedVector(t.name.clone(), f.name.clone()))
+            } else {
+                check_type(inner, names, t, f)
+            }
+        }
+    }
+}
+
+/// Schema validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two tables with the same name.
+    DuplicateTable,
+    /// A field declared twice in one table.
+    DuplicateField(String, String),
+    /// A field references an undefined table.
+    UnknownTable(String),
+    /// `root_type` names an undefined table.
+    UnknownRoot(String),
+    /// `map` on a non-vector-of-tables field.
+    BadMapField(String, String),
+    /// `map` element table's first field is not a string key.
+    BadMapKey(String, String),
+    /// `[[T]]` is not supported.
+    NestedVector(String, String),
+    /// `map`/`confidential` used without an `attribute` declaration.
+    UndeclaredAttribute(String),
+    /// `access` on a field that is not `confidential`.
+    AccessOnPublicField(String, String),
+    /// Parser-level syntax error with line info.
+    Syntax(String, usize),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::DuplicateTable => f.write_str("duplicate table name"),
+            SchemaError::DuplicateField(t, fld) => write!(f, "duplicate field {t}.{fld}"),
+            SchemaError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            SchemaError::UnknownRoot(n) => write!(f, "root_type `{n}` is not defined"),
+            SchemaError::BadMapField(t, fld) => {
+                write!(f, "map attribute on {t}.{fld} requires [Table] type")
+            }
+            SchemaError::BadMapKey(t, fld) => write!(
+                f,
+                "map element of {t}.{fld} must have a string first field as key"
+            ),
+            SchemaError::NestedVector(t, fld) => write!(f, "nested vectors at {t}.{fld}"),
+            SchemaError::UndeclaredAttribute(fld) => {
+                write!(f, "attribute on `{fld}` not declared via `attribute`")
+            }
+            SchemaError::AccessOnPublicField(t, fld) => {
+                write!(f, "access attribute on non-confidential field {t}.{fld}")
+            }
+            SchemaError::Syntax(msg, line) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> Schema {
+        Schema {
+            attributes: vec!["map".into(), "confidential".into()],
+            tables: vec![Table {
+                name: "Root".into(),
+                fields: vec![Field {
+                    name: "x".into(),
+                    ty: FieldType::Scalar(ScalarType::ULong),
+                    confidential: false,
+                    map: false,
+                    access_role: None,
+                }],
+            }],
+            root_type: "Root".into(),
+        }
+    }
+
+    #[test]
+    fn minimal_validates() {
+        minimal().validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let mut s = minimal();
+        s.root_type = "Nope".into();
+        assert_eq!(s.validate(), Err(SchemaError::UnknownRoot("Nope".into())));
+    }
+
+    #[test]
+    fn unknown_table_reference_rejected() {
+        let mut s = minimal();
+        s.tables[0].fields.push(Field {
+            name: "t".into(),
+            ty: FieldType::Table("Missing".into()),
+            confidential: false,
+            map: false,
+            access_role: None,
+        });
+        assert_eq!(s.validate(), Err(SchemaError::UnknownTable("Missing".into())));
+    }
+
+    #[test]
+    fn map_requires_vector_of_tables_with_string_key() {
+        let mut s = minimal();
+        s.tables[0].fields.push(Field {
+            name: "m".into(),
+            ty: FieldType::Scalar(ScalarType::Int),
+            confidential: false,
+            map: true,
+            access_role: None,
+        });
+        assert!(matches!(s.validate(), Err(SchemaError::BadMapField(..))));
+    }
+
+    #[test]
+    fn undeclared_attribute_rejected() {
+        let mut s = minimal();
+        s.attributes.clear();
+        s.tables[0].fields[0].confidential = true;
+        assert!(matches!(
+            s.validate(),
+            Err(SchemaError::UndeclaredAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_names() {
+        assert_eq!(ScalarType::from_name("ulong"), Some(ScalarType::ULong));
+        assert_eq!(ScalarType::from_name("ubyte"), Some(ScalarType::UByte));
+        assert_eq!(ScalarType::from_name("float"), None);
+        assert!(ScalarType::Long.is_signed());
+        assert!(!ScalarType::ULong.is_signed());
+    }
+}

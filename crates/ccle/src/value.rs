@@ -1,0 +1,224 @@
+//! Dynamic values conforming to a CCLe schema.
+
+use crate::schema::*;
+
+/// A dynamic value. Tables are field-name → value maps; `map`-attributed
+/// fields use [`Value::Map`] with string keys ("inserted in the runtime",
+/// paper Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Unsigned integer (ubyte/ushort/uint/ulong).
+    UInt(u64),
+    /// Signed integer (byte/short/int/long).
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// A table instance: (field name, value) pairs in schema order.
+    Table(Vec<(String, Value)>),
+    /// A plain vector.
+    Vector(Vec<Value>),
+    /// A `map` field: string key → table value, insertion order.
+    Map(Vec<(String, Value)>),
+    /// A confidential subtree present only in ciphertext (the audit view —
+    /// what a reader *without* `k_states` sees).
+    Encrypted(Vec<u8>),
+}
+
+impl Value {
+    /// Table field lookup.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        match self {
+            Value::Table(fields) => fields.iter().find(|(n, _)| n == field).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Map entry lookup.
+    pub fn get_key(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable map entry lookup.
+    pub fn get_key_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Map(entries) => entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a map entry.
+    pub fn insert_key(&mut self, key: &str, value: Value) {
+        if let Value::Map(entries) = self {
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// As u64, if numeric.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            Value::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// As str, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether any [`Value::Encrypted`] leaf remains (audit view check).
+    pub fn has_encrypted(&self) -> bool {
+        match self {
+            Value::Encrypted(_) => true,
+            Value::Table(fs) => fs.iter().any(|(_, v)| v.has_encrypted()),
+            Value::Vector(vs) => vs.iter().any(|v| v.has_encrypted()),
+            Value::Map(es) => es.iter().any(|(_, v)| v.has_encrypted()),
+            _ => false,
+        }
+    }
+}
+
+/// Check that `value` conforms to `ty` within `schema`. `Encrypted` leaves
+/// are accepted anywhere a confidential field is expected.
+pub fn conforms(schema: &Schema, ty: &FieldType, value: &Value) -> bool {
+    match (ty, value) {
+        (_, Value::Encrypted(_)) => true,
+        (FieldType::Scalar(s), Value::UInt(_)) => !s.is_signed(),
+        (FieldType::Scalar(s), Value::Int(_)) => s.is_signed(),
+        (FieldType::Scalar(ScalarType::Bool), Value::Bool(_)) => true,
+        (FieldType::Str, Value::Str(_)) => true,
+        (FieldType::Table(name), Value::Table(fields)) => {
+            let Some(table) = schema.table(name) else {
+                return false;
+            };
+            fields.len() == table.fields.len()
+                && table.fields.iter().zip(fields).all(|(f, (n, v))| {
+                    &f.name == n
+                        && if f.map {
+                            matches!(v, Value::Map(_) | Value::Encrypted(_))
+                                && map_conforms(schema, &f.ty, v)
+                        } else {
+                            conforms(schema, &f.ty, v)
+                        }
+                })
+        }
+        (FieldType::Vector(inner), Value::Vector(items)) => {
+            items.iter().all(|v| conforms(schema, inner, v))
+        }
+        _ => false,
+    }
+}
+
+fn map_conforms(schema: &Schema, ty: &FieldType, value: &Value) -> bool {
+    let FieldType::Vector(inner) = ty else {
+        return false;
+    };
+    match value {
+        Value::Encrypted(_) => true,
+        Value::Map(entries) => entries.iter().all(|(_, v)| conforms(schema, inner, v)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+
+    fn schema() -> Schema {
+        parse_schema(
+            r#"
+            attribute "map";
+            attribute "confidential";
+            table Asset { asset_id: string; amount: ulong(confidential); }
+            table Account {
+              user_id: string;
+              assets: [Asset](map);
+            }
+            root_type Account;
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn account() -> Value {
+        Value::Table(vec![
+            ("user_id".into(), Value::Str("u1".into())),
+            (
+                "assets".into(),
+                Value::Map(vec![(
+                    "bond-1".into(),
+                    Value::Table(vec![
+                        ("asset_id".into(), Value::Str("bond-1".into())),
+                        ("amount".into(), Value::UInt(500)),
+                    ]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn conforming_value_accepted() {
+        let s = schema();
+        assert!(conforms(
+            &s,
+            &FieldType::Table("Account".into()),
+            &account()
+        ));
+    }
+
+    #[test]
+    fn wrong_scalar_signedness_rejected() {
+        let s = schema();
+        let mut v = account();
+        if let Value::Table(fs) = &mut v {
+            fs[0].1 = Value::Int(-1); // user_id should be Str
+        }
+        assert!(!conforms(&s, &FieldType::Table("Account".into()), &v));
+    }
+
+    #[test]
+    fn map_accessors() {
+        let v = account();
+        let assets = v.get("assets").unwrap().clone();
+        assert!(assets.get_key("bond-1").is_some());
+        assert!(assets.get_key("bond-2").is_none());
+        if let Some(assets) = v.get("assets") {
+            assert_eq!(
+                assets.get_key("bond-1").unwrap().get("amount").unwrap(),
+                &Value::UInt(500)
+            );
+        }
+        // insert + update
+        let assets = Value::Map(vec![]);
+        let mut m = assets;
+        m.insert_key("k", Value::UInt(1));
+        m.insert_key("k", Value::UInt(2));
+        assert_eq!(m.get_key("k"), Some(&Value::UInt(2)));
+    }
+
+    #[test]
+    fn encrypted_leaf_conforms_anywhere() {
+        let s = schema();
+        let v = Value::Table(vec![
+            ("user_id".into(), Value::Str("u".into())),
+            ("assets".into(), Value::Encrypted(vec![1, 2, 3])),
+        ]);
+        assert!(conforms(&s, &FieldType::Table("Account".into()), &v));
+        assert!(v.has_encrypted());
+        assert!(!account().has_encrypted());
+    }
+}

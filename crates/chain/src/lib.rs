@@ -1,0 +1,28 @@
+//! # confide-chain
+//!
+//! The minimal modular consortium platform CONFIDE plugs into (DESIGN.md
+//! §2): PBFT-style ordering consensus driven by the `confide-sim`
+//! discrete-event engine, transaction pools with the pre-verification
+//! pipeline of paper §5.2 (Figure 7), and a parallel execution scheduler
+//! (the 4-way/6-way execution of §6.2).
+//!
+//! The consensus is deliberately the *ordering* service only — execution is
+//! pluggable (public engine vs. Confidential-Engine), storage is pluggable,
+//! matching the paper's "loosely coupling with blockchain platform" design
+//! principle (§2.4).
+//!
+//! Simplifications (documented per DESIGN.md): a fixed primary without
+//! view change, and no Byzantine behaviour injection — the evaluation
+//! (like the paper's) measures the fault-free path; quorum sizes are the
+//! standard 2f+1 so the message complexity is faithful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pbft;
+pub mod sched;
+pub mod types;
+
+pub use pbft::{ChainConfig, ChainReport, ChainSim};
+pub use sched::makespan;
+pub use types::{SimTx, TxClass};

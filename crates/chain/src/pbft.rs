@@ -1,0 +1,601 @@
+//! PBFT ordering consensus over the discrete-event simulator.
+//!
+//! The fault-free three-phase protocol with its genuine O(n²) message
+//! complexity — the quantity that, multiplied by inter-zone latency,
+//! produces Figure 11's two-zone degradation. Execution and persistence
+//! are pipelined per node exactly as §5.2/Fig. 7 describe: transactions are
+//! pre-verified in parallel on arrival (the P1–P5 pipeline), ordered in
+//! batches, then executed in-order with the configured parallelism.
+
+use crate::sched::makespan;
+use crate::types::{SimTx, TxClass};
+use confide_sim::event::{EventQueue, SimTime, MS};
+use confide_sim::network::{DiskModel, NetworkModel, Zone};
+use confide_tee::meter::CostModel;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Chain/experiment configuration.
+pub struct ChainConfig {
+    /// Number of nodes (3f+1 recommended).
+    pub nodes: usize,
+    /// Zone of each node (len == nodes).
+    pub zone_of: Vec<Zone>,
+    /// Block size limit in bytes (paper §6.1: 4 KB).
+    pub block_max_bytes: usize,
+    /// Max transactions per block.
+    pub block_max_txs: usize,
+    /// Parallel execution ways (§6.2: 1/4/6).
+    pub threads: usize,
+    /// Enable the §5.2 pre-verification pipeline (OPT3).
+    pub preverify: bool,
+    /// Verification worker slots per node.
+    pub verify_workers: usize,
+    /// Client→node submission latency.
+    pub client_latency: SimTime,
+    /// Primary's batch flush interval.
+    pub flush_interval: SimTime,
+    /// Per-block fixed overhead cycles (assembly, root computation).
+    pub block_overhead_cycles: u64,
+    /// PBFT watermark: maximum proposals in flight beyond the primary's
+    /// last committed sequence (consensus back-pressure).
+    pub max_inflight: u64,
+    /// Cost model for cycles→time conversion.
+    pub model: CostModel,
+}
+
+impl ChainConfig {
+    /// The paper's default setting: n nodes, one zone, 4 KB blocks.
+    pub fn local(nodes: usize) -> ChainConfig {
+        ChainConfig {
+            nodes,
+            zone_of: vec![Zone(0); nodes],
+            block_max_bytes: 4096,
+            block_max_txs: 64,
+            threads: 1,
+            preverify: true,
+            verify_workers: 8,
+            client_latency: 2 * MS,
+            flush_interval: 5 * MS,
+            block_overhead_cycles: 400_000,
+            max_inflight: 4,
+            model: CostModel::default(),
+        }
+    }
+
+    /// Two-zone split at ratio 1:2 (§6.2 Shanghai:Beijing).
+    pub fn two_zone(nodes: usize) -> ChainConfig {
+        let mut cfg = Self::local(nodes);
+        cfg.zone_of = (0..nodes)
+            .map(|i| if i < nodes / 3 { Zone(0) } else { Zone(1) })
+            .collect();
+        cfg
+    }
+}
+
+/// Aggregate results of one simulated run.
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// Transactions committed (executed on node 0).
+    pub committed_txs: usize,
+    /// Blocks executed.
+    pub blocks: usize,
+    /// Simulated duration, first submission → last execution (ns).
+    pub duration_ns: SimTime,
+    /// Throughput in transactions/second.
+    pub tps: f64,
+    /// Mean block execution time (ns).
+    pub avg_block_exec_ns: f64,
+    /// Mean block persistence (disk write) time (ns).
+    pub avg_block_write_ns: f64,
+    /// Mean propose→commit consensus latency at node 0 (ns).
+    pub avg_consensus_latency_ns: f64,
+    /// Total protocol messages delivered.
+    pub messages: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    PrePrepare { seq: u64, txs: Vec<usize> },
+    Prepare { seq: u64, from: usize },
+    Commit { seq: u64, from: usize },
+}
+
+#[derive(Debug)]
+enum Ev {
+    ClientSend { tx: usize },
+    TxArrive { node: usize, tx: usize },
+    TxVerified { node: usize, tx: usize },
+    Deliver { to: usize, msg: Msg },
+    Flush,
+    ExecDone { node: usize, seq: u64 },
+    #[allow(dead_code)]
+    DiskDone { node: usize, seq: u64 },
+}
+
+#[derive(Default)]
+struct NodeState {
+    pool: Vec<usize>,
+    pool_bytes: usize,
+    verify_slots: Vec<SimTime>,
+    preprepared: HashMap<u64, Vec<usize>>,
+    prepares: HashMap<u64, HashSet<usize>>,
+    commits: HashMap<u64, HashSet<usize>>,
+    sent_commit: HashSet<u64>,
+    committed: BTreeMap<u64, Vec<usize>>,
+    last_executed: u64,
+    executing: bool,
+    proposed_at: HashMap<u64, SimTime>,
+    committed_at: HashMap<u64, SimTime>,
+}
+
+/// The simulator.
+pub struct ChainSim {
+    config: ChainConfig,
+    network: NetworkModel,
+    disk: DiskModel,
+    txs: Vec<SimTx>,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeState>,
+    next_seq: u64,
+    flush_pending: bool,
+    messages: u64,
+    exec_times: Vec<SimTime>,
+    disk_times: Vec<SimTime>,
+    first_send: Option<SimTime>,
+    last_exec: SimTime,
+    committed_txs: usize,
+}
+
+impl ChainSim {
+    /// Build a simulator.
+    pub fn new(config: ChainConfig, network: NetworkModel) -> ChainSim {
+        assert_eq!(config.zone_of.len(), config.nodes);
+        let nodes = (0..config.nodes)
+            .map(|_| NodeState {
+                verify_slots: vec![0; config.verify_workers.max(1)],
+                ..NodeState::default()
+            })
+            .collect();
+        ChainSim {
+            config,
+            network,
+            disk: DiskModel::cloud_ssd(),
+            txs: Vec::new(),
+            queue: EventQueue::new(),
+            nodes,
+            next_seq: 1, // sequences are 1-based; last_executed == 0 means none
+            flush_pending: false,
+            messages: 0,
+            exec_times: Vec::new(),
+            disk_times: Vec::new(),
+            first_send: None,
+            last_exec: 0,
+            committed_txs: 0,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        let f = (self.config.nodes - 1) / 3;
+        2 * f + 1
+    }
+
+    /// Submit transactions at given times and run to quiescence.
+    pub fn run(&mut self, arrivals: Vec<(SimTime, SimTx)>) -> ChainReport {
+        for (t, tx) in arrivals {
+            let id = self.txs.len();
+            self.txs.push(tx);
+            self.queue.schedule_at(t, Ev::ClientSend { tx: id });
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            self.handle(now, ev);
+        }
+        let duration = self.last_exec.saturating_sub(self.first_send.unwrap_or(0)).max(1);
+        let blocks = self.exec_times.len();
+        let node0 = &self.nodes[0];
+        let latencies: Vec<SimTime> = node0
+            .committed_at
+            .iter()
+            .filter_map(|(seq, t)| node0.proposed_at.get(seq).map(|p| t - p))
+            .collect();
+        ChainReport {
+            committed_txs: self.committed_txs,
+            blocks,
+            duration_ns: duration,
+            tps: self.committed_txs as f64 / (duration as f64 / 1e9),
+            avg_block_exec_ns: mean(&self.exec_times),
+            avg_block_write_ns: mean(&self.disk_times),
+            avg_consensus_latency_ns: mean(&latencies),
+            messages: self.messages,
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ClientSend { tx } => {
+                self.first_send.get_or_insert(now);
+                let size = self.txs[tx].size_bytes;
+                for node in 0..self.config.nodes {
+                    // Public-network submission to each node independently;
+                    // the client sits with zone 0, so nodes in other zones
+                    // receive the body over the shared inter-zone pipe.
+                    let at = self
+                        .network
+                        .send_at(now, Zone(0), self.config.zone_of[node], size)
+                        + self.config.client_latency;
+                    self.queue.schedule_at(at, Ev::TxArrive { node, tx });
+                }
+            }
+            Ev::TxArrive { node, tx } => {
+                let cfg_preverify = self.config.preverify;
+                let is_confidential = self.txs[tx].class == TxClass::Confidential;
+                if cfg_preverify && is_confidential {
+                    // P1–P5: batch into the enclave, decrypt + verify on a
+                    // parallel worker, then the verified pool.
+                    let cycles = self.txs[tx].envelope_cycles + self.txs[tx].verify_cycles;
+                    let dur = self.config.model.cycles_to_ns(cycles);
+                    let slot = self.nodes[node]
+                        .verify_slots
+                        .iter_mut()
+                        .min()
+                        .expect("at least one verify worker");
+                    let start = (*slot).max(now);
+                    let done = start + dur;
+                    *slot = done;
+                    self.queue.schedule_at(done, Ev::TxVerified { node, tx });
+                } else {
+                    // Public txs verify cheaply; without OPT3 the cost
+                    // moves into the execution phase.
+                    self.queue.schedule_at(now, Ev::TxVerified { node, tx });
+                }
+            }
+            Ev::TxVerified { node, tx } => {
+                if node != 0 {
+                    return; // replicas just hold the body; primary batches
+                }
+                let state = &mut self.nodes[0];
+                state.pool.push(tx);
+                state.pool_bytes += self.txs[tx].size_bytes;
+                if state.pool_bytes >= self.config.block_max_bytes
+                    || state.pool.len() >= self.config.block_max_txs
+                {
+                    self.propose(now);
+                } else if !self.flush_pending {
+                    self.flush_pending = true;
+                    self.queue.schedule_in(self.config.flush_interval, Ev::Flush);
+                }
+            }
+            Ev::Flush => {
+                self.flush_pending = false;
+                if !self.nodes[0].pool.is_empty() {
+                    self.propose(now);
+                }
+            }
+            Ev::Deliver { to, msg } => {
+                self.messages += 1;
+                self.handle_msg(now, to, msg);
+            }
+            Ev::ExecDone { node, seq } => {
+                let block_txs = self.nodes[node].committed[&seq].len();
+                self.nodes[node].last_executed = seq;
+                self.nodes[node].executing = false;
+                if node == 0 {
+                    self.committed_txs += block_txs;
+                    self.last_exec = now;
+                }
+                // Persist asynchronously.
+                let bytes: usize = self.nodes[node].committed[&seq]
+                    .iter()
+                    .map(|&t| self.txs[t].size_bytes)
+                    .sum::<usize>()
+                    + 96;
+                let write_ns = self.disk.write(bytes);
+                if node == 0 {
+                    self.disk_times.push(write_ns);
+                }
+                self.queue.schedule_in(write_ns, Ev::DiskDone { node, seq });
+                self.try_execute(now, node);
+            }
+            Ev::DiskDone { .. } => {}
+        }
+    }
+
+    fn propose(&mut self, now: SimTime) {
+        // Watermark back-pressure: don't run ahead of commitment.
+        let committed = self.nodes[0].committed.len() as u64;
+        if self.next_seq.saturating_sub(1) >= committed + self.config.max_inflight {
+            return; // retried when the next commit lands at the primary
+        }
+        // Respect the block size limit even when the pool backed up.
+        let take_n = self.nodes[0].pool.len().min(self.config.block_max_txs);
+        let txs: Vec<usize> = self.nodes[0].pool.drain(..take_n).collect();
+        self.nodes[0].pool_bytes = self.nodes[0]
+            .pool
+            .iter()
+            .map(|&t| self.txs[t].size_bytes)
+            .sum();
+        if txs.is_empty() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.nodes[0].proposed_at.insert(seq, now);
+        // PrePrepare carries ordering metadata (digests); bodies travelled
+        // with the client broadcast.
+        let size = 96 + 32 * txs.len();
+        self.broadcast(now, 0, size, |_| Msg::PrePrepare {
+            seq,
+            txs: txs.clone(),
+        });
+        self.handle_msg(now, 0, Msg::PrePrepare { seq, txs });
+    }
+
+    fn broadcast(&mut self, now: SimTime, from: usize, size: usize, make: impl Fn(usize) -> Msg) {
+        for to in 0..self.config.nodes {
+            if to == from {
+                continue;
+            }
+            let at = self
+                .network
+                .send_at(now, self.config.zone_of[from], self.config.zone_of[to], size);
+            self.queue.schedule_at(at, Ev::Deliver { to, msg: make(to) });
+        }
+    }
+
+    fn handle_msg(&mut self, now: SimTime, node: usize, msg: Msg) {
+        match msg {
+            Msg::PrePrepare { seq, txs } => {
+                self.nodes[node].preprepared.insert(seq, txs);
+                self.nodes[node].prepares.entry(seq).or_default().insert(node);
+                self.broadcast(now, node, 96, move |_| Msg::Prepare { seq, from: node });
+                self.maybe_prepared(now, node, seq);
+            }
+            Msg::Prepare { seq, from } => {
+                self.nodes[node].prepares.entry(seq).or_default().insert(from);
+                self.maybe_prepared(now, node, seq);
+            }
+            Msg::Commit { seq, from } => {
+                self.nodes[node].commits.entry(seq).or_default().insert(from);
+                self.maybe_committed(now, node, seq);
+            }
+        }
+    }
+
+    fn maybe_prepared(&mut self, now: SimTime, node: usize, seq: u64) {
+        let q = self.quorum();
+        let state = &mut self.nodes[node];
+        let ready = state.preprepared.contains_key(&seq)
+            && state.prepares.get(&seq).map_or(0, |s| s.len()) >= q
+            && !state.sent_commit.contains(&seq);
+        if ready {
+            state.sent_commit.insert(seq);
+            state.commits.entry(seq).or_default().insert(node);
+            self.broadcast(now, node, 96, move |_| Msg::Commit { seq, from: node });
+            self.maybe_committed(now, node, seq);
+        }
+    }
+
+    fn maybe_committed(&mut self, now: SimTime, node: usize, seq: u64) {
+        let q = self.quorum();
+        let state = &mut self.nodes[node];
+        if state.committed.contains_key(&seq) {
+            return;
+        }
+        if !state.sent_commit.contains(&seq) {
+            return;
+        }
+        if state.commits.get(&seq).map_or(0, |s| s.len()) < q {
+            return;
+        }
+        let txs = state.preprepared[&seq].clone();
+        state.committed.insert(seq, txs);
+        state.committed_at.insert(seq, now);
+        self.try_execute(now, node);
+        // A commit at the primary may unblock a watermarked proposal —
+        // but only a *full* block; partial batches wait for the flush
+        // timer (batching, as production submission does per §6.4).
+        if node == 0 && self.nodes[0].pool.len() >= self.config.block_max_txs {
+            self.propose(now);
+        } else if node == 0 && !self.nodes[0].pool.is_empty() && !self.flush_pending {
+            self.flush_pending = true;
+            self.queue.schedule_in(self.config.flush_interval, Ev::Flush);
+        }
+    }
+
+    fn try_execute(&mut self, now: SimTime, node: usize) {
+        if self.nodes[node].executing {
+            return;
+        }
+        // Execute strictly in order: the next sequence after the last one
+        // executed, and only once consensus committed it.
+        let expected = self.nodes[node].last_executed + 1;
+        let Some(txs) = self.nodes[node].committed.get(&expected).cloned() else {
+            return;
+        };
+        self.nodes[node].executing = true;
+        let preverify = self.config.preverify;
+        let jobs: Vec<(u64, u64)> = txs
+            .iter()
+            .map(|&t| {
+                let tx = &self.txs[t];
+                (tx.execution_phase_cycles(preverify), tx.conflict_key)
+            })
+            .collect();
+        let cycles = self.config.block_overhead_cycles + makespan(&jobs, self.config.threads);
+        let exec_ns = self.config.model.cycles_to_ns(cycles);
+        if node == 0 {
+            self.exec_times.push(exec_ns);
+        }
+        self.queue
+            .schedule_at(now + exec_ns, Ev::ExecDone { node, seq: expected });
+    }
+}
+
+fn mean(xs: &[SimTime]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<u64>() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_sim::event::{MS, SEC, US};
+
+    fn workload(n: usize, conflict_groups: u64) -> Vec<(SimTime, SimTx)> {
+        (0..n)
+            .map(|i| {
+                (
+                    (i as u64) * 200_000, // 0.2 ms apart
+                    SimTx::confidential(
+                        512,
+                        i as u64 % conflict_groups,
+                        2_000_000, // ~0.54 ms execution
+                        370_000,
+                        814_000,
+                        9_000,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn four_node_chain_commits_everything() {
+        let cfg = ChainConfig::local(4);
+        let mut sim = ChainSim::new(cfg, NetworkModel::lan(1));
+        let report = sim.run(workload(100, 16));
+        assert_eq!(report.committed_txs, 100);
+        assert!(report.blocks > 0);
+        assert!(report.tps > 0.0);
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn throughput_stable_with_more_nodes_single_zone() {
+        // Figure 11's flat single-zone curves: TPS within a modest band
+        // from 4 to 16 nodes on a LAN.
+        let tps: Vec<f64> = [4usize, 8, 16]
+            .iter()
+            .map(|&n| {
+                let mut sim = ChainSim::new(ChainConfig::local(n), NetworkModel::lan(1));
+                sim.run(workload(200, 32)).tps
+            })
+            .collect();
+        let min = tps.iter().cloned().fold(f64::MAX, f64::min);
+        let max = tps.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.6, "{tps:?}");
+    }
+
+    #[test]
+    fn two_zone_latency_hurts_at_scale() {
+        let lan = {
+            let mut sim = ChainSim::new(ChainConfig::local(12), NetworkModel::lan(1));
+            sim.run(workload(200, 32))
+        };
+        let wan = {
+            let mut sim = ChainSim::new(ChainConfig::two_zone(12), NetworkModel::two_zone(1));
+            sim.run(workload(200, 32))
+        };
+        assert!(
+            wan.avg_consensus_latency_ns > 2.0 * lan.avg_consensus_latency_ns,
+            "wan {} vs lan {}",
+            wan.avg_consensus_latency_ns,
+            lan.avg_consensus_latency_ns
+        );
+        assert!(wan.tps < lan.tps);
+    }
+
+    #[test]
+    fn parallel_execution_helps_then_saturates() {
+        let tps_for = |threads: usize| {
+            let mut cfg = ChainConfig::local(4);
+            cfg.threads = threads;
+            // Execution-bound workload: heavy txs, 4 conflict groups.
+            let txs: Vec<(SimTime, SimTx)> = (0..200)
+                .map(|i| {
+                    (
+                        i as u64 * 50_000,
+                        SimTx::confidential(512, i as u64 % 4, 8_000_000, 370_000, 814_000, 9_000),
+                    )
+                })
+                .collect();
+            ChainSim::new(cfg, NetworkModel::lan(1)).run(txs).tps
+        };
+        let t1 = tps_for(1);
+        let t4 = tps_for(4);
+        let t6 = tps_for(6);
+        assert!(t4 > 1.5 * t1, "t1={t1} t4={t4}");
+        assert!((t6 - t4).abs() / t4 < 0.15, "t4={t4} t6={t6}");
+    }
+
+    #[test]
+    fn preverification_improves_throughput() {
+        let tps_for = |preverify: bool| {
+            let mut cfg = ChainConfig::local(4);
+            cfg.preverify = preverify;
+            ChainSim::new(cfg, NetworkModel::lan(1)).run(workload(200, 32)).tps
+        };
+        let with = tps_for(true);
+        let without = tps_for(false);
+        assert!(with > without, "with={with} without={without}");
+    }
+
+    #[test]
+    fn consensus_latency_in_sane_range_on_lan() {
+        let mut sim = ChainSim::new(ChainConfig::local(4), NetworkModel::lan(1));
+        let report = sim.run(workload(50, 8));
+        // Three one-way LAN hops plus slack: sub-10ms.
+        assert!(report.avg_consensus_latency_ns < 10.0 * MS as f64);
+        assert!(report.avg_consensus_latency_ns > 500.0 * US as f64);
+    }
+
+    #[test]
+    fn block_write_time_matches_disk_model() {
+        let mut sim = ChainSim::new(ChainConfig::local(4), NetworkModel::lan(1));
+        let report = sim.run(workload(50, 8));
+        assert!(
+            (5.0 * MS as f64..9.0 * MS as f64).contains(&report.avg_block_write_ns),
+            "{}",
+            report.avg_block_write_ns
+        );
+    }
+
+    #[test]
+    fn empty_run_is_quiet() {
+        let mut sim = ChainSim::new(ChainConfig::local(4), NetworkModel::lan(1));
+        let report = sim.run(vec![]);
+        assert_eq!(report.committed_txs, 0);
+        assert_eq!(report.blocks, 0);
+        let _ = SEC; // silence unused-import pedantry in some cfgs
+    }
+
+    #[test]
+    fn verification_workers_remove_the_preverify_bottleneck() {
+        // §5.2: "The two operations can be done in parallel among
+        // transactions". With one verify worker, the asymmetric
+        // pre-verification (≈0.32 ms/tx) serializes ahead of consensus;
+        // with eight, it pipelines away.
+        let tps_for = |workers: usize| {
+            let mut cfg = ChainConfig::local(4);
+            cfg.verify_workers = workers;
+            cfg.threads = 4;
+            // Cheap execution so verification is the potential bottleneck.
+            let txs: Vec<(SimTime, SimTx)> = (0..400)
+                .map(|i| {
+                    (
+                        i * 50_000,
+                        SimTx::confidential(512, i % 32, 200_000, 370_000, 814_000, 9_000),
+                    )
+                })
+                .collect();
+            ChainSim::new(cfg, NetworkModel::lan(3)).run(txs).tps
+        };
+        let one = tps_for(1);
+        let eight = tps_for(8);
+        assert!(
+            eight > 1.5 * one,
+            "parallel verification should lift throughput: 1 worker {one:.0}, 8 workers {eight:.0}"
+        );
+    }
+}

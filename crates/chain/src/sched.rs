@@ -1,0 +1,91 @@
+//! Parallel-execution scheduling (§6.2's 4-way / 6-way smart-contract
+//! parallel execution).
+//!
+//! Transactions with the same conflict key (same account hot-spot, same
+//! contract partition) must run serially; independent groups run on
+//! different worker threads. The makespan is computed with longest-
+//! processing-time-first assignment — a standard 4/3-approximation that
+//! models a work-stealing executor well.
+//!
+//! This is exactly why the paper sees "no further improvement when the
+//! number of thread increases to 6": once the biggest conflict group
+//! dominates, extra workers idle.
+
+/// Makespan (cycles) of executing `txs` = (cycles, conflict_key) pairs on
+/// `threads` workers with per-group serialization.
+pub fn makespan(txs: &[(u64, u64)], threads: usize) -> u64 {
+    assert!(threads > 0);
+    if txs.is_empty() {
+        return 0;
+    }
+    // Group totals.
+    let mut groups: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for (cycles, key) in txs {
+        *groups.entry(*key).or_insert(0) += cycles;
+    }
+    let mut loads: Vec<u64> = groups.into_values().collect();
+    // LPT: biggest groups first onto the least-loaded worker.
+    loads.sort_unstable_by(|a, b| b.cmp(a));
+    let mut workers = vec![0u64; threads];
+    for load in loads {
+        let min = workers
+            .iter_mut()
+            .min()
+            .expect("threads > 0");
+        *min += load;
+    }
+    workers.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_is_total_sum() {
+        let txs: Vec<(u64, u64)> = (0..10).map(|i| (100, i)).collect();
+        assert_eq!(makespan(&txs, 1), 1000);
+    }
+
+    #[test]
+    fn independent_txs_scale_with_threads() {
+        let txs: Vec<(u64, u64)> = (0..8).map(|i| (100, i)).collect();
+        assert_eq!(makespan(&txs, 4), 200);
+        assert_eq!(makespan(&txs, 8), 100);
+    }
+
+    #[test]
+    fn conflicting_txs_serialize() {
+        // All in one group: threads don't help.
+        let txs: Vec<(u64, u64)> = (0..8).map(|_| (100, 42)).collect();
+        assert_eq!(makespan(&txs, 1), 800);
+        assert_eq!(makespan(&txs, 8), 800);
+    }
+
+    #[test]
+    fn saturation_mirrors_paper_shape() {
+        // A workload with ~4 effective conflict groups: 1→4 threads helps
+        // (~2x or better), 4→6 threads doesn't — Figure 11's pattern.
+        let mut txs = Vec::new();
+        for i in 0..100u64 {
+            txs.push((1000, i % 4));
+        }
+        let t1 = makespan(&txs, 1);
+        let t4 = makespan(&txs, 4);
+        let t6 = makespan(&txs, 6);
+        assert!(t1 >= 2 * t4, "t1={t1} t4={t4}");
+        assert_eq!(t4, t6, "no benefit past the conflict-group count");
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        assert_eq!(makespan(&[], 4), 0);
+    }
+
+    #[test]
+    fn lpt_balances_uneven_groups() {
+        // Groups 9, 5, 4, 3, 3 on 2 workers: LPT → {9,3} vs {5,4,3} = 12.
+        let txs = vec![(9, 0), (5, 1), (4, 2), (3, 3), (3, 4)];
+        assert_eq!(makespan(&txs, 2), 12);
+    }
+}

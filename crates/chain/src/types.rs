@@ -1,0 +1,114 @@
+//! Simulation-level transaction representation.
+//!
+//! The chain simulator is deliberately agnostic of transaction *content*:
+//! the execution layer (confide-core + the benchmarks) measures real
+//! per-transaction costs by actually running the contract bytecode, then
+//! hands the chain simulator a [`SimTx`] carrying those measured cycle
+//! counts. The simulator owns only ordering, networking and scheduling.
+
+/// Public vs confidential classification (the `TYPE=1` flag of Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxClass {
+    /// Plain transaction, executed in the Public-Engine.
+    Public,
+    /// Envelope-encrypted transaction for the Confidential-Engine.
+    Confidential,
+}
+
+/// A transaction as the chain simulator sees it.
+#[derive(Debug, Clone)]
+pub struct SimTx {
+    /// Wire size in bytes (drives network + block packing).
+    pub size_bytes: usize,
+    /// Classification.
+    pub class: TxClass,
+    /// Conflict group: transactions sharing a key must execute serially
+    /// (same account/contract partition). Drives parallel scheduling.
+    pub conflict_key: u64,
+    /// Measured execution cost (VM instructions, state crypto, ocalls —
+    /// everything that happens inside the engine), in CPU cycles.
+    pub exec_cycles: u64,
+    /// Cost of the asymmetric envelope open (T-Protocol private-key
+    /// decryption), paid at pre-verification or, without OPT3, at
+    /// execution.
+    pub envelope_cycles: u64,
+    /// Cost of signature verification.
+    pub verify_cycles: u64,
+    /// Cheap symmetric-only body decryption cost (the C3 fast path when
+    /// the pre-verification cache holds `k_tx`).
+    pub symmetric_cycles: u64,
+}
+
+impl SimTx {
+    /// A public transaction with the given measured execution cost.
+    pub fn public(size_bytes: usize, conflict_key: u64, exec_cycles: u64) -> SimTx {
+        SimTx {
+            size_bytes,
+            class: TxClass::Public,
+            conflict_key,
+            exec_cycles,
+            envelope_cycles: 0,
+            verify_cycles: 0,
+            symmetric_cycles: 0,
+        }
+    }
+
+    /// A confidential transaction with T-Protocol costs attached.
+    pub fn confidential(
+        size_bytes: usize,
+        conflict_key: u64,
+        exec_cycles: u64,
+        envelope_cycles: u64,
+        verify_cycles: u64,
+        symmetric_cycles: u64,
+    ) -> SimTx {
+        SimTx {
+            size_bytes,
+            class: TxClass::Confidential,
+            conflict_key,
+            exec_cycles,
+            envelope_cycles,
+            verify_cycles,
+            symmetric_cycles,
+        }
+    }
+
+    /// Execution-phase cost depending on whether pre-verification (§5.2,
+    /// OPT3) already paid the asymmetric work.
+    pub fn execution_phase_cycles(&self, preverified: bool) -> u64 {
+        match self.class {
+            TxClass::Public => self.exec_cycles,
+            TxClass::Confidential => {
+                if preverified {
+                    // C2/C3: cache hit — symmetric decrypt only.
+                    self.exec_cycles + self.symmetric_cycles
+                } else {
+                    // Cache miss: full envelope open + verify inline.
+                    self.exec_cycles + self.envelope_cycles + self.verify_cycles
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preverification_saves_asymmetric_cost() {
+        let tx = SimTx::confidential(512, 1, 1_000_000, 370_000, 814_000, 9_000);
+        let fast = tx.execution_phase_cycles(true);
+        let slow = tx.execution_phase_cycles(false);
+        assert_eq!(fast, 1_009_000);
+        assert_eq!(slow, 2_184_000);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn public_txs_ignore_crypto_fields() {
+        let tx = SimTx::public(256, 0, 500);
+        assert_eq!(tx.execution_phase_cycles(true), 500);
+        assert_eq!(tx.execution_phase_cycles(false), 500);
+    }
+}

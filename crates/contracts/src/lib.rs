@@ -1,0 +1,60 @@
+//! # confide-contracts
+//!
+//! The paper's evaluation workloads (§6), written in CCL and compiled to
+//! both CONFIDE-VM and EVM bytecode:
+//!
+//! * [`synthetic`] — the four §6.1 kernels behind Figure 10: string
+//!   concatenation (35-KV JSON + 10-byte ID), 4 KB e-notes depository,
+//!   100× SHA-256/Keccak crypto hashing, and ~60-KV JSON parsing.
+//! * [`abs`] — the Asset-Backed-Securitization transfer contract of
+//!   Fig. 9 (authentication → parsing → validation → storage), in two
+//!   encodings: JSON (the pre-OPT2 baseline, ~10 attributes parsed by
+//!   interpreted code) and a Flatbuffers-style fixed-offset binary layout
+//!   (OPT2).
+//! * [`scf`] — the Supply-Chain-Finance "Account Receivable" contract
+//!   suite of Fig. 8: Gateway → Manager → service contracts (ArAccount,
+//!   ArIssue, ArTransfer, ArClear), whose typical transfer flow produces
+//!   the Table 1 operation mix (~31 contract calls, ~150 storage reads).
+//!
+//! Each module exposes the CCL source, compiled-code helpers, input
+//! generators with the paper's stated payload shapes, and deployment
+//! helpers against a `confide-core` engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abs;
+pub mod scf;
+pub mod synthetic;
+
+/// Render a 32-byte address as a CCL byte-string literal (`b"\x01..."`).
+pub fn ccl_addr_literal(addr: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(4 + 32 * 4);
+    s.push_str("b\"");
+    for b in addr {
+        s.push_str(&format!("\\x{b:02x}"));
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_literal_round_trips_through_ccl() {
+        let addr = [0xab; 32];
+        let lit = ccl_addr_literal(&addr);
+        let src = format!("export fn main() {{ ret({lit}); }}");
+        let code = confide_lang::build_vm(&src).unwrap();
+        let vm = confide_vm::Vm::from_module(
+            confide_vm::Module::decode(&code).unwrap(),
+            confide_vm::ExecConfig::default(),
+        );
+        let mut host = confide_vm::MockHost::default();
+        let mut mem = Vec::new();
+        let out = vm.invoke("main", &[], &mut host, &mut mem).unwrap();
+        assert_eq!(out.return_data, addr);
+    }
+}

@@ -1,0 +1,678 @@
+//! The SCF-AR (Supply Chain Finance on Account Receivables) contract
+//! suite of Fig. 8: a hierarchical design where "an AR transaction starts
+//! at calling a Gateway contract and further to a Manager contract. After
+//! initial parameter parsing, the Manager contract dispatches the call to
+//! different service contracts."
+//!
+//! The typical asset-transfer flow is tuned to reproduce Table 1's
+//! operation mix: ~31 contract calls (direct + indirect), ~150 GetStorage
+//! operations and ~9 SetStorage operations.
+
+use crate::ccl_addr_literal;
+use confide_core::context::ExecContext;
+use confide_core::engine::{Engine, VmKind};
+use confide_storage::versioned::StateDb;
+
+/// Fixed addresses of the suite's contracts.
+#[derive(Debug, Clone, Copy)]
+pub struct ScfAddresses {
+    /// Entry point.
+    pub gateway: [u8; 32],
+    /// Dispatcher.
+    pub manager: [u8; 32],
+    /// Account service.
+    pub ar_account: [u8; 32],
+    /// Asset issuing/custody service.
+    pub ar_issue: [u8; 32],
+    /// Transfer service.
+    pub ar_transfer: [u8; 32],
+    /// Clearing service.
+    pub ar_clear: [u8; 32],
+}
+
+impl Default for ScfAddresses {
+    fn default() -> Self {
+        ScfAddresses {
+            gateway: [0x10; 32],
+            manager: [0x11; 32],
+            ar_account: [0x12; 32],
+            ar_issue: [0x13; 32],
+            ar_transfer: [0x14; 32],
+            ar_clear: [0x15; 32],
+        }
+    }
+}
+
+/// Gateway: schema/enable checks, then forward to the Manager.
+pub fn gateway_src(a: &ScfAddresses) -> String {
+    let manager = ccl_addr_literal(&a.manager);
+    format!(
+        r#"
+
+// Production service contracts deserialize their full calling context
+// (RLP-class decoding of accounts, certificates, custody records) on every
+// invocation; model that execution depth with a fixed-work scan.
+fn ctx_deserialize(b: bytes) -> int {{
+    let acc: int = 0;
+    let w: int = 0;
+    let n: int = len(b);
+    if (n == 0) {{ return 0; }}
+    while (w < 3500) {{
+        acc = acc + byte_at(b, w % n) * (w & 7);
+        w = w + 1;
+    }}
+    return acc;
+}}
+
+export fn main() {{
+    let req: bytes = input();
+    let warm: int = ctx_deserialize(req);
+    let op: bytes = json_get(req, b"op");
+    if (len(op) == 0) {{ ret(b"ERR:missing-op"); return; }}
+    let enabled: bytes = storage_get(b"cfg:enabled");
+    let version: bytes = storage_get(b"cfg:version");
+    let tenant: bytes = storage_get(b"cfg:tenant");
+    if (eq_bytes(enabled, b"1") == 0) {{ ret(b"ERR:gateway-disabled"); return; }}
+    ret(call({manager}, req));
+}}
+export fn genesis() {{
+    storage_set(b"cfg:enabled", b"1");
+    storage_set(b"cfg:version", b"2.4");
+    storage_set(b"cfg:tenant", b"duo-chain");
+    ret(b"ok");
+}}
+"#
+    )
+}
+
+/// Manager: parameter parsing + dispatch to service contracts.
+pub fn manager_src(a: &ScfAddresses) -> String {
+    let transfer = ccl_addr_literal(&a.ar_transfer);
+    let account = ccl_addr_literal(&a.ar_account);
+    let issue = ccl_addr_literal(&a.ar_issue);
+    let clear = ccl_addr_literal(&a.ar_clear);
+    format!(
+        r#"
+
+// Production service contracts deserialize their full calling context
+// (RLP-class decoding of accounts, certificates, custody records) on every
+// invocation; model that execution depth with a fixed-work scan.
+fn ctx_deserialize(b: bytes) -> int {{
+    let acc: int = 0;
+    let w: int = 0;
+    let n: int = len(b);
+    if (n == 0) {{ return 0; }}
+    while (w < 3500) {{
+        acc = acc + byte_at(b, w % n) * (w & 7);
+        w = w + 1;
+    }}
+    return acc;
+}}
+
+export fn main() {{
+    let req: bytes = input();
+    let warm: int = ctx_deserialize(req);
+    let op: bytes = json_get(req, b"op");
+    let quota: bytes = storage_get(b"cfg:quota");
+    let policy: bytes = storage_get(b"cfg:policy");
+    if (eq_bytes(op, b"transfer") == 1) {{
+        let pre: bytes = call({transfer}, concat(b"precheck|", req));
+        if (eq_bytes(pre, b"1") == 0) {{ ret(concat(b"ERR:precheck:", pre)); return; }}
+        let result: bytes = call({transfer}, concat(b"execute|", req));
+        let hint: bytes = call({clear}, b"settle_hint|x");
+        ret(result);
+        return;
+    }}
+    if (eq_bytes(op, b"create_account") == 1) {{
+        ret(call({account}, concat(b"create|", req)));
+        return;
+    }}
+    if (eq_bytes(op, b"issue") == 1) {{
+        ret(call({issue}, concat(b"issue|", req)));
+        return;
+    }}
+    ret(b"ERR:unknown-op");
+}}
+export fn genesis() {{
+    storage_set(b"cfg:quota", b"1000000");
+    storage_set(b"cfg:policy", b"strict");
+    ret(b"ok");
+}}
+"#
+    )
+}
+
+/// ArAccount: account records (status/org/type/kyc/risk/limit/balance).
+pub fn ar_account_src(a: &ScfAddresses) -> String {
+    let clear = ccl_addr_literal(&a.ar_clear);
+    format!(
+        r#"
+fn field(acct: bytes, name: bytes) -> bytes {{
+    return storage_get(concat3(b"acct:", acct, concat(b":", name)));
+}}
+
+
+// Production service contracts deserialize their full calling context
+// (RLP-class decoding of accounts, certificates, custody records) on every
+// invocation; model that execution depth with a fixed-work scan.
+fn ctx_deserialize(b: bytes) -> int {{
+    let acc: int = 0;
+    let w: int = 0;
+    let n: int = len(b);
+    if (n == 0) {{ return 0; }}
+    while (w < 3500) {{
+        acc = acc + byte_at(b, w % n) * (w & 7);
+        w = w + 1;
+    }}
+    return acc;
+}}
+
+export fn main() {{
+    let in_: bytes = input();
+    let warm: int = ctx_deserialize(in_);
+    let p: int = find(in_, b"|", 0);
+    let op: bytes = slice(in_, 0, p);
+    let arg: bytes = slice(in_, p + 1, len(in_) - p - 1);
+    if (eq_bytes(op, b"check") == 1) {{
+        let status: bytes = field(arg, b"status");
+        let org: bytes = field(arg, b"org");
+        let typ: bytes = field(arg, b"type");
+        let opened: bytes = field(arg, b"opened");
+        let region: bytes = field(arg, b"region");
+        if (eq_bytes(status, b"active") == 0) {{ ret(b"0"); return; }}
+        if (len(org) == 0 || len(typ) == 0) {{ ret(b"0"); return; }}
+        ret(b"1");
+        return;
+    }}
+    if (eq_bytes(op, b"kyc") == 1) {{
+        let kyc: bytes = field(arg, b"kyc");
+        let risk: bytes = field(arg, b"risk");
+        let sanctions: bytes = field(arg, b"sanctions");
+        if (eq_bytes(kyc, b"passed") == 0) {{ ret(b"0"); return; }}
+        if (eq_bytes(sanctions, b"clear") == 0) {{ ret(b"0"); return; }}
+        ret(b"1");
+        return;
+    }}
+    if (eq_bytes(op, b"limit") == 1) {{
+        let lim: int = atoi(field(arg, b"limit"));
+        let used: int = atoi(field(arg, b"used"));
+        ret(itoa(lim - used));
+        return;
+    }}
+    if (eq_bytes(op, b"exists") == 1) {{
+        let status: bytes = field(arg, b"status");
+        if (len(status) == 0) {{ ret(b"0"); }} else {{ ret(b"1"); }}
+        return;
+    }}
+    if (eq_bytes(op, b"debit") == 1 || eq_bytes(op, b"credit") == 1) {{
+        let q: int = find(arg, b"|", 0);
+        let acct: bytes = slice(arg, 0, q);
+        let amt: int = atoi(slice(arg, q + 1, len(arg) - q - 1));
+        let bal_key: bytes = concat3(b"acct:", acct, b":balance");
+        let bal: int = atoi(storage_get(bal_key));
+        let floor: bytes = field(acct, b"floor");
+        if (eq_bytes(op, b"debit") == 1) {{
+            storage_set(bal_key, itoa(bal - amt));
+        }} else {{
+            storage_set(bal_key, itoa(bal + amt));
+        }}
+        let note: bytes = call({clear}, concat3(b"notify|", op, concat(b"|", acct)));
+        ret(b"1");
+        return;
+    }}
+    if (eq_bytes(op, b"create") == 1) {{
+        let who: bytes = json_get(arg, b"account");
+        storage_set(concat3(b"acct:", who, b":status"), b"active");
+        storage_set(concat3(b"acct:", who, b":org"), json_get(arg, b"org"));
+        storage_set(concat3(b"acct:", who, b":type"), b"supplier");
+        storage_set(concat3(b"acct:", who, b":kyc"), b"passed");
+        storage_set(concat3(b"acct:", who, b":sanctions"), b"clear");
+        storage_set(concat3(b"acct:", who, b":risk"), b"low");
+        storage_set(concat3(b"acct:", who, b":limit"), b"1000000");
+        storage_set(concat3(b"acct:", who, b":used"), b"0");
+        storage_set(concat3(b"acct:", who, b":balance"), b"0");
+        storage_set(concat3(b"acct:", who, b":opened"), b"2020-01-01");
+        storage_set(concat3(b"acct:", who, b":region"), b"cn-east");
+        storage_set(concat3(b"acct:", who, b":floor"), b"0");
+        ret(concat(b"created:", who));
+        return;
+    }}
+    ret(b"ERR:acct-op");
+}}
+"#
+    )
+}
+
+/// ArIssue: asset records and the custody chain.
+pub fn ar_issue_src(a: &ScfAddresses) -> String {
+    let account = ccl_addr_literal(&a.ar_account);
+    format!(
+        r#"
+fn afield(asset: bytes, name: bytes) -> bytes {{
+    return storage_get(concat3(b"asset:", asset, concat(b":", name)));
+}}
+
+
+// Production service contracts deserialize their full calling context
+// (RLP-class decoding of accounts, certificates, custody records) on every
+// invocation; model that execution depth with a fixed-work scan.
+fn ctx_deserialize(b: bytes) -> int {{
+    let acc: int = 0;
+    let w: int = 0;
+    let n: int = len(b);
+    if (n == 0) {{ return 0; }}
+    while (w < 3500) {{
+        acc = acc + byte_at(b, w % n) * (w & 7);
+        w = w + 1;
+    }}
+    return acc;
+}}
+
+export fn main() {{
+    let in_: bytes = input();
+    let warm: int = ctx_deserialize(in_);
+    let p: int = find(in_, b"|", 0);
+    let op: bytes = slice(in_, 0, p);
+    let arg: bytes = slice(in_, p + 1, len(in_) - p - 1);
+    if (eq_bytes(op, b"lookup") == 1) {{
+        let owner: bytes = afield(arg, b"owner");
+        if (len(owner) == 0) {{ ret(b""); return; }}
+        let face: bytes = afield(arg, b"face");
+        let issuer: bytes = afield(arg, b"issuer");
+        let due: bytes = afield(arg, b"due");
+        let rate: bytes = afield(arg, b"rate");
+        let status: bytes = afield(arg, b"status");
+        let grade: bytes = afield(arg, b"grade");
+        let insured: bytes = afield(arg, b"insured");
+        let ok: bytes = call({account}, concat(b"exists|", owner));
+        ret(concat3(
+            concat3(b"{{\"owner\":\"", owner, b"\",\"face\":"),
+            concat3(face, b",\"issuer\":\"", issuer),
+            concat3(b"\",\"status\":\"", status, b"\"}}")
+        ));
+        return;
+    }}
+    if (eq_bytes(op, b"chainlen") == 1) {{
+        ret(afield(arg, b"chainlen"));
+        return;
+    }}
+    if (eq_bytes(op, b"verify_step") == 1) {{
+        let q: int = find(arg, b"|", 0);
+        let asset: bytes = slice(arg, 0, q);
+        let idx: bytes = slice(arg, q + 1, len(arg) - q - 1);
+        let base: bytes = concat3(b"custody:", asset, concat(b":", idx));
+        let holder: bytes = storage_get(concat(base, b":holder"));
+        let sig: bytes = storage_get(concat(base, b":sig"));
+        let ts: bytes = storage_get(concat(base, b":ts"));
+        let prev: bytes = storage_get(concat(base, b":prev"));
+        let kind: bytes = storage_get(concat(base, b":kind"));
+        if (len(holder) == 0 || len(sig) == 0) {{ ret(b"0"); return; }}
+        ret(b"1");
+        return;
+    }}
+    if (eq_bytes(op, b"mint") == 1) {{
+        // mint|owner|parent|amount
+        let q1: int = find(arg, b"|", 0);
+        let owner: bytes = slice(arg, 0, q1);
+        let rest: bytes = slice(arg, q1 + 1, len(arg) - q1 - 1);
+        let q2: int = find(rest, b"|", 0);
+        let parent: bytes = slice(rest, 0, q2);
+        let amount: bytes = slice(rest, q2 + 1, len(rest) - q2 - 1);
+        let ok: bytes = call({account}, concat(b"exists|", owner));
+        if (eq_bytes(ok, b"1") == 0) {{ ret(b"ERR:mint-owner"); return; }}
+        let seq: int = atoi(storage_get(b"mint_seq"));
+        storage_set(b"mint_seq", itoa(seq + 1));
+        let cert: bytes = concat(parent, concat(b"-", itoa(seq + 1)));
+        storage_set(concat3(b"cert:", cert, b":rec"),
+            concat3(concat3(b"{{\"owner\":\"", owner, b"\",\"amount\":"),
+                    amount, b"}}"));
+        ret(cert);
+        return;
+    }}
+    if (eq_bytes(op, b"issue") == 1) {{
+        let asset: bytes = json_get(arg, b"asset");
+        storage_set(concat3(b"asset:", asset, b":owner"), json_get(arg, b"owner"));
+        storage_set(concat3(b"asset:", asset, b":face"), json_get(arg, b"face"));
+        storage_set(concat3(b"asset:", asset, b":issuer"), json_get(arg, b"issuer"));
+        storage_set(concat3(b"asset:", asset, b":due"), b"2021-06-30");
+        storage_set(concat3(b"asset:", asset, b":rate"), b"450");
+        storage_set(concat3(b"asset:", asset, b":status"), b"live");
+        storage_set(concat3(b"asset:", asset, b":grade"), b"A");
+        storage_set(concat3(b"asset:", asset, b":insured"), b"1");
+        storage_set(concat3(b"asset:", asset, b":chainlen"), json_get(arg, b"chainlen"));
+        let n: int = json_get_int(arg, b"chainlen");
+        let i: int = 0;
+        while (i < n) {{
+            let base: bytes = concat3(b"custody:", asset, concat(b":", itoa(i)));
+            storage_set(concat(base, b":holder"), concat(b"holder-", itoa(i)));
+            storage_set(concat(base, b":sig"), b"d2f1aa");
+            storage_set(concat(base, b":ts"), itoa(1577836800 + i));
+            storage_set(concat(base, b":prev"), itoa(i - 1));
+            storage_set(concat(base, b":kind"), b"endorse");
+            i = i + 1;
+        }}
+        ret(concat(b"issued:", asset));
+        return;
+    }}
+    ret(b"ERR:issue-op");
+}}
+"#
+    )
+}
+
+/// ArTransfer: the orchestrating service for asset transfers.
+pub fn ar_transfer_src(a: &ScfAddresses) -> String {
+    let account = ccl_addr_literal(&a.ar_account);
+    let issue = ccl_addr_literal(&a.ar_issue);
+    let clear = ccl_addr_literal(&a.ar_clear);
+    format!(
+        r#"
+
+// Production service contracts deserialize their full calling context
+// (RLP-class decoding of accounts, certificates, custody records) on every
+// invocation; model that execution depth with a fixed-work scan.
+fn ctx_deserialize(b: bytes) -> int {{
+    let acc: int = 0;
+    let w: int = 0;
+    let n: int = len(b);
+    if (n == 0) {{ return 0; }}
+    while (w < 3500) {{
+        acc = acc + byte_at(b, w % n) * (w & 7);
+        w = w + 1;
+    }}
+    return acc;
+}}
+
+export fn main() {{
+    let in_: bytes = input();
+    let warm: int = ctx_deserialize(in_);
+    let p: int = find(in_, b"|", 0);
+    let op: bytes = slice(in_, 0, p);
+    let req: bytes = slice(in_, p + 1, len(in_) - p - 1);
+    let from: bytes = json_get(req, b"from");
+    let to: bytes = json_get(req, b"to");
+    if (eq_bytes(op, b"precheck") == 1) {{
+        if (eq_bytes(call({account}, concat(b"check|", from)), b"1") == 0) {{ ret(b"from-bad"); return; }}
+        if (eq_bytes(call({account}, concat(b"check|", to)), b"1") == 0) {{ ret(b"to-bad"); return; }}
+        if (eq_bytes(call({account}, concat(b"kyc|", from)), b"1") == 0) {{ ret(b"from-kyc"); return; }}
+        if (eq_bytes(call({account}, concat(b"kyc|", to)), b"1") == 0) {{ ret(b"to-kyc"); return; }}
+        ret(b"1");
+        return;
+    }}
+    if (eq_bytes(op, b"execute") == 1) {{
+        let asset: bytes = json_get(req, b"asset");
+        let amount: int = json_get_int(req, b"amount");
+        // Re-validate under execution context.
+        if (eq_bytes(call({account}, concat(b"check|", from)), b"1") == 0) {{ ret(b"ERR:from"); return; }}
+        if (eq_bytes(call({account}, concat(b"check|", to)), b"1") == 0) {{ ret(b"ERR:to"); return; }}
+        let headroom: int = atoi(call({account}, concat(b"limit|", from)));
+        if (headroom < amount) {{ ret(b"ERR:limit"); return; }}
+        // Asset record + ownership.
+        let rec: bytes = call({issue}, concat(b"lookup|", asset));
+        if (len(rec) == 0) {{ ret(b"ERR:asset"); return; }}
+        let owner: bytes = json_get(rec, b"owner");
+        if (eq_bytes(owner, from) == 0) {{ ret(b"ERR:owner"); return; }}
+        let face: int = json_get_int(rec, b"face");
+        if (amount <= 0 || amount > face) {{ ret(b"ERR:amount"); return; }}
+        // Custody chain verification, step by step.
+        let steps: int = atoi(call({issue}, concat(b"chainlen|", asset)));
+        let i: int = 0;
+        while (i < steps) {{
+            let okstep: bytes = call({issue},
+                concat3(b"verify_step|", asset, concat(b"|", itoa(i))));
+            if (eq_bytes(okstep, b"1") == 0) {{ ret(b"ERR:custody"); return; }}
+            i = i + 1;
+        }}
+        // Split: certificate for the payee, remainder for the payer.
+        let c1: bytes = call({issue},
+            concat3(b"mint|", to, concat3(b"|", asset, concat(b"|", itoa(amount)))));
+        let c2: bytes = call({issue},
+            concat3(b"mint|", from, concat3(b"|", asset, concat(b"|", itoa(face - amount)))));
+        // Money legs.
+        let d: bytes = call({account}, concat3(b"debit|", from, concat(b"|", itoa(amount))));
+        let c: bytes = call({account}, concat3(b"credit|", to, concat(b"|", itoa(amount))));
+        // Clearing entry.
+        let q: bytes = call({clear}, concat3(b"enqueue|", asset, concat(b"|", itoa(amount))));
+        ret(concat3(b"OK:", c1, concat(b",", c2)));
+        return;
+    }}
+    ret(b"ERR:transfer-op");
+}}
+"#
+    )
+}
+
+/// ArClear: clearing queue + notifications.
+pub fn ar_clear_src(_a: &ScfAddresses) -> String {
+    r#"
+
+// Production service contracts deserialize their full calling context
+// (RLP-class decoding of accounts, certificates, custody records) on every
+// invocation; model that execution depth with a fixed-work scan.
+fn ctx_deserialize(b: bytes) -> int {
+    let acc: int = 0;
+    let w: int = 0;
+    let n: int = len(b);
+    if (n == 0) { return 0; }
+    while (w < 3500) {
+        acc = acc + byte_at(b, w % n) * (w & 7);
+        w = w + 1;
+    }
+    return acc;
+}
+
+export fn main() {
+    let in_: bytes = input();
+    let warm: int = ctx_deserialize(in_);
+    let p: int = find(in_, b"|", 0);
+    let op: bytes = slice(in_, 0, p);
+    let arg: bytes = slice(in_, p + 1, len(in_) - p - 1);
+    if (eq_bytes(op, b"enqueue") == 1) {
+        let head: int = atoi(storage_get(b"queue_head"));
+        let window: bytes = storage_get(b"cfg:window");
+        storage_set(concat(b"queue:", itoa(head)), arg);
+        storage_set(b"queue_head", itoa(head + 1));
+        ret(itoa(head));
+        return;
+    }
+    if (eq_bytes(op, b"notify") == 1) {
+        let window: bytes = storage_get(b"cfg:window");
+        let mode: bytes = storage_get(b"cfg:mode");
+        ret(b"noted");
+        return;
+    }
+    if (eq_bytes(op, b"settle_hint") == 1) {
+        let head: bytes = storage_get(b"queue_head");
+        let window: bytes = storage_get(b"cfg:window");
+        let mode: bytes = storage_get(b"cfg:mode");
+        ret(head);
+        return;
+    }
+    ret(b"ERR:clear-op");
+}
+export fn genesis() {
+    storage_set(b"queue_head", b"0");
+    storage_set(b"cfg:window", b"T+1");
+    storage_set(b"cfg:mode", b"netting");
+    ret(b"ok");
+}
+"#
+    .to_string()
+}
+
+/// Deploy the whole suite on an engine.
+pub fn deploy_suite(engine: &Engine, confidential: bool) -> ScfAddresses {
+    let a = ScfAddresses::default();
+    let contracts = [
+        (a.gateway, gateway_src(&a)),
+        (a.manager, manager_src(&a)),
+        (a.ar_account, ar_account_src(&a)),
+        (a.ar_issue, ar_issue_src(&a)),
+        (a.ar_transfer, ar_transfer_src(&a)),
+        (a.ar_clear, ar_clear_src(&a)),
+    ];
+    for (addr, src) in contracts {
+        let code = confide_lang::build_vm(&src).expect("SCF contract compiles");
+        engine.deploy(addr, &code, VmKind::ConfideVm, confidential);
+    }
+    a
+}
+
+/// Run genesis: contract configs, two accounts, and an issued asset with a
+/// custody chain of `chainlen` endorsement steps.
+pub fn run_genesis(
+    engine: &Engine,
+    state: &StateDb,
+    ctx: &mut ExecContext,
+    a: &ScfAddresses,
+    chainlen: usize,
+) {
+    let sys = [0u8; 32];
+    for addr in [a.gateway, a.manager, a.ar_clear] {
+        engine
+            .invoke_inner(state, ctx, &addr, "genesis", b"", &sys)
+            .expect("genesis");
+    }
+    for account in ["alice", "bob"] {
+        let req = format!(r#"{{"op":"create_account","account":"{account}","org":"bank-A"}}"#);
+        engine
+            .invoke_inner(state, ctx, &a.gateway, "main", req.as_bytes(), &sys)
+            .expect("create account");
+    }
+    let issue = format!(
+        r#"{{"op":"issue","asset":"AR-7788","owner":"alice","face":"100000","issuer":"core-enterprise","chainlen":{chainlen}}}"#
+    );
+    engine
+        .invoke_inner(state, ctx, &a.gateway, "main", issue.as_bytes(), &sys)
+        .expect("issue asset");
+}
+
+/// The typical transfer request of the Table 1 flow.
+pub fn transfer_request(from: &str, to: &str, asset: &str, amount: i64) -> Vec<u8> {
+    format!(
+        r#"{{"op":"transfer","from":"{from}","to":"{to}","asset":"{asset}","amount":{amount}}}"#
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_core::engine::EngineConfig;
+
+    fn setup() -> (Engine, StateDb, ExecContext, ScfAddresses) {
+        let engine = Engine::public(EngineConfig::default());
+        let a = deploy_suite(&engine, false);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        run_genesis(&engine, &state, &mut ctx, &a, 8);
+        (engine, state, ctx, a)
+    }
+
+    #[test]
+    fn full_transfer_flow_succeeds() {
+        let (engine, state, mut ctx, a) = setup();
+        ctx.take_counters(); // discard genesis accounting
+        let req = transfer_request("alice", "bob", "AR-7788", 40_000);
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &a.gateway, "main", &req, &[9u8; 32])
+            .unwrap();
+        assert!(out.starts_with(b"OK:"), "{}", String::from_utf8_lossy(&out));
+        let c = ctx.counters;
+        // Table 1's operation mix: ~31 calls, ~150 reads, ~9 writes.
+        assert!(
+            (25..=40).contains(&c.contract_calls),
+            "contract calls {}",
+            c.contract_calls
+        );
+        assert!(
+            (100..=220).contains(&c.get_storage),
+            "get storage {}",
+            c.get_storage
+        );
+        assert!(
+            (6..=14).contains(&c.set_storage),
+            "set storage {}",
+            c.set_storage
+        );
+    }
+
+    #[test]
+    fn transfer_to_unknown_account_fails_precheck() {
+        let (engine, state, mut ctx, a) = setup();
+        let req = transfer_request("alice", "mallory", "AR-7788", 100);
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &a.gateway, "main", &req, &[9u8; 32])
+            .unwrap();
+        assert!(out.starts_with(b"ERR:precheck"), "{}", String::from_utf8_lossy(&out));
+    }
+
+    #[test]
+    fn transfer_of_unowned_asset_fails() {
+        let (engine, state, mut ctx, a) = setup();
+        // bob does not own AR-7788.
+        let req = transfer_request("bob", "alice", "AR-7788", 100);
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &a.gateway, "main", &req, &[9u8; 32])
+            .unwrap();
+        assert_eq!(out, b"ERR:owner");
+    }
+
+    #[test]
+    fn overdraw_fails_amount_check() {
+        let (engine, state, mut ctx, a) = setup();
+        let req = transfer_request("alice", "bob", "AR-7788", 150_000);
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &a.gateway, "main", &req, &[9u8; 32])
+            .unwrap();
+        assert_eq!(out, b"ERR:amount");
+    }
+
+    #[test]
+    fn balances_and_queue_update() {
+        let (engine, state, mut ctx, a) = setup();
+        let req = transfer_request("alice", "bob", "AR-7788", 10_000);
+        engine
+            .invoke_inner(&state, &mut ctx, &a.gateway, "main", &req, &[9u8; 32])
+            .unwrap();
+        // Balance moved (read through the account contract).
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &a.ar_account, "main", b"limit|alice", &[9u8; 32])
+            .unwrap();
+        assert_eq!(out, b"1000000"); // limit unchanged
+        // bob's balance credited: storage lives under the account contract.
+        let key = confide_core::engine::full_key(&a.ar_account, b"acct:bob:balance");
+        let via_overlay = ctx.lookup(&key).map(|v| v.cloned());
+        assert_eq!(via_overlay, Some(Some(b"10000".to_vec())));
+        // Clearing queue advanced.
+        let qkey = confide_core::engine::full_key(&a.ar_clear, b"queue_head");
+        assert_eq!(ctx.lookup(&qkey).map(|v| v.cloned()), Some(Some(b"1".to_vec())));
+    }
+
+    #[test]
+    fn suite_runs_confidentially_with_sealed_state() {
+        use confide_core::keys::NodeKeys;
+        use confide_tee::platform::TeePlatform;
+        let platform = TeePlatform::new(1, 1);
+        let mut rng = confide_crypto::HmacDrbg::from_u64(7);
+        let keys = NodeKeys::generate(&mut rng);
+        let engine = Engine::confidential(platform, keys, EngineConfig::default());
+        let a = deploy_suite(&engine, true);
+        let mut state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        run_genesis(&engine, &state, &mut ctx, &a, 4);
+        let batch = engine.commit_block(&mut ctx, 1);
+        state.apply_block(1, &batch).unwrap();
+        // The transfer still works against sealed state.
+        let mut ctx2 = ExecContext::new();
+        let req = transfer_request("alice", "bob", "AR-7788", 500);
+        let out = engine
+            .invoke_inner(&state, &mut ctx2, &a.gateway, "main", &req, &[9u8; 32])
+            .unwrap();
+        assert!(out.starts_with(b"OK:"), "{}", String::from_utf8_lossy(&out));
+        // And nothing readable leaked into the raw database.
+        for (_k, v) in state.kv().iter() {
+            assert!(!v.windows(5).any(|w| w == b"alice"), "plaintext in db");
+        }
+    }
+}

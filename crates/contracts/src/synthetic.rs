@@ -1,0 +1,263 @@
+//! The four synthetic workloads of §6.1 (Figure 10).
+
+use confide_crypto::HmacDrbg;
+
+/// (1) **String Concatenation** — "concatenates several strings into one.
+/// The parameters are JSON strings containing 35 key-values and a 10-bytes
+/// length ID string, and are joined together for later processing."
+pub const STRING_CONCAT_SRC: &str = r#"
+export fn main() {
+    let in_: bytes = input();
+    // Input layout: 10-byte ID, then the JSON document.
+    let id: bytes = slice(in_, 0, 10);
+    let json: bytes = slice(in_, 10, len(in_) - 10);
+    // Join id + json + a framing suffix for later processing.
+    let joined: bytes = concat3(id, b"|", json);
+    let framed: bytes = concat3(b"{\"record\":\"", joined, b"\"}");
+    storage_set(concat(b"rec:", id), framed);
+    ret(itoa(len(framed)));
+}
+"#;
+
+/// (2) **E-notes Depository (4 KB)** — "receiving a 4k bytes string with an
+/// ID, and map the E-notes to this ID."
+pub const ENOTES_SRC: &str = r#"
+export fn main() {
+    let in_: bytes = input();
+    let id: bytes = slice(in_, 0, 10);
+    let note: bytes = slice(in_, 10, len(in_) - 10);
+    // Integrity fingerprint + depository mapping.
+    let digest: bytes = sha256(note);
+    storage_set(concat(b"enote:", id), note);
+    storage_set(concat(b"digest:", id), to_hex(digest));
+    ret(to_hex(digest));
+}
+"#;
+
+/// (3) **Crypto Hash** — "SHA256 and Keccak are being performed 100 times".
+pub const CRYPTO_HASH_SRC: &str = r#"
+export fn main() {
+    let data: bytes = input();
+    let i: int = 0;
+    let acc: bytes = data;
+    while (i < 100) {
+        acc = sha256(acc);
+        acc = keccak256(acc);
+        i = i + 1;
+    }
+    ret(to_hex(acc));
+}
+"#;
+
+/// (4) **JSON parsing** — "The JSON string is about 60 key-values … The
+/// platform will parse the JSON string to extract information in the
+/// request such as loan info, bank info, and so on."
+pub const JSON_PARSE_SRC: &str = r#"
+export fn main() {
+    let j: bytes = input();
+    let loan: bytes = json_get(j, b"loan_id");
+    let bank: bytes = json_get(j, b"bank_name");
+    let amount: int = json_get_int(j, b"amount");
+    let rate: int = json_get_int(j, b"rate_bps");
+    let borrower: bytes = json_get(j, b"borrower");
+    let term: int = json_get_int(j, b"term_months");
+    let status: bytes = json_get(j, b"k29");
+    let interest: int = amount * rate * term / 120000;
+    let summary: bytes = concat3(
+        concat3(loan, b"/", bank),
+        b"/",
+        concat3(borrower, b"/", itoa(interest))
+    );
+    storage_set(concat(b"loan:", loan), summary);
+    ret(concat(summary, status));
+}
+"#;
+
+/// Names for reporting, paired with sources.
+pub const ALL: [(&str, &str); 4] = [
+    ("String Concatenation", STRING_CONCAT_SRC),
+    ("E-notes Depository(4KB)", ENOTES_SRC),
+    ("Crypto Hash", CRYPTO_HASH_SRC),
+    ("JSON Parse", JSON_PARSE_SRC),
+];
+
+/// Input for workload (1): 10-byte ID followed by a 35-key JSON document.
+pub fn string_concat_input(rng: &mut HmacDrbg) -> Vec<u8> {
+    let mut input = id10(rng);
+    input.extend_from_slice(&json_document(35, rng));
+    input
+}
+
+/// Input for workload (2): 10-byte ID followed by 4 KB of note payload.
+pub fn enotes_input(rng: &mut HmacDrbg) -> Vec<u8> {
+    let mut input = id10(rng);
+    let mut note = vec![0u8; 4096];
+    rng.fill(&mut note);
+    // Keep it printable-ish (an invoice-like document).
+    for b in note.iter_mut() {
+        *b = b' ' + (*b % 94);
+    }
+    input.extend_from_slice(&note);
+    input
+}
+
+/// Input for workload (3): a 64-byte seed to hash repeatedly.
+pub fn crypto_hash_input(rng: &mut HmacDrbg) -> Vec<u8> {
+    let mut seed = vec![0u8; 64];
+    rng.fill(&mut seed);
+    seed
+}
+
+/// Input for workload (4): a ~60-key JSON request with the named fields
+/// the contract extracts.
+pub fn json_parse_input(rng: &mut HmacDrbg) -> Vec<u8> {
+    let mut doc = String::with_capacity(2048);
+    doc.push('{');
+    doc.push_str(&format!(
+        "\"loan_id\":\"L{:08}\",\"bank_name\":\"bank-{}\",\"amount\":{},\
+         \"rate_bps\":{},\"borrower\":\"corp-{}\",\"term_months\":{}",
+        rng.gen_range(100_000_000),
+        rng.gen_range(50),
+        10_000 + rng.gen_range(1_000_000),
+        200 + rng.gen_range(600),
+        rng.gen_range(10_000),
+        6 + rng.gen_range(54),
+    ));
+    for k in 0..54 {
+        doc.push_str(&format!(",\"k{k}\":\"v{}\"", rng.gen_range(100000)));
+    }
+    doc.push('}');
+    doc.into_bytes()
+}
+
+fn id10(rng: &mut HmacDrbg) -> Vec<u8> {
+    format!("ID{:08}", rng.gen_range(100_000_000)).into_bytes()
+}
+
+/// Convenience: the input generator for workload index `i` (order of
+/// [`ALL`]).
+pub fn input_for(i: usize, rng: &mut HmacDrbg) -> Vec<u8> {
+    match i {
+        0 => string_concat_input(rng),
+        1 => enotes_input(rng),
+        2 => crypto_hash_input(rng),
+        3 => json_parse_input(rng),
+        _ => panic!("workload index out of range"),
+    }
+}
+
+/// A 35- or 60-key JSON document generator.
+pub fn json_document(keys: usize, rng: &mut HmacDrbg) -> Vec<u8> {
+    let mut doc = String::with_capacity(keys * 18 + 2);
+    doc.push('{');
+    for k in 0..keys {
+        if k > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!("\"key{k:02}\":\"val{}\"", rng.gen_range(100000)));
+    }
+    doc.push('}');
+    doc.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_evm::{Evm, EvmConfig, MockEvmHost};
+    use confide_vm::{ExecConfig, MockHost, Module, Vm};
+
+    fn run_vm(src: &str, input: &[u8]) -> (Vec<u8>, u64) {
+        let code = confide_lang::build_vm(src).unwrap();
+        let vm = Vm::from_module(Module::decode(&code).unwrap(), ExecConfig::default());
+        let mut host = MockHost {
+            input: input.to_vec(),
+            ..MockHost::default()
+        };
+        let mut mem = Vec::new();
+        let out = vm.invoke("main", &[], &mut host, &mut mem).unwrap();
+        (out.return_data, out.stats.instret)
+    }
+
+    fn run_evm(src: &str, input: &[u8]) -> (Vec<u8>, u64) {
+        let code = confide_lang::build_evm(src).unwrap();
+        let evm = Evm::new(code, EvmConfig::default());
+        let mut host = MockEvmHost::default();
+        let out = evm
+            .run(&confide_lang::evm_calldata("main", input), &mut host)
+            .unwrap();
+        (out.return_data, out.stats.instret)
+    }
+
+    #[test]
+    fn all_workloads_run_on_both_vms_with_same_results() {
+        let mut rng = HmacDrbg::from_u64(42);
+        for (i, (name, src)) in ALL.iter().enumerate() {
+            let input = input_for(i, &mut rng);
+            let (vm_out, vm_instrs) = run_vm(src, &input);
+            let (evm_out, evm_instrs) = run_evm(src, &input);
+            assert_eq!(vm_out, evm_out, "{name}: outputs diverge");
+            assert!(!vm_out.is_empty(), "{name}: empty result");
+            // The architectural gap Figure 10 shows: the EVM retires far
+            // more dispatch work for the same logical program.
+            assert!(
+                evm_instrs > vm_instrs,
+                "{name}: evm {evm_instrs} vs vm {vm_instrs}"
+            );
+        }
+    }
+
+    #[test]
+    fn crypto_hash_chains_100_rounds() {
+        // Independent reference computation.
+        let input = b"fixed seed".to_vec();
+        let mut acc = input.clone();
+        for _ in 0..100 {
+            acc = confide_crypto::sha256(&acc).to_vec();
+            acc = confide_crypto::keccak256(&acc).to_vec();
+        }
+        let (out, _) = run_vm(CRYPTO_HASH_SRC, &input);
+        assert_eq!(out, confide_crypto::hex(&acc).into_bytes());
+    }
+
+    #[test]
+    fn input_shapes_match_paper_parameters() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let sc = string_concat_input(&mut rng);
+        // 10-byte ID + 35 KV JSON.
+        assert_eq!(&sc[..2], b"ID");
+        assert_eq!(sc[10], b'{');
+        let kv_count = sc.iter().filter(|&&b| b == b':').count();
+        assert_eq!(kv_count, 35);
+
+        let en = enotes_input(&mut rng);
+        assert_eq!(en.len(), 10 + 4096);
+
+        let jp = json_parse_input(&mut rng);
+        let kv_count = jp.iter().filter(|&&b| b == b':').count();
+        assert_eq!(kv_count, 60);
+    }
+
+    #[test]
+    fn enotes_persists_note_under_id() {
+        let mut rng = HmacDrbg::from_u64(2);
+        let input = enotes_input(&mut rng);
+        let code = confide_lang::build_vm(ENOTES_SRC).unwrap();
+        let vm = Vm::from_module(Module::decode(&code).unwrap(), ExecConfig::default());
+        let mut host = MockHost {
+            input: input.clone(),
+            ..MockHost::default()
+        };
+        let mut mem = Vec::new();
+        vm.invoke("main", &[], &mut host, &mut mem).unwrap();
+        let key = [b"enote:".as_slice(), &input[..10]].concat();
+        assert_eq!(host.storage[&key], input[10..].to_vec());
+    }
+
+    #[test]
+    fn json_parse_extracts_and_computes() {
+        let input = br#"{"loan_id":"L1","bank_name":"b","amount":120000,"rate_bps":100,"borrower":"c","term_months":12,"k29":"ok"}"#;
+        let (out, _) = run_vm(JSON_PARSE_SRC, input);
+        // interest = 120000*100*12/120000 = 1200
+        assert_eq!(out, b"L1/b/c/1200ok");
+    }
+}

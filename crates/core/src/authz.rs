@@ -1,0 +1,280 @@
+//! The pre-defined authorization chain-code (§3.2.3).
+//!
+//! "CONFIDE provides a more elegant way to realize the authorization not
+//! only for transaction receipt, but also including raw transaction
+//! information. CONFIDE built a pre-defined chain code to handle the
+//! pending request on the transaction receipts or raw transactions. The
+//! request will be parsed and forwarded to the related user smart
+//! contract, where user can define accessing rules for such requests."
+//!
+//! Concretely: at execution time the Confidential-Engine retains each
+//! transaction's one-time key `k_tx` in confidential system state. A third
+//! party later submits an access request naming the transaction and its
+//! contract; the engine *forwards the request to the user contract's
+//! `acl` method*, and only if the contract-defined rule answers `"1"` does
+//! the enclave unseal `k_tx` and re-wrap it to the requester's public key.
+//! No human ever handles `k_tx`, and the policy lives in auditable
+//! contract code ("updating the rules should be done through upgrading the
+//! contract", §3.3).
+
+use crate::context::ExecContext;
+use crate::engine::{full_key, state_aad, Engine, EngineError, SYSTEM_KTX_ADDR};
+use confide_crypto::envelope::Envelope;
+use confide_crypto::HmacDrbg;
+use confide_storage::versioned::StateDb;
+
+/// An access request for a transaction's receipt / raw content.
+#[derive(Debug, Clone)]
+pub struct AccessRequest {
+    /// The transaction whose `k_tx` is requested.
+    pub tx_hash: [u8; 32],
+    /// The contract whose access rules govern the request.
+    pub contract: [u8; 32],
+    /// The requester's identity (their signing address).
+    pub requester: [u8; 32],
+    /// The requester's X25519 public key to wrap `k_tx` to.
+    pub requester_dh_pk: [u8; 32],
+}
+
+/// Outcomes of an access request.
+#[derive(Debug)]
+pub enum AccessError {
+    /// The user contract's rules denied the request.
+    Denied,
+    /// No retained key for this transaction.
+    UnknownTransaction,
+    /// Engine/crypto failure.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::Denied => f.write_str("access denied by contract rules"),
+            AccessError::UnknownTransaction => f.write_str("no retained key for transaction"),
+            AccessError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Handle an access request: consult the user contract, then re-wrap
+/// `k_tx` to the requester. Returns the sealed envelope the requester can
+/// open with their DH secret.
+pub fn handle_access_request(
+    engine: &Engine,
+    state: &StateDb,
+    ctx: &mut ExecContext,
+    request: &AccessRequest,
+    rng: &mut HmacDrbg,
+) -> Result<Vec<u8>, AccessError> {
+    let tee = engine.tee().ok_or(AccessError::Engine(EngineError::WrongEngine))?;
+
+    // 1. Forward to the user contract's access rule: acl(requester_hex).
+    let requester_hex = confide_crypto::hex(&request.requester);
+    let verdict = engine
+        .invoke_inner(
+            state,
+            ctx,
+            &request.contract,
+            "acl",
+            requester_hex.as_bytes(),
+            &request.requester,
+        )
+        .map_err(AccessError::Engine)?;
+    if verdict != b"1" {
+        return Err(AccessError::Denied);
+    }
+
+    // 2. Unseal the retained k_tx from confidential system state.
+    let mut ktx_key = b"ktx|".to_vec();
+    ktx_key.extend_from_slice(&request.tx_hash);
+    let fk = full_key(&SYSTEM_KTX_ADDR, &ktx_key);
+    let plain = match ctx.lookup(&fk) {
+        Some(Some(v)) => v.clone(),
+        Some(None) => return Err(AccessError::UnknownTransaction),
+        None => {
+            let stored = state.get(&fk).ok_or(AccessError::UnknownTransaction)?;
+            if stored.len() < 12 {
+                return Err(AccessError::UnknownTransaction);
+            }
+            let mut nonce = [0u8; 12];
+            nonce.copy_from_slice(&stored[..12]);
+            tee.gcm_states
+                .open(&nonce, &state_aad(&SYSTEM_KTX_ADDR, &ktx_key), &stored[12..])
+                .map_err(|_| AccessError::Engine(EngineError::Crypto))?
+        }
+    };
+    if plain.len() != 32 {
+        return Err(AccessError::Engine(EngineError::Crypto));
+    }
+    let mut k_tx = [0u8; 32];
+    k_tx.copy_from_slice(&plain);
+
+    // 3. Re-wrap k_tx to the requester (never exposing it in plaintext
+    // outside the enclave).
+    let env = Envelope::seal(
+        &request.requester_dh_pk,
+        &k_tx,
+        &request.tx_hash,
+        b"k_tx-grant",
+        &mut rng.clone(),
+    )
+    .map_err(|_| AccessError::Engine(EngineError::Crypto))?;
+    Ok(env.encode())
+}
+
+/// Requester side: open a grant produced by [`handle_access_request`].
+pub fn open_grant(
+    grant: &[u8],
+    requester_dh_sk: &[u8; 32],
+    tx_hash: &[u8; 32],
+) -> Option<[u8; 32]> {
+    let env = Envelope::decode(grant).ok()?;
+    let kp = confide_crypto::envelope::EnvelopeKeyPair::from_secret(*requester_dh_sk);
+    let (k_tx, body) = env.open(&kp, tx_hash).ok()?;
+    if body != b"k_tx-grant" {
+        return None;
+    }
+    Some(k_tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ConfideClient;
+    use crate::engine::{EngineConfig, VmKind};
+    use crate::keys::NodeKeys;
+    use confide_tee::platform::TeePlatform;
+
+    /// A contract with an on-chain whitelist: grant(hex) adds to the ACL,
+    /// acl(hex) answers "1"/"0".
+    const POLICY_SRC: &str = r#"
+        export fn main() {
+            storage_set(b"data", input());
+            ret(b"stored");
+        }
+        export fn grant() {
+            storage_set(concat(b"acl:", input()), b"1");
+            ret(b"granted");
+        }
+        export fn acl() {
+            let v: bytes = storage_get(concat(b"acl:", input()));
+            if (eq_bytes(v, b"1") == 1) { ret(b"1"); } else { ret(b"0"); }
+        }
+    "#;
+
+    fn setup() -> (Engine, StateDb, ExecContext, HmacDrbg, [u8; 32]) {
+        let platform = TeePlatform::new(1, 1);
+        let mut rng = HmacDrbg::from_u64(7);
+        let keys = NodeKeys::generate(&mut rng);
+        let engine = Engine::confidential(platform, keys, EngineConfig::default());
+        let code = confide_lang::build_vm(POLICY_SRC).unwrap();
+        let addr = [1u8; 32];
+        engine.deploy(addr, &code, VmKind::ConfideVm, true);
+        (engine, StateDb::new(), ExecContext::new(), rng, addr)
+    }
+
+    #[test]
+    fn authorized_party_recovers_receipt() {
+        let (engine, state, mut ctx, mut rng, contract) = setup();
+        let mut owner = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let (wire, tx_hash, _k_tx) = owner
+            .confidential_tx(&engine.pk_tx().unwrap(), contract, "main", b"secret-payload")
+            .unwrap();
+        let (_receipt, sealed_receipt, _) = engine
+            .execute_transaction(&state, &mut ctx, &wire, &mut rng)
+            .unwrap();
+        let sealed_receipt = sealed_receipt.unwrap();
+
+        // The auditor's identity + DH key pair.
+        let auditor_sk = rng.gen32();
+        let auditor_pk = confide_crypto::x25519::x25519_base(&auditor_sk);
+        let auditor_id = [0xaa; 32];
+
+        // Without a grant, the contract rule denies.
+        let request = AccessRequest {
+            tx_hash,
+            contract,
+            requester: auditor_id,
+            requester_dh_pk: auditor_pk,
+        };
+        assert!(matches!(
+            handle_access_request(&engine, &state, &mut ctx, &request, &mut rng),
+            Err(AccessError::Denied)
+        ));
+
+        // Owner updates the on-chain ACL through the contract.
+        let (grant_wire, _, _) = owner
+            .confidential_tx(
+                &engine.pk_tx().unwrap(),
+                contract,
+                "grant",
+                confide_crypto::hex(&auditor_id).as_bytes(),
+            )
+            .unwrap();
+        let (r, _, _) = engine
+            .execute_transaction(&state, &mut ctx, &grant_wire, &mut rng)
+            .unwrap();
+        assert_eq!(r.return_data, b"granted");
+
+        // Now the request succeeds and the auditor can open the receipt.
+        let grant = handle_access_request(&engine, &state, &mut ctx, &request, &mut rng).unwrap();
+        let k_tx = open_grant(&grant, &auditor_sk, &tx_hash).unwrap();
+        let receipt = crate::receipt::Receipt::open(&sealed_receipt, &k_tx, &tx_hash).unwrap();
+        assert!(receipt.success);
+        assert_eq!(receipt.return_data, b"stored");
+    }
+
+    #[test]
+    fn unknown_transaction_rejected() {
+        let (engine, state, mut ctx, mut rng, contract) = setup();
+        let request = AccessRequest {
+            tx_hash: [0x77; 32],
+            contract,
+            requester: [0xaa; 32],
+            requester_dh_pk: [0x09; 32],
+        };
+        // Even a granted requester can't get a key that was never retained.
+        // (acl denies first here; grant then retry against missing tx.)
+        let err = handle_access_request(&engine, &state, &mut ctx, &request, &mut rng);
+        assert!(matches!(err, Err(AccessError::Denied)));
+    }
+
+    #[test]
+    fn grant_bound_to_tx_hash() {
+        let (engine, state, mut ctx, mut rng, contract) = setup();
+        let mut owner = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let (wire, tx_hash, _) = owner
+            .confidential_tx(&engine.pk_tx().unwrap(), contract, "main", b"x")
+            .unwrap();
+        engine
+            .execute_transaction(&state, &mut ctx, &wire, &mut rng)
+            .unwrap();
+        let auditor_sk = rng.gen32();
+        let auditor_pk = confide_crypto::x25519::x25519_base(&auditor_sk);
+        let auditor_id = [0xaa; 32];
+        let (g, _, _) = owner
+            .confidential_tx(
+                &engine.pk_tx().unwrap(),
+                contract,
+                "grant",
+                confide_crypto::hex(&auditor_id).as_bytes(),
+            )
+            .unwrap();
+        engine
+            .execute_transaction(&state, &mut ctx, &g, &mut rng)
+            .unwrap();
+        let request = AccessRequest {
+            tx_hash,
+            contract,
+            requester: auditor_id,
+            requester_dh_pk: auditor_pk,
+        };
+        let grant = handle_access_request(&engine, &state, &mut ctx, &request, &mut rng).unwrap();
+        // Wrong tx hash → AAD mismatch → no key.
+        assert!(open_grant(&grant, &auditor_sk, &[0u8; 32]).is_none());
+        assert!(open_grant(&grant, &auditor_sk, &tx_hash).is_some());
+    }
+}

@@ -1,0 +1,136 @@
+//! The client side of T-Protocol.
+
+use crate::receipt::Receipt;
+use crate::tx::{RawTx, SignedTx, WireTx};
+use confide_crypto::ed25519::SigningKey;
+use confide_crypto::envelope::{derive_k_tx, Envelope};
+use confide_crypto::{CryptoError, HmacDrbg};
+
+/// A blockchain client: holds the user's signing key and the user root key
+/// from which per-transaction one-time keys derive (§3.2.3: `k_tx` "is
+/// derived from a user root key and the transaction hash").
+pub struct ConfideClient {
+    signing: SigningKey,
+    root_key: [u8; 32],
+    rng: HmacDrbg,
+    nonce: u64,
+}
+
+impl ConfideClient {
+    /// Create from seeds (deterministic for simulation replay).
+    pub fn new(identity_seed: [u8; 32], root_key: [u8; 32], rng_seed: u64) -> ConfideClient {
+        ConfideClient {
+            signing: SigningKey::from_seed(&identity_seed),
+            root_key,
+            rng: HmacDrbg::from_u64(rng_seed),
+            nonce: 0,
+        }
+    }
+
+    /// The client's address (public key).
+    pub fn address(&self) -> [u8; 32] {
+        self.signing.verifying_key().0
+    }
+
+    /// Build a signed raw transaction (bumping the nonce).
+    pub fn build_raw(&mut self, contract: [u8; 32], method: &str, args: &[u8]) -> SignedTx {
+        self.nonce += 1;
+        let raw = RawTx {
+            sender: self.address(),
+            contract,
+            method: method.to_string(),
+            args: args.to_vec(),
+            nonce: self.nonce,
+        };
+        SignedTx::sign(raw, &self.signing)
+    }
+
+    /// Build a public (plaintext) wire transaction.
+    pub fn public_tx(&mut self, contract: [u8; 32], method: &str, args: &[u8]) -> WireTx {
+        WireTx::Public(self.build_raw(contract, method, args))
+    }
+
+    /// Build a confidential wire transaction sealed to `pk_tx`; returns the
+    /// wire tx plus `(tx_hash, k_tx)` the client retains to open the
+    /// receipt (and to delegate access).
+    pub fn confidential_tx(
+        &mut self,
+        pk_tx: &[u8; 32],
+        contract: [u8; 32],
+        method: &str,
+        args: &[u8],
+    ) -> Result<(WireTx, [u8; 32], [u8; 32]), CryptoError> {
+        let signed = self.build_raw(contract, method, args);
+        let tx_hash = signed.raw.hash();
+        let k_tx = derive_k_tx(&self.root_key, &tx_hash);
+        let env = Envelope::seal(pk_tx, &k_tx, b"", &signed.encode(), &mut self.rng)?;
+        Ok((WireTx::Confidential(env), tx_hash, k_tx))
+    }
+
+    /// Recompute `k_tx` for a past transaction (the owner can always
+    /// re-derive; distributing it to a third party is the off-line
+    /// delegation path of §3.2.3).
+    pub fn k_tx_for(&self, tx_hash: &[u8; 32]) -> [u8; 32] {
+        derive_k_tx(&self.root_key, tx_hash)
+    }
+
+    /// Open a sealed receipt for a transaction this client sent.
+    pub fn open_receipt(&self, sealed: &[u8], tx_hash: &[u8; 32]) -> Result<Receipt, CryptoError> {
+        Receipt::open(sealed, &self.k_tx_for(tx_hash), tx_hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_crypto::envelope::EnvelopeKeyPair;
+
+    #[test]
+    fn nonce_increments_per_tx() {
+        let mut c = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let a = c.build_raw([0u8; 32], "m", b"");
+        let b = c.build_raw([0u8; 32], "m", b"");
+        assert_eq!(a.raw.nonce + 1, b.raw.nonce);
+        assert_ne!(a.raw.hash(), b.raw.hash());
+    }
+
+    #[test]
+    fn confidential_tx_round_trip_via_engine_keys() {
+        let mut rng = HmacDrbg::from_u64(9);
+        let kp = EnvelopeKeyPair::generate(&mut rng);
+        let mut c = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let (wire, tx_hash, k_tx) = c
+            .confidential_tx(&kp.public(), [7u8; 32], "transfer", b"args")
+            .unwrap();
+        let WireTx::Confidential(env) = wire else {
+            panic!()
+        };
+        let (k, plain) = env.open(&kp, b"").unwrap();
+        assert_eq!(k, k_tx);
+        let signed = SignedTx::decode(&plain).unwrap();
+        signed.verify().unwrap();
+        assert_eq!(signed.raw.hash(), tx_hash);
+        assert_eq!(signed.raw.method, "transfer");
+        // Owner can re-derive k_tx later.
+        assert_eq!(c.k_tx_for(&tx_hash), k_tx);
+    }
+
+    #[test]
+    fn receipt_opens_only_with_owner_key() {
+        let mut rng = HmacDrbg::from_u64(9);
+        let c = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let other = ConfideClient::new([4u8; 32], [5u8; 32], 6);
+        let tx_hash = [0xaa; 32];
+        let receipt = Receipt {
+            tx_hash,
+            sender: c.address(),
+            contract: [7u8; 32],
+            success: true,
+            return_data: b"ok".to_vec(),
+            logs: vec![],
+        };
+        let sealed = receipt.seal(&c.k_tx_for(&tx_hash), &mut rng).unwrap();
+        assert_eq!(c.open_receipt(&sealed, &tx_hash).unwrap(), receipt);
+        assert!(other.open_receipt(&sealed, &tx_hash).is_err());
+    }
+}

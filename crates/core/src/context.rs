@@ -1,0 +1,89 @@
+//! Per-block execution context: the state overlay and pending writes that
+//! become the block's write batch at commit.
+
+use crate::counters::OpCounters;
+use std::collections::HashMap;
+
+/// Mutable execution state threaded through all transactions of one block.
+#[derive(Default)]
+pub struct ExecContext {
+    /// Plaintext overlay of uncommitted writes: full storage key →
+    /// Some(value) or None (deletion). Reads hit this before the database.
+    pub overlay: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    /// SDM read cache: plaintext of values already fetched + decrypted
+    /// from the database this block ("a memory cache for I/O efficiency",
+    /// §3.2.1).
+    pub read_cache: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Counters for the current transaction (reset per tx).
+    pub counters: OpCounters,
+    /// Log lines emitted by the current transaction (reset per tx).
+    pub logs: Vec<Vec<u8>>,
+    /// Current call depth (re-entrancy / recursion bound).
+    pub depth: usize,
+}
+
+impl ExecContext {
+    /// Fresh context for a new block.
+    pub fn new() -> ExecContext {
+        ExecContext::default()
+    }
+
+    /// Take the counters for the finished transaction and reset them.
+    pub fn take_counters(&mut self) -> OpCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Take the accumulated logs for the finished transaction.
+    pub fn take_logs(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.logs)
+    }
+
+    /// Look up a key in overlay-then-cache. `None` = not seen this block.
+    pub fn lookup(&self, key: &[u8]) -> Option<Option<&Vec<u8>>> {
+        if let Some(v) = self.overlay.get(key) {
+            return Some(v.as_ref());
+        }
+        self.read_cache.get(key).map(|v| v.as_ref())
+    }
+
+    /// Record a write (visible to subsequent reads in this block).
+    pub fn write(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        self.overlay.insert(key, value);
+    }
+
+    /// Record a database read in the cache.
+    pub fn cache_read(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        self.read_cache.insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_wins_over_cache() {
+        let mut ctx = ExecContext::new();
+        ctx.cache_read(b"k".to_vec(), Some(b"old".to_vec()));
+        assert_eq!(ctx.lookup(b"k"), Some(Some(&b"old".to_vec())));
+        ctx.write(b"k".to_vec(), Some(b"new".to_vec()));
+        assert_eq!(ctx.lookup(b"k"), Some(Some(&b"new".to_vec())));
+        ctx.write(b"k".to_vec(), None);
+        assert_eq!(ctx.lookup(b"k"), Some(None));
+    }
+
+    #[test]
+    fn unknown_key_is_none() {
+        let ctx = ExecContext::new();
+        assert_eq!(ctx.lookup(b"missing"), None);
+    }
+
+    #[test]
+    fn take_counters_resets() {
+        let mut ctx = ExecContext::new();
+        ctx.counters.get_storage = 3;
+        let c = ctx.take_counters();
+        assert_eq!(c.get_storage, 3);
+        assert_eq!(ctx.counters.get_storage, 0);
+    }
+}

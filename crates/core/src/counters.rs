@@ -1,0 +1,146 @@
+//! Per-operation counters — the instrumentation behind Table 1 and the
+//! SimTx cost inputs for the figure harnesses.
+
+use confide_tee::meter::CostModel;
+
+/// Counts and attributed cycles per operation category, accumulated over
+/// one transaction (or one block).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Contract invocations (direct + cross-contract), Table 1 row 1.
+    pub contract_calls: u64,
+    /// Cycles spent in contract execution (VM dispatch + host work).
+    pub contract_cycles: u64,
+    /// GetStorage operations (Table 1 row 2).
+    pub get_storage: u64,
+    /// Cycles in GetStorage (ocall + decrypt + copy).
+    pub get_cycles: u64,
+    /// SetStorage operations (Table 1 row 3).
+    pub set_storage: u64,
+    /// Cycles in SetStorage.
+    pub set_cycles: u64,
+    /// Signature verifications (Table 1 row 4).
+    pub verifies: u64,
+    /// Cycles in verification.
+    pub verify_cycles: u64,
+    /// Envelope decryptions (Table 1 row 5).
+    pub decrypts: u64,
+    /// Cycles in envelope decryption.
+    pub decrypt_cycles: u64,
+    /// VM instructions retired.
+    pub vm_instret: u64,
+    /// Enclave boundary crossings.
+    pub ocalls: u64,
+    /// Bytes pushed through AES-GCM for states.
+    pub state_crypto_bytes: u64,
+    /// SDM read-cache hits (decryptions avoided).
+    pub cache_hits: u64,
+}
+
+impl OpCounters {
+    /// Merge another counter set in.
+    pub fn add(&mut self, other: &OpCounters) {
+        self.contract_calls += other.contract_calls;
+        self.contract_cycles += other.contract_cycles;
+        self.get_storage += other.get_storage;
+        self.get_cycles += other.get_cycles;
+        self.set_storage += other.set_storage;
+        self.set_cycles += other.set_cycles;
+        self.verifies += other.verifies;
+        self.verify_cycles += other.verify_cycles;
+        self.decrypts += other.decrypts;
+        self.decrypt_cycles += other.decrypt_cycles;
+        self.vm_instret += other.vm_instret;
+        self.ocalls += other.ocalls;
+        self.state_crypto_bytes += other.state_crypto_bytes;
+        self.cache_hits += other.cache_hits;
+    }
+
+    /// Total attributed cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.contract_cycles
+            + self.get_cycles
+            + self.set_cycles
+            + self.verify_cycles
+            + self.decrypt_cycles
+    }
+
+    /// Render the Table-1 style rows: (method, duration ms, count, ratio).
+    pub fn table1_rows(&self, model: &CostModel) -> Vec<(&'static str, f64, u64, f64)> {
+        let total = self.total_cycles().max(1) as f64;
+        let row = |name, cycles: u64, count| {
+            (
+                name,
+                model.cycles_to_ms(cycles),
+                count,
+                cycles as f64 / total,
+            )
+        };
+        vec![
+            row("Contract Call", self.contract_cycles, self.contract_calls),
+            row("GetStorage", self.get_cycles, self.get_storage),
+            row("SetStorage", self.set_cycles, self.set_storage),
+            row("Transaction Verify", self.verify_cycles, self.verifies),
+            row("Transaction Decryption", self.decrypt_cycles, self.decrypts),
+        ]
+    }
+}
+
+/// The outcome + cost of one executed transaction.
+#[derive(Debug, Clone)]
+pub struct TxStats {
+    /// Per-operation accounting.
+    pub counters: OpCounters,
+    /// Total virtual cycles charged for the execution phase.
+    pub exec_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_totals() {
+        let mut a = OpCounters {
+            contract_calls: 2,
+            contract_cycles: 100,
+            get_storage: 5,
+            get_cycles: 50,
+            ..OpCounters::default()
+        };
+        let b = OpCounters {
+            contract_calls: 1,
+            contract_cycles: 10,
+            set_storage: 1,
+            set_cycles: 5,
+            ..OpCounters::default()
+        };
+        a.add(&b);
+        assert_eq!(a.contract_calls, 3);
+        assert_eq!(a.total_cycles(), 165);
+    }
+
+    #[test]
+    fn table1_ratios_sum_to_one() {
+        let c = OpCounters {
+            contract_calls: 31,
+            contract_cycles: 120_000_000,
+            get_storage: 151,
+            get_cycles: 17_000_000,
+            set_storage: 9,
+            set_cycles: 2_000_000,
+            verifies: 1,
+            verify_cycles: 814_000,
+            decrypts: 1,
+            decrypt_cycles: 370_000,
+            ..OpCounters::default()
+        };
+        let rows = c.table1_rows(&CostModel::default());
+        let ratio_sum: f64 = rows.iter().map(|r| r.3).sum();
+        assert!((ratio_sum - 1.0).abs() < 1e-9);
+        assert_eq!(rows[0].0, "Contract Call");
+        assert_eq!(rows[1].2, 151);
+        // Durations convert at 3.7 GHz.
+        assert!((rows[0].1 - 120_000_000.0 / 3.7e9 * 1e3).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,1449 @@
+//! The contract execution engine — Confidential-Engine in confidential
+//! mode (Fig. 3: Pre-processor → VM → SDM), Public-Engine in public mode.
+//!
+//! One executor serves both modes; the mode decides whether the
+//! pre-processor opens envelopes, whether the SDM seals state through
+//! D-Protocol, and whether enclave-boundary costs are charged. All four
+//! Figure-12 optimizations are independent [`EngineConfig`] switches:
+//!
+//! * OPT1 — [`EngineConfig::code_cache`] (decoded-module cache; on a miss
+//!   the engine pays LEB decode + code decryption) and
+//!   [`EngineConfig::memory_pool`] (recycled linear memories).
+//! * OPT2 is a *workload* property (Flatbuffers-style CCLe instead of JSON
+//!   parsing) exercised by `confide-contracts`.
+//! * OPT3 — [`Engine::preverify`] + [`EngineConfig::preverify_cache`]: the
+//!   §5.2 pipeline caches `(k_tx, f_verified)` by wire hash so execution
+//!   pays only a symmetric decryption (C2/C3).
+//! * OPT4 — [`EngineConfig::fusion`]: the CONFIDE-VM superinstruction pass.
+
+use crate::context::ExecContext;
+use crate::counters::TxStats;
+use crate::keys::NodeKeys;
+use crate::receipt::Receipt;
+use crate::tx::{RawTx, SignedTx, WireTx};
+use confide_crypto::gcm::AesGcm;
+use confide_crypto::hmac::hmac_sha256;
+use confide_crypto::{sha256, HmacDrbg};
+use confide_evm::{Evm, EvmConfig, EvmHost};
+use confide_storage::kv::WriteBatch;
+use confide_storage::versioned::StateDb;
+use confide_tee::enclave::{CrossingMode, Enclave, EnclaveConfig};
+use confide_tee::meter::CostModel;
+use confide_tee::platform::TeePlatform;
+use confide_vm::host::{HostApi, HostError};
+use confide_vm::interp::{ExecConfig, Prepared, Vm};
+use confide_vm::module::Module;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which virtual machine a contract targets (§3.2.1: CONFIDE enables both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmKind {
+    /// The Wasm-derived CONFIDE-VM.
+    ConfideVm,
+    /// The EVM baseline.
+    Evm,
+}
+
+/// Engine tuning switches (Figure 12's OPT1/OPT3/OPT4 + EDL marshalling).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// OPT4: superinstruction fusion in CONFIDE-VM.
+    pub fusion: bool,
+    /// OPT1: cache decoded (and decrypted) modules.
+    pub code_cache: bool,
+    /// OPT1: recycle linear memories.
+    pub memory_pool: bool,
+    /// OPT3: use the pre-verification cache.
+    pub preverify_cache: bool,
+    /// EDL marshalling mode for enclave crossings (§5.3 `user_check`).
+    pub crossing: CrossingMode,
+    /// Cross-contract call depth bound.
+    pub max_call_depth: usize,
+    /// VM fuel per transaction.
+    pub fuel: u64,
+    /// Enforce strictly increasing per-sender nonces (replay protection).
+    pub enforce_nonces: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            fusion: true,
+            code_cache: true,
+            memory_pool: true,
+            preverify_cache: true,
+            crossing: CrossingMode::UserCheck,
+            max_call_depth: 64,
+            fuel: 500_000_000,
+            enforce_nonces: true,
+        }
+    }
+}
+
+/// Engine-level failures (reported in receipts, never leaked as oracles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No contract at the target address.
+    UnknownContract([u8; 32]),
+    /// VM trapped.
+    Trap(String),
+    /// Envelope/signature/state crypto failed.
+    Crypto,
+    /// Transaction failed to parse.
+    Malformed,
+    /// Public transaction sent to the confidential path or vice versa.
+    WrongEngine,
+    /// Cross-contract call depth exceeded.
+    DepthExceeded,
+    /// Contract code failed to decode.
+    BadCode,
+    /// Transaction nonce not greater than the sender's last (replay).
+    Replay,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownContract(a) => {
+                write!(f, "unknown contract {}", confide_crypto::hex(&a[..4]))
+            }
+            EngineError::Trap(t) => write!(f, "vm trap: {t}"),
+            EngineError::Crypto => f.write_str("cryptographic failure"),
+            EngineError::Malformed => f.write_str("malformed transaction"),
+            EngineError::WrongEngine => f.write_str("transaction routed to wrong engine"),
+            EngineError::DepthExceeded => f.write_str("call depth exceeded"),
+            EngineError::BadCode => f.write_str("contract code undecodable"),
+            EngineError::Replay => f.write_str("transaction replay (stale nonce)"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Address of the built-in system "contract" whose confidential state
+/// stores retained transaction keys for the authorization chain-code.
+pub(crate) const SYSTEM_KTX_ADDR: [u8; 32] = [0xfe; 32];
+
+/// Code-load cost per byte on a code-cache miss: code decryption, LEB128
+/// decode, validation, jump-table construction and in-enclave allocation
+/// of the decoded form (the work OPT1's code cache memoizes). Calibrated
+/// against in-enclave Wasm module instantiation costs.
+const DECODE_CYCLES_PER_BYTE: u64 = 400;
+/// Fresh linear-memory cost per 4 KiB EPC page when the memory pool cannot
+/// supply a recycled buffer: dynamic page commit (EAUG/EACCEPT-class),
+/// zeroing, and eventual teardown — the allocator traffic OPT1's memory
+/// pool eliminates.
+const MEM_COMMIT_CYCLES_PER_PAGE: u64 = 24_000;
+/// Fixed frame cost per contract invocation.
+const CALL_FIXED_CYCLES: u64 = 18_000;
+
+struct ContractRecord {
+    vm: VmKind,
+    /// Code as stored: sealed under `k_states` for confidential contracts.
+    stored: Vec<u8>,
+    confidential: bool,
+}
+
+enum LoadedCode {
+    Vm(Arc<Prepared>),
+    Evm(Arc<Evm>),
+}
+
+impl Clone for LoadedCode {
+    fn clone(&self) -> Self {
+        match self {
+            LoadedCode::Vm(p) => LoadedCode::Vm(Arc::clone(p)),
+            LoadedCode::Evm(e) => LoadedCode::Evm(Arc::clone(e)),
+        }
+    }
+}
+
+struct PreverifyEntry {
+    k_tx: [u8; 32],
+    verified: bool,
+    /// Cycles spent in the pre-verification phase (pipelined off the
+    /// execution path; reported by [`Engine::preverify`]'s return value).
+    #[allow(dead_code)]
+    spent_cycles: u64,
+}
+
+/// Cache hit/miss statistics (code cache + pre-verification cache).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineCacheStats {
+    /// Code cache hits.
+    pub code_hits: u64,
+    /// Code cache misses (decode + decrypt paid).
+    pub code_misses: u64,
+    /// Pre-verification cache hits at execution time.
+    pub preverify_hits: u64,
+    /// Pre-verification cache misses.
+    pub preverify_misses: u64,
+}
+
+/// The execution engine. Confidential mode carries the enclave + keys.
+pub struct Engine {
+    confidential: Option<TeeParts>,
+    config: EngineConfig,
+    model: CostModel,
+    contracts: Mutex<HashMap<[u8; 32], ContractRecord>>,
+    code_cache: Mutex<HashMap<[u8; 32], LoadedCode>>,
+    mem_pool: confide_vm::cache::MemoryPool,
+    preverify: Mutex<HashMap<[u8; 32], PreverifyEntry>>,
+    cache_stats: Mutex<EngineCacheStats>,
+}
+
+pub(crate) struct TeeParts {
+    #[allow(dead_code)]
+    pub(crate) platform: Arc<TeePlatform>,
+    #[allow(dead_code)]
+    pub(crate) cs_enclave: Enclave,
+    pub(crate) keys: NodeKeys,
+    pub(crate) gcm_states: AesGcm,
+}
+
+impl Engine {
+    /// A Public-Engine: plaintext transactions and states, no TEE costs.
+    pub fn public(config: EngineConfig) -> Engine {
+        Engine {
+            confidential: None,
+            model: CostModel::default(),
+            mem_pool: confide_vm::cache::MemoryPool::new(config.memory_pool, 16),
+            config,
+            contracts: Mutex::new(HashMap::new()),
+            code_cache: Mutex::new(HashMap::new()),
+            preverify: Mutex::new(HashMap::new()),
+            cache_stats: Mutex::new(EngineCacheStats::default()),
+        }
+    }
+
+    /// A Confidential-Engine on `platform` with provisioned `keys`.
+    pub fn confidential(
+        platform: Arc<TeePlatform>,
+        keys: NodeKeys,
+        config: EngineConfig,
+    ) -> Engine {
+        let cs_enclave = Enclave::create(
+            &platform,
+            EnclaveConfig::new(crate::keys::CS_ENCLAVE_CODE.to_vec(), [0xC5; 32], 1, 8 << 20),
+        )
+        .expect("CS enclave creation");
+        let gcm_states = AesGcm::new(&keys.k_states).expect("32-byte k_states");
+        let contracts = HashMap::from([(
+            SYSTEM_KTX_ADDR,
+            ContractRecord {
+                vm: VmKind::ConfideVm,
+                stored: Vec::new(),
+                confidential: true,
+            },
+        )]);
+        Engine {
+            model: platform.model(),
+            confidential: Some(TeeParts {
+                platform,
+                cs_enclave,
+                keys,
+                gcm_states,
+            }),
+            mem_pool: confide_vm::cache::MemoryPool::new(config.memory_pool, 16),
+            config,
+            contracts: Mutex::new(contracts),
+            code_cache: Mutex::new(HashMap::new()),
+            preverify: Mutex::new(HashMap::new()),
+            cache_stats: Mutex::new(EngineCacheStats::default()),
+        }
+    }
+
+    /// True when running in confidential (TEE) mode.
+    pub fn is_confidential(&self) -> bool {
+        self.confidential.is_some()
+    }
+
+    /// Crate-internal access to the TEE parts (authorization chain-code).
+    pub(crate) fn tee(&self) -> Option<&TeeParts> {
+        self.confidential.as_ref()
+    }
+
+    /// The cost model used for cycle accounting.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Cache statistics snapshot.
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        *self.cache_stats.lock()
+    }
+
+    /// `pk_tx` for clients (confidential mode only).
+    pub fn pk_tx(&self) -> Option<[u8; 32]> {
+        self.confidential.as_ref().map(|t| t.keys.envelope.public())
+    }
+
+    /// Register a contract at `address`. Confidential contracts' code is
+    /// sealed under `k_states` (D-Protocol covers "smart contract states
+    /// and smart contract code").
+    pub fn deploy(&self, address: [u8; 32], code: &[u8], vm: VmKind, confidential: bool) {
+        let stored = if confidential {
+            let tee = self
+                .confidential
+                .as_ref()
+                .expect("confidential deploy requires confidential engine");
+            let nonce = code_nonce(&tee.keys.k_states, &address);
+            let mut blob = nonce.to_vec();
+            blob.extend_from_slice(&tee.gcm_states.seal(&nonce, &code_aad(&address), code));
+            blob
+        } else {
+            code.to_vec()
+        };
+        self.contracts.lock().insert(
+            address,
+            ContractRecord {
+                vm,
+                stored,
+                confidential,
+            },
+        );
+        // A (re)deployment invalidates any cached module for this address's
+        // previous code; the cache is keyed by stored-code hash so stale
+        // entries are simply never hit again.
+    }
+
+    /// Whether a contract exists.
+    pub fn has_contract(&self, address: &[u8; 32]) -> bool {
+        self.contracts.lock().contains_key(address)
+    }
+
+    /// Whether a contract's state is confidential.
+    pub fn contract_confidential(&self, address: &[u8; 32]) -> bool {
+        self.contracts
+            .lock()
+            .get(address)
+            .map(|r| r.confidential)
+            .unwrap_or(false)
+    }
+
+    /// §5.2 P1–P5: pre-verify a confidential transaction, caching
+    /// `(k_tx, f_verified)` under the wire hash. Returns the cycles spent
+    /// (which the pipeline pays off the execution path).
+    pub fn preverify(&self, wire: &WireTx) -> Result<u64, EngineError> {
+        let WireTx::Confidential(env) = wire else {
+            return Ok(0); // public txs verify in the cheap path
+        };
+        let tee = self.confidential.as_ref().ok_or(EngineError::WrongEngine)?;
+        let mut cycles = 0u64;
+        // P2: private-key envelope open.
+        cycles += self.model.envelope_open_cycles
+            + env.body.len() as u64 * self.model.aes_gcm_cycles_per_byte;
+        let (k_tx, plain) = env
+            .open(&tee.keys.envelope, b"")
+            .map_err(|_| EngineError::Crypto)?;
+        // P3: signature verification.
+        cycles += self.model.sig_verify_cycles;
+        let signed = SignedTx::decode(&plain).map_err(|_| EngineError::Malformed)?;
+        let verified = signed.verify().is_ok();
+        // P4: aggregate metadata into the enclave cache.
+        if self.config.preverify_cache {
+            self.preverify.lock().insert(
+                wire.wire_hash(),
+                PreverifyEntry {
+                    k_tx,
+                    verified,
+                    spent_cycles: cycles,
+                },
+            );
+        }
+        Ok(cycles)
+    }
+
+    /// Execute one transaction against `state` within the block context
+    /// `ctx`. Returns the plaintext receipt, the sealed receipt (for
+    /// confidential transactions), and the cost accounting.
+    pub fn execute_transaction(
+        &self,
+        state: &StateDb,
+        ctx: &mut ExecContext,
+        wire: &WireTx,
+        rng: &mut HmacDrbg,
+    ) -> Result<(Receipt, Option<Vec<u8>>, TxStats), EngineError> {
+        match wire {
+            WireTx::Public(signed) => {
+                if self.is_confidential() {
+                    return Err(EngineError::WrongEngine);
+                }
+                ctx.counters.verifies += 1;
+                ctx.counters.verify_cycles += self.model.sig_verify_cycles;
+                if signed.verify().is_err() {
+                    return Err(EngineError::Crypto);
+                }
+                let receipt = self.run_signed(state, ctx, signed)?;
+                let counters = ctx.take_counters();
+                Ok((
+                    receipt,
+                    None,
+                    TxStats {
+                        exec_cycles: counters.total_cycles(),
+                        counters,
+                    },
+                ))
+            }
+            WireTx::Confidential(env) => {
+                let tee = self.confidential.as_ref().ok_or(EngineError::WrongEngine)?;
+                // C2: probe the pre-verification cache by wire hash.
+                let cached = if self.config.preverify_cache {
+                    self.preverify.lock().remove(&wire.wire_hash())
+                } else {
+                    None
+                };
+                let (k_tx, signed) = match cached {
+                    Some(entry) => {
+                        self.cache_stats.lock().preverify_hits += 1;
+                        if !entry.verified {
+                            return Err(EngineError::Crypto);
+                        }
+                        // C3: symmetric-only body decryption with cached k_tx.
+                        ctx.counters.decrypts += 1;
+                        let sym = self.model.aes_gcm_fixed_cycles
+                            + env.body.len() as u64 * self.model.aes_gcm_cycles_per_byte;
+                        ctx.counters.decrypt_cycles += sym;
+                        // Verification already done in P3; attribute the
+                        // pipelined cost so Table 1 shows it.
+                        ctx.counters.verifies += 1;
+                        ctx.counters.verify_cycles += self.model.sig_verify_cycles;
+                        let plain = env
+                            .open_body(&entry.k_tx, b"")
+                            .map_err(|_| EngineError::Crypto)?;
+                        let signed =
+                            SignedTx::decode(&plain).map_err(|_| EngineError::Malformed)?;
+                        (entry.k_tx, signed)
+                    }
+                    None => {
+                        self.cache_stats.lock().preverify_misses += 1;
+                        // Full asymmetric path inline.
+                        ctx.counters.decrypts += 1;
+                        ctx.counters.decrypt_cycles += self.model.envelope_open_cycles
+                            + env.body.len() as u64 * self.model.aes_gcm_cycles_per_byte;
+                        let (k_tx, plain) = env
+                            .open(&tee.keys.envelope, b"")
+                            .map_err(|_| EngineError::Crypto)?;
+                        ctx.counters.verifies += 1;
+                        ctx.counters.verify_cycles += self.model.sig_verify_cycles;
+                        let signed =
+                            SignedTx::decode(&plain).map_err(|_| EngineError::Malformed)?;
+                        if signed.verify().is_err() {
+                            return Err(EngineError::Crypto);
+                        }
+                        (k_tx, signed)
+                    }
+                };
+                let receipt = self.run_signed(state, ctx, &signed)?;
+                // Retain k_tx (sealed at commit under k_states) so the
+                // authorization chain-code can later re-wrap it to parties
+                // the contract's access rules admit (§3.2.3).
+                let mut ktx_key = b"ktx|".to_vec();
+                ktx_key.extend_from_slice(&receipt.tx_hash);
+                ctx.write(full_key(&SYSTEM_KTX_ADDR, &ktx_key), Some(k_tx.to_vec()));
+                let sealed = receipt.seal(&k_tx, rng).map_err(|_| EngineError::Crypto)?;
+                let counters = ctx.take_counters();
+                Ok((
+                    receipt,
+                    Some(sealed),
+                    TxStats {
+                        exec_cycles: counters.total_cycles(),
+                        counters,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Dispatch a verified signed transaction: deployment or invocation.
+    fn run_signed(
+        &self,
+        state: &StateDb,
+        ctx: &mut ExecContext,
+        signed: &SignedTx,
+    ) -> Result<Receipt, EngineError> {
+        let raw = &signed.raw;
+        if self.config.enforce_nonces {
+            // Replay protection: the sender's nonce must strictly increase.
+            // Tracked as (sealed, for the confidential engine) system state
+            // so replicas agree on it through the state root.
+            // Namespaced per engine mode: the public and confidential
+            // engines account independently (their ctxs merge into one
+            // block batch, and the at-rest encodings differ).
+            let mut nonce_key = if self.is_confidential() {
+                b"nonce|c|".to_vec()
+            } else {
+                b"nonce|p|".to_vec()
+            };
+            nonce_key.extend_from_slice(&raw.sender);
+            let fk = full_key(&SYSTEM_KTX_ADDR, &nonce_key);
+            let last = match ctx.lookup(&fk).map(|v| v.cloned()) {
+                Some(v) => v,
+                None => {
+                    let stored = state.get(&fk);
+                    let plain = match (&stored, self.confidential.as_ref()) {
+                        (Some(blob), Some(tee)) if blob.len() >= 12 => {
+                            let mut nonce = [0u8; 12];
+                            nonce.copy_from_slice(&blob[..12]);
+                            tee.gcm_states
+                                .open(&nonce, &state_aad(&SYSTEM_KTX_ADDR, &nonce_key), &blob[12..])
+                                .ok()
+                        }
+                        (Some(v), None) => Some(v.clone()),
+                        _ => None,
+                    };
+                    ctx.cache_read(fk.clone(), plain.clone());
+                    plain
+                }
+            };
+            let last_nonce = last
+                .as_deref()
+                .and_then(|v| v.try_into().ok().map(u64::from_le_bytes))
+                .unwrap_or(0);
+            if raw.nonce <= last_nonce {
+                return Err(EngineError::Replay);
+            }
+            ctx.write(fk, Some(raw.nonce.to_le_bytes().to_vec()));
+        }
+        let (success, return_data) = if raw.contract == [0u8; 32] && raw.method == "deploy" {
+            let address = self.deploy_from_tx(raw)?;
+            (true, address.to_vec())
+        } else {
+            match self.invoke_inner(
+                state,
+                ctx,
+                &raw.contract,
+                &raw.method,
+                &raw.args,
+                &raw.sender,
+            ) {
+                Ok(out) => (true, out),
+                Err(EngineError::Trap(t)) => (false, format!("trap: {t}").into_bytes()),
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(Receipt {
+            tx_hash: raw.hash(),
+            sender: raw.sender,
+            contract: raw.contract,
+            success,
+            return_data,
+            logs: ctx.take_logs(),
+        })
+    }
+
+    /// Deployment transaction payload: `[vm_kind u8][confidential u8][code…]`.
+    fn deploy_from_tx(&self, raw: &RawTx) -> Result<[u8; 32], EngineError> {
+        if raw.args.len() < 2 {
+            return Err(EngineError::Malformed);
+        }
+        let vm = match raw.args[0] {
+            0 => VmKind::ConfideVm,
+            1 => VmKind::Evm,
+            _ => return Err(EngineError::Malformed),
+        };
+        let confidential = raw.args[1] == 1;
+        if confidential && !self.is_confidential() {
+            return Err(EngineError::WrongEngine);
+        }
+        let code = &raw.args[2..];
+        // Deterministic address from deployer + nonce.
+        let mut preimage = Vec::with_capacity(40);
+        preimage.extend_from_slice(&raw.sender);
+        preimage.extend_from_slice(&raw.nonce.to_le_bytes());
+        let address = sha256(&preimage);
+        self.deploy(address, code, vm, confidential);
+        Ok(address)
+    }
+
+    /// Invoke `method` on the contract at `address` (used directly by the
+    /// harnesses, and recursively by cross-contract calls).
+    pub fn invoke_inner(
+        &self,
+        state: &StateDb,
+        ctx: &mut ExecContext,
+        address: &[u8; 32],
+        method: &str,
+        input: &[u8],
+        sender: &[u8; 32],
+    ) -> Result<Vec<u8>, EngineError> {
+        if ctx.depth >= self.config.max_call_depth {
+            return Err(EngineError::DepthExceeded);
+        }
+        ctx.depth += 1;
+        let result = self.invoke_guarded(state, ctx, address, method, input, sender);
+        ctx.depth -= 1;
+        result
+    }
+
+    fn invoke_guarded(
+        &self,
+        state: &StateDb,
+        ctx: &mut ExecContext,
+        address: &[u8; 32],
+        method: &str,
+        input: &[u8],
+        sender: &[u8; 32],
+    ) -> Result<Vec<u8>, EngineError> {
+        let loaded = self.fetch_code(ctx, address)?;
+        ctx.counters.contract_calls += 1;
+        ctx.counters.contract_cycles += CALL_FIXED_CYCLES;
+        // Entering the enclave: one ecall with the marshalling mode from
+        // config ([in] copy vs user_check).
+        if self.is_confidential() {
+            ctx.counters.ocalls += 1;
+            ctx.counters.contract_cycles += self.model.transition_warm_cycles
+                + self.crossing_cost(input.len());
+        }
+        match loaded {
+            LoadedCode::Vm(prepared) => {
+                let vm = Vm::new(
+                    prepared,
+                    ExecConfig {
+                        fuel: self.config.fuel,
+                        fusion: self.config.fusion,
+                        max_call_depth: 256,
+                    },
+                );
+                let mut memory = self.mem_pool.take();
+                if memory.capacity() == 0 {
+                    // Pool miss: commit fresh EPC pages for the fixed
+                    // linear memory (OPT1's memory pool avoids this).
+                    let pages = (vm.memory_size() as u64).div_ceil(4096);
+                    ctx.counters.contract_cycles += pages * MEM_COMMIT_CYCLES_PER_PAGE;
+                }
+                let mut sdm = Sdm {
+                    engine: self,
+                    state,
+                    ctx,
+                    contract: *address,
+                    sender: *sender,
+                    input: input.to_vec(),
+                    return_data: Vec::new(),
+                };
+                let outcome = vm.invoke(method, &[], &mut sdm, &mut memory);
+                self.mem_pool.put(memory);
+                let outcome = outcome.map_err(|t| EngineError::Trap(t.to_string()))?;
+                ctx.counters.vm_instret += outcome.stats.instret;
+                let mut cycles = outcome.stats.instret * self.model.vm_cycles_per_instr;
+                if self.is_confidential() {
+                    // MEE / EPC pressure on in-enclave interpretation.
+                    cycles += cycles * self.model.tee_exec_overhead_vm_permille / 1000;
+                }
+                ctx.counters.contract_cycles += cycles;
+                Ok(outcome.return_data)
+            }
+            LoadedCode::Evm(evm) => {
+                let calldata = {
+                    let mut d = confide_crypto::keccak256(method.as_bytes()).to_vec();
+                    d.extend_from_slice(input);
+                    d
+                };
+                let mut sdm = Sdm {
+                    engine: self,
+                    state,
+                    ctx,
+                    contract: *address,
+                    sender: *sender,
+                    input: input.to_vec(),
+                    return_data: Vec::new(),
+                };
+                let outcome = evm
+                    .run(&calldata, &mut sdm)
+                    .map_err(|t| EngineError::Trap(t.to_string()))?;
+                ctx.counters.vm_instret += outcome.stats.instret;
+                let mut cycles = outcome.stats.instret * self.model.evm_cycles_per_instr;
+                if self.is_confidential() {
+                    // The EVM's per-op memory traffic makes the MEE tax
+                    // several times heavier than CONFIDE-VM's.
+                    cycles += cycles * self.model.tee_exec_overhead_evm_permille / 1000;
+                }
+                ctx.counters.contract_cycles += cycles;
+                Ok(outcome.return_data)
+            }
+        }
+    }
+
+    fn crossing_cost(&self, bytes: usize) -> u64 {
+        match self.config.crossing {
+            CrossingMode::CopyAndCheck => {
+                self.model.copy_check_cycles_per_byte * bytes as u64
+            }
+            CrossingMode::UserCheck => self.model.user_check_cycles,
+        }
+    }
+
+    fn fetch_code(
+        &self,
+        ctx: &mut ExecContext,
+        address: &[u8; 32],
+    ) -> Result<LoadedCode, EngineError> {
+        let (stored, vm, confidential) = {
+            let contracts = self.contracts.lock();
+            let record = contracts
+                .get(address)
+                .ok_or(EngineError::UnknownContract(*address))?;
+            (record.stored.clone(), record.vm, record.confidential)
+        };
+        // Cache key binds the contract identity to the stored bytes: a
+        // spliced ciphertext must never hit another contract's cached
+        // (already-authenticated) module.
+        let key = sha256(&[&address[..], &stored].concat());
+        if self.config.code_cache {
+            if let Some(hit) = self.code_cache.lock().get(&key) {
+                self.cache_stats.lock().code_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+        self.cache_stats.lock().code_misses += 1;
+        // Miss: decrypt (confidential code) + decode, both charged.
+        let plain = if confidential {
+            let tee = self.confidential.as_ref().ok_or(EngineError::WrongEngine)?;
+            ctx.counters.contract_cycles += self.model.aes_gcm_fixed_cycles
+                + stored.len() as u64 * self.model.aes_gcm_cycles_per_byte;
+            ctx.counters.state_crypto_bytes += stored.len() as u64;
+            if stored.len() < 12 {
+                return Err(EngineError::BadCode);
+            }
+            let mut nonce = [0u8; 12];
+            nonce.copy_from_slice(&stored[..12]);
+            tee.gcm_states
+                .open(&nonce, &code_aad(address), &stored[12..])
+                .map_err(|_| EngineError::Crypto)?
+        } else {
+            stored
+        };
+        ctx.counters.contract_cycles += plain.len() as u64 * DECODE_CYCLES_PER_BYTE;
+        let loaded = match vm {
+            VmKind::ConfideVm => {
+                let module = Module::decode(&plain).map_err(|_| EngineError::BadCode)?;
+                LoadedCode::Vm(Prepared::new(
+                    module,
+                    &ExecConfig {
+                        fuel: self.config.fuel,
+                        fusion: self.config.fusion,
+                        max_call_depth: 256,
+                    },
+                ))
+            }
+            VmKind::Evm => LoadedCode::Evm(Arc::new(Evm::new(plain, EvmConfig::default()))),
+        };
+        if self.config.code_cache {
+            self.code_cache.lock().insert(key, loaded.clone());
+        }
+        Ok(loaded)
+    }
+
+    /// Seal the block's overlay into a write batch (deterministic nonces,
+    /// so every replica produces byte-identical ciphertext and the state
+    /// roots agree — §3.2.2: each engine "generates the same encrypted
+    /// contract state").
+    pub fn commit_block(&self, ctx: &mut ExecContext, height: u64) -> WriteBatch {
+        let mut batch = WriteBatch::new();
+        let overlay = std::mem::take(&mut ctx.overlay);
+        ctx.read_cache.clear();
+        let mut entries: Vec<_> = overlay.into_iter().collect();
+        entries.sort(); // deterministic batch order
+        for (full_key, value) in entries {
+            match value {
+                None => {
+                    batch.delete(full_key);
+                }
+                Some(plain) => {
+                    let mut contract = [0u8; 32];
+                    if full_key.len() >= 32 {
+                        contract.copy_from_slice(&full_key[..32]);
+                    }
+                    let sealed = if self.contract_confidential(&contract) {
+                        let tee = self.confidential.as_ref().expect("confidential contract");
+                        let nonce = state_nonce(&tee.keys.k_states, &full_key, height, &plain);
+                        let mut blob = nonce.to_vec();
+                        blob.extend_from_slice(&tee.gcm_states.seal(
+                            &nonce,
+                            &state_aad(&contract, &full_key[32..]),
+                            &plain,
+                        ));
+                        blob
+                    } else {
+                        plain
+                    };
+                    batch.put(full_key, sealed);
+                }
+            }
+        }
+        batch
+    }
+}
+
+fn code_aad(address: &[u8; 32]) -> Vec<u8> {
+    let mut aad = b"confide/d-protocol/code|".to_vec();
+    aad.extend_from_slice(address);
+    aad
+}
+
+fn code_nonce(k_states: &[u8; 32], address: &[u8; 32]) -> [u8; 12] {
+    let mac = hmac_sha256(k_states, &[b"code-nonce", &address[..]].concat());
+    let mut nonce = [0u8; 12];
+    nonce.copy_from_slice(&mac[..12]);
+    nonce
+}
+
+pub(crate) fn state_aad(contract: &[u8; 32], key: &[u8]) -> Vec<u8> {
+    // Formula (3)'s "additional authentication data … related to on-chain
+    // run-time information such as contract identity".
+    let mut aad = b"confide/d-protocol/state|".to_vec();
+    aad.extend_from_slice(contract);
+    aad.push(b'|');
+    aad.extend_from_slice(key);
+    aad
+}
+
+fn state_nonce(k_states: &[u8; 32], full_key: &[u8], height: u64, value: &[u8]) -> [u8; 12] {
+    // Deterministic across replicas, unique per (key, height, value).
+    let mut input = Vec::with_capacity(full_key.len() + 8 + 32);
+    input.extend_from_slice(full_key);
+    input.extend_from_slice(&height.to_le_bytes());
+    input.extend_from_slice(&sha256(value));
+    let mac = hmac_sha256(k_states, &input);
+    let mut nonce = [0u8; 12];
+    nonce.copy_from_slice(&mac[..12]);
+    nonce
+}
+
+/// The storage-key layout: contract address prefix + contract-local key.
+/// Public so harnesses and tests can address raw state.
+pub fn full_key(contract: &[u8; 32], key: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(32 + key.len());
+    k.extend_from_slice(contract);
+    k.extend_from_slice(key);
+    k
+}
+
+/// The Secure Data Module: the host interface the VMs call through. Reads
+/// go overlay → read cache → database (ocall + D-Protocol decrypt); writes
+/// land in the overlay and are sealed at block commit.
+struct Sdm<'a> {
+    engine: &'a Engine,
+    state: &'a StateDb,
+    ctx: &'a mut ExecContext,
+    contract: [u8; 32],
+    sender: [u8; 32],
+    input: Vec<u8>,
+    return_data: Vec<u8>,
+}
+
+impl<'a> Sdm<'a> {
+    fn read(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let fk = full_key(&self.contract, key);
+        self.ctx.counters.get_storage += 1;
+        if let Some(hit) = self.ctx.lookup(&fk).map(|v| v.cloned()) {
+            // SDM memory cache: no ocall, no decryption.
+            self.ctx.counters.cache_hits += 1;
+            self.ctx.counters.get_cycles += 300; // in-enclave map lookup
+            return hit;
+        }
+        // Database read: one ocall + copy + (confidential) decrypt.
+        let model = &self.engine.model;
+        let raw = self.state.get(&fk);
+        let mut cycles = model.kv_read_cycles; // untrusted DB point read
+        if self.engine.is_confidential() {
+            self.ctx.counters.ocalls += 1;
+            cycles += model.transition_warm_cycles
+                + self
+                    .engine
+                    .crossing_cost(raw.as_ref().map_or(0, |v| v.len()));
+        }
+        let plain = match raw {
+            None => None,
+            Some(stored) => {
+                if self.engine.is_confidential()
+                    && self.engine.contract_confidential(&self.contract)
+                {
+                    cycles += model.aes_gcm_fixed_cycles
+                        + stored.len() as u64 * model.aes_gcm_cycles_per_byte;
+                    self.ctx.counters.state_crypto_bytes += stored.len() as u64;
+                    if stored.len() < 12 {
+                        return None;
+                    }
+                    let mut nonce = [0u8; 12];
+                    nonce.copy_from_slice(&stored[..12]);
+                    let tee = self.engine.confidential.as_ref().expect("confidential");
+                    match tee.gcm_states.open(
+                        &nonce,
+                        &state_aad(&self.contract, key),
+                        &stored[12..],
+                    ) {
+                        Ok(p) => Some(p),
+                        Err(_) => {
+                            // Tampered/spliced state: fail closed.
+                            self.ctx.counters.get_cycles += cycles;
+                            return None;
+                        }
+                    }
+                } else {
+                    Some(stored)
+                }
+            }
+        };
+        self.ctx.counters.get_cycles += cycles;
+        self.ctx.cache_read(fk, plain.clone());
+        plain
+    }
+
+    fn write(&mut self, key: &[u8], val: &[u8]) {
+        let fk = full_key(&self.contract, key);
+        self.ctx.counters.set_storage += 1;
+        let model = &self.engine.model;
+        let mut cycles = 0u64;
+        if self.engine.is_confidential() && self.engine.contract_confidential(&self.contract) {
+            // Seal cost charged at write time (actual sealing at commit).
+            cycles += model.aes_gcm_fixed_cycles
+                + val.len() as u64 * model.aes_gcm_cycles_per_byte;
+            self.ctx.counters.state_crypto_bytes += val.len() as u64;
+        }
+        // Buffered into the overlay now; the DB write happens at commit
+        // but is attributed to the operation, as the production profiler
+        // does (Table 1 measures SetStorage end-to-end).
+        cycles += model.kv_write_cycles;
+        self.ctx.counters.set_cycles += cycles;
+        self.ctx.write(fk, Some(val.to_vec()));
+    }
+}
+
+impl<'a> HostApi for Sdm<'a> {
+    fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    fn set_return(&mut self, data: Vec<u8>) {
+        self.return_data = data;
+    }
+
+    fn take_return(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.return_data)
+    }
+
+    fn get_storage(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, HostError> {
+        Ok(self.read(key))
+    }
+
+    fn set_storage(&mut self, key: &[u8], val: &[u8]) -> Result<(), HostError> {
+        self.write(key, val);
+        Ok(())
+    }
+
+    fn call_contract(&mut self, addr: &[u8; 32], input: &[u8]) -> Result<Vec<u8>, HostError> {
+        // Cross-contract call: stays inside the enclave (no boundary
+        // crossing); the caller identity becomes this contract.
+        self.engine
+            .invoke_inner(self.state, self.ctx, addr, "main", input, &self.contract)
+            .map_err(|e| HostError::Call(e.to_string()))
+    }
+
+    fn sender(&self) -> [u8; 32] {
+        self.sender
+    }
+
+    fn log(&mut self, msg: &[u8]) {
+        self.ctx.logs.push(msg.to_vec());
+    }
+
+    fn sha256(&mut self, data: &[u8]) -> [u8; 32] {
+        self.ctx.counters.contract_cycles +=
+            data.len() as u64 * self.engine.model.sha256_cycles_per_byte;
+        confide_crypto::sha256(data)
+    }
+
+    fn keccak256(&mut self, data: &[u8]) -> [u8; 32] {
+        self.ctx.counters.contract_cycles +=
+            data.len() as u64 * self.engine.model.sha256_cycles_per_byte;
+        confide_crypto::keccak256(data)
+    }
+}
+
+impl<'a> EvmHost for Sdm<'a> {
+    fn sload(
+        &mut self,
+        key: &confide_evm::U256,
+    ) -> Result<confide_evm::U256, confide_evm::host::EvmHostError> {
+        let kb = key.to_be_bytes();
+        Ok(match self.read(&kb) {
+            Some(v) if v.len() == 32 => {
+                let mut w = [0u8; 32];
+                w.copy_from_slice(&v);
+                confide_evm::U256::from_be_bytes(&w)
+            }
+            _ => confide_evm::U256::ZERO,
+        })
+    }
+
+    fn sstore(
+        &mut self,
+        key: &confide_evm::U256,
+        value: &confide_evm::U256,
+    ) -> Result<(), confide_evm::host::EvmHostError> {
+        let kb = key.to_be_bytes();
+        self.write(&kb, &value.to_be_bytes());
+        Ok(())
+    }
+
+    fn caller(&self) -> confide_evm::U256 {
+        confide_evm::U256::from_be_bytes(&self.sender)
+    }
+
+    fn call_contract(
+        &mut self,
+        addr: &confide_evm::U256,
+        input: &[u8],
+    ) -> Result<Vec<u8>, confide_evm::host::EvmHostError> {
+        let address = addr.to_be_bytes();
+        self.engine
+            .invoke_inner(self.state, self.ctx, &address, "main", input, &self.contract)
+            .map_err(|e| confide_evm::host::EvmHostError::Call(e.to_string()))
+    }
+
+    fn log(&mut self, data: &[u8]) {
+        self.ctx.logs.push(data.to_vec());
+    }
+
+    fn get_storage_bytes(
+        &mut self,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, confide_evm::host::EvmHostError> {
+        Ok(self.read(key))
+    }
+
+    fn set_storage_bytes(
+        &mut self,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<(), confide_evm::host::EvmHostError> {
+        self.write(key, val);
+        Ok(())
+    }
+
+    fn keccak256(&mut self, data: &[u8]) -> [u8; 32] {
+        self.ctx.counters.contract_cycles +=
+            data.len() as u64 * self.engine.model.sha256_cycles_per_byte;
+        confide_crypto::keccak256(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER_SRC: &str = r#"
+        export fn main() {
+            let n: int = atoi(storage_get(b"count"));
+            n = n + atoi(input());
+            storage_set(b"count", itoa(n));
+            ret(itoa(n));
+        }
+    "#;
+
+    fn addr(b: u8) -> [u8; 32] {
+        [b; 32]
+    }
+
+    fn confidential_engine() -> Engine {
+        let platform = TeePlatform::new(1, 1);
+        let mut rng = HmacDrbg::from_u64(7);
+        let keys = NodeKeys::generate(&mut rng);
+        Engine::confidential(platform, keys, EngineConfig::default())
+    }
+
+    fn client_tx(engine: &Engine, contract: [u8; 32], method: &str, args: &[u8]) -> WireTx {
+        client_tx_n(engine, contract, method, args, 1)
+    }
+
+    fn client_tx_n(
+        engine: &Engine,
+        contract: [u8; 32],
+        method: &str,
+        args: &[u8],
+        nonce: u64,
+    ) -> WireTx {
+        let key = confide_crypto::ed25519::SigningKey::from_seed(&[3u8; 32]);
+        let raw = RawTx {
+            sender: key.verifying_key().0,
+            contract,
+            method: method.into(),
+            args: args.to_vec(),
+            nonce,
+        };
+        let signed = SignedTx::sign(raw.clone(), &key);
+        let mut rng = HmacDrbg::from_u64(11);
+        let k_tx = confide_crypto::envelope::derive_k_tx(&[5u8; 32], &raw.hash());
+        let env = confide_crypto::envelope::Envelope::seal(
+            &engine.pk_tx().unwrap(),
+            &k_tx,
+            b"",
+            &signed.encode(),
+            &mut rng,
+        )
+        .unwrap();
+        WireTx::Confidential(env)
+    }
+
+    #[test]
+    fn public_engine_runs_plain_contract() {
+        let engine = Engine::public(EngineConfig::default());
+        let code = confide_lang_build(COUNTER_SRC);
+        engine.deploy(addr(1), &code, VmKind::ConfideVm, false);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"5", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"5");
+        // Second call in the same block sees the overlay.
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"3", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"8");
+        assert_eq!(ctx.counters.contract_calls, 2);
+        assert!(ctx.counters.get_storage >= 2);
+    }
+
+    // Helper shelling into confide-lang via the dev-dependency below.
+    fn confide_lang_build(src: &str) -> Vec<u8> {
+        confide_lang::build_vm(src).unwrap()
+    }
+
+    #[test]
+    fn confidential_end_to_end_with_sealed_state() {
+        let engine = confidential_engine();
+        let code = confide_lang_build(COUNTER_SRC);
+        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        let mut state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let mut rng = HmacDrbg::from_u64(2);
+
+        let wire = client_tx(&engine, addr(1), "main", b"41");
+        let (receipt, sealed, stats) = engine
+            .execute_transaction(&state, &mut ctx, &wire, &mut rng)
+            .unwrap();
+        assert!(receipt.success);
+        assert_eq!(receipt.return_data, b"41");
+        assert!(sealed.is_some());
+        assert!(stats.counters.decrypts == 1);
+        assert!(stats.exec_cycles > 0);
+
+        // Commit: state lands sealed, unreadable through the raw DB.
+        let batch = engine.commit_block(&mut ctx, 1);
+        state.apply_block(1, &batch).unwrap();
+        let fk = full_key(&addr(1), b"count");
+        let stored = state.get(&fk).unwrap();
+        assert_ne!(stored, b"41".to_vec());
+        assert!(!stored.windows(2).any(|w| w == b"41"), "plaintext leaked");
+
+        // A fresh context reads it back through the SDM decrypt path.
+        let mut ctx2 = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx2, &addr(1), "main", b"1", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"42");
+        assert_eq!(ctx2.counters.cache_hits, 0);
+    }
+
+    #[test]
+    fn preverify_cache_hit_skips_asymmetric_cost() {
+        let engine = confidential_engine();
+        let code = confide_lang_build(COUNTER_SRC);
+        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        let state = StateDb::new();
+        let mut rng = HmacDrbg::from_u64(2);
+
+        let wire_cold = client_tx_n(&engine, addr(1), "main", b"1", 1);
+        let wire_warm = client_tx_n(&engine, addr(1), "main", b"1", 2);
+        // Without preverify: decrypt cost = asymmetric.
+        let mut ctx = ExecContext::new();
+        let (_, _, cold) = engine
+            .execute_transaction(&state, &mut ctx, &wire_cold, &mut rng)
+            .unwrap();
+        // With preverify: decrypt cost = symmetric only.
+        engine.preverify(&wire_warm).unwrap();
+        let (_, _, warm) = engine
+            .execute_transaction(&state, &mut ctx, &wire_warm, &mut rng)
+            .unwrap();
+        assert!(
+            warm.counters.decrypt_cycles < cold.counters.decrypt_cycles / 5,
+            "warm {} cold {}",
+            warm.counters.decrypt_cycles,
+            cold.counters.decrypt_cycles
+        );
+        let cs = engine.cache_stats();
+        assert_eq!(cs.preverify_hits, 1);
+        assert_eq!(cs.preverify_misses, 1);
+    }
+
+    #[test]
+    fn code_cache_avoids_repeat_decode() {
+        let engine = confidential_engine();
+        let code = confide_lang_build(COUNTER_SRC);
+        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        for _ in 0..3 {
+            engine
+                .invoke_inner(&state, &mut ctx, &addr(1), "main", b"1", &addr(9))
+                .unwrap();
+        }
+        let cs = engine.cache_stats();
+        assert_eq!(cs.code_misses, 1);
+        assert_eq!(cs.code_hits, 2);
+    }
+
+    #[test]
+    fn tampered_sealed_state_fails_closed() {
+        let engine = confidential_engine();
+        let code = confide_lang_build(COUNTER_SRC);
+        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        let mut state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"41", &addr(9))
+            .unwrap();
+        let batch = engine.commit_block(&mut ctx, 1);
+        state.apply_block(1, &batch).unwrap();
+        // Malicious host flips one byte of the sealed value.
+        let fk = full_key(&addr(1), b"count");
+        let mut stored = state.get(&fk).unwrap();
+        let n = stored.len();
+        stored[n - 1] ^= 1;
+        state.tamper_raw(&fk, Some(&stored));
+        // The SDM treats it as absent (fails closed), so the counter
+        // restarts from zero instead of using attacker-controlled data.
+        let mut ctx2 = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx2, &addr(1), "main", b"1", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"1");
+    }
+
+    #[test]
+    fn cross_contract_calls_work_and_count() {
+        let engine = Engine::public(EngineConfig::default());
+        let callee_src = r#"
+            export fn main() { ret(concat(b"callee:", input())); }
+        "#;
+        let caller_src = r#"
+            export fn main() {
+                let target: bytes = alloc(32);
+                let i: int = 0;
+                while (i < 32) { set_byte(target, i, 2); i = i + 1; }
+                ret(call(target, input()));
+            }
+        "#;
+        engine.deploy(addr(2), &confide_lang_build(callee_src), VmKind::ConfideVm, false);
+        engine.deploy(addr(1), &confide_lang_build(caller_src), VmKind::ConfideVm, false);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"ping", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"callee:ping");
+        assert_eq!(ctx.counters.contract_calls, 2);
+    }
+
+    #[test]
+    fn deployment_via_transaction() {
+        let engine = Engine::public(EngineConfig::default());
+        let key = confide_crypto::ed25519::SigningKey::from_seed(&[8u8; 32]);
+        let code = confide_lang_build(COUNTER_SRC);
+        let mut args = vec![0u8, 0u8]; // ConfideVm, public
+        args.extend_from_slice(&code);
+        let raw = RawTx {
+            sender: key.verifying_key().0,
+            contract: [0u8; 32],
+            method: "deploy".into(),
+            args,
+            nonce: 7,
+        };
+        let wire = WireTx::Public(SignedTx::sign(raw, &key));
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let mut rng = HmacDrbg::from_u64(1);
+        let (receipt, _, _) = engine
+            .execute_transaction(&state, &mut ctx, &wire, &mut rng)
+            .unwrap();
+        assert!(receipt.success);
+        let mut address = [0u8; 32];
+        address.copy_from_slice(&receipt.return_data);
+        assert!(engine.has_contract(&address));
+        // And it runs.
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &address, "main", b"9", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"9");
+    }
+
+    #[test]
+    fn evm_contract_runs_through_sdm() {
+        let engine = confidential_engine();
+        let code = confide_lang::build_evm(COUNTER_SRC).unwrap();
+        engine.deploy(addr(4), &code, VmKind::Evm, true);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(4), "main", b"7", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"7");
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(4), "main", b"3", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"10");
+        // EVM charges more cycles per instruction than CONFIDE-VM.
+        assert!(ctx.counters.vm_instret > 0);
+    }
+
+    #[test]
+    fn wrong_engine_rejected() {
+        let public = Engine::public(EngineConfig::default());
+        let conf = confidential_engine();
+        let key = confide_crypto::ed25519::SigningKey::from_seed(&[8u8; 32]);
+        let raw = RawTx {
+            sender: key.verifying_key().0,
+            contract: addr(1),
+            method: "main".into(),
+            args: vec![],
+            nonce: 1,
+        };
+        let pub_tx = WireTx::Public(SignedTx::sign(raw, &key));
+        let mut ctx = ExecContext::new();
+        let mut rng = HmacDrbg::from_u64(1);
+        let state = StateDb::new();
+        assert_eq!(
+            conf.execute_transaction(&state, &mut ctx, &pub_tx, &mut rng)
+                .unwrap_err(),
+            EngineError::WrongEngine
+        );
+        let conf_tx = client_tx(&conf, addr(1), "main", b"");
+        assert_eq!(
+            public
+                .execute_transaction(&state, &mut ctx, &conf_tx, &mut rng)
+                .unwrap_err(),
+            EngineError::WrongEngine
+        );
+    }
+
+    #[test]
+    fn trap_produces_failed_receipt_not_error() {
+        let engine = Engine::public(EngineConfig::default());
+        let src = r#"export fn main() { let x: int = 1 / atoi(input()); ret(itoa(x)); }"#;
+        engine.deploy(addr(1), &confide_lang_build(src), VmKind::ConfideVm, false);
+        let key = confide_crypto::ed25519::SigningKey::from_seed(&[8u8; 32]);
+        let raw = RawTx {
+            sender: key.verifying_key().0,
+            contract: addr(1),
+            method: "main".into(),
+            args: b"0".to_vec(),
+            nonce: 1,
+        };
+        let wire = WireTx::Public(SignedTx::sign(raw, &key));
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let mut rng = HmacDrbg::from_u64(1);
+        let (receipt, _, _) = engine
+            .execute_transaction(&state, &mut ctx, &wire, &mut rng)
+            .unwrap();
+        assert!(!receipt.success);
+        assert!(String::from_utf8_lossy(&receipt.return_data).contains("trap"));
+    }
+
+    #[test]
+    fn contract_upgrade_replaces_behavior_and_rotates_cache() {
+        // §3.3: "Updating the rules should be done through upgrading the
+        // contract." Redeployment swaps the sealed code; the code cache is
+        // keyed by stored-code hash so stale entries can never be hit.
+        let engine = confidential_engine();
+        let v1 = confide_lang_build(r#"export fn main() { ret(b"v1"); }"#);
+        let v2 = confide_lang_build(r#"export fn main() { ret(b"v2"); }"#);
+        engine.deploy(addr(1), &v1, VmKind::ConfideVm, true);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"v1");
+        engine.deploy(addr(1), &v2, VmKind::ConfideVm, true);
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"v2");
+        // Two misses (one per code version), one hit maximum.
+        let cs = engine.cache_stats();
+        assert_eq!(cs.code_misses, 2);
+    }
+
+    #[test]
+    fn sealed_code_of_two_contracts_not_interchangeable() {
+        // D-Protocol binds code ciphertext to the contract identity: a
+        // malicious host copying contract A's sealed code over contract B's
+        // record produces a decryption failure, not foreign-code execution.
+        let engine = confidential_engine();
+        let code = confide_lang_build(r#"export fn main() { ret(b"genuine"); }"#);
+        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        engine.deploy(addr(2), &code, VmKind::ConfideVm, true);
+        // Splice: read A's stored blob, write into B's record.
+        let stored_a = {
+            let contracts = engine.contracts.lock();
+            contracts.get(&addr(1)).unwrap().stored.clone()
+        };
+        {
+            let mut contracts = engine.contracts.lock();
+            contracts.get_mut(&addr(2)).unwrap().stored = stored_a;
+        }
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        // A still runs; B now fails closed.
+        assert_eq!(
+            engine
+                .invoke_inner(&state, &mut ctx, &addr(1), "main", b"", &addr(9))
+                .unwrap(),
+            b"genuine"
+        );
+        assert_eq!(
+            engine
+                .invoke_inner(&state, &mut ctx, &addr(2), "main", b"", &addr(9))
+                .unwrap_err(),
+            EngineError::Crypto
+        );
+    }
+
+    #[test]
+    fn replayed_transaction_rejected() {
+        let engine = confidential_engine();
+        let code = confide_lang_build(COUNTER_SRC);
+        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let mut rng = HmacDrbg::from_u64(2);
+        let wire = client_tx_n(&engine, addr(1), "main", b"10", 1);
+        engine
+            .execute_transaction(&state, &mut ctx, &wire, &mut rng)
+            .unwrap();
+        // Byte-identical replay in the same block context: rejected.
+        assert_eq!(
+            engine
+                .execute_transaction(&state, &mut ctx, &wire, &mut rng)
+                .unwrap_err(),
+            EngineError::Replay
+        );
+        // Stale nonce after a newer one: also rejected.
+        let newer = client_tx_n(&engine, addr(1), "main", b"1", 5);
+        engine
+            .execute_transaction(&state, &mut ctx, &newer, &mut rng)
+            .unwrap();
+        let stale = client_tx_n(&engine, addr(1), "main", b"1", 3);
+        assert_eq!(
+            engine
+                .execute_transaction(&state, &mut ctx, &stale, &mut rng)
+                .unwrap_err(),
+            EngineError::Replay
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! K-Protocol: secret-key agreement among node enclaves (§3.2.2, §5.1).
+//!
+//! Two agreed secrets exist consortium-wide:
+//!
+//! * `sk_tx` — the asymmetric key whose public half `pk_tx` clients seal
+//!   envelopes to; its fingerprint is locked into the attestation report
+//!   to defeat man-in-the-middle substitution.
+//! * `k_states` — the symmetric state root key of D-Protocol.
+//!
+//! Both agreement modes are implemented:
+//!
+//! * **Centralized** ([`CentralKms`]) — a KMS trusted with the secrets
+//!   (the HSM-backed option the paper calls "low-cost and highly
+//!   efficient").
+//! * **Decentralized MAP** ([`decentralized_join`]) — the first node's KM
+//!   enclave generates the secrets; each joiner runs mutual remote
+//!   attestation with an existing member, the two enclaves do an
+//!   attestation-bound X25519 exchange, and the secrets are wrapped across.
+//!
+//! Per §5.1, key management runs in its own **KM enclave**, which the CS
+//! enclave authenticates via local attestation before provisioning, and
+//! which is destroyed as soon as provisioning ends to release EPC.
+
+use confide_crypto::envelope::EnvelopeKeyPair;
+use confide_crypto::gcm::AesGcm;
+use confide_crypto::x25519;
+use confide_crypto::HmacDrbg;
+use confide_tee::attestation::{AttestationError, LocalReport, Report};
+use confide_tee::enclave::{Enclave, EnclaveConfig};
+use confide_tee::platform::TeePlatform;
+use std::sync::Arc;
+
+/// The provisioned secrets a Confidential-Engine runs with.
+#[derive(Clone)]
+pub struct NodeKeys {
+    /// The envelope key pair (`sk_tx` / `pk_tx`).
+    pub envelope: EnvelopeKeyPair,
+    /// The symmetric state root key.
+    pub k_states: [u8; 32],
+}
+
+impl NodeKeys {
+    /// Generate fresh consortium secrets (inside the first KM enclave).
+    pub fn generate(rng: &mut HmacDrbg) -> NodeKeys {
+        NodeKeys {
+            envelope: EnvelopeKeyPair::generate(rng),
+            k_states: rng.gen32(),
+        }
+    }
+
+    /// `pk_tx`, the public key published to end users.
+    pub fn pk_tx(&self) -> [u8; 32] {
+        self.envelope.public()
+    }
+}
+
+/// K-Protocol failures.
+#[derive(Debug)]
+pub enum KeyProtocolError {
+    /// Remote or local attestation failed.
+    Attestation(AttestationError),
+    /// Key unwrap failed (wrong session key / tampered transcript).
+    Unwrap,
+    /// Enclave machinery failed.
+    Enclave(String),
+}
+
+impl std::fmt::Display for KeyProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyProtocolError::Attestation(e) => write!(f, "attestation: {e}"),
+            KeyProtocolError::Unwrap => f.write_str("key unwrap failed"),
+            KeyProtocolError::Enclave(m) => write!(f, "enclave: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyProtocolError {}
+
+impl From<AttestationError> for KeyProtocolError {
+    fn from(e: AttestationError) -> Self {
+        KeyProtocolError::Attestation(e)
+    }
+}
+
+/// Centralized key management service. In production this sits on an HSM;
+/// here it is a struct holding the secrets and releasing them only to
+/// enclaves that present a valid attestation report.
+pub struct CentralKms {
+    keys: NodeKeys,
+    /// Expected KM-enclave measurement for release.
+    expected_mrenclave: [u8; 32],
+    /// Minimum security version.
+    min_svn: u16,
+}
+
+impl CentralKms {
+    /// Stand up the KMS with freshly generated secrets.
+    pub fn new(seed: u64, expected_mrenclave: [u8; 32], min_svn: u16) -> CentralKms {
+        let mut rng = HmacDrbg::from_u64(seed);
+        CentralKms {
+            keys: NodeKeys::generate(&mut rng),
+            expected_mrenclave,
+            min_svn,
+        }
+    }
+
+    /// `pk_tx` for client distribution.
+    pub fn pk_tx(&self) -> [u8; 32] {
+        self.keys.pk_tx()
+    }
+
+    /// Release the secrets to an attested enclave: the enclave sends a
+    /// report whose `report_data` carries an ephemeral X25519 public key;
+    /// the KMS wraps the secrets to it.
+    pub fn provision(
+        &self,
+        report: &Report,
+        attestation_root: &confide_crypto::ed25519::VerifyingKey,
+    ) -> Result<Vec<u8>, KeyProtocolError> {
+        report.verify(attestation_root, &self.expected_mrenclave, self.min_svn)?;
+        let mut enclave_eph = [0u8; 32];
+        enclave_eph.copy_from_slice(&report.report_data[..32]);
+        let mut rng = HmacDrbg::new(&report.report_data);
+        wrap_keys(&self.keys, &enclave_eph, &mut rng)
+    }
+}
+
+/// Serialize + wrap the two secrets to a receiver's ephemeral public key.
+fn wrap_keys(
+    keys: &NodeKeys,
+    receiver_eph_pk: &[u8; 32],
+    rng: &mut HmacDrbg,
+) -> Result<Vec<u8>, KeyProtocolError> {
+    let our_eph = rng.gen32();
+    let our_pub = x25519::x25519_base(&our_eph);
+    let shared = x25519::diffie_hellman(&our_eph, receiver_eph_pk)
+        .map_err(|_| KeyProtocolError::Unwrap)?;
+    let session = confide_crypto::hkdf::derive_key32(
+        &[&our_pub[..], receiver_eph_pk].concat(),
+        &shared,
+        b"confide/k-protocol/session-v1",
+    );
+    let gcm = AesGcm::new(&session).map_err(|_| KeyProtocolError::Unwrap)?;
+    let mut plain = Vec::with_capacity(64);
+    plain.extend_from_slice(keys.envelope.secret());
+    plain.extend_from_slice(&keys.k_states);
+    let nonce = rng.gen_nonce();
+    let ct = gcm.seal(&nonce, b"k-protocol-keys", &plain);
+    let mut out = Vec::with_capacity(32 + 12 + ct.len());
+    out.extend_from_slice(&our_pub);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&ct);
+    Ok(out)
+}
+
+/// Unwrap secrets wrapped by the K-Protocol session wrap, given the receiver's ephemeral
+/// secret.
+pub fn unwrap_keys(blob: &[u8], receiver_eph_sk: &[u8; 32]) -> Result<NodeKeys, KeyProtocolError> {
+    if blob.len() < 44 {
+        return Err(KeyProtocolError::Unwrap);
+    }
+    let mut sender_pub = [0u8; 32];
+    sender_pub.copy_from_slice(&blob[..32]);
+    let mut nonce = [0u8; 12];
+    nonce.copy_from_slice(&blob[32..44]);
+    let receiver_pub = x25519::x25519_base(receiver_eph_sk);
+    let shared = x25519::diffie_hellman(receiver_eph_sk, &sender_pub)
+        .map_err(|_| KeyProtocolError::Unwrap)?;
+    let session = confide_crypto::hkdf::derive_key32(
+        &[&sender_pub[..], &receiver_pub[..]].concat(),
+        &shared,
+        b"confide/k-protocol/session-v1",
+    );
+    let gcm = AesGcm::new(&session).map_err(|_| KeyProtocolError::Unwrap)?;
+    let plain = gcm
+        .open(&nonce, b"k-protocol-keys", &blob[44..])
+        .map_err(|_| KeyProtocolError::Unwrap)?;
+    if plain.len() != 64 {
+        return Err(KeyProtocolError::Unwrap);
+    }
+    let mut sk = [0u8; 32];
+    sk.copy_from_slice(&plain[..32]);
+    let mut k_states = [0u8; 32];
+    k_states.copy_from_slice(&plain[32..]);
+    Ok(NodeKeys {
+        envelope: EnvelopeKeyPair::from_secret(sk),
+        k_states,
+    })
+}
+
+/// The canonical KM-enclave build "binary" — in the simulation, enclave
+/// identity is the measurement of these bytes.
+pub const KM_ENCLAVE_CODE: &[u8] = b"confide-km-enclave-v1";
+/// The canonical CS-enclave build.
+pub const CS_ENCLAVE_CODE: &[u8] = b"confide-cs-enclave-v1";
+
+/// Create the KM enclave on a platform.
+pub fn km_enclave(platform: &Arc<TeePlatform>, svn: u16) -> Enclave {
+    Enclave::create(
+        platform,
+        EnclaveConfig::new(KM_ENCLAVE_CODE.to_vec(), [0x4b; 32], svn, 1 << 20),
+    )
+    .expect("KM enclave creation")
+}
+
+/// Bootstrap a node's keys from a centralized KMS (the low-cost HSM-backed
+/// option of §3.2.2): the node's KM enclave quotes an ephemeral key, the
+/// KMS verifies the attestation and wraps the consortium secrets back.
+pub fn kms_bootstrap(
+    kms: &CentralKms,
+    platform: &Arc<TeePlatform>,
+    svn: u16,
+    seed: u64,
+) -> Result<NodeKeys, KeyProtocolError> {
+    let mut rng = HmacDrbg::from_u64(seed);
+    let km = km_enclave(platform, svn);
+    let eph_sk = rng.gen32();
+    let mut report_data = [0u8; 64];
+    report_data[..32].copy_from_slice(&x25519::x25519_base(&eph_sk));
+    report_data[32..].copy_from_slice(&confide_crypto::sha256(&kms.pk_tx()));
+    let report = Report::generate(&km, report_data);
+    let blob = kms.provision(&report, &platform.attestation_public_key())?;
+    let keys = unwrap_keys(&blob, &eph_sk)?;
+    // §5.3: destroy the KM enclave promptly to release EPC.
+    km.destroy()
+        .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
+    Ok(keys)
+}
+
+/// The decentralized MAP join: `member` (platform of an existing node,
+/// which already holds `keys`) provisions `joiner_platform`'s KM enclave
+/// after mutual remote attestation. Returns the joiner's keys plus the
+/// transcript length (for the harness's message accounting).
+pub fn decentralized_join(
+    member_platform: &Arc<TeePlatform>,
+    member_keys: &NodeKeys,
+    joiner_platform: &Arc<TeePlatform>,
+    svn: u16,
+    seed: u64,
+) -> Result<NodeKeys, KeyProtocolError> {
+    let mut rng = HmacDrbg::from_u64(seed);
+
+    // Joiner's KM enclave generates an ephemeral key and quotes it.
+    let joiner_km = km_enclave(joiner_platform, svn);
+    let joiner_eph_sk = rng.gen32();
+    let joiner_eph_pk = x25519::x25519_base(&joiner_eph_sk);
+    let mut report_data = [0u8; 64];
+    report_data[..32].copy_from_slice(&joiner_eph_pk);
+    // Lock pk_tx fingerprint into the report (§3.2.2 MITM defence).
+    report_data[32..].copy_from_slice(&confide_crypto::sha256(&member_keys.pk_tx()));
+    let joiner_report = Report::generate(&joiner_km, report_data);
+
+    // Member's KM enclave verifies the joiner runs the same build at an
+    // acceptable SVN on a genuine platform.
+    let member_km = km_enclave(member_platform, svn);
+    joiner_report.verify(
+        &joiner_platform.attestation_public_key(),
+        &member_km.mrenclave(),
+        svn,
+    )?;
+
+    // Member quotes back (mutual) and wraps the secrets to the joiner.
+    let mut member_data = [0u8; 64];
+    member_data[..32].copy_from_slice(&member_keys.pk_tx());
+    let member_report = Report::generate(&member_km, member_data);
+    member_report.verify(
+        &member_platform.attestation_public_key(),
+        &joiner_km.mrenclave(),
+        svn,
+    )?;
+
+    let blob = wrap_keys(member_keys, &joiner_eph_pk, &mut rng)?;
+    let keys = unwrap_keys(&blob, &joiner_eph_sk)?;
+
+    // §5.1/§5.3: the CS enclave local-attests to the KM enclave for the
+    // final provisioning hop, then the KM enclave is destroyed to release
+    // EPC as early as possible.
+    let joiner_cs = Enclave::create(
+        joiner_platform,
+        EnclaveConfig::new(CS_ENCLAVE_CODE.to_vec(), [0xC5; 32], svn, 1 << 20),
+    )
+    .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
+    let local = LocalReport::generate(&joiner_cs, [0u8; 64]);
+    local.verify(&joiner_km)?;
+    joiner_km
+        .destroy()
+        .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
+    joiner_cs
+        .destroy()
+        .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
+
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_kms_provisions_valid_enclave() {
+        let platform = TeePlatform::new(1, 1);
+        let km = km_enclave(&platform, 2);
+        let kms = CentralKms::new(99, km.mrenclave(), 2);
+
+        let mut rng = HmacDrbg::from_u64(3);
+        let eph_sk = rng.gen32();
+        let mut data = [0u8; 64];
+        data[..32].copy_from_slice(&x25519::x25519_base(&eph_sk));
+        let report = Report::generate(&km, data);
+        let blob = kms
+            .provision(&report, &platform.attestation_public_key())
+            .unwrap();
+        let keys = unwrap_keys(&blob, &eph_sk).unwrap();
+        assert_eq!(keys.pk_tx(), kms.pk_tx());
+    }
+
+    #[test]
+    fn central_kms_rejects_wrong_build() {
+        let platform = TeePlatform::new(1, 1);
+        let km = km_enclave(&platform, 2);
+        let kms = CentralKms::new(99, [0xbb; 32], 2); // expects another build
+        let report = Report::generate(&km, [0u8; 64]);
+        assert!(matches!(
+            kms.provision(&report, &platform.attestation_public_key()),
+            Err(KeyProtocolError::Attestation(
+                AttestationError::MeasurementMismatch
+            ))
+        ));
+    }
+
+    #[test]
+    fn central_kms_rejects_stale_svn() {
+        let platform = TeePlatform::new(1, 1);
+        let km = km_enclave(&platform, 1);
+        let kms = CentralKms::new(99, km.mrenclave(), 2);
+        let report = Report::generate(&km, [0u8; 64]);
+        assert!(matches!(
+            kms.provision(&report, &platform.attestation_public_key()),
+            Err(KeyProtocolError::Attestation(
+                AttestationError::StaleSecurityVersion { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn decentralized_join_agrees_on_keys() {
+        let member = TeePlatform::new(1, 10);
+        let joiner = TeePlatform::new(2, 20);
+        let mut rng = HmacDrbg::from_u64(7);
+        let member_keys = NodeKeys::generate(&mut rng);
+        let joiner_keys = decentralized_join(&member, &member_keys, &joiner, 1, 55).unwrap();
+        assert_eq!(joiner_keys.pk_tx(), member_keys.pk_tx());
+        assert_eq!(joiner_keys.k_states, member_keys.k_states);
+    }
+
+    #[test]
+    fn chain_of_joins_propagates_keys() {
+        // Node A generates; B joins via A; C joins via B.
+        let a = TeePlatform::new(1, 1);
+        let b = TeePlatform::new(2, 2);
+        let c = TeePlatform::new(3, 3);
+        let mut rng = HmacDrbg::from_u64(1);
+        let ka = NodeKeys::generate(&mut rng);
+        let kb = decentralized_join(&a, &ka, &b, 1, 2).unwrap();
+        let kc = decentralized_join(&b, &kb, &c, 1, 3).unwrap();
+        assert_eq!(kc.k_states, ka.k_states);
+        assert_eq!(kc.pk_tx(), ka.pk_tx());
+    }
+
+    #[test]
+    fn wrapped_keys_unusable_with_wrong_secret() {
+        let mut rng = HmacDrbg::from_u64(9);
+        let keys = NodeKeys::generate(&mut rng);
+        let receiver_sk = rng.gen32();
+        let receiver_pk = x25519::x25519_base(&receiver_sk);
+        let blob = wrap_keys(&keys, &receiver_pk, &mut rng).unwrap();
+        let wrong_sk = rng.gen32();
+        assert!(matches!(
+            unwrap_keys(&blob, &wrong_sk),
+            Err(KeyProtocolError::Unwrap)
+        ));
+        // And tampering breaks it too.
+        let mut bad = blob.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        assert!(matches!(
+            unwrap_keys(&bad, &receiver_sk),
+            Err(KeyProtocolError::Unwrap)
+        ));
+    }
+
+    #[test]
+    fn kms_bootstrap_provisions_a_whole_consortium() {
+        // All nodes bootstrap from one KMS and agree on the secrets.
+        let p1 = TeePlatform::new(1, 1);
+        let km_build = km_enclave(&p1, 2).mrenclave();
+        let kms = CentralKms::new(7, km_build, 2);
+        let mut keys = Vec::new();
+        for i in 0..4u64 {
+            let platform = TeePlatform::new(i + 1, i + 1);
+            keys.push(kms_bootstrap(&kms, &platform, 2, 100 + i).unwrap());
+        }
+        assert!(keys.windows(2).all(|w| w[0].k_states == w[1].k_states));
+        assert!(keys.iter().all(|k| k.pk_tx() == kms.pk_tx()));
+    }
+}

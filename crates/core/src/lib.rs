@@ -1,0 +1,50 @@
+//! # confide-core
+//!
+//! CONFIDE itself (paper §3): the Confidential Smart Contract Execution
+//! Engine and the three protocols, packaged — as in the paper — as a
+//! *plugin* over a modular host platform:
+//!
+//! * [`tx`] — raw/signed/wire transactions; confidential transactions are
+//!   T-Protocol digital envelopes (`TYPE=1`, Fig. 3).
+//! * [`keys`] — K-Protocol: node key material (`sk_tx`, `k_states`) agreed
+//!   either through a centralized KMS or the decentralized Mutual
+//!   Authenticated Protocol built on remote attestation (§3.2.2), with the
+//!   KM-enclave / CS-enclave split of §5.1.
+//! * [`engine`] — the Confidential-Engine: transaction Pre-processor
+//!   (envelope open + signature verify + the §5.2 pre-verification cache),
+//!   the VM (CONFIDE-VM or the EVM), and the Secure Data Module (state
+//!   encryption per D-Protocol, read cache, ocall accounting). The same
+//!   executor in public mode is the Public-Engine.
+//! * [`context`] / [`counters`] — per-block execution context (state
+//!   overlay, pending writes) and the per-operation counters behind
+//!   Table 1.
+//! * [`receipt`] — execution receipts, sealed under the one-time `k_tx`
+//!   (formula (2)).
+//! * [`node`] — a full CONFIDE node: StateDb + BlockStore + both engines;
+//!   executes blocks, computes state roots, detects rollbacks.
+//! * [`client`] — the client side: derives `k_tx` from a user root key and
+//!   the transaction hash, seals envelopes to `pk_tx`, opens receipts.
+//! * [`authz`] — the pre-defined authorization chain-code of §3.2.3:
+//!   contract-defined access rules re-wrap `k_tx` to authorized parties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authz;
+pub mod client;
+pub mod context;
+pub mod counters;
+pub mod engine;
+pub mod keys;
+pub mod node;
+pub mod receipt;
+pub mod tx;
+
+pub use client::ConfideClient;
+pub use context::ExecContext;
+pub use counters::{OpCounters, TxStats};
+pub use engine::{Engine, EngineConfig, EngineError, VmKind};
+pub use keys::{KeyProtocolError, NodeKeys};
+pub use node::{ConfideNode, NodeError};
+pub use receipt::Receipt;
+pub use tx::{RawTx, SignedTx, WireTx};

@@ -1,0 +1,393 @@
+//! A full CONFIDE node: storage + block store + both execution engines.
+
+use crate::context::ExecContext;
+use crate::counters::{OpCounters, TxStats};
+use crate::engine::{Engine, EngineConfig, EngineError, VmKind};
+use crate::keys::NodeKeys;
+use crate::receipt::Receipt;
+use crate::tx::WireTx;
+use confide_crypto::HmacDrbg;
+use confide_storage::blockstore::{Block, BlockHeader, BlockStore, BlockStoreError};
+use confide_storage::kv::WriteBatch;
+use confide_storage::versioned::{StateDb, StateError};
+use confide_tee::platform::TeePlatform;
+use std::sync::Arc;
+
+/// Node-level failures.
+#[derive(Debug)]
+pub enum NodeError {
+    /// Engine failure for a specific transaction index.
+    Engine(usize, EngineError),
+    /// State application failure.
+    State(StateError),
+    /// Block store failure.
+    Blocks(BlockStoreError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Engine(i, e) => write!(f, "tx {i}: {e}"),
+            NodeError::State(e) => write!(f, "state: {e}"),
+            NodeError::Blocks(e) => write!(f, "blocks: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// Result of executing one block.
+#[derive(Debug)]
+pub struct BlockResult {
+    /// The appended block.
+    pub block: Block,
+    /// Plaintext receipts (node-internal; confidential receipts also
+    /// stored sealed).
+    pub receipts: Vec<Receipt>,
+    /// Sealed receipts for confidential transactions (indexed like txs;
+    /// None for public).
+    pub sealed_receipts: Vec<Option<Vec<u8>>>,
+    /// Per-transaction cost accounting.
+    pub tx_stats: Vec<TxStats>,
+    /// Aggregate counters for the block.
+    pub totals: OpCounters,
+}
+
+/// A CONFIDE node. In a real deployment one process; in the simulation one
+/// of these per simulated node, all sharing deterministic keys via
+/// K-Protocol.
+pub struct ConfideNode {
+    /// Contract states (versioned, rollback-detecting).
+    pub state: StateDb,
+    /// The hash-linked chain.
+    pub blocks: BlockStore,
+    /// Plain execution.
+    pub public_engine: Engine,
+    /// In-enclave execution.
+    pub confidential_engine: Engine,
+    rng: HmacDrbg,
+    timestamp_ns: u64,
+}
+
+impl ConfideNode {
+    /// Stand up a node on a TEE platform with provisioned keys.
+    pub fn new(platform: Arc<TeePlatform>, keys: NodeKeys, config: EngineConfig, seed: u64) -> ConfideNode {
+        ConfideNode {
+            state: StateDb::new(),
+            blocks: BlockStore::new(),
+            public_engine: Engine::public(config),
+            confidential_engine: Engine::confidential(platform, keys, config),
+            rng: HmacDrbg::from_u64(seed),
+            timestamp_ns: 0,
+        }
+    }
+
+    /// `pk_tx` for clients.
+    pub fn pk_tx(&self) -> [u8; 32] {
+        self.confidential_engine.pk_tx().expect("confidential engine")
+    }
+
+    /// Deploy a contract on the appropriate engine (genesis convenience;
+    /// deployments can also travel as transactions).
+    pub fn deploy(&self, address: [u8; 32], code: &[u8], vm: VmKind, confidential: bool) {
+        if confidential {
+            self.confidential_engine.deploy(address, code, vm, true);
+        } else {
+            self.public_engine.deploy(address, code, vm, false);
+        }
+    }
+
+    /// Run direct-invocation genesis setup against the confidential engine
+    /// and commit it as an (empty-transaction) block, keeping the state DB
+    /// and the block store in lockstep.
+    pub fn run_genesis(
+        &mut self,
+        f: impl FnOnce(&Engine, &StateDb, &mut ExecContext),
+    ) -> Result<(), NodeError> {
+        let mut ctx = ExecContext::new();
+        f(&self.confidential_engine, &self.state, &mut ctx);
+        let height = self.state.height() + 1;
+        let batch = self.confidential_engine.commit_block(&mut ctx, height);
+        let state_root = self
+            .state
+            .apply_block(height, &batch)
+            .map_err(NodeError::State)?;
+        self.timestamp_ns += 1_000_000;
+        let block = Block {
+            header: BlockHeader {
+                height,
+                parent: self.blocks.tip().header.hash(),
+                state_root,
+                tx_root: Block::tx_root(&[]),
+                timestamp_ns: self.timestamp_ns,
+            },
+            txs: Vec::new(),
+        };
+        self.blocks.append(block).map_err(NodeError::Blocks)?;
+        Ok(())
+    }
+
+    /// Pre-verify a batch of transactions (the §5.2 pipeline; done in
+    /// parallel with ordering in production). Returns total cycles spent.
+    pub fn preverify(&self, txs: &[WireTx]) -> u64 {
+        let mut total = 0;
+        for tx in txs {
+            if let Ok(c) = self.confidential_engine.preverify(tx) {
+                total += c;
+            }
+        }
+        total
+    }
+
+    /// Execute a block of transactions: public → Public-Engine,
+    /// confidential → Confidential-Engine (both write through one state
+    /// overlay view per engine, merged at commit), then append the block.
+    pub fn execute_block(&mut self, txs: &[WireTx]) -> Result<BlockResult, NodeError> {
+        let height = self.state.height() + 1;
+        let mut pub_ctx = ExecContext::new();
+        let mut conf_ctx = ExecContext::new();
+        let mut receipts = Vec::with_capacity(txs.len());
+        let mut sealed_receipts = Vec::with_capacity(txs.len());
+        let mut tx_stats = Vec::with_capacity(txs.len());
+        let mut totals = OpCounters::default();
+        for (i, tx) in txs.iter().enumerate() {
+            let (engine, ctx) = match tx {
+                WireTx::Public(_) => (&self.public_engine, &mut pub_ctx),
+                WireTx::Confidential(_) => (&self.confidential_engine, &mut conf_ctx),
+            };
+            let (receipt, sealed, stats) = engine
+                .execute_transaction(&self.state, ctx, tx, &mut self.rng)
+                .map_err(|e| NodeError::Engine(i, e))?;
+            totals.add(&stats.counters);
+            receipts.push(receipt);
+            sealed_receipts.push(sealed);
+            tx_stats.push(stats);
+        }
+        // Merge both engines' batches; persist sealed receipts alongside.
+        let mut batch = WriteBatch::new();
+        for b in [
+            self.public_engine.commit_block(&mut pub_ctx, height),
+            self.confidential_engine.commit_block(&mut conf_ctx, height),
+        ] {
+            batch.ops.extend(b.ops);
+        }
+        for (receipt, sealed) in receipts.iter().zip(&sealed_receipts) {
+            let mut key = b"receipt|".to_vec();
+            key.extend_from_slice(&receipt.tx_hash);
+            match sealed {
+                Some(ct) => batch.put(key, ct.clone()),
+                None => batch.put(key, receipt.encode()),
+            };
+        }
+        let state_root = self
+            .state
+            .apply_block(height, &batch)
+            .map_err(NodeError::State)?;
+        self.timestamp_ns += 1_000_000;
+        let tx_bytes: Vec<Vec<u8>> = txs.iter().map(|t| t.encode()).collect();
+        let block = Block {
+            header: BlockHeader {
+                height,
+                parent: self.blocks.tip().header.hash(),
+                state_root,
+                tx_root: Block::tx_root(&tx_bytes),
+                timestamp_ns: self.timestamp_ns,
+            },
+            txs: tx_bytes,
+        };
+        self.blocks.append(block.clone()).map_err(NodeError::Blocks)?;
+        Ok(BlockResult {
+            block,
+            receipts,
+            sealed_receipts,
+            tx_stats,
+            totals,
+        })
+    }
+
+    /// Serve an SPV-style state query: the (possibly sealed) value plus a
+    /// Merkle inclusion proof against this node's current state root.
+    pub fn prove_state(
+        &self,
+        key: &[u8],
+    ) -> Option<(Vec<u8>, confide_storage::merkle::MerkleProof, [u8; 32])> {
+        let (value, proof) = self.state.prove(key)?;
+        Some((value, proof, self.state.root()))
+    }
+
+    /// Fetch a stored (possibly sealed) receipt by transaction hash.
+    pub fn stored_receipt(&self, tx_hash: &[u8; 32]) -> Option<Vec<u8>> {
+        let mut key = b"receipt|".to_vec();
+        key.extend_from_slice(tx_hash);
+        self.state.get(&key)
+    }
+
+    /// Current state root.
+    pub fn state_root(&self) -> [u8; 32] {
+        self.state.root()
+    }
+}
+
+/// Client-side consensus read (§3.3): fetch a proof from one node and
+/// accept the value only if (a) the proof verifies against that node's
+/// claimed root and (b) at least `quorum` of the consulted nodes report
+/// the same root. Returns the (possibly sealed) value.
+pub fn consensus_read(
+    nodes: &[&ConfideNode],
+    key: &[u8],
+    quorum: usize,
+) -> Option<Vec<u8>> {
+    let (value, proof, claimed_root) = nodes.first()?.prove_state(key)?;
+    if !proof.verify(&claimed_root, key, &value) {
+        return None;
+    }
+    let agreeing = nodes
+        .iter()
+        .filter(|n| n.state_root() == claimed_root)
+        .count();
+    if agreeing >= quorum {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ConfideClient;
+    use crate::keys::{decentralized_join, NodeKeys};
+
+    const BALANCE_SRC: &str = r#"
+        export fn main() {
+            let who: bytes = json_get(input(), b"to");
+            let amt: int = json_get_int(input(), b"amount");
+            let key: bytes = concat(b"bal:", who);
+            let bal: int = atoi(storage_get(key));
+            storage_set(key, itoa(bal + amt));
+            ret(itoa(bal + amt));
+        }
+    "#;
+
+    fn two_nodes() -> (ConfideNode, ConfideNode) {
+        let pa = TeePlatform::new(1, 1);
+        let pb = TeePlatform::new(2, 2);
+        let mut rng = HmacDrbg::from_u64(5);
+        let ka = NodeKeys::generate(&mut rng);
+        let kb = decentralized_join(&pa, &ka, &pb, 1, 9).unwrap();
+        let a = ConfideNode::new(pa, ka, EngineConfig::default(), 100);
+        let b = ConfideNode::new(pb, kb, EngineConfig::default(), 100);
+        (a, b)
+    }
+
+    #[test]
+    fn replicas_agree_on_sealed_state_roots() {
+        let (mut a, mut b) = two_nodes();
+        let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        let contract = [3u8; 32];
+        a.deploy(contract, &code, VmKind::ConfideVm, true);
+        b.deploy(contract, &code, VmKind::ConfideVm, true);
+
+        let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let (tx1, h1, _) = client
+            .confidential_tx(&a.pk_tx(), contract, "main", br#"{"to":"alice","amount":100}"#)
+            .unwrap();
+        let (tx2, _, _) = client
+            .confidential_tx(&a.pk_tx(), contract, "main", br#"{"to":"alice","amount":-30}"#)
+            .unwrap();
+        let txs = vec![tx1, tx2];
+        let ra = a.execute_block(&txs).unwrap();
+        let rb = b.execute_block(&txs).unwrap();
+        // Same encrypted state on both replicas (deterministic D-Protocol).
+        assert_eq!(a.state_root(), b.state_root());
+        assert_eq!(ra.block.header.state_root, rb.block.header.state_root);
+        assert_eq!(ra.receipts[1].return_data, b"70");
+        // Receipt retrievable and owner-decryptable from either node.
+        let sealed = b.stored_receipt(&h1).unwrap();
+        let receipt = client.open_receipt(&sealed, &h1).unwrap();
+        assert_eq!(receipt.return_data, b"100");
+    }
+
+    #[test]
+    fn confidential_state_unreadable_via_raw_db() {
+        let (mut a, _) = two_nodes();
+        let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        let contract = [3u8; 32];
+        a.deploy(contract, &code, VmKind::ConfideVm, true);
+        let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let (tx, _, _) = client
+            .confidential_tx(&a.pk_tx(), contract, "main", br#"{"to":"alice","amount":12345}"#)
+            .unwrap();
+        a.execute_block(&[tx]).unwrap();
+        // Scan the whole database: the balance value must not appear.
+        for (_, v) in a.state.kv().iter() {
+            assert!(
+                !v.windows(5).any(|w| w == b"12345"),
+                "plaintext balance leaked to raw storage"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_public_and_confidential_block() {
+        let (mut a, _) = two_nodes();
+        let pub_code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        let conf_code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        a.deploy([1u8; 32], &pub_code, VmKind::ConfideVm, false);
+        a.deploy([2u8; 32], &conf_code, VmKind::ConfideVm, true);
+        let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let ptx = client.public_tx([1u8; 32], "main", br#"{"to":"x","amount":1}"#);
+        let (ctx_, _, _) = client
+            .confidential_tx(&a.pk_tx(), [2u8; 32], "main", br#"{"to":"y","amount":2}"#)
+            .unwrap();
+        let result = a.execute_block(&[ptx, ctx_]).unwrap();
+        assert!(result.receipts.iter().all(|r| r.success));
+        assert!(result.sealed_receipts[0].is_none());
+        assert!(result.sealed_receipts[1].is_some());
+        // Public state readable in the raw DB; confidential not.
+        let pub_key = crate::engine::full_key(&[1u8; 32], b"bal:x");
+        assert_eq!(a.state.get(&pub_key).unwrap(), b"1");
+        let conf_key = crate::engine::full_key(&[2u8; 32], b"bal:y");
+        assert_ne!(a.state.get(&conf_key).unwrap(), b"2");
+    }
+
+    #[test]
+    fn chain_grows_and_verifies() {
+        let (mut a, _) = two_nodes();
+        let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        a.deploy([1u8; 32], &code, VmKind::ConfideVm, false);
+        let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        for i in 0..5 {
+            let tx = client.public_tx(
+                [1u8; 32],
+                "main",
+                format!(r#"{{"to":"u{i}","amount":{i}}}"#).as_bytes(),
+            );
+            a.execute_block(&[tx]).unwrap();
+        }
+        assert_eq!(a.blocks.height(), 5);
+        assert!(a.blocks.verify_chain());
+        a.state.verify_version(5).unwrap();
+    }
+
+    #[test]
+    fn table1_shape_counters() {
+        // A block whose counters expose the Table 1 categories.
+        let (mut a, _) = two_nodes();
+        let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        a.deploy([2u8; 32], &code, VmKind::ConfideVm, true);
+        let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+        let (tx, _, _) = client
+            .confidential_tx(&a.pk_tx(), [2u8; 32], "main", br#"{"to":"a","amount":1}"#)
+            .unwrap();
+        let result = a.execute_block(&[tx]).unwrap();
+        let c = &result.totals;
+        assert_eq!(c.verifies, 1);
+        assert_eq!(c.decrypts, 1);
+        assert!(c.contract_calls >= 1);
+        assert!(c.get_storage >= 1);
+        assert!(c.set_storage >= 1);
+        let rows = c.table1_rows(a.confidential_engine.model());
+        assert_eq!(rows.len(), 5);
+    }
+}

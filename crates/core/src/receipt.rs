@@ -1,0 +1,163 @@
+//! Execution receipts and their T-Protocol encryption (formula (2)).
+
+use confide_crypto::gcm::AesGcm;
+use confide_crypto::{CryptoError, HmacDrbg};
+
+/// A plaintext execution receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// Hash of the transaction this receipt answers.
+    pub tx_hash: [u8; 32],
+    /// Sender address.
+    pub sender: [u8; 32],
+    /// Contract address.
+    pub contract: [u8; 32],
+    /// Whether execution succeeded.
+    pub success: bool,
+    /// Contract return data.
+    pub return_data: Vec<u8>,
+    /// Log lines emitted during execution.
+    pub logs: Vec<Vec<u8>>,
+}
+
+impl Receipt {
+    /// Canonical encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.return_data.len());
+        out.extend_from_slice(&self.tx_hash);
+        out.extend_from_slice(&self.sender);
+        out.extend_from_slice(&self.contract);
+        out.push(self.success as u8);
+        out.extend_from_slice(&(self.return_data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.return_data);
+        out.extend_from_slice(&(self.logs.len() as u32).to_le_bytes());
+        for log in &self.logs {
+            out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+            out.extend_from_slice(log);
+        }
+        out
+    }
+
+    /// Parse.
+    pub fn decode(bytes: &[u8]) -> Option<Receipt> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let mut tx_hash = [0u8; 32];
+        tx_hash.copy_from_slice(take(&mut pos, 32)?);
+        let mut sender = [0u8; 32];
+        sender.copy_from_slice(take(&mut pos, 32)?);
+        let mut contract = [0u8; 32];
+        contract.copy_from_slice(take(&mut pos, 32)?);
+        let success = take(&mut pos, 1)?[0] != 0;
+        let mut n4 = [0u8; 4];
+        n4.copy_from_slice(take(&mut pos, 4)?);
+        let rlen = u32::from_le_bytes(n4) as usize;
+        let return_data = take(&mut pos, rlen)?.to_vec();
+        n4.copy_from_slice(take(&mut pos, 4)?);
+        let log_count = u32::from_le_bytes(n4) as usize;
+        let mut logs = Vec::with_capacity(log_count.min(1024));
+        for _ in 0..log_count {
+            n4.copy_from_slice(take(&mut pos, 4)?);
+            let llen = u32::from_le_bytes(n4) as usize;
+            logs.push(take(&mut pos, llen)?.to_vec());
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(Receipt {
+            tx_hash,
+            sender,
+            contract,
+            success,
+            return_data,
+            logs,
+        })
+    }
+
+    /// Seal under the one-time transaction key (`Rpt_conf = Enc(k_tx,
+    /// Rpt_raw)`). Only the transaction owner — or whoever the owner hands
+    /// `k_tx` to — can open it.
+    pub fn seal(&self, k_tx: &[u8; 32], rng: &mut HmacDrbg) -> Result<Vec<u8>, CryptoError> {
+        let gcm = AesGcm::new(k_tx)?;
+        let nonce = rng.gen_nonce();
+        let mut out = Vec::with_capacity(12 + self.encode().len() + 16);
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(&gcm.seal(&nonce, &self.tx_hash, &self.encode()));
+        Ok(out)
+    }
+
+    /// Open a sealed receipt with `k_tx`, checking it answers `tx_hash`.
+    pub fn open(sealed: &[u8], k_tx: &[u8; 32], tx_hash: &[u8; 32]) -> Result<Receipt, CryptoError> {
+        if sealed.len() < 12 {
+            return Err(CryptoError::TruncatedInput);
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&sealed[..12]);
+        let gcm = AesGcm::new(k_tx)?;
+        let plain = gcm.open(&nonce, tx_hash, &sealed[12..])?;
+        Receipt::decode(&plain).ok_or(CryptoError::AuthenticationFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Receipt {
+        Receipt {
+            tx_hash: [1u8; 32],
+            sender: [2u8; 32],
+            contract: [3u8; 32],
+            success: true,
+            return_data: b"transfer ok: balance=990".to_vec(),
+            logs: vec![b"audit: transfer".to_vec(), b"fee: 1".to_vec()],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = sample();
+        assert_eq!(Receipt::decode(&r.encode()).unwrap(), r);
+        let empty = Receipt {
+            return_data: vec![],
+            logs: vec![],
+            success: false,
+            ..sample()
+        };
+        assert_eq!(Receipt::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let r = sample();
+        let k_tx = [9u8; 32];
+        let mut rng = HmacDrbg::from_u64(4);
+        let sealed = r.seal(&k_tx, &mut rng).unwrap();
+        let opened = Receipt::open(&sealed, &k_tx, &r.tx_hash).unwrap();
+        assert_eq!(opened, r);
+    }
+
+    #[test]
+    fn wrong_key_or_wrong_tx_rejected() {
+        let r = sample();
+        let mut rng = HmacDrbg::from_u64(4);
+        let sealed = r.seal(&[9u8; 32], &mut rng).unwrap();
+        assert!(Receipt::open(&sealed, &[8u8; 32], &r.tx_hash).is_err());
+        // Receipt bound to its tx hash by AAD: replaying it for another tx
+        // fails.
+        assert!(Receipt::open(&sealed, &[9u8; 32], &[0xaa; 32]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let bytes = sample().encode();
+        assert!(Receipt::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(Receipt::decode(&extended).is_none());
+    }
+}

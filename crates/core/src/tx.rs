@@ -1,0 +1,280 @@
+//! Transaction formats.
+
+use confide_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use confide_crypto::envelope::Envelope;
+use confide_crypto::{sha256, CryptoError};
+
+/// A raw (plaintext) smart-contract transaction — "account information and
+/// transaction input information" (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawTx {
+    /// Sender public key (the initiator address).
+    pub sender: [u8; 32],
+    /// Target contract address.
+    pub contract: [u8; 32],
+    /// Method name on the contract.
+    pub method: String,
+    /// Serialized arguments.
+    pub args: Vec<u8>,
+    /// Anti-replay nonce.
+    pub nonce: u64,
+}
+
+impl RawTx {
+    /// Canonical byte encoding (signed and hashed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(84 + self.method.len() + self.args.len());
+        out.extend_from_slice(&self.sender);
+        out.extend_from_slice(&self.contract);
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&(self.method.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.method.as_bytes());
+        out.extend_from_slice(&(self.args.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.args);
+        out
+    }
+
+    /// Parse the canonical encoding.
+    pub fn decode(bytes: &[u8]) -> Result<RawTx, TxError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], TxError> {
+            let s = bytes.get(*pos..*pos + n).ok_or(TxError::Truncated)?;
+            *pos += n;
+            Ok(s)
+        };
+        let mut sender = [0u8; 32];
+        sender.copy_from_slice(take(&mut pos, 32)?);
+        let mut contract = [0u8; 32];
+        contract.copy_from_slice(take(&mut pos, 32)?);
+        let mut n8 = [0u8; 8];
+        n8.copy_from_slice(take(&mut pos, 8)?);
+        let nonce = u64::from_le_bytes(n8);
+        let mut n4 = [0u8; 4];
+        n4.copy_from_slice(take(&mut pos, 4)?);
+        let mlen = u32::from_le_bytes(n4) as usize;
+        let method = std::str::from_utf8(take(&mut pos, mlen)?)
+            .map_err(|_| TxError::BadEncoding)?
+            .to_string();
+        n4.copy_from_slice(take(&mut pos, 4)?);
+        let alen = u32::from_le_bytes(n4) as usize;
+        let args = take(&mut pos, alen)?.to_vec();
+        if pos != bytes.len() {
+            return Err(TxError::Truncated);
+        }
+        Ok(RawTx {
+            sender,
+            contract,
+            method,
+            args,
+            nonce,
+        })
+    }
+
+    /// The transaction hash (identifier; also the `k_tx` derivation input).
+    pub fn hash(&self) -> [u8; 32] {
+        sha256(&self.encode())
+    }
+}
+
+/// A signed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedTx {
+    /// The payload.
+    pub raw: RawTx,
+    /// Ed25519 signature by the sender key over `raw.encode()`.
+    pub signature: Signature,
+}
+
+impl SignedTx {
+    /// Sign `raw` (the sender field must match the key).
+    pub fn sign(raw: RawTx, key: &SigningKey) -> SignedTx {
+        debug_assert_eq!(raw.sender, key.verifying_key().0);
+        let signature = key.sign(&raw.encode());
+        SignedTx { raw, signature }
+    }
+
+    /// Verify the embedded signature against the sender address.
+    pub fn verify(&self) -> Result<(), CryptoError> {
+        VerifyingKey(self.raw.sender).verify(&self.raw.encode(), &self.signature)
+    }
+
+    /// Canonical byte encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let raw = self.raw.encode();
+        let mut out = Vec::with_capacity(64 + raw.len());
+        out.extend_from_slice(&self.signature.0);
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parse.
+    pub fn decode(bytes: &[u8]) -> Result<SignedTx, TxError> {
+        if bytes.len() < 64 {
+            return Err(TxError::Truncated);
+        }
+        let mut sig = [0u8; 64];
+        sig.copy_from_slice(&bytes[..64]);
+        Ok(SignedTx {
+            raw: RawTx::decode(&bytes[64..])?,
+            signature: Signature(sig),
+        })
+    }
+}
+
+/// The on-the-wire transaction: the `TYPE` flag of Fig. 3 selects the
+/// engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireTx {
+    /// TYPE=0: plaintext signed transaction for the Public-Engine.
+    Public(SignedTx),
+    /// TYPE=1: T-Protocol envelope for the Confidential-Engine. The inner
+    /// plaintext is a [`SignedTx`] encoding.
+    Confidential(Envelope),
+}
+
+impl WireTx {
+    /// Wire encoding with a leading type byte.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WireTx::Public(tx) => {
+                let mut out = vec![0u8];
+                out.extend_from_slice(&tx.encode());
+                out
+            }
+            WireTx::Confidential(env) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&env.encode());
+                out
+            }
+        }
+    }
+
+    /// Parse the wire encoding.
+    pub fn decode(bytes: &[u8]) -> Result<WireTx, TxError> {
+        match bytes.first() {
+            Some(0) => Ok(WireTx::Public(SignedTx::decode(&bytes[1..])?)),
+            Some(1) => Ok(WireTx::Confidential(
+                Envelope::decode(&bytes[1..]).map_err(|_| TxError::BadEncoding)?,
+            )),
+            _ => Err(TxError::Truncated),
+        }
+    }
+
+    /// Stable identifier usable *before* decryption: the hash of the wire
+    /// bytes. This is the pre-verification cache key of §5.2 (the enclave
+    /// looks cached `k_tx`/`f_verified` up by "incoming confidential
+    /// transaction's hash").
+    pub fn wire_hash(&self) -> [u8; 32] {
+        sha256(&self.encode())
+    }
+
+    /// Byte size on the wire.
+    pub fn size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// Transaction parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// Buffer too short / trailing bytes.
+    Truncated,
+    /// Structurally invalid.
+    BadEncoding,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::Truncated => f.write_str("truncated transaction"),
+            TxError::BadEncoding => f.write_str("malformed transaction"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_crypto::ed25519::SigningKey;
+
+    fn sample(key: &SigningKey) -> RawTx {
+        RawTx {
+            sender: key.verifying_key().0,
+            contract: [7u8; 32],
+            method: "transfer".into(),
+            args: b"{\"to\":\"bob\",\"amount\":10}".to_vec(),
+            nonce: 42,
+        }
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let key = SigningKey::from_seed(&[1u8; 32]);
+        let tx = sample(&key);
+        assert_eq!(RawTx::decode(&tx.encode()).unwrap(), tx);
+    }
+
+    #[test]
+    fn hash_is_content_sensitive() {
+        let key = SigningKey::from_seed(&[1u8; 32]);
+        let a = sample(&key);
+        let mut b = a.clone();
+        b.nonce = 43;
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn signed_round_trip_and_verify() {
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let tx = SignedTx::sign(sample(&key), &key);
+        tx.verify().unwrap();
+        let decoded = SignedTx::decode(&tx.encode()).unwrap();
+        assert_eq!(decoded, tx);
+        decoded.verify().unwrap();
+    }
+
+    #[test]
+    fn forged_sender_fails_verification() {
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let mut tx = SignedTx::sign(sample(&key), &key);
+        tx.raw.sender = [9u8; 32];
+        assert!(tx.verify().is_err());
+    }
+
+    #[test]
+    fn tampered_args_fail_verification() {
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let mut tx = SignedTx::sign(sample(&key), &key);
+        tx.raw.args[0] ^= 1;
+        assert!(tx.verify().is_err());
+    }
+
+    #[test]
+    fn wire_round_trips_both_types() {
+        let key = SigningKey::from_seed(&[3u8; 32]);
+        let public = WireTx::Public(SignedTx::sign(sample(&key), &key));
+        assert_eq!(WireTx::decode(&public.encode()).unwrap(), public);
+
+        let mut rng = confide_crypto::HmacDrbg::from_u64(5);
+        let kp = confide_crypto::envelope::EnvelopeKeyPair::generate(&mut rng);
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"", b"inner", &mut rng).unwrap();
+        let conf = WireTx::Confidential(env);
+        assert_eq!(WireTx::decode(&conf.encode()).unwrap(), conf);
+        assert_ne!(conf.wire_hash(), public.wire_hash());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WireTx::decode(&[]).is_err());
+        assert!(WireTx::decode(&[2, 0, 0]).is_err());
+        assert!(RawTx::decode(&[0u8; 10]).is_err());
+        // Trailing bytes rejected.
+        let key = SigningKey::from_seed(&[1u8; 32]);
+        let mut bytes = sample(&key).encode();
+        bytes.push(0);
+        assert!(RawTx::decode(&bytes).is_err());
+    }
+}

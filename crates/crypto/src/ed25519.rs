@@ -1,0 +1,576 @@
+//! Ed25519 signatures (RFC 8032), built on [`crate::field25519`].
+//!
+//! CONFIDE signs every raw transaction; the Confidential-Engine verifies the
+//! signature inside the enclave during pre-verification (§5.2, step P3).
+//! Attestation reports in `confide-tee` are also Ed25519-signed.
+
+use crate::field25519::{edwards_d, sqrt_m1, Fe};
+use crate::sha2::Sha512;
+use crate::CryptoError;
+
+/// A point on the twisted Edwards curve in extended coordinates
+/// (X : Y : Z : T) with x = X/Z, y = Y/Z, T = XY/Z.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl EdwardsPoint {
+    /// The identity element (0, 1).
+    pub fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// The standard base point B (y = 4/5, x even).
+    pub fn basepoint() -> EdwardsPoint {
+        use std::sync::OnceLock;
+        static B: OnceLock<EdwardsPoint> = OnceLock::new();
+        *B.get_or_init(|| {
+            let y = Fe::from_u64(4).mul(Fe::from_u64(5).invert());
+            let mut enc = y.to_bytes();
+            enc[31] &= 0x7f; // sign bit 0: the even root
+            EdwardsPoint::decompress(&enc).expect("base point decompresses")
+        })
+    }
+
+    /// Point addition (add-2008-hwcd-3, a = −1, k = 2d).
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let two_d = edwards_d().add(edwards_d());
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(two_d).mul(other.t);
+        let d = self.z.mul(other.z).add(self.z.mul(other.z));
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// Point doubling (dbl-2008-hwcd, a = −1).
+    pub fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(self.z.square());
+        let d = a.neg();
+        let e = self.x.add(self.y).square().sub(a).sub(b);
+        let g = d.add(b);
+        let f = g.sub(c);
+        let h = d.sub(b);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// Negate (x → −x).
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Scalar multiplication, MSB-first double-and-add over a little-endian
+    /// 32-byte scalar. Not constant-time (see crate docs).
+    pub fn mul_scalar(&self, scalar_le: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for byte_i in (0..32).rev() {
+            for bit in (0..8).rev() {
+                acc = acc.double();
+                if (scalar_le[byte_i] >> bit) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Compress to the 32-byte wire encoding (LE y, sign of x in bit 255).
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress a 32-byte encoding; errors if the point is not on the curve.
+    pub fn decompress(bytes: &[u8; 32]) -> Result<EdwardsPoint, CryptoError> {
+        let sign = bytes[31] >> 7;
+        let mut ybytes = *bytes;
+        ybytes[31] &= 0x7f;
+        let y = Fe::from_bytes(&ybytes);
+        // Reject non-canonical y (y >= p).
+        if y.to_bytes() != ybytes {
+            return Err(CryptoError::InvalidPoint);
+        }
+        // x^2 = (y^2 - 1) / (d y^2 + 1)
+        let y2 = y.square();
+        let u = y2.sub(Fe::ONE);
+        let v = edwards_d().mul(y2).add(Fe::ONE);
+        // Candidate root: x = u v^3 (u v^7)^((p-5)/8)
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(v3).mul(u.mul(v7).pow_p58());
+        let vx2 = v.mul(x.square());
+        if vx2.ct_eq(u) {
+            // x is correct
+        } else if vx2.ct_eq(u.neg()) {
+            x = x.mul(sqrt_m1());
+        } else {
+            return Err(CryptoError::InvalidPoint);
+        }
+        if x.is_zero() && sign == 1 {
+            return Err(CryptoError::InvalidPoint);
+        }
+        if x.is_negative() != (sign == 1) {
+            x = x.neg();
+        }
+        Ok(EdwardsPoint {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    /// Check the extended-coordinate invariants and the curve equation
+    /// −x² + y² = 1 + d·x²·y² (affine). Test/diagnostic helper.
+    pub fn is_on_curve(&self) -> bool {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let lhs = y.square().sub(x.square());
+        let rhs = Fe::ONE.add(edwards_d().mul(x.square()).mul(y.square()));
+        lhs.ct_eq(rhs)
+    }
+}
+
+// --- Scalar arithmetic modulo the group order L -------------------------
+
+/// L = 2^252 + 27742317777372353535851937790883648493, little-endian.
+const L_BYTES: [u8; 32] = [
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde,
+    0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x10,
+];
+
+/// Reduce an arbitrary little-endian byte string modulo L, by MSB-first
+/// shift-and-conditional-subtract. O(bits) and plenty fast for signing.
+pub fn scalar_reduce(input_le: &[u8]) -> [u8; 32] {
+    // Work in 5×64-bit limbs (L is 253 bits, r stays < 2L < 2^254).
+    let l = le_bytes_to_limbs(&L_BYTES);
+    let mut r = [0u64; 5];
+    for byte in input_le.iter().rev() {
+        for bit in (0..8).rev() {
+            // r = r << 1 | bit
+            let mut carry = (byte >> bit) & 1;
+            for limb in r.iter_mut() {
+                let new_carry = (*limb >> 63) as u8;
+                *limb = (*limb << 1) | carry as u64;
+                carry = new_carry;
+            }
+            if limbs_ge(&r, &l) {
+                limbs_sub(&mut r, &l);
+            }
+        }
+    }
+    limbs_to_le_bytes(&r)
+}
+
+/// (a + b) mod L for little-endian 32-byte scalars already < L.
+pub fn scalar_add(a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
+    let l = le_bytes_to_limbs(&L_BYTES);
+    let mut r = le_bytes_to_limbs(a);
+    let bl = le_bytes_to_limbs(b);
+    let mut carry = 0u64;
+    for i in 0..5 {
+        let (s1, c1) = r[i].overflowing_add(bl[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        r[i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if limbs_ge(&r, &l) {
+        limbs_sub(&mut r, &l);
+    }
+    limbs_to_le_bytes(&r)
+}
+
+/// (a · b) mod L for little-endian 32-byte scalars.
+pub fn scalar_mul(a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
+    // Schoolbook 4×4 u64 limbs → 8-limb product, then byte-level reduce.
+    let al = le_bytes_to_limbs4(a);
+    let bl = le_bytes_to_limbs4(b);
+    let mut prod = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let cur = prod[i + j] as u128 + al[i] as u128 * bl[j] as u128 + carry;
+            prod[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        prod[i + 4] = carry as u64;
+    }
+    let mut bytes = [0u8; 64];
+    for (i, limb) in prod.iter().enumerate() {
+        bytes[8 * i..8 * i + 8].copy_from_slice(&limb.to_le_bytes());
+    }
+    scalar_reduce(&bytes)
+}
+
+fn le_bytes_to_limbs(b: &[u8; 32]) -> [u64; 5] {
+    let mut l = [0u64; 5];
+    for i in 0..4 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&b[8 * i..8 * i + 8]);
+        l[i] = u64::from_le_bytes(w);
+    }
+    l
+}
+
+fn le_bytes_to_limbs4(b: &[u8; 32]) -> [u64; 4] {
+    let mut l = [0u64; 4];
+    for i in 0..4 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&b[8 * i..8 * i + 8]);
+        l[i] = u64::from_le_bytes(w);
+    }
+    l
+}
+
+fn limbs_to_le_bytes(l: &[u64; 5]) -> [u8; 32] {
+    debug_assert_eq!(l[4], 0, "reduced scalar must fit 256 bits");
+    let mut b = [0u8; 32];
+    for i in 0..4 {
+        b[8 * i..8 * i + 8].copy_from_slice(&l[i].to_le_bytes());
+    }
+    b
+}
+
+fn limbs_ge(a: &[u64; 5], b: &[u64; 5]) -> bool {
+    for i in (0..5).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn limbs_sub(a: &mut [u64; 5], b: &[u64; 5]) {
+    let mut borrow = 0u64;
+    for i in 0..5 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+// --- Keys and signatures -------------------------------------------------
+
+/// A 64-byte Ed25519 signature (R ‖ S).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 64]);
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({}…)", crate::hex(&self.0[..8]))
+    }
+}
+
+/// An Ed25519 signing key, holding the 32-byte seed and derived material.
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    /// Clamped scalar s.
+    scalar: [u8; 32],
+    /// Second half of SHA-512(seed) — the nonce prefix.
+    prefix: [u8; 32],
+    /// Cached public key.
+    public: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Derive from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: &[u8; 32]) -> SigningKey {
+        let h = Sha512::digest(seed);
+        let mut scalar = [0u8; 32];
+        scalar.copy_from_slice(&h[..32]);
+        scalar[0] &= 248;
+        scalar[31] &= 127;
+        scalar[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public_point = EdwardsPoint::basepoint().mul_scalar(&scalar);
+        SigningKey {
+            seed: *seed,
+            scalar,
+            prefix,
+            public: VerifyingKey(public_point.compress()),
+        }
+    }
+
+    /// The seed this key was derived from.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(msg);
+        let r = scalar_reduce(&h.finalize());
+        let r_point = EdwardsPoint::basepoint().mul_scalar(&r);
+        let r_enc = r_point.compress();
+        let mut h2 = Sha512::new();
+        h2.update(&r_enc);
+        h2.update(&self.public.0);
+        h2.update(msg);
+        let k = scalar_reduce(&h2.finalize());
+        let s = scalar_add(&r, &scalar_mul(&k, &self.scalar));
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_enc);
+        sig[32..].copy_from_slice(&s);
+        Signature(sig)
+    }
+}
+
+/// A 32-byte Ed25519 public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub [u8; 32]);
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({}…)", crate::hex(&self.0[..8]))
+    }
+}
+
+impl VerifyingKey {
+    /// Verify `sig` over `msg`: checks S·B == R + k·A.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let mut r_enc = [0u8; 32];
+        r_enc.copy_from_slice(&sig.0[..32]);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&sig.0[32..]);
+        // Reject non-canonical S (S >= L) — malleability guard.
+        if scalar_reduce(&s) != s {
+            return Err(CryptoError::InvalidSignature);
+        }
+        let a = EdwardsPoint::decompress(&self.0).map_err(|_| CryptoError::InvalidSignature)?;
+        let r = EdwardsPoint::decompress(&r_enc).map_err(|_| CryptoError::InvalidSignature)?;
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&self.0);
+        h.update(msg);
+        let k = scalar_reduce(&h.finalize());
+        let lhs = EdwardsPoint::basepoint().mul_scalar(&s);
+        let rhs = r.add(&a.mul_scalar(&k));
+        if lhs.compress() == rhs.compress() {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    fn arr32(v: &[u8]) -> [u8; 32] {
+        let mut a = [0u8; 32];
+        a.copy_from_slice(v);
+        a
+    }
+
+    // RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let seed = arr32(&unhex(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex(&key.verifying_key().0),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = key.sign(b"");
+        assert_eq!(
+            hex(&sig.0),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        key.verifying_key().verify(b"", &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 2 (one-byte message 0x72).
+    #[test]
+    fn rfc8032_test2() {
+        let seed = arr32(&unhex(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex(&key.verifying_key().0),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let sig = key.sign(&[0x72]);
+        assert_eq!(
+            hex(&sig.0),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+        key.verifying_key().verify(&[0x72], &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let key = SigningKey::from_seed(&[7u8; 32]);
+        let sig = key.sign(b"pay bank A 100");
+        assert!(key.verifying_key().verify(b"pay bank A 100", &sig).is_ok());
+        assert!(key.verifying_key().verify(b"pay bank A 101", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = SigningKey::from_seed(&[8u8; 32]);
+        let msg = b"confidential transaction";
+        let sig = key.sign(msg);
+        for i in [0usize, 31, 32, 63] {
+            let mut bad = sig;
+            bad.0[i] ^= 1;
+            assert!(key.verifying_key().verify(msg, &bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = SigningKey::from_seed(&[1u8; 32]);
+        let k2 = SigningKey::from_seed(&[2u8; 32]);
+        let sig = k1.sign(b"msg");
+        assert!(k2.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn basepoint_is_on_curve_and_has_order_l() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.is_on_curve());
+        // L·B = identity
+        let lb = b.mul_scalar(&super::L_BYTES);
+        assert_eq!(lb.compress(), EdwardsPoint::identity().compress());
+    }
+
+    #[test]
+    fn point_addition_is_commutative_and_associative() {
+        let b = EdwardsPoint::basepoint();
+        let p2 = b.double();
+        let p3 = p2.add(&b);
+        assert_eq!(p2.add(&b).compress(), b.add(&p2).compress());
+        assert_eq!(p3.add(&p2).compress(), p2.add(&p3).compress());
+        // (B+2B)+3B == B+(2B+3B)
+        assert_eq!(
+            b.add(&p2).add(&p3).compress(),
+            b.add(&p2.add(&p3)).compress()
+        );
+    }
+
+    #[test]
+    fn double_equals_add_self() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.double().compress(), b.add(&b).compress());
+    }
+
+    #[test]
+    fn neg_cancels() {
+        let b = EdwardsPoint::basepoint();
+        let sum = b.add(&b.neg());
+        assert_eq!(sum.compress(), EdwardsPoint::identity().compress());
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        let mut p = EdwardsPoint::basepoint();
+        for _ in 0..8 {
+            let enc = p.compress();
+            let q = EdwardsPoint::decompress(&enc).unwrap();
+            assert_eq!(q.compress(), enc);
+            assert!(q.is_on_curve());
+            p = p.add(&EdwardsPoint::basepoint());
+        }
+    }
+
+    #[test]
+    fn scalar_mod_l_arithmetic() {
+        // (L-1) + 2 == 1 mod L
+        let mut l_minus_1 = super::L_BYTES;
+        l_minus_1[0] -= 1;
+        let mut two = [0u8; 32];
+        two[0] = 2;
+        let r = scalar_add(&l_minus_1, &two);
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        assert_eq!(r, one);
+        // L reduces to 0.
+        assert_eq!(scalar_reduce(&super::L_BYTES), [0u8; 32]);
+        // small multiply: 3 * 5 = 15
+        let mut three = [0u8; 32];
+        three[0] = 3;
+        let mut five = [0u8; 32];
+        five[0] = 5;
+        let mut fifteen = [0u8; 32];
+        fifteen[0] = 15;
+        assert_eq!(scalar_mul(&three, &five), fifteen);
+    }
+
+    #[test]
+    fn high_s_signature_rejected() {
+        // Take a valid signature and add L to S — must be rejected even
+        // though it would verify in a lenient implementation.
+        let key = SigningKey::from_seed(&[9u8; 32]);
+        let sig = key.sign(b"m");
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&sig.0[32..]);
+        // s + L (no reduction), fits in 256 bits for most s.
+        let mut carry = 0u16;
+        let mut s_plus_l = [0u8; 32];
+        for i in 0..32 {
+            let v = s[i] as u16 + super::L_BYTES[i] as u16 + carry;
+            s_plus_l[i] = v as u8;
+            carry = v >> 8;
+        }
+        if carry == 0 {
+            let mut bad = sig;
+            bad.0[32..].copy_from_slice(&s_plus_l);
+            assert!(key.verifying_key().verify(b"m", &bad).is_err());
+        }
+    }
+}

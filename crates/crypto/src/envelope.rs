@@ -1,0 +1,326 @@
+//! The T-Protocol crypto digital envelope (formula (1) of the paper):
+//!
+//! ```text
+//! Tx_conf = Enc(pk_tx, k_tx) | Enc(k_tx, Tx_raw)
+//! ```
+//!
+//! Realised as ECIES: the sender generates an ephemeral X25519 key, derives
+//! a key-encryption key from the shared secret with the enclave's public
+//! key `pk_tx` via HKDF-SHA-256, wraps the one-time transaction key `k_tx`
+//! under it with AES-256-GCM, and encrypts the transaction body under
+//! `k_tx` itself. The protocol is **non-interactive** (one of T-Protocol's
+//! three design principles, §3.2.3): no round trips with the enclave.
+
+use crate::drbg::HmacDrbg;
+use crate::gcm::AesGcm;
+use crate::hkdf;
+use crate::x25519;
+use crate::CryptoError;
+
+/// Domain-separation label for envelope key derivation.
+const ENVELOPE_INFO: &[u8] = b"confide/t-protocol/envelope-v1";
+
+/// The enclave-side key pair whose public half is `pk_tx` (published to end
+/// users, fingerprint locked into the attestation report).
+#[derive(Clone)]
+pub struct EnvelopeKeyPair {
+    secret: [u8; 32],
+    public: [u8; 32],
+}
+
+impl EnvelopeKeyPair {
+    /// Generate from a DRBG (inside the KM enclave in the real system).
+    pub fn generate(rng: &mut HmacDrbg) -> EnvelopeKeyPair {
+        let secret = rng.gen32();
+        let public = x25519::x25519_base(&secret);
+        EnvelopeKeyPair { secret, public }
+    }
+
+    /// Reconstruct from a stored secret (sealed-key recovery path).
+    pub fn from_secret(secret: [u8; 32]) -> EnvelopeKeyPair {
+        let public = x25519::x25519_base(&secret);
+        EnvelopeKeyPair { secret, public }
+    }
+
+    /// The public key `pk_tx`.
+    pub fn public(&self) -> [u8; 32] {
+        self.public
+    }
+
+    /// The raw secret (for sealing inside the enclave only).
+    pub fn secret(&self) -> &[u8; 32] {
+        &self.secret
+    }
+}
+
+/// A sealed envelope: ephemeral public key ‖ wrapped `k_tx` ‖ body
+/// ciphertext. The wire layout is length-prefixed so the pre-processor can
+/// parse it with zero copies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender's ephemeral X25519 public key.
+    pub ephemeral_pk: [u8; 32],
+    /// Nonce for the key-wrap AEAD.
+    pub wrap_nonce: [u8; 12],
+    /// `Enc(kek, k_tx)` — 32-byte key + 16-byte tag.
+    pub wrapped_key: Vec<u8>,
+    /// Nonce for the body AEAD.
+    pub body_nonce: [u8; 12],
+    /// `Enc(k_tx, Tx_raw)`.
+    pub body: Vec<u8>,
+}
+
+impl Envelope {
+    /// Client side: seal `plaintext` to the enclave key `pk_tx` using the
+    /// caller-supplied one-time key `k_tx` (derived per T-Protocol from the
+    /// user root key and the transaction hash).
+    pub fn seal(
+        pk_tx: &[u8; 32],
+        k_tx: &[u8; 32],
+        aad: &[u8],
+        plaintext: &[u8],
+        rng: &mut HmacDrbg,
+    ) -> Result<Envelope, CryptoError> {
+        let eph_secret = rng.gen32();
+        let ephemeral_pk = x25519::x25519_base(&eph_secret);
+        let shared = x25519::diffie_hellman(&eph_secret, pk_tx)?;
+        let kek = derive_kek(&shared, &ephemeral_pk, pk_tx);
+        let wrap = AesGcm::new(&kek)?;
+        let wrap_nonce = rng.gen_nonce();
+        let wrapped_key = wrap.seal(&wrap_nonce, aad, k_tx);
+        let body_cipher = AesGcm::new(k_tx)?;
+        let body_nonce = rng.gen_nonce();
+        let body = body_cipher.seal(&body_nonce, aad, plaintext);
+        Ok(Envelope {
+            ephemeral_pk,
+            wrap_nonce,
+            wrapped_key,
+            body_nonce,
+            body,
+        })
+    }
+
+    /// Enclave side: recover `(k_tx, Tx_raw)`. This is the expensive
+    /// asymmetric path (§5.2 P2); the pre-verification cache lets the
+    /// execution phase skip it.
+    pub fn open(
+        &self,
+        keypair: &EnvelopeKeyPair,
+        aad: &[u8],
+    ) -> Result<([u8; 32], Vec<u8>), CryptoError> {
+        let k_tx = self.open_key(keypair, aad)?;
+        let body = self.open_body(&k_tx, aad)?;
+        Ok((k_tx, body))
+    }
+
+    /// Recover only the one-time key `k_tx` (asymmetric part).
+    pub fn open_key(
+        &self,
+        keypair: &EnvelopeKeyPair,
+        aad: &[u8],
+    ) -> Result<[u8; 32], CryptoError> {
+        let shared = x25519::diffie_hellman(&keypair.secret, &self.ephemeral_pk)?;
+        let kek = derive_kek(&shared, &self.ephemeral_pk, &keypair.public);
+        let wrap = AesGcm::new(&kek)?;
+        let k = wrap.open(&self.wrap_nonce, aad, &self.wrapped_key)?;
+        if k.len() != 32 {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut k_tx = [0u8; 32];
+        k_tx.copy_from_slice(&k);
+        Ok(k_tx)
+    }
+
+    /// Decrypt only the body given a cached `k_tx` (symmetric fast path,
+    /// §5.2 C3).
+    pub fn open_body(&self, k_tx: &[u8; 32], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let body_cipher = AesGcm::new(k_tx)?;
+        body_cipher.open(&self.body_nonce, aad, &self.body)
+    }
+
+    /// Serialize to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 12 + 12 + 8 + self.wrapped_key.len() + self.body.len());
+        out.extend_from_slice(&self.ephemeral_pk);
+        out.extend_from_slice(&self.wrap_nonce);
+        out.extend_from_slice(&(self.wrapped_key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.wrapped_key);
+        out.extend_from_slice(&self.body_nonce);
+        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse the wire format.
+    pub fn decode(bytes: &[u8]) -> Result<Envelope, CryptoError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CryptoError> {
+            if *pos + n > bytes.len() {
+                return Err(CryptoError::TruncatedInput);
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let mut ephemeral_pk = [0u8; 32];
+        ephemeral_pk.copy_from_slice(take(&mut pos, 32)?);
+        let mut wrap_nonce = [0u8; 12];
+        wrap_nonce.copy_from_slice(take(&mut pos, 12)?);
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(take(&mut pos, 4)?);
+        let wk_len = u32::from_le_bytes(len4) as usize;
+        let wrapped_key = take(&mut pos, wk_len)?.to_vec();
+        let mut body_nonce = [0u8; 12];
+        body_nonce.copy_from_slice(take(&mut pos, 12)?);
+        len4.copy_from_slice(take(&mut pos, 4)?);
+        let body_len = u32::from_le_bytes(len4) as usize;
+        let body = take(&mut pos, body_len)?.to_vec();
+        if pos != bytes.len() {
+            return Err(CryptoError::TruncatedInput);
+        }
+        Ok(Envelope {
+            ephemeral_pk,
+            wrap_nonce,
+            wrapped_key,
+            body_nonce,
+            body,
+        })
+    }
+}
+
+fn derive_kek(shared: &[u8; 32], eph_pk: &[u8; 32], recipient_pk: &[u8; 32]) -> [u8; 32] {
+    // Bind the KEK to both public keys to rule out key-confusion splicing.
+    let mut salt = Vec::with_capacity(64);
+    salt.extend_from_slice(eph_pk);
+    salt.extend_from_slice(recipient_pk);
+    hkdf::derive_key32(&salt, shared, ENVELOPE_INFO)
+}
+
+/// Derive the one-time transaction key `k_tx` from a user root key and the
+/// transaction hash, exactly as §3.2.3 describes.
+pub fn derive_k_tx(user_root_key: &[u8; 32], tx_hash: &[u8; 32]) -> [u8; 32] {
+    hkdf::derive_key32(tx_hash, user_root_key, b"confide/t-protocol/k_tx-v1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (EnvelopeKeyPair, HmacDrbg) {
+        let mut rng = HmacDrbg::from_u64(1234);
+        let kp = EnvelopeKeyPair::generate(&mut rng);
+        (kp, rng)
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let (kp, mut rng) = setup();
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"txhash", b"raw transaction body", &mut rng)
+            .unwrap();
+        let (k, body) = env.open(&kp, b"txhash").unwrap();
+        assert_eq!(k, k_tx);
+        assert_eq!(body, b"raw transaction body");
+    }
+
+    #[test]
+    fn split_open_matches_full_open() {
+        let (kp, mut rng) = setup();
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"aad", b"payload", &mut rng).unwrap();
+        let k = env.open_key(&kp, b"aad").unwrap();
+        assert_eq!(k, k_tx);
+        assert_eq!(env.open_body(&k, b"aad").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn wrong_recipient_fails() {
+        let (kp, mut rng) = setup();
+        let other = EnvelopeKeyPair::generate(&mut rng);
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"", b"secret", &mut rng).unwrap();
+        assert!(env.open(&other, b"").is_err());
+    }
+
+    #[test]
+    fn aad_mismatch_fails() {
+        let (kp, mut rng) = setup();
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"tx1", b"secret", &mut rng).unwrap();
+        assert!(env.open(&kp, b"tx2").is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (kp, mut rng) = setup();
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"a", b"hello world", &mut rng).unwrap();
+        let bytes = env.encode();
+        let parsed = Envelope::decode(&bytes).unwrap();
+        assert_eq!(parsed, env);
+        let (_, body) = parsed.open(&kp, b"a").unwrap();
+        assert_eq!(body, b"hello world");
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let (kp, mut rng) = setup();
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"", b"x", &mut rng).unwrap();
+        let bytes = env.encode();
+        for cut in [0usize, 10, 31, 45, bytes.len() - 1] {
+            assert!(Envelope::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Envelope::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn tampered_envelope_fails_to_open() {
+        let (kp, mut rng) = setup();
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"", b"confidential", &mut rng).unwrap();
+        let mut bytes = env.encode();
+        // Flip one byte in the body ciphertext region (last byte).
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        let parsed = Envelope::decode(&bytes).unwrap();
+        assert!(parsed.open(&kp, b"").is_err());
+    }
+
+    #[test]
+    fn k_tx_derivation_is_per_transaction() {
+        let root = [5u8; 32];
+        let k1 = derive_k_tx(&root, &[1u8; 32]);
+        let k2 = derive_k_tx(&root, &[2u8; 32]);
+        assert_ne!(k1, k2);
+        // Deterministic per (root, hash).
+        assert_eq!(k1, derive_k_tx(&root, &[1u8; 32]));
+    }
+
+    #[test]
+    fn one_time_keys_give_distinct_ciphertexts_for_same_plaintext() {
+        // T-Protocol security principle: one-time key per transaction
+        // maximizes ciphertext entropy.
+        let (kp, mut rng) = setup();
+        let root = [9u8; 32];
+        let e1 = Envelope::seal(
+            &kp.public(),
+            &derive_k_tx(&root, &[1u8; 32]),
+            b"",
+            b"same body",
+            &mut rng,
+        )
+        .unwrap();
+        let e2 = Envelope::seal(
+            &kp.public(),
+            &derive_k_tx(&root, &[2u8; 32]),
+            b"",
+            b"same body",
+            &mut rng,
+        )
+        .unwrap();
+        assert_ne!(e1.body, e2.body);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Errors raised by cryptographic operations.
+///
+/// Authenticated-decryption failures are deliberately opaque: the caller
+/// learns *that* verification failed, never *why*, so a malicious host
+/// probing the enclave boundary (§3.3 of the paper) gains no oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// AEAD tag mismatch or corrupted ciphertext.
+    AuthenticationFailed,
+    /// Ciphertext (or other input) shorter than the minimum framing.
+    TruncatedInput,
+    /// A key had the wrong length for the requested algorithm.
+    InvalidKeyLength,
+    /// A point or signature failed to decode as a valid curve element.
+    InvalidPoint,
+    /// A signature did not verify.
+    InvalidSignature,
+    /// An all-zero / low-order Diffie–Hellman shared secret was produced.
+    WeakSharedSecret,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            CryptoError::AuthenticationFailed => "authenticated decryption failed",
+            CryptoError::TruncatedInput => "input too short",
+            CryptoError::InvalidKeyLength => "invalid key length",
+            CryptoError::InvalidPoint => "invalid curve point encoding",
+            CryptoError::InvalidSignature => "signature verification failed",
+            CryptoError::WeakSharedSecret => "weak Diffie-Hellman shared secret",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,368 @@
+//! Arithmetic in GF(2^255 − 19), the base field of Curve25519.
+//!
+//! Representation: five 51-bit limbs in `u64`s (radix 2^51), the classic
+//! ref10/dalek layout. Multiplication accumulates into `u128` and folds the
+//! 2^255 overflow back with the factor 19.
+
+/// Mask selecting the low 51 bits of a limb.
+const LOW_51: u64 = (1 << 51) - 1;
+
+/// A field element of GF(2^255 − 19). Limbs are little-endian, each
+/// nominally < 2^52 between reductions.
+#[derive(Clone, Copy, Debug)]
+pub struct Fe(pub [u64; 5]);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Construct from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        let mut f = Fe::ZERO;
+        f.0[0] = v & LOW_51;
+        f.0[1] = v >> 51;
+        f
+    }
+
+    /// Load from 32 little-endian bytes, ignoring the top bit (bit 255).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load8 = |s: &[u8]| -> u64 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            u64::from_le_bytes(b)
+        };
+        Fe([
+            load8(&bytes[0..8]) & LOW_51,
+            (load8(&bytes[6..14]) >> 3) & LOW_51,
+            (load8(&bytes[12..20]) >> 6) & LOW_51,
+            (load8(&bytes[19..27]) >> 1) & LOW_51,
+            (load8(&bytes[24..32]) >> 12) & LOW_51,
+        ])
+    }
+
+    /// Serialize to 32 little-endian bytes, fully reduced mod p.
+    pub fn to_bytes(self) -> [u8; 32] {
+        // First bring every limb below 2^52 with two carry passes.
+        let mut l = self.reduce_weak().0;
+        // Compute h + 19 to detect h >= p, then subtract p if so by adding
+        // 19 and letting the 2^255 bit fall off.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        // Carry and mask away bit 255.
+        let mut carry = l[0] >> 51;
+        l[0] &= LOW_51;
+        for i in 1..5 {
+            l[i] += carry;
+            carry = l[i] >> 51;
+            l[i] &= LOW_51;
+        }
+        // carry here is the 2^255 bit; discarding it subtracts 2^255 ≡ 19+p…
+        // but since we added 19·q above it exactly cancels when q=1.
+        let mut out = [0u8; 32];
+        let write = |out: &mut [u8; 32], bit: usize, v: u64| {
+            let byte = bit / 8;
+            let shift = bit % 8;
+            let v = (v as u128) << shift;
+            for i in 0..8 {
+                if byte + i < 32 {
+                    out[byte + i] |= (v >> (8 * i)) as u8;
+                }
+            }
+        };
+        write(&mut out, 0, l[0]);
+        write(&mut out, 51, l[1]);
+        write(&mut out, 102, l[2]);
+        write(&mut out, 153, l[3]);
+        write(&mut out, 204, l[4]);
+        out
+    }
+
+    /// One carry pass: brings limbs below 2^52.
+    fn reduce_weak(self) -> Fe {
+        let mut l = self.0;
+        for _ in 0..2 {
+            let c0 = l[0] >> 51;
+            l[0] &= LOW_51;
+            l[1] += c0;
+            let c1 = l[1] >> 51;
+            l[1] &= LOW_51;
+            l[2] += c1;
+            let c2 = l[2] >> 51;
+            l[2] &= LOW_51;
+            l[3] += c2;
+            let c3 = l[3] >> 51;
+            l[3] &= LOW_51;
+            l[4] += c3;
+            let c4 = l[4] >> 51;
+            l[4] &= LOW_51;
+            l[0] += c4 * 19;
+        }
+        Fe(l)
+    }
+
+    /// Addition.
+    pub fn add(self, rhs: Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+        .reduce_weak()
+    }
+
+    /// Subtraction (adds 2p first to avoid underflow).
+    pub fn sub(self, rhs: Fe) -> Fe {
+        // 2p in radix 2^51.
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        Fe([
+            self.0[0] + TWO_P[0] - rhs.0[0],
+            self.0[1] + TWO_P[1] - rhs.0[1],
+            self.0[2] + TWO_P[2] - rhs.0[2],
+            self.0[3] + TWO_P[3] - rhs.0[3],
+            self.0[4] + TWO_P[4] - rhs.0[4],
+        ])
+        .reduce_weak()
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Multiplication.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        // Fold limbs above 2^255 down with factor 19.
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+        let c0 = m(a[0], b[0]) + m(a[4], b1_19) + m(a[3], b2_19) + m(a[2], b3_19) + m(a[1], b4_19);
+        let c1 = m(a[1], b[0]) + m(a[0], b[1]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
+        let c2 = m(a[2], b[0]) + m(a[1], b[1]) + m(a[0], b[2]) + m(a[4], b3_19) + m(a[3], b4_19);
+        let c3 = m(a[3], b[0]) + m(a[2], b[1]) + m(a[1], b[2]) + m(a[0], b[3]) + m(a[4], b4_19);
+        let c4 = m(a[4], b[0]) + m(a[3], b[1]) + m(a[2], b[2]) + m(a[1], b[3]) + m(a[0], b[4]);
+        Fe::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    /// Squaring (same as mul; kept separate for call-site clarity).
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn carry_wide(mut c: [u128; 5]) -> Fe {
+        let mut l = [0u64; 5];
+        // Two rounds of carrying handles the 128-bit accumulators.
+        for _ in 0..2 {
+            let carry0 = (c[0] >> 51) as u128;
+            c[0] &= LOW_51 as u128;
+            c[1] += carry0;
+            let carry1 = (c[1] >> 51) as u128;
+            c[1] &= LOW_51 as u128;
+            c[2] += carry1;
+            let carry2 = (c[2] >> 51) as u128;
+            c[2] &= LOW_51 as u128;
+            c[3] += carry2;
+            let carry3 = (c[3] >> 51) as u128;
+            c[3] &= LOW_51 as u128;
+            c[4] += carry3;
+            let carry4 = (c[4] >> 51) as u128;
+            c[4] &= LOW_51 as u128;
+            c[0] += carry4 * 19;
+        }
+        for i in 0..5 {
+            l[i] = c[i] as u64;
+        }
+        Fe(l).reduce_weak()
+    }
+
+    /// Generic exponentiation by a little-endian 32-byte exponent.
+    pub fn pow(self, exp_le: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        // MSB-first square-and-multiply.
+        for byte_i in (0..32).rev() {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (exp_le[byte_i] >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: x^(p−2).
+    pub fn invert(self) -> Fe {
+        // p − 2 = 2^255 − 21, little-endian bytes.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow(&exp)
+    }
+
+    /// x^((p−5)/8) = x^(2^252 − 3), the core of the Ed25519 square-root.
+    pub fn pow_p58(self) -> Fe {
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow(&exp)
+    }
+
+    /// True if the element is zero (after full reduction).
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Low bit of the fully-reduced value — Ed25519's "sign" of x.
+    pub fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Equality after full reduction.
+    pub fn ct_eq(self, other: Fe) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
+    /// Conditional swap on `flag` (1 = swap). Branch-light.
+    pub fn cswap(a: &mut Fe, b: &mut Fe, flag: u64) {
+        let mask = 0u64.wrapping_sub(flag);
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// √−1 mod p, computed once as 2^((p−1)/4).
+pub fn sqrt_m1() -> Fe {
+    use std::sync::OnceLock;
+    static SQRT_M1: OnceLock<Fe> = OnceLock::new();
+    *SQRT_M1.get_or_init(|| {
+        // (p − 1) / 4 = (2^255 − 20) / 4 = 2^253 − 5.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        Fe::from_u64(2).pow(&exp)
+    })
+}
+
+/// The Edwards curve constant d = −121665/121666 mod p, computed at startup.
+pub fn edwards_d() -> Fe {
+    use std::sync::OnceLock;
+    static D: OnceLock<Fe> = OnceLock::new();
+    *D.get_or_init(|| {
+        Fe::from_u64(121665).neg().mul(Fe::from_u64(121666).invert())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_round_trips() {
+        let mut b = [0u8; 32];
+        b[0] = 1;
+        assert_eq!(Fe::from_bytes(&b).to_bytes(), b);
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        // p = 2^255 − 19 as little-endian bytes.
+        let mut p = [0xffu8; 32];
+        p[0] = 0xed;
+        p[31] = 0x7f;
+        assert!(Fe::from_bytes(&p).is_zero());
+    }
+
+    #[test]
+    fn p_minus_one_is_minus_one() {
+        let mut pm1 = [0xffu8; 32];
+        pm1[0] = 0xec;
+        pm1[31] = 0x7f;
+        let fe = Fe::from_bytes(&pm1);
+        assert!(fe.add(Fe::ONE).is_zero());
+        assert!(Fe::ONE.neg().ct_eq(fe));
+    }
+
+    #[test]
+    fn mul_matches_small_integers() {
+        let a = Fe::from_u64(123456789);
+        let b = Fe::from_u64(987654321);
+        let prod = a.mul(b);
+        assert!(prod.ct_eq(Fe::from_u64(123456789 * 987654321)));
+    }
+
+    #[test]
+    fn invert_is_inverse() {
+        let a = Fe::from_u64(0xdeadbeefcafe);
+        assert!(a.mul(a.invert()).ct_eq(Fe::ONE));
+        // A larger, byte-loaded element.
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        bytes[31] &= 0x7f;
+        let x = Fe::from_bytes(&bytes);
+        assert!(x.mul(x.invert()).ct_eq(Fe::ONE));
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert!(i.square().ct_eq(Fe::ONE.neg()));
+    }
+
+    #[test]
+    fn edwards_d_satisfies_definition() {
+        // d · 121666 + 121665 ≡ 0
+        let d = edwards_d();
+        assert!(d.mul(Fe::from_u64(121666)).add(Fe::from_u64(121665)).is_zero());
+    }
+
+    #[test]
+    fn sub_and_neg_agree() {
+        let a = Fe::from_u64(555);
+        let b = Fe::from_u64(777);
+        let d1 = a.sub(b);
+        let d2 = a.add(b.neg());
+        assert!(d1.ct_eq(d2));
+        assert!(d1.add(b).ct_eq(a));
+    }
+
+    #[test]
+    fn cswap_swaps() {
+        let mut a = Fe::from_u64(1);
+        let mut b = Fe::from_u64(2);
+        Fe::cswap(&mut a, &mut b, 0);
+        assert!(a.ct_eq(Fe::from_u64(1)));
+        Fe::cswap(&mut a, &mut b, 1);
+        assert!(a.ct_eq(Fe::from_u64(2)));
+        assert!(b.ct_eq(Fe::from_u64(1)));
+    }
+
+    #[test]
+    fn pow_small_exponent() {
+        let a = Fe::from_u64(3);
+        let mut exp = [0u8; 32];
+        exp[0] = 5; // 3^5 = 243
+        assert!(a.pow(&exp).ct_eq(Fe::from_u64(243)));
+    }
+}

@@ -1,0 +1,243 @@
+//! AES-GCM authenticated encryption with associated data (NIST SP 800-38D).
+//!
+//! This is the workhorse of D-Protocol (formula (3)): contract states and
+//! code are sealed as `Enc(k_states, data)` with on-chain run-time metadata
+//! (contract identity, owner, security version) as the *associated data*,
+//! so a malicious host can neither read nor splice ciphertexts between
+//! contracts.
+
+use crate::aes::Aes;
+use crate::CryptoError;
+
+/// Size of the authentication tag in bytes.
+pub const TAG_LEN: usize = 16;
+/// Size of the nonce in bytes (GCM's fast path: 96-bit IVs only).
+pub const NONCE_LEN: usize = 12;
+
+/// An AES-GCM cipher bound to one key (AES-128 or AES-256 by key length).
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    /// GHASH subkey H = E_K(0^128), kept as a u128 (big-endian bit order).
+    h: u128,
+}
+
+impl AesGcm {
+    /// Construct from a 16- or 32-byte key.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let aes = Aes::try_new(key)?;
+        let mut zero = [0u8; 16];
+        aes.encrypt_block(&mut zero);
+        Ok(AesGcm {
+            aes,
+            h: u128::from_be_bytes(zero),
+        })
+    }
+
+    /// Encrypt `plaintext`, authenticating `aad` too. Returns
+    /// `ciphertext || tag` (tag appended, 16 bytes).
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.ctr(nonce, 2, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypt and verify `ciphertext || tag`. Returns the plaintext, or an
+    /// opaque error on any authentication failure.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::TruncatedInput);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expect = self.tag(nonce, aad, ct);
+        if !crate::ct_eq(&expect, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut pt = ct.to_vec();
+        self.ctr(nonce, 2, &mut pt);
+        Ok(pt)
+    }
+
+    /// CTR keystream XOR starting from block counter `ctr0`.
+    fn ctr(&self, nonce: &[u8; NONCE_LEN], ctr0: u32, data: &mut [u8]) {
+        let mut counter_block = [0u8; 16];
+        counter_block[..12].copy_from_slice(nonce);
+        let mut ctr = ctr0;
+        for chunk in data.chunks_mut(16) {
+            counter_block[12..].copy_from_slice(&ctr.to_be_bytes());
+            let mut ks = counter_block;
+            self.aes.encrypt_block(&mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+
+    /// Compute the GCM tag over `aad` and `ct`.
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let mut y = 0u128;
+        ghash_update(&mut y, self.h, aad);
+        ghash_update(&mut y, self.h, ct);
+        let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+        y = gf_mul(y ^ lens, self.h);
+        // Encrypt with J0 = nonce || 0x00000001.
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        self.aes.encrypt_block(&mut j0);
+        (y ^ u128::from_be_bytes(j0)).to_be_bytes()
+    }
+}
+
+/// Absorb `data` (zero-padded to 16-byte blocks) into the GHASH state.
+fn ghash_update(y: &mut u128, h: u128, data: &[u8]) {
+    for chunk in data.chunks(16) {
+        let mut block = [0u8; 16];
+        block[..chunk.len()].copy_from_slice(chunk);
+        *y = gf_mul(*y ^ u128::from_be_bytes(block), h);
+    }
+}
+
+/// GF(2^128) multiplication with GCM's reflected-bit convention
+/// (polynomial x^128 + x^7 + x^2 + x + 1, MSB-first within each byte).
+fn gf_mul(x: u128, y: u128) -> u128 {
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 != 0 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb != 0 {
+            v ^= 0xe1 << 120;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    fn nonce(h: &str) -> [u8; 12] {
+        let v = unhex(h);
+        let mut n = [0u8; 12];
+        n.copy_from_slice(&v);
+        n
+    }
+
+    // NIST GCM test case 1: empty everything.
+    #[test]
+    fn nist_case1_empty() {
+        let gcm = AesGcm::new(&[0u8; 16]).unwrap();
+        let sealed = gcm.seal(&[0u8; 12], &[], &[]);
+        assert_eq!(hex(&sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    // NIST GCM test case 2: 16 zero bytes of plaintext.
+    #[test]
+    fn nist_case2_single_block() {
+        let gcm = AesGcm::new(&[0u8; 16]).unwrap();
+        let sealed = gcm.seal(&[0u8; 12], &[], &[0u8; 16]);
+        assert_eq!(
+            hex(&sealed),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    // NIST GCM test case 3: 4 blocks, no AAD.
+    #[test]
+    fn nist_case3_four_blocks() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let gcm = AesGcm::new(&key).unwrap();
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let sealed = gcm.seal(&nonce("cafebabefacedbaddecaf888"), &[], &pt);
+        assert_eq!(
+            hex(&sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985\
+             4d5c2af327cd64a62cf35abd2ba6fab4"
+        );
+    }
+
+    // NIST GCM test case 4: 60 bytes of plaintext, 20 bytes AAD.
+    #[test]
+    fn nist_case4_with_aad() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let gcm = AesGcm::new(&key).unwrap();
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let n = nonce("cafebabefacedbaddecaf888");
+        let sealed = gcm.seal(&n, &aad, &pt);
+        assert_eq!(
+            hex(&sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091\
+             5bc94fbc3221a5db94fae95ae7121a47"
+        );
+        // Round-trip and AAD binding.
+        assert_eq!(gcm.open(&n, &aad, &sealed).unwrap(), pt);
+        assert_eq!(
+            gcm.open(&n, b"wrong aad", &sealed).unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
+    }
+
+    #[test]
+    fn aes256_gcm_round_trip() {
+        let gcm = AesGcm::new(&[7u8; 32]).unwrap();
+        let n = [9u8; 12];
+        let pt = b"financial grade consortium blockchain".to_vec();
+        let sealed = gcm.seal(&n, b"contract:0xabc|owner:bank1|sv:3", &pt);
+        assert_eq!(
+            gcm.open(&n, b"contract:0xabc|owner:bank1|sv:3", &sealed).unwrap(),
+            pt
+        );
+    }
+
+    #[test]
+    fn tamper_detection_every_byte() {
+        let gcm = AesGcm::new(&[1u8; 16]).unwrap();
+        let n = [2u8; 12];
+        let sealed = gcm.seal(&n, b"aad", b"some confidential state value");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert!(gcm.open(&n, b"aad", &bad).is_err(), "byte {i} flip undetected");
+        }
+    }
+
+    #[test]
+    fn truncated_ciphertext_rejected() {
+        let gcm = AesGcm::new(&[1u8; 16]).unwrap();
+        assert_eq!(
+            gcm.open(&[0u8; 12], &[], &[0u8; 8]).unwrap_err(),
+            CryptoError::TruncatedInput
+        );
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_ciphertexts() {
+        let gcm = AesGcm::new(&[3u8; 16]).unwrap();
+        let a = gcm.seal(&[0u8; 12], &[], b"same plaintext");
+        let b = gcm.seal(&[1u8; 12], &[], b"same plaintext");
+        assert_ne!(a, b);
+    }
+}

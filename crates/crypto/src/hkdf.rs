@@ -1,0 +1,105 @@
+//! HKDF (RFC 5869) over HMAC-SHA-256.
+//!
+//! CONFIDE uses HKDF in two places: deriving the one-time transaction key
+//! `k_tx` from a user root key and the transaction hash (T-Protocol,
+//! §3.2.3), and deriving the session keys of the digital envelope.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derive `out.len()` bytes (≤ 255·32) from `prk` and `info`.
+///
+/// # Panics
+/// Panics if more than `255 * 32` bytes are requested, per RFC 5869.
+pub fn expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "HKDF-Expand output too long");
+    let mut t: Vec<u8> = Vec::with_capacity(32 + info.len() + 1);
+    let mut counter = 1u8;
+    let mut produced = 0usize;
+    let mut prev: Option<[u8; 32]> = None;
+    while produced < out.len() {
+        t.clear();
+        if let Some(p) = prev {
+            t.extend_from_slice(&p);
+        }
+        t.extend_from_slice(info);
+        t.push(counter);
+        let block = hmac_sha256(prk, &t);
+        let take = (out.len() - produced).min(32);
+        out[produced..produced + take].copy_from_slice(&block[..take]);
+        produced += take;
+        prev = Some(block);
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-call extract-then-expand.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out);
+}
+
+/// Derive a fixed 32-byte key — the common case for AES-256 keys.
+pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    derive(salt, ikm, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        assert_eq!(
+            hex(&prk),
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_multi_block_is_chained() {
+        let prk = extract(b"salt", b"ikm");
+        let mut long = [0u8; 100];
+        expand(&prk, b"info", &mut long);
+        let mut short = [0u8; 32];
+        expand(&prk, b"info", &mut short);
+        assert_eq!(&long[..32], &short[..]);
+        // Second block must differ from the first (counter is mixed in).
+        assert_ne!(&long[..32], &long[32..64]);
+    }
+}

@@ -1,0 +1,132 @@
+//! HMAC (RFC 2104) over SHA-256 and SHA-512.
+
+use crate::sha2::{Sha256, Sha512};
+
+/// HMAC-SHA-256 of `data` under `key`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(data);
+    mac.finalize()
+}
+
+/// HMAC-SHA-512 of `data` under `key`.
+pub fn hmac_sha512(key: &[u8], data: &[u8]) -> [u8; 64] {
+    let mut k0 = [0u8; 128];
+    if key.len() > 128 {
+        k0[..64].copy_from_slice(&Sha512::digest(key));
+    } else {
+        k0[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha512::new();
+    let ipad: Vec<u8> = k0.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha512::new();
+    let opad: Vec<u8> = k0.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Incremental HMAC-SHA-256, for streaming MACs over large payloads.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Key the MAC. Keys longer than the block size are pre-hashed per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k0 = [0u8; 64];
+        if key.len() > 64 {
+            k0[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            k0[..key.len()].copy_from_slice(key);
+        }
+        let mut inner = Sha256::new();
+        let ipad: Vec<u8> = k0.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        let opad: Vec<u8> = k0.iter().map(|b| b ^ 0x5c).collect();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the tag.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        let tag512 = hmac_sha512(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag512),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_jefe() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_many_aa() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = unhex("000102030405060708090a0b0c");
+        let data: Vec<u8> = (0..500u32).map(|i| i as u8).collect();
+        let mut mac = HmacSha256::new(&key);
+        for chunk in data.chunks(13) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), hmac_sha256(&key, &data));
+    }
+}

@@ -1,0 +1,181 @@
+//! Keccak-256 (the pre-NIST padding variant used by Ethereum tooling).
+//!
+//! The paper's "Crypto Hash" synthetic workload (§6.1) runs SHA-256 and
+//! Keccak 100 times per transaction; the EVM baseline also exposes Keccak
+//! as its `SHA3` opcode.
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]`.
+const R: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// Apply the Keccak-f\[1600\] permutation in place.
+pub fn keccak_f1600(a: &mut [[u64; 5]; 5]) {
+    for &rc in RC.iter().take(ROUNDS) {
+        // θ
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x][y] ^= d[x];
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = a[x][y].rotate_left(R[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        a[0][0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher (rate = 136 bytes, capacity = 512 bits).
+#[derive(Clone)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buf: [u8; 136],
+    buf_len: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Rate in bytes for the 256-bit security level.
+    pub const RATE: usize = 136;
+
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0; 5]; 5],
+            buf: [0; 136],
+            buf_len: 0,
+        }
+    }
+
+    /// One-shot digest.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (Self::RATE - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == Self::RATE {
+                let block = self.buf;
+                self.absorb(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= Self::RATE {
+            let (block, rest) = data.split_at(Self::RATE);
+            let mut b = [0u8; 136];
+            b.copy_from_slice(block);
+            self.absorb(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Pad (Keccak `0x01` domain, not NIST SHA-3 `0x06`) and squeeze 32 bytes.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let mut block = [0u8; 136];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x01;
+        block[Self::RATE - 1] |= 0x80;
+        self.absorb(&block);
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let lane = self.state[i % 5][i / 5];
+            out[8 * i..8 * i + 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+
+    fn absorb(&mut self, block: &[u8; 136]) {
+        for i in 0..Self::RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&block[8 * i..8 * i + 8]);
+            self.state[i % 5][i / 5] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f1600(&mut self.state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn keccak256_known_vectors() {
+        assert_eq!(
+            hex(&Keccak256::digest(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+        assert_eq!(
+            hex(&Keccak256::digest(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+        // The Ethereum function-selector example everyone knows.
+        assert_eq!(
+            &hex(&Keccak256::digest(b"transfer(address,uint256)"))[..8],
+            "a9059cbb"
+        );
+    }
+
+    #[test]
+    fn keccak256_long_input_crosses_rate_boundary() {
+        // Exercise multi-block absorption paths around the 136-byte rate.
+        for len in [135usize, 136, 137, 272, 1000] {
+            let data = vec![0x5au8; len];
+            let mut h = Keccak256::new();
+            for chunk in data.chunks(7) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), Keccak256::digest(&data), "len={len}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! # confide-crypto
+//!
+//! From-scratch cryptographic primitives backing CONFIDE's three protocols
+//! (T-Protocol, D-Protocol, K-Protocol — §3.2 of the paper):
+//!
+//! * [`sha2`] — SHA-256 / SHA-512 (FIPS 180-4), used for transaction hashes,
+//!   key derivation and Ed25519.
+//! * [`keccak`] — Keccak-256 as used by Ethereum-style tooling and the
+//!   paper's "Crypto Hash" synthetic workload (§6.1).
+//! * [`hmac`] / [`hkdf`] — RFC 2104 / RFC 5869, used to derive the one-time
+//!   transaction key `k_tx` from a user root key and the transaction hash.
+//! * [`aes`] / [`gcm`] — AES-128/256 and AES-GCM authenticated encryption
+//!   with associated data; D-Protocol encrypts contract state under
+//!   `k_states` with on-chain AAD (formula (3)).
+//! * [`field25519`] / [`ed25519`] / [`x25519`] — Curve25519 arithmetic,
+//!   Ed25519 signatures (transaction signing, attestation report signing)
+//!   and X25519 Diffie–Hellman (enclave key agreement, digital envelopes).
+//! * [`envelope`] — the T-Protocol digital envelope
+//!   `Enc(pk_tx, k_tx) | Enc(k_tx, Tx_raw)` (formula (1)), realised as
+//!   ECIES: ephemeral X25519 → HKDF-SHA256 → AES-256-GCM.
+//! * [`drbg`] — deterministic HMAC-DRBG (SP 800-90A shaped) so the whole
+//!   system is reproducible under a fixed seed.
+//!
+//! Everything here is implemented from first principles (no external crypto
+//! crates) and validated against published test vectors in the unit tests.
+//! The implementations favour clarity and auditability over constant-time
+//! hardening: this crate backs a *simulation* of an SGX deployment, not a
+//! production HSM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod drbg;
+pub mod ed25519;
+pub mod envelope;
+pub mod error;
+pub mod field25519;
+pub mod gcm;
+pub mod hkdf;
+pub mod hmac;
+pub mod keccak;
+pub mod sha2;
+pub mod x25519;
+
+pub use drbg::HmacDrbg;
+pub use ed25519::{Signature, SigningKey, VerifyingKey};
+pub use envelope::{Envelope, EnvelopeKeyPair};
+pub use error::CryptoError;
+pub use gcm::AesGcm;
+
+/// Convenience: SHA-256 of a byte slice.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    sha2::Sha256::digest(data)
+}
+
+/// Convenience: SHA-512 of a byte slice.
+pub fn sha512(data: &[u8]) -> [u8; 64] {
+    sha2::Sha512::digest(data)
+}
+
+/// Convenience: Keccak-256 of a byte slice.
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    keccak::Keccak256::digest(data)
+}
+
+/// Hex-encode bytes (lowercase). Used pervasively in tests and tooling.
+pub fn hex(data: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decode a lowercase/uppercase hex string. Panics on malformed input;
+/// intended for test vectors and fixtures.
+pub fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len() % 2 == 0, "odd-length hex string");
+    let nib = |c: u8| -> u8 {
+        match c {
+            b'0'..=b'9' => c - b'0',
+            b'a'..=b'f' => c - b'a' + 10,
+            b'A'..=b'F' => c - b'A' + 10,
+            _ => panic!("invalid hex char {c}"),
+        }
+    };
+    let b = s.as_bytes();
+    (0..s.len() / 2).map(|i| (nib(b[2 * i]) << 4) | nib(b[2 * i + 1])).collect()
+}
+
+/// Constant-shape byte comparison (no early exit). Not a hard constant-time
+/// guarantee — see crate docs — but avoids the obvious timing shortcut.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0x00, 0x01, 0xab, 0xff];
+        assert_eq!(hex(&data), "0001abff");
+        assert_eq!(unhex("0001abff"), data);
+        assert_eq!(unhex("0001ABFF"), data);
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(ct_eq(b"", b""));
+    }
+}

@@ -1,0 +1,151 @@
+//! X25519 Diffie–Hellman (RFC 7748), Montgomery-ladder scalar multiplication.
+//!
+//! Used by K-Protocol's Mutual Authenticated Protocol (enclave↔enclave key
+//! agreement over attestation, §3.2.2) and by the T-Protocol digital
+//! envelope's ephemeral key exchange.
+
+use crate::field25519::Fe;
+use crate::CryptoError;
+
+/// Clamp a 32-byte scalar per RFC 7748 §5.
+pub fn clamp(scalar: &mut [u8; 32]) {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+}
+
+/// X25519: scalar multiplication on the Montgomery curve. `scalar` is
+/// clamped internally; `u` is the peer's public coordinate.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    clamp(&mut k);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+    const A24: u64 = 121665;
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(Fe::from_u64(A24).mul(e)));
+    }
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Compute the public key for a secret scalar (scalar · base point 9).
+pub fn x25519_base(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut nine = [0u8; 32];
+    nine[0] = 9;
+    x25519(scalar, &nine)
+}
+
+/// Diffie–Hellman: shared secret between `our_secret` and `their_public`.
+/// Rejects the all-zero output produced by low-order points.
+pub fn diffie_hellman(
+    our_secret: &[u8; 32],
+    their_public: &[u8; 32],
+) -> Result<[u8; 32], CryptoError> {
+    let shared = x25519(our_secret, their_public);
+    if shared == [0u8; 32] {
+        return Err(CryptoError::WeakSharedSecret);
+    }
+    Ok(shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    fn arr32(v: &[u8]) -> [u8; 32] {
+        let mut a = [0u8; 32];
+        a.copy_from_slice(v);
+        a
+    }
+
+    // RFC 7748 §5.2 vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = arr32(&unhex(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
+        ));
+        let u = arr32(&unhex(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
+        ));
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie–Hellman vectors (Alice & Bob).
+    #[test]
+    fn rfc7748_dh() {
+        let alice_sk = arr32(&unhex(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        ));
+        let bob_sk = arr32(&unhex(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        ));
+        let alice_pk = x25519_base(&alice_sk);
+        let bob_pk = x25519_base(&bob_sk);
+        assert_eq!(
+            hex(&alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = diffie_hellman(&alice_sk, &bob_pk).unwrap();
+        let s2 = diffie_hellman(&bob_sk, &alice_pk).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn low_order_point_rejected() {
+        let sk = [0x40u8; 32];
+        // u = 0 is a low-order point: shared secret is all-zero.
+        assert_eq!(
+            diffie_hellman(&sk, &[0u8; 32]).unwrap_err(),
+            crate::CryptoError::WeakSharedSecret
+        );
+    }
+
+    #[test]
+    fn dh_is_symmetric_for_random_keys() {
+        for seed in 0u8..5 {
+            let a = [seed.wrapping_add(10); 32];
+            let b = [seed.wrapping_add(100); 32];
+            let pa = x25519_base(&a);
+            let pb = x25519_base(&b);
+            assert_eq!(
+                diffie_hellman(&a, &pb).unwrap(),
+                diffie_hellman(&b, &pa).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! A small EVM assembler with labels — the target of `confide-lang`'s EVM
+//! backend and of hand-written test programs.
+
+use crate::opcode as op;
+use crate::u256::U256;
+use std::collections::HashMap;
+
+/// A symbolic jump destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvmLabel(usize);
+
+/// Assembles EVM bytecode.
+#[derive(Default)]
+pub struct Asm {
+    code: Vec<u8>,
+    labels: Vec<Option<u32>>,
+    /// Byte positions of 4-byte label placeholders (after a PUSH4).
+    fixups: Vec<(usize, EvmLabel)>,
+}
+
+impl Asm {
+    /// Fresh assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current byte offset.
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Allocate a label.
+    pub fn label(&mut self) -> EvmLabel {
+        self.labels.push(None);
+        EvmLabel(self.labels.len() - 1)
+    }
+
+    /// Bind a label here, emitting the required JUMPDEST.
+    pub fn bind(&mut self, l: EvmLabel) -> &mut Self {
+        debug_assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len() as u32);
+        self.code.push(op::JUMPDEST);
+        self
+    }
+
+    /// Emit a raw opcode byte.
+    pub fn op(&mut self, opcode: u8) -> &mut Self {
+        self.code.push(opcode);
+        self
+    }
+
+    /// PUSH a constant with minimal width.
+    pub fn push(&mut self, v: U256) -> &mut Self {
+        let bytes = v.to_be_bytes();
+        let first = bytes.iter().position(|&b| b != 0).unwrap_or(31);
+        let slice = &bytes[first..];
+        self.code.push(op::PUSH1 + (slice.len() as u8 - 1));
+        self.code.extend_from_slice(slice);
+        self
+    }
+
+    /// PUSH a u64.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.push(U256::from_u64(v))
+    }
+
+    /// PUSH exactly 32 bytes (big-endian word).
+    pub fn push_word(&mut self, word: &[u8; 32]) -> &mut Self {
+        self.code.push(op::PUSH1 + 31);
+        self.code.extend_from_slice(word);
+        self
+    }
+
+    /// PUSH the (not yet known) address of `l` as a 4-byte immediate.
+    pub fn push_label(&mut self, l: EvmLabel) -> &mut Self {
+        self.code.push(op::PUSH1 + 3); // PUSH4
+        self.fixups.push((self.code.len(), l));
+        self.code.extend_from_slice(&[0xff; 4]);
+        self
+    }
+
+    /// Unconditional jump to `l`.
+    pub fn jump(&mut self, l: EvmLabel) -> &mut Self {
+        self.push_label(l);
+        self.code.push(op::JUMP);
+        self
+    }
+
+    /// Conditional jump: pops condition, jumps if non-zero.
+    pub fn jumpi(&mut self, l: EvmLabel) -> &mut Self {
+        self.push_label(l);
+        self.code.push(op::JUMPI);
+        self
+    }
+
+    /// DUPn (1-based, per EVM convention).
+    pub fn dup(&mut self, n: u8) -> &mut Self {
+        debug_assert!((1..=16).contains(&n));
+        self.code.push(op::DUP1 + n - 1);
+        self
+    }
+
+    /// SWAPn (1-based).
+    pub fn swap(&mut self, n: u8) -> &mut Self {
+        debug_assert!((1..=16).contains(&n));
+        self.code.push(op::SWAP1 + n - 1);
+        self
+    }
+
+    /// Resolve fixups and return the bytecode.
+    pub fn finish(mut self) -> Vec<u8> {
+        for (pos, l) in self.fixups.drain(..) {
+            let target = self.labels[l.0].expect("unbound EVM label");
+            self.code[pos..pos + 4].copy_from_slice(&target.to_be_bytes());
+        }
+        self.code
+    }
+}
+
+/// Compute the set of valid JUMPDEST offsets for `code` (skipping PUSH
+/// immediates, as a real EVM must).
+pub fn jumpdests(code: &[u8]) -> HashMap<usize, ()> {
+    let mut dests = HashMap::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let opcode = code[pc];
+        if opcode == op::JUMPDEST {
+            dests.insert(pc, ());
+        }
+        if (op::PUSH1..=op::PUSH1 + 31).contains(&opcode) {
+            pc += (opcode - op::PUSH1) as usize + 1;
+        }
+        pc += 1;
+    }
+    dests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_minimal_width() {
+        let mut a = Asm::new();
+        a.push_u64(0x01);
+        a.push_u64(0x1234);
+        let code = a.finish();
+        assert_eq!(code, vec![op::PUSH1, 0x01, op::PUSH1 + 1, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn push_zero_is_one_byte_immediate() {
+        let mut a = Asm::new();
+        a.push_u64(0);
+        assert_eq!(a.finish(), vec![op::PUSH1, 0x00]);
+    }
+
+    #[test]
+    fn labels_patch_to_jumpdest() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jump(l);
+        a.op(op::INVALID);
+        a.bind(l);
+        a.op(op::STOP);
+        let code = a.finish();
+        // Find the JUMPDEST position and check the PUSH4 immediate.
+        let dest = code.iter().position(|&b| b == op::JUMPDEST).unwrap();
+        let imm = u32::from_be_bytes([code[1], code[2], code[3], code[4]]) as usize;
+        assert_eq!(imm, dest);
+        assert!(jumpdests(&code).contains_key(&dest));
+    }
+
+    #[test]
+    fn jumpdest_scan_skips_push_immediates() {
+        // PUSH2 0x5b5b embeds fake JUMPDEST bytes that must not count.
+        let code = vec![op::PUSH1 + 1, 0x5b, 0x5b, op::JUMPDEST];
+        let dests = jumpdests(&code);
+        assert!(!dests.contains_key(&1));
+        assert!(!dests.contains_key(&2));
+        assert!(dests.contains_key(&3));
+    }
+}

@@ -1,0 +1,110 @@
+//! Host interface for the EVM baseline (word-granular storage, as on
+//! Ethereum).
+
+use crate::u256::U256;
+use std::collections::HashMap;
+
+/// Host-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvmHostError {
+    /// Storage backend failed.
+    Storage(String),
+    /// Cross-contract call failed.
+    Call(String),
+}
+
+impl std::fmt::Display for EvmHostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvmHostError::Storage(m) => write!(f, "storage: {m}"),
+            EvmHostError::Call(m) => write!(f, "call: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvmHostError {}
+
+/// The environment an EVM contract executes against.
+pub trait EvmHost {
+    /// Read a storage word (zero if absent).
+    fn sload(&mut self, key: &U256) -> Result<U256, EvmHostError>;
+    /// Write a storage word.
+    fn sstore(&mut self, key: &U256, value: &U256) -> Result<(), EvmHostError>;
+    /// Message caller.
+    fn caller(&self) -> U256;
+    /// Cross-contract call; returns the callee's return data.
+    fn call_contract(&mut self, addr: &U256, input: &[u8]) -> Result<Vec<u8>, EvmHostError>;
+    /// LOG0 sink.
+    fn log(&mut self, data: &[u8]);
+    /// Byte-granular storage read (SLOADB): the SDM interface CONFIDE's
+    /// EVM shares with CONFIDE-VM.
+    fn get_storage_bytes(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, EvmHostError>;
+    /// Byte-granular storage write (SSTOREB).
+    fn set_storage_bytes(&mut self, key: &[u8], val: &[u8]) -> Result<(), EvmHostError>;
+    /// Keccak-256 for SHA3 (hosts may charge crypto cycles).
+    fn keccak256(&mut self, data: &[u8]) -> [u8; 32] {
+        confide_crypto::keccak256(data)
+    }
+}
+
+/// In-memory host for tests.
+#[derive(Default)]
+pub struct MockEvmHost {
+    /// Word-granular storage.
+    pub storage: HashMap<[u8; 32], U256>,
+    /// Byte-granular storage (SLOADB/SSTOREB).
+    pub byte_storage: HashMap<Vec<u8>, Vec<u8>>,
+    /// Caller identity.
+    pub caller: U256,
+    /// Captured logs.
+    pub logs: Vec<Vec<u8>>,
+}
+
+impl EvmHost for MockEvmHost {
+    fn sload(&mut self, key: &U256) -> Result<U256, EvmHostError> {
+        Ok(self
+            .storage
+            .get(&key.to_be_bytes())
+            .copied()
+            .unwrap_or(U256::ZERO))
+    }
+
+    fn sstore(&mut self, key: &U256, value: &U256) -> Result<(), EvmHostError> {
+        self.storage.insert(key.to_be_bytes(), *value);
+        Ok(())
+    }
+
+    fn caller(&self) -> U256 {
+        self.caller
+    }
+
+    fn call_contract(&mut self, _addr: &U256, _input: &[u8]) -> Result<Vec<u8>, EvmHostError> {
+        Err(EvmHostError::Call("MockEvmHost has no other contracts".into()))
+    }
+
+    fn log(&mut self, data: &[u8]) {
+        self.logs.push(data.to_vec());
+    }
+
+    fn get_storage_bytes(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, EvmHostError> {
+        Ok(self.byte_storage.get(key).cloned())
+    }
+
+    fn set_storage_bytes(&mut self, key: &[u8], val: &[u8]) -> Result<(), EvmHostError> {
+        self.byte_storage.insert(key.to_vec(), val.to_vec());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_storage_reads_zero() {
+        let mut h = MockEvmHost::default();
+        assert_eq!(h.sload(&U256::from_u64(5)).unwrap(), U256::ZERO);
+        h.sstore(&U256::from_u64(5), &U256::from_u64(7)).unwrap();
+        assert_eq!(h.sload(&U256::from_u64(5)).unwrap(), U256::from_u64(7));
+    }
+}

@@ -1,0 +1,746 @@
+//! The EVM interpreter loop.
+
+use crate::asm::jumpdests;
+use crate::host::{EvmHost, EvmHostError};
+use crate::opcode as op;
+use crate::u256::U256;
+use std::collections::HashMap;
+
+/// Runtime traps / abnormal terminations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvmTrap {
+    /// Pop from an empty stack.
+    StackUnderflow,
+    /// Stack grew beyond 1024 entries.
+    StackOverflow,
+    /// Jump to a non-JUMPDEST offset.
+    BadJump(u64),
+    /// Unknown or unimplemented opcode.
+    InvalidOpcode(u8),
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// Memory would exceed the configured limit.
+    MemoryLimit,
+    /// Explicit REVERT with its payload.
+    Reverted(Vec<u8>),
+    /// Host failure.
+    Host(EvmHostError),
+}
+
+impl std::fmt::Display for EvmTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvmTrap::StackUnderflow => f.write_str("stack underflow"),
+            EvmTrap::StackOverflow => f.write_str("stack overflow"),
+            EvmTrap::BadJump(pc) => write!(f, "bad jump destination {pc}"),
+            EvmTrap::InvalidOpcode(o) => write!(f, "invalid opcode 0x{o:02x} ({})", op::name(*o)),
+            EvmTrap::OutOfFuel => f.write_str("out of fuel"),
+            EvmTrap::MemoryLimit => f.write_str("memory limit exceeded"),
+            EvmTrap::Reverted(_) => f.write_str("execution reverted"),
+            EvmTrap::Host(e) => write!(f, "host error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvmTrap {}
+
+impl From<EvmHostError> for EvmTrap {
+    fn from(e: EvmHostError) -> Self {
+        EvmTrap::Host(e)
+    }
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct EvmConfig {
+    /// Maximum instructions retired.
+    pub fuel: u64,
+    /// Maximum memory bytes.
+    pub max_memory: usize,
+}
+
+impl Default for EvmConfig {
+    fn default() -> Self {
+        EvmConfig {
+            fuel: 500_000_000,
+            max_memory: 16 << 20,
+        }
+    }
+}
+
+/// Counters for the simulation cost model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvmStats {
+    /// Instructions retired.
+    pub instret: u64,
+    /// Storage/call/log host operations.
+    pub host_calls: u64,
+    /// Bytes through host operations.
+    pub host_bytes: u64,
+}
+
+/// A successful run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvmOutcome {
+    /// RETURN payload (empty on STOP).
+    pub return_data: Vec<u8>,
+    /// Counters.
+    pub stats: EvmStats,
+}
+
+/// The EVM instance: bytecode plus its precomputed JUMPDEST set.
+pub struct Evm {
+    code: Vec<u8>,
+    dests: HashMap<usize, ()>,
+    config: EvmConfig,
+}
+
+impl Evm {
+    /// Analyze `code` (JUMPDEST scan) and wrap it.
+    pub fn new(code: Vec<u8>, config: EvmConfig) -> Evm {
+        let dests = jumpdests(&code);
+        Evm {
+            code,
+            dests,
+            config,
+        }
+    }
+
+    /// Execute with `calldata` against `host`.
+    pub fn run(&self, calldata: &[u8], host: &mut dyn EvmHost) -> Result<EvmOutcome, EvmTrap> {
+        let mut stack: Vec<U256> = Vec::with_capacity(64);
+        let mut memory: Vec<u8> = Vec::new();
+        let mut return_buf: Vec<u8> = Vec::new(); // RETURNDATA of last CALL
+        let mut stats = EvmStats::default();
+        let mut fuel = self.config.fuel;
+        let mut pc = 0usize;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(EvmTrap::StackUnderflow)?
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {{
+                if stack.len() >= 1024 {
+                    return Err(EvmTrap::StackOverflow);
+                }
+                stack.push($v);
+            }};
+        }
+
+        while pc < self.code.len() {
+            if fuel == 0 {
+                return Err(EvmTrap::OutOfFuel);
+            }
+            fuel -= 1;
+            stats.instret += 1;
+            let opcode = self.code[pc];
+            pc += 1;
+            match opcode {
+                op::STOP => {
+                    return Ok(EvmOutcome {
+                        return_data: Vec::new(),
+                        stats,
+                    })
+                }
+                op::ADD => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.wrapping_add(&b));
+                }
+                op::MUL => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.wrapping_mul(&b));
+                }
+                op::SUB => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.wrapping_sub(&b));
+                }
+                op::DIV => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.div_rem(&b).0);
+                }
+                op::SDIV => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.sdiv(&b));
+                }
+                op::MOD => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.div_rem(&b).1);
+                }
+                op::SMOD => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.srem(&b));
+                }
+                op::LT => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Less));
+                }
+                op::GT => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Greater));
+                }
+                op::SLT => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(bool_word(a.cmp_s(&b) == std::cmp::Ordering::Less));
+                }
+                op::SGT => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(bool_word(a.cmp_s(&b) == std::cmp::Ordering::Greater));
+                }
+                op::EQ => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(bool_word(a == b));
+                }
+                op::ISZERO => {
+                    let a = pop!();
+                    push!(bool_word(a.is_zero()));
+                }
+                op::AND => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.and(&b));
+                }
+                op::OR => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.or(&b));
+                }
+                op::XOR => {
+                    let a = pop!();
+                    let b = pop!();
+                    push!(a.xor(&b));
+                }
+                op::NOT => {
+                    let a = pop!();
+                    push!(a.not());
+                }
+                op::BYTE => {
+                    let i = pop!();
+                    let x = pop!();
+                    let idx = if i.fits_u64() { i.low_u64() as usize } else { 32 };
+                    push!(U256::from_u64(x.byte(idx) as u64));
+                }
+                op::SHL => {
+                    let s = pop!();
+                    let v = pop!();
+                    let sh = if s.fits_u64() { s.low_u64() as usize } else { 256 };
+                    push!(v.shl(sh));
+                }
+                op::SHR => {
+                    let s = pop!();
+                    let v = pop!();
+                    let sh = if s.fits_u64() { s.low_u64() as usize } else { 256 };
+                    push!(v.shr(sh));
+                }
+                op::SAR => {
+                    let s = pop!();
+                    let v = pop!();
+                    let sh = if s.fits_u64() { s.low_u64() as usize } else { 256 };
+                    push!(v.sar(sh));
+                }
+                op::SHA3 => {
+                    let off = pop!();
+                    let len = pop!();
+                    let (off, len) = (word_usize(&off)?, word_usize(&len)?);
+                    self.expand(&mut memory, off, len)?;
+                    stats.host_calls += 1;
+                    stats.host_bytes += len as u64;
+                    let digest = host.keccak256(&memory[off..off + len]);
+                    push!(U256::from_be_bytes(&digest));
+                }
+                op::CALLER => push!(host.caller()),
+                op::CALLDATALOAD => {
+                    let off = pop!();
+                    let off = word_usize(&off)?;
+                    let mut word = [0u8; 32];
+                    for (i, w) in word.iter_mut().enumerate() {
+                        *w = calldata.get(off + i).copied().unwrap_or(0);
+                    }
+                    push!(U256::from_be_bytes(&word));
+                }
+                op::CALLDATASIZE => push!(U256::from_u64(calldata.len() as u64)),
+                op::CALLDATACOPY => {
+                    let dst = pop!();
+                    let src = pop!();
+                    let len = pop!();
+                    let (dst, src, len) = (word_usize(&dst)?, word_usize(&src)?, word_usize(&len)?);
+                    self.expand(&mut memory, dst, len)?;
+                    for i in 0..len {
+                        memory[dst + i] = calldata.get(src + i).copied().unwrap_or(0);
+                    }
+                }
+                op::RETURNDATASIZE => push!(U256::from_u64(return_buf.len() as u64)),
+                op::RETURNDATACOPY => {
+                    let dst = pop!();
+                    let src = pop!();
+                    let len = pop!();
+                    let (dst, src, len) = (word_usize(&dst)?, word_usize(&src)?, word_usize(&len)?);
+                    self.expand(&mut memory, dst, len)?;
+                    for i in 0..len {
+                        memory[dst + i] = return_buf.get(src + i).copied().unwrap_or(0);
+                    }
+                }
+                op::POP => {
+                    pop!();
+                }
+                op::MLOAD => {
+                    let off = pop!();
+                    let off = word_usize(&off)?;
+                    self.expand(&mut memory, off, 32)?;
+                    let mut word = [0u8; 32];
+                    word.copy_from_slice(&memory[off..off + 32]);
+                    push!(U256::from_be_bytes(&word));
+                }
+                op::MSTORE => {
+                    let off = pop!();
+                    let val = pop!();
+                    let off = word_usize(&off)?;
+                    self.expand(&mut memory, off, 32)?;
+                    memory[off..off + 32].copy_from_slice(&val.to_be_bytes());
+                }
+                op::MSTORE8 => {
+                    let off = pop!();
+                    let val = pop!();
+                    let off = word_usize(&off)?;
+                    self.expand(&mut memory, off, 1)?;
+                    memory[off] = (val.low_u64() & 0xff) as u8;
+                }
+                op::SLOAD => {
+                    let key = pop!();
+                    stats.host_calls += 1;
+                    stats.host_bytes += 64;
+                    push!(host.sload(&key)?);
+                }
+                op::SSTORE => {
+                    let key = pop!();
+                    let val = pop!();
+                    stats.host_calls += 1;
+                    stats.host_bytes += 64;
+                    host.sstore(&key, &val)?;
+                }
+                op::JUMP => {
+                    let dst = pop!();
+                    pc = self.checked_dest(&dst)?;
+                }
+                op::JUMPI => {
+                    // EVM order: destination on top, condition beneath.
+                    let dst = pop!();
+                    let cond = pop!();
+                    if !cond.is_zero() {
+                        pc = self.checked_dest(&dst)?;
+                    }
+                }
+                op::PC => push!(U256::from_u64(pc as u64 - 1)),
+                op::JUMPDEST => {}
+                0x60..=0x7f => {
+                    let n = (opcode - op::PUSH1) as usize + 1;
+                    let end = (pc + n).min(self.code.len());
+                    let imm = &self.code[pc..end];
+                    push!(U256::from_be_slice(imm));
+                    pc += n;
+                }
+                0x80..=0x8f => {
+                    let n = (opcode - op::DUP1) as usize + 1;
+                    if stack.len() < n {
+                        return Err(EvmTrap::StackUnderflow);
+                    }
+                    let v = stack[stack.len() - n];
+                    push!(v);
+                }
+                0x90..=0x9f => {
+                    let n = (opcode - op::SWAP1) as usize + 1;
+                    if stack.len() < n + 1 {
+                        return Err(EvmTrap::StackUnderflow);
+                    }
+                    let top = stack.len() - 1;
+                    stack.swap(top, top - n);
+                }
+                op::LOG0 => {
+                    let off = pop!();
+                    let len = pop!();
+                    let (off, len) = (word_usize(&off)?, word_usize(&len)?);
+                    self.expand(&mut memory, off, len)?;
+                    stats.host_calls += 1;
+                    stats.host_bytes += len as u64;
+                    host.log(&memory[off..off + len]);
+                }
+                op::CALL => {
+                    // EVM order (top first): gas, addr, value, argsOff,
+                    // argsLen, retOff, retLen.
+                    let _gas = pop!();
+                    let addr = pop!();
+                    let _value = pop!();
+                    let args_off = pop!();
+                    let args_len = pop!();
+                    let ret_off = pop!();
+                    let ret_len = pop!();
+                    let (args_off, args_len) = (word_usize(&args_off)?, word_usize(&args_len)?);
+                    let (ret_off, ret_len) = (word_usize(&ret_off)?, word_usize(&ret_len)?);
+                    self.expand(&mut memory, args_off, args_len)?;
+                    let input = memory[args_off..args_off + args_len].to_vec();
+                    stats.host_calls += 1;
+                    stats.host_bytes += input.len() as u64;
+                    // Precompile 0x02: SHA-256, as on Ethereum.
+                    if addr == U256::from_u64(2) {
+                        let digest = confide_crypto::sha256(&input).to_vec();
+                        stats.host_bytes += 32;
+                        self.expand(&mut memory, ret_off, ret_len)?;
+                        let n = digest.len().min(ret_len);
+                        memory[ret_off..ret_off + n].copy_from_slice(&digest[..n]);
+                        return_buf = digest;
+                        push!(U256::ONE);
+                        continue;
+                    }
+                    match host.call_contract(&addr, &input) {
+                        Ok(data) => {
+                            stats.host_bytes += data.len() as u64;
+                            self.expand(&mut memory, ret_off, ret_len)?;
+                            let n = data.len().min(ret_len);
+                            memory[ret_off..ret_off + n].copy_from_slice(&data[..n]);
+                            return_buf = data;
+                            push!(U256::ONE);
+                        }
+                        Err(_) => {
+                            return_buf.clear();
+                            push!(U256::ZERO);
+                        }
+                    }
+                }
+                op::SLOADB => {
+                    // Pops (top first): key_off, key_len, dst_off, cap.
+                    // Pushes the full value length, or -1 (as 2^256-1) when
+                    // absent. Copies min(len, cap) bytes to dst_off.
+                    let key_off = pop!();
+                    let key_len = pop!();
+                    let dst_off = pop!();
+                    let cap = pop!();
+                    let (key_off, key_len) = (word_usize(&key_off)?, word_usize(&key_len)?);
+                    let (dst_off, cap) = (word_usize(&dst_off)?, word_usize(&cap)?);
+                    self.expand(&mut memory, key_off, key_len)?;
+                    let key = memory[key_off..key_off + key_len].to_vec();
+                    stats.host_calls += 1;
+                    match host.get_storage_bytes(&key)? {
+                        Some(val) => {
+                            stats.host_bytes += (key.len() + val.len()) as u64;
+                            let n = val.len().min(cap);
+                            self.expand(&mut memory, dst_off, n)?;
+                            memory[dst_off..dst_off + n].copy_from_slice(&val[..n]);
+                            push!(U256::from_u64(val.len() as u64));
+                        }
+                        None => {
+                            stats.host_bytes += key.len() as u64;
+                            push!(U256::MAX); // -1
+                        }
+                    }
+                }
+                op::SSTOREB => {
+                    // Pops (top first): key_off, key_len, val_off, val_len.
+                    let key_off = pop!();
+                    let key_len = pop!();
+                    let val_off = pop!();
+                    let val_len = pop!();
+                    let (key_off, key_len) = (word_usize(&key_off)?, word_usize(&key_len)?);
+                    let (val_off, val_len) = (word_usize(&val_off)?, word_usize(&val_len)?);
+                    self.expand(&mut memory, key_off, key_len)?;
+                    self.expand(&mut memory, val_off, val_len)?;
+                    let key = memory[key_off..key_off + key_len].to_vec();
+                    let val = memory[val_off..val_off + val_len].to_vec();
+                    stats.host_calls += 1;
+                    stats.host_bytes += (key.len() + val.len()) as u64;
+                    host.set_storage_bytes(&key, &val)?;
+                }
+                op::RETURN => {
+                    let off = pop!();
+                    let len = pop!();
+                    let (off, len) = (word_usize(&off)?, word_usize(&len)?);
+                    self.expand(&mut memory, off, len)?;
+                    return Ok(EvmOutcome {
+                        return_data: memory[off..off + len].to_vec(),
+                        stats,
+                    });
+                }
+                op::REVERT => {
+                    let off = pop!();
+                    let len = pop!();
+                    let (off, len) = (word_usize(&off)?, word_usize(&len)?);
+                    self.expand(&mut memory, off, len)?;
+                    return Err(EvmTrap::Reverted(memory[off..off + len].to_vec()));
+                }
+                other => return Err(EvmTrap::InvalidOpcode(other)),
+            }
+        }
+        // Fell off the end of code: implicit STOP.
+        Ok(EvmOutcome {
+            return_data: Vec::new(),
+            stats,
+        })
+    }
+
+    fn checked_dest(&self, dst: &U256) -> Result<usize, EvmTrap> {
+        if !dst.fits_u64() {
+            return Err(EvmTrap::BadJump(u64::MAX));
+        }
+        let d = dst.low_u64() as usize;
+        if self.dests.contains_key(&d) {
+            Ok(d)
+        } else {
+            Err(EvmTrap::BadJump(d as u64))
+        }
+    }
+
+    fn expand(&self, memory: &mut Vec<u8>, off: usize, len: usize) -> Result<(), EvmTrap> {
+        let end = off.checked_add(len).ok_or(EvmTrap::MemoryLimit)?;
+        if end > self.config.max_memory {
+            return Err(EvmTrap::MemoryLimit);
+        }
+        if end > memory.len() {
+            // Word-aligned growth as on Ethereum.
+            memory.resize(end.div_ceil(32) * 32, 0);
+        }
+        Ok(())
+    }
+}
+
+fn bool_word(b: bool) -> U256 {
+    if b {
+        U256::ONE
+    } else {
+        U256::ZERO
+    }
+}
+
+fn word_usize(v: &U256) -> Result<usize, EvmTrap> {
+    if !v.fits_u64() || v.low_u64() > usize::MAX as u64 {
+        return Err(EvmTrap::MemoryLimit);
+    }
+    Ok(v.low_u64() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::host::MockEvmHost;
+    use crate::opcode as op;
+
+    fn run(code: Vec<u8>, calldata: &[u8]) -> Result<EvmOutcome, EvmTrap> {
+        let mut host = MockEvmHost::default();
+        Evm::new(code, EvmConfig::default()).run(calldata, &mut host)
+    }
+
+    fn run_with(code: Vec<u8>, calldata: &[u8], host: &mut MockEvmHost) -> Result<EvmOutcome, EvmTrap> {
+        Evm::new(code, EvmConfig::default()).run(calldata, host)
+    }
+
+    /// Return the top-of-stack value via MSTORE(0) + RETURN(0,32).
+    fn ret_top(a: &mut Asm) {
+        a.push_u64(0).op(op::MSTORE);
+        a.push_u64(32).push_u64(0).op(op::RETURN);
+    }
+
+    fn word(out: &EvmOutcome) -> U256 {
+        let mut w = [0u8; 32];
+        w.copy_from_slice(&out.return_data);
+        U256::from_be_bytes(&w)
+    }
+
+    #[test]
+    fn add_mul_return() {
+        let mut a = Asm::new();
+        a.push_u64(7).push_u64(5).op(op::MUL).push_u64(2).op(op::ADD); // 5*7+2
+        ret_top(&mut a);
+        let out = run(a.finish(), &[]).unwrap();
+        assert_eq!(word(&out), U256::from_u64(37));
+    }
+
+    #[test]
+    fn stack_ops_dup_swap() {
+        let mut a = Asm::new();
+        a.push_u64(1).push_u64(2).dup(2).swap(1); // stack: 1 2 ... dup2→1, swap1 → 1 1 2? verify: [1,2] dup2 → [1,2,1]; swap1 → [1,1,2]
+        a.op(op::SUB); // 1 - 2 ... wait EVM SUB pops a=top? EVM: a=pop, b=pop, push a-b? Actually stack[top]=2 is `a`... our impl: b=pop, a=pop, a-b.
+        ret_top(&mut a);
+        let out = run(a.finish(), &[]).unwrap();
+        // Stack before SUB (top last): [1, 1, 2]; EVM SUB = top − second = 1.
+        assert_eq!(word(&out), U256::from_u64(1));
+    }
+
+    #[test]
+    fn conditional_jump_selects_branch() {
+        // if calldata[0..32] != 0 return 1 else return 2
+        let mut a = Asm::new();
+        let then = a.label();
+        a.push_u64(0).op(op::CALLDATALOAD);
+        a.jumpi(then);
+        a.push_u64(2);
+        ret_top(&mut a);
+        a.bind(then);
+        a.push_u64(1);
+        ret_top(&mut a);
+        let code = a.finish();
+        let mut arg = [0u8; 32];
+        assert_eq!(word(&run(code.clone(), &arg).unwrap()), U256::from_u64(2));
+        arg[31] = 1;
+        assert_eq!(word(&run(code, &arg).unwrap()), U256::from_u64(1));
+    }
+
+    #[test]
+    fn jump_to_non_jumpdest_traps() {
+        let mut a = Asm::new();
+        a.push_u64(0).op(op::JUMP);
+        assert!(matches!(run(a.finish(), &[]), Err(EvmTrap::BadJump(0))));
+    }
+
+    #[test]
+    fn loop_sum_1_to_100() {
+        // memory[0] = i, memory[32] = acc — like compiled code would.
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        a.push_u64(1).push_u64(0).op(op::MSTORE);
+        a.push_u64(0).push_u64(32).op(op::MSTORE);
+        a.bind(top);
+        // if i > 100 goto done
+        a.push_u64(100).push_u64(0).op(op::MLOAD).op(op::GT); // i > 100
+        a.jumpi(done);
+        // acc += i
+        a.push_u64(32).op(op::MLOAD).push_u64(0).op(op::MLOAD).op(op::ADD);
+        a.push_u64(32).op(op::MSTORE);
+        // i += 1
+        a.push_u64(0).op(op::MLOAD).push_u64(1).op(op::ADD).push_u64(0).op(op::MSTORE);
+        a.jump(top);
+        a.bind(done);
+        a.push_u64(32).op(op::MLOAD);
+        ret_top(&mut a);
+        let out = run(a.finish(), &[]).unwrap();
+        assert_eq!(word(&out), U256::from_u64(5050));
+        // The 256-bit loop costs plenty of instructions — that's the point.
+        assert!(out.stats.instret > 1000);
+    }
+
+    #[test]
+    fn storage_roundtrip_and_counters() {
+        let mut a = Asm::new();
+        a.push_u64(0xbeef).push_u64(1).op(op::SSTORE);
+        a.push_u64(1).op(op::SLOAD);
+        ret_top(&mut a);
+        let mut host = MockEvmHost::default();
+        let out = run_with(a.finish(), &[], &mut host).unwrap();
+        assert_eq!(word(&out), U256::from_u64(0xbeef));
+        assert_eq!(out.stats.host_calls, 2);
+    }
+
+    #[test]
+    fn sha3_hashes_memory() {
+        let mut a = Asm::new();
+        // memory[0..3] = "abc" via MSTORE8
+        a.push_u64('a' as u64).push_u64(0).op(op::MSTORE8);
+        a.push_u64('b' as u64).push_u64(1).op(op::MSTORE8);
+        a.push_u64('c' as u64).push_u64(2).op(op::MSTORE8);
+        a.push_u64(3).push_u64(0).op(op::SHA3);
+        ret_top(&mut a);
+        let out = run(a.finish(), &[]).unwrap();
+        assert_eq!(
+            confide_crypto::hex(&out.return_data),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn revert_carries_payload() {
+        let mut a = Asm::new();
+        a.push_u64(0xff).push_u64(0).op(op::MSTORE8);
+        a.push_u64(1).push_u64(0).op(op::REVERT);
+        assert_eq!(
+            run(a.finish(), &[]).unwrap_err(),
+            EvmTrap::Reverted(vec![0xff])
+        );
+    }
+
+    #[test]
+    fn calldata_copy_and_size() {
+        let mut a = Asm::new();
+        a.op(op::CALLDATASIZE); // len
+        a.push_u64(0); // src
+        a.push_u64(64); // dst
+        // stack now [len, src, dst] top=dst: CALLDATACOPY pops len, src, dst in our impl order
+        a.op(op::CALLDATACOPY);
+        a.op(op::CALLDATASIZE).push_u64(64).op(op::RETURN);
+        let out = run(a.finish(), b"payload!").unwrap();
+        assert_eq!(out.return_data, b"payload!");
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.jump(top);
+        let code = a.finish();
+        let mut host = MockEvmHost::default();
+        let evm = Evm::new(
+            code,
+            EvmConfig {
+                fuel: 100,
+                ..EvmConfig::default()
+            },
+        );
+        assert_eq!(evm.run(&[], &mut host).unwrap_err(), EvmTrap::OutOfFuel);
+    }
+
+    #[test]
+    fn memory_limit_enforced() {
+        let mut a = Asm::new();
+        a.push_u64(1).push(U256::from_u64(1 << 40)).op(op::MSTORE);
+        assert_eq!(run(a.finish(), &[]).unwrap_err(), EvmTrap::MemoryLimit);
+    }
+
+    #[test]
+    fn invalid_opcode_traps() {
+        assert_eq!(
+            run(vec![0xef], &[]).unwrap_err(),
+            EvmTrap::InvalidOpcode(0xef)
+        );
+    }
+
+    #[test]
+    fn stack_overflow_at_1024() {
+        let mut code = Vec::new();
+        let mut a = Asm::new();
+        a.push_u64(1);
+        let push1 = a.finish();
+        for _ in 0..1030 {
+            code.extend_from_slice(&push1);
+        }
+        assert_eq!(run(code, &[]).unwrap_err(), EvmTrap::StackOverflow);
+    }
+
+    #[test]
+    fn implicit_stop_and_explicit_stop() {
+        assert!(run(vec![], &[]).unwrap().return_data.is_empty());
+        assert!(run(vec![op::STOP], &[]).unwrap().return_data.is_empty());
+    }
+
+    #[test]
+    fn caller_exposed() {
+        let mut a = Asm::new();
+        a.op(op::CALLER);
+        ret_top(&mut a);
+        let mut host = MockEvmHost::default();
+        host.caller = U256::from_u64(0xabc);
+        let out = run_with(a.finish(), &[], &mut host).unwrap();
+        assert_eq!(word(&out), U256::from_u64(0xabc));
+    }
+}

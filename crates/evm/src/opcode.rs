@@ -1,0 +1,127 @@
+//! EVM opcode constants (Ethereum yellow-paper numbering for the subset we
+//! implement).
+
+#![allow(missing_docs)]
+
+pub const STOP: u8 = 0x00;
+pub const ADD: u8 = 0x01;
+pub const MUL: u8 = 0x02;
+pub const SUB: u8 = 0x03;
+pub const DIV: u8 = 0x04;
+pub const SDIV: u8 = 0x05;
+pub const MOD: u8 = 0x06;
+pub const SMOD: u8 = 0x07;
+pub const LT: u8 = 0x10;
+pub const GT: u8 = 0x11;
+pub const SLT: u8 = 0x12;
+pub const SGT: u8 = 0x13;
+pub const EQ: u8 = 0x14;
+pub const ISZERO: u8 = 0x15;
+pub const AND: u8 = 0x16;
+pub const OR: u8 = 0x17;
+pub const XOR: u8 = 0x18;
+pub const NOT: u8 = 0x19;
+pub const BYTE: u8 = 0x1a;
+pub const SHL: u8 = 0x1b;
+pub const SHR: u8 = 0x1c;
+pub const SAR: u8 = 0x1d;
+pub const SHA3: u8 = 0x20;
+pub const CALLER: u8 = 0x33;
+pub const CALLDATALOAD: u8 = 0x35;
+pub const CALLDATASIZE: u8 = 0x36;
+pub const CALLDATACOPY: u8 = 0x37;
+pub const RETURNDATASIZE: u8 = 0x3d;
+pub const RETURNDATACOPY: u8 = 0x3e;
+pub const POP: u8 = 0x50;
+pub const MLOAD: u8 = 0x51;
+pub const MSTORE: u8 = 0x52;
+pub const MSTORE8: u8 = 0x53;
+pub const SLOAD: u8 = 0x54;
+pub const SSTORE: u8 = 0x55;
+pub const JUMP: u8 = 0x56;
+pub const JUMPI: u8 = 0x57;
+pub const PC: u8 = 0x58;
+pub const JUMPDEST: u8 = 0x5b;
+pub const PUSH1: u8 = 0x60; // PUSH1..PUSH32 = 0x60..0x7f
+pub const DUP1: u8 = 0x80; // DUP1..DUP16 = 0x80..0x8f
+pub const SWAP1: u8 = 0x90; // SWAP1..SWAP16 = 0x90..0x9f
+pub const LOG0: u8 = 0xa0;
+pub const CALL: u8 = 0xf1;
+/// Nonstandard: byte-granular storage read through the SDM (CONFIDE's EVM
+/// stores state via the same KV interface as CONFIDE-VM; see crate docs).
+pub const SLOADB: u8 = 0xf5;
+/// Nonstandard: byte-granular storage write through the SDM.
+pub const SSTOREB: u8 = 0xf6;
+pub const RETURN: u8 = 0xf3;
+pub const REVERT: u8 = 0xfd;
+pub const INVALID: u8 = 0xfe;
+
+/// Human-readable mnemonic (diagnostics).
+pub fn name(op: u8) -> &'static str {
+    match op {
+        STOP => "STOP",
+        ADD => "ADD",
+        MUL => "MUL",
+        SUB => "SUB",
+        DIV => "DIV",
+        SDIV => "SDIV",
+        MOD => "MOD",
+        SMOD => "SMOD",
+        LT => "LT",
+        GT => "GT",
+        SLT => "SLT",
+        SGT => "SGT",
+        EQ => "EQ",
+        ISZERO => "ISZERO",
+        AND => "AND",
+        OR => "OR",
+        XOR => "XOR",
+        NOT => "NOT",
+        BYTE => "BYTE",
+        SHL => "SHL",
+        SHR => "SHR",
+        SAR => "SAR",
+        SHA3 => "SHA3",
+        CALLER => "CALLER",
+        CALLDATALOAD => "CALLDATALOAD",
+        CALLDATASIZE => "CALLDATASIZE",
+        CALLDATACOPY => "CALLDATACOPY",
+        RETURNDATASIZE => "RETURNDATASIZE",
+        RETURNDATACOPY => "RETURNDATACOPY",
+        POP => "POP",
+        MLOAD => "MLOAD",
+        MSTORE => "MSTORE",
+        MSTORE8 => "MSTORE8",
+        SLOAD => "SLOAD",
+        SSTORE => "SSTORE",
+        JUMP => "JUMP",
+        JUMPI => "JUMPI",
+        PC => "PC",
+        JUMPDEST => "JUMPDEST",
+        0x60..=0x7f => "PUSH",
+        0x80..=0x8f => "DUP",
+        0x90..=0x9f => "SWAP",
+        LOG0 => "LOG0",
+        CALL => "CALL",
+        SLOADB => "SLOADB",
+        SSTOREB => "SSTOREB",
+        RETURN => "RETURN",
+        REVERT => "REVERT",
+        INVALID => "INVALID",
+        _ => "UNKNOWN",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_core_set() {
+        assert_eq!(name(ADD), "ADD");
+        assert_eq!(name(0x65), "PUSH");
+        assert_eq!(name(0x8f), "DUP");
+        assert_eq!(name(0x9f), "SWAP");
+        assert_eq!(name(0xcc), "UNKNOWN");
+    }
+}

@@ -1,0 +1,446 @@
+//! 256-bit unsigned integers: the EVM word, built from four u64 limbs.
+
+/// A 256-bit unsigned integer, little-endian limb order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl std::fmt::Debug for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "0x{:016x}{:016x}{:016x}{:016x}",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// All bits set.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// From a u64.
+    pub const fn from_u64(v: u64) -> U256 {
+        U256([v, 0, 0, 0])
+    }
+
+    /// From a u128.
+    pub const fn from_u128(v: u128) -> U256 {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Low 64 bits.
+    pub const fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Low 128 bits.
+    pub const fn low_u128(&self) -> u128 {
+        self.0[0] as u128 | ((self.0[1] as u128) << 64)
+    }
+
+    /// True if the value fits in u64.
+    pub fn fits_u64(&self) -> bool {
+        self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Parse from 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            *limb = u64::from_be_bytes(w);
+        }
+        U256(limbs)
+    }
+
+    /// Serialize to 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// From a big-endian slice of at most 32 bytes (EVM PUSH semantics).
+    pub fn from_be_slice(bytes: &[u8]) -> U256 {
+        debug_assert!(bytes.len() <= 32);
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        U256::from_be_bytes(&buf)
+    }
+
+    /// Wrapping addition.
+    pub fn wrapping_add(&self, rhs: &U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        U256(out)
+    }
+
+    /// Wrapping subtraction.
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        U256(out)
+    }
+
+    /// Wrapping multiplication (low 256 bits of the product).
+    pub fn wrapping_mul(&self, rhs: &U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 - i {
+                let cur = out[i + j] as u128 + self.0[i] as u128 * rhs.0[j] as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        U256(out)
+    }
+
+    /// Quotient and remainder. Division by zero yields (0, 0), matching EVM.
+    pub fn div_rem(&self, rhs: &U256) -> (U256, U256) {
+        if rhs.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        if rhs.fits_u64() && self.fits_u64() {
+            let (q, r) = (self.0[0] / rhs.0[0], self.0[0] % rhs.0[0]);
+            return (U256::from_u64(q), U256::from_u64(r));
+        }
+        // Binary long division, MSB-first.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        for bit in (0..256).rev() {
+            remainder = remainder.shl(1);
+            if self.bit(bit) {
+                remainder.0[0] |= 1;
+            }
+            if remainder.cmp_u(rhs) != std::cmp::Ordering::Less {
+                remainder = remainder.wrapping_sub(rhs);
+                quotient.0[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Bit `n` (0 = LSB).
+    pub fn bit(&self, n: usize) -> bool {
+        (self.0[n / 64] >> (n % 64)) & 1 == 1
+    }
+
+    /// Unsigned comparison.
+    pub fn cmp_u(&self, rhs: &U256) -> std::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&rhs.0[i]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Signed comparison (two's complement over 256 bits).
+    pub fn cmp_s(&self, rhs: &U256) -> std::cmp::Ordering {
+        let a_neg = self.bit(255);
+        let b_neg = rhs.bit(255);
+        match (a_neg, b_neg) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            _ => self.cmp_u(rhs),
+        }
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> U256 {
+        U256::ZERO.wrapping_sub(self)
+    }
+
+    /// Signed division, EVM SDIV semantics (trunc toward zero; /0 = 0).
+    pub fn sdiv(&self, rhs: &U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let a_neg = self.bit(255);
+        let b_neg = rhs.bit(255);
+        let a = if a_neg { self.neg() } else { *self };
+        let b = if b_neg { rhs.neg() } else { *rhs };
+        let (q, _) = a.div_rem(&b);
+        if a_neg != b_neg {
+            q.neg()
+        } else {
+            q
+        }
+    }
+
+    /// Signed remainder, EVM SMOD semantics (sign of dividend; %0 = 0).
+    pub fn srem(&self, rhs: &U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let a_neg = self.bit(255);
+        let a = if a_neg { self.neg() } else { *self };
+        let b = if rhs.bit(255) { rhs.neg() } else { *rhs };
+        let (_, r) = a.div_rem(&b);
+        if a_neg {
+            r.neg()
+        } else {
+            r
+        }
+    }
+
+    /// Bitwise and.
+    pub fn and(&self, rhs: &U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+
+    /// Bitwise or.
+    pub fn or(&self, rhs: &U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&self, rhs: &U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+
+    /// Bitwise not.
+    pub fn not(&self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+
+    /// Left shift; shifts ≥ 256 produce zero.
+    pub fn shl(&self, shift: usize) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            if i >= limb_shift {
+                out[i] = self.0[i - limb_shift] << bit_shift;
+                if bit_shift > 0 && i > limb_shift {
+                    out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+
+    /// Logical right shift; shifts ≥ 256 produce zero.
+    pub fn shr(&self, shift: usize) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if i + limb_shift < 4 {
+                out[i] = self.0[i + limb_shift] >> bit_shift;
+                if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                    out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+
+    /// Arithmetic right shift (sign-extending), EVM SAR.
+    pub fn sar(&self, shift: usize) -> U256 {
+        let negative = self.bit(255);
+        if shift >= 256 {
+            return if negative { U256::MAX } else { U256::ZERO };
+        }
+        let logical = self.shr(shift);
+        if !negative || shift == 0 {
+            return logical;
+        }
+        // Fill the vacated top bits with ones.
+        let fill = U256::MAX.shl(256 - shift);
+        logical.or(&fill)
+    }
+
+    /// EVM BYTE opcode: the `i`-th byte from the big-endian representation
+    /// (0 = most significant); ≥32 yields 0.
+    pub fn byte(&self, i: usize) -> u8 {
+        if i >= 32 {
+            return 0;
+        }
+        self.to_be_bytes()[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256([1, 2, 3, 4]);
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+        let mut one = [0u8; 32];
+        one[31] = 1;
+        assert_eq!(U256::from_be_bytes(&one), U256::ONE);
+    }
+
+    #[test]
+    fn from_be_slice_pads_left() {
+        assert_eq!(U256::from_be_slice(&[0x12, 0x34]), U256::from_u64(0x1234));
+        assert_eq!(U256::from_be_slice(&[]), U256::ZERO);
+    }
+
+    #[test]
+    fn add_sub_carries_across_limbs() {
+        let max_low = U256([u64::MAX, 0, 0, 0]);
+        let sum = max_low.wrapping_add(&U256::ONE);
+        assert_eq!(sum, U256([0, 1, 0, 0]));
+        assert_eq!(sum.wrapping_sub(&U256::ONE), max_low);
+        // Full wrap-around.
+        assert_eq!(U256::MAX.wrapping_add(&U256::ONE), U256::ZERO);
+        assert_eq!(U256::ZERO.wrapping_sub(&U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn mul_crosses_limbs() {
+        let a = U256::from_u128(u128::MAX);
+        let b = U256::from_u64(2);
+        assert_eq!(a.wrapping_mul(&b), U256([u64::MAX - 1, u64::MAX, 1, 0]));
+    }
+
+    #[test]
+    fn div_rem_basics() {
+        let (q, r) = U256::from_u64(100).div_rem(&U256::from_u64(7));
+        assert_eq!((q.low_u64(), r.low_u64()), (14, 2));
+        // Division by zero is (0, 0) per EVM.
+        let (q, r) = U256::from_u64(5).div_rem(&U256::ZERO);
+        assert!(q.is_zero() && r.is_zero());
+        // Wide dividend.
+        let big = U256([0, 0, 0, 1]); // 2^192
+        let (q, r) = big.div_rem(&U256::from_u64(2));
+        assert_eq!(q, U256([0, 0, 1 << 63, 0]));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn signed_ops_match_evm_semantics() {
+        let minus_7 = U256::from_u64(7).neg();
+        let two = U256::from_u64(2);
+        assert_eq!(minus_7.sdiv(&two), U256::from_u64(3).neg()); // trunc toward 0
+        assert_eq!(minus_7.srem(&two), U256::ONE.neg()); // sign of dividend
+        assert_eq!(minus_7.cmp_s(&two), Ordering::Less);
+        assert_eq!(two.cmp_s(&minus_7), Ordering::Greater);
+        assert_eq!(minus_7.cmp_u(&two), Ordering::Greater); // unsigned view
+    }
+
+    #[test]
+    fn shifts() {
+        let one = U256::ONE;
+        assert_eq!(one.shl(64), U256([0, 1, 0, 0]));
+        assert_eq!(one.shl(255).shr(255), one);
+        assert_eq!(one.shl(256), U256::ZERO);
+        assert_eq!(U256::MAX.shr(192), U256([u64::MAX, 0, 0, 0]));
+        // SAR on a negative number keeps the sign.
+        let minus_8 = U256::from_u64(8).neg();
+        assert_eq!(minus_8.sar(2), U256::from_u64(2).neg());
+        assert_eq!(minus_8.sar(300), U256::MAX);
+        assert_eq!(U256::from_u64(8).sar(2), U256::from_u64(2));
+    }
+
+    #[test]
+    fn byte_indexing_is_big_endian() {
+        let v = U256::from_u64(0x0102);
+        assert_eq!(v.byte(31), 0x02);
+        assert_eq!(v.byte(30), 0x01);
+        assert_eq!(v.byte(0), 0);
+        assert_eq!(v.byte(99), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let sum = U256::from_u64(a).wrapping_add(&U256::from_u64(b));
+            prop_assert_eq!(sum.low_u128(), a as u128 + b as u128);
+        }
+
+        #[test]
+        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = U256::from_u64(a).wrapping_mul(&U256::from_u64(b));
+            prop_assert_eq!(prod.low_u128(), a as u128 * b as u128);
+        }
+
+        #[test]
+        fn div_rem_invariant(a in any::<u128>(), b in 1u64..) {
+            let (q, r) = U256::from_u128(a).div_rem(&U256::from_u64(b));
+            // a == q*b + r and r < b
+            let recomposed = q.wrapping_mul(&U256::from_u64(b)).wrapping_add(&r);
+            prop_assert_eq!(recomposed, U256::from_u128(a));
+            prop_assert!(r.cmp_u(&U256::from_u64(b)) == Ordering::Less);
+        }
+
+        #[test]
+        fn sub_add_round_trip(a in any::<[u64;4]>(), b in any::<[u64;4]>()) {
+            let x = U256(a);
+            let y = U256(b);
+            prop_assert_eq!(x.wrapping_sub(&y).wrapping_add(&y), x);
+        }
+
+        #[test]
+        fn shl_shr_round_trip_when_no_loss(v in any::<u64>(), s in 0usize..192) {
+            let x = U256::from_u64(v);
+            prop_assert_eq!(x.shl(s).shr(s), x);
+        }
+
+        #[test]
+        fn bytes_round_trip_random(a in any::<[u64;4]>()) {
+            let x = U256(a);
+            prop_assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
+        }
+
+        #[test]
+        fn not_is_involution(a in any::<[u64;4]>()) {
+            let x = U256(a);
+            prop_assert_eq!(x.not().not(), x);
+            prop_assert_eq!(x.xor(&x), U256::ZERO);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! CCL abstract syntax.
+
+/// Value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// Byte string (pointer+length handle at runtime).
+    Bytes,
+    /// No value (void functions).
+    Unit,
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Bytes => f.write_str("bytes"),
+            Type::Unit => f.write_str("()"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    AndAnd,
+    /// `||` (short-circuit)
+    OrOr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (int → 0/1).
+    Not,
+}
+
+/// Expressions, annotated with their line for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, usize),
+    /// Byte-string literal.
+    Str(Vec<u8>, usize),
+    /// Variable reference.
+    Var(String, usize),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, usize),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>, usize),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>, usize),
+    /// Byte indexing sugar `b[i]` (= `byte_at(b, i)`).
+    Index(Box<Expr>, Box<Expr>, usize),
+}
+
+impl Expr {
+    /// Source line.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Str(_, l)
+            | Expr::Var(_, l)
+            | Expr::Bin(_, _, _, l)
+            | Expr::Un(_, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::Index(_, _, l) => *l,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name: ty = expr;`
+    Let(String, Type, Expr, usize),
+    /// `name = expr;`
+    Assign(String, Expr, usize),
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>, usize),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>, usize),
+    /// `return;` / `return expr;`
+    Return(Option<Expr>, usize),
+    /// Bare expression (value discarded).
+    Expr(Expr, usize),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Name.
+    pub name: String,
+    /// `export fn` = contract entry point.
+    pub exported: bool,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Type)>,
+    /// Return type.
+    pub ret: Type,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Definition line.
+    pub line: usize,
+}
+
+/// A whole (stdlib + user) program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// All functions in definition order.
+    pub functions: Vec<FnDef>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn get(&self, name: &str) -> Option<&FnDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Names of exported functions, in definition order.
+    pub fn exports(&self) -> Vec<&str> {
+        self.functions
+            .iter()
+            .filter(|f| f.exported)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+/// Builtin (intrinsic) signatures shared by the typechecker and backends.
+/// Returns `(param_types, return_type)` or `None` for non-builtins.
+pub fn builtin_signature(name: &str) -> Option<(Vec<Type>, Type)> {
+    use Type::*;
+    Some(match name {
+        "input" => (vec![], Bytes),
+        "ret" => (vec![Bytes], Unit),
+        "alloc" => (vec![Int], Bytes),
+        "len" => (vec![Bytes], Int),
+        "byte_at" => (vec![Bytes, Int], Int),
+        "set_byte" => (vec![Bytes, Int, Int], Unit),
+        "take" => (vec![Bytes, Int], Bytes),
+        "sha256" => (vec![Bytes], Bytes),
+        "keccak256" => (vec![Bytes], Bytes),
+        "sender" => (vec![], Bytes),
+        "log" => (vec![Bytes], Unit),
+        "storage_set" => (vec![Bytes, Bytes], Unit),
+        // Raw storage read into caller-provided buffer; returns full value
+        // length or -1. (The friendly wrapper lives in the stdlib.)
+        "__get_storage" => (vec![Bytes, Bytes], Int),
+        // Raw cross-contract call into caller buffer; returns output length.
+        "__call" => (vec![Bytes, Bytes, Bytes], Int),
+        // Bulk copy: (dst, dst_off, src).
+        "__copy" => (vec![Bytes, Int, Bytes], Unit),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_signatures_exist() {
+        assert!(builtin_signature("input").is_some());
+        assert!(builtin_signature("__copy").is_some());
+        assert!(builtin_signature("no_such_builtin").is_none());
+    }
+
+    #[test]
+    fn exports_filter() {
+        let p = Program {
+            functions: vec![
+                FnDef {
+                    name: "a".into(),
+                    exported: true,
+                    params: vec![],
+                    ret: Type::Unit,
+                    body: vec![],
+                    line: 1,
+                },
+                FnDef {
+                    name: "b".into(),
+                    exported: false,
+                    params: vec![],
+                    ret: Type::Unit,
+                    body: vec![],
+                    line: 2,
+                },
+            ],
+        };
+        assert_eq!(p.exports(), vec!["a"]);
+        assert!(p.get("b").is_some());
+    }
+}

@@ -1,0 +1,114 @@
+//! The CCL contract compiler CLI — the developer-toolchain piece of the
+//! paper's Fig. 5 workflow ("blockchain explorer and smart contract IDE
+//! are available … for developers", §5).
+//!
+//! ```text
+//! cclc <contract.ccl> [--target vm|evm] [--out file]
+//! ```
+//!
+//! Compiles a CCL source file to CONFIDE-VM module bytes (default) or EVM
+//! bytecode and prints a summary (exports, code size, instruction counts).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut source_path = None;
+    let mut target = "vm".to_string();
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--target" => match it.next() {
+                Some(t) => target = t.clone(),
+                None => {
+                    eprintln!("cclc: --target needs a value (vm|evm)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out_path = it.next().cloned(),
+            other if source_path.is_none() => source_path = Some(other.to_string()),
+            other => {
+                eprintln!("cclc: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(source_path) = source_path else {
+        eprintln!("usage: cclc <contract.ccl> [--target vm|evm] [--out file]");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(&source_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cclc: cannot read {source_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match confide_lang::frontend(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cclc: {source_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exports: Vec<String> = program.exports().iter().map(|s| s.to_string()).collect();
+    let code = match target.as_str() {
+        "vm" => match confide_lang::compile_vm(&program) {
+            Ok(module) => {
+                let encoded = module.encode();
+                eprintln!(
+                    "cclc: CONFIDE-VM module — {} functions, {} bytes, exports: {}",
+                    module.functions.len(),
+                    encoded.len(),
+                    exports.join(", ")
+                );
+                encoded
+            }
+            Err(e) => {
+                eprintln!("cclc: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "evm" => match confide_lang::compile_evm(&program) {
+            Ok(code) => {
+                eprintln!(
+                    "cclc: EVM bytecode — {} bytes, selectors: {}",
+                    code.len(),
+                    exports
+                        .iter()
+                        .map(|e| format!(
+                            "{}=0x{}",
+                            e,
+                            &confide_crypto::hex(&confide_crypto::keccak256(e.as_bytes()))[..8]
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                code
+            }
+            Err(e) => {
+                eprintln!("cclc: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        other => {
+            eprintln!("cclc: unknown target `{other}` (vm|evm)");
+            return ExitCode::from(2);
+        }
+    };
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &code) {
+                eprintln!("cclc: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("cclc: wrote {} bytes to {path}", code.len());
+        }
+        None => {
+            // Hex dump to stdout for piping.
+            println!("{}", confide_crypto::hex(&code));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,831 @@
+//! CCL → EVM bytecode.
+//!
+//! Runtime model on the EVM:
+//!
+//! * `bytes` handles pack `(ptr << 32) | len` exactly as on the VM, but
+//!   live in 256-bit words; memory accesses go through `MLOAD`/`MSTORE8`
+//!   word machinery, which is where the architectural cost shows up.
+//! * Locals live in statically assigned memory frames (no recursion —
+//!   enforced by the typechecker), internal calls use the classic
+//!   push-return-address-and-JUMP convention.
+//! * A dispatcher compares `CALLDATALOAD(0)` against `keccak256(name)` for
+//!   each export; the rest of the calldata is `input()`.
+//! * Memory map: `0x00` scratch, `0x20` pending-return handle, `0x40` heap
+//!   pointer, `0x60+` local frames, then the bump heap.
+
+use crate::ast::*;
+use crate::typeck::always_returns;
+use crate::CompileError;
+use confide_evm::asm::{Asm, EvmLabel};
+use confide_evm::opcode as op;
+use confide_evm::u256::U256;
+use std::collections::HashMap;
+
+const PENDING_RET: u64 = 0x20;
+const HEAP_PTR: u64 = 0x40;
+const FRAMES_BASE: u64 = 0x60;
+
+const LEN_MASK: u64 = 0xffff_ffff;
+
+fn u256_i64(v: i64) -> U256 {
+    let ext = if v < 0 { u64::MAX } else { 0 };
+    U256([v as u64, ext, ext, ext])
+}
+
+fn not_u64(v: u64) -> U256 {
+    U256::from_u64(v).not()
+}
+
+/// Compile a checked program to EVM bytecode.
+pub fn compile_evm(program: &Program) -> Result<Vec<u8>, CompileError> {
+    let mut asm = Asm::new();
+
+    // Plan frames: every `let` site and parameter gets a distinct slot.
+    let mut frame_base: HashMap<&str, u64> = HashMap::new();
+    let mut next = FRAMES_BASE;
+    for f in &program.functions {
+        frame_base.insert(&f.name, next);
+        let slots = f.params.len() + count_lets(&f.body);
+        next += 32 * slots as u64;
+    }
+    let heap_base = next;
+
+    // Labels per function.
+    let mut fn_labels: HashMap<&str, EvmLabel> = HashMap::new();
+    for f in &program.functions {
+        fn_labels.insert(&f.name, asm.label());
+    }
+
+    // ---- Init + dispatcher ----
+    asm.push_u64(heap_base).push_u64(HEAP_PTR).op(op::MSTORE);
+    let revert_lbl = asm.label();
+    let epilogue_lbl = asm.label();
+    // calldata must carry the 32-byte selector.
+    asm.push_u64(32);
+    asm.op(op::CALLDATASIZE);
+    asm.op(op::LT); // cds < 32
+    asm.jumpi(revert_lbl);
+    let mut entries: Vec<(EvmLabel, &FnDef)> = Vec::new();
+    for f in program.functions.iter().filter(|f| f.exported) {
+        let entry = asm.label();
+        entries.push((entry, f));
+        let selector = confide_crypto::keccak256(f.name.as_bytes());
+        asm.push_word(&selector);
+        asm.push_u64(0).op(op::CALLDATALOAD);
+        asm.op(op::EQ);
+        asm.jumpi(entry);
+    }
+    asm.bind(revert_lbl);
+    asm.push_u64(0).push_u64(0).op(op::REVERT);
+
+    // Entry stubs: call the function, then run the shared epilogue.
+    for (entry, f) in &entries {
+        asm.bind(*entry);
+        let ret = asm.label();
+        asm.push_label(ret);
+        asm.jump(fn_labels[f.name.as_str()]);
+        asm.bind(ret);
+        if f.ret != Type::Unit {
+            asm.op(op::POP);
+        }
+        asm.jump(epilogue_lbl);
+    }
+
+    // Shared epilogue: RETURN pending data or STOP.
+    asm.bind(epilogue_lbl);
+    let stop_lbl = asm.label();
+    asm.push_u64(PENDING_RET).op(op::MLOAD); // [handle]
+    asm.dup(1).op(op::ISZERO);
+    asm.jumpi(stop_lbl);
+    asm.dup(1).push(U256::from_u64(LEN_MASK)).op(op::AND); // [h, len]
+    asm.swap(1); // [len, h]
+    asm.push_u64(32).op(op::SHR); // [len, ptr]
+    asm.op(op::RETURN);
+    asm.bind(stop_lbl);
+    asm.op(op::STOP);
+
+    // ---- Function bodies ----
+    for f in &program.functions {
+        let mut ctx = EvmCtx {
+            program,
+            asm: &mut asm,
+            fn_labels: &fn_labels,
+            frame_base: frame_base[f.name.as_str()],
+            next_slot: 0,
+            scopes: vec![HashMap::new()],
+        };
+        ctx.asm.bind(fn_labels[f.name.as_str()]);
+        // Params arrive on the stack, last on top; store them to slots.
+        for i in (0..f.params.len()).rev() {
+            ctx.next_slot = ctx.next_slot.max(i as u64 + 1);
+            let slot = ctx.frame_base + 32 * i as u64;
+            ctx.asm.push_u64(slot).op(op::MSTORE);
+        }
+        for (i, (name, ty)) in f.params.iter().enumerate() {
+            ctx.scopes[0].insert(name.clone(), (ctx.frame_base + 32 * i as u64, *ty));
+        }
+        ctx.gen_block(&f.body)?;
+        if !(f.ret != Type::Unit && always_returns(&f.body)) {
+            // Unit fall-through: return to caller with no result.
+            ctx.asm.op(op::JUMP);
+        }
+    }
+
+    Ok(asm.finish())
+}
+
+fn count_lets(body: &[Stmt]) -> usize {
+    let mut n = 0;
+    for stmt in body {
+        match stmt {
+            Stmt::Let(..) => n += 1,
+            Stmt::If(_, t, f, _) => n += count_lets(t) + count_lets(f),
+            Stmt::While(_, b, _) => n += count_lets(b),
+            _ => {}
+        }
+    }
+    n
+}
+
+struct EvmCtx<'a> {
+    program: &'a Program,
+    asm: &'a mut Asm,
+    fn_labels: &'a HashMap<&'a str, EvmLabel>,
+    frame_base: u64,
+    next_slot: u64,
+    scopes: Vec<HashMap<String, (u64, Type)>>,
+}
+
+impl<'a> EvmCtx<'a> {
+    fn lookup(&self, name: &str) -> Option<(u64, Type)> {
+        for frame in self.scopes.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    fn fresh_slot(&mut self) -> u64 {
+        let slot = self.frame_base + 32 * self.next_slot;
+        self.next_slot += 1;
+        slot
+    }
+
+    fn gen_block(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for stmt in body {
+            self.gen_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let(name, ty, init, _) => {
+                self.gen_expr(init)?;
+                let slot = self.fresh_slot();
+                self.asm.push_u64(slot).op(op::MSTORE);
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack")
+                    .insert(name.clone(), (slot, *ty));
+                Ok(())
+            }
+            Stmt::Assign(name, value, line) => {
+                self.gen_expr(value)?;
+                let (slot, _) = self
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::new(format!("undeclared `{name}`"), *line))?;
+                self.asm.push_u64(slot).op(op::MSTORE);
+                Ok(())
+            }
+            Stmt::If(cond, then, els, _) => {
+                let l_else = self.asm.label();
+                let l_end = self.asm.label();
+                self.gen_expr(cond)?;
+                self.asm.op(op::ISZERO);
+                self.asm.jumpi(l_else);
+                self.gen_block(then)?;
+                self.asm.jump(l_end);
+                self.asm.bind(l_else);
+                self.gen_block(els)?;
+                self.asm.bind(l_end);
+                Ok(())
+            }
+            Stmt::While(cond, body, _) => {
+                let l_top = self.asm.label();
+                let l_end = self.asm.label();
+                self.asm.bind(l_top);
+                self.gen_expr(cond)?;
+                self.asm.op(op::ISZERO);
+                self.asm.jumpi(l_end);
+                self.gen_block(body)?;
+                self.asm.jump(l_top);
+                self.asm.bind(l_end);
+                Ok(())
+            }
+            Stmt::Return(value, _) => {
+                match value {
+                    Some(e) => {
+                        // Stack: [ret_addr] → [ret_addr, v] → swap → jump.
+                        self.gen_expr(e)?;
+                        self.asm.swap(1);
+                        self.asm.op(op::JUMP);
+                    }
+                    None => {
+                        self.asm.op(op::JUMP);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Expr(e, _) => {
+                let pushes = self.expr_pushes(e);
+                self.gen_expr(e)?;
+                if pushes {
+                    self.asm.op(op::POP);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether evaluating `e` leaves a value on the stack.
+    fn expr_pushes(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Call(name, _, _) => {
+                if let Some((_, ret)) = builtin_signature(name) {
+                    ret != Type::Unit
+                } else {
+                    self.program.get(name).map(|f| f.ret) != Some(Type::Unit)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    fn gen_expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Int(v, _) => {
+                self.asm.push(u256_i64(*v));
+                Ok(())
+            }
+            Expr::Str(s, _) => {
+                self.materialize_literal(s);
+                Ok(())
+            }
+            Expr::Var(name, line) => {
+                let (slot, _) = self
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::new(format!("undeclared `{name}`"), *line))?;
+                self.asm.push_u64(slot).op(op::MLOAD);
+                Ok(())
+            }
+            Expr::Un(UnOp::Neg, inner, _) => {
+                self.gen_expr(inner)?;
+                self.asm.push_u64(0).op(op::SUB); // top=0: 0 - v
+                Ok(())
+            }
+            Expr::Un(UnOp::Not, inner, _) => {
+                self.gen_expr(inner)?;
+                self.asm.op(op::ISZERO);
+                Ok(())
+            }
+            Expr::Bin(BinOp::AndAnd, lhs, rhs, _) => {
+                let l_false = self.asm.label();
+                let l_end = self.asm.label();
+                self.gen_expr(lhs)?;
+                self.asm.op(op::ISZERO);
+                self.asm.jumpi(l_false);
+                self.gen_expr(rhs)?;
+                self.asm.op(op::ISZERO).op(op::ISZERO);
+                self.asm.jump(l_end);
+                self.asm.bind(l_false);
+                self.asm.push_u64(0);
+                self.asm.bind(l_end);
+                Ok(())
+            }
+            Expr::Bin(BinOp::OrOr, lhs, rhs, _) => {
+                let l_true = self.asm.label();
+                let l_end = self.asm.label();
+                self.gen_expr(lhs)?;
+                self.asm.jumpi(l_true);
+                self.gen_expr(rhs)?;
+                self.asm.op(op::ISZERO).op(op::ISZERO);
+                self.asm.jump(l_end);
+                self.asm.bind(l_true);
+                self.asm.push_u64(1);
+                self.asm.bind(l_end);
+                Ok(())
+            }
+            Expr::Bin(bop, lhs, rhs, _) => {
+                self.gen_expr(lhs)?;
+                self.gen_expr(rhs)?;
+                // Stack: [lhs, rhs], rhs on top. EVM binary ops take the
+                // *top* as the left operand, so swap where it matters.
+                match bop {
+                    BinOp::Add => self.asm.op(op::ADD),
+                    BinOp::Mul => self.asm.op(op::MUL),
+                    BinOp::BitAnd => self.asm.op(op::AND),
+                    BinOp::BitOr => self.asm.op(op::OR),
+                    BinOp::BitXor => self.asm.op(op::XOR),
+                    BinOp::Eq => self.asm.op(op::EQ),
+                    BinOp::Ne => self.asm.op(op::EQ).op(op::ISZERO),
+                    BinOp::Sub => self.asm.swap(1).op(op::SUB),
+                    BinOp::Div => self.asm.swap(1).op(op::SDIV),
+                    BinOp::Rem => self.asm.swap(1).op(op::SMOD),
+                    // lhs < rhs  ⇔  SGT with rhs on top (rhs > lhs).
+                    BinOp::Lt => self.asm.op(op::SGT),
+                    BinOp::Gt => self.asm.op(op::SLT),
+                    BinOp::Le => self.asm.op(op::SLT).op(op::ISZERO),
+                    BinOp::Ge => self.asm.op(op::SGT).op(op::ISZERO),
+                    // SHL/SAR pop the shift amount first — rhs is on top.
+                    BinOp::Shl => self.asm.op(op::SHL),
+                    BinOp::Shr => self.asm.op(op::SAR),
+                    BinOp::AndAnd | BinOp::OrOr => unreachable!(),
+                };
+                Ok(())
+            }
+            Expr::Index(base, idx, _) => {
+                self.gen_expr(base)?;
+                self.emit_ptr();
+                self.gen_expr(idx)?;
+                self.asm.op(op::ADD).op(op::MLOAD).push_u64(248).op(op::SHR);
+                Ok(())
+            }
+            Expr::Call(name, args, line) => self.gen_call(name, args, *line),
+        }
+    }
+
+    /// `[handle] → [ptr]`.
+    fn emit_ptr(&mut self) {
+        self.asm.push_u64(32).op(op::SHR);
+    }
+
+    /// `[handle] → [len]`.
+    fn emit_len(&mut self) {
+        self.asm.push(U256::from_u64(LEN_MASK)).op(op::AND);
+    }
+
+    /// `[n] → [handle]`: bump-allocate n bytes (32-byte padded).
+    fn inline_alloc(&mut self) {
+        self.asm.dup(1); // [n, n]
+        self.asm.push_u64(HEAP_PTR).op(op::MLOAD); // [n, n, hp]
+        self.asm.swap(1); // [n, hp, n]
+        self.asm.push_u64(31).op(op::ADD); // [n, hp, n+31]
+        self.asm.push(not_u64(31)).op(op::AND); // [n, hp, pad]
+        self.asm.dup(2).op(op::ADD); // [n, hp, hp+pad]
+        self.asm.push_u64(HEAP_PTR).op(op::MSTORE); // [n, hp]
+        self.asm.push_u64(32).op(op::SHL); // [n, hp<<32]
+        self.asm.op(op::OR); // [handle]
+    }
+
+    /// Materialize a byte-string literal into fresh heap memory.
+    fn materialize_literal(&mut self, s: &[u8]) {
+        self.asm.push_u64(s.len() as u64);
+        self.inline_alloc(); // [h]
+        if !s.is_empty() {
+            self.asm.dup(1);
+            self.emit_ptr(); // [h, ptr]
+            for (k, chunk) in s.chunks(32).enumerate() {
+                let mut word = [0u8; 32];
+                word[..chunk.len()].copy_from_slice(chunk);
+                self.asm.push_word(&word); // [h, ptr, word]
+                self.asm.dup(2); // [h, ptr, word, ptr]
+                if k > 0 {
+                    self.asm.push_u64(32 * k as u64).op(op::ADD);
+                }
+                self.asm.op(op::MSTORE); // [h, ptr]
+            }
+            self.asm.op(op::POP); // [h]
+        }
+    }
+
+    fn gen_call(&mut self, name: &str, args: &[Expr], line: usize) -> Result<(), CompileError> {
+        if builtin_signature(name).is_none() {
+            let target = *self
+                .fn_labels
+                .get(name)
+                .ok_or_else(|| CompileError::new(format!("unknown function `{name}`"), line))?;
+            let ret = self.asm.label();
+            self.asm.push_label(ret);
+            for a in args {
+                self.gen_expr(a)?;
+            }
+            self.asm.jump(target);
+            self.asm.bind(ret);
+            return Ok(());
+        }
+        match name {
+            "input" => {
+                // len = CALLDATASIZE - 32 (selector word).
+                self.asm.push_u64(32).op(op::CALLDATASIZE).op(op::SUB); // cds-32? top=cds: SUB = cds - 32
+                self.inline_alloc(); // [h]
+                self.asm.dup(1);
+                self.emit_len(); // [h, len]
+                self.asm.push_u64(32); // [h, len, 32]
+                self.asm.dup(3);
+                self.emit_ptr(); // [h, len, 32, ptr]
+                self.asm.op(op::CALLDATACOPY); // [h]
+            }
+            "ret" => {
+                self.gen_expr(&args[0])?;
+                self.asm.push_u64(PENDING_RET).op(op::MSTORE);
+            }
+            "alloc" => {
+                self.gen_expr(&args[0])?;
+                self.inline_alloc();
+            }
+            "len" => {
+                self.gen_expr(&args[0])?;
+                self.emit_len();
+            }
+            "take" => {
+                self.gen_expr(&args[0])?;
+                self.asm.push(not_u64(LEN_MASK)).op(op::AND);
+                self.gen_expr(&args[1])?;
+                self.asm.op(op::OR);
+            }
+            "byte_at" => {
+                self.gen_expr(&args[0])?;
+                self.emit_ptr();
+                self.gen_expr(&args[1])?;
+                self.asm.op(op::ADD).op(op::MLOAD).push_u64(248).op(op::SHR);
+            }
+            "set_byte" => {
+                self.gen_expr(&args[0])?;
+                self.emit_ptr();
+                self.gen_expr(&args[1])?;
+                self.asm.op(op::ADD); // [addr]
+                self.gen_expr(&args[2])?; // [addr, v]
+                self.asm.swap(1).op(op::MSTORE8);
+            }
+            "__copy" => {
+                // dst addr:
+                self.gen_expr(&args[0])?;
+                self.emit_ptr();
+                self.gen_expr(&args[1])?;
+                self.asm.op(op::ADD); // [d]
+                self.gen_expr(&args[2])?; // [d, srch]
+                self.asm.dup(1);
+                self.emit_ptr(); // [d, srch, sptr]
+                self.asm.swap(1); // [d, sptr, srch]
+                self.emit_len(); // [d, s, len]
+                self.asm.push_u64(0); // [d, s, len, i]
+                let l_top = self.asm.label();
+                let l_end = self.asm.label();
+                self.asm.bind(l_top);
+                self.asm.dup(2).dup(2).op(op::LT).op(op::ISZERO); // i<len ?
+                self.asm.jumpi(l_end);
+                self.asm.dup(3).dup(2).op(op::ADD); // [.., s+i]
+                self.asm.op(op::MLOAD).push_u64(248).op(op::SHR); // [d,s,len,i,byte]
+                self.asm.dup(5).dup(3).op(op::ADD); // [.., byte, d+i]
+                self.asm.op(op::MSTORE8); // [d,s,len,i]
+                self.asm.push_u64(1).op(op::ADD); // i+1
+                self.asm.jump(l_top);
+                self.asm.bind(l_end);
+                self.asm.op(op::POP).op(op::POP).op(op::POP).op(op::POP);
+            }
+            "sha256" => {
+                self.gen_expr(&args[0])?; // [b]
+                self.asm.push_u64(32);
+                self.inline_alloc(); // [b, oh]
+                self.asm.push_u64(32); // retLen
+                self.asm.dup(2);
+                self.emit_ptr(); // retOff
+                self.asm.dup(4);
+                self.emit_len(); // argsLen
+                self.asm.dup(5);
+                self.emit_ptr(); // argsOff
+                self.asm.push_u64(0); // value
+                self.asm.push_u64(2); // addr = SHA-256 precompile
+                self.asm.push_u64(0); // gas
+                self.asm.op(op::CALL); // [b, oh, ok]
+                self.asm.op(op::POP).swap(1).op(op::POP); // [oh]
+            }
+            "keccak256" => {
+                self.gen_expr(&args[0])?; // [b]
+                self.asm.dup(1);
+                self.emit_len(); // [b, len]
+                self.asm.dup(2);
+                self.emit_ptr(); // [b, len, ptr]
+                self.asm.op(op::SHA3); // [b, hash]
+                self.asm.push_u64(32);
+                self.inline_alloc(); // [b, hash, oh]
+                self.asm.swap(1); // [b, oh, hash]
+                self.asm.dup(2);
+                self.emit_ptr(); // [b, oh, hash, optr]
+                self.asm.op(op::MSTORE); // [b, oh]
+                self.asm.swap(1).op(op::POP); // [oh]
+            }
+            "sender" => {
+                self.asm.push_u64(32);
+                self.inline_alloc(); // [oh]
+                self.asm.op(op::CALLER); // [oh, caller]
+                self.asm.dup(2);
+                self.emit_ptr(); // [oh, caller, optr]
+                self.asm.op(op::MSTORE); // [oh]
+            }
+            "log" => {
+                self.gen_expr(&args[0])?; // [b]
+                self.asm.dup(1);
+                self.emit_len(); // [b, len]
+                self.asm.swap(1); // [len, b]
+                self.emit_ptr(); // [len, ptr]
+                self.asm.op(op::LOG0);
+            }
+            "storage_set" => {
+                self.gen_expr(&args[0])?; // [k]
+                self.gen_expr(&args[1])?; // [k, v]
+                self.asm.dup(1);
+                self.emit_len(); // vlen
+                self.asm.dup(2);
+                self.emit_ptr(); // voff
+                self.asm.dup(4);
+                self.emit_len(); // klen
+                self.asm.dup(5);
+                self.emit_ptr(); // koff
+                self.asm.op(op::SSTOREB); // [k, v]
+                self.asm.op(op::POP).op(op::POP);
+            }
+            "__get_storage" => {
+                self.gen_expr(&args[0])?; // [k]
+                self.gen_expr(&args[1])?; // [k, b]
+                self.asm.dup(1);
+                self.emit_len(); // cap
+                self.asm.dup(2);
+                self.emit_ptr(); // dst
+                self.asm.dup(4);
+                self.emit_len(); // klen
+                self.asm.dup(5);
+                self.emit_ptr(); // koff
+                self.asm.op(op::SLOADB); // [k, b, len]
+                self.asm.swap(2).op(op::POP).op(op::POP); // [len]
+            }
+            "__call" => {
+                self.gen_expr(&args[0])?; // [a]
+                self.gen_expr(&args[1])?; // [a, in]
+                self.gen_expr(&args[2])?; // [a, in, buf]
+                self.asm.dup(1);
+                self.emit_len(); // retLen = cap
+                self.asm.dup(2);
+                self.emit_ptr(); // retOff
+                self.asm.dup(4);
+                self.emit_len(); // argsLen
+                self.asm.dup(5);
+                self.emit_ptr(); // argsOff
+                self.asm.push_u64(0); // value
+                self.asm.dup(8);
+                self.emit_ptr();
+                self.asm.op(op::MLOAD); // addr word
+                self.asm.push_u64(0); // gas
+                self.asm.op(op::CALL); // [a, in, buf, ok]
+                self.asm.op(op::POP);
+                self.asm.op(op::RETURNDATASIZE); // [a, in, buf, rds]
+                self.asm.swap(3).op(op::POP).op(op::POP).op(op::POP); // [rds]
+            }
+            other => {
+                return Err(CompileError::new(
+                    format!("builtin `{other}` not implemented in EVM backend"),
+                    line,
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_evm::host::MockEvmHost;
+    use confide_evm::interp::{Evm, EvmConfig};
+
+    fn run(src: &str, export: &str, input: &[u8]) -> (Vec<u8>, MockEvmHost) {
+        let code = crate::build_evm(src).unwrap();
+        let evm = Evm::new(code, EvmConfig::default());
+        let mut host = MockEvmHost::default();
+        let calldata = crate::evm_calldata(export, input);
+        let out = evm.run(&calldata, &mut host).unwrap();
+        (out.return_data, host)
+    }
+
+    #[test]
+    fn arithmetic_and_return_data() {
+        let (out, _) = run("export fn main() { ret(itoa(6 * 7 - 2)); }", "main", b"");
+        assert_eq!(out, b"40");
+    }
+
+    #[test]
+    fn negative_numbers_and_division() {
+        let (out, _) = run(
+            "export fn main() { ret(itoa((0 - 17) / 5)); }",
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"-3"); // trunc toward zero, same as VM DivS
+    }
+
+    #[test]
+    fn input_echo() {
+        let (out, _) = run(
+            r#"export fn main() { ret(concat(b"got:", input())); }"#,
+            "main",
+            b"payload",
+        );
+        assert_eq!(out, b"got:payload");
+    }
+
+    #[test]
+    fn unknown_selector_reverts() {
+        let code = crate::build_evm("export fn main() { }").unwrap();
+        let evm = Evm::new(code, EvmConfig::default());
+        let mut host = MockEvmHost::default();
+        let err = evm
+            .run(&crate::evm_calldata("other", b""), &mut host)
+            .unwrap_err();
+        assert!(matches!(err, confide_evm::interp::EvmTrap::Reverted(_)));
+    }
+
+    #[test]
+    fn storage_round_trip() {
+        let (out, host) = run(
+            r#"
+            export fn main() {
+                storage_set(b"key", b"hello storage");
+                ret(storage_get(b"key"));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"hello storage");
+        assert_eq!(host.byte_storage[&b"key"[..].to_vec()], b"hello storage");
+    }
+
+    #[test]
+    fn json_parsing_on_evm() {
+        let (out, _) = run(
+            r#"
+            export fn main() {
+                let j: bytes = input();
+                ret(concat(json_get(j, b"who"), itoa(json_get_int(j, b"n") + 1)));
+            }
+            "#,
+            "main",
+            br#"{"who":"bob","n":41}"#,
+        );
+        assert_eq!(out, b"bob42");
+    }
+
+    #[test]
+    fn hashes_match_references() {
+        let (out, _) = run(
+            r#"export fn main() { ret(concat(to_hex(sha256(b"abc")), to_hex(keccak256(b"abc")))); }"#,
+            "main",
+            b"",
+        );
+        assert_eq!(
+            out,
+            b"ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad\
+              4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+                .iter()
+                .filter(|c| !c.is_ascii_whitespace())
+                .copied()
+                .collect::<Vec<u8>>()
+        );
+    }
+
+    #[test]
+    fn internal_calls_and_loops() {
+        let (out, _) = run(
+            r#"
+            fn square(x: int) -> int { return x * x; }
+            export fn main() {
+                let i: int = 1;
+                let acc: int = 0;
+                while (i <= 10) { acc = acc + square(i); i = i + 1; }
+                ret(itoa(acc));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"385");
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        let (out, _) = run(
+            r#"
+            export fn main() {
+                let b: bytes = alloc(1);
+                let v: int = 0;
+                if (len(b) == 1 || byte_at(b, 999999999) == 0) { v = v + 1; }
+                if (len(b) > 9 && byte_at(b, 999999999) == 0) { v = v + 10; }
+                ret(itoa(v));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"1");
+    }
+
+    #[test]
+    fn sender_and_log() {
+        let code = crate::build_evm(
+            r#"export fn main() { log(b"hello log"); ret(to_hex(sender())); }"#,
+        )
+        .unwrap();
+        let evm = Evm::new(code, EvmConfig::default());
+        let mut host = MockEvmHost::default();
+        host.caller = U256::from_be_bytes(&[0xcd; 32]);
+        let out = evm
+            .run(&crate::evm_calldata("main", b""), &mut host)
+            .unwrap();
+        assert_eq!(out.return_data, "cd".repeat(32).as_bytes());
+        assert_eq!(host.logs, vec![b"hello log".to_vec()]);
+    }
+
+    #[test]
+    fn multiple_exports_dispatch() {
+        let src = r#"
+            export fn alpha() { ret(b"A"); }
+            export fn beta() { ret(b"B"); }
+        "#;
+        assert_eq!(run(src, "alpha", b"").0, b"A");
+        assert_eq!(run(src, "beta", b"").0, b"B");
+    }
+
+    #[test]
+    fn no_ret_means_stop_with_empty_data() {
+        let (out, _) = run("export fn main() { let x: int = 1; x = x + 1; }", "main", b"");
+        assert!(out.is_empty());
+    }
+
+    /// The headline cross-backend property: the same CCL source produces
+    /// the same observable behaviour on both machines.
+    #[test]
+    fn cross_backend_equivalence_suite() {
+        use confide_vm::host::MockHost;
+        use confide_vm::interp::{ExecConfig, Vm};
+
+        let cases: Vec<(&str, Vec<&[u8]>)> = vec![
+            (
+                r#"export fn main() { ret(itoa(atoi(input()) * 3 - 7)); }"#,
+                vec![b"14", b"-5", b"0", b"123456"],
+            ),
+            (
+                r#"export fn main() {
+                    let j: bytes = input();
+                    ret(concat3(json_get(j, b"a"), b"|", itoa(json_get_int(j, b"b") % 7)));
+                }"#,
+                vec![br#"{"a":"xy","b":100}"#, br#"{"b":-3,"a":""}"#],
+            ),
+            (
+                r#"export fn main() {
+                    let h: bytes = sha256(keccak256(input()));
+                    storage_set(b"digest", h);
+                    ret(to_hex(storage_get(b"digest")));
+                }"#,
+                vec![b"seed one", b""],
+            ),
+            (
+                r#"fn fib(n: int) -> int {
+                    let a: int = 0; let b: int = 1; let i: int = 0;
+                    while (i < n) { let t: int = a + b; a = b; b = t; i = i + 1; }
+                    return a;
+                }
+                export fn main() { ret(itoa(fib(atoi(input())))); }"#,
+                vec![b"0", b"1", b"10", b"30"],
+            ),
+        ];
+        for (src, inputs) in cases {
+            let vm_module = crate::frontend(src)
+                .and_then(|p| crate::compile_vm(&p))
+                .unwrap();
+            let evm_code = crate::build_evm(src).unwrap();
+            for input in inputs {
+                let vm = Vm::from_module(vm_module.clone(), ExecConfig::default());
+                let mut vh = MockHost {
+                    input: input.to_vec(),
+                    ..MockHost::default()
+                };
+                let mut mem = Vec::new();
+                let vout = vm.invoke("main", &[], &mut vh, &mut mem).unwrap();
+
+                let evm = Evm::new(evm_code.clone(), EvmConfig::default());
+                let mut eh = MockEvmHost::default();
+                let eout = evm
+                    .run(&crate::evm_calldata("main", input), &mut eh)
+                    .unwrap();
+                assert_eq!(
+                    vout.return_data, eout.return_data,
+                    "backend divergence on {src} with input {input:?}"
+                );
+            }
+        }
+    }
+}

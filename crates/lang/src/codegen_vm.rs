@@ -1,0 +1,809 @@
+//! CCL → CONFIDE-VM bytecode.
+//!
+//! Runtime model on the VM:
+//!
+//! * `bytes` values are i64 handles packing `(ptr << 32) | len` into linear
+//!   memory (both 32-bit).
+//! * A bump allocator lives in global 0; string literals become data
+//!   segments below the heap base.
+//! * Every exported function gets a wrapper that resets the heap pointer
+//!   and calls the internal body — the module ABI the Confidential-Engine
+//!   invokes by name.
+
+use crate::ast::*;
+use crate::CompileError;
+use confide_vm::builder::{FuncBuilder, ModuleBuilder};
+use confide_vm::module::Module;
+use confide_vm::opcode::{HostFn, Instr};
+use std::collections::HashMap;
+
+/// Low-memory address where literal data starts (0 is kept as a null page).
+const DATA_BASE: u32 = 8;
+/// Fixed linear memory size for compiled contracts.
+const MEMORY_SIZE: u32 = 1 << 20;
+
+const LEN_MASK: i64 = 0xffff_ffff;
+const PTR_MASK: i64 = !LEN_MASK;
+
+/// Compile a checked program to a VM module.
+pub fn compile_vm(program: &Program) -> Result<Module, CompileError> {
+    // 1. Literal pool.
+    let mut literals: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut data: Vec<u8> = Vec::new();
+    for f in &program.functions {
+        collect_literals(&f.body, &mut literals, &mut data);
+    }
+    let heap_base = (DATA_BASE as i64 + data.len() as i64 + 7) & !7;
+
+    // 2. Function index plan: 0 = __alloc, then internal bodies, then
+    //    export wrappers.
+    let mut indices: HashMap<&str, u32> = HashMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        indices.insert(&f.name, 1 + i as u32);
+    }
+
+    let mut mb = ModuleBuilder::new();
+    mb.memory(MEMORY_SIZE);
+    mb.globals(1); // global 0 = heap pointer
+    if !data.is_empty() {
+        mb.data(DATA_BASE, &data);
+    }
+
+    // __alloc(n) -> ptr, 8-byte aligned bump.
+    let mut alloc_fn = FuncBuilder::new("", 1, 1);
+    alloc_fn.ops(&[
+        Instr::GlobalGet(0),
+        Instr::LocalSet(1),
+        Instr::GlobalGet(0),
+        Instr::LocalGet(0),
+        Instr::Add,
+        Instr::I64Const(7),
+        Instr::Add,
+        Instr::I64Const(-8),
+        Instr::And,
+        Instr::GlobalSet(0),
+        Instr::LocalGet(1),
+        Instr::Ret,
+    ]);
+    mb.func(alloc_fn.finish());
+
+    // 3. Internal bodies.
+    for f in program.functions.iter() {
+        let mut ctx = FnCtx {
+            program,
+            indices: &indices,
+            literals: &literals,
+            builder: FuncBuilder::new("", f.params.len() as u32, 0),
+            scopes: vec![HashMap::new()],
+        };
+        for (i, (name, ty)) in f.params.iter().enumerate() {
+            ctx.scopes[0].insert(name.clone(), (i as u32, *ty));
+        }
+        ctx.gen_block(&f.body)?;
+        // Implicit return for unit functions falling off the end.
+        ctx.builder.op(Instr::Ret);
+        mb.func(ctx.builder.finish());
+    }
+
+    // 4. Export wrappers.
+    for f in program.functions.iter().filter(|f| f.exported) {
+        let mut w = FuncBuilder::new(&f.name, 0, 0);
+        w.i64(heap_base).op(Instr::GlobalSet(0));
+        w.op(Instr::Call(indices[f.name.as_str()]));
+        if f.ret != Type::Unit {
+            w.op(Instr::Drop);
+        }
+        w.op(Instr::Ret);
+        mb.func(w.finish());
+    }
+
+    Ok(mb.finish())
+}
+
+fn collect_literals(body: &[Stmt], pool: &mut HashMap<Vec<u8>, u32>, data: &mut Vec<u8>) {
+    fn walk_expr(e: &Expr, pool: &mut HashMap<Vec<u8>, u32>, data: &mut Vec<u8>) {
+        match e {
+            Expr::Str(s, _) => {
+                if !pool.contains_key(s) {
+                    let off = DATA_BASE + data.len() as u32;
+                    pool.insert(s.clone(), off);
+                    data.extend_from_slice(s);
+                }
+            }
+            Expr::Bin(_, a, b, _) | Expr::Index(a, b, _) => {
+                walk_expr(a, pool, data);
+                walk_expr(b, pool, data);
+            }
+            Expr::Un(_, a, _) => walk_expr(a, pool, data),
+            Expr::Call(_, args, _) => {
+                for a in args {
+                    walk_expr(a, pool, data);
+                }
+            }
+            _ => {}
+        }
+    }
+    for stmt in body {
+        match stmt {
+            Stmt::Let(_, _, e, _) | Stmt::Assign(_, e, _) | Stmt::Expr(e, _) => {
+                walk_expr(e, pool, data)
+            }
+            Stmt::Return(Some(e), _) => walk_expr(e, pool, data),
+            Stmt::Return(None, _) => {}
+            Stmt::If(c, t, f, _) => {
+                walk_expr(c, pool, data);
+                collect_literals(t, pool, data);
+                collect_literals(f, pool, data);
+            }
+            Stmt::While(c, b, _) => {
+                walk_expr(c, pool, data);
+                collect_literals(b, pool, data);
+            }
+        }
+    }
+}
+
+struct FnCtx<'a> {
+    program: &'a Program,
+    indices: &'a HashMap<&'a str, u32>,
+    literals: &'a HashMap<Vec<u8>, u32>,
+    builder: FuncBuilder,
+    /// name → (local index, type), lexical scopes.
+    scopes: Vec<HashMap<String, (u32, Type)>>,
+}
+
+impl<'a> FnCtx<'a> {
+    fn lookup(&self, name: &str) -> Option<(u32, Type)> {
+        for frame in self.scopes.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    fn expr_type(&self, e: &Expr) -> Type {
+        match e {
+            Expr::Int(..) | Expr::Bin(..) | Expr::Un(..) | Expr::Index(..) => Type::Int,
+            Expr::Str(..) => Type::Bytes,
+            Expr::Var(name, _) => self.lookup(name).map(|(_, t)| t).unwrap_or(Type::Int),
+            Expr::Call(name, _, _) => builtin_signature(name)
+                .map(|(_, r)| r)
+                .or_else(|| self.program.get(name).map(|f| f.ret))
+                .unwrap_or(Type::Unit),
+        }
+    }
+
+    fn gen_block(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for stmt in body {
+            self.gen_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let(name, ty, init, _) => {
+                self.gen_expr(init)?;
+                let idx = self.builder.add_local();
+                self.builder.op(Instr::LocalSet(idx));
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack")
+                    .insert(name.clone(), (idx, *ty));
+                Ok(())
+            }
+            Stmt::Assign(name, value, line) => {
+                self.gen_expr(value)?;
+                let (idx, _) = self
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::new(format!("undeclared `{name}`"), *line))?;
+                self.builder.op(Instr::LocalSet(idx));
+                Ok(())
+            }
+            Stmt::If(cond, then, els, _) => {
+                let l_else = self.builder.label();
+                let l_end = self.builder.label();
+                self.gen_expr(cond)?;
+                self.builder.jmp_ifz(l_else);
+                self.gen_block(then)?;
+                self.builder.jmp(l_end);
+                self.builder.bind(l_else);
+                self.gen_block(els)?;
+                self.builder.bind(l_end);
+                Ok(())
+            }
+            Stmt::While(cond, body, _) => {
+                let l_top = self.builder.label();
+                let l_end = self.builder.label();
+                self.builder.bind(l_top);
+                self.gen_expr(cond)?;
+                self.builder.jmp_ifz(l_end);
+                self.gen_block(body)?;
+                self.builder.jmp(l_top);
+                self.builder.bind(l_end);
+                Ok(())
+            }
+            Stmt::Return(value, _) => {
+                if let Some(e) = value {
+                    self.gen_expr(e)?;
+                }
+                self.builder.op(Instr::Ret);
+                Ok(())
+            }
+            Stmt::Expr(e, _) => {
+                let ty = self.expr_type(e);
+                self.gen_expr(e)?;
+                if ty != Type::Unit {
+                    self.builder.op(Instr::Drop);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Int(v, _) => {
+                self.builder.i64(*v);
+                Ok(())
+            }
+            Expr::Str(s, _) => {
+                let off = self.literals[s];
+                let handle = ((off as i64) << 32) | s.len() as i64;
+                self.builder.i64(handle);
+                Ok(())
+            }
+            Expr::Var(name, line) => {
+                let (idx, _) = self
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::new(format!("undeclared `{name}`"), *line))?;
+                self.builder.op(Instr::LocalGet(idx));
+                Ok(())
+            }
+            Expr::Un(UnOp::Neg, inner, _) => {
+                self.builder.i64(0);
+                self.gen_expr(inner)?;
+                self.builder.op(Instr::Sub);
+                Ok(())
+            }
+            Expr::Un(UnOp::Not, inner, _) => {
+                self.gen_expr(inner)?;
+                self.builder.op(Instr::Eqz);
+                Ok(())
+            }
+            Expr::Bin(BinOp::AndAnd, lhs, rhs, _) => {
+                let l_false = self.builder.label();
+                let l_end = self.builder.label();
+                self.gen_expr(lhs)?;
+                self.builder.jmp_ifz(l_false);
+                self.gen_expr(rhs)?;
+                self.builder.op(Instr::Eqz).op(Instr::Eqz);
+                self.builder.jmp(l_end);
+                self.builder.bind(l_false);
+                self.builder.i64(0);
+                self.builder.bind(l_end);
+                Ok(())
+            }
+            Expr::Bin(BinOp::OrOr, lhs, rhs, _) => {
+                let l_true = self.builder.label();
+                let l_end = self.builder.label();
+                self.gen_expr(lhs)?;
+                self.builder.jmp_if(l_true);
+                self.gen_expr(rhs)?;
+                self.builder.op(Instr::Eqz).op(Instr::Eqz);
+                self.builder.jmp(l_end);
+                self.builder.bind(l_true);
+                self.builder.i64(1);
+                self.builder.bind(l_end);
+                Ok(())
+            }
+            Expr::Bin(op, lhs, rhs, _) => {
+                self.gen_expr(lhs)?;
+                self.gen_expr(rhs)?;
+                let instr = match op {
+                    BinOp::Add => Instr::Add,
+                    BinOp::Sub => Instr::Sub,
+                    BinOp::Mul => Instr::Mul,
+                    BinOp::Div => Instr::DivS,
+                    BinOp::Rem => Instr::RemS,
+                    BinOp::Lt => Instr::LtS,
+                    BinOp::Gt => Instr::GtS,
+                    BinOp::Le => Instr::LeS,
+                    BinOp::Ge => Instr::GeS,
+                    BinOp::Eq => Instr::Eq,
+                    BinOp::Ne => Instr::Ne,
+                    BinOp::BitAnd => Instr::And,
+                    BinOp::BitOr => Instr::Or,
+                    BinOp::BitXor => Instr::Xor,
+                    BinOp::Shl => Instr::Shl,
+                    BinOp::Shr => Instr::ShrS,
+                    BinOp::AndAnd | BinOp::OrOr => unreachable!("handled above"),
+                };
+                self.builder.op(instr);
+                Ok(())
+            }
+            Expr::Index(base, idx, _) => {
+                self.gen_expr(base)?;
+                self.emit_ptr();
+                self.gen_expr(idx)?;
+                self.builder.op(Instr::Add).op(Instr::Load8U(0));
+                Ok(())
+            }
+            Expr::Call(name, args, line) => self.gen_call(name, args, *line),
+        }
+    }
+
+    /// Emit `ptr(top)`: handle >> 32.
+    fn emit_ptr(&mut self) {
+        self.builder.i64(32).op(Instr::ShrU);
+    }
+
+    /// Emit `len(top)`: handle & 0xffffffff.
+    fn emit_len(&mut self) {
+        self.builder.i64(LEN_MASK).op(Instr::And);
+    }
+
+    /// Store top of stack into a fresh scratch local; return its index.
+    fn stash(&mut self) -> u32 {
+        let t = self.builder.add_local();
+        self.builder.op(Instr::LocalSet(t));
+        t
+    }
+
+    fn load_ptr(&mut self, t: u32) {
+        self.builder.op(Instr::LocalGet(t));
+        self.emit_ptr();
+    }
+
+    fn load_len(&mut self, t: u32) {
+        self.builder.op(Instr::LocalGet(t));
+        self.emit_len();
+    }
+
+    /// Emit `(ptr << 32) | len_const`.
+    fn pack_handle_const_len(&mut self, ptr_local: u32, len: i64) {
+        self.builder
+            .op(Instr::LocalGet(ptr_local))
+            .i64(32)
+            .op(Instr::Shl)
+            .i64(len)
+            .op(Instr::Or);
+    }
+
+    fn gen_call(&mut self, name: &str, args: &[Expr], line: usize) -> Result<(), CompileError> {
+        // User-defined function?
+        if builtin_signature(name).is_none() {
+            let idx = *self
+                .indices
+                .get(name)
+                .ok_or_else(|| CompileError::new(format!("unknown function `{name}`"), line))?;
+            for a in args {
+                self.gen_expr(a)?;
+            }
+            self.builder.op(Instr::Call(idx));
+            return Ok(());
+        }
+        match name {
+            "input" => {
+                self.builder.op(Instr::CallHost(HostFn::InputLen));
+                let t_len = self.stash();
+                self.builder.op(Instr::LocalGet(t_len)).op(Instr::Call(0));
+                let t_ptr = self.stash();
+                self.builder
+                    .op(Instr::LocalGet(t_ptr))
+                    .op(Instr::CallHost(HostFn::InputRead));
+                self.builder
+                    .op(Instr::LocalGet(t_ptr))
+                    .i64(32)
+                    .op(Instr::Shl)
+                    .op(Instr::LocalGet(t_len))
+                    .op(Instr::Or);
+            }
+            "ret" => {
+                self.gen_expr(&args[0])?;
+                let t = self.stash();
+                self.load_ptr(t);
+                self.load_len(t);
+                self.builder.op(Instr::CallHost(HostFn::Ret));
+            }
+            "alloc" => {
+                self.gen_expr(&args[0])?;
+                let t = self.stash();
+                self.builder.op(Instr::LocalGet(t)).op(Instr::Call(0));
+                let p = self.stash();
+                self.builder
+                    .op(Instr::LocalGet(p))
+                    .i64(32)
+                    .op(Instr::Shl)
+                    .op(Instr::LocalGet(t))
+                    .op(Instr::Or);
+            }
+            "len" => {
+                self.gen_expr(&args[0])?;
+                self.emit_len();
+            }
+            "byte_at" => {
+                self.gen_expr(&args[0])?;
+                self.emit_ptr();
+                self.gen_expr(&args[1])?;
+                self.builder.op(Instr::Add).op(Instr::Load8U(0));
+            }
+            "set_byte" => {
+                self.gen_expr(&args[0])?;
+                self.emit_ptr();
+                self.gen_expr(&args[1])?;
+                self.builder.op(Instr::Add);
+                self.gen_expr(&args[2])?;
+                self.builder.op(Instr::Store8(0));
+            }
+            "take" => {
+                self.gen_expr(&args[0])?;
+                self.builder.i64(PTR_MASK).op(Instr::And);
+                self.gen_expr(&args[1])?;
+                self.builder.op(Instr::Or);
+            }
+            "sha256" | "keccak256" => {
+                let host = if name == "sha256" {
+                    HostFn::Sha256
+                } else {
+                    HostFn::Keccak256
+                };
+                self.gen_expr(&args[0])?;
+                let t = self.stash();
+                self.builder.i64(32).op(Instr::Call(0));
+                let o = self.stash();
+                self.load_ptr(t);
+                self.load_len(t);
+                self.builder.op(Instr::LocalGet(o)).op(Instr::CallHost(host));
+                self.pack_handle_const_len(o, 32);
+            }
+            "sender" => {
+                self.builder.i64(32).op(Instr::Call(0));
+                let o = self.stash();
+                self.builder
+                    .op(Instr::LocalGet(o))
+                    .op(Instr::CallHost(HostFn::Sender));
+                self.pack_handle_const_len(o, 32);
+            }
+            "log" => {
+                self.gen_expr(&args[0])?;
+                let t = self.stash();
+                self.load_ptr(t);
+                self.load_len(t);
+                self.builder.op(Instr::CallHost(HostFn::Log));
+            }
+            "storage_set" => {
+                self.gen_expr(&args[0])?;
+                let tk = self.stash();
+                self.gen_expr(&args[1])?;
+                let tv = self.stash();
+                self.load_ptr(tk);
+                self.load_len(tk);
+                self.load_ptr(tv);
+                self.load_len(tv);
+                self.builder.op(Instr::CallHost(HostFn::SetStorage));
+            }
+            "__get_storage" => {
+                self.gen_expr(&args[0])?;
+                let tk = self.stash();
+                self.gen_expr(&args[1])?;
+                let tb = self.stash();
+                self.load_ptr(tk);
+                self.load_len(tk);
+                self.load_ptr(tb);
+                self.load_len(tb);
+                self.builder.op(Instr::CallHost(HostFn::GetStorage));
+            }
+            "__call" => {
+                self.gen_expr(&args[0])?;
+                let ta = self.stash();
+                self.gen_expr(&args[1])?;
+                let ti = self.stash();
+                self.gen_expr(&args[2])?;
+                let tb = self.stash();
+                self.load_ptr(ta);
+                self.load_ptr(ti);
+                self.load_len(ti);
+                self.load_ptr(tb);
+                self.load_len(tb);
+                self.builder.op(Instr::CallHost(HostFn::CallContract));
+            }
+            "__copy" => {
+                self.gen_expr(&args[0])?;
+                self.emit_ptr();
+                self.gen_expr(&args[1])?;
+                self.builder.op(Instr::Add); // dst addr
+                self.gen_expr(&args[2])?;
+                let ts = self.stash();
+                self.load_ptr(ts); // src addr
+                self.load_len(ts); // len
+                self.builder.op(Instr::MemCopy);
+            }
+            other => {
+                return Err(CompileError::new(
+                    format!("builtin `{other}` not implemented in VM backend"),
+                    line,
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_vm::host::MockHost;
+    use confide_vm::interp::{ExecConfig, Vm};
+
+    fn run(src: &str, export: &str, input: &[u8]) -> (Vec<u8>, MockHost) {
+        let program = crate::frontend(src).unwrap();
+        let module = compile_vm(&program).unwrap();
+        let vm = Vm::from_module(module, ExecConfig::default());
+        let mut host = MockHost {
+            input: input.to_vec(),
+            ..MockHost::default()
+        };
+        let mut mem = Vec::new();
+        let out = vm.invoke(export, &[], &mut host, &mut mem).unwrap();
+        (out.return_data, host)
+    }
+
+    #[test]
+    fn arithmetic_and_return_data() {
+        let (out, _) = run(
+            "export fn main() { ret(itoa(6 * 7)); }",
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"42");
+    }
+
+    #[test]
+    fn itoa_edge_cases() {
+        let (out, _) = run("export fn main() { ret(itoa(0)); }", "main", b"");
+        assert_eq!(out, b"0");
+        let (out, _) = run("export fn main() { ret(itoa(0 - 123)); }", "main", b"");
+        assert_eq!(out, b"-123");
+        let (out, _) = run(
+            "export fn main() { ret(itoa(9223372036854775807)); }",
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"9223372036854775807");
+    }
+
+    #[test]
+    fn atoi_round_trip() {
+        let (out, _) = run(
+            r#"export fn main() { ret(itoa(atoi(b"-4512") + atoi(b"12abc"))); }"#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"-4500");
+    }
+
+    #[test]
+    fn concat_and_input_echo() {
+        let (out, _) = run(
+            r#"export fn main() { ret(concat(b"hello, ", input())); }"#,
+            "main",
+            b"world",
+        );
+        assert_eq!(out, b"hello, world");
+    }
+
+    #[test]
+    fn storage_wrappers() {
+        let (out, host) = run(
+            r#"
+            export fn main() {
+                storage_set(b"k1", b"stored value");
+                let v: bytes = storage_get(b"k1");
+                let missing: bytes = storage_get(b"nope");
+                ret(concat(v, itoa(len(missing))));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"stored value0");
+        assert_eq!(host.storage[&b"k1"[..].to_vec()], b"stored value");
+    }
+
+    #[test]
+    fn storage_get_large_value_two_call_path() {
+        // Value larger than the 128-byte first buffer exercises the retry.
+        let big: Vec<u8> = (0..200u8).collect();
+        let program = crate::frontend(
+            r#"export fn main() { ret(storage_get(b"big")); }"#,
+        )
+        .unwrap();
+        let module = compile_vm(&program).unwrap();
+        let vm = Vm::from_module(module, ExecConfig::default());
+        let mut host = MockHost::default();
+        host.storage.insert(b"big".to_vec(), big.clone());
+        let mut mem = Vec::new();
+        let out = vm.invoke("main", &[], &mut host, &mut mem).unwrap();
+        assert_eq!(out.return_data, big);
+    }
+
+    #[test]
+    fn json_get_extracts_fields() {
+        let (out, _) = run(
+            r#"
+            export fn main() {
+                let j: bytes = input();
+                let name: bytes = json_get(j, b"name");
+                let amt: int = json_get_int(j, b"amount");
+                ret(concat(name, itoa(amt * 2)));
+            }
+            "#,
+            "main",
+            br#"{"name": "alice", "amount": 21, "other": "x"}"#,
+        );
+        assert_eq!(out, b"alice42");
+    }
+
+    #[test]
+    fn json_get_missing_key_is_empty() {
+        let (out, _) = run(
+            r#"export fn main() { ret(itoa(len(json_get(input(), b"zzz")))); }"#,
+            "main",
+            br#"{"a":1}"#,
+        );
+        assert_eq!(out, b"0");
+    }
+
+    #[test]
+    fn eq_bytes_and_find() {
+        let (out, _) = run(
+            r#"
+            export fn main() {
+                let a: int = eq_bytes(b"abc", b"abc");
+                let b: int = eq_bytes(b"abc", b"abd");
+                let c: int = find(b"hello world", b"world", 0);
+                let d: int = find(b"hello", b"xyz", 0);
+                ret(concat(concat(itoa(a), itoa(b)), concat(itoa(c), itoa(d))));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"106-1");
+    }
+
+    #[test]
+    fn sha256_builtin_matches_reference() {
+        let (out, _) = run(
+            r#"export fn main() { ret(to_hex(sha256(b"abc"))); }"#,
+            "main",
+            b"",
+        );
+        assert_eq!(
+            out,
+            b"ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn keccak_builtin_matches_reference() {
+        let (out, _) = run(
+            r#"export fn main() { ret(to_hex(keccak256(b"abc"))); }"#,
+            "main",
+            b"",
+        );
+        assert_eq!(
+            out,
+            b"4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_rhs() {
+        // If && evaluated its RHS, byte_at would trap out-of-bounds.
+        let (out, _) = run(
+            r#"
+            export fn main() {
+                let b: bytes = alloc(1);
+                let safe: int = 0;
+                if (len(b) > 5 && byte_at(b, 99999999) == 0) { safe = 1; }
+                if (len(b) == 1 || byte_at(b, 99999999) == 0) { safe = safe + 2; }
+                ret(itoa(safe));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"2");
+    }
+
+    #[test]
+    fn while_loop_with_nested_if() {
+        let (out, _) = run(
+            r#"
+            export fn main() {
+                let i: int = 0;
+                let even: int = 0;
+                while (i < 100) {
+                    if (i % 2 == 0) { even = even + 1; }
+                    i = i + 1;
+                }
+                ret(itoa(even));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"50");
+    }
+
+    #[test]
+    fn internal_function_calls_with_args() {
+        let (out, _) = run(
+            r#"
+            fn fma(a: int, b: int, c: int) -> int { return a * b + c; }
+            fn double_str(s: bytes) -> bytes { return concat(s, s); }
+            export fn main() { ret(concat(double_str(b"ab"), itoa(fma(3, 4, 5)))); }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"abab17");
+    }
+
+    #[test]
+    fn multiple_exports() {
+        let src = r#"
+            export fn first() { ret(b"one"); }
+            export fn second() { ret(b"two"); }
+        "#;
+        assert_eq!(run(src, "first", b"").0, b"one");
+        assert_eq!(run(src, "second", b"").0, b"two");
+    }
+
+    #[test]
+    fn sender_and_log() {
+        let program = crate::frontend(
+            r#"export fn main() { log(b"audit line"); ret(to_hex(sender())); }"#,
+        )
+        .unwrap();
+        let module = compile_vm(&program).unwrap();
+        let vm = Vm::from_module(module, ExecConfig::default());
+        let mut host = MockHost::default();
+        host.sender = [0xab; 32];
+        let mut mem = Vec::new();
+        let out = vm.invoke("main", &[], &mut host, &mut mem).unwrap();
+        assert_eq!(out.return_data, "ab".repeat(32).as_bytes());
+        assert_eq!(host.logs, vec![b"audit line".to_vec()]);
+    }
+
+    #[test]
+    fn i2b_b2i_round_trip() {
+        let (out, _) = run(
+            r#"export fn main() { ret(itoa(b2i(i2b(123456789012345)))); }"#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"123456789012345");
+    }
+
+    #[test]
+    fn slice_and_index() {
+        let (out, _) = run(
+            r#"
+            export fn main() {
+                let s: bytes = b"abcdefgh";
+                let mid: bytes = slice(s, 2, 3);
+                ret(concat(mid, itoa(s[0])));
+            }
+            "#,
+            "main",
+            b"",
+        );
+        assert_eq!(out, b"cde97");
+    }
+}

@@ -1,0 +1,379 @@
+//! CCL lexer.
+
+use crate::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Byte-string literal `b"..."` or `"..."`.
+    Str(Vec<u8>),
+    /// Keywords.
+    Fn,
+    /// `export`
+    Export,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `int`
+    TyInt,
+    /// `bytes`
+    TyBytes,
+    // punctuation / operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Tokenize CCL source. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                // hex?
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &src[start + 2..i];
+                    let v = i64::from_str_radix(text, 16)
+                        .map_err(|_| CompileError::new("bad hex literal", line))?;
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| CompileError::new("bad integer literal", line))?;
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                // b"..." byte string?
+                if c == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                    let (s, consumed) = lex_string(&bytes[i + 1..], line)?;
+                    out.push(Spanned {
+                        tok: Tok::Str(s),
+                        line,
+                    });
+                    i += 1 + consumed;
+                    continue;
+                }
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "export" => Tok::Export,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "int" => Tok::TyInt,
+                    "bytes" => Tok::TyBytes,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            b'"' => {
+                let (s, consumed) = lex_string(&bytes[i..], line)?;
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+                i += consumed;
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (tok, n) = if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::NotEq, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b',' => Tok::Comma,
+                        b';' => Tok::Semi,
+                        b':' => Tok::Colon,
+                        b'=' => Tok::Assign,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'!' => Tok::Not,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        other => {
+                            return Err(CompileError::new(
+                                format!("unexpected character `{}`", other as char),
+                                line,
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                out.push(Spanned { tok, line });
+                i += n;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lex a quoted string starting at `bytes[0] == b'"'`; returns (content,
+/// bytes consumed including both quotes). Escapes: `\"`, `\\`, `\n`, `\t`,
+/// `\0`, `\xNN`.
+fn lex_string(bytes: &[u8], line: usize) -> Result<(Vec<u8>, usize), CompileError> {
+    debug_assert_eq!(bytes[0], b'"');
+    let mut out = Vec::new();
+    let mut i = 1usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = bytes
+                    .get(i + 1)
+                    .ok_or_else(|| CompileError::new("unterminated escape", line))?;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'0' => out.push(0),
+                    b'x' => {
+                        let hi = bytes.get(i + 2).ok_or_else(|| {
+                            CompileError::new("truncated \\x escape", line)
+                        })?;
+                        let lo = bytes.get(i + 3).ok_or_else(|| {
+                            CompileError::new("truncated \\x escape", line)
+                        })?;
+                        let nib = |c: u8| -> Result<u8, CompileError> {
+                            match c {
+                                b'0'..=b'9' => Ok(c - b'0'),
+                                b'a'..=b'f' => Ok(c - b'a' + 10),
+                                b'A'..=b'F' => Ok(c - b'A' + 10),
+                                _ => Err(CompileError::new("bad hex escape", line)),
+                            }
+                        };
+                        out.push((nib(*hi)? << 4) | nib(*lo)?);
+                        i += 4;
+                        continue;
+                    }
+                    _ => return Err(CompileError::new("unknown escape", line)),
+                }
+                i += 2;
+            }
+            b'\n' => return Err(CompileError::new("unterminated string", line)),
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    Err(CompileError::new("unterminated string", line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn foo export let iffy"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Export,
+                Tok::Let,
+                Tok::Ident("iffy".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_and_hex() {
+        assert_eq!(toks("42 0xff 0"), vec![Tok::Int(42), Tok::Int(255), Tok::Int(0)]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#" "a\nb" b"key\x00z" "#),
+            vec![
+                Tok::Str(b"a\nb".to_vec()),
+                Tok::Str(b"key\x00z".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char_priority() {
+        assert_eq!(
+            toks("<= >= == != && || << >> -> < >"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Arrow,
+                Tok::Lt,
+                Tok::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let spanned = lex("a // comment\nb").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn bad_char_is_error() {
+        assert!(lex("let $x").is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! Recursive-descent parser for CCL.
+
+use crate::ast::*;
+use crate::lexer::{Spanned, Tok};
+use crate::CompileError;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(toks: Vec<Spanned>) -> Result<Program, CompileError> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at_end() {
+        functions.push(p.fn_def()?);
+    }
+    Ok(Program { functions })
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Result<Tok, CompileError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| CompileError::new("unexpected end of input", self.line()))?;
+        self.pos += 1;
+        Ok(t.tok.clone())
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), CompileError> {
+        let line = self.line();
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                format!("expected {want:?}, found {got:?}"),
+                line,
+            ))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CompileError::new(
+                format!("expected identifier, found {other:?}"),
+                line,
+            )),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, CompileError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::TyInt => Ok(Type::Int),
+            Tok::TyBytes => Ok(Type::Bytes),
+            other => Err(CompileError::new(
+                format!("expected type, found {other:?}"),
+                line,
+            )),
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, CompileError> {
+        let line = self.line();
+        let exported = self.eat(&Tok::Export);
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            if !params.is_empty() {
+                self.expect(Tok::Comma)?;
+            }
+            let pname = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let pty = self.ty()?;
+            params.push((pname, pty));
+        }
+        self.expect(Tok::RParen)?;
+        let ret = if self.eat(&Tok::Arrow) {
+            self.ty()?
+        } else {
+            Type::Unit
+        };
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            exported,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Let) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.ty()?;
+                self.expect(Tok::Assign)?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let(name, ty, e, line))
+            }
+            Some(Tok::If) => {
+                self.pos += 1;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.block()?;
+                let els = if self.eat(&Tok::Else) {
+                    if self.peek() == Some(&Tok::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els, line))
+            }
+            Some(Tok::While) => {
+                self.pos += 1;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body, line))
+            }
+            Some(Tok::Return) => {
+                self.pos += 1;
+                if self.eat(&Tok::Semi) {
+                    Ok(Stmt::Return(None, line))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Return(Some(e), line))
+                }
+            }
+            Some(Tok::Ident(_)) if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) => {
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assign(name, e, line))
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Expr(e, line))
+            }
+        }
+    }
+
+    // Pratt-style precedence climbing.
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(Tok::OrOr) => (BinOp::OrOr, 1),
+                Some(Tok::AndAnd) => (BinOp::AndAnd, 2),
+                Some(Tok::Pipe) => (BinOp::BitOr, 3),
+                Some(Tok::Caret) => (BinOp::BitXor, 4),
+                Some(Tok::Amp) => (BinOp::BitAnd, 5),
+                Some(Tok::EqEq) => (BinOp::Eq, 6),
+                Some(Tok::NotEq) => (BinOp::Ne, 6),
+                Some(Tok::Lt) => (BinOp::Lt, 7),
+                Some(Tok::Gt) => (BinOp::Gt, 7),
+                Some(Tok::Le) => (BinOp::Le, 7),
+                Some(Tok::Ge) => (BinOp::Ge, 7),
+                Some(Tok::Shl) => (BinOp::Shl, 8),
+                Some(Tok::Shr) => (BinOp::Shr, 8),
+                Some(Tok::Plus) => (BinOp::Add, 9),
+                Some(Tok::Minus) => (BinOp::Sub, 9),
+                Some(Tok::Star) => (BinOp::Mul, 10),
+                Some(Tok::Slash) => (BinOp::Div, 10),
+                Some(Tok::Percent) => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat(&Tok::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr::Un(UnOp::Neg, Box::new(e), line));
+        }
+        if self.eat(&Tok::Not) {
+            let e = self.unary()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(e), line));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx), line);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Int(v) => Ok(Expr::Int(v, line)),
+            Tok::Str(s) => Ok(Expr::Str(s, line)),
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    while self.peek() != Some(&Tok::RParen) {
+                        if !args.is_empty() {
+                            self.expect(Tok::Comma)?;
+                        }
+                        args.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name, args, line))
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(
+                format!("unexpected token {other:?} in expression"),
+                line,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_function() {
+        let p = parse_src("export fn main() -> int { return 1 + 2 * 3; }");
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert!(f.exported);
+        assert_eq!(f.ret, Type::Int);
+        // Precedence: 1 + (2*3)
+        if let Stmt::Return(Some(Expr::Bin(BinOp::Add, _, rhs, _)), _) = &f.body[0] {
+            assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _, _)));
+        } else {
+            panic!("bad AST: {:?}", f.body);
+        }
+    }
+
+    #[test]
+    fn params_and_locals() {
+        let p = parse_src("fn add(a: int, b: int) -> int { let c: int = a + b; return c; }");
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert!(!f.exported);
+    }
+
+    #[test]
+    fn control_flow_nesting() {
+        let p = parse_src(
+            "fn f(x: int) -> int {
+                if (x > 0) { return 1; } else if (x < 0) { return 0 - 1; } else { return 0; }
+            }",
+        );
+        if let Stmt::If(_, _, els, _) = &p.functions[0].body[0] {
+            assert!(matches!(els[0], Stmt::If(..)), "else-if chains");
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn while_and_assignment() {
+        let p = parse_src("fn f() { let i: int = 0; while (i < 10) { i = i + 1; } }");
+        assert!(matches!(p.functions[0].body[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn index_sugar() {
+        let p = parse_src("fn f(b: bytes) -> int { return b[3]; }");
+        if let Stmt::Return(Some(Expr::Index(..)), _) = &p.functions[0].body[0] {
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn call_with_string_args() {
+        let p = parse_src(r#"fn f() { storage_set(b"key", b"value"); }"#);
+        if let Stmt::Expr(Expr::Call(name, args, _), _) = &p.functions[0].body[0] {
+            assert_eq!(name, "storage_set");
+            assert_eq!(args.len(), 2);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn logic_precedence_or_lowest() {
+        let p = parse_src("fn f(a: int, b: int) -> int { return a == 1 || b == 2 && a < b; }");
+        if let Stmt::Return(Some(Expr::Bin(BinOp::OrOr, _, rhs, _)), _) = &p.functions[0].body[0] {
+            assert!(matches!(**rhs, Expr::Bin(BinOp::AndAnd, _, _, _)));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse(lex("fn f( {").unwrap()).is_err());
+        assert!(parse(lex("fn f() { return 1 }").unwrap()).is_err()); // missing ;
+    }
+}

@@ -1,0 +1,455 @@
+//! CCL type checker: two value types, explicit annotations, lexical block
+//! scoping, and the structural rules the backends rely on (non-Unit
+//! functions return on every path; no recursion — the EVM backend uses
+//! statically allocated frames).
+
+use crate::ast::*;
+use crate::CompileError;
+use std::collections::{HashMap, HashSet};
+
+/// Check the whole program.
+pub fn check(program: &Program) -> Result<(), CompileError> {
+    // Duplicate function names / builtin shadowing.
+    let mut names = HashSet::new();
+    for f in &program.functions {
+        if builtin_signature(&f.name).is_some() {
+            return Err(CompileError::new(
+                format!("function `{}` shadows a builtin", f.name),
+                f.line,
+            ));
+        }
+        if !names.insert(f.name.clone()) {
+            return Err(CompileError::new(
+                format!("duplicate function `{}`", f.name),
+                f.line,
+            ));
+        }
+    }
+    for f in &program.functions {
+        if f.exported && !f.params.is_empty() {
+            return Err(CompileError::new(
+                format!(
+                    "exported fn `{}` must take no parameters (arguments travel via input())",
+                    f.name
+                ),
+                f.line,
+            ));
+        }
+        check_fn(program, f)?;
+        if f.ret != Type::Unit && !always_returns(&f.body) {
+            return Err(CompileError::new(
+                format!("fn `{}` may fall off the end without returning {}", f.name, f.ret),
+                f.line,
+            ));
+        }
+    }
+    check_no_recursion(program)?;
+    Ok(())
+}
+
+/// Lexically scoped variable typing environment (exposed for `infer`).
+pub struct Scope {
+    stack: Vec<HashMap<String, Type>>,
+}
+
+impl Scope {
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for frame in self.stack.iter().rev() {
+            if let Some(t) = frame.get(name) {
+                return Some(*t);
+            }
+        }
+        None
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) {
+        self.stack
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), ty);
+    }
+}
+
+fn check_fn(program: &Program, f: &FnDef) -> Result<(), CompileError> {
+    let mut scope = Scope {
+        stack: vec![HashMap::new()],
+    };
+    for (name, ty) in &f.params {
+        if *ty == Type::Unit {
+            return Err(CompileError::new("parameters cannot be ()", f.line));
+        }
+        scope.declare(name, *ty);
+    }
+    check_block(program, f, &mut scope, &f.body)
+}
+
+fn check_block(
+    program: &Program,
+    f: &FnDef,
+    scope: &mut Scope,
+    body: &[Stmt],
+) -> Result<(), CompileError> {
+    scope.stack.push(HashMap::new());
+    for stmt in body {
+        check_stmt(program, f, scope, stmt)?;
+    }
+    scope.stack.pop();
+    Ok(())
+}
+
+fn check_stmt(
+    program: &Program,
+    f: &FnDef,
+    scope: &mut Scope,
+    stmt: &Stmt,
+) -> Result<(), CompileError> {
+    match stmt {
+        Stmt::Let(name, ty, init, line) => {
+            let got = infer(program, scope, init)?;
+            if got != *ty {
+                return Err(CompileError::new(
+                    format!("let `{name}`: declared {ty} but initializer is {got}"),
+                    *line,
+                ));
+            }
+            scope.declare(name, *ty);
+            Ok(())
+        }
+        Stmt::Assign(name, value, line) => {
+            let declared = scope.lookup(name).ok_or_else(|| {
+                CompileError::new(format!("assignment to undeclared `{name}`"), *line)
+            })?;
+            let got = infer(program, scope, value)?;
+            if got != declared {
+                return Err(CompileError::new(
+                    format!("cannot assign {got} to `{name}`: {declared}"),
+                    *line,
+                ));
+            }
+            Ok(())
+        }
+        Stmt::If(cond, then, els, line) => {
+            expect_int(program, scope, cond, *line)?;
+            check_block(program, f, scope, then)?;
+            check_block(program, f, scope, els)
+        }
+        Stmt::While(cond, body, line) => {
+            expect_int(program, scope, cond, *line)?;
+            check_block(program, f, scope, body)
+        }
+        Stmt::Return(value, line) => {
+            let got = match value {
+                Some(e) => infer(program, scope, e)?,
+                None => Type::Unit,
+            };
+            if got != f.ret {
+                return Err(CompileError::new(
+                    format!("return type mismatch: fn returns {}, got {got}", f.ret),
+                    *line,
+                ));
+            }
+            Ok(())
+        }
+        Stmt::Expr(e, _) => {
+            infer(program, scope, e)?;
+            Ok(())
+        }
+    }
+}
+
+fn expect_int(
+    program: &Program,
+    scope: &Scope,
+    e: &Expr,
+    line: usize,
+) -> Result<(), CompileError> {
+    let got = infer(program, scope, e)?;
+    if got != Type::Int {
+        return Err(CompileError::new(
+            format!("condition must be int, got {got}"),
+            line,
+        ));
+    }
+    Ok(())
+}
+
+/// Infer (and check) the type of an expression.
+pub fn infer(program: &Program, scope: &Scope, e: &Expr) -> Result<Type, CompileError> {
+    match e {
+        Expr::Int(..) => Ok(Type::Int),
+        Expr::Str(..) => Ok(Type::Bytes),
+        Expr::Var(name, line) => scope
+            .lookup(name)
+            .ok_or_else(|| CompileError::new(format!("unknown variable `{name}`"), *line)),
+        Expr::Un(op, inner, line) => {
+            let t = infer(program, scope, inner)?;
+            if t != Type::Int {
+                return Err(CompileError::new(
+                    format!("unary {op:?} needs int, got {t}"),
+                    *line,
+                ));
+            }
+            Ok(Type::Int)
+        }
+        Expr::Bin(op, lhs, rhs, line) => {
+            let lt = infer(program, scope, lhs)?;
+            let rt = infer(program, scope, rhs)?;
+            if lt != Type::Int || rt != Type::Int {
+                return Err(CompileError::new(
+                    format!(
+                        "operator {op:?} needs int operands, got {lt} and {rt} \
+                         (bytes comparison: use eq_bytes)"
+                    ),
+                    *line,
+                ));
+            }
+            Ok(Type::Int)
+        }
+        Expr::Index(base, idx, line) => {
+            let bt = infer(program, scope, base)?;
+            let it = infer(program, scope, idx)?;
+            if bt != Type::Bytes || it != Type::Int {
+                return Err(CompileError::new(
+                    format!("indexing needs bytes[int], got {bt}[{it}]"),
+                    *line,
+                ));
+            }
+            Ok(Type::Int)
+        }
+        Expr::Call(name, args, line) => {
+            let (params, ret) = if let Some(sig) = builtin_signature(name) {
+                sig
+            } else if let Some(f) = program.get(name) {
+                (
+                    f.params.iter().map(|(_, t)| *t).collect(),
+                    f.ret,
+                )
+            } else {
+                return Err(CompileError::new(
+                    format!("unknown function `{name}`"),
+                    *line,
+                ));
+            };
+            if args.len() != params.len() {
+                return Err(CompileError::new(
+                    format!(
+                        "`{name}` takes {} argument(s), got {}",
+                        params.len(),
+                        args.len()
+                    ),
+                    *line,
+                ));
+            }
+            for (i, (arg, want)) in args.iter().zip(&params).enumerate() {
+                let got = infer(program, scope, arg)?;
+                if got != *want {
+                    return Err(CompileError::new(
+                        format!("`{name}` argument {}: expected {want}, got {got}", i + 1),
+                        *line,
+                    ));
+                }
+            }
+            Ok(ret)
+        }
+    }
+}
+
+/// True if every control path through `body` hits a `return`.
+pub fn always_returns(body: &[Stmt]) -> bool {
+    for stmt in body {
+        match stmt {
+            Stmt::Return(..) => return true,
+            Stmt::If(_, then, els, _) => {
+                if !els.is_empty() && always_returns(then) && always_returns(els) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn check_no_recursion(program: &Program) -> Result<(), CompileError> {
+    // DFS over the call graph looking for a cycle.
+    let mut callees: HashMap<&str, Vec<String>> = HashMap::new();
+    for f in &program.functions {
+        let mut calls = Vec::new();
+        collect_calls(&f.body, &mut calls);
+        callees.insert(&f.name, calls);
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        InProgress,
+        Done,
+    }
+    fn dfs<'a>(
+        name: &'a str,
+        callees: &'a HashMap<&str, Vec<String>>,
+        marks: &mut HashMap<&'a str, Mark>,
+    ) -> Result<(), String> {
+        match marks.get(name) {
+            Some(Mark::Done) => return Ok(()),
+            Some(Mark::InProgress) => return Err(name.to_string()),
+            None => {}
+        }
+        marks.insert(name, Mark::InProgress);
+        if let Some(calls) = callees.get(name) {
+            for c in calls {
+                if let Some((key, _)) = callees.get_key_value(c.as_str()) {
+                    dfs(key, callees, marks)?;
+                }
+            }
+        }
+        marks.insert(name, Mark::Done);
+        Ok(())
+    }
+    let mut marks = HashMap::new();
+    for f in &program.functions {
+        if let Err(cycle_fn) = dfs(&f.name, &callees, &mut marks) {
+            return Err(CompileError::new(
+                format!("recursion involving `{cycle_fn}` is not supported"),
+                f.line,
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn collect_calls(body: &[Stmt], out: &mut Vec<String>) {
+    fn walk_expr(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Call(name, args, _) => {
+                out.push(name.clone());
+                for a in args {
+                    walk_expr(a, out);
+                }
+            }
+            Expr::Bin(_, a, b, _) | Expr::Index(a, b, _) => {
+                walk_expr(a, out);
+                walk_expr(b, out);
+            }
+            Expr::Un(_, a, _) => walk_expr(a, out),
+            _ => {}
+        }
+    }
+    for stmt in body {
+        match stmt {
+            Stmt::Let(_, _, e, _) | Stmt::Assign(_, e, _) | Stmt::Expr(e, _) => walk_expr(e, out),
+            Stmt::Return(Some(e), _) => walk_expr(e, out),
+            Stmt::Return(None, _) => {}
+            Stmt::If(c, t, f, _) => {
+                walk_expr(c, out);
+                collect_calls(t, out);
+                collect_calls(f, out);
+            }
+            Stmt::While(c, b, _) => {
+                walk_expr(c, out);
+                collect_calls(b, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), CompileError> {
+        check(&parse(lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn well_typed_program_passes() {
+        check_src(
+            r#"
+            fn helper(x: int) -> int { return x * 2; }
+            export fn main() -> int {
+                let a: int = helper(21);
+                let s: bytes = b"hi";
+                if (a > 0 && s[0] == 104) { return a; }
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_in_let() {
+        let e = check_src("fn f() { let a: int = b\"str\"; }").unwrap_err();
+        assert!(e.message.contains("declared int"));
+    }
+
+    #[test]
+    fn bytes_arithmetic_rejected() {
+        let e = check_src("fn f(a: bytes, b: bytes) -> int { return a + b; }").unwrap_err();
+        assert!(e.message.contains("needs int operands"));
+    }
+
+    #[test]
+    fn unknown_variable_and_function() {
+        assert!(check_src("fn f() -> int { return nope; }").is_err());
+        assert!(check_src("fn f() { missing(); }").is_err());
+    }
+
+    #[test]
+    fn arity_and_arg_types() {
+        assert!(check_src("fn g(x: int) {} fn f() { g(); }").is_err());
+        assert!(check_src("fn g(x: int) {} fn f() { g(b\"s\"); }").is_err());
+    }
+
+    #[test]
+    fn missing_return_detected() {
+        let e = check_src("fn f(x: int) -> int { if (x > 0) { return 1; } }").unwrap_err();
+        assert!(e.message.contains("fall off"));
+        // Both branches return: fine.
+        check_src("fn f(x: int) -> int { if (x > 0) { return 1; } else { return 0; } }").unwrap();
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let e = check_src("fn f(x: int) -> int { return f(x); }").unwrap_err();
+        assert!(e.message.contains("recursion"));
+        let e2 = check_src(
+            "fn a(x: int) -> int { return b(x); } fn b(x: int) -> int { return a(x); }",
+        )
+        .unwrap_err();
+        assert!(e2.message.contains("recursion"));
+    }
+
+    #[test]
+    fn exported_fn_with_params_rejected() {
+        let e = check_src("export fn main(x: int) {}").unwrap_err();
+        assert!(e.message.contains("no parameters"));
+    }
+
+    #[test]
+    fn builtin_shadowing_rejected() {
+        let e = check_src("fn len(b: bytes) -> int { return 0; }").unwrap_err();
+        assert!(e.message.contains("shadows"));
+    }
+
+    #[test]
+    fn block_scoping_shadows_and_expires() {
+        check_src(
+            "fn f() -> int { let x: int = 1; if (x > 0) { let x: int = 2; x = 3; } return x; }",
+        )
+        .unwrap();
+        // Variable declared in inner block is not visible outside.
+        assert!(check_src("fn f() -> int { if (1) { let y: int = 2; } return y; }").is_err());
+    }
+
+    #[test]
+    fn condition_must_be_int() {
+        let e = check_src("fn f(b: bytes) { while (b) { } }").unwrap_err();
+        assert!(e.message.contains("condition must be int"));
+    }
+
+    #[test]
+    fn stdlib_typechecks() {
+        crate::frontend("export fn main() { }").unwrap();
+    }
+}

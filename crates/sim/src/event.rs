@@ -1,0 +1,146 @@
+//! Virtual time and the event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in nanoseconds since experiment start.
+pub type SimTime = u64;
+
+/// One nanosecond expressed in [`SimTime`] units.
+pub const NS: SimTime = 1;
+/// One microsecond.
+pub const US: SimTime = 1_000;
+/// One millisecond.
+pub const MS: SimTime = 1_000_000;
+/// One second.
+pub const SEC: SimTime = 1_000_000_000;
+
+/// A deterministic time-ordered event queue. Ties break by insertion
+/// order, so simulations replay identically.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox<E>)>>,
+    seq: u64,
+    now: SimTime,
+}
+
+/// Wrapper giving the payload a no-op ordering so the heap orders only by
+/// (time, seq).
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((t, _, EventBox(e))) = self.heap.pop()?;
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Events pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// No events pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(5, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        q.pop();
+        q.schedule_in(50, "second");
+        assert_eq!(q.pop(), Some((150, "second")));
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "a");
+        q.pop();
+        q.schedule_at(10, "late"); // would be in the past
+        assert_eq!(q.pop(), Some((100, "late")));
+    }
+
+    #[test]
+    fn units() {
+        assert_eq!(MS, 1_000_000);
+        assert_eq!(SEC / MS, 1000);
+    }
+}

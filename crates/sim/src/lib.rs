@@ -1,0 +1,20 @@
+//! # confide-sim
+//!
+//! The discrete-event simulation substrate standing in for the paper's
+//! Alibaba-Cloud testbed (DESIGN.md §2): a virtual clock, a time-ordered
+//! event queue, and a network model with zones (the §6.2 Shanghai/Beijing
+//! split), per-link latency and bandwidth.
+//!
+//! Compute costs fed into the simulation are *measured* from real
+//! execution (instruction counts, crypto bytes) and converted to time via
+//! the calibrated [`confide_tee::CostModel`]; only the environment —
+//! network, disk, transitions — is modelled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod network;
+
+pub use event::{EventQueue, SimTime};
+pub use network::{DiskModel, NetworkModel, Zone};

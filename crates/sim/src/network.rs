@@ -1,0 +1,207 @@
+//! Network and disk models.
+//!
+//! §6.2's topology: nodes in the same VPC see sub-millisecond latency and
+//! ample bandwidth; splitting nodes across Shanghai/Beijing puts ~30 ms of
+//! public-network RTT (and a tighter bandwidth cap) between the zones,
+//! which is what bends the two-zone curve in Figure 11 downward as node
+//! count (and thus O(n²) PBFT traffic) grows.
+
+use crate::event::{SimTime, MS, SEC, US};
+use confide_crypto::drbg::HmacDrbg;
+use std::collections::HashMap;
+
+/// A network zone (datacenter / region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Zone(pub u32);
+
+/// Latency/bandwidth model between zones.
+pub struct NetworkModel {
+    /// One-way latency within a zone.
+    pub intra_zone_latency: SimTime,
+    /// One-way latency across zones.
+    pub inter_zone_latency: SimTime,
+    /// Bytes/second within a zone.
+    pub intra_zone_bandwidth: u64,
+    /// Bytes/second across zones (public network).
+    pub inter_zone_bandwidth: u64,
+    /// Jitter fraction in 1/1000 units (e.g. 100 = ±10%).
+    pub jitter_permille: u64,
+    rng: HmacDrbg,
+    /// Serialization cursor per inter-zone link direction: the shared
+    /// public-network pipe drains at `inter_zone_bandwidth`, so concurrent
+    /// senders queue behind each other (the §6.2 contention that bends the
+    /// two-zone curve down as PBFT traffic grows with n²).
+    link_free: HashMap<(u32, u32), SimTime>,
+}
+
+impl NetworkModel {
+    /// The paper's LAN/VPC setting (§6.1: "four nodes in a local network").
+    pub fn lan(seed: u64) -> NetworkModel {
+        NetworkModel {
+            intra_zone_latency: 250 * US,
+            inter_zone_latency: 250 * US,
+            intra_zone_bandwidth: 1_250_000_000, // 10 Gbps
+            inter_zone_bandwidth: 1_250_000_000,
+            jitter_permille: 50,
+            rng: HmacDrbg::from_u64(seed),
+            link_free: HashMap::new(),
+        }
+    }
+
+    /// The §6.3/§6.4 production setting: a cloud VPC — virtualized network
+    /// stack with ~1.5 ms one-way latency between instances.
+    pub fn vpc(seed: u64) -> NetworkModel {
+        NetworkModel {
+            intra_zone_latency: 1_500 * US,
+            inter_zone_latency: 1_500 * US,
+            intra_zone_bandwidth: 1_250_000_000,
+            inter_zone_bandwidth: 1_250_000_000,
+            jitter_permille: 80,
+            rng: HmacDrbg::from_u64(seed),
+            link_free: HashMap::new(),
+        }
+    }
+
+    /// The §6.2 two-city setting: Shanghai↔Beijing over public network.
+    pub fn two_zone(seed: u64) -> NetworkModel {
+        NetworkModel {
+            intra_zone_latency: 250 * US,
+            inter_zone_latency: 15 * MS, // ~30 ms RTT
+            intra_zone_bandwidth: 1_250_000_000,
+            inter_zone_bandwidth: 12_000_000, // ~100 Mbps shared cross-city pipe
+            jitter_permille: 100,
+            rng: HmacDrbg::from_u64(seed),
+            link_free: HashMap::new(),
+        }
+    }
+
+    /// Absolute delivery time for a message sent at `now`: propagation
+    /// latency plus serialization on the (shared, for inter-zone) link.
+    pub fn send_at(&mut self, now: SimTime, from: Zone, to: Zone, bytes: usize) -> SimTime {
+        if from == to {
+            return now + self.delay(from, to, bytes);
+        }
+        let serialize =
+            (bytes as u128 * SEC as u128 / self.inter_zone_bandwidth as u128) as SimTime;
+        let cursor = self.link_free.entry((from.0, to.0)).or_insert(0);
+        let start = (*cursor).max(now);
+        *cursor = start + serialize;
+        let base = start + serialize + self.inter_zone_latency;
+        if self.jitter_permille == 0 {
+            return base;
+        }
+        let span = self.inter_zone_latency * self.jitter_permille / 1000;
+        if span == 0 {
+            return base;
+        }
+        base - span + self.rng.gen_range(2 * span + 1)
+    }
+
+    /// One-way delivery delay for `bytes` from `from` to `to`.
+    pub fn delay(&mut self, from: Zone, to: Zone, bytes: usize) -> SimTime {
+        let (latency, bandwidth) = if from == to {
+            (self.intra_zone_latency, self.intra_zone_bandwidth)
+        } else {
+            (self.inter_zone_latency, self.inter_zone_bandwidth)
+        };
+        let transfer = (bytes as u128 * SEC as u128 / bandwidth as u128) as SimTime;
+        let base = latency + transfer;
+        if self.jitter_permille == 0 {
+            return base;
+        }
+        // Deterministic jitter in [-j, +j].
+        let span = base * self.jitter_permille / 1000;
+        if span == 0 {
+            return base;
+        }
+        let offset = self.rng.gen_range(2 * span + 1);
+        base - span + offset
+    }
+}
+
+/// Disk (cloud SSD) write model — §6.4: "Cloud SSD disks are mounted as
+/// storage system of the blockchain, the typical block write latency is
+/// about 6 ms on average."
+pub struct DiskModel {
+    /// Fixed per-write latency (fsync + network-attached round trip).
+    pub write_latency: SimTime,
+    /// Streaming bandwidth, bytes/second.
+    pub bandwidth: u64,
+}
+
+impl DiskModel {
+    /// Cloud-SSD defaults calibrated to §6.4's ~6 ms block writes.
+    pub fn cloud_ssd() -> DiskModel {
+        DiskModel {
+            write_latency: 5_500_000, // 5.5 ms fixed
+            bandwidth: 140_000_000,   // 140 MB/s
+        }
+    }
+
+    /// Time to persist `bytes`.
+    pub fn write(&self, bytes: usize) -> SimTime {
+        self.write_latency + (bytes as u128 * SEC as u128 / self.bandwidth as u128) as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_zone_is_fast() {
+        let mut net = NetworkModel::lan(1);
+        let d = net.delay(Zone(0), Zone(0), 4096);
+        assert!(d < MS, "{d}");
+    }
+
+    #[test]
+    fn inter_zone_pays_public_network() {
+        let mut net = NetworkModel::two_zone(1);
+        let intra = net.delay(Zone(0), Zone(0), 4096);
+        let inter = net.delay(Zone(0), Zone(1), 4096);
+        assert!(inter > 10 * intra, "inter {inter} vs intra {intra}");
+        assert!(inter >= 10 * MS && inter < 40 * MS, "{inter}");
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let mut net = NetworkModel::two_zone(2);
+        net.jitter_permille = 0;
+        let small = net.delay(Zone(0), Zone(1), 1_000);
+        let large = net.delay(Zone(0), Zone(1), 4_000_000);
+        assert!(large > small + 50 * MS, "large {large} small {small}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = NetworkModel::lan(7);
+        let mut b = NetworkModel::lan(7);
+        for _ in 0..10 {
+            assert_eq!(a.delay(Zone(0), Zone(0), 100), b.delay(Zone(0), Zone(0), 100));
+        }
+    }
+
+    #[test]
+    fn inter_zone_link_queues_concurrent_sends() {
+        let mut net = NetworkModel::two_zone(3);
+        net.jitter_permille = 0;
+        // 20 concurrent 50 KB messages at t=0 must serialize on the link.
+        let times: Vec<SimTime> = (0..20)
+            .map(|_| net.send_at(0, Zone(0), Zone(1), 50_000))
+            .collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "{times:?}");
+        // Intra-zone sends do not contend.
+        let a = net.send_at(0, Zone(0), Zone(0), 50_000);
+        let b = net.send_at(0, Zone(0), Zone(0), 50_000);
+        assert!(a.abs_diff(b) < MS, "{a} {b}");
+    }
+
+    #[test]
+    fn disk_model_matches_paper_block_write() {
+        let disk = DiskModel::cloud_ssd();
+        // A 4 KB block writes in ~6 ms (§6.4).
+        let t = disk.write(4096);
+        assert!((5 * MS..8 * MS).contains(&t), "{t}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Hash-linked block storage.
+
+use crate::merkle::MerkleTree;
+use confide_crypto::sha256;
+
+/// A block header: everything consensus signs off on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height (genesis = 0).
+    pub height: u64,
+    /// Hash of the parent header.
+    pub parent: [u8; 32],
+    /// Merkle root of the post-execution state.
+    pub state_root: [u8; 32],
+    /// Merkle root over transaction hashes.
+    pub tx_root: [u8; 32],
+    /// Simulated timestamp (ns).
+    pub timestamp_ns: u64,
+}
+
+impl BlockHeader {
+    /// Header hash.
+    pub fn hash(&self) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(8 + 32 * 3 + 8);
+        buf.extend_from_slice(&self.height.to_le_bytes());
+        buf.extend_from_slice(&self.parent);
+        buf.extend_from_slice(&self.state_root);
+        buf.extend_from_slice(&self.tx_root);
+        buf.extend_from_slice(&self.timestamp_ns.to_le_bytes());
+        sha256(&buf)
+    }
+}
+
+/// A block: header + opaque transaction payloads (ciphertext for
+/// confidential transactions — the block store never sees plaintext).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Raw transaction bytes.
+    pub txs: Vec<Vec<u8>>,
+}
+
+impl Block {
+    /// Compute the tx root for a set of payloads.
+    pub fn tx_root(txs: &[Vec<u8>]) -> [u8; 32] {
+        MerkleTree::from_leaves(txs.iter().map(|t| sha256(t)).collect()).root()
+    }
+
+    /// Total byte size (block-size limits, disk write model).
+    pub fn byte_size(&self) -> usize {
+        96 + self.txs.iter().map(|t| t.len()).sum::<usize>()
+    }
+}
+
+/// Block store errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockStoreError {
+    /// Parent hash does not match the current tip.
+    BadParent,
+    /// Height is not tip + 1.
+    BadHeight,
+    /// Declared tx root does not match the payloads.
+    BadTxRoot,
+}
+
+impl std::fmt::Display for BlockStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockStoreError::BadParent => f.write_str("parent hash mismatch"),
+            BlockStoreError::BadHeight => f.write_str("non-sequential height"),
+            BlockStoreError::BadTxRoot => f.write_str("tx root mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for BlockStoreError {}
+
+/// An append-only, validated chain of blocks.
+pub struct BlockStore {
+    blocks: Vec<Block>,
+}
+
+impl Default for BlockStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockStore {
+    /// Start from the genesis block (height 0, empty).
+    pub fn new() -> BlockStore {
+        let genesis = Block {
+            header: BlockHeader {
+                height: 0,
+                parent: [0u8; 32],
+                state_root: crate::merkle::empty_root(),
+                tx_root: Block::tx_root(&[]),
+                timestamp_ns: 0,
+            },
+            txs: Vec::new(),
+        };
+        BlockStore {
+            blocks: vec![genesis],
+        }
+    }
+
+    /// The current tip.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// Current height.
+    pub fn height(&self) -> u64 {
+        self.tip().header.height
+    }
+
+    /// Append a block after validating linkage and tx root.
+    pub fn append(&mut self, block: Block) -> Result<(), BlockStoreError> {
+        let tip = self.tip();
+        if block.header.height != tip.header.height + 1 {
+            return Err(BlockStoreError::BadHeight);
+        }
+        if block.header.parent != tip.header.hash() {
+            return Err(BlockStoreError::BadParent);
+        }
+        if block.header.tx_root != Block::tx_root(&block.txs) {
+            return Err(BlockStoreError::BadTxRoot);
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Block at `height`.
+    pub fn get(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Walk the chain verifying every hash link; true when intact.
+    pub fn verify_chain(&self) -> bool {
+        self.blocks.windows(2).all(|w| {
+            w[1].header.parent == w[0].header.hash()
+                && w[1].header.height == w[0].header.height + 1
+                && w[1].header.tx_root == Block::tx_root(&w[1].txs)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn next_block(store: &BlockStore, txs: Vec<Vec<u8>>) -> Block {
+        let tip = store.tip();
+        Block {
+            header: BlockHeader {
+                height: tip.header.height + 1,
+                parent: tip.header.hash(),
+                state_root: [1u8; 32],
+                tx_root: Block::tx_root(&txs),
+                timestamp_ns: 1000,
+            },
+            txs,
+        }
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let mut store = BlockStore::new();
+        for i in 0..5 {
+            let b = next_block(&store, vec![format!("tx{i}").into_bytes()]);
+            store.append(b).unwrap();
+        }
+        assert_eq!(store.height(), 5);
+        assert!(store.verify_chain());
+        assert_eq!(store.get(3).unwrap().txs[0], b"tx2");
+    }
+
+    #[test]
+    fn bad_parent_rejected() {
+        let mut store = BlockStore::new();
+        let mut b = next_block(&store, vec![]);
+        b.header.parent = [9u8; 32];
+        assert_eq!(store.append(b).unwrap_err(), BlockStoreError::BadParent);
+    }
+
+    #[test]
+    fn bad_height_rejected() {
+        let mut store = BlockStore::new();
+        let mut b = next_block(&store, vec![]);
+        b.header.height = 5;
+        assert_eq!(store.append(b).unwrap_err(), BlockStoreError::BadHeight);
+    }
+
+    #[test]
+    fn tampered_tx_payload_detected() {
+        let mut store = BlockStore::new();
+        let mut b = next_block(&store, vec![b"pay alice".to_vec()]);
+        b.txs[0] = b"pay mallory".to_vec();
+        assert_eq!(store.append(b).unwrap_err(), BlockStoreError::BadTxRoot);
+    }
+
+    #[test]
+    fn chain_walk_detects_midchain_tamper() {
+        let mut store = BlockStore::new();
+        for i in 0..3 {
+            let b = next_block(&store, vec![vec![i]]);
+            store.append(b).unwrap();
+        }
+        assert!(store.verify_chain());
+        store.blocks[1].txs[0] = b"evil".to_vec();
+        assert!(!store.verify_chain());
+    }
+
+    #[test]
+    fn header_hash_covers_all_fields() {
+        let h = BlockHeader {
+            height: 1,
+            parent: [0; 32],
+            state_root: [1; 32],
+            tx_root: [2; 32],
+            timestamp_ns: 3,
+        };
+        let base = h.hash();
+        let mut h2 = h.clone();
+        h2.timestamp_ns = 4;
+        assert_ne!(base, h2.hash());
+        let mut h3 = h.clone();
+        h3.state_root = [9; 32];
+        assert_ne!(base, h3.hash());
+    }
+}

@@ -1,0 +1,33 @@
+//! # confide-storage
+//!
+//! The blockchain storage substrate: CONFIDE is "loosely coupled" with its
+//! platform precisely so that "users can even choose their own KV storage"
+//! (§2.4); this crate is the KV store + block store the rest of the
+//! workspace plugs into.
+//!
+//! * [`kv`] — the ordered KV abstraction, an in-memory implementation, and
+//!   write batches; [`kvlog`] — a write-ahead-log-backed alternative with
+//!   CRC framing, crash-consistent recovery and compaction (the "choose
+//!   your own KV store" modularity seam of §2.4).
+//! * [`merkle`] — a binary Merkle tree over sorted key/value pairs; its
+//!   root is the state commitment consensus agrees on, and its proofs back
+//!   the "consensus read (e.g. SPV)" escape hatch of §3.3.
+//! * [`versioned`] — versioned state: apply per-block batches, compute
+//!   state roots, and *detect rollbacks* — the stale-state attack a
+//!   malicious host can mount on a TEE (§3.3).
+//! * [`blockstore`] — hash-linked block storage with header validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockstore;
+pub mod kv;
+pub mod kvlog;
+pub mod merkle;
+pub mod versioned;
+
+pub use blockstore::{Block, BlockHeader, BlockStore, BlockStoreError};
+pub use kv::{KvStore, MemKv, WriteBatch};
+pub use kvlog::LogKv;
+pub use merkle::{MerkleProof, MerkleTree};
+pub use versioned::{StateDb, StateError};

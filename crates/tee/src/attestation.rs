@@ -1,0 +1,265 @@
+//! Remote and local attestation.
+//!
+//! Remote attestation (§2.3, §3.2.2): an enclave's measurement and a caller
+//! chosen `report_data` (CONFIDE locks the fingerprint of `pk_tx` in here to
+//! defeat man-in-the-middle, §3.2.2) are signed by the platform's fused
+//! attestation key. A verifier holding the platform's public attestation
+//! root checks the signature and compares MRENCLAVE against the expected
+//! build.
+//!
+//! Local attestation (§5.1): two enclaves on the *same* platform prove
+//! identity to each other with a MAC under a platform-fused symmetric key —
+//! cheap, no signature — which is how the CS Enclave authenticates to the
+//! KM Enclave before key provisioning.
+
+use crate::enclave::Enclave;
+use confide_crypto::ed25519::{Signature, VerifyingKey};
+use confide_crypto::hmac::hmac_sha256;
+use confide_crypto::CryptoError;
+
+/// A remote attestation report (EPID/DCAP quote analogue).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Measurement of the quoted enclave.
+    pub mrenclave: [u8; 32],
+    /// Signer identity.
+    pub mrsigner: [u8; 32],
+    /// Security version of the enclave.
+    pub isv_svn: u16,
+    /// 64 bytes chosen by the enclave — CONFIDE puts the SHA-256
+    /// fingerprint of `pk_tx` (and a session nonce) here.
+    pub report_data: [u8; 64],
+    /// Platform id that produced the quote.
+    pub platform_id: u64,
+    /// Signature by the platform attestation key.
+    pub signature: Signature,
+}
+
+impl Report {
+    /// Serialize the signed portion.
+    fn signed_bytes(
+        mrenclave: &[u8; 32],
+        mrsigner: &[u8; 32],
+        isv_svn: u16,
+        report_data: &[u8; 64],
+        platform_id: u64,
+    ) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + 32 + 2 + 64 + 8 + 16);
+        buf.extend_from_slice(b"SGX-SIM-QUOTE-V1");
+        buf.extend_from_slice(mrenclave);
+        buf.extend_from_slice(mrsigner);
+        buf.extend_from_slice(&isv_svn.to_le_bytes());
+        buf.extend_from_slice(report_data);
+        buf.extend_from_slice(&platform_id.to_le_bytes());
+        buf
+    }
+
+    /// Produce a signed report for `enclave` with caller data.
+    pub fn generate(enclave: &Enclave, report_data: [u8; 64]) -> Report {
+        let platform = enclave.platform();
+        let msg = Self::signed_bytes(
+            &enclave.mrenclave(),
+            &enclave.signer(),
+            enclave.isv_svn(),
+            &report_data,
+            platform.platform_id,
+        );
+        let signature = platform.attestation_key().sign(&msg);
+        Report {
+            mrenclave: enclave.mrenclave(),
+            mrsigner: enclave.signer(),
+            isv_svn: enclave.isv_svn(),
+            report_data,
+            platform_id: platform.platform_id,
+            signature,
+        }
+    }
+
+    /// Verify the platform signature with the attestation root and check
+    /// the measurement and minimum security version.
+    pub fn verify(
+        &self,
+        attestation_root: &VerifyingKey,
+        expected_mrenclave: &[u8; 32],
+        min_isv_svn: u16,
+    ) -> Result<(), AttestationError> {
+        let msg = Self::signed_bytes(
+            &self.mrenclave,
+            &self.mrsigner,
+            self.isv_svn,
+            &self.report_data,
+            self.platform_id,
+        );
+        attestation_root
+            .verify(&msg, &self.signature)
+            .map_err(AttestationError::BadSignature)?;
+        if &self.mrenclave != expected_mrenclave {
+            return Err(AttestationError::MeasurementMismatch);
+        }
+        if self.isv_svn < min_isv_svn {
+            return Err(AttestationError::StaleSecurityVersion {
+                got: self.isv_svn,
+                min: min_isv_svn,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A local attestation report between two enclaves on one platform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalReport {
+    /// Measurement of the reporting enclave.
+    pub mrenclave: [u8; 32],
+    /// Caller data bound into the MAC.
+    pub report_data: [u8; 64],
+    /// MAC under a key only enclaves on the same platform can derive.
+    pub mac: [u8; 32],
+}
+
+impl LocalReport {
+    /// Generate a report from `source` targeted at any enclave on the same
+    /// platform.
+    pub fn generate(source: &Enclave, report_data: [u8; 64]) -> LocalReport {
+        let key = source.platform().derive_fuse_key(b"local-attestation");
+        let mut msg = Vec::with_capacity(32 + 64);
+        msg.extend_from_slice(&source.mrenclave());
+        msg.extend_from_slice(&report_data);
+        LocalReport {
+            mrenclave: source.mrenclave(),
+            report_data,
+            mac: hmac_sha256(&key, &msg),
+        }
+    }
+
+    /// Verify from `verifier` (must be on the same platform as the source).
+    pub fn verify(&self, verifier: &Enclave) -> Result<(), AttestationError> {
+        let key = verifier.platform().derive_fuse_key(b"local-attestation");
+        let mut msg = Vec::with_capacity(32 + 64);
+        msg.extend_from_slice(&self.mrenclave);
+        msg.extend_from_slice(&self.report_data);
+        let expect = hmac_sha256(&key, &msg);
+        if confide_crypto::ct_eq(&expect, &self.mac) {
+            Ok(())
+        } else {
+            Err(AttestationError::BadMac)
+        }
+    }
+}
+
+/// Attestation failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestationError {
+    /// Quote signature invalid (wrong platform or forged).
+    BadSignature(CryptoError),
+    /// MRENCLAVE does not match the expected build.
+    MeasurementMismatch,
+    /// Enclave runs an out-of-date security version.
+    StaleSecurityVersion {
+        /// Reported SVN.
+        got: u16,
+        /// Minimum acceptable SVN.
+        min: u16,
+    },
+    /// Local attestation MAC check failed (different platform?).
+    BadMac,
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestationError::BadSignature(e) => write!(f, "bad quote signature: {e}"),
+            AttestationError::MeasurementMismatch => f.write_str("MRENCLAVE mismatch"),
+            AttestationError::StaleSecurityVersion { got, min } => {
+                write!(f, "stale ISV SVN {got} < required {min}")
+            }
+            AttestationError::BadMac => f.write_str("local attestation MAC invalid"),
+        }
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveConfig;
+    use crate::platform::TeePlatform;
+
+    fn make(platform_seed: u64, code: &[u8], svn: u16) -> (std::sync::Arc<TeePlatform>, Enclave) {
+        let p = TeePlatform::new(platform_seed, platform_seed);
+        let e = Enclave::create(&p, EnclaveConfig::new(code.to_vec(), [9u8; 32], svn, 4096)).unwrap();
+        (p, e)
+    }
+
+    #[test]
+    fn remote_attestation_round_trip() {
+        let (p, e) = make(1, b"km enclave", 2);
+        let mut data = [0u8; 64];
+        data[..5].copy_from_slice(b"pk_tx");
+        let report = Report::generate(&e, data);
+        report
+            .verify(&p.attestation_public_key(), &e.mrenclave(), 2)
+            .unwrap();
+    }
+
+    #[test]
+    fn report_from_wrong_platform_rejected() {
+        let (_p1, e1) = make(1, b"enclave", 1);
+        let (p2, _e2) = make(2, b"enclave", 1);
+        let report = Report::generate(&e1, [0u8; 64]);
+        assert!(matches!(
+            report.verify(&p2.attestation_public_key(), &e1.mrenclave(), 1),
+            Err(AttestationError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn measurement_mismatch_rejected() {
+        let (p, e) = make(1, b"genuine code", 1);
+        let report = Report::generate(&e, [0u8; 64]);
+        let wrong = crate::enclave::measure(b"malicious code", 1);
+        assert_eq!(
+            report.verify(&p.attestation_public_key(), &wrong, 1),
+            Err(AttestationError::MeasurementMismatch)
+        );
+    }
+
+    #[test]
+    fn stale_svn_rejected() {
+        let (p, e) = make(1, b"old build", 1);
+        let report = Report::generate(&e, [0u8; 64]);
+        assert_eq!(
+            report.verify(&p.attestation_public_key(), &e.mrenclave(), 2),
+            Err(AttestationError::StaleSecurityVersion { got: 1, min: 2 })
+        );
+    }
+
+    #[test]
+    fn tampered_report_data_rejected() {
+        let (p, e) = make(1, b"code", 1);
+        let mut report = Report::generate(&e, [1u8; 64]);
+        report.report_data[0] ^= 1;
+        assert!(matches!(
+            report.verify(&p.attestation_public_key(), &e.mrenclave(), 1),
+            Err(AttestationError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn local_attestation_same_platform_ok() {
+        let p = TeePlatform::new(5, 5);
+        let km = Enclave::create(&p, EnclaveConfig::new(b"km".to_vec(), [0u8; 32], 1, 4096)).unwrap();
+        let cs = Enclave::create(&p, EnclaveConfig::new(b"cs".to_vec(), [0u8; 32], 1, 4096)).unwrap();
+        let report = LocalReport::generate(&cs, [7u8; 64]);
+        report.verify(&km).unwrap();
+    }
+
+    #[test]
+    fn local_attestation_cross_platform_fails() {
+        let (_pa, a) = make(1, b"x", 1);
+        let (_pb, b) = make(2, b"x", 1);
+        let report = LocalReport::generate(&a, [0u8; 64]);
+        assert_eq!(report.verify(&b), Err(AttestationError::BadMac));
+    }
+}

@@ -1,0 +1,394 @@
+//! Enclave lifecycle and boundary crossings.
+//!
+//! An [`Enclave`] is created from code bytes (measured into MRENCLAVE, as
+//! real SGX measures pages at build), allocates its heap from the shared
+//! EPC, and exposes cost-accounted [`Enclave::ecall`] / [`Enclave::ocall`]
+//! crossings. The marshalling mode per crossing mirrors the paper's EDL
+//! discussion (§5.3 *Optimized data structure*): `[in]/[out]` buffers are
+//! copied and checked byte-by-byte, while `user_check` skips the copy for a
+//! fixed validation cost — the optimization CONFIDE applies to its large,
+//! flattened data structures.
+
+use crate::epc::{EpcAlloc, EpcError};
+use crate::meter::{CostModel, CycleMeter};
+use crate::platform::TeePlatform;
+use confide_crypto::sha256;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies an enclave instance on its platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnclaveId(pub u64);
+
+/// How a buffer crosses the enclave boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossingMode {
+    /// EDL `[in]`/`[out]`: proxy functions copy and bounds-check the buffer.
+    CopyAndCheck,
+    /// EDL `user_check`: pointer passed through; fixed validation cost,
+    /// programmer owns memory safety.
+    UserCheck,
+}
+
+/// Errors from enclave operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnclaveError {
+    /// The enclave was destroyed (the paper destroys KM Enclave early).
+    Destroyed,
+    /// EPC allocation failure.
+    Epc(EpcError),
+}
+
+impl std::fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnclaveError::Destroyed => f.write_str("enclave has been destroyed"),
+            EnclaveError::Epc(e) => write!(f, "EPC error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+impl From<EpcError> for EnclaveError {
+    fn from(e: EpcError) -> Self {
+        EnclaveError::Epc(e)
+    }
+}
+
+/// Static configuration measured into the enclave identity.
+#[derive(Debug, Clone)]
+pub struct EnclaveConfig {
+    /// The enclave "binary" — any bytes; hashed into MRENCLAVE.
+    pub code: Vec<u8>,
+    /// Signer identity (MRSIGNER analogue).
+    pub signer: [u8; 32],
+    /// Security version number; D-Protocol binds state AAD to it.
+    pub isv_svn: u16,
+    /// Heap size reserved from the EPC at creation.
+    pub heap_bytes: usize,
+}
+
+impl EnclaveConfig {
+    /// Convenience constructor.
+    pub fn new(code: impl Into<Vec<u8>>, signer: [u8; 32], isv_svn: u16, heap_bytes: usize) -> Self {
+        EnclaveConfig {
+            code: code.into(),
+            signer,
+            isv_svn,
+            heap_bytes,
+        }
+    }
+}
+
+/// Per-enclave transition counters (feeds the monitor system and the
+/// ocall-batching experiments).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TransitionStats {
+    /// Number of ecalls performed.
+    pub ecalls: u64,
+    /// Number of ocalls performed.
+    pub ocalls: u64,
+    /// Bytes marshalled with copy-and-check.
+    pub copied_bytes: u64,
+}
+
+/// A live (or destroyed) enclave instance.
+pub struct Enclave {
+    id: EnclaveId,
+    platform: Arc<TeePlatform>,
+    mrenclave: [u8; 32],
+    signer: [u8; 32],
+    isv_svn: u16,
+    heap: EpcAlloc,
+    heap_bytes: usize,
+    destroyed: AtomicBool,
+    ecalls: AtomicU64,
+    ocalls: AtomicU64,
+    copied_bytes: AtomicU64,
+    /// Warm-transition modelling: the first crossing after a while is cold.
+    warm: AtomicBool,
+}
+
+static NEXT_ENCLAVE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Enclave {
+    /// Create and initialize an enclave on `platform`: measures the code,
+    /// reserves heap from the EPC.
+    pub fn create(platform: &Arc<TeePlatform>, config: EnclaveConfig) -> Result<Enclave, EnclaveError> {
+        let mrenclave = measure(&config.code, config.isv_svn);
+        let heap = platform.epc().alloc(config.heap_bytes.max(1))?;
+        Ok(Enclave {
+            id: EnclaveId(NEXT_ENCLAVE_ID.fetch_add(1, Ordering::Relaxed)),
+            platform: Arc::clone(platform),
+            mrenclave,
+            signer: config.signer,
+            isv_svn: config.isv_svn,
+            heap,
+            heap_bytes: config.heap_bytes,
+            destroyed: AtomicBool::new(false),
+            ecalls: AtomicU64::new(0),
+            ocalls: AtomicU64::new(0),
+            copied_bytes: AtomicU64::new(0),
+            warm: AtomicBool::new(false),
+        })
+    }
+
+    /// This enclave's measurement (MRENCLAVE analogue).
+    pub fn mrenclave(&self) -> [u8; 32] {
+        self.mrenclave
+    }
+
+    /// Signer identity (MRSIGNER analogue).
+    pub fn signer(&self) -> [u8; 32] {
+        self.signer
+    }
+
+    /// Security version.
+    pub fn isv_svn(&self) -> u16 {
+        self.isv_svn
+    }
+
+    /// Instance id.
+    pub fn id(&self) -> EnclaveId {
+        self.id
+    }
+
+    /// The platform hosting this enclave.
+    pub fn platform(&self) -> &Arc<TeePlatform> {
+        &self.platform
+    }
+
+    /// Heap bytes reserved at creation.
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+
+    /// Simulate the enclave touching `len` bytes of its heap at `offset`
+    /// (drives EPC paging).
+    pub fn touch_heap(&self, offset: usize, len: usize) -> Result<(), EnclaveError> {
+        self.check_alive()?;
+        self.platform.epc().touch(self.heap, offset, len)?;
+        Ok(())
+    }
+
+    /// Enter the enclave: charges a transition plus marshalling for
+    /// `in_bytes`, runs `body` "inside", charges marshalling for the
+    /// returned byte count on the way out.
+    pub fn ecall<T>(
+        &self,
+        mode: CrossingMode,
+        in_bytes: usize,
+        body: impl FnOnce() -> (T, usize),
+    ) -> Result<T, EnclaveError> {
+        self.check_alive()?;
+        self.ecalls.fetch_add(1, Ordering::Relaxed);
+        self.charge_transition();
+        self.charge_marshalling(mode, in_bytes);
+        let (out, out_bytes) = body();
+        self.charge_marshalling(mode, out_bytes);
+        Ok(out)
+    }
+
+    /// Exit the enclave (ocall): same cost structure, opposite direction.
+    pub fn ocall<T>(
+        &self,
+        mode: CrossingMode,
+        out_bytes: usize,
+        body: impl FnOnce() -> (T, usize),
+    ) -> Result<T, EnclaveError> {
+        self.check_alive()?;
+        self.ocalls.fetch_add(1, Ordering::Relaxed);
+        self.charge_transition();
+        self.charge_marshalling(mode, out_bytes);
+        let (ret, in_bytes) = body();
+        self.charge_marshalling(mode, in_bytes);
+        Ok(ret)
+    }
+
+    /// Destroy the enclave, releasing its EPC pages. Mirrors the paper's
+    /// "KM Enclave … will be destroyed as soon as possible to release EPC
+    /// memory" (§5.3).
+    pub fn destroy(&self) -> Result<(), EnclaveError> {
+        if self.destroyed.swap(true, Ordering::SeqCst) {
+            return Err(EnclaveError::Destroyed);
+        }
+        self.platform.epc().free(self.heap)?;
+        Ok(())
+    }
+
+    /// Whether destroy() has been called.
+    pub fn is_destroyed(&self) -> bool {
+        self.destroyed.load(Ordering::SeqCst)
+    }
+
+    /// Transition counters.
+    pub fn stats(&self) -> TransitionStats {
+        TransitionStats {
+            ecalls: self.ecalls.load(Ordering::Relaxed),
+            ocalls: self.ocalls.load(Ordering::Relaxed),
+            copied_bytes: self.copied_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn check_alive(&self) -> Result<(), EnclaveError> {
+        if self.is_destroyed() {
+            Err(EnclaveError::Destroyed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn charge_transition(&self) {
+        let model = self.platform.model();
+        let cycles = if self.warm.swap(true, Ordering::Relaxed) {
+            model.transition_warm_cycles
+        } else {
+            model.transition_cold_cycles
+        };
+        self.platform.meter().charge(cycles);
+    }
+
+    fn charge_marshalling(&self, mode: CrossingMode, bytes: usize) {
+        let model: CostModel = self.platform.model();
+        let meter: &CycleMeter = self.platform.meter();
+        match mode {
+            CrossingMode::CopyAndCheck => {
+                self.copied_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                meter.charge(model.copy_check_cycles_per_byte * bytes as u64);
+            }
+            CrossingMode::UserCheck => {
+                meter.charge(model.user_check_cycles);
+            }
+        }
+    }
+}
+
+impl Drop for Enclave {
+    fn drop(&mut self) {
+        if !self.is_destroyed() {
+            let _ = self.destroy();
+        }
+    }
+}
+
+/// Measure enclave code the way SGX builds MRENCLAVE: a digest over the
+/// code pages and security-relevant metadata.
+pub fn measure(code: &[u8], isv_svn: u16) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(code.len() + 10);
+    buf.extend_from_slice(b"MRENCLAVE");
+    buf.extend_from_slice(&isv_svn.to_le_bytes());
+    buf.extend_from_slice(code);
+    sha256(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Arc<TeePlatform> {
+        TeePlatform::new(1, 7)
+    }
+
+    fn config() -> EnclaveConfig {
+        EnclaveConfig::new(b"contract service enclave v1".to_vec(), [1u8; 32], 3, 1 << 20)
+    }
+
+    #[test]
+    fn measurement_is_deterministic_and_code_sensitive() {
+        let p = platform();
+        let e1 = Enclave::create(&p, config()).unwrap();
+        let e2 = Enclave::create(&p, config()).unwrap();
+        assert_eq!(e1.mrenclave(), e2.mrenclave());
+        let mut other = config();
+        other.code.push(0);
+        let e3 = Enclave::create(&p, other).unwrap();
+        assert_ne!(e1.mrenclave(), e3.mrenclave());
+        // SVN changes the measurement too.
+        let mut bumped = config();
+        bumped.isv_svn = 4;
+        let e4 = Enclave::create(&p, bumped).unwrap();
+        assert_ne!(e1.mrenclave(), e4.mrenclave());
+    }
+
+    #[test]
+    fn ecall_charges_transition_and_copy() {
+        let p = platform();
+        let e = Enclave::create(&p, config()).unwrap();
+        let before = p.meter().total();
+        let out = e
+            .ecall(CrossingMode::CopyAndCheck, 1000, || (42, 500))
+            .unwrap();
+        assert_eq!(out, 42);
+        let charged = p.meter().total() - before;
+        let model = p.model();
+        // Cold transition + 1500 copied bytes.
+        assert_eq!(
+            charged,
+            model.transition_cold_cycles + 1500 * model.copy_check_cycles_per_byte
+        );
+        assert_eq!(e.stats().ecalls, 1);
+        assert_eq!(e.stats().copied_bytes, 1500);
+    }
+
+    #[test]
+    fn user_check_is_cheaper_for_large_buffers() {
+        let p = platform();
+        let e = Enclave::create(&p, config()).unwrap();
+        // Warm up so both measurements hit the warm path.
+        e.ecall(CrossingMode::UserCheck, 0, || ((), 0)).unwrap();
+        let (_, copy_cost) = p.meter().measure(|| {
+            e.ecall(CrossingMode::CopyAndCheck, 1 << 20, || ((), 0)).unwrap();
+        });
+        let (_, uc_cost) = p.meter().measure(|| {
+            e.ecall(CrossingMode::UserCheck, 1 << 20, || ((), 0)).unwrap();
+        });
+        assert!(
+            uc_cost < copy_cost / 10,
+            "user_check {uc_cost} should be ≪ copy {copy_cost}"
+        );
+    }
+
+    #[test]
+    fn destroyed_enclave_rejects_calls_and_frees_epc() {
+        let p = platform();
+        let resident_before = p.epc().stats().resident_pages;
+        let e = Enclave::create(&p, config()).unwrap();
+        assert!(p.epc().stats().resident_pages > resident_before);
+        e.destroy().unwrap();
+        assert_eq!(p.epc().stats().resident_pages, resident_before);
+        assert_eq!(
+            e.ecall(CrossingMode::UserCheck, 0, || ((), 0)).unwrap_err(),
+            EnclaveError::Destroyed
+        );
+        assert_eq!(e.destroy().unwrap_err(), EnclaveError::Destroyed);
+    }
+
+    #[test]
+    fn first_transition_is_cold_then_warm() {
+        let p = platform();
+        let e = Enclave::create(&p, config()).unwrap();
+        let model = p.model();
+        let (_, c1) = p
+            .meter()
+            .measure(|| e.ecall(CrossingMode::UserCheck, 0, || ((), 0)).unwrap());
+        let (_, c2) = p
+            .meter()
+            .measure(|| e.ecall(CrossingMode::UserCheck, 0, || ((), 0)).unwrap());
+        // Marshalling is charged on entry and exit (two user_check fees).
+        assert_eq!(c1, model.transition_cold_cycles + 2 * model.user_check_cycles);
+        assert_eq!(c2, model.transition_warm_cycles + 2 * model.user_check_cycles);
+    }
+
+    #[test]
+    fn heap_touch_paging_on_small_epc() {
+        // 8-page EPC, two enclaves with 8-page heaps → paging.
+        let p = TeePlatform::with_epc(9, 1, 8 * crate::epc::PAGE_SIZE);
+        let mut cfg = config();
+        cfg.heap_bytes = 8 * crate::epc::PAGE_SIZE;
+        let a = Enclave::create(&p, cfg.clone()).unwrap();
+        let _b = Enclave::create(&p, cfg).unwrap();
+        a.touch_heap(0, 8 * crate::epc::PAGE_SIZE).unwrap();
+        assert!(p.epc().stats().faults > 0);
+    }
+}

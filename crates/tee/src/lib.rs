@@ -1,0 +1,51 @@
+//! # confide-tee
+//!
+//! A software simulator of an Intel-SGX-class Trusted Execution Environment,
+//! faithful to the *performance and security seams* that the CONFIDE paper's
+//! engineering sections (§2.3, §5.1, §5.3) build on:
+//!
+//! * [`platform`] — a simulated CPU package with a fused root-of-trust key,
+//!   a shared EPC (Enclave Page Cache) pool, and a cycle meter.
+//! * [`enclave`] — enclave lifecycle: code measurement (MRENCLAVE), init,
+//!   ecall/ocall boundary crossings with HotCalls-calibrated transition
+//!   costs, `user_check` vs copy-and-check marshalling modes, destruction
+//!   (the paper destroys the KM enclave early to release EPC, §5.3).
+//! * [`epc`] — the 93.5 MB usable EPC budget with page-granular allocation
+//!   and encrypt-on-evict swapping, the dominant hardware overhead SGX v1
+//!   imposes on large working sets.
+//! * [`attestation`] — remote attestation reports (Ed25519-signed by the
+//!   simulated hardware key) and same-platform local attestation, the basis
+//!   of K-Protocol's Mutual Authenticated Protocol.
+//! * [`sealing`] — sealed storage bound to MRENCLAVE or signer, used to
+//!   persist enclave secrets across restarts.
+//! * [`ringbuf`] — the exit-less monitoring channel of §5.3: a lock-free
+//!   SPSC ring buffer that streams status messages out of the enclave
+//!   without paying enclave transitions.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! Real SGX hardware is unavailable here; this simulator charges the same
+//! costs at the same program points (transitions, paging, marshalling) into
+//! a virtual [`meter::CycleMeter`], so the optimizations the paper evaluates
+//! (OPT1–OPT4, pre-verification, exit-less calls) trade off exactly as they
+//! do on hardware. All security checks (measurement, report verification,
+//! AAD-bound sealing) are real cryptographic operations from
+//! [`confide_crypto`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod enclave;
+pub mod epc;
+pub mod meter;
+pub mod platform;
+pub mod ringbuf;
+pub mod sealing;
+
+pub use attestation::{LocalReport, Report};
+pub use enclave::{CrossingMode, Enclave, EnclaveConfig, EnclaveError, EnclaveId};
+pub use epc::{EpcError, EpcStats};
+pub use meter::{CostModel, CycleMeter};
+pub use platform::TeePlatform;
+pub use ringbuf::{MonitorConsumer, MonitorProducer, RingBuffer};

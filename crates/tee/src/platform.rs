@@ -1,0 +1,111 @@
+//! A simulated CPU package: the trust anchor every enclave on one machine
+//! shares.
+
+use crate::epc::{EpcManager, DEFAULT_EPC_BYTES};
+use crate::meter::{CostModel, CycleMeter};
+use confide_crypto::ed25519::SigningKey;
+use confide_crypto::hkdf;
+use std::sync::Arc;
+
+/// One simulated SGX-capable machine.
+///
+/// Holds the fused root-of-trust: an Ed25519 attestation key standing in
+/// for Intel's EPID/DCAP provisioning chain, and a symmetric fuse secret
+/// from which per-enclave sealing keys and local-attestation MAC keys are
+/// derived. Both are generated per-platform from the platform seed, so two
+/// simulated machines cannot forge each other's reports.
+pub struct TeePlatform {
+    /// Platform identity (stable, public).
+    pub platform_id: u64,
+    attestation_key: SigningKey,
+    fuse_secret: [u8; 32],
+    epc: EpcManager,
+    meter: CycleMeter,
+    model: CostModel,
+}
+
+impl TeePlatform {
+    /// Create a platform from a seed with the default 93.5 MB EPC.
+    pub fn new(platform_id: u64, seed: u64) -> Arc<TeePlatform> {
+        Self::with_epc(platform_id, seed, DEFAULT_EPC_BYTES)
+    }
+
+    /// Create a platform with an explicit EPC size (tests shrink it to
+    /// force paging).
+    pub fn with_epc(platform_id: u64, seed: u64, epc_bytes: usize) -> Arc<TeePlatform> {
+        let model = CostModel::default();
+        let meter = CycleMeter::new();
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        seed_bytes[8..16].copy_from_slice(&platform_id.to_le_bytes());
+        let attestation_seed = hkdf::derive_key32(b"tee-platform", &seed_bytes, b"attestation-key");
+        let fuse_secret = hkdf::derive_key32(b"tee-platform", &seed_bytes, b"fuse-secret");
+        Arc::new(TeePlatform {
+            platform_id,
+            attestation_key: SigningKey::from_seed(&attestation_seed),
+            fuse_secret,
+            epc: EpcManager::new(epc_bytes, meter.clone(), model),
+            meter,
+            model,
+        })
+    }
+
+    /// The hardware attestation signing key (used by [`crate::attestation`]).
+    pub(crate) fn attestation_key(&self) -> &SigningKey {
+        &self.attestation_key
+    }
+
+    /// The public attestation verification key: what a verifier learns out
+    /// of band (the analogue of Intel's attestation service roots).
+    pub fn attestation_public_key(&self) -> confide_crypto::ed25519::VerifyingKey {
+        self.attestation_key.verifying_key()
+    }
+
+    /// Derive a platform-local secret bound to `label` (sealing keys,
+    /// local-attestation MAC keys). Never leaves the simulated package.
+    pub(crate) fn derive_fuse_key(&self, label: &[u8]) -> [u8; 32] {
+        hkdf::derive_key32(label, &self.fuse_secret, b"fuse-derive")
+    }
+
+    /// Shared EPC pool of this package.
+    pub fn epc(&self) -> &EpcManager {
+        &self.epc
+    }
+
+    /// The shared cycle meter.
+    pub fn meter(&self) -> &CycleMeter {
+        &self.meter
+    }
+
+    /// The calibrated cost model.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_platform_keys() {
+        let a = TeePlatform::new(1, 99);
+        let b = TeePlatform::new(1, 99);
+        assert_eq!(a.attestation_public_key(), b.attestation_public_key());
+        assert_eq!(a.derive_fuse_key(b"x"), b.derive_fuse_key(b"x"));
+    }
+
+    #[test]
+    fn different_platforms_have_different_roots() {
+        let a = TeePlatform::new(1, 99);
+        let b = TeePlatform::new(2, 99);
+        assert_ne!(a.attestation_public_key(), b.attestation_public_key());
+        assert_ne!(a.derive_fuse_key(b"x"), b.derive_fuse_key(b"x"));
+    }
+
+    #[test]
+    fn fuse_keys_are_label_separated() {
+        let p = TeePlatform::new(1, 1);
+        assert_ne!(p.derive_fuse_key(b"a"), p.derive_fuse_key(b"b"));
+    }
+}

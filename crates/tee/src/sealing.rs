@@ -1,0 +1,124 @@
+//! Sealed storage: persist enclave secrets to untrusted disk.
+//!
+//! Sealing keys are derived from the platform fuse secret plus either the
+//! enclave measurement (`MRENCLAVE` policy: only the exact same build can
+//! unseal) or the signer (`MRSIGNER` policy: any enclave from the same
+//! vendor, enabling upgrades — CONFIDE's enclave-decoupled design, §5.1,
+//! relies on this for "service upgrading in production").
+
+use crate::enclave::Enclave;
+use confide_crypto::gcm::AesGcm;
+use confide_crypto::CryptoError;
+
+/// Which identity the sealing key binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealPolicy {
+    /// Bind to the exact enclave measurement.
+    MrEnclave,
+    /// Bind to the signer, allowing upgraded builds to unseal.
+    MrSigner,
+}
+
+fn sealing_key(enclave: &Enclave, policy: SealPolicy) -> [u8; 32] {
+    let mut label = Vec::with_capacity(10 + 32);
+    match policy {
+        SealPolicy::MrEnclave => {
+            label.extend_from_slice(b"seal-mre:");
+            label.extend_from_slice(&enclave.mrenclave());
+        }
+        SealPolicy::MrSigner => {
+            label.extend_from_slice(b"seal-mrs:");
+            label.extend_from_slice(&enclave.signer());
+        }
+    }
+    enclave.platform().derive_fuse_key(&label)
+}
+
+/// Seal `plaintext` for later recovery under `policy`. The nonce must be
+/// unique per sealing (callers use a DRBG); `aad` typically carries a blob
+/// label/version.
+pub fn seal(
+    enclave: &Enclave,
+    policy: SealPolicy,
+    nonce: &[u8; 12],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let key = sealing_key(enclave, policy);
+    let gcm = AesGcm::new(&key)?;
+    Ok(gcm.seal(nonce, aad, plaintext))
+}
+
+/// Unseal a blob produced by [`seal`].
+pub fn unseal(
+    enclave: &Enclave,
+    policy: SealPolicy,
+    nonce: &[u8; 12],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let key = sealing_key(enclave, policy);
+    let gcm = AesGcm::new(&key)?;
+    gcm.open(nonce, aad, sealed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveConfig;
+    use crate::platform::TeePlatform;
+    use std::sync::Arc;
+
+    fn enclave(p: &Arc<TeePlatform>, code: &[u8], signer: [u8; 32]) -> Enclave {
+        Enclave::create(p, EnclaveConfig::new(code.to_vec(), signer, 1, 4096)).unwrap()
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let p = TeePlatform::new(1, 1);
+        let e = enclave(&p, b"cs", [1u8; 32]);
+        let sealed = seal(&e, SealPolicy::MrEnclave, &[1u8; 12], b"k_states", b"secret key").unwrap();
+        let pt = unseal(&e, SealPolicy::MrEnclave, &[1u8; 12], b"k_states", &sealed).unwrap();
+        assert_eq!(pt, b"secret key");
+    }
+
+    #[test]
+    fn mrenclave_policy_blocks_different_build() {
+        let p = TeePlatform::new(1, 1);
+        let v1 = enclave(&p, b"build-v1", [1u8; 32]);
+        let v2 = enclave(&p, b"build-v2", [1u8; 32]);
+        let sealed = seal(&v1, SealPolicy::MrEnclave, &[0u8; 12], b"", b"s").unwrap();
+        assert!(unseal(&v2, SealPolicy::MrEnclave, &[0u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn mrsigner_policy_allows_upgraded_build() {
+        let p = TeePlatform::new(1, 1);
+        let v1 = enclave(&p, b"build-v1", [1u8; 32]);
+        let v2 = enclave(&p, b"build-v2", [1u8; 32]);
+        let sealed = seal(&v1, SealPolicy::MrSigner, &[0u8; 12], b"", b"migrate me").unwrap();
+        let pt = unseal(&v2, SealPolicy::MrSigner, &[0u8; 12], b"", &sealed).unwrap();
+        assert_eq!(pt, b"migrate me");
+    }
+
+    #[test]
+    fn mrsigner_policy_blocks_other_vendor() {
+        let p = TeePlatform::new(1, 1);
+        let ours = enclave(&p, b"code", [1u8; 32]);
+        let theirs = enclave(&p, b"code", [2u8; 32]);
+        let sealed = seal(&ours, SealPolicy::MrSigner, &[0u8; 12], b"", b"s").unwrap();
+        assert!(unseal(&theirs, SealPolicy::MrSigner, &[0u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn sealed_blob_unusable_on_other_platform() {
+        let p1 = TeePlatform::new(1, 1);
+        let p2 = TeePlatform::new(2, 2);
+        let e1 = enclave(&p1, b"same code", [1u8; 32]);
+        let e2 = enclave(&p2, b"same code", [1u8; 32]);
+        assert_eq!(e1.mrenclave(), e2.mrenclave()); // identical build…
+        let sealed = seal(&e1, SealPolicy::MrEnclave, &[0u8; 12], b"", b"s").unwrap();
+        // …but the fuse key differs per package.
+        assert!(unseal(&e2, SealPolicy::MrEnclave, &[0u8; 12], b"", &sealed).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Ergonomic module/function builders with symbolic labels — the assembler
+//! layer the `confide-lang` compiler and hand-written tests target.
+
+use crate::module::{DataSegment, Function, Module};
+use crate::opcode::Instr;
+use std::collections::HashMap;
+
+/// A forward-referencable label inside one function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds one function body with label fixups.
+pub struct FuncBuilder {
+    name: String,
+    param_count: u32,
+    local_count: u32,
+    body: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs needing patching.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl FuncBuilder {
+    /// Start a function. `name` empty for internal helpers.
+    pub fn new(name: &str, param_count: u32, local_count: u32) -> FuncBuilder {
+        FuncBuilder {
+            name: name.to_string(),
+            param_count,
+            local_count,
+            body: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        debug_assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.body.len() as u32);
+        self
+    }
+
+    /// Emit a raw instruction.
+    pub fn op(&mut self, i: Instr) -> &mut Self {
+        self.body.push(i);
+        self
+    }
+
+    /// Emit several instructions.
+    pub fn ops(&mut self, is: &[Instr]) -> &mut Self {
+        self.body.extend_from_slice(is);
+        self
+    }
+
+    /// Emit an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.body.len(), label));
+        self.body.push(Instr::Jmp(u32::MAX));
+        self
+    }
+
+    /// Emit jump-if-nonzero to `label`.
+    pub fn jmp_if(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.body.len(), label));
+        self.body.push(Instr::JmpIf(u32::MAX));
+        self
+    }
+
+    /// Emit jump-if-zero to `label`.
+    pub fn jmp_ifz(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.body.len(), label));
+        self.body.push(Instr::JmpIfZ(u32::MAX));
+        self
+    }
+
+    /// Push a constant.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.op(Instr::I64Const(v))
+    }
+
+    /// Bump the local count and return the new local's index.
+    pub fn add_local(&mut self) -> u32 {
+        let idx = self.param_count + self.local_count;
+        self.local_count += 1;
+        idx
+    }
+
+    /// Resolve labels and produce the function.
+    pub fn finish(mut self) -> Function {
+        for (pos, label) in self.fixups.drain(..) {
+            let target = self.labels[label.0].expect("unbound label at finish()");
+            self.body[pos] = self.body[pos].with_jump_target(target);
+        }
+        Function {
+            name: self.name,
+            param_count: self.param_count,
+            local_count: self.local_count,
+            body: self.body,
+        }
+    }
+}
+
+/// Builds a full module.
+pub struct ModuleBuilder {
+    memory_size: u32,
+    global_count: u32,
+    functions: Vec<Function>,
+    func_names: HashMap<String, u32>,
+    data: Vec<DataSegment>,
+}
+
+impl Default for ModuleBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModuleBuilder {
+    /// New module with a 1 MiB fixed linear memory.
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder {
+            memory_size: 1 << 20,
+            global_count: 0,
+            functions: Vec::new(),
+            func_names: HashMap::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Set the fixed linear-memory size.
+    pub fn memory(&mut self, bytes: u32) -> &mut Self {
+        self.memory_size = bytes;
+        self
+    }
+
+    /// Declare `n` globals.
+    pub fn globals(&mut self, n: u32) -> &mut Self {
+        self.global_count = n;
+        self
+    }
+
+    /// Add a finished function; returns its index.
+    pub fn func(&mut self, f: Function) -> u32 {
+        let idx = self.functions.len() as u32;
+        if !f.name.is_empty() {
+            self.func_names.insert(f.name.clone(), idx);
+        }
+        self.functions.push(f);
+        idx
+    }
+
+    /// Index of a previously added named function.
+    pub fn func_index(&self, name: &str) -> Option<u32> {
+        self.func_names.get(name).copied()
+    }
+
+    /// Add an initialized data segment; returns its offset.
+    pub fn data(&mut self, offset: u32, bytes: &[u8]) -> u32 {
+        self.data.push(DataSegment {
+            offset,
+            bytes: bytes.to_vec(),
+        });
+        offset
+    }
+
+    /// Produce the module.
+    pub fn finish(self) -> Module {
+        Module {
+            memory_size: self.memory_size,
+            global_count: self.global_count,
+            functions: self.functions,
+            data: self.data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut f = FuncBuilder::new("loop10", 0, 1);
+        let top = f.label();
+        let done = f.label();
+        // local0 = 0; loop: if local0 >= 10 goto done; local0 += 1; goto loop
+        f.i64(0).op(Instr::LocalSet(0));
+        f.bind(top);
+        f.op(Instr::LocalGet(0)).i64(10).op(Instr::GeS);
+        f.jmp_if(done);
+        f.op(Instr::LocalGet(0)).i64(1).op(Instr::Add).op(Instr::LocalSet(0));
+        f.jmp(top);
+        f.bind(done);
+        f.op(Instr::LocalGet(0)).op(Instr::Ret);
+        let func = f.finish();
+        // All fixups patched.
+        assert!(func.body.iter().all(|i| i.jump_target() != Some(u32::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut f = FuncBuilder::new("x", 0, 0);
+        let l = f.label();
+        f.jmp(l);
+        let _ = f.finish();
+    }
+
+    #[test]
+    fn module_builder_tracks_names() {
+        let mut m = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("entry", 0, 0);
+        f.i64(1).op(Instr::Ret);
+        let idx = m.func(f.finish());
+        assert_eq!(m.func_index("entry"), Some(idx));
+        let module = m.finish();
+        assert_eq!(module.export("entry"), Some(idx));
+    }
+
+    #[test]
+    fn add_local_indices_follow_params() {
+        let mut f = FuncBuilder::new("f", 2, 1);
+        assert_eq!(f.add_local(), 3);
+        assert_eq!(f.add_local(), 4);
+        let func = f.finish();
+        assert_eq!(func.local_count, 3);
+    }
+}

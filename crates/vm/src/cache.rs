@@ -1,0 +1,235 @@
+//! OPT1: the code cache and memory pool.
+//!
+//! §6.4: "OPT1 applies the code cache and memory management optimization.
+//! WASM-based contract code has been encoded by LEB128. CONFIDE-VM
+//! introduces a code cache mechanism … efficient memory management
+//! increases the performance. In our evaluation, 2x gain can be obtained."
+//!
+//! * [`CodeCache`] memoizes LEB128 decode + fusion by code hash, so the
+//!   second and later executions of a contract skip module preparation.
+//! * [`MemoryPool`] recycles linear-memory buffers across executions,
+//!   eliminating per-transaction allocation (and, in-enclave, fresh EPC
+//!   page commits — the dominant cost on SGX v1).
+
+use crate::interp::{ExecConfig, Prepared};
+use crate::module::Module;
+use crate::opcode::DecodeError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hit/miss counters for the ablation harness.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that decoded from scratch.
+    pub misses: u64,
+    /// Total bytes LEB-decoded on misses (decode-cost input for the
+    /// simulation layer).
+    pub decoded_bytes: u64,
+}
+
+/// A concurrent code cache keyed by contract code hash.
+pub struct CodeCache {
+    entries: Mutex<HashMap<[u8; 32], Arc<Prepared>>>,
+    stats: Mutex<CacheStats>,
+    /// Whether caching is enabled (disabled = every call decodes; the
+    /// Figure 12 "baseline" configuration).
+    enabled: bool,
+}
+
+impl CodeCache {
+    /// Create a cache; `enabled = false` forces a decode per lookup.
+    pub fn new(enabled: bool) -> CodeCache {
+        CodeCache {
+            entries: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+            enabled,
+        }
+    }
+
+    /// Fetch (or decode + prepare + insert) the module for `code_bytes`.
+    pub fn get_or_prepare(
+        &self,
+        code_bytes: &[u8],
+        config: &ExecConfig,
+    ) -> Result<Arc<Prepared>, DecodeError> {
+        let hash = Module::code_hash(code_bytes);
+        if self.enabled {
+            if let Some(hit) = self.entries.lock().get(&hash) {
+                self.stats.lock().hits += 1;
+                return Ok(Arc::clone(hit));
+            }
+        }
+        let module = Module::decode(code_bytes)?;
+        let prepared = Prepared::new(module, config);
+        {
+            let mut s = self.stats.lock();
+            s.misses += 1;
+            s.decoded_bytes += code_bytes.len() as u64;
+        }
+        if self.enabled {
+            self.entries.lock().insert(hash, Arc::clone(&prepared));
+        }
+        Ok(prepared)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Drop all cached modules (contract upgrade path).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// A pool of linear-memory buffers.
+pub struct MemoryPool {
+    pool: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    /// Allocation counters.
+    reuses: Mutex<u64>,
+    allocs: Mutex<u64>,
+    enabled: bool,
+}
+
+impl MemoryPool {
+    /// Create a pool holding at most `max_pooled` buffers.
+    pub fn new(enabled: bool, max_pooled: usize) -> MemoryPool {
+        MemoryPool {
+            pool: Mutex::new(Vec::new()),
+            max_pooled,
+            reuses: Mutex::new(0),
+            allocs: Mutex::new(0),
+            enabled,
+        }
+    }
+
+    /// Take a buffer (contents unspecified; the VM zeroes what it uses).
+    pub fn take(&self) -> Vec<u8> {
+        if self.enabled {
+            if let Some(buf) = self.pool.lock().pop() {
+                *self.reuses.lock() += 1;
+                return buf;
+            }
+        }
+        *self.allocs.lock() += 1;
+        Vec::new()
+    }
+
+    /// Return a buffer for reuse.
+    pub fn put(&self, buf: Vec<u8>) {
+        if !self.enabled {
+            return;
+        }
+        let mut pool = self.pool.lock();
+        if pool.len() < self.max_pooled {
+            pool.push(buf);
+        }
+    }
+
+    /// (reuses, fresh allocations) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (*self.reuses.lock(), *self.allocs.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FuncBuilder, ModuleBuilder};
+    use crate::opcode::Instr;
+
+    fn code() -> Vec<u8> {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(1).op(Instr::Drop).op(Instr::Ret);
+        mb.func(f.finish());
+        mb.finish().encode()
+    }
+
+    #[test]
+    fn cache_hits_after_first_decode() {
+        let cache = CodeCache::new(true);
+        let cfg = ExecConfig::default();
+        let bytes = code();
+        let a = cache.get_or_prepare(&bytes, &cfg).unwrap();
+        let b = cache.get_or_prepare(&bytes, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.decoded_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn disabled_cache_always_decodes() {
+        let cache = CodeCache::new(false);
+        let cfg = ExecConfig::default();
+        let bytes = code();
+        cache.get_or_prepare(&bytes, &cfg).unwrap();
+        cache.get_or_prepare(&bytes, &cfg).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+    }
+
+    #[test]
+    fn different_code_different_entries() {
+        let cache = CodeCache::new(true);
+        let cfg = ExecConfig::default();
+        let a = code();
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(2).op(Instr::Drop).op(Instr::Ret);
+        mb.func(f.finish());
+        let b = mb.finish().encode();
+        let pa = cache.get_or_prepare(&a, &cfg).unwrap();
+        let pb = cache.get_or_prepare(&b, &cfg).unwrap();
+        assert!(!Arc::ptr_eq(&pa, &pb));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_evicts() {
+        let cache = CodeCache::new(true);
+        let cfg = ExecConfig::default();
+        let bytes = code();
+        cache.get_or_prepare(&bytes, &cfg).unwrap();
+        cache.clear();
+        cache.get_or_prepare(&bytes, &cfg).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn memory_pool_reuses_buffers() {
+        let pool = MemoryPool::new(true, 4);
+        let mut b = pool.take();
+        b.resize(1024, 7);
+        pool.put(b);
+        let b2 = pool.take();
+        assert_eq!(b2.capacity() >= 1024, true);
+        let (reuses, allocs) = pool.counters();
+        assert_eq!((reuses, allocs), (1, 1));
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let pool = MemoryPool::new(false, 4);
+        pool.put(vec![0u8; 100]);
+        let _ = pool.take();
+        let (reuses, allocs) = pool.counters();
+        assert_eq!((reuses, allocs), (0, 1));
+    }
+
+    #[test]
+    fn pool_bounded_by_max() {
+        let pool = MemoryPool::new(true, 1);
+        pool.put(vec![1]);
+        pool.put(vec![2]); // dropped
+        let _ = pool.take();
+        let fresh = pool.take(); // pool empty again
+        assert!(fresh.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! The host interface the VM calls out through.
+//!
+//! In production (`confide-core`) the implementation is the Secure Data
+//! Module: storage reads/writes become ocalls + D-Protocol crypto, and the
+//! cost of every crossing is charged to the enclave. For unit tests and
+//! public (non-confidential) execution a plain [`MockHost`] suffices.
+
+use std::collections::HashMap;
+
+/// Host-side failures surfaced to the VM as traps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// Storage backend failed.
+    Storage(String),
+    /// Cross-contract call failed (unknown address, callee trapped…).
+    Call(String),
+    /// The host denied the operation (access control).
+    Denied(String),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::Storage(m) => write!(f, "storage: {m}"),
+            HostError::Call(m) => write!(f, "call: {m}"),
+            HostError::Denied(m) => write!(f, "denied: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Everything a contract can ask of its environment.
+pub trait HostApi {
+    /// The call input (method arguments, already decrypted for
+    /// confidential transactions).
+    fn input(&self) -> &[u8];
+    /// Set the return data.
+    fn set_return(&mut self, data: Vec<u8>);
+    /// Take the return data out after execution.
+    fn take_return(&mut self) -> Vec<u8>;
+    /// Read a contract state key.
+    fn get_storage(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, HostError>;
+    /// Write a contract state key.
+    fn set_storage(&mut self, key: &[u8], val: &[u8]) -> Result<(), HostError>;
+    /// Synchronous cross-contract call.
+    fn call_contract(&mut self, addr: &[u8; 32], input: &[u8]) -> Result<Vec<u8>, HostError>;
+    /// 32-byte sender identity.
+    fn sender(&self) -> [u8; 32];
+    /// Log a message (feeds the monitor ring buffer in-enclave).
+    fn log(&mut self, msg: &[u8]);
+    /// SHA-256 (hosts may charge crypto cycles).
+    fn sha256(&mut self, data: &[u8]) -> [u8; 32] {
+        confide_crypto::sha256(data)
+    }
+    /// Keccak-256.
+    fn keccak256(&mut self, data: &[u8]) -> [u8; 32] {
+        confide_crypto::keccak256(data)
+    }
+}
+
+/// An in-memory host for tests and examples.
+#[derive(Default)]
+pub struct MockHost {
+    /// Call input.
+    pub input: Vec<u8>,
+    /// Captured return data.
+    pub return_data: Vec<u8>,
+    /// Backing storage.
+    pub storage: HashMap<Vec<u8>, Vec<u8>>,
+    /// Captured log lines.
+    pub logs: Vec<Vec<u8>>,
+    /// Sender identity.
+    pub sender: [u8; 32],
+}
+
+impl HostApi for MockHost {
+    fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    fn set_return(&mut self, data: Vec<u8>) {
+        self.return_data = data;
+    }
+
+    fn take_return(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.return_data)
+    }
+
+    fn get_storage(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, HostError> {
+        Ok(self.storage.get(key).cloned())
+    }
+
+    fn set_storage(&mut self, key: &[u8], val: &[u8]) -> Result<(), HostError> {
+        self.storage.insert(key.to_vec(), val.to_vec());
+        Ok(())
+    }
+
+    fn call_contract(&mut self, _addr: &[u8; 32], _input: &[u8]) -> Result<Vec<u8>, HostError> {
+        Err(HostError::Call("MockHost has no other contracts".into()))
+    }
+
+    fn sender(&self) -> [u8; 32] {
+        self.sender
+    }
+
+    fn log(&mut self, msg: &[u8]) {
+        self.logs.push(msg.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_host_storage_round_trip() {
+        let mut h = MockHost::default();
+        h.set_storage(b"k", b"v").unwrap();
+        assert_eq!(h.get_storage(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(h.get_storage(b"absent").unwrap(), None);
+    }
+
+    #[test]
+    fn mock_host_return_take_semantics() {
+        let mut h = MockHost::default();
+        h.set_return(b"out".to_vec());
+        assert_eq!(h.take_return(), b"out");
+        assert!(h.take_return().is_empty());
+    }
+
+    #[test]
+    fn default_hashes_are_real() {
+        let mut h = MockHost::default();
+        assert_eq!(
+            confide_crypto::hex(&h.sha256(b"abc"))[..8].to_string(),
+            "ba7816bf"
+        );
+        assert_eq!(
+            confide_crypto::hex(&h.keccak256(b"abc"))[..8].to_string(),
+            "4e03657a"
+        );
+    }
+}

@@ -1,0 +1,1002 @@
+//! The bytecode interpreter: a classic dispatch loop over decoded
+//! instructions with a shared value stack, per-frame locals, and a fixed
+//! linear memory.
+
+use crate::fusion;
+use crate::host::{HostApi, HostError};
+use crate::module::Module;
+use crate::opcode::{HostFn, Instr};
+use std::sync::Arc;
+
+/// Runtime traps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Explicit `unreachable`.
+    Unreachable,
+    /// Linear-memory access out of bounds.
+    OutOfBoundsMemory {
+        /// Attempted address.
+        addr: u64,
+        /// Access size in bytes.
+        len: u64,
+    },
+    /// Division by zero.
+    DivByZero,
+    /// `i64::MIN / -1`.
+    IntegerOverflow,
+    /// Value-stack underflow (malformed bytecode).
+    StackUnderflow,
+    /// Call to a function index out of range.
+    UnknownFunction(u32),
+    /// Local index out of range.
+    BadLocal(u32),
+    /// Global index out of range.
+    BadGlobal(u32),
+    /// Export name not found.
+    UnknownExport(String),
+    /// Fuel exhausted (runaway contract).
+    OutOfFuel,
+    /// Host function failed.
+    Host(HostError),
+    /// Call stack exceeded the configured depth.
+    CallStackOverflow,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::Unreachable => f.write_str("unreachable executed"),
+            Trap::OutOfBoundsMemory { addr, len } => {
+                write!(f, "memory access out of bounds: {addr}+{len}")
+            }
+            Trap::DivByZero => f.write_str("division by zero"),
+            Trap::IntegerOverflow => f.write_str("integer overflow in division"),
+            Trap::StackUnderflow => f.write_str("value stack underflow"),
+            Trap::UnknownFunction(i) => write!(f, "unknown function index {i}"),
+            Trap::BadLocal(i) => write!(f, "bad local index {i}"),
+            Trap::BadGlobal(i) => write!(f, "bad global index {i}"),
+            Trap::UnknownExport(n) => write!(f, "unknown export `{n}`"),
+            Trap::OutOfFuel => f.write_str("out of fuel"),
+            Trap::Host(e) => write!(f, "host error: {e}"),
+            Trap::CallStackOverflow => f.write_str("call stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<HostError> for Trap {
+    fn from(e: HostError) -> Self {
+        Trap::Host(e)
+    }
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Maximum retired instructions before [`Trap::OutOfFuel`].
+    pub fuel: u64,
+    /// Apply the OPT4 superinstruction pass at prepare time.
+    pub fusion: bool,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            fuel: 500_000_000,
+            fusion: true,
+            max_call_depth: 256,
+        }
+    }
+}
+
+/// Counters produced by one execution; the simulation layer converts these
+/// to virtual cycles.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired (fused superinstructions count once — that is
+    /// the point of OPT4).
+    pub instret: u64,
+    /// Host calls performed (each maps to an ocall when run in-enclave).
+    pub host_calls: u64,
+    /// Bytes moved through host calls (storage values, input, return data).
+    pub host_bytes: u64,
+    /// Instructions eliminated by fusion at prepare time (static count).
+    pub fused_away: u64,
+}
+
+/// Outcome of a successful execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Return data set by the contract via `Ret` host call.
+    pub return_data: Vec<u8>,
+    /// Counters.
+    pub stats: ExecStats,
+}
+
+/// A module prepared for execution (fusion applied, ready to instantiate).
+#[derive(Debug)]
+pub struct Prepared {
+    module: Module,
+    fused_away: u64,
+}
+
+impl Prepared {
+    /// Prepare a decoded module under `config` (runs fusion if enabled).
+    pub fn new(mut module: Module, config: &ExecConfig) -> Arc<Prepared> {
+        let mut fused_away = 0u64;
+        if config.fusion {
+            for f in module.functions.iter_mut() {
+                let r = fusion::fuse(&f.body);
+                fused_away += r.fused_away as u64;
+                f.body = r.body;
+            }
+        }
+        Arc::new(Prepared { module, fused_away })
+    }
+
+    /// The underlying module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Static instructions removed by fusion.
+    pub fn fused_away(&self) -> u64 {
+        self.fused_away
+    }
+}
+
+struct Frame {
+    func: u32,
+    pc: usize,
+    locals: Vec<i64>,
+}
+
+/// The virtual machine: executes one call on a prepared module.
+pub struct Vm {
+    prepared: Arc<Prepared>,
+    config: ExecConfig,
+}
+
+impl Vm {
+    /// Create a VM over a prepared module.
+    pub fn new(prepared: Arc<Prepared>, config: ExecConfig) -> Vm {
+        Vm { prepared, config }
+    }
+
+    /// Convenience: decode, prepare and wrap in one step.
+    pub fn from_module(module: Module, config: ExecConfig) -> Vm {
+        Vm::new(Prepared::new(module, &config), config)
+    }
+
+    /// The module's fixed linear-memory size in bytes.
+    pub fn memory_size(&self) -> u32 {
+        self.prepared.module().memory_size
+    }
+
+    /// Invoke exported function `name` with `args`, servicing host calls
+    /// through `host`. `memory` is the linear memory to use (supplied by
+    /// the [`crate::cache::MemoryPool`] in production paths); it is resized
+    /// and data segments are (re)applied.
+    pub fn invoke(
+        &self,
+        name: &str,
+        args: &[i64],
+        host: &mut dyn HostApi,
+        memory: &mut Vec<u8>,
+    ) -> Result<ExecOutcome, Trap> {
+        let module = &self.prepared.module;
+        let func_idx = module
+            .export(name)
+            .ok_or_else(|| Trap::UnknownExport(name.to_string()))?;
+
+        memory.clear();
+        memory.resize(module.memory_size as usize, 0);
+        for seg in &module.data {
+            let end = seg.offset as usize + seg.bytes.len();
+            if end > memory.len() {
+                return Err(Trap::OutOfBoundsMemory {
+                    addr: seg.offset as u64,
+                    len: seg.bytes.len() as u64,
+                });
+            }
+            memory[seg.offset as usize..end].copy_from_slice(&seg.bytes);
+        }
+
+        let mut globals = vec![0i64; module.global_count as usize];
+        let mut stack: Vec<i64> = Vec::with_capacity(256);
+        let mut frames: Vec<Frame> = Vec::with_capacity(16);
+        let mut stats = ExecStats {
+            fused_away: self.prepared.fused_away,
+            ..ExecStats::default()
+        };
+        let mut fuel = self.config.fuel;
+
+        let entry = module
+            .functions
+            .get(func_idx as usize)
+            .ok_or(Trap::UnknownFunction(func_idx))?;
+        if args.len() != entry.param_count as usize {
+            return Err(Trap::StackUnderflow);
+        }
+        let mut locals = vec![0i64; (entry.param_count + entry.local_count) as usize];
+        locals[..args.len()].copy_from_slice(args);
+        frames.push(Frame {
+            func: func_idx,
+            pc: 0,
+            locals,
+        });
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(Trap::StackUnderflow)?
+            };
+        }
+
+        'outer: while let Some(frame) = frames.last_mut() {
+            let body: &[Instr] = &module.functions[frame.func as usize].body;
+            loop {
+                if frame.pc >= body.len() {
+                    // Fall off the end = return.
+                    frames.pop();
+                    continue 'outer;
+                }
+                if fuel == 0 {
+                    return Err(Trap::OutOfFuel);
+                }
+                fuel -= 1;
+                stats.instret += 1;
+                let instr = body[frame.pc];
+                frame.pc += 1;
+                match instr {
+                    Instr::Unreachable => return Err(Trap::Unreachable),
+                    Instr::Nop => {}
+                    Instr::I64Const(v) => stack.push(v),
+                    Instr::LocalGet(n) => {
+                        let v = *frame.locals.get(n as usize).ok_or(Trap::BadLocal(n))?;
+                        stack.push(v);
+                    }
+                    Instr::LocalSet(n) => {
+                        let v = pop!();
+                        *frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))? = v;
+                    }
+                    Instr::LocalTee(n) => {
+                        let v = *stack.last().ok_or(Trap::StackUnderflow)?;
+                        *frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))? = v;
+                    }
+                    Instr::GlobalGet(n) => {
+                        let v = *globals.get(n as usize).ok_or(Trap::BadGlobal(n))?;
+                        stack.push(v);
+                    }
+                    Instr::GlobalSet(n) => {
+                        let v = pop!();
+                        *globals.get_mut(n as usize).ok_or(Trap::BadGlobal(n))? = v;
+                    }
+                    Instr::Jmp(t) => frame.pc = t as usize,
+                    Instr::JmpIf(t) => {
+                        if pop!() != 0 {
+                            frame.pc = t as usize;
+                        }
+                    }
+                    Instr::JmpIfZ(t) => {
+                        if pop!() == 0 {
+                            frame.pc = t as usize;
+                        }
+                    }
+                    Instr::Call(f) => {
+                        if frames.len() >= self.config.max_call_depth {
+                            return Err(Trap::CallStackOverflow);
+                        }
+                        let callee = module
+                            .functions
+                            .get(f as usize)
+                            .ok_or(Trap::UnknownFunction(f))?;
+                        let pc = (callee.param_count + callee.local_count) as usize;
+                        let mut locals = vec![0i64; pc];
+                        for i in (0..callee.param_count as usize).rev() {
+                            locals[i] = pop!();
+                        }
+                        frames.push(Frame {
+                            func: f,
+                            pc: 0,
+                            locals,
+                        });
+                        continue 'outer;
+                    }
+                    Instr::CallHost(h) => {
+                        self.host_call(h, host, memory, &mut stack, &mut stats)?;
+                    }
+                    Instr::Ret => {
+                        frames.pop();
+                        continue 'outer;
+                    }
+                    Instr::Drop => {
+                        pop!();
+                    }
+                    Instr::Select => {
+                        let c = pop!();
+                        let b = pop!();
+                        let a = pop!();
+                        stack.push(if c != 0 { a } else { b });
+                    }
+                    Instr::Load8U(off) => {
+                        let addr = pop!();
+                        let b = mem_read(memory, addr, off, 1)?;
+                        stack.push(b[0] as i64);
+                    }
+                    Instr::Load16U(off) => {
+                        let addr = pop!();
+                        let b = mem_read(memory, addr, off, 2)?;
+                        stack.push(u16::from_le_bytes([b[0], b[1]]) as i64);
+                    }
+                    Instr::Load32U(off) => {
+                        let addr = pop!();
+                        let b = mem_read(memory, addr, off, 4)?;
+                        stack.push(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64);
+                    }
+                    Instr::Load64(off) => {
+                        let addr = pop!();
+                        let b = mem_read(memory, addr, off, 8)?;
+                        let mut w = [0u8; 8];
+                        w.copy_from_slice(b);
+                        stack.push(i64::from_le_bytes(w));
+                    }
+                    Instr::Store8(off) => {
+                        let v = pop!();
+                        let addr = pop!();
+                        mem_write(memory, addr, off, &[(v & 0xff) as u8])?;
+                    }
+                    Instr::Store16(off) => {
+                        let v = pop!();
+                        let addr = pop!();
+                        mem_write(memory, addr, off, &(v as u16).to_le_bytes())?;
+                    }
+                    Instr::Store32(off) => {
+                        let v = pop!();
+                        let addr = pop!();
+                        mem_write(memory, addr, off, &(v as u32).to_le_bytes())?;
+                    }
+                    Instr::Store64(off) => {
+                        let v = pop!();
+                        let addr = pop!();
+                        mem_write(memory, addr, off, &v.to_le_bytes())?;
+                    }
+                    Instr::Add => binop(&mut stack, |a, b| Ok(a.wrapping_add(b)))?,
+                    Instr::Sub => binop(&mut stack, |a, b| Ok(a.wrapping_sub(b)))?,
+                    Instr::Mul => binop(&mut stack, |a, b| Ok(a.wrapping_mul(b)))?,
+                    Instr::DivS => binop(&mut stack, |a, b| {
+                        if b == 0 {
+                            Err(Trap::DivByZero)
+                        } else if a == i64::MIN && b == -1 {
+                            Err(Trap::IntegerOverflow)
+                        } else {
+                            Ok(a / b)
+                        }
+                    })?,
+                    Instr::DivU => binop(&mut stack, |a, b| {
+                        if b == 0 {
+                            Err(Trap::DivByZero)
+                        } else {
+                            Ok(((a as u64) / (b as u64)) as i64)
+                        }
+                    })?,
+                    Instr::RemS => binop(&mut stack, |a, b| {
+                        if b == 0 {
+                            Err(Trap::DivByZero)
+                        } else if a == i64::MIN && b == -1 {
+                            Ok(0)
+                        } else {
+                            Ok(a % b)
+                        }
+                    })?,
+                    Instr::RemU => binop(&mut stack, |a, b| {
+                        if b == 0 {
+                            Err(Trap::DivByZero)
+                        } else {
+                            Ok(((a as u64) % (b as u64)) as i64)
+                        }
+                    })?,
+                    Instr::And => binop(&mut stack, |a, b| Ok(a & b))?,
+                    Instr::Or => binop(&mut stack, |a, b| Ok(a | b))?,
+                    Instr::Xor => binop(&mut stack, |a, b| Ok(a ^ b))?,
+                    Instr::Shl => binop(&mut stack, |a, b| Ok(a.wrapping_shl(b as u32)))?,
+                    Instr::ShrS => binop(&mut stack, |a, b| Ok(a.wrapping_shr(b as u32)))?,
+                    Instr::ShrU => {
+                        binop(&mut stack, |a, b| Ok(((a as u64).wrapping_shr(b as u32)) as i64))?
+                    }
+                    Instr::Eqz => {
+                        let v = pop!();
+                        stack.push((v == 0) as i64);
+                    }
+                    Instr::Eq => binop(&mut stack, |a, b| Ok((a == b) as i64))?,
+                    Instr::Ne => binop(&mut stack, |a, b| Ok((a != b) as i64))?,
+                    Instr::LtS => binop(&mut stack, |a, b| Ok((a < b) as i64))?,
+                    Instr::LtU => binop(&mut stack, |a, b| Ok(((a as u64) < (b as u64)) as i64))?,
+                    Instr::GtS => binop(&mut stack, |a, b| Ok((a > b) as i64))?,
+                    Instr::GtU => binop(&mut stack, |a, b| Ok(((a as u64) > (b as u64)) as i64))?,
+                    Instr::LeS => binop(&mut stack, |a, b| Ok((a <= b) as i64))?,
+                    Instr::LeU => binop(&mut stack, |a, b| Ok(((a as u64) <= (b as u64)) as i64))?,
+                    Instr::GeS => binop(&mut stack, |a, b| Ok((a >= b) as i64))?,
+                    Instr::GeU => binop(&mut stack, |a, b| Ok(((a as u64) >= (b as u64)) as i64))?,
+                    Instr::MemCopy => {
+                        let len = pop!() as u64;
+                        let src = pop!() as u64;
+                        let dst = pop!() as u64;
+                        mem_copy(memory, dst, src, len)?;
+                    }
+                    Instr::MemFill => {
+                        let len = pop!() as u64;
+                        let val = pop!();
+                        let dst = pop!() as u64;
+                        mem_fill(memory, dst, val as u8, len)?;
+                    }
+                    // ---- superinstructions ----
+                    Instr::FusedGetGet(a, b) => {
+                        let va = *frame.locals.get(a as usize).ok_or(Trap::BadLocal(a))?;
+                        let vb = *frame.locals.get(b as usize).ok_or(Trap::BadLocal(b))?;
+                        stack.push(va);
+                        stack.push(vb);
+                    }
+                    Instr::FusedIncLocal(n, k) => {
+                        let slot = frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))?;
+                        *slot = slot.wrapping_add(k);
+                    }
+                    Instr::FusedAddConst(k) => {
+                        let v = pop!();
+                        stack.push(v.wrapping_add(k));
+                    }
+                    Instr::FusedBrIfLtS(t) => {
+                        let b = pop!();
+                        let a = pop!();
+                        if a < b {
+                            frame.pc = t as usize;
+                        }
+                    }
+                    Instr::FusedBrIfGeS(t) => {
+                        let b = pop!();
+                        let a = pop!();
+                        if a >= b {
+                            frame.pc = t as usize;
+                        }
+                    }
+                    Instr::FusedBrIfEq(t) => {
+                        let b = pop!();
+                        let a = pop!();
+                        if a == b {
+                            frame.pc = t as usize;
+                        }
+                    }
+                    Instr::FusedBrIfNe(t) => {
+                        let b = pop!();
+                        let a = pop!();
+                        if a != b {
+                            frame.pc = t as usize;
+                        }
+                    }
+                    Instr::FusedLocalLoad8U(n, off) => {
+                        let addr = *frame.locals.get(n as usize).ok_or(Trap::BadLocal(n))?;
+                        let b = mem_read(memory, addr, off, 1)?;
+                        stack.push(b[0] as i64);
+                    }
+                }
+            }
+        }
+
+        Ok(ExecOutcome {
+            return_data: host.take_return(),
+            stats,
+        })
+    }
+
+    fn host_call(
+        &self,
+        h: HostFn,
+        host: &mut dyn HostApi,
+        memory: &mut [u8],
+        stack: &mut Vec<i64>,
+        stats: &mut ExecStats,
+    ) -> Result<(), Trap> {
+        stats.host_calls += 1;
+        let mut pop = || stack.pop().ok_or(Trap::StackUnderflow);
+        match h {
+            HostFn::InputLen => {
+                let len = host.input().len() as i64;
+                stack.push(len);
+            }
+            HostFn::InputRead => {
+                let dst = pop()? as u64;
+                let input = host.input().to_vec();
+                stats.host_bytes += input.len() as u64;
+                mem_write(memory, dst as i64, 0, &input)?;
+            }
+            HostFn::Ret => {
+                let len = pop()? as u64;
+                let ptr = pop()?;
+                let data = mem_read(memory, ptr, 0, len)?.to_vec();
+                stats.host_bytes += data.len() as u64;
+                host.set_return(data);
+            }
+            HostFn::GetStorage => {
+                let cap = pop()? as u64;
+                let val_ptr = pop()?;
+                let key_len = pop()? as u64;
+                let key_ptr = pop()?;
+                let key = mem_read(memory, key_ptr, 0, key_len)?.to_vec();
+                match host.get_storage(&key)? {
+                    Some(val) => {
+                        stats.host_bytes += (key.len() + val.len()) as u64;
+                        let n = val.len().min(cap as usize);
+                        mem_write(memory, val_ptr, 0, &val[..n])?;
+                        stack.push(val.len() as i64);
+                    }
+                    None => {
+                        stats.host_bytes += key.len() as u64;
+                        stack.push(-1);
+                    }
+                }
+            }
+            HostFn::SetStorage => {
+                let val_len = pop()? as u64;
+                let val_ptr = pop()?;
+                let key_len = pop()? as u64;
+                let key_ptr = pop()?;
+                let key = mem_read(memory, key_ptr, 0, key_len)?.to_vec();
+                let val = mem_read(memory, val_ptr, 0, val_len)?.to_vec();
+                stats.host_bytes += (key.len() + val.len()) as u64;
+                host.set_storage(&key, &val)?;
+            }
+            HostFn::Sha256 => {
+                let out_ptr = pop()?;
+                let len = pop()? as u64;
+                let ptr = pop()?;
+                let data = mem_read(memory, ptr, 0, len)?.to_vec();
+                stats.host_bytes += data.len() as u64;
+                let digest = host.sha256(&data);
+                mem_write(memory, out_ptr, 0, &digest)?;
+            }
+            HostFn::Keccak256 => {
+                let out_ptr = pop()?;
+                let len = pop()? as u64;
+                let ptr = pop()?;
+                let data = mem_read(memory, ptr, 0, len)?.to_vec();
+                stats.host_bytes += data.len() as u64;
+                let digest = host.keccak256(&data);
+                mem_write(memory, out_ptr, 0, &digest)?;
+            }
+            HostFn::CallContract => {
+                let out_cap = pop()? as u64;
+                let out_ptr = pop()?;
+                let in_len = pop()? as u64;
+                let in_ptr = pop()?;
+                let addr_ptr = pop()?;
+                let mut addr = [0u8; 32];
+                addr.copy_from_slice(mem_read(memory, addr_ptr, 0, 32)?);
+                let input = mem_read(memory, in_ptr, 0, in_len)?.to_vec();
+                stats.host_bytes += input.len() as u64;
+                match host.call_contract(&addr, &input) {
+                    Ok(out) => {
+                        stats.host_bytes += out.len() as u64;
+                        let n = out.len().min(out_cap as usize);
+                        mem_write(memory, out_ptr, 0, &out[..n])?;
+                        stack.push(out.len() as i64);
+                    }
+                    Err(e) => return Err(Trap::Host(e)),
+                }
+            }
+            HostFn::Sender => {
+                let out_ptr = pop()?;
+                let s = host.sender();
+                mem_write(memory, out_ptr, 0, &s)?;
+            }
+            HostFn::Log => {
+                let len = pop()? as u64;
+                let ptr = pop()?;
+                let msg = mem_read(memory, ptr, 0, len)?.to_vec();
+                stats.host_bytes += msg.len() as u64;
+                host.log(&msg);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn binop(stack: &mut Vec<i64>, f: impl FnOnce(i64, i64) -> Result<i64, Trap>) -> Result<(), Trap> {
+    let b = stack.pop().ok_or(Trap::StackUnderflow)?;
+    let a = stack.pop().ok_or(Trap::StackUnderflow)?;
+    stack.push(f(a, b)?);
+    Ok(())
+}
+
+fn mem_read(memory: &[u8], addr: i64, off: u32, len: u64) -> Result<&[u8], Trap> {
+    let start = (addr as u64).wrapping_add(off as u64);
+    let end = start.wrapping_add(len);
+    if addr < 0 || end > memory.len() as u64 || end < start {
+        return Err(Trap::OutOfBoundsMemory { addr: start, len });
+    }
+    Ok(&memory[start as usize..end as usize])
+}
+
+fn mem_write(memory: &mut [u8], addr: i64, off: u32, data: &[u8]) -> Result<(), Trap> {
+    let start = (addr as u64).wrapping_add(off as u64);
+    let end = start.wrapping_add(data.len() as u64);
+    if addr < 0 || end > memory.len() as u64 || end < start {
+        return Err(Trap::OutOfBoundsMemory {
+            addr: start,
+            len: data.len() as u64,
+        });
+    }
+    memory[start as usize..end as usize].copy_from_slice(data);
+    Ok(())
+}
+
+fn mem_copy(memory: &mut [u8], dst: u64, src: u64, len: u64) -> Result<(), Trap> {
+    let mlen = memory.len() as u64;
+    if dst.wrapping_add(len) > mlen || src.wrapping_add(len) > mlen {
+        return Err(Trap::OutOfBoundsMemory { addr: dst.max(src), len });
+    }
+    memory.copy_within(src as usize..(src + len) as usize, dst as usize);
+    Ok(())
+}
+
+fn mem_fill(memory: &mut [u8], dst: u64, val: u8, len: u64) -> Result<(), Trap> {
+    if dst.wrapping_add(len) > memory.len() as u64 {
+        return Err(Trap::OutOfBoundsMemory { addr: dst, len });
+    }
+    memory[dst as usize..(dst + len) as usize].fill(val);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FuncBuilder, ModuleBuilder};
+    use crate::host::MockHost;
+    use crate::opcode::Instr::*;
+
+    fn run_with(
+        module: Module,
+        name: &str,
+        args: &[i64],
+        host: &mut MockHost,
+        config: ExecConfig,
+    ) -> Result<ExecOutcome, Trap> {
+        let vm = Vm::from_module(module, config);
+        let mut mem = Vec::new();
+        vm.invoke(name, args, host, &mut mem)
+    }
+
+    fn run(module: Module, name: &str, args: &[i64]) -> Result<ExecOutcome, Trap> {
+        run_with(module, name, args, &mut MockHost::default(), ExecConfig::default())
+    }
+
+    /// Build a module whose `main` stores an i64 result at memory[0] and
+    /// returns it via the Ret host call.
+    fn ret_i64_module(build: impl FnOnce(&mut FuncBuilder)) -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 4);
+        build(&mut f);
+        // Expect result on stack: store to [0], Ret(0, 8).
+        f.op(LocalSet(0));
+        f.i64(0).op(LocalGet(0)).op(Store64(0));
+        f.i64(0).i64(8).op(CallHost(crate::opcode::HostFn::Ret));
+        f.op(Ret);
+        mb.func(f.finish());
+        mb.finish()
+    }
+
+    fn ret_val(outcome: &ExecOutcome) -> i64 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&outcome.return_data);
+        i64::from_le_bytes(w)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let m = ret_i64_module(|f| {
+            f.i64(7).i64(5).op(Mul).i64(3).op(Sub); // 7*5-3 = 32
+        });
+        let out = run(m, "main", &[]).unwrap();
+        assert_eq!(ret_val(&out), 32);
+    }
+
+    #[test]
+    fn signed_unsigned_division() {
+        let m = ret_i64_module(|f| {
+            f.i64(-7).i64(2).op(DivS); // -3
+        });
+        assert_eq!(ret_val(&run(m, "main", &[]).unwrap()), -3);
+        let m = ret_i64_module(|f| {
+            f.i64(-1).i64(i64::MAX).op(DivU); // u64::MAX / i64::MAX = 2
+        });
+        assert_eq!(ret_val(&run(m, "main", &[]).unwrap()), 2);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let m = ret_i64_module(|f| {
+            f.i64(1).i64(0).op(DivS);
+        });
+        assert_eq!(run(m, "main", &[]).unwrap_err(), Trap::DivByZero);
+        let m = ret_i64_module(|f| {
+            f.i64(i64::MIN).i64(-1).op(DivS);
+        });
+        assert_eq!(run(m, "main", &[]).unwrap_err(), Trap::IntegerOverflow);
+    }
+
+    #[test]
+    fn loop_sums_one_to_hundred() {
+        let m = ret_i64_module(|f| {
+            // local1 = i, local2 = acc
+            let top = f.label();
+            let done = f.label();
+            f.i64(1).op(LocalSet(1));
+            f.i64(0).op(LocalSet(2));
+            f.bind(top);
+            f.op(LocalGet(1)).i64(100).op(GtS);
+            f.jmp_if(done);
+            f.op(LocalGet(2)).op(LocalGet(1)).op(Add).op(LocalSet(2));
+            f.op(LocalGet(1)).i64(1).op(Add).op(LocalSet(1));
+            f.jmp(top);
+            f.bind(done);
+            f.op(LocalGet(2));
+        });
+        assert_eq!(ret_val(&run(m, "main", &[]).unwrap()), 5050);
+    }
+
+    #[test]
+    fn fusion_preserves_semantics_and_reduces_instret() {
+        let build = |f: &mut FuncBuilder| {
+            let top = f.label();
+            let done = f.label();
+            f.i64(1).op(LocalSet(1));
+            f.i64(0).op(LocalSet(2));
+            f.bind(top);
+            f.op(LocalGet(1)).i64(1000).op(GtS);
+            f.jmp_if(done);
+            f.op(LocalGet(2)).op(LocalGet(1)).op(Add).op(LocalSet(2));
+            f.op(LocalGet(1)).i64(1).op(Add).op(LocalSet(1));
+            f.jmp(top);
+            f.bind(done);
+            f.op(LocalGet(2));
+        };
+        let plain = run_with(
+            ret_i64_module(build),
+            "main",
+            &[],
+            &mut MockHost::default(),
+            ExecConfig {
+                fusion: false,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let fused = run_with(
+            ret_i64_module(build),
+            "main",
+            &[],
+            &mut MockHost::default(),
+            ExecConfig {
+                fusion: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ret_val(&plain), ret_val(&fused));
+        assert_eq!(ret_val(&fused), 500500);
+        assert!(
+            fused.stats.instret < plain.stats.instret * 8 / 10,
+            "fused {} vs plain {}",
+            fused.stats.instret,
+            plain.stats.instret
+        );
+    }
+
+    #[test]
+    fn function_calls_pass_args_and_return_on_stack() {
+        let mut mb = ModuleBuilder::new();
+        // helper(a, b) = a*10 + b
+        let mut h = FuncBuilder::new("", 2, 0);
+        h.op(LocalGet(0)).i64(10).op(Mul).op(LocalGet(1)).op(Add).op(Ret);
+        let helper = mb.func(h.finish());
+        let mut f = FuncBuilder::new("main", 0, 1);
+        f.i64(4).i64(2).op(Call(helper)); // 42
+        f.op(LocalSet(0));
+        f.i64(0).op(LocalGet(0)).op(Store64(0));
+        f.i64(0).i64(8).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        let out = run(mb.finish(), "main", &[]).unwrap();
+        assert_eq!(ret_val(&out), 42);
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.op(Call(0)); // infinite self-recursion
+        mb.func(f.finish());
+        assert_eq!(
+            run(mb.finish(), "main", &[]).unwrap_err(),
+            Trap::CallStackOverflow
+        );
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        let top = f.label();
+        f.bind(top);
+        f.jmp(top);
+        mb.func(f.finish());
+        let err = run_with(
+            mb.finish(),
+            "main",
+            &[],
+            &mut MockHost::default(),
+            ExecConfig {
+                fuel: 1000,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, Trap::OutOfFuel);
+    }
+
+    #[test]
+    fn memory_bounds_enforced() {
+        let mut mb = ModuleBuilder::new();
+        mb.memory(4096);
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(4095).i64(1).op(Store64(0)); // 8-byte store at 4095: OOB
+        mb.func(f.finish());
+        assert!(matches!(
+            run(mb.finish(), "main", &[]).unwrap_err(),
+            Trap::OutOfBoundsMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn negative_address_traps() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(-8).op(Load64(0)).op(Drop);
+        mb.func(f.finish());
+        assert!(matches!(
+            run(mb.finish(), "main", &[]).unwrap_err(),
+            Trap::OutOfBoundsMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn data_segments_initialize_memory() {
+        let mut mb = ModuleBuilder::new();
+        mb.data(100, b"\x2a\x00\x00\x00\x00\x00\x00\x00");
+        let mut f = FuncBuilder::new("main", 0, 1);
+        f.i64(100).op(Load64(0));
+        f.op(LocalSet(0));
+        f.i64(0).op(LocalGet(0)).op(Store64(0));
+        f.i64(0).i64(8).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        assert_eq!(ret_val(&run(mb.finish(), "main", &[]).unwrap()), 42);
+    }
+
+    #[test]
+    fn storage_host_calls_round_trip() {
+        let mut mb = ModuleBuilder::new();
+        mb.data(0, b"key1");
+        mb.data(16, b"value-bytes");
+        let mut f = FuncBuilder::new("main", 0, 1);
+        // set_storage("key1", "value-bytes")
+        f.i64(0).i64(4).i64(16).i64(11).op(CallHost(crate::opcode::HostFn::SetStorage));
+        // len = get_storage("key1", out=64, cap=100)
+        f.i64(0).i64(4).i64(64).i64(100).op(CallHost(crate::opcode::HostFn::GetStorage));
+        f.op(LocalSet(0));
+        // ret(64, len)
+        f.i64(64).op(LocalGet(0)).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        let mut host = MockHost::default();
+        let out = run_with(mb.finish(), "main", &[], &mut host, ExecConfig::default()).unwrap();
+        assert_eq!(out.return_data, b"value-bytes");
+        assert_eq!(host.storage.get(&b"key1"[..].to_vec()).unwrap(), b"value-bytes");
+        assert_eq!(out.stats.host_calls, 3);
+    }
+
+    #[test]
+    fn missing_storage_returns_minus_one() {
+        let mut mb = ModuleBuilder::new();
+        mb.data(0, b"nope");
+        let mut f = FuncBuilder::new("main", 0, 1);
+        f.i64(0).i64(4).i64(64).i64(100).op(CallHost(crate::opcode::HostFn::GetStorage));
+        f.op(LocalSet(0));
+        f.i64(0).op(LocalGet(0)).op(Store64(0));
+        f.i64(0).i64(8).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        assert_eq!(ret_val(&run(mb.finish(), "main", &[]).unwrap()), -1);
+    }
+
+    #[test]
+    fn sha256_host_call_is_real() {
+        let mut mb = ModuleBuilder::new();
+        mb.data(0, b"abc");
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(0).i64(3).i64(32).op(CallHost(crate::opcode::HostFn::Sha256));
+        f.i64(32).i64(32).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        let out = run(mb.finish(), "main", &[]).unwrap();
+        assert_eq!(
+            confide_crypto::hex(&out.return_data),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn input_flows_into_memory() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 1);
+        f.op(CallHost(crate::opcode::HostFn::InputLen)).op(LocalSet(0));
+        f.i64(0).op(CallHost(crate::opcode::HostFn::InputRead));
+        f.i64(0).op(LocalGet(0)).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        let mut host = MockHost::default();
+        host.input = b"echo me".to_vec();
+        let out = run_with(mb.finish(), "main", &[], &mut host, ExecConfig::default()).unwrap();
+        assert_eq!(out.return_data, b"echo me");
+    }
+
+    #[test]
+    fn select_and_tee() {
+        let m = ret_i64_module(|f| {
+            f.i64(111).i64(222).i64(0).op(Select); // picks 222
+            f.op(LocalTee(1));
+            f.op(Drop);
+            f.op(LocalGet(1));
+        });
+        assert_eq!(ret_val(&run(m, "main", &[]).unwrap()), 222);
+    }
+
+    #[test]
+    fn memcopy_memfill() {
+        let mut mb = ModuleBuilder::new();
+        mb.data(0, b"abcdef");
+        let mut f = FuncBuilder::new("main", 0, 0);
+        // fill [10..14) with 'x', copy "abc" to 14.
+        f.i64(10).i64('x' as i64).i64(4).op(MemFill);
+        f.i64(14).i64(0).i64(3).op(MemCopy);
+        f.i64(10).i64(7).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        let out = run(mb.finish(), "main", &[]).unwrap();
+        assert_eq!(out.return_data, b"xxxxabc");
+    }
+
+    #[test]
+    fn unknown_export_and_unreachable() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("boom", 0, 0);
+        f.op(Unreachable);
+        mb.func(f.finish());
+        let m = mb.finish();
+        assert_eq!(
+            run(m.clone(), "nope", &[]).unwrap_err(),
+            Trap::UnknownExport("nope".into())
+        );
+        assert_eq!(run(m, "boom", &[]).unwrap_err(), Trap::Unreachable);
+    }
+
+    #[test]
+    fn globals_are_shared_across_calls_within_invocation() {
+        let mut mb = ModuleBuilder::new();
+        mb.globals(1);
+        let mut h = FuncBuilder::new("", 0, 0);
+        h.op(GlobalGet(0)).i64(1).op(Add).op(GlobalSet(0)).op(Ret);
+        let inc = mb.func(h.finish());
+        let mut f = FuncBuilder::new("main", 0, 1);
+        f.op(Call(inc)).op(Call(inc)).op(Call(inc));
+        f.op(GlobalGet(0)).op(LocalSet(0));
+        f.i64(0).op(LocalGet(0)).op(Store64(0));
+        f.i64(0).i64(8).op(CallHost(crate::opcode::HostFn::Ret));
+        mb.func(f.finish());
+        assert_eq!(ret_val(&run(mb.finish(), "main", &[]).unwrap()), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! LEB128 variable-length integer coding — the Wasm trait the paper calls
+//! out explicitly ("WASM-based contract code has been encoded by LEB128",
+//! §6.4 OPT1).
+
+/// Encoding/decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LebError {
+    /// Ran off the end of the buffer.
+    Truncated,
+    /// More than the maximum number of continuation bytes.
+    Overlong,
+}
+
+/// Append an unsigned LEB128 value.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a signed LEB128 value.
+pub fn write_i64(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (v == 0 && sign_clear) || (v == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 value; returns `(value, bytes_consumed)`.
+pub fn read_u64(buf: &[u8]) -> Result<(u64, usize), LebError> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= 10 {
+            return Err(LebError::Overlong);
+        }
+        result |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((result, i + 1));
+        }
+        shift += 7;
+    }
+    Err(LebError::Truncated)
+}
+
+/// Read a signed LEB128 value; returns `(value, bytes_consumed)`.
+pub fn read_i64(buf: &[u8]) -> Result<(i64, usize), LebError> {
+    let mut result = 0i64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= 10 {
+            return Err(LebError::Overlong);
+        }
+        result |= ((byte & 0x7f) as i64) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift;
+            }
+            return Ok((result, i + 1));
+        }
+    }
+    Err(LebError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unsigned_known_encodings() {
+        let mut out = Vec::new();
+        write_u64(&mut out, 0);
+        assert_eq!(out, [0x00]);
+        out.clear();
+        write_u64(&mut out, 624485); // classic wikipedia example
+        assert_eq!(out, [0xe5, 0x8e, 0x26]);
+    }
+
+    #[test]
+    fn signed_known_encodings() {
+        let mut out = Vec::new();
+        write_i64(&mut out, -123456);
+        assert_eq!(out, [0xc0, 0xbb, 0x78]);
+        out.clear();
+        write_i64(&mut out, 64);
+        assert_eq!(out, [0xc0, 0x00]);
+        out.clear();
+        write_i64(&mut out, -1);
+        assert_eq!(out, [0x7f]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert_eq!(read_u64(&[0x80]), Err(LebError::Truncated));
+        assert_eq!(read_i64(&[0xff, 0xff]), Err(LebError::Truncated));
+        assert_eq!(read_u64(&[]), Err(LebError::Truncated));
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        let buf = [0x80u8; 11];
+        assert_eq!(read_u64(&buf), Err(LebError::Overlong));
+        assert_eq!(read_i64(&buf), Err(LebError::Overlong));
+    }
+
+    proptest! {
+        #[test]
+        fn unsigned_round_trip(v in any::<u64>()) {
+            let mut out = Vec::new();
+            write_u64(&mut out, v);
+            let (back, used) = read_u64(&out).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(used, out.len());
+        }
+
+        #[test]
+        fn signed_round_trip(v in any::<i64>()) {
+            let mut out = Vec::new();
+            write_i64(&mut out, v);
+            let (back, used) = read_i64(&out).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(used, out.len());
+        }
+
+        #[test]
+        fn small_values_encode_compactly(v in 0u64..128) {
+            let mut out = Vec::new();
+            write_u64(&mut out, v);
+            prop_assert_eq!(out.len(), 1);
+        }
+    }
+}

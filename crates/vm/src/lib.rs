@@ -1,0 +1,46 @@
+//! # confide-vm
+//!
+//! CONFIDE-VM: the Wasm-derived smart-contract virtual machine of §3.2.1 —
+//! "a bytecode interpreter, a code cache and a fixed size linear
+//! memory & stack". It inherits Wasm's key traits (LEB128-encoded
+//! hardware-agnostic bytecode, i64 stack machine, flat linear memory,
+//! host imports) while flattening structured control flow into direct
+//! jumps, the form an optimizing blockchain VM interprets.
+//!
+//! The paper's optimizations are all here and individually toggleable so
+//! the Figure 12 ablation can turn them on one by one:
+//!
+//! * **Code cache** ([`cache::CodeCache`], part of OPT1): modules are
+//!   decoded from LEB128 once and cached by code hash; re-execution skips
+//!   the decode entirely.
+//! * **Memory pool** ([`cache::MemoryPool`], part of OPT1): linear memories
+//!   are recycled across executions instead of re-allocated, reducing
+//!   fragmentation and EPC pressure.
+//! * **Instruction-set reduction + superinstruction fusion**
+//!   ([`fusion`], OPT4): a peephole pass that rewrites hot multi-opcode
+//!   patterns (compare-and-branch, constant increments, paired local
+//!   loads) into single fused opcodes, shrinking the dispatch table and the
+//!   per-instruction dispatch count by ~half on contract code.
+//!
+//! Execution reports [`interp::ExecStats`] — retired instructions, host
+//! calls, bytes decoded — which the simulation layer converts to virtual
+//! cycles (see `confide-sim`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cache;
+pub mod fusion;
+pub mod host;
+pub mod interp;
+pub mod leb;
+pub mod module;
+pub mod opcode;
+
+pub use builder::{FuncBuilder, ModuleBuilder};
+pub use cache::{CodeCache, MemoryPool};
+pub use host::{HostApi, HostError, MockHost};
+pub use interp::{ExecConfig, ExecOutcome, ExecStats, Prepared, Trap, Vm};
+pub use module::{Function, Module};
+pub use opcode::Instr;

@@ -1,0 +1,241 @@
+//! The module container: functions, exports, data segments, memory size.
+
+use crate::leb;
+use crate::opcode::{decode_body, encode_instr, DecodeError, Instr};
+use confide_crypto::sha256;
+use std::collections::HashMap;
+
+/// Wire-format magic.
+pub const MAGIC: &[u8; 4] = b"CWSM";
+/// Wire-format version.
+pub const VERSION: u8 = 1;
+
+/// One function: `param_count` parameters arrive as the first locals,
+/// `local_count` additional zero-initialized locals follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Export name ("" for internal helpers).
+    pub name: String,
+    /// Number of parameters.
+    pub param_count: u32,
+    /// Number of extra locals.
+    pub local_count: u32,
+    /// Decoded body.
+    pub body: Vec<Instr>,
+}
+
+/// A data segment copied into linear memory at instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Destination offset in linear memory.
+    pub offset: u32,
+    /// Bytes to place.
+    pub bytes: Vec<u8>,
+}
+
+/// A decoded module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Fixed linear memory size in bytes (paper: "fixed size linear
+    /// memory & stack").
+    pub memory_size: u32,
+    /// Number of mutable globals (zero-initialized).
+    pub global_count: u32,
+    /// All functions; calls index into this table.
+    pub functions: Vec<Function>,
+    /// Initialized data.
+    pub data: Vec<DataSegment>,
+}
+
+impl Module {
+    /// Look up an exported function by name.
+    pub fn export(&self, name: &str) -> Option<u32> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Serialize to the LEB128 wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        leb::write_u64(&mut out, self.memory_size as u64);
+        leb::write_u64(&mut out, self.global_count as u64);
+        leb::write_u64(&mut out, self.functions.len() as u64);
+        for f in &self.functions {
+            leb::write_u64(&mut out, f.name.len() as u64);
+            out.extend_from_slice(f.name.as_bytes());
+            leb::write_u64(&mut out, f.param_count as u64);
+            leb::write_u64(&mut out, f.local_count as u64);
+            let mut body = Vec::new();
+            for i in &f.body {
+                encode_instr(&mut body, i);
+            }
+            leb::write_u64(&mut out, body.len() as u64);
+            out.extend_from_slice(&body);
+        }
+        leb::write_u64(&mut out, self.data.len() as u64);
+        for d in &self.data {
+            leb::write_u64(&mut out, d.offset as u64);
+            leb::write_u64(&mut out, d.bytes.len() as u64);
+            out.extend_from_slice(&d.bytes);
+        }
+        out
+    }
+
+    /// Parse the wire format. Returns the module and the number of bytes
+    /// that were LEB-decoded (the decode-cost input for the code cache
+    /// model).
+    pub fn decode(buf: &[u8]) -> Result<Module, DecodeError> {
+        let mut pos = 0usize;
+        if buf.len() < 5 || &buf[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        if buf[4] != VERSION {
+            return Err(DecodeError::BadMagic);
+        }
+        pos += 5;
+        let read_u = |pos: &mut usize| -> Result<u64, DecodeError> {
+            let (v, n) = leb::read_u64(buf.get(*pos..).ok_or(DecodeError::Truncated)?)?;
+            *pos += n;
+            Ok(v)
+        };
+        let memory_size = read_u(&mut pos)? as u32;
+        let global_count = read_u(&mut pos)? as u32;
+        let func_count = read_u(&mut pos)? as usize;
+        let mut functions = Vec::with_capacity(func_count);
+        for _ in 0..func_count {
+            let name_len = read_u(&mut pos)? as usize;
+            let name_bytes = buf.get(pos..pos + name_len).ok_or(DecodeError::Truncated)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| DecodeError::BadString)?
+                .to_string();
+            pos += name_len;
+            let param_count = read_u(&mut pos)? as u32;
+            let local_count = read_u(&mut pos)? as u32;
+            let body_len = read_u(&mut pos)? as usize;
+            let body_bytes = buf.get(pos..pos + body_len).ok_or(DecodeError::Truncated)?;
+            pos += body_len;
+            functions.push(Function {
+                name,
+                param_count,
+                local_count,
+                body: decode_body(body_bytes)?,
+            });
+        }
+        let data_count = read_u(&mut pos)? as usize;
+        let mut data = Vec::with_capacity(data_count);
+        for _ in 0..data_count {
+            let offset = read_u(&mut pos)? as u32;
+            let len = read_u(&mut pos)? as usize;
+            let bytes = buf
+                .get(pos..pos + len)
+                .ok_or(DecodeError::Truncated)?
+                .to_vec();
+            pos += len;
+            data.push(DataSegment { offset, bytes });
+        }
+        if pos != buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(Module {
+            memory_size,
+            global_count,
+            functions,
+            data,
+        })
+    }
+
+    /// Content hash — the code-cache key and D-Protocol contract-code id.
+    pub fn code_hash(bytes: &[u8]) -> [u8; 32] {
+        sha256(bytes)
+    }
+
+    /// Build an export-name → index map.
+    pub fn export_map(&self) -> HashMap<&str, u32> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.name.is_empty())
+            .map(|(i, f)| (f.name.as_str(), i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        Module {
+            memory_size: 65536,
+            global_count: 2,
+            functions: vec![
+                Function {
+                    name: "main".into(),
+                    param_count: 0,
+                    local_count: 3,
+                    body: vec![Instr::I64Const(7), Instr::Ret],
+                },
+                Function {
+                    name: String::new(),
+                    param_count: 2,
+                    local_count: 0,
+                    body: vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::Add, Instr::Ret],
+                },
+            ],
+            data: vec![DataSegment {
+                offset: 16,
+                bytes: b"hello".to_vec(),
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        let bytes = m.encode();
+        let back = Module::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn export_lookup() {
+        let m = sample();
+        assert_eq!(m.export("main"), Some(0));
+        assert_eq!(m.export("missing"), None);
+        assert_eq!(m.export_map().len(), 1);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Module::decode(b"WASM\x01"), Err(DecodeError::BadMagic));
+        assert_eq!(Module::decode(b""), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0xaa);
+        assert_eq!(Module::decode(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let bytes = sample().encode();
+        for cut in 1..bytes.len() {
+            assert!(Module::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn code_hash_is_content_sensitive() {
+        let a = sample().encode();
+        let mut m2 = sample();
+        m2.functions[0].body[0] = Instr::I64Const(8);
+        let b = m2.encode();
+        assert_ne!(Module::code_hash(&a), Module::code_hash(&b));
+    }
+}

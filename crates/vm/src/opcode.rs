@@ -1,0 +1,553 @@
+//! The CONFIDE-VM instruction set.
+//!
+//! Core opcodes mirror Wasm's i64 arithmetic and memory model; control flow
+//! is flattened to direct jumps whose targets are *instruction indices*
+//! (the decoder produces an instruction vector, so indices are the natural
+//! jump unit — what a dispatching interpreter wants).
+//!
+//! Opcodes `0x60..` are **superinstructions**: they are never emitted by
+//! the compiler directly but produced by the [`crate::fusion`] peephole
+//! pass, standing in for the paper's OPT4 ("aggregating the instructions
+//! into one block … about 17% performance improvement").
+
+use crate::leb;
+
+/// Host-function indices importable by a module. The host side lives in
+/// [`crate::host::HostApi`]; CONFIDE's SDM implements it over ocalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HostFn {
+    /// `() -> len`: byte length of the call input.
+    InputLen = 0,
+    /// `(dst_ptr) -> ()`: copy the call input into linear memory.
+    InputRead = 1,
+    /// `(ptr, len) -> ()`: set the call's return data.
+    Ret = 2,
+    /// `(key_ptr, key_len, val_ptr, val_cap) -> val_len | -1`: storage read.
+    GetStorage = 3,
+    /// `(key_ptr, key_len, val_ptr, val_len) -> ()`: storage write.
+    SetStorage = 4,
+    /// `(ptr, len, out_ptr) -> ()`: SHA-256 into 32 bytes at `out_ptr`.
+    Sha256 = 5,
+    /// `(ptr, len, out_ptr) -> ()`: Keccak-256 into 32 bytes at `out_ptr`.
+    Keccak256 = 6,
+    /// `(addr_ptr, in_ptr, in_len, out_ptr, out_cap) -> out_len | -1`:
+    /// cross-contract call (address is 32 bytes at `addr_ptr`).
+    CallContract = 7,
+    /// `(out_ptr) -> ()`: 32-byte sender/caller id.
+    Sender = 8,
+    /// `(ptr, len) -> ()`: log a UTF-8 message (monitoring / receipts).
+    Log = 9,
+}
+
+impl HostFn {
+    /// Decode from its wire byte.
+    pub fn from_u8(v: u8) -> Option<HostFn> {
+        Some(match v {
+            0 => HostFn::InputLen,
+            1 => HostFn::InputRead,
+            2 => HostFn::Ret,
+            3 => HostFn::GetStorage,
+            4 => HostFn::SetStorage,
+            5 => HostFn::Sha256,
+            6 => HostFn::Keccak256,
+            7 => HostFn::CallContract,
+            8 => HostFn::Sender,
+            9 => HostFn::Log,
+            _ => return None,
+        })
+    }
+
+    /// Number of i64 arguments popped from the stack.
+    pub fn arg_count(self) -> usize {
+        match self {
+            HostFn::InputLen => 0,
+            HostFn::InputRead => 1,
+            HostFn::Ret => 2,
+            HostFn::GetStorage => 4,
+            HostFn::SetStorage => 4,
+            HostFn::Sha256 => 3,
+            HostFn::Keccak256 => 3,
+            HostFn::CallContract => 5,
+            HostFn::Sender => 1,
+            HostFn::Log => 2,
+        }
+    }
+
+    /// Whether a result is pushed.
+    pub fn has_result(self) -> bool {
+        matches!(self, HostFn::InputLen | HostFn::GetStorage | HostFn::CallContract)
+    }
+}
+
+/// A decoded instruction. Jump targets are instruction indices within the
+/// owning function's body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Trap unconditionally.
+    Unreachable,
+    /// No operation.
+    Nop,
+    /// Push a constant.
+    I64Const(i64),
+    /// Push local `n`.
+    LocalGet(u32),
+    /// Pop into local `n`.
+    LocalSet(u32),
+    /// Copy top of stack into local `n` without popping.
+    LocalTee(u32),
+    /// Push global `n`.
+    GlobalGet(u32),
+    /// Pop into global `n`.
+    GlobalSet(u32),
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Pop; jump if non-zero.
+    JmpIf(u32),
+    /// Pop; jump if zero.
+    JmpIfZ(u32),
+    /// Call module function by index.
+    Call(u32),
+    /// Call an imported host function.
+    CallHost(HostFn),
+    /// Return from the current function.
+    Ret,
+    /// Pop and discard.
+    Drop,
+    /// Pop c, b, a; push a if c != 0 else b.
+    Select,
+    // Memory: address popped, immediate static offset added (Wasm-style).
+    /// Load one byte, zero-extended.
+    Load8U(u32),
+    /// Load two bytes LE, zero-extended.
+    Load16U(u32),
+    /// Load four bytes LE, zero-extended.
+    Load32U(u32),
+    /// Load eight bytes LE.
+    Load64(u32),
+    /// Store low byte.
+    Store8(u32),
+    /// Store low two bytes LE.
+    Store16(u32),
+    /// Store low four bytes LE.
+    Store32(u32),
+    /// Store eight bytes LE.
+    Store64(u32),
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on /0 and overflow).
+    DivS,
+    /// Unsigned division (traps on /0).
+    DivU,
+    /// Signed remainder.
+    RemS,
+    /// Unsigned remainder.
+    RemU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (mod 64).
+    Shl,
+    /// Arithmetic shift right.
+    ShrS,
+    /// Logical shift right.
+    ShrU,
+    /// Pop; push 1 if zero else 0.
+    Eqz,
+    /// Comparison operators pushing 0/1.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    LtS,
+    /// Unsigned less-than.
+    LtU,
+    /// Signed greater-than.
+    GtS,
+    /// Unsigned greater-than.
+    GtU,
+    /// Signed less-or-equal.
+    LeS,
+    /// Unsigned less-or-equal.
+    LeU,
+    /// Signed greater-or-equal.
+    GeS,
+    /// Unsigned greater-or-equal.
+    GeU,
+    /// Bulk copy: pop len, src, dst.
+    MemCopy,
+    /// Bulk fill: pop len, val, dst.
+    MemFill,
+    // ---- Superinstructions (fusion output only, opcode >= 0x60) ----
+    /// Push local a then local b.
+    FusedGetGet(u32, u32),
+    /// `local[n] += c`.
+    FusedIncLocal(u32, i64),
+    /// Pop x; push x + c.
+    FusedAddConst(i64),
+    /// Pop b, a; jump if a < b (signed).
+    FusedBrIfLtS(u32),
+    /// Pop b, a; jump if a >= b (signed).
+    FusedBrIfGeS(u32),
+    /// Pop b, a; jump if a == b.
+    FusedBrIfEq(u32),
+    /// Pop b, a; jump if a != b.
+    FusedBrIfNe(u32),
+    /// Push local, then load byte at local+offset (string scanning).
+    FusedLocalLoad8U(u32, u32),
+}
+
+impl Instr {
+    /// True for fusion-produced opcodes (must not appear in wire format).
+    pub fn is_fused(&self) -> bool {
+        matches!(
+            self,
+            Instr::FusedGetGet(..)
+                | Instr::FusedIncLocal(..)
+                | Instr::FusedAddConst(..)
+                | Instr::FusedBrIfLtS(..)
+                | Instr::FusedBrIfGeS(..)
+                | Instr::FusedBrIfEq(..)
+                | Instr::FusedBrIfNe(..)
+                | Instr::FusedLocalLoad8U(..)
+        )
+    }
+
+    /// If this is any branch, the target instruction index.
+    pub fn jump_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jmp(t)
+            | Instr::JmpIf(t)
+            | Instr::JmpIfZ(t)
+            | Instr::FusedBrIfLtS(t)
+            | Instr::FusedBrIfGeS(t)
+            | Instr::FusedBrIfEq(t)
+            | Instr::FusedBrIfNe(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the branch target (used by the fusion pass remapping).
+    pub fn with_jump_target(self, t: u32) -> Instr {
+        match self {
+            Instr::Jmp(_) => Instr::Jmp(t),
+            Instr::JmpIf(_) => Instr::JmpIf(t),
+            Instr::JmpIfZ(_) => Instr::JmpIfZ(t),
+            Instr::FusedBrIfLtS(_) => Instr::FusedBrIfLtS(t),
+            Instr::FusedBrIfGeS(_) => Instr::FusedBrIfGeS(t),
+            Instr::FusedBrIfEq(_) => Instr::FusedBrIfEq(t),
+            Instr::FusedBrIfNe(_) => Instr::FusedBrIfNe(t),
+            other => other,
+        }
+    }
+}
+
+/// Decode errors for module/instruction streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// LEB128 error.
+    Leb(leb::LebError),
+    /// Buffer ended early.
+    Truncated,
+    /// A fused opcode appeared on the wire.
+    FusedOnWire,
+    /// String not UTF-8.
+    BadString,
+}
+
+impl From<leb::LebError> for DecodeError {
+    fn from(e: leb::LebError) -> Self {
+        DecodeError::Leb(e)
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => f.write_str("bad module magic"),
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
+            DecodeError::Leb(_) => f.write_str("bad LEB128 immediate"),
+            DecodeError::Truncated => f.write_str("truncated module"),
+            DecodeError::FusedOnWire => f.write_str("fused opcode in wire format"),
+            DecodeError::BadString => f.write_str("invalid UTF-8 string"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode one instruction (wire opcodes only).
+pub fn encode_instr(out: &mut Vec<u8>, instr: &Instr) {
+    debug_assert!(!instr.is_fused(), "fused opcodes are not wire format");
+    match *instr {
+        Instr::Unreachable => out.push(0x00),
+        Instr::Nop => out.push(0x01),
+        Instr::I64Const(v) => {
+            out.push(0x02);
+            leb::write_i64(out, v);
+        }
+        Instr::LocalGet(n) => {
+            out.push(0x03);
+            leb::write_u64(out, n as u64);
+        }
+        Instr::LocalSet(n) => {
+            out.push(0x04);
+            leb::write_u64(out, n as u64);
+        }
+        Instr::LocalTee(n) => {
+            out.push(0x05);
+            leb::write_u64(out, n as u64);
+        }
+        Instr::GlobalGet(n) => {
+            out.push(0x06);
+            leb::write_u64(out, n as u64);
+        }
+        Instr::GlobalSet(n) => {
+            out.push(0x07);
+            leb::write_u64(out, n as u64);
+        }
+        Instr::Jmp(t) => {
+            out.push(0x08);
+            leb::write_u64(out, t as u64);
+        }
+        Instr::JmpIf(t) => {
+            out.push(0x09);
+            leb::write_u64(out, t as u64);
+        }
+        Instr::JmpIfZ(t) => {
+            out.push(0x0a);
+            leb::write_u64(out, t as u64);
+        }
+        Instr::Call(f) => {
+            out.push(0x0b);
+            leb::write_u64(out, f as u64);
+        }
+        Instr::CallHost(h) => {
+            out.push(0x0c);
+            out.push(h as u8);
+        }
+        Instr::Ret => out.push(0x0d),
+        Instr::Drop => out.push(0x0e),
+        Instr::Select => out.push(0x0f),
+        Instr::Load8U(o) => {
+            out.push(0x10);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Load16U(o) => {
+            out.push(0x11);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Load32U(o) => {
+            out.push(0x12);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Load64(o) => {
+            out.push(0x13);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Store8(o) => {
+            out.push(0x14);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Store16(o) => {
+            out.push(0x15);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Store32(o) => {
+            out.push(0x16);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Store64(o) => {
+            out.push(0x17);
+            leb::write_u64(out, o as u64);
+        }
+        Instr::Add => out.push(0x20),
+        Instr::Sub => out.push(0x21),
+        Instr::Mul => out.push(0x22),
+        Instr::DivS => out.push(0x23),
+        Instr::DivU => out.push(0x24),
+        Instr::RemS => out.push(0x25),
+        Instr::RemU => out.push(0x26),
+        Instr::And => out.push(0x27),
+        Instr::Or => out.push(0x28),
+        Instr::Xor => out.push(0x29),
+        Instr::Shl => out.push(0x2a),
+        Instr::ShrS => out.push(0x2b),
+        Instr::ShrU => out.push(0x2c),
+        Instr::Eqz => out.push(0x2d),
+        Instr::Eq => out.push(0x2e),
+        Instr::Ne => out.push(0x2f),
+        Instr::LtS => out.push(0x30),
+        Instr::LtU => out.push(0x31),
+        Instr::GtS => out.push(0x32),
+        Instr::GtU => out.push(0x33),
+        Instr::LeS => out.push(0x34),
+        Instr::LeU => out.push(0x35),
+        Instr::GeS => out.push(0x36),
+        Instr::GeU => out.push(0x37),
+        Instr::MemCopy => out.push(0x40),
+        Instr::MemFill => out.push(0x41),
+        _ => unreachable!("fused opcode"),
+    }
+}
+
+/// Decode an instruction stream into a vector.
+pub fn decode_body(buf: &[u8]) -> Result<Vec<Instr>, DecodeError> {
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < buf.len() {
+        let op = buf[pos];
+        pos += 1;
+        let read_u = |pos: &mut usize| -> Result<u32, DecodeError> {
+            let (v, n) = leb::read_u64(&buf[*pos..])?;
+            *pos += n;
+            Ok(v as u32)
+        };
+        let instr = match op {
+            0x00 => Instr::Unreachable,
+            0x01 => Instr::Nop,
+            0x02 => {
+                let (v, n) = leb::read_i64(&buf[pos..])?;
+                pos += n;
+                Instr::I64Const(v)
+            }
+            0x03 => Instr::LocalGet(read_u(&mut pos)?),
+            0x04 => Instr::LocalSet(read_u(&mut pos)?),
+            0x05 => Instr::LocalTee(read_u(&mut pos)?),
+            0x06 => Instr::GlobalGet(read_u(&mut pos)?),
+            0x07 => Instr::GlobalSet(read_u(&mut pos)?),
+            0x08 => Instr::Jmp(read_u(&mut pos)?),
+            0x09 => Instr::JmpIf(read_u(&mut pos)?),
+            0x0a => Instr::JmpIfZ(read_u(&mut pos)?),
+            0x0b => Instr::Call(read_u(&mut pos)?),
+            0x0c => {
+                if pos >= buf.len() {
+                    return Err(DecodeError::Truncated);
+                }
+                let h = HostFn::from_u8(buf[pos]).ok_or(DecodeError::BadOpcode(buf[pos]))?;
+                pos += 1;
+                Instr::CallHost(h)
+            }
+            0x0d => Instr::Ret,
+            0x0e => Instr::Drop,
+            0x0f => Instr::Select,
+            0x10 => Instr::Load8U(read_u(&mut pos)?),
+            0x11 => Instr::Load16U(read_u(&mut pos)?),
+            0x12 => Instr::Load32U(read_u(&mut pos)?),
+            0x13 => Instr::Load64(read_u(&mut pos)?),
+            0x14 => Instr::Store8(read_u(&mut pos)?),
+            0x15 => Instr::Store16(read_u(&mut pos)?),
+            0x16 => Instr::Store32(read_u(&mut pos)?),
+            0x17 => Instr::Store64(read_u(&mut pos)?),
+            0x20 => Instr::Add,
+            0x21 => Instr::Sub,
+            0x22 => Instr::Mul,
+            0x23 => Instr::DivS,
+            0x24 => Instr::DivU,
+            0x25 => Instr::RemS,
+            0x26 => Instr::RemU,
+            0x27 => Instr::And,
+            0x28 => Instr::Or,
+            0x29 => Instr::Xor,
+            0x2a => Instr::Shl,
+            0x2b => Instr::ShrS,
+            0x2c => Instr::ShrU,
+            0x2d => Instr::Eqz,
+            0x2e => Instr::Eq,
+            0x2f => Instr::Ne,
+            0x30 => Instr::LtS,
+            0x31 => Instr::LtU,
+            0x32 => Instr::GtS,
+            0x33 => Instr::GtU,
+            0x34 => Instr::LeS,
+            0x35 => Instr::LeU,
+            0x36 => Instr::GeS,
+            0x37 => Instr::GeU,
+            0x40 => Instr::MemCopy,
+            0x41 => Instr::MemFill,
+            0x60..=0x6f => return Err(DecodeError::FusedOnWire),
+            other => return Err(DecodeError::BadOpcode(other)),
+        };
+        out.push(instr);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_round_trip() {
+        let instrs = vec![
+            Instr::I64Const(-42),
+            Instr::LocalGet(3),
+            Instr::LocalSet(700),
+            Instr::Jmp(12),
+            Instr::JmpIf(0),
+            Instr::Call(5),
+            Instr::CallHost(HostFn::GetStorage),
+            Instr::Load64(16),
+            Instr::Store8(0),
+            Instr::Add,
+            Instr::DivS,
+            Instr::GeU,
+            Instr::MemCopy,
+            Instr::Select,
+            Instr::Ret,
+        ];
+        let mut buf = Vec::new();
+        for i in &instrs {
+            encode_instr(&mut buf, i);
+        }
+        assert_eq!(decode_body(&buf).unwrap(), instrs);
+    }
+
+    #[test]
+    fn fused_opcodes_rejected_on_wire() {
+        assert_eq!(decode_body(&[0x60]), Err(DecodeError::FusedOnWire));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode_body(&[0xfe]), Err(DecodeError::BadOpcode(0xfe)));
+    }
+
+    #[test]
+    fn truncated_immediate_rejected() {
+        // I64Const with dangling continuation bit.
+        assert!(matches!(decode_body(&[0x02, 0x80]), Err(DecodeError::Leb(_))));
+        // CallHost with no index byte.
+        assert_eq!(decode_body(&[0x0c]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn hostfn_arities_are_consistent() {
+        for v in 0..=9u8 {
+            let h = HostFn::from_u8(v).unwrap();
+            assert_eq!(h as u8, v);
+            // All arities within the stack discipline.
+            assert!(h.arg_count() <= 5);
+        }
+        assert!(HostFn::from_u8(10).is_none());
+    }
+
+    #[test]
+    fn jump_target_accessors() {
+        let j = Instr::JmpIf(7);
+        assert_eq!(j.jump_target(), Some(7));
+        assert_eq!(j.with_jump_target(9), Instr::JmpIf(9));
+        assert_eq!(Instr::Add.jump_target(), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Fine-grained confidentiality + third-party audit (paper §4 + §3.2.3).
+//!
+//! ```text
+//! cargo run --example confidential_audit
+//! ```
+//!
+//! Two capabilities the paper motivates with the third-party-audit story:
+//!
+//! 1. **CCLe field-level encryption**: an auditor reads the *public* fields
+//!    of contract state directly — account ids, owners — while
+//!    organizations and asset maps stay ciphertext, with no key sharing.
+//! 2. **The authorization chain-code**: when the auditor legitimately needs
+//!    one transaction's content, the data owner grants access *through the
+//!    contract's own ACL rules*, and the enclave re-wraps the one-time key
+//!    `k_tx` to the auditor — `k_states` never leaves the enclave.
+
+use confide::ccle::codec::{decode, decode_public, encode, EncryptionContext};
+use confide::ccle::parse_schema;
+use confide::ccle::value::Value;
+use confide::core::authz::{handle_access_request, open_grant, AccessRequest};
+use confide::core::client::ConfideClient;
+use confide::core::context::ExecContext;
+use confide::core::engine::{Engine, EngineConfig, VmKind};
+use confide::core::keys::NodeKeys;
+use confide::core::receipt::Receipt;
+use confide::crypto::HmacDrbg;
+use confide::storage::versioned::StateDb;
+use confide::tee::platform::TeePlatform;
+
+const SCHEMA: &str = r#"
+attribute "map";
+attribute "confidential";
+table Account {
+  user_id: string;
+  organization: string(confidential);
+  asset_map: [Asset](map, confidential);
+}
+table Asset {
+  asset_id: string;
+  amount: ulong;
+}
+root_type Account;
+"#;
+
+const POLICY_CONTRACT: &str = r#"
+export fn main() {
+    storage_set(b"record", input());
+    ret(b"stored");
+}
+export fn grant() {
+    storage_set(concat(b"acl:", input()), b"1");
+    ret(b"granted");
+}
+export fn acl() {
+    if (eq_bytes(storage_get(concat(b"acl:", input())), b"1") == 1) {
+        ret(b"1");
+    } else {
+        ret(b"0");
+    }
+}
+"#;
+
+fn main() {
+    // ---- Part 1: CCLe field-level encryption ----
+    let schema = parse_schema(SCHEMA).expect("schema parses");
+    let account = Value::Table(vec![
+        ("user_id".into(), Value::Str("supplier-88".into())),
+        ("organization".into(), Value::Str("bank-of-shanghai".into())),
+        (
+            "asset_map".into(),
+            Value::Map(vec![(
+                "AR-7788".into(),
+                Value::Table(vec![
+                    ("asset_id".into(), Value::Str("AR-7788".into())),
+                    ("amount".into(), Value::UInt(40_000)),
+                ]),
+            )]),
+        ),
+    ]);
+    let k_states = [7u8; 32];
+    let mut enc_ctx = EncryptionContext::new(&k_states, b"contract:audit-demo|sv:1", 42);
+    let wire = encode(&schema, &account, Some(&mut enc_ctx)).expect("encode");
+    println!("CCLe-encoded account state: {} bytes on the wire", wire.len());
+
+    // The auditor decodes WITHOUT any key: public fields readable,
+    // confidential fields opaque.
+    let audit_view = decode_public(&schema, &wire).expect("audit view");
+    println!(
+        "auditor sees user_id = {:?}",
+        audit_view.get("user_id").unwrap().as_str().unwrap()
+    );
+    assert!(matches!(
+        audit_view.get("organization").unwrap(),
+        Value::Encrypted(_)
+    ));
+    println!("auditor sees organization = <ciphertext> (no key shared)");
+
+    // The enclave (holding k_states) sees everything.
+    let full = decode(&schema, &wire, &enc_ctx).expect("full view");
+    assert_eq!(full, account);
+    println!("enclave view decrypts fully; round trip intact\n");
+
+    // ---- Part 2: per-transaction authorization chain-code ----
+    let platform = TeePlatform::new(1, 11);
+    let mut rng = HmacDrbg::from_u64(13);
+    let keys = NodeKeys::generate(&mut rng);
+    let engine = Engine::confidential(platform, keys, EngineConfig::default());
+    let contract = [0x51; 32];
+    engine.deploy(
+        contract,
+        &confide::lang::build_vm(POLICY_CONTRACT).unwrap(),
+        VmKind::ConfideVm,
+        true,
+    );
+    let state = StateDb::new();
+    let mut ctx = ExecContext::new();
+
+    let mut owner = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+    let (tx, tx_hash, _) = owner
+        .confidential_tx(&engine.pk_tx().unwrap(), contract, "main", b"invoice #8812, 40000 CNY")
+        .unwrap();
+    let (_receipt, sealed_receipt, _) = engine
+        .execute_transaction(&state, &mut ctx, &tx, &mut rng)
+        .unwrap();
+    let sealed_receipt = sealed_receipt.unwrap();
+    println!("confidential tx executed; receipt sealed under one-time k_tx");
+
+    // The auditor requests access; the contract's rules deny (no grant yet).
+    let auditor_sk = rng.gen32();
+    let auditor_pk = confide::crypto::x25519::x25519_base(&auditor_sk);
+    let auditor_id = [0xaa; 32];
+    let request = AccessRequest {
+        tx_hash,
+        contract,
+        requester: auditor_id,
+        requester_dh_pk: auditor_pk,
+    };
+    let denied = handle_access_request(&engine, &state, &mut ctx, &request, &mut rng);
+    println!("auditor access before grant: {}", denied.err().map(|e| e.to_string()).unwrap());
+
+    // The owner updates the on-chain ACL (a contract upgrade-free rule
+    // change is deliberately impossible — rules are contract state written
+    // by contract code).
+    let (grant_tx, _, _) = owner
+        .confidential_tx(
+            &engine.pk_tx().unwrap(),
+            contract,
+            "grant",
+            confide::crypto::hex(&auditor_id).as_bytes(),
+        )
+        .unwrap();
+    engine
+        .execute_transaction(&state, &mut ctx, &grant_tx, &mut rng)
+        .unwrap();
+
+    // Now the enclave re-wraps k_tx to the auditor.
+    let grant = handle_access_request(&engine, &state, &mut ctx, &request, &mut rng)
+        .expect("granted after ACL update");
+    let k_tx = open_grant(&grant, &auditor_sk, &tx_hash).expect("auditor unwraps k_tx");
+    let receipt = Receipt::open(&sealed_receipt, &k_tx, &tx_hash).expect("auditor reads receipt");
+    println!(
+        "auditor access after grant: receipt opened, return = {:?}",
+        String::from_utf8_lossy(&receipt.return_data)
+    );
+    assert_eq!(receipt.return_data, b"stored");
+    println!("confidential audit example OK");
+}

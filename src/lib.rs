@@ -1,0 +1,48 @@
+//! # confide
+//!
+//! Facade crate for the CONFIDE workspace — a from-scratch Rust
+//! reproduction of *"Confidentiality Support over Financial Grade
+//! Consortium Blockchain"* (Yan et al., SIGMOD 2020).
+//!
+//! Start with [`core`] (the CONFIDE plugin: engines, protocols, nodes,
+//! clients), write contracts with [`lang`], model confidential state with
+//! [`ccle`], and reproduce the paper's evaluation with the harnesses in
+//! the `confide-bench` crate. `README.md` has the tour; `DESIGN.md` the
+//! system inventory and substitution rationale; `EXPERIMENTS.md` the
+//! paper-vs-measured record.
+//!
+//! ```no_run
+//! use confide::core::{client::ConfideClient, engine::{EngineConfig, VmKind},
+//!                     keys::NodeKeys, node::ConfideNode};
+//! use confide::{crypto::HmacDrbg, tee::platform::TeePlatform};
+//!
+//! let platform = TeePlatform::new(1, 2024);
+//! let keys = NodeKeys::generate(&mut HmacDrbg::from_u64(7));
+//! let mut node = ConfideNode::new(platform, keys, EngineConfig::default(), 1);
+//!
+//! let code = confide::lang::build_vm(
+//!     r#"export fn main() { ret(concat(b"hello, ", input())); }"#,
+//! ).unwrap();
+//! node.deploy([0x42; 32], &code, VmKind::ConfideVm, true);
+//!
+//! let mut client = ConfideClient::new([1; 32], [2; 32], 3);
+//! let (tx, h, _) = client
+//!     .confidential_tx(&node.pk_tx(), [0x42; 32], "main", b"world")
+//!     .unwrap();
+//! node.execute_block(&[tx]).unwrap();
+//! let receipt = client
+//!     .open_receipt(&node.stored_receipt(&h).unwrap(), &h)
+//!     .unwrap();
+//! assert_eq!(receipt.return_data, b"hello, world");
+//! ```
+pub use confide_ccle as ccle;
+pub use confide_chain as chain;
+pub use confide_contracts as contracts;
+pub use confide_core as core;
+pub use confide_crypto as crypto;
+pub use confide_evm as evm;
+pub use confide_lang as lang;
+pub use confide_sim as sim;
+pub use confide_storage as storage;
+pub use confide_tee as tee;
+pub use confide_vm as vm;

@@ -1,0 +1,93 @@
+//! Robustness fuzzing: every parser/decoder that consumes untrusted bytes
+//! (wire transactions, contract code, CCLe state, EVM bytecode) must
+//! reject garbage with an error — never panic, never hang. A malicious
+//! host or client controls all of these inputs (§3.3).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vm_module_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = confide::vm::Module::decode(&bytes);
+    }
+
+    #[test]
+    fn vm_body_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = confide::vm::opcode::decode_body(&bytes);
+    }
+
+    #[test]
+    fn vm_executes_random_valid_prefix_modules_safely(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // If random bytes happen to decode, executing them must trap or
+        // return — bounded by fuel, never panicking or looping forever.
+        if let Ok(module) = confide::vm::Module::decode(&bytes) {
+            let cfg = confide::vm::ExecConfig { fuel: 10_000, ..Default::default() };
+            let vm = confide::vm::Vm::from_module(module, cfg);
+            let mut host = confide::vm::MockHost::default();
+            let mut mem = Vec::new();
+            let _ = vm.invoke("main", &[], &mut host, &mut mem);
+        }
+    }
+
+    #[test]
+    fn evm_runs_arbitrary_bytecode_safely(
+        code in proptest::collection::vec(any::<u8>(), 0..256),
+        calldata in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let evm = confide::evm::Evm::new(
+            code,
+            confide::evm::EvmConfig { fuel: 10_000, max_memory: 1 << 20 },
+        );
+        let mut host = confide::evm::MockEvmHost::default();
+        let _ = evm.run(&calldata, &mut host);
+    }
+
+    #[test]
+    fn wire_tx_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = confide::core::tx::WireTx::decode(&bytes);
+    }
+
+    #[test]
+    fn envelope_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = confide::crypto::envelope::Envelope::decode(&bytes);
+    }
+
+    #[test]
+    fn receipt_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = confide::core::receipt::Receipt::decode(&bytes);
+    }
+
+    #[test]
+    fn ccle_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let schema = confide::ccle::parse_schema(
+            "attribute \"confidential\";\n\
+             table T { a: string; b: ulong(confidential); c: [T2]; }\n\
+             table T2 { x: long; }\n\
+             root_type T;",
+        )
+        .unwrap();
+        let _ = confide::ccle::codec::decode_public(&schema, &bytes);
+        let ctx = confide::ccle::codec::EncryptionContext::new(&[1u8; 32], b"aad", 1);
+        let _ = confide::ccle::codec::decode(&schema, &bytes, &ctx);
+    }
+
+    #[test]
+    fn ccle_schema_parser_never_panics(src in "[ -~\\n]{0,300}") {
+        let _ = confide::ccle::parse_schema(&src);
+    }
+
+    #[test]
+    fn ccl_compiler_never_panics_on_ascii_soup(src in "[ -~\\n]{0,200}") {
+        let _ = confide::lang::frontend(&src);
+    }
+
+    #[test]
+    fn leb128_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = confide::vm::leb::read_u64(&bytes);
+        let _ = confide::vm::leb::read_i64(&bytes);
+    }
+}

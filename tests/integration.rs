@@ -1,0 +1,365 @@
+//! Cross-crate integration tests: the full CONFIDE life cycle spanning
+//! crypto, TEE, VMs, compiler, storage, consensus simulation and the core
+//! engine.
+
+use confide::chain::{ChainConfig, ChainSim, SimTx};
+use confide::contracts::{abs, scf, synthetic};
+use confide::core::client::ConfideClient;
+use confide::core::context::ExecContext;
+use confide::core::engine::{full_key, Engine, EngineConfig, VmKind};
+use confide::core::keys::{decentralized_join, NodeKeys};
+use confide::core::node::ConfideNode;
+use confide::crypto::HmacDrbg;
+use confide::sim::network::NetworkModel;
+use confide::storage::versioned::StateDb;
+use confide::tee::platform::TeePlatform;
+
+fn consortium(n: usize) -> Vec<ConfideNode> {
+    let mut rng = HmacDrbg::from_u64(99);
+    let first_platform = TeePlatform::new(1, 1);
+    let first_keys = NodeKeys::generate(&mut rng);
+    let mut nodes = vec![ConfideNode::new(
+        first_platform.clone(),
+        first_keys.clone(),
+        EngineConfig::default(),
+        7,
+    )];
+    for i in 1..n {
+        let platform = TeePlatform::new(i as u64 + 1, i as u64 + 1);
+        let keys = decentralized_join(&first_platform, &first_keys, &platform, 1, i as u64)
+            .expect("join");
+        nodes.push(ConfideNode::new(platform, keys, EngineConfig::default(), 7));
+    }
+    nodes
+}
+
+#[test]
+fn four_node_consortium_replicates_confidential_state() {
+    let mut nodes = consortium(4);
+    let code = confide::lang::build_vm(
+        r#"
+        export fn main() {
+            let k: bytes = concat(b"v:", json_get(input(), b"k"));
+            storage_set(k, json_get(input(), b"v"));
+            ret(b"ok");
+        }
+        "#,
+    )
+    .unwrap();
+    let contract = [0x21; 32];
+    for node in nodes.iter_mut() {
+        node.deploy(contract, &code, VmKind::ConfideVm, true);
+    }
+    let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+    let mut txs = Vec::new();
+    for i in 0..10 {
+        let (tx, _, _) = client
+            .confidential_tx(
+                &nodes[0].pk_tx(),
+                contract,
+                "main",
+                format!(r#"{{"k":"key{i}","v":"value{i}"}}"#).as_bytes(),
+            )
+            .unwrap();
+        txs.push(tx);
+    }
+    let roots: Vec<[u8; 32]> = nodes
+        .iter_mut()
+        .map(|n| {
+            n.execute_block(&txs).expect("executes");
+            n.state_root()
+        })
+        .collect();
+    assert!(roots.windows(2).all(|w| w[0] == w[1]), "replica divergence");
+    // Every node's chain verifies.
+    assert!(nodes.iter().all(|n| n.blocks.verify_chain()));
+}
+
+#[test]
+fn confidential_deploy_via_transaction_then_invoke() {
+    let mut nodes = consortium(1);
+    let node = &mut nodes[0];
+    let mut client = ConfideClient::new([4u8; 32], [5u8; 32], 6);
+    let code = confide::lang::build_vm(
+        r#"export fn main() { ret(concat(b"echo:", input())); }"#,
+    )
+    .unwrap();
+    let mut args = vec![0u8, 1u8]; // ConfideVm, confidential
+    args.extend_from_slice(&code);
+    let (deploy_tx, deploy_hash, _) = client
+        .confidential_tx(&node.pk_tx(), [0u8; 32], "deploy", &args)
+        .unwrap();
+    node.execute_block(&[deploy_tx]).unwrap();
+    // Even the *deployment receipt* (holding the address) is confidential.
+    let sealed = node.stored_receipt(&deploy_hash).unwrap();
+    let receipt = client.open_receipt(&sealed, &deploy_hash).unwrap();
+    let mut address = [0u8; 32];
+    address.copy_from_slice(&receipt.return_data);
+
+    let (tx, h, _) = client
+        .confidential_tx(&node.pk_tx(), address, "main", b"hi")
+        .unwrap();
+    node.execute_block(&[tx]).unwrap();
+    let receipt = client
+        .open_receipt(&node.stored_receipt(&h).unwrap(), &h)
+        .unwrap();
+    assert_eq!(receipt.return_data, b"echo:hi");
+}
+
+#[test]
+fn third_party_cannot_read_receipt_or_state() {
+    let mut nodes = consortium(1);
+    let node = &mut nodes[0];
+    let code = confide::lang::build_vm(
+        r#"export fn main() { storage_set(b"s", input()); ret(b"done"); }"#,
+    )
+    .unwrap();
+    let contract = [0x31; 32];
+    node.deploy(contract, &code, VmKind::ConfideVm, true);
+    let mut owner = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+    let (tx, h, _) = owner
+        .confidential_tx(&node.pk_tx(), contract, "main", b"TOP-SECRET-4711")
+        .unwrap();
+    node.execute_block(&[tx]).unwrap();
+
+    // Another client (different root key) cannot open the receipt.
+    let outsider = ConfideClient::new([7u8; 32], [8u8; 32], 9);
+    let sealed = node.stored_receipt(&h).unwrap();
+    assert!(outsider.open_receipt(&sealed, &h).is_err());
+    assert!(owner.open_receipt(&sealed, &h).is_ok());
+
+    // The secret never appears in the raw database.
+    for (_k, v) in node.state.kv().iter() {
+        assert!(!v.windows(15).any(|w| w == b"TOP-SECRET-4711"));
+    }
+    // And the stored raw transaction in the block is ciphertext too.
+    let block = node.blocks.get(1).unwrap();
+    for tx_bytes in &block.txs {
+        assert!(!tx_bytes.windows(15).any(|w| w == b"TOP-SECRET-4711"));
+    }
+}
+
+#[test]
+fn reordered_transactions_change_roots_but_replicas_stay_consistent() {
+    // §3.3: a malicious primary may reorder; honest replicas executing the
+    // same order still agree, and different orders are distinguishable by
+    // root (so consensus on the root pins the order).
+    let mut a = consortium(2);
+    let mut b = a.split_off(1);
+    let (node_a, node_b) = (&mut a[0], &mut b[0]);
+    let code = confide::lang::build_vm(
+        r#"
+        export fn main() {
+            let seq: bytes = storage_get(b"log");
+            storage_set(b"log", concat(seq, input()));
+            ret(b"ok");
+        }
+        "#,
+    )
+    .unwrap();
+    let contract = [0x41; 32];
+    node_a.deploy(contract, &code, VmKind::ConfideVm, true);
+    node_b.deploy(contract, &code, VmKind::ConfideVm, true);
+    let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+    let (t1, _, _) = client
+        .confidential_tx(&node_a.pk_tx(), contract, "main", b"A")
+        .unwrap();
+    let (t2, _, _) = client
+        .confidential_tx(&node_a.pk_tx(), contract, "main", b"B")
+        .unwrap();
+    node_a.execute_block(&[t1.clone(), t2.clone()]).unwrap();
+    // A reordering primary is caught even before root comparison: the
+    // nonce discipline rejects the out-of-order transaction outright.
+    let err = node_b.execute_block(&[t2, t1]).unwrap_err();
+    assert!(err.to_string().contains("replay"), "{err}");
+    // And the replicas now disagree on height/root, as consensus would see.
+    assert_ne!(node_a.state_root(), node_b.state_root());
+}
+
+#[test]
+fn chain_sim_driven_by_real_measured_costs() {
+    // Measure an ABS transfer on the real engine, then drive the
+    // consensus simulator with the measured cycles — the Figure 11
+    // pipeline in miniature.
+    let platform = TeePlatform::new(1, 1);
+    let mut rng = HmacDrbg::from_u64(4);
+    let keys = NodeKeys::generate(&mut rng);
+    let engine = Engine::confidential(platform, keys, EngineConfig::default());
+    let contract = [0x61; 32];
+    engine.deploy(
+        contract,
+        &confide::lang::build_vm(&abs::abs_fb_src()).unwrap(),
+        VmKind::ConfideVm,
+        true,
+    );
+    let state = StateDb::new();
+    let mut ctx = ExecContext::new();
+    // Genesis entries written directly through a helper contract call
+    // context (writes land in overlay; fine for measurement).
+    let sender = [5u8; 32];
+    for (k, v) in abs::genesis_state(&confide::crypto::hex(&sender)) {
+        ctx.write(full_key(&contract, &k), Some(v));
+    }
+    let req = abs::AbsRequest::random(&mut rng);
+    engine
+        .invoke_inner(&state, &mut ctx, &contract, "transfer", &req.to_fb(), &sender)
+        .unwrap();
+    let counters = ctx.take_counters();
+    let exec_cycles = counters.total_cycles();
+    assert!(exec_cycles > 0);
+
+    // Feed the measurement into the consensus simulation.
+    let model = *engine.model();
+    let txs: Vec<(u64, SimTx)> = (0..50)
+        .map(|i| {
+            (
+                i * 500_000,
+                SimTx::confidential(
+                    600,
+                    i % 8,
+                    exec_cycles,
+                    model.envelope_open_cycles,
+                    model.sig_verify_cycles,
+                    model.aes_gcm_fixed_cycles + 600 * model.aes_gcm_cycles_per_byte,
+                ),
+            )
+        })
+        .collect();
+    let mut sim = ChainSim::new(ChainConfig::local(4), NetworkModel::lan(1));
+    let report = sim.run(txs);
+    assert_eq!(report.committed_txs, 50);
+    assert!(report.tps > 10.0, "tps {}", report.tps);
+}
+
+#[test]
+fn synthetic_workloads_run_under_both_engines_and_match() {
+    // Figure 10's grid in miniature: the same workload on
+    // {public, confidential} × {CONFIDE-VM, EVM} gives identical outputs.
+    let platform = TeePlatform::new(1, 1);
+    let mut rng = HmacDrbg::from_u64(4);
+    let keys = NodeKeys::generate(&mut rng);
+    let conf = Engine::confidential(platform, keys, EngineConfig::default());
+    let public = Engine::public(EngineConfig::default());
+    for (i, (name, src)) in synthetic::ALL.iter().enumerate() {
+        let input = synthetic::input_for(i, &mut rng);
+        let mut outputs = Vec::new();
+        for (engine, confidential) in [(&public, false), (&conf, true)] {
+            for vm in [VmKind::ConfideVm, VmKind::Evm] {
+                let code = match vm {
+                    VmKind::ConfideVm => confide::lang::build_vm(src).unwrap(),
+                    VmKind::Evm => confide::lang::build_evm(src).unwrap(),
+                };
+                let addr = confide::crypto::sha256(
+                    format!("{name}{confidential}{vm:?}").as_bytes(),
+                );
+                engine.deploy(addr, &code, vm, confidential);
+                let state = StateDb::new();
+                let mut ctx = ExecContext::new();
+                let out = engine
+                    .invoke_inner(&state, &mut ctx, &addr, "main", &input, &[9u8; 32])
+                    .unwrap();
+                outputs.push(out);
+            }
+        }
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "{name}: engine/VM outputs diverge"
+        );
+    }
+}
+
+#[test]
+fn scf_flow_operation_mix_matches_table1_shape() {
+    let engine = Engine::public(EngineConfig::default());
+    let a = scf::deploy_suite(&engine, false);
+    let mut state = StateDb::new();
+    let mut ctx = ExecContext::new();
+    scf::run_genesis(&engine, &state, &mut ctx, &a, 16);
+    // Commit genesis so the profiled flow reads through the database, as
+    // the production profiler does.
+    let batch = engine.commit_block(&mut ctx, 1);
+    state.apply_block(1, &batch).unwrap();
+    let mut ctx = ExecContext::new();
+    let req = scf::transfer_request("alice", "bob", "AR-7788", 10_000);
+    engine
+        .invoke_inner(&state, &mut ctx, &a.gateway, "main", &req, &[9u8; 32])
+        .unwrap();
+    let c = ctx.counters;
+    // Contract Call dominates, GetStorage second, SetStorage small — the
+    // Table 1 ordering.
+    let rows = c.table1_rows(engine.model());
+    assert!(rows[0].3 > rows[1].3, "calls should dominate");
+    assert!(rows[1].3 > rows[2].3, "gets above sets");
+    assert!(c.get_storage > 10 * c.set_storage);
+}
+
+#[test]
+fn preverify_pipeline_improves_end_to_end_cycles() {
+    let mut nodes = consortium(1);
+    let node = &mut nodes[0];
+    let code = confide::lang::build_vm(
+        r#"export fn main() { storage_set(b"x", input()); ret(b"ok"); }"#,
+    )
+    .unwrap();
+    let contract = [0x51; 32];
+    node.deploy(contract, &code, VmKind::ConfideVm, true);
+    let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+    let mut txs = Vec::new();
+    for i in 0..6 {
+        let (tx, _, _) = client
+            .confidential_tx(&node.pk_tx(), contract, "main", format!("v{i}").as_bytes())
+            .unwrap();
+        txs.push(tx);
+    }
+    // Pre-verify half of them (as the P1–P5 pipeline would).
+    node.preverify(&txs[..3]);
+    let result = node.execute_block(&txs).unwrap();
+    let warm: u64 = result.tx_stats[..3]
+        .iter()
+        .map(|s| s.counters.decrypt_cycles)
+        .sum();
+    let cold: u64 = result.tx_stats[3..]
+        .iter()
+        .map(|s| s.counters.decrypt_cycles)
+        .sum();
+    assert!(warm * 5 < cold, "warm {warm} cold {cold}");
+}
+
+#[test]
+fn spv_consensus_read_across_replicas() {
+    // §3.3: "the correctness of a query from a single node is not
+    // guaranteed … to query blockchain data from other nodes, a consensus
+    // read (e.g. SPV) should be performed."
+    let mut nodes = consortium(4);
+    let code = confide::lang::build_vm(
+        r#"export fn main() { storage_set(b"price", input()); ret(b"ok"); }"#,
+    )
+    .unwrap();
+    let contract = [0x71; 32];
+    for node in nodes.iter_mut() {
+        node.deploy(contract, &code, VmKind::ConfideVm, false);
+    }
+    // A public contract so the proven value is meaningful plaintext.
+    let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
+    let tx = client.public_tx(contract, "main", b"1017");
+    for node in nodes.iter_mut() {
+        // Public txs execute on the public engine — route through a public
+        // node engine… our WireTx::Public goes to public_engine. But our
+        // consortium nodes deploy on confidential engine only via deploy()
+        // when confidential=true; here confidential=false routes right.
+        node.execute_block(std::slice::from_ref(&tx)).unwrap();
+    }
+    let key = full_key(&contract, b"price");
+    let refs: Vec<&ConfideNode> = nodes.iter().collect();
+    // Honest quorum: the read succeeds and returns the written value.
+    let value = confide::core::node::consensus_read(&refs, &key, 3).unwrap();
+    assert_eq!(value, b"1017");
+
+    // A malicious first node forging the value cannot satisfy the proof.
+    nodes[0].state.tamper_raw(&key, Some(b"9999"));
+    let refs: Vec<&ConfideNode> = nodes.iter().collect();
+    assert!(
+        confide::core::node::consensus_read(&refs, &key, 3).is_none(),
+        "forged value must fail the proof-vs-quorum check"
+    );
+}

@@ -1,0 +1,242 @@
+//! Cross-crate property tests: randomized invariants over the compiler,
+//! the codec stack and the protocol layers.
+
+use confide::ccle::codec::{decode, decode_public, encode, EncryptionContext};
+use confide::ccle::parse_schema;
+use confide::ccle::value::Value;
+use confide::core::receipt::Receipt;
+use confide::crypto::envelope::{derive_k_tx, Envelope, EnvelopeKeyPair};
+use confide::crypto::HmacDrbg;
+use proptest::prelude::*;
+
+// ---- Compiler equivalence: random arithmetic programs behave the same on
+// both backends ----
+
+/// A tiny random expression language rendered to CCL.
+#[derive(Debug, Clone)]
+enum RExpr {
+    Lit(i32),
+    Input, // atoi(input())
+    Add(Box<RExpr>, Box<RExpr>),
+    Sub(Box<RExpr>, Box<RExpr>),
+    Mul(Box<RExpr>, Box<RExpr>),
+    Div(Box<RExpr>, Box<RExpr>),
+    Rem(Box<RExpr>, Box<RExpr>),
+    Lt(Box<RExpr>, Box<RExpr>),
+    And(Box<RExpr>, Box<RExpr>),
+    Shl(Box<RExpr>, u8),
+}
+
+impl RExpr {
+    fn to_ccl(&self) -> String {
+        match self {
+            RExpr::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            RExpr::Input => "x".to_string(),
+            RExpr::Add(a, b) => format!("({} + {})", a.to_ccl(), b.to_ccl()),
+            RExpr::Sub(a, b) => format!("({} - {})", a.to_ccl(), b.to_ccl()),
+            RExpr::Mul(a, b) => format!("({} * {})", a.to_ccl(), b.to_ccl()),
+            RExpr::Div(a, b) => format!("({} / (({}) * ({}) + 1))", a.to_ccl(), b.to_ccl(), b.to_ccl()),
+            RExpr::Rem(a, b) => format!("({} % (({}) * ({}) + 1))", a.to_ccl(), b.to_ccl(), b.to_ccl()),
+            RExpr::Lt(a, b) => format!("({} < {})", a.to_ccl(), b.to_ccl()),
+            RExpr::And(a, b) => format!("({} & {})", a.to_ccl(), b.to_ccl()),
+            RExpr::Shl(a, s) => format!("({} << {})", a.to_ccl(), s % 20),
+        }
+    }
+}
+
+fn rexpr(depth: u32) -> impl Strategy<Value = RExpr> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(RExpr::Lit),
+        Just(RExpr::Input),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Rem(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Lt(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::And(a.into(), b.into())),
+            (inner.clone(), any::<u8>()).prop_map(|(a, s)| RExpr::Shl(a.into(), s)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiler_backends_agree_on_random_programs(e in rexpr(3), input in -10_000i64..10_000) {
+        let src = format!(
+            "export fn main() {{ let x: int = atoi(input()); ret(itoa({})); }}",
+            e.to_ccl()
+        );
+        let input_bytes = input.to_string().into_bytes();
+
+        let vm_code = confide::lang::build_vm(&src).unwrap();
+        let vm = confide::vm::Vm::from_module(
+            confide::vm::Module::decode(&vm_code).unwrap(),
+            confide::vm::ExecConfig::default(),
+        );
+        let mut vh = confide::vm::MockHost { input: input_bytes.clone(), ..Default::default() };
+        let mut mem = Vec::new();
+        let vout = vm.invoke("main", &[], &mut vh, &mut mem).unwrap();
+
+        let evm_code = confide::lang::build_evm(&src).unwrap();
+        let evm = confide::evm::Evm::new(evm_code, confide::evm::EvmConfig::default());
+        let mut eh = confide::evm::MockEvmHost::default();
+        let eout = evm
+            .run(&confide::lang::evm_calldata("main", &input_bytes), &mut eh)
+            .unwrap();
+        prop_assert_eq!(vout.return_data, eout.return_data);
+    }
+
+    #[test]
+    fn fusion_never_changes_results(e in rexpr(3), input in -10_000i64..10_000) {
+        let src = format!(
+            "export fn main() {{ let x: int = atoi(input()); let i: int = 0; let acc: int = 0; \
+             while (i < 5) {{ acc = acc + ({}); i = i + 1; }} ret(itoa(acc)); }}",
+            e.to_ccl()
+        );
+        let code = confide::lang::build_vm(&src).unwrap();
+        let module = confide::vm::Module::decode(&code).unwrap();
+        let mut outs = Vec::new();
+        for fusion in [false, true] {
+            let cfg = confide::vm::ExecConfig { fusion, ..Default::default() };
+            let vm = confide::vm::Vm::from_module(module.clone(), cfg);
+            let mut host = confide::vm::MockHost {
+                input: input.to_string().into_bytes(),
+                ..Default::default()
+            };
+            let mut mem = Vec::new();
+            outs.push(vm.invoke("main", &[], &mut host, &mut mem).unwrap().return_data);
+        }
+        prop_assert_eq!(&outs[0], &outs[1]);
+    }
+
+    #[test]
+    fn envelope_protocol_round_trips_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HmacDrbg::from_u64(seed);
+        let kp = EnvelopeKeyPair::generate(&mut rng);
+        let k_tx = rng.gen32();
+        let env = Envelope::seal(&kp.public(), &k_tx, b"aad", &payload, &mut rng).unwrap();
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        let (k, body) = decoded.open(&kp, b"aad").unwrap();
+        prop_assert_eq!(k, k_tx);
+        prop_assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn k_tx_derivation_is_injective_in_practice(
+        root in any::<[u8; 32]>(),
+        h1 in any::<[u8; 32]>(),
+        h2 in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(h1 != h2);
+        prop_assert_ne!(derive_k_tx(&root, &h1), derive_k_tx(&root, &h2));
+    }
+
+    #[test]
+    fn receipts_round_trip_and_bind_to_tx(
+        ret_data in proptest::collection::vec(any::<u8>(), 0..500),
+        logs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..5),
+        tx_hash in any::<[u8; 32]>(),
+        k_tx in any::<[u8; 32]>(),
+        seed in any::<u64>(),
+    ) {
+        let receipt = Receipt {
+            tx_hash,
+            sender: [1u8; 32],
+            contract: [2u8; 32],
+            success: true,
+            return_data: ret_data,
+            logs,
+        };
+        let mut rng = HmacDrbg::from_u64(seed);
+        let sealed = receipt.seal(&k_tx, &mut rng).unwrap();
+        prop_assert_eq!(Receipt::open(&sealed, &k_tx, &tx_hash).unwrap(), receipt);
+        let mut other = tx_hash;
+        other[0] ^= 1;
+        prop_assert!(Receipt::open(&sealed, &k_tx, &other).is_err());
+    }
+
+    #[test]
+    fn ccle_round_trips_random_account_maps(
+        accounts in proptest::collection::vec(
+            ("[a-z]{1,8}", "[a-z]{1,12}", 0u64..1_000_000),
+            0..8
+        ),
+        seed in any::<u64>(),
+    ) {
+        let schema = parse_schema(
+            r#"
+            attribute "map";
+            attribute "confidential";
+            table Account { user_id: string; org: string(confidential); bal: ulong(confidential); }
+            table Root { accounts: [Account](map); }
+            root_type Root;
+            "#,
+        ).unwrap();
+        // Dedup keys (map semantics).
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<(String, Value)> = accounts
+            .into_iter()
+            .filter(|(id, _, _)| seen.insert(id.clone()))
+            .map(|(id, org, bal)| {
+                (
+                    id.clone(),
+                    Value::Table(vec![
+                        ("user_id".into(), Value::Str(id)),
+                        ("org".into(), Value::Str(org)),
+                        ("bal".into(), Value::UInt(bal)),
+                    ]),
+                )
+            })
+            .collect();
+        let root = Value::Table(vec![("accounts".into(), Value::Map(entries))]);
+        let mut ctx = EncryptionContext::new(&[9u8; 32], b"prop-test", seed);
+        let wire = encode(&schema, &root, Some(&mut ctx)).unwrap();
+        prop_assert_eq!(decode(&schema, &wire, &ctx).unwrap(), root.clone());
+        // Audit view keeps ids public, hides org/bal.
+        let public = decode_public(&schema, &wire).unwrap();
+        if let Some(Value::Map(entries)) = public.get("accounts") {
+            for (_, acct) in entries {
+                prop_assert!(matches!(acct.get("org"), Some(Value::Encrypted(_))));
+                prop_assert!(acct.get("user_id").unwrap().as_str().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn merkle_roots_commit_to_full_state(
+        pairs in proptest::collection::btree_map(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            1..30,
+        ),
+        flip in any::<u8>(),
+    ) {
+        let sorted: Vec<(Vec<u8>, Vec<u8>)> = pairs.into_iter().collect();
+        let tree = confide::storage::merkle::MerkleTree::build(&sorted);
+        let root = tree.root();
+        // Mutating any value changes the root.
+        let idx = flip as usize % sorted.len();
+        let mut mutated = sorted.clone();
+        mutated[idx].1.push(0xff);
+        prop_assert_ne!(confide::storage::merkle::MerkleTree::build(&mutated).root(), root);
+        // Proofs verify for every leaf.
+        for (i, (k, v)) in sorted.iter().enumerate() {
+            prop_assert!(tree.prove(i).unwrap().verify(&root, k, v));
+        }
+    }
+}
