@@ -1,13 +1,17 @@
-//! Criterion microbenchmarks: real wall time of the real components.
+//! Wall-clock microbenchmarks of the real components.
 //!
 //! These complement the figure harnesses (which use the calibrated virtual
 //! clock) by measuring what this implementation actually costs on the host
-//! machine: crypto primitives, VM dispatch with and without OPT4 fusion,
-//! code-cache effects, CCLe field-level vs whole-state encryption, and
-//! end-to-end engine execution.
+//! machine: crypto primitives, VM dispatch with and without OPT4 fusion and
+//! with/without ahead-of-time verification, code-cache effects, CCLe
+//! field-level vs whole-state encryption, and end-to-end engine execution.
+//!
+//! Uses the hermetic `confide_bench::harness` (criterion-free; see
+//! DESIGN.md) so `cargo bench` works without registry access.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+#![forbid(unsafe_code)]
+
+use confide_bench::harness::{bb as black_box, BenchGroup};
 
 use confide_ccle::codec::{encode, EncryptionContext};
 use confide_ccle::parse_schema;
@@ -20,74 +24,80 @@ use confide_crypto::envelope::{Envelope, EnvelopeKeyPair};
 use confide_crypto::gcm::AesGcm;
 use confide_crypto::HmacDrbg;
 use confide_storage::versioned::StateDb;
-use confide_vm::{ExecConfig, MockHost, Module, Vm};
+use confide_vm::{ExecConfig, MockHost, Module, Prepared, Vm};
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+fn bench_crypto() {
+    let mut g = BenchGroup::new("crypto");
     let gcm = AesGcm::new(&[7u8; 32]).unwrap();
     for size in [256usize, 4096] {
         let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("aes256_gcm_seal", size), &data, |b, d| {
-            b.iter(|| gcm.seal(&[1u8; 12], b"aad", black_box(d)));
+        g.throughput_bytes(size as u64);
+        g.bench(&format!("aes256_gcm_seal/{size}"), || {
+            gcm.seal(&[1u8; 12], b"aad", black_box(&data))
         });
     }
     let data4k = vec![0u8; 4096];
-    g.throughput(Throughput::Bytes(4096));
-    g.bench_function("sha256_4k", |b| {
-        b.iter(|| confide_crypto::sha256(black_box(&data4k)))
+    g.throughput_bytes(4096);
+    g.bench("sha256_4k", || confide_crypto::sha256(black_box(&data4k)));
+    g.bench("keccak256_4k", || {
+        confide_crypto::keccak256(black_box(&data4k))
     });
-    g.bench_function("keccak256_4k", |b| {
-        b.iter(|| confide_crypto::keccak256(black_box(&data4k)))
-    });
-    g.throughput(Throughput::Elements(1));
+    g.throughput_bytes(0);
     let key = SigningKey::from_seed(&[1u8; 32]);
     let msg = b"a typical transaction body for signing";
     let sig = key.sign(msg);
-    g.bench_function("ed25519_sign", |b| b.iter(|| key.sign(black_box(msg))));
-    g.bench_function("ed25519_verify", |b| {
-        b.iter(|| key.verifying_key().verify(black_box(msg), &sig).unwrap())
+    g.bench("ed25519_sign", || key.sign(black_box(msg)));
+    g.bench("ed25519_verify", || {
+        key.verifying_key().verify(black_box(msg), &sig).unwrap()
     });
     let mut rng = HmacDrbg::from_u64(1);
     let kp = EnvelopeKeyPair::generate(&mut rng);
     let k_tx = rng.gen32();
     let env = Envelope::seal(&kp.public(), &k_tx, b"", &vec![0u8; 512], &mut rng).unwrap();
-    g.bench_function("envelope_open_asymmetric", |b| {
-        b.iter(|| env.open(black_box(&kp), b"").unwrap())
+    g.bench("envelope_open_asymmetric", || {
+        env.open(black_box(&kp), b"").unwrap()
     });
-    g.bench_function("envelope_open_body_symmetric", |b| {
-        b.iter(|| env.open_body(black_box(&k_tx), b"").unwrap())
+    g.bench("envelope_open_body_symmetric", || {
+        env.open_body(black_box(&k_tx), b"").unwrap()
     });
     g.finish();
 }
 
-fn bench_vms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vm_vs_evm");
-    g.sample_size(20);
+fn bench_vms() {
+    let mut g = BenchGroup::new("vm_vs_evm");
     let mut rng = HmacDrbg::from_u64(2);
     for (i, (name, src)) in synthetic::ALL.iter().enumerate() {
         let input = synthetic::input_for(i, &mut rng);
         let vm_code = confide_lang::build_vm(src).unwrap();
         let module = Module::decode(&vm_code).unwrap();
         let vm = Vm::from_module(module.clone(), ExecConfig::default());
-        g.bench_function(BenchmarkId::new("confide_vm", *name), |b| {
-            b.iter(|| {
-                let mut host = MockHost {
-                    input: input.clone(),
-                    ..MockHost::default()
-                };
-                let mut mem = Vec::new();
-                vm.invoke("main", &[], &mut host, &mut mem).unwrap()
-            });
+        g.bench(&format!("confide_vm/{name}"), || {
+            let mut host = MockHost {
+                input: input.clone(),
+                ..MockHost::default()
+            };
+            let mut mem = Vec::new();
+            vm.invoke("main", &[], &mut host, &mut mem).unwrap()
+        });
+        // Ahead-of-time verified module: interpreter runs the unchecked
+        // fast path (no per-dispatch stack/local bounds checks).
+        let cfg = ExecConfig::default();
+        let verified = Prepared::new_verified(Module::decode(&vm_code).unwrap(), &cfg).unwrap();
+        let vvm = Vm::from_prepared(verified, cfg);
+        g.bench(&format!("confide_vm_verified/{name}"), || {
+            let mut host = MockHost {
+                input: input.clone(),
+                ..MockHost::default()
+            };
+            let mut mem = Vec::new();
+            vvm.invoke("main", &[], &mut host, &mut mem).unwrap()
         });
         let evm_code = confide_lang::build_evm(src).unwrap();
         let evm = confide_evm::Evm::new(evm_code, confide_evm::EvmConfig::default());
         let calldata = confide_lang::evm_calldata("main", &input);
-        g.bench_function(BenchmarkId::new("evm", *name), |b| {
-            b.iter(|| {
-                let mut host = confide_evm::MockEvmHost::default();
-                evm.run(&calldata, &mut host).unwrap()
-            });
+        g.bench(&format!("evm/{name}"), || {
+            let mut host = confide_evm::MockEvmHost::default();
+            evm.run(&calldata, &mut host).unwrap()
         });
         // OPT4 ablation on the real interpreter.
         let unfused = Vm::from_module(
@@ -97,40 +107,42 @@ fn bench_vms(c: &mut Criterion) {
                 ..ExecConfig::default()
             },
         );
-        g.bench_function(BenchmarkId::new("confide_vm_no_fusion", *name), |b| {
-            b.iter(|| {
-                let mut host = MockHost {
-                    input: input.clone(),
-                    ..MockHost::default()
-                };
-                let mut mem = Vec::new();
-                unfused.invoke("main", &[], &mut host, &mut mem).unwrap()
-            });
+        g.bench(&format!("confide_vm_no_fusion/{name}"), || {
+            let mut host = MockHost {
+                input: input.clone(),
+                ..MockHost::default()
+            };
+            let mut mem = Vec::new();
+            unfused.invoke("main", &[], &mut host, &mut mem).unwrap()
         });
     }
     g.finish();
 }
 
-fn bench_code_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("code_cache");
+fn bench_code_cache() {
+    let mut g = BenchGroup::new("code_cache");
     let src = abs::abs_fb_src();
     let code = confide_lang::build_vm(&src).unwrap();
-    g.bench_function("decode_prepare_miss", |b| {
-        b.iter(|| {
-            let module = Module::decode(black_box(&code)).unwrap();
-            confide_vm::Prepared::new(module, &ExecConfig::default())
-        });
+    g.bench("decode_prepare_miss", || {
+        let module = Module::decode(black_box(&code)).unwrap();
+        Prepared::new(module, &ExecConfig::default())
+    });
+    g.bench("decode_verify_prepare_miss", || {
+        let module = Module::decode(black_box(&code)).unwrap();
+        Prepared::new_verified(module, &ExecConfig::default()).unwrap()
     });
     let cache = confide_vm::CodeCache::new(true);
     cache.get_or_prepare(&code, &ExecConfig::default()).unwrap();
-    g.bench_function("cache_hit", |b| {
-        b.iter(|| cache.get_or_prepare(black_box(&code), &ExecConfig::default()).unwrap());
+    g.bench("cache_hit", || {
+        cache
+            .get_or_prepare(black_box(&code), &ExecConfig::default())
+            .unwrap()
     });
     g.finish();
 }
 
-fn bench_ccle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ccle");
+fn bench_ccle() {
+    let mut g = BenchGroup::new("ccle");
     let schema_partial = parse_schema(
         r#"
         attribute "confidential";
@@ -163,48 +175,56 @@ fn bench_ccle(c: &mut Criterion) {
             ("secret".into(), Value::Str(secret)),
         ]),
     )]);
-    g.bench_function("field_level_encryption", |b| {
+    {
         let mut ctx = EncryptionContext::new(&[1u8; 32], b"aad", 1);
-        b.iter(|| encode(&schema_partial, black_box(&partial), Some(&mut ctx)).unwrap());
-    });
-    g.bench_function("whole_state_encryption", |b| {
+        g.bench("field_level_encryption", || {
+            encode(&schema_partial, black_box(&partial), Some(&mut ctx)).unwrap()
+        });
+    }
+    {
         let mut ctx = EncryptionContext::new(&[1u8; 32], b"aad", 1);
-        b.iter(|| encode(&schema_full, black_box(&full), Some(&mut ctx)).unwrap());
-    });
+        g.bench("whole_state_encryption", || {
+            encode(&schema_full, black_box(&full), Some(&mut ctx)).unwrap()
+        });
+    }
     g.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(20);
+fn bench_engine() {
+    let mut g = BenchGroup::new("engine");
     let engine = confide_bench::make_engine(true, EngineConfig::default(), 9);
     let code = confide_lang::build_vm(&abs::abs_fb_src()).unwrap();
     let contract = [0x70; 32];
-    engine.deploy(contract, &code, VmKind::ConfideVm, true);
+    engine
+        .deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
     let state = StateDb::new();
     let sender = [5u8; 32];
     let mut rng = HmacDrbg::from_u64(3);
     let req = abs::AbsRequest::random(&mut rng).to_fb();
-    g.bench_function("abs_transfer_confidential_invoke", |b| {
-        b.iter(|| {
-            let mut ctx = ExecContext::new();
-            for (k, v) in abs::genesis_state(&confide_crypto::hex(&sender)) {
-                ctx.write(confide_core::engine::full_key(&contract, &k), Some(v));
-            }
-            engine
-                .invoke_inner(&state, &mut ctx, &contract, "transfer", black_box(&req), &sender)
-                .unwrap()
-        });
+    g.bench("abs_transfer_confidential_invoke", || {
+        let mut ctx = ExecContext::new();
+        for (k, v) in abs::genesis_state(&confide_crypto::hex(&sender)) {
+            ctx.write(confide_core::engine::full_key(&contract, &k), Some(v));
+        }
+        engine
+            .invoke_inner(
+                &state,
+                &mut ctx,
+                &contract,
+                "transfer",
+                black_box(&req),
+                &sender,
+            )
+            .unwrap()
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_crypto,
-    bench_vms,
-    bench_code_cache,
-    bench_ccle,
-    bench_engine
-);
-criterion_main!(benches);
+fn main() {
+    bench_crypto();
+    bench_vms();
+    bench_code_cache();
+    bench_ccle();
+    bench_engine();
+}

@@ -21,6 +21,7 @@
 //! * **CONFIDE SDM**: per transaction, K storage operations each paying an
 //!   ocall + AES-GCM over the touched value only.
 
+#![forbid(unsafe_code)]
 use confide_bench::rule;
 use confide_tee::epc::{EpcManager, PAGE_SIZE};
 use confide_tee::meter::{CostModel, CycleMeter};
@@ -40,7 +41,8 @@ fn whole_state_cycles(model: &CostModel, state_bytes: u64) -> u64 {
     let runtime = epc.alloc(16 << 20).expect("runtime alloc");
     epc.touch(runtime, 0, 16 << 20).expect("runtime touch");
     let state = epc.alloc(state_bytes as usize).expect("state alloc");
-    epc.touch(state, 0, state_bytes as usize).expect("state touch");
+    epc.touch(state, 0, state_bytes as usize)
+        .expect("state touch");
     let paging = meter.total();
     copy + crypto + paging + 2 * model.transition_warm_cycles
 }
@@ -90,7 +92,10 @@ fn main() {
         small < 1.0,
         "tiny states should favour whole-state loading ({small:.2})"
     );
-    assert!(at_64 > 1.0, "tens of MB should already favour SDM ({at_64:.2})");
+    assert!(
+        at_64 > 1.0,
+        "tens of MB should already favour SDM ({at_64:.2})"
+    );
     assert!(
         at_256 > 2.0 * at_64,
         "past the EPC budget, paging must blow the whole-state cost up \

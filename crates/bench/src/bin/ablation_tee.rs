@@ -12,6 +12,7 @@
 //! cargo run -p confide-bench --release --bin ablation_tee
 //! ```
 
+#![forbid(unsafe_code)]
 use confide_bench::rule;
 use confide_core::engine::EngineConfig;
 use confide_tee::enclave::CrossingMode;
@@ -49,11 +50,15 @@ fn main() {
         "#;
         let code = confide_lang::build_vm(src).unwrap();
         let contract = [0x90; 32];
-        engine.deploy(contract, &code, VmKind::ConfideVm, true);
+        engine
+            .deploy(contract, &code, VmKind::ConfideVm, true)
+            .unwrap();
         let state = StateDb::new();
         let mut ctx = ExecContext::new();
         let inputs: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 128 * 1024]).collect();
-        measure_contract(&engine, &state, &mut ctx, &contract, "main", &inputs, &[9u8; 32], 2)
+        measure_contract(
+            &engine, &state, &mut ctx, &contract, "main", &inputs, &[9u8; 32], 2,
+        )
     };
     let copy = measure_big(CrossingMode::CopyAndCheck, 81);
     let user_check = measure_big(CrossingMode::UserCheck, 82);

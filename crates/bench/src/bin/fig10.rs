@@ -6,6 +6,7 @@
 //! cargo run -p confide-bench --release --bin fig10
 //! ```
 
+#![forbid(unsafe_code)]
 use confide_bench::{make_engine, measure_contract, rule, Measured};
 use confide_chain::{ChainConfig, ChainSim, SimTx};
 use confide_contracts::synthetic;
@@ -15,12 +16,7 @@ use confide_crypto::HmacDrbg;
 use confide_sim::network::NetworkModel;
 use confide_storage::versioned::StateDb;
 
-fn measure_workload(
-    workload: usize,
-    vm: VmKind,
-    confidential: bool,
-    seed: u64,
-) -> Measured {
+fn measure_workload(workload: usize, vm: VmKind, confidential: bool, seed: u64) -> Measured {
     let (_, src) = synthetic::ALL[workload];
     let engine = make_engine(confidential, EngineConfig::default(), seed);
     let code = match vm {
@@ -28,12 +24,16 @@ fn measure_workload(
         VmKind::Evm => confide_lang::build_evm(src).unwrap(),
     };
     let contract = [0x33; 32];
-    engine.deploy(contract, &code, vm, confidential);
+    engine.deploy(contract, &code, vm, confidential).unwrap();
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
     let mut rng = HmacDrbg::from_u64(seed);
-    let inputs: Vec<Vec<u8>> = (0..12).map(|_| synthetic::input_for(workload, &mut rng)).collect();
-    measure_contract(&engine, &state, &mut ctx, &contract, "main", &inputs, &[9u8; 32], 2)
+    let inputs: Vec<Vec<u8>> = (0..12)
+        .map(|_| synthetic::input_for(workload, &mut rng))
+        .collect();
+    measure_contract(
+        &engine, &state, &mut ctx, &contract, "main", &inputs, &[9u8; 32], 2,
+    )
 }
 
 fn tps(m: &Measured, confidential: bool) -> f64 {
@@ -74,9 +74,7 @@ fn main() {
         let evm_tee = tps(&measure_workload(i, VmKind::Evm, true, 2), true);
         let cvm_pub = tps(&measure_workload(i, VmKind::ConfideVm, false, 3), false);
         let cvm_tee = tps(&measure_workload(i, VmKind::ConfideVm, true, 4), true);
-        println!(
-            "{name:<26} {evm_pub:>12.0} {evm_tee:>12.0} {cvm_pub:>12.0} {cvm_tee:>12.0}"
-        );
+        println!("{name:<26} {evm_pub:>12.0} {evm_tee:>12.0} {cvm_pub:>12.0} {cvm_tee:>12.0}");
         rows.push((name, evm_pub, evm_tee, cvm_pub, cvm_tee));
     }
     println!("{}", rule());
@@ -94,5 +92,7 @@ fn main() {
             "CONFIDE-VM's confidentiality slowdown should not exceed EVM's ({name})"
         );
     }
-    println!("(paper: CONFIDE-VM ≫ EVM on all workloads; TEE slowdown visibly smaller for CONFIDE-VM)");
+    println!(
+        "(paper: CONFIDE-VM ≫ EVM on all workloads; TEE slowdown visibly smaller for CONFIDE-VM)"
+    );
 }

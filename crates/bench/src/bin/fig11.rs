@@ -6,6 +6,7 @@
 //! cargo run -p confide-bench --release --bin fig11
 //! ```
 
+#![forbid(unsafe_code)]
 use confide_bench::{measure_abs, rule};
 use confide_chain::{ChainConfig, ChainSim, SimTx};
 use confide_core::engine::EngineConfig;
@@ -91,14 +92,20 @@ fn main() {
             .collect();
         let min = vals.iter().cloned().fold(f64::MAX, f64::min);
         let max = vals.iter().cloned().fold(0.0f64, f64::max);
-        println!("  {label}: 4→20 nodes spread {:.1}% (paper: stable)", (max / min - 1.0) * 100.0);
+        println!(
+            "  {label}: 4→20 nodes spread {:.1}% (paper: stable)",
+            (max / min - 1.0) * 100.0
+        );
         assert!(max / min < 1.5, "{label} not stable: {vals:?}");
     }
     // 2. 4-way ≈ 2× serial; 6-way adds nothing.
     let speedup4 = first.2 / first.1;
     let speedup6 = first.3 / first.2;
     println!("  parallel execution: 4-way = {speedup4:.2}x serial (paper ~2x), 6-way/4-way = {speedup6:.2}x (paper ~1x)");
-    assert!(speedup4 > 1.5 && speedup4 < 2.8, "4-way should give ~2x, got {speedup4:.2}");
+    assert!(
+        speedup4 > 1.5 && speedup4 < 2.8,
+        "4-way should give ~2x, got {speedup4:.2}"
+    );
     assert!((0.9..1.15).contains(&speedup6), "6-way should saturate");
     // 3. Two-zone decreases as nodes increase.
     println!(

@@ -18,6 +18,7 @@
 //! CPU_HZ / per-transaction cycles (execution phase + the T-Protocol cost
 //! the phase pays under each configuration).
 
+#![forbid(unsafe_code)]
 use confide_bench::{measure_abs, rule, Measured};
 use confide_core::engine::EngineConfig;
 
@@ -128,8 +129,24 @@ fn main() {
         gains.iter().product::<f64>()
     );
     // Shape assertions.
-    assert!(gains[1] > 1.3, "OPT1 should give a large gain, got {:.2}", gains[1]);
-    assert!(gains[2] > 1.8 && gains[2] < 3.5, "OPT2 ~2.5x, got {:.2}", gains[2]);
-    assert!(gains[3] > 1.02 && gains[3] < 1.45, "OPT3 modest gain, got {:.2}", gains[3]);
-    assert!(gains[4] > 1.03 && gains[4] < 1.5, "OPT4 modest gain, got {:.2}", gains[4]);
+    assert!(
+        gains[1] > 1.3,
+        "OPT1 should give a large gain, got {:.2}",
+        gains[1]
+    );
+    assert!(
+        gains[2] > 1.8 && gains[2] < 3.5,
+        "OPT2 ~2.5x, got {:.2}",
+        gains[2]
+    );
+    assert!(
+        gains[3] > 1.02 && gains[3] < 1.45,
+        "OPT3 modest gain, got {:.2}",
+        gains[3]
+    );
+    assert!(
+        gains[4] > 1.03 && gains[4] < 1.5,
+        "OPT4 modest gain, got {:.2}",
+        gains[4]
+    );
 }

@@ -9,6 +9,7 @@
 //! cargo run -p confide-bench --release --bin prod64
 //! ```
 
+#![forbid(unsafe_code)]
 use confide_bench::{measure_abs, rule};
 use confide_chain::{ChainConfig, ChainSim, SimTx};
 use confide_core::engine::EngineConfig;
@@ -76,7 +77,10 @@ fn main() {
     );
 
     assert!((20.0..45.0).contains(&exec_ms), "block exec {exec_ms}");
-    assert!((2.0..9.0).contains(&empty_block_ms), "empty block {empty_block_ms}");
+    assert!(
+        (2.0..9.0).contains(&empty_block_ms),
+        "empty block {empty_block_ms}"
+    );
     assert!((5.0..8.0).contains(&write_ms), "block write {write_ms}");
     println!("all three §6.4 metrics in the paper's range");
 }

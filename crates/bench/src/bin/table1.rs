@@ -10,6 +10,7 @@
 //! included, as the production profiler sees them) and prints the measured
 //! rows next to the paper's.
 
+#![forbid(unsafe_code)]
 use confide_bench::rule;
 use confide_contracts::scf;
 use confide_core::client::ConfideClient;

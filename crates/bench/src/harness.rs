@@ -1,0 +1,141 @@
+//! A small self-contained wall-clock benchmark harness.
+//!
+//! The workspace builds hermetically (no registry access), so `criterion`
+//! is out; this module gives `benches/components.rs` the two things it
+//! actually used: adaptive iteration-count timing and grouped, labelled
+//! reporting with throughput. Results print as
+//! `group/name  median_ns_per_iter  (iters, total_ms [, MB/s])`.
+//!
+//! Methodology: a calibration pass sizes the batch so one sample takes
+//! ≥ `SAMPLE_TARGET` wall time, then `SAMPLES` batches are timed and the
+//! median per-iteration time reported — robust to scheduler noise without
+//! external dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum wall time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Number of timed samples (median is reported).
+const SAMPLES: usize = 11;
+
+/// Re-export so benches can `harness::black_box` without `std::hint`.
+pub use std::hint::black_box as bb;
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` label.
+    pub label: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per sample used.
+    pub iters: u64,
+    /// Optional throughput in bytes per iteration.
+    pub bytes: Option<u64>,
+}
+
+impl Measurement {
+    fn report(&self) {
+        let per_iter = if self.ns_per_iter >= 1_000_000.0 {
+            format!("{:10.3} ms", self.ns_per_iter / 1e6)
+        } else if self.ns_per_iter >= 1_000.0 {
+            format!("{:10.3} µs", self.ns_per_iter / 1e3)
+        } else {
+            format!("{:10.1} ns", self.ns_per_iter)
+        };
+        let tput = match self.bytes {
+            Some(b) if self.ns_per_iter > 0.0 => {
+                let mbps = (b as f64) / self.ns_per_iter * 1e9 / (1024.0 * 1024.0);
+                format!("  {mbps:9.1} MiB/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<44} {per_iter}/iter  x{}{}",
+            self.label, self.iters, tput
+        );
+    }
+}
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct BenchGroup {
+    name: String,
+    bytes: Option<u64>,
+    results: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// Start a group; prints a header.
+    pub fn new(name: &str) -> BenchGroup {
+        println!("\n== {name} ==");
+        BenchGroup {
+            name: name.to_string(),
+            bytes: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Set per-iteration byte throughput for subsequent benches (0 clears).
+    pub fn throughput_bytes(&mut self, bytes: u64) {
+        self.bytes = if bytes == 0 { None } else { Some(bytes) };
+    }
+
+    /// Time `f`, reporting the median per-iteration wall time.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Measurement {
+        // Calibrate: grow the batch until one sample exceeds SAMPLE_TARGET.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            // Aim slightly past the target to converge fast.
+            let scale = (SAMPLE_TARGET.as_nanos() as f64 / dt.as_nanos().max(1) as f64) * 1.3;
+            iters = ((iters as f64 * scale).ceil() as u64).clamp(iters + 1, 1 << 24);
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            label: format!("{}/{}", self.name, name),
+            ns_per_iter: samples[samples.len() / 2],
+            iters,
+            bytes: self.bytes,
+        };
+        m.report();
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Finish the group, returning all measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut g = BenchGroup::new("selftest");
+        let m = g.bench("sum", || (0..100u64).sum::<u64>()).clone();
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters >= 1);
+        assert_eq!(m.label, "selftest/sum");
+        assert_eq!(g.finish().len(), 1);
+    }
+}

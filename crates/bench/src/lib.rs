@@ -19,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use confide_contracts::abs;
 use confide_core::context::ExecContext;
 use confide_core::engine::{Engine, EngineConfig, VmKind};
@@ -101,7 +103,11 @@ pub fn measure_contract(
         } else {
             0
         },
-        verify_cycles: if confidential { model.sig_verify_cycles } else { 0 },
+        verify_cycles: if confidential {
+            model.sig_verify_cycles
+        } else {
+            0
+        },
         symmetric_cycles: if confidential {
             model.aes_gcm_fixed_cycles + avg_bytes as u64 * model.aes_gcm_cycles_per_byte
         } else {
@@ -129,7 +135,9 @@ pub fn measure_abs(
     };
     let code = confide_lang::build_vm(&src).expect("abs compiles");
     let contract = [0x70; 32];
-    engine.deploy(contract, &code, VmKind::ConfideVm, confidential);
+    engine
+        .deploy(contract, &code, VmKind::ConfideVm, confidential)
+        .expect("abs deploys");
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
     let sender = [5u8; 32];
@@ -147,7 +155,9 @@ pub fn measure_abs(
             }
         })
         .collect();
-    measure_contract(&engine, &state, &mut ctx, &contract, "transfer", &inputs, &sender, 2)
+    measure_contract(
+        &engine, &state, &mut ctx, &contract, "transfer", &inputs, &sender, 2,
+    )
 }
 
 /// Pretty horizontal rule for harness output.

@@ -8,6 +8,7 @@
 //! With no output path, the generated source is written to stdout. Pass
 //! `--check` as the second argument to only validate the schema.
 
+#![forbid(unsafe_code)]
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

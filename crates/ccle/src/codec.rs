@@ -80,16 +80,17 @@ impl EncryptionContext {
     /// Derive the subkey for `role` — what the enclave releases to a class
     /// of authorized parties.
     pub fn role_key(k_states: &[u8; 32], role: &str) -> [u8; 32] {
-        confide_crypto::hkdf::derive_key32(
-            role.as_bytes(),
-            k_states,
-            b"confide/ccle/role-key-v1",
-        )
+        confide_crypto::hkdf::derive_key32(role.as_bytes(), k_states, b"confide/ccle/role-key-v1")
     }
 
     /// A context holding only one role's subkey: can open (and re-seal)
     /// exactly the fields marked `access(role)`.
-    pub fn role_only(role: &str, role_key: &[u8; 32], aad: &[u8], nonce_seed: u64) -> EncryptionContext {
+    pub fn role_only(
+        role: &str,
+        role_key: &[u8; 32],
+        aad: &[u8],
+        nonce_seed: u64,
+    ) -> EncryptionContext {
         let mut role_gcms = HashMap::new();
         role_gcms.insert(
             role.to_string(),
@@ -129,7 +130,12 @@ impl EncryptionContext {
         aad
     }
 
-    fn seal(&mut self, path: &str, role: Option<&str>, plain: &[u8]) -> Result<Vec<u8>, CodecError> {
+    fn seal(
+        &mut self,
+        path: &str,
+        role: Option<&str>,
+        plain: &[u8],
+    ) -> Result<Vec<u8>, CodecError> {
         let nonce = self.rng.gen_nonce();
         let aad = self.field_aad(path);
         let Some(gcm) = self.cipher_for(role) else {
@@ -242,7 +248,9 @@ pub fn encode(
 }
 
 #[allow(clippy::too_many_arguments)]
-#[allow(clippy::too_many_arguments)]
+// `role` is threaded through unchanged so nested sealed tables derive the
+// same role subkey as their parent — intentional recursion-only use.
+#[allow(clippy::only_used_in_recursion)]
 fn encode_node(
     schema: &Schema,
     ty: &FieldType,
@@ -355,11 +363,7 @@ fn encode_node(
 /// are opened and verified; fields in protection domains the holder lacks
 /// remain [`Value::Encrypted`] (a role-only auditor sees exactly their
 /// slice of the state).
-pub fn decode(
-    schema: &Schema,
-    bytes: &[u8],
-    ctx: &EncryptionContext,
-) -> Result<Value, CodecError> {
+pub fn decode(schema: &Schema, bytes: &[u8], ctx: &EncryptionContext) -> Result<Value, CodecError> {
     // Cloning the key material into a scratch context lets role subkeys be
     // derived lazily during decoding without mutating the caller's ctx.
     let mut scratch = EncryptionContext {
@@ -427,7 +431,14 @@ fn decode_node(
                     Some(plain) => {
                         let mut inner_pos = 0usize;
                         let v = decode_node(
-                            schema, ty, is_map, role, &plain, &mut inner_pos, path, ctx,
+                            schema,
+                            ty,
+                            is_map,
+                            role,
+                            &plain,
+                            &mut inner_pos,
+                            path,
+                            ctx,
                         )?;
                         if inner_pos != plain.len() {
                             return Err(CodecError::Truncated);
@@ -480,7 +491,14 @@ fn decode_node(
                 let child_path = format!("{path}.{}", field.name);
                 let field_role = field.access_role.as_deref().or(role);
                 let v = decode_node(
-                    schema, &field.ty, field.map, field_role, buf, pos, &child_path, ctx,
+                    schema,
+                    &field.ty,
+                    field.map,
+                    field_role,
+                    buf,
+                    pos,
+                    &child_path,
+                    ctx,
                 )?;
                 fields.push((field.name.clone(), v));
             }
@@ -493,7 +511,9 @@ fn decode_node(
             let count = read_u(buf, pos)? as usize;
             let mut items = Vec::with_capacity(count.min(4096));
             for _ in 0..count {
-                items.push(decode_node(schema, inner, false, role, buf, pos, path, ctx)?);
+                items.push(decode_node(
+                    schema, inner, false, role, buf, pos, path, ctx,
+                )?);
             }
             Ok(Value::Vector(items))
         }
@@ -632,7 +652,10 @@ mod tests {
             alice.get("organization").unwrap(),
             Value::Encrypted(_)
         ));
-        assert!(matches!(alice.get("asset_map").unwrap(), Value::Encrypted(_)));
+        assert!(matches!(
+            alice.get("asset_map").unwrap(),
+            Value::Encrypted(_)
+        ));
         assert!(public.has_encrypted());
     }
 
@@ -664,7 +687,10 @@ mod tests {
         let mut c = ctx();
         let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
         let wrong = EncryptionContext::new(&[8u8; 32], b"contract:demo|owner:anyone|sv:1", 42);
-        assert_eq!(decode(&schema, &bytes, &wrong).unwrap_err(), CodecError::Crypto);
+        assert_eq!(
+            decode(&schema, &bytes, &wrong).unwrap_err(),
+            CodecError::Crypto
+        );
     }
 
     #[test]
@@ -674,7 +700,10 @@ mod tests {
         let mut c = ctx();
         let bytes = encode(&schema, &demo_value(), Some(&mut c)).unwrap();
         let other = EncryptionContext::new(&[7u8; 32], b"contract:OTHER|owner:x|sv:1", 42);
-        assert_eq!(decode(&schema, &bytes, &other).unwrap_err(), CodecError::Crypto);
+        assert_eq!(
+            decode(&schema, &bytes, &other).unwrap_err(),
+            CodecError::Crypto
+        );
     }
 
     #[test]
@@ -711,7 +740,10 @@ mod tests {
             }
         }
         let spliced = encode(&schema, &public, None).unwrap();
-        assert_eq!(decode(&schema, &spliced, &c).unwrap_err(), CodecError::Crypto);
+        assert_eq!(
+            decode(&schema, &spliced, &c).unwrap_err(),
+            CodecError::Crypto
+        );
     }
 
     #[test]
@@ -747,7 +779,10 @@ mod tests {
         for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
             let val = Value::Table(vec![
                 ("a".into(), Value::Int(v)),
-                ("b".into(), Value::Int(v.clamp(i32::MIN as i64, i32::MAX as i64))),
+                (
+                    "b".into(),
+                    Value::Int(v.clamp(i32::MIN as i64, i32::MAX as i64)),
+                ),
             ]);
             let bytes = encode(&schema, &val, None).unwrap();
             assert_eq!(decode_public(&schema, &bytes).unwrap(), val);
@@ -779,7 +814,10 @@ mod tests {
         let b1 = encode(&schema, &v, Some(&mut c)).unwrap();
         let b2 = encode(&schema, &v, Some(&mut c)).unwrap();
         assert_ne!(b1, b2, "re-encryption must not repeat ciphertexts");
-        assert_eq!(decode(&schema, &b1, &c).unwrap(), decode(&schema, &b2, &c).unwrap());
+        assert_eq!(
+            decode(&schema, &b1, &c).unwrap(),
+            decode(&schema, &b2, &c).unwrap()
+        );
     }
 
     // ---- §4 extension: access("role") attribute ----
@@ -848,7 +886,10 @@ mod tests {
         // role name gets an AEAD failure, not data.
         let auditor_key = EncryptionContext::role_key(&k_states, "auditor");
         let mallory = EncryptionContext::role_only("regulator", &auditor_key, b"contract:deals", 9);
-        assert_eq!(decode(&schema, &wire, &mallory).unwrap_err(), CodecError::Crypto);
+        assert_eq!(
+            decode(&schema, &wire, &mallory).unwrap_err(),
+            CodecError::Crypto
+        );
     }
 
     #[test]

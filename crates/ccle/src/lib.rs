@@ -38,5 +38,5 @@ pub mod value;
 
 pub use codec::{decode, decode_public, encode, EncryptionContext};
 pub use parser::parse_schema;
-pub use schema::{Field, FieldType, ScalarType, Schema, SchemaError, Table};
+pub use schema::{ConfidentialKeys, Field, FieldType, ScalarType, Schema, SchemaError, Table};
 pub use value::Value;

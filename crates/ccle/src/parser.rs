@@ -42,8 +42,7 @@ pub fn parse_schema(src: &str) -> Result<Schema, SchemaError> {
     let schema = Schema {
         attributes,
         tables,
-        root_type: root_type
-            .ok_or_else(|| SchemaError::Syntax("missing root_type".into(), 0))?,
+        root_type: root_type.ok_or_else(|| SchemaError::Syntax("missing root_type".into(), 0))?,
     };
     schema.validate()?;
     Ok(schema)
@@ -290,10 +289,7 @@ root_type Demo;
         // The paper's Asset map key is the asset `type`; our map rule wants
         // a string first field, so give Asset a string key the way the
         // runtime inserts them ("inserted in the runtime", Fig. 4).
-        let src = LISTING_1.replace(
-            "table Asset {",
-            "table Asset {\n  asset_id: string;",
-        );
+        let src = LISTING_1.replace("table Asset {", "table Asset {\n  asset_id: string;");
         let s = parse_schema(&src).unwrap();
         assert_eq!(s.root_type, "Demo");
         assert_eq!(s.tables.len(), 4);
@@ -324,11 +320,11 @@ root_type Demo;
 
     #[test]
     fn comments_and_whitespace_tolerated() {
-        let s = parse_schema(
-            "// header\ntable T { // inline\n  x: long; }\nroot_type T;",
-        )
-        .unwrap();
-        assert_eq!(s.tables[0].fields[0].ty, FieldType::Scalar(ScalarType::Long));
+        let s = parse_schema("// header\ntable T { // inline\n  x: long; }\nroot_type T;").unwrap();
+        assert_eq!(
+            s.tables[0].fields[0].ty,
+            FieldType::Scalar(ScalarType::Long)
+        );
     }
 
     #[test]

@@ -163,15 +163,12 @@ impl Schema {
                                 ))
                             }
                         },
-                        _ => {
-                            return Err(SchemaError::BadMapField(t.name.clone(), f.name.clone()))
-                        }
+                        _ => return Err(SchemaError::BadMapField(t.name.clone(), f.name.clone())),
                     }
                 }
                 if (f.map && !self.attributes.iter().any(|a| a == "map"))
                     || (f.confidential && !self.attributes.iter().any(|a| a == "confidential"))
-                    || (f.access_role.is_some()
-                        && !self.attributes.iter().any(|a| a == "access"))
+                    || (f.access_role.is_some() && !self.attributes.iter().any(|a| a == "access"))
                 {
                     return Err(SchemaError::UndeclaredAttribute(f.name.clone()));
                 }
@@ -184,6 +181,107 @@ impl Schema {
             }
         }
         Ok(())
+    }
+}
+
+/// The set of contract storage keys a schema marks confidential.
+///
+/// CCL contracts address storage with flat byte keys following two idioms
+/// (see `crates/contracts`): an **exact** key equal to the field name
+/// (`pool_ceiling`, `cfg:enabled`) for singleton fields, and a **prefix**
+/// key `"{field}:"` (`acct:alice`, `score:asset-7`) for `map` fields keyed
+/// per entry. [`Schema::confidential_keys`] derives both forms for every
+/// `(confidential)` field so static analysis (the `cclc --lint`
+/// confidentiality-flow pass) can classify a `storage_get`/`storage_set`
+/// key expression without executing the contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfidentialKeys {
+    exact: Vec<String>,
+    prefixes: Vec<String>,
+}
+
+impl ConfidentialKeys {
+    /// No confidential fields at all.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.prefixes.is_empty()
+    }
+
+    /// Exact confidential key names.
+    pub fn exact(&self) -> &[String] {
+        &self.exact
+    }
+
+    /// Confidential key prefixes (each ends with `:`).
+    pub fn prefixes(&self) -> &[String] {
+        &self.prefixes
+    }
+
+    /// Whether a fully-known storage key holds confidential data.
+    pub fn key_is_confidential(&self, key: &[u8]) -> bool {
+        self.exact.iter().any(|e| e.as_bytes() == key)
+            || self.prefixes.iter().any(|p| key.starts_with(p.as_bytes()))
+    }
+
+    /// Whether a key *known only by prefix* (e.g. the literal first operand
+    /// of `concat(b"score:", id)`) may address confidential data. True when
+    /// the prefix extends a confidential prefix, or is itself a prefix of
+    /// any confidential key/prefix — the conservative direction for a
+    /// linter deciding whether a read is a taint source.
+    pub fn prefix_overlaps_confidential(&self, prefix: &[u8]) -> bool {
+        self.prefixes
+            .iter()
+            .any(|p| prefix.starts_with(p.as_bytes()) || p.as_bytes().starts_with(prefix))
+            || self.exact.iter().any(|e| e.as_bytes().starts_with(prefix))
+    }
+
+    fn add(&mut self, name: &str) {
+        if !self.exact.iter().any(|e| e == name) {
+            self.exact.push(name.to_string());
+            self.prefixes.push(format!("{name}:"));
+        }
+    }
+}
+
+impl Schema {
+    /// Derive the confidential storage-key map (see [`ConfidentialKeys`]).
+    ///
+    /// Walks every table reachable from the root. A `(confidential)`
+    /// composite field marks its whole subtree confidential, matching the
+    /// codec's recursive sealing ("parsed recursively, and all the
+    /// primitive data in it will be set confidential").
+    pub fn confidential_keys(&self) -> ConfidentialKeys {
+        let mut keys = ConfidentialKeys::default();
+        let mut visited = std::collections::HashSet::new();
+        self.walk_confidential(&self.root_type, false, &mut keys, &mut visited);
+        keys
+    }
+
+    fn walk_confidential(
+        &self,
+        table: &str,
+        inherited: bool,
+        keys: &mut ConfidentialKeys,
+        visited: &mut std::collections::HashSet<(String, bool)>,
+    ) {
+        if !visited.insert((table.to_string(), inherited)) {
+            return;
+        }
+        let Some(t) = self.table(table) else { return };
+        for f in &t.fields {
+            let conf = inherited || f.confidential;
+            if conf {
+                keys.add(&f.name);
+            }
+            match &f.ty {
+                FieldType::Table(inner) => self.walk_confidential(inner, conf, keys, visited),
+                FieldType::Vector(inner) => {
+                    if let FieldType::Table(inner) = inner.as_ref() {
+                        self.walk_confidential(inner, conf, keys, visited)
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 }
 
@@ -308,7 +406,10 @@ mod tests {
             map: false,
             access_role: None,
         });
-        assert_eq!(s.validate(), Err(SchemaError::UnknownTable("Missing".into())));
+        assert_eq!(
+            s.validate(),
+            Err(SchemaError::UnknownTable("Missing".into()))
+        );
     }
 
     #[test]
@@ -333,6 +434,41 @@ mod tests {
             s.validate(),
             Err(SchemaError::UndeclaredAttribute(_))
         ));
+    }
+
+    #[test]
+    fn confidential_keys_cover_exact_and_map_prefix_forms() {
+        let s = crate::parse_schema(
+            r#"
+            attribute "confidential";
+            attribute "map";
+            table Position { account: string; amount: ulong(confidential); }
+            table Root {
+                pool_ceiling: ulong;
+                score: [Position](map, confidential);
+                inst: [Position](map);
+            }
+            root_type Root;
+            "#,
+        )
+        .unwrap();
+        let keys = s.confidential_keys();
+        // `score` is confidential (and recursively, its element fields).
+        assert!(keys.key_is_confidential(b"score:asset-7"));
+        assert!(keys.key_is_confidential(b"amount"));
+        assert!(keys.key_is_confidential(b"account:alice")); // inherited via score
+                                                             // `pool_ceiling` and `inst` are public.
+        assert!(!keys.key_is_confidential(b"pool_ceiling"));
+        assert!(!keys.key_is_confidential(b"inst:bank-1"));
+        // Prefix-overlap is conservative in both directions.
+        assert!(keys.prefix_overlaps_confidential(b"score:"));
+        assert!(keys.prefix_overlaps_confidential(b"sco"));
+        assert!(!keys.prefix_overlaps_confidential(b"inst:"));
+    }
+
+    #[test]
+    fn empty_schema_has_no_confidential_keys() {
+        assert!(minimal().confidential_keys().is_empty());
     }
 
     #[test]

@@ -102,14 +102,31 @@ enum Msg {
 
 #[derive(Debug)]
 enum Ev {
-    ClientSend { tx: usize },
-    TxArrive { node: usize, tx: usize },
-    TxVerified { node: usize, tx: usize },
-    Deliver { to: usize, msg: Msg },
+    ClientSend {
+        tx: usize,
+    },
+    TxArrive {
+        node: usize,
+        tx: usize,
+    },
+    TxVerified {
+        node: usize,
+        tx: usize,
+    },
+    Deliver {
+        to: usize,
+        msg: Msg,
+    },
     Flush,
-    ExecDone { node: usize, seq: u64 },
+    ExecDone {
+        node: usize,
+        seq: u64,
+    },
     #[allow(dead_code)]
-    DiskDone { node: usize, seq: u64 },
+    DiskDone {
+        node: usize,
+        seq: u64,
+    },
 }
 
 #[derive(Default)]
@@ -189,7 +206,10 @@ impl ChainSim {
         while let Some((now, ev)) = self.queue.pop() {
             self.handle(now, ev);
         }
-        let duration = self.last_exec.saturating_sub(self.first_send.unwrap_or(0)).max(1);
+        let duration = self
+            .last_exec
+            .saturating_sub(self.first_send.unwrap_or(0))
+            .max(1);
         let blocks = self.exec_times.len();
         let node0 = &self.nodes[0];
         let latencies: Vec<SimTime> = node0
@@ -261,7 +281,8 @@ impl ChainSim {
                     self.propose(now);
                 } else if !self.flush_pending {
                     self.flush_pending = true;
-                    self.queue.schedule_in(self.config.flush_interval, Ev::Flush);
+                    self.queue
+                        .schedule_in(self.config.flush_interval, Ev::Flush);
                 }
             }
             Ev::Flush => {
@@ -334,10 +355,14 @@ impl ChainSim {
             if to == from {
                 continue;
             }
-            let at = self
-                .network
-                .send_at(now, self.config.zone_of[from], self.config.zone_of[to], size);
-            self.queue.schedule_at(at, Ev::Deliver { to, msg: make(to) });
+            let at = self.network.send_at(
+                now,
+                self.config.zone_of[from],
+                self.config.zone_of[to],
+                size,
+            );
+            self.queue
+                .schedule_at(at, Ev::Deliver { to, msg: make(to) });
         }
     }
 
@@ -345,16 +370,28 @@ impl ChainSim {
         match msg {
             Msg::PrePrepare { seq, txs } => {
                 self.nodes[node].preprepared.insert(seq, txs);
-                self.nodes[node].prepares.entry(seq).or_default().insert(node);
+                self.nodes[node]
+                    .prepares
+                    .entry(seq)
+                    .or_default()
+                    .insert(node);
                 self.broadcast(now, node, 96, move |_| Msg::Prepare { seq, from: node });
                 self.maybe_prepared(now, node, seq);
             }
             Msg::Prepare { seq, from } => {
-                self.nodes[node].prepares.entry(seq).or_default().insert(from);
+                self.nodes[node]
+                    .prepares
+                    .entry(seq)
+                    .or_default()
+                    .insert(from);
                 self.maybe_prepared(now, node, seq);
             }
             Msg::Commit { seq, from } => {
-                self.nodes[node].commits.entry(seq).or_default().insert(from);
+                self.nodes[node]
+                    .commits
+                    .entry(seq)
+                    .or_default()
+                    .insert(from);
                 self.maybe_committed(now, node, seq);
             }
         }
@@ -397,7 +434,8 @@ impl ChainSim {
             self.propose(now);
         } else if node == 0 && !self.nodes[0].pool.is_empty() && !self.flush_pending {
             self.flush_pending = true;
-            self.queue.schedule_in(self.config.flush_interval, Ev::Flush);
+            self.queue
+                .schedule_in(self.config.flush_interval, Ev::Flush);
         }
     }
 
@@ -425,8 +463,13 @@ impl ChainSim {
         if node == 0 {
             self.exec_times.push(exec_ns);
         }
-        self.queue
-            .schedule_at(now + exec_ns, Ev::ExecDone { node, seq: expected });
+        self.queue.schedule_at(
+            now + exec_ns,
+            Ev::ExecDone {
+                node,
+                seq: expected,
+            },
+        );
     }
 }
 
@@ -534,7 +577,9 @@ mod tests {
         let tps_for = |preverify: bool| {
             let mut cfg = ChainConfig::local(4);
             cfg.preverify = preverify;
-            ChainSim::new(cfg, NetworkModel::lan(1)).run(workload(200, 32)).tps
+            ChainSim::new(cfg, NetworkModel::lan(1))
+                .run(workload(200, 32))
+                .tps
         };
         let with = tps_for(true);
         let without = tps_for(false);

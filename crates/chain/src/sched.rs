@@ -28,10 +28,7 @@ pub fn makespan(txs: &[(u64, u64)], threads: usize) -> u64 {
     loads.sort_unstable_by(|a, b| b.cmp(a));
     let mut workers = vec![0u64; threads];
     for load in loads {
-        let min = workers
-            .iter_mut()
-            .min()
-            .expect("threads > 0");
+        let min = workers.iter_mut().min().expect("threads > 0");
         *min += load;
     }
     workers.into_iter().max().unwrap_or(0)

@@ -307,7 +307,7 @@ mod tests {
         // The ~1 KB storage shape of §6.1.
         let stored = &host_json.storage[&key];
         assert!((600..1400).contains(&stored.len()), "{}", stored.len()); // ~1 KB per §6.1
-        // OPT2's point: fixed-offset parsing retires far fewer instructions.
+                                                                          // OPT2's point: fixed-offset parsing retires far fewer instructions.
         assert!(
             instr_json > 2 * instr_fb,
             "json {instr_json} vs fb {instr_fb}"

@@ -513,7 +513,9 @@ pub fn deploy_suite(engine: &Engine, confidential: bool) -> ScfAddresses {
     ];
     for (addr, src) in contracts {
         let code = confide_lang::build_vm(&src).expect("SCF contract compiles");
-        engine.deploy(addr, &code, VmKind::ConfideVm, confidential);
+        engine
+            .deploy(addr, &code, VmKind::ConfideVm, confidential)
+            .expect("scf contract deploys");
     }
     a
 }
@@ -604,7 +606,11 @@ mod tests {
         let out = engine
             .invoke_inner(&state, &mut ctx, &a.gateway, "main", &req, &[9u8; 32])
             .unwrap();
-        assert!(out.starts_with(b"ERR:precheck"), "{}", String::from_utf8_lossy(&out));
+        assert!(
+            out.starts_with(b"ERR:precheck"),
+            "{}",
+            String::from_utf8_lossy(&out)
+        );
     }
 
     #[test]
@@ -637,16 +643,26 @@ mod tests {
             .unwrap();
         // Balance moved (read through the account contract).
         let out = engine
-            .invoke_inner(&state, &mut ctx, &a.ar_account, "main", b"limit|alice", &[9u8; 32])
+            .invoke_inner(
+                &state,
+                &mut ctx,
+                &a.ar_account,
+                "main",
+                b"limit|alice",
+                &[9u8; 32],
+            )
             .unwrap();
         assert_eq!(out, b"1000000"); // limit unchanged
-        // bob's balance credited: storage lives under the account contract.
+                                     // bob's balance credited: storage lives under the account contract.
         let key = confide_core::engine::full_key(&a.ar_account, b"acct:bob:balance");
         let via_overlay = ctx.lookup(&key).map(|v| v.cloned());
         assert_eq!(via_overlay, Some(Some(b"10000".to_vec())));
         // Clearing queue advanced.
         let qkey = confide_core::engine::full_key(&a.ar_clear, b"queue_head");
-        assert_eq!(ctx.lookup(&qkey).map(|v| v.cloned()), Some(Some(b"1".to_vec())));
+        assert_eq!(
+            ctx.lookup(&qkey).map(|v| v.cloned()),
+            Some(Some(b"1".to_vec()))
+        );
     }
 
     #[test]
@@ -661,7 +677,7 @@ mod tests {
         let mut state = StateDb::new();
         let mut ctx = ExecContext::new();
         run_genesis(&engine, &state, &mut ctx, &a, 4);
-        let batch = engine.commit_block(&mut ctx, 1);
+        let batch = engine.commit_block(&mut ctx, 1).unwrap();
         state.apply_block(1, &batch).unwrap();
         // The transfer still works against sealed state.
         let mut ctx2 = ExecContext::new();

@@ -69,7 +69,9 @@ pub fn handle_access_request(
     request: &AccessRequest,
     rng: &mut HmacDrbg,
 ) -> Result<Vec<u8>, AccessError> {
-    let tee = engine.tee().ok_or(AccessError::Engine(EngineError::WrongEngine))?;
+    let tee = engine
+        .tee()
+        .ok_or(AccessError::Engine(EngineError::WrongEngine))?;
 
     // 1. Forward to the user contract's access rule: acl(requester_hex).
     let requester_hex = confide_crypto::hex(&request.requester);
@@ -102,7 +104,11 @@ pub fn handle_access_request(
             let mut nonce = [0u8; 12];
             nonce.copy_from_slice(&stored[..12]);
             tee.gcm_states
-                .open(&nonce, &state_aad(&SYSTEM_KTX_ADDR, &ktx_key), &stored[12..])
+                .open(
+                    &nonce,
+                    &state_aad(&SYSTEM_KTX_ADDR, &ktx_key),
+                    &stored[12..],
+                )
                 .map_err(|_| AccessError::Engine(EngineError::Crypto))?
         }
     };
@@ -172,7 +178,7 @@ mod tests {
         let engine = Engine::confidential(platform, keys, EngineConfig::default());
         let code = confide_lang::build_vm(POLICY_SRC).unwrap();
         let addr = [1u8; 32];
-        engine.deploy(addr, &code, VmKind::ConfideVm, true);
+        engine.deploy(addr, &code, VmKind::ConfideVm, true).unwrap();
         (engine, StateDb::new(), ExecContext::new(), rng, addr)
     }
 
@@ -181,7 +187,12 @@ mod tests {
         let (engine, state, mut ctx, mut rng, contract) = setup();
         let mut owner = ConfideClient::new([1u8; 32], [2u8; 32], 3);
         let (wire, tx_hash, _k_tx) = owner
-            .confidential_tx(&engine.pk_tx().unwrap(), contract, "main", b"secret-payload")
+            .confidential_tx(
+                &engine.pk_tx().unwrap(),
+                contract,
+                "main",
+                b"secret-payload",
+            )
             .unwrap();
         let (_receipt, sealed_receipt, _) = engine
             .execute_transaction(&state, &mut ctx, &wire, &mut rng)

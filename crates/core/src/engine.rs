@@ -27,13 +27,13 @@ use confide_crypto::{sha256, HmacDrbg};
 use confide_evm::{Evm, EvmConfig, EvmHost};
 use confide_storage::kv::WriteBatch;
 use confide_storage::versioned::StateDb;
+use confide_sync::Mutex;
 use confide_tee::enclave::{CrossingMode, Enclave, EnclaveConfig};
 use confide_tee::meter::CostModel;
 use confide_tee::platform::TeePlatform;
 use confide_vm::host::{HostApi, HostError};
 use confide_vm::interp::{ExecConfig, Prepared, Vm};
 use confide_vm::module::Module;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -65,6 +65,12 @@ pub struct EngineConfig {
     pub fuel: u64,
     /// Enforce strictly increasing per-sender nonces (replay protection).
     pub enforce_nonces: bool,
+    /// Ahead-of-time bytecode verification at deploy time; verified
+    /// modules run the interpreter's unchecked fast path.
+    pub verify_bytecode: bool,
+    /// Escape hatch: accept CCL deployments whose confidentiality lint
+    /// reports errors (see [`Engine::deploy_ccl`]). Off by default.
+    pub allow_leaky: bool,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +84,8 @@ impl Default for EngineConfig {
             max_call_depth: 64,
             fuel: 500_000_000,
             enforce_nonces: true,
+            verify_bytecode: true,
+            allow_leaky: false,
         }
     }
 }
@@ -101,6 +109,12 @@ pub enum EngineError {
     BadCode,
     /// Transaction nonce not greater than the sender's last (replay).
     Replay,
+    /// CONFIDE-VM bytecode failed ahead-of-time verification at deploy.
+    Verify(String),
+    /// CCL source failed to compile at deploy.
+    Compile(String),
+    /// The confidentiality-flow lint found errors and `allow_leaky` is off.
+    Leaky(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -116,6 +130,11 @@ impl std::fmt::Display for EngineError {
             EngineError::DepthExceeded => f.write_str("call depth exceeded"),
             EngineError::BadCode => f.write_str("contract code undecodable"),
             EngineError::Replay => f.write_str("transaction replay (stale nonce)"),
+            EngineError::Verify(e) => write!(f, "bytecode verification failed: {e}"),
+            EngineError::Compile(e) => write!(f, "contract compilation failed: {e}"),
+            EngineError::Leaky(e) => {
+                write!(f, "confidentiality lint rejected deployment: {e}")
+            }
         }
     }
 }
@@ -219,17 +238,40 @@ impl Engine {
     }
 
     /// A Confidential-Engine on `platform` with provisioned `keys`.
+    ///
+    /// Convenience wrapper over [`Engine::try_confidential`] for callers
+    /// that construct the platform themselves; panics only if the platform
+    /// refuses the CS enclave (it never does for the simulated TEE) — use
+    /// `try_confidential` where enclave creation failure must surface as a
+    /// typed error.
     pub fn confidential(
         platform: Arc<TeePlatform>,
         keys: NodeKeys,
         config: EngineConfig,
     ) -> Engine {
+        Engine::try_confidential(platform, keys, config)
+            .expect("simulated TEE accepts the CS enclave and 32-byte k_states")
+    }
+
+    /// Fallible constructor: create the CS enclave and the `k_states`
+    /// sealing cipher, surfacing failures as [`EngineError::Crypto`]
+    /// instead of panicking.
+    pub fn try_confidential(
+        platform: Arc<TeePlatform>,
+        keys: NodeKeys,
+        config: EngineConfig,
+    ) -> Result<Engine, EngineError> {
         let cs_enclave = Enclave::create(
             &platform,
-            EnclaveConfig::new(crate::keys::CS_ENCLAVE_CODE.to_vec(), [0xC5; 32], 1, 8 << 20),
+            EnclaveConfig::new(
+                crate::keys::CS_ENCLAVE_CODE.to_vec(),
+                [0xC5; 32],
+                1,
+                8 << 20,
+            ),
         )
-        .expect("CS enclave creation");
-        let gcm_states = AesGcm::new(&keys.k_states).expect("32-byte k_states");
+        .map_err(|_| EngineError::Crypto)?;
+        let gcm_states = AesGcm::new(&keys.k_states).map_err(|_| EngineError::Crypto)?;
         let contracts = HashMap::from([(
             SYSTEM_KTX_ADDR,
             ContractRecord {
@@ -238,7 +280,7 @@ impl Engine {
                 confidential: true,
             },
         )]);
-        Engine {
+        Ok(Engine {
             model: platform.model(),
             confidential: Some(TeeParts {
                 platform,
@@ -252,7 +294,7 @@ impl Engine {
             code_cache: Mutex::new(HashMap::new()),
             preverify: Mutex::new(HashMap::new()),
             cache_stats: Mutex::new(EngineCacheStats::default()),
-        }
+        })
     }
 
     /// True when running in confidential (TEE) mode.
@@ -283,12 +325,26 @@ impl Engine {
     /// Register a contract at `address`. Confidential contracts' code is
     /// sealed under `k_states` (D-Protocol covers "smart contract states
     /// and smart contract code").
-    pub fn deploy(&self, address: [u8; 32], code: &[u8], vm: VmKind, confidential: bool) {
+    ///
+    /// With [`EngineConfig::verify_bytecode`] (the default), CONFIDE-VM
+    /// modules must pass ahead-of-time verification
+    /// ([`confide_vm::verify_module`]) — stack discipline, jump targets,
+    /// call arities, resource limits — or deployment is rejected with
+    /// [`EngineError::Verify`]. Verified modules later execute on the
+    /// interpreter's unchecked fast path.
+    pub fn deploy(
+        &self,
+        address: [u8; 32],
+        code: &[u8],
+        vm: VmKind,
+        confidential: bool,
+    ) -> Result<(), EngineError> {
+        if vm == VmKind::ConfideVm && self.config.verify_bytecode {
+            let module = Module::decode(code).map_err(|_| EngineError::BadCode)?;
+            confide_vm::verify_module(&module).map_err(|e| EngineError::Verify(e.to_string()))?;
+        }
         let stored = if confidential {
-            let tee = self
-                .confidential
-                .as_ref()
-                .expect("confidential deploy requires confidential engine");
+            let tee = self.confidential.as_ref().ok_or(EngineError::WrongEngine)?;
             let nonce = code_nonce(&tee.keys.k_states, &address);
             let mut blob = nonce.to_vec();
             blob.extend_from_slice(&tee.gcm_states.seal(&nonce, &code_aad(&address), code));
@@ -307,6 +363,37 @@ impl Engine {
         // A (re)deployment invalidates any cached module for this address's
         // previous code; the cache is keyed by stored-code hash so stale
         // entries are simply never hit again.
+        Ok(())
+    }
+
+    /// Compile, **lint**, and deploy a CCL contract in one step — the
+    /// deployment path the developer toolchain uses. The
+    /// confidentiality-flow analysis (`confide_lang::lint_source`) runs
+    /// against the optional CCLe-schema key map; findings at `Error`
+    /// severity reject the deployment with [`EngineError::Leaky`] unless
+    /// [`EngineConfig::allow_leaky`] is set. The surviving report (advisory
+    /// warnings) is returned so callers can surface it.
+    pub fn deploy_ccl(
+        &self,
+        address: [u8; 32],
+        source: &str,
+        schema_keys: Option<&confide_ccle::ConfidentialKeys>,
+        confidential: bool,
+    ) -> Result<confide_lang::LintReport, EngineError> {
+        let report = confide_lang::lint_source(source, schema_keys)
+            .map_err(|e| EngineError::Compile(e.to_string()))?;
+        if !report.deployable() && !self.config.allow_leaky {
+            let summary = report
+                .errors()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(EngineError::Leaky(summary));
+        }
+        let code =
+            confide_lang::build_vm(source).map_err(|e| EngineError::Compile(e.to_string()))?;
+        self.deploy(address, &code, VmKind::ConfideVm, confidential)?;
+        Ok(report)
     }
 
     /// Whether a contract exists.
@@ -488,7 +575,11 @@ impl Engine {
                             let mut nonce = [0u8; 12];
                             nonce.copy_from_slice(&blob[..12]);
                             tee.gcm_states
-                                .open(&nonce, &state_aad(&SYSTEM_KTX_ADDR, &nonce_key), &blob[12..])
+                                .open(
+                                    &nonce,
+                                    &state_aad(&SYSTEM_KTX_ADDR, &nonce_key),
+                                    &blob[12..],
+                                )
                                 .ok()
                         }
                         (Some(v), None) => Some(v.clone()),
@@ -554,7 +645,7 @@ impl Engine {
         preimage.extend_from_slice(&raw.sender);
         preimage.extend_from_slice(&raw.nonce.to_le_bytes());
         let address = sha256(&preimage);
-        self.deploy(address, code, vm, confidential);
+        self.deploy(address, code, vm, confidential)?;
         Ok(address)
     }
 
@@ -594,8 +685,8 @@ impl Engine {
         // config ([in] copy vs user_check).
         if self.is_confidential() {
             ctx.counters.ocalls += 1;
-            ctx.counters.contract_cycles += self.model.transition_warm_cycles
-                + self.crossing_cost(input.len());
+            ctx.counters.contract_cycles +=
+                self.model.transition_warm_cycles + self.crossing_cost(input.len());
         }
         match loaded {
             LoadedCode::Vm(prepared) => {
@@ -668,9 +759,7 @@ impl Engine {
 
     fn crossing_cost(&self, bytes: usize) -> u64 {
         match self.config.crossing {
-            CrossingMode::CopyAndCheck => {
-                self.model.copy_check_cycles_per_byte * bytes as u64
-            }
+            CrossingMode::CopyAndCheck => self.model.copy_check_cycles_per_byte * bytes as u64,
             CrossingMode::UserCheck => self.model.user_check_cycles,
         }
     }
@@ -719,14 +808,20 @@ impl Engine {
         let loaded = match vm {
             VmKind::ConfideVm => {
                 let module = Module::decode(&plain).map_err(|_| EngineError::BadCode)?;
-                LoadedCode::Vm(Prepared::new(
-                    module,
-                    &ExecConfig {
-                        fuel: self.config.fuel,
-                        fusion: self.config.fusion,
-                        max_call_depth: 256,
-                    },
-                ))
+                let cfg = ExecConfig {
+                    fuel: self.config.fuel,
+                    fusion: self.config.fusion,
+                    max_call_depth: 256,
+                };
+                let prepared = if self.config.verify_bytecode {
+                    // Deploy already proved the module well-formed; run the
+                    // monomorphized unchecked interpreter loop.
+                    Prepared::new_verified(module, &cfg)
+                        .map_err(|e| EngineError::Verify(e.to_string()))?
+                } else {
+                    Prepared::new(module, &cfg)
+                };
+                LoadedCode::Vm(prepared)
             }
             VmKind::Evm => LoadedCode::Evm(Arc::new(Evm::new(plain, EvmConfig::default()))),
         };
@@ -740,7 +835,11 @@ impl Engine {
     /// so every replica produces byte-identical ciphertext and the state
     /// roots agree — §3.2.2: each engine "generates the same encrypted
     /// contract state").
-    pub fn commit_block(&self, ctx: &mut ExecContext, height: u64) -> WriteBatch {
+    pub fn commit_block(
+        &self,
+        ctx: &mut ExecContext,
+        height: u64,
+    ) -> Result<WriteBatch, EngineError> {
         let mut batch = WriteBatch::new();
         let overlay = std::mem::take(&mut ctx.overlay);
         ctx.read_cache.clear();
@@ -757,7 +856,10 @@ impl Engine {
                         contract.copy_from_slice(&full_key[..32]);
                     }
                     let sealed = if self.contract_confidential(&contract) {
-                        let tee = self.confidential.as_ref().expect("confidential contract");
+                        // A confidential overlay entry on a public engine is
+                        // an engine-wiring bug; surface it as a typed error
+                        // rather than panicking mid-commit.
+                        let tee = self.confidential.as_ref().ok_or(EngineError::WrongEngine)?;
                         let nonce = state_nonce(&tee.keys.k_states, &full_key, height, &plain);
                         let mut blob = nonce.to_vec();
                         blob.extend_from_slice(&tee.gcm_states.seal(
@@ -773,7 +875,7 @@ impl Engine {
                 }
             }
         }
-        batch
+        Ok(batch)
     }
 }
 
@@ -869,7 +971,11 @@ impl<'a> Sdm<'a> {
                     }
                     let mut nonce = [0u8; 12];
                     nonce.copy_from_slice(&stored[..12]);
-                    let tee = self.engine.confidential.as_ref().expect("confidential");
+                    let Some(tee) = self.engine.confidential.as_ref() else {
+                        // Sealed bytes on a public engine: unreadable, treat
+                        // as absent rather than panicking inside the host.
+                        return None;
+                    };
                     match tee.gcm_states.open(
                         &nonce,
                         &state_aad(&self.contract, key),
@@ -899,8 +1005,7 @@ impl<'a> Sdm<'a> {
         let mut cycles = 0u64;
         if self.engine.is_confidential() && self.engine.contract_confidential(&self.contract) {
             // Seal cost charged at write time (actual sealing at commit).
-            cycles += model.aes_gcm_fixed_cycles
-                + val.len() as u64 * model.aes_gcm_cycles_per_byte;
+            cycles += model.aes_gcm_fixed_cycles + val.len() as u64 * model.aes_gcm_cycles_per_byte;
             self.ctx.counters.state_crypto_bytes += val.len() as u64;
         }
         // Buffered into the overlay now; the DB write happens at commit
@@ -1000,7 +1105,14 @@ impl<'a> EvmHost for Sdm<'a> {
     ) -> Result<Vec<u8>, confide_evm::host::EvmHostError> {
         let address = addr.to_be_bytes();
         self.engine
-            .invoke_inner(self.state, self.ctx, &address, "main", input, &self.contract)
+            .invoke_inner(
+                self.state,
+                self.ctx,
+                &address,
+                "main",
+                input,
+                &self.contract,
+            )
             .map_err(|e| confide_evm::host::EvmHostError::Call(e.to_string()))
     }
 
@@ -1092,7 +1204,9 @@ mod tests {
     fn public_engine_runs_plain_contract() {
         let engine = Engine::public(EngineConfig::default());
         let code = confide_lang_build(COUNTER_SRC);
-        engine.deploy(addr(1), &code, VmKind::ConfideVm, false);
+        engine
+            .deploy(addr(1), &code, VmKind::ConfideVm, false)
+            .unwrap();
         let state = StateDb::new();
         let mut ctx = ExecContext::new();
         let out = engine
@@ -1117,7 +1231,9 @@ mod tests {
     fn confidential_end_to_end_with_sealed_state() {
         let engine = confidential_engine();
         let code = confide_lang_build(COUNTER_SRC);
-        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &code, VmKind::ConfideVm, true)
+            .unwrap();
         let mut state = StateDb::new();
         let mut ctx = ExecContext::new();
         let mut rng = HmacDrbg::from_u64(2);
@@ -1133,7 +1249,7 @@ mod tests {
         assert!(stats.exec_cycles > 0);
 
         // Commit: state lands sealed, unreadable through the raw DB.
-        let batch = engine.commit_block(&mut ctx, 1);
+        let batch = engine.commit_block(&mut ctx, 1).unwrap();
         state.apply_block(1, &batch).unwrap();
         let fk = full_key(&addr(1), b"count");
         let stored = state.get(&fk).unwrap();
@@ -1153,7 +1269,9 @@ mod tests {
     fn preverify_cache_hit_skips_asymmetric_cost() {
         let engine = confidential_engine();
         let code = confide_lang_build(COUNTER_SRC);
-        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &code, VmKind::ConfideVm, true)
+            .unwrap();
         let state = StateDb::new();
         let mut rng = HmacDrbg::from_u64(2);
 
@@ -1184,7 +1302,9 @@ mod tests {
     fn code_cache_avoids_repeat_decode() {
         let engine = confidential_engine();
         let code = confide_lang_build(COUNTER_SRC);
-        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &code, VmKind::ConfideVm, true)
+            .unwrap();
         let state = StateDb::new();
         let mut ctx = ExecContext::new();
         for _ in 0..3 {
@@ -1201,13 +1321,15 @@ mod tests {
     fn tampered_sealed_state_fails_closed() {
         let engine = confidential_engine();
         let code = confide_lang_build(COUNTER_SRC);
-        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &code, VmKind::ConfideVm, true)
+            .unwrap();
         let mut state = StateDb::new();
         let mut ctx = ExecContext::new();
         engine
             .invoke_inner(&state, &mut ctx, &addr(1), "main", b"41", &addr(9))
             .unwrap();
-        let batch = engine.commit_block(&mut ctx, 1);
+        let batch = engine.commit_block(&mut ctx, 1).unwrap();
         state.apply_block(1, &batch).unwrap();
         // Malicious host flips one byte of the sealed value.
         let fk = full_key(&addr(1), b"count");
@@ -1238,8 +1360,22 @@ mod tests {
                 ret(call(target, input()));
             }
         "#;
-        engine.deploy(addr(2), &confide_lang_build(callee_src), VmKind::ConfideVm, false);
-        engine.deploy(addr(1), &confide_lang_build(caller_src), VmKind::ConfideVm, false);
+        engine
+            .deploy(
+                addr(2),
+                &confide_lang_build(callee_src),
+                VmKind::ConfideVm,
+                false,
+            )
+            .unwrap();
+        engine
+            .deploy(
+                addr(1),
+                &confide_lang_build(caller_src),
+                VmKind::ConfideVm,
+                false,
+            )
+            .unwrap();
         let state = StateDb::new();
         let mut ctx = ExecContext::new();
         let out = engine
@@ -1285,7 +1421,7 @@ mod tests {
     fn evm_contract_runs_through_sdm() {
         let engine = confidential_engine();
         let code = confide_lang::build_evm(COUNTER_SRC).unwrap();
-        engine.deploy(addr(4), &code, VmKind::Evm, true);
+        engine.deploy(addr(4), &code, VmKind::Evm, true).unwrap();
         let state = StateDb::new();
         let mut ctx = ExecContext::new();
         let out = engine
@@ -1334,7 +1470,9 @@ mod tests {
     fn trap_produces_failed_receipt_not_error() {
         let engine = Engine::public(EngineConfig::default());
         let src = r#"export fn main() { let x: int = 1 / atoi(input()); ret(itoa(x)); }"#;
-        engine.deploy(addr(1), &confide_lang_build(src), VmKind::ConfideVm, false);
+        engine
+            .deploy(addr(1), &confide_lang_build(src), VmKind::ConfideVm, false)
+            .unwrap();
         let key = confide_crypto::ed25519::SigningKey::from_seed(&[8u8; 32]);
         let raw = RawTx {
             sender: key.verifying_key().0,
@@ -1362,14 +1500,18 @@ mod tests {
         let engine = confidential_engine();
         let v1 = confide_lang_build(r#"export fn main() { ret(b"v1"); }"#);
         let v2 = confide_lang_build(r#"export fn main() { ret(b"v2"); }"#);
-        engine.deploy(addr(1), &v1, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &v1, VmKind::ConfideVm, true)
+            .unwrap();
         let state = StateDb::new();
         let mut ctx = ExecContext::new();
         let out = engine
             .invoke_inner(&state, &mut ctx, &addr(1), "main", b"", &addr(9))
             .unwrap();
         assert_eq!(out, b"v1");
-        engine.deploy(addr(1), &v2, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &v2, VmKind::ConfideVm, true)
+            .unwrap();
         let out = engine
             .invoke_inner(&state, &mut ctx, &addr(1), "main", b"", &addr(9))
             .unwrap();
@@ -1386,8 +1528,12 @@ mod tests {
         // record produces a decryption failure, not foreign-code execution.
         let engine = confidential_engine();
         let code = confide_lang_build(r#"export fn main() { ret(b"genuine"); }"#);
-        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
-        engine.deploy(addr(2), &code, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &code, VmKind::ConfideVm, true)
+            .unwrap();
+        engine
+            .deploy(addr(2), &code, VmKind::ConfideVm, true)
+            .unwrap();
         // Splice: read A's stored blob, write into B's record.
         let stored_a = {
             let contracts = engine.contracts.lock();
@@ -1418,7 +1564,9 @@ mod tests {
     fn replayed_transaction_rejected() {
         let engine = confidential_engine();
         let code = confide_lang_build(COUNTER_SRC);
-        engine.deploy(addr(1), &code, VmKind::ConfideVm, true);
+        engine
+            .deploy(addr(1), &code, VmKind::ConfideVm, true)
+            .unwrap();
         let state = StateDb::new();
         let mut ctx = ExecContext::new();
         let mut rng = HmacDrbg::from_u64(2);
@@ -1445,5 +1593,142 @@ mod tests {
                 .unwrap_err(),
             EngineError::Replay
         );
+    }
+
+    /// A module that decodes fine but fails stack-discipline verification:
+    /// `Add` with an empty operand stack.
+    fn underflowing_module_bytes() -> Vec<u8> {
+        use confide_vm::{FuncBuilder, Instr, ModuleBuilder};
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.op(Instr::Add).op(Instr::Ret);
+        let mut m = ModuleBuilder::new();
+        m.memory(1 << 16);
+        m.func(f.finish());
+        m.finish().encode()
+    }
+
+    #[test]
+    fn malformed_bytecode_rejected_at_deploy() {
+        let engine = Engine::public(EngineConfig::default());
+        let err = engine
+            .deploy(
+                addr(1),
+                &underflowing_module_bytes(),
+                VmKind::ConfideVm,
+                false,
+            )
+            .unwrap_err();
+        match err {
+            EngineError::Verify(msg) => assert!(msg.contains("underflow"), "{msg}"),
+            other => panic!("expected Verify, got {other:?}"),
+        }
+        assert!(!engine.has_contract(&addr(1)));
+    }
+
+    #[test]
+    fn undecodable_bytecode_rejected_at_deploy() {
+        let engine = Engine::public(EngineConfig::default());
+        assert_eq!(
+            engine
+                .deploy(addr(1), b"not a module", VmKind::ConfideVm, false)
+                .unwrap_err(),
+            EngineError::BadCode
+        );
+    }
+
+    #[test]
+    fn verify_gate_can_be_disabled() {
+        let cfg = EngineConfig {
+            verify_bytecode: false,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::public(cfg);
+        engine
+            .deploy(
+                addr(1),
+                &underflowing_module_bytes(),
+                VmKind::ConfideVm,
+                false,
+            )
+            .unwrap();
+        assert!(engine.has_contract(&addr(1)));
+    }
+
+    const LEAKY_SRC: &str = r#"
+        export fn main() {
+            let secret: bytes = storage_get(b"acct:alice");
+            log(secret);
+            ret(b"ok");
+        }
+    "#;
+
+    fn acct_schema_keys() -> confide_ccle::ConfidentialKeys {
+        confide_ccle::parse_schema(
+            r#"
+            attribute "confidential";
+            attribute "map";
+            table Entry { key: string; value: string; }
+            table Bank { acct: [Entry](map, confidential); }
+            root_type Bank;
+            "#,
+        )
+        .unwrap()
+        .confidential_keys()
+    }
+
+    #[test]
+    fn leaky_ccl_rejected_by_default() {
+        let engine = confidential_engine();
+        let keys = acct_schema_keys();
+        let err = engine
+            .deploy_ccl(addr(1), LEAKY_SRC, Some(&keys), true)
+            .unwrap_err();
+        match err {
+            EngineError::Leaky(msg) => assert!(msg.contains("log"), "{msg}"),
+            other => panic!("expected Leaky, got {other:?}"),
+        }
+        assert!(!engine.has_contract(&addr(1)));
+    }
+
+    #[test]
+    fn allow_leaky_escape_hatch_deploys_with_report() {
+        let platform = TeePlatform::new(1, 1);
+        let mut rng = HmacDrbg::from_u64(7);
+        let keys = NodeKeys::generate(&mut rng);
+        let cfg = EngineConfig {
+            allow_leaky: true,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::confidential(platform, keys, cfg);
+        let schema = acct_schema_keys();
+        let report = engine
+            .deploy_ccl(addr(1), LEAKY_SRC, Some(&schema), true)
+            .unwrap();
+        assert!(!report.deployable(), "report should still carry the errors");
+        assert!(engine.has_contract(&addr(1)));
+    }
+
+    #[test]
+    fn clean_ccl_deploys_with_clean_report() {
+        let engine = confidential_engine();
+        let report = engine.deploy_ccl(addr(1), COUNTER_SRC, None, true).unwrap();
+        assert!(report.deployable());
+        assert!(engine.has_contract(&addr(1)));
+        // And the deployed contract actually runs.
+        let state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"5", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"5");
+    }
+
+    #[test]
+    fn ccl_compile_error_surfaces() {
+        let engine = Engine::public(EngineConfig::default());
+        let err = engine
+            .deploy_ccl(addr(1), "export fn main() { let x: int = ; }", None, false)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Compile(_)), "{err:?}");
     }
 }

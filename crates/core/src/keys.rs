@@ -134,8 +134,8 @@ fn wrap_keys(
 ) -> Result<Vec<u8>, KeyProtocolError> {
     let our_eph = rng.gen32();
     let our_pub = x25519::x25519_base(&our_eph);
-    let shared = x25519::diffie_hellman(&our_eph, receiver_eph_pk)
-        .map_err(|_| KeyProtocolError::Unwrap)?;
+    let shared =
+        x25519::diffie_hellman(&our_eph, receiver_eph_pk).map_err(|_| KeyProtocolError::Unwrap)?;
     let session = confide_crypto::hkdf::derive_key32(
         &[&our_pub[..], receiver_eph_pk].concat(),
         &shared,
@@ -195,13 +195,15 @@ pub const KM_ENCLAVE_CODE: &[u8] = b"confide-km-enclave-v1";
 /// The canonical CS-enclave build.
 pub const CS_ENCLAVE_CODE: &[u8] = b"confide-cs-enclave-v1";
 
-/// Create the KM enclave on a platform.
-pub fn km_enclave(platform: &Arc<TeePlatform>, svn: u16) -> Enclave {
+/// Create the KM enclave on a platform. Fails with
+/// [`KeyProtocolError::Enclave`] when the platform refuses the enclave
+/// (e.g. EPC exhaustion) instead of panicking mid-protocol.
+pub fn km_enclave(platform: &Arc<TeePlatform>, svn: u16) -> Result<Enclave, KeyProtocolError> {
     Enclave::create(
         platform,
         EnclaveConfig::new(KM_ENCLAVE_CODE.to_vec(), [0x4b; 32], svn, 1 << 20),
     )
-    .expect("KM enclave creation")
+    .map_err(|e| KeyProtocolError::Enclave(e.to_string()))
 }
 
 /// Bootstrap a node's keys from a centralized KMS (the low-cost HSM-backed
@@ -214,7 +216,7 @@ pub fn kms_bootstrap(
     seed: u64,
 ) -> Result<NodeKeys, KeyProtocolError> {
     let mut rng = HmacDrbg::from_u64(seed);
-    let km = km_enclave(platform, svn);
+    let km = km_enclave(platform, svn)?;
     let eph_sk = rng.gen32();
     let mut report_data = [0u8; 64];
     report_data[..32].copy_from_slice(&x25519::x25519_base(&eph_sk));
@@ -242,7 +244,7 @@ pub fn decentralized_join(
     let mut rng = HmacDrbg::from_u64(seed);
 
     // Joiner's KM enclave generates an ephemeral key and quotes it.
-    let joiner_km = km_enclave(joiner_platform, svn);
+    let joiner_km = km_enclave(joiner_platform, svn)?;
     let joiner_eph_sk = rng.gen32();
     let joiner_eph_pk = x25519::x25519_base(&joiner_eph_sk);
     let mut report_data = [0u8; 64];
@@ -253,7 +255,7 @@ pub fn decentralized_join(
 
     // Member's KM enclave verifies the joiner runs the same build at an
     // acceptable SVN on a genuine platform.
-    let member_km = km_enclave(member_platform, svn);
+    let member_km = km_enclave(member_platform, svn)?;
     joiner_report.verify(
         &joiner_platform.attestation_public_key(),
         &member_km.mrenclave(),
@@ -300,7 +302,7 @@ mod tests {
     #[test]
     fn central_kms_provisions_valid_enclave() {
         let platform = TeePlatform::new(1, 1);
-        let km = km_enclave(&platform, 2);
+        let km = km_enclave(&platform, 2).unwrap();
         let kms = CentralKms::new(99, km.mrenclave(), 2);
 
         let mut rng = HmacDrbg::from_u64(3);
@@ -318,7 +320,7 @@ mod tests {
     #[test]
     fn central_kms_rejects_wrong_build() {
         let platform = TeePlatform::new(1, 1);
-        let km = km_enclave(&platform, 2);
+        let km = km_enclave(&platform, 2).unwrap();
         let kms = CentralKms::new(99, [0xbb; 32], 2); // expects another build
         let report = Report::generate(&km, [0u8; 64]);
         assert!(matches!(
@@ -332,7 +334,7 @@ mod tests {
     #[test]
     fn central_kms_rejects_stale_svn() {
         let platform = TeePlatform::new(1, 1);
-        let km = km_enclave(&platform, 1);
+        let km = km_enclave(&platform, 1).unwrap();
         let kms = CentralKms::new(99, km.mrenclave(), 2);
         let report = Report::generate(&km, [0u8; 64]);
         assert!(matches!(
@@ -394,7 +396,7 @@ mod tests {
     fn kms_bootstrap_provisions_a_whole_consortium() {
         // All nodes bootstrap from one KMS and agree on the secrets.
         let p1 = TeePlatform::new(1, 1);
-        let km_build = km_enclave(&p1, 2).mrenclave();
+        let km_build = km_enclave(&p1, 2).unwrap().mrenclave();
         let kms = CentralKms::new(7, km_build, 2);
         let mut keys = Vec::new();
         for i in 0..4u64 {

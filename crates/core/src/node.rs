@@ -18,6 +18,8 @@ use std::sync::Arc;
 pub enum NodeError {
     /// Engine failure for a specific transaction index.
     Engine(usize, EngineError),
+    /// Engine failure while sealing the block's state overlay at commit.
+    Commit(EngineError),
     /// State application failure.
     State(StateError),
     /// Block store failure.
@@ -28,6 +30,7 @@ impl std::fmt::Display for NodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NodeError::Engine(i, e) => write!(f, "tx {i}: {e}"),
+            NodeError::Commit(e) => write!(f, "commit: {e}"),
             NodeError::State(e) => write!(f, "state: {e}"),
             NodeError::Blocks(e) => write!(f, "blocks: {e}"),
         }
@@ -71,7 +74,12 @@ pub struct ConfideNode {
 
 impl ConfideNode {
     /// Stand up a node on a TEE platform with provisioned keys.
-    pub fn new(platform: Arc<TeePlatform>, keys: NodeKeys, config: EngineConfig, seed: u64) -> ConfideNode {
+    pub fn new(
+        platform: Arc<TeePlatform>,
+        keys: NodeKeys,
+        config: EngineConfig,
+        seed: u64,
+    ) -> ConfideNode {
         ConfideNode {
             state: StateDb::new(),
             blocks: BlockStore::new(),
@@ -83,17 +91,30 @@ impl ConfideNode {
     }
 
     /// `pk_tx` for clients.
+    ///
+    /// Infallible by construction: every `Node` is built with a
+    /// confidential engine (see the constructors above), so the inner
+    /// `Option` is always `Some`.
     pub fn pk_tx(&self) -> [u8; 32] {
-        self.confidential_engine.pk_tx().expect("confidential engine")
+        self.confidential_engine
+            .pk_tx()
+            .expect("confidential engine")
     }
 
     /// Deploy a contract on the appropriate engine (genesis convenience;
-    /// deployments can also travel as transactions).
-    pub fn deploy(&self, address: [u8; 32], code: &[u8], vm: VmKind, confidential: bool) {
+    /// deployments can also travel as transactions). Subject to the same
+    /// deploy-time bytecode verification as [`Engine::deploy`].
+    pub fn deploy(
+        &self,
+        address: [u8; 32],
+        code: &[u8],
+        vm: VmKind,
+        confidential: bool,
+    ) -> Result<(), crate::engine::EngineError> {
         if confidential {
-            self.confidential_engine.deploy(address, code, vm, true);
+            self.confidential_engine.deploy(address, code, vm, true)
         } else {
-            self.public_engine.deploy(address, code, vm, false);
+            self.public_engine.deploy(address, code, vm, false)
         }
     }
 
@@ -107,7 +128,10 @@ impl ConfideNode {
         let mut ctx = ExecContext::new();
         f(&self.confidential_engine, &self.state, &mut ctx);
         let height = self.state.height() + 1;
-        let batch = self.confidential_engine.commit_block(&mut ctx, height);
+        let batch = self
+            .confidential_engine
+            .commit_block(&mut ctx, height)
+            .map_err(NodeError::Commit)?;
         let state_root = self
             .state
             .apply_block(height, &batch)
@@ -169,7 +193,7 @@ impl ConfideNode {
             self.public_engine.commit_block(&mut pub_ctx, height),
             self.confidential_engine.commit_block(&mut conf_ctx, height),
         ] {
-            batch.ops.extend(b.ops);
+            batch.ops.extend(b.map_err(NodeError::Commit)?.ops);
         }
         for (receipt, sealed) in receipts.iter().zip(&sealed_receipts) {
             let mut key = b"receipt|".to_vec();
@@ -195,7 +219,9 @@ impl ConfideNode {
             },
             txs: tx_bytes,
         };
-        self.blocks.append(block.clone()).map_err(NodeError::Blocks)?;
+        self.blocks
+            .append(block.clone())
+            .map_err(NodeError::Blocks)?;
         Ok(BlockResult {
             block,
             receipts,
@@ -232,11 +258,7 @@ impl ConfideNode {
 /// accept the value only if (a) the proof verifies against that node's
 /// claimed root and (b) at least `quorum` of the consulted nodes report
 /// the same root. Returns the (possibly sealed) value.
-pub fn consensus_read(
-    nodes: &[&ConfideNode],
-    key: &[u8],
-    quorum: usize,
-) -> Option<Vec<u8>> {
+pub fn consensus_read(nodes: &[&ConfideNode], key: &[u8], quorum: usize) -> Option<Vec<u8>> {
     let (value, proof, claimed_root) = nodes.first()?.prove_state(key)?;
     if !proof.verify(&claimed_root, key, &value) {
         return None;
@@ -285,15 +307,25 @@ mod tests {
         let (mut a, mut b) = two_nodes();
         let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
         let contract = [3u8; 32];
-        a.deploy(contract, &code, VmKind::ConfideVm, true);
-        b.deploy(contract, &code, VmKind::ConfideVm, true);
+        a.deploy(contract, &code, VmKind::ConfideVm, true).unwrap();
+        b.deploy(contract, &code, VmKind::ConfideVm, true).unwrap();
 
         let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
         let (tx1, h1, _) = client
-            .confidential_tx(&a.pk_tx(), contract, "main", br#"{"to":"alice","amount":100}"#)
+            .confidential_tx(
+                &a.pk_tx(),
+                contract,
+                "main",
+                br#"{"to":"alice","amount":100}"#,
+            )
             .unwrap();
         let (tx2, _, _) = client
-            .confidential_tx(&a.pk_tx(), contract, "main", br#"{"to":"alice","amount":-30}"#)
+            .confidential_tx(
+                &a.pk_tx(),
+                contract,
+                "main",
+                br#"{"to":"alice","amount":-30}"#,
+            )
             .unwrap();
         let txs = vec![tx1, tx2];
         let ra = a.execute_block(&txs).unwrap();
@@ -313,10 +345,15 @@ mod tests {
         let (mut a, _) = two_nodes();
         let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
         let contract = [3u8; 32];
-        a.deploy(contract, &code, VmKind::ConfideVm, true);
+        a.deploy(contract, &code, VmKind::ConfideVm, true).unwrap();
         let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
         let (tx, _, _) = client
-            .confidential_tx(&a.pk_tx(), contract, "main", br#"{"to":"alice","amount":12345}"#)
+            .confidential_tx(
+                &a.pk_tx(),
+                contract,
+                "main",
+                br#"{"to":"alice","amount":12345}"#,
+            )
             .unwrap();
         a.execute_block(&[tx]).unwrap();
         // Scan the whole database: the balance value must not appear.
@@ -333,8 +370,10 @@ mod tests {
         let (mut a, _) = two_nodes();
         let pub_code = confide_lang::build_vm(BALANCE_SRC).unwrap();
         let conf_code = confide_lang::build_vm(BALANCE_SRC).unwrap();
-        a.deploy([1u8; 32], &pub_code, VmKind::ConfideVm, false);
-        a.deploy([2u8; 32], &conf_code, VmKind::ConfideVm, true);
+        a.deploy([1u8; 32], &pub_code, VmKind::ConfideVm, false)
+            .unwrap();
+        a.deploy([2u8; 32], &conf_code, VmKind::ConfideVm, true)
+            .unwrap();
         let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
         let ptx = client.public_tx([1u8; 32], "main", br#"{"to":"x","amount":1}"#);
         let (ctx_, _, _) = client
@@ -355,7 +394,8 @@ mod tests {
     fn chain_grows_and_verifies() {
         let (mut a, _) = two_nodes();
         let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
-        a.deploy([1u8; 32], &code, VmKind::ConfideVm, false);
+        a.deploy([1u8; 32], &code, VmKind::ConfideVm, false)
+            .unwrap();
         let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
         for i in 0..5 {
             let tx = client.public_tx(
@@ -375,7 +415,7 @@ mod tests {
         // A block whose counters expose the Table 1 categories.
         let (mut a, _) = two_nodes();
         let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
-        a.deploy([2u8; 32], &code, VmKind::ConfideVm, true);
+        a.deploy([2u8; 32], &code, VmKind::ConfideVm, true).unwrap();
         let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
         let (tx, _, _) = client
             .confidential_tx(&a.pk_tx(), [2u8; 32], "main", br#"{"to":"a","amount":1}"#)

@@ -91,7 +91,11 @@ impl Receipt {
     }
 
     /// Open a sealed receipt with `k_tx`, checking it answers `tx_hash`.
-    pub fn open(sealed: &[u8], k_tx: &[u8; 32], tx_hash: &[u8; 32]) -> Result<Receipt, CryptoError> {
+    pub fn open(
+        sealed: &[u8],
+        k_tx: &[u8; 32],
+        tx_hash: &[u8; 32],
+    ) -> Result<Receipt, CryptoError> {
         if sealed.len() < 12 {
             return Err(CryptoError::TruncatedInput);
         }

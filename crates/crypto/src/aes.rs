@@ -258,7 +258,9 @@ mod tests {
         for _ in 0..50 {
             let mut block = [0u8; 16];
             for b in block.iter_mut() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (state >> 33) as u8;
             }
             let orig = block;

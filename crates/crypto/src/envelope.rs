@@ -114,11 +114,7 @@ impl Envelope {
     }
 
     /// Recover only the one-time key `k_tx` (asymmetric part).
-    pub fn open_key(
-        &self,
-        keypair: &EnvelopeKeyPair,
-        aad: &[u8],
-    ) -> Result<[u8; 32], CryptoError> {
+    pub fn open_key(&self, keypair: &EnvelopeKeyPair, aad: &[u8]) -> Result<[u8; 32], CryptoError> {
         let shared = x25519::diffie_hellman(&keypair.secret, &self.ephemeral_pk)?;
         let kek = derive_kek(&shared, &self.ephemeral_pk, &keypair.public);
         let wrap = AesGcm::new(&kek)?;
@@ -140,7 +136,8 @@ impl Envelope {
 
     /// Serialize to the wire format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + 12 + 12 + 8 + self.wrapped_key.len() + self.body.len());
+        let mut out =
+            Vec::with_capacity(32 + 12 + 12 + 8 + self.wrapped_key.len() + self.body.len());
         out.extend_from_slice(&self.ephemeral_pk);
         out.extend_from_slice(&self.wrap_nonce);
         out.extend_from_slice(&(self.wrapped_key.len() as u32).to_le_bytes());
@@ -216,8 +213,14 @@ mod tests {
     fn seal_open_round_trip() {
         let (kp, mut rng) = setup();
         let k_tx = rng.gen32();
-        let env = Envelope::seal(&kp.public(), &k_tx, b"txhash", b"raw transaction body", &mut rng)
-            .unwrap();
+        let env = Envelope::seal(
+            &kp.public(),
+            &k_tx,
+            b"txhash",
+            b"raw transaction body",
+            &mut rng,
+        )
+        .unwrap();
         let (k, body) = env.open(&kp, b"txhash").unwrap();
         assert_eq!(k, k_tx);
         assert_eq!(body, b"raw transaction body");

@@ -12,6 +12,9 @@ const LOW_51: u64 = (1 << 51) - 1;
 #[derive(Clone, Copy, Debug)]
 pub struct Fe(pub [u64; 5]);
 
+// Named `add`/`sub`/`mul`/`neg` (rather than the `std::ops` traits) to
+// keep call sites explicit about field arithmetic vs integer arithmetic.
+#[allow(clippy::should_implement_trait)]
 impl Fe {
     /// The additive identity.
     pub const ZERO: Fe = Fe([0; 5]);
@@ -57,10 +60,10 @@ impl Fe {
         // Carry and mask away bit 255.
         let mut carry = l[0] >> 51;
         l[0] &= LOW_51;
-        for i in 1..5 {
-            l[i] += carry;
-            carry = l[i] >> 51;
-            l[i] &= LOW_51;
+        for limb in l.iter_mut().skip(1) {
+            *limb += carry;
+            carry = *limb >> 51;
+            *limb &= LOW_51;
         }
         // carry here is the 2^255 bit; discarding it subtracts 2^255 ≡ 19+p…
         // but since we added 19·q above it exactly cancels when q=1.
@@ -170,19 +173,19 @@ impl Fe {
         let mut l = [0u64; 5];
         // Two rounds of carrying handles the 128-bit accumulators.
         for _ in 0..2 {
-            let carry0 = (c[0] >> 51) as u128;
+            let carry0 = c[0] >> 51;
             c[0] &= LOW_51 as u128;
             c[1] += carry0;
-            let carry1 = (c[1] >> 51) as u128;
+            let carry1 = c[1] >> 51;
             c[1] &= LOW_51 as u128;
             c[2] += carry1;
-            let carry2 = (c[2] >> 51) as u128;
+            let carry2 = c[2] >> 51;
             c[2] &= LOW_51 as u128;
             c[3] += carry2;
-            let carry3 = (c[3] >> 51) as u128;
+            let carry3 = c[3] >> 51;
             c[3] &= LOW_51 as u128;
             c[4] += carry3;
-            let carry4 = (c[4] >> 51) as u128;
+            let carry4 = c[4] >> 51;
             c[4] &= LOW_51 as u128;
             c[0] += carry4 * 19;
         }
@@ -268,7 +271,9 @@ pub fn edwards_d() -> Fe {
     use std::sync::OnceLock;
     static D: OnceLock<Fe> = OnceLock::new();
     *D.get_or_init(|| {
-        Fe::from_u64(121665).neg().mul(Fe::from_u64(121666).invert())
+        Fe::from_u64(121665)
+            .neg()
+            .mul(Fe::from_u64(121666).invert())
     })
 }
 
@@ -334,7 +339,10 @@ mod tests {
     fn edwards_d_satisfies_definition() {
         // d · 121666 + 121665 ≡ 0
         let d = edwards_d();
-        assert!(d.mul(Fe::from_u64(121666)).add(Fe::from_u64(121665)).is_zero());
+        assert!(d
+            .mul(Fe::from_u64(121666))
+            .add(Fe::from_u64(121665))
+            .is_zero());
     }
 
     #[test]

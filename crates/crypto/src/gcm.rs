@@ -207,7 +207,8 @@ mod tests {
         let pt = b"financial grade consortium blockchain".to_vec();
         let sealed = gcm.seal(&n, b"contract:0xabc|owner:bank1|sv:3", &pt);
         assert_eq!(
-            gcm.open(&n, b"contract:0xabc|owner:bank1|sv:3", &sealed).unwrap(),
+            gcm.open(&n, b"contract:0xabc|owner:bank1|sv:3", &sealed)
+                .unwrap(),
             pt
         );
     }
@@ -220,7 +221,10 @@ mod tests {
         for i in 0..sealed.len() {
             let mut bad = sealed.clone();
             bad[i] ^= 0x01;
-            assert!(gcm.open(&n, b"aad", &bad).is_err(), "byte {i} flip undetected");
+            assert!(
+                gcm.open(&n, b"aad", &bad).is_err(),
+                "byte {i} flip undetected"
+            );
         }
     }
 

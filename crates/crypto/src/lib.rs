@@ -78,7 +78,7 @@ pub fn hex(data: &[u8]) -> String {
 /// Decode a lowercase/uppercase hex string. Panics on malformed input;
 /// intended for test vectors and fixtures.
 pub fn unhex(s: &str) -> Vec<u8> {
-    assert!(s.len() % 2 == 0, "odd-length hex string");
+    assert!(s.len().is_multiple_of(2), "odd-length hex string");
     let nib = |c: u8| -> u8 {
         match c {
             b'0'..=b'9' => c - b'0',
@@ -88,7 +88,9 @@ pub fn unhex(s: &str) -> Vec<u8> {
         }
     };
     let b = s.as_bytes();
-    (0..s.len() / 2).map(|i| (nib(b[2 * i]) << 4) | nib(b[2 * i + 1])).collect()
+    (0..s.len() / 2)
+        .map(|i| (nib(b[2 * i]) << 4) | nib(b[2 * i + 1]))
+        .collect()
 }
 
 /// Constant-shape byte comparison (no early exit). Not a hard constant-time

@@ -79,7 +79,9 @@ impl EvmHost for MockEvmHost {
     }
 
     fn call_contract(&mut self, _addr: &U256, _input: &[u8]) -> Result<Vec<u8>, EvmHostError> {
-        Err(EvmHostError::Call("MockEvmHost has no other contracts".into()))
+        Err(EvmHostError::Call(
+            "MockEvmHost has no other contracts".into(),
+        ))
     }
 
     fn log(&mut self, data: &[u8]) {

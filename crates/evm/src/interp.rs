@@ -230,25 +230,41 @@ impl Evm {
                 op::BYTE => {
                     let i = pop!();
                     let x = pop!();
-                    let idx = if i.fits_u64() { i.low_u64() as usize } else { 32 };
+                    let idx = if i.fits_u64() {
+                        i.low_u64() as usize
+                    } else {
+                        32
+                    };
                     push!(U256::from_u64(x.byte(idx) as u64));
                 }
                 op::SHL => {
                     let s = pop!();
                     let v = pop!();
-                    let sh = if s.fits_u64() { s.low_u64() as usize } else { 256 };
+                    let sh = if s.fits_u64() {
+                        s.low_u64() as usize
+                    } else {
+                        256
+                    };
                     push!(v.shl(sh));
                 }
                 op::SHR => {
                     let s = pop!();
                     let v = pop!();
-                    let sh = if s.fits_u64() { s.low_u64() as usize } else { 256 };
+                    let sh = if s.fits_u64() {
+                        s.low_u64() as usize
+                    } else {
+                        256
+                    };
                     push!(v.shr(sh));
                 }
                 op::SAR => {
                     let s = pop!();
                     let v = pop!();
-                    let sh = if s.fits_u64() { s.low_u64() as usize } else { 256 };
+                    let sh = if s.fits_u64() {
+                        s.low_u64() as usize
+                    } else {
+                        256
+                    };
                     push!(v.sar(sh));
                 }
                 op::SHA3 => {
@@ -541,7 +557,11 @@ mod tests {
         Evm::new(code, EvmConfig::default()).run(calldata, &mut host)
     }
 
-    fn run_with(code: Vec<u8>, calldata: &[u8], host: &mut MockEvmHost) -> Result<EvmOutcome, EvmTrap> {
+    fn run_with(
+        code: Vec<u8>,
+        calldata: &[u8],
+        host: &mut MockEvmHost,
+    ) -> Result<EvmOutcome, EvmTrap> {
         Evm::new(code, EvmConfig::default()).run(calldata, host)
     }
 
@@ -560,7 +580,11 @@ mod tests {
     #[test]
     fn add_mul_return() {
         let mut a = Asm::new();
-        a.push_u64(7).push_u64(5).op(op::MUL).push_u64(2).op(op::ADD); // 5*7+2
+        a.push_u64(7)
+            .push_u64(5)
+            .op(op::MUL)
+            .push_u64(2)
+            .op(op::ADD); // 5*7+2
         ret_top(&mut a);
         let out = run(a.finish(), &[]).unwrap();
         assert_eq!(word(&out), U256::from_u64(37));
@@ -616,10 +640,19 @@ mod tests {
         a.push_u64(100).push_u64(0).op(op::MLOAD).op(op::GT); // i > 100
         a.jumpi(done);
         // acc += i
-        a.push_u64(32).op(op::MLOAD).push_u64(0).op(op::MLOAD).op(op::ADD);
+        a.push_u64(32)
+            .op(op::MLOAD)
+            .push_u64(0)
+            .op(op::MLOAD)
+            .op(op::ADD);
         a.push_u64(32).op(op::MSTORE);
         // i += 1
-        a.push_u64(0).op(op::MLOAD).push_u64(1).op(op::ADD).push_u64(0).op(op::MSTORE);
+        a.push_u64(0)
+            .op(op::MLOAD)
+            .push_u64(1)
+            .op(op::ADD)
+            .push_u64(0)
+            .op(op::MSTORE);
         a.jump(top);
         a.bind(done);
         a.push_u64(32).op(op::MLOAD);
@@ -675,7 +708,7 @@ mod tests {
         a.op(op::CALLDATASIZE); // len
         a.push_u64(0); // src
         a.push_u64(64); // dst
-        // stack now [len, src, dst] top=dst: CALLDATACOPY pops len, src, dst in our impl order
+                        // stack now [len, src, dst] top=dst: CALLDATACOPY pops len, src, dst in our impl order
         a.op(op::CALLDATACOPY);
         a.op(op::CALLDATASIZE).push_u64(64).op(op::RETURN);
         let out = run(a.finish(), b"payload!").unwrap();
@@ -738,8 +771,10 @@ mod tests {
         let mut a = Asm::new();
         a.op(op::CALLER);
         ret_top(&mut a);
-        let mut host = MockEvmHost::default();
-        host.caller = U256::from_u64(0xabc);
+        let mut host = MockEvmHost {
+            caller: U256::from_u64(0xabc),
+            ..Default::default()
+        };
         let out = run_with(a.finish(), &[], &mut host).unwrap();
         assert_eq!(word(&out), U256::from_u64(0xabc));
     }

@@ -84,10 +84,10 @@ impl U256 {
     pub fn wrapping_add(&self, rhs: &U256) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *slot = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         U256(out)
@@ -97,10 +97,10 @@ impl U256 {
     pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *slot = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         U256(out)
@@ -272,11 +272,11 @@ impl U256 {
         let limb_shift = shift / 64;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             if i + limb_shift < 4 {
-                out[i] = self.0[i + limb_shift] >> bit_shift;
+                *slot = self.0[i + limb_shift] >> bit_shift;
                 if bit_shift > 0 && i + limb_shift + 1 < 4 {
-                    out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                    *slot |= self.0[i + limb_shift + 1] << (64 - bit_shift);
                 }
             }
         }
@@ -311,7 +311,6 @@ impl U256 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::cmp::Ordering;
 
     #[test]
@@ -395,52 +394,85 @@ mod tests {
         assert_eq!(v.byte(99), 0);
     }
 
-    proptest! {
-        #[test]
-        fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    /// Seeded DRBG helpers replacing the former proptest strategies.
+    fn rng(tag: u64) -> confide_crypto::HmacDrbg {
+        confide_crypto::HmacDrbg::from_u64(0x7525_6000 | tag)
+    }
+
+    fn gen_limbs(rng: &mut confide_crypto::HmacDrbg) -> [u64; 4] {
+        [rng.gen_u64(), rng.gen_u64(), rng.gen_u64(), rng.gen_u64()]
+    }
+
+    #[test]
+    fn add_matches_u128() {
+        let mut r = rng(1);
+        for _ in 0..256 {
+            let (a, b) = (r.gen_u64(), r.gen_u64());
             let sum = U256::from_u64(a).wrapping_add(&U256::from_u64(b));
-            prop_assert_eq!(sum.low_u128(), a as u128 + b as u128);
+            assert_eq!(sum.low_u128(), a as u128 + b as u128);
         }
+    }
 
-        #[test]
-        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn mul_matches_u128() {
+        let mut r = rng(2);
+        for _ in 0..256 {
+            let (a, b) = (r.gen_u64(), r.gen_u64());
             let prod = U256::from_u64(a).wrapping_mul(&U256::from_u64(b));
-            prop_assert_eq!(prod.low_u128(), a as u128 * b as u128);
+            assert_eq!(prod.low_u128(), a as u128 * b as u128);
         }
+    }
 
-        #[test]
-        fn div_rem_invariant(a in any::<u128>(), b in 1u64..) {
+    #[test]
+    fn div_rem_invariant() {
+        let mut rg = rng(3);
+        for _ in 0..256 {
+            let a = (rg.gen_u64() as u128) << 64 | rg.gen_u64() as u128;
+            let b = rg.gen_u64().max(1);
             let (q, r) = U256::from_u128(a).div_rem(&U256::from_u64(b));
             // a == q*b + r and r < b
             let recomposed = q.wrapping_mul(&U256::from_u64(b)).wrapping_add(&r);
-            prop_assert_eq!(recomposed, U256::from_u128(a));
-            prop_assert!(r.cmp_u(&U256::from_u64(b)) == Ordering::Less);
+            assert_eq!(recomposed, U256::from_u128(a));
+            assert!(r.cmp_u(&U256::from_u64(b)) == Ordering::Less);
         }
+    }
 
-        #[test]
-        fn sub_add_round_trip(a in any::<[u64;4]>(), b in any::<[u64;4]>()) {
-            let x = U256(a);
-            let y = U256(b);
-            prop_assert_eq!(x.wrapping_sub(&y).wrapping_add(&y), x);
+    #[test]
+    fn sub_add_round_trip() {
+        let mut r = rng(4);
+        for _ in 0..256 {
+            let x = U256(gen_limbs(&mut r));
+            let y = U256(gen_limbs(&mut r));
+            assert_eq!(x.wrapping_sub(&y).wrapping_add(&y), x);
         }
+    }
 
-        #[test]
-        fn shl_shr_round_trip_when_no_loss(v in any::<u64>(), s in 0usize..192) {
-            let x = U256::from_u64(v);
-            prop_assert_eq!(x.shl(s).shr(s), x);
+    #[test]
+    fn shl_shr_round_trip_when_no_loss() {
+        let mut r = rng(5);
+        for _ in 0..256 {
+            let x = U256::from_u64(r.gen_u64());
+            let s = r.gen_range(192) as usize;
+            assert_eq!(x.shl(s).shr(s), x);
         }
+    }
 
-        #[test]
-        fn bytes_round_trip_random(a in any::<[u64;4]>()) {
-            let x = U256(a);
-            prop_assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
+    #[test]
+    fn bytes_round_trip_random() {
+        let mut r = rng(6);
+        for _ in 0..256 {
+            let x = U256(gen_limbs(&mut r));
+            assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
         }
+    }
 
-        #[test]
-        fn not_is_involution(a in any::<[u64;4]>()) {
-            let x = U256(a);
-            prop_assert_eq!(x.not().not(), x);
-            prop_assert_eq!(x.xor(&x), U256::ZERO);
+    #[test]
+    fn not_is_involution() {
+        let mut r = rng(7);
+        for _ in 0..256 {
+            let x = U256(gen_limbs(&mut r));
+            assert_eq!(x.not().not(), x);
+            assert_eq!(x.xor(&x), U256::ZERO);
         }
     }
 }

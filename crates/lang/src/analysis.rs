@@ -1,0 +1,1008 @@
+//! Static confidentiality-flow analysis (taint / information-flow) for CCL.
+//!
+//! CONFIDE's language story (§4) is that the *schema* declares what is
+//! confidential and the runtime seals exactly those fields. What the paper
+//! leaves to the developer is making sure the *contract code* never moves
+//! sealed data somewhere public — into an event log that leaves the
+//! enclave in plaintext, into a non-confidential state field an auditor
+//! can read, or across a contract boundary. This module closes that gap
+//! with an intraprocedural dataflow pass plus a call-graph summary layer,
+//! run at `cclc --lint` time and again by the engine before a deployment
+//! is accepted.
+//!
+//! ## Abstract domain
+//!
+//! Every CCL value is abstracted as a taint set and a key shape:
+//!
+//! * **Taint** — two independent bits. [`INPUT_TAINT`]: derived from
+//!   `input()`, the T-Protocol envelope body (confidential in transit).
+//!   [`STATE_TAINT`]: derived from a `storage_get`/`storage_has` whose key
+//!   the CCLe schema maps to a `(confidential)` field (the D-Protocol
+//!   sealed fraction of state).
+//! * **Key shape** — an abstract byte-string prefix ([`KeyShape`]):
+//!   literals are `Exact`, `concat(b"score:", x)` is `Prefix("score:")`,
+//!   everything else `Unknown`. Shapes let the pass classify storage keys
+//!   against [`ConfidentialKeys`] without executing the contract.
+//!
+//! Function bodies are interpreted abstractly (branch join, loop
+//! fixpoint); non-primitive functions get a memoized **summary** —
+//! which parameters flow to the return value, what constant taint the
+//! body introduces, which sinks its parameters reach — so flows through
+//! helpers are reported at the *call site* in the user's code. The
+//! implicit-flow (pc-taint) of `if`/`while` conditions is tracked and
+//! surfaces as warnings when a sink fires under secret-dependent control.
+//!
+//! ## Rules
+//!
+//! | rule | severity | fires when |
+//! |---|---|---|
+//! | `leak-log` | Error | input- or confidential-state-derived data reaches `log` |
+//! | `leak-public-store` | Error (state) / Warning (input) | tainted data written to a key the schema maps to a **non**-confidential field |
+//! | `leak-unknown-store` | Warning | tainted data written to a key whose shape the analysis cannot resolve (schema present) |
+//! | `leak-key` | Error | confidential-state data used as storage-key material (keys are stored in plaintext) |
+//! | `leak-call` | Warning | confidential-state data passed across a cross-contract `call` boundary |
+//! | `implicit-flow` | Warning | a public sink executes under control flow conditioned on confidential state |
+//!
+//! Without a schema only `input()` is a source and only `log`/`call` are
+//! sinks — under whole-state sealing (D-Protocol without CCLe) every
+//! storage write lands encrypted, so storage is not a leak channel.
+//! Severity `Error` is what the engine's deploy gate rejects;
+//! warnings are advisory.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Expr, FnDef, Program, Stmt};
+use crate::CompileError;
+use confide_ccle::ConfidentialKeys;
+
+/// Taint bit: value derived from `input()` (the sealed T-Protocol body).
+pub const INPUT_TAINT: u8 = 1;
+/// Taint bit: value derived from a confidential state field.
+pub const STATE_TAINT: u8 = 2;
+
+/// Diagnostic severity. `Error` blocks deployment; `Warning` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; deploy proceeds.
+    Warning,
+    /// Confidentiality violation; deploy is rejected unless `allow_leaky`.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One linter finding, line-numbered in the *user's* source (the
+/// prepended stdlib is transparent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// 1-based line in the user source (0 when inside the stdlib).
+    pub line: usize,
+    /// Stable rule identifier (e.g. `leak-log`).
+    pub rule: &'static str,
+    /// Human-readable description of the flow.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: line {}: [{}] {}",
+            self.severity, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of linting one contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, in program order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Findings at `Error` severity.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the contract is clean enough to deploy (no errors).
+    pub fn deployable(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of lines the prepended stdlib occupies: user line `L` appears
+/// as combined line `L + stdlib_line_offset()`.
+pub fn stdlib_line_offset() -> usize {
+    crate::stdlib::STDLIB
+        .bytes()
+        .filter(|&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Lint CCL source (stdlib is prepended and type-checked exactly as
+/// [`crate::frontend`] does). Pass the schema-derived
+/// [`ConfidentialKeys`] to enable the storage-source/sink rules;
+/// without it only `input()` is a source.
+pub fn lint_source(
+    source: &str,
+    keys: Option<&ConfidentialKeys>,
+) -> Result<LintReport, CompileError> {
+    let program = crate::frontend(source)?;
+    let offset = stdlib_line_offset();
+    let mut diagnostics = lint_program(&program, keys);
+    // Rebase onto user-source lines; drop stdlib-internal findings (the
+    // stdlib is trusted — its storage wrappers are modeled, not analyzed).
+    diagnostics.retain(|d| d.line > offset);
+    for d in &mut diagnostics {
+        d.line -= offset;
+    }
+    Ok(LintReport { diagnostics })
+}
+
+/// Lint an already-parsed program. Lines are those of the parsed source
+/// (combined stdlib + user when the program came from [`crate::frontend`]).
+pub fn lint_program(program: &Program, keys: Option<&ConfidentialKeys>) -> Vec<Diagnostic> {
+    let mut ctx = Ctx {
+        program,
+        keys,
+        summaries: HashMap::new(),
+        in_progress: HashSet::new(),
+        diags: Vec::new(),
+    };
+    // Summarize every function: constant-taint flows are reported while
+    // summarizing, parameter-dependent flows at each call site.
+    for f in &program.functions {
+        if !is_modeled(&f.name) {
+            ctx.summarize(&f.name);
+        }
+    }
+    ctx.diags.sort_by_key(|d| (d.line, d.rule));
+    ctx.diags.dedup();
+    ctx.diags
+}
+
+// ---------------------------------------------------------------------------
+// Abstract domain
+// ---------------------------------------------------------------------------
+
+/// Symbolic taint: constant bits plus a bitmask of parameters whose taint
+/// flows in wholesale (positions in the function being summarized).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Sym {
+    konst: u8,
+    deps: u64,
+}
+
+impl Sym {
+    const CLEAN: Sym = Sym { konst: 0, deps: 0 };
+
+    fn konst(bits: u8) -> Sym {
+        Sym {
+            konst: bits,
+            deps: 0,
+        }
+    }
+
+    fn param(i: usize) -> Sym {
+        Sym {
+            konst: 0,
+            deps: 1u64 << i.min(63),
+        }
+    }
+
+    fn or(self, other: Sym) -> Sym {
+        Sym {
+            konst: self.konst | other.konst,
+            deps: self.deps | other.deps,
+        }
+    }
+
+    fn is_clean(self) -> bool {
+        self.konst == 0 && self.deps == 0
+    }
+
+    /// Substitute caller argument taints for parameter dependencies.
+    fn subst(self, args: &[Sym]) -> Sym {
+        let mut out = Sym::konst(self.konst);
+        for (i, a) in args.iter().enumerate() {
+            if self.deps >> i & 1 == 1 {
+                out = out.or(*a);
+            }
+        }
+        // Dependencies beyond the supplied args (should not happen on a
+        // type-checked program) stay conservative: keep them as konst-less
+        // deps so nothing is silently dropped.
+        let extra = self.deps >> args.len().min(63);
+        if args.len() < 64 && extra != 0 {
+            out.deps |= self.deps & !((1u64 << args.len()) - 1);
+        }
+        out
+    }
+}
+
+/// Abstract byte-string used as a storage key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum KeyShape {
+    /// The exact literal bytes are known.
+    Exact(Vec<u8>),
+    /// A literal prefix is known (`concat(lit, dynamic)`).
+    Prefix(Vec<u8>),
+    /// Nothing is known.
+    Unknown,
+}
+
+impl KeyShape {
+    fn join(&self, other: &KeyShape) -> KeyShape {
+        if self == other {
+            self.clone()
+        } else {
+            KeyShape::Unknown
+        }
+    }
+}
+
+/// Abstract value: taint plus key shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AVal {
+    t: Sym,
+    shape: KeyShape,
+}
+
+impl AVal {
+    fn clean() -> AVal {
+        AVal {
+            t: Sym::CLEAN,
+            shape: KeyShape::Unknown,
+        }
+    }
+
+    fn tainted(t: Sym) -> AVal {
+        AVal {
+            t,
+            shape: KeyShape::Unknown,
+        }
+    }
+
+    fn join(&self, other: &AVal) -> AVal {
+        AVal {
+            t: self.t.or(other.t),
+            shape: self.shape.join(&other.shape),
+        }
+    }
+}
+
+type Env = HashMap<String, AVal>;
+
+/// How confidential a storage key is, per the schema map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyClass {
+    /// Schema maps it to a `(confidential)` field.
+    Confidential,
+    /// Schema present; provably not confidential.
+    Public,
+    /// Schema present but the key shape is unresolvable.
+    Unresolved,
+    /// No schema — whole-state sealing; storage is not a leak channel.
+    NoSchema,
+}
+
+/// Sink kinds; paired with taint to decide the rule and severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SinkKind {
+    Log,
+    PublicStore,
+    UnknownStore,
+    KeyMaterial,
+    CallArg,
+}
+
+/// A parameter-dependent sink recorded in a function summary; fires at
+/// call sites when the argument taints resolve to something concrete.
+#[derive(Debug, Clone)]
+struct SinkEffect {
+    kind: SinkKind,
+    data: Sym,
+    pc: Sym,
+    detail: String,
+}
+
+/// The reusable result of analyzing one function.
+#[derive(Debug, Clone, Default)]
+struct Summary {
+    /// Taint of the return value.
+    ret: Sym,
+    /// Shape of the return value when constant.
+    ret_shape: Option<KeyShape>,
+    /// Parameter-dependent sinks inside (transitively).
+    sinks: Vec<SinkEffect>,
+    /// Extra taint the call applies to each (mutable buffer) argument.
+    param_mut: Vec<Sym>,
+}
+
+/// Per-function analysis state while a body is being interpreted.
+struct FnState {
+    params: Vec<String>,
+    ret: Sym,
+    ret_shape: Option<KeyShape>,
+    sinks: Vec<SinkEffect>,
+    param_mut: Vec<Sym>,
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    keys: Option<&'a ConfidentialKeys>,
+    summaries: HashMap<String, Summary>,
+    in_progress: HashSet<String>,
+    diags: Vec<Diagnostic>,
+}
+
+/// Functions modeled directly instead of analyzed from their bodies: the
+/// stdlib storage/call wrappers (their raw-builtin internals would lose
+/// the key classification) and the byte-string constructors whose prefix
+/// shape we track.
+fn is_modeled(name: &str) -> bool {
+    matches!(
+        name,
+        "storage_get" | "storage_has" | "call" | "concat" | "concat3"
+    )
+}
+
+impl<'a> Ctx<'a> {
+    fn summarize(&mut self, name: &str) -> Summary {
+        if let Some(s) = self.summaries.get(name) {
+            return s.clone();
+        }
+        // Recursion is rejected by the typechecker; if we are handed an
+        // unchecked AST, stay conservative rather than looping.
+        if !self.in_progress.insert(name.to_string()) {
+            return Summary {
+                ret: Sym::konst(INPUT_TAINT | STATE_TAINT),
+                ..Summary::default()
+            };
+        }
+        let summary = match self.program.get(name) {
+            Some(f) => self.analyze_fn(f),
+            None => Summary::default(),
+        };
+        self.in_progress.remove(name);
+        self.summaries.insert(name.to_string(), summary.clone());
+        summary
+    }
+
+    fn analyze_fn(&mut self, f: &FnDef) -> Summary {
+        let mut env: Env = HashMap::new();
+        let mut st = FnState {
+            params: f.params.iter().map(|(n, _)| n.clone()).collect(),
+            ret: Sym::CLEAN,
+            ret_shape: None,
+            sinks: Vec::new(),
+            param_mut: vec![Sym::CLEAN; f.params.len()],
+        };
+        for (i, (pname, _)) in f.params.iter().enumerate() {
+            env.insert(pname.clone(), AVal::tainted(Sym::param(i)));
+        }
+        self.exec_block(&f.body, &mut env, Sym::CLEAN, &mut st);
+        Summary {
+            ret: st.ret,
+            ret_shape: st.ret_shape,
+            sinks: st.sinks,
+            param_mut: st.param_mut,
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Env, pc: Sym, st: &mut FnState) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Let(name, _, e, _) | Stmt::Assign(name, e, _) => {
+                    let v = self.eval(e, env, pc, st);
+                    env.insert(name.clone(), v);
+                }
+                Stmt::If(cond, then_b, else_b, _) => {
+                    let c = self.eval(cond, env, pc, st);
+                    let inner_pc = pc.or(c.t);
+                    let mut then_env = env.clone();
+                    let mut else_env = env.clone();
+                    self.exec_block(then_b, &mut then_env, inner_pc, st);
+                    self.exec_block(else_b, &mut else_env, inner_pc, st);
+                    merge_env(env, &then_env, &else_env);
+                }
+                Stmt::While(cond, body, _) => {
+                    // Loop to a fixpoint: the taint lattice is finite so
+                    // this terminates quickly; cap defensively.
+                    for _ in 0..16 {
+                        let c = self.eval(cond, env, pc, st);
+                        let inner_pc = pc.or(c.t);
+                        let mut body_env = env.clone();
+                        self.exec_block(body, &mut body_env, inner_pc, st);
+                        let mut joined = env.clone();
+                        merge_env(&mut joined, env, &body_env);
+                        if joined == *env {
+                            break;
+                        }
+                        *env = joined;
+                    }
+                }
+                Stmt::Return(Some(e), _) => {
+                    let v = self.eval(e, env, pc, st);
+                    st.ret = st.ret.or(v.t).or(pc);
+                    st.ret_shape = Some(match &st.ret_shape {
+                        None => v.shape,
+                        Some(prev) => prev.join(&v.shape),
+                    });
+                }
+                Stmt::Return(None, _) => {}
+                Stmt::Expr(e, _) => {
+                    self.eval(e, env, pc, st);
+                }
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Env, pc: Sym, st: &mut FnState) -> AVal {
+        match e {
+            Expr::Int(_, _) => AVal::clean(),
+            Expr::Str(bytes, _) => AVal {
+                t: Sym::CLEAN,
+                shape: KeyShape::Exact(bytes.clone()),
+            },
+            Expr::Var(name, _) => env.get(name).cloned().unwrap_or_else(AVal::clean),
+            Expr::Bin(_, a, b, _) => {
+                let va = self.eval(a, env, pc, st);
+                let vb = self.eval(b, env, pc, st);
+                AVal::tainted(va.t.or(vb.t))
+            }
+            Expr::Un(_, a, _) => AVal::tainted(self.eval(a, env, pc, st).t),
+            Expr::Index(b, i, _) => {
+                let vb = self.eval(b, env, pc, st);
+                let vi = self.eval(i, env, pc, st);
+                AVal::tainted(vb.t.or(vi.t))
+            }
+            Expr::Call(name, args, line) => self.eval_call(name, args, *line, env, pc, st),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: usize,
+        env: &mut Env,
+        pc: Sym,
+        st: &mut FnState,
+    ) -> AVal {
+        let vals: Vec<AVal> = args.iter().map(|a| self.eval(a, env, pc, st)).collect();
+        match name {
+            // ---- sources -------------------------------------------------
+            "input" => AVal::tainted(Sym::konst(INPUT_TAINT)),
+            "sender" => AVal::clean(),
+            "storage_get" | "storage_has" | "__get_storage" => {
+                let key = vals.first().cloned().unwrap_or_else(AVal::clean);
+                let class = self.classify_key(&key);
+                let mut t = key.t;
+                if matches!(class, KeyClass::Confidential | KeyClass::Unresolved) {
+                    t = t.or(Sym::konst(STATE_TAINT));
+                }
+                self.check_key_material(&key, line, pc, st);
+                // __get_storage fills its second argument buffer.
+                if name == "__get_storage" {
+                    if let Some(Expr::Var(buf, _)) = args.get(1) {
+                        self.taint_var(buf, t, env, st);
+                    }
+                }
+                AVal::tainted(t)
+            }
+            // ---- sinks ---------------------------------------------------
+            "log" => {
+                let data = vals.first().map(|v| v.t).unwrap_or(Sym::CLEAN);
+                self.fire(
+                    SinkKind::Log,
+                    data,
+                    pc,
+                    line,
+                    "data reaches `log`, which leaves the enclave in plaintext".into(),
+                    st,
+                );
+                AVal::clean()
+            }
+            "storage_set" => {
+                let key = vals.first().cloned().unwrap_or_else(AVal::clean);
+                let val = vals.get(1).map(|v| v.t).unwrap_or(Sym::CLEAN);
+                self.check_key_material(&key, line, pc, st);
+                match self.classify_key(&key) {
+                    KeyClass::Confidential | KeyClass::NoSchema => {
+                        // Sealed destination (field-level or whole-state).
+                    }
+                    KeyClass::Public => {
+                        self.fire(
+                            SinkKind::PublicStore,
+                            val,
+                            pc,
+                            line,
+                            format!(
+                                "write to non-confidential key {} (plaintext, auditor-readable)",
+                                preview(&key.shape)
+                            ),
+                            st,
+                        );
+                    }
+                    KeyClass::Unresolved => {
+                        self.fire(
+                            SinkKind::UnknownStore,
+                            val,
+                            pc,
+                            line,
+                            "write to a storage key the analysis cannot resolve against the schema"
+                                .into(),
+                            st,
+                        );
+                    }
+                }
+                AVal::clean()
+            }
+            "call" | "__call" => {
+                let data = vals.iter().fold(Sym::CLEAN, |acc, v| acc.or(v.t));
+                self.fire(
+                    SinkKind::CallArg,
+                    data,
+                    pc,
+                    line,
+                    "confidential state crosses a cross-contract `call` boundary".into(),
+                    st,
+                );
+                AVal::tainted(data)
+            }
+            // ---- shape-tracked constructors ------------------------------
+            "concat" | "concat3" => {
+                let t = vals.iter().fold(Sym::CLEAN, |acc, v| acc.or(v.t));
+                let mut shape = vals
+                    .first()
+                    .map(|v| v.shape.clone())
+                    .unwrap_or(KeyShape::Unknown);
+                for v in vals.iter().skip(1) {
+                    shape = match (shape, &v.shape) {
+                        (KeyShape::Exact(mut a), KeyShape::Exact(b)) => {
+                            a.extend_from_slice(b);
+                            KeyShape::Exact(a)
+                        }
+                        (KeyShape::Exact(a), _) | (KeyShape::Prefix(a), _) => KeyShape::Prefix(a),
+                        (KeyShape::Unknown, _) => KeyShape::Unknown,
+                    };
+                }
+                AVal { t, shape }
+            }
+            // ---- taint-transparent builtins ------------------------------
+            "ret" | "alloc" => AVal::clean(),
+            "len" | "byte_at" | "take" | "sha256" | "keccak256" => {
+                AVal::tainted(vals.iter().fold(Sym::CLEAN, |acc, v| acc.or(v.t)))
+            }
+            "set_byte" => {
+                let t = vals.iter().skip(1).fold(Sym::CLEAN, |acc, v| acc.or(v.t));
+                if let Some(Expr::Var(buf, _)) = args.first() {
+                    self.taint_var(buf, t, env, st);
+                }
+                AVal::clean()
+            }
+            "__copy" => {
+                let t = vals.get(2).map(|v| v.t).unwrap_or(Sym::CLEAN);
+                if let Some(Expr::Var(buf, _)) = args.first() {
+                    self.taint_var(buf, t, env, st);
+                }
+                AVal::clean()
+            }
+            // ---- user functions via summary ------------------------------
+            _ => {
+                let summary = self.summarize(name);
+                let arg_syms: Vec<Sym> = vals.iter().map(|v| v.t).collect();
+                for se in summary.sinks.clone() {
+                    let data = se.data.subst(&arg_syms);
+                    let pcs = se.pc.subst(&arg_syms).or(pc);
+                    self.fire(
+                        se.kind,
+                        data,
+                        pcs,
+                        line,
+                        format!("{} (via call to `{name}`)", se.detail),
+                        st,
+                    );
+                }
+                for (i, m) in summary.param_mut.iter().enumerate() {
+                    let extra = m.subst(&arg_syms);
+                    if extra.is_clean() {
+                        continue;
+                    }
+                    if let Some(Expr::Var(buf, _)) = args.get(i) {
+                        self.taint_var(buf, extra, env, st);
+                    }
+                }
+                AVal {
+                    t: summary.ret.subst(&arg_syms),
+                    shape: summary.ret_shape.clone().unwrap_or(KeyShape::Unknown),
+                }
+            }
+        }
+    }
+
+    /// Add taint to a variable in place (buffer mutation through
+    /// `set_byte`/`__copy`/`__get_storage` or a callee's `param_mut`).
+    fn taint_var(&mut self, name: &str, t: Sym, env: &mut Env, st: &mut FnState) {
+        if let Some(v) = env.get_mut(name) {
+            v.t = v.t.or(t);
+        } else {
+            env.insert(name.to_string(), AVal::tainted(t));
+        }
+        if let Some(i) = st.params.iter().position(|p| p == name) {
+            st.param_mut[i] = st.param_mut[i].or(t);
+        }
+    }
+
+    fn classify_key(&self, key: &AVal) -> KeyClass {
+        let Some(keys) = self.keys else {
+            return KeyClass::NoSchema;
+        };
+        match &key.shape {
+            KeyShape::Exact(k) => {
+                if keys.key_is_confidential(k) {
+                    KeyClass::Confidential
+                } else {
+                    KeyClass::Public
+                }
+            }
+            KeyShape::Prefix(p) => {
+                if keys.prefix_overlaps_confidential(p) {
+                    KeyClass::Confidential
+                } else {
+                    KeyClass::Public
+                }
+            }
+            KeyShape::Unknown => KeyClass::Unresolved,
+        }
+    }
+
+    /// Storage keys are stored in plaintext; confidential-state bytes must
+    /// not become key material. (Input-derived keys — account ids from the
+    /// request — are the normal idiom and stay silent.)
+    fn check_key_material(&mut self, key: &AVal, line: usize, pc: Sym, st: &mut FnState) {
+        if self.keys.is_none() {
+            return;
+        }
+        self.fire(
+            SinkKind::KeyMaterial,
+            key.t,
+            pc,
+            line,
+            "confidential state used as storage-key material (keys are plaintext)".into(),
+            st,
+        );
+    }
+
+    /// Decide whether a sink fires now (constant taint), becomes an
+    /// implicit-flow warning (clean data under tainted pc), or is recorded
+    /// in the summary for call-site resolution (parameter-dependent).
+    fn fire(
+        &mut self,
+        kind: SinkKind,
+        data: Sym,
+        pc: Sym,
+        line: usize,
+        detail: String,
+        st: &mut FnState,
+    ) {
+        let finding = match kind {
+            SinkKind::Log => {
+                if data.konst & STATE_TAINT != 0 {
+                    Some((Severity::Error, "leak-log", "confidential state"))
+                } else if data.konst & INPUT_TAINT != 0 {
+                    Some((Severity::Error, "leak-log", "sealed transaction input"))
+                } else {
+                    None
+                }
+            }
+            SinkKind::PublicStore => {
+                if data.konst & STATE_TAINT != 0 {
+                    Some((Severity::Error, "leak-public-store", "confidential state"))
+                } else if data.konst & INPUT_TAINT != 0 {
+                    Some((
+                        Severity::Warning,
+                        "leak-public-store",
+                        "sealed transaction input",
+                    ))
+                } else {
+                    None
+                }
+            }
+            SinkKind::UnknownStore => {
+                if data.konst & (STATE_TAINT | INPUT_TAINT) != 0 {
+                    Some((Severity::Warning, "leak-unknown-store", "tainted data"))
+                } else {
+                    None
+                }
+            }
+            SinkKind::KeyMaterial => {
+                if data.konst & STATE_TAINT != 0 {
+                    Some((Severity::Error, "leak-key", "confidential state"))
+                } else {
+                    None
+                }
+            }
+            SinkKind::CallArg => {
+                if data.konst & STATE_TAINT != 0 {
+                    Some((Severity::Warning, "leak-call", "confidential state"))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some((severity, rule, what)) = finding {
+            self.diags.push(Diagnostic {
+                severity,
+                line,
+                rule,
+                message: format!("{what}: {detail}"),
+            });
+            return;
+        }
+        // Implicit flow: clean data, but the sink runs only on paths
+        // conditioned on confidential state.
+        if data.is_clean() && pc.konst & STATE_TAINT != 0 {
+            if matches!(kind, SinkKind::Log | SinkKind::PublicStore) {
+                self.diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    line,
+                    rule: "implicit-flow",
+                    message: format!(
+                        "public side effect under control flow conditioned on confidential state: {detail}"
+                    ),
+                });
+            }
+            return;
+        }
+        // Parameter-dependent: resolve at call sites.
+        if data.deps != 0 || pc.deps != 0 {
+            st.sinks.push(SinkEffect {
+                kind,
+                data,
+                pc,
+                detail,
+            });
+        }
+    }
+}
+
+fn merge_env(out: &mut Env, a: &Env, b: &Env) {
+    let mut names: HashSet<&String> = a.keys().collect();
+    names.extend(b.keys());
+    for name in names {
+        let joined = match (a.get(name), b.get(name)) {
+            (Some(x), Some(y)) => x.join(y),
+            (Some(x), None) | (None, Some(x)) => x.clone(),
+            (None, None) => continue,
+        };
+        out.insert(name.clone(), joined);
+    }
+}
+
+fn preview(shape: &KeyShape) -> String {
+    match shape {
+        KeyShape::Exact(k) => format!("`{}`", String::from_utf8_lossy(k)),
+        KeyShape::Prefix(p) => format!("`{}…`", String::from_utf8_lossy(p)),
+        KeyShape::Unknown => "<unknown>".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_ccle::parse_schema;
+
+    fn keys() -> ConfidentialKeys {
+        parse_schema(
+            r#"
+            attribute "confidential";
+            attribute "map";
+            table Position { account: string; balance: ulong; }
+            table Root {
+                pool_ceiling: ulong;
+                secret: string(confidential);
+                score: [Position](map, confidential);
+                note: string;
+            }
+            root_type Root;
+            "#,
+        )
+        .unwrap()
+        .confidential_keys()
+    }
+
+    fn lint(src: &str) -> LintReport {
+        lint_source(src, Some(&keys())).unwrap()
+    }
+
+    fn lint_ns(src: &str) -> LintReport {
+        lint_source(src, None).unwrap()
+    }
+
+    #[test]
+    fn confidential_read_to_log_is_an_error() {
+        let r = lint(
+            "export fn leak() {\n    let s: bytes = storage_get(b\"secret\");\n    log(s);\n}\n",
+        );
+        assert_eq!(r.diagnostics.len(), 1, "{r}");
+        let d = &r.diagnostics[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.rule, "leak-log");
+        assert_eq!(d.line, 3, "line must be user-relative: {d}");
+    }
+
+    #[test]
+    fn input_to_log_is_an_error_even_without_schema() {
+        let r = lint_ns("export fn f() { log(input()); }");
+        assert_eq!(r.diagnostics.len(), 1, "{r}");
+        assert_eq!(r.diagnostics[0].rule, "leak-log");
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn confidential_to_public_store_is_an_error_but_sealed_store_is_fine() {
+        let r = lint(
+            "export fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    storage_set(b\"note\", s);\n}\n",
+        );
+        assert!(
+            r.diagnostics.iter().any(|d| d.rule == "leak-public-store"
+                && d.severity == Severity::Error
+                && d.line == 3),
+            "{r}"
+        );
+        // Writing the same data to a confidential destination is the point.
+        let ok = lint(
+            "export fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    storage_set(concat(b\"score:\", b\"a\"), s);\n}\n",
+        );
+        assert!(ok.deployable(), "{ok}");
+    }
+
+    #[test]
+    fn map_prefix_keys_classify_via_concat_shape() {
+        // score:* is confidential — reading it taints; writing elsewhere errs.
+        let r = lint(
+            "export fn f() {\n    let id: bytes = input();\n    let v: bytes = storage_get(concat(b\"score:\", id));\n    storage_set(b\"pool_ceiling\", v);\n}\n",
+        );
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == "leak-public-store" && d.severity == Severity::Error),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn input_to_public_store_is_only_a_warning() {
+        let r = lint(
+            "export fn f() {\n    let v: bytes = input();\n    storage_set(b\"note\", v);\n}\n",
+        );
+        assert_eq!(r.diagnostics.len(), 1, "{r}");
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        assert!(r.deployable());
+    }
+
+    #[test]
+    fn unknown_key_with_tainted_value_warns() {
+        let r = lint(
+            "export fn f() {\n    let k: bytes = take(input(), 4);\n    storage_set(k, input());\n}\n",
+        );
+        assert!(
+            r.diagnostics.iter().any(|d| d.rule == "leak-unknown-store"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn confidential_state_as_key_material_is_an_error() {
+        let r = lint(
+            "export fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    storage_set(concat(b\"idx:\", s), b\"1\");\n}\n",
+        );
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == "leak-key" && d.severity == Severity::Error),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn leak_through_helper_reports_at_call_site() {
+        let src = "fn audit(x: bytes) {\n    log(x);\n}\nexport fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    audit(s);\n}\n";
+        let r = lint(src);
+        assert_eq!(r.diagnostics.len(), 1, "{r}");
+        let d = &r.diagnostics[0];
+        assert_eq!(d.rule, "leak-log");
+        assert_eq!(d.line, 6, "call-site line: {d}");
+        assert!(d.message.contains("via call to `audit`"), "{d}");
+    }
+
+    #[test]
+    fn taint_flows_through_stdlib_summaries() {
+        // itoa/atoi round-trip keeps the taint; slice copies byte-by-byte.
+        let r = lint(
+            "export fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    let n: int = atoi(s);\n    log(itoa(n + 1));\n}\n",
+        );
+        assert!(r.diagnostics.iter().any(|d| d.rule == "leak-log"), "{r}");
+        let r2 = lint(
+            "export fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    log(slice(s, 0, 4));\n}\n",
+        );
+        assert!(r2.diagnostics.iter().any(|d| d.rule == "leak-log"), "{r2}");
+    }
+
+    #[test]
+    fn implicit_flow_warns() {
+        let r = lint(
+            "export fn f() {\n    let s: int = atoi(storage_get(b\"secret\"));\n    if (s > 100) {\n        log(b\"big\");\n    }\n}\n",
+        );
+        assert_eq!(r.diagnostics.len(), 1, "{r}");
+        assert_eq!(r.diagnostics[0].rule, "implicit-flow");
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        assert!(r.deployable());
+    }
+
+    #[test]
+    fn cross_contract_call_with_confidential_state_warns() {
+        let r = lint(
+            "export fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    let out: bytes = call(b\"0101\", s);\n    ret(out);\n}\n",
+        );
+        assert!(r.diagnostics.iter().any(|d| d.rule == "leak-call"), "{r}");
+        assert!(r.deployable());
+    }
+
+    #[test]
+    fn buffer_mutation_taints_through_get_storage() {
+        // The raw builtin fills the caller's buffer.
+        let r = lint(
+            "export fn f() {\n    let buf: bytes = alloc(64);\n    let n: int = __get_storage(b\"secret\", buf);\n    log(buf);\n}\n",
+        );
+        assert!(r.diagnostics.iter().any(|d| d.rule == "leak-log"), "{r}");
+    }
+
+    // Shipped ABS/SCF/synthetic contracts are linted clean in
+    // `tests/lint_shipped.rs` (they live downstream of this crate).
+
+    #[test]
+    fn clean_contract_is_clean_with_schema() {
+        let r = lint(
+            "export fn f() {\n    let s: bytes = storage_get(b\"secret\");\n    storage_set(b\"secret\", concat(s, input()));\n    ret(b\"ok\");\n}\n",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn stdlib_offset_matches_frontend_layout() {
+        // A diagnostic on user line 1 proves the rebasing constant.
+        let r = lint_ns("export fn f() { log(input()); }");
+        assert_eq!(r.diagnostics[0].line, 1);
+    }
+}

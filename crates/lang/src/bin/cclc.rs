@@ -4,11 +4,21 @@
 //!
 //! ```text
 //! cclc <contract.ccl> [--target vm|evm] [--out file]
+//! cclc <contract.ccl> --lint [--lint-schema <schema.ccle>]
 //! ```
 //!
 //! Compiles a CCL source file to CONFIDE-VM module bytes (default) or EVM
 //! bytecode and prints a summary (exports, code size, instruction counts).
+//!
+//! With `--lint` the confidentiality-flow analysis runs instead of (and
+//! before) code generation: diagnostics print to stderr and the exit code
+//! is non-zero when any `error`-severity finding would make the engine
+//! refuse deployment. `--lint-schema` points at a CCLe schema whose
+//! `confidential`-attributed fields define which storage keys hold
+//! sealed data (field-level sealing); without it the contract is linted
+//! under whole-state sealing, where only `input()` is a source.
 
+#![forbid(unsafe_code)]
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -16,6 +26,8 @@ fn main() -> ExitCode {
     let mut source_path = None;
     let mut target = "vm".to_string();
     let mut out_path = None;
+    let mut lint = false;
+    let mut lint_schema = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -27,6 +39,14 @@ fn main() -> ExitCode {
                 }
             },
             "--out" => out_path = it.next().cloned(),
+            "--lint" => lint = true,
+            "--lint-schema" => match it.next() {
+                Some(p) => lint_schema = Some(p.clone()),
+                None => {
+                    eprintln!("cclc: --lint-schema needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
             other if source_path.is_none() => source_path = Some(other.to_string()),
             other => {
                 eprintln!("cclc: unexpected argument `{other}`");
@@ -35,7 +55,10 @@ fn main() -> ExitCode {
         }
     }
     let Some(source_path) = source_path else {
-        eprintln!("usage: cclc <contract.ccl> [--target vm|evm] [--out file]");
+        eprintln!(
+            "usage: cclc <contract.ccl> [--target vm|evm] [--out file] \
+             [--lint [--lint-schema <schema.ccle>]]"
+        );
         return ExitCode::from(2);
     };
     let source = match std::fs::read_to_string(&source_path) {
@@ -45,6 +68,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if lint || lint_schema.is_some() {
+        return run_lint(&source_path, &source, lint_schema.as_deref());
+    }
     let program = match confide_lang::frontend(&source) {
         Ok(p) => p,
         Err(e) => {
@@ -111,4 +137,55 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--lint` mode: run the confidentiality-flow analysis and report.
+fn run_lint(source_path: &str, source: &str, schema_path: Option<&str>) -> ExitCode {
+    let keys = match schema_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cclc: cannot read schema {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match confide_ccle::parse_schema(&text) {
+                Ok(schema) => {
+                    let keys = schema.confidential_keys();
+                    if keys.is_empty() {
+                        eprintln!(
+                            "cclc: note: schema {path} marks no fields `confidential`; \
+                             linting under whole-state sealing"
+                        );
+                    }
+                    Some(keys)
+                }
+                Err(e) => {
+                    eprintln!("cclc: schema {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let report = match confide_lang::lint_source(source, keys.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cclc: {source_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.diagnostics {
+        eprintln!("{source_path}: {d}");
+    }
+    let errors = report.errors().count();
+    let warnings = report.diagnostics.len() - errors;
+    if errors > 0 {
+        eprintln!("cclc: {source_path}: NOT deployable — {errors} error(s), {warnings} warning(s)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("cclc: {source_path}: deployable — 0 errors, {warnings} warning(s)");
+        ExitCode::SUCCESS
+    }
 }

@@ -619,11 +619,7 @@ mod tests {
 
     #[test]
     fn negative_numbers_and_division() {
-        let (out, _) = run(
-            "export fn main() { ret(itoa((0 - 17) / 5)); }",
-            "main",
-            b"",
-        );
+        let (out, _) = run("export fn main() { ret(itoa((0 - 17) / 5)); }", "main", b"");
         assert_eq!(out, b"-3"); // trunc toward zero, same as VM DivS
     }
 
@@ -735,13 +731,14 @@ mod tests {
 
     #[test]
     fn sender_and_log() {
-        let code = crate::build_evm(
-            r#"export fn main() { log(b"hello log"); ret(to_hex(sender())); }"#,
-        )
-        .unwrap();
+        let code =
+            crate::build_evm(r#"export fn main() { log(b"hello log"); ret(to_hex(sender())); }"#)
+                .unwrap();
         let evm = Evm::new(code, EvmConfig::default());
-        let mut host = MockEvmHost::default();
-        host.caller = U256::from_be_bytes(&[0xcd; 32]);
+        let mut host = MockEvmHost {
+            caller: U256::from_be_bytes(&[0xcd; 32]),
+            ..Default::default()
+        };
         let out = evm
             .run(&crate::evm_calldata("main", b""), &mut host)
             .unwrap();
@@ -761,7 +758,11 @@ mod tests {
 
     #[test]
     fn no_ret_means_stop_with_empty_data() {
-        let (out, _) = run("export fn main() { let x: int = 1; x = x + 1; }", "main", b"");
+        let (out, _) = run(
+            "export fn main() { let x: int = 1; x = x + 1; }",
+            "main",
+            b"",
+        );
         assert!(out.is_empty());
     }
 

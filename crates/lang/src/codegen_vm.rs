@@ -103,13 +103,12 @@ pub fn compile_vm(program: &Program) -> Result<Module, CompileError> {
 fn collect_literals(body: &[Stmt], pool: &mut HashMap<Vec<u8>, u32>, data: &mut Vec<u8>) {
     fn walk_expr(e: &Expr, pool: &mut HashMap<Vec<u8>, u32>, data: &mut Vec<u8>) {
         match e {
-            Expr::Str(s, _) => {
-                if !pool.contains_key(s) {
-                    let off = DATA_BASE + data.len() as u32;
-                    pool.insert(s.clone(), off);
-                    data.extend_from_slice(s);
-                }
+            Expr::Str(s, _) if !pool.contains_key(s) => {
+                let off = DATA_BASE + data.len() as u32;
+                pool.insert(s.clone(), off);
+                data.extend_from_slice(s);
             }
+            Expr::Str(..) => {}
             Expr::Bin(_, a, b, _) | Expr::Index(a, b, _) => {
                 walk_expr(a, pool, data);
                 walk_expr(b, pool, data);
@@ -457,7 +456,9 @@ impl<'a> FnCtx<'a> {
                 let o = self.stash();
                 self.load_ptr(t);
                 self.load_len(t);
-                self.builder.op(Instr::LocalGet(o)).op(Instr::CallHost(host));
+                self.builder
+                    .op(Instr::LocalGet(o))
+                    .op(Instr::CallHost(host));
                 self.pack_handle_const_len(o, 32);
             }
             "sender" => {
@@ -554,11 +555,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_return_data() {
-        let (out, _) = run(
-            "export fn main() { ret(itoa(6 * 7)); }",
-            "main",
-            b"",
-        );
+        let (out, _) = run("export fn main() { ret(itoa(6 * 7)); }", "main", b"");
         assert_eq!(out, b"42");
     }
 
@@ -618,10 +615,7 @@ mod tests {
     fn storage_get_large_value_two_call_path() {
         // Value larger than the 128-byte first buffer exercises the retry.
         let big: Vec<u8> = (0..200u8).collect();
-        let program = crate::frontend(
-            r#"export fn main() { ret(storage_get(b"big")); }"#,
-        )
-        .unwrap();
+        let program = crate::frontend(r#"export fn main() { ret(storage_get(b"big")); }"#).unwrap();
         let module = compile_vm(&program).unwrap();
         let vm = Vm::from_module(module, ExecConfig::default());
         let mut host = MockHost::default();
@@ -767,14 +761,15 @@ mod tests {
 
     #[test]
     fn sender_and_log() {
-        let program = crate::frontend(
-            r#"export fn main() { log(b"audit line"); ret(to_hex(sender())); }"#,
-        )
-        .unwrap();
+        let program =
+            crate::frontend(r#"export fn main() { log(b"audit line"); ret(to_hex(sender())); }"#)
+                .unwrap();
         let module = compile_vm(&program).unwrap();
         let vm = Vm::from_module(module, ExecConfig::default());
-        let mut host = MockHost::default();
-        host.sender = [0xab; 32];
+        let mut host = MockHost {
+            sender: [0xab; 32],
+            ..Default::default()
+        };
         let mut mem = Vec::new();
         let out = vm.invoke("main", &[], &mut host, &mut mem).unwrap();
         assert_eq!(out.return_data, "ab".repeat(32).as_bytes());

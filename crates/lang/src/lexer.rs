@@ -160,9 +160,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                     continue;
                 }
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -269,12 +267,12 @@ fn lex_string(bytes: &[u8], line: usize) -> Result<(Vec<u8>, usize), CompileErro
                     b't' => out.push(b'\t'),
                     b'0' => out.push(0),
                     b'x' => {
-                        let hi = bytes.get(i + 2).ok_or_else(|| {
-                            CompileError::new("truncated \\x escape", line)
-                        })?;
-                        let lo = bytes.get(i + 3).ok_or_else(|| {
-                            CompileError::new("truncated \\x escape", line)
-                        })?;
+                        let hi = bytes
+                            .get(i + 2)
+                            .ok_or_else(|| CompileError::new("truncated \\x escape", line))?;
+                        let lo = bytes
+                            .get(i + 3)
+                            .ok_or_else(|| CompileError::new("truncated \\x escape", line))?;
                         let nib = |c: u8| -> Result<u8, CompileError> {
                             match c {
                                 b'0'..=b'9' => Ok(c - b'0'),
@@ -325,17 +323,17 @@ mod tests {
 
     #[test]
     fn numbers_decimal_and_hex() {
-        assert_eq!(toks("42 0xff 0"), vec![Tok::Int(42), Tok::Int(255), Tok::Int(0)]);
+        assert_eq!(
+            toks("42 0xff 0"),
+            vec![Tok::Int(42), Tok::Int(255), Tok::Int(0)]
+        );
     }
 
     #[test]
     fn strings_with_escapes() {
         assert_eq!(
             toks(r#" "a\nb" b"key\x00z" "#),
-            vec![
-                Tok::Str(b"a\nb".to_vec()),
-                Tok::Str(b"key\x00z".to_vec()),
-            ]
+            vec![Tok::Str(b"a\nb".to_vec()), Tok::Str(b"key\x00z".to_vec()),]
         );
     }
 

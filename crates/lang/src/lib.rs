@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod codegen_evm;
 pub mod codegen_vm;
@@ -52,6 +53,7 @@ pub mod parser;
 pub mod stdlib;
 pub mod typeck;
 
+pub use analysis::{lint_program, lint_source, Diagnostic, LintReport, Severity};
 pub use ast::{Program, Type};
 pub use codegen_evm::compile_evm;
 pub use codegen_vm::compile_vm;

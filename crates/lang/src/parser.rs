@@ -179,7 +179,9 @@ impl Parser {
                     Ok(Stmt::Return(Some(e), line))
                 }
             }
-            Some(Tok::Ident(_)) if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) => {
+            Some(Tok::Ident(_))
+                if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) =>
+            {
                 let name = self.ident()?;
                 self.expect(Tok::Assign)?;
                 let e = self.expr()?;

@@ -38,7 +38,10 @@ pub fn check(program: &Program) -> Result<(), CompileError> {
         check_fn(program, f)?;
         if f.ret != Type::Unit && !always_returns(&f.body) {
             return Err(CompileError::new(
-                format!("fn `{}` may fall off the end without returning {}", f.name, f.ret),
+                format!(
+                    "fn `{}` may fall off the end without returning {}",
+                    f.name, f.ret
+                ),
                 f.line,
             ));
         }
@@ -157,12 +160,7 @@ fn check_stmt(
     }
 }
 
-fn expect_int(
-    program: &Program,
-    scope: &Scope,
-    e: &Expr,
-    line: usize,
-) -> Result<(), CompileError> {
+fn expect_int(program: &Program, scope: &Scope, e: &Expr, line: usize) -> Result<(), CompileError> {
     let got = infer(program, scope, e)?;
     if got != Type::Int {
         return Err(CompileError::new(
@@ -220,10 +218,7 @@ pub fn infer(program: &Program, scope: &Scope, e: &Expr) -> Result<Type, Compile
             let (params, ret) = if let Some(sig) = builtin_signature(name) {
                 sig
             } else if let Some(f) = program.get(name) {
-                (
-                    f.params.iter().map(|(_, t)| *t).collect(),
-                    f.ret,
-                )
+                (f.params.iter().map(|(_, t)| *t).collect(), f.ret)
             } else {
                 return Err(CompileError::new(
                     format!("unknown function `{name}`"),
@@ -259,10 +254,10 @@ pub fn always_returns(body: &[Stmt]) -> bool {
     for stmt in body {
         match stmt {
             Stmt::Return(..) => return true,
-            Stmt::If(_, then, els, _) => {
-                if !els.is_empty() && always_returns(then) && always_returns(els) {
-                    return true;
-                }
+            Stmt::If(_, then, els, _)
+                if !els.is_empty() && always_returns(then) && always_returns(els) =>
+            {
+                return true;
             }
             _ => {}
         }
@@ -413,10 +408,9 @@ mod tests {
     fn recursion_rejected() {
         let e = check_src("fn f(x: int) -> int { return f(x); }").unwrap_err();
         assert!(e.message.contains("recursion"));
-        let e2 = check_src(
-            "fn a(x: int) -> int { return b(x); } fn b(x: int) -> int { return a(x); }",
-        )
-        .unwrap_err();
+        let e2 =
+            check_src("fn a(x: int) -> int { return b(x); } fn b(x: int) -> int { return a(x); }")
+                .unwrap_err();
         assert!(e2.message.contains("recursion"));
     }
 

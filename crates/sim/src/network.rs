@@ -161,7 +161,7 @@ mod tests {
         let intra = net.delay(Zone(0), Zone(0), 4096);
         let inter = net.delay(Zone(0), Zone(1), 4096);
         assert!(inter > 10 * intra, "inter {inter} vs intra {intra}");
-        assert!(inter >= 10 * MS && inter < 40 * MS, "{inter}");
+        assert!((10 * MS..40 * MS).contains(&inter), "{inter}");
     }
 
     #[test]
@@ -178,7 +178,10 @@ mod tests {
         let mut a = NetworkModel::lan(7);
         let mut b = NetworkModel::lan(7);
         for _ in 0..10 {
-            assert_eq!(a.delay(Zone(0), Zone(0), 100), b.delay(Zone(0), Zone(0), 100));
+            assert_eq!(
+                a.delay(Zone(0), Zone(0), 100),
+                b.delay(Zone(0), Zone(0), 100)
+            );
         }
     }
 

@@ -3,7 +3,7 @@
 //! The paper's modularity argument (§2.4: "Users can even choose their
 //! [own] KV storage when hosting a node") needs more than one store behind
 //! the [`crate::kv::KvStore`] seam. This one is a classic append-only log
-//! + in-memory index: every mutation is framed into the log
+//! plus in-memory index: every mutation is framed into the log
 //! (`op, key-len, key, value-len, value, crc`), reads go through a
 //! rebuilt-on-recovery memtable, and recovery tolerates a torn tail (a
 //! crash mid-append loses at most the unfinished record).
@@ -72,11 +72,7 @@ impl LogKv {
             replayed += 1;
         }
         store.log = log[..pos].to_vec();
-        store.live_bytes = store
-            .index
-            .iter()
-            .map(|(k, v)| k.len() + v.len())
-            .sum();
+        store.live_bytes = store.index.iter().map(|(k, v)| k.len() + v.len()).sum();
         (store, replayed)
     }
 

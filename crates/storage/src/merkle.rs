@@ -85,13 +85,17 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len().saturating_sub(1)] {
-            let sibling = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             let hash = if sibling < level.len() {
                 level[sibling]
             } else {
                 level[idx] // odd promotion partner
             };
-            path.push((hash, idx % 2 == 0));
+            path.push((hash, idx.is_multiple_of(2)));
             idx /= 2;
         }
         Some(MerkleProof { index, path })
@@ -131,11 +135,15 @@ impl MerkleProof {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn pairs(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
         (0..n)
-            .map(|i| (format!("key{i:04}").into_bytes(), format!("val{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("key{i:04}").into_bytes(),
+                    format!("val{i}").into_bytes(),
+                )
+            })
             .collect()
     }
 
@@ -186,9 +194,14 @@ mod tests {
         assert!(!proof.verify(&root, &ps[3].0, &ps[3].1));
     }
 
-    proptest! {
-        #[test]
-        fn random_trees_prove_random_leaves(n in 1usize..40, seed in any::<u64>()) {
+    /// Deterministic replacement for the former proptest case: 128 seeded
+    /// (size, seed) combinations covering 1..40 leaves.
+    #[test]
+    fn random_trees_prove_random_leaves() {
+        let mut rng = confide_crypto::HmacDrbg::from_u64(0x6d65726b);
+        for _ in 0..128 {
+            let n = (rng.gen_range(39) + 1) as usize;
+            let seed = rng.gen_u64();
             let ps: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
                 .map(|i| {
                     (
@@ -201,7 +214,7 @@ mod tests {
             let root = t.root();
             let idx = (seed as usize) % n;
             let proof = t.prove(idx).unwrap();
-            prop_assert!(proof.verify(&root, &ps[idx].0, &ps[idx].1));
+            assert!(proof.verify(&root, &ps[idx].0, &ps[idx].1));
         }
     }
 }

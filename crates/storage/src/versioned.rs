@@ -110,8 +110,11 @@ impl StateDb {
         }
         self.kv.apply(batch);
         self.height = height;
-        let pairs: Vec<(Vec<u8>, Vec<u8>)> =
-            self.kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = self
+            .kv
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         let root = MerkleTree::build(&pairs).root();
         self.roots.push(root);
         Ok(root)
@@ -129,8 +132,11 @@ impl StateDb {
         if height != self.height {
             return Err(StateError::RollbackDetected { height });
         }
-        let pairs: Vec<(Vec<u8>, Vec<u8>)> =
-            self.kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = self
+            .kv
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         let actual = MerkleTree::build(&pairs).root();
         if actual != expected {
             return Err(StateError::RollbackDetected { height });
@@ -143,8 +149,11 @@ impl StateDb {
     /// fetches the value + proof from one node and checks the root against
     /// a quorum of other nodes' headers.
     pub fn prove(&self, key: &[u8]) -> Option<(Vec<u8>, MerkleProof)> {
-        let pairs: Vec<(Vec<u8>, Vec<u8>)> =
-            self.kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = self
+            .kv
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         let index = pairs.iter().position(|(k, _)| k.as_slice() == key)?;
         let tree = MerkleTree::build(&pairs);
         let proof = tree.prove(index)?;
@@ -189,7 +198,10 @@ mod tests {
         let mut db = StateDb::new();
         assert_eq!(
             db.apply_block(2, &batch(&[("a", "1")])).unwrap_err(),
-            StateError::BadHeight { got: 2, expected: 1 }
+            StateError::BadHeight {
+                got: 2,
+                expected: 1
+            }
         );
     }
 

@@ -188,7 +188,8 @@ mod tests {
 
     fn make(platform_seed: u64, code: &[u8], svn: u16) -> (std::sync::Arc<TeePlatform>, Enclave) {
         let p = TeePlatform::new(platform_seed, platform_seed);
-        let e = Enclave::create(&p, EnclaveConfig::new(code.to_vec(), [9u8; 32], svn, 4096)).unwrap();
+        let e =
+            Enclave::create(&p, EnclaveConfig::new(code.to_vec(), [9u8; 32], svn, 4096)).unwrap();
         (p, e)
     }
 
@@ -249,8 +250,10 @@ mod tests {
     #[test]
     fn local_attestation_same_platform_ok() {
         let p = TeePlatform::new(5, 5);
-        let km = Enclave::create(&p, EnclaveConfig::new(b"km".to_vec(), [0u8; 32], 1, 4096)).unwrap();
-        let cs = Enclave::create(&p, EnclaveConfig::new(b"cs".to_vec(), [0u8; 32], 1, 4096)).unwrap();
+        let km =
+            Enclave::create(&p, EnclaveConfig::new(b"km".to_vec(), [0u8; 32], 1, 4096)).unwrap();
+        let cs =
+            Enclave::create(&p, EnclaveConfig::new(b"cs".to_vec(), [0u8; 32], 1, 4096)).unwrap();
         let report = LocalReport::generate(&cs, [7u8; 64]);
         report.verify(&km).unwrap();
     }

@@ -71,7 +71,12 @@ pub struct EnclaveConfig {
 
 impl EnclaveConfig {
     /// Convenience constructor.
-    pub fn new(code: impl Into<Vec<u8>>, signer: [u8; 32], isv_svn: u16, heap_bytes: usize) -> Self {
+    pub fn new(
+        code: impl Into<Vec<u8>>,
+        signer: [u8; 32],
+        isv_svn: u16,
+        heap_bytes: usize,
+    ) -> Self {
         EnclaveConfig {
             code: code.into(),
             signer,
@@ -115,7 +120,10 @@ static NEXT_ENCLAVE_ID: AtomicU64 = AtomicU64::new(1);
 impl Enclave {
     /// Create and initialize an enclave on `platform`: measures the code,
     /// reserves heap from the EPC.
-    pub fn create(platform: &Arc<TeePlatform>, config: EnclaveConfig) -> Result<Enclave, EnclaveError> {
+    pub fn create(
+        platform: &Arc<TeePlatform>,
+        config: EnclaveConfig,
+    ) -> Result<Enclave, EnclaveError> {
         let mrenclave = measure(&config.code, config.isv_svn);
         let heap = platform.epc().alloc(config.heap_bytes.max(1))?;
         Ok(Enclave {
@@ -291,7 +299,12 @@ mod tests {
     }
 
     fn config() -> EnclaveConfig {
-        EnclaveConfig::new(b"contract service enclave v1".to_vec(), [1u8; 32], 3, 1 << 20)
+        EnclaveConfig::new(
+            b"contract service enclave v1".to_vec(),
+            [1u8; 32],
+            3,
+            1 << 20,
+        )
     }
 
     #[test]
@@ -338,10 +351,12 @@ mod tests {
         // Warm up so both measurements hit the warm path.
         e.ecall(CrossingMode::UserCheck, 0, || ((), 0)).unwrap();
         let (_, copy_cost) = p.meter().measure(|| {
-            e.ecall(CrossingMode::CopyAndCheck, 1 << 20, || ((), 0)).unwrap();
+            e.ecall(CrossingMode::CopyAndCheck, 1 << 20, || ((), 0))
+                .unwrap();
         });
         let (_, uc_cost) = p.meter().measure(|| {
-            e.ecall(CrossingMode::UserCheck, 1 << 20, || ((), 0)).unwrap();
+            e.ecall(CrossingMode::UserCheck, 1 << 20, || ((), 0))
+                .unwrap();
         });
         assert!(
             uc_cost < copy_cost / 10,
@@ -376,8 +391,14 @@ mod tests {
             .meter()
             .measure(|| e.ecall(CrossingMode::UserCheck, 0, || ((), 0)).unwrap());
         // Marshalling is charged on entry and exit (two user_check fees).
-        assert_eq!(c1, model.transition_cold_cycles + 2 * model.user_check_cycles);
-        assert_eq!(c2, model.transition_warm_cycles + 2 * model.user_check_cycles);
+        assert_eq!(
+            c1,
+            model.transition_cold_cycles + 2 * model.user_check_cycles
+        );
+        assert_eq!(
+            c2,
+            model.transition_warm_cycles + 2 * model.user_check_cycles
+        );
     }
 
     #[test]

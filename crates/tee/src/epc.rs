@@ -12,7 +12,7 @@
 //! policy and charges [`CostModel::epc_swap_cycles_per_page`] per crossing.
 
 use crate::meter::{CostModel, CycleMeter};
-use parking_lot::Mutex;
+use confide_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -296,7 +296,7 @@ mod tests {
         m.touch(a, 0, 1).unwrap();
         m.touch(c, 0, 1).unwrap();
         let _d = m.alloc(PAGE_SIZE).unwrap(); // must evict b's page
-        // Touching b faults; touching a should not.
+                                              // Touching b faults; touching a should not.
         let f0 = m.stats().faults;
         m.touch(b, 0, 1).unwrap();
         assert_eq!(m.stats().faults, f0 + 1);

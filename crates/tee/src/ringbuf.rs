@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 /// Fixed-capacity single-producer single-consumer ring buffer of messages.
 pub struct RingBuffer<T> {
-    slots: Vec<parking_lot::Mutex<Option<T>>>,
+    slots: Vec<confide_sync::Mutex<Option<T>>>,
     head: AtomicU64, // next slot to read
     tail: AtomicU64, // next slot to write
     capacity: u64,
@@ -29,7 +29,7 @@ impl<T> RingBuffer<T> {
         let capacity = capacity.max(2);
         let mut slots = Vec::with_capacity(capacity);
         for _ in 0..capacity {
-            slots.push(parking_lot::Mutex::new(None));
+            slots.push(confide_sync::Mutex::new(None));
         }
         Arc::new(RingBuffer {
             slots,

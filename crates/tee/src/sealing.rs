@@ -77,7 +77,14 @@ mod tests {
     fn seal_unseal_round_trip() {
         let p = TeePlatform::new(1, 1);
         let e = enclave(&p, b"cs", [1u8; 32]);
-        let sealed = seal(&e, SealPolicy::MrEnclave, &[1u8; 12], b"k_states", b"secret key").unwrap();
+        let sealed = seal(
+            &e,
+            SealPolicy::MrEnclave,
+            &[1u8; 12],
+            b"k_states",
+            b"secret key",
+        )
+        .unwrap();
         let pt = unseal(&e, SealPolicy::MrEnclave, &[1u8; 12], b"k_states", &sealed).unwrap();
         assert_eq!(pt, b"secret key");
     }

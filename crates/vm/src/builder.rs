@@ -92,6 +92,14 @@ impl FuncBuilder {
     }
 
     /// Resolve labels and produce the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label created with [`FuncBuilder::label`] was jumped to
+    /// but never [`bind`](FuncBuilder::bind)-ed — a codegen bug in the
+    /// caller, not a runtime condition, so a panic (caught at build/test
+    /// time) is the right failure mode. Runtime-supplied bytecode never
+    /// reaches this path; it is validated by [`crate::verify_module`].
     pub fn finish(mut self) -> Function {
         for (pos, label) in self.fixups.drain(..) {
             let target = self.labels[label.0].expect("unbound label at finish()");
@@ -194,7 +202,10 @@ mod tests {
         f.bind(top);
         f.op(Instr::LocalGet(0)).i64(10).op(Instr::GeS);
         f.jmp_if(done);
-        f.op(Instr::LocalGet(0)).i64(1).op(Instr::Add).op(Instr::LocalSet(0));
+        f.op(Instr::LocalGet(0))
+            .i64(1)
+            .op(Instr::Add)
+            .op(Instr::LocalSet(0));
         f.jmp(top);
         f.bind(done);
         f.op(Instr::LocalGet(0)).op(Instr::Ret);

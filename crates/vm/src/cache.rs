@@ -14,7 +14,7 @@
 use crate::interp::{ExecConfig, Prepared};
 use crate::module::Module;
 use crate::opcode::DecodeError;
-use parking_lot::Mutex;
+use confide_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -209,7 +209,7 @@ mod tests {
         b.resize(1024, 7);
         pool.put(b);
         let b2 = pool.take();
-        assert_eq!(b2.capacity() >= 1024, true);
+        assert!(b2.capacity() >= 1024);
         let (reuses, allocs) = pool.counters();
         assert_eq!((reuses, allocs), (1, 1));
     }

@@ -47,8 +47,12 @@ pub fn fuse(body: &[Instr]) -> FusionResult {
         let d_ok = !targets.contains(&((i + 3) as u32));
 
         // 4-wide: LocalGet x, I64Const c, Add, LocalSet x  =>  IncLocal
-        if let (Instr::LocalGet(x), Some(Instr::I64Const(k)), Some(Instr::Add), Some(Instr::LocalSet(y))) =
-            (a, b, c, d)
+        if let (
+            Instr::LocalGet(x),
+            Some(Instr::I64Const(k)),
+            Some(Instr::Add),
+            Some(Instr::LocalSet(y)),
+        ) = (a, b, c, d)
         {
             if x == y && b_ok && c_ok && d_ok {
                 for j in 1..4 {
@@ -110,7 +114,12 @@ mod tests {
 
     #[test]
     fn fuses_const_add() {
-        let body = vec![Instr::LocalGet(0), Instr::I64Const(5), Instr::Add, Instr::Ret];
+        let body = vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(5),
+            Instr::Add,
+            Instr::Ret,
+        ];
         let r = fuse(&body);
         assert_eq!(
             r.body,

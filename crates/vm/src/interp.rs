@@ -121,11 +121,41 @@ pub struct ExecOutcome {
 pub struct Prepared {
     module: Module,
     fused_away: u64,
+    /// Facts proven by [`crate::verify::verify_module`], if it ran. When
+    /// present the interpreter takes the unchecked fast path (no
+    /// per-dispatch stack/local/call-target checks).
+    summary: Option<crate::verify::VerifySummary>,
 }
 
 impl Prepared {
     /// Prepare a decoded module under `config` (runs fusion if enabled).
-    pub fn new(mut module: Module, config: &ExecConfig) -> Arc<Prepared> {
+    ///
+    /// The resulting module executes on the *checked* interpreter path;
+    /// use [`Prepared::new_verified`] to prove stack discipline once and
+    /// run the unchecked path.
+    pub fn new(module: Module, config: &ExecConfig) -> Arc<Prepared> {
+        Arc::new(Self::prepare(module, config, None))
+    }
+
+    /// Verify the module ahead of time, then prepare it. On success the
+    /// interpreter drops per-dispatch bounds/underflow checks for this
+    /// module (the verifier proved they cannot fire).
+    ///
+    /// Verification runs on the pre-fusion body; fusion preserves stack
+    /// effects, so the proof carries over to the fused body.
+    pub fn new_verified(
+        module: Module,
+        config: &ExecConfig,
+    ) -> Result<Arc<Prepared>, crate::verify::VerifyError> {
+        let summary = crate::verify::verify_module(&module)?;
+        Ok(Arc::new(Self::prepare(module, config, Some(summary))))
+    }
+
+    fn prepare(
+        mut module: Module,
+        config: &ExecConfig,
+        summary: Option<crate::verify::VerifySummary>,
+    ) -> Prepared {
         let mut fused_away = 0u64;
         if config.fusion {
             for f in module.functions.iter_mut() {
@@ -134,7 +164,11 @@ impl Prepared {
                 f.body = r.body;
             }
         }
-        Arc::new(Prepared { module, fused_away })
+        Prepared {
+            module,
+            fused_away,
+            summary,
+        }
     }
 
     /// The underlying module.
@@ -145,6 +179,17 @@ impl Prepared {
     /// Static instructions removed by fusion.
     pub fn fused_away(&self) -> u64 {
         self.fused_away
+    }
+
+    /// Whether this module was verified ahead of time.
+    pub fn verified(&self) -> bool {
+        self.summary.is_some()
+    }
+
+    /// The verification summary, if [`Prepared::new_verified`] produced
+    /// this module.
+    pub fn summary(&self) -> Option<&crate::verify::VerifySummary> {
+        self.summary.as_ref()
     }
 }
 
@@ -171,6 +216,11 @@ impl Vm {
         Vm::new(Prepared::new(module, &config), config)
     }
 
+    /// Wrap an already-prepared (possibly verified) module.
+    pub fn from_prepared(prepared: Arc<Prepared>, config: ExecConfig) -> Vm {
+        Vm::new(prepared, config)
+    }
+
     /// The module's fixed linear-memory size in bytes.
     pub fn memory_size(&self) -> u32 {
         self.prepared.module().memory_size
@@ -180,7 +230,26 @@ impl Vm {
     /// through `host`. `memory` is the linear memory to use (supplied by
     /// the [`crate::cache::MemoryPool`] in production paths); it is resized
     /// and data segments are (re)applied.
+    ///
+    /// Dispatches to one of two monomorphized interpreter loops: modules
+    /// built via [`Prepared::new_verified`] run the *unchecked* loop (the
+    /// verifier proved stack discipline, local/global indices and call
+    /// targets), everything else runs the fully-checked loop.
     pub fn invoke(
+        &self,
+        name: &str,
+        args: &[i64],
+        host: &mut dyn HostApi,
+        memory: &mut Vec<u8>,
+    ) -> Result<ExecOutcome, Trap> {
+        if self.prepared.verified() {
+            self.run::<true>(name, args, host, memory)
+        } else {
+            self.run::<false>(name, args, host, memory)
+        }
+    }
+
+    fn run<const VERIFIED: bool>(
         &self,
         name: &str,
         args: &[i64],
@@ -229,9 +298,24 @@ impl Vm {
             locals,
         });
 
+        // In the VERIFIED loop the verifier proved these checks cannot
+        // fire, so the error-plumbing branches compile away.
         macro_rules! pop {
             () => {
-                stack.pop().ok_or(Trap::StackUnderflow)?
+                if VERIFIED {
+                    stack.pop().unwrap_or_default()
+                } else {
+                    stack.pop().ok_or(Trap::StackUnderflow)?
+                }
+            };
+        }
+        macro_rules! local {
+            ($frame:expr, $n:expr) => {
+                if VERIFIED {
+                    $frame.locals[$n as usize]
+                } else {
+                    *$frame.locals.get($n as usize).ok_or(Trap::BadLocal($n))?
+                }
             };
         }
 
@@ -255,24 +339,44 @@ impl Vm {
                     Instr::Nop => {}
                     Instr::I64Const(v) => stack.push(v),
                     Instr::LocalGet(n) => {
-                        let v = *frame.locals.get(n as usize).ok_or(Trap::BadLocal(n))?;
+                        let v = local!(frame, n);
                         stack.push(v);
                     }
                     Instr::LocalSet(n) => {
                         let v = pop!();
-                        *frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))? = v;
+                        if VERIFIED {
+                            frame.locals[n as usize] = v;
+                        } else {
+                            *frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))? = v;
+                        }
                     }
                     Instr::LocalTee(n) => {
-                        let v = *stack.last().ok_or(Trap::StackUnderflow)?;
-                        *frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))? = v;
+                        let v = if VERIFIED {
+                            stack.last().copied().unwrap_or_default()
+                        } else {
+                            *stack.last().ok_or(Trap::StackUnderflow)?
+                        };
+                        if VERIFIED {
+                            frame.locals[n as usize] = v;
+                        } else {
+                            *frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))? = v;
+                        }
                     }
                     Instr::GlobalGet(n) => {
-                        let v = *globals.get(n as usize).ok_or(Trap::BadGlobal(n))?;
+                        let v = if VERIFIED {
+                            globals[n as usize]
+                        } else {
+                            *globals.get(n as usize).ok_or(Trap::BadGlobal(n))?
+                        };
                         stack.push(v);
                     }
                     Instr::GlobalSet(n) => {
                         let v = pop!();
-                        *globals.get_mut(n as usize).ok_or(Trap::BadGlobal(n))? = v;
+                        if VERIFIED {
+                            globals[n as usize] = v;
+                        } else {
+                            *globals.get_mut(n as usize).ok_or(Trap::BadGlobal(n))? = v;
+                        }
                     }
                     Instr::Jmp(t) => frame.pc = t as usize,
                     Instr::JmpIf(t) => {
@@ -289,10 +393,14 @@ impl Vm {
                         if frames.len() >= self.config.max_call_depth {
                             return Err(Trap::CallStackOverflow);
                         }
-                        let callee = module
-                            .functions
-                            .get(f as usize)
-                            .ok_or(Trap::UnknownFunction(f))?;
+                        let callee = if VERIFIED {
+                            &module.functions[f as usize]
+                        } else {
+                            module
+                                .functions
+                                .get(f as usize)
+                                .ok_or(Trap::UnknownFunction(f))?
+                        };
                         let pc = (callee.param_count + callee.local_count) as usize;
                         let mut locals = vec![0i64; pc];
                         for i in (0..callee.param_count as usize).rev() {
@@ -363,10 +471,10 @@ impl Vm {
                         let addr = pop!();
                         mem_write(memory, addr, off, &v.to_le_bytes())?;
                     }
-                    Instr::Add => binop(&mut stack, |a, b| Ok(a.wrapping_add(b)))?,
-                    Instr::Sub => binop(&mut stack, |a, b| Ok(a.wrapping_sub(b)))?,
-                    Instr::Mul => binop(&mut stack, |a, b| Ok(a.wrapping_mul(b)))?,
-                    Instr::DivS => binop(&mut stack, |a, b| {
+                    Instr::Add => binop::<VERIFIED>(&mut stack, |a, b| Ok(a.wrapping_add(b)))?,
+                    Instr::Sub => binop::<VERIFIED>(&mut stack, |a, b| Ok(a.wrapping_sub(b)))?,
+                    Instr::Mul => binop::<VERIFIED>(&mut stack, |a, b| Ok(a.wrapping_mul(b)))?,
+                    Instr::DivS => binop::<VERIFIED>(&mut stack, |a, b| {
                         if b == 0 {
                             Err(Trap::DivByZero)
                         } else if a == i64::MIN && b == -1 {
@@ -375,14 +483,14 @@ impl Vm {
                             Ok(a / b)
                         }
                     })?,
-                    Instr::DivU => binop(&mut stack, |a, b| {
+                    Instr::DivU => binop::<VERIFIED>(&mut stack, |a, b| {
                         if b == 0 {
                             Err(Trap::DivByZero)
                         } else {
                             Ok(((a as u64) / (b as u64)) as i64)
                         }
                     })?,
-                    Instr::RemS => binop(&mut stack, |a, b| {
+                    Instr::RemS => binop::<VERIFIED>(&mut stack, |a, b| {
                         if b == 0 {
                             Err(Trap::DivByZero)
                         } else if a == i64::MIN && b == -1 {
@@ -391,35 +499,47 @@ impl Vm {
                             Ok(a % b)
                         }
                     })?,
-                    Instr::RemU => binop(&mut stack, |a, b| {
+                    Instr::RemU => binop::<VERIFIED>(&mut stack, |a, b| {
                         if b == 0 {
                             Err(Trap::DivByZero)
                         } else {
                             Ok(((a as u64) % (b as u64)) as i64)
                         }
                     })?,
-                    Instr::And => binop(&mut stack, |a, b| Ok(a & b))?,
-                    Instr::Or => binop(&mut stack, |a, b| Ok(a | b))?,
-                    Instr::Xor => binop(&mut stack, |a, b| Ok(a ^ b))?,
-                    Instr::Shl => binop(&mut stack, |a, b| Ok(a.wrapping_shl(b as u32)))?,
-                    Instr::ShrS => binop(&mut stack, |a, b| Ok(a.wrapping_shr(b as u32)))?,
-                    Instr::ShrU => {
-                        binop(&mut stack, |a, b| Ok(((a as u64).wrapping_shr(b as u32)) as i64))?
+                    Instr::And => binop::<VERIFIED>(&mut stack, |a, b| Ok(a & b))?,
+                    Instr::Or => binop::<VERIFIED>(&mut stack, |a, b| Ok(a | b))?,
+                    Instr::Xor => binop::<VERIFIED>(&mut stack, |a, b| Ok(a ^ b))?,
+                    Instr::Shl => {
+                        binop::<VERIFIED>(&mut stack, |a, b| Ok(a.wrapping_shl(b as u32)))?
                     }
+                    Instr::ShrS => {
+                        binop::<VERIFIED>(&mut stack, |a, b| Ok(a.wrapping_shr(b as u32)))?
+                    }
+                    Instr::ShrU => binop::<VERIFIED>(&mut stack, |a, b| {
+                        Ok(((a as u64).wrapping_shr(b as u32)) as i64)
+                    })?,
                     Instr::Eqz => {
                         let v = pop!();
                         stack.push((v == 0) as i64);
                     }
-                    Instr::Eq => binop(&mut stack, |a, b| Ok((a == b) as i64))?,
-                    Instr::Ne => binop(&mut stack, |a, b| Ok((a != b) as i64))?,
-                    Instr::LtS => binop(&mut stack, |a, b| Ok((a < b) as i64))?,
-                    Instr::LtU => binop(&mut stack, |a, b| Ok(((a as u64) < (b as u64)) as i64))?,
-                    Instr::GtS => binop(&mut stack, |a, b| Ok((a > b) as i64))?,
-                    Instr::GtU => binop(&mut stack, |a, b| Ok(((a as u64) > (b as u64)) as i64))?,
-                    Instr::LeS => binop(&mut stack, |a, b| Ok((a <= b) as i64))?,
-                    Instr::LeU => binop(&mut stack, |a, b| Ok(((a as u64) <= (b as u64)) as i64))?,
-                    Instr::GeS => binop(&mut stack, |a, b| Ok((a >= b) as i64))?,
-                    Instr::GeU => binop(&mut stack, |a, b| Ok(((a as u64) >= (b as u64)) as i64))?,
+                    Instr::Eq => binop::<VERIFIED>(&mut stack, |a, b| Ok((a == b) as i64))?,
+                    Instr::Ne => binop::<VERIFIED>(&mut stack, |a, b| Ok((a != b) as i64))?,
+                    Instr::LtS => binop::<VERIFIED>(&mut stack, |a, b| Ok((a < b) as i64))?,
+                    Instr::LtU => {
+                        binop::<VERIFIED>(&mut stack, |a, b| Ok(((a as u64) < (b as u64)) as i64))?
+                    }
+                    Instr::GtS => binop::<VERIFIED>(&mut stack, |a, b| Ok((a > b) as i64))?,
+                    Instr::GtU => {
+                        binop::<VERIFIED>(&mut stack, |a, b| Ok(((a as u64) > (b as u64)) as i64))?
+                    }
+                    Instr::LeS => binop::<VERIFIED>(&mut stack, |a, b| Ok((a <= b) as i64))?,
+                    Instr::LeU => {
+                        binop::<VERIFIED>(&mut stack, |a, b| Ok(((a as u64) <= (b as u64)) as i64))?
+                    }
+                    Instr::GeS => binop::<VERIFIED>(&mut stack, |a, b| Ok((a >= b) as i64))?,
+                    Instr::GeU => {
+                        binop::<VERIFIED>(&mut stack, |a, b| Ok(((a as u64) >= (b as u64)) as i64))?
+                    }
                     Instr::MemCopy => {
                         let len = pop!() as u64;
                         let src = pop!() as u64;
@@ -434,14 +554,19 @@ impl Vm {
                     }
                     // ---- superinstructions ----
                     Instr::FusedGetGet(a, b) => {
-                        let va = *frame.locals.get(a as usize).ok_or(Trap::BadLocal(a))?;
-                        let vb = *frame.locals.get(b as usize).ok_or(Trap::BadLocal(b))?;
+                        let va = local!(frame, a);
+                        let vb = local!(frame, b);
                         stack.push(va);
                         stack.push(vb);
                     }
                     Instr::FusedIncLocal(n, k) => {
-                        let slot = frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))?;
-                        *slot = slot.wrapping_add(k);
+                        if VERIFIED {
+                            let slot = &mut frame.locals[n as usize];
+                            *slot = slot.wrapping_add(k);
+                        } else {
+                            let slot = frame.locals.get_mut(n as usize).ok_or(Trap::BadLocal(n))?;
+                            *slot = slot.wrapping_add(k);
+                        }
                     }
                     Instr::FusedAddConst(k) => {
                         let v = pop!();
@@ -476,7 +601,7 @@ impl Vm {
                         }
                     }
                     Instr::FusedLocalLoad8U(n, off) => {
-                        let addr = *frame.locals.get(n as usize).ok_or(Trap::BadLocal(n))?;
+                        let addr = local!(frame, n);
                         let b = mem_read(memory, addr, off, 1)?;
                         stack.push(b[0] as i64);
                     }
@@ -602,9 +727,20 @@ impl Vm {
     }
 }
 
-fn binop(stack: &mut Vec<i64>, f: impl FnOnce(i64, i64) -> Result<i64, Trap>) -> Result<(), Trap> {
-    let b = stack.pop().ok_or(Trap::StackUnderflow)?;
-    let a = stack.pop().ok_or(Trap::StackUnderflow)?;
+fn binop<const VERIFIED: bool>(
+    stack: &mut Vec<i64>,
+    f: impl FnOnce(i64, i64) -> Result<i64, Trap>,
+) -> Result<(), Trap> {
+    let (a, b) = if VERIFIED {
+        // Verified modules cannot underflow (proven at load time).
+        let b = stack.pop().unwrap_or_default();
+        let a = stack.pop().unwrap_or_default();
+        (a, b)
+    } else {
+        let b = stack.pop().ok_or(Trap::StackUnderflow)?;
+        let a = stack.pop().ok_or(Trap::StackUnderflow)?;
+        (a, b)
+    };
     stack.push(f(a, b)?);
     Ok(())
 }
@@ -634,7 +770,10 @@ fn mem_write(memory: &mut [u8], addr: i64, off: u32, data: &[u8]) -> Result<(), 
 fn mem_copy(memory: &mut [u8], dst: u64, src: u64, len: u64) -> Result<(), Trap> {
     let mlen = memory.len() as u64;
     if dst.wrapping_add(len) > mlen || src.wrapping_add(len) > mlen {
-        return Err(Trap::OutOfBoundsMemory { addr: dst.max(src), len });
+        return Err(Trap::OutOfBoundsMemory {
+            addr: dst.max(src),
+            len,
+        });
     }
     memory.copy_within(src as usize..(src + len) as usize, dst as usize);
     Ok(())
@@ -668,7 +807,13 @@ mod tests {
     }
 
     fn run(module: Module, name: &str, args: &[i64]) -> Result<ExecOutcome, Trap> {
-        run_with(module, name, args, &mut MockHost::default(), ExecConfig::default())
+        run_with(
+            module,
+            name,
+            args,
+            &mut MockHost::default(),
+            ExecConfig::default(),
+        )
     }
 
     /// Build a module whose `main` stores an i64 result at memory[0] and
@@ -798,7 +943,12 @@ mod tests {
         let mut mb = ModuleBuilder::new();
         // helper(a, b) = a*10 + b
         let mut h = FuncBuilder::new("", 2, 0);
-        h.op(LocalGet(0)).i64(10).op(Mul).op(LocalGet(1)).op(Add).op(Ret);
+        h.op(LocalGet(0))
+            .i64(10)
+            .op(Mul)
+            .op(LocalGet(1))
+            .op(Add)
+            .op(Ret);
         let helper = mb.func(h.finish());
         let mut f = FuncBuilder::new("main", 0, 1);
         f.i64(4).i64(2).op(Call(helper)); // 42
@@ -889,17 +1039,27 @@ mod tests {
         mb.data(16, b"value-bytes");
         let mut f = FuncBuilder::new("main", 0, 1);
         // set_storage("key1", "value-bytes")
-        f.i64(0).i64(4).i64(16).i64(11).op(CallHost(crate::opcode::HostFn::SetStorage));
+        f.i64(0)
+            .i64(4)
+            .i64(16)
+            .i64(11)
+            .op(CallHost(crate::opcode::HostFn::SetStorage));
         // len = get_storage("key1", out=64, cap=100)
-        f.i64(0).i64(4).i64(64).i64(100).op(CallHost(crate::opcode::HostFn::GetStorage));
+        f.i64(0)
+            .i64(4)
+            .i64(64)
+            .i64(100)
+            .op(CallHost(crate::opcode::HostFn::GetStorage));
         f.op(LocalSet(0));
         // ret(64, len)
-        f.i64(64).op(LocalGet(0)).op(CallHost(crate::opcode::HostFn::Ret));
+        f.i64(64)
+            .op(LocalGet(0))
+            .op(CallHost(crate::opcode::HostFn::Ret));
         mb.func(f.finish());
         let mut host = MockHost::default();
         let out = run_with(mb.finish(), "main", &[], &mut host, ExecConfig::default()).unwrap();
         assert_eq!(out.return_data, b"value-bytes");
-        assert_eq!(host.storage.get(&b"key1"[..].to_vec()).unwrap(), b"value-bytes");
+        assert_eq!(host.storage.get(&b"key1"[..]).unwrap(), b"value-bytes");
         assert_eq!(out.stats.host_calls, 3);
     }
 
@@ -908,7 +1068,11 @@ mod tests {
         let mut mb = ModuleBuilder::new();
         mb.data(0, b"nope");
         let mut f = FuncBuilder::new("main", 0, 1);
-        f.i64(0).i64(4).i64(64).i64(100).op(CallHost(crate::opcode::HostFn::GetStorage));
+        f.i64(0)
+            .i64(4)
+            .i64(64)
+            .i64(100)
+            .op(CallHost(crate::opcode::HostFn::GetStorage));
         f.op(LocalSet(0));
         f.i64(0).op(LocalGet(0)).op(Store64(0));
         f.i64(0).i64(8).op(CallHost(crate::opcode::HostFn::Ret));
@@ -921,7 +1085,10 @@ mod tests {
         let mut mb = ModuleBuilder::new();
         mb.data(0, b"abc");
         let mut f = FuncBuilder::new("main", 0, 0);
-        f.i64(0).i64(3).i64(32).op(CallHost(crate::opcode::HostFn::Sha256));
+        f.i64(0)
+            .i64(3)
+            .i64(32)
+            .op(CallHost(crate::opcode::HostFn::Sha256));
         f.i64(32).i64(32).op(CallHost(crate::opcode::HostFn::Ret));
         mb.func(f.finish());
         let out = run(mb.finish(), "main", &[]).unwrap();
@@ -935,12 +1102,17 @@ mod tests {
     fn input_flows_into_memory() {
         let mut mb = ModuleBuilder::new();
         let mut f = FuncBuilder::new("main", 0, 1);
-        f.op(CallHost(crate::opcode::HostFn::InputLen)).op(LocalSet(0));
+        f.op(CallHost(crate::opcode::HostFn::InputLen))
+            .op(LocalSet(0));
         f.i64(0).op(CallHost(crate::opcode::HostFn::InputRead));
-        f.i64(0).op(LocalGet(0)).op(CallHost(crate::opcode::HostFn::Ret));
+        f.i64(0)
+            .op(LocalGet(0))
+            .op(CallHost(crate::opcode::HostFn::Ret));
         mb.func(f.finish());
-        let mut host = MockHost::default();
-        host.input = b"echo me".to_vec();
+        let mut host = MockHost {
+            input: b"echo me".to_vec(),
+            ..Default::default()
+        };
         let out = run_with(mb.finish(), "main", &[], &mut host, ExecConfig::default()).unwrap();
         assert_eq!(out.return_data, b"echo me");
     }
@@ -998,5 +1170,86 @@ mod tests {
         f.i64(0).i64(8).op(CallHost(crate::opcode::HostFn::Ret));
         mb.func(f.finish());
         assert_eq!(ret_val(&run(mb.finish(), "main", &[]).unwrap()), 3);
+    }
+
+    // ---- verified fast path ----
+
+    fn run_verified(module: Module, name: &str) -> Result<ExecOutcome, Trap> {
+        let cfg = ExecConfig::default();
+        let prepared = Prepared::new_verified(module, &cfg).expect("verifies");
+        let vm = Vm::from_prepared(prepared, cfg);
+        let mut mem = Vec::new();
+        vm.invoke(name, &[], &mut MockHost::default(), &mut mem)
+    }
+
+    #[test]
+    fn verified_path_matches_checked_path() {
+        let build = |f: &mut FuncBuilder| {
+            let top = f.label();
+            let done = f.label();
+            f.i64(1).op(LocalSet(1));
+            f.i64(0).op(LocalSet(2));
+            f.bind(top);
+            f.op(LocalGet(1)).i64(100).op(GtS);
+            f.jmp_if(done);
+            f.op(LocalGet(2)).op(LocalGet(1)).op(Add).op(LocalSet(2));
+            f.op(LocalGet(1)).i64(1).op(Add).op(LocalSet(1));
+            f.jmp(top);
+            f.bind(done);
+            f.op(LocalGet(2));
+        };
+        let checked = run(ret_i64_module(build), "main", &[]).unwrap();
+        let verified = run_verified(ret_i64_module(build), "main").unwrap();
+        assert_eq!(ret_val(&checked), ret_val(&verified));
+        assert_eq!(ret_val(&verified), 5050);
+        assert_eq!(checked.stats.instret, verified.stats.instret);
+    }
+
+    #[test]
+    fn verified_path_keeps_memory_and_fuel_guards() {
+        // Verification does not (and cannot) prove dynamic memory addresses
+        // or termination: those traps must survive on the fast path.
+        let mut mb = ModuleBuilder::new();
+        mb.memory(4096);
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(4095).i64(1).op(Store64(0));
+        f.op(Ret);
+        mb.func(f.finish());
+        assert!(matches!(
+            run_verified(mb.finish(), "main").unwrap_err(),
+            Trap::OutOfBoundsMemory { .. }
+        ));
+
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        let top = f.label();
+        f.bind(top);
+        f.jmp(top);
+        mb.func(f.finish());
+        let cfg = ExecConfig {
+            fuel: 1000,
+            ..ExecConfig::default()
+        };
+        let prepared = Prepared::new_verified(mb.finish(), &cfg).unwrap();
+        let vm = Vm::from_prepared(prepared, cfg);
+        let mut mem = Vec::new();
+        assert_eq!(
+            vm.invoke("main", &[], &mut MockHost::default(), &mut mem)
+                .unwrap_err(),
+            Trap::OutOfFuel
+        );
+    }
+
+    #[test]
+    fn verified_rejects_malformed_but_unverified_still_runs() {
+        // A module the verifier rejects (unconditional recursion) still
+        // executes — checked — on the legacy path.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.op(Call(0));
+        mb.func(f.finish());
+        let m = mb.finish();
+        assert!(Prepared::new_verified(m.clone(), &ExecConfig::default()).is_err());
+        assert_eq!(run(m, "main", &[]).unwrap_err(), Trap::CallStackOverflow);
     }
 }

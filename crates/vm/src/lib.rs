@@ -25,6 +25,12 @@
 //! Execution reports [`interp::ExecStats`] — retired instructions, host
 //! calls, bytes decoded — which the simulation layer converts to virtual
 //! cycles (see `confide-sim`).
+//!
+//! **Ahead-of-time verification** ([`verify`]): modules can be proven
+//! well-formed once at load time — stack discipline, jump/call targets,
+//! operand indices, result arities. Verified modules
+//! ([`interp::Prepared::new_verified`]) run a monomorphized interpreter
+//! loop with the per-dispatch underflow/bounds checks compiled out.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +43,7 @@ pub mod interp;
 pub mod leb;
 pub mod module;
 pub mod opcode;
+pub mod verify;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use cache::{CodeCache, MemoryPool};
@@ -44,3 +51,4 @@ pub use host::{HostApi, HostError, MockHost};
 pub use interp::{ExecConfig, ExecOutcome, ExecStats, Prepared, Trap, Vm};
 pub use module::{Function, Module};
 pub use opcode::Instr;
+pub use verify::{verify_module, VerifyError, VerifyErrorKind, VerifySummary};

@@ -183,7 +183,12 @@ mod tests {
                     name: String::new(),
                     param_count: 2,
                     local_count: 0,
-                    body: vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::Add, Instr::Ret],
+                    body: vec![
+                        Instr::LocalGet(0),
+                        Instr::LocalGet(1),
+                        Instr::Add,
+                        Instr::Ret,
+                    ],
                 },
             ],
             data: vec![DataSegment {

@@ -76,7 +76,10 @@ impl HostFn {
 
     /// Whether a result is pushed.
     pub fn has_result(self) -> bool {
-        matches!(self, HostFn::InputLen | HostFn::GetStorage | HostFn::CallContract)
+        matches!(
+            self,
+            HostFn::InputLen | HostFn::GetStorage | HostFn::CallContract
+        )
     }
 }
 
@@ -527,7 +530,10 @@ mod tests {
     #[test]
     fn truncated_immediate_rejected() {
         // I64Const with dangling continuation bit.
-        assert!(matches!(decode_body(&[0x02, 0x80]), Err(DecodeError::Leb(_))));
+        assert!(matches!(
+            decode_body(&[0x02, 0x80]),
+            Err(DecodeError::Leb(_))
+        ));
         // CallHost with no index byte.
         assert_eq!(decode_body(&[0x0c]), Err(DecodeError::Truncated));
     }

@@ -1,0 +1,927 @@
+//! Ahead-of-time bytecode verification for CONFIDE-VM modules.
+//!
+//! The interpreter ([`crate::interp`]) is written defensively: every stack
+//! pop, local access and call target is checked on every dispatch. Those
+//! checks exist because the wire format ([`crate::module`]) accepts any
+//! structurally-decodable module — including hand-crafted malicious ones.
+//! This module proves the properties *once*, at load time, so the verified
+//! execution path can drop the per-dispatch checks (see
+//! [`crate::interp::Prepared::new_verified`]).
+//!
+//! ## Verified invariants
+//!
+//! For every function, by abstract interpretation of stack *heights* over
+//! the control-flow graph:
+//!
+//! 1. **Stack discipline** — no instruction pops below the height at
+//!    function entry (the value stack is shared across frames, so an
+//!    underflow would read the *caller's* operands), and the height at any
+//!    merge point is the same along every incoming edge.
+//! 2. **Jump safety** — every branch target lies inside the body or lands
+//!    exactly one past it (`pc == body.len()` is the "fall off the end"
+//!    return the interpreter already honours).
+//! 3. **Call arity** — every `Call(f)` names a real function and has at
+//!    least `f.param_count` operands on the stack; every exit from a
+//!    function leaves exactly its inferred result arity behind.
+//! 4. **Operand/index validity** — local and global indices are in range,
+//!    `CallHost` has its documented argument count available, data
+//!    segments fit in linear memory, and per-function locals are bounded.
+//!
+//! The wire format does not record result arities, so they are *inferred*
+//! by an interprocedural fixpoint: a function's arity is the (consistent)
+//! stack height at its reachable exits, and exits behind calls to
+//! not-yet-resolved functions are deferred to the next round. Modules with
+//! no call-free path to any exit (e.g. unconditional self-recursion) are
+//! rejected as [`VerifyErrorKind::UnresolvableResultArity`].
+//!
+//! Verification runs on the *decoded* (pre-fusion) body; the OPT4 fusion
+//! pass preserves stack effects and remaps jump targets, so the proof
+//! carries over to the fused body the interpreter actually runs.
+
+use crate::module::Module;
+use crate::opcode::Instr;
+
+/// Upper bound on `param_count + local_count` per function (a crafted
+/// module must not make the interpreter allocate gigabyte local frames).
+pub const MAX_LOCALS: u32 = 4096;
+/// Upper bound on declared linear memory (bytes).
+pub const MAX_MEMORY: u32 = 1 << 26;
+/// Upper bound on declared globals.
+pub const MAX_GLOBALS: u32 = 1024;
+
+/// Why verification rejected a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// An instruction pops more values than the current frame pushed.
+    StackUnderflow {
+        /// Stack height before the instruction.
+        have: u32,
+        /// Values the instruction needs.
+        need: u32,
+    },
+    /// Two control-flow edges reach the same pc with different heights.
+    HeightMismatch {
+        /// Height already recorded for this pc.
+        expected: u32,
+        /// Height along the newly-explored edge.
+        found: u32,
+    },
+    /// A branch target outside `0..=body.len()`.
+    BadJumpTarget {
+        /// The offending target.
+        target: u32,
+        /// The body length (targets may equal it: fall-off return).
+        body_len: usize,
+    },
+    /// `Call` with fewer operands on the stack than the callee's params.
+    ArityMismatch {
+        /// Callee function index.
+        callee: u32,
+        /// Operands required (`param_count`).
+        need: u32,
+        /// Operands available.
+        have: u32,
+    },
+    /// Exits of one function disagree on how many results it leaves.
+    InconsistentResultArity {
+        /// Arity seen at an earlier exit.
+        first: u32,
+        /// Arity at this exit.
+        second: u32,
+    },
+    /// No call-free path to any exit, so the result arity cannot be
+    /// established (unconditional recursion, or all exits unreachable).
+    UnresolvableResultArity,
+    /// `Call` to a function index outside the module.
+    UnknownFunction {
+        /// The offending index.
+        index: u32,
+        /// Number of functions in the module.
+        count: usize,
+    },
+    /// Local index outside `param_count + local_count`.
+    BadLocal {
+        /// The offending index.
+        index: u32,
+        /// Locals available.
+        count: u32,
+    },
+    /// Global index outside `global_count`.
+    BadGlobal {
+        /// The offending index.
+        index: u32,
+        /// Globals declared.
+        count: u32,
+    },
+    /// A fused superinstruction appeared in a decoded body (they are
+    /// fusion output only and rejected on the wire; reaching here means
+    /// the module bypassed `Module::decode`).
+    FusedInstruction,
+    /// A data segment extends past linear memory.
+    DataOutOfBounds {
+        /// Segment offset.
+        offset: u32,
+        /// Segment length.
+        len: usize,
+        /// Declared memory size.
+        memory: u32,
+    },
+    /// `param_count + local_count` exceeds [`MAX_LOCALS`].
+    TooManyLocals {
+        /// Declared locals.
+        count: u32,
+    },
+    /// Declared memory exceeds [`MAX_MEMORY`].
+    MemoryTooLarge {
+        /// Declared size.
+        size: u32,
+    },
+    /// Declared globals exceed [`MAX_GLOBALS`].
+    TooManyGlobals {
+        /// Declared count.
+        count: u32,
+    },
+}
+
+/// A verification failure, located at `functions[func].body[pc]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function index (u32::MAX for module-level checks).
+    pub func: u32,
+    /// Instruction index within the body (0 for module-level checks).
+    pub pc: usize,
+    /// What went wrong.
+    pub kind: VerifyErrorKind,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use VerifyErrorKind as K;
+        if self.func != u32::MAX {
+            write!(f, "func {} pc {}: ", self.func, self.pc)?;
+        }
+        match &self.kind {
+            K::StackUnderflow { have, need } => {
+                write!(f, "stack underflow: have {have}, need {need}")
+            }
+            K::HeightMismatch { expected, found } => {
+                write!(f, "stack height mismatch at merge: {expected} vs {found}")
+            }
+            K::BadJumpTarget { target, body_len } => {
+                write!(f, "jump target {target} outside body of length {body_len}")
+            }
+            K::ArityMismatch { callee, need, have } => {
+                write!(
+                    f,
+                    "call to func {callee} needs {need} args, stack has {have}"
+                )
+            }
+            K::InconsistentResultArity { first, second } => {
+                write!(f, "exits disagree on result arity: {first} vs {second}")
+            }
+            K::UnresolvableResultArity => f.write_str("result arity unresolvable"),
+            K::UnknownFunction { index, count } => {
+                write!(f, "call to unknown function {index} (module has {count})")
+            }
+            K::BadLocal { index, count } => {
+                write!(f, "local index {index} out of range ({count} available)")
+            }
+            K::BadGlobal { index, count } => {
+                write!(f, "global index {index} out of range ({count} declared)")
+            }
+            K::FusedInstruction => f.write_str("fused superinstruction before fusion pass"),
+            K::DataOutOfBounds {
+                offset,
+                len,
+                memory,
+            } => {
+                write!(
+                    f,
+                    "data segment {offset}+{len} outside memory of {memory} bytes"
+                )
+            }
+            K::TooManyLocals { count } => {
+                write!(f, "{count} locals exceed the {MAX_LOCALS} limit")
+            }
+            K::MemoryTooLarge { size } => {
+                write!(f, "memory size {size} exceeds the {MAX_MEMORY} limit")
+            }
+            K::TooManyGlobals { count } => {
+                write!(f, "{count} globals exceed the {MAX_GLOBALS} limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Facts proven about a verified module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// Result arity of every function, by index.
+    pub result_arity: Vec<u32>,
+    /// Maximum abstract stack height of any single frame.
+    pub max_frame_stack: u32,
+}
+
+/// Verify `module`, returning the proven summary or the first error.
+pub fn verify_module(module: &Module) -> Result<VerifySummary, VerifyError> {
+    module_level_checks(module)?;
+
+    let n = module.functions.len();
+    let mut arities: Vec<Option<u32>> = vec![None; n];
+
+    // Interprocedural fixpoint: each round resolves every function whose
+    // exits are reachable through already-resolved callees. At most n
+    // rounds make progress; a round without progress means the remaining
+    // functions are mutually unresolvable.
+    loop {
+        let mut progressed = false;
+        for idx in 0..n {
+            if arities[idx].is_some() {
+                continue;
+            }
+            let r = analyze(module, idx as u32, &arities, false)?;
+            match r.resolved {
+                Some(a) => {
+                    arities[idx] = Some(a);
+                    progressed = true;
+                }
+                // No exit and no path cut short by an unresolved callee:
+                // the function provably diverges, so arity 0 is sound.
+                None if !r.blocked => {
+                    arities[idx] = Some(0);
+                    progressed = true;
+                }
+                None => {}
+            }
+        }
+        if arities.iter().all(|a| a.is_some()) {
+            break;
+        }
+        if !progressed {
+            let idx = arities.iter().position(|a| a.is_none()).unwrap_or(0);
+            return Err(VerifyError {
+                func: idx as u32,
+                pc: 0,
+                kind: VerifyErrorKind::UnresolvableResultArity,
+            });
+        }
+    }
+
+    // Final pass with every arity known: full structural verification.
+    let mut max_frame_stack = 0u32;
+    for idx in 0..n {
+        let r = analyze(module, idx as u32, &arities, true)?;
+        max_frame_stack = max_frame_stack.max(r.max_height);
+        match r.resolved {
+            Some(a) if a == arities[idx].unwrap_or(0) => {}
+            Some(a) => {
+                return Err(VerifyError {
+                    func: idx as u32,
+                    pc: 0,
+                    kind: VerifyErrorKind::InconsistentResultArity {
+                        first: arities[idx].unwrap_or(0),
+                        second: a,
+                    },
+                })
+            }
+            // No reachable exit: the function diverges, consistent with
+            // whatever arity inference assigned (0).
+            None => {}
+        }
+    }
+
+    Ok(VerifySummary {
+        result_arity: arities.into_iter().map(|a| a.unwrap_or(0)).collect(),
+        max_frame_stack,
+    })
+}
+
+fn module_level_checks(module: &Module) -> Result<(), VerifyError> {
+    let module_err = |kind| VerifyError {
+        func: u32::MAX,
+        pc: 0,
+        kind,
+    };
+    if module.memory_size > MAX_MEMORY {
+        return Err(module_err(VerifyErrorKind::MemoryTooLarge {
+            size: module.memory_size,
+        }));
+    }
+    if module.global_count > MAX_GLOBALS {
+        return Err(module_err(VerifyErrorKind::TooManyGlobals {
+            count: module.global_count,
+        }));
+    }
+    for seg in &module.data {
+        let end = seg.offset as u64 + seg.bytes.len() as u64;
+        if end > module.memory_size as u64 {
+            return Err(module_err(VerifyErrorKind::DataOutOfBounds {
+                offset: seg.offset,
+                len: seg.bytes.len(),
+                memory: module.memory_size,
+            }));
+        }
+    }
+    for (idx, f) in module.functions.iter().enumerate() {
+        let locals = f.param_count as u64 + f.local_count as u64;
+        if locals > MAX_LOCALS as u64 {
+            return Err(VerifyError {
+                func: idx as u32,
+                pc: 0,
+                kind: VerifyErrorKind::TooManyLocals {
+                    count: locals.min(u32::MAX as u64) as u32,
+                },
+            });
+        }
+    }
+    Ok(())
+}
+
+struct FnAnalysis {
+    /// The function's result arity, if at least one exit was reachable.
+    resolved: Option<u32>,
+    /// Maximum stack height observed (final pass only meaningful).
+    max_height: u32,
+    /// Inference mode only: a path was cut short by a call to a function
+    /// whose arity is still unknown. Distinguishes "unresolved because
+    /// blocked" (retry next round) from "unresolved because the function
+    /// provably diverges" (no exits, no pending calls — arity 0 is sound).
+    blocked: bool,
+}
+
+/// Abstract interpretation of stack heights over one function body.
+///
+/// `finalize = false` is the inference mode: paths through calls with
+/// still-unknown arity are simply not followed. `finalize = true` requires
+/// every arity to be known and explores everything reachable.
+fn analyze(
+    module: &Module,
+    fidx: u32,
+    arities: &[Option<u32>],
+    finalize: bool,
+) -> Result<FnAnalysis, VerifyError> {
+    let func = &module.functions[fidx as usize];
+    let body = &func.body;
+    let nlocals = func.param_count + func.local_count;
+    let err = |pc: usize, kind| VerifyError {
+        func: fidx,
+        pc,
+        kind,
+    };
+
+    // Structural pre-pass over *every* instruction, reachable or not:
+    // jump targets must stay inside the body. The dataflow worklist below
+    // only visits reachable code, but prepare-time passes (the OPT4
+    // fusion remap in particular) walk the whole body, so a wild target
+    // in dead code would index out of bounds there. Found by single-byte
+    // mutation fuzzing.
+    for (pc, instr) in body.iter().enumerate() {
+        if let Some(t) = instr.jump_target() {
+            check_target(t, body.len()).map_err(|k| err(pc, k))?;
+        }
+    }
+
+    // heights[pc] = entry height when reaching instruction pc.
+    let mut heights: Vec<Option<u32>> = vec![None; body.len() + 1];
+    let mut worklist: Vec<usize> = Vec::with_capacity(16);
+    let mut exit_arity: Option<u32> = None;
+    let mut max_height = 0u32;
+    let mut blocked = false;
+
+    heights[0] = Some(0);
+    worklist.push(0);
+
+    // Record a control-flow edge into `target` at height `h`.
+    macro_rules! flow {
+        ($from_pc:expr, $target:expr, $h:expr) => {{
+            let t = $target;
+            match heights[t] {
+                None => {
+                    heights[t] = Some($h);
+                    worklist.push(t);
+                }
+                Some(prev) if prev != $h => {
+                    return Err(err(
+                        $from_pc,
+                        VerifyErrorKind::HeightMismatch {
+                            expected: prev,
+                            found: $h,
+                        },
+                    ));
+                }
+                Some(_) => {}
+            }
+        }};
+    }
+
+    while let Some(pc) = worklist.pop() {
+        let h = heights[pc].unwrap_or(0);
+        max_height = max_height.max(h);
+        if pc == body.len() {
+            // Fall-off-the-end (or jump-to-end) return.
+            match exit_arity {
+                None => exit_arity = Some(h),
+                Some(a) if a != h => {
+                    return Err(err(
+                        pc,
+                        VerifyErrorKind::InconsistentResultArity {
+                            first: a,
+                            second: h,
+                        },
+                    ))
+                }
+                Some(_) => {}
+            }
+            continue;
+        }
+        let instr = body[pc];
+
+        // (pops, pushes) stack effect; control flow handled explicitly.
+        let (pops, pushes): (u32, u32) = match instr {
+            Instr::Unreachable => {
+                // Traps unconditionally: no successors, no constraints.
+                continue;
+            }
+            Instr::Nop => (0, 0),
+            Instr::I64Const(_) => (0, 1),
+            Instr::LocalGet(n) | Instr::LocalSet(n) | Instr::LocalTee(n) => {
+                if n >= nlocals {
+                    return Err(err(
+                        pc,
+                        VerifyErrorKind::BadLocal {
+                            index: n,
+                            count: nlocals,
+                        },
+                    ));
+                }
+                match instr {
+                    Instr::LocalGet(_) => (0, 1),
+                    Instr::LocalSet(_) => (1, 0),
+                    _ => (1, 1), // Tee: needs one, leaves it.
+                }
+            }
+            Instr::GlobalGet(n) | Instr::GlobalSet(n) => {
+                if n >= module.global_count {
+                    return Err(err(
+                        pc,
+                        VerifyErrorKind::BadGlobal {
+                            index: n,
+                            count: module.global_count,
+                        },
+                    ));
+                }
+                if matches!(instr, Instr::GlobalGet(_)) {
+                    (0, 1)
+                } else {
+                    (1, 0)
+                }
+            }
+            Instr::Jmp(t) => {
+                let t = check_target(t, body.len()).map_err(|k| err(pc, k))?;
+                flow!(pc, t, h);
+                continue;
+            }
+            Instr::JmpIf(t) | Instr::JmpIfZ(t) => {
+                if h < 1 {
+                    return Err(err(
+                        pc,
+                        VerifyErrorKind::StackUnderflow { have: h, need: 1 },
+                    ));
+                }
+                let t = check_target(t, body.len()).map_err(|k| err(pc, k))?;
+                flow!(pc, t, h - 1);
+                flow!(pc, pc + 1, h - 1);
+                continue;
+            }
+            Instr::Call(f) => {
+                let callee = module.functions.get(f as usize).ok_or_else(|| {
+                    err(
+                        pc,
+                        VerifyErrorKind::UnknownFunction {
+                            index: f,
+                            count: module.functions.len(),
+                        },
+                    )
+                })?;
+                let need = callee.param_count;
+                if h < need {
+                    return Err(err(
+                        pc,
+                        VerifyErrorKind::ArityMismatch {
+                            callee: f,
+                            need,
+                            have: h,
+                        },
+                    ));
+                }
+                match arities.get(f as usize).copied().flatten() {
+                    Some(results) => (need, results),
+                    None if finalize => {
+                        return Err(err(pc, VerifyErrorKind::UnresolvableResultArity))
+                    }
+                    // Inference mode: cannot see past this call yet.
+                    None => {
+                        blocked = true;
+                        continue;
+                    }
+                }
+            }
+            Instr::CallHost(hf) => (hf.arg_count() as u32, hf.has_result() as u32),
+            Instr::Ret => {
+                match exit_arity {
+                    None => exit_arity = Some(h),
+                    Some(a) if a != h => {
+                        return Err(err(
+                            pc,
+                            VerifyErrorKind::InconsistentResultArity {
+                                first: a,
+                                second: h,
+                            },
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                continue;
+            }
+            Instr::Drop => (1, 0),
+            Instr::Select => (3, 1),
+            Instr::Load8U(_) | Instr::Load16U(_) | Instr::Load32U(_) | Instr::Load64(_) => (1, 1),
+            Instr::Store8(_) | Instr::Store16(_) | Instr::Store32(_) | Instr::Store64(_) => (2, 0),
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::DivS
+            | Instr::DivU
+            | Instr::RemS
+            | Instr::RemU
+            | Instr::And
+            | Instr::Or
+            | Instr::Xor
+            | Instr::Shl
+            | Instr::ShrS
+            | Instr::ShrU
+            | Instr::Eq
+            | Instr::Ne
+            | Instr::LtS
+            | Instr::LtU
+            | Instr::GtS
+            | Instr::GtU
+            | Instr::LeS
+            | Instr::LeU
+            | Instr::GeS
+            | Instr::GeU => (2, 1),
+            Instr::Eqz => (1, 1),
+            Instr::MemCopy | Instr::MemFill => (3, 0),
+            Instr::FusedGetGet(..)
+            | Instr::FusedIncLocal(..)
+            | Instr::FusedAddConst(..)
+            | Instr::FusedBrIfLtS(..)
+            | Instr::FusedBrIfGeS(..)
+            | Instr::FusedBrIfEq(..)
+            | Instr::FusedBrIfNe(..)
+            | Instr::FusedLocalLoad8U(..) => {
+                return Err(err(pc, VerifyErrorKind::FusedInstruction));
+            }
+        };
+
+        if h < pops {
+            return Err(err(
+                pc,
+                VerifyErrorKind::StackUnderflow {
+                    have: h,
+                    need: pops,
+                },
+            ));
+        }
+        let next = h - pops + pushes;
+        max_height = max_height.max(next);
+        flow!(pc, pc + 1, next);
+    }
+
+    Ok(FnAnalysis {
+        resolved: exit_arity,
+        max_height,
+        blocked,
+    })
+}
+
+fn check_target(t: u32, body_len: usize) -> Result<usize, VerifyErrorKind> {
+    if (t as usize) <= body_len {
+        Ok(t as usize)
+    } else {
+        Err(VerifyErrorKind::BadJumpTarget {
+            target: t,
+            body_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FuncBuilder, ModuleBuilder};
+    use crate::opcode::HostFn;
+    use crate::opcode::Instr::*;
+
+    fn simple(body: impl FnOnce(&mut FuncBuilder)) -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 2);
+        body(&mut f);
+        mb.func(f.finish());
+        mb.finish()
+    }
+
+    #[test]
+    fn clean_module_verifies() {
+        let m = simple(|f| {
+            f.i64(1).i64(2).op(Add).op(LocalSet(0));
+            f.op(Ret);
+        });
+        let s = verify_module(&m).unwrap();
+        assert_eq!(s.result_arity, vec![0]);
+        assert!(s.max_frame_stack >= 2);
+    }
+
+    #[test]
+    fn stack_underflow_rejected() {
+        // `Add` with an empty stack.
+        let m = simple(|f| {
+            f.op(Add).op(Drop).op(Ret);
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert_eq!(e.kind, VerifyErrorKind::StackUnderflow { have: 0, need: 2 });
+        assert_eq!((e.func, e.pc), (0, 0));
+    }
+
+    #[test]
+    fn underflow_into_caller_frame_rejected() {
+        // The callee pops one more value than it pushed: dynamically this
+        // would silently consume the caller's operand (shared stack).
+        let mut mb = ModuleBuilder::new();
+        let mut evil = FuncBuilder::new("", 0, 0);
+        evil.op(Drop).op(Ret); // pops caller data!
+        let evil_idx = mb.func(evil.finish());
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(7).op(Call(evil_idx)).op(Drop).op(Ret);
+        mb.func(f.finish());
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(matches!(e.kind, VerifyErrorKind::StackUnderflow { .. }));
+        assert_eq!(e.func, evil_idx);
+    }
+
+    #[test]
+    fn bad_jump_target_rejected() {
+        let m = simple(|f| {
+            f.op(Jmp(99));
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::BadJumpTarget { target: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_jump_target_in_dead_code_rejected() {
+        // The worklist never reaches pc 2, but prepare-time passes walk
+        // the whole body — a wild target in dead code must still fail
+        // verification (mutation-fuzzing regression).
+        let m = simple(|f| {
+            f.op(Ret); // pc 0: everything after is unreachable
+            f.op(Nop); // pc 1
+            f.op(Jmp(14465)); // pc 2: dead, wild target
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(
+            matches!(e.kind, VerifyErrorKind::BadJumpTarget { target: 14465, .. }),
+            "{e}"
+        );
+        assert_eq!(e.pc, 2);
+    }
+
+    #[test]
+    fn jump_to_end_is_a_return() {
+        // Jmp(body.len()) is the fall-off-the-end exit the interpreter
+        // honours; the verifier must accept it and use it for arity.
+        let m = simple(|f| {
+            f.op(Jmp(1));
+        });
+        assert_eq!(verify_module(&m).unwrap().result_arity, vec![0]);
+    }
+
+    #[test]
+    fn call_arity_mismatch_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let mut h = FuncBuilder::new("", 2, 0);
+        h.op(LocalGet(0)).op(LocalGet(1)).op(Add).op(Ret);
+        let helper = mb.func(h.finish());
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(1).op(Call(helper)).op(Drop).op(Ret); // only 1 of 2 args
+        mb.func(f.finish());
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert_eq!(
+            e.kind,
+            VerifyErrorKind::ArityMismatch {
+                callee: helper,
+                need: 2,
+                have: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let m = simple(|f| {
+            f.op(Call(42)).op(Ret);
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::UnknownFunction { index: 42, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_local_and_global_rejected() {
+        let m = simple(|f| {
+            f.op(LocalGet(99)).op(Drop).op(Ret);
+        });
+        assert!(matches!(
+            verify_module(&m).unwrap_err().kind,
+            VerifyErrorKind::BadLocal { index: 99, .. }
+        ));
+        let m = simple(|f| {
+            f.op(GlobalGet(3)).op(Drop).op(Ret);
+        });
+        assert!(matches!(
+            verify_module(&m).unwrap_err().kind,
+            VerifyErrorKind::BadGlobal { index: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn merge_height_mismatch_rejected() {
+        // One branch pushes an extra value before the merge point.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        // 0: const 1; 1: JmpIf(4); 2: const 5; 3: const 6; 4: Drop; 5: Ret
+        // Edge 1->4 arrives at height 0; edge 3->4 arrives at height 2.
+        f.i64(1);
+        f.op(JmpIf(4));
+        f.i64(5);
+        f.i64(6);
+        f.op(Drop);
+        f.op(Ret);
+        mb.func(f.finish());
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(
+            matches!(
+                e.kind,
+                VerifyErrorKind::HeightMismatch { .. } | VerifyErrorKind::StackUnderflow { .. }
+            ),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_result_arity_rejected() {
+        // One exit leaves 0 values, the other leaves 1.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        // 0: const 1; 1: JmpIf(3); 2: Ret (height 0); 3: const 9; 4: Ret (height 1)
+        f.i64(1);
+        f.op(JmpIf(3));
+        f.op(Ret);
+        f.i64(9);
+        f.op(Ret);
+        mb.func(f.finish());
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(
+            matches!(e.kind, VerifyErrorKind::InconsistentResultArity { .. }),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn unconditional_recursion_unresolvable() {
+        // Same shape as the interpreter's `recursion_depth_limited` test:
+        // no call-free exit, so no arity can be established.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.op(Call(0));
+        mb.func(f.finish());
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert_eq!(e.kind, VerifyErrorKind::UnresolvableResultArity);
+    }
+
+    #[test]
+    fn recursion_with_base_case_resolves() {
+        // fact-like shape: a conditional exit not behind the recursive call
+        // lets inference establish the arity, then the final pass checks
+        // the recursive path against it.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("f", 1, 0);
+        // 0: LocalGet 0; 1: JmpIfZ(5); 2: LocalGet 0; 3: Call 0; 4: Ret(h=1)
+        // 5: i64 1; 6: Ret (h=1)
+        f.op(LocalGet(0));
+        f.op(JmpIfZ(5));
+        f.op(LocalGet(0));
+        f.op(Call(0));
+        f.op(Ret);
+        f.i64(1);
+        f.op(Ret);
+        mb.func(f.finish());
+        let s = verify_module(&mb.finish()).unwrap();
+        assert_eq!(s.result_arity, vec![1]);
+    }
+
+    #[test]
+    fn data_segment_oob_rejected() {
+        let mut mb = ModuleBuilder::new();
+        mb.memory(64);
+        mb.data(60, b"eight bytes!");
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.op(Ret);
+        mb.func(f.finish());
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(matches!(e.kind, VerifyErrorKind::DataOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn resource_limits_enforced() {
+        let mut mb = ModuleBuilder::new();
+        mb.func(crate::module::Function {
+            name: "main".into(),
+            param_count: 0,
+            local_count: MAX_LOCALS + 1,
+            body: vec![Ret],
+        });
+        assert!(matches!(
+            verify_module(&mb.finish()).unwrap_err().kind,
+            VerifyErrorKind::TooManyLocals { .. }
+        ));
+    }
+
+    #[test]
+    fn fused_instruction_rejected_pre_fusion() {
+        let m = simple(|f| {
+            f.op(FusedAddConst(1)).op(Drop).op(Ret);
+        });
+        assert!(matches!(
+            verify_module(&m).unwrap_err().kind,
+            VerifyErrorKind::FusedInstruction
+        ));
+    }
+
+    #[test]
+    fn host_call_effects_checked() {
+        // GetStorage pops 4 and pushes 1; with only 3 on the stack it must
+        // be rejected.
+        let m = simple(|f| {
+            f.i64(0).i64(4).i64(64).op(CallHost(HostFn::GetStorage));
+            f.op(Drop).op(Ret);
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert_eq!(e.kind, VerifyErrorKind::StackUnderflow { have: 3, need: 4 });
+    }
+
+    #[test]
+    fn compiled_ccl_shapes_verify() {
+        // A module in the exact shape codegen_vm emits: an __alloc helper,
+        // an internal body, and a named export wrapper.
+        let mut mb = ModuleBuilder::new();
+        mb.globals(1);
+        // __alloc(n): bump global 0.
+        let mut alloc = FuncBuilder::new("", 1, 1);
+        alloc
+            .op(GlobalGet(0))
+            .op(LocalSet(1))
+            .op(GlobalGet(0))
+            .op(LocalGet(0))
+            .op(Add)
+            .op(GlobalSet(0))
+            .op(LocalGet(1))
+            .op(Ret);
+        let alloc_idx = mb.func(alloc.finish());
+        // body(): returns 8 bytes via __alloc.
+        let mut body = FuncBuilder::new("", 0, 1);
+        body.i64(8)
+            .op(Call(alloc_idx))
+            .op(LocalSet(0))
+            .op(LocalGet(0))
+            .op(Ret);
+        let body_idx = mb.func(body.finish());
+        // export wrapper: reset heap, call body, drop result.
+        let mut w = FuncBuilder::new("main", 0, 0);
+        w.i64(1024)
+            .op(GlobalSet(0))
+            .op(Call(body_idx))
+            .op(Drop)
+            .op(Ret);
+        mb.func(w.finish());
+        let s = verify_module(&mb.finish()).unwrap();
+        assert_eq!(s.result_arity, vec![1, 1, 0]);
+    }
+}

@@ -14,6 +14,7 @@
 //!    contract's own ACL rules*, and the enclave re-wraps the one-time key
 //!    `k_tx` to the auditor — `k_states` never leaves the enclave.
 
+#![forbid(unsafe_code)]
 use confide::ccle::codec::{decode, decode_public, encode, EncryptionContext};
 use confide::ccle::parse_schema;
 use confide::ccle::value::Value;
@@ -80,7 +81,10 @@ fn main() {
     let k_states = [7u8; 32];
     let mut enc_ctx = EncryptionContext::new(&k_states, b"contract:audit-demo|sv:1", 42);
     let wire = encode(&schema, &account, Some(&mut enc_ctx)).expect("encode");
-    println!("CCLe-encoded account state: {} bytes on the wire", wire.len());
+    println!(
+        "CCLe-encoded account state: {} bytes on the wire",
+        wire.len()
+    );
 
     // The auditor decodes WITHOUT any key: public fields readable,
     // confidential fields opaque.
@@ -106,18 +110,25 @@ fn main() {
     let keys = NodeKeys::generate(&mut rng);
     let engine = Engine::confidential(platform, keys, EngineConfig::default());
     let contract = [0x51; 32];
-    engine.deploy(
-        contract,
-        &confide::lang::build_vm(POLICY_CONTRACT).unwrap(),
-        VmKind::ConfideVm,
-        true,
-    );
+    engine
+        .deploy(
+            contract,
+            &confide::lang::build_vm(POLICY_CONTRACT).unwrap(),
+            VmKind::ConfideVm,
+            true,
+        )
+        .unwrap();
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
 
     let mut owner = ConfideClient::new([1u8; 32], [2u8; 32], 3);
     let (tx, tx_hash, _) = owner
-        .confidential_tx(&engine.pk_tx().unwrap(), contract, "main", b"invoice #8812, 40000 CNY")
+        .confidential_tx(
+            &engine.pk_tx().unwrap(),
+            contract,
+            "main",
+            b"invoice #8812, 40000 CNY",
+        )
         .unwrap();
     let (_receipt, sealed_receipt, _) = engine
         .execute_transaction(&state, &mut ctx, &tx, &mut rng)
@@ -136,7 +147,10 @@ fn main() {
         requester_dh_pk: auditor_pk,
     };
     let denied = handle_access_request(&engine, &state, &mut ctx, &request, &mut rng);
-    println!("auditor access before grant: {}", denied.err().map(|e| e.to_string()).unwrap());
+    println!(
+        "auditor access before grant: {}",
+        denied.err().map(|e| e.to_string()).unwrap()
+    );
 
     // The owner updates the on-chain ACL (a contract upgrade-free rule
     // change is deliberately impossible — rules are contract state written

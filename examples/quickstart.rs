@@ -10,6 +10,7 @@
 //! enclave, decrypt the receipt as the owner, and demonstrate that the raw
 //! database holds only ciphertext (D-Protocol).
 
+#![forbid(unsafe_code)]
 use confide::core::client::ConfideClient;
 use confide::core::engine::{EngineConfig, VmKind};
 use confide::core::keys::NodeKeys;
@@ -32,12 +33,16 @@ fn main() {
     let mut rng = HmacDrbg::from_u64(7);
     let keys = NodeKeys::generate(&mut rng);
     let mut node = ConfideNode::new(platform, keys, EngineConfig::default(), 1);
-    println!("node up, pk_tx = {}…", &confide::crypto::hex(&node.pk_tx())[..16]);
+    println!(
+        "node up, pk_tx = {}…",
+        &confide::crypto::hex(&node.pk_tx())[..16]
+    );
 
     // 2. Compile and deploy the contract (confidential: code sealed too).
     let code = confide::lang::build_vm(COUNTER).expect("contract compiles");
     let contract = [0x42; 32];
-    node.deploy(contract, &code, VmKind::ConfideVm, true);
+    node.deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
     println!("deployed {} bytes of sealed contract code", code.len());
 
     // 3. The client seals a transaction to pk_tx and submits it.
@@ -55,7 +60,9 @@ fn main() {
 
     // 4. Only the owner can open the receipt.
     let sealed = node.stored_receipt(&tx_hash).expect("receipt stored");
-    let receipt = client.open_receipt(&sealed, &tx_hash).expect("owner decrypts");
+    let receipt = client
+        .open_receipt(&sealed, &tx_hash)
+        .expect("owner decrypts");
     println!(
         "receipt: success={} return={:?}",
         receipt.success,
@@ -72,7 +79,10 @@ fn main() {
         .open_receipt(&node.stored_receipt(&h2).unwrap(), &h2)
         .unwrap();
     assert_eq!(receipt2.return_data, b"42");
-    println!("counter after block 2: {}", String::from_utf8_lossy(&receipt2.return_data));
+    println!(
+        "counter after block 2: {}",
+        String::from_utf8_lossy(&receipt2.return_data)
+    );
 
     // 5. The raw database never sees plaintext.
     let mut leaked = false;

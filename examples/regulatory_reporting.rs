@@ -16,6 +16,7 @@
 //! One encoded blob serves all four audiences; each party decodes with the
 //! key material they hold and sees exactly their slice.
 
+#![forbid(unsafe_code)]
 use confide::ccle::codec::{decode, decode_public, encode, EncryptionContext};
 use confide::ccle::parse_schema;
 use confide::ccle::value::Value;
@@ -52,7 +53,10 @@ fn deal() -> Value {
                     "t0".into(),
                     Value::Table(vec![
                         ("step".into(), Value::Str("t0".into())),
-                        ("detail".into(), Value::Str("originated; KYC ref #881".into())),
+                        (
+                            "detail".into(),
+                            Value::Str("originated; KYC ref #881".into()),
+                        ),
                     ]),
                 ),
                 (
@@ -64,7 +68,10 @@ fn deal() -> Value {
                 ),
             ]),
         ),
-        ("lei_report".into(), Value::Str("LEI 5493..; cleared=false".into())),
+        (
+            "lei_report".into(),
+            Value::Str("LEI 5493..; cleared=false".into()),
+        ),
     ])
 }
 
@@ -77,7 +84,14 @@ fn describe(label: &str, view: &Value) {
         other => format!("{other:?}"),
     };
     println!("{label}:");
-    for field in ["deal_id", "venue", "counterparty", "notional", "audit_trail", "lei_report"] {
+    for field in [
+        "deal_id",
+        "venue",
+        "counterparty",
+        "notional",
+        "audit_trail",
+        "lei_report",
+    ] {
         println!("    {field:<14} {}", show(field));
     }
 }
@@ -95,12 +109,19 @@ fn main() {
 
     // 2. The audit firm, holding only the auditor role key.
     let auditor_key = EncryptionContext::role_key(&k_states, "auditor");
-    let auditor_ctx = EncryptionContext::role_only("auditor", &auditor_key, b"contract:deals|sv:1", 1);
+    let auditor_ctx =
+        EncryptionContext::role_only("auditor", &auditor_key, b"contract:deals|sv:1", 1);
     let auditor_view = decode(&schema, &wire, &auditor_ctx).unwrap();
     println!();
     describe("auditor (role key only)", &auditor_view);
-    assert!(matches!(auditor_view.get("notional").unwrap(), Value::Encrypted(_)));
-    assert!(matches!(auditor_view.get("audit_trail").unwrap(), Value::Map(_)));
+    assert!(matches!(
+        auditor_view.get("notional").unwrap(),
+        Value::Encrypted(_)
+    ));
+    assert!(matches!(
+        auditor_view.get("audit_trail").unwrap(),
+        Value::Map(_)
+    ));
 
     // 3. The regulator, holding only the regulator role key.
     let regulator_key = EncryptionContext::role_key(&k_states, "regulator");
@@ -109,7 +130,10 @@ fn main() {
     let regulator_view = decode(&schema, &wire, &regulator_ctx).unwrap();
     println!();
     describe("regulator (role key only)", &regulator_view);
-    assert!(matches!(regulator_view.get("audit_trail").unwrap(), Value::Encrypted(_)));
+    assert!(matches!(
+        regulator_view.get("audit_trail").unwrap(),
+        Value::Encrypted(_)
+    ));
     assert_eq!(
         regulator_view.get("lei_report").unwrap().as_str(),
         Some("LEI 5493..; cleared=false")

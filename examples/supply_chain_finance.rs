@@ -9,6 +9,7 @@
 //! a core enterprise to a supplier, transfers a slice of it down the supply
 //! chain, and prints the Table-1-style per-operation profile of the flow.
 
+#![forbid(unsafe_code)]
 use confide::contracts::scf;
 use confide::core::context::ExecContext;
 use confide::core::engine::{Engine, EngineConfig};
@@ -30,7 +31,7 @@ fn main() {
     let mut state = StateDb::new();
     let mut ctx = ExecContext::new();
     scf::run_genesis(&engine, &state, &mut ctx, &addrs, 8);
-    let batch = engine.commit_block(&mut ctx, 1);
+    let batch = engine.commit_block(&mut ctx, 1).unwrap();
     state.apply_block(1, &batch).expect("genesis block");
     println!("genesis: accounts alice+bob, asset AR-7788 (face 100000, 8 custody steps)");
 
@@ -46,7 +47,10 @@ fn main() {
     // Table-1-style profile of this flow.
     let counters = ctx.counters;
     println!("\nOperations of SCF-AR contract (this flow, simulated cycles → ms @3.7GHz):");
-    println!("{:<24} {:>12} {:>8} {:>8}", "Method", "Duration(ms)", "Counts", "Ratio");
+    println!(
+        "{:<24} {:>12} {:>8} {:>8}",
+        "Method", "Duration(ms)", "Counts", "Ratio"
+    );
     for (name, ms, count, ratio) in counters.table1_rows(engine.model()) {
         println!("{name:<24} {ms:>12.2} {count:>8} {:>7.1}%", ratio * 100.0);
     }
@@ -56,13 +60,23 @@ fn main() {
     );
 
     // Commit and verify the balances landed.
-    let batch = engine.commit_block(&mut ctx, 2);
+    let batch = engine.commit_block(&mut ctx, 2).unwrap();
     state.apply_block(2, &batch).expect("block 2");
     let mut ctx = ExecContext::new();
     let bob_balance_probe = engine
-        .invoke_inner(&state, &mut ctx, &addrs.ar_account, "main", b"exists|bob", &[9u8; 32])
+        .invoke_inner(
+            &state,
+            &mut ctx,
+            &addrs.ar_account,
+            "main",
+            b"exists|bob",
+            &[9u8; 32],
+        )
         .unwrap();
     assert_eq!(bob_balance_probe, b"1");
-    println!("\nchain height 2, state root {}…", &confide::crypto::hex(&state.root())[..16]);
+    println!(
+        "\nchain height 2, state root {}…",
+        &confide::crypto::hex(&state.root())[..16]
+    );
     println!("supply chain finance example OK");
 }

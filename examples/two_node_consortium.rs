@@ -14,6 +14,7 @@
 //! state. Finally a malicious host rolls node B's database back and the
 //! version check catches it.
 
+#![forbid(unsafe_code)]
 use confide::core::client::ConfideClient;
 use confide::core::engine::{EngineConfig, VmKind};
 use confide::core::keys::{decentralized_join, NodeKeys};
@@ -39,8 +40,8 @@ fn main() {
     let platform_b = TeePlatform::new(2, 2002);
     let mut rng = HmacDrbg::from_u64(3);
     let keys_a = NodeKeys::generate(&mut rng);
-    let keys_b = decentralized_join(&platform_a, &keys_a, &platform_b, 1, 77)
-        .expect("MAP join succeeds");
+    let keys_b =
+        decentralized_join(&platform_a, &keys_a, &platform_b, 1, 77).expect("MAP join succeeds");
     assert_eq!(keys_a.k_states, keys_b.k_states);
     println!(
         "K-Protocol: node B joined via remote attestation; shared pk_tx = {}…",
@@ -52,8 +53,12 @@ fn main() {
 
     let code = confide::lang::build_vm(LEDGER).unwrap();
     let contract = [0x77; 32];
-    node_a.deploy(contract, &code, VmKind::ConfideVm, true);
-    node_b.deploy(contract, &code, VmKind::ConfideVm, true);
+    node_a
+        .deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
+    node_b
+        .deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
 
     // One client, three confidential transfers; both replicas execute the
     // identical ordered block.
@@ -84,7 +89,10 @@ fn main() {
     );
 
     // §3.3: the malicious host rolls node B's database back.
-    node_b.state.verify_version(1).expect("clean state verifies");
+    node_b
+        .state
+        .verify_version(1)
+        .expect("clean state verifies");
     let key = confide::core::engine::full_key(&contract, b"bal:alice");
     let stale = node_b.state.get(&key).map(|mut v| {
         v[0] ^= 1;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests, and the confidentiality lint over
+# the shipped example contracts. Run from the repo root:
+#
+#   ./scripts/check.sh
+#
+# Everything is hermetic — no network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "== cclc --lint over examples/ccl =="
+CCLC=(cargo run -q -p confide-lang --bin cclc --)
+SCHEMA=examples/ccl/bank.ccle
+
+# Clean contracts must lint deployable (exit 0)…
+"${CCLC[@]}" examples/ccl/counter.ccl --lint --lint-schema "$SCHEMA"
+"${CCLC[@]}" examples/ccl/bank.ccl --lint --lint-schema "$SCHEMA"
+
+# …and the seeded leaky contract must be rejected (exit != 0).
+if "${CCLC[@]}" examples/ccl/leaky.ccl --lint --lint-schema "$SCHEMA"; then
+    echo "FAIL: leaky.ccl should not lint clean" >&2
+    exit 1
+else
+    echo "ok: leaky.ccl rejected as expected"
+fi
+
+echo "All checks passed."

@@ -23,7 +23,7 @@
 //! let code = confide::lang::build_vm(
 //!     r#"export fn main() { ret(concat(b"hello, ", input())); }"#,
 //! ).unwrap();
-//! node.deploy([0x42; 32], &code, VmKind::ConfideVm, true);
+//! node.deploy([0x42; 32], &code, VmKind::ConfideVm, true).unwrap();
 //!
 //! let mut client = ConfideClient::new([1; 32], [2; 32], 3);
 //! let (tx, h, _) = client
@@ -35,6 +35,8 @@
 //!     .unwrap();
 //! assert_eq!(receipt.return_data, b"hello, world");
 //! ```
+
+#![forbid(unsafe_code)]
 pub use confide_ccle as ccle;
 pub use confide_chain as chain;
 pub use confide_contracts as contracts;

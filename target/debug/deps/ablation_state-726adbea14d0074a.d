@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_state-726adbea14d0074a.d: crates/bench/src/bin/ablation_state.rs
+
+/root/repo/target/debug/deps/ablation_state-726adbea14d0074a: crates/bench/src/bin/ablation_state.rs
+
+crates/bench/src/bin/ablation_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_state-75d3d8055e94b0f0.d: crates/bench/src/bin/ablation_state.rs
+
+/root/repo/target/debug/deps/libablation_state-75d3d8055e94b0f0.rmeta: crates/bench/src/bin/ablation_state.rs
+
+crates/bench/src/bin/ablation_state.rs:

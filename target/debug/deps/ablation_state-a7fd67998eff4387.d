@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_state-a7fd67998eff4387.d: crates/bench/src/bin/ablation_state.rs
+
+/root/repo/target/debug/deps/ablation_state-a7fd67998eff4387: crates/bench/src/bin/ablation_state.rs
+
+crates/bench/src/bin/ablation_state.rs:

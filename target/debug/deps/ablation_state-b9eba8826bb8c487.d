@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_state-b9eba8826bb8c487.d: crates/bench/src/bin/ablation_state.rs
+
+/root/repo/target/debug/deps/libablation_state-b9eba8826bb8c487.rmeta: crates/bench/src/bin/ablation_state.rs
+
+crates/bench/src/bin/ablation_state.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_state-dde424d23f889cd5.d: crates/bench/src/bin/ablation_state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_state-dde424d23f889cd5.rmeta: crates/bench/src/bin/ablation_state.rs Cargo.toml
+
+crates/bench/src/bin/ablation_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

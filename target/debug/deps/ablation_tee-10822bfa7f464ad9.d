@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tee-10822bfa7f464ad9.d: crates/bench/src/bin/ablation_tee.rs
+
+/root/repo/target/debug/deps/ablation_tee-10822bfa7f464ad9: crates/bench/src/bin/ablation_tee.rs
+
+crates/bench/src/bin/ablation_tee.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tee-59a7393bea7ae1df.d: crates/bench/src/bin/ablation_tee.rs
+
+/root/repo/target/debug/deps/libablation_tee-59a7393bea7ae1df.rmeta: crates/bench/src/bin/ablation_tee.rs
+
+crates/bench/src/bin/ablation_tee.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tee-5f3ea742dbb90698.d: crates/bench/src/bin/ablation_tee.rs
+
+/root/repo/target/debug/deps/ablation_tee-5f3ea742dbb90698: crates/bench/src/bin/ablation_tee.rs
+
+crates/bench/src/bin/ablation_tee.rs:

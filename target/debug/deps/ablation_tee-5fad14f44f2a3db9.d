@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tee-5fad14f44f2a3db9.d: crates/bench/src/bin/ablation_tee.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tee-5fad14f44f2a3db9.rmeta: crates/bench/src/bin/ablation_tee.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tee.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tee-c818d2b94dbbd279.d: crates/bench/src/bin/ablation_tee.rs
+
+/root/repo/target/debug/deps/libablation_tee-c818d2b94dbbd279.rmeta: crates/bench/src/bin/ablation_tee.rs
+
+crates/bench/src/bin/ablation_tee.rs:

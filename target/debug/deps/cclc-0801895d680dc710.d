@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cclc-0801895d680dc710.d: crates/lang/src/bin/cclc.rs
+
+/root/repo/target/debug/deps/cclc-0801895d680dc710: crates/lang/src/bin/cclc.rs
+
+crates/lang/src/bin/cclc.rs:

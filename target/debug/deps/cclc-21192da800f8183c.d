@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cclc-21192da800f8183c.d: crates/lang/src/bin/cclc.rs
+
+/root/repo/target/debug/deps/libcclc-21192da800f8183c.rmeta: crates/lang/src/bin/cclc.rs
+
+crates/lang/src/bin/cclc.rs:

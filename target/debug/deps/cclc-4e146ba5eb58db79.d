@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cclc-4e146ba5eb58db79.d: crates/lang/src/bin/cclc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcclc-4e146ba5eb58db79.rmeta: crates/lang/src/bin/cclc.rs Cargo.toml
+
+crates/lang/src/bin/cclc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

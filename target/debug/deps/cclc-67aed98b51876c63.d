@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cclc-67aed98b51876c63.d: crates/lang/src/bin/cclc.rs
+
+/root/repo/target/debug/deps/cclc-67aed98b51876c63: crates/lang/src/bin/cclc.rs
+
+crates/lang/src/bin/cclc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cclc-97f43aaca3ee26ac.d: crates/lang/src/bin/cclc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcclc-97f43aaca3ee26ac.rmeta: crates/lang/src/bin/cclc.rs Cargo.toml
+
+crates/lang/src/bin/cclc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cclc-d8bf22deeb609c2c.d: crates/lang/src/bin/cclc.rs
+
+/root/repo/target/debug/deps/libcclc-d8bf22deeb609c2c.rmeta: crates/lang/src/bin/cclc.rs
+
+crates/lang/src/bin/cclc.rs:

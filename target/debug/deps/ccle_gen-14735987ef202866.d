@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccle_gen-14735987ef202866.d: crates/ccle/src/bin/ccle-gen.rs
+
+/root/repo/target/debug/deps/ccle_gen-14735987ef202866: crates/ccle/src/bin/ccle-gen.rs
+
+crates/ccle/src/bin/ccle-gen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccle_gen-4ed446cdd13ed640.d: crates/ccle/src/bin/ccle-gen.rs
+
+/root/repo/target/debug/deps/ccle_gen-4ed446cdd13ed640: crates/ccle/src/bin/ccle-gen.rs
+
+crates/ccle/src/bin/ccle-gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ccle_gen-6974b256cca31bd8.d: crates/ccle/src/bin/ccle-gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccle_gen-6974b256cca31bd8.rmeta: crates/ccle/src/bin/ccle-gen.rs Cargo.toml
+
+crates/ccle/src/bin/ccle-gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

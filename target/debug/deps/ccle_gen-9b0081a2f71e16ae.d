@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccle_gen-9b0081a2f71e16ae.d: crates/ccle/src/bin/ccle-gen.rs
+
+/root/repo/target/debug/deps/libccle_gen-9b0081a2f71e16ae.rmeta: crates/ccle/src/bin/ccle-gen.rs
+
+crates/ccle/src/bin/ccle-gen.rs:

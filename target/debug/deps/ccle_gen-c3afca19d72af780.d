@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccle_gen-c3afca19d72af780.d: crates/ccle/src/bin/ccle-gen.rs
+
+/root/repo/target/debug/deps/libccle_gen-c3afca19d72af780.rmeta: crates/ccle/src/bin/ccle-gen.rs
+
+crates/ccle/src/bin/ccle-gen.rs:

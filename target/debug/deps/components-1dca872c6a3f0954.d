@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-1dca872c6a3f0954.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/components-1dca872c6a3f0954: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

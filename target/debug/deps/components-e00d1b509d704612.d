@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-e00d1b509d704612.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/libcomponents-e00d1b509d704612.rmeta: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confide-19c61518c7db8669.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide-19c61518c7db8669.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

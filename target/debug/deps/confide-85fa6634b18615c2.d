@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide-85fa6634b18615c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconfide-85fa6634b18615c2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide-9e999e81a9c19950.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconfide-9e999e81a9c19950.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide-bfbe182bc51dbdb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/confide-bfbe182bc51dbdb1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/confide-fc26e27c5c7f72d8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconfide-fc26e27c5c7f72d8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconfide-fc26e27c5c7f72d8.rmeta: src/lib.rs
+
+src/lib.rs:

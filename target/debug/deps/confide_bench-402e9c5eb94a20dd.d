@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/confide_bench-402e9c5eb94a20dd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/confide_bench-402e9c5eb94a20dd: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/confide_bench-c6d9c75252697c7c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libconfide_bench-c6d9c75252697c7c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

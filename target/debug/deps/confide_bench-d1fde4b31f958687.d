@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/confide_bench-d1fde4b31f958687.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libconfide_bench-d1fde4b31f958687.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libconfide_bench-d1fde4b31f958687.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

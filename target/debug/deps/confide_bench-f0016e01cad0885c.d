@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/confide_bench-f0016e01cad0885c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libconfide_bench-f0016e01cad0885c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/confide_ccle-0b730d35f7b39a2d.d: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_ccle-0b730d35f7b39a2d.rmeta: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs Cargo.toml
+
+crates/ccle/src/lib.rs:
+crates/ccle/src/codec.rs:
+crates/ccle/src/codegen.rs:
+crates/ccle/src/parser.rs:
+crates/ccle/src/schema.rs:
+crates/ccle/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

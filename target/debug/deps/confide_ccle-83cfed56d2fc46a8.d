@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_ccle-83cfed56d2fc46a8.d: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+/root/repo/target/debug/deps/libconfide_ccle-83cfed56d2fc46a8.rmeta: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+crates/ccle/src/lib.rs:
+crates/ccle/src/codec.rs:
+crates/ccle/src/codegen.rs:
+crates/ccle/src/parser.rs:
+crates/ccle/src/schema.rs:
+crates/ccle/src/value.rs:

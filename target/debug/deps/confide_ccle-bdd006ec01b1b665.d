@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/confide_ccle-bdd006ec01b1b665.d: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+/root/repo/target/debug/deps/libconfide_ccle-bdd006ec01b1b665.rlib: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+/root/repo/target/debug/deps/libconfide_ccle-bdd006ec01b1b665.rmeta: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+crates/ccle/src/lib.rs:
+crates/ccle/src/codec.rs:
+crates/ccle/src/codegen.rs:
+crates/ccle/src/parser.rs:
+crates/ccle/src/schema.rs:
+crates/ccle/src/value.rs:

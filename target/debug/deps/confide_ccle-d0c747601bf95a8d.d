@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_ccle-d0c747601bf95a8d.d: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+/root/repo/target/debug/deps/confide_ccle-d0c747601bf95a8d: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+crates/ccle/src/lib.rs:
+crates/ccle/src/codec.rs:
+crates/ccle/src/codegen.rs:
+crates/ccle/src/parser.rs:
+crates/ccle/src/schema.rs:
+crates/ccle/src/value.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/confide_chain-3aed1cdb678b6775.d: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+/root/repo/target/debug/deps/confide_chain-3aed1cdb678b6775: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/pbft.rs:
+crates/chain/src/sched.rs:
+crates/chain/src/types.rs:

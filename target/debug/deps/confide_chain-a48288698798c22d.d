@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_chain-a48288698798c22d.d: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+/root/repo/target/debug/deps/libconfide_chain-a48288698798c22d.rlib: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+/root/repo/target/debug/deps/libconfide_chain-a48288698798c22d.rmeta: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/pbft.rs:
+crates/chain/src/sched.rs:
+crates/chain/src/types.rs:

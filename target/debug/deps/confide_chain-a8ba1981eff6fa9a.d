@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/confide_chain-a8ba1981eff6fa9a.d: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_chain-a8ba1981eff6fa9a.rmeta: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs Cargo.toml
+
+crates/chain/src/lib.rs:
+crates/chain/src/pbft.rs:
+crates/chain/src/sched.rs:
+crates/chain/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

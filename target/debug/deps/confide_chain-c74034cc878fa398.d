@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/confide_chain-c74034cc878fa398.d: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+/root/repo/target/debug/deps/libconfide_chain-c74034cc878fa398.rmeta: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/pbft.rs:
+crates/chain/src/sched.rs:
+crates/chain/src/types.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/confide_contracts-6ba1942280c0dfb3.d: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+/root/repo/target/debug/deps/libconfide_contracts-6ba1942280c0dfb3.rmeta: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+crates/contracts/src/lib.rs:
+crates/contracts/src/abs.rs:
+crates/contracts/src/scf.rs:
+crates/contracts/src/synthetic.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/confide_contracts-b8085cf6fb2d6487.d: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+/root/repo/target/debug/deps/confide_contracts-b8085cf6fb2d6487: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+crates/contracts/src/lib.rs:
+crates/contracts/src/abs.rs:
+crates/contracts/src/scf.rs:
+crates/contracts/src/synthetic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/confide_contracts-c1cc1ee946f55154.d: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_contracts-c1cc1ee946f55154.rmeta: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs Cargo.toml
+
+crates/contracts/src/lib.rs:
+crates/contracts/src/abs.rs:
+crates/contracts/src/scf.rs:
+crates/contracts/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

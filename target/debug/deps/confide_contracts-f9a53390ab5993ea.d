@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_contracts-f9a53390ab5993ea.d: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+/root/repo/target/debug/deps/libconfide_contracts-f9a53390ab5993ea.rlib: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+/root/repo/target/debug/deps/libconfide_contracts-f9a53390ab5993ea.rmeta: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+crates/contracts/src/lib.rs:
+crates/contracts/src/abs.rs:
+crates/contracts/src/scf.rs:
+crates/contracts/src/synthetic.rs:

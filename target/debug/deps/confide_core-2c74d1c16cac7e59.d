@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/confide_core-2c74d1c16cac7e59.d: crates/core/src/lib.rs crates/core/src/authz.rs crates/core/src/client.rs crates/core/src/context.rs crates/core/src/counters.rs crates/core/src/engine.rs crates/core/src/keys.rs crates/core/src/node.rs crates/core/src/receipt.rs crates/core/src/tx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_core-2c74d1c16cac7e59.rmeta: crates/core/src/lib.rs crates/core/src/authz.rs crates/core/src/client.rs crates/core/src/context.rs crates/core/src/counters.rs crates/core/src/engine.rs crates/core/src/keys.rs crates/core/src/node.rs crates/core/src/receipt.rs crates/core/src/tx.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/authz.rs:
+crates/core/src/client.rs:
+crates/core/src/context.rs:
+crates/core/src/counters.rs:
+crates/core/src/engine.rs:
+crates/core/src/keys.rs:
+crates/core/src/node.rs:
+crates/core/src/receipt.rs:
+crates/core/src/tx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

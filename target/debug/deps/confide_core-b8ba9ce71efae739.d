@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/confide_core-b8ba9ce71efae739.d: crates/core/src/lib.rs crates/core/src/authz.rs crates/core/src/client.rs crates/core/src/context.rs crates/core/src/counters.rs crates/core/src/engine.rs crates/core/src/keys.rs crates/core/src/node.rs crates/core/src/receipt.rs crates/core/src/tx.rs
+
+/root/repo/target/debug/deps/confide_core-b8ba9ce71efae739: crates/core/src/lib.rs crates/core/src/authz.rs crates/core/src/client.rs crates/core/src/context.rs crates/core/src/counters.rs crates/core/src/engine.rs crates/core/src/keys.rs crates/core/src/node.rs crates/core/src/receipt.rs crates/core/src/tx.rs
+
+crates/core/src/lib.rs:
+crates/core/src/authz.rs:
+crates/core/src/client.rs:
+crates/core/src/context.rs:
+crates/core/src/counters.rs:
+crates/core/src/engine.rs:
+crates/core/src/keys.rs:
+crates/core/src/node.rs:
+crates/core/src/receipt.rs:
+crates/core/src/tx.rs:

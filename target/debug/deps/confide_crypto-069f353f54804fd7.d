@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/confide_crypto-069f353f54804fd7.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs
+
+/root/repo/target/debug/deps/libconfide_crypto-069f353f54804fd7.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs
+
+/root/repo/target/debug/deps/libconfide_crypto-069f353f54804fd7.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/ed25519.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/field25519.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/keccak.rs:
+crates/crypto/src/sha2.rs:
+crates/crypto/src/x25519.rs:

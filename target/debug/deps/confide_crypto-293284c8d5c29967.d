@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/confide_crypto-293284c8d5c29967.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_crypto-293284c8d5c29967.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/ed25519.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/field25519.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/keccak.rs:
+crates/crypto/src/sha2.rs:
+crates/crypto/src/x25519.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

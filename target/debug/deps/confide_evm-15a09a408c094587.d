@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_evm-15a09a408c094587.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+/root/repo/target/debug/deps/libconfide_evm-15a09a408c094587.rmeta: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/host.rs:
+crates/evm/src/interp.rs:
+crates/evm/src/opcode.rs:
+crates/evm/src/u256.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/confide_evm-2f690dae266d1b1d.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+/root/repo/target/debug/deps/libconfide_evm-2f690dae266d1b1d.rlib: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+/root/repo/target/debug/deps/libconfide_evm-2f690dae266d1b1d.rmeta: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/host.rs:
+crates/evm/src/interp.rs:
+crates/evm/src/opcode.rs:
+crates/evm/src/u256.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_evm-ae86f167cf4b7b7c.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+/root/repo/target/debug/deps/libconfide_evm-ae86f167cf4b7b7c.rmeta: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/host.rs:
+crates/evm/src/interp.rs:
+crates/evm/src/opcode.rs:
+crates/evm/src/u256.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_evm-ed328a594ff11c36.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+/root/repo/target/debug/deps/confide_evm-ed328a594ff11c36: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/host.rs:
+crates/evm/src/interp.rs:
+crates/evm/src/opcode.rs:
+crates/evm/src/u256.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/confide_lang-17bca50296106ddd.d: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_lang-17bca50296106ddd.rmeta: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/analysis.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen_evm.rs:
+crates/lang/src/codegen_vm.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/stdlib.rs:
+crates/lang/src/typeck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

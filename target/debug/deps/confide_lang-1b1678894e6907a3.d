@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/confide_lang-1b1678894e6907a3.d: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs
+
+/root/repo/target/debug/deps/libconfide_lang-1b1678894e6907a3.rmeta: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/analysis.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen_evm.rs:
+crates/lang/src/codegen_vm.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/stdlib.rs:
+crates/lang/src/typeck.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/confide_lang-6954ed68e1b631b8.d: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs
+
+/root/repo/target/debug/deps/confide_lang-6954ed68e1b631b8: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/analysis.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen_evm.rs:
+crates/lang/src/codegen_vm.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/stdlib.rs:
+crates/lang/src/typeck.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/confide_sim-334fb005ff414a11.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_sim-334fb005ff414a11.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

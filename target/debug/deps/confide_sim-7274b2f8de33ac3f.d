@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/confide_sim-7274b2f8de33ac3f.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+/root/repo/target/debug/deps/confide_sim-7274b2f8de33ac3f: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/confide_sim-86dbb41779ae54ec.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+/root/repo/target/debug/deps/libconfide_sim-86dbb41779ae54ec.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:

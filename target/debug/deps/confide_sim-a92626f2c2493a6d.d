@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/confide_sim-a92626f2c2493a6d.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+/root/repo/target/debug/deps/libconfide_sim-a92626f2c2493a6d.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/confide_sim-ab0ca5abe32f5f60.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_sim-ab0ca5abe32f5f60.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

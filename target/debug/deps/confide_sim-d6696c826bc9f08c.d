@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confide_sim-d6696c826bc9f08c.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+/root/repo/target/debug/deps/libconfide_sim-d6696c826bc9f08c.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+/root/repo/target/debug/deps/libconfide_sim-d6696c826bc9f08c.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:

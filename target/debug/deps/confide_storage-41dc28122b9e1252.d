@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/confide_storage-41dc28122b9e1252.d: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+/root/repo/target/debug/deps/libconfide_storage-41dc28122b9e1252.rlib: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+/root/repo/target/debug/deps/libconfide_storage-41dc28122b9e1252.rmeta: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/blockstore.rs:
+crates/storage/src/kv.rs:
+crates/storage/src/kvlog.rs:
+crates/storage/src/merkle.rs:
+crates/storage/src/versioned.rs:

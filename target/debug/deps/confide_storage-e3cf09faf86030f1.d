@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/confide_storage-e3cf09faf86030f1.d: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_storage-e3cf09faf86030f1.rmeta: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/blockstore.rs:
+crates/storage/src/kv.rs:
+crates/storage/src/kvlog.rs:
+crates/storage/src/merkle.rs:
+crates/storage/src/versioned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

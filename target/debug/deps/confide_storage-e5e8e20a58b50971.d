@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_storage-e5e8e20a58b50971.d: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+/root/repo/target/debug/deps/libconfide_storage-e5e8e20a58b50971.rmeta: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/blockstore.rs:
+crates/storage/src/kv.rs:
+crates/storage/src/kvlog.rs:
+crates/storage/src/merkle.rs:
+crates/storage/src/versioned.rs:

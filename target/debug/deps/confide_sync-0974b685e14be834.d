@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide_sync-0974b685e14be834.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libconfide_sync-0974b685e14be834.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

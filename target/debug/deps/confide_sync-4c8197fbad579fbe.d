@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide_sync-4c8197fbad579fbe.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libconfide_sync-4c8197fbad579fbe.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide_sync-ab0fa6b9dcf936ba.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/confide_sync-ab0fa6b9dcf936ba: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confide_sync-e1075c1d8edf279f.d: crates/sync/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_sync-e1075c1d8edf279f.rmeta: crates/sync/src/lib.rs Cargo.toml
+
+crates/sync/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/confide_sync-eccd4091c09ec45d.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libconfide_sync-eccd4091c09ec45d.rlib: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libconfide_sync-eccd4091c09ec45d.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/confide_tee-89096130a3e745b7.d: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+/root/repo/target/debug/deps/libconfide_tee-89096130a3e745b7.rmeta: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+crates/tee/src/lib.rs:
+crates/tee/src/attestation.rs:
+crates/tee/src/enclave.rs:
+crates/tee/src/epc.rs:
+crates/tee/src/meter.rs:
+crates/tee/src/platform.rs:
+crates/tee/src/ringbuf.rs:
+crates/tee/src/sealing.rs:

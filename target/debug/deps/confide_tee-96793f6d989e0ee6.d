@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/confide_tee-96793f6d989e0ee6.d: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_tee-96793f6d989e0ee6.rmeta: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs Cargo.toml
+
+crates/tee/src/lib.rs:
+crates/tee/src/attestation.rs:
+crates/tee/src/enclave.rs:
+crates/tee/src/epc.rs:
+crates/tee/src/meter.rs:
+crates/tee/src/platform.rs:
+crates/tee/src/ringbuf.rs:
+crates/tee/src/sealing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

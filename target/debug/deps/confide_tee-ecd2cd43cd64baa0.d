@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/confide_tee-ecd2cd43cd64baa0.d: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+/root/repo/target/debug/deps/libconfide_tee-ecd2cd43cd64baa0.rlib: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+/root/repo/target/debug/deps/libconfide_tee-ecd2cd43cd64baa0.rmeta: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+crates/tee/src/lib.rs:
+crates/tee/src/attestation.rs:
+crates/tee/src/enclave.rs:
+crates/tee/src/epc.rs:
+crates/tee/src/meter.rs:
+crates/tee/src/platform.rs:
+crates/tee/src/ringbuf.rs:
+crates/tee/src/sealing.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/confide_vm-2918363d7f72f45a.d: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/cache.rs crates/vm/src/fusion.rs crates/vm/src/host.rs crates/vm/src/interp.rs crates/vm/src/leb.rs crates/vm/src/module.rs crates/vm/src/opcode.rs crates/vm/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_vm-2918363d7f72f45a.rmeta: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/cache.rs crates/vm/src/fusion.rs crates/vm/src/host.rs crates/vm/src/interp.rs crates/vm/src/leb.rs crates/vm/src/module.rs crates/vm/src/opcode.rs crates/vm/src/verify.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/cache.rs:
+crates/vm/src/fusion.rs:
+crates/vm/src/host.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/leb.rs:
+crates/vm/src/module.rs:
+crates/vm/src/opcode.rs:
+crates/vm/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

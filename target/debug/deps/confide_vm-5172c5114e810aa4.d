@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/confide_vm-5172c5114e810aa4.d: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/cache.rs crates/vm/src/fusion.rs crates/vm/src/host.rs crates/vm/src/interp.rs crates/vm/src/leb.rs crates/vm/src/module.rs crates/vm/src/opcode.rs crates/vm/src/verify.rs
+
+/root/repo/target/debug/deps/libconfide_vm-5172c5114e810aa4.rmeta: crates/vm/src/lib.rs crates/vm/src/builder.rs crates/vm/src/cache.rs crates/vm/src/fusion.rs crates/vm/src/host.rs crates/vm/src/interp.rs crates/vm/src/leb.rs crates/vm/src/module.rs crates/vm/src/opcode.rs crates/vm/src/verify.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/cache.rs:
+crates/vm/src/fusion.rs:
+crates/vm/src/host.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/leb.rs:
+crates/vm/src/module.rs:
+crates/vm/src/opcode.rs:
+crates/vm/src/verify.rs:

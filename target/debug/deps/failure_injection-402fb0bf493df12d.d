@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-402fb0bf493df12d.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-402fb0bf493df12d: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-feefbb6ab13e2bd4.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-feefbb6ab13e2bd4.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0adb8ca1c0f15ca9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-0adb8ca1c0f15ca9.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

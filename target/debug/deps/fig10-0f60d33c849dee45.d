@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0f60d33c849dee45.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-0f60d33c849dee45: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-4e948dcb8d1020a4.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-4e948dcb8d1020a4.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

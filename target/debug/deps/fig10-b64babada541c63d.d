@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-b64babada541c63d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-b64babada541c63d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

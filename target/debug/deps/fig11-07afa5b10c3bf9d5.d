@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-07afa5b10c3bf9d5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-07afa5b10c3bf9d5.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-3f4c053322764102.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-3f4c053322764102: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

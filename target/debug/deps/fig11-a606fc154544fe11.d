@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-a606fc154544fe11.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-a606fc154544fe11: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-e2812777d60c9c58.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-e2812777d60c9c58.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

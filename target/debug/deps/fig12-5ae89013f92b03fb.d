@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-5ae89013f92b03fb.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-5ae89013f92b03fb: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

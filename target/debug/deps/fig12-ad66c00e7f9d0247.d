@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-ad66c00e7f9d0247.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-ad66c00e7f9d0247.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-db09b438f2e019f2.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-db09b438f2e019f2.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

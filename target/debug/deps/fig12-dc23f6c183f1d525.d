@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-dc23f6c183f1d525.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-dc23f6c183f1d525.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-f47b280a4d46452a.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-f47b280a4d46452a: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

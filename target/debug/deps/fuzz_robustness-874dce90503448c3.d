@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_robustness-874dce90503448c3.d: tests/fuzz_robustness.rs
+
+/root/repo/target/debug/deps/libfuzz_robustness-874dce90503448c3.rmeta: tests/fuzz_robustness.rs
+
+tests/fuzz_robustness.rs:

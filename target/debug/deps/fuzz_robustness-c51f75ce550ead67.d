@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_robustness-c51f75ce550ead67.d: tests/fuzz_robustness.rs
+
+/root/repo/target/debug/deps/fuzz_robustness-c51f75ce550ead67: tests/fuzz_robustness.rs
+
+tests/fuzz_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-0a9038089e353c10.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-0a9038089e353c10: tests/integration.rs
+
+tests/integration.rs:

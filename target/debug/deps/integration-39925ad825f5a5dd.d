@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-39925ad825f5a5dd.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-39925ad825f5a5dd.rmeta: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_property-0c88d3873db8bb33.d: tests/lint_property.rs
+
+/root/repo/target/debug/deps/lint_property-0c88d3873db8bb33: tests/lint_property.rs
+
+tests/lint_property.rs:

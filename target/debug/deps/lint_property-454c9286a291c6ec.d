@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_property-454c9286a291c6ec.d: tests/lint_property.rs
+
+/root/repo/target/debug/deps/liblint_property-454c9286a291c6ec.rmeta: tests/lint_property.rs
+
+tests/lint_property.rs:

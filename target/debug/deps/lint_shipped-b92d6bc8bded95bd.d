@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_shipped-b92d6bc8bded95bd.d: tests/lint_shipped.rs
+
+/root/repo/target/debug/deps/lint_shipped-b92d6bc8bded95bd: tests/lint_shipped.rs
+
+tests/lint_shipped.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint_shipped-cbf951069569146a.d: tests/lint_shipped.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_shipped-cbf951069569146a.rmeta: tests/lint_shipped.rs Cargo.toml
+
+tests/lint_shipped.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

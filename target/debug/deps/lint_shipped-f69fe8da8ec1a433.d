@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_shipped-f69fe8da8ec1a433.d: tests/lint_shipped.rs
+
+/root/repo/target/debug/deps/liblint_shipped-f69fe8da8ec1a433.rmeta: tests/lint_shipped.rs
+
+tests/lint_shipped.rs:

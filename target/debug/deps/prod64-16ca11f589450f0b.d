@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prod64-16ca11f589450f0b.d: crates/bench/src/bin/prod64.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprod64-16ca11f589450f0b.rmeta: crates/bench/src/bin/prod64.rs Cargo.toml
+
+crates/bench/src/bin/prod64.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

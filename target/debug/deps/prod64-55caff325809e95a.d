@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prod64-55caff325809e95a.d: crates/bench/src/bin/prod64.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprod64-55caff325809e95a.rmeta: crates/bench/src/bin/prod64.rs Cargo.toml
+
+crates/bench/src/bin/prod64.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

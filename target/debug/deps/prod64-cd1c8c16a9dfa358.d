@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prod64-cd1c8c16a9dfa358.d: crates/bench/src/bin/prod64.rs
+
+/root/repo/target/debug/deps/prod64-cd1c8c16a9dfa358: crates/bench/src/bin/prod64.rs
+
+crates/bench/src/bin/prod64.rs:

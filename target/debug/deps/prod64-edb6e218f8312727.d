@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prod64-edb6e218f8312727.d: crates/bench/src/bin/prod64.rs
+
+/root/repo/target/debug/deps/prod64-edb6e218f8312727: crates/bench/src/bin/prod64.rs
+
+crates/bench/src/bin/prod64.rs:

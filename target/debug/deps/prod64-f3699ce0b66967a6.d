@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prod64-f3699ce0b66967a6.d: crates/bench/src/bin/prod64.rs
+
+/root/repo/target/debug/deps/libprod64-f3699ce0b66967a6.rmeta: crates/bench/src/bin/prod64.rs
+
+crates/bench/src/bin/prod64.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-3044aba56f046431.d: tests/property.rs
+
+/root/repo/target/debug/deps/libproperty-3044aba56f046431.rmeta: tests/property.rs
+
+tests/property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-53cc7812cd67d656.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-53cc7812cd67d656: tests/property.rs
+
+tests/property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0ab8726347253a1a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0ab8726347253a1a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

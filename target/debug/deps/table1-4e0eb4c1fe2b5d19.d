@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4e0eb4c1fe2b5d19.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-4e0eb4c1fe2b5d19.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

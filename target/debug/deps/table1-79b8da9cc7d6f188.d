@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-79b8da9cc7d6f188.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-79b8da9cc7d6f188: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ddfb2d5b95686fa0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-ddfb2d5b95686fa0.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

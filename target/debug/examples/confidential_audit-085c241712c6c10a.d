@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/confidential_audit-085c241712c6c10a.d: examples/confidential_audit.rs
+
+/root/repo/target/debug/examples/confidential_audit-085c241712c6c10a: examples/confidential_audit.rs
+
+examples/confidential_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/confidential_audit-31639c0a601e587e.d: examples/confidential_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfidential_audit-31639c0a601e587e.rmeta: examples/confidential_audit.rs Cargo.toml
+
+examples/confidential_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/confidential_audit-69ae2dad5e060916.d: examples/confidential_audit.rs
+
+/root/repo/target/debug/examples/libconfidential_audit-69ae2dad5e060916.rmeta: examples/confidential_audit.rs
+
+examples/confidential_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-451e3c986bd98d10.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-451e3c986bd98d10: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-686f5bb7dc08d67a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-686f5bb7dc08d67a.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

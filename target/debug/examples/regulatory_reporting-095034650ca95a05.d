@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regulatory_reporting-095034650ca95a05.d: examples/regulatory_reporting.rs
+
+/root/repo/target/debug/examples/regulatory_reporting-095034650ca95a05: examples/regulatory_reporting.rs
+
+examples/regulatory_reporting.rs:

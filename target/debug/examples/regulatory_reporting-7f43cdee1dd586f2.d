@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/regulatory_reporting-7f43cdee1dd586f2.d: examples/regulatory_reporting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libregulatory_reporting-7f43cdee1dd586f2.rmeta: examples/regulatory_reporting.rs Cargo.toml
+
+examples/regulatory_reporting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regulatory_reporting-d06c39a5a2a0a4f1.d: examples/regulatory_reporting.rs
+
+/root/repo/target/debug/examples/libregulatory_reporting-d06c39a5a2a0a4f1.rmeta: examples/regulatory_reporting.rs
+
+examples/regulatory_reporting.rs:

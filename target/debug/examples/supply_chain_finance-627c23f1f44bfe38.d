@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supply_chain_finance-627c23f1f44bfe38.d: examples/supply_chain_finance.rs
+
+/root/repo/target/debug/examples/libsupply_chain_finance-627c23f1f44bfe38.rmeta: examples/supply_chain_finance.rs
+
+examples/supply_chain_finance.rs:

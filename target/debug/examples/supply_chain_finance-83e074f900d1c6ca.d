@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supply_chain_finance-83e074f900d1c6ca.d: examples/supply_chain_finance.rs
+
+/root/repo/target/debug/examples/supply_chain_finance-83e074f900d1c6ca: examples/supply_chain_finance.rs
+
+examples/supply_chain_finance.rs:

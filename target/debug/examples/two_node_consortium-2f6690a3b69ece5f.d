@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_node_consortium-2f6690a3b69ece5f.d: examples/two_node_consortium.rs
+
+/root/repo/target/debug/examples/two_node_consortium-2f6690a3b69ece5f: examples/two_node_consortium.rs
+
+examples/two_node_consortium.rs:

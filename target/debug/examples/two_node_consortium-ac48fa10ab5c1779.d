@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_node_consortium-ac48fa10ab5c1779.d: examples/two_node_consortium.rs
+
+/root/repo/target/debug/examples/libtwo_node_consortium-ac48fa10ab5c1779.rmeta: examples/two_node_consortium.rs
+
+examples/two_node_consortium.rs:

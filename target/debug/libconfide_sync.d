@@ -1,0 +1,1 @@
+/root/repo/target/debug/libconfide_sync.rlib: /root/repo/crates/sync/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_state-099c14837fed3345.d: crates/bench/src/bin/ablation_state.rs
+
+/root/repo/target/release/deps/ablation_state-099c14837fed3345: crates/bench/src/bin/ablation_state.rs
+
+crates/bench/src/bin/ablation_state.rs:

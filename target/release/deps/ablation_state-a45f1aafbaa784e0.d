@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_state-a45f1aafbaa784e0.d: crates/bench/src/bin/ablation_state.rs
+
+/root/repo/target/release/deps/ablation_state-a45f1aafbaa784e0: crates/bench/src/bin/ablation_state.rs
+
+crates/bench/src/bin/ablation_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tee-658d58f3b06b49f9.d: crates/bench/src/bin/ablation_tee.rs
+
+/root/repo/target/release/deps/ablation_tee-658d58f3b06b49f9: crates/bench/src/bin/ablation_tee.rs
+
+crates/bench/src/bin/ablation_tee.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tee-acad2106d45a51a1.d: crates/bench/src/bin/ablation_tee.rs
+
+/root/repo/target/release/deps/ablation_tee-acad2106d45a51a1: crates/bench/src/bin/ablation_tee.rs
+
+crates/bench/src/bin/ablation_tee.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/components-6bff2f35569f6b4b.d: crates/bench/benches/components.rs
+
+/root/repo/target/release/deps/components-6bff2f35569f6b4b: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/confide-7513bb8c0a8e67d2.d: src/lib.rs
+
+/root/repo/target/release/deps/libconfide-7513bb8c0a8e67d2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconfide-7513bb8c0a8e67d2.rmeta: src/lib.rs
+
+src/lib.rs:

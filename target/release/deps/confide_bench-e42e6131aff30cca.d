@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/confide_bench-e42e6131aff30cca.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libconfide_bench-e42e6131aff30cca.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libconfide_bench-e42e6131aff30cca.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/confide_bench-fd59688b08dbcce8.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/confide_bench-fd59688b08dbcce8: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/confide_ccle-bdd4e71a49e61bd8.d: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+/root/repo/target/release/deps/libconfide_ccle-bdd4e71a49e61bd8.rlib: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+/root/repo/target/release/deps/libconfide_ccle-bdd4e71a49e61bd8.rmeta: crates/ccle/src/lib.rs crates/ccle/src/codec.rs crates/ccle/src/codegen.rs crates/ccle/src/parser.rs crates/ccle/src/schema.rs crates/ccle/src/value.rs
+
+crates/ccle/src/lib.rs:
+crates/ccle/src/codec.rs:
+crates/ccle/src/codegen.rs:
+crates/ccle/src/parser.rs:
+crates/ccle/src/schema.rs:
+crates/ccle/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/confide_chain-a23db76c28bbe205.d: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+/root/repo/target/release/deps/libconfide_chain-a23db76c28bbe205.rlib: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+/root/repo/target/release/deps/libconfide_chain-a23db76c28bbe205.rmeta: crates/chain/src/lib.rs crates/chain/src/pbft.rs crates/chain/src/sched.rs crates/chain/src/types.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/pbft.rs:
+crates/chain/src/sched.rs:
+crates/chain/src/types.rs:

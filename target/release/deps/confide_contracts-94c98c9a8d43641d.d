@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/confide_contracts-94c98c9a8d43641d.d: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+/root/repo/target/release/deps/libconfide_contracts-94c98c9a8d43641d.rlib: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+/root/repo/target/release/deps/libconfide_contracts-94c98c9a8d43641d.rmeta: crates/contracts/src/lib.rs crates/contracts/src/abs.rs crates/contracts/src/scf.rs crates/contracts/src/synthetic.rs
+
+crates/contracts/src/lib.rs:
+crates/contracts/src/abs.rs:
+crates/contracts/src/scf.rs:
+crates/contracts/src/synthetic.rs:

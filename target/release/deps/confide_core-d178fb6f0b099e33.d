@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/confide_core-d178fb6f0b099e33.d: crates/core/src/lib.rs crates/core/src/authz.rs crates/core/src/client.rs crates/core/src/context.rs crates/core/src/counters.rs crates/core/src/engine.rs crates/core/src/keys.rs crates/core/src/node.rs crates/core/src/receipt.rs crates/core/src/tx.rs
+
+/root/repo/target/release/deps/libconfide_core-d178fb6f0b099e33.rlib: crates/core/src/lib.rs crates/core/src/authz.rs crates/core/src/client.rs crates/core/src/context.rs crates/core/src/counters.rs crates/core/src/engine.rs crates/core/src/keys.rs crates/core/src/node.rs crates/core/src/receipt.rs crates/core/src/tx.rs
+
+/root/repo/target/release/deps/libconfide_core-d178fb6f0b099e33.rmeta: crates/core/src/lib.rs crates/core/src/authz.rs crates/core/src/client.rs crates/core/src/context.rs crates/core/src/counters.rs crates/core/src/engine.rs crates/core/src/keys.rs crates/core/src/node.rs crates/core/src/receipt.rs crates/core/src/tx.rs
+
+crates/core/src/lib.rs:
+crates/core/src/authz.rs:
+crates/core/src/client.rs:
+crates/core/src/context.rs:
+crates/core/src/counters.rs:
+crates/core/src/engine.rs:
+crates/core/src/keys.rs:
+crates/core/src/node.rs:
+crates/core/src/receipt.rs:
+crates/core/src/tx.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/confide_crypto-ff80ebfecda210af.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs
+
+/root/repo/target/release/deps/libconfide_crypto-ff80ebfecda210af.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs
+
+/root/repo/target/release/deps/libconfide_crypto-ff80ebfecda210af.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/drbg.rs crates/crypto/src/ed25519.rs crates/crypto/src/envelope.rs crates/crypto/src/error.rs crates/crypto/src/field25519.rs crates/crypto/src/gcm.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keccak.rs crates/crypto/src/sha2.rs crates/crypto/src/x25519.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/ed25519.rs:
+crates/crypto/src/envelope.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/field25519.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/keccak.rs:
+crates/crypto/src/sha2.rs:
+crates/crypto/src/x25519.rs:

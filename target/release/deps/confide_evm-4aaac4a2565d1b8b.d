@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/confide_evm-4aaac4a2565d1b8b.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+/root/repo/target/release/deps/libconfide_evm-4aaac4a2565d1b8b.rlib: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+/root/repo/target/release/deps/libconfide_evm-4aaac4a2565d1b8b.rmeta: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/host.rs crates/evm/src/interp.rs crates/evm/src/opcode.rs crates/evm/src/u256.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/host.rs:
+crates/evm/src/interp.rs:
+crates/evm/src/opcode.rs:
+crates/evm/src/u256.rs:

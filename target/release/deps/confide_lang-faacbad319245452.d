@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/confide_lang-faacbad319245452.d: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs
+
+/root/repo/target/release/deps/libconfide_lang-faacbad319245452.rlib: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs
+
+/root/repo/target/release/deps/libconfide_lang-faacbad319245452.rmeta: crates/lang/src/lib.rs crates/lang/src/analysis.rs crates/lang/src/ast.rs crates/lang/src/codegen_evm.rs crates/lang/src/codegen_vm.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/stdlib.rs crates/lang/src/typeck.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/analysis.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/codegen_evm.rs:
+crates/lang/src/codegen_vm.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/stdlib.rs:
+crates/lang/src/typeck.rs:

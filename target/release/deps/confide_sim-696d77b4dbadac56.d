@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/confide_sim-696d77b4dbadac56.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+/root/repo/target/release/deps/libconfide_sim-696d77b4dbadac56.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+/root/repo/target/release/deps/libconfide_sim-696d77b4dbadac56.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/network.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/confide_storage-8031fadb90147d2a.d: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+/root/repo/target/release/deps/libconfide_storage-8031fadb90147d2a.rlib: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+/root/repo/target/release/deps/libconfide_storage-8031fadb90147d2a.rmeta: crates/storage/src/lib.rs crates/storage/src/blockstore.rs crates/storage/src/kv.rs crates/storage/src/kvlog.rs crates/storage/src/merkle.rs crates/storage/src/versioned.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/blockstore.rs:
+crates/storage/src/kv.rs:
+crates/storage/src/kvlog.rs:
+crates/storage/src/merkle.rs:
+crates/storage/src/versioned.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/confide_sync-2172d5ddc8027d91.d: crates/sync/src/lib.rs
+
+/root/repo/target/release/deps/libconfide_sync-2172d5ddc8027d91.rlib: crates/sync/src/lib.rs
+
+/root/repo/target/release/deps/libconfide_sync-2172d5ddc8027d91.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

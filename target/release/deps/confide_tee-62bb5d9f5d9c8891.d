@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/confide_tee-62bb5d9f5d9c8891.d: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+/root/repo/target/release/deps/libconfide_tee-62bb5d9f5d9c8891.rlib: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+/root/repo/target/release/deps/libconfide_tee-62bb5d9f5d9c8891.rmeta: crates/tee/src/lib.rs crates/tee/src/attestation.rs crates/tee/src/enclave.rs crates/tee/src/epc.rs crates/tee/src/meter.rs crates/tee/src/platform.rs crates/tee/src/ringbuf.rs crates/tee/src/sealing.rs
+
+crates/tee/src/lib.rs:
+crates/tee/src/attestation.rs:
+crates/tee/src/enclave.rs:
+crates/tee/src/epc.rs:
+crates/tee/src/meter.rs:
+crates/tee/src/platform.rs:
+crates/tee/src/ringbuf.rs:
+crates/tee/src/sealing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-8e94fb9575121afd.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-8e94fb9575121afd: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

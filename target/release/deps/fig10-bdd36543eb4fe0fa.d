@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-bdd36543eb4fe0fa.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-bdd36543eb4fe0fa: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

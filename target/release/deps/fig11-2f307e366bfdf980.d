@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-2f307e366bfdf980.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-2f307e366bfdf980: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-3d01402113c58669.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-3d01402113c58669: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

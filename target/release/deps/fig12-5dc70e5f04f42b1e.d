@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-5dc70e5f04f42b1e.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-5dc70e5f04f42b1e: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

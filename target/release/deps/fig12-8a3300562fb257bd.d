@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-8a3300562fb257bd.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-8a3300562fb257bd: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

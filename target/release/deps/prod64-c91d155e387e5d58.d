@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prod64-c91d155e387e5d58.d: crates/bench/src/bin/prod64.rs
+
+/root/repo/target/release/deps/prod64-c91d155e387e5d58: crates/bench/src/bin/prod64.rs
+
+crates/bench/src/bin/prod64.rs:

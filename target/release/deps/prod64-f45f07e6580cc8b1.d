@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prod64-f45f07e6580cc8b1.d: crates/bench/src/bin/prod64.rs
+
+/root/repo/target/release/deps/prod64-f45f07e6580cc8b1: crates/bench/src/bin/prod64.rs
+
+crates/bench/src/bin/prod64.rs:

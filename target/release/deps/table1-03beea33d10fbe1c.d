@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-03beea33d10fbe1c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-03beea33d10fbe1c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

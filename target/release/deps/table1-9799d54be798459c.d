@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9799d54be798459c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-9799d54be798459c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,6 +1,7 @@
 //! Failure injection and adversarial-condition tests: the §3.3 threat
 //! model exercised end to end.
 
+#![forbid(unsafe_code)]
 use confide::core::client::ConfideClient;
 use confide::core::context::ExecContext;
 use confide::core::engine::{full_key, Engine, EngineConfig, EngineError, VmKind};
@@ -23,7 +24,14 @@ fn engine_on(platform: std::sync::Arc<TeePlatform>) -> Engine {
 #[test]
 fn forged_inner_signature_rejected_by_preprocessor() {
     let engine = engine_on(TeePlatform::new(1, 1));
-    engine.deploy([1u8; 32], &confide::lang::build_vm(ECHO).unwrap(), VmKind::ConfideVm, true);
+    engine
+        .deploy(
+            [1u8; 32],
+            &confide::lang::build_vm(ECHO).unwrap(),
+            VmKind::ConfideVm,
+            true,
+        )
+        .unwrap();
     // Build a transaction whose envelope is valid but whose inner
     // signature is forged (sender field doesn't match the signing key).
     let key = confide::crypto::ed25519::SigningKey::from_seed(&[3u8; 32]);
@@ -39,8 +47,14 @@ fn forged_inner_signature_rejected_by_preprocessor() {
     raw.sender = [0xEE; 32];
     let mut rng = HmacDrbg::from_u64(9);
     let k_tx = derive_k_tx(&[5u8; 32], &raw.hash());
-    let env = Envelope::seal(&engine.pk_tx().unwrap(), &k_tx, b"", &signed.encode(), &mut rng)
-        .unwrap();
+    let env = Envelope::seal(
+        &engine.pk_tx().unwrap(),
+        &k_tx,
+        b"",
+        &signed.encode(),
+        &mut rng,
+    )
+    .unwrap();
     let wire = WireTx::Confidential(env);
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
@@ -129,12 +143,16 @@ fn stale_state_replay_across_replicas_diverges_roots() {
     )
     .unwrap();
     let contract = [2u8; 32];
-    a.deploy(contract, &code, VmKind::ConfideVm, true);
-    b.deploy(contract, &code, VmKind::ConfideVm, true);
+    a.deploy(contract, &code, VmKind::ConfideVm, true).unwrap();
+    b.deploy(contract, &code, VmKind::ConfideVm, true).unwrap();
     let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
-    let (t1, _, _) = client.confidential_tx(&a.pk_tx(), contract, "main", b"").unwrap();
-    let (t2, _, _) = client.confidential_tx(&a.pk_tx(), contract, "main", b"").unwrap();
-    a.execute_block(&[t1.clone()]).unwrap();
+    let (t1, _, _) = client
+        .confidential_tx(&a.pk_tx(), contract, "main", b"")
+        .unwrap();
+    let (t2, _, _) = client
+        .confidential_tx(&a.pk_tx(), contract, "main", b"")
+        .unwrap();
+    a.execute_block(std::slice::from_ref(&t1)).unwrap();
     b.execute_block(&[t1]).unwrap();
     assert_eq!(a.state_root(), b.state_root());
     // Malicious host on B rolls the counter back before block 2.
@@ -143,11 +161,14 @@ fn stale_state_replay_across_replicas_diverges_roots() {
         // Capture block-1's sealed value… by re-reading (it IS block 1's).
         b.state.get(&fk).unwrap()
     };
-    a.execute_block(&[t2.clone()]).unwrap();
+    a.execute_block(std::slice::from_ref(&t2)).unwrap();
     // B's host injects the stale value *after* executing block 2.
     b.execute_block(&[t2]).unwrap();
     b.state.tamper_raw(&fk, Some(&stale_value));
-    assert!(b.state.verify_version(2).is_err(), "rollback must be detected");
+    assert!(
+        b.state.verify_version(2).is_err(),
+        "rollback must be detected"
+    );
     // A, untampered, verifies fine.
     a.state.verify_version(2).unwrap();
 }
@@ -158,11 +179,25 @@ fn engine_under_epc_pressure_still_correct() {
     // platform meter records swap traffic.
     let platform = TeePlatform::with_epc(9, 9, 12 << 20); // 12 MB EPC
     let engine = engine_on(platform.clone());
-    engine.deploy([1u8; 32], &confide::lang::build_vm(ECHO).unwrap(), VmKind::ConfideVm, true);
+    engine
+        .deploy(
+            [1u8; 32],
+            &confide::lang::build_vm(ECHO).unwrap(),
+            VmKind::ConfideVm,
+            true,
+        )
+        .unwrap();
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
     let out = engine
-        .invoke_inner(&state, &mut ctx, &[1u8; 32], "main", b"under pressure", &[9u8; 32])
+        .invoke_inner(
+            &state,
+            &mut ctx,
+            &[1u8; 32],
+            "main",
+            b"under pressure",
+            &[9u8; 32],
+        )
         .unwrap();
     assert_eq!(out, b"under pressure");
     // The CS enclave heap (8 MB) plus the KM-lifecycle allocations exceed
@@ -188,8 +223,22 @@ fn cross_contract_depth_bomb_stopped() {
         r#"export fn main() {{ ret(call({}, input())); }}"#,
         confide::contracts::ccl_addr_literal(&a_addr)
     );
-    engine.deploy(a_addr, &confide::lang::build_vm(&call_b).unwrap(), VmKind::ConfideVm, false);
-    engine.deploy(b_addr, &confide::lang::build_vm(&call_a).unwrap(), VmKind::ConfideVm, false);
+    engine
+        .deploy(
+            a_addr,
+            &confide::lang::build_vm(&call_b).unwrap(),
+            VmKind::ConfideVm,
+            false,
+        )
+        .unwrap();
+    engine
+        .deploy(
+            b_addr,
+            &confide::lang::build_vm(&call_a).unwrap(),
+            VmKind::ConfideVm,
+            false,
+        )
+        .unwrap();
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
     let err = engine
@@ -206,13 +255,23 @@ fn runaway_contract_hits_fuel_not_the_host() {
         ..EngineConfig::default()
     });
     let spin = r#"export fn main() { let i: int = 0; while (i >= 0) { i = i + 1; } }"#;
-    engine.deploy([1u8; 32], &confide::lang::build_vm(spin).unwrap(), VmKind::ConfideVm, false);
+    engine
+        .deploy(
+            [1u8; 32],
+            &confide::lang::build_vm(spin).unwrap(),
+            VmKind::ConfideVm,
+            false,
+        )
+        .unwrap();
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
     let err = engine
         .invoke_inner(&state, &mut ctx, &[1u8; 32], "main", b"", &[9u8; 32])
         .unwrap_err();
-    assert!(matches!(err, EngineError::Trap(t) if t.contains("fuel")), "fuel trap expected");
+    assert!(
+        matches!(err, EngineError::Trap(t) if t.contains("fuel")),
+        "fuel trap expected"
+    );
 }
 
 #[test]
@@ -232,13 +291,21 @@ fn evm_contract_through_full_node_block_flow() {
     )
     .unwrap();
     let contract = [0x55; 32];
-    node.deploy(contract, &code, VmKind::Evm, true);
+    node.deploy(contract, &code, VmKind::Evm, true).unwrap();
     let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
-    let (t1, h1, _) = client.confidential_tx(&node.pk_tx(), contract, "main", b"40").unwrap();
-    let (t2, h2, _) = client.confidential_tx(&node.pk_tx(), contract, "main", b"2").unwrap();
+    let (t1, h1, _) = client
+        .confidential_tx(&node.pk_tx(), contract, "main", b"40")
+        .unwrap();
+    let (t2, h2, _) = client
+        .confidential_tx(&node.pk_tx(), contract, "main", b"2")
+        .unwrap();
     node.execute_block(&[t1, t2]).unwrap();
-    let r1 = client.open_receipt(&node.stored_receipt(&h1).unwrap(), &h1).unwrap();
-    let r2 = client.open_receipt(&node.stored_receipt(&h2).unwrap(), &h2).unwrap();
+    let r1 = client
+        .open_receipt(&node.stored_receipt(&h1).unwrap(), &h1)
+        .unwrap();
+    let r2 = client
+        .open_receipt(&node.stored_receipt(&h2).unwrap(), &h2)
+        .unwrap();
     assert_eq!(r1.return_data, b"40");
     assert_eq!(r2.return_data, b"42");
     // EVM state is sealed at rest like CONFIDE-VM state.

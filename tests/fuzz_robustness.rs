@@ -2,91 +2,221 @@
 //! (wire transactions, contract code, CCLe state, EVM bytecode) must
 //! reject garbage with an error — never panic, never hang. A malicious
 //! host or client controls all of these inputs (§3.3).
+//!
+//! Deterministic seeded-DRBG fuzzing (formerly proptest): each case draws
+//! its bytes from a fixed `HmacDrbg` stream so failures reproduce exactly.
 
-use proptest::prelude::*;
+#![forbid(unsafe_code)]
+use confide::crypto::HmacDrbg;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_vec(rng: &mut HmacDrbg, max_len: u64) -> Vec<u8> {
+    let len = rng.gen_range(max_len) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v);
+    v
+}
 
-    #[test]
-    fn vm_module_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+fn gen_ascii(rng: &mut HmacDrbg, max_len: u64) -> String {
+    let len = rng.gen_range(max_len) as usize;
+    (0..len)
+        .map(|_| {
+            // printable ASCII plus newline, like the old "[ -~\n]" regex.
+            let c = rng.gen_range(96);
+            if c == 95 {
+                '\n'
+            } else {
+                (b' ' + c as u8) as char
+            }
+        })
+        .collect()
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn vm_module_decode_never_panics() {
+    let mut rng = HmacDrbg::from_u64(0xf001);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 512);
         let _ = confide::vm::Module::decode(&bytes);
     }
+}
 
-    #[test]
-    fn vm_body_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn vm_body_decode_never_panics() {
+    let mut rng = HmacDrbg::from_u64(0xf002);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 256);
         let _ = confide::vm::opcode::decode_body(&bytes);
     }
+}
 
-    #[test]
-    fn vm_executes_random_valid_prefix_modules_safely(
-        bytes in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+#[test]
+fn vm_executes_random_valid_prefix_modules_safely() {
+    let mut rng = HmacDrbg::from_u64(0xf003);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 512);
         // If random bytes happen to decode, executing them must trap or
         // return — bounded by fuel, never panicking or looping forever.
         if let Ok(module) = confide::vm::Module::decode(&bytes) {
-            let cfg = confide::vm::ExecConfig { fuel: 10_000, ..Default::default() };
+            let cfg = confide::vm::ExecConfig {
+                fuel: 10_000,
+                ..Default::default()
+            };
             let vm = confide::vm::Vm::from_module(module, cfg);
             let mut host = confide::vm::MockHost::default();
             let mut mem = Vec::new();
             let _ = vm.invoke("main", &[], &mut host, &mut mem);
         }
     }
+}
 
-    #[test]
-    fn evm_runs_arbitrary_bytecode_safely(
-        code in proptest::collection::vec(any::<u8>(), 0..256),
-        calldata in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn evm_runs_arbitrary_bytecode_safely() {
+    let mut rng = HmacDrbg::from_u64(0xf004);
+    for _ in 0..CASES {
+        let code = gen_vec(&mut rng, 256);
+        let calldata = gen_vec(&mut rng, 64);
         let evm = confide::evm::Evm::new(
             code,
-            confide::evm::EvmConfig { fuel: 10_000, max_memory: 1 << 20 },
+            confide::evm::EvmConfig {
+                fuel: 10_000,
+                max_memory: 1 << 20,
+            },
         );
         let mut host = confide::evm::MockEvmHost::default();
         let _ = evm.run(&calldata, &mut host);
     }
+}
 
-    #[test]
-    fn wire_tx_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn wire_tx_decode_never_panics() {
+    let mut rng = HmacDrbg::from_u64(0xf005);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 512);
         let _ = confide::core::tx::WireTx::decode(&bytes);
     }
+}
 
-    #[test]
-    fn envelope_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn envelope_decode_never_panics() {
+    let mut rng = HmacDrbg::from_u64(0xf006);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 512);
         let _ = confide::crypto::envelope::Envelope::decode(&bytes);
     }
+}
 
-    #[test]
-    fn receipt_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn receipt_decode_never_panics() {
+    let mut rng = HmacDrbg::from_u64(0xf007);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 512);
         let _ = confide::core::receipt::Receipt::decode(&bytes);
     }
+}
 
-    #[test]
-    fn ccle_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let schema = confide::ccle::parse_schema(
-            "attribute \"confidential\";\n\
-             table T { a: string; b: ulong(confidential); c: [T2]; }\n\
-             table T2 { x: long; }\n\
-             root_type T;",
-        )
-        .unwrap();
+#[test]
+fn ccle_decode_never_panics() {
+    let schema = confide::ccle::parse_schema(
+        "attribute \"confidential\";\n\
+         table T { a: string; b: ulong(confidential); c: [T2]; }\n\
+         table T2 { x: long; }\n\
+         root_type T;",
+    )
+    .unwrap();
+    let mut rng = HmacDrbg::from_u64(0xf008);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 512);
         let _ = confide::ccle::codec::decode_public(&schema, &bytes);
         let ctx = confide::ccle::codec::EncryptionContext::new(&[1u8; 32], b"aad", 1);
         let _ = confide::ccle::codec::decode(&schema, &bytes, &ctx);
     }
+}
 
-    #[test]
-    fn ccle_schema_parser_never_panics(src in "[ -~\\n]{0,300}") {
+#[test]
+fn ccle_schema_parser_never_panics() {
+    let mut rng = HmacDrbg::from_u64(0xf009);
+    for _ in 0..CASES {
+        let src = gen_ascii(&mut rng, 300);
         let _ = confide::ccle::parse_schema(&src);
     }
+}
 
-    #[test]
-    fn ccl_compiler_never_panics_on_ascii_soup(src in "[ -~\\n]{0,200}") {
+#[test]
+fn ccl_compiler_never_panics_on_ascii_soup() {
+    let mut rng = HmacDrbg::from_u64(0xf00a);
+    for _ in 0..CASES {
+        let src = gen_ascii(&mut rng, 200);
         let _ = confide::lang::frontend(&src);
     }
+}
 
-    #[test]
-    fn leb128_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+#[test]
+fn mutated_bytecode_is_rejected_or_runs_safely() {
+    // Single-byte mutation fuzzing of the deploy-time verifier: start
+    // from a well-formed compiled module, flip one byte, and require one
+    // of three outcomes — the decoder rejects it, the verifier rejects
+    // it, or it executes on the *unchecked* verified fast path without
+    // panicking (trap/ok both fine, fuel-bounded). This is exactly the
+    // contract the engine relies on when it drops per-dispatch checks
+    // for verified modules.
+    let src = r#"
+        export fn main() {
+            let n: int = atoi(storage_get(b"count"));
+            let i: int = 0;
+            while (i < 3) { n = n + atoi(input()); i = i + 1; }
+            storage_set(b"count", itoa(n));
+            ret(itoa(n));
+        }
+    "#;
+    let base = confide::lang::build_vm(src).unwrap();
+    let mut rng = HmacDrbg::from_u64(0xf00c);
+    let mut decode_rejects = 0u32;
+    let mut verify_rejects = 0u32;
+    let mut ran = 0u32;
+    for _ in 0..1024 {
+        let mut code = base.clone();
+        let pos = rng.gen_range(code.len() as u64) as usize;
+        let mut b = [0u8; 1];
+        rng.fill(&mut b);
+        if code[pos] == b[0] {
+            continue; // identity mutation
+        }
+        code[pos] = b[0];
+        let Ok(module) = confide::vm::Module::decode(&code) else {
+            decode_rejects += 1;
+            continue;
+        };
+        let cfg = confide::vm::ExecConfig {
+            fuel: 50_000,
+            ..Default::default()
+        };
+        let Ok(prepared) = confide::vm::Prepared::new_verified(module, &cfg) else {
+            verify_rejects += 1;
+            continue;
+        };
+        let vm = confide::vm::Vm::from_prepared(prepared, cfg);
+        let mut host = confide::vm::MockHost {
+            input: b"7".to_vec(),
+            ..Default::default()
+        };
+        let mut mem = Vec::new();
+        let _ = vm.invoke("main", &[], &mut host, &mut mem);
+        ran += 1;
+    }
+    // All three outcomes must actually occur, or the corpus is vacuous.
+    assert!(
+        decode_rejects > 0 && verify_rejects > 0 && ran > 0,
+        "degenerate corpus: decode={decode_rejects} verify={verify_rejects} ran={ran}"
+    );
+}
+
+#[test]
+fn leb128_reader_never_panics() {
+    let mut rng = HmacDrbg::from_u64(0xf00b);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 16);
         let _ = confide::vm::leb::read_u64(&bytes);
         let _ = confide::vm::leb::read_i64(&bytes);
     }

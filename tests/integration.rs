@@ -2,6 +2,7 @@
 //! crypto, TEE, VMs, compiler, storage, consensus simulation and the core
 //! engine.
 
+#![forbid(unsafe_code)]
 use confide::chain::{ChainConfig, ChainSim, SimTx};
 use confide::contracts::{abs, scf, synthetic};
 use confide::core::client::ConfideClient;
@@ -26,8 +27,8 @@ fn consortium(n: usize) -> Vec<ConfideNode> {
     )];
     for i in 1..n {
         let platform = TeePlatform::new(i as u64 + 1, i as u64 + 1);
-        let keys = decentralized_join(&first_platform, &first_keys, &platform, 1, i as u64)
-            .expect("join");
+        let keys =
+            decentralized_join(&first_platform, &first_keys, &platform, 1, i as u64).expect("join");
         nodes.push(ConfideNode::new(platform, keys, EngineConfig::default(), 7));
     }
     nodes
@@ -48,7 +49,8 @@ fn four_node_consortium_replicates_confidential_state() {
     .unwrap();
     let contract = [0x21; 32];
     for node in nodes.iter_mut() {
-        node.deploy(contract, &code, VmKind::ConfideVm, true);
+        node.deploy(contract, &code, VmKind::ConfideVm, true)
+            .unwrap();
     }
     let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
     let mut txs = Vec::new();
@@ -80,10 +82,8 @@ fn confidential_deploy_via_transaction_then_invoke() {
     let mut nodes = consortium(1);
     let node = &mut nodes[0];
     let mut client = ConfideClient::new([4u8; 32], [5u8; 32], 6);
-    let code = confide::lang::build_vm(
-        r#"export fn main() { ret(concat(b"echo:", input())); }"#,
-    )
-    .unwrap();
+    let code =
+        confide::lang::build_vm(r#"export fn main() { ret(concat(b"echo:", input())); }"#).unwrap();
     let mut args = vec![0u8, 1u8]; // ConfideVm, confidential
     args.extend_from_slice(&code);
     let (deploy_tx, deploy_hash, _) = client
@@ -115,7 +115,8 @@ fn third_party_cannot_read_receipt_or_state() {
     )
     .unwrap();
     let contract = [0x31; 32];
-    node.deploy(contract, &code, VmKind::ConfideVm, true);
+    node.deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
     let mut owner = ConfideClient::new([1u8; 32], [2u8; 32], 3);
     let (tx, h, _) = owner
         .confidential_tx(&node.pk_tx(), contract, "main", b"TOP-SECRET-4711")
@@ -158,8 +159,12 @@ fn reordered_transactions_change_roots_but_replicas_stay_consistent() {
     )
     .unwrap();
     let contract = [0x41; 32];
-    node_a.deploy(contract, &code, VmKind::ConfideVm, true);
-    node_b.deploy(contract, &code, VmKind::ConfideVm, true);
+    node_a
+        .deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
+    node_b
+        .deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
     let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
     let (t1, _, _) = client
         .confidential_tx(&node_a.pk_tx(), contract, "main", b"A")
@@ -186,12 +191,14 @@ fn chain_sim_driven_by_real_measured_costs() {
     let keys = NodeKeys::generate(&mut rng);
     let engine = Engine::confidential(platform, keys, EngineConfig::default());
     let contract = [0x61; 32];
-    engine.deploy(
-        contract,
-        &confide::lang::build_vm(&abs::abs_fb_src()).unwrap(),
-        VmKind::ConfideVm,
-        true,
-    );
+    engine
+        .deploy(
+            contract,
+            &confide::lang::build_vm(&abs::abs_fb_src()).unwrap(),
+            VmKind::ConfideVm,
+            true,
+        )
+        .unwrap();
     let state = StateDb::new();
     let mut ctx = ExecContext::new();
     // Genesis entries written directly through a helper contract call
@@ -202,7 +209,14 @@ fn chain_sim_driven_by_real_measured_costs() {
     }
     let req = abs::AbsRequest::random(&mut rng);
     engine
-        .invoke_inner(&state, &mut ctx, &contract, "transfer", &req.to_fb(), &sender)
+        .invoke_inner(
+            &state,
+            &mut ctx,
+            &contract,
+            "transfer",
+            &req.to_fb(),
+            &sender,
+        )
         .unwrap();
     let counters = ctx.take_counters();
     let exec_cycles = counters.total_cycles();
@@ -249,10 +263,9 @@ fn synthetic_workloads_run_under_both_engines_and_match() {
                     VmKind::ConfideVm => confide::lang::build_vm(src).unwrap(),
                     VmKind::Evm => confide::lang::build_evm(src).unwrap(),
                 };
-                let addr = confide::crypto::sha256(
-                    format!("{name}{confidential}{vm:?}").as_bytes(),
-                );
-                engine.deploy(addr, &code, vm, confidential);
+                let addr =
+                    confide::crypto::sha256(format!("{name}{confidential}{vm:?}").as_bytes());
+                engine.deploy(addr, &code, vm, confidential).unwrap();
                 let state = StateDb::new();
                 let mut ctx = ExecContext::new();
                 let out = engine
@@ -277,7 +290,7 @@ fn scf_flow_operation_mix_matches_table1_shape() {
     scf::run_genesis(&engine, &state, &mut ctx, &a, 16);
     // Commit genesis so the profiled flow reads through the database, as
     // the production profiler does.
-    let batch = engine.commit_block(&mut ctx, 1);
+    let batch = engine.commit_block(&mut ctx, 1).unwrap();
     state.apply_block(1, &batch).unwrap();
     let mut ctx = ExecContext::new();
     let req = scf::transfer_request("alice", "bob", "AR-7788", 10_000);
@@ -297,12 +310,12 @@ fn scf_flow_operation_mix_matches_table1_shape() {
 fn preverify_pipeline_improves_end_to_end_cycles() {
     let mut nodes = consortium(1);
     let node = &mut nodes[0];
-    let code = confide::lang::build_vm(
-        r#"export fn main() { storage_set(b"x", input()); ret(b"ok"); }"#,
-    )
-    .unwrap();
+    let code =
+        confide::lang::build_vm(r#"export fn main() { storage_set(b"x", input()); ret(b"ok"); }"#)
+            .unwrap();
     let contract = [0x51; 32];
-    node.deploy(contract, &code, VmKind::ConfideVm, true);
+    node.deploy(contract, &code, VmKind::ConfideVm, true)
+        .unwrap();
     let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);
     let mut txs = Vec::new();
     for i in 0..6 {
@@ -337,7 +350,8 @@ fn spv_consensus_read_across_replicas() {
     .unwrap();
     let contract = [0x71; 32];
     for node in nodes.iter_mut() {
-        node.deploy(contract, &code, VmKind::ConfideVm, false);
+        node.deploy(contract, &code, VmKind::ConfideVm, false)
+            .unwrap();
     }
     // A public contract so the proven value is meaningful plaintext.
     let mut client = ConfideClient::new([1u8; 32], [2u8; 32], 3);

@@ -1,0 +1,218 @@
+//! Dynamic-oracle property test for the confidentiality-flow linter.
+//!
+//! A generator emits random CCL programs that read confidential (`acct:`)
+//! and public (`pub:`) state, derive values, and push them into the three
+//! sinks the linter models (`log`, public `storage_set`, return). Each
+//! program is linted against a schema marking `acct` confidential, then
+//! *executed* on a `MockHost` whose confidential entries hold high-entropy
+//! sentinel bytes. The dynamic taint oracle then checks the lint verdict:
+//!
+//! > **If the linter calls a program deployable, no sentinel byte string
+//! > may appear in any log line or any non-confidential storage write.**
+//!
+//! The oracle detects direct data copies (identity, `concat`), which is
+//! exactly the class of flows a sound taint analysis must never miss; when
+//! the linter flags a program, the run is unconstrained (over-approximation
+//! is allowed, silence is not).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+use confide::ccle::ConfidentialKeys;
+use confide::crypto::HmacDrbg;
+use confide::vm::{ExecConfig, MockHost, Module, Vm};
+
+fn schema_keys() -> ConfidentialKeys {
+    confide::ccle::parse_schema(
+        r#"
+        attribute "confidential";
+        attribute "map";
+        table Entry { key: string; value: string; }
+        table Ledger {
+            pub: [Entry](map);
+            acct: [Entry](map, confidential);
+        }
+        root_type Ledger;
+        "#,
+    )
+    .unwrap()
+    .confidential_keys()
+}
+
+/// One random straight-line contract over confidential and public state.
+fn gen_program(rng: &mut HmacDrbg) -> String {
+    let mut body = String::new();
+    let mut vars: Vec<String> = Vec::new();
+    let n_stmts = 3 + rng.gen_range(8) as usize;
+    for i in 0..n_stmts {
+        let pick_var = |rng: &mut HmacDrbg, vars: &[String]| -> String {
+            if vars.is_empty() {
+                "b\"literal\"".to_string()
+            } else {
+                vars[rng.gen_range(vars.len() as u64) as usize].clone()
+            }
+        };
+        match rng.gen_range(8) {
+            0 => {
+                let k = rng.gen_range(4);
+                body.push_str(&format!(
+                    "    let v{i}: bytes = storage_get(b\"acct:k{k}\");\n"
+                ));
+                vars.push(format!("v{i}"));
+            }
+            1 => {
+                let k = rng.gen_range(4);
+                body.push_str(&format!(
+                    "    let v{i}: bytes = storage_get(b\"pub:k{k}\");\n"
+                ));
+                vars.push(format!("v{i}"));
+            }
+            2 => {
+                body.push_str(&format!("    let v{i}: bytes = input();\n"));
+                vars.push(format!("v{i}"));
+            }
+            3 => {
+                let a = pick_var(rng, &vars);
+                let b = pick_var(rng, &vars);
+                body.push_str(&format!("    let v{i}: bytes = concat({a}, {b});\n"));
+                vars.push(format!("v{i}"));
+            }
+            4 => {
+                let k = rng.gen_range(4);
+                let v = pick_var(rng, &vars);
+                body.push_str(&format!("    storage_set(b\"acct:w{k}\", {v});\n"));
+            }
+            5 => {
+                let k = rng.gen_range(4);
+                let v = pick_var(rng, &vars);
+                body.push_str(&format!("    storage_set(b\"pub:w{k}\", {v});\n"));
+            }
+            6 => {
+                let v = pick_var(rng, &vars);
+                body.push_str(&format!("    log({v});\n"));
+            }
+            _ => {
+                let v = pick_var(rng, &vars);
+                body.push_str(&format!("    let v{i}: bytes = itoa(atoi({v}) + 1);\n"));
+                vars.push(format!("v{i}"));
+            }
+        }
+    }
+    format!("export fn main() {{\n{body}    ret(b\"done\");\n}}\n")
+}
+
+fn sentinel(rng: &mut HmacDrbg) -> Vec<u8> {
+    let mut s = vec![0u8; 16];
+    rng.fill(&mut s);
+    s
+}
+
+#[test]
+fn lint_clean_programs_never_copy_sentinels_to_public_sinks() {
+    let keys = schema_keys();
+    let mut rng = HmacDrbg::from_u64(0x11f0_5eed);
+    let mut deployable_runs = 0usize;
+    let mut flagged = 0usize;
+    for case in 0..60 {
+        let src = gen_program(&mut rng);
+
+        // Seed the host: confidential entries carry sentinels, public
+        // entries benign bytes.
+        let mut sentinels = Vec::new();
+        let mut storage: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for k in 0..4u8 {
+            let s = sentinel(&mut rng);
+            storage.insert(format!("acct:k{k}").into_bytes(), s.clone());
+            sentinels.push(s);
+            storage.insert(
+                format!("pub:k{k}").into_bytes(),
+                format!("public-{k}").into_bytes(),
+            );
+        }
+
+        let report = confide::lang::lint_source(&src, Some(&keys)).unwrap();
+
+        let code = confide::lang::build_vm(&src).unwrap();
+        let module = Module::decode(&code).unwrap();
+        let cfg = ExecConfig {
+            fuel: 5_000_000,
+            ..Default::default()
+        };
+        let vm = Vm::from_module(module, cfg);
+        let mut host = MockHost {
+            input: b"42".to_vec(),
+            storage,
+            ..Default::default()
+        };
+        let mut mem = Vec::new();
+        vm.invoke("main", &[], &mut host, &mut mem)
+            .unwrap_or_else(|t| panic!("case {case} trapped: {t:?}\n{src}"));
+
+        // Dynamic taint oracle: look for sentinel byte strings in the
+        // public observables.
+        let window = |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).any(|w| w == needle);
+        let mut leaked = false;
+        for s in &sentinels {
+            if host.logs.iter().any(|l| window(l, s)) {
+                leaked = true;
+            }
+            for (k, v) in &host.storage {
+                if !k.starts_with(b"acct:") && window(v, s) {
+                    leaked = true;
+                }
+            }
+        }
+
+        if report.deployable() {
+            deployable_runs += 1;
+            assert!(
+                !leaked,
+                "case {case}: linter called this deployable but a sentinel \
+                 reached a public sink:\n{src}\nreport:\n{report}"
+            );
+        } else {
+            flagged = flagged.saturating_add(1);
+        }
+    }
+    // The generator must exercise both verdicts or the property is vacuous.
+    assert!(
+        deployable_runs >= 5 && flagged >= 5,
+        "generator imbalance: {deployable_runs} deployable, {flagged} flagged"
+    );
+}
+
+#[test]
+fn observed_leaks_are_always_flagged() {
+    // The contrapositive, phrased directly on a handful of hand-written
+    // leaky programs: when the dynamic oracle *would* observe a sentinel
+    // at a public sink, the linter must have produced an error.
+    let keys = schema_keys();
+    for (name, src) in [
+        (
+            "direct_log",
+            "export fn main() { log(storage_get(b\"acct:k0\")); ret(b\"x\"); }",
+        ),
+        (
+            "via_concat",
+            "export fn main() { let a: bytes = storage_get(b\"acct:k1\"); \
+             log(concat(b\"bal=\", a)); ret(b\"x\"); }",
+        ),
+        (
+            "to_public_store",
+            "export fn main() { storage_set(b\"pub:mirror\", \
+             storage_get(b\"acct:k2\")); ret(b\"x\"); }",
+        ),
+        (
+            "via_helper",
+            "fn emit(v: bytes) { log(v); }\n\
+             export fn main() { emit(storage_get(b\"acct:k3\")); ret(b\"x\"); }",
+        ),
+    ] {
+        let report = confide::lang::lint_source(src, Some(&keys)).unwrap();
+        assert!(
+            !report.deployable(),
+            "{name}: leak not flagged\n{src}\n{report}"
+        );
+    }
+}

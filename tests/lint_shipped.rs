@@ -1,0 +1,70 @@
+//! The confidentiality-flow linter must pass every contract the repo
+//! ships (ABS, the SCF-AR suite, the Figure 10 synthetic workloads) —
+//! the acceptance bar for turning the lint gate on by default at deploy
+//! time. Linted schema-less: under whole-state sealing only `input()` is
+//! a source and `log`/`call` are sinks.
+
+#![forbid(unsafe_code)]
+
+use confide_contracts::{abs, scf, synthetic};
+use confide_lang::lint_source;
+
+#[test]
+fn abs_contracts_lint_clean() {
+    for (name, src) in [
+        ("abs_fb", abs::abs_fb_src()),
+        ("abs_json", abs::abs_json_src()),
+    ] {
+        let r = lint_source(&src, None).unwrap();
+        assert!(r.deployable(), "{name}:\n{r}");
+    }
+}
+
+#[test]
+fn scf_suite_lints_clean() {
+    let a = scf::ScfAddresses::default();
+    for (name, src) in [
+        ("gateway", scf::gateway_src(&a)),
+        ("manager", scf::manager_src(&a)),
+        ("ar_account", scf::ar_account_src(&a)),
+        ("ar_issue", scf::ar_issue_src(&a)),
+        ("ar_transfer", scf::ar_transfer_src(&a)),
+        ("ar_clear", scf::ar_clear_src(&a)),
+    ] {
+        let r = lint_source(&src, None).unwrap();
+        assert!(r.deployable(), "{name}:\n{r}");
+    }
+}
+
+#[test]
+fn synthetic_workloads_lint_clean() {
+    for (name, src) in synthetic::ALL {
+        let r = lint_source(src, None).unwrap();
+        assert!(r.deployable(), "{name}:\n{r}");
+    }
+}
+
+#[test]
+fn abs_with_matching_schema_stays_deployable() {
+    // A schema marking the ABS ledger fields confidential: the contract
+    // reads and writes them but never moves them to a public destination,
+    // so only advisory warnings may appear.
+    let schema = confide_ccle::parse_schema(
+        r#"
+        attribute "confidential";
+        attribute "map";
+        table Entry { key: string; value: string; }
+        table Abs {
+            pool_ceiling: ulong;
+            score: [Entry](map, confidential);
+            pos: [Entry](map, confidential);
+            asset: [Entry](map, confidential);
+        }
+        root_type Abs;
+        "#,
+    )
+    .unwrap()
+    .confidential_keys();
+    let r = lint_source(&abs::abs_fb_src(), Some(&schema)).unwrap();
+    assert!(r.deployable(), "{r}");
+}

@@ -1,13 +1,18 @@
 //! Cross-crate property tests: randomized invariants over the compiler,
 //! the codec stack and the protocol layers.
+//!
+//! These used to be `proptest` strategies; they are now deterministic
+//! seeded-DRBG loops (the workspace builds without registry access). Each
+//! test derives its inputs from a fixed `HmacDrbg` seed, so failures
+//! reproduce exactly.
 
+#![forbid(unsafe_code)]
 use confide::ccle::codec::{decode, decode_public, encode, EncryptionContext};
 use confide::ccle::parse_schema;
 use confide::ccle::value::Value;
 use confide::core::receipt::Receipt;
 use confide::crypto::envelope::{derive_k_tx, Envelope, EnvelopeKeyPair};
 use confide::crypto::HmacDrbg;
-use proptest::prelude::*;
 
 // ---- Compiler equivalence: random arithmetic programs behave the same on
 // both backends ----
@@ -41,8 +46,22 @@ impl RExpr {
             RExpr::Add(a, b) => format!("({} + {})", a.to_ccl(), b.to_ccl()),
             RExpr::Sub(a, b) => format!("({} - {})", a.to_ccl(), b.to_ccl()),
             RExpr::Mul(a, b) => format!("({} * {})", a.to_ccl(), b.to_ccl()),
-            RExpr::Div(a, b) => format!("({} / (({}) * ({}) + 1))", a.to_ccl(), b.to_ccl(), b.to_ccl()),
-            RExpr::Rem(a, b) => format!("({} % (({}) * ({}) + 1))", a.to_ccl(), b.to_ccl(), b.to_ccl()),
+            RExpr::Div(a, b) => {
+                format!(
+                    "({} / (({}) * ({}) + 1))",
+                    a.to_ccl(),
+                    b.to_ccl(),
+                    b.to_ccl()
+                )
+            }
+            RExpr::Rem(a, b) => {
+                format!(
+                    "({} % (({}) * ({}) + 1))",
+                    a.to_ccl(),
+                    b.to_ccl(),
+                    b.to_ccl()
+                )
+            }
             RExpr::Lt(a, b) => format!("({} < {})", a.to_ccl(), b.to_ccl()),
             RExpr::And(a, b) => format!("({} & {})", a.to_ccl(), b.to_ccl()),
             RExpr::Shl(a, s) => format!("({} << {})", a.to_ccl(), s % 20),
@@ -50,30 +69,50 @@ impl RExpr {
     }
 }
 
-fn rexpr(depth: u32) -> impl Strategy<Value = RExpr> {
-    let leaf = prop_oneof![
-        (-1000i32..1000).prop_map(RExpr::Lit),
-        Just(RExpr::Input),
-    ];
-    leaf.prop_recursive(depth, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Mul(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Div(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Rem(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Lt(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::And(a.into(), b.into())),
-            (inner.clone(), any::<u8>()).prop_map(|(a, s)| RExpr::Shl(a.into(), s)),
-        ]
-    })
+/// Random expression generator over a seeded DRBG (replaces the old
+/// `prop_recursive` strategy).
+fn gen_rexpr(rng: &mut HmacDrbg, depth: u32) -> RExpr {
+    if depth == 0 || rng.gen_range(4) == 0 {
+        return if rng.gen_range(2) == 0 {
+            RExpr::Lit(rng.gen_range(2000) as i32 - 1000)
+        } else {
+            RExpr::Input
+        };
+    }
+    let a = Box::new(gen_rexpr(rng, depth - 1));
+    let b = Box::new(gen_rexpr(rng, depth - 1));
+    match rng.gen_range(8) {
+        0 => RExpr::Add(a, b),
+        1 => RExpr::Sub(a, b),
+        2 => RExpr::Mul(a, b),
+        3 => RExpr::Div(a, b),
+        4 => RExpr::Rem(a, b),
+        5 => RExpr::Lt(a, b),
+        6 => RExpr::And(a, b),
+        _ => RExpr::Shl(a, rng.gen_range(256) as u8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn gen_vec(rng: &mut HmacDrbg, max_len: u64) -> Vec<u8> {
+    let len = rng.gen_range(max_len) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v);
+    v
+}
 
-    #[test]
-    fn compiler_backends_agree_on_random_programs(e in rexpr(3), input in -10_000i64..10_000) {
+fn gen_ascii(rng: &mut HmacDrbg, min: u64, max: u64) -> String {
+    let len = (min + rng.gen_range(max - min + 1)) as usize;
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(26) as u8) as char)
+        .collect()
+}
+
+#[test]
+fn compiler_backends_agree_on_random_programs() {
+    let mut rng = HmacDrbg::from_u64(0xccf0);
+    for _ in 0..24 {
+        let e = gen_rexpr(&mut rng, 3);
+        let input = rng.gen_range(20_000) as i64 - 10_000;
         let src = format!(
             "export fn main() {{ let x: int = atoi(input()); ret(itoa({})); }}",
             e.to_ccl()
@@ -85,7 +124,10 @@ proptest! {
             confide::vm::Module::decode(&vm_code).unwrap(),
             confide::vm::ExecConfig::default(),
         );
-        let mut vh = confide::vm::MockHost { input: input_bytes.clone(), ..Default::default() };
+        let mut vh = confide::vm::MockHost {
+            input: input_bytes.clone(),
+            ..Default::default()
+        };
         let mut mem = Vec::new();
         let vout = vm.invoke("main", &[], &mut vh, &mut mem).unwrap();
 
@@ -95,11 +137,16 @@ proptest! {
         let eout = evm
             .run(&confide::lang::evm_calldata("main", &input_bytes), &mut eh)
             .unwrap();
-        prop_assert_eq!(vout.return_data, eout.return_data);
+        assert_eq!(vout.return_data, eout.return_data, "src: {src}");
     }
+}
 
-    #[test]
-    fn fusion_never_changes_results(e in rexpr(3), input in -10_000i64..10_000) {
+#[test]
+fn fusion_never_changes_results() {
+    let mut rng = HmacDrbg::from_u64(0xf510);
+    for _ in 0..24 {
+        let e = gen_rexpr(&mut rng, 3);
+        let input = rng.gen_range(20_000) as i64 - 10_000;
         let src = format!(
             "export fn main() {{ let x: int = atoi(input()); let i: int = 0; let acc: int = 0; \
              while (i < 5) {{ acc = acc + ({}); i = i + 1; }} ret(itoa(acc)); }}",
@@ -109,51 +156,65 @@ proptest! {
         let module = confide::vm::Module::decode(&code).unwrap();
         let mut outs = Vec::new();
         for fusion in [false, true] {
-            let cfg = confide::vm::ExecConfig { fusion, ..Default::default() };
+            let cfg = confide::vm::ExecConfig {
+                fusion,
+                ..Default::default()
+            };
             let vm = confide::vm::Vm::from_module(module.clone(), cfg);
             let mut host = confide::vm::MockHost {
                 input: input.to_string().into_bytes(),
                 ..Default::default()
             };
             let mut mem = Vec::new();
-            outs.push(vm.invoke("main", &[], &mut host, &mut mem).unwrap().return_data);
+            outs.push(
+                vm.invoke("main", &[], &mut host, &mut mem)
+                    .unwrap()
+                    .return_data,
+            );
         }
-        prop_assert_eq!(&outs[0], &outs[1]);
+        assert_eq!(&outs[0], &outs[1], "src: {src}");
     }
+}
 
-    #[test]
-    fn envelope_protocol_round_trips_any_payload(
-        payload in proptest::collection::vec(any::<u8>(), 0..2000),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = HmacDrbg::from_u64(seed);
+#[test]
+fn envelope_protocol_round_trips_any_payload() {
+    let mut meta = HmacDrbg::from_u64(0xe5fe);
+    for _ in 0..32 {
+        let payload = gen_vec(&mut meta, 2000);
+        let mut rng = HmacDrbg::from_u64(meta.gen_u64());
         let kp = EnvelopeKeyPair::generate(&mut rng);
         let k_tx = rng.gen32();
         let env = Envelope::seal(&kp.public(), &k_tx, b"aad", &payload, &mut rng).unwrap();
         let decoded = Envelope::decode(&env.encode()).unwrap();
         let (k, body) = decoded.open(&kp, b"aad").unwrap();
-        prop_assert_eq!(k, k_tx);
-        prop_assert_eq!(body, payload);
+        assert_eq!(k, k_tx);
+        assert_eq!(body, payload);
     }
+}
 
-    #[test]
-    fn k_tx_derivation_is_injective_in_practice(
-        root in any::<[u8; 32]>(),
-        h1 in any::<[u8; 32]>(),
-        h2 in any::<[u8; 32]>(),
-    ) {
-        prop_assume!(h1 != h2);
-        prop_assert_ne!(derive_k_tx(&root, &h1), derive_k_tx(&root, &h2));
+#[test]
+fn k_tx_derivation_is_injective_in_practice() {
+    let mut rng = HmacDrbg::from_u64(0x14f0);
+    for _ in 0..64 {
+        let root = rng.gen32();
+        let h1 = rng.gen32();
+        let h2 = rng.gen32();
+        if h1 == h2 {
+            continue;
+        }
+        assert_ne!(derive_k_tx(&root, &h1), derive_k_tx(&root, &h2));
     }
+}
 
-    #[test]
-    fn receipts_round_trip_and_bind_to_tx(
-        ret_data in proptest::collection::vec(any::<u8>(), 0..500),
-        logs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..5),
-        tx_hash in any::<[u8; 32]>(),
-        k_tx in any::<[u8; 32]>(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn receipts_round_trip_and_bind_to_tx() {
+    let mut meta = HmacDrbg::from_u64(0x4ec1);
+    for _ in 0..32 {
+        let ret_data = gen_vec(&mut meta, 500);
+        let log_count = meta.gen_range(5) as usize;
+        let logs: Vec<Vec<u8>> = (0..log_count).map(|_| gen_vec(&mut meta, 64)).collect();
+        let tx_hash = meta.gen32();
+        let k_tx = meta.gen32();
         let receipt = Receipt {
             tx_hash,
             sender: [1u8; 32],
@@ -162,35 +223,39 @@ proptest! {
             return_data: ret_data,
             logs,
         };
-        let mut rng = HmacDrbg::from_u64(seed);
+        let mut rng = HmacDrbg::from_u64(meta.gen_u64());
         let sealed = receipt.seal(&k_tx, &mut rng).unwrap();
-        prop_assert_eq!(Receipt::open(&sealed, &k_tx, &tx_hash).unwrap(), receipt);
+        assert_eq!(Receipt::open(&sealed, &k_tx, &tx_hash).unwrap(), receipt);
         let mut other = tx_hash;
         other[0] ^= 1;
-        prop_assert!(Receipt::open(&sealed, &k_tx, &other).is_err());
+        assert!(Receipt::open(&sealed, &k_tx, &other).is_err());
     }
+}
 
-    #[test]
-    fn ccle_round_trips_random_account_maps(
-        accounts in proptest::collection::vec(
-            ("[a-z]{1,8}", "[a-z]{1,12}", 0u64..1_000_000),
-            0..8
-        ),
-        seed in any::<u64>(),
-    ) {
-        let schema = parse_schema(
-            r#"
-            attribute "map";
-            attribute "confidential";
-            table Account { user_id: string; org: string(confidential); bal: ulong(confidential); }
-            table Root { accounts: [Account](map); }
-            root_type Root;
-            "#,
-        ).unwrap();
-        // Dedup keys (map semantics).
+#[test]
+fn ccle_round_trips_random_account_maps() {
+    let schema = parse_schema(
+        r#"
+        attribute "map";
+        attribute "confidential";
+        table Account { user_id: string; org: string(confidential); bal: ulong(confidential); }
+        table Root { accounts: [Account](map); }
+        root_type Root;
+        "#,
+    )
+    .unwrap();
+    let mut meta = HmacDrbg::from_u64(0xcc1e);
+    for _ in 0..16 {
+        let n = meta.gen_range(8) as usize;
         let mut seen = std::collections::HashSet::new();
-        let entries: Vec<(String, Value)> = accounts
-            .into_iter()
+        let entries: Vec<(String, Value)> = (0..n)
+            .map(|_| {
+                (
+                    gen_ascii(&mut meta, 1, 8),
+                    gen_ascii(&mut meta, 1, 12),
+                    meta.gen_range(1_000_000),
+                )
+            })
             .filter(|(id, _, _)| seen.insert(id.clone()))
             .map(|(id, org, bal)| {
                 (
@@ -204,39 +269,47 @@ proptest! {
             })
             .collect();
         let root = Value::Table(vec![("accounts".into(), Value::Map(entries))]);
-        let mut ctx = EncryptionContext::new(&[9u8; 32], b"prop-test", seed);
+        let mut ctx = EncryptionContext::new(&[9u8; 32], b"prop-test", meta.gen_u64());
         let wire = encode(&schema, &root, Some(&mut ctx)).unwrap();
-        prop_assert_eq!(decode(&schema, &wire, &ctx).unwrap(), root.clone());
+        assert_eq!(decode(&schema, &wire, &ctx).unwrap(), root.clone());
         // Audit view keeps ids public, hides org/bal.
         let public = decode_public(&schema, &wire).unwrap();
         if let Some(Value::Map(entries)) = public.get("accounts") {
             for (_, acct) in entries {
-                prop_assert!(matches!(acct.get("org"), Some(Value::Encrypted(_))));
-                prop_assert!(acct.get("user_id").unwrap().as_str().is_some());
+                assert!(matches!(acct.get("org"), Some(Value::Encrypted(_))));
+                assert!(acct.get("user_id").unwrap().as_str().is_some());
             }
         }
     }
+}
 
-    #[test]
-    fn merkle_roots_commit_to_full_state(
-        pairs in proptest::collection::btree_map(
-            proptest::collection::vec(any::<u8>(), 1..16),
-            proptest::collection::vec(any::<u8>(), 0..32),
-            1..30,
-        ),
-        flip in any::<u8>(),
-    ) {
-        let sorted: Vec<(Vec<u8>, Vec<u8>)> = pairs.into_iter().collect();
+#[test]
+fn merkle_roots_commit_to_full_state() {
+    let mut meta = HmacDrbg::from_u64(0x6e4c);
+    for _ in 0..16 {
+        let n = (meta.gen_range(29) + 1) as usize;
+        let mut map = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let klen = meta.gen_range(15) + 1;
+            let mut key = vec![0u8; klen as usize];
+            meta.fill(&mut key);
+            map.insert(key, gen_vec(&mut meta, 32));
+        }
+        let flip = meta.gen_range(256) as usize;
+        let sorted: Vec<(Vec<u8>, Vec<u8>)> = map.into_iter().collect();
         let tree = confide::storage::merkle::MerkleTree::build(&sorted);
         let root = tree.root();
         // Mutating any value changes the root.
-        let idx = flip as usize % sorted.len();
+        let idx = flip % sorted.len();
         let mut mutated = sorted.clone();
         mutated[idx].1.push(0xff);
-        prop_assert_ne!(confide::storage::merkle::MerkleTree::build(&mutated).root(), root);
+        assert_ne!(
+            confide::storage::merkle::MerkleTree::build(&mutated).root(),
+            root
+        );
         // Proofs verify for every leaf.
         for (i, (k, v)) in sorted.iter().enumerate() {
-            prop_assert!(tree.prove(i).unwrap().verify(&root, k, v));
+            assert!(tree.prove(i).unwrap().verify(&root, k, v));
         }
     }
 }
