@@ -6,6 +6,28 @@ use confide_crypto::ed25519::SigningKey;
 use confide_crypto::envelope::{derive_k_tx, Envelope};
 use confide_crypto::{CryptoError, HmacDrbg};
 
+/// Seal an already-signed transaction into a T-Protocol digital envelope
+/// addressed to the consortium key `pk_tx`.
+///
+/// This is **the** canonical client-side sealing path: `k_tx` is derived
+/// from the user root key and the transaction hash (§3.2.3), the signed
+/// transaction encoding becomes the envelope body, and the caller gets
+/// back `(wire_tx, tx_hash, k_tx)` — everything needed to later open the
+/// sealed receipt or delegate access. Both the in-process
+/// [`ConfideClient`] and the networked `confide-net` client go through
+/// this one function so the two paths cannot drift.
+pub fn seal_signed_tx(
+    signed: &SignedTx,
+    root_key: &[u8; 32],
+    pk_tx: &[u8; 32],
+    rng: &mut HmacDrbg,
+) -> Result<(WireTx, [u8; 32], [u8; 32]), CryptoError> {
+    let tx_hash = signed.raw.hash();
+    let k_tx = derive_k_tx(root_key, &tx_hash);
+    let env = Envelope::seal(pk_tx, &k_tx, b"", &signed.encode(), rng)?;
+    Ok((WireTx::Confidential(env), tx_hash, k_tx))
+}
+
 /// A blockchain client: holds the user's signing key and the user root key
 /// from which per-transaction one-time keys derive (§3.2.3: `k_tx` "is
 /// derived from a user root key and the transaction hash").
@@ -61,10 +83,7 @@ impl ConfideClient {
         args: &[u8],
     ) -> Result<(WireTx, [u8; 32], [u8; 32]), CryptoError> {
         let signed = self.build_raw(contract, method, args);
-        let tx_hash = signed.raw.hash();
-        let k_tx = derive_k_tx(&self.root_key, &tx_hash);
-        let env = Envelope::seal(pk_tx, &k_tx, b"", &signed.encode(), &mut self.rng)?;
-        Ok((WireTx::Confidential(env), tx_hash, k_tx))
+        seal_signed_tx(&signed, &self.root_key, pk_tx, &mut self.rng)
     }
 
     /// Recompute `k_tx` for a past transaction (the owner can always

@@ -4,6 +4,10 @@
 use crate::counters::OpCounters;
 use std::collections::HashMap;
 
+/// One undo-journal record: the written key plus the overlay entry it
+/// displaced (`None` when the key was absent from the overlay).
+type JournalEntry = (Vec<u8>, Option<Option<Vec<u8>>>);
+
 /// Mutable execution state threaded through all transactions of one block.
 #[derive(Default)]
 pub struct ExecContext {
@@ -20,6 +24,12 @@ pub struct ExecContext {
     pub logs: Vec<Vec<u8>>,
     /// Current call depth (re-entrancy / recursion bound).
     pub depth: usize,
+    /// Undo journal for the transaction currently executing under
+    /// [`ExecContext::begin_tx`]: `(key, prior overlay entry)` where the
+    /// prior entry is `None` when the key was absent from the overlay.
+    journal: Vec<JournalEntry>,
+    /// Whether writes are currently journaled.
+    journaling: bool,
 }
 
 impl ExecContext {
@@ -48,7 +58,44 @@ impl ExecContext {
 
     /// Record a write (visible to subsequent reads in this block).
     pub fn write(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        if self.journaling {
+            self.journal
+                .push((key.clone(), self.overlay.get(&key).cloned()));
+        }
         self.overlay.insert(key, value);
+    }
+
+    /// Start journaling overlay writes for one transaction so a mid-block
+    /// failure can be undone without poisoning the whole batch (the
+    /// lenient server-side execution path of `confide-net`).
+    pub fn begin_tx(&mut self) {
+        self.journal.clear();
+        self.journaling = true;
+    }
+
+    /// Accept the current transaction's writes and stop journaling.
+    pub fn commit_tx(&mut self) {
+        self.journal.clear();
+        self.journaling = false;
+    }
+
+    /// Undo every overlay write made since [`ExecContext::begin_tx`] and
+    /// discard the transaction's counters and logs. The read cache is
+    /// deliberately kept: database reads are idempotent and stay valid.
+    pub fn rollback_tx(&mut self) {
+        while let Some((key, prior)) = self.journal.pop() {
+            match prior {
+                Some(entry) => {
+                    self.overlay.insert(key, entry);
+                }
+                None => {
+                    self.overlay.remove(&key);
+                }
+            }
+        }
+        self.journaling = false;
+        self.counters = OpCounters::default();
+        self.logs.clear();
     }
 
     /// Record a database read in the cache.
@@ -76,6 +123,37 @@ mod tests {
     fn unknown_key_is_none() {
         let ctx = ExecContext::new();
         assert_eq!(ctx.lookup(b"missing"), None);
+    }
+
+    #[test]
+    fn rollback_restores_prior_overlay() {
+        let mut ctx = ExecContext::new();
+        ctx.write(b"a".to_vec(), Some(b"committed".to_vec()));
+        ctx.begin_tx();
+        ctx.write(b"a".to_vec(), Some(b"dirty".to_vec()));
+        ctx.write(b"a".to_vec(), None); // second write to the same key
+        ctx.write(b"b".to_vec(), Some(b"new".to_vec()));
+        ctx.counters.set_storage = 3;
+        ctx.logs.push(b"leak".to_vec());
+        ctx.rollback_tx();
+        assert_eq!(ctx.lookup(b"a"), Some(Some(&b"committed".to_vec())));
+        assert_eq!(ctx.lookup(b"b"), None);
+        assert_eq!(ctx.counters.set_storage, 0);
+        assert!(ctx.logs.is_empty());
+        // Journaling is off again: writes now stick even after rollback.
+        ctx.write(b"c".to_vec(), Some(b"kept".to_vec()));
+        ctx.rollback_tx();
+        assert_eq!(ctx.lookup(b"c"), Some(Some(&b"kept".to_vec())));
+    }
+
+    #[test]
+    fn commit_tx_keeps_writes() {
+        let mut ctx = ExecContext::new();
+        ctx.begin_tx();
+        ctx.write(b"k".to_vec(), Some(b"v".to_vec()));
+        ctx.commit_tx();
+        ctx.rollback_tx(); // nothing journaled — no-op on the overlay
+        assert_eq!(ctx.lookup(b"k"), Some(Some(&b"v".to_vec())));
     }
 
     #[test]

@@ -322,6 +322,19 @@ impl Engine {
         self.confidential.as_ref().map(|t| t.keys.envelope.public())
     }
 
+    /// A remote-attestation report over the CS enclave with the SHA-256
+    /// fingerprint of `pk_tx` locked into `report_data` (§3.2.2): clients
+    /// fetching `pk_tx` over an untrusted channel verify this quote against
+    /// the platform's attestation root before sealing envelopes, defeating
+    /// key-substitution MITM. `None` in public mode.
+    pub fn attestation_report(&self) -> Option<confide_tee::attestation::Report> {
+        self.confidential.as_ref().map(|t| {
+            let mut report_data = [0u8; 64];
+            report_data[..32].copy_from_slice(&confide_crypto::sha256(&t.keys.envelope.public()));
+            confide_tee::attestation::Report::generate(&t.cs_enclave, report_data)
+        })
+    }
+
     /// Register a contract at `address`. Confidential contracts' code is
     /// sealed under `k_states` (D-Protocol covers "smart contract states
     /// and smart contract code").

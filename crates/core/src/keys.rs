@@ -230,51 +230,94 @@ pub fn kms_bootstrap(
     Ok(keys)
 }
 
-/// The decentralized MAP join: `member` (platform of an existing node,
-/// which already holds `keys`) provisions `joiner_platform`'s KM enclave
-/// after mutual remote attestation. Returns the joiner's keys plus the
-/// transcript length (for the harness's message accounting).
-pub fn decentralized_join(
+/// The joiner's first MAP message: a quoted ephemeral key. The fields are
+/// exactly what travels to the member node — everything in here is
+/// attacker-visible (and, in the negative-path tests, attacker-mutable).
+pub struct JoinOffer {
+    /// The joiner KM enclave's ephemeral X25519 public key (also bound
+    /// into `report.report_data[..32]`).
+    pub eph_pk: [u8; 32],
+    /// Remote-attestation quote over the joiner's KM enclave, with the
+    /// `pk_tx` fingerprint locked into `report_data[32..]` (§3.2.2 MITM
+    /// defence).
+    pub report: Report,
+}
+
+/// The joiner's private half of an in-flight MAP join: the KM enclave and
+/// the ephemeral secret. Never leaves the joiner.
+pub struct JoinSession {
+    km: Enclave,
+    eph_sk: [u8; 32],
+}
+
+/// Step 1 (joiner): create the KM enclave, generate an ephemeral key and
+/// quote it together with the expected `pk_tx` fingerprint.
+pub fn begin_join(
+    joiner_platform: &Arc<TeePlatform>,
+    svn: u16,
+    expected_pk_tx: &[u8; 32],
+    seed: u64,
+) -> Result<(JoinSession, JoinOffer), KeyProtocolError> {
+    let mut rng = HmacDrbg::from_u64(seed);
+    let km = km_enclave(joiner_platform, svn)?;
+    let eph_sk = rng.gen32();
+    let eph_pk = x25519::x25519_base(&eph_sk);
+    let mut report_data = [0u8; 64];
+    report_data[..32].copy_from_slice(&eph_pk);
+    report_data[32..].copy_from_slice(&confide_crypto::sha256(expected_pk_tx));
+    let report = Report::generate(&km, report_data);
+    Ok((JoinSession { km, eph_sk }, JoinOffer { eph_pk, report }))
+}
+
+/// Step 2 (member): verify the joiner's quote — genuine platform, same KM
+/// build, SVN at least `min_svn` — then wrap the consortium secrets to
+/// the quoted ephemeral key and quote back (mutual attestation). Returns
+/// `(wrap_blob, member_report)`.
+pub fn approve_join(
     member_platform: &Arc<TeePlatform>,
     member_keys: &NodeKeys,
     joiner_platform: &Arc<TeePlatform>,
+    offer: &JoinOffer,
     svn: u16,
+    min_svn: u16,
     seed: u64,
-) -> Result<NodeKeys, KeyProtocolError> {
+) -> Result<(Vec<u8>, Report), KeyProtocolError> {
     let mut rng = HmacDrbg::from_u64(seed);
-
-    // Joiner's KM enclave generates an ephemeral key and quotes it.
-    let joiner_km = km_enclave(joiner_platform, svn)?;
-    let joiner_eph_sk = rng.gen32();
-    let joiner_eph_pk = x25519::x25519_base(&joiner_eph_sk);
-    let mut report_data = [0u8; 64];
-    report_data[..32].copy_from_slice(&joiner_eph_pk);
-    // Lock pk_tx fingerprint into the report (§3.2.2 MITM defence).
-    report_data[32..].copy_from_slice(&confide_crypto::sha256(&member_keys.pk_tx()));
-    let joiner_report = Report::generate(&joiner_km, report_data);
-
-    // Member's KM enclave verifies the joiner runs the same build at an
-    // acceptable SVN on a genuine platform.
     let member_km = km_enclave(member_platform, svn)?;
-    joiner_report.verify(
+    offer.report.verify(
         &joiner_platform.attestation_public_key(),
         &member_km.mrenclave(),
-        svn,
+        min_svn,
     )?;
-
-    // Member quotes back (mutual) and wraps the secrets to the joiner.
+    // The quoted ephemeral key is authoritative: a MITM substituting the
+    // plaintext copy gains nothing.
+    let mut quoted_eph = [0u8; 32];
+    quoted_eph.copy_from_slice(&offer.report.report_data[..32]);
     let mut member_data = [0u8; 64];
     member_data[..32].copy_from_slice(&member_keys.pk_tx());
     let member_report = Report::generate(&member_km, member_data);
+    let blob = wrap_keys(member_keys, &quoted_eph, &mut rng)?;
+    Ok((blob, member_report))
+}
+
+/// Step 3 (joiner): verify the member's counter-quote, unwrap the
+/// secrets, run the §5.1 local-attestation hop to the CS enclave, and
+/// destroy the KM enclave to release EPC (§5.3).
+pub fn finish_join(
+    session: JoinSession,
+    joiner_platform: &Arc<TeePlatform>,
+    member_platform: &Arc<TeePlatform>,
+    member_report: &Report,
+    min_svn: u16,
+    svn: u16,
+    blob: &[u8],
+) -> Result<NodeKeys, KeyProtocolError> {
     member_report.verify(
         &member_platform.attestation_public_key(),
-        &joiner_km.mrenclave(),
-        svn,
+        &session.km.mrenclave(),
+        min_svn,
     )?;
-
-    let blob = wrap_keys(member_keys, &joiner_eph_pk, &mut rng)?;
-    let keys = unwrap_keys(&blob, &joiner_eph_sk)?;
-
+    let keys = unwrap_keys(blob, &session.eph_sk)?;
     // §5.1/§5.3: the CS enclave local-attests to the KM enclave for the
     // final provisioning hop, then the KM enclave is destroyed to release
     // EPC as early as possible.
@@ -284,15 +327,49 @@ pub fn decentralized_join(
     )
     .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
     let local = LocalReport::generate(&joiner_cs, [0u8; 64]);
-    local.verify(&joiner_km)?;
-    joiner_km
+    local.verify(&session.km)?;
+    session
+        .km
         .destroy()
         .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
     joiner_cs
         .destroy()
         .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
-
     Ok(keys)
+}
+
+/// The decentralized MAP join: `member` (platform of an existing node,
+/// which already holds `keys`) provisions `joiner_platform`'s KM enclave
+/// after mutual remote attestation. Composes [`begin_join`] →
+/// [`approve_join`] → [`finish_join`]; the granular steps exist so the
+/// three protocol messages can travel over a real transport and so every
+/// error arm is independently testable.
+pub fn decentralized_join(
+    member_platform: &Arc<TeePlatform>,
+    member_keys: &NodeKeys,
+    joiner_platform: &Arc<TeePlatform>,
+    svn: u16,
+    seed: u64,
+) -> Result<NodeKeys, KeyProtocolError> {
+    let (session, offer) = begin_join(joiner_platform, svn, &member_keys.pk_tx(), seed)?;
+    let (blob, member_report) = approve_join(
+        member_platform,
+        member_keys,
+        joiner_platform,
+        &offer,
+        svn,
+        svn,
+        seed.wrapping_add(1),
+    )?;
+    finish_join(
+        session,
+        joiner_platform,
+        member_platform,
+        &member_report,
+        svn,
+        svn,
+        &blob,
+    )
 }
 
 #[cfg(test)]
@@ -368,6 +445,129 @@ mod tests {
         let kc = decentralized_join(&b, &kb, &c, 1, 3).unwrap();
         assert_eq!(kc.k_states, ka.k_states);
         assert_eq!(kc.pk_tx(), ka.pk_tx());
+    }
+
+    #[test]
+    fn join_rejects_stale_svn_joiner() {
+        // Joiner runs the right build but at SVN 1; member requires ≥ 2.
+        let member = TeePlatform::new(1, 10);
+        let joiner = TeePlatform::new(2, 20);
+        let mut rng = HmacDrbg::from_u64(7);
+        let member_keys = NodeKeys::generate(&mut rng);
+        let (_session, offer) = begin_join(&joiner, 1, &member_keys.pk_tx(), 3).unwrap();
+        // The member runs the same build (same measurement) but demands a
+        // minimum security version of 2.
+        assert!(matches!(
+            approve_join(&member, &member_keys, &joiner, &offer, 1, 2, 4),
+            Err(KeyProtocolError::Attestation(
+                AttestationError::StaleSecurityVersion { got: 1, min: 2 }
+            ))
+        ));
+    }
+
+    #[test]
+    fn join_rejects_wrong_mrenclave() {
+        // A malicious joiner quotes a *different* enclave build (correctly
+        // signed by a genuine platform — the quote itself is valid).
+        let member = TeePlatform::new(1, 10);
+        let joiner = TeePlatform::new(2, 20);
+        let mut rng = HmacDrbg::from_u64(7);
+        let member_keys = NodeKeys::generate(&mut rng);
+        let evil = Enclave::create(
+            &joiner,
+            EnclaveConfig::new(b"not-the-km-build".to_vec(), [0x4b; 32], 5, 1 << 20),
+        )
+        .unwrap();
+        let eph_sk = rng.gen32();
+        let eph_pk = x25519::x25519_base(&eph_sk);
+        let mut report_data = [0u8; 64];
+        report_data[..32].copy_from_slice(&eph_pk);
+        report_data[32..].copy_from_slice(&confide_crypto::sha256(&member_keys.pk_tx()));
+        let offer = JoinOffer {
+            eph_pk,
+            report: Report::generate(&evil, report_data),
+        };
+        assert!(matches!(
+            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4),
+            Err(KeyProtocolError::Attestation(
+                AttestationError::MeasurementMismatch
+            ))
+        ));
+    }
+
+    #[test]
+    fn join_rejects_forged_quote_signature() {
+        // Offer whose quote claims a genuine platform but is signed by a
+        // different one (platform substitution).
+        let member = TeePlatform::new(1, 10);
+        let joiner = TeePlatform::new(2, 20);
+        let imposter = TeePlatform::new(3, 30);
+        let mut rng = HmacDrbg::from_u64(7);
+        let member_keys = NodeKeys::generate(&mut rng);
+        let (_s, offer) = begin_join(&imposter, 1, &member_keys.pk_tx(), 3).unwrap();
+        // Member checks the offer against *joiner*'s attestation root.
+        assert!(matches!(
+            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4),
+            Err(KeyProtocolError::Attestation(
+                AttestationError::BadSignature(_)
+            ))
+        ));
+    }
+
+    #[test]
+    fn join_rejects_tampered_wrap_blob() {
+        let member = TeePlatform::new(1, 10);
+        let joiner = TeePlatform::new(2, 20);
+        let mut rng = HmacDrbg::from_u64(7);
+        let member_keys = NodeKeys::generate(&mut rng);
+        let (session, offer) = begin_join(&joiner, 1, &member_keys.pk_tx(), 3).unwrap();
+        let (mut blob, member_report) =
+            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4).unwrap();
+        let n = blob.len();
+        blob[n - 1] ^= 1; // tamper with the GCM ciphertext
+        assert!(matches!(
+            finish_join(session, &joiner, &member, &member_report, 1, 1, &blob),
+            Err(KeyProtocolError::Unwrap)
+        ));
+    }
+
+    #[test]
+    fn join_rejects_member_counterquote_from_wrong_build() {
+        // The member's counter-quote must come from the same KM build; a
+        // quote from some other enclave is rejected by the joiner.
+        let member = TeePlatform::new(1, 10);
+        let joiner = TeePlatform::new(2, 20);
+        let mut rng = HmacDrbg::from_u64(7);
+        let member_keys = NodeKeys::generate(&mut rng);
+        let (session, offer) = begin_join(&joiner, 1, &member_keys.pk_tx(), 3).unwrap();
+        let (blob, _real_report) =
+            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4).unwrap();
+        let evil = Enclave::create(
+            &member,
+            EnclaveConfig::new(b"evil-member".to_vec(), [0x4b; 32], 9, 1 << 20),
+        )
+        .unwrap();
+        let fake_report = Report::generate(&evil, [0u8; 64]);
+        assert!(matches!(
+            finish_join(session, &joiner, &member, &fake_report, 1, 1, &blob),
+            Err(KeyProtocolError::Attestation(
+                AttestationError::MeasurementMismatch
+            ))
+        ));
+    }
+
+    #[test]
+    fn join_step_composition_matches_monolithic_join() {
+        let member = TeePlatform::new(1, 10);
+        let joiner = TeePlatform::new(2, 20);
+        let mut rng = HmacDrbg::from_u64(7);
+        let member_keys = NodeKeys::generate(&mut rng);
+        let (session, offer) = begin_join(&joiner, 1, &member_keys.pk_tx(), 3).unwrap();
+        let (blob, member_report) =
+            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4).unwrap();
+        let keys = finish_join(session, &joiner, &member, &member_report, 1, 1, &blob).unwrap();
+        assert_eq!(keys.pk_tx(), member_keys.pk_tx());
+        assert_eq!(keys.k_states, member_keys.k_states);
     }
 
     #[test]

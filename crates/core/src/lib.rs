@@ -40,7 +40,7 @@ pub mod node;
 pub mod receipt;
 pub mod tx;
 
-pub use client::ConfideClient;
+pub use client::{seal_signed_tx, ConfideClient};
 pub use context::ExecContext;
 pub use counters::{OpCounters, TxStats};
 pub use engine::{Engine, EngineConfig, EngineError, VmKind};

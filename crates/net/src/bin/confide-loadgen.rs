@@ -1,0 +1,162 @@
+//! `confide-loadgen` — drive a `confide-node` over loopback and emit
+//! `results/BENCH_net.json`.
+//!
+//! ```text
+//! confide-loadgen [--addr HOST:PORT | --self-host] [--threads N]
+//!                 [--txs N] [--mode closed|open|both] [--public]
+//!                 [--window N] [--queue-depth N] [--out PATH]
+//! ```
+//!
+//! With `--self-host` (the default when `--addr` is absent) the binary
+//! spins an in-process [`NodeServer`] on an ephemeral loopback port, so a
+//! single command produces a complete benchmark. Exits non-zero when any
+//! accepted transaction's receipt fails to decrypt/verify — a bench run
+//! doubles as an end-to-end confidentiality check.
+
+use confide_net::demo::demo_node;
+use confide_net::loadgen::{run, to_json, LoadReport, LoadgenConfig};
+use confide_net::{NodeServer, ServerConfig};
+use std::net::SocketAddr;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: confide-loadgen [--addr HOST:PORT | --self-host] [--threads N] [--txs N] \
+         [--mode closed|open|both] [--public] [--window N] [--queue-depth N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(x) => x,
+        None => {
+            eprintln!("confide-loadgen: bad or missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr: Option<SocketAddr> = None;
+    let mut self_host = false;
+    let mut threads: usize = 4;
+    let mut txs: usize = 250;
+    let mut mode = String::from("closed");
+    let mut confidential = true;
+    let mut window: usize = 64;
+    let mut queue_depth: usize = ServerConfig::default().queue_depth;
+    let mut out = String::from("results/BENCH_net.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse("--addr", args.next())),
+            "--self-host" => self_host = true,
+            "--threads" => threads = parse("--threads", args.next()),
+            "--txs" => txs = parse("--txs", args.next()),
+            "--mode" => mode = parse("--mode", args.next()),
+            "--public" => confidential = false,
+            "--window" => window = parse("--window", args.next()),
+            "--queue-depth" => queue_depth = parse("--queue-depth", args.next()),
+            "--out" => out = parse("--out", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("confide-loadgen: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if !matches!(mode.as_str(), "closed" | "open" | "both") {
+        eprintln!("confide-loadgen: --mode must be closed, open or both");
+        usage();
+    }
+    if addr.is_some() && self_host {
+        eprintln!("confide-loadgen: --addr and --self-host are mutually exclusive");
+        usage();
+    }
+
+    let server_cfg = ServerConfig {
+        queue_depth,
+        ..ServerConfig::default()
+    };
+    // Keep the in-process server alive for the whole run.
+    let server: Option<NodeServer> = if addr.is_none() {
+        let s = NodeServer::spawn(demo_node(7), ("127.0.0.1", 0), server_cfg.clone())
+            .unwrap_or_else(|e| {
+                eprintln!("confide-loadgen: self-host bind failed: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("confide-loadgen: self-hosted node on {}", s.addr());
+        Some(s)
+    } else {
+        None
+    };
+    let target = server.as_ref().map(|s| s.addr()).or(addr).expect("addr");
+
+    let mut reports: Vec<LoadReport> = Vec::new();
+    let modes: Vec<&str> = match mode.as_str() {
+        "both" => vec!["closed", "open"],
+        "open" => vec!["open"],
+        _ => vec!["closed"],
+    };
+    let mut all_verified = true;
+    for m in &modes {
+        let cfg = LoadgenConfig {
+            addr: target,
+            threads,
+            txs_per_thread: txs,
+            closed: *m == "closed",
+            confidential,
+            window,
+            ..LoadgenConfig::default()
+        };
+        eprintln!(
+            "confide-loadgen: {} loop, {} thread(s) x {} tx, {} ...",
+            m,
+            threads,
+            txs,
+            if confidential {
+                "confidential"
+            } else {
+                "public"
+            }
+        );
+        match run(&cfg) {
+            Ok(report) => {
+                eprintln!(
+                    "confide-loadgen: {}: {}/{} verified, {:.1} tx/s, p50 {:.2} ms, p99 {:.2} ms, busy {}",
+                    m,
+                    report.receipts_verified,
+                    report.accepted,
+                    report.throughput_tps,
+                    report.latency_ms.p50,
+                    report.latency_ms.p99,
+                    report.busy
+                );
+                if report.receipts_verified != report.accepted {
+                    all_verified = false;
+                }
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("confide-loadgen: {m} run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let json = to_json(&reports, &server_cfg);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("confide-loadgen: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("confide-loadgen: wrote {out}");
+    if !all_verified {
+        eprintln!("confide-loadgen: FAIL — some accepted receipts did not verify");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,72 @@
+//! `confide-node` — put the demo node behind a real TCP socket.
+//!
+//! ```text
+//! confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N]
+//! ```
+//!
+//! Binds `127.0.0.1:<port>` (`--port 0`, the default, picks an ephemeral
+//! port), prints exactly one `LISTENING <addr>` line to stdout (the
+//! smoke test in `scripts/check.sh` captures it) and serves until
+//! killed.
+
+use confide_net::demo::demo_node;
+use confide_net::{NodeServer, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N]");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(x) => x,
+        None => {
+            eprintln!("confide-node: bad or missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut port: u16 = 0;
+    let mut seed: u64 = 7;
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = parse("--port", args.next()),
+            "--seed" => seed = parse("--seed", args.next()),
+            "--max-batch" => config.max_batch = parse("--max-batch", args.next()),
+            "--queue-depth" => config.queue_depth = parse("--queue-depth", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("confide-node: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let node = demo_node(seed);
+    let server = match NodeServer::spawn(node, ("127.0.0.1", port), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("confide-node: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The LISTENING line is the machine-readable part of the contract:
+    // scripts and tests parse it to learn the ephemeral port.
+    println!("LISTENING {}", server.addr());
+    eprintln!(
+        "confide-node: demo contract {} deployed confidentially; ctrl-c to stop",
+        hex_prefix(&confide_net::demo::DEMO_CONTRACT)
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn hex_prefix(b: &[u8; 32]) -> String {
+    b[..4].iter().map(|x| format!("{x:02x}")).collect()
+}

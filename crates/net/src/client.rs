@@ -1,0 +1,366 @@
+//! Client SDK: framed transport, the sealing client, and a
+//! connection-pooling gateway.
+//!
+//! The envelope-sealing path is **shared** with the in-process client
+//! ([`confide_core::client::seal_signed_tx`]) so the networked and
+//! in-process code cannot drift: same `k_tx` derivation, same AAD, same
+//! envelope layout.
+
+use crate::frame::{read_frame, write_frame, FrameError, Message};
+use confide_core::client::ConfideClient;
+use confide_core::receipt::Receipt;
+use confide_core::seal_signed_tx;
+use confide_core::tx::WireTx;
+use confide_crypto::ed25519::VerifyingKey;
+use confide_crypto::HmacDrbg;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// Server closed the connection instead of answering.
+    Disconnected,
+    /// The server answered with a kind the request cannot accept.
+    UnexpectedReply(u8),
+    /// The server rejected the request.
+    Rejected(String),
+    /// The server reported queue-full backpressure.
+    Busy,
+    /// Envelope/receipt cryptography failed.
+    Crypto,
+    /// The attestation report failed verification — `pk_tx` is not to be
+    /// trusted (possible MITM key substitution).
+    Attestation(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Frame(e) => write!(f, "frame: {e}"),
+            NetError::Disconnected => f.write_str("server disconnected"),
+            NetError::UnexpectedReply(k) => write!(f, "unexpected reply kind {k:#04x}"),
+            NetError::Rejected(r) => write!(f, "rejected: {r}"),
+            NetError::Busy => f.write_str("server busy (queue full)"),
+            NetError::Crypto => f.write_str("cryptographic failure"),
+            NetError::Attestation(e) => write!(f, "attestation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+/// A framed request/response transport over one TCP connection.
+pub struct Conn {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Conn {
+    /// Connect with default timeouts (10 s read/write).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Conn, NetError> {
+        Conn::connect_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with explicit socket timeouts.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Conn, NetError> {
+        let stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(FrameError::Io)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(FrameError::Io)?;
+        Ok(Conn {
+            stream,
+            max_frame: crate::frame::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Send one message without waiting for the reply (pipelining).
+    pub fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        write_frame(&mut self.stream, msg)?;
+        Ok(())
+    }
+
+    /// Read one reply frame.
+    pub fn recv(&mut self) -> Result<Message, NetError> {
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(msg) => Ok(msg),
+            None => Err(NetError::Disconnected),
+        }
+    }
+
+    /// One request/response round trip.
+    pub fn request(&mut self, msg: &Message) -> Result<Message, NetError> {
+        self.send(msg)?;
+        self.recv()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.request(&Message::Ping)? {
+            Message::Pong => Ok(()),
+            other => Err(NetError::UnexpectedReply(other.kind())),
+        }
+    }
+
+    /// Fetch `pk_tx`.
+    pub fn fetch_pk_tx(&mut self) -> Result<[u8; 32], NetError> {
+        match self.request(&Message::GetPkTx)? {
+            Message::PkTxIs(pk) => Ok(pk),
+            Message::Rejected(r) => Err(NetError::Rejected(r)),
+            other => Err(NetError::UnexpectedReply(other.kind())),
+        }
+    }
+
+    /// Fetch `pk_tx` **and** verify the attestation report that binds it
+    /// to the CS-enclave build (§3.2.2): the report must be signed by
+    /// `attestation_root`, measure `expected_mrenclave` at ≥ `min_svn`,
+    /// and carry `sha256(pk_tx)` in its `report_data`. This is the
+    /// MITM-substitution defence — a gateway handing out its own key
+    /// fails the fingerprint check.
+    pub fn fetch_pk_tx_attested(
+        &mut self,
+        attestation_root: &VerifyingKey,
+        expected_mrenclave: &[u8; 32],
+        min_svn: u16,
+    ) -> Result<[u8; 32], NetError> {
+        let pk = self.fetch_pk_tx()?;
+        let report = match self.request(&Message::GetAttestation)? {
+            Message::AttestationIs(r) => r,
+            Message::Rejected(r) => return Err(NetError::Rejected(r)),
+            other => return Err(NetError::UnexpectedReply(other.kind())),
+        };
+        report
+            .verify(attestation_root, expected_mrenclave, min_svn)
+            .map_err(|e| NetError::Attestation(e.to_string()))?;
+        if report.report_data[..32] != confide_crypto::sha256(&pk) {
+            return Err(NetError::Attestation(
+                "pk_tx fingerprint mismatch in report_data".into(),
+            ));
+        }
+        Ok(pk)
+    }
+
+    /// Submit fire-and-forget; `Ok` carries the wire hash.
+    pub fn submit(&mut self, tx: &WireTx) -> Result<[u8; 32], NetError> {
+        match self.request(&Message::SubmitTx(tx.clone()))? {
+            Message::Accepted(h) => Ok(h),
+            Message::Busy => Err(NetError::Busy),
+            Message::Rejected(r) => Err(NetError::Rejected(r)),
+            other => Err(NetError::UnexpectedReply(other.kind())),
+        }
+    }
+
+    /// Submit and block until the containing block commits; returns
+    /// `(sealed, receipt_bytes)`.
+    pub fn submit_wait(&mut self, tx: &WireTx) -> Result<(bool, Vec<u8>), NetError> {
+        match self.request(&Message::SubmitTxWait(tx.clone()))? {
+            Message::Committed { sealed, receipt } => Ok((sealed, receipt)),
+            Message::Busy => Err(NetError::Busy),
+            Message::Rejected(r) => Err(NetError::Rejected(r)),
+            other => Err(NetError::UnexpectedReply(other.kind())),
+        }
+    }
+
+    /// Fetch the stored receipt bytes for `tx_hash`, `None` if not (yet)
+    /// committed.
+    pub fn get_receipt(&mut self, tx_hash: &[u8; 32]) -> Result<Option<Vec<u8>>, NetError> {
+        match self.request(&Message::GetReceipt(*tx_hash))? {
+            Message::ReceiptIs(bytes) => Ok(Some(bytes)),
+            Message::NotFound => Ok(None),
+            Message::Rejected(r) => Err(NetError::Rejected(r)),
+            other => Err(NetError::UnexpectedReply(other.kind())),
+        }
+    }
+}
+
+/// A full networked client: a signing identity + user root key (the same
+/// [`ConfideClient`] the in-process path uses) bound to a transport.
+pub struct Client {
+    inner: ConfideClient,
+    root_key: [u8; 32],
+    rng: HmacDrbg,
+    conn: Conn,
+    pk_tx: [u8; 32],
+}
+
+impl Client {
+    /// Connect and fetch `pk_tx` from the node (unattested — see
+    /// [`Conn::fetch_pk_tx_attested`] for the verified variant).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        identity_seed: [u8; 32],
+        root_key: [u8; 32],
+        rng_seed: u64,
+    ) -> Result<Client, NetError> {
+        let mut conn = Conn::connect(addr)?;
+        let pk_tx = conn.fetch_pk_tx()?;
+        Ok(Client {
+            inner: ConfideClient::new(identity_seed, root_key, rng_seed),
+            root_key,
+            rng: HmacDrbg::from_u64(rng_seed ^ 0x6e65742d636c69), // "net-cli"
+            conn,
+            pk_tx,
+        })
+    }
+
+    /// The client's address (public key).
+    pub fn address(&self) -> [u8; 32] {
+        self.inner.address()
+    }
+
+    /// The consortium envelope key this client seals to.
+    pub fn pk_tx(&self) -> [u8; 32] {
+        self.pk_tx
+    }
+
+    /// Access the underlying transport (receipt polling, pings).
+    pub fn conn(&mut self) -> &mut Conn {
+        &mut self.conn
+    }
+
+    /// Build a sealed confidential transaction without sending it.
+    /// Returns `(wire_tx, tx_hash, k_tx)`.
+    pub fn seal(
+        &mut self,
+        contract: [u8; 32],
+        method: &str,
+        args: &[u8],
+    ) -> Result<(WireTx, [u8; 32], [u8; 32]), NetError> {
+        let signed = self.inner.build_raw(contract, method, args);
+        seal_signed_tx(&signed, &self.root_key, &self.pk_tx, &mut self.rng)
+            .map_err(|_| NetError::Crypto)
+    }
+
+    /// Seal, submit, wait for commit, and decrypt the receipt under
+    /// `k_tx` — the full T-Protocol round trip over the wire.
+    pub fn call_confidential(
+        &mut self,
+        contract: [u8; 32],
+        method: &str,
+        args: &[u8],
+    ) -> Result<Receipt, NetError> {
+        let (tx, tx_hash, k_tx) = self.seal(contract, method, args)?;
+        let (sealed, receipt_bytes) = self.conn.submit_wait(&tx)?;
+        if !sealed {
+            return Err(NetError::Crypto); // confidential tx must come back sealed
+        }
+        Receipt::open(&receipt_bytes, &k_tx, &tx_hash).map_err(|_| NetError::Crypto)
+    }
+}
+
+/// A connection-pooling gateway: many logical clients multiplexed over at
+/// most `max_conns` sockets. Lease a connection with
+/// [`Gateway::with_conn`]; the lease returns to the pool on scope exit,
+/// and leases beyond the cap block until one frees up (bounded fan-in —
+/// the gateway itself never amplifies load onto the node).
+pub struct Gateway {
+    addr: SocketAddr,
+    pool: Mutex<PoolState>,
+    available: Condvar,
+    max_conns: usize,
+}
+
+struct PoolState {
+    idle: Vec<Conn>,
+    open: usize,
+}
+
+impl Gateway {
+    /// Create a gateway to `addr` with a connection cap.
+    pub fn new(addr: impl ToSocketAddrs, max_conns: usize) -> Result<Gateway, NetError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(FrameError::Io)?
+            .next()
+            .ok_or(NetError::Disconnected)?;
+        Ok(Gateway {
+            addr,
+            pool: Mutex::new(PoolState {
+                idle: Vec::new(),
+                open: 0,
+            }),
+            available: Condvar::new(),
+            max_conns: max_conns.max(1),
+        })
+    }
+
+    /// The gateway's upstream address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn lease(&self) -> Result<Conn, NetError> {
+        let mut state = self.pool.lock().expect("pool lock");
+        loop {
+            if let Some(conn) = state.idle.pop() {
+                return Ok(conn);
+            }
+            if state.open < self.max_conns {
+                state.open += 1;
+                drop(state);
+                return match Conn::connect(self.addr) {
+                    Ok(conn) => Ok(conn),
+                    Err(e) => {
+                        self.pool.lock().expect("pool lock").open -= 1;
+                        self.available.notify_one();
+                        Err(e)
+                    }
+                };
+            }
+            state = self.available.wait(state).expect("pool lock");
+        }
+    }
+
+    fn give_back(&self, conn: Option<Conn>) {
+        let mut state = self.pool.lock().expect("pool lock");
+        match conn {
+            Some(conn) => state.idle.push(conn),
+            None => state.open -= 1, // connection died; allow a fresh dial
+        }
+        self.available.notify_one();
+    }
+
+    /// Run `f` with a leased connection. On transport-level failure the
+    /// connection is discarded (a later lease dials a fresh one);
+    /// protocol-level outcomes (`Busy`, `Rejected`) keep it pooled.
+    pub fn with_conn<R>(
+        &self,
+        f: impl FnOnce(&mut Conn) -> Result<R, NetError>,
+    ) -> Result<R, NetError> {
+        let mut conn = self.lease()?;
+        let result = f(&mut conn);
+        match &result {
+            Err(NetError::Frame(_)) | Err(NetError::Disconnected) => self.give_back(None),
+            _ => self.give_back(Some(conn)),
+        }
+        result
+    }
+
+    /// Submit a sealed transaction through the pool and wait for commit.
+    pub fn submit_wait(&self, tx: &WireTx) -> Result<(bool, Vec<u8>), NetError> {
+        self.with_conn(|c| c.submit_wait(tx))
+    }
+
+    /// Fire-and-forget submit through the pool.
+    pub fn submit(&self, tx: &WireTx) -> Result<[u8; 32], NetError> {
+        self.with_conn(|c| c.submit(tx))
+    }
+
+    /// Receipt lookup through the pool.
+    pub fn get_receipt(&self, tx_hash: &[u8; 32]) -> Result<Option<Vec<u8>>, NetError> {
+        self.with_conn(|c| c.get_receipt(tx_hash))
+    }
+}

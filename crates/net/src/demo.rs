@@ -1,0 +1,56 @@
+//! The demo workload shared by `confide-node`, `confide-loadgen`, the
+//! smoke test in `scripts/check.sh` and the e2e tests: one confidential
+//! balance contract on a freshly provisioned node.
+
+use confide_core::engine::{EngineConfig, VmKind};
+use confide_core::keys::NodeKeys;
+use confide_core::node::ConfideNode;
+use confide_crypto::HmacDrbg;
+use confide_tee::platform::TeePlatform;
+
+/// Address of the demo contract.
+pub const DEMO_CONTRACT: [u8; 32] = [0x42; 32];
+
+/// The demo CCL contract: a per-account balance ledger (the same shape as
+/// the core test contract, so wire-level numbers are comparable with the
+/// in-process ones).
+pub const DEMO_CCL: &str = r#"
+    export fn main() {
+        let who: bytes = json_get(input(), b"to");
+        let amt: int = json_get_int(input(), b"amount");
+        let key: bytes = concat(b"bal:", who);
+        let bal: int = atoi(storage_get(key));
+        storage_set(key, itoa(bal + amt));
+        ret(itoa(bal + amt));
+    }
+"#;
+
+/// Build a node with deterministic keys (seeded from `seed`) and the demo
+/// contract deployed confidentially.
+pub fn demo_node(seed: u64) -> ConfideNode {
+    let platform = TeePlatform::new(seed, seed);
+    let mut rng = HmacDrbg::from_u64(seed);
+    let keys = NodeKeys::generate(&mut rng);
+    let node = ConfideNode::new(platform, keys, EngineConfig::default(), seed);
+    let code = confide_lang::build_vm(DEMO_CCL).expect("demo contract compiles");
+    node.deploy(DEMO_CONTRACT, &code, VmKind::ConfideVm, true)
+        .expect("demo contract deploys");
+    node
+}
+
+/// Demo invocation arguments for logical client `id`, iteration `n`.
+pub fn demo_args(id: usize, n: usize) -> Vec<u8> {
+    format!(r#"{{"to":"user{id}","amount":{}}}"#, (n % 97) + 1).into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_node_builds_and_serves_pk_tx() {
+        let node = demo_node(7);
+        assert_ne!(node.pk_tx(), [0u8; 32]);
+        assert!(node.confidential_engine.has_contract(&DEMO_CONTRACT));
+    }
+}

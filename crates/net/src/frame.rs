@@ -1,0 +1,508 @@
+//! Length-prefixed frame codec and the T-Protocol wire message set.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! ┌────────────┬───────────┬────────┬───────────────┐
+//! │ len: u32le │ ver: u8   │ kind:u8│ body…         │
+//! └────────────┴───────────┴────────┴───────────────┘
+//!               └────────── len bytes ──────────────┘
+//! ```
+//!
+//! `len` counts the version byte, the kind byte and the body. A frame
+//! longer than the configured maximum is rejected *before* any allocation
+//! proportional to the claimed length — a malicious peer cannot make the
+//! node allocate gigabytes off a 4-byte header.
+//!
+//! Everything inside a frame is attacker-visible: confidentiality rests
+//! entirely on the T-Protocol envelope and receipt sealing carried in the
+//! bodies, **not** on the transport (no TLS — the server itself is
+//! untrusted in CONFIDE's threat model, §3.3).
+
+use confide_core::tx::WireTx;
+use confide_tee::attestation::Report;
+use std::io::{Read, Write};
+
+/// Wire protocol version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Default maximum frame length (version + kind + body), 1 MiB.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Frame-level failures. Every arm is typed; no parser panics.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// Peer closed the connection mid-frame.
+    Truncated,
+    /// The length prefix exceeds the configured maximum.
+    Oversized {
+        /// Claimed frame length.
+        claimed: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// Frame shorter than the version + kind header.
+    Undersized,
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown message kind byte.
+    BadKind(u8),
+    /// Body failed to parse for the claimed kind.
+    BadPayload,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::Truncated => f.write_str("connection closed mid-frame"),
+            FrameError::Oversized { claimed, max } => {
+                write!(f, "frame of {claimed} bytes exceeds maximum {max}")
+            }
+            FrameError::Undersized => f.write_str("frame shorter than header"),
+            FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            FrameError::BadPayload => f.write_str("malformed message body"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// A T-Protocol wire message. Requests have kinds < 0x80, responses
+/// ≥ 0x80, so a peer can always tell which side of the conversation a
+/// frame belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    // ── requests ────────────────────────────────────────────────────────
+    /// Submit a transaction; the server replies [`Message::Accepted`] as
+    /// soon as the transaction is enqueued (or [`Message::Busy`] /
+    /// [`Message::Rejected`]).
+    SubmitTx(WireTx),
+    /// Submit a transaction and hold the response until the block that
+    /// contains it commits; the reply is [`Message::Committed`].
+    SubmitTxWait(WireTx),
+    /// Fetch the stored (sealed, for confidential transactions) receipt
+    /// for a transaction hash.
+    GetReceipt([u8; 32]),
+    /// Fetch the consortium envelope key `pk_tx`.
+    GetPkTx,
+    /// Fetch the attestation report binding `pk_tx` to the CS enclave.
+    GetAttestation,
+    /// Liveness probe.
+    Ping,
+
+    // ── responses ───────────────────────────────────────────────────────
+    /// Transaction enqueued for the next block; identified by wire hash.
+    Accepted([u8; 32]),
+    /// Transaction committed; carries the receipt bytes (sealed under
+    /// `k_tx` for confidential transactions, plain encoding for public).
+    Committed {
+        /// Whether the receipt bytes are sealed.
+        sealed: bool,
+        /// The receipt bytes.
+        receipt: Vec<u8>,
+    },
+    /// The batching queue is full — explicit backpressure, retry later.
+    /// Never a silent drop.
+    Busy,
+    /// Transaction failed validation or execution.
+    Rejected(String),
+    /// Stored receipt bytes for a [`Message::GetReceipt`].
+    ReceiptIs(Vec<u8>),
+    /// No receipt stored under the requested hash (yet).
+    NotFound,
+    /// The consortium envelope key.
+    PkTxIs([u8; 32]),
+    /// Attestation report over the CS enclave.
+    AttestationIs(Report),
+    /// Liveness answer.
+    Pong,
+}
+
+// Message kind bytes.
+const K_SUBMIT: u8 = 0x01;
+const K_SUBMIT_WAIT: u8 = 0x02;
+const K_GET_RECEIPT: u8 = 0x03;
+const K_GET_PK_TX: u8 = 0x04;
+const K_GET_ATTESTATION: u8 = 0x05;
+const K_PING: u8 = 0x06;
+const K_ACCEPTED: u8 = 0x81;
+const K_COMMITTED: u8 = 0x82;
+const K_BUSY: u8 = 0x83;
+const K_REJECTED: u8 = 0x84;
+const K_RECEIPT_IS: u8 = 0x85;
+const K_NOT_FOUND: u8 = 0x86;
+const K_PK_TX_IS: u8 = 0x87;
+const K_ATTESTATION_IS: u8 = 0x88;
+const K_PONG: u8 = 0x89;
+
+/// Serialize an attestation report (fixed-width fields, 202 bytes).
+fn encode_report(r: &Report) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 32 + 2 + 64 + 8 + 64);
+    out.extend_from_slice(&r.mrenclave);
+    out.extend_from_slice(&r.mrsigner);
+    out.extend_from_slice(&r.isv_svn.to_le_bytes());
+    out.extend_from_slice(&r.report_data);
+    out.extend_from_slice(&r.platform_id.to_le_bytes());
+    out.extend_from_slice(&r.signature.0);
+    out
+}
+
+/// Parse an attestation report.
+fn decode_report(bytes: &[u8]) -> Result<Report, FrameError> {
+    if bytes.len() != 202 {
+        return Err(FrameError::BadPayload);
+    }
+    let mut mrenclave = [0u8; 32];
+    mrenclave.copy_from_slice(&bytes[..32]);
+    let mut mrsigner = [0u8; 32];
+    mrsigner.copy_from_slice(&bytes[32..64]);
+    let isv_svn = u16::from_le_bytes([bytes[64], bytes[65]]);
+    let mut report_data = [0u8; 64];
+    report_data.copy_from_slice(&bytes[66..130]);
+    let platform_id = u64::from_le_bytes(bytes[130..138].try_into().expect("8 bytes"));
+    let mut sig = [0u8; 64];
+    sig.copy_from_slice(&bytes[138..202]);
+    Ok(Report {
+        mrenclave,
+        mrsigner,
+        isv_svn,
+        report_data,
+        platform_id,
+        signature: confide_crypto::ed25519::Signature(sig),
+    })
+}
+
+impl Message {
+    /// The kind byte of this message.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::SubmitTx(_) => K_SUBMIT,
+            Message::SubmitTxWait(_) => K_SUBMIT_WAIT,
+            Message::GetReceipt(_) => K_GET_RECEIPT,
+            Message::GetPkTx => K_GET_PK_TX,
+            Message::GetAttestation => K_GET_ATTESTATION,
+            Message::Ping => K_PING,
+            Message::Accepted(_) => K_ACCEPTED,
+            Message::Committed { .. } => K_COMMITTED,
+            Message::Busy => K_BUSY,
+            Message::Rejected(_) => K_REJECTED,
+            Message::ReceiptIs(_) => K_RECEIPT_IS,
+            Message::NotFound => K_NOT_FOUND,
+            Message::PkTxIs(_) => K_PK_TX_IS,
+            Message::AttestationIs(_) => K_ATTESTATION_IS,
+            Message::Pong => K_PONG,
+        }
+    }
+
+    /// Serialize the message body (everything after the kind byte).
+    fn encode_body(&self) -> Vec<u8> {
+        match self {
+            Message::SubmitTx(tx) | Message::SubmitTxWait(tx) => tx.encode(),
+            Message::GetReceipt(h) | Message::Accepted(h) | Message::PkTxIs(h) => h.to_vec(),
+            Message::Committed { sealed, receipt } => {
+                let mut out = Vec::with_capacity(1 + receipt.len());
+                out.push(*sealed as u8);
+                out.extend_from_slice(receipt);
+                out
+            }
+            Message::Rejected(reason) => reason.as_bytes().to_vec(),
+            Message::ReceiptIs(bytes) => bytes.clone(),
+            Message::AttestationIs(report) => encode_report(report),
+            Message::GetPkTx
+            | Message::GetAttestation
+            | Message::Ping
+            | Message::Busy
+            | Message::NotFound
+            | Message::Pong => Vec::new(),
+        }
+    }
+
+    /// Parse a message from its kind byte and body.
+    fn decode(kind: u8, body: &[u8]) -> Result<Message, FrameError> {
+        let take32 = |b: &[u8]| -> Result<[u8; 32], FrameError> {
+            if b.len() != 32 {
+                return Err(FrameError::BadPayload);
+            }
+            let mut out = [0u8; 32];
+            out.copy_from_slice(b);
+            Ok(out)
+        };
+        let empty = |b: &[u8], m: Message| -> Result<Message, FrameError> {
+            if b.is_empty() {
+                Ok(m)
+            } else {
+                Err(FrameError::BadPayload)
+            }
+        };
+        match kind {
+            K_SUBMIT => Ok(Message::SubmitTx(
+                WireTx::decode(body).map_err(|_| FrameError::BadPayload)?,
+            )),
+            K_SUBMIT_WAIT => Ok(Message::SubmitTxWait(
+                WireTx::decode(body).map_err(|_| FrameError::BadPayload)?,
+            )),
+            K_GET_RECEIPT => Ok(Message::GetReceipt(take32(body)?)),
+            K_GET_PK_TX => empty(body, Message::GetPkTx),
+            K_GET_ATTESTATION => empty(body, Message::GetAttestation),
+            K_PING => empty(body, Message::Ping),
+            K_ACCEPTED => Ok(Message::Accepted(take32(body)?)),
+            K_COMMITTED => {
+                let (&sealed, receipt) = body.split_first().ok_or(FrameError::BadPayload)?;
+                if sealed > 1 {
+                    return Err(FrameError::BadPayload);
+                }
+                Ok(Message::Committed {
+                    sealed: sealed == 1,
+                    receipt: receipt.to_vec(),
+                })
+            }
+            K_BUSY => empty(body, Message::Busy),
+            K_REJECTED => Ok(Message::Rejected(
+                String::from_utf8(body.to_vec()).map_err(|_| FrameError::BadPayload)?,
+            )),
+            K_RECEIPT_IS => Ok(Message::ReceiptIs(body.to_vec())),
+            K_NOT_FOUND => empty(body, Message::NotFound),
+            K_PK_TX_IS => Ok(Message::PkTxIs(take32(body)?)),
+            K_ATTESTATION_IS => Ok(Message::AttestationIs(decode_report(body)?)),
+            K_PONG => empty(body, Message::Pong),
+            other => Err(FrameError::BadKind(other)),
+        }
+    }
+
+    /// Serialize the full frame (length prefix included).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let len = (2 + body.len()) as u32;
+        let mut out = Vec::with_capacity(4 + 2 + body.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(WIRE_VERSION);
+        out.push(self.kind());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parse one message out of a complete frame payload (the `len`
+    /// bytes after the length prefix).
+    pub fn from_payload(payload: &[u8]) -> Result<Message, FrameError> {
+        if payload.len() < 2 {
+            return Err(FrameError::Undersized);
+        }
+        if payload[0] != WIRE_VERSION {
+            return Err(FrameError::BadVersion(payload[0]));
+        }
+        Message::decode(payload[1], &payload[2..])
+    }
+}
+
+/// Write one frame to `w` (single `write_all`, so concurrent writers on
+/// one socket never interleave partial frames).
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), FrameError> {
+    w.write_all(&msg.to_frame())?;
+    Ok(())
+}
+
+/// Read exactly one frame from `r`, enforcing `max_frame`.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary; EOF mid-frame is
+/// [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Message>, FrameError> {
+    let mut len4 = [0u8; 4];
+    // First header byte decides clean-EOF vs truncation.
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len4[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated)
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > max_frame {
+        return Err(FrameError::Oversized {
+            claimed: len,
+            max: max_frame,
+        });
+    }
+    if len < 2 {
+        return Err(FrameError::Undersized);
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Message::from_payload(&payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confide_core::tx::{RawTx, SignedTx};
+    use confide_crypto::ed25519::SigningKey;
+    use confide_crypto::HmacDrbg;
+
+    fn sample_tx() -> WireTx {
+        let key = SigningKey::from_seed(&[1u8; 32]);
+        let raw = RawTx {
+            sender: key.verifying_key().0,
+            contract: [7u8; 32],
+            method: "m".into(),
+            args: b"args".to_vec(),
+            nonce: 1,
+        };
+        WireTx::Public(SignedTx::sign(raw, &key))
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        let mut rng = HmacDrbg::from_u64(5);
+        let kp = confide_crypto::envelope::EnvelopeKeyPair::generate(&mut rng);
+        let env = confide_crypto::envelope::Envelope::seal(
+            &kp.public(),
+            &rng.gen32(),
+            b"",
+            b"x",
+            &mut rng,
+        )
+        .unwrap();
+        vec![
+            Message::SubmitTx(sample_tx()),
+            Message::SubmitTxWait(WireTx::Confidential(env)),
+            Message::GetReceipt([9u8; 32]),
+            Message::GetPkTx,
+            Message::GetAttestation,
+            Message::Ping,
+            Message::Accepted([1u8; 32]),
+            Message::Committed {
+                sealed: true,
+                receipt: b"cipher".to_vec(),
+            },
+            Message::Busy,
+            Message::Rejected("replay".into()),
+            Message::ReceiptIs(b"bytes".to_vec()),
+            Message::NotFound,
+            Message::PkTxIs([3u8; 32]),
+            Message::Pong,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in sample_messages() {
+            let frame = msg.to_frame();
+            let parsed = read_frame(&mut frame.as_slice(), DEFAULT_MAX_FRAME)
+                .unwrap()
+                .unwrap();
+            assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn attestation_report_round_trips() {
+        let platform = confide_tee::platform::TeePlatform::new(1, 1);
+        let enclave = confide_tee::enclave::Enclave::create(
+            &platform,
+            confide_tee::enclave::EnclaveConfig::new(b"code".to_vec(), [2u8; 32], 3, 4096),
+        )
+        .unwrap();
+        let report = Report::generate(&enclave, [7u8; 64]);
+        let msg = Message::AttestationIs(report.clone());
+        let frame = msg.to_frame();
+        let parsed = read_frame(&mut frame.as_slice(), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let Message::AttestationIs(r) = parsed else {
+            panic!("wrong kind");
+        };
+        assert_eq!(r, report);
+        // And the parsed report still verifies.
+        r.verify(&platform.attestation_public_key(), &enclave.mrenclave(), 3)
+            .unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[WIRE_VERSION, K_PING]);
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(FrameError::Oversized {
+                claimed: 4294967295,
+                max: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_midframe_eof_is_truncated() {
+        assert!(matches!(read_frame(&mut (&[][..]), 1024), Ok(None)));
+        let frame = Message::Ping.to_frame();
+        for cut in 1..frame.len() {
+            assert!(
+                matches!(
+                    read_frame(&mut (&frame[..cut]), 1024),
+                    Err(FrameError::Truncated)
+                ),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_and_kind_rejected() {
+        let mut frame = Message::Ping.to_frame();
+        frame[4] = 42; // version byte
+        assert!(matches!(
+            read_frame(&mut frame.as_slice(), 1024),
+            Err(FrameError::BadVersion(42))
+        ));
+        let mut frame = Message::Ping.to_frame();
+        frame[5] = 0x7f; // unknown kind
+        assert!(matches!(
+            read_frame(&mut frame.as_slice(), 1024),
+            Err(FrameError::BadKind(0x7f))
+        ));
+    }
+
+    #[test]
+    fn trailing_or_missing_body_bytes_rejected() {
+        // Ping with a body.
+        let mut frame = Message::Ping.to_frame();
+        frame[0] = 3; // len 3: ver+kind+1 junk byte
+        frame.push(0xcc);
+        assert!(matches!(
+            read_frame(&mut frame.as_slice(), 1024),
+            Err(FrameError::BadPayload)
+        ));
+        // GetReceipt with a short hash.
+        let msg = Message::GetReceipt([1u8; 32]);
+        let mut frame = msg.to_frame();
+        frame.truncate(frame.len() - 1);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut frame.as_slice(), 1024),
+            Err(FrameError::BadPayload)
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! # confide-net
+//!
+//! The zero-dependency networked node runtime: everything needed to put a
+//! [`confide_core::node::ConfideNode`] behind a real TCP socket and drive
+//! it with real clients, while keeping PR 1's hermetic std-only build.
+//!
+//! Four layers:
+//!
+//! * [`frame`] — length-prefixed frame codec + the T-Protocol wire
+//!   message set (submit envelope-sealed transactions, poll sealed
+//!   receipts, fetch `pk_tx` and its attestation report), with a version
+//!   byte and a max-frame guard. Typed errors, no panicking parser.
+//! * [`server`] — [`server::NodeServer`]: thread-per-connection accept
+//!   loop feeding a **bounded** batching queue that drains into
+//!   block-sized batches. Queue-full is surfaced to the submitter as a
+//!   typed `Busy` response — never a silent drop.
+//! * [`client`] — [`client::Conn`] (framed transport),
+//!   [`client::Client`] (seals envelopes through the *same*
+//!   [`confide_core::seal_signed_tx`] path as the in-process client) and
+//!   [`client::Gateway`] (many logical clients over few pooled sockets).
+//! * [`loadgen`] — open/closed-loop workload driver behind the
+//!   `confide-loadgen` binary; emits `results/BENCH_net.json`.
+//!
+//! ## Threat model
+//!
+//! The transport adds **no** confidentiality of its own — deliberately.
+//! The server (and any network middlebox) is untrusted in CONFIDE's model
+//! (§3.3): transaction bodies cross the wire only inside T-Protocol
+//! envelopes sealed to the enclave key `pk_tx`, receipts only sealed
+//! under the one-time `k_tx`, and clients can demand an attestation
+//! report binding `pk_tx` to the CS-enclave build before trusting it.
+//! The loopback sniffer test (`tests/e2e.rs`) captures every frame of a
+//! live session and asserts no plaintext payload or receipt bytes appear.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod demo;
+pub mod frame;
+pub mod loadgen;
+pub mod server;
+
+pub use client::{Client, Conn, Gateway, NetError};
+pub use frame::{FrameError, Message, DEFAULT_MAX_FRAME, WIRE_VERSION};
+pub use server::{NodeServer, ServerConfig, ServerStats};

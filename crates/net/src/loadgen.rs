@@ -1,0 +1,490 @@
+//! Open/closed-loop load generation over the framed transport, plus the
+//! `results/BENCH_net.json` emitter.
+//!
+//! Two loop disciplines (both standard in serving-system benchmarking):
+//!
+//! * **closed** — each worker is one logical client: seal → `SubmitTxWait`
+//!   → decrypt the committed receipt → next. Measured latency is the full
+//!   T-Protocol round trip (seal + wire + queue + batch + execute +
+//!   receipt seal), and offered load self-regulates to the service rate.
+//! * **open** — transactions are sealed *before* the timed window, then
+//!   pipelined `SubmitTx` frames are blasted at the node; the server's
+//!   only escape valve is the typed `Busy` response, so this mode is how
+//!   overload behaviour (busy-reject rate, zero silent drops) is probed.
+//!
+//! All workers verify their sealed receipts under `k_tx` at the end — a
+//! wire-level bench run is also an end-to-end confidentiality check.
+
+use crate::client::{Conn, NetError};
+use crate::frame::Message;
+use confide_core::client::ConfideClient;
+use confide_core::receipt::Receipt;
+use confide_core::seal_signed_tx;
+use confide_core::tx::WireTx;
+use confide_crypto::HmacDrbg;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Loadgen knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Node address.
+    pub addr: SocketAddr,
+    /// Worker threads (= concurrent logical clients in closed mode).
+    pub threads: usize,
+    /// Transactions per worker.
+    pub txs_per_thread: usize,
+    /// Closed loop (`true`) or open loop (`false`).
+    pub closed: bool,
+    /// Seal T-Protocol envelopes (`true`) or send public plaintext
+    /// transactions (`false`).
+    pub confidential: bool,
+    /// Open loop: in-flight pipeline window per worker.
+    pub window: usize,
+    /// Retry budget for `Busy` responses in closed mode (open mode never
+    /// retries: busy-rejects are the measurement).
+    pub busy_retries: usize,
+    /// Contract to invoke.
+    pub contract: [u8; 32],
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            threads: 4,
+            txs_per_thread: 250,
+            closed: true,
+            confidential: true,
+            window: 64,
+            busy_retries: 50,
+            contract: crate::demo::DEMO_CONTRACT,
+        }
+    }
+}
+
+/// Aggregated outcome of one loadgen run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Mode label (`"closed"` / `"open"`).
+    pub mode: String,
+    /// Confidential or public workload.
+    pub confidential: bool,
+    /// Worker threads.
+    pub threads: usize,
+    /// Transactions submitted (accepted + busy + rejected).
+    pub submitted: u64,
+    /// Transactions the server accepted into the queue.
+    pub accepted: u64,
+    /// Typed `Busy` responses observed.
+    pub busy: u64,
+    /// Typed `Rejected` responses observed.
+    pub rejected: u64,
+    /// Receipts fetched and (for confidential txs) decrypted under `k_tx`.
+    pub receipts_verified: u64,
+    /// Wall-clock of the measured window, seconds.
+    pub elapsed_s: f64,
+    /// Committed throughput, transactions/second.
+    pub throughput_tps: f64,
+    /// Latency distribution in milliseconds (closed: seal→commit;
+    /// open: submit→accept).
+    pub latency_ms: LatencySummary,
+}
+
+/// Latency percentiles (milliseconds).
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn from_micros(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |p: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            samples[idx] as f64 / 1000.0
+        };
+        LatencySummary {
+            mean: samples.iter().sum::<u64>() as f64 / n as f64 / 1000.0,
+            p50: pct(0.50),
+            p99: pct(0.99),
+            max: *samples.last().expect("non-empty") as f64 / 1000.0,
+        }
+    }
+}
+
+struct WorkerResult {
+    submitted: u64,
+    accepted: u64,
+    busy: u64,
+    rejected: u64,
+    receipts_verified: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// One sealed (or signed public) transaction the worker retains enough
+/// context about to verify its receipt later.
+struct PreparedTx {
+    wire: WireTx,
+    tx_hash: [u8; 32],
+    k_tx: Option<[u8; 32]>,
+}
+
+fn prepare_txs(
+    worker: usize,
+    n: usize,
+    confidential: bool,
+    contract: [u8; 32],
+    pk_tx: &[u8; 32],
+) -> Result<Vec<PreparedTx>, NetError> {
+    let identity = {
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&(worker as u64 + 1).to_le_bytes());
+        seed[8] = 0x10;
+        seed
+    };
+    let root_key = {
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&(worker as u64 + 1).to_le_bytes());
+        seed[8] = 0x20;
+        seed
+    };
+    let mut client = ConfideClient::new(identity, root_key, worker as u64 + 7);
+    let mut rng = HmacDrbg::from_u64(worker as u64 + 90_000);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let args = crate::demo::demo_args(worker, i);
+        if confidential {
+            let signed = client.build_raw(contract, "main", &args);
+            let (wire, tx_hash, k_tx) = seal_signed_tx(&signed, &root_key, pk_tx, &mut rng)
+                .map_err(|_| NetError::Crypto)?;
+            out.push(PreparedTx {
+                wire,
+                tx_hash,
+                k_tx: Some(k_tx),
+            });
+        } else {
+            let signed = client.build_raw(contract, "main", &args);
+            let tx_hash = signed.raw.hash();
+            out.push(PreparedTx {
+                wire: WireTx::Public(signed),
+                tx_hash,
+                k_tx: None,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Fetch + verify the receipt for one prepared tx. Returns true when the
+/// receipt exists and (for confidential txs) decrypts under `k_tx`.
+fn verify_receipt(conn: &mut Conn, tx: &PreparedTx) -> bool {
+    match conn.get_receipt(&tx.tx_hash) {
+        Ok(Some(bytes)) => match &tx.k_tx {
+            Some(k_tx) => Receipt::open(&bytes, k_tx, &tx.tx_hash)
+                .map(|r| r.tx_hash == tx.tx_hash)
+                .unwrap_or(false),
+            None => Receipt::decode(&bytes)
+                .map(|r| r.tx_hash == tx.tx_hash)
+                .unwrap_or(false),
+        },
+        _ => false,
+    }
+}
+
+fn closed_worker(
+    cfg: &LoadgenConfig,
+    worker: usize,
+    pk_tx: &[u8; 32],
+) -> Result<WorkerResult, NetError> {
+    let mut conn = Conn::connect(cfg.addr)?;
+    let txs = prepare_txs(
+        worker,
+        cfg.txs_per_thread,
+        cfg.confidential,
+        cfg.contract,
+        pk_tx,
+    )?;
+    let mut res = WorkerResult {
+        submitted: 0,
+        accepted: 0,
+        busy: 0,
+        rejected: 0,
+        receipts_verified: 0,
+        latencies_us: Vec::with_capacity(txs.len()),
+    };
+    for tx in &txs {
+        let t0 = Instant::now();
+        let mut attempts = 0usize;
+        loop {
+            res.submitted += 1;
+            match conn.submit_wait(&tx.wire) {
+                Ok((sealed, receipt)) => {
+                    res.accepted += 1;
+                    res.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    let ok = match &tx.k_tx {
+                        Some(k_tx) => {
+                            sealed
+                                && Receipt::open(&receipt, k_tx, &tx.tx_hash)
+                                    .map(|r| r.tx_hash == tx.tx_hash)
+                                    .unwrap_or(false)
+                        }
+                        None => {
+                            !sealed
+                                && Receipt::decode(&receipt)
+                                    .map(|r| r.tx_hash == tx.tx_hash)
+                                    .unwrap_or(false)
+                        }
+                    };
+                    if ok {
+                        res.receipts_verified += 1;
+                    }
+                    break;
+                }
+                Err(NetError::Busy) => {
+                    res.busy += 1;
+                    attempts += 1;
+                    if attempts > cfg.busy_retries {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1 << attempts.min(5)));
+                }
+                Err(NetError::Rejected(_)) => {
+                    res.rejected += 1;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(res)
+}
+
+fn open_worker(
+    cfg: &LoadgenConfig,
+    worker: usize,
+    pk_tx: &[u8; 32],
+) -> Result<WorkerResult, NetError> {
+    let mut conn = Conn::connect(cfg.addr)?;
+    // Seal outside the timed window: open loop measures the *server*.
+    let txs = prepare_txs(
+        worker,
+        cfg.txs_per_thread,
+        cfg.confidential,
+        cfg.contract,
+        pk_tx,
+    )?;
+    let mut res = WorkerResult {
+        submitted: 0,
+        accepted: 0,
+        busy: 0,
+        rejected: 0,
+        receipts_verified: 0,
+        latencies_us: Vec::with_capacity(txs.len()),
+    };
+    let window = cfg.window.max(1);
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(txs.len());
+    let mut next_to_send = 0usize;
+    let mut next_to_read = 0usize;
+    let mut accepted_idx: Vec<usize> = Vec::new();
+    while next_to_read < txs.len() {
+        while next_to_send < txs.len() && next_to_send - next_to_read < window {
+            conn.send(&Message::SubmitTx(txs[next_to_send].wire.clone()))?;
+            sent_at.push(Instant::now());
+            next_to_send += 1;
+        }
+        let reply = conn.recv()?;
+        res.submitted += 1;
+        res.latencies_us
+            .push(sent_at[next_to_read].elapsed().as_micros() as u64);
+        match reply {
+            Message::Accepted(_) => {
+                res.accepted += 1;
+                accepted_idx.push(next_to_read);
+            }
+            Message::Busy => res.busy += 1,
+            Message::Rejected(_) => res.rejected += 1,
+            other => return Err(NetError::UnexpectedReply(other.kind())),
+        }
+        next_to_read += 1;
+    }
+    // Wait for the queue to drain, then verify every accepted receipt.
+    for &i in &accepted_idx {
+        let tx = &txs[i];
+        let mut polls = 0usize;
+        loop {
+            if verify_receipt(&mut conn, tx) {
+                res.receipts_verified += 1;
+                break;
+            }
+            polls += 1;
+            if polls > 2000 {
+                break; // counted as unverified — surfaces in the report
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    Ok(res)
+}
+
+/// Run one workload against a live node.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, NetError> {
+    let pk_tx = Conn::connect(cfg.addr)?.fetch_pk_tx()?;
+    let t0 = Instant::now();
+    let results: Vec<Result<WorkerResult, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|w| {
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    if cfg.closed {
+                        closed_worker(&cfg, w, &pk_tx)
+                    } else {
+                        open_worker(&cfg, w, &pk_tx)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(NetError::Disconnected)))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut report = LoadReport {
+        mode: if cfg.closed { "closed" } else { "open" }.into(),
+        confidential: cfg.confidential,
+        threads: cfg.threads,
+        elapsed_s: elapsed,
+        ..LoadReport::default()
+    };
+    let mut latencies = Vec::new();
+    for r in results {
+        let r = r?;
+        report.submitted += r.submitted;
+        report.accepted += r.accepted;
+        report.busy += r.busy;
+        report.rejected += r.rejected;
+        report.receipts_verified += r.receipts_verified;
+        latencies.extend(r.latencies_us);
+    }
+    report.throughput_tps = report.receipts_verified as f64 / elapsed.max(1e-9);
+    report.latency_ms = LatencySummary::from_micros(latencies);
+    Ok(report)
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0.0".into()
+    }
+}
+
+/// Render reports as the `BENCH_net.json` document (hand-rolled JSON —
+/// the build stays zero-dependency).
+pub fn to_json(reports: &[LoadReport], server_cfg: &crate::server::ServerConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"bench\": \"net_loopback\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{ \"cores\": {} }},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!(
+        "  \"server\": {{ \"max_batch\": {}, \"queue_depth\": {}, \"batch_linger_ms\": {} }},\n",
+        server_cfg.max_batch,
+        server_cfg.queue_depth,
+        server_cfg.batch_linger.as_millis()
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"mode\": \"{}\",\n", r.mode));
+        out.push_str(&format!("      \"confidential\": {},\n", r.confidential));
+        out.push_str(&format!("      \"threads\": {},\n", r.threads));
+        out.push_str(&format!("      \"txs_submitted\": {},\n", r.submitted));
+        out.push_str(&format!("      \"txs_accepted\": {},\n", r.accepted));
+        out.push_str(&format!("      \"busy_rejects\": {},\n", r.busy));
+        out.push_str(&format!("      \"rejected\": {},\n", r.rejected));
+        out.push_str(&format!(
+            "      \"receipts_verified\": {},\n",
+            r.receipts_verified
+        ));
+        out.push_str(&format!(
+            "      \"busy_reject_rate\": {},\n",
+            fmt_f64(r.busy as f64 / (r.submitted.max(1)) as f64)
+        ));
+        out.push_str(&format!("      \"elapsed_s\": {},\n", fmt_f64(r.elapsed_s)));
+        out.push_str(&format!(
+            "      \"throughput_tps\": {},\n",
+            fmt_f64(r.throughput_tps)
+        ));
+        out.push_str(&format!(
+            "      \"latency_ms\": {{ \"mean\": {}, \"p50\": {}, \"p99\": {}, \"max\": {} }}\n",
+            fmt_f64(r.latency_ms.mean),
+            fmt_f64(r.latency_ms.p50),
+            fmt_f64(r.latency_ms.p99),
+            fmt_f64(r.latency_ms.max)
+        ));
+        out.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_micros((1..=1000).map(|i| i * 1000).collect());
+        assert!((s.p50 - 500.0).abs() <= 1.0);
+        assert!((s.p99 - 990.0).abs() <= 1.0);
+        assert!((s.max - 1000.0).abs() < f64::EPSILON);
+        assert!((s.mean - 500.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn json_contains_required_schema_keys() {
+        let report = LoadReport {
+            mode: "closed".into(),
+            threads: 4,
+            ..LoadReport::default()
+        };
+        let json = to_json(&[report], &crate::server::ServerConfig::default());
+        for key in [
+            "\"schema_version\"",
+            "\"bench\"",
+            "\"workloads\"",
+            "\"mode\"",
+            "\"txs_submitted\"",
+            "\"busy_rejects\"",
+            "\"receipts_verified\"",
+            "\"throughput_tps\"",
+            "\"p50\"",
+            "\"p99\"",
+            "\"busy_reject_rate\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The networked node runtime: a framed-TCP front end over
+//! [`ConfideNode`].
+//!
+//! Architecture (one process):
+//!
+//! ```text
+//!  accept loop ──► handler thread per connection
+//!                     │  validate (decode + §5.2 preverify, off the
+//!                     │  block path, parallel across connections)
+//!                     ▼
+//!              bounded mpsc batching queue ──► batcher thread
+//!                     │ full ⇒ Busy                │ drains ≤ max_batch
+//!                     ▼                            ▼
+//!               typed response            node.execute_block_lenient
+//! ```
+//!
+//! Backpressure is explicit: when the queue is full the submitter gets a
+//! typed [`Message::Busy`] response — transactions are never silently
+//! dropped. Per-connection read/write timeouts bound how long a stalled
+//! peer can pin a handler thread.
+
+use crate::frame::{read_frame, write_frame, FrameError, Message, DEFAULT_MAX_FRAME};
+use confide_core::node::ConfideNode;
+use confide_core::tx::WireTx;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum transactions per block.
+    pub max_batch: usize,
+    /// Bound of the batching queue; beyond this, submitters get
+    /// [`Message::Busy`].
+    pub queue_depth: usize,
+    /// How long the batcher waits for more transactions after the first
+    /// one arrives before sealing a short block.
+    pub batch_linger: Duration,
+    /// Per-connection socket read timeout (mid-frame stalls kill the
+    /// connection; between frames the handler just keeps listening).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum accepted frame length.
+    pub max_frame: usize,
+    /// How long a `SubmitTxWait` waits for its block before reporting a
+    /// timeout to the client.
+    pub commit_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_batch: 256,
+            queue_depth: 1024,
+            batch_linger: Duration::from_millis(2),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame: DEFAULT_MAX_FRAME,
+            commit_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Live counters, shared with the accept/handler/batcher threads.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Transactions enqueued.
+    pub accepted: AtomicU64,
+    /// Submissions turned away with `Busy` (queue full).
+    pub busy: AtomicU64,
+    /// Submissions rejected at validation or execution.
+    pub rejected: AtomicU64,
+    /// Blocks sealed.
+    pub blocks: AtomicU64,
+    /// Transactions committed into blocks.
+    pub committed: AtomicU64,
+    /// Connections served.
+    pub connections: AtomicU64,
+}
+
+/// One queued transaction plus the optional rendezvous back to the
+/// waiting `SubmitTxWait` handler.
+struct Job {
+    tx: WireTx,
+    done: Option<SyncSender<Message>>,
+}
+
+/// A running node server. Dropping it (or calling
+/// [`NodeServer::shutdown`]) stops the accept loop and the batcher.
+pub struct NodeServer {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+    node: Arc<RwLock<ConfideNode>>,
+}
+
+impl NodeServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `node`.
+    pub fn spawn(
+        node: ConfideNode,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<NodeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let node = Arc::new(RwLock::new(node));
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+
+        let batcher = {
+            let node = Arc::clone(&node);
+            let stats = Arc::clone(&stats);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("confide-batcher".into())
+                .spawn(move || batcher_loop(node, job_rx, stats, config))?
+        };
+
+        let accept = {
+            let node = Arc::clone(&node);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("confide-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let node = Arc::clone(&node);
+                        let stats = Arc::clone(&stats);
+                        let stop = Arc::clone(&stop);
+                        let job_tx = job_tx.clone();
+                        let config = config.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("confide-conn".into())
+                            .spawn(move || {
+                                let _ =
+                                    handle_connection(stream, node, job_tx, stats, stop, config);
+                            });
+                    }
+                    // job_tx clones die with the handlers; dropping ours here
+                    // lets the batcher drain and exit once handlers finish.
+                })?
+        };
+
+        Ok(NodeServer {
+            addr: local,
+            stats,
+            stop,
+            accept_thread: Some(accept),
+            batcher_thread: Some(batcher),
+            node,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Read access to the underlying node (tests: state inspection).
+    pub fn node(&self) -> &Arc<RwLock<ConfideNode>> {
+        &self.node
+    }
+
+    /// Stop accepting connections and wait for the batcher to drain.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The batcher: drain the queue into blocks of at most `max_batch`
+/// transactions, lingering briefly for stragglers, and answer the
+/// waiters.
+fn batcher_loop(
+    node: Arc<RwLock<ConfideNode>>,
+    jobs: Receiver<Job>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+) {
+    loop {
+        // Block until the first transaction of the next batch.
+        let first = match jobs.recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone — server shut down
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + config.batch_linger;
+        while batch.len() < config.max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                // Linger expired: top the batch up without waiting.
+                match jobs.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            } else {
+                match jobs.recv_timeout(left) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        let txs: Vec<WireTx> = batch.iter().map(|j| j.tx.clone()).collect();
+        let result = {
+            let mut node = node.write().expect("node lock");
+            node.execute_block_lenient(&txs)
+        };
+        match result {
+            Ok(res) => {
+                stats.blocks.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .committed
+                    .fetch_add(res.accepted() as u64, Ordering::Relaxed);
+                for (job, outcome) in batch.iter().zip(&res.outcomes) {
+                    let reply = match outcome {
+                        Ok((receipt, sealed)) => Message::Committed {
+                            sealed: sealed.is_some(),
+                            receipt: sealed.clone().unwrap_or_else(|| receipt.encode()),
+                        },
+                        Err(e) => {
+                            stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            Message::Rejected(e.to_string())
+                        }
+                    };
+                    if let Some(done) = &job.done {
+                        let _ = done.try_send(reply);
+                    }
+                }
+            }
+            Err(e) => {
+                // Commit-level failure: every waiter learns.
+                let msg = format!("block commit failed: {e}");
+                for job in &batch {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Some(done) = &job.done {
+                        let _ = done.try_send(Message::Rejected(msg.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Validate a submission *before* it is allowed into the batching queue:
+/// confidential envelopes are opened and their inner signature verified
+/// (the §5.2 pre-verification pipeline, here running on the connection
+/// handler thread — i.e. in parallel with ordering and with other
+/// connections), so a garbage envelope never wastes block space.
+fn validate(node: &RwLock<ConfideNode>, tx: &WireTx) -> Result<(), String> {
+    match tx {
+        WireTx::Public(signed) => signed.verify().map_err(|_| "bad signature".to_string()),
+        WireTx::Confidential(_) => {
+            let node = node.read().expect("node lock");
+            node.confidential_engine
+                .preverify(tx)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+enum ReadOutcome {
+    Frame(Box<Message>),
+    Idle,
+    Closed,
+}
+
+/// Read one frame, mapping a timeout *between* frames to `Idle` (keep the
+/// connection) and any mid-frame stall or parse failure to an error that
+/// drops the connection.
+fn read_one(stream: &mut TcpStream, max_frame: usize) -> Result<ReadOutcome, FrameError> {
+    match read_frame(stream, max_frame) {
+        Ok(Some(msg)) => Ok(ReadOutcome::Frame(Box::new(msg))),
+        Ok(None) => Ok(ReadOutcome::Closed),
+        Err(FrameError::Io(e))
+            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+        {
+            Ok(ReadOutcome::Idle)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    node: Arc<RwLock<ConfideNode>>,
+    job_tx: SyncSender<Job>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) -> Result<(), FrameError> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    stream.set_nodelay(true)?;
+    // Cache the identity answers once per connection.
+    let (pk_tx, report) = {
+        let node = node.read().expect("node lock");
+        (node.pk_tx(), node.attestation_report())
+    };
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let msg = match read_one(&mut stream, config.max_frame)? {
+            ReadOutcome::Frame(msg) => *msg,
+            ReadOutcome::Idle => continue,
+            ReadOutcome::Closed => return Ok(()),
+        };
+        let reply = match msg {
+            Message::Ping => Message::Pong,
+            Message::GetPkTx => Message::PkTxIs(pk_tx),
+            Message::GetAttestation => match &report {
+                Some(r) => Message::AttestationIs(r.clone()),
+                None => Message::Rejected("node runs without a TEE".into()),
+            },
+            Message::GetReceipt(hash) => {
+                let stored = node.read().expect("node lock").stored_receipt(&hash);
+                match stored {
+                    Some(bytes) => Message::ReceiptIs(bytes),
+                    None => Message::NotFound,
+                }
+            }
+            Message::SubmitTx(tx) => match validate(&node, &tx) {
+                Err(reason) => {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    Message::Rejected(reason)
+                }
+                Ok(()) => {
+                    let wire_hash = tx.wire_hash();
+                    match job_tx.try_send(Job { tx, done: None }) {
+                        Ok(()) => {
+                            stats.accepted.fetch_add(1, Ordering::Relaxed);
+                            Message::Accepted(wire_hash)
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            stats.busy.fetch_add(1, Ordering::Relaxed);
+                            Message::Busy
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            Message::Rejected("server shutting down".into())
+                        }
+                    }
+                }
+            },
+            Message::SubmitTxWait(tx) => match validate(&node, &tx) {
+                Err(reason) => {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    Message::Rejected(reason)
+                }
+                Ok(()) => {
+                    let (done_tx, done_rx) = mpsc::sync_channel::<Message>(1);
+                    match job_tx.try_send(Job {
+                        tx,
+                        done: Some(done_tx),
+                    }) {
+                        Ok(()) => {
+                            stats.accepted.fetch_add(1, Ordering::Relaxed);
+                            match done_rx.recv_timeout(config.commit_timeout) {
+                                Ok(reply) => reply,
+                                Err(_) => Message::Rejected("commit wait timed out".into()),
+                            }
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            stats.busy.fetch_add(1, Ordering::Relaxed);
+                            Message::Busy
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            Message::Rejected("server shutting down".into())
+                        }
+                    }
+                }
+            },
+            // A response kind arriving at the server is a protocol abuse:
+            // answer once, then drop the connection.
+            other => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Message::Rejected(format!("unexpected message kind {:#04x}", other.kind())),
+                );
+                return Err(FrameError::BadKind(other.kind()));
+            }
+        };
+        write_frame(&mut stream, &reply)?;
+    }
+}

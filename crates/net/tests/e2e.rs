@@ -1,0 +1,292 @@
+//! End-to-end tests over real loopback sockets: a live [`NodeServer`],
+//! real TCP clients, and — the centerpiece — a sniffing proxy that
+//! captures every byte of a session to prove the transport leaks no
+//! plaintext (the T-Protocol carries confidentiality, not the socket).
+
+use confide_net::demo::{demo_args, demo_node, DEMO_CONTRACT};
+use confide_net::loadgen::{run, LoadgenConfig};
+use confide_net::{Client, Conn, Gateway, NetError, NodeServer, ServerConfig};
+use confide_tee::platform::TeePlatform;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn spawn_server(seed: u64, config: ServerConfig) -> NodeServer {
+    NodeServer::spawn(demo_node(seed), ("127.0.0.1", 0), config).expect("server spawns")
+}
+
+// ── sniffing proxy ──────────────────────────────────────────────────────
+
+/// Forward bytes between `from` and `to`, recording everything seen.
+fn pump(mut from: TcpStream, mut to: TcpStream, captured: Arc<Mutex<Vec<u8>>>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => {
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            Ok(n) => {
+                captured
+                    .lock()
+                    .expect("capture lock")
+                    .extend_from_slice(&buf[..n]);
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A transparent TCP proxy in front of `upstream` that records every
+/// frame of every connection (both directions) — the stand-in for a
+/// network middlebox / curious host in CONFIDE's threat model.
+fn sniffing_proxy(upstream: SocketAddr) -> (SocketAddr, Arc<Mutex<Vec<u8>>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy binds");
+    let addr = listener.local_addr().expect("proxy addr");
+    let captured = Arc::new(Mutex::new(Vec::new()));
+    let cap = Arc::clone(&captured);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(client) = stream else { break };
+            let Ok(server) = TcpStream::connect(upstream) else {
+                break;
+            };
+            let client2 = client.try_clone().expect("clone");
+            let server2 = server.try_clone().expect("clone");
+            let cap_up = Arc::clone(&cap);
+            let cap_down = Arc::clone(&cap);
+            std::thread::spawn(move || pump(client, server, cap_up));
+            std::thread::spawn(move || pump(server2, client2, cap_down));
+        }
+    });
+    (addr, captured)
+}
+
+fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+// ── tests ───────────────────────────────────────────────────────────────
+
+#[test]
+fn confidential_round_trip_over_the_wire() {
+    let server = spawn_server(11, ServerConfig::default());
+    let mut client = Client::connect(server.addr(), [1u8; 32], [2u8; 32], 3).expect("connect");
+    // Three sequential transfers accumulate in confidential state:
+    // amounts 1, 2, 3 → running balances 1, 3, 6.
+    for (n, expect) in [(0usize, b"1".as_slice()), (1, b"3"), (2, b"6")] {
+        let receipt = client
+            .call_confidential(DEMO_CONTRACT, "main", &demo_args(0, n))
+            .expect("tx commits");
+        assert!(receipt.success);
+        assert_eq!(receipt.return_data, expect, "iteration {n}");
+    }
+}
+
+#[test]
+fn sniffer_sees_no_plaintext_while_client_decrypts() {
+    let server = spawn_server(12, ServerConfig::default());
+    let (proxy_addr, captured) = sniffing_proxy(server.addr());
+
+    let args = br#"{"to":"alice-utterly-unique-7c3f","amount":41}"#.to_vec();
+    let mut client = Client::connect(proxy_addr, [5u8; 32], [6u8; 32], 9).expect("connect");
+    let receipt = client
+        .call_confidential(DEMO_CONTRACT, "main", &args)
+        .expect("tx commits through the proxy");
+    assert!(receipt.success);
+    assert_eq!(receipt.return_data, b"41"); // decrypted under k_tx
+
+    let bytes = captured.lock().expect("capture lock").clone();
+    assert!(
+        bytes.len() > 200,
+        "proxy captured a full session, got {} bytes",
+        bytes.len()
+    );
+    // The middlebox saw the whole conversation but none of the secrets:
+    // not the arguments, not the method name, not the account key, not
+    // the plaintext receipt encoding.
+    assert!(!contains_subslice(&bytes, &args), "args leaked");
+    assert!(
+        !contains_subslice(&bytes, b"alice-utterly-unique-7c3f"),
+        "recipient leaked"
+    );
+    assert!(!contains_subslice(&bytes, b"main"), "method name leaked");
+    assert!(
+        !contains_subslice(&bytes, b"bal:alice"),
+        "storage key leaked"
+    );
+    assert!(
+        !contains_subslice(&bytes, &receipt.encode()),
+        "plaintext receipt leaked"
+    );
+}
+
+#[test]
+fn overload_yields_busy_with_zero_silent_drops() {
+    // A deliberately tiny server: 1-deep queue, 1-tx blocks — any
+    // pipelined burst must overflow.
+    let server = spawn_server(
+        13,
+        ServerConfig {
+            max_batch: 1,
+            queue_depth: 1,
+            batch_linger: Duration::from_millis(0),
+            ..ServerConfig::default()
+        },
+    );
+    let cfg = LoadgenConfig {
+        addr: server.addr(),
+        threads: 2,
+        txs_per_thread: 60,
+        closed: false, // open loop: Busy replies are the measurement
+        confidential: true,
+        window: 32,
+        ..LoadgenConfig::default()
+    };
+    let report = run(&cfg).expect("loadgen runs");
+    assert_eq!(report.submitted, 120);
+    // Explicit backpressure fired...
+    assert!(report.busy > 0, "no Busy under 2x overload: {report:?}");
+    // ...every submission got exactly one typed answer...
+    assert_eq!(
+        report.accepted + report.busy + report.rejected,
+        report.submitted,
+        "unaccounted submissions: {report:?}"
+    );
+    // ...and every accepted transaction committed with a receipt that
+    // decrypts: zero silent drops.
+    assert_eq!(
+        report.receipts_verified, report.accepted,
+        "accepted tx lost: {report:?}"
+    );
+    let stats = server.stats();
+    assert_eq!(
+        stats.busy.load(std::sync::atomic::Ordering::Relaxed),
+        report.busy
+    );
+}
+
+#[test]
+fn gateway_pools_connections_under_cap() {
+    let server = spawn_server(14, ServerConfig::default());
+    let gateway = Arc::new(Gateway::new(server.addr(), 2).expect("gateway"));
+    // 8 logical clients × 5 txs over at most 2 sockets.
+    std::thread::scope(|scope| {
+        for id in 0..8usize {
+            let gateway = Arc::clone(&gateway);
+            scope.spawn(move || {
+                let identity = [id as u8 + 1; 32];
+                let root = [id as u8 + 101; 32];
+                let mut inner = confide_core::client::ConfideClient::new(identity, root, id as u64);
+                let mut rng = confide_crypto::HmacDrbg::from_u64(id as u64 + 400);
+                let pk_tx = gateway
+                    .with_conn(|c| c.fetch_pk_tx())
+                    .expect("pk_tx via pool");
+                for n in 0..5usize {
+                    let signed = inner.build_raw(DEMO_CONTRACT, "main", &demo_args(id, n));
+                    let (wire, tx_hash, k_tx) =
+                        confide_core::seal_signed_tx(&signed, &root, &pk_tx, &mut rng)
+                            .expect("seal");
+                    let (sealed, receipt) = gateway.submit_wait(&wire).expect("commit via pool");
+                    assert!(sealed);
+                    let receipt = confide_core::receipt::Receipt::open(&receipt, &k_tx, &tx_hash)
+                        .expect("receipt decrypts");
+                    assert!(receipt.success);
+                }
+            });
+        }
+    });
+    // The node never saw more sockets than the cap allows (plus the
+    // server-spawn handshake none — the gateway is the only client).
+    let conns = server
+        .stats()
+        .connections
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        (1..=2).contains(&conns),
+        "gateway opened {conns} sockets with a cap of 2"
+    );
+}
+
+#[test]
+fn attested_pk_tx_fetch_defends_against_substitution() {
+    let server = spawn_server(15, ServerConfig::default());
+    // The verifier's reference values: the consortium's attestation root
+    // (same deterministic platform seed) and the CS-enclave measurement.
+    let platform = TeePlatform::new(15, 15);
+    let reference = {
+        let node = server.node().read().expect("node lock");
+        node.attestation_report().expect("TEE node has a report")
+    };
+
+    let mut conn = Conn::connect(server.addr()).expect("connect");
+    let pk = conn
+        .fetch_pk_tx_attested(
+            &platform.attestation_public_key(),
+            &reference.mrenclave,
+            reference.isv_svn,
+        )
+        .expect("attested fetch succeeds against honest node");
+    assert_eq!(pk, server.node().read().expect("node lock").pk_tx());
+
+    // Wrong expected measurement → the report must be refused.
+    match conn.fetch_pk_tx_attested(&platform.attestation_public_key(), &[0u8; 32], 0) {
+        Err(NetError::Attestation(_)) => {}
+        other => panic!("wrong mrenclave accepted: {other:?}"),
+    }
+    // Wrong attestation root (a different consortium) → refused too.
+    let rogue = TeePlatform::new(99, 99);
+    match conn.fetch_pk_tx_attested(
+        &rogue.attestation_public_key(),
+        &reference.mrenclave,
+        reference.isv_svn,
+    ) {
+        Err(NetError::Attestation(_)) => {}
+        other => panic!("rogue root accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn public_txs_flow_unsealed_and_bad_submissions_get_typed_rejects() {
+    let server = spawn_server(16, ServerConfig::default());
+    let mut inner = confide_core::client::ConfideClient::new([9u8; 32], [8u8; 32], 1);
+    let mut conn = Conn::connect(server.addr()).expect("connect");
+
+    // The demo contract is deployed confidentially, so a public tx against
+    // it must come back as a typed Rejected — not a hang, not a drop.
+    let signed = inner.build_raw(DEMO_CONTRACT, "main", &demo_args(0, 0));
+    match conn.submit_wait(&confide_core::tx::WireTx::Public(signed)) {
+        Err(NetError::Rejected(_)) => {}
+        other => panic!("expected typed reject, got {other:?}"),
+    }
+
+    // A tampered signature is refused at validation, before the queue.
+    let mut signed = inner.build_raw(DEMO_CONTRACT, "main", &demo_args(0, 1));
+    signed.signature.0[0] ^= 0xff;
+    match conn.submit_wait(&confide_core::tx::WireTx::Public(signed)) {
+        Err(NetError::Rejected(_)) => {}
+        other => panic!("expected typed reject for bad signature, got {other:?}"),
+    }
+
+    // A garbage envelope is refused by §5.2 preverification.
+    let mut rng = confide_crypto::HmacDrbg::from_u64(77);
+    let kp = confide_crypto::envelope::EnvelopeKeyPair::generate(&mut rng);
+    let env = confide_crypto::envelope::Envelope::seal(
+        &kp.public(),
+        &rng.gen32(),
+        b"",
+        b"junk",
+        &mut rng,
+    )
+    .expect("seal");
+    match conn.submit_wait(&confide_core::tx::WireTx::Confidential(env)) {
+        Err(NetError::Rejected(_)) => {}
+        other => panic!("expected typed reject for garbage envelope, got {other:?}"),
+    }
+
+    // The connection survives all three rejects.
+    conn.ping().expect("connection still healthy");
+}

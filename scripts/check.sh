@@ -33,4 +33,52 @@ else
     echo "ok: leaky.ccl rejected as expected"
 fi
 
+echo "== loopback smoke: confide-node + 100-tx loadgen burst =="
+cargo build -q --release -p confide-net
+
+NODE_LOG=$(mktemp)
+SMOKE_OUT=$(mktemp -d)
+./target/release/confide-node --port 0 >"$NODE_LOG" 2>/dev/null &
+NODE_PID=$!
+trap 'kill "$NODE_PID" 2>/dev/null || true' EXIT
+
+# The node prints exactly one "LISTENING <addr>" line once bound.
+NODE_ADDR=""
+for _ in $(seq 1 100); do
+    NODE_ADDR=$(awk '/^LISTENING /{print $2; exit}' "$NODE_LOG" || true)
+    [ -n "$NODE_ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$NODE_ADDR" ]; then
+    echo "FAIL: confide-node never reported LISTENING" >&2
+    exit 1
+fi
+echo "node up on $NODE_ADDR"
+
+# 100 confidential txs; the loadgen exits non-zero unless every accepted
+# receipt decrypts under its k_tx.
+./target/release/confide-loadgen --addr "$NODE_ADDR" \
+    --threads 2 --txs 50 --mode closed --out "$SMOKE_OUT/BENCH_smoke.json"
+echo "ok: 100-tx burst committed and all receipts decrypted"
+
+kill "$NODE_PID" 2>/dev/null || true
+trap - EXIT
+
+echo "== BENCH_net.json schema check =="
+# Guard against schema drift in both the freshly emitted smoke report and
+# the checked-in results/BENCH_net.json.
+for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
+    for key in '"schema_version"' '"bench"' '"machine"' '"cores"' \
+               '"workloads"' '"mode"' '"txs_submitted"' '"txs_accepted"' \
+               '"busy_rejects"' '"busy_reject_rate"' '"receipts_verified"' \
+               '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"'; do
+        if ! grep -q "$key" "$f"; then
+            echo "FAIL: $f missing schema key $key" >&2
+            exit 1
+        fi
+    done
+    echo "ok: $f matches the BENCH_net schema"
+done
+rm -rf "$SMOKE_OUT"
+
 echo "All checks passed."

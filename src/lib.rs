@@ -44,6 +44,7 @@ pub use confide_core as core;
 pub use confide_crypto as crypto;
 pub use confide_evm as evm;
 pub use confide_lang as lang;
+pub use confide_net as net;
 pub use confide_sim as sim;
 pub use confide_storage as storage;
 pub use confide_tee as tee;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confide-60731af1c66ae27c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide-60731af1c66ae27c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide-87879351c92a313d.d: src/lib.rs
+
+/root/repo/target/debug/deps/confide-87879351c92a313d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/confide-da71c0017fe6bfb7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconfide-da71c0017fe6bfb7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconfide-da71c0017fe6bfb7.rmeta: src/lib.rs
+
+src/lib.rs:

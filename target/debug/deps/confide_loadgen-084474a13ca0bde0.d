@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide_loadgen-084474a13ca0bde0.d: crates/net/src/bin/confide-loadgen.rs
+
+/root/repo/target/debug/deps/confide_loadgen-084474a13ca0bde0: crates/net/src/bin/confide-loadgen.rs
+
+crates/net/src/bin/confide-loadgen.rs:

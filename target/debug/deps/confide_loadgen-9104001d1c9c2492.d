@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide_loadgen-9104001d1c9c2492.d: crates/net/src/bin/confide-loadgen.rs
+
+/root/repo/target/debug/deps/confide_loadgen-9104001d1c9c2492: crates/net/src/bin/confide-loadgen.rs
+
+crates/net/src/bin/confide-loadgen.rs:

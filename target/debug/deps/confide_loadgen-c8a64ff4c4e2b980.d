@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confide_loadgen-c8a64ff4c4e2b980.d: crates/net/src/bin/confide-loadgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_loadgen-c8a64ff4c4e2b980.rmeta: crates/net/src/bin/confide-loadgen.rs Cargo.toml
+
+crates/net/src/bin/confide-loadgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/confide_net-1a5db45000fba0da.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libconfide_net-1a5db45000fba0da.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libconfide_net-1a5db45000fba0da.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/demo.rs:
+crates/net/src/frame.rs:
+crates/net/src/loadgen.rs:
+crates/net/src/server.rs:

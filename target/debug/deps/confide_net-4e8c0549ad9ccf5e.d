@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/confide_net-4e8c0549ad9ccf5e.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_net-4e8c0549ad9ccf5e.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/demo.rs:
+crates/net/src/frame.rs:
+crates/net/src/loadgen.rs:
+crates/net/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/confide_net-794204363ef69f20.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/confide_net-794204363ef69f20: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/demo.rs:
+crates/net/src/frame.rs:
+crates/net/src/loadgen.rs:
+crates/net/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confide_node-4eeee0204e304529.d: crates/net/src/bin/confide-node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfide_node-4eeee0204e304529.rmeta: crates/net/src/bin/confide-node.rs Cargo.toml
+
+crates/net/src/bin/confide-node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide_node-7b0595ca6a3fa0b0.d: crates/net/src/bin/confide-node.rs
+
+/root/repo/target/debug/deps/confide_node-7b0595ca6a3fa0b0: crates/net/src/bin/confide-node.rs
+
+crates/net/src/bin/confide-node.rs:

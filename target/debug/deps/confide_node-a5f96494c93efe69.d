@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confide_node-a5f96494c93efe69.d: crates/net/src/bin/confide-node.rs
+
+/root/repo/target/debug/deps/confide_node-a5f96494c93efe69: crates/net/src/bin/confide-node.rs
+
+crates/net/src/bin/confide-node.rs:

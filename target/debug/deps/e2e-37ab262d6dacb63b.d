@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-37ab262d6dacb63b.d: crates/net/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-37ab262d6dacb63b: crates/net/tests/e2e.rs
+
+crates/net/tests/e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e-bca860a305b5588a.d: crates/net/tests/e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e-bca860a305b5588a.rmeta: crates/net/tests/e2e.rs Cargo.toml
+
+crates/net/tests/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-a462a0e8111e7c4d.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-a462a0e8111e7c4d: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_robustness-bb5aee0cb2f2a7b8.d: tests/fuzz_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_robustness-bb5aee0cb2f2a7b8.rmeta: tests/fuzz_robustness.rs Cargo.toml
+
+tests/fuzz_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

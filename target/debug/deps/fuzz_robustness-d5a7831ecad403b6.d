@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_robustness-d5a7831ecad403b6.d: tests/fuzz_robustness.rs
+
+/root/repo/target/debug/deps/fuzz_robustness-d5a7831ecad403b6: tests/fuzz_robustness.rs
+
+tests/fuzz_robustness.rs:

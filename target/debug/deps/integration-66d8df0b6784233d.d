@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-66d8df0b6784233d.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-66d8df0b6784233d: tests/integration.rs
+
+tests/integration.rs:

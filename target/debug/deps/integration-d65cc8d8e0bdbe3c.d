@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-d65cc8d8e0bdbe3c.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-d65cc8d8e0bdbe3c.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint_property-270cc5163cacb2d6.d: tests/lint_property.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_property-270cc5163cacb2d6.rmeta: tests/lint_property.rs Cargo.toml
+
+tests/lint_property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_property-4b1b156e4fc2c805.d: tests/lint_property.rs
+
+/root/repo/target/debug/deps/lint_property-4b1b156e4fc2c805: tests/lint_property.rs
+
+tests/lint_property.rs:

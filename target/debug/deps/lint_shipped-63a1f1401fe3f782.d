@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint_shipped-63a1f1401fe3f782.d: tests/lint_shipped.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_shipped-63a1f1401fe3f782.rmeta: tests/lint_shipped.rs Cargo.toml
+
+tests/lint_shipped.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

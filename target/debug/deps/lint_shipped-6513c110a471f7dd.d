@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_shipped-6513c110a471f7dd.d: tests/lint_shipped.rs
+
+/root/repo/target/debug/deps/lint_shipped-6513c110a471f7dd: tests/lint_shipped.rs
+
+tests/lint_shipped.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-ba2701b43c74a9e9.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-ba2701b43c74a9e9: tests/property.rs
+
+tests/property.rs:

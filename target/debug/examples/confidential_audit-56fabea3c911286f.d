@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/confidential_audit-56fabea3c911286f.d: examples/confidential_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfidential_audit-56fabea3c911286f.rmeta: examples/confidential_audit.rs Cargo.toml
+
+examples/confidential_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

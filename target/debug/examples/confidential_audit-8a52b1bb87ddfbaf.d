@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/confidential_audit-8a52b1bb87ddfbaf.d: examples/confidential_audit.rs
+
+/root/repo/target/debug/examples/confidential_audit-8a52b1bb87ddfbaf: examples/confidential_audit.rs
+
+examples/confidential_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-39f2d2b7771d5287.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-39f2d2b7771d5287: examples/quickstart.rs
+
+examples/quickstart.rs:

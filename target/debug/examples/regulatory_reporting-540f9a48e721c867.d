@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regulatory_reporting-540f9a48e721c867.d: examples/regulatory_reporting.rs
+
+/root/repo/target/debug/examples/regulatory_reporting-540f9a48e721c867: examples/regulatory_reporting.rs
+
+examples/regulatory_reporting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/regulatory_reporting-59402e9c3f118598.d: examples/regulatory_reporting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libregulatory_reporting-59402e9c3f118598.rmeta: examples/regulatory_reporting.rs Cargo.toml
+
+examples/regulatory_reporting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

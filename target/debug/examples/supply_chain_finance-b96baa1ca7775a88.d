@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supply_chain_finance-b96baa1ca7775a88.d: examples/supply_chain_finance.rs
+
+/root/repo/target/debug/examples/supply_chain_finance-b96baa1ca7775a88: examples/supply_chain_finance.rs
+
+examples/supply_chain_finance.rs:

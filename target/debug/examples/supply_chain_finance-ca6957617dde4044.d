@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/supply_chain_finance-ca6957617dde4044.d: examples/supply_chain_finance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsupply_chain_finance-ca6957617dde4044.rmeta: examples/supply_chain_finance.rs Cargo.toml
+
+examples/supply_chain_finance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

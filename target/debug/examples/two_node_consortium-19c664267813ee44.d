@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/two_node_consortium-19c664267813ee44.d: examples/two_node_consortium.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtwo_node_consortium-19c664267813ee44.rmeta: examples/two_node_consortium.rs Cargo.toml
+
+examples/two_node_consortium.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

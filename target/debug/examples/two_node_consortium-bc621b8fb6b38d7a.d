@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_node_consortium-bc621b8fb6b38d7a.d: examples/two_node_consortium.rs
+
+/root/repo/target/debug/examples/two_node_consortium-bc621b8fb6b38d7a: examples/two_node_consortium.rs
+
+examples/two_node_consortium.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/confide-a27da94e7e5e98d1.d: src/lib.rs
+
+/root/repo/target/release/deps/libconfide-a27da94e7e5e98d1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconfide-a27da94e7e5e98d1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/confide_loadgen-99f8898f89eb8776.d: crates/net/src/bin/confide-loadgen.rs
+
+/root/repo/target/release/deps/confide_loadgen-99f8898f89eb8776: crates/net/src/bin/confide-loadgen.rs
+
+crates/net/src/bin/confide-loadgen.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/confide_net-acea94727d45c366.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libconfide_net-acea94727d45c366.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libconfide_net-acea94727d45c366.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/demo.rs crates/net/src/frame.rs crates/net/src/loadgen.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/demo.rs:
+crates/net/src/frame.rs:
+crates/net/src/loadgen.rs:
+crates/net/src/server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/confide_node-9046f3aee9c77041.d: crates/net/src/bin/confide-node.rs
+
+/root/repo/target/release/deps/confide_node-9046f3aee9c77041: crates/net/src/bin/confide-node.rs
+
+crates/net/src/bin/confide-node.rs:

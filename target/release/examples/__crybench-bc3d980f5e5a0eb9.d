@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__crybench-bc3d980f5e5a0eb9.d: examples/__crybench.rs
+
+/root/repo/target/release/examples/__crybench-bc3d980f5e5a0eb9: examples/__crybench.rs
+
+examples/__crybench.rs:

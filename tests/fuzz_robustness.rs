@@ -221,3 +221,86 @@ fn leb128_reader_never_panics() {
         let _ = confide::vm::leb::read_i64(&bytes);
     }
 }
+
+// ── net frame codec (PR 2) ──────────────────────────────────────────────
+// The framed transport is the first parser an attacker reaches: anything
+// a TCP peer writes lands in `read_frame` / `Message::from_payload`.
+
+#[test]
+fn net_read_frame_on_garbage_never_panics() {
+    use confide::net::frame::read_frame;
+    let mut rng = HmacDrbg::from_u64(0xf00d);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, 512);
+        let _ = read_frame(&mut bytes.as_slice(), 256);
+        // Same bytes under a tiny cap: oversized path, still no panic.
+        let _ = read_frame(&mut bytes.as_slice(), 8);
+    }
+}
+
+#[test]
+fn net_message_payload_decode_never_panics() {
+    use confide::net::frame::Message;
+    let mut rng = HmacDrbg::from_u64(0xf00e);
+    for _ in 0..CASES {
+        // Pure garbage payloads...
+        let bytes = gen_vec(&mut rng, 300);
+        let _ = Message::from_payload(&bytes);
+        // ...and payloads with a valid version byte and a plausible kind,
+        // so every per-kind body parser sees adversarial bytes.
+        let mut framed = vec![confide::net::WIRE_VERSION, (rng.gen_range(16) as u8) | 0x80];
+        framed.extend_from_slice(&gen_vec(&mut rng, 300));
+        let _ = Message::from_payload(&framed);
+        framed[1] &= 0x0f; // request-kind range
+        let _ = Message::from_payload(&framed);
+    }
+}
+
+#[test]
+fn net_truncated_frames_error_not_panic() {
+    use confide::net::frame::{read_frame, FrameError, Message};
+    let mut rng = HmacDrbg::from_u64(0xf00f);
+    let msgs = [
+        Message::Rejected("some failure text".into()),
+        Message::ReceiptIs(vec![0xab; 90]),
+        Message::GetReceipt([6u8; 32]),
+        Message::Committed {
+            sealed: true,
+            receipt: vec![1, 2, 3, 4],
+        },
+    ];
+    for _ in 0..CASES {
+        let msg = &msgs[rng.gen_range(msgs.len() as u64) as usize];
+        let frame = msg.to_frame();
+        let cut = rng.gen_range(frame.len() as u64) as usize;
+        match read_frame(&mut (&frame[..cut]), 1 << 20) {
+            Ok(None) => assert_eq!(cut, 0, "clean EOF only at a frame boundary"),
+            Ok(Some(_)) => panic!("truncated frame parsed"),
+            Err(FrameError::Truncated) => {}
+            Err(e) => panic!("unexpected error on truncation: {e}"),
+        }
+    }
+}
+
+#[test]
+fn net_frame_round_trips_random_contents() {
+    use confide::net::frame::{read_frame, Message};
+    let mut rng = HmacDrbg::from_u64(0xf010);
+    for _ in 0..CASES {
+        let msg = match rng.gen_range(5) {
+            0 => Message::Rejected(gen_ascii(&mut rng, 64)),
+            1 => Message::ReceiptIs(gen_vec(&mut rng, 200)),
+            2 => Message::GetReceipt(rng.gen32()),
+            3 => Message::Accepted(rng.gen32()),
+            _ => Message::Committed {
+                sealed: rng.gen_range(2) == 1,
+                receipt: gen_vec(&mut rng, 200),
+            },
+        };
+        let frame = msg.to_frame();
+        let parsed = read_frame(&mut frame.as_slice(), 1 << 20)
+            .expect("valid frame")
+            .expect("one message");
+        assert_eq!(parsed, msg);
+    }
+}
