@@ -24,5 +24,5 @@ pub mod sched;
 pub mod types;
 
 pub use pbft::{ChainConfig, ChainReport, ChainSim};
-pub use sched::makespan;
+pub use sched::{assign, conflict_groups, makespan, worker_loads, SchedError};
 pub use types::{SimTx, TxClass};

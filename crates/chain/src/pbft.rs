@@ -458,7 +458,11 @@ impl ChainSim {
                 (tx.execution_phase_cycles(preverify), tx.conflict_key)
             })
             .collect();
-        let cycles = self.config.block_overhead_cycles + makespan(&jobs, self.config.threads);
+        // A zero-thread config cannot execute anything; treat it as one
+        // worker rather than wedging the simulation.
+        let exec_cycles =
+            makespan(&jobs, self.config.threads.max(1)).expect("threads clamped to >= 1");
+        let cycles = self.config.block_overhead_cycles + exec_cycles;
         let exec_ns = self.config.model.cycles_to_ns(cycles);
         if node == 0 {
             self.exec_times.push(exec_ns);

@@ -3,60 +3,186 @@
 //!
 //! Transactions with the same conflict key (same account hot-spot, same
 //! contract partition) must run serially; independent groups run on
-//! different worker threads. The makespan is computed with longest-
-//! processing-time-first assignment — a standard 4/3-approximation that
-//! models a work-stealing executor well.
+//! different worker threads. Assignment is longest-processing-time-first
+//! — a standard 4/3-approximation that models a work-stealing executor
+//! well.
+//!
+//! Since PR 4 this module is no longer simulation-only: the same
+//! [`assign`] that prices makespans in the PBFT simulator drives the
+//! *real* worker pool in `confide_core::node::ConfideNode::
+//! execute_block_parallel`, and [`conflict_groups`] is the union-find
+//! grouping the executor applies to measured read/write sets. The model
+//! and the system measure the same thing.
 //!
 //! This is exactly why the paper sees "no further improvement when the
 //! number of thread increases to 6": once the biggest conflict group
 //! dominates, extra workers idle.
 
+/// Scheduling failures on untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedError {
+    /// A schedule over zero workers was requested.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::ZeroThreads => f.write_str("schedule requested for 0 threads"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
 /// Makespan (cycles) of executing `txs` = (cycles, conflict_key) pairs on
-/// `threads` workers with per-group serialization.
-pub fn makespan(txs: &[(u64, u64)], threads: usize) -> u64 {
-    assert!(threads > 0);
+/// `threads` workers with per-group serialization. An empty workload is
+/// `Ok(0)`; zero workers is a typed error, never a panic (the thread
+/// count can come from untrusted config).
+pub fn makespan(txs: &[(u64, u64)], threads: usize) -> Result<u64, SchedError> {
+    if threads == 0 {
+        return Err(SchedError::ZeroThreads);
+    }
     if txs.is_empty() {
-        return 0;
+        return Ok(0);
     }
     // Group totals.
     let mut groups: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     for (cycles, key) in txs {
         *groups.entry(*key).or_insert(0) += cycles;
     }
-    let mut loads: Vec<u64> = groups.into_values().collect();
-    // LPT: biggest groups first onto the least-loaded worker.
-    loads.sort_unstable_by(|a, b| b.cmp(a));
-    let mut workers = vec![0u64; threads];
-    for load in loads {
-        let min = workers.iter_mut().min().expect("threads > 0");
-        *min += load;
+    let loads: Vec<u64> = groups.into_values().collect();
+    let assignment = assign(&loads, threads)?;
+    Ok(worker_loads(&assignment, &loads)
+        .into_iter()
+        .max()
+        .unwrap_or(0))
+}
+
+/// LPT assignment of conflict-group loads onto `threads` workers: heaviest
+/// group first, onto the least-loaded worker. Returns, per worker, the
+/// indices into `loads` it executes (in descending-load order). This is
+/// the schedule the real block executor hands to its worker pool.
+///
+/// Deterministic: ties (equal loads, equal worker fill) break toward the
+/// lower group index / lower worker index, so every replica computes the
+/// identical schedule.
+pub fn assign(loads: &[u64], threads: usize) -> Result<Vec<Vec<usize>>, SchedError> {
+    if threads == 0 {
+        return Err(SchedError::ZeroThreads);
     }
-    workers.into_iter().max().unwrap_or(0)
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    // Descending by load, ascending by index on ties.
+    order.sort_by(|&a, &b| loads[b].cmp(&loads[a]).then(a.cmp(&b)));
+    let mut workers: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut fill = vec![0u64; threads];
+    for g in order {
+        let w = fill
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &c)| (c, i))
+            .map(|(i, _)| i)
+            .expect("threads > 0");
+        fill[w] += loads[g];
+        workers[w].push(g);
+    }
+    Ok(workers)
+}
+
+/// Total load per worker under `assignment` (as produced by [`assign`]).
+pub fn worker_loads(assignment: &[Vec<usize>], loads: &[u64]) -> Vec<u64> {
+    assignment
+        .iter()
+        .map(|groups| {
+            groups
+                .iter()
+                .map(|&g| loads.get(g).copied().unwrap_or(0))
+                .sum()
+        })
+        .collect()
+}
+
+/// Union-find grouping of transactions by overlapping read/write sets:
+/// two transactions conflict (must serialize, in submission order) when
+/// either touches a key the other *writes*. `touched[i]` / `written[i]`
+/// are transaction `i`'s read∪write and write key sets.
+///
+/// Returns the conflict groups ordered by their smallest member index,
+/// each group's members ascending — the serial-equivalent execution
+/// order within a group is exactly submission order.
+pub fn conflict_groups(
+    touched: &[std::collections::BTreeSet<Vec<u8>>],
+    written: &[std::collections::BTreeSet<Vec<u8>>],
+) -> Vec<Vec<usize>> {
+    let n = touched.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            // Root at the smaller index so group identity is the first tx.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi] = lo;
+        }
+    };
+    // Writer index per key: the first writer claims the key; every later
+    // toucher of the key unions with it (and a later writer re-claims,
+    // keeping the chain connected).
+    let mut owner: std::collections::HashMap<&[u8], usize> = std::collections::HashMap::new();
+    for (i, keys) in written.iter().enumerate() {
+        for key in keys {
+            if let Some(&w) = owner.get(key.as_slice()) {
+                union(&mut parent, w, i);
+            }
+            owner.insert(key.as_slice(), i);
+        }
+    }
+    for (i, keys) in touched.iter().enumerate() {
+        for key in keys {
+            if let Some(&w) = owner.get(key.as_slice()) {
+                union(&mut parent, w, i);
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    groups.into_values().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn single_thread_is_total_sum() {
         let txs: Vec<(u64, u64)> = (0..10).map(|i| (100, i)).collect();
-        assert_eq!(makespan(&txs, 1), 1000);
+        assert_eq!(makespan(&txs, 1), Ok(1000));
     }
 
     #[test]
     fn independent_txs_scale_with_threads() {
         let txs: Vec<(u64, u64)> = (0..8).map(|i| (100, i)).collect();
-        assert_eq!(makespan(&txs, 4), 200);
-        assert_eq!(makespan(&txs, 8), 100);
+        assert_eq!(makespan(&txs, 4), Ok(200));
+        assert_eq!(makespan(&txs, 8), Ok(100));
     }
 
     #[test]
     fn conflicting_txs_serialize() {
         // All in one group: threads don't help.
         let txs: Vec<(u64, u64)> = (0..8).map(|_| (100, 42)).collect();
-        assert_eq!(makespan(&txs, 1), 800);
-        assert_eq!(makespan(&txs, 8), 800);
+        assert_eq!(makespan(&txs, 1), Ok(800));
+        assert_eq!(makespan(&txs, 8), Ok(800));
     }
 
     #[test]
@@ -67,22 +193,128 @@ mod tests {
         for i in 0..100u64 {
             txs.push((1000, i % 4));
         }
-        let t1 = makespan(&txs, 1);
-        let t4 = makespan(&txs, 4);
-        let t6 = makespan(&txs, 6);
+        let t1 = makespan(&txs, 1).unwrap();
+        let t4 = makespan(&txs, 4).unwrap();
+        let t6 = makespan(&txs, 6).unwrap();
         assert!(t1 >= 2 * t4, "t1={t1} t4={t4}");
         assert_eq!(t4, t6, "no benefit past the conflict-group count");
     }
 
     #[test]
     fn empty_block_is_zero() {
-        assert_eq!(makespan(&[], 4), 0);
+        assert_eq!(makespan(&[], 4), Ok(0));
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_error_not_a_panic() {
+        assert_eq!(makespan(&[(100, 1)], 0), Err(SchedError::ZeroThreads));
+        assert_eq!(makespan(&[], 0), Err(SchedError::ZeroThreads));
+        assert_eq!(assign(&[5], 0), Err(SchedError::ZeroThreads));
     }
 
     #[test]
     fn lpt_balances_uneven_groups() {
         // Groups 9, 5, 4, 3, 3 on 2 workers: LPT → {9,3} vs {5,4,3} = 12.
         let txs = vec![(9, 0), (5, 1), (4, 2), (3, 3), (3, 4)];
-        assert_eq!(makespan(&txs, 2), 12);
+        assert_eq!(makespan(&txs, 2), Ok(12));
+    }
+
+    #[test]
+    fn assign_covers_every_group_exactly_once() {
+        let loads = vec![9, 5, 4, 3, 3, 0, 7];
+        let assignment = assign(&loads, 3).unwrap();
+        let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..loads.len()).collect::<Vec<_>>());
+        // Makespan of the concrete assignment matches the model.
+        let ms = worker_loads(&assignment, &loads).into_iter().max().unwrap();
+        let txs: Vec<(u64, u64)> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u64))
+            .collect();
+        assert_eq!(makespan(&txs, 3).unwrap(), ms);
+    }
+
+    #[test]
+    fn makespan_bounds_hold_on_randomized_workloads() {
+        // Deterministic pseudo-random workloads: the LPT makespan must lie
+        // between max(longest group, ceil(total/threads)) and the serial
+        // total, and shrink monotonically in the thread count.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = (next() % 40 + 1) as usize;
+            let txs: Vec<(u64, u64)> = (0..n).map(|_| (next() % 10_000 + 1, next() % 8)).collect();
+            let total: u64 = txs.iter().map(|t| t.0).sum();
+            let mut group_tot: std::collections::HashMap<u64, u64> = Default::default();
+            for (c, k) in &txs {
+                *group_tot.entry(*k).or_insert(0) += c;
+            }
+            let biggest = group_tot.values().copied().max().unwrap();
+            let mut prev = u64::MAX;
+            for threads in 1..=8usize {
+                let ms = makespan(&txs, threads).unwrap();
+                let lower = biggest.max(total.div_ceil(threads as u64));
+                assert!(ms >= lower, "ms {ms} below bound {lower}");
+                assert!(ms <= total, "ms {ms} above serial {total}");
+                assert!(ms <= prev, "makespan grew with more threads");
+                prev = ms;
+            }
+            assert_eq!(makespan(&txs, 1).unwrap(), total);
+        }
+    }
+
+    fn set(keys: &[&[u8]]) -> BTreeSet<Vec<u8>> {
+        keys.iter().map(|k| k.to_vec()).collect()
+    }
+
+    #[test]
+    fn conflict_groups_split_independent_txs() {
+        let touched = vec![set(&[b"a"]), set(&[b"b"]), set(&[b"c"])];
+        let written = touched.clone();
+        assert_eq!(
+            conflict_groups(&touched, &written),
+            vec![vec![0], vec![1], vec![2]]
+        );
+    }
+
+    #[test]
+    fn conflict_groups_merge_on_read_write_overlap() {
+        // tx0 writes k; tx1 only reads k; tx2 independent; tx3 reads what
+        // tx2 writes. Read-read sharing (tx4, tx5 on r) does NOT merge.
+        let touched = vec![
+            set(&[b"k"]),
+            set(&[b"k", b"x"]),
+            set(&[b"m"]),
+            set(&[b"m", b"y"]),
+            set(&[b"r"]),
+            set(&[b"r"]),
+        ];
+        let written = vec![
+            set(&[b"k"]),
+            set(&[b"x"]),
+            set(&[b"m"]),
+            set(&[b"y"]),
+            set(&[]),
+            set(&[]),
+        ];
+        assert_eq!(
+            conflict_groups(&touched, &written),
+            vec![vec![0, 1], vec![2, 3], vec![4], vec![5]]
+        );
+    }
+
+    #[test]
+    fn conflict_groups_chain_through_shared_writer() {
+        // w-w chain: tx0 and tx2 write k, tx1 reads k → all one group.
+        let touched = vec![set(&[b"k"]), set(&[b"k"]), set(&[b"k"])];
+        let written = vec![set(&[b"k"]), set(&[]), set(&[b"k"])];
+        assert_eq!(conflict_groups(&touched, &written), vec![vec![0, 1, 2]]);
     }
 }

@@ -2,11 +2,39 @@
 //! become the block's write batch at commit.
 
 use crate::counters::OpCounters;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One undo-journal record: the written key plus the overlay entry it
 /// displaced (`None` when the key was absent from the overlay).
 type JournalEntry = (Vec<u8>, Option<Option<Vec<u8>>>);
+
+/// The read and write key sets one transaction touched while journaled —
+/// the raw material for conflict grouping in the parallel block executor
+/// (§6.2). Keys are full storage keys (contract-prefixed); `BTreeSet`
+/// keeps iteration deterministic across replicas.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RwSet {
+    /// Every key the transaction read (from overlay, cache, or database).
+    pub reads: BTreeSet<Vec<u8>>,
+    /// Every key the transaction wrote (including deletions).
+    pub writes: BTreeSet<Vec<u8>>,
+}
+
+impl RwSet {
+    /// All keys the transaction touched: reads ∪ writes.
+    pub fn touched(&self) -> BTreeSet<Vec<u8>> {
+        self.reads.union(&self.writes).cloned().collect()
+    }
+
+    /// True when `self` wrote a key the `other` transaction touched, or
+    /// vice versa — the two must serialize.
+    pub fn conflicts_with(&self, other: &RwSet) -> bool {
+        self.writes
+            .iter()
+            .any(|k| other.reads.contains(k) || other.writes.contains(k))
+            || other.writes.iter().any(|k| self.reads.contains(k))
+    }
+}
 
 /// Mutable execution state threaded through all transactions of one block.
 #[derive(Default)]
@@ -30,6 +58,8 @@ pub struct ExecContext {
     journal: Vec<JournalEntry>,
     /// Whether writes are currently journaled.
     journaling: bool,
+    /// Read/write key sets of the journaled transaction (reset per tx).
+    rw: RwSet,
 }
 
 impl ExecContext {
@@ -61,8 +91,18 @@ impl ExecContext {
         if self.journaling {
             self.journal
                 .push((key.clone(), self.overlay.get(&key).cloned()));
+            self.rw.writes.insert(key.clone());
         }
         self.overlay.insert(key, value);
+    }
+
+    /// Record that the journaled transaction read `key` (whether it hit
+    /// the overlay, the cache, or the database — a miss is still a read
+    /// dependency). No-op outside a journaled transaction.
+    pub fn note_read(&mut self, key: &[u8]) {
+        if self.journaling && !self.rw.reads.contains(key) {
+            self.rw.reads.insert(key.to_vec());
+        }
     }
 
     /// Start journaling overlay writes for one transaction so a mid-block
@@ -70,19 +110,27 @@ impl ExecContext {
     /// lenient server-side execution path of `confide-net`).
     pub fn begin_tx(&mut self) {
         self.journal.clear();
+        self.rw = RwSet::default();
         self.journaling = true;
     }
 
     /// Accept the current transaction's writes and stop journaling.
-    pub fn commit_tx(&mut self) {
+    /// Returns the transaction's read/write key sets for conflict
+    /// grouping.
+    pub fn commit_tx(&mut self) -> RwSet {
         self.journal.clear();
         self.journaling = false;
+        std::mem::take(&mut self.rw)
     }
 
     /// Undo every overlay write made since [`ExecContext::begin_tx`] and
     /// discard the transaction's counters and logs. The read cache is
     /// deliberately kept: database reads are idempotent and stay valid.
-    pub fn rollback_tx(&mut self) {
+    ///
+    /// Still returns the read/write sets: a *failed* transaction's reads
+    /// are real dependencies (it observed state before aborting), so the
+    /// parallel executor must schedule it like any other.
+    pub fn rollback_tx(&mut self) -> RwSet {
         while let Some((key, prior)) = self.journal.pop() {
             match prior {
                 Some(entry) => {
@@ -96,6 +144,7 @@ impl ExecContext {
         self.journaling = false;
         self.counters = OpCounters::default();
         self.logs.clear();
+        std::mem::take(&mut self.rw)
     }
 
     /// Record a database read in the cache.
@@ -154,6 +203,49 @@ mod tests {
         ctx.commit_tx();
         ctx.rollback_tx(); // nothing journaled — no-op on the overlay
         assert_eq!(ctx.lookup(b"k"), Some(Some(&b"v".to_vec())));
+    }
+
+    #[test]
+    fn rw_sets_track_only_while_journaled() {
+        let mut ctx = ExecContext::new();
+        // Outside a tx: nothing tracked.
+        ctx.write(b"pre".to_vec(), Some(b"v".to_vec()));
+        ctx.note_read(b"pre");
+
+        ctx.begin_tx();
+        ctx.note_read(b"r1");
+        ctx.note_read(b"r1"); // duplicate reads collapse
+        ctx.write(b"w1".to_vec(), Some(b"v".to_vec()));
+        ctx.write(b"w1".to_vec(), None); // duplicate writes collapse
+        let rw = ctx.commit_tx();
+        assert_eq!(rw.reads, [b"r1".to_vec()].into_iter().collect());
+        assert_eq!(rw.writes, [b"w1".to_vec()].into_iter().collect());
+
+        // The next tx starts from empty sets; rollback returns them too.
+        ctx.begin_tx();
+        ctx.note_read(b"r2");
+        ctx.write(b"w2".to_vec(), Some(b"v".to_vec()));
+        let rw = ctx.rollback_tx();
+        assert_eq!(rw.reads, [b"r2".to_vec()].into_iter().collect());
+        assert_eq!(rw.writes, [b"w2".to_vec()].into_iter().collect());
+        assert_eq!(ctx.lookup(b"w2"), None, "rollback undid the write");
+    }
+
+    #[test]
+    fn rwset_conflict_rules() {
+        let mk = |reads: &[&[u8]], writes: &[&[u8]]| RwSet {
+            reads: reads.iter().map(|k| k.to_vec()).collect(),
+            writes: writes.iter().map(|k| k.to_vec()).collect(),
+        };
+        let w = mk(&[], &[b"k"]);
+        let r = mk(&[b"k"], &[]);
+        let other = mk(&[b"x"], &[b"y"]);
+        assert!(w.conflicts_with(&r), "write vs read conflicts");
+        assert!(r.conflicts_with(&w), "symmetric");
+        assert!(w.conflicts_with(&w), "write vs write conflicts");
+        assert!(!r.conflicts_with(&r), "read vs read is fine");
+        assert!(!w.conflicts_with(&other), "disjoint keys are fine");
+        assert_eq!(r.touched(), [b"k".to_vec()].into_iter().collect());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct OpCounters {
     pub state_crypto_bytes: u64,
     /// SDM read-cache hits (decryptions avoided).
     pub cache_hits: u64,
+    /// The memory-pool-miss share of `contract_cycles` (fresh EPC page
+    /// commits). Tracked separately because it depends on pool pressure —
+    /// i.e. on concurrency — so the parallel executor excludes it from
+    /// its deterministic load estimates.
+    pub mem_commit_cycles: u64,
 }
 
 impl OpCounters {
@@ -54,6 +59,17 @@ impl OpCounters {
         self.ocalls += other.ocalls;
         self.state_crypto_bytes += other.state_crypto_bytes;
         self.cache_hits += other.cache_hits;
+        self.mem_commit_cycles += other.mem_commit_cycles;
+    }
+
+    /// Sum a collection of counter sets — per-worker aggregation for the
+    /// parallel block executor and the bench reporters.
+    pub fn sum<'a>(sets: impl IntoIterator<Item = &'a OpCounters>) -> OpCounters {
+        let mut total = OpCounters::default();
+        for c in sets {
+            total.add(c);
+        }
+        total
     }
 
     /// Total attributed cycles.

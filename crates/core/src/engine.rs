@@ -579,6 +579,7 @@ impl Engine {
             };
             nonce_key.extend_from_slice(&raw.sender);
             let fk = full_key(&SYSTEM_KTX_ADDR, &nonce_key);
+            ctx.note_read(&fk);
             let last = match ctx.lookup(&fk).map(|v| v.cloned()) {
                 Some(v) => v,
                 None => {
@@ -717,6 +718,7 @@ impl Engine {
                     // linear memory (OPT1's memory pool avoids this).
                     let pages = (vm.memory_size() as u64).div_ceil(4096);
                     ctx.counters.contract_cycles += pages * MEM_COMMIT_CYCLES_PER_PAGE;
+                    ctx.counters.mem_commit_cycles += pages * MEM_COMMIT_CYCLES_PER_PAGE;
                 }
                 let mut sdm = Sdm {
                     engine: self,
@@ -952,6 +954,7 @@ struct Sdm<'a> {
 impl<'a> Sdm<'a> {
     fn read(&mut self, key: &[u8]) -> Option<Vec<u8>> {
         let fk = full_key(&self.contract, key);
+        self.ctx.note_read(&fk);
         self.ctx.counters.get_storage += 1;
         if let Some(hit) = self.ctx.lookup(&fk).map(|v| v.cloned()) {
             // SDM memory cache: no ocall, no decryption.

@@ -4,7 +4,8 @@
 //! ```text
 //! confide-loadgen [--addr HOST:PORT | --self-host] [--threads N]
 //!                 [--txs N] [--mode closed|open|both] [--public]
-//!                 [--window N] [--queue-depth N] [--out PATH]
+//!                 [--window N] [--queue-depth N] [--exec-threads N]
+//!                 [--out PATH]
 //! ```
 //!
 //! With `--self-host` (the default when `--addr` is absent) the binary
@@ -14,14 +15,15 @@
 //! doubles as an end-to-end confidentiality check.
 
 use confide_net::demo::demo_node;
-use confide_net::loadgen::{run, to_json, LoadReport, LoadgenConfig};
+use confide_net::loadgen::{run, run_parallel_scaling, to_json, LoadReport, LoadgenConfig};
 use confide_net::{NodeServer, ServerConfig};
 use std::net::SocketAddr;
 
 fn usage() -> ! {
     eprintln!(
         "usage: confide-loadgen [--addr HOST:PORT | --self-host] [--threads N] [--txs N] \
-         [--mode closed|open|both] [--public] [--window N] [--queue-depth N] [--out PATH]"
+         [--mode closed|open|both] [--public] [--window N] [--queue-depth N] \
+         [--exec-threads N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -45,6 +47,7 @@ fn main() {
     let mut confidential = true;
     let mut window: usize = 64;
     let mut queue_depth: usize = ServerConfig::default().queue_depth;
+    let mut exec_threads: usize = ServerConfig::default().exec_threads;
     let mut out = String::from("results/BENCH_net.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,6 +60,7 @@ fn main() {
             "--public" => confidential = false,
             "--window" => window = parse("--window", args.next()),
             "--queue-depth" => queue_depth = parse("--queue-depth", args.next()),
+            "--exec-threads" => exec_threads = parse("--exec-threads", args.next()),
             "--out" => out = parse("--out", args.next()),
             "--help" | "-h" => usage(),
             other => {
@@ -76,6 +80,7 @@ fn main() {
 
     let server_cfg = ServerConfig {
         queue_depth,
+        exec_threads,
         ..ServerConfig::default()
     };
     // Keep the in-process server alive for the whole run.
@@ -144,7 +149,27 @@ fn main() {
         }
     }
 
-    let json = to_json(&reports, &server_cfg);
+    // The §6.2 thread-scaling curves run on an in-process node (the real
+    // parallel executor, virtual-cycle makespan): deterministic, so they
+    // are emitted on every run regardless of --addr.
+    let scaling = match run_parallel_scaling(7) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("confide-loadgen: parallel scaling run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for s in &scaling {
+        for p in &s.points {
+            eprintln!(
+                "confide-loadgen: parallel_exec {}: {} threads -> {:.3} ms makespan, \
+                 {:.0} model tx/s, {:.2}x vs 1 thread",
+                s.workload, p.threads, p.makespan_ms, p.model_tps, p.speedup_vs_1
+            );
+        }
+    }
+
+    let json = to_json(&reports, &scaling, &server_cfg);
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N]
+//!              [--exec-threads N]
 //! ```
 //!
 //! Binds `127.0.0.1:<port>` (`--port 0`, the default, picks an ephemeral
@@ -14,7 +15,10 @@ use confide_net::{NodeServer, ServerConfig};
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N]");
+    eprintln!(
+        "usage: confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N] \
+         [--exec-threads N]"
+    );
     std::process::exit(2);
 }
 
@@ -39,6 +43,7 @@ fn main() {
             "--seed" => seed = parse("--seed", args.next()),
             "--max-batch" => config.max_batch = parse("--max-batch", args.next()),
             "--queue-depth" => config.queue_depth = parse("--queue-depth", args.next()),
+            "--exec-threads" => config.exec_threads = parse("--exec-threads", args.next()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("confide-node: unknown flag {other}");

@@ -15,7 +15,7 @@ use confide_crypto::ed25519::VerifyingKey;
 use confide_crypto::HmacDrbg;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -35,6 +35,9 @@ pub enum NetError {
     /// The attestation report failed verification — `pk_tx` is not to be
     /// trusted (possible MITM key substitution).
     Attestation(String),
+    /// The gateway's connection pool stayed at its cap for the whole
+    /// `pool_wait` window — every lease is held and none came back.
+    PoolExhausted,
 }
 
 impl std::fmt::Display for NetError {
@@ -47,6 +50,7 @@ impl std::fmt::Display for NetError {
             NetError::Busy => f.write_str("server busy (queue full)"),
             NetError::Crypto => f.write_str("cryptographic failure"),
             NetError::Attestation(e) => write!(f, "attestation: {e}"),
+            NetError::PoolExhausted => f.write_str("gateway pool exhausted (lease wait timed out)"),
         }
     }
 }
@@ -265,12 +269,15 @@ impl Client {
 /// most `max_conns` sockets. Lease a connection with
 /// [`Gateway::with_conn`]; the lease returns to the pool on scope exit,
 /// and leases beyond the cap block until one frees up (bounded fan-in —
-/// the gateway itself never amplifies load onto the node).
+/// the gateway itself never amplifies load onto the node). A lease that
+/// waits longer than [`Gateway::set_pool_wait`] fails with
+/// [`NetError::PoolExhausted`] instead of blocking forever.
 pub struct Gateway {
     addr: SocketAddr,
     pool: Mutex<PoolState>,
     available: Condvar,
     max_conns: usize,
+    pool_wait: Duration,
 }
 
 struct PoolState {
@@ -294,6 +301,7 @@ impl Gateway {
             }),
             available: Condvar::new(),
             max_conns: max_conns.max(1),
+            pool_wait: Duration::from_secs(5),
         })
     }
 
@@ -302,7 +310,14 @@ impl Gateway {
         self.addr
     }
 
+    /// Cap how long a lease may wait for a pooled connection before
+    /// failing with [`NetError::PoolExhausted`] (default 5 s).
+    pub fn set_pool_wait(&mut self, wait: Duration) {
+        self.pool_wait = wait;
+    }
+
     fn lease(&self) -> Result<Conn, NetError> {
+        let deadline = Instant::now() + self.pool_wait;
         let mut state = self.pool.lock().expect("pool lock");
         loop {
             if let Some(conn) = state.idle.pop() {
@@ -320,7 +335,17 @@ impl Gateway {
                     }
                 };
             }
-            state = self.available.wait(state).expect("pool lock");
+            // Bounded wait: a stuck or slow peer holding every lease must
+            // surface as a typed error, not an unkillable blocked caller.
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(NetError::PoolExhausted);
+            }
+            let (guard, timeout) = self.available.wait_timeout(state, left).expect("pool lock");
+            state = guard;
+            if timeout.timed_out() && state.idle.is_empty() && state.open >= self.max_conns {
+                return Err(NetError::PoolExhausted);
+            }
         }
     }
 

@@ -8,8 +8,13 @@ use confide_core::node::ConfideNode;
 use confide_crypto::HmacDrbg;
 use confide_tee::platform::TeePlatform;
 
-/// Address of the demo contract.
+/// Address of the confidential demo contract.
 pub const DEMO_CONTRACT: [u8; 32] = [0x42; 32];
+
+/// Address of the *public* demo contract: the same ledger code deployed
+/// without confidentiality, so mixed public/confidential streams exercise
+/// both engines (and both block overlays) in one block.
+pub const DEMO_PUBLIC_CONTRACT: [u8; 32] = [0x43; 32];
 
 /// The demo CCL contract: a per-account balance ledger (the same shape as
 /// the core test contract, so wire-level numbers are comparable with the
@@ -35,6 +40,8 @@ pub fn demo_node(seed: u64) -> ConfideNode {
     let code = confide_lang::build_vm(DEMO_CCL).expect("demo contract compiles");
     node.deploy(DEMO_CONTRACT, &code, VmKind::ConfideVm, true)
         .expect("demo contract deploys");
+    node.deploy(DEMO_PUBLIC_CONTRACT, &code, VmKind::ConfideVm, false)
+        .expect("public demo contract deploys");
     node
 }
 
@@ -52,5 +59,6 @@ mod tests {
         let node = demo_node(7);
         assert_ne!(node.pk_tx(), [0u8; 32]);
         assert!(node.confidential_engine.has_contract(&DEMO_CONTRACT));
+        assert!(node.public_engine.has_contract(&DEMO_PUBLIC_CONTRACT));
     }
 }

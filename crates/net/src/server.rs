@@ -11,7 +11,8 @@
 //!              bounded mpsc batching queue ──► batcher thread
 //!                     │ full ⇒ Busy                │ drains ≤ max_batch
 //!                     ▼                            ▼
-//!               typed response            node.execute_block_lenient
+//!               typed response          node.execute_block_parallel
+//!                                       (exec_threads workers, §6.2)
 //! ```
 //!
 //! Backpressure is explicit: when the queue is full the submitter gets a
@@ -51,6 +52,10 @@ pub struct ServerConfig {
     /// How long a `SubmitTxWait` waits for its block before reporting a
     /// timeout to the client.
     pub commit_timeout: Duration,
+    /// Worker threads for parallel block execution (§6.2). Blocks commit
+    /// with results bit-identical to serial execution regardless of this
+    /// value; it only changes wall-clock/makespan. Clamped to ≥ 1.
+    pub exec_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +68,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             max_frame: DEFAULT_MAX_FRAME,
             commit_timeout: Duration::from_secs(30),
+            exec_threads: 4,
         }
     }
 }
@@ -82,6 +88,13 @@ pub struct ServerStats {
     pub committed: AtomicU64,
     /// Connections served.
     pub connections: AtomicU64,
+    /// Commit replies the batcher could not deliver to a waiting
+    /// `SubmitTxWait` handler. Each job's rendezvous channel holds one
+    /// slot and receives exactly one reply, so `Full` is impossible; a
+    /// drop here means the waiter gave up (commit-timeout) and hung up
+    /// first. Non-zero values are normal under overload — the tx still
+    /// committed (or was rejected) exactly as reported in the block.
+    pub reply_drops: AtomicU64,
 }
 
 /// One queued transaction plus the optional rendezvous back to the
@@ -238,9 +251,10 @@ fn batcher_loop(
             }
         }
         let txs: Vec<WireTx> = batch.iter().map(|j| j.tx.clone()).collect();
+        let threads = config.exec_threads.max(1);
         let result = {
             let mut node = node.write().expect("node lock");
-            node.execute_block_lenient(&txs)
+            node.execute_block_parallel(&txs, threads)
         };
         match result {
             Ok(res) => {
@@ -260,7 +274,7 @@ fn batcher_loop(
                         }
                     };
                     if let Some(done) = &job.done {
-                        let _ = done.try_send(reply);
+                        reply_waiter(done, reply, &stats);
                     }
                 }
             }
@@ -270,11 +284,27 @@ fn batcher_loop(
                 for job in &batch {
                     stats.rejected.fetch_add(1, Ordering::Relaxed);
                     if let Some(done) = &job.done {
-                        let _ = done.try_send(Message::Rejected(msg.clone()));
+                        reply_waiter(done, Message::Rejected(msg.clone()), &stats);
                     }
                 }
             }
         }
+    }
+}
+
+/// Deliver a commit reply to a `SubmitTxWait` rendezvous. The per-job
+/// channel is sized 1 and receives exactly one reply, so the only failure
+/// mode is `Disconnected` — the waiter timed out and hung up. That is not
+/// silent: it is counted in [`ServerStats::reply_drops`] and logged, and
+/// the transaction's fate is still recorded in the committed block.
+fn reply_waiter(done: &SyncSender<Message>, reply: Message, stats: &ServerStats) {
+    if let Err(e) = done.try_send(reply) {
+        stats.reply_drops.fetch_add(1, Ordering::Relaxed);
+        let cause = match e {
+            TrySendError::Full(_) => "channel full (waiter never drained its slot)",
+            TrySendError::Disconnected(_) => "waiter gone (commit-wait timeout)",
+        };
+        eprintln!("confide-batcher: dropped commit reply: {cause}");
     }
 }
 

@@ -3,14 +3,19 @@
 //! captures every byte of a session to prove the transport leaks no
 //! plaintext (the T-Protocol carries confidentiality, not the socket).
 
-use confide_net::demo::{demo_args, demo_node, DEMO_CONTRACT};
+use confide_core::client::ConfideClient;
+use confide_core::receipt::Receipt;
+use confide_core::seal_signed_tx;
+use confide_core::tx::WireTx;
+use confide_crypto::HmacDrbg;
+use confide_net::demo::{demo_args, demo_node, DEMO_CONTRACT, DEMO_PUBLIC_CONTRACT};
 use confide_net::loadgen::{run, LoadgenConfig};
-use confide_net::{Client, Conn, Gateway, NetError, NodeServer, ServerConfig};
+use confide_net::{Client, Conn, Gateway, Message, NetError, NodeServer, ServerConfig};
 use confide_tee::platform::TeePlatform;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn spawn_server(seed: u64, config: ServerConfig) -> NodeServer {
     NodeServer::spawn(demo_node(seed), ("127.0.0.1", 0), config).expect("server spawns")
@@ -209,6 +214,166 @@ fn gateway_pools_connections_under_cap() {
         (1..=2).contains(&conns),
         "gateway opened {conns} sockets with a cap of 2"
     );
+}
+
+/// One pre-built transaction of the mixed determinism stream, with
+/// enough context retained to verify its receipt on both replicas.
+struct StreamTx {
+    wire: WireTx,
+    tx_hash: [u8; 32],
+    k_tx: Option<[u8; 32]>,
+}
+
+/// Build a 200-tx mixed stream: 10 senders × 20 txs, two thirds
+/// confidential (sealed to `pk_tx`) and one third public, paying into a
+/// small shared set of users so real cross-sender conflict groups form.
+fn mixed_stream(pk_tx: &[u8; 32]) -> Vec<StreamTx> {
+    let mut stream = Vec::with_capacity(200);
+    for s in 0..10usize {
+        let identity = [s as u8 + 30; 32];
+        let root = [s as u8 + 60; 32];
+        let mut client = ConfideClient::new(identity, root, s as u64 + 9_000);
+        let mut rng = HmacDrbg::from_u64(s as u64 + 8_000);
+        let confidential = s % 3 != 0;
+        for n in 0..20usize {
+            let args = format!(r#"{{"to":"mix{}","amount":{}}}"#, (s + n) % 7, n % 97 + 1);
+            if confidential {
+                let signed = client.build_raw(DEMO_CONTRACT, "main", args.as_bytes());
+                let (wire, tx_hash, k_tx) =
+                    seal_signed_tx(&signed, &root, pk_tx, &mut rng).expect("seal");
+                stream.push(StreamTx {
+                    wire,
+                    tx_hash,
+                    k_tx: Some(k_tx),
+                });
+            } else {
+                let signed = client.build_raw(DEMO_PUBLIC_CONTRACT, "main", args.as_bytes());
+                let tx_hash = signed.raw.hash();
+                stream.push(StreamTx {
+                    wire: WireTx::Public(signed),
+                    tx_hash,
+                    k_tx: None,
+                });
+            }
+        }
+    }
+    stream
+}
+
+/// Pipeline the whole stream over one connection (so it lands in a single
+/// block), require every submission accepted, then wait for commit.
+fn submit_stream(server: &NodeServer, stream: &[StreamTx]) -> Conn {
+    let mut conn = Conn::connect(server.addr()).expect("connect");
+    for t in stream {
+        conn.send(&Message::SubmitTx(t.wire.clone())).expect("send");
+    }
+    for (i, _) in stream.iter().enumerate() {
+        match conn.recv().expect("reply") {
+            Message::Accepted(_) => {}
+            other => panic!("tx {i}: expected Accepted, got kind {:#04x}", other.kind()),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let committed = server
+            .stats()
+            .committed
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if committed >= stream.len() as u64 {
+            return conn;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {committed}/{} committed before timeout",
+            stream.len()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn four_thread_node_matches_one_thread_node_bit_for_bit() {
+    // Same seed, different executor thread counts: §6.2's determinism
+    // requirement is that the replicas stay bit-identical.
+    let config = |exec_threads| ServerConfig {
+        exec_threads,
+        // A generous linger so the pipelined 200-tx stream seals as ONE
+        // block on both replicas (block boundaries feed the receipt RNG).
+        batch_linger: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let s1 = spawn_server(21, config(1));
+    let s4 = spawn_server(21, config(4));
+    let pk_tx = s1.node().read().expect("node lock").pk_tx();
+    assert_eq!(
+        pk_tx,
+        s4.node().read().expect("node lock").pk_tx(),
+        "same seed, same enclave key"
+    );
+
+    let stream = mixed_stream(&pk_tx);
+    assert_eq!(stream.len(), 200);
+    let mut c1 = submit_stream(&s1, &stream);
+    let mut c4 = submit_stream(&s4, &stream);
+    for (name, s) in [("1-thread", &s1), ("4-thread", &s4)] {
+        assert_eq!(
+            s.stats().blocks.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "{name} node split the stream across blocks"
+        );
+    }
+
+    // Identical state roots...
+    let root1 = s1.node().read().expect("node lock").state_root();
+    let root4 = s4.node().read().expect("node lock").state_root();
+    assert_eq!(root1, root4, "state roots diverged across thread counts");
+
+    // ...and identical stored receipts, byte for byte — sealed ones
+    // decrypt under the client's k_tx on both replicas.
+    for (i, t) in stream.iter().enumerate() {
+        let r1 = c1.get_receipt(&t.tx_hash).expect("receipt fetch");
+        let r4 = c4.get_receipt(&t.tx_hash).expect("receipt fetch");
+        let bytes1 = r1.unwrap_or_else(|| panic!("tx {i} has no receipt on 1-thread node"));
+        let bytes4 = r4.unwrap_or_else(|| panic!("tx {i} has no receipt on 4-thread node"));
+        assert_eq!(bytes1, bytes4, "tx {i}: receipt bytes diverged");
+        let receipt = match &t.k_tx {
+            Some(k_tx) => Receipt::open(&bytes1, k_tx, &t.tx_hash).expect("sealed receipt opens"),
+            None => Receipt::decode(&bytes1).expect("plain receipt decodes"),
+        };
+        assert_eq!(receipt.tx_hash, t.tx_hash);
+        assert!(receipt.success, "tx {i} failed in the block");
+    }
+}
+
+#[test]
+fn gateway_lease_times_out_with_typed_pool_exhausted() {
+    // A listener that never serves: the single lease below stays busy, so
+    // a second lease must fail with the typed error instead of blocking
+    // its caller forever (the old Condvar::wait hang).
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut gateway = Gateway::new(addr, 1).expect("gateway");
+    gateway.set_pool_wait(Duration::from_millis(200));
+    let gateway = Arc::new(gateway);
+    std::thread::scope(|scope| {
+        let holder = Arc::clone(&gateway);
+        scope.spawn(move || {
+            let _ = holder.with_conn(|_conn| {
+                std::thread::sleep(Duration::from_millis(800));
+                Ok(())
+            });
+        });
+        std::thread::sleep(Duration::from_millis(100)); // let the holder win the lease
+        let t0 = Instant::now();
+        match gateway.with_conn(|_conn| Ok(())) {
+            Err(NetError::PoolExhausted) => {}
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(150),
+            "gave up before the pool_wait window"
+        );
+    });
 }
 
 #[test]

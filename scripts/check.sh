@@ -17,6 +17,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== parallel-execution determinism gate =="
+# The §6.2 executor must be serial-equivalent: bit-identical state roots
+# and receipts at every thread count. Run the two determinism proofs
+# explicitly so a filtered/partial test run can never skip them.
+cargo test -q -p confide-core parallel_execution_is_serial_equivalent_on_randomized_workloads
+cargo test -q -p confide-net --test e2e four_thread_node_matches_one_thread_node_bit_for_bit
+
 echo "== cclc --lint over examples/ccl =="
 CCLC=(cargo run -q -p confide-lang --bin cclc --)
 SCHEMA=examples/ccl/bank.ccle
@@ -71,7 +78,9 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
     for key in '"schema_version"' '"bench"' '"machine"' '"cores"' \
                '"workloads"' '"mode"' '"txs_submitted"' '"txs_accepted"' \
                '"busy_rejects"' '"busy_reject_rate"' '"receipts_verified"' \
-               '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"'; do
+               '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"' \
+               '"parallel_exec"' '"threads"' '"model_tps"' '"speedup_vs_1"' \
+               '"exec_threads"'; do
         if ! grep -q "$key" "$f"; then
             echo "FAIL: $f missing schema key $key" >&2
             exit 1
