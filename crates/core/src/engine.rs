@@ -639,6 +639,32 @@ impl Engine {
         })
     }
 
+    /// Rebuild this engine's in-memory contract registry from a logged
+    /// wire transaction during WAL recovery. State writes replay from the
+    /// logged batch; the registry (sealed code, outside the state DB) is
+    /// the one side effect that must be re-derived, and
+    /// [`deploy_from_tx`](Engine::deploy_from_tx) is deterministic in the
+    /// transaction, so re-running it reproduces the pre-crash record
+    /// byte-for-byte. Returns whether `wire` was a deployment.
+    pub fn replay_deploy(&self, wire: &WireTx) -> Result<bool, EngineError> {
+        let signed = match wire {
+            WireTx::Public(signed) => signed.clone(),
+            WireTx::Confidential(env) => {
+                let tee = self.confidential.as_ref().ok_or(EngineError::WrongEngine)?;
+                let (_k_tx, plain) = env
+                    .open(&tee.keys.envelope, b"")
+                    .map_err(|_| EngineError::Crypto)?;
+                SignedTx::decode(&plain).map_err(|_| EngineError::Malformed)?
+            }
+        };
+        if signed.raw.contract == [0u8; 32] && signed.raw.method == "deploy" {
+            self.deploy_from_tx(&signed.raw)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
     /// Deployment transaction payload: `[vm_kind u8][confidential u8][code…]`.
     fn deploy_from_tx(&self, raw: &RawTx) -> Result<[u8; 32], EngineError> {
         if raw.args.len() < 2 {

@@ -21,6 +21,7 @@
 //! enclave authenticates via local attestation before provisioning, and
 //! which is destroyed as soon as provisioning ends to release EPC.
 
+use confide_crypto::ed25519::VerifyingKey;
 use confide_crypto::envelope::EnvelopeKeyPair;
 use confide_crypto::gcm::AesGcm;
 use confide_crypto::x25519;
@@ -28,6 +29,7 @@ use confide_crypto::HmacDrbg;
 use confide_tee::attestation::{AttestationError, LocalReport, Report};
 use confide_tee::enclave::{Enclave, EnclaveConfig};
 use confide_tee::platform::TeePlatform;
+use confide_tee::sealing::{seal, unseal, SealPolicy};
 use std::sync::Arc;
 
 /// The provisioned secrets a Confidential-Engine runs with.
@@ -63,6 +65,15 @@ pub enum KeyProtocolError {
     Unwrap,
     /// Enclave machinery failed.
     Enclave(String),
+    /// A sealed key blob from an older security version was refused
+    /// (rollback protection: a patched enclave must not resurrect
+    /// secrets sealed by its vulnerable predecessor).
+    StaleSealedBlob {
+        /// Security version the blob was sealed at.
+        sealed: u16,
+        /// Minimum version this node accepts.
+        min: u16,
+    },
 }
 
 impl std::fmt::Display for KeyProtocolError {
@@ -71,6 +82,9 @@ impl std::fmt::Display for KeyProtocolError {
             KeyProtocolError::Attestation(e) => write!(f, "attestation: {e}"),
             KeyProtocolError::Unwrap => f.write_str("key unwrap failed"),
             KeyProtocolError::Enclave(m) => write!(f, "enclave: {m}"),
+            KeyProtocolError::StaleSealedBlob { sealed, min } => {
+                write!(f, "sealed key blob at SVN {sealed} below required {min}")
+            }
         }
     }
 }
@@ -273,10 +287,14 @@ pub fn begin_join(
 /// build, SVN at least `min_svn` — then wrap the consortium secrets to
 /// the quoted ephemeral key and quote back (mutual attestation). Returns
 /// `(wrap_blob, member_report)`.
+///
+/// Takes the joiner's *attestation root* rather than its platform: over a
+/// real transport the member only ever sees the joiner's quote plus the
+/// consortium-registered verification key for the joiner's platform.
 pub fn approve_join(
     member_platform: &Arc<TeePlatform>,
     member_keys: &NodeKeys,
-    joiner_platform: &Arc<TeePlatform>,
+    joiner_attestation_root: &VerifyingKey,
     offer: &JoinOffer,
     svn: u16,
     min_svn: u16,
@@ -284,11 +302,9 @@ pub fn approve_join(
 ) -> Result<(Vec<u8>, Report), KeyProtocolError> {
     let mut rng = HmacDrbg::from_u64(seed);
     let member_km = km_enclave(member_platform, svn)?;
-    offer.report.verify(
-        &joiner_platform.attestation_public_key(),
-        &member_km.mrenclave(),
-        min_svn,
-    )?;
+    offer
+        .report
+        .verify(joiner_attestation_root, &member_km.mrenclave(), min_svn)?;
     // The quoted ephemeral key is authoritative: a MITM substituting the
     // plaintext copy gains nothing.
     let mut quoted_eph = [0u8; 32];
@@ -303,20 +319,19 @@ pub fn approve_join(
 /// Step 3 (joiner): verify the member's counter-quote, unwrap the
 /// secrets, run the §5.1 local-attestation hop to the CS enclave, and
 /// destroy the KM enclave to release EPC (§5.3).
+///
+/// Like [`approve_join`], identifies the remote peer by its registered
+/// attestation root — the member's platform object never crosses the wire.
 pub fn finish_join(
     session: JoinSession,
     joiner_platform: &Arc<TeePlatform>,
-    member_platform: &Arc<TeePlatform>,
+    member_attestation_root: &VerifyingKey,
     member_report: &Report,
     min_svn: u16,
     svn: u16,
     blob: &[u8],
 ) -> Result<NodeKeys, KeyProtocolError> {
-    member_report.verify(
-        &member_platform.attestation_public_key(),
-        &session.km.mrenclave(),
-        min_svn,
-    )?;
+    member_report.verify(member_attestation_root, &session.km.mrenclave(), min_svn)?;
     let keys = unwrap_keys(blob, &session.eph_sk)?;
     // §5.1/§5.3: the CS enclave local-attests to the KM enclave for the
     // final provisioning hop, then the KM enclave is destroyed to release
@@ -355,7 +370,7 @@ pub fn decentralized_join(
     let (blob, member_report) = approve_join(
         member_platform,
         member_keys,
-        joiner_platform,
+        &joiner_platform.attestation_public_key(),
         &offer,
         svn,
         svn,
@@ -364,12 +379,103 @@ pub fn decentralized_join(
     finish_join(
         session,
         joiner_platform,
-        member_platform,
+        &member_platform.attestation_public_key(),
         &member_report,
         svn,
         svn,
         &blob,
     )
+}
+
+/// AAD label binding a sealed node-key blob to its layout version and the
+/// SVN it was sealed at.
+fn sealed_keys_aad(svn: u16) -> Vec<u8> {
+    let mut aad = b"confide/sealed-node-keys-v1|".to_vec();
+    aad.extend_from_slice(&svn.to_le_bytes());
+    aad
+}
+
+/// Persist the consortium secrets across a restart: the KM enclave seals
+/// them to untrusted disk under the `MRSIGNER` policy (so an upgraded KM
+/// build can still recover them — §5.1 "service upgrading"). The blob is
+/// `[svn u16le][nonce 12][sealed ciphertext]`; the SVN prefix is bound
+/// into the AAD, so rolling it forward by hand breaks the GCM tag.
+pub fn seal_node_keys(
+    platform: &Arc<TeePlatform>,
+    svn: u16,
+    keys: &NodeKeys,
+    seed: u64,
+) -> Result<Vec<u8>, KeyProtocolError> {
+    let mut rng = HmacDrbg::from_u64(seed);
+    let km = km_enclave(platform, svn)?;
+    let nonce = rng.gen_nonce();
+    let mut plain = Vec::with_capacity(64);
+    plain.extend_from_slice(keys.envelope.secret());
+    plain.extend_from_slice(&keys.k_states);
+    let ct = seal(
+        &km,
+        SealPolicy::MrSigner,
+        &nonce,
+        &sealed_keys_aad(svn),
+        &plain,
+    )
+    .map_err(|_| KeyProtocolError::Unwrap)?;
+    km.destroy()
+        .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
+    let mut out = Vec::with_capacity(2 + 12 + ct.len());
+    out.extend_from_slice(&svn.to_le_bytes());
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&ct);
+    Ok(out)
+}
+
+/// Recover sealed consortium secrets after a crash (the sole-node path of
+/// the rejoin protocol — with no surviving member to MAP-join against,
+/// sealed storage is the only source of `k_states`).
+///
+/// `min_svn` is the rollback floor: a blob sealed at an SVN below it is
+/// refused with [`KeyProtocolError::StaleSealedBlob`] — a patched enclave
+/// must not resurrect secrets its vulnerable predecessor sealed.
+pub fn unseal_node_keys(
+    platform: &Arc<TeePlatform>,
+    svn: u16,
+    min_svn: u16,
+    blob: &[u8],
+) -> Result<NodeKeys, KeyProtocolError> {
+    if blob.len() < 2 + 12 {
+        return Err(KeyProtocolError::Unwrap);
+    }
+    let sealed_svn = u16::from_le_bytes([blob[0], blob[1]]);
+    if sealed_svn < min_svn {
+        return Err(KeyProtocolError::StaleSealedBlob {
+            sealed: sealed_svn,
+            min: min_svn,
+        });
+    }
+    let mut nonce = [0u8; 12];
+    nonce.copy_from_slice(&blob[2..14]);
+    let km = km_enclave(platform, svn)?;
+    let plain = unseal(
+        &km,
+        SealPolicy::MrSigner,
+        &nonce,
+        &sealed_keys_aad(sealed_svn),
+        &blob[14..],
+    )
+    .map_err(|_| KeyProtocolError::Unwrap)?;
+    km.destroy()
+        .map_err(|e| KeyProtocolError::Enclave(e.to_string()))?;
+    if plain.len() != 64 {
+        return Err(KeyProtocolError::Unwrap);
+    }
+    let mut sk = [0u8; 32];
+    sk.copy_from_slice(&plain[..32]);
+    let mut k_states = [0u8; 32];
+    k_states.copy_from_slice(&plain[32..]);
+    Ok(NodeKeys {
+        envelope: EnvelopeKeyPair::from_secret(sk),
+        k_states,
+    })
 }
 
 #[cfg(test)]
@@ -458,7 +564,15 @@ mod tests {
         // The member runs the same build (same measurement) but demands a
         // minimum security version of 2.
         assert!(matches!(
-            approve_join(&member, &member_keys, &joiner, &offer, 1, 2, 4),
+            approve_join(
+                &member,
+                &member_keys,
+                &joiner.attestation_public_key(),
+                &offer,
+                1,
+                2,
+                4
+            ),
             Err(KeyProtocolError::Attestation(
                 AttestationError::StaleSecurityVersion { got: 1, min: 2 }
             ))
@@ -488,7 +602,15 @@ mod tests {
             report: Report::generate(&evil, report_data),
         };
         assert!(matches!(
-            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4),
+            approve_join(
+                &member,
+                &member_keys,
+                &joiner.attestation_public_key(),
+                &offer,
+                1,
+                1,
+                4
+            ),
             Err(KeyProtocolError::Attestation(
                 AttestationError::MeasurementMismatch
             ))
@@ -507,7 +629,15 @@ mod tests {
         let (_s, offer) = begin_join(&imposter, 1, &member_keys.pk_tx(), 3).unwrap();
         // Member checks the offer against *joiner*'s attestation root.
         assert!(matches!(
-            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4),
+            approve_join(
+                &member,
+                &member_keys,
+                &joiner.attestation_public_key(),
+                &offer,
+                1,
+                1,
+                4
+            ),
             Err(KeyProtocolError::Attestation(
                 AttestationError::BadSignature(_)
             ))
@@ -521,12 +651,28 @@ mod tests {
         let mut rng = HmacDrbg::from_u64(7);
         let member_keys = NodeKeys::generate(&mut rng);
         let (session, offer) = begin_join(&joiner, 1, &member_keys.pk_tx(), 3).unwrap();
-        let (mut blob, member_report) =
-            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4).unwrap();
+        let (mut blob, member_report) = approve_join(
+            &member,
+            &member_keys,
+            &joiner.attestation_public_key(),
+            &offer,
+            1,
+            1,
+            4,
+        )
+        .unwrap();
         let n = blob.len();
         blob[n - 1] ^= 1; // tamper with the GCM ciphertext
         assert!(matches!(
-            finish_join(session, &joiner, &member, &member_report, 1, 1, &blob),
+            finish_join(
+                session,
+                &joiner,
+                &member.attestation_public_key(),
+                &member_report,
+                1,
+                1,
+                &blob
+            ),
             Err(KeyProtocolError::Unwrap)
         ));
     }
@@ -540,8 +686,16 @@ mod tests {
         let mut rng = HmacDrbg::from_u64(7);
         let member_keys = NodeKeys::generate(&mut rng);
         let (session, offer) = begin_join(&joiner, 1, &member_keys.pk_tx(), 3).unwrap();
-        let (blob, _real_report) =
-            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4).unwrap();
+        let (blob, _real_report) = approve_join(
+            &member,
+            &member_keys,
+            &joiner.attestation_public_key(),
+            &offer,
+            1,
+            1,
+            4,
+        )
+        .unwrap();
         let evil = Enclave::create(
             &member,
             EnclaveConfig::new(b"evil-member".to_vec(), [0x4b; 32], 9, 1 << 20),
@@ -549,7 +703,15 @@ mod tests {
         .unwrap();
         let fake_report = Report::generate(&evil, [0u8; 64]);
         assert!(matches!(
-            finish_join(session, &joiner, &member, &fake_report, 1, 1, &blob),
+            finish_join(
+                session,
+                &joiner,
+                &member.attestation_public_key(),
+                &fake_report,
+                1,
+                1,
+                &blob
+            ),
             Err(KeyProtocolError::Attestation(
                 AttestationError::MeasurementMismatch
             ))
@@ -563,9 +725,26 @@ mod tests {
         let mut rng = HmacDrbg::from_u64(7);
         let member_keys = NodeKeys::generate(&mut rng);
         let (session, offer) = begin_join(&joiner, 1, &member_keys.pk_tx(), 3).unwrap();
-        let (blob, member_report) =
-            approve_join(&member, &member_keys, &joiner, &offer, 1, 1, 4).unwrap();
-        let keys = finish_join(session, &joiner, &member, &member_report, 1, 1, &blob).unwrap();
+        let (blob, member_report) = approve_join(
+            &member,
+            &member_keys,
+            &joiner.attestation_public_key(),
+            &offer,
+            1,
+            1,
+            4,
+        )
+        .unwrap();
+        let keys = finish_join(
+            session,
+            &joiner,
+            &member.attestation_public_key(),
+            &member_report,
+            1,
+            1,
+            &blob,
+        )
+        .unwrap();
         assert_eq!(keys.pk_tx(), member_keys.pk_tx());
         assert_eq!(keys.k_states, member_keys.k_states);
     }
@@ -605,5 +784,63 @@ mod tests {
         }
         assert!(keys.windows(2).all(|w| w[0].k_states == w[1].k_states));
         assert!(keys.iter().all(|k| k.pk_tx() == kms.pk_tx()));
+    }
+
+    #[test]
+    fn sealed_keys_survive_a_restart() {
+        // Seal, "crash" (drop everything but the blob + platform), unseal
+        // from a brand-new KM enclave instance.
+        let platform = TeePlatform::new(4, 44);
+        let mut rng = HmacDrbg::from_u64(11);
+        let keys = NodeKeys::generate(&mut rng);
+        let blob = seal_node_keys(&platform, 2, &keys, 77).unwrap();
+        let recovered = unseal_node_keys(&platform, 2, 2, &blob).unwrap();
+        assert_eq!(recovered.pk_tx(), keys.pk_tx());
+        assert_eq!(recovered.k_states, keys.k_states);
+    }
+
+    #[test]
+    fn bumped_svn_refuses_old_sealed_blob() {
+        // Blob sealed at SVN 1; after a security patch the node restarts at
+        // SVN 2 with a rollback floor of 2 — the stale blob must be refused
+        // with the typed error, not silently accepted.
+        let platform = TeePlatform::new(4, 44);
+        let mut rng = HmacDrbg::from_u64(11);
+        let keys = NodeKeys::generate(&mut rng);
+        let blob = seal_node_keys(&platform, 1, &keys, 77).unwrap();
+        assert!(matches!(
+            unseal_node_keys(&platform, 2, 2, &blob),
+            Err(KeyProtocolError::StaleSealedBlob { sealed: 1, min: 2 })
+        ));
+        // The same blob is fine while the floor still admits SVN 1.
+        assert!(unseal_node_keys(&platform, 2, 1, &blob).is_ok());
+    }
+
+    #[test]
+    fn sealed_blob_svn_prefix_is_tamperproof() {
+        // Rolling the plaintext SVN prefix forward to dodge the floor
+        // breaks the GCM tag (the sealed SVN is bound into the AAD).
+        let platform = TeePlatform::new(4, 44);
+        let mut rng = HmacDrbg::from_u64(11);
+        let keys = NodeKeys::generate(&mut rng);
+        let mut blob = seal_node_keys(&platform, 1, &keys, 77).unwrap();
+        blob[..2].copy_from_slice(&2u16.to_le_bytes());
+        assert!(matches!(
+            unseal_node_keys(&platform, 2, 2, &blob),
+            Err(KeyProtocolError::Unwrap)
+        ));
+    }
+
+    #[test]
+    fn sealed_blob_is_platform_bound() {
+        let p1 = TeePlatform::new(4, 44);
+        let p2 = TeePlatform::new(5, 55);
+        let mut rng = HmacDrbg::from_u64(11);
+        let keys = NodeKeys::generate(&mut rng);
+        let blob = seal_node_keys(&p1, 1, &keys, 77).unwrap();
+        assert!(matches!(
+            unseal_node_keys(&p2, 1, 1, &blob),
+            Err(KeyProtocolError::Unwrap)
+        ));
     }
 }

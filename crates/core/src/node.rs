@@ -7,10 +7,11 @@ use crate::keys::NodeKeys;
 use crate::receipt::Receipt;
 use crate::tx::WireTx;
 use confide_chain::sched::{assign, conflict_groups, worker_loads, SchedError};
-use confide_crypto::HmacDrbg;
+use confide_crypto::{sha256, HmacDrbg};
 use confide_storage::blockstore::{Block, BlockHeader, BlockStore, BlockStoreError};
 use confide_storage::kv::WriteBatch;
 use confide_storage::versioned::{StateDb, StateError};
+use confide_storage::wal::BlockWal;
 use confide_tee::platform::TeePlatform;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,6 +30,8 @@ pub enum NodeError {
     Blocks(BlockStoreError),
     /// Invalid parallel-execution schedule request (e.g. zero threads).
     Sched(SchedError),
+    /// WAL replay failure during crash recovery.
+    Recover(RecoverError),
 }
 
 impl std::fmt::Display for NodeError {
@@ -39,11 +42,83 @@ impl std::fmt::Display for NodeError {
             NodeError::State(e) => write!(f, "state: {e}"),
             NodeError::Blocks(e) => write!(f, "blocks: {e}"),
             NodeError::Sched(e) => write!(f, "sched: {e}"),
+            NodeError::Recover(e) => write!(f, "recover: {e}"),
         }
     }
 }
 
 impl std::error::Error for NodeError {}
+
+/// Why a WAL replay was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// Recovery must start on a freshly constructed node (height 0).
+    NotFresh,
+    /// The log's next block does not continue this node's chain.
+    Height {
+        /// The height this node expected to replay next.
+        expected: u64,
+        /// The height the log carried.
+        found: u64,
+    },
+    /// Replaying a block's batch produced a different Merkle root than
+    /// the sealed header recorded pre-crash — storage corruption beyond
+    /// what the CRC framing models, or a log from a different node.
+    RootMismatch {
+        /// Height of the diverging block.
+        height: u64,
+    },
+    /// A logged transaction no longer decodes (index within its block).
+    BadTx {
+        /// Height of the block carrying it.
+        height: u64,
+        /// Index within the block.
+        index: usize,
+    },
+    /// Re-running a logged deployment's registry effect failed.
+    Deploy(EngineError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::NotFresh => f.write_str("node is not fresh (non-zero height)"),
+            RecoverError::Height { expected, found } => {
+                write!(
+                    f,
+                    "log height {found} does not continue tip (want {expected})"
+                )
+            }
+            RecoverError::RootMismatch { height } => {
+                write!(
+                    f,
+                    "replayed state root diverges from sealed header at height {height}"
+                )
+            }
+            RecoverError::BadTx { height, index } => {
+                write!(f, "undecodable logged tx {index} in block {height}")
+            }
+            RecoverError::Deploy(e) => write!(f, "deployment replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// What [`ConfideNode::recover_from_wal`] rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Blocks replayed from the log.
+    pub blocks_replayed: u64,
+    /// Post-recovery chain height.
+    pub height: u64,
+    /// Post-recovery state root (equals the last replayed header's).
+    pub state_root: [u8; 32],
+    /// Bytes discarded after the last intact commit marker.
+    pub torn_bytes: usize,
+    /// Deployment transactions whose registry effect was re-run.
+    pub deploys_replayed: usize,
+}
 
 /// Result of executing one block.
 #[derive(Debug)]
@@ -149,6 +224,22 @@ fn stable_cost(counters: &OpCounters) -> u64 {
         .max(1)
 }
 
+/// State key of the wire-hash → receipt index (dedup seam: a resubmitted
+/// transaction resolves to its stored receipt instead of re-executing).
+fn wire_index_key(wire_hash: &[u8; 32]) -> Vec<u8> {
+    let mut k = b"wiretx|".to_vec();
+    k.extend_from_slice(wire_hash);
+    k
+}
+
+/// Index value: the receipt's tx hash plus a sealed flag.
+fn wire_index_value(receipt: &Receipt, sealed: &Option<Vec<u8>>) -> Vec<u8> {
+    let mut v = Vec::with_capacity(33);
+    v.extend_from_slice(&receipt.tx_hash);
+    v.push(sealed.is_some() as u8);
+    v
+}
+
 fn tx_receipt_rng(height: u64, wire_hash: &[u8; 32]) -> HmacDrbg {
     let mut seed = Vec::with_capacity(29 + 8 + 32);
     seed.extend_from_slice(b"confide/par-exec/receipt-rng|");
@@ -207,6 +298,10 @@ pub struct ConfideNode {
     pub public_engine: Engine,
     /// In-enclave execution.
     pub confidential_engine: Engine,
+    /// The block-framed commit log: every sealed block lands here before
+    /// the node acknowledges it (durable-commit seam; `confide-node`
+    /// flushes it to disk incrementally).
+    wal: BlockWal,
     rng: HmacDrbg,
     timestamp_ns: u64,
 }
@@ -224,9 +319,90 @@ impl ConfideNode {
             blocks: BlockStore::new(),
             public_engine: Engine::public(config),
             confidential_engine: Engine::confidential(platform, keys, config),
+            wal: BlockWal::new(),
             rng: HmacDrbg::from_u64(seed),
             timestamp_ns: 0,
         }
+    }
+
+    /// The durable commit log: every block this node has sealed, framed
+    /// and CRC'd. A file-backed deployment appends `wal_bytes()[n..]` to
+    /// disk after each block (where `n` is the previously flushed length)
+    /// and feeds the file back through [`ConfideNode::recover_from_wal`]
+    /// on restart.
+    pub fn wal_bytes(&self) -> &[u8] {
+        self.wal.bytes()
+    }
+
+    /// Replay a commit log into this **freshly constructed** node:
+    /// rebuild the memtable and Merkle roots by re-applying each block's
+    /// batch, assert the recovered root equals the sealed header root at
+    /// every height, re-link the block store, and re-run the registry
+    /// effect of any logged deployment transactions. The torn tail (a
+    /// crash mid-append) is discarded — recovery lands on the last block
+    /// whose commit marker is intact.
+    ///
+    /// Genesis-time direct [`ConfideNode::deploy`] calls are not block
+    /// transactions and therefore not in the log; reconstruct the node
+    /// through the same deterministic bootstrap first (same platform,
+    /// keys, config, seed, genesis deploys), then replay.
+    pub fn recover_from_wal(&mut self, log: &[u8]) -> Result<RecoveryReport, NodeError> {
+        if self.state.height() != 0 || self.blocks.height() != 0 {
+            return Err(NodeError::Recover(RecoverError::NotFresh));
+        }
+        let rec = BlockWal::recover(log);
+        let mut deploys_replayed = 0usize;
+        for wb in &rec.blocks {
+            let expected = self.state.height() + 1;
+            if wb.header.height != expected {
+                return Err(NodeError::Recover(RecoverError::Height {
+                    expected,
+                    found: wb.header.height,
+                }));
+            }
+            for (index, bytes) in wb.txs.iter().enumerate() {
+                let wire = WireTx::decode(bytes).map_err(|_| {
+                    NodeError::Recover(RecoverError::BadTx {
+                        height: wb.header.height,
+                        index,
+                    })
+                })?;
+                let engine = match &wire {
+                    WireTx::Public(_) => &self.public_engine,
+                    WireTx::Confidential(_) => &self.confidential_engine,
+                };
+                if engine
+                    .replay_deploy(&wire)
+                    .map_err(|e| NodeError::Recover(RecoverError::Deploy(e)))?
+                {
+                    deploys_replayed += 1;
+                }
+            }
+            let root = self
+                .state
+                .apply_block(wb.header.height, &wb.batch)
+                .map_err(NodeError::State)?;
+            if root != wb.header.state_root {
+                return Err(NodeError::Recover(RecoverError::RootMismatch {
+                    height: wb.header.height,
+                }));
+            }
+            self.blocks
+                .append(Block {
+                    header: wb.header.clone(),
+                    txs: wb.txs.clone(),
+                })
+                .map_err(NodeError::Blocks)?;
+            self.timestamp_ns = wb.header.timestamp_ns;
+        }
+        self.wal = BlockWal::from_recovered(log);
+        Ok(RecoveryReport {
+            blocks_replayed: rec.blocks.len() as u64,
+            height: self.blocks.height(),
+            state_root: self.state.root(),
+            torn_bytes: rec.torn_bytes,
+            deploys_replayed,
+        })
     }
 
     /// `pk_tx` for clients.
@@ -238,6 +414,44 @@ impl ConfideNode {
         self.confidential_engine
             .pk_tx()
             .expect("confidential engine")
+    }
+
+    /// This node's platform attestation root — what peers verify this
+    /// node's quotes against (the consortium registry entry for the
+    /// platform).
+    pub fn attestation_root(&self) -> confide_crypto::ed25519::VerifyingKey {
+        self.confidential_engine
+            .tee()
+            .expect("confidential engine")
+            .platform
+            .attestation_public_key()
+    }
+
+    /// Member side of a wire rejoin (K-Protocol step 2): verify the
+    /// joiner's quoted [`crate::keys::JoinOffer`] against its registered
+    /// attestation root and, if genuine, wrap this node's consortium
+    /// secrets back together with a counter-quote. This is the seam a
+    /// networked server exposes so a crashed node can re-obtain
+    /// `k_states` from any surviving member without manual key
+    /// distribution.
+    pub fn approve_join(
+        &self,
+        joiner_attestation_root: &confide_crypto::ed25519::VerifyingKey,
+        offer: &crate::keys::JoinOffer,
+        svn: u16,
+        min_svn: u16,
+        seed: u64,
+    ) -> Result<(Vec<u8>, confide_tee::attestation::Report), crate::keys::KeyProtocolError> {
+        let tee = self.confidential_engine.tee().expect("confidential engine");
+        crate::keys::approve_join(
+            &tee.platform,
+            &tee.keys,
+            joiner_attestation_root,
+            offer,
+            svn,
+            min_svn,
+            seed,
+        )
     }
 
     /// Deploy a contract on the appropriate engine (genesis convenience;
@@ -286,7 +500,9 @@ impl ConfideNode {
             },
             txs: Vec::new(),
         };
+        let header = block.header.clone();
         self.blocks.append(block).map_err(NodeError::Blocks)?;
+        self.wal.append_block(&header, &[], &batch);
         Ok(())
     }
 
@@ -334,20 +550,24 @@ impl ConfideNode {
         ] {
             batch.ops.extend(b.map_err(NodeError::Commit)?.ops);
         }
-        for (receipt, sealed) in receipts.iter().zip(&sealed_receipts) {
+        let tx_bytes: Vec<Vec<u8>> = txs.iter().map(|t| t.encode()).collect();
+        for ((receipt, sealed), wire) in receipts.iter().zip(&sealed_receipts).zip(&tx_bytes) {
             let mut key = b"receipt|".to_vec();
             key.extend_from_slice(&receipt.tx_hash);
             match sealed {
                 Some(ct) => batch.put(key, ct.clone()),
                 None => batch.put(key, receipt.encode()),
             };
+            batch.put(
+                wire_index_key(&sha256(wire)),
+                wire_index_value(receipt, sealed),
+            );
         }
         let state_root = self
             .state
             .apply_block(height, &batch)
             .map_err(NodeError::State)?;
         self.timestamp_ns += 1_000_000;
-        let tx_bytes: Vec<Vec<u8>> = txs.iter().map(|t| t.encode()).collect();
         let block = Block {
             header: BlockHeader {
                 height,
@@ -361,6 +581,7 @@ impl ConfideNode {
         self.blocks
             .append(block.clone())
             .map_err(NodeError::Blocks)?;
+        self.wal.append_block(&block.header, &block.txs, &batch);
         Ok(BlockResult {
             block,
             receipts,
@@ -434,13 +655,17 @@ impl ConfideNode {
         ] {
             batch.ops.extend(b.map_err(NodeError::Commit)?.ops);
         }
-        for (receipt, sealed) in outcomes.iter().flatten() {
+        for ((receipt, sealed), wire) in outcomes.iter().flatten().zip(&accepted_bytes) {
             let mut key = b"receipt|".to_vec();
             key.extend_from_slice(&receipt.tx_hash);
             match sealed {
                 Some(ct) => batch.put(key, ct.clone()),
                 None => batch.put(key, receipt.encode()),
             };
+            batch.put(
+                wire_index_key(&sha256(wire)),
+                wire_index_value(receipt, sealed),
+            );
         }
         let state_root = self
             .state
@@ -460,6 +685,7 @@ impl ConfideNode {
         self.blocks
             .append(block.clone())
             .map_err(NodeError::Blocks)?;
+        self.wal.append_block(&block.header, &block.txs, &batch);
         Ok(block)
     }
 
@@ -877,6 +1103,22 @@ impl ConfideNode {
         let mut key = b"receipt|".to_vec();
         key.extend_from_slice(tx_hash);
         self.state.get(&key)
+    }
+
+    /// Resolve an already-committed wire transaction by its wire hash:
+    /// `(sealed, stored receipt bytes)` when this exact wire payload was
+    /// accepted in an earlier block. The server's dedup path — a client
+    /// retrying after a lost reply gets its original receipt instead of a
+    /// `Replay` rejection (and never a second execution).
+    pub fn committed_by_wire(&self, wire_hash: &[u8; 32]) -> Option<(bool, Vec<u8>)> {
+        let v = self.state.get(&wire_index_key(wire_hash))?;
+        if v.len() != 33 {
+            return None;
+        }
+        let mut tx_hash = [0u8; 32];
+        tx_hash.copy_from_slice(&v[..32]);
+        let receipt = self.stored_receipt(&tx_hash)?;
+        Some((v[32] == 1, receipt))
     }
 
     /// Current state root.
@@ -1317,6 +1559,222 @@ mod tests {
         assert!(!res.report.serial_fallback);
         assert_eq!(res.report.groups, 0);
         assert_eq!(node.blocks.height(), 1);
+    }
+
+    // ── durable commit & WAL recovery ───────────────────────────────────
+
+    /// Commit `n` single-tx blocks of deterministic traffic on `node`.
+    fn pump_blocks(node: &mut ConfideNode, n: usize, first_nonce: u64) -> Vec<WireTx> {
+        let pk_tx = node.pk_tx();
+        let mut client =
+            ConfideClient::new([11u8; 32], [12u8; 32], first_nonce.wrapping_mul(31) ^ 0xA5);
+        let mut txs = Vec::new();
+        for i in 0..n {
+            let args = format!(r#"{{"to":"w{}","amount":{}}}"#, i % 3, i + 1);
+            let (tx, _, _) = client
+                .confidential_tx(&pk_tx, CONF_CONTRACT, "main", args.as_bytes())
+                .unwrap();
+            node.execute_block_parallel(std::slice::from_ref(&tx), 2)
+                .unwrap();
+            txs.push(tx);
+        }
+        txs
+    }
+
+    #[test]
+    fn wal_recovery_rebuilds_state_chain_and_receipts() {
+        let mut node = fresh_node();
+        let txs = pump_blocks(&mut node, 5, 0);
+        let tip_root = node.state_root();
+        let tip_height = node.blocks.height();
+        let log = node.wal_bytes().to_vec();
+
+        let mut recovered = fresh_node();
+        let report = recovered.recover_from_wal(&log).unwrap();
+        assert_eq!(report.blocks_replayed, 5);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(report.state_root, tip_root);
+        assert_eq!(recovered.state_root(), tip_root);
+        assert_eq!(recovered.blocks.height(), tip_height);
+        assert!(recovered.blocks.verify_chain());
+        recovered.state.verify_version(tip_height).unwrap();
+
+        // Every committed receipt survived, via both lookup paths.
+        for tx in &txs {
+            let (sealed, receipt) = recovered.committed_by_wire(&tx.wire_hash()).unwrap();
+            assert!(sealed);
+            assert!(!receipt.is_empty());
+        }
+
+        // The recovered node continues bit-identically to the survivor.
+        let next = pump_blocks(&mut node, 2, 100);
+        for tx in &next {
+            recovered
+                .execute_block_parallel(std::slice::from_ref(tx), 2)
+                .unwrap();
+        }
+        assert_eq!(recovered.state_root(), node.state_root());
+        assert_eq!(
+            recovered.blocks.tip().header.hash(),
+            node.blocks.tip().header.hash()
+        );
+    }
+
+    #[test]
+    fn torn_wal_tail_rolls_back_to_the_last_complete_block() {
+        let mut node = fresh_node();
+        let mut wal_ends = Vec::new();
+        let mut roots = Vec::new();
+        for i in 0..4 {
+            pump_blocks(&mut node, 1, i * 7 + 1);
+            wal_ends.push(node.wal_bytes().len());
+            roots.push(node.state_root());
+        }
+        let log = node.wal_bytes();
+        // Cut mid-way through the last block's record group.
+        let cut = (wal_ends[2] + wal_ends[3]) / 2;
+        let mut recovered = fresh_node();
+        let report = recovered.recover_from_wal(&log[..cut]).unwrap();
+        assert_eq!(report.blocks_replayed, 3);
+        assert!(report.torn_bytes > 0);
+        assert_eq!(recovered.state_root(), roots[2]);
+        assert_eq!(recovered.blocks.height(), 3);
+    }
+
+    #[test]
+    fn recovery_replays_deployment_transactions_into_the_registry() {
+        let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        let mut payload = vec![0u8, 0u8]; // [vm_kind][public]
+        payload.extend_from_slice(&code);
+        let mut node = fresh_node();
+        let mut deployer = ConfideClient::new([7u8; 32], [8u8; 32], 1);
+        let deploy = deployer.public_tx([0u8; 32], "deploy", &payload);
+        let res = node.execute_block_parallel(&[deploy], 2).unwrap();
+        let Ok((receipt, _)) = &res.outcomes[0] else {
+            panic!("deploy rejected");
+        };
+        let address: [u8; 32] = receipt.return_data.as_slice().try_into().unwrap();
+        let spend = deployer.public_tx(address, "main", br#"{"to":"z","amount":4}"#);
+        node.execute_block_parallel(&[spend], 2).unwrap();
+
+        let mut recovered = fresh_node();
+        let report = recovered.recover_from_wal(node.wal_bytes()).unwrap();
+        assert_eq!(report.deploys_replayed, 1);
+        assert!(recovered.public_engine.has_contract(&address));
+        // The re-registered contract executes against the replayed state.
+        let again = deployer.public_tx(address, "main", br#"{"to":"z","amount":1}"#);
+        let res = recovered.execute_block_parallel(&[again], 2).unwrap();
+        let Ok((receipt, _)) = &res.outcomes[0] else {
+            panic!("post-recovery invoke failed: {:?}", res.outcomes[0]);
+        };
+        assert_eq!(receipt.return_data, b"5"); // 4 + 1
+    }
+
+    #[test]
+    fn recovery_refuses_non_fresh_nodes_and_foreign_logs() {
+        let mut node = fresh_node();
+        pump_blocks(&mut node, 1, 3);
+        let log = node.wal_bytes().to_vec();
+        // Non-fresh: the same node cannot replay on top of itself.
+        match node.recover_from_wal(&log) {
+            Err(NodeError::Recover(RecoverError::NotFresh)) => {}
+            other => panic!("expected NotFresh, got {other:?}"),
+        }
+        // A *differently keyed* node cannot open the logged confidential
+        // envelopes to probe for deployments — replay refuses with a
+        // typed error instead of silently rebuilding a registry it could
+        // never have owned.
+        let mut foreign = {
+            let platform = TeePlatform::new(9, 9);
+            let mut rng = HmacDrbg::from_u64(77);
+            let keys = NodeKeys::generate(&mut rng);
+            let node = ConfideNode::new(platform, keys, EngineConfig::default(), 100);
+            let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+            node.deploy(CONF_CONTRACT, &code, VmKind::ConfideVm, true)
+                .unwrap();
+            node
+        };
+        match foreign.recover_from_wal(&log) {
+            Err(NodeError::Recover(RecoverError::Deploy(EngineError::Crypto))) => {}
+            other => panic!("expected envelope-open failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resubmitted_wire_tx_resolves_to_its_stored_receipt() {
+        let mut node = fresh_node();
+        let pk_tx = node.pk_tx();
+        let mut client = ConfideClient::new([11u8; 32], [12u8; 32], 5);
+        let (tx, tx_hash, _) = client
+            .confidential_tx(&pk_tx, CONF_CONTRACT, "main", br#"{"to":"a","amount":9}"#)
+            .unwrap();
+        node.execute_block_parallel(std::slice::from_ref(&tx), 2)
+            .unwrap();
+        let (sealed, receipt) = node.committed_by_wire(&tx.wire_hash()).unwrap();
+        assert!(sealed);
+        assert_eq!(receipt, node.stored_receipt(&tx_hash).unwrap());
+        assert_eq!(
+            client.open_receipt(&receipt, &tx_hash).unwrap().return_data,
+            b"9"
+        );
+        // Unknown wire hashes stay unknown.
+        assert!(node.committed_by_wire(&[0xEE; 32]).is_none());
+    }
+
+    #[test]
+    fn crashed_node_rejoins_a_surviving_member_and_replays_its_wal() {
+        use crate::keys::{begin_join, finish_join};
+        // Consortium of two: A generated the secrets, B MAP-joined.
+        let pa = TeePlatform::new(1, 1);
+        let pb = TeePlatform::new(2, 2);
+        let mut rng = HmacDrbg::from_u64(5);
+        let ka = NodeKeys::generate(&mut rng);
+        let kb = decentralized_join(&pa, &ka, &pb, 1, 9).unwrap();
+        let a = ConfideNode::new(pa, ka, EngineConfig::default(), 100);
+        let mut b = ConfideNode::new(pb.clone(), kb, EngineConfig::default(), 100);
+        let code = confide_lang::build_vm(BALANCE_SRC).unwrap();
+        b.deploy(CONF_CONTRACT, &code, VmKind::ConfideVm, true)
+            .unwrap();
+        pump_blocks(&mut b, 3, 0);
+        let tip_root = b.state_root();
+        let log = b.wal_bytes().to_vec();
+        drop(b); // crash: in-memory secrets and state are gone
+
+        // The restarted process holds only its platform and the WAL file.
+        // It re-obtains the consortium secrets from surviving member A by
+        // re-running the MAP join through the node-level seam.
+        let (session, offer) = begin_join(&pb, 1, &a.pk_tx(), 41).unwrap();
+        let (blob, member_report) = a
+            .approve_join(&pb.attestation_public_key(), &offer, 1, 1, 42)
+            .unwrap();
+        let keys = finish_join(
+            session,
+            &pb,
+            &a.attestation_root(),
+            &member_report,
+            1,
+            1,
+            &blob,
+        )
+        .unwrap();
+        assert_eq!(keys.pk_tx(), a.pk_tx());
+
+        // A member that mandates a newer SVN refuses the same joiner.
+        let (_s2, offer2) = begin_join(&pb, 1, &a.pk_tx(), 43).unwrap();
+        assert!(matches!(
+            a.approve_join(&pb.attestation_public_key(), &offer2, 1, 2, 44),
+            Err(crate::keys::KeyProtocolError::Attestation(_))
+        ));
+
+        // With the re-obtained keys the deterministic bootstrap + WAL
+        // replay reproduces the pre-crash node exactly.
+        let mut revived = ConfideNode::new(pb, keys, EngineConfig::default(), 100);
+        revived
+            .deploy(CONF_CONTRACT, &code, VmKind::ConfideVm, true)
+            .unwrap();
+        let report = revived.recover_from_wal(&log).unwrap();
+        assert_eq!(report.blocks_replayed, 3);
+        assert_eq!(revived.state_root(), tip_root);
     }
 
     #[test]

@@ -5,8 +5,13 @@
 //! confide-loadgen [--addr HOST:PORT | --self-host] [--threads N]
 //!                 [--txs N] [--mode closed|open|both] [--public]
 //!                 [--window N] [--queue-depth N] [--exec-threads N]
-//!                 [--out PATH]
+//!                 [--out PATH] [--recover-ms N] [--recovered-blocks N]
 //! ```
+//!
+//! `--recover-ms` / `--recovered-blocks` attach an externally measured
+//! crash-recovery datapoint (the `RECOVERED` line a restarted
+//! `confide-node --wal` prints) to the emitted JSON, alongside the
+//! client-side retry totals.
 //!
 //! With `--self-host` (the default when `--addr` is absent) the binary
 //! spins an in-process [`NodeServer`] on an ephemeral loopback port, so a
@@ -15,7 +20,9 @@
 //! doubles as an end-to-end confidentiality check.
 
 use confide_net::demo::demo_node;
-use confide_net::loadgen::{run, run_parallel_scaling, to_json, LoadReport, LoadgenConfig};
+use confide_net::loadgen::{
+    run, run_parallel_scaling, to_json, LoadReport, LoadgenConfig, RecoveryInfo,
+};
 use confide_net::{NodeServer, ServerConfig};
 use std::net::SocketAddr;
 
@@ -23,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: confide-loadgen [--addr HOST:PORT | --self-host] [--threads N] [--txs N] \
          [--mode closed|open|both] [--public] [--window N] [--queue-depth N] \
-         [--exec-threads N] [--out PATH]"
+         [--exec-threads N] [--out PATH] [--recover-ms N] [--recovered-blocks N]"
     );
     std::process::exit(2);
 }
@@ -49,6 +56,7 @@ fn main() {
     let mut queue_depth: usize = ServerConfig::default().queue_depth;
     let mut exec_threads: usize = ServerConfig::default().exec_threads;
     let mut out = String::from("results/BENCH_net.json");
+    let mut recovery = RecoveryInfo::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,6 +70,10 @@ fn main() {
             "--queue-depth" => queue_depth = parse("--queue-depth", args.next()),
             "--exec-threads" => exec_threads = parse("--exec-threads", args.next()),
             "--out" => out = parse("--out", args.next()),
+            "--recover-ms" => recovery.recover_ms = parse("--recover-ms", args.next()),
+            "--recovered-blocks" => {
+                recovery.recovered_blocks = parse("--recovered-blocks", args.next())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("confide-loadgen: unknown flag {other}");
@@ -169,7 +181,10 @@ fn main() {
         }
     }
 
-    let json = to_json(&reports, &scaling, &server_cfg);
+    for r in &reports {
+        recovery.retries += r.retries;
+    }
+    let json = to_json(&reports, &scaling, &server_cfg, &recovery);
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);

@@ -2,22 +2,43 @@
 //!
 //! ```text
 //! confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N]
-//!              [--exec-threads N]
+//!              [--exec-threads N] [--wal PATH] [--crash-after N]
+//!              [--svn N] [--min-svn N]
 //! ```
 //!
 //! Binds `127.0.0.1:<port>` (`--port 0`, the default, picks an ephemeral
 //! port), prints exactly one `LISTENING <addr>` line to stdout (the
 //! smoke test in `scripts/check.sh` captures it) and serves until
 //! killed.
+//!
+//! ## Crash-safe lifecycle (`--wal PATH`)
+//!
+//! With `--wal` the batcher fsyncs every block's WAL record group to
+//! `PATH` before acknowledging it, and the node's consortium keys are
+//! kept TEE-sealed at `PATH.keys` (SVN-versioned — `--min-svn` refuses
+//! rollback to stale blobs). On restart the process unseals its keys,
+//! re-runs the deterministic demo bootstrap, replays `PATH` (discarding
+//! any torn tail), verifies the recovered state root against the last
+//! durable header, and prints one machine-readable line:
+//!
+//! ```text
+//! RECOVERED blocks=<n> height=<h> torn=<bytes> ms=<elapsed>
+//! ```
+//!
+//! `--crash-after N` kills the process (exit 101) right after block `N`
+//! is durable but **before** any client hears about it — the worst-case
+//! crash window the chaos tests exercise.
 
-use confide_net::demo::demo_node;
+use confide_core::keys::{seal_node_keys, unseal_node_keys};
+use confide_net::demo::{demo_keys, demo_node_with, demo_platform};
 use confide_net::{NodeServer, ServerConfig};
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N] \
-         [--exec-threads N]"
+         [--exec-threads N] [--wal PATH] [--crash-after N] [--svn N] [--min-svn N]"
     );
     std::process::exit(2);
 }
@@ -44,6 +65,10 @@ fn main() {
             "--max-batch" => config.max_batch = parse("--max-batch", args.next()),
             "--queue-depth" => config.queue_depth = parse("--queue-depth", args.next()),
             "--exec-threads" => config.exec_threads = parse("--exec-threads", args.next()),
+            "--wal" => config.wal_path = Some(parse::<PathBuf>("--wal", args.next())),
+            "--crash-after" => config.crash_after = Some(parse("--crash-after", args.next())),
+            "--svn" => config.join_svn = parse("--svn", args.next()),
+            "--min-svn" => config.join_min_svn = parse("--min-svn", args.next()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("confide-node: unknown flag {other}");
@@ -52,7 +77,86 @@ fn main() {
         }
     }
 
-    let node = demo_node(seed);
+    // Rebuild "the same machine": the TEE platform is deterministic in
+    // the seed; the consortium keys come from the sealed blob when one
+    // survives, else are provisioned fresh and sealed for next time.
+    let platform = demo_platform(seed);
+    let (svn, min_svn) = (config.join_svn, config.join_min_svn);
+    let keys = match config.wal_path.as_ref().map(|p| sealed_keys_path(p)) {
+        Some(kp) if kp.exists() => {
+            let blob = std::fs::read(&kp).unwrap_or_else(|e| {
+                eprintln!(
+                    "confide-node: cannot read sealed keys {}: {e}",
+                    kp.display()
+                );
+                std::process::exit(1);
+            });
+            match unseal_node_keys(&platform, svn, min_svn, &blob) {
+                Ok(keys) => {
+                    eprintln!("confide-node: unsealed node keys from {}", kp.display());
+                    keys
+                }
+                Err(e) => {
+                    eprintln!("confide-node: sealed keys refused ({e}); a live member must re-provision via the wire join");
+                    std::process::exit(1);
+                }
+            }
+        }
+        maybe_path => {
+            let keys = demo_keys(seed);
+            if let Some(kp) = maybe_path {
+                match seal_node_keys(&platform, svn, &keys, seed ^ 0x7365616c) {
+                    Ok(blob) => {
+                        if let Err(e) = std::fs::write(&kp, &blob) {
+                            eprintln!("confide-node: cannot seal keys to {}: {e}", kp.display());
+                            std::process::exit(1);
+                        }
+                        eprintln!("confide-node: sealed node keys to {}", kp.display());
+                    }
+                    Err(e) => {
+                        eprintln!("confide-node: sealing failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            keys
+        }
+    };
+
+    let mut node = demo_node_with(platform.clone(), keys, seed);
+    // This node trusts its own platform root for wire rejoins (the demo
+    // consortium is rooted in one deterministic platform registry).
+    config.join_roots = vec![platform.attestation_public_key()];
+
+    if let Some(wal) = config.wal_path.as_ref() {
+        if wal.exists() {
+            let log = std::fs::read(wal).unwrap_or_else(|e| {
+                eprintln!("confide-node: cannot read WAL {}: {e}", wal.display());
+                std::process::exit(1);
+            });
+            if !log.is_empty() {
+                let t0 = Instant::now();
+                match node.recover_from_wal(&log) {
+                    Ok(rep) => {
+                        // Machine-readable, like LISTENING: the chaos
+                        // harness parses this line.
+                        println!(
+                            "RECOVERED blocks={} height={} torn={} ms={}",
+                            rep.blocks_replayed,
+                            rep.height,
+                            rep.torn_bytes,
+                            t0.elapsed().as_millis()
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("confide-node: WAL recovery failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+
     let server = match NodeServer::spawn(node, ("127.0.0.1", port), config) {
         Ok(s) => s,
         Err(e) => {
@@ -70,6 +174,13 @@ fn main() {
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
+}
+
+/// `<wal>.keys` — the sealed-blob sidecar next to the WAL file.
+fn sealed_keys_path(wal: &std::path::Path) -> PathBuf {
+    let mut os = wal.as_os_str().to_os_string();
+    os.push(".keys");
+    PathBuf::from(os)
 }
 
 fn hex_prefix(b: &[u8; 32]) -> String {

@@ -38,6 +38,14 @@ pub enum NetError {
     /// The gateway's connection pool stayed at its cap for the whole
     /// `pool_wait` window — every lease is held and none came back.
     PoolExhausted,
+    /// Every attempt of a [`Gateway::submit_with_retry`] failed with a
+    /// transient error; `last` is the final attempt's failure.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error the final attempt died with.
+        last: Box<NetError>,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -51,6 +59,9 @@ impl std::fmt::Display for NetError {
             NetError::Crypto => f.write_str("cryptographic failure"),
             NetError::Attestation(e) => write!(f, "attestation: {e}"),
             NetError::PoolExhausted => f.write_str("gateway pool exhausted (lease wait timed out)"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -178,6 +189,47 @@ impl Conn {
         }
     }
 
+    /// Re-obtain the consortium's `NodeKeys` over the wire: the K-Protocol
+    /// MAP join (§5.3) against a surviving member. The joiner's KM enclave
+    /// quotes an ephemeral X25519 key, the member counter-quotes and wraps
+    /// `(sk_tx, k_states)` to it, and the joiner verifies the member's
+    /// quote against `member_attestation_root` (the consortium-registered
+    /// root it trusts out of band) before unwrapping. No key material ever
+    /// crosses the wire outside the attested wrap blob.
+    pub fn rejoin(
+        &mut self,
+        joiner_platform: &std::sync::Arc<confide_tee::platform::TeePlatform>,
+        member_attestation_root: &VerifyingKey,
+        svn: u16,
+        min_svn: u16,
+        seed: u64,
+    ) -> Result<confide_core::keys::NodeKeys, NetError> {
+        let pk_tx = self.fetch_pk_tx()?;
+        let (session, offer) = confide_core::keys::begin_join(joiner_platform, svn, &pk_tx, seed)
+            .map_err(|e| NetError::Attestation(e.to_string()))?;
+        let reply = self.request(&Message::JoinRequest {
+            eph_pk: offer.eph_pk,
+            report: offer.report,
+        })?;
+        match reply {
+            Message::JoinApprove {
+                blob,
+                member_report,
+            } => confide_core::keys::finish_join(
+                session,
+                joiner_platform,
+                member_attestation_root,
+                &member_report,
+                min_svn,
+                svn,
+                &blob,
+            )
+            .map_err(|e| NetError::Attestation(e.to_string())),
+            Message::Rejected(r) => Err(NetError::Rejected(r)),
+            other => Err(NetError::UnexpectedReply(other.kind())),
+        }
+    }
+
     /// Fetch the stored receipt bytes for `tx_hash`, `None` if not (yet)
     /// committed.
     pub fn get_receipt(&mut self, tx_hash: &[u8; 32]) -> Result<Option<Vec<u8>>, NetError> {
@@ -278,11 +330,82 @@ pub struct Gateway {
     available: Condvar,
     max_conns: usize,
     pool_wait: Duration,
+    conn_timeout: Duration,
+    stats: RetryStats,
 }
 
 struct PoolState {
     idle: Vec<Conn>,
     open: usize,
+}
+
+/// Retry/redial counters a gateway accumulates over its lifetime
+/// (surfaced in the loadgen JSON report).
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    /// Attempts beyond the first inside [`Gateway::submit_with_retry`].
+    pub retries: std::sync::atomic::AtomicU64,
+    /// `submit_with_retry` calls that ran out of attempts.
+    pub exhausted: std::sync::atomic::AtomicU64,
+    /// Stale pooled connections transparently replaced by a fresh dial
+    /// inside [`Gateway::with_conn`].
+    pub redials: std::sync::atomic::AtomicU64,
+}
+
+/// Capped exponential backoff with deterministic jitter, for
+/// [`Gateway::submit_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream (so two clients hammering
+    /// a recovering node desynchronise without true randomness).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(320),
+            jitter_seed: 0x7265747279, // "retry"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based): capped
+    /// `base * 2^retry` plus up to 50% deterministic jitter.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_backoff);
+        let mut x = self
+            .jitter_seed
+            .wrapping_add((retry as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let half = exp.as_nanos() as u64 / 2;
+        let jitter = if half == 0 { 0 } else { x % half };
+        exp + Duration::from_nanos(jitter)
+    }
+}
+
+/// Is this failure worth retrying? `Busy` is explicit backpressure and
+/// transport-level failures may be a node mid-restart; protocol verdicts
+/// (`Rejected`, attestation failures) are final.
+fn transient(e: &NetError) -> bool {
+    matches!(
+        e,
+        NetError::Busy | NetError::Frame(_) | NetError::Disconnected | NetError::PoolExhausted
+    )
 }
 
 impl Gateway {
@@ -302,7 +425,21 @@ impl Gateway {
             available: Condvar::new(),
             max_conns: max_conns.max(1),
             pool_wait: Duration::from_secs(5),
+            conn_timeout: Duration::from_secs(10),
+            stats: RetryStats::default(),
         })
+    }
+
+    /// Socket read/write timeout for pooled connections (default 10 s).
+    /// Chaos tests shrink this so a dropped chunk surfaces as a fast
+    /// transport error instead of a long stall.
+    pub fn set_conn_timeout(&mut self, timeout: Duration) {
+        self.conn_timeout = timeout;
+    }
+
+    /// Lifetime retry/redial counters.
+    pub fn retry_stats(&self) -> &RetryStats {
+        &self.stats
     }
 
     /// The gateway's upstream address.
@@ -316,18 +453,20 @@ impl Gateway {
         self.pool_wait = wait;
     }
 
-    fn lease(&self) -> Result<Conn, NetError> {
+    /// Lease a connection; the boolean is `true` when the connection came
+    /// out of the idle pool (and may therefore have died while parked).
+    fn lease(&self) -> Result<(Conn, bool), NetError> {
         let deadline = Instant::now() + self.pool_wait;
         let mut state = self.pool.lock().expect("pool lock");
         loop {
             if let Some(conn) = state.idle.pop() {
-                return Ok(conn);
+                return Ok((conn, true));
             }
             if state.open < self.max_conns {
                 state.open += 1;
                 drop(state);
-                return match Conn::connect(self.addr) {
-                    Ok(conn) => Ok(conn),
+                return match Conn::connect_timeout(self.addr, self.conn_timeout) {
+                    Ok(conn) => Ok((conn, false)),
                     Err(e) => {
                         self.pool.lock().expect("pool lock").open -= 1;
                         self.available.notify_one();
@@ -358,20 +497,56 @@ impl Gateway {
         self.available.notify_one();
     }
 
+    /// Register a fresh dial outside the lease path (used to replace a
+    /// pooled connection that turned out to be dead).
+    fn dial_fresh(&self) -> Result<Conn, NetError> {
+        self.pool.lock().expect("pool lock").open += 1;
+        match Conn::connect_timeout(self.addr, self.conn_timeout) {
+            Ok(conn) => Ok(conn),
+            Err(e) => {
+                self.pool.lock().expect("pool lock").open -= 1;
+                self.available.notify_one();
+                Err(e)
+            }
+        }
+    }
+
     /// Run `f` with a leased connection. On transport-level failure the
-    /// connection is discarded (a later lease dials a fresh one);
-    /// protocol-level outcomes (`Busy`, `Rejected`) keep it pooled.
+    /// connection is discarded; if it was a *pooled* connection (which may
+    /// have died while idle — e.g. the server restarted), the gateway
+    /// transparently dials a fresh socket and runs `f` once more, so
+    /// callers never see a stale-pool artifact as an error.
+    /// Protocol-level outcomes (`Busy`, `Rejected`) keep the connection
+    /// pooled.
     pub fn with_conn<R>(
         &self,
-        f: impl FnOnce(&mut Conn) -> Result<R, NetError>,
+        mut f: impl FnMut(&mut Conn) -> Result<R, NetError>,
     ) -> Result<R, NetError> {
-        let mut conn = self.lease()?;
+        let (mut conn, reused) = self.lease()?;
         let result = f(&mut conn);
         match &result {
-            Err(NetError::Frame(_)) | Err(NetError::Disconnected) => self.give_back(None),
-            _ => self.give_back(Some(conn)),
+            Err(NetError::Frame(_)) | Err(NetError::Disconnected) => {
+                self.give_back(None);
+                if !reused {
+                    return result;
+                }
+                // The pooled socket was stale; retry once on a fresh dial.
+                self.stats
+                    .redials
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let mut conn = self.dial_fresh()?;
+                let retry = f(&mut conn);
+                match &retry {
+                    Err(NetError::Frame(_)) | Err(NetError::Disconnected) => self.give_back(None),
+                    _ => self.give_back(Some(conn)),
+                }
+                retry
+            }
+            _ => {
+                self.give_back(Some(conn));
+                result
+            }
         }
-        result
     }
 
     /// Submit a sealed transaction through the pool and wait for commit.
@@ -387,5 +562,42 @@ impl Gateway {
     /// Receipt lookup through the pool.
     pub fn get_receipt(&self, tx_hash: &[u8; 32]) -> Result<Option<Vec<u8>>, NetError> {
         self.with_conn(|c| c.get_receipt(tx_hash))
+    }
+
+    /// [`Gateway::submit_wait`] with retries on transient failures
+    /// (`Busy` backpressure, transport errors while a node restarts),
+    /// backing off per `policy`. Safe against double execution: the
+    /// server's committed-wire-hash index answers a retry of an
+    /// already-committed transaction with its stored receipt. Terminal
+    /// verdicts (`Rejected`, attestation failures) are returned
+    /// immediately; running out of attempts yields
+    /// [`NetError::RetriesExhausted`].
+    pub fn submit_with_retry(
+        &self,
+        tx: &WireTx,
+        policy: &RetryPolicy,
+    ) -> Result<(bool, Vec<u8>), NetError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last: Option<NetError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats
+                    .retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::thread::sleep(policy.backoff(attempt - 1));
+            }
+            match self.submit_wait(tx) {
+                Ok(out) => return Ok(out),
+                Err(e) if transient(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        self.stats
+            .exhausted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Err(NetError::RetriesExhausted {
+            attempts,
+            last: Box::new(last.unwrap_or(NetError::Busy)),
+        })
     }
 }

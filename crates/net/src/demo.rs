@@ -30,12 +30,28 @@ pub const DEMO_CCL: &str = r#"
     }
 "#;
 
-/// Build a node with deterministic keys (seeded from `seed`) and the demo
-/// contract deployed confidentially.
-pub fn demo_node(seed: u64) -> ConfideNode {
-    let platform = TeePlatform::new(seed, seed);
+/// The demo node's deterministic TEE platform for `seed` — split out so a
+/// restarted process can rebuild "the same machine" and re-obtain its keys
+/// (sealed-blob unseal or wire rejoin) separately from the node bootstrap.
+pub fn demo_platform(seed: u64) -> std::sync::Arc<TeePlatform> {
+    TeePlatform::new(seed, seed)
+}
+
+/// The demo node's deterministic consortium secrets for `seed`.
+pub fn demo_keys(seed: u64) -> NodeKeys {
     let mut rng = HmacDrbg::from_u64(seed);
-    let keys = NodeKeys::generate(&mut rng);
+    NodeKeys::generate(&mut rng)
+}
+
+/// The deterministic demo bootstrap on an explicit platform + keys: the
+/// crash-recovery path re-runs exactly this (same genesis deploys) before
+/// replaying its WAL, with keys that came from sealed storage or a wire
+/// rejoin instead of [`demo_keys`].
+pub fn demo_node_with(
+    platform: std::sync::Arc<TeePlatform>,
+    keys: NodeKeys,
+    seed: u64,
+) -> ConfideNode {
     let node = ConfideNode::new(platform, keys, EngineConfig::default(), seed);
     let code = confide_lang::build_vm(DEMO_CCL).expect("demo contract compiles");
     node.deploy(DEMO_CONTRACT, &code, VmKind::ConfideVm, true)
@@ -43,6 +59,12 @@ pub fn demo_node(seed: u64) -> ConfideNode {
     node.deploy(DEMO_PUBLIC_CONTRACT, &code, VmKind::ConfideVm, false)
         .expect("public demo contract deploys");
     node
+}
+
+/// Build a node with deterministic keys (seeded from `seed`) and the demo
+/// contract deployed confidentially.
+pub fn demo_node(seed: u64) -> ConfideNode {
+    demo_node_with(demo_platform(seed), demo_keys(seed), seed)
 }
 
 /// Demo invocation arguments for logical client `id`, iteration `n`.

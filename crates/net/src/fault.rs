@@ -1,0 +1,428 @@
+//! A network fault-injection proxy for chaos testing.
+//!
+//! [`FaultProxy`] sits between a client and a [`crate::server::NodeServer`]
+//! on a real TCP port and mangles the byte stream on a **seeded, per-chunk
+//! schedule**: drop, delay, duplicate, truncate, bit-flip, or slam the
+//! connection shut. Everything is deterministic given the plan's seed and
+//! the connection arrival order, so a chaos failure reproduces.
+//!
+//! The proxy is deliberately frame-oblivious — it forwards raw chunks, so
+//! its faults land mid-frame as often as between frames, exactly like a
+//! flaky switch. The invariants under test live one layer up: the framed
+//! protocol must turn every mangling into a *typed* client-side error
+//! (never a wrong answer), and the server must keep serving.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-chunk fault probabilities in per-mille (0 = never, 1000 = always),
+/// rolled in the order the fields are declared. All fates are exclusive
+/// per chunk except `delay`, which composes with a normal forward.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Seed of the deterministic schedule.
+    pub seed: u64,
+    /// Close the connection instead of forwarding (both directions die).
+    pub close_per_mille: u32,
+    /// Silently drop the chunk.
+    pub drop_per_mille: u32,
+    /// Forward only a prefix of the chunk (a torn write on the wire).
+    pub truncate_per_mille: u32,
+    /// Flip one bit of the chunk before forwarding.
+    pub bitflip_per_mille: u32,
+    /// Forward the chunk twice.
+    pub dup_per_mille: u32,
+    /// Sleep `delay_ms` before forwarding.
+    pub delay_per_mille: u32,
+    /// Added latency for delayed chunks.
+    pub delay_ms: u64,
+}
+
+impl FaultPlan {
+    /// A fault-free plan: the proxy is a pure TCP relay.
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            close_per_mille: 0,
+            drop_per_mille: 0,
+            truncate_per_mille: 0,
+            bitflip_per_mille: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ms: 0,
+        }
+    }
+
+    /// A lossy-link plan with every fault class armed at a low rate —
+    /// the default chaos schedule of the fuzz tests.
+    pub fn lossy(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            close_per_mille: 10,
+            drop_per_mille: 20,
+            truncate_per_mille: 20,
+            bitflip_per_mille: 20,
+            dup_per_mille: 20,
+            delay_per_mille: 50,
+            delay_ms: 2,
+        }
+    }
+
+    /// Faults that only *interrupt* (close, drop, truncate, delay) without
+    /// corrupting or reordering bytes that do get through. Under this plan
+    /// a request/response client sees clean transport errors, so strict
+    /// end-to-end invariants (no lost receipt, no double execution) are
+    /// checkable; `bitflip`/`dup` belong in the fuzz tests, where the
+    /// assertion is "typed errors only, server stays alive".
+    pub fn interrupting(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            close_per_mille: 40,
+            drop_per_mille: 40,
+            truncate_per_mille: 40,
+            bitflip_per_mille: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 80,
+            delay_ms: 1,
+        }
+    }
+}
+
+/// What the proxy did to the traffic so far.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Chunks forwarded unmodified (possibly after a delay).
+    pub forwarded: AtomicU64,
+    /// Connections slammed shut by the schedule.
+    pub closed: AtomicU64,
+    /// Chunks silently dropped.
+    pub dropped: AtomicU64,
+    /// Chunks cut short.
+    pub truncated: AtomicU64,
+    /// Chunks with a flipped bit.
+    pub bitflipped: AtomicU64,
+    /// Chunks forwarded twice.
+    pub duplicated: AtomicU64,
+    /// Chunks delayed before forwarding.
+    pub delayed: AtomicU64,
+}
+
+impl FaultStats {
+    /// Total faults injected (everything except plain forwards).
+    pub fn injected(&self) -> u64 {
+        self.closed.load(Ordering::Relaxed)
+            + self.dropped.load(Ordering::Relaxed)
+            + self.truncated.load(Ordering::Relaxed)
+            + self.bitflipped.load(Ordering::Relaxed)
+            + self.duplicated.load(Ordering::Relaxed)
+            + self.delayed.load(Ordering::Relaxed)
+    }
+}
+
+/// A running fault proxy. Dropping it (or calling
+/// [`FaultProxy::shutdown`]) stops the accept loop; in-flight pump
+/// threads die with their sockets.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stats: Arc<FaultStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Deterministic xorshift64* stream for one pump direction.
+struct Dice(u64);
+
+impl Dice {
+    fn new(seed: u64, conn: u64, dir: u64) -> Dice {
+        // Mix so that every (seed, conn, dir) triple yields a distinct
+        // non-zero stream.
+        let mut s = seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (dir << 32);
+        if s == 0 {
+            s = 0xDEAD_BEEF_CAFE_F00D;
+        }
+        Dice(s)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Roll a per-mille chance.
+    fn hit(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && (self.next() % 1000) < per_mille as u64
+    }
+}
+
+/// What the schedule decided for one chunk.
+enum Fate {
+    Forward,
+    Close,
+    Drop,
+    Truncate(usize),
+    Bitflip(usize),
+    Dup,
+}
+
+fn decide(dice: &mut Dice, plan: &FaultPlan, len: usize) -> (Fate, bool) {
+    let delayed = dice.hit(plan.delay_per_mille);
+    let fate = if dice.hit(plan.close_per_mille) {
+        Fate::Close
+    } else if dice.hit(plan.drop_per_mille) {
+        Fate::Drop
+    } else if len > 1 && dice.hit(plan.truncate_per_mille) {
+        Fate::Truncate(1 + (dice.next() as usize % (len - 1)))
+    } else if dice.hit(plan.bitflip_per_mille) {
+        Fate::Bitflip(dice.next() as usize % (len * 8))
+    } else if dice.hit(plan.dup_per_mille) {
+        Fate::Dup
+    } else {
+        Fate::Forward
+    };
+    (fate, delayed)
+}
+
+/// Pump one direction, applying the schedule per chunk. Returns when
+/// either side closes or the schedule kills the connection.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    plan: FaultPlan,
+    mut dice: Dice,
+    stats: Arc<FaultStats>,
+) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let (fate, delayed) = decide(&mut dice, &plan, n);
+        if delayed {
+            stats.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(plan.delay_ms));
+        }
+        let ok = match fate {
+            Fate::Forward => {
+                stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                to.write_all(&buf[..n]).is_ok()
+            }
+            Fate::Close => {
+                stats.closed.fetch_add(1, Ordering::Relaxed);
+                // Kill both directions: the peer sees a reset/EOF.
+                let _ = from.shutdown(std::net::Shutdown::Both);
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                false
+            }
+            Fate::Drop => {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Fate::Truncate(keep) => {
+                stats.truncated.fetch_add(1, Ordering::Relaxed);
+                // A torn write, then the connection dies — a cleanly
+                // resumable truncation would just be a slow forward.
+                let _ = to.write_all(&buf[..keep.min(n)]);
+                let _ = from.shutdown(std::net::Shutdown::Both);
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                false
+            }
+            Fate::Bitflip(bit) => {
+                stats.bitflipped.fetch_add(1, Ordering::Relaxed);
+                buf[(bit / 8).min(n - 1)] ^= 1 << (bit % 8);
+                to.write_all(&buf[..n]).is_ok()
+            }
+            Fate::Dup => {
+                stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                to.write_all(&buf[..n]).is_ok() && to.write_all(&buf[..n]).is_ok()
+            }
+        };
+        if !ok {
+            break;
+        }
+    }
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral loopback port and relay every accepted
+    /// connection to `upstream` through the fault schedule.
+    pub fn spawn(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(FaultStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("fault-proxy".into())
+                .spawn(move || {
+                    let mut conn_id = 0u64;
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(client) = stream else { continue };
+                        conn_id += 1;
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let Ok(server) = TcpStream::connect(upstream) else {
+                            continue;
+                        };
+                        let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                            continue;
+                        };
+                        let up_dice = Dice::new(plan.seed, conn_id, 0);
+                        let down_dice = Dice::new(plan.seed, conn_id, 1);
+                        let st = Arc::clone(&stats);
+                        let _ = std::thread::Builder::new()
+                            .name("fault-up".into())
+                            .spawn(move || pump(client, server, plan, up_dice, st));
+                        let st = Arc::clone(&stats);
+                        let _ = std::thread::Builder::new()
+                            .name("fault-down".into())
+                            .spawn(move || pump(s2, c2, plan, down_dice, st));
+                    }
+                })?
+        };
+        Ok(FaultProxy {
+            addr,
+            stats,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Stop accepting new connections (existing pumps die with their
+    /// sockets).
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A trivial upstream echo server for proxy-level tests.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Serve a bounded number of connections, then exit.
+            for stream in listener.incoming().take(8) {
+                let Ok(mut s) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn clean_plan_is_a_transparent_relay() {
+        let (upstream, _h) = echo_server();
+        let mut proxy = FaultProxy::spawn(upstream, FaultPlan::clean(1)).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for i in 0..10u8 {
+            let msg = vec![i; 64];
+            c.write_all(&msg).unwrap();
+            let mut back = vec![0u8; 64];
+            c.read_exact(&mut back).unwrap();
+            assert_eq!(back, msg);
+        }
+        assert_eq!(proxy.stats().injected(), 0);
+        assert!(proxy.stats().forwarded.load(Ordering::Relaxed) >= 20);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        // Same seed + same chunk sizes ⇒ identical fate sequence.
+        let plan = FaultPlan::lossy(42);
+        let run = || -> Vec<u8> {
+            let mut dice = Dice::new(plan.seed, 1, 0);
+            (0..200)
+                .map(|_| {
+                    let (fate, delayed) = decide(&mut dice, &plan, 128);
+                    let tag = match fate {
+                        Fate::Forward => 0u8,
+                        Fate::Close => 1,
+                        Fate::Drop => 2,
+                        Fate::Truncate(_) => 3,
+                        Fate::Bitflip(_) => 4,
+                        Fate::Dup => 5,
+                    };
+                    tag | ((delayed as u8) << 6)
+                })
+                .collect()
+        };
+        assert_eq!(run(), run());
+        // And the lossy plan actually exercises every fate eventually.
+        let fates = run();
+        for tag in 0u8..=5 {
+            assert!(
+                fates.iter().any(|f| f & 0x3F == tag),
+                "fate {tag} never rolled"
+            );
+        }
+    }
+
+    #[test]
+    fn always_close_plan_kills_every_connection() {
+        let (upstream, _h) = echo_server();
+        let plan = FaultPlan {
+            close_per_mille: 1000,
+            ..FaultPlan::clean(3)
+        };
+        let mut proxy = FaultProxy::spawn(upstream, plan).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = c.write_all(b"doomed");
+        let mut buf = [0u8; 16];
+        // Either a clean EOF (Ok(0)) or a reset — never data.
+        match c.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("got {n} bytes through an always-close proxy"),
+        }
+        assert!(proxy.stats().closed.load(Ordering::Relaxed) >= 1);
+        proxy.shutdown();
+    }
+}

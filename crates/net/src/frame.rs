@@ -99,6 +99,17 @@ pub enum Message {
     GetAttestation,
     /// Liveness probe.
     Ping,
+    /// K-Protocol rejoin, step 1 over the wire: the joiner's quoted
+    /// ephemeral key ([`confide_core::keys::JoinOffer`]). The member
+    /// verifies it against the joiner platform's *consortium-registered*
+    /// attestation root — nothing in this frame is trusted by itself.
+    JoinRequest {
+        /// The joiner KM enclave's ephemeral X25519 public key.
+        eph_pk: [u8; 32],
+        /// Remote-attestation quote binding `eph_pk` and the expected
+        /// `pk_tx` fingerprint.
+        report: Report,
+    },
 
     // ── responses ───────────────────────────────────────────────────────
     /// Transaction enqueued for the next block; identified by wire hash.
@@ -126,6 +137,16 @@ pub enum Message {
     AttestationIs(Report),
     /// Liveness answer.
     Pong,
+    /// K-Protocol rejoin, step 2: the member's wrapped consortium secrets
+    /// plus its counter-quote (mutual attestation). The joiner verifies
+    /// the counter-quote against the member's registered attestation root
+    /// before unwrapping.
+    JoinApprove {
+        /// The session-wrapped consortium secrets.
+        blob: Vec<u8>,
+        /// The member KM enclave's counter-quote.
+        member_report: Report,
+    },
 }
 
 // Message kind bytes.
@@ -135,6 +156,7 @@ const K_GET_RECEIPT: u8 = 0x03;
 const K_GET_PK_TX: u8 = 0x04;
 const K_GET_ATTESTATION: u8 = 0x05;
 const K_PING: u8 = 0x06;
+const K_JOIN_REQUEST: u8 = 0x07;
 const K_ACCEPTED: u8 = 0x81;
 const K_COMMITTED: u8 = 0x82;
 const K_BUSY: u8 = 0x83;
@@ -144,6 +166,7 @@ const K_NOT_FOUND: u8 = 0x86;
 const K_PK_TX_IS: u8 = 0x87;
 const K_ATTESTATION_IS: u8 = 0x88;
 const K_PONG: u8 = 0x89;
+const K_JOIN_APPROVE: u8 = 0x8A;
 
 /// Serialize an attestation report (fixed-width fields, 202 bytes).
 fn encode_report(r: &Report) -> Vec<u8> {
@@ -192,6 +215,7 @@ impl Message {
             Message::GetPkTx => K_GET_PK_TX,
             Message::GetAttestation => K_GET_ATTESTATION,
             Message::Ping => K_PING,
+            Message::JoinRequest { .. } => K_JOIN_REQUEST,
             Message::Accepted(_) => K_ACCEPTED,
             Message::Committed { .. } => K_COMMITTED,
             Message::Busy => K_BUSY,
@@ -201,6 +225,7 @@ impl Message {
             Message::PkTxIs(_) => K_PK_TX_IS,
             Message::AttestationIs(_) => K_ATTESTATION_IS,
             Message::Pong => K_PONG,
+            Message::JoinApprove { .. } => K_JOIN_APPROVE,
         }
     }
 
@@ -218,6 +243,22 @@ impl Message {
             Message::Rejected(reason) => reason.as_bytes().to_vec(),
             Message::ReceiptIs(bytes) => bytes.clone(),
             Message::AttestationIs(report) => encode_report(report),
+            Message::JoinRequest { eph_pk, report } => {
+                let mut out = Vec::with_capacity(32 + 202);
+                out.extend_from_slice(eph_pk);
+                out.extend_from_slice(&encode_report(report));
+                out
+            }
+            Message::JoinApprove {
+                blob,
+                member_report,
+            } => {
+                let mut out = Vec::with_capacity(4 + blob.len() + 202);
+                out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                out.extend_from_slice(blob);
+                out.extend_from_slice(&encode_report(member_report));
+                out
+            }
             Message::GetPkTx
             | Message::GetAttestation
             | Message::Ping
@@ -275,6 +316,28 @@ impl Message {
             K_PK_TX_IS => Ok(Message::PkTxIs(take32(body)?)),
             K_ATTESTATION_IS => Ok(Message::AttestationIs(decode_report(body)?)),
             K_PONG => empty(body, Message::Pong),
+            K_JOIN_REQUEST => {
+                if body.len() != 32 + 202 {
+                    return Err(FrameError::BadPayload);
+                }
+                Ok(Message::JoinRequest {
+                    eph_pk: take32(&body[..32])?,
+                    report: decode_report(&body[32..])?,
+                })
+            }
+            K_JOIN_APPROVE => {
+                if body.len() < 4 {
+                    return Err(FrameError::BadPayload);
+                }
+                let blob_len = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+                if body.len() != 4 + blob_len + 202 {
+                    return Err(FrameError::BadPayload);
+                }
+                Ok(Message::JoinApprove {
+                    blob: body[4..4 + blob_len].to_vec(),
+                    member_report: decode_report(&body[4 + blob_len..])?,
+                })
+            }
             other => Err(FrameError::BadKind(other)),
         }
     }
@@ -384,9 +447,25 @@ mod tests {
             &mut rng,
         )
         .unwrap();
+        let fake_report = Report {
+            mrenclave: [0xAA; 32],
+            mrsigner: [0xBB; 32],
+            isv_svn: 3,
+            report_data: [0xCC; 64],
+            platform_id: 99,
+            signature: confide_crypto::ed25519::Signature([0xDD; 64]),
+        };
         vec![
             Message::SubmitTx(sample_tx()),
             Message::SubmitTxWait(WireTx::Confidential(env)),
+            Message::JoinRequest {
+                eph_pk: [0x11; 32],
+                report: fake_report.clone(),
+            },
+            Message::JoinApprove {
+                blob: b"wrapped-secrets".to_vec(),
+                member_report: fake_report,
+            },
             Message::GetReceipt([9u8; 32]),
             Message::GetPkTx,
             Message::GetAttestation,

@@ -20,6 +20,9 @@
 //!   [`client::Gateway`] (many logical clients over few pooled sockets).
 //! * [`loadgen`] — open/closed-loop workload driver behind the
 //!   `confide-loadgen` binary; emits `results/BENCH_net.json`.
+//! * [`fault`] — [`fault::FaultProxy`]: a seeded fault-injecting TCP
+//!   relay (drop/delay/duplicate/truncate/bit-flip/force-close) for
+//!   chaos and fuzz tests; deterministic per seed.
 //!
 //! ## Threat model
 //!
@@ -37,10 +40,12 @@
 
 pub mod client;
 pub mod demo;
+pub mod fault;
 pub mod frame;
 pub mod loadgen;
 pub mod server;
 
-pub use client::{Client, Conn, Gateway, NetError};
+pub use client::{Client, Conn, Gateway, NetError, RetryPolicy, RetryStats};
+pub use fault::{FaultPlan, FaultProxy, FaultStats};
 pub use frame::{FrameError, Message, DEFAULT_MAX_FRAME, WIRE_VERSION};
 pub use server::{NodeServer, ServerConfig, ServerStats};

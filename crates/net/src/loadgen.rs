@@ -82,6 +82,9 @@ pub struct LoadReport {
     pub busy: u64,
     /// Typed `Rejected` responses observed.
     pub rejected: u64,
+    /// Resubmission attempts beyond each transaction's first (closed-loop
+    /// backoff-and-retry on `Busy`).
+    pub retries: u64,
     /// Receipts fetched and (for confidential txs) decrypted under `k_tx`.
     pub receipts_verified: u64,
     /// Wall-clock of the measured window, seconds.
@@ -131,6 +134,7 @@ struct WorkerResult {
     accepted: u64,
     busy: u64,
     rejected: u64,
+    retries: u64,
     receipts_verified: u64,
     latencies_us: Vec<u64>,
 }
@@ -223,6 +227,7 @@ fn closed_worker(
         accepted: 0,
         busy: 0,
         rejected: 0,
+        retries: 0,
         receipts_verified: 0,
         latencies_us: Vec::with_capacity(txs.len()),
     };
@@ -256,6 +261,7 @@ fn closed_worker(
                 }
                 Err(NetError::Busy) => {
                     res.busy += 1;
+                    res.retries += 1;
                     attempts += 1;
                     if attempts > cfg.busy_retries {
                         break;
@@ -292,6 +298,7 @@ fn open_worker(
         accepted: 0,
         busy: 0,
         rejected: 0,
+        retries: 0,
         receipts_verified: 0,
         latencies_us: Vec::with_capacity(txs.len()),
     };
@@ -377,6 +384,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, NetError> {
         report.accepted += r.accepted;
         report.busy += r.busy;
         report.rejected += r.rejected;
+        report.retries += r.retries;
         report.receipts_verified += r.receipts_verified;
         latencies.extend(r.latencies_us);
     }
@@ -533,12 +541,29 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// The crash-recovery datapoint of one bench run: WAL replay latency
+/// (measured by `confide-node --wal` and plumbed in via
+/// `confide-loadgen --recover-ms`) plus the client-side retry totals.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryInfo {
+    /// Milliseconds `recover_from_wal` took on the last restart (0 when
+    /// the run had no recovery).
+    pub recover_ms: u64,
+    /// Blocks the recovery replayed.
+    pub recovered_blocks: u64,
+    /// Retry attempts across all workloads.
+    pub retries: u64,
+    /// Submissions that ran out of retry budget.
+    pub retries_exhausted: u64,
+}
+
 /// Render reports as the `BENCH_net.json` document (hand-rolled JSON —
 /// the build stays zero-dependency).
 pub fn to_json(
     reports: &[LoadReport],
     scaling: &[ScalingReport],
     server_cfg: &crate::server::ServerConfig,
+    recovery: &RecoveryInfo,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -557,6 +582,14 @@ pub fn to_json(
         server_cfg.queue_depth,
         server_cfg.batch_linger.as_millis(),
         server_cfg.exec_threads
+    ));
+    out.push_str(&format!(
+        "  \"recovery\": {{ \"recover_ms\": {}, \"recovered_blocks\": {}, \"retries\": {}, \
+         \"retries_exhausted\": {} }},\n",
+        recovery.recover_ms,
+        recovery.recovered_blocks,
+        recovery.retries,
+        recovery.retries_exhausted
     ));
     out.push_str("  \"parallel_exec\": [\n");
     for (i, s) in scaling.iter().enumerate() {
@@ -594,6 +627,7 @@ pub fn to_json(
         out.push_str(&format!("      \"txs_accepted\": {},\n", r.accepted));
         out.push_str(&format!("      \"busy_rejects\": {},\n", r.busy));
         out.push_str(&format!("      \"rejected\": {},\n", r.rejected));
+        out.push_str(&format!("      \"retries\": {},\n", r.retries));
         out.push_str(&format!(
             "      \"receipts_verified\": {},\n",
             r.receipts_verified
@@ -659,6 +693,12 @@ mod tests {
             &[report],
             &[scaling],
             &crate::server::ServerConfig::default(),
+            &RecoveryInfo {
+                recover_ms: 12,
+                recovered_blocks: 3,
+                retries: 4,
+                retries_exhausted: 0,
+            },
         );
         for key in [
             "\"schema_version\"",
@@ -677,6 +717,11 @@ mod tests {
             "\"model_tps\"",
             "\"speedup_vs_1\"",
             "\"exec_threads\"",
+            "\"recovery\"",
+            "\"recover_ms\"",
+            "\"recovered_blocks\"",
+            "\"retries\"",
+            "\"retries_exhausted\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -21,13 +21,17 @@
 //! peer can pin a handler thread.
 
 use crate::frame::{read_frame, write_frame, FrameError, Message, DEFAULT_MAX_FRAME};
+use confide_core::keys::JoinOffer;
 use confide_core::node::ConfideNode;
 use confide_core::tx::WireTx;
-use std::io::ErrorKind;
+use confide_crypto::ed25519::VerifyingKey;
+use std::collections::HashSet;
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -56,6 +60,26 @@ pub struct ServerConfig {
     /// with results bit-identical to serial execution regardless of this
     /// value; it only changes wall-clock/makespan. Clamped to ≥ 1.
     pub exec_threads: usize,
+    /// Durable-commit file: when set, the batcher appends each sealed
+    /// block's WAL record group here (fsync'd) **before** acknowledging
+    /// the block to any waiter. A crashed process recovers by feeding the
+    /// file through `ConfideNode::recover_from_wal` and respawning.
+    pub wal_path: Option<PathBuf>,
+    /// Crash hook for chaos testing: after this many blocks have been
+    /// sealed *and flushed*, kill the process without replying — the
+    /// worst-case crash point (committed but unacknowledged work), which
+    /// recovery plus resubmit-dedup must make invisible to clients.
+    pub crash_after: Option<u64>,
+    /// Consortium-registered platform attestation roots allowed to rejoin
+    /// through [`Message::JoinRequest`]. Empty = wire joins disabled.
+    pub join_roots: Vec<VerifyingKey>,
+    /// SVN this node's KM enclave runs at for join approvals.
+    pub join_svn: u16,
+    /// Minimum SVN a joiner's quote must carry.
+    pub join_min_svn: u16,
+    /// Base seed of the per-join approval RNG (each approval mixes in a
+    /// join counter so session keys and nonces never repeat).
+    pub join_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +93,12 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             commit_timeout: Duration::from_secs(30),
             exec_threads: 4,
+            wal_path: None,
+            crash_after: None,
+            join_roots: Vec::new(),
+            join_svn: 1,
+            join_min_svn: 1,
+            join_seed: 0x6a6f696e, // "join"
         }
     }
 }
@@ -95,14 +125,26 @@ pub struct ServerStats {
     /// first. Non-zero values are normal under overload — the tx still
     /// committed (or was rejected) exactly as reported in the block.
     pub reply_drops: AtomicU64,
+    /// Resubmissions answered from the committed wire-hash index instead
+    /// of re-executing (retry-after-crash idempotence).
+    pub deduped: AtomicU64,
+    /// Wire rejoin requests processed (each burns one approval seed,
+    /// approved or not).
+    pub joins: AtomicU64,
 }
 
 /// One queued transaction plus the optional rendezvous back to the
 /// waiting `SubmitTxWait` handler.
 struct Job {
     tx: WireTx,
+    wire_hash: [u8; 32],
     done: Option<SyncSender<Message>>,
 }
+
+/// Wire hashes currently queued or executing — a second submission of the
+/// same bytes while the first is in flight is turned away with `Busy`
+/// instead of executing twice.
+type InFlight = Arc<Mutex<HashSet<[u8; 32]>>>;
 
 /// A running node server. Dropping it (or calling
 /// [`NodeServer::shutdown`]) stops the accept loop and the batcher.
@@ -129,14 +171,16 @@ impl NodeServer {
         let stop = Arc::new(AtomicBool::new(false));
         let node = Arc::new(RwLock::new(node));
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+        let in_flight: InFlight = Arc::new(Mutex::new(HashSet::new()));
 
         let batcher = {
             let node = Arc::clone(&node);
             let stats = Arc::clone(&stats);
             let config = config.clone();
+            let in_flight = Arc::clone(&in_flight);
             std::thread::Builder::new()
                 .name("confide-batcher".into())
-                .spawn(move || batcher_loop(node, job_rx, stats, config))?
+                .spawn(move || batcher_loop(node, job_rx, stats, config, in_flight))?
         };
 
         let accept = {
@@ -158,11 +202,13 @@ impl NodeServer {
                         let stop = Arc::clone(&stop);
                         let job_tx = job_tx.clone();
                         let config = config.clone();
+                        let in_flight = Arc::clone(&in_flight);
                         let _ = std::thread::Builder::new()
                             .name("confide-conn".into())
                             .spawn(move || {
-                                let _ =
-                                    handle_connection(stream, node, job_tx, stats, stop, config);
+                                let _ = handle_connection(
+                                    stream, node, job_tx, stats, stop, config, in_flight,
+                                );
                             });
                     }
                     // job_tx clones die with the handlers; dropping ours here
@@ -219,13 +265,26 @@ impl Drop for NodeServer {
 
 /// The batcher: drain the queue into blocks of at most `max_batch`
 /// transactions, lingering briefly for stragglers, and answer the
-/// waiters.
+/// waiters. With `wal_path` set, each block's WAL suffix is flushed and
+/// fsync'd **before** any waiter hears about it — the durable-commit
+/// point of the whole server.
 fn batcher_loop(
     node: Arc<RwLock<ConfideNode>>,
     jobs: Receiver<Job>,
     stats: Arc<ServerStats>,
     config: ServerConfig,
+    in_flight: InFlight,
 ) {
+    // Durable log: rewrite the committed prefix once at startup (a
+    // recovered node's in-memory WAL already replays the old file), then
+    // append per block below.
+    let mut wal_file = config.wal_path.as_ref().map(|path| {
+        let mut f = std::fs::File::create(path).expect("create wal file");
+        let snapshot = node.read().expect("node lock").wal_bytes().to_vec();
+        f.write_all(&snapshot).expect("write wal prefix");
+        f.sync_all().expect("sync wal prefix");
+        (f, snapshot.len())
+    });
     loop {
         // Block until the first transaction of the next batch.
         let first = match jobs.recv() {
@@ -250,18 +309,70 @@ fn batcher_loop(
                 }
             }
         }
+        // Late dedup: a resubmission can race past the handler's check and
+        // sit in the queue behind the block that commits its twin. Answer
+        // those from the committed index instead of executing them again.
+        let mut fresh = Vec::with_capacity(batch.len());
+        {
+            let node = node.read().expect("node lock");
+            for job in batch {
+                match node.committed_by_wire(&job.wire_hash) {
+                    Some((sealed, receipt)) => {
+                        stats.deduped.fetch_add(1, Ordering::Relaxed);
+                        in_flight
+                            .lock()
+                            .expect("in-flight lock")
+                            .remove(&job.wire_hash);
+                        if let Some(done) = &job.done {
+                            reply_waiter(done, Message::Committed { sealed, receipt }, &stats);
+                        }
+                    }
+                    None => fresh.push(job),
+                }
+            }
+        }
+        let batch = fresh;
+        if batch.is_empty() {
+            continue;
+        }
         let txs: Vec<WireTx> = batch.iter().map(|j| j.tx.clone()).collect();
         let threads = config.exec_threads.max(1);
         let result = {
             let mut node = node.write().expect("node lock");
-            node.execute_block_parallel(&txs, threads)
+            let result = node.execute_block_parallel(&txs, threads);
+            // Flush the new block's WAL suffix while still holding the
+            // write lock, so the file never lags a block another thread
+            // could already observe.
+            if result.is_ok() {
+                if let Some((file, flushed)) = wal_file.as_mut() {
+                    let bytes = node.wal_bytes();
+                    file.write_all(&bytes[*flushed..]).expect("append wal");
+                    file.sync_all().expect("sync wal");
+                    *flushed = bytes.len();
+                }
+            }
+            result
         };
+        {
+            let mut set = in_flight.lock().expect("in-flight lock");
+            for job in &batch {
+                set.remove(&job.wire_hash);
+            }
+        }
         match result {
             Ok(res) => {
                 stats.blocks.fetch_add(1, Ordering::Relaxed);
                 stats
                     .committed
                     .fetch_add(res.accepted() as u64, Ordering::Relaxed);
+                // Chaos hook: die after the durable-commit point but
+                // before any acknowledgement — the worst crash window.
+                if let Some(limit) = config.crash_after {
+                    if stats.blocks.load(Ordering::Relaxed) >= limit {
+                        eprintln!("confide-batcher: crash-after hook firing at block {limit}");
+                        std::process::exit(101);
+                    }
+                }
                 for (job, outcome) in batch.iter().zip(&res.outcomes) {
                     let reply = match outcome {
                         Ok((receipt, sealed)) => Message::Committed {
@@ -348,6 +459,16 @@ fn read_one(stream: &mut TcpStream, max_frame: usize) -> Result<ReadOutcome, Fra
     }
 }
 
+/// Try to enter `wire_hash` into the in-flight set. `false` means the
+/// same bytes are already queued or executing.
+fn claim(in_flight: &InFlight, wire_hash: [u8; 32]) -> bool {
+    in_flight.lock().expect("in-flight lock").insert(wire_hash)
+}
+
+fn release(in_flight: &InFlight, wire_hash: &[u8; 32]) {
+    in_flight.lock().expect("in-flight lock").remove(wire_hash);
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     node: Arc<RwLock<ConfideNode>>,
@@ -355,6 +476,7 @@ fn handle_connection(
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
     config: ServerConfig,
+    in_flight: InFlight,
 ) -> Result<(), FrameError> {
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
@@ -387,56 +509,133 @@ fn handle_connection(
                     None => Message::NotFound,
                 }
             }
-            Message::SubmitTx(tx) => match validate(&node, &tx) {
-                Err(reason) => {
-                    stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    Message::Rejected(reason)
-                }
-                Ok(()) => {
-                    let wire_hash = tx.wire_hash();
-                    match job_tx.try_send(Job { tx, done: None }) {
-                        Ok(()) => {
-                            stats.accepted.fetch_add(1, Ordering::Relaxed);
-                            Message::Accepted(wire_hash)
+            Message::SubmitTx(tx) => {
+                let wire_hash = tx.wire_hash();
+                let committed = node
+                    .read()
+                    .expect("node lock")
+                    .committed_by_wire(&wire_hash);
+                if committed.is_some() {
+                    // Retry of an already-committed tx (e.g. after a
+                    // crash between flush and reply): idempotent accept.
+                    stats.deduped.fetch_add(1, Ordering::Relaxed);
+                    Message::Accepted(wire_hash)
+                } else if !claim(&in_flight, wire_hash) {
+                    stats.busy.fetch_add(1, Ordering::Relaxed);
+                    Message::Busy
+                } else {
+                    match validate(&node, &tx) {
+                        Err(reason) => {
+                            release(&in_flight, &wire_hash);
+                            stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            Message::Rejected(reason)
                         }
-                        Err(TrySendError::Full(_)) => {
-                            stats.busy.fetch_add(1, Ordering::Relaxed);
-                            Message::Busy
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            Message::Rejected("server shutting down".into())
-                        }
+                        Ok(()) => match job_tx.try_send(Job {
+                            tx,
+                            wire_hash,
+                            done: None,
+                        }) {
+                            Ok(()) => {
+                                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                Message::Accepted(wire_hash)
+                            }
+                            Err(TrySendError::Full(_)) => {
+                                release(&in_flight, &wire_hash);
+                                stats.busy.fetch_add(1, Ordering::Relaxed);
+                                Message::Busy
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                release(&in_flight, &wire_hash);
+                                Message::Rejected("server shutting down".into())
+                            }
+                        },
                     }
                 }
-            },
-            Message::SubmitTxWait(tx) => match validate(&node, &tx) {
-                Err(reason) => {
-                    stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    Message::Rejected(reason)
-                }
-                Ok(()) => {
-                    let (done_tx, done_rx) = mpsc::sync_channel::<Message>(1);
-                    match job_tx.try_send(Job {
-                        tx,
-                        done: Some(done_tx),
-                    }) {
+            }
+            Message::SubmitTxWait(tx) => {
+                let wire_hash = tx.wire_hash();
+                let committed = node
+                    .read()
+                    .expect("node lock")
+                    .committed_by_wire(&wire_hash);
+                if let Some((sealed, receipt)) = committed {
+                    // Retry of an already-committed tx: return the stored
+                    // receipt instead of executing twice.
+                    stats.deduped.fetch_add(1, Ordering::Relaxed);
+                    Message::Committed { sealed, receipt }
+                } else if !claim(&in_flight, wire_hash) {
+                    stats.busy.fetch_add(1, Ordering::Relaxed);
+                    Message::Busy
+                } else {
+                    match validate(&node, &tx) {
+                        Err(reason) => {
+                            release(&in_flight, &wire_hash);
+                            stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            Message::Rejected(reason)
+                        }
                         Ok(()) => {
-                            stats.accepted.fetch_add(1, Ordering::Relaxed);
-                            match done_rx.recv_timeout(config.commit_timeout) {
-                                Ok(reply) => reply,
-                                Err(_) => Message::Rejected("commit wait timed out".into()),
+                            let (done_tx, done_rx) = mpsc::sync_channel::<Message>(1);
+                            match job_tx.try_send(Job {
+                                tx,
+                                wire_hash,
+                                done: Some(done_tx),
+                            }) {
+                                Ok(()) => {
+                                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                    match done_rx.recv_timeout(config.commit_timeout) {
+                                        Ok(reply) => reply,
+                                        Err(_) => Message::Rejected("commit wait timed out".into()),
+                                    }
+                                }
+                                Err(TrySendError::Full(_)) => {
+                                    release(&in_flight, &wire_hash);
+                                    stats.busy.fetch_add(1, Ordering::Relaxed);
+                                    Message::Busy
+                                }
+                                Err(TrySendError::Disconnected(_)) => {
+                                    release(&in_flight, &wire_hash);
+                                    Message::Rejected("server shutting down".into())
+                                }
                             }
                         }
-                        Err(TrySendError::Full(_)) => {
-                            stats.busy.fetch_add(1, Ordering::Relaxed);
-                            Message::Busy
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            Message::Rejected("server shutting down".into())
-                        }
                     }
                 }
-            },
+            }
+            Message::JoinRequest { eph_pk, report } => {
+                if config.join_roots.is_empty() {
+                    Message::Rejected("wire joins disabled".into())
+                } else {
+                    let offer = JoinOffer { eph_pk, report };
+                    // Each approval burns a unique seed: wrap_keys derives
+                    // its ephemeral secret and GCM nonce from it.
+                    let seed = config
+                        .join_seed
+                        .wrapping_add(stats.joins.fetch_add(1, Ordering::Relaxed));
+                    let node = node.read().expect("node lock");
+                    let mut approved = None;
+                    let mut last_err = String::from("no join roots configured");
+                    for root in &config.join_roots {
+                        match node.approve_join(
+                            root,
+                            &offer,
+                            config.join_svn,
+                            config.join_min_svn,
+                            seed,
+                        ) {
+                            Ok((blob, member_report)) => {
+                                approved = Some(Message::JoinApprove {
+                                    blob,
+                                    member_report,
+                                });
+                                break;
+                            }
+                            Err(e) => last_err = e.to_string(),
+                        }
+                    }
+                    approved
+                        .unwrap_or_else(|| Message::Rejected(format!("join refused: {last_err}")))
+                }
+            }
             // A response kind arriving at the server is a protocol abuse:
             // answer once, then drop the connection.
             other => {

@@ -21,13 +21,34 @@ pub struct BlockHeader {
 impl BlockHeader {
     /// Header hash.
     pub fn hash(&self) -> [u8; 32] {
+        sha256(&self.encode())
+    }
+
+    /// Fixed 112-byte wire/log encoding (the hash preimage).
+    pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(8 + 32 * 3 + 8);
         buf.extend_from_slice(&self.height.to_le_bytes());
         buf.extend_from_slice(&self.parent);
         buf.extend_from_slice(&self.state_root);
         buf.extend_from_slice(&self.tx_root);
         buf.extend_from_slice(&self.timestamp_ns.to_le_bytes());
-        sha256(&buf)
+        buf
+    }
+
+    /// Decode an [`encode`](BlockHeader::encode)d header; `None` unless
+    /// `bytes` is exactly 112 bytes.
+    pub fn decode(bytes: &[u8]) -> Option<BlockHeader> {
+        if bytes.len() != 112 {
+            return None;
+        }
+        let arr32 = |s: &[u8]| -> [u8; 32] { s.try_into().expect("slice is 32 bytes") };
+        Some(BlockHeader {
+            height: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            parent: arr32(&bytes[8..40]),
+            state_root: arr32(&bytes[40..72]),
+            tx_root: arr32(&bytes[72..104]),
+            timestamp_ns: u64::from_le_bytes(bytes[104..112].try_into().expect("8 bytes")),
+        })
     }
 }
 

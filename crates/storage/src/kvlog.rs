@@ -93,7 +93,9 @@ impl LogKv {
     }
 }
 
-fn append_record(log: &mut Vec<u8>, op: u8, key: &[u8], value: &[u8]) {
+/// Frame one `(op, key, value)` record onto `log` (shared with the
+/// block-framed [`crate::wal`]).
+pub(crate) fn append_record(log: &mut Vec<u8>, op: u8, key: &[u8], value: &[u8]) {
     let start = log.len();
     log.push(op);
     log.extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -105,7 +107,7 @@ fn append_record(log: &mut Vec<u8>, op: u8, key: &[u8], value: &[u8]) {
 }
 
 /// Parse one record at `pos`; `None` on truncation or CRC mismatch.
-fn read_record(log: &[u8], pos: usize) -> Option<(u8, &[u8], &[u8], usize)> {
+pub(crate) fn read_record(log: &[u8], pos: usize) -> Option<(u8, &[u8], &[u8], usize)> {
     let op = *log.get(pos)?;
     let mut cursor = pos + 1;
     let take = |cursor: &mut usize, n: usize| -> Option<&[u8]> {

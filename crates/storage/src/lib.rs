@@ -16,6 +16,10 @@
 //!   state roots, and *detect rollbacks* — the stale-state attack a
 //!   malicious host can mount on a TEE (§3.3).
 //! * [`blockstore`] — hash-linked block storage with header validation.
+//! * [`wal`] — the block-framed write-ahead log: one CRC'd record group
+//!   per committed block, terminated by a commit marker, so a torn tail
+//!   rolls back to the last *complete block* (the node's durable-commit
+//!   seam).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +29,11 @@ pub mod kv;
 pub mod kvlog;
 pub mod merkle;
 pub mod versioned;
+pub mod wal;
 
 pub use blockstore::{Block, BlockHeader, BlockStore, BlockStoreError};
 pub use kv::{KvStore, MemKv, WriteBatch};
 pub use kvlog::LogKv;
 pub use merkle::{MerkleProof, MerkleTree};
 pub use versioned::{StateDb, StateError};
+pub use wal::{BlockWal, WalBlock, WalRecovery};

@@ -1,0 +1,301 @@
+//! Block-framed write-ahead log: the durable-commit seam of the node.
+//!
+//! [`crate::kvlog`] gives record-level torn-tail recovery; a node needs
+//! *block*-level atomicity — a crash mid-commit must roll the whole block
+//! back, never replay half of its state mutations. This module frames one
+//! committed block as a record group over the same CRC'd record format
+//! kvlog uses:
+//!
+//! ```text
+//! HEADER(height → encoded header)
+//! TX(index → wire bytes)            × block.txs
+//! PUT(key → value) | DEL(key)       × state batch ops
+//! COMMIT(height → state_root)       ← the commit marker
+//! ```
+//!
+//! Recovery replays a block only when its `COMMIT` marker is intact and
+//! matches the group's `HEADER`; anything after the last intact marker —
+//! a torn record, a CRC mismatch, a group missing its marker — is
+//! discarded. The log itself is a byte buffer (the process's durable
+//! artifact is whatever it flushed to disk); `confide-node` appends the
+//! buffer incrementally to a file after every sealed block.
+
+use crate::blockstore::BlockHeader;
+use crate::kv::WriteBatch;
+use crate::kvlog::{append_record, read_record};
+
+const OP_HEADER: u8 = 0x10;
+const OP_TX: u8 = 0x11;
+const OP_PUT: u8 = 0x12;
+const OP_DEL: u8 = 0x13;
+const OP_COMMIT: u8 = 0x1F;
+
+/// One fully committed block recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBlock {
+    /// The block header exactly as sealed.
+    pub header: BlockHeader,
+    /// Raw transaction bytes (the accepted transactions).
+    pub txs: Vec<Vec<u8>>,
+    /// The state mutations the block committed, in batch order.
+    pub batch: WriteBatch,
+}
+
+/// Outcome of scanning a log: the committed prefix plus what was cut off.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Every block with an intact commit marker, in height order.
+    pub blocks: Vec<WalBlock>,
+    /// Bytes of the committed prefix (everything after is the torn tail).
+    pub consumed: usize,
+    /// Bytes discarded after the last commit marker (0 on a clean log).
+    pub torn_bytes: usize,
+}
+
+/// The block-framed WAL. Append-only; every committed block becomes one
+/// record group terminated by a commit marker.
+#[derive(Default)]
+pub struct BlockWal {
+    log: Vec<u8>,
+}
+
+impl BlockWal {
+    /// Fresh empty log.
+    pub fn new() -> BlockWal {
+        BlockWal::default()
+    }
+
+    /// Rebuild a log from recovered bytes, keeping only the committed
+    /// prefix (the torn tail, if any, is dropped).
+    pub fn from_recovered(log: &[u8]) -> BlockWal {
+        let rec = BlockWal::recover(log);
+        BlockWal {
+            log: log[..rec.consumed].to_vec(),
+        }
+    }
+
+    /// The raw log bytes (what a file-backed node has on disk).
+    pub fn bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Total log length — `confide-node` flushes `bytes()[flushed..]`
+    /// after each block.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True when nothing has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Frame one committed block into the log: header, transactions,
+    /// state mutations, commit marker.
+    pub fn append_block(&mut self, header: &BlockHeader, txs: &[Vec<u8>], batch: &WriteBatch) {
+        append_record(
+            &mut self.log,
+            OP_HEADER,
+            &header.height.to_le_bytes(),
+            &header.encode(),
+        );
+        for (i, tx) in txs.iter().enumerate() {
+            append_record(&mut self.log, OP_TX, &(i as u32).to_le_bytes(), tx);
+        }
+        for (key, value) in &batch.ops {
+            match value {
+                Some(v) => append_record(&mut self.log, OP_PUT, key, v),
+                None => append_record(&mut self.log, OP_DEL, key, &[]),
+            }
+        }
+        append_record(
+            &mut self.log,
+            OP_COMMIT,
+            &header.height.to_le_bytes(),
+            &header.state_root,
+        );
+    }
+
+    /// Scan `log` and return every block whose commit marker is intact.
+    /// Never panics: a torn record, a corrupt CRC, an out-of-place op or a
+    /// group without its marker ends the committed prefix right there.
+    pub fn recover(log: &[u8]) -> WalRecovery {
+        let mut blocks = Vec::new();
+        let mut consumed = 0usize;
+        let mut pos = 0usize;
+        // The group being accumulated (no commit marker seen yet).
+        let mut pending: Option<WalBlock> = None;
+        while pos < log.len() {
+            let Some((op, key, value, next)) = read_record(log, pos) else {
+                break; // torn tail
+            };
+            match (op, &mut pending) {
+                (OP_HEADER, None) => {
+                    let Some(header) = decode_header_record(key, value) else {
+                        break; // poisoned group: stop here
+                    };
+                    pending = Some(WalBlock {
+                        header,
+                        txs: Vec::new(),
+                        batch: WriteBatch::new(),
+                    });
+                }
+                (OP_TX, Some(block)) => {
+                    // Tx records carry their index; out-of-order means a
+                    // corrupted group.
+                    let ok = key.len() == 4
+                        && u32::from_le_bytes(key.try_into().expect("len checked")) as usize
+                            == block.txs.len();
+                    if !ok {
+                        break;
+                    }
+                    block.txs.push(value.to_vec());
+                }
+                (OP_PUT, Some(block)) => {
+                    block.batch.put(key.to_vec(), value.to_vec());
+                }
+                (OP_DEL, Some(block)) => {
+                    block.batch.delete(key.to_vec());
+                }
+                (OP_COMMIT, Some(_)) => {
+                    let block = pending.take().expect("matched Some");
+                    let matches = key == block.header.height.to_le_bytes()
+                        && value == block.header.state_root;
+                    if !matches {
+                        break;
+                    }
+                    blocks.push(block);
+                    consumed = next;
+                }
+                _ => break, // op out of place
+            }
+            pos = next;
+        }
+        WalRecovery {
+            blocks,
+            torn_bytes: log.len() - consumed,
+            consumed,
+        }
+    }
+}
+
+fn decode_header_record(key: &[u8], value: &[u8]) -> Option<BlockHeader> {
+    let header = BlockHeader::decode(value)?;
+    if key != header.height.to_le_bytes() {
+        return None;
+    }
+    Some(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(height: u64) -> BlockHeader {
+        BlockHeader {
+            height,
+            parent: [height as u8; 32],
+            state_root: [height as u8 + 1; 32],
+            tx_root: [height as u8 + 2; 32],
+            timestamp_ns: height * 1_000_000,
+        }
+    }
+
+    fn sample_wal(blocks: u64) -> BlockWal {
+        let mut wal = BlockWal::new();
+        for h in 1..=blocks {
+            let mut batch = WriteBatch::new();
+            batch.put(format!("k{h}").into_bytes(), vec![h as u8; 8]);
+            batch.delete(format!("dead{h}").into_bytes());
+            wal.append_block(&header(h), &[vec![h as u8, 1], vec![h as u8, 2]], &batch);
+        }
+        wal
+    }
+
+    #[test]
+    fn round_trips_every_committed_block() {
+        let wal = sample_wal(5);
+        let rec = BlockWal::recover(wal.bytes());
+        assert_eq!(rec.blocks.len(), 5);
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(rec.consumed, wal.len());
+        for (i, b) in rec.blocks.iter().enumerate() {
+            let h = i as u64 + 1;
+            assert_eq!(b.header, header(h));
+            assert_eq!(b.txs.len(), 2);
+            assert_eq!(b.batch.len(), 2);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_rolls_back_to_a_block_boundary() {
+        let wal = sample_wal(3);
+        let full = BlockWal::recover(wal.bytes());
+        let boundaries: Vec<usize> = {
+            // Reconstruct the per-block committed prefix lengths.
+            let mut w = BlockWal::new();
+            let mut ends = vec![0usize];
+            for b in &full.blocks {
+                w.append_block(&b.header, &b.txs, &b.batch);
+                ends.push(w.len());
+            }
+            ends
+        };
+        for cut in 0..wal.len() {
+            let rec = BlockWal::recover(&wal.bytes()[..cut]);
+            // Prefix-consistency: exactly the blocks whose marker fits.
+            let want = boundaries.iter().filter(|&&e| e > 0 && e <= cut).count();
+            assert_eq!(rec.blocks.len(), want, "cut={cut}");
+            assert_eq!(&rec.blocks[..], &full.blocks[..want], "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_never_yields_a_wrong_block() {
+        let wal = sample_wal(2);
+        let full = BlockWal::recover(wal.bytes());
+        for byte in 0..wal.len() {
+            let mut log = wal.bytes().to_vec();
+            log[byte] ^= 0x40;
+            let rec = BlockWal::recover(&log);
+            // Corruption may shorten the prefix, never alter content.
+            assert!(rec.blocks.len() <= full.blocks.len(), "byte={byte}");
+            assert_eq!(
+                &full.blocks[..rec.blocks.len()],
+                &rec.blocks[..],
+                "byte={byte}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_recovered_drops_the_torn_tail() {
+        let wal = sample_wal(2);
+        let mut log = wal.bytes().to_vec();
+        log.extend_from_slice(&[0x10, 0xFF, 0xEE]); // half a record
+        let rebuilt = BlockWal::from_recovered(&log);
+        assert_eq!(rebuilt.len(), wal.len());
+        assert_eq!(BlockWal::recover(rebuilt.bytes()).blocks.len(), 2);
+    }
+
+    #[test]
+    fn group_without_marker_is_not_replayed() {
+        let mut wal = sample_wal(1);
+        // Start a second group by hand, no commit marker.
+        let h = header(2);
+        crate::kvlog::append_record(&mut wal.log, OP_HEADER, &2u64.to_le_bytes(), &h.encode());
+        crate::kvlog::append_record(&mut wal.log, OP_PUT, b"half", b"done");
+        let rec = BlockWal::recover(wal.bytes());
+        assert_eq!(rec.blocks.len(), 1);
+        assert!(rec.torn_bytes > 0);
+    }
+
+    #[test]
+    fn header_encode_decode_round_trip() {
+        let h = header(7);
+        let enc = h.encode();
+        assert_eq!(enc.len(), 112);
+        assert_eq!(BlockHeader::decode(&enc), Some(h));
+        assert_eq!(BlockHeader::decode(&enc[..111]), None);
+    }
+}

@@ -71,6 +71,74 @@ echo "ok: 100-tx burst committed and all receipts decrypted"
 kill "$NODE_PID" 2>/dev/null || true
 trap - EXIT
 
+echo "== chaos smoke: crash-after, WAL replay, sealed-key unseal =="
+# Crash a durable node right after block 3 is fsync'd (worst-case window:
+# durable but unacknowledged), restart it on the same WAL, and require
+# the machine-readable RECOVERED line. DESIGN.md §12.
+CHAOS_DIR=$(mktemp -d)
+CHAOS_WAL="$CHAOS_DIR/node.wal"
+./target/release/confide-node --port 0 --wal "$CHAOS_WAL" --crash-after 3 \
+    >"$CHAOS_DIR/node1.log" 2>&1 &
+NODE_PID=$!
+trap 'kill "$NODE_PID" 2>/dev/null || true' EXIT
+NODE_ADDR=""
+for _ in $(seq 1 100); do
+    NODE_ADDR=$(awk '/^LISTENING /{print $2; exit}' "$CHAOS_DIR/node1.log" || true)
+    [ -n "$NODE_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$NODE_ADDR" ] || { echo "FAIL: chaos node never reported LISTENING" >&2; exit 1; }
+# The crash kills the server mid-burst, so the loadgen is expected to
+# fail — only the node's exit code matters here.
+./target/release/confide-loadgen --addr "$NODE_ADDR" --threads 1 --txs 20 \
+    --mode closed --out "$CHAOS_DIR/ignored.json" >/dev/null 2>&1 || true
+NODE_STATUS=0
+wait "$NODE_PID" || NODE_STATUS=$?
+trap - EXIT
+if [ "$NODE_STATUS" -ne 101 ]; then
+    echo "FAIL: crash-after hook did not fire (exit $NODE_STATUS, want 101)" >&2
+    exit 1
+fi
+echo "ok: node crashed on schedule (exit 101) with WAL durable"
+
+# Restart on the same WAL: keys must unseal from the sidecar, the log
+# must replay, and the RECOVERED line reports how much and how fast.
+./target/release/confide-node --port 0 --wal "$CHAOS_WAL" \
+    >"$CHAOS_DIR/node2.log" 2>&1 &
+NODE_PID=$!
+trap 'kill "$NODE_PID" 2>/dev/null || true' EXIT
+RECOVERED=""
+for _ in $(seq 1 100); do
+    RECOVERED=$(awk '/^RECOVERED /{print; exit}' "$CHAOS_DIR/node2.log" || true)
+    [ -n "$RECOVERED" ] && break
+    sleep 0.1
+done
+[ -n "$RECOVERED" ] || { echo "FAIL: restarted node printed no RECOVERED line" >&2; exit 1; }
+echo "$RECOVERED"
+REC_BLOCKS=$(echo "$RECOVERED" | sed -n 's/.*blocks=\([0-9]*\).*/\1/p')
+REC_MS=$(echo "$RECOVERED" | sed -n 's/.*ms=\([0-9]*\).*/\1/p')
+if [ -z "$REC_BLOCKS" ] || [ "$REC_BLOCKS" -lt 3 ]; then
+    echo "FAIL: recovery replayed ${REC_BLOCKS:-0} blocks, want >= 3" >&2
+    exit 1
+fi
+NODE_ADDR=""
+for _ in $(seq 1 100); do
+    NODE_ADDR=$(awk '/^LISTENING /{print $2; exit}' "$CHAOS_DIR/node2.log" || true)
+    [ -n "$NODE_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$NODE_ADDR" ] || { echo "FAIL: recovered node never reported LISTENING" >&2; exit 1; }
+# The recovered node must still commit, and the recovery datapoint lands
+# in the emitted JSON's "recovery" section.
+./target/release/confide-loadgen --addr "$NODE_ADDR" --threads 1 --txs 20 \
+    --mode closed --recover-ms "${REC_MS:-0}" --recovered-blocks "$REC_BLOCKS" \
+    --out "$CHAOS_DIR/BENCH_chaos.json"
+grep -q "\"recovered_blocks\": $REC_BLOCKS" "$CHAOS_DIR/BENCH_chaos.json" \
+    || { echo "FAIL: recovery datapoint missing from BENCH_chaos.json" >&2; exit 1; }
+echo "ok: recovered node serves traffic; recovery datapoint recorded"
+kill "$NODE_PID" 2>/dev/null || true
+trap - EXIT
+
 echo "== BENCH_net.json schema check =="
 # Guard against schema drift in both the freshly emitted smoke report and
 # the checked-in results/BENCH_net.json.
@@ -80,7 +148,8 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
                '"busy_rejects"' '"busy_reject_rate"' '"receipts_verified"' \
                '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"' \
                '"parallel_exec"' '"threads"' '"model_tps"' '"speedup_vs_1"' \
-               '"exec_threads"'; do
+               '"exec_threads"' '"recovery"' '"recover_ms"' \
+               '"recovered_blocks"' '"retries"' '"retries_exhausted"'; do
         if ! grep -q "$key" "$f"; then
             echo "FAIL: $f missing schema key $key" >&2
             exit 1
@@ -88,6 +157,6 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
     done
     echo "ok: $f matches the BENCH_net schema"
 done
-rm -rf "$SMOKE_OUT"
+rm -rf "$SMOKE_OUT" "$CHAOS_DIR"
 
 echo "All checks passed."
