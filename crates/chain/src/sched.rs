@@ -46,12 +46,22 @@ pub fn makespan(txs: &[(u64, u64)], threads: usize) -> Result<u64, SchedError> {
     if txs.is_empty() {
         return Ok(0);
     }
-    // Group totals.
-    let mut groups: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    // Group totals, in first-seen-key order. A HashMap's iteration order
+    // would hand `assign` the same load multiset in a process-dependent
+    // permutation; the makespan value survives that, but the group→worker
+    // mapping would differ across replicas. First-seen order keeps the
+    // whole schedule byte-identical on every node.
+    let mut index_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut loads: Vec<u64> = Vec::new();
     for (cycles, key) in txs {
-        *groups.entry(*key).or_insert(0) += cycles;
+        match index_of.get(key) {
+            Some(&i) => loads[i] += cycles,
+            None => {
+                index_of.insert(*key, loads.len());
+                loads.push(*cycles);
+            }
+        }
     }
-    let loads: Vec<u64> = groups.into_values().collect();
     let assignment = assign(&loads, threads)?;
     Ok(worker_loads(&assignment, &loads)
         .into_iter()
@@ -267,6 +277,29 @@ mod tests {
                 prev = ms;
             }
             assert_eq!(makespan(&txs, 1).unwrap(), total);
+        }
+    }
+
+    #[test]
+    fn all_equal_costs_break_ties_deterministically() {
+        // Regression: with every group load equal, the schedule must be the
+        // exact round-robin dictated by (load desc, group index asc) →
+        // least-loaded-worker (fill, worker index asc) tie-breaking, and it
+        // must come out byte-identical on every call — no hash-order or
+        // allocation-order leakage.
+        let loads = vec![100u64; 7];
+        let expected = vec![vec![0, 3, 6], vec![1, 4], vec![2, 5]];
+        for _ in 0..10 {
+            assert_eq!(assign(&loads, 3).unwrap(), expected);
+        }
+        // The makespan path groups by key before assigning; with all-equal
+        // per-tx costs and distinct keys it must agree with the direct
+        // assignment and stay stable across repeated evaluations.
+        let txs: Vec<(u64, u64)> = (0..7).map(|i| (100, 0xdead_beef + i * 17)).collect();
+        let first = makespan(&txs, 3).unwrap();
+        assert_eq!(first, 300);
+        for _ in 0..10 {
+            assert_eq!(makespan(&txs, 3).unwrap(), first);
         }
     }
 

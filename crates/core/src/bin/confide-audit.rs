@@ -1,0 +1,473 @@
+//! `confide-audit` — the deploy-time auditing driver.
+//!
+//! For each CCL contract it chains every static check the platform runs
+//! before (or instead of) trusting runtime behaviour, then closes the
+//! loop with a *differential* check: execute the contract's exported
+//! methods on the public engine under a journaled context and assert the
+//! observed read/write sets are admitted by the statically inferred
+//! access summary. A contract that passes is safe both for deployment
+//! (no confidentiality leaks) and for the speculation-free parallel
+//! scheduler (sound access summaries).
+//!
+//! ```text
+//! confide-audit [--json] [--schema <file.ccle>] <file.ccl>...
+//! ```
+//!
+//! Pipeline per file:
+//! 1. confidentiality lint (`confide_lang::lint_source`) — errors fail;
+//! 2. compile (`confide_lang::build_vm`) + decode;
+//! 3. ahead-of-time bytecode verification, reporting per-module host-call
+//!    totals from the per-function [`HostCallCounts`];
+//! 4. stdlib recognition + static access analysis;
+//! 5. differential soundness check: per exported method, run it with
+//!    synthetic inputs and assert the journaled `RwSet` is covered by the
+//!    summary's instantiated matchers (`Top` summaries are sound by
+//!    construction and are reported, not failed);
+//! 6. with a schema, flag which statically known keys touch confidential
+//!    state.
+//!
+//! Exit status is non-zero iff any file fails — `scripts/check.sh` gates
+//! on `examples/ccl/` (where `leaky.ccl` must fail and the rest pass).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use confide_ccle::ConfidentialKeys;
+use confide_core::engine::full_key;
+use confide_core::{Engine, EngineConfig, ExecContext};
+use confide_storage::StateDb;
+use confide_vm::{analyze_module, verify_module, AccessSummary, KeyExpr, KeyMatcher, Module};
+
+/// Fixed audit deployment address (public engine, throwaway state).
+const AUDIT_ADDR: [u8; 32] = [0xAD; 32];
+/// Fixed audit sender.
+const AUDIT_SENDER: [u8; 32] = [0x51; 32];
+/// Synthetic inputs exercised per method: a JSON object (feeds
+/// `json_get`-derived keys) and a bare scalar.
+const AUDIT_INPUTS: [&[u8]; 2] = [br#"{"to":"auditor","amount":7}"#, b"12345"];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: confide-audit [--json] [--schema <file.ccle>] <file.ccl>...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut schema_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--schema" => match args.next() {
+                Some(p) => schema_path = Some(p),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ if a.starts_with('-') => return usage(),
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let keys = match schema_path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(text) => match confide_ccle::parse_schema(&text) {
+                Ok(s) => Some(s.confidential_keys()),
+                Err(e) => {
+                    eprintln!("confide-audit: {p}: bad schema: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("confide-audit: {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
+    let mut reports = Vec::new();
+    let mut any_failed = false;
+    for f in &files {
+        let r = audit_file(f, keys.as_ref());
+        any_failed |= !r.passed();
+        reports.push(r);
+    }
+
+    if json {
+        print!("{}", render_json(&reports));
+    } else {
+        for r in &reports {
+            print!("{}", r.render_text());
+        }
+        let failed = reports.iter().filter(|r| !r.passed()).count();
+        println!(
+            "confide-audit: {} file(s), {} failed",
+            reports.len(),
+            failed
+        );
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Outcome of auditing one method.
+struct MethodReport {
+    name: String,
+    top: bool,
+    calls_out: bool,
+    is_static: bool,
+    reads: Vec<String>,
+    writes: Vec<String>,
+    confidential_keys: Vec<String>,
+    cost_hint: u64,
+    /// `None` = differential check skipped (Top / calls out);
+    /// `Some(Ok(runs))` = journal covered by summary on every run;
+    /// `Some(Err(msg))` = a journaled key escaped the summary.
+    differential: Option<Result<usize, String>>,
+}
+
+/// Outcome of auditing one file.
+struct FileReport {
+    file: String,
+    lint_errors: Vec<String>,
+    lint_warnings: Vec<String>,
+    error: Option<String>,
+    host_gets: u64,
+    host_puts: u64,
+    host_calls: u64,
+    methods: Vec<MethodReport>,
+}
+
+impl FileReport {
+    fn failed(file: &str, error: String) -> FileReport {
+        FileReport {
+            file: file.to_string(),
+            lint_errors: Vec::new(),
+            lint_warnings: Vec::new(),
+            error: Some(error),
+            host_gets: 0,
+            host_puts: 0,
+            host_calls: 0,
+            methods: Vec::new(),
+        }
+    }
+
+    fn passed(&self) -> bool {
+        self.error.is_none()
+            && self.lint_errors.is_empty()
+            && self
+                .methods
+                .iter()
+                .all(|m| !matches!(m.differential, Some(Err(_))))
+    }
+
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        out.push_str(&format!("== {} [{verdict}]\n", self.file));
+        for e in &self.lint_errors {
+            out.push_str(&format!("   lint error: {e}\n"));
+        }
+        for w in &self.lint_warnings {
+            out.push_str(&format!("   lint warning: {w}\n"));
+        }
+        if let Some(e) = &self.error {
+            out.push_str(&format!("   error: {e}\n"));
+            return out;
+        }
+        out.push_str(&format!(
+            "   host calls: {} get / {} put / {} cross-contract\n",
+            self.host_gets, self.host_puts, self.host_calls
+        ));
+        for m in &self.methods {
+            let shape = if m.top {
+                "TOP"
+            } else if m.calls_out {
+                "calls-out"
+            } else if m.is_static {
+                "static"
+            } else {
+                "input-dependent"
+            };
+            out.push_str(&format!(
+                "   method {}: {shape}, cost-hint {}\n",
+                m.name, m.cost_hint
+            ));
+            if !m.top {
+                out.push_str(&format!(
+                    "     reads:  [{}]\n     writes: [{}]\n",
+                    m.reads.join(", "),
+                    m.writes.join(", ")
+                ));
+            }
+            if !m.confidential_keys.is_empty() {
+                out.push_str(&format!(
+                    "     confidential: [{}]\n",
+                    m.confidential_keys.join(", ")
+                ));
+            }
+            match &m.differential {
+                None => out.push_str("     differential: skipped (summary not invocable)\n"),
+                Some(Ok(runs)) => out.push_str(&format!(
+                    "     differential: journal ⊆ summary over {runs} run(s)\n"
+                )),
+                Some(Err(e)) => out.push_str(&format!("     differential: VIOLATION: {e}\n")),
+            }
+        }
+        out
+    }
+}
+
+/// Run the full audit pipeline over one CCL source file.
+fn audit_file(path: &str, keys: Option<&ConfidentialKeys>) -> FileReport {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return FileReport::failed(path, format!("read: {e}")),
+    };
+
+    // 1. Confidentiality lint.
+    let lint = match confide_lang::lint_source(&source, keys) {
+        Ok(r) => r,
+        Err(e) => return FileReport::failed(path, format!("compile: {e}")),
+    };
+    let lint_errors: Vec<String> = lint.errors().map(|d| d.to_string()).collect();
+    let lint_warnings: Vec<String> = lint
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == confide_lang::Severity::Warning)
+        .map(|d| d.to_string())
+        .collect();
+
+    // 2. Compile + decode.
+    let code = match confide_lang::build_vm(&source) {
+        Ok(c) => c,
+        Err(e) => return FileReport::failed(path, format!("compile: {e}")),
+    };
+    let module = match Module::decode(&code) {
+        Ok(m) => m,
+        Err(e) => return FileReport::failed(path, format!("decode: {e:?}")),
+    };
+
+    // 3. Bytecode verification + host-call totals.
+    let summary = match verify_module(&module) {
+        Ok(s) => s,
+        Err(e) => return FileReport::failed(path, format!("verify: {e}")),
+    };
+    let (host_gets, host_puts, host_calls) =
+        summary
+            .host_calls
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(g, p, c), h| {
+                (
+                    g + h.state_gets as u64,
+                    p + h.state_puts as u64,
+                    c + h.contract_calls as u64,
+                )
+            });
+
+    // 4. Static access analysis.
+    let known = confide_core::recognize_stdlib(&module);
+    let access = analyze_module(&module, &known);
+
+    // 5+6. Per-method reporting and the differential soundness check.
+    let engine = Arc::new(Engine::public(EngineConfig::default()));
+    let deployed = engine
+        .deploy(AUDIT_ADDR, &code, confide_core::VmKind::ConfideVm, false)
+        .is_ok();
+    let state = StateDb::new();
+    let methods = access
+        .methods
+        .iter()
+        .map(|(name, s)| audit_method(&engine, &state, deployed, name, s, keys))
+        .collect();
+
+    FileReport {
+        file: path.to_string(),
+        lint_errors,
+        lint_warnings,
+        error: None,
+        host_gets,
+        host_puts,
+        host_calls,
+        methods,
+    }
+}
+
+/// Report one method's summary and differentially check it when possible.
+fn audit_method(
+    engine: &Engine,
+    state: &StateDb,
+    deployed: bool,
+    name: &str,
+    summary: &AccessSummary,
+    keys: Option<&ConfidentialKeys>,
+) -> MethodReport {
+    let mut confidential = std::collections::BTreeSet::new();
+    if let Some(keys) = keys {
+        for k in summary.reads.iter().chain(summary.writes.iter()) {
+            if let Some(lit) = leading_literal(k) {
+                // A key is flagged when its literal part already falls in a
+                // confidential region, or could extend into one.
+                let hits = keys.key_is_confidential(&lit)
+                    || keys.exact().iter().any(|e| e.as_bytes().starts_with(&lit))
+                    || keys
+                        .prefixes()
+                        .iter()
+                        .any(|p| p.as_bytes().starts_with(&lit));
+                if hits {
+                    confidential.insert(k.render());
+                }
+            }
+        }
+    }
+
+    let invocable = deployed && !summary.top && !summary.calls_out;
+    let differential = invocable.then(|| {
+        let mut runs = 0usize;
+        for input in AUDIT_INPUTS {
+            let reads: Vec<KeyMatcher> = summary
+                .reads
+                .iter()
+                .map(|k| lift(k.instantiate(input, &AUDIT_SENDER)))
+                .collect();
+            let writes: Vec<KeyMatcher> = summary
+                .writes
+                .iter()
+                .map(|k| lift(k.instantiate(input, &AUDIT_SENDER)))
+                .collect();
+            let mut ctx = ExecContext::new();
+            ctx.begin_tx();
+            let res = engine.invoke_inner(state, &mut ctx, &AUDIT_ADDR, name, input, &AUDIT_SENDER);
+            // A trap's partial journal must still be covered — take the
+            // RwSet from whichever path ended the transaction.
+            let rw = if res.is_ok() {
+                ctx.commit_tx()
+            } else {
+                ctx.rollback_tx()
+            };
+            if !rw.covered_by(&reads, &writes) {
+                return Err(format!(
+                    "method {name} with input {:?}: journaled keys escape the static summary \
+                     (reads {:?}, writes {:?})",
+                    String::from_utf8_lossy(input),
+                    rw.reads.len(),
+                    rw.writes.len()
+                ));
+            }
+            runs += 1;
+        }
+        Ok(runs)
+    });
+
+    MethodReport {
+        name: name.to_string(),
+        top: summary.top,
+        calls_out: summary.calls_out,
+        is_static: summary.is_static(),
+        reads: summary.reads.iter().map(KeyExpr::render).collect(),
+        writes: summary.writes.iter().map(KeyExpr::render).collect(),
+        confidential_keys: confidential.into_iter().collect(),
+        cost_hint: summary.cost_hint,
+        differential,
+    }
+}
+
+/// Lift a contract-relative matcher to the full-storage-key space the
+/// journal records (`invoke_inner` bypasses the signed-tx wrapper, so no
+/// nonce/ktx system keys appear).
+fn lift(m: KeyMatcher) -> KeyMatcher {
+    match m {
+        KeyMatcher::Exact(k) => KeyMatcher::Exact(full_key(&AUDIT_ADDR, &k)),
+        KeyMatcher::Prefix(p) => KeyMatcher::Prefix(full_key(&AUDIT_ADDR, &p)),
+    }
+}
+
+/// The leading literal bytes of a key expression (for schema matching).
+fn leading_literal(k: &KeyExpr) -> Option<Vec<u8>> {
+    match k.segs.first() {
+        Some(confide_vm::KeySeg::Lit(b)) => Some(b.clone()),
+        _ => None,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn render_json(reports: &[FileReport]) -> String {
+    let mut files = Vec::new();
+    for r in reports {
+        let mut methods = Vec::new();
+        for m in &r.methods {
+            let differential = match &m.differential {
+                None => "\"skipped\"".to_string(),
+                Some(Ok(runs)) => format!("{{\"ok\":true,\"runs\":{runs}}}"),
+                Some(Err(e)) => format!("{{\"ok\":false,\"violation\":\"{}\"}}", json_escape(e)),
+            };
+            methods.push(format!(
+                "{{\"name\":\"{}\",\"top\":{},\"calls_out\":{},\"static\":{},\"cost_hint\":{},\
+                 \"reads\":{},\"writes\":{},\"confidential\":{},\"differential\":{}}}",
+                json_escape(&m.name),
+                m.top,
+                m.calls_out,
+                m.is_static,
+                m.cost_hint,
+                json_str_array(&m.reads),
+                json_str_array(&m.writes),
+                json_str_array(&m.confidential_keys),
+                differential
+            ));
+        }
+        let error = match &r.error {
+            Some(e) => format!("\"{}\"", json_escape(e)),
+            None => "null".to_string(),
+        };
+        files.push(format!(
+            "{{\"file\":\"{}\",\"pass\":{},\"error\":{},\"lint_errors\":{},\"lint_warnings\":{},\
+             \"host_calls\":{{\"state_gets\":{},\"state_puts\":{},\"contract_calls\":{}}},\
+             \"methods\":[{}]}}",
+            json_escape(&r.file),
+            r.passed(),
+            error,
+            json_str_array(&r.lint_errors),
+            json_str_array(&r.lint_warnings),
+            r.host_gets,
+            r.host_puts,
+            r.host_calls,
+            files_join(&methods)
+        ));
+    }
+    let pass = reports.iter().all(FileReport::passed);
+    format!("{{\"pass\":{pass},\"files\":[{}]}}\n", files_join(&files))
+}
+
+fn files_join(items: &[String]) -> String {
+    items.join(",")
+}

@@ -26,6 +26,28 @@ impl RwSet {
         self.reads.union(&self.writes).cloned().collect()
     }
 
+    /// Soundness oracle for the static access analysis (§6.2 fast path):
+    /// true when every journaled read key is admitted by a read **or**
+    /// write matcher (a summary lists a read-modify-write key once, under
+    /// writes) and every journaled write key by a write matcher. The
+    /// parallel executor debug-asserts this for each executed transaction
+    /// against its [`TxPlan`](crate::engine::TxPlan), turning an
+    /// under-approximating summary into a loud deterministic failure
+    /// instead of a silent wrong-state root.
+    pub fn covered_by(
+        &self,
+        read_matchers: &[confide_vm::KeyMatcher],
+        write_matchers: &[confide_vm::KeyMatcher],
+    ) -> bool {
+        self.writes
+            .iter()
+            .all(|k| write_matchers.iter().any(|m| m.matches(k)))
+            && self.reads.iter().all(|k| {
+                read_matchers.iter().any(|m| m.matches(k))
+                    || write_matchers.iter().any(|m| m.matches(k))
+            })
+    }
+
     /// True when `self` wrote a key the `other` transaction touched, or
     /// vice versa — the two must serialize.
     pub fn conflicts_with(&self, other: &RwSet) -> bool {

@@ -34,7 +34,8 @@ use confide_tee::platform::TeePlatform;
 use confide_vm::host::{HostApi, HostError};
 use confide_vm::interp::{ExecConfig, Prepared, Vm};
 use confide_vm::module::Module;
-use std::collections::HashMap;
+use confide_vm::{KeyMatcher, ModuleAccess};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Which virtual machine a contract targets (§3.2.1: CONFIDE enables both).
@@ -163,6 +164,10 @@ struct ContractRecord {
     /// Code as stored: sealed under `k_states` for confidential contracts.
     stored: Vec<u8>,
     confidential: bool,
+    /// Deploy-time static access summaries (CONFIDE-VM only): per-method
+    /// read/write key sets the parallel executor schedules from without a
+    /// speculation run. `None` for the EVM and undecodable modules.
+    access: Option<Arc<ModuleAccess>>,
 }
 
 enum LoadedCode {
@@ -278,6 +283,7 @@ impl Engine {
                 vm: VmKind::ConfideVm,
                 stored: Vec::new(),
                 confidential: true,
+                access: None,
             },
         )]);
         Ok(Engine {
@@ -352,10 +358,30 @@ impl Engine {
         vm: VmKind,
         confidential: bool,
     ) -> Result<(), EngineError> {
-        if vm == VmKind::ConfideVm && self.config.verify_bytecode {
-            let module = Module::decode(code).map_err(|_| EngineError::BadCode)?;
-            confide_vm::verify_module(&module).map_err(|e| EngineError::Verify(e.to_string()))?;
-        }
+        let access = if vm == VmKind::ConfideVm {
+            match Module::decode(code) {
+                Ok(module) => {
+                    if self.config.verify_bytecode {
+                        confide_vm::verify_module(&module)
+                            .map_err(|e| EngineError::Verify(e.to_string()))?;
+                    }
+                    // Deploy-time static access analysis: sound per-method
+                    // read/write summaries the block executor schedules
+                    // from. A degraded summary (`Top`) only disables the
+                    // speculation-free fast path, never deployment.
+                    let known = crate::probe::recognize_stdlib(&module);
+                    Some(Arc::new(confide_vm::analyze_module(&module, &known)))
+                }
+                Err(_) => {
+                    if self.config.verify_bytecode {
+                        return Err(EngineError::BadCode);
+                    }
+                    None
+                }
+            }
+        } else {
+            None
+        };
         let stored = if confidential {
             let tee = self.confidential.as_ref().ok_or(EngineError::WrongEngine)?;
             let nonce = code_nonce(&tee.keys.k_states, &address);
@@ -371,6 +397,7 @@ impl Engine {
                 vm,
                 stored,
                 confidential,
+                access,
             },
         );
         // A (re)deployment invalidates any cached module for this address's
@@ -421,6 +448,105 @@ impl Engine {
             .get(address)
             .map(|r| r.confidential)
             .unwrap_or(false)
+    }
+
+    /// The deploy-time static access summaries of the contract at
+    /// `address` (CONFIDE-VM contracts deployed by this engine instance).
+    pub fn contract_access(&self, address: &[u8; 32]) -> Option<Arc<ModuleAccess>> {
+        self.contracts
+            .lock()
+            .get(address)
+            .and_then(|r| r.access.clone())
+    }
+
+    /// Build a transaction's static execution plan from its target
+    /// method's deploy-time [`AccessSummary`](confide_vm::AccessSummary):
+    /// the full-storage-key matchers it may touch, instantiated against
+    /// the concrete input and sender, plus the engine-added system keys
+    /// (nonce read+write, retained-`k_tx` write).
+    ///
+    /// Returns `None` whenever the plan would be incomplete — deployment
+    /// transactions, unknown contracts, EVM contracts, summaries that are
+    /// `Top` or make cross-contract calls, or undecodable wire payloads —
+    /// and the block executor then falls back to speculative (OCC)
+    /// scheduling. Planning a confidential transaction opens its envelope
+    /// with the node key but is cache-neutral: it never touches the
+    /// pre-verification cache, so costs attribute identically on both
+    /// scheduling paths.
+    pub fn plan_tx(&self, wire: &WireTx) -> Option<TxPlan> {
+        let mut plan_cycles = 0u64;
+        let signed = match wire {
+            WireTx::Public(signed) => {
+                if self.is_confidential() {
+                    return None;
+                }
+                signed.clone()
+            }
+            WireTx::Confidential(env) => {
+                let tee = self.confidential.as_ref()?;
+                plan_cycles += self.model.envelope_open_cycles
+                    + env.body.len() as u64 * self.model.aes_gcm_cycles_per_byte;
+                let (_k_tx, plain) = env.open(&tee.keys.envelope, b"").ok()?;
+                SignedTx::decode(&plain).ok()?
+            }
+        };
+        let raw = &signed.raw;
+        if raw.contract == [0u8; 32] && raw.method == "deploy" {
+            // Deployments mutate the contract registry outside the
+            // journal; they are never statically schedulable.
+            return None;
+        }
+        let access = self.contract_access(&raw.contract)?;
+        let summary = access.method(&raw.method)?;
+        if summary.top || summary.calls_out {
+            return None;
+        }
+        let lift = |m: KeyMatcher| match m {
+            KeyMatcher::Exact(k) => KeyMatcher::Exact(full_key(&raw.contract, &k)),
+            KeyMatcher::Prefix(p) => KeyMatcher::Prefix(full_key(&raw.contract, &p)),
+        };
+        let mut exact = true;
+        let mut reads = Vec::with_capacity(summary.reads.len() + 1);
+        let mut writes = Vec::with_capacity(summary.writes.len() + 2);
+        for k in &summary.reads {
+            let m = k.instantiate(&raw.args, &raw.sender);
+            exact &= matches!(m, KeyMatcher::Exact(_));
+            reads.push(lift(m));
+        }
+        for k in &summary.writes {
+            let m = k.instantiate(&raw.args, &raw.sender);
+            exact &= matches!(m, KeyMatcher::Exact(_));
+            writes.push(lift(m));
+        }
+        if self.config.enforce_nonces {
+            let mut nonce_key = if self.is_confidential() {
+                b"nonce|c|".to_vec()
+            } else {
+                b"nonce|p|".to_vec()
+            };
+            nonce_key.extend_from_slice(&raw.sender);
+            let fk = full_key(&SYSTEM_KTX_ADDR, &nonce_key);
+            reads.push(KeyMatcher::Exact(fk.clone()));
+            writes.push(KeyMatcher::Exact(fk));
+        }
+        if matches!(wire, WireTx::Confidential(_)) {
+            let mut ktx_key = b"ktx|".to_vec();
+            ktx_key.extend_from_slice(&raw.hash());
+            writes.push(KeyMatcher::Exact(full_key(&SYSTEM_KTX_ADDR, &ktx_key)));
+        }
+        // LPT load proxy: fixed frame + the summary's reachable
+        // instruction count priced at VM speed. Only relative magnitudes
+        // matter (the schedule), and the figure is identical on every
+        // replica for identical bytecode.
+        let cost = CALL_FIXED_CYCLES + summary.cost_hint * self.model.vm_cycles_per_instr;
+        Some(TxPlan {
+            contract: raw.contract,
+            reads,
+            writes,
+            exact,
+            cost,
+            plan_cycles,
+        })
     }
 
     /// §5.2 P1–P5: pre-verify a confidential transaction, caching
@@ -953,6 +1079,56 @@ fn state_nonce(k_states: &[u8; 32], full_key: &[u8], height: u64, value: &[u8]) 
     let mut nonce = [0u8; 12];
     nonce.copy_from_slice(&mac[..12]);
     nonce
+}
+
+/// A transaction's statically derived execution plan (see
+/// [`Engine::plan_tx`]): the full-storage-key matchers it is proven to
+/// stay within, the scheduling cost proxy, and the cycles spent deriving
+/// the plan itself.
+#[derive(Debug, Clone)]
+pub struct TxPlan {
+    /// Target contract address.
+    pub contract: [u8; 32],
+    /// Full-key matchers covering every key the transaction may read
+    /// (contract keys + the engine's nonce read).
+    pub reads: Vec<KeyMatcher>,
+    /// Full-key matchers covering every key the transaction may write
+    /// (contract keys + nonce write + retained-`k_tx` write).
+    pub writes: Vec<KeyMatcher>,
+    /// True when every matcher is exact — the plan supports
+    /// speculation-free conflict grouping. Prefix matchers are still
+    /// sound for the debug oracle but not for static scheduling.
+    pub exact: bool,
+    /// Deterministic LPT load estimate (virtual cycles).
+    pub cost: u64,
+    /// Cycles spent deriving the plan (envelope peek for confidential
+    /// transactions; zero for public ones).
+    pub plan_cycles: u64,
+}
+
+/// A plan's exact full-key footprint: `(touched, written)`.
+pub type ExactSets = (BTreeSet<Vec<u8>>, BTreeSet<Vec<u8>>);
+
+impl TxPlan {
+    /// The exact `(touched, written)` full-key sets, when every matcher
+    /// is exact — the inputs conflict grouping needs. `None` for plans
+    /// with prefix matchers.
+    pub fn exact_sets(&self) -> Option<ExactSets> {
+        if !self.exact {
+            return None;
+        }
+        let mut touched = BTreeSet::new();
+        let mut written = BTreeSet::new();
+        for m in &self.reads {
+            touched.insert(m.exact_key()?.to_vec());
+        }
+        for m in &self.writes {
+            let k = m.exact_key()?.to_vec();
+            touched.insert(k.clone());
+            written.insert(k);
+        }
+        Some((touched, written))
+    }
 }
 
 /// The storage-key layout: contract address prefix + contract-local key.

@@ -37,14 +37,16 @@ pub mod counters;
 pub mod engine;
 pub mod keys;
 pub mod node;
+pub mod probe;
 pub mod receipt;
 pub mod tx;
 
 pub use client::{seal_signed_tx, ConfideClient};
 pub use context::ExecContext;
 pub use counters::{OpCounters, TxStats};
-pub use engine::{Engine, EngineConfig, EngineError, VmKind};
+pub use engine::{Engine, EngineConfig, EngineError, TxPlan, VmKind};
 pub use keys::{KeyProtocolError, NodeKeys};
-pub use node::{ConfideNode, NodeError};
+pub use node::{ConfideNode, NodeError, SchedMode};
+pub use probe::recognize_stdlib;
 pub use receipt::Receipt;
 pub use tx::{RawTx, SignedTx, WireTx};

@@ -2,7 +2,7 @@
 
 use crate::context::{ExecContext, RwSet};
 use crate::counters::{OpCounters, TxStats};
-use crate::engine::{Engine, EngineConfig, EngineError, VmKind};
+use crate::engine::{Engine, EngineConfig, EngineError, TxPlan, VmKind};
 use crate::keys::NodeKeys;
 use crate::receipt::Receipt;
 use crate::tx::WireTx;
@@ -161,6 +161,21 @@ impl LenientBlockResult {
     }
 }
 
+/// How the parallel block executor derives its conflict groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Optimistic concurrency: speculate every transaction against the
+    /// pre-block state, group by the *measured* read/write journals, then
+    /// re-execute conflicting groups (the PR 4 pipeline).
+    Occ,
+    /// Speculation-free: group by the deploy-time static access summaries
+    /// instantiated per transaction ([`Engine::plan_tx`]); falls back to
+    /// [`SchedMode::Occ`] whenever any transaction in the block lacks a
+    /// precise plan. The fallback decision depends only on the
+    /// transactions and the deployed code, so every replica agrees on it.
+    Static,
+}
+
 /// What the parallel block executor measured for one block (§6.2): the
 /// conflict-group structure and the per-worker attributed virtual cycles
 /// under the LPT schedule. `makespan_cycles / serial_cycles` is the
@@ -184,6 +199,20 @@ pub struct ParallelExecReport {
     /// The fallback decision is deterministic (it depends only on the
     /// transactions, never on thread count or timing).
     pub serial_fallback: bool,
+    /// True when the schedule came from static access summaries and the
+    /// block executed without a speculation phase.
+    pub static_schedule: bool,
+    /// Speculative (phase-1) executions performed: `txs.len()` on the OCC
+    /// path, 0 on the static path — the overhead this PR's analysis
+    /// removes.
+    pub spec_runs: usize,
+    /// Aggregate counters burned by the speculation phase (zero on the
+    /// static path; the acceptance check that "zero speculation runs"
+    /// is observable, not asserted by fiat).
+    pub spec_counters: OpCounters,
+    /// Cycles spent deriving static plans (envelope peeks) before
+    /// execution; 0 on the OCC path.
+    pub plan_cycles: u64,
 }
 
 /// Result of executing one block on the parallel executor. Identical
@@ -222,6 +251,22 @@ fn stable_cost(counters: &OpCounters) -> u64 {
         .total_cycles()
         .saturating_sub(counters.mem_commit_cycles)
         .max(1)
+}
+
+/// Debug-mode soundness oracle (the tentpole's enforcement clause): the
+/// journaled [`RwSet`] of every executed transaction must be admitted by
+/// its static plan's matchers. Compiled out of release builds; in debug
+/// builds it turns an under-approximating access summary into a loud
+/// deterministic panic instead of a silent wrong-state root.
+fn oracle_check(plans: Option<&[Option<TxPlan>]>, i: usize, rw: &RwSet) {
+    if cfg!(debug_assertions) {
+        if let Some(Some(plan)) = plans.map(|p| p.get(i).and_then(Option::as_ref)) {
+            debug_assert!(
+                rw.covered_by(&plan.reads, &plan.writes),
+                "static access summary under-approximates tx {i}: journal {rw:?} escapes plan {plan:?}"
+            );
+        }
+    }
 }
 
 /// State key of the wire-hash → receipt index (dedup seam: a resubmitted
@@ -284,6 +329,8 @@ struct GroupExec {
     conf_overlay: HashMap<Vec<u8>, Option<Vec<u8>>>,
     touched: BTreeSet<Vec<u8>>,
     written: BTreeSet<Vec<u8>>,
+    /// Measured stable cost of the group (sum of members').
+    cost: u64,
 }
 
 /// A CONFIDE node. In a real deployment one process; in the simulation one
@@ -725,13 +772,193 @@ impl ConfideNode {
         txs: &[WireTx],
         threads: usize,
     ) -> Result<ParallelBlockResult, NodeError> {
+        self.execute_block_sched(txs, threads, SchedMode::Static)
+    }
+
+    /// [`ConfideNode::execute_block_parallel`] with an explicit scheduling
+    /// mode. [`SchedMode::Static`] tries the speculation-free fast path
+    /// first (deploy-time access summaries → conflict groups) and falls
+    /// back to OCC whenever any transaction lacks a precise plan;
+    /// [`SchedMode::Occ`] forces the speculative pipeline (the benchmark
+    /// baseline). Both commit bit-identical state transitions.
+    pub fn execute_block_sched(
+        &mut self,
+        txs: &[WireTx],
+        threads: usize,
+        mode: SchedMode,
+    ) -> Result<ParallelBlockResult, NodeError> {
         if threads == 0 {
             return Err(NodeError::Sched(SchedError::ZeroThreads));
         }
+        // Static mode needs the plans; debug builds compute them in OCC
+        // mode too, so the soundness oracle covers every executed
+        // transaction regardless of scheduling path.
+        let plans: Option<Vec<Option<TxPlan>>> =
+            if matches!(mode, SchedMode::Static) || cfg!(debug_assertions) {
+                Some(txs.iter().map(|t| self.plan_of(t)).collect())
+            } else {
+                None
+            };
+        if matches!(mode, SchedMode::Static) {
+            let planned = plans.as_deref().expect("plans computed in static mode");
+            if let Some(res) = self.try_execute_block_static(txs, threads, planned)? {
+                return Ok(res);
+            }
+        }
+        self.execute_block_occ(txs, threads, plans.as_deref())
+    }
+
+    /// The static plan for one wire transaction, from whichever engine
+    /// will execute it.
+    fn plan_of(&self, tx: &WireTx) -> Option<TxPlan> {
+        match tx {
+            WireTx::Public(_) => self.public_engine.plan_tx(tx),
+            WireTx::Confidential(_) => self.confidential_engine.plan_tx(tx),
+        }
+    }
+
+    /// The §6.2 fast path: schedule the block purely from static access
+    /// plans and execute every conflict group exactly once — zero
+    /// speculation runs. Returns `Ok(None)` (try OCC instead) unless
+    /// every transaction carries a precise, fully-exact plan.
+    fn try_execute_block_static(
+        &mut self,
+        txs: &[WireTx],
+        threads: usize,
+        plans: &[Option<TxPlan>],
+    ) -> Result<Option<ParallelBlockResult>, NodeError> {
+        let mut touched = Vec::with_capacity(txs.len());
+        let mut written = Vec::with_capacity(txs.len());
+        let mut tx_loads = Vec::with_capacity(txs.len());
+        let mut plan_cycles = 0u64;
+        for (i, plan) in plans.iter().enumerate() {
+            let Some(plan) = plan else { return Ok(None) };
+            let Some((t, w)) = plan.exact_sets() else {
+                return Ok(None);
+            };
+            // Same per-engine key namespacing the OCC path applies to its
+            // measured journals, so grouping and validation speak one
+            // key language.
+            let ns = if matches!(txs[i], WireTx::Confidential(_)) {
+                b'c'
+            } else {
+                b'p'
+            };
+            touched.push(namespaced(ns, &t));
+            written.push(namespaced(ns, &w));
+            tx_loads.push(plan.cost.max(1));
+            plan_cycles += plan.plan_cycles;
+        }
+        let height = self.state.height() + 1;
+        let groups = conflict_groups(&touched, &written);
+        let loads: Vec<u64> = groups
+            .iter()
+            .map(|members| members.iter().map(|&i| tx_loads[i]).sum::<u64>().max(1))
+            .collect();
+        let assignment = assign(&loads, threads).map_err(NodeError::Sched)?;
+
+        // Execute every group (including singletons — there is no
+        // speculation to adopt) serially-within-group on the assigned
+        // workers.
+        let group_execs = self.execute_groups(txs, height, &groups, &assignment, true, Some(plans));
+
+        // Validation: the *measured* key sets must honor the static
+        // grouping — pairwise write-disjoint across groups. A violation
+        // means a summary under-approximated (the debug oracle would have
+        // fired); fall back to the deterministic serial path rather than
+        // commit a racy merge.
+        let mut writer_of: HashMap<&[u8], usize> = HashMap::new();
+        for (g, exec) in group_execs.iter().enumerate() {
+            if let Some(exec) = exec {
+                for key in &exec.written {
+                    writer_of.insert(key.as_slice(), g);
+                }
+            }
+        }
+        let disjoint = group_execs.iter().enumerate().all(|(g, exec)| {
+            exec.as_ref().is_none_or(|exec| {
+                exec.touched
+                    .iter()
+                    .all(|key| writer_of.get(key.as_slice()).is_none_or(|&w| w == g))
+            })
+        });
+        if !disjoint {
+            let mut res = self.execute_serial_equivalent(txs, threads, groups.len())?;
+            res.report.plan_cycles = plan_cycles;
+            return Ok(Some(res));
+        }
+
+        // Report loads are the measured per-group stable costs, like the
+        // OCC path's (the planned costs only shaped the assignment).
+        let measured: Vec<u64> = group_execs
+            .iter()
+            .map(|e| e.as_ref().map_or(1, |x| x.cost.max(1)))
+            .collect();
+        let worker_cycles = worker_loads(&assignment, &measured);
+        let makespan_cycles = worker_cycles.iter().copied().max().unwrap_or(0);
+        let serial_cycles: u64 = measured.iter().sum();
+
+        let mut pub_ctx = ExecContext::new();
+        let mut conf_ctx = ExecContext::new();
+        let mut slots: Vec<Option<(TxOutcome, Option<TxStats>)>> =
+            (0..txs.len()).map(|_| None).collect();
+        for exec in group_execs.into_iter().flatten() {
+            pub_ctx.overlay.extend(exec.pub_overlay);
+            conf_ctx.overlay.extend(exec.conf_overlay);
+            for (i, outcome, stats) in exec.txs {
+                slots[i] = Some((outcome, stats));
+            }
+        }
+        let mut outcomes = Vec::with_capacity(txs.len());
+        let mut totals = OpCounters::default();
+        let mut accepted_bytes = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (outcome, stats) = slot.expect("every tx belongs to exactly one group");
+            if outcome.is_ok() {
+                if let Some(stats) = &stats {
+                    totals.add(&stats.counters);
+                }
+                accepted_bytes.push(txs[i].encode());
+            }
+            outcomes.push(outcome);
+        }
+        let block = self.seal_lenient_block(pub_ctx, conf_ctx, &outcomes, accepted_bytes)?;
+        Ok(Some(ParallelBlockResult {
+            block,
+            outcomes,
+            totals,
+            report: ParallelExecReport {
+                threads,
+                groups: groups.len(),
+                worker_cycles,
+                makespan_cycles,
+                serial_cycles,
+                serial_fallback: false,
+                static_schedule: true,
+                spec_runs: 0,
+                spec_counters: OpCounters::default(),
+                plan_cycles,
+            },
+        }))
+    }
+
+    /// The speculative (OCC) pipeline — phases 1–4 of the module docs.
+    fn execute_block_occ(
+        &mut self,
+        txs: &[WireTx],
+        threads: usize,
+        plans: Option<&[Option<TxPlan>]>,
+    ) -> Result<ParallelBlockResult, NodeError> {
         let height = self.state.height() + 1;
 
         // Phase 1: speculate every tx in isolation on the worker pool.
-        let (spec, spec_touched, spec_written) = self.speculate_all(txs, height, threads);
+        let (spec, spec_touched, spec_written) = self.speculate_all(txs, height, threads, plans);
+        let mut spec_counters = OpCounters::default();
+        for s in &spec {
+            if let Some(stats) = &s.stats {
+                spec_counters.add(&stats.counters);
+            }
+        }
 
         // Deployments mutate the contract registry outside any journal;
         // serialize the whole block when one is present. (Public deploys
@@ -744,7 +971,10 @@ impl ConfideNode {
                 .iter()
                 .any(|s| matches!(&s.outcome, Ok((receipt, _)) if receipt.contract == [0u8; 32]));
         if has_deploy {
-            return self.execute_serial_equivalent(txs, threads, 0);
+            let mut res = self.execute_serial_equivalent(txs, threads, 0)?;
+            res.report.spec_runs = txs.len();
+            res.report.spec_counters = spec_counters;
+            return Ok(res);
         }
 
         // Group by the measured conflicts and schedule the groups LPT,
@@ -763,7 +993,7 @@ impl ConfideNode {
         // the assigned workers; singleton groups adopt their speculation
         // (provably identical: same fresh context, same base state, same
         // per-tx RNG).
-        let group_execs = self.execute_groups(txs, height, &groups, &assignment);
+        let group_execs = self.execute_groups(txs, height, &groups, &assignment, false, plans);
 
         // Validation: the executed key sets must still be pairwise
         // write-disjoint across groups (re-execution can follow different
@@ -795,7 +1025,10 @@ impl ConfideNode {
                 .all(|key| writer_of.get(key.as_slice()).is_none_or(|&w| w == g))
         });
         if !disjoint {
-            return self.execute_serial_equivalent(txs, threads, groups.len());
+            let mut res = self.execute_serial_equivalent(txs, threads, groups.len())?;
+            res.report.spec_runs = txs.len();
+            res.report.spec_counters = spec_counters;
+            return Ok(res);
         }
 
         // Merge: group overlays are disjoint, so extending the two
@@ -863,6 +1096,10 @@ impl ConfideNode {
                 makespan_cycles,
                 serial_cycles,
                 serial_fallback: false,
+                static_schedule: false,
+                spec_runs: txs.len(),
+                spec_counters,
+                plan_cycles: 0,
             },
         })
     }
@@ -878,6 +1115,7 @@ impl ConfideNode {
         txs: &[WireTx],
         height: u64,
         threads: usize,
+        plans: Option<&[Option<TxPlan>]>,
     ) -> (Vec<SpecTx>, Vec<BTreeSet<Vec<u8>>>, Vec<BTreeSet<Vec<u8>>>) {
         let state = &self.state;
         let pub_engine = &self.public_engine;
@@ -929,6 +1167,7 @@ impl ConfideNode {
                             )
                         }
                     };
+                    oracle_check(plans, i, &rw);
                     results
                         .lock()
                         .expect("spec results lock")
@@ -960,6 +1199,8 @@ impl ConfideNode {
         height: u64,
         groups: &[Vec<usize>],
         assignment: &[Vec<usize>],
+        include_singletons: bool,
+        plans: Option<&[Option<TxPlan>]>,
     ) -> Vec<Option<GroupExec>> {
         let state = &self.state;
         let pub_engine = &self.public_engine;
@@ -971,7 +1212,7 @@ impl ConfideNode {
                 scope.spawn(move || {
                     for &g in worker_groups {
                         let members = &groups[g];
-                        if members.len() < 2 {
+                        if members.len() < 2 && !include_singletons {
                             continue;
                         }
                         let mut pub_ctx = ExecContext::new();
@@ -982,6 +1223,7 @@ impl ConfideNode {
                             conf_overlay: HashMap::new(),
                             touched: BTreeSet::new(),
                             written: BTreeSet::new(),
+                            cost: 0,
                         };
                         for &i in members {
                             let tx = &txs[i];
@@ -994,19 +1236,23 @@ impl ConfideNode {
                             let ns = if is_conf { b'c' } else { b'p' };
                             let mut rng = tx_receipt_rng(height, &tx.wire_hash());
                             ctx.begin_tx();
-                            let (entry, rw) =
+                            let (entry, rw, cost) =
                                 match engine.execute_transaction(state, ctx, tx, &mut rng) {
                                     Ok((receipt, sealed, stats)) => {
                                         let rw = ctx.commit_tx();
-                                        ((i, Ok((receipt, sealed)), Some(stats)), rw)
+                                        let cost = stable_cost(&stats.counters);
+                                        ((i, Ok((receipt, sealed)), Some(stats)), rw, cost)
                                     }
                                     Err(e) => {
+                                        let cost = stable_cost(&ctx.counters);
                                         let rw = ctx.rollback_tx();
-                                        ((i, Err(e), None), rw)
+                                        ((i, Err(e), None), rw, cost)
                                     }
                                 };
+                            oracle_check(plans, i, &rw);
                             exec.touched.extend(namespaced(ns, &rw.touched()));
                             exec.written.extend(namespaced(ns, &rw.writes));
+                            exec.cost += cost;
                             exec.txs.push(entry);
                         }
                         exec.pub_overlay = std::mem::take(&mut pub_ctx.overlay);
@@ -1078,6 +1324,10 @@ impl ConfideNode {
                 makespan_cycles: serial_cycles,
                 serial_cycles,
                 serial_fallback: true,
+                static_schedule: false,
+                spec_runs: 0,
+                spec_counters: OpCounters::default(),
+                plan_cycles: 0,
             },
         })
     }
@@ -1514,6 +1764,102 @@ mod tests {
         assert_eq!(
             r4.report.makespan_cycles, r6.report.makespan_cycles,
             "no benefit past the conflict-group count"
+        );
+    }
+
+    #[test]
+    fn static_schedule_skips_speculation_and_matches_occ_and_serial() {
+        // 8 independent senders on the confidential contract plus 4 on
+        // the public one: every tx has a precise static plan, so the
+        // default (static) mode must execute with ZERO speculation runs
+        // and commit roots byte-identical to forced-OCC and serial.
+        let pk_tx = fresh_node().pk_tx();
+        let mut txs = Vec::new();
+        for s in 0..8u8 {
+            let mut c = crate::client::ConfideClient::new([s + 1; 32], [s + 50; 32], s as u64);
+            let args = format!(r#"{{"to":"st{s}","amount":2}}"#);
+            txs.push(
+                c.confidential_tx(&pk_tx, CONF_CONTRACT, "main", args.as_bytes())
+                    .unwrap()
+                    .0,
+            );
+        }
+        for s in 8..12u8 {
+            let mut c = crate::client::ConfideClient::new([s + 1; 32], [s + 50; 32], s as u64);
+            let args = format!(r#"{{"to":"st{s}","amount":2}}"#);
+            txs.push(c.public_tx(PUB_CONTRACT, "main", args.as_bytes()));
+        }
+
+        let mut want: Option<Vec<String>> = None;
+        for threads in [1usize, 4] {
+            // Static (the default execute_block_parallel mode).
+            let mut st = fresh_node();
+            let rs = st.execute_block_parallel(&txs, threads).unwrap();
+            assert!(
+                rs.report.static_schedule,
+                "plan-complete block must go static"
+            );
+            assert_eq!(rs.report.spec_runs, 0, "static path must not speculate");
+            assert_eq!(
+                rs.report.spec_counters.contract_calls, 0,
+                "zero speculation executions, observed via OpCounters"
+            );
+            assert_eq!(rs.report.spec_counters.vm_instret, 0);
+            assert!(!rs.report.serial_fallback);
+            assert_eq!(rs.accepted(), 12);
+            assert_eq!(rs.report.groups, 12, "independent txs must not merge");
+            // Forced OCC: same transition, speculation paid.
+            let mut occ = fresh_node();
+            let ro = occ
+                .execute_block_sched(&txs, threads, SchedMode::Occ)
+                .unwrap();
+            assert!(!ro.report.static_schedule);
+            assert_eq!(ro.report.spec_runs, txs.len());
+            assert!(ro.report.spec_counters.contract_calls >= txs.len() as u64);
+            // Serial reference.
+            let mut serial = fresh_node();
+            let rl = serial.execute_serial_equivalent(&txs, threads, 0).unwrap();
+
+            let fs = fingerprint(st.state_root(), &rs.block, &rs.outcomes);
+            let fo = fingerprint(occ.state_root(), &ro.block, &ro.outcomes);
+            let fl = fingerprint(serial.state_root(), &rl.block, &rl.outcomes);
+            assert_eq!(fs, fo, "static vs OCC diverged at {threads} threads");
+            assert_eq!(fs, fl, "static vs serial diverged at {threads} threads");
+            match &want {
+                None => want = Some(fs),
+                Some(w) => assert_eq!(&fs, w, "thread count changed the block"),
+            }
+        }
+    }
+
+    #[test]
+    fn unplannable_tx_falls_back_to_occ_deterministically() {
+        // An unknown-contract tx has no deploy-time summary → no plan →
+        // the static mode must fall back to the OCC pipeline, and the
+        // result must still match the serial reference.
+        let pk_tx = fresh_node().pk_tx();
+        let mut c0 = crate::client::ConfideClient::new([1u8; 32], [50u8; 32], 0);
+        let mut c1 = crate::client::ConfideClient::new([2u8; 32], [51u8; 32], 1);
+        let txs = vec![
+            c0.confidential_tx(&pk_tx, CONF_CONTRACT, "main", br#"{"to":"a","amount":1}"#)
+                .unwrap()
+                .0,
+            c1.confidential_tx(&pk_tx, [0x99; 32], "main", b"{}")
+                .unwrap()
+                .0,
+        ];
+        let mut node = fresh_node();
+        let res = node.execute_block_parallel(&txs, 4).unwrap();
+        assert!(
+            !res.report.static_schedule,
+            "unplannable tx must disable the static fast path"
+        );
+        assert_eq!(res.report.spec_runs, txs.len(), "OCC fallback speculates");
+        let mut serial = fresh_node();
+        let rl = serial.execute_serial_equivalent(&txs, 1, 0).unwrap();
+        assert_eq!(
+            fingerprint(node.state_root(), &res.block, &res.outcomes),
+            fingerprint(serial.state_root(), &rl.block, &rl.outcomes)
         );
     }
 

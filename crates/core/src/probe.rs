@@ -1,0 +1,160 @@
+//! Stdlib recognition for the static access analyzer.
+//!
+//! The CCL compiler prepends the stdlib source to every program, so every
+//! compiled module carries byte-identical stdlib function bodies at fixed
+//! indices (0 = `__alloc`, …, 15 = `json_get_int`). The access analyzer in
+//! `confide_vm::access` models these as [`KnownFn`] transfer functions
+//! instead of interpreting their loops abstractly — that is where all of
+//! its key precision comes from.
+//!
+//! Recognition is *semantic-free and sound*: a probe program is compiled
+//! once with the very same compiler, and a target function is mapped to a
+//! [`KnownFn`] only when its `(param_count, local_count, body)` triple is
+//! bit-for-bit equal to the probe's. Hand-written bytecode that merely
+//! resembles a stdlib helper falls through to abstract interpretation; a
+//! compiler change that alters stdlib codegen silently disables
+//! recognition (degrading precision, never soundness).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use confide_vm::{KnownFn, Module};
+
+/// Minimal CCL program whose compile carries the stdlib verbatim.
+const PROBE_SRC: &str = "export fn main() { ret(b\"\"); }\n";
+
+/// The stdlib layout the compiler emits: function index → transfer model.
+const STDLIB_LAYOUT: [KnownFn; 16] = [
+    KnownFn::Alloc,      // 0  __alloc
+    KnownFn::Concat,     // 1  concat
+    KnownFn::Concat3,    // 2  concat3
+    KnownFn::Slice,      // 3  slice
+    KnownFn::EqBytes,    // 4  eq_bytes
+    KnownFn::Find,       // 5  find
+    KnownFn::Itoa,       // 6  itoa
+    KnownFn::Atoi,       // 7  atoi
+    KnownFn::I2b,        // 8  i2b
+    KnownFn::B2i,        // 9  b2i
+    KnownFn::ToHex,      // 10 to_hex
+    KnownFn::StorageGet, // 11 storage_get
+    KnownFn::StorageHas, // 12 storage_has
+    KnownFn::CallOut,    // 13 call
+    KnownFn::JsonGet,    // 14 json_get
+    KnownFn::JsonGetInt, // 15 json_get_int
+];
+
+fn probe_module() -> Option<&'static Module> {
+    static PROBE: OnceLock<Option<Module>> = OnceLock::new();
+    PROBE
+        .get_or_init(|| {
+            let bytes = confide_lang::build_vm(PROBE_SRC).ok()?;
+            Module::decode(&bytes).ok()
+        })
+        .as_ref()
+}
+
+/// Map `module`'s stdlib function indices to their transfer models.
+///
+/// Recognition is **all-or-nothing**: the stdlib is a closed call graph
+/// (`json_get` calls `find`, `storage_get` calls `__alloc`, …), so
+/// modeling *any* helper by its semantics is only sound when *every*
+/// helper body is bit-for-bit the compiler's — a helper with pristine
+/// bytes still changes behaviour when a callee below it is corrupted.
+/// One divergent byte anywhere in the 16 disables recognition entirely;
+/// the analyzer then interprets the actual (possibly mutated) bodies
+/// abstractly, which costs precision but never soundness.
+pub fn recognize_stdlib(module: &Module) -> HashMap<u32, KnownFn> {
+    let Some(probe) = probe_module() else {
+        return HashMap::new();
+    };
+    let mut known = HashMap::new();
+    for (pi, kf) in STDLIB_LAYOUT.iter().enumerate() {
+        let (Some(f), Some(pf)) = (module.functions.get(pi), probe.functions.get(pi)) else {
+            return HashMap::new();
+        };
+        let identical =
+            f.param_count == pf.param_count && f.local_count == pf.local_count && f.body == pf.body;
+        // Arity sanity: the transfer model must pop exactly what the
+        // function declares, or the layout table is stale.
+        if !identical || kf.param_count() != f.param_count as usize {
+            return HashMap::new();
+        }
+        known.insert(pi as u32, *kf);
+    }
+    known
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_recognizes_all_sixteen_stdlib_fns_in_a_real_contract() {
+        let src = r#"
+            export fn main() {
+                let v: bytes = storage_get(b"k");
+                storage_set(b"k", concat(v, input()));
+                ret(itoa(atoi(v)));
+            }
+        "#;
+        let bytes = confide_lang::build_vm(src).expect("compiles");
+        let module = Module::decode(&bytes).expect("decodes");
+        let known = recognize_stdlib(&module);
+        // Every stdlib helper must be found at its fixed index.
+        for (i, kf) in STDLIB_LAYOUT.iter().enumerate() {
+            assert_eq!(
+                known.get(&(i as u32)),
+                Some(kf),
+                "stdlib fn {i} ({}) not recognized",
+                kf.name()
+            );
+        }
+        // User code (after the stdlib) must NOT be misrecognized.
+        for idx in STDLIB_LAYOUT.len() as u32..module.functions.len() as u32 {
+            assert!(
+                !known.contains_key(&idx),
+                "user function {idx} misrecognized as stdlib"
+            );
+        }
+    }
+
+    #[test]
+    fn one_corrupted_stdlib_body_disables_recognition_entirely() {
+        // `json_get` calls `find`: recognizing json_get by its own bytes
+        // while find is corrupted would model the wrong semantics, so a
+        // single divergent body must zero out the whole map.
+        let bytes =
+            confide_lang::build_vm("export fn main() { ret(input()); }\n").expect("compiles");
+        let mut module = Module::decode(&bytes).expect("decodes");
+        assert!(!recognize_stdlib(&module).is_empty(), "pristine recognizes");
+        // Corrupt one byte of stdlib fn 5 (`find`)'s already-decoded body
+        // by re-encoding a tweaked constant — simplest: clear the body.
+        module.functions[5].body.pop();
+        assert!(
+            recognize_stdlib(&module).is_empty(),
+            "corrupted find must disable all recognition"
+        );
+    }
+
+    #[test]
+    fn recognition_feeds_a_precise_summary_for_the_counter_example() {
+        let src = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/ccl/counter.ccl"
+        ))
+        .expect("counter.ccl present");
+        let bytes = confide_lang::build_vm(&src).expect("compiles");
+        let module = Module::decode(&bytes).expect("decodes");
+        let access = confide_vm::analyze_module(&module, &recognize_stdlib(&module));
+        let summary = access.method("main").expect("main summarized");
+        assert!(!summary.top, "counter must not be Top: {summary:?}");
+        assert!(
+            summary.is_static(),
+            "counter keys are constant: {summary:?}"
+        );
+        let reads: Vec<String> = summary.reads.iter().map(|k| k.render()).collect();
+        let writes: Vec<String> = summary.writes.iter().map(|k| k.render()).collect();
+        assert!(reads.iter().any(|r| r.contains("count")), "{reads:?}");
+        assert!(writes.iter().any(|w| w.contains("count")), "{writes:?}");
+    }
+}

@@ -7,6 +7,17 @@
 //! execution will introduce huge amount of byte code instruction", §6.4).
 //! Only true primitives (`__copy`, `alloc`, hashing, storage, I/O) are
 //! backend intrinsics.
+//!
+//! The static access analyzer recognizes these functions in compiled
+//! modules *by position and byte-identity* (`confide-core::probe`,
+//! `STDLIB_LAYOUT`): function index 0..=15 must stay `__alloc`, `concat`,
+//! `concat3`, `slice`, `eq_bytes`, `find`, `itoa`, `atoi`, `i2b`, `b2i`,
+//! `to_hex`, `storage_get`, `storage_has`, `call`, `json_get`,
+//! `json_get_int`. Reordering, inserting or editing helpers here is safe
+//! for correctness (recognition degrades to abstract interpretation,
+//! all-or-nothing) but silently costs analysis precision until
+//! `STDLIB_LAYOUT` and the `confide_vm::access` ports (`ccl_find`,
+//! `ccl_json_get`, …) are updated to match.
 
 /// CCL source prepended to every user program.
 pub const STDLIB: &str = r#"

@@ -21,7 +21,7 @@
 
 use confide_net::demo::demo_node;
 use confide_net::loadgen::{
-    run, run_parallel_scaling, to_json, LoadReport, LoadgenConfig, RecoveryInfo,
+    run, run_parallel_scaling, run_static_sched, to_json, LoadReport, LoadgenConfig, RecoveryInfo,
 };
 use confide_net::{NodeServer, ServerConfig};
 use std::net::SocketAddr;
@@ -181,10 +181,32 @@ fn main() {
         }
     }
 
+    // Static-scheduling datapoint: OCC vs the speculation-free path on
+    // the same conflict-free block (in-process, deterministic).
+    let static_sched = match run_static_sched(7) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("confide-loadgen: static sched run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "confide-loadgen: static_sched: {} txs, {} spec runs skipped, modeled {:.2}x vs OCC, \
+         roots_match {}",
+        static_sched.txs,
+        static_sched.occ_spec_runs,
+        static_sched.modeled_speedup,
+        static_sched.roots_match
+    );
+    if !static_sched.roots_match || !static_sched.static_schedule {
+        eprintln!("confide-loadgen: FAIL — static schedule diverged from OCC");
+        std::process::exit(1);
+    }
+
     for r in &reports {
         recovery.retries += r.retries;
     }
-    let json = to_json(&reports, &scaling, &server_cfg, &recovery);
+    let json = to_json(&reports, &scaling, &static_sched, &server_cfg, &recovery);
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);

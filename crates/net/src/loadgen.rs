@@ -533,6 +533,96 @@ pub fn run_parallel_scaling(seed: u64) -> Result<Vec<ScalingReport>, NetError> {
     Ok(reports)
 }
 
+/// The static-scheduling datapoint: the same conflict-free block executed
+/// by the OCC path (speculate → group → commit) and the static path
+/// (plan → group → commit, zero speculative runs), on replicas that start
+/// from identical state.
+#[derive(Debug, Clone)]
+pub struct StaticSchedReport {
+    /// Transactions in the measured block.
+    pub txs: usize,
+    /// Worker threads both executions scheduled for.
+    pub threads: usize,
+    /// Speculative runs the OCC path performed (= block size).
+    pub occ_spec_runs: usize,
+    /// Speculative runs the static path performed (must be 0).
+    pub static_spec_runs: usize,
+    /// Measured cycles the OCC speculation phase burned (stable cost:
+    /// EPC memory-pool commits excluded, as in the executor's own load
+    /// accounting — pool hits race with thread timing and build speed).
+    pub occ_spec_cycles: u64,
+    /// Measured cycles static planning spent (per-tx envelope peeks).
+    pub plan_cycles: u64,
+    /// Modeled end-to-end OCC time: the speculation phase (per-tx
+    /// independent, spread over the workers) + commit-phase makespan.
+    pub occ_modeled_ms: f64,
+    /// Modeled end-to-end static time: planning (also per-tx independent
+    /// — `plan_tx` is a pure read) + commit-phase makespan.
+    pub static_modeled_ms: f64,
+    /// `occ_modeled_ms / static_modeled_ms` — what skipping speculation
+    /// buys on a block whose summaries are all precise.
+    pub modeled_speedup: f64,
+    /// Whether the two replicas sealed byte-identical state roots.
+    pub roots_match: bool,
+    /// Whether the static path actually engaged (no OCC fallback).
+    pub static_schedule: bool,
+}
+
+/// Execute the conflict-free scaling block once under forced OCC and once
+/// under static scheduling, price both end-to-end, and cross-check the
+/// sealed state roots. Deterministic: seeded nodes, measured virtual
+/// cycles.
+pub fn run_static_sched(seed: u64) -> Result<StaticSchedReport, NetError> {
+    let threads = 4usize;
+    let senders = 16usize;
+    let model = CostModel::default();
+
+    let run = |mode: confide_core::SchedMode| -> Result<_, NetError> {
+        let mut node = crate::demo::demo_node(seed);
+        warm_up(&mut node)?;
+        let txs = scaling_txs(&node.pk_tx(), senders, 1)?;
+        let res = node
+            .execute_block_sched(&txs, threads, mode)
+            .map_err(|e| NetError::Rejected(e.to_string()))?;
+        if res.accepted() != txs.len() {
+            return Err(NetError::Rejected(format!(
+                "static-sched block rejected {} of {} txs",
+                txs.len() - res.accepted(),
+                txs.len()
+            )));
+        }
+        Ok(res)
+    };
+    let occ = run(confide_core::SchedMode::Occ)?;
+    let stat = run(confide_core::SchedMode::Static)?;
+
+    // Stable speculation cost: strip the EPC pool-commit cycles exactly
+    // as the executor's per-tx loads do (pool hits depend on worker
+    // timing, so the raw total is not replica-deterministic).
+    let occ_spec_cycles = occ
+        .report
+        .spec_counters
+        .total_cycles()
+        .saturating_sub(occ.report.spec_counters.mem_commit_cycles);
+    let occ_end_to_end = occ.report.makespan_cycles + occ_spec_cycles / threads as u64;
+    let static_end_to_end = stat.report.makespan_cycles + stat.report.plan_cycles / threads as u64;
+    let occ_modeled_ms = model.cycles_to_ms(occ_end_to_end).max(1e-9);
+    let static_modeled_ms = model.cycles_to_ms(static_end_to_end).max(1e-9);
+    Ok(StaticSchedReport {
+        txs: senders,
+        threads,
+        occ_spec_runs: occ.report.spec_runs,
+        static_spec_runs: stat.report.spec_runs,
+        occ_spec_cycles,
+        plan_cycles: stat.report.plan_cycles,
+        occ_modeled_ms,
+        static_modeled_ms,
+        modeled_speedup: occ_modeled_ms / static_modeled_ms,
+        roots_match: occ.block.header.state_root == stat.block.header.state_root,
+        static_schedule: stat.report.static_schedule,
+    })
+}
+
 fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -562,12 +652,13 @@ pub struct RecoveryInfo {
 pub fn to_json(
     reports: &[LoadReport],
     scaling: &[ScalingReport],
+    static_sched: &StaticSchedReport,
     server_cfg: &crate::server::ServerConfig,
     recovery: &RecoveryInfo,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str("  \"bench\": \"net_loopback\",\n");
     out.push_str(&format!(
         "  \"machine\": {{ \"cores\": {} }},\n",
@@ -617,6 +708,23 @@ pub fn to_json(
         });
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"static_sched\": {{ \"txs\": {}, \"threads\": {}, \"occ_spec_runs\": {}, \
+         \"static_spec_runs\": {}, \"occ_spec_cycles\": {}, \"plan_cycles\": {}, \
+         \"occ_modeled_ms\": {}, \"static_modeled_ms\": {}, \"modeled_speedup\": {}, \
+         \"roots_match\": {}, \"static_schedule\": {} }},\n",
+        static_sched.txs,
+        static_sched.threads,
+        static_sched.occ_spec_runs,
+        static_sched.static_spec_runs,
+        static_sched.occ_spec_cycles,
+        static_sched.plan_cycles,
+        fmt_f64(static_sched.occ_modeled_ms),
+        fmt_f64(static_sched.static_modeled_ms),
+        fmt_f64(static_sched.modeled_speedup),
+        static_sched.roots_match,
+        static_sched.static_schedule
+    ));
     out.push_str("  \"workloads\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str("    {\n");
@@ -689,9 +797,23 @@ mod tests {
                 speedup_vs_1: 3.2,
             }],
         };
+        let static_sched = StaticSchedReport {
+            txs: 16,
+            threads: 4,
+            occ_spec_runs: 16,
+            static_spec_runs: 0,
+            occ_spec_cycles: 1_000_000,
+            plan_cycles: 50_000,
+            occ_modeled_ms: 0.5,
+            static_modeled_ms: 0.3,
+            modeled_speedup: 1.66,
+            roots_match: true,
+            static_schedule: true,
+        };
         let json = to_json(
             &[report],
             &[scaling],
+            &static_sched,
             &crate::server::ServerConfig::default(),
             &RecoveryInfo {
                 recover_ms: 12,
@@ -722,9 +844,35 @@ mod tests {
             "\"recovered_blocks\"",
             "\"retries\"",
             "\"retries_exhausted\"",
+            "\"static_sched\"",
+            "\"occ_spec_runs\"",
+            "\"static_spec_runs\"",
+            "\"plan_cycles\"",
+            "\"modeled_speedup\"",
+            "\"roots_match\"",
+            "\"static_schedule\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn static_sched_skips_speculation_and_preserves_the_root() {
+        let r = run_static_sched(7).expect("static sched run");
+        assert!(r.static_schedule, "static path must engage: {r:?}");
+        assert_eq!(r.static_spec_runs, 0, "static path must not speculate");
+        assert_eq!(r.occ_spec_runs, r.txs, "OCC speculates every tx");
+        assert!(r.occ_spec_cycles > 0, "speculation work must be measured");
+        assert!(r.roots_match, "replicas must seal identical state roots");
+        assert!(
+            r.modeled_speedup > 1.0,
+            "skipping speculation must price faster: {r:?}"
+        );
+        // Deterministic: a second run reproduces the numbers bit-for-bit.
+        let r2 = run_static_sched(7).expect("static sched rerun");
+        assert_eq!(r.occ_spec_cycles, r2.occ_spec_cycles);
+        assert_eq!(r.plan_cycles, r2.plan_cycles);
+        assert!((r.modeled_speedup - r2.modeled_speedup).abs() < f64::EPSILON);
     }
 
     #[test]

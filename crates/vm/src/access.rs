@@ -1,0 +1,1919 @@
+//! Deploy-time static access-set analysis over CONFIDE-VM bytecode.
+//!
+//! An abstract interpreter that tracks constant- and prefix-shaped storage
+//! keys through the operand stack, locals and the heap-handle packing
+//! idioms of the CCL code generator, and emits a per-exported-method
+//! [`AccessSummary`]: which storage keys the method may read or write,
+//! whether it performs cross-contract calls, and an explicit `Top` when
+//! precision is lost. The scheduler (`confide-core`) uses precise
+//! summaries to build conflict groups *before* execution, skipping the
+//! speculation run of the OCC path entirely (DESIGN.md §13).
+//!
+//! # Soundness contract
+//!
+//! For every execution of a summarized method, the dynamic read set is
+//! covered by `reads ∪ writes` and the dynamic write set by `writes`,
+//! where a key expression with `open_suffix` covers every concrete key
+//! that starts with its instantiated prefix and a `top` summary covers
+//! everything. The analysis *never* under-approximates: any construct it
+//! cannot model (raw stores into linear memory, unbounded host writes,
+//! recursion, budget exhaustion) degrades the summary toward `Top`
+//! rather than dropping accesses. A debug-mode runtime oracle in
+//! `confide-core` re-checks the contract on every executed transaction.
+//!
+//! The analyzer recognizes the compiled CCL standard library by body
+//! equality (the stdlib is prepended to every program, so its functions
+//! compile to byte-identical bodies at fixed indices) and applies exact
+//! transfer functions instead of inlining; everything else is inlined
+//! and interpreted abstractly.
+
+use crate::module::{Function, Module};
+use crate::opcode::{HostFn, Instr};
+use crate::verify::verify_module;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Handle layout constants — must match the CCL code generator.
+const LEN_MASK: i64 = 0xffff_ffff;
+const PTR_MASK: i64 = !LEN_MASK;
+
+/// Distinguished "unknown object" id.
+const UNK: usize = 0;
+/// Maximum call-inlining depth before the analysis gives up.
+const MAX_INLINE_DEPTH: usize = 12;
+/// Abstract instruction budget per fixpoint pass.
+const STEP_BUDGET: u64 = 60_000;
+/// Maximum widening restarts per export before giving up.
+const MAX_RESTARTS: usize = 16;
+/// Maximum key-expression nesting depth.
+const MAX_EXPR_DEPTH: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Public summary types
+// ---------------------------------------------------------------------------
+
+/// A standard-library routine the analyzer has an exact transfer function
+/// for. The caller (deploy pipeline) maps module function indices to these
+/// by probe-compiling the stdlib and matching bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnownFn {
+    /// `__alloc(n) -> ptr`: heap bump allocator (returns a raw pointer).
+    Alloc,
+    /// `concat(a, b) -> bytes`.
+    Concat,
+    /// `concat3(a, b, c) -> bytes`.
+    Concat3,
+    /// `slice(b, start, n) -> bytes`.
+    Slice,
+    /// `eq_bytes(a, b) -> int`.
+    EqBytes,
+    /// `find(hay, needle, from) -> int`.
+    Find,
+    /// `itoa(v) -> bytes`.
+    Itoa,
+    /// `atoi(b) -> int`.
+    Atoi,
+    /// `i2b(v) -> bytes` (8-byte little-endian).
+    I2b,
+    /// `b2i(b) -> int`.
+    B2i,
+    /// `to_hex(b) -> bytes` (lowercase).
+    ToHex,
+    /// `storage_get(key) -> bytes` (reads storage).
+    StorageGet,
+    /// `storage_has(key) -> int` (reads storage).
+    StorageHas,
+    /// `call(addr, inp) -> bytes` (cross-contract call).
+    CallOut,
+    /// `json_get(json, key) -> bytes`.
+    JsonGet,
+    /// `json_get_int(json, key) -> int`.
+    JsonGetInt,
+}
+
+impl KnownFn {
+    /// Number of parameters the modeled routine takes.
+    pub fn param_count(self) -> usize {
+        match self {
+            KnownFn::Alloc
+            | KnownFn::Itoa
+            | KnownFn::Atoi
+            | KnownFn::I2b
+            | KnownFn::B2i
+            | KnownFn::ToHex
+            | KnownFn::StorageGet
+            | KnownFn::StorageHas => 1,
+            KnownFn::Concat
+            | KnownFn::EqBytes
+            | KnownFn::CallOut
+            | KnownFn::JsonGet
+            | KnownFn::JsonGetInt => 2,
+            KnownFn::Concat3 | KnownFn::Slice | KnownFn::Find => 3,
+        }
+    }
+
+    /// Stable lowercase name, for audit reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KnownFn::Alloc => "alloc",
+            KnownFn::Concat => "concat",
+            KnownFn::Concat3 => "concat3",
+            KnownFn::Slice => "slice",
+            KnownFn::EqBytes => "eq_bytes",
+            KnownFn::Find => "find",
+            KnownFn::Itoa => "itoa",
+            KnownFn::Atoi => "atoi",
+            KnownFn::I2b => "i2b",
+            KnownFn::B2i => "b2i",
+            KnownFn::ToHex => "to_hex",
+            KnownFn::StorageGet => "storage_get",
+            KnownFn::StorageHas => "storage_has",
+            KnownFn::CallOut => "call",
+            KnownFn::JsonGet => "json_get",
+            KnownFn::JsonGetInt => "json_get_int",
+        }
+    }
+}
+
+/// One segment of a symbolic storage key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KeySeg {
+    /// A literal byte string.
+    Lit(Vec<u8>),
+    /// `json_get(input(), field)` — the named field of the JSON input.
+    InputJson(Vec<u8>),
+    /// The whole transaction input.
+    InputWhole,
+    /// The 32-byte sender id.
+    Sender,
+    /// `to_hex(sender())` — lowercase hex of the sender id.
+    SenderHex,
+}
+
+/// A symbolic storage key: a concatenation of segments, optionally
+/// followed by unknown bytes (`open_suffix`). An open-suffix expression
+/// covers every concrete key beginning with the instantiated prefix; the
+/// fully-open expression (`KeyExpr::any()`) covers every key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyExpr {
+    /// Key segments, concatenated in order.
+    pub segs: Vec<KeySeg>,
+    /// True when unknown bytes may follow the listed segments.
+    pub open_suffix: bool,
+}
+
+impl KeyExpr {
+    fn new(raw: Vec<KeySeg>, open_suffix: bool) -> KeyExpr {
+        let mut segs: Vec<KeySeg> = Vec::new();
+        for s in raw {
+            match s {
+                KeySeg::Lit(b) if b.is_empty() => {}
+                KeySeg::Lit(b) => {
+                    if let Some(KeySeg::Lit(prev)) = segs.last_mut() {
+                        prev.extend_from_slice(&b);
+                    } else {
+                        segs.push(KeySeg::Lit(b));
+                    }
+                }
+                other => segs.push(other),
+            }
+        }
+        KeyExpr { segs, open_suffix }
+    }
+
+    /// The fully-unknown key expression (covers every key).
+    pub fn any() -> KeyExpr {
+        KeyExpr {
+            segs: Vec::new(),
+            open_suffix: true,
+        }
+    }
+
+    /// True when the expression pins the key exactly (no open suffix).
+    pub fn is_exact(&self) -> bool {
+        !self.open_suffix
+    }
+
+    /// Evaluate against a concrete transaction: returns an exact key or a
+    /// required prefix. Uses the same semantics as the CCL stdlib (see the
+    /// `ccl_*` ports in this module).
+    pub fn instantiate(&self, input: &[u8], sender: &[u8; 32]) -> KeyMatcher {
+        let mut k = Vec::new();
+        for s in &self.segs {
+            match s {
+                KeySeg::Lit(b) => k.extend_from_slice(b),
+                KeySeg::InputJson(f) => k.extend_from_slice(&ccl_json_get(input, f)),
+                KeySeg::InputWhole => k.extend_from_slice(input),
+                KeySeg::Sender => k.extend_from_slice(sender),
+                KeySeg::SenderHex => k.extend_from_slice(&ccl_to_hex(sender)),
+            }
+        }
+        if self.open_suffix {
+            KeyMatcher::Prefix(k)
+        } else {
+            KeyMatcher::Exact(k)
+        }
+    }
+
+    /// Human-readable rendering for audit output, e.g. `"bal:"++${input.to}`.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for s in &self.segs {
+            parts.push(match s {
+                KeySeg::Lit(b) => {
+                    if !b.is_empty() && b.iter().all(|c| c.is_ascii_graphic() || *c == b' ') {
+                        format!("\"{}\"", String::from_utf8_lossy(b))
+                    } else {
+                        let hex: String = b.iter().map(|c| format!("{c:02x}")).collect();
+                        format!("0x{hex}")
+                    }
+                }
+                KeySeg::InputJson(f) => format!("${{input.{}}}", String::from_utf8_lossy(f)),
+                KeySeg::InputWhole => "${input}".to_string(),
+                KeySeg::Sender => "${sender}".to_string(),
+                KeySeg::SenderHex => "${sender_hex}".to_string(),
+            });
+        }
+        if self.open_suffix {
+            parts.push("*".to_string());
+        }
+        if parts.is_empty() {
+            "\"\"".to_string()
+        } else {
+            parts.join("++")
+        }
+    }
+}
+
+/// A key expression instantiated against one concrete transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyMatcher {
+    /// The key is exactly these bytes.
+    Exact(Vec<u8>),
+    /// The key starts with these bytes (anything may follow).
+    Prefix(Vec<u8>),
+}
+
+impl KeyMatcher {
+    /// Does `key` fall under this matcher?
+    pub fn matches(&self, key: &[u8]) -> bool {
+        match self {
+            KeyMatcher::Exact(k) => key == &k[..],
+            KeyMatcher::Prefix(p) => key.starts_with(p),
+        }
+    }
+
+    /// The exact key bytes, when pinned.
+    pub fn exact_key(&self) -> Option<&[u8]> {
+        match self {
+            KeyMatcher::Exact(k) => Some(k),
+            KeyMatcher::Prefix(_) => None,
+        }
+    }
+}
+
+/// Per-exported-method result of the access analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// Keys the method may read (sorted, deduplicated).
+    pub reads: Vec<KeyExpr>,
+    /// Keys the method may write (sorted, deduplicated).
+    pub writes: Vec<KeyExpr>,
+    /// True when the method may perform cross-contract calls.
+    pub calls_out: bool,
+    /// True when precision was lost entirely: the method may touch any key.
+    pub top: bool,
+    /// Deterministic static cost proxy (reachable instruction count) for
+    /// load balancing; identical on every node for identical bytecode.
+    pub cost_hint: u64,
+}
+
+impl AccessSummary {
+    /// The no-information summary: may read/write anything, call anywhere.
+    pub fn top(cost_hint: u64) -> AccessSummary {
+        AccessSummary {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            calls_out: true,
+            top: true,
+            cost_hint: cost_hint.max(1),
+        }
+    }
+
+    /// True when the summary supports speculation-free static scheduling:
+    /// not `Top`, no cross-contract calls, and every key expression exact.
+    pub fn is_static(&self) -> bool {
+        !self.top
+            && !self.calls_out
+            && self.reads.iter().all(KeyExpr::is_exact)
+            && self.writes.iter().all(KeyExpr::is_exact)
+    }
+}
+
+/// Access summaries for every exported method of a module.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleAccess {
+    /// Summary per export name.
+    pub methods: BTreeMap<String, AccessSummary>,
+}
+
+impl ModuleAccess {
+    /// Summary of one exported method, if present.
+    pub fn method(&self, name: &str) -> Option<&AccessSummary> {
+        self.methods.get(name)
+    }
+}
+
+/// Analyze every exported method of `module`. `known` maps module function
+/// indices to recognized stdlib routines (see [`KnownFn`]); pass an empty
+/// map to force full inlining. Never panics; precision degrades to `Top`.
+pub fn analyze_module(module: &Module, known: &HashMap<u32, KnownFn>) -> ModuleAccess {
+    let exports: Vec<(String, u32)> = module
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.name.is_empty())
+        .map(|(i, f)| (f.name.clone(), i as u32))
+        .collect();
+    let mut methods = BTreeMap::new();
+    let arity = match verify_module(module) {
+        Ok(s) => s.result_arity,
+        Err(_) => {
+            for (name, idx) in exports {
+                let cost = module.functions[idx as usize].body.len() as u64;
+                methods.insert(name, AccessSummary::top(cost));
+            }
+            return ModuleAccess { methods };
+        }
+    };
+    for (name, idx) in exports {
+        let mut an = Analyzer::new(module, known, &arity);
+        methods.insert(name, an.analyze_export(idx));
+    }
+    ModuleAccess { methods }
+}
+
+// ---------------------------------------------------------------------------
+// Exact Rust ports of the CCL stdlib string routines
+// ---------------------------------------------------------------------------
+// These mirror `confide-lang/src/stdlib.rs` bit-for-bit on all inputs the
+// VM executes without trapping; they are used both for constant folding
+// inside the analyzer and for instantiating key expressions against
+// concrete transactions (and are differential-tested against the VM).
+
+/// Port of stdlib `find`: first index of `needle` in `hay` at or after
+/// `from`, or -1.
+pub fn ccl_find(hay: &[u8], needle: &[u8], from: i64) -> i64 {
+    let n = hay.len() as i64;
+    let m = needle.len() as i64;
+    if m == 0 {
+        return from;
+    }
+    let mut i = from.max(0);
+    while i + m <= n {
+        if hay[i as usize..(i + m) as usize] == needle[..] {
+            return i;
+        }
+        i += 1;
+    }
+    -1
+}
+
+/// Port of stdlib `atoi`: parse a decimal integer prefix (optional leading
+/// `-`), stopping at the first non-digit. Wrapping arithmetic like the VM.
+pub fn ccl_atoi(b: &[u8]) -> i64 {
+    let n = b.len();
+    if n == 0 {
+        return 0;
+    }
+    let (neg, mut i) = if b[0] == 45 {
+        (true, 1usize)
+    } else {
+        (false, 0)
+    };
+    let mut v: i64 = 0;
+    while i < n {
+        let c = b[i];
+        if !(48..=57).contains(&c) {
+            break;
+        }
+        v = v.wrapping_mul(10).wrapping_add((c - 48) as i64);
+        i += 1;
+    }
+    if neg {
+        0i64.wrapping_sub(v)
+    } else {
+        v
+    }
+}
+
+/// Port of stdlib `itoa` (note `0 - i64::MIN` wraps, matching the VM:
+/// `itoa(i64::MIN)` yields just `-`).
+pub fn ccl_itoa(v0: i64) -> Vec<u8> {
+    if v0 == 0 {
+        return b"0".to_vec();
+    }
+    let neg = v0 < 0;
+    let mut v = if neg { 0i64.wrapping_sub(v0) } else { v0 };
+    let mut digits: Vec<u8> = Vec::new();
+    while v > 0 {
+        digits.push((48 + (v % 10)) as u8);
+        v /= 10;
+    }
+    let mut out = Vec::with_capacity(digits.len() + usize::from(neg));
+    if neg {
+        out.push(45);
+    }
+    out.extend(digits.iter().rev());
+    out
+}
+
+/// Port of stdlib `i2b`: 8-byte little-endian encoding.
+pub fn ccl_i2b(v: i64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+/// Port of stdlib `b2i`: little-endian decode of up to 8 bytes.
+pub fn ccl_b2i(b: &[u8]) -> i64 {
+    let n = b.len().min(8);
+    let mut v: i64 = 0;
+    for (i, byte) in b[..n].iter().enumerate() {
+        v |= (*byte as i64) << (8 * i);
+    }
+    v
+}
+
+/// Port of stdlib `to_hex`: lowercase hex expansion.
+pub fn ccl_to_hex(b: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(b.len() * 2);
+    for v in b {
+        for x in [v >> 4, v & 15] {
+            out.push(if x < 10 { 48 + x } else { 87 + x });
+        }
+    }
+    out
+}
+
+/// Port of stdlib `json_get`: extract the value of `"key":` from a flat
+/// JSON object. String values are returned without quotes; other values
+/// as their raw token with trailing spaces trimmed.
+pub fn ccl_json_get(json: &[u8], key: &[u8]) -> Vec<u8> {
+    let mut pat = Vec::with_capacity(key.len() + 2);
+    pat.push(b'"');
+    pat.extend_from_slice(key);
+    pat.push(b'"');
+    let p = ccl_find(json, &pat, 0);
+    if p < 0 {
+        return Vec::new();
+    }
+    let n = json.len();
+    let mut i = p as usize + pat.len();
+    while i < n && (json[i] == 32 || json[i] == 58) {
+        i += 1;
+    }
+    if i >= n {
+        return Vec::new();
+    }
+    if json[i] == 34 {
+        let s = i + 1;
+        let e = ccl_find(json, b"\"", s as i64);
+        if e < 0 {
+            return Vec::new();
+        }
+        return json[s..e as usize].to_vec();
+    }
+    let s2 = i;
+    while i < n && json[i] != 44 && json[i] != 125 {
+        i += 1;
+    }
+    let mut e2 = i;
+    while e2 > s2 && json[e2 - 1] == 32 {
+        e2 -= 1;
+    }
+    json[s2..e2].to_vec()
+}
+
+// ---------------------------------------------------------------------------
+// Abstract domain
+// ---------------------------------------------------------------------------
+
+/// Abstract stack/local value. Object ids index the analyzer's object
+/// table; id [`UNK`] is the distinguished unknown object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AVal {
+    /// Anything.
+    Top,
+    /// A known 64-bit constant.
+    Const(i64),
+    /// The (unknown but fixed, non-negative) transaction input length.
+    InputLen,
+    /// A packed handle `(ptr << 32) | len` over object `x`'s full region.
+    Bytes(usize),
+    /// The raw pointer to object `x`'s region.
+    PtrOf(usize),
+    /// The length of object `x`'s region.
+    LenOf(usize),
+    /// `PtrOf(x) << 32` — a handle's high half mid-packing.
+    PtrHi(usize),
+    /// `Bytes(x) & PTR_MASK` — a handle with its length stripped.
+    TakeHi(usize),
+}
+
+fn join(a: AVal, b: AVal) -> AVal {
+    use AVal::*;
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (Bytes(_), Bytes(_)) => Bytes(UNK),
+        (PtrOf(_), PtrOf(_)) => PtrOf(UNK),
+        (LenOf(_), LenOf(_)) => LenOf(UNK),
+        (PtrHi(_), PtrHi(_)) => PtrHi(UNK),
+        (TakeHi(_), TakeHi(_)) => TakeHi(UNK),
+        _ => Top,
+    }
+}
+
+/// Symbolic content of a heap object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BExpr {
+    Lit(Vec<u8>),
+    Input,
+    Sender,
+    SenderHex,
+    JsonField(Vec<u8>),
+    Concat(Vec<usize>),
+    Unknown,
+}
+
+struct Obj {
+    expr: BExpr,
+    len: AVal,
+    /// Content not yet written — the first write claims it.
+    virgin: bool,
+    /// Backed by the immutable literal pool.
+    lit: bool,
+    /// Content pinned to `Unknown` forever (forced site or dirty mode).
+    frozen: bool,
+    /// Creation site, for cross-pass widening.
+    site: u64,
+}
+
+/// Analysis abort (recursion, depth, budget, malformed flow) — the whole
+/// export degrades to `Top`.
+struct Blown;
+
+#[derive(Clone, PartialEq)]
+struct State {
+    stack: Vec<AVal>,
+    locals: Vec<AVal>,
+    globals: Vec<AVal>,
+}
+
+fn pop_n(stack: &mut Vec<AVal>, n: usize) -> Result<Vec<AVal>, Blown> {
+    if stack.len() < n {
+        return Err(Blown);
+    }
+    Ok(stack.split_off(stack.len() - n))
+}
+
+fn join_state(a: &State, b: &State) -> Result<State, Blown> {
+    if a.stack.len() != b.stack.len()
+        || a.locals.len() != b.locals.len()
+        || a.globals.len() != b.globals.len()
+    {
+        return Err(Blown);
+    }
+    let zip = |x: &[AVal], y: &[AVal]| x.iter().zip(y).map(|(&p, &q)| join(p, q)).collect();
+    Ok(State {
+        stack: zip(&a.stack, &b.stack),
+        locals: zip(&a.locals, &b.locals),
+        globals: zip(&a.globals, &b.globals),
+    })
+}
+
+/// splitmix64 finalizer — deterministic site/context ids that are stable
+/// across widening restarts (no interning order dependence).
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const ROOT_CTX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn site_of(ctx: u64, pc: usize) -> u64 {
+    mix(ctx ^ (pc as u64).wrapping_mul(0xff51_afd7_ed55_8ccd))
+}
+
+fn child_ctx(ctx: u64, pc: usize) -> u64 {
+    mix(ctx
+        .wrapping_add(0x2545_f491_4f6c_dd1d)
+        .wrapping_add((pc as u64) << 17))
+}
+
+// ---------------------------------------------------------------------------
+// The analyzer
+// ---------------------------------------------------------------------------
+
+struct Analyzer<'a> {
+    module: &'a Module,
+    known: &'a HashMap<u32, KnownFn>,
+    arity: &'a [u32],
+    /// Raw stores reachable from this export (prescan): literal-pool
+    /// decoding is off and every key degrades to `any()`.
+    base_dirty: bool,
+    dirty: bool,
+    /// Dirty escalation discovered mid-pass (unbounded host write, write
+    /// through an unknown pointer); persists across restarts.
+    escalated: bool,
+    objs: Vec<Obj>,
+    site_objs: HashMap<u64, usize>,
+    lit_objs: HashMap<Vec<u8>, usize>,
+    /// Sites whose objects must be created content-unknown (widening).
+    forced: HashSet<u64>,
+    restart: bool,
+    steps: u64,
+    /// site -> (is_write, key); overwritten per visit so the last (widest)
+    /// in-state wins.
+    events: HashMap<u64, (bool, KeyExpr)>,
+    calls_out: bool,
+    inline_stack: Vec<u32>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(module: &'a Module, known: &'a HashMap<u32, KnownFn>, arity: &'a [u32]) -> Self {
+        Analyzer {
+            module,
+            known,
+            arity,
+            base_dirty: false,
+            dirty: false,
+            escalated: false,
+            objs: Vec::new(),
+            site_objs: HashMap::new(),
+            lit_objs: HashMap::new(),
+            forced: HashSet::new(),
+            restart: false,
+            steps: 0,
+            events: HashMap::new(),
+            calls_out: false,
+            inline_stack: Vec::new(),
+        }
+    }
+
+    /// Reachable-code scan: static cost proxy plus "does any inlined
+    /// (non-recognized) function contain a raw store" — raw stores defeat
+    /// content tracking wholesale, so the whole export runs dirty.
+    fn prescan(&self, entry: u32) -> (u64, bool) {
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut stack = vec![entry];
+        let mut cost: u64 = 0;
+        let mut store = false;
+        while let Some(fi) = stack.pop() {
+            if !seen.insert(fi) {
+                continue;
+            }
+            let Some(f) = self.module.functions.get(fi as usize) else {
+                continue;
+            };
+            cost += f.body.len() as u64;
+            let recognized = self.known.contains_key(&fi);
+            for instr in &f.body {
+                match instr {
+                    Instr::Store8(_)
+                    | Instr::Store16(_)
+                    | Instr::Store32(_)
+                    | Instr::Store64(_)
+                    | Instr::MemCopy
+                    | Instr::MemFill
+                        if !recognized =>
+                    {
+                        store = true;
+                    }
+                    Instr::Call(t) => stack.push(*t),
+                    _ => {}
+                }
+            }
+        }
+        (cost, store)
+    }
+
+    fn analyze_export(&mut self, fidx: u32) -> AccessSummary {
+        let (cost, has_store) = self.prescan(fidx);
+        self.base_dirty = has_store;
+        let Some(f) = self.module.functions.get(fidx as usize) else {
+            return AccessSummary::top(cost);
+        };
+        let params = f.param_count as usize;
+        for _ in 0..MAX_RESTARTS {
+            self.reset_pass();
+            let globals = vec![AVal::Const(0); self.module.global_count as usize];
+            let args = vec![AVal::Top; params];
+            if self.run_fn(fidx, args, globals, ROOT_CTX).is_err() {
+                return AccessSummary::top(cost);
+            }
+            if !self.restart {
+                return self.summarize(cost);
+            }
+        }
+        AccessSummary::top(cost)
+    }
+
+    fn reset_pass(&mut self) {
+        self.objs.clear();
+        self.objs.push(Obj {
+            expr: BExpr::Unknown,
+            len: AVal::Top,
+            virgin: false,
+            lit: false,
+            frozen: true,
+            site: u64::MAX,
+        });
+        self.site_objs.clear();
+        self.lit_objs.clear();
+        self.events.clear();
+        self.restart = false;
+        self.steps = 0;
+        self.calls_out = false;
+        self.dirty = self.base_dirty || self.escalated;
+        self.inline_stack.clear();
+    }
+
+    fn summarize(&self, cost: u64) -> AccessSummary {
+        let mut reads: BTreeSet<KeyExpr> = BTreeSet::new();
+        let mut writes: BTreeSet<KeyExpr> = BTreeSet::new();
+        for (w, k) in self.events.values() {
+            if *w {
+                writes.insert(k.clone());
+            } else {
+                reads.insert(k.clone());
+            }
+        }
+        AccessSummary {
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+            calls_out: self.calls_out,
+            top: false,
+            cost_hint: cost.max(1),
+        }
+    }
+
+    // -- object table ------------------------------------------------------
+
+    fn fresh(&mut self, site: u64, len: AVal) -> usize {
+        if let Some(&id) = self.site_objs.get(&site) {
+            if self.objs[id].len != len {
+                // Loop-varying allocation size: widen the whole site.
+                self.objs[id].len = AVal::Top;
+                self.force(site);
+            }
+            return id;
+        }
+        let frozen = self.forced.contains(&site) || self.dirty;
+        let id = self.objs.len();
+        self.objs.push(Obj {
+            expr: BExpr::Unknown,
+            len,
+            virgin: !frozen,
+            lit: false,
+            frozen,
+            site,
+        });
+        self.site_objs.insert(site, id);
+        id
+    }
+
+    fn lit(&mut self, bytes: Vec<u8>) -> usize {
+        if let Some(&id) = self.lit_objs.get(&bytes) {
+            return id;
+        }
+        let id = self.objs.len();
+        self.objs.push(Obj {
+            expr: BExpr::Lit(bytes.clone()),
+            len: AVal::Const(bytes.len() as i64),
+            virgin: false,
+            lit: true,
+            frozen: true,
+            site: u64::MAX,
+        });
+        self.lit_objs.insert(bytes, id);
+        id
+    }
+
+    fn force(&mut self, site: u64) {
+        if self.forced.insert(site) {
+            self.restart = true;
+        }
+        if let Some(&id) = self.site_objs.get(&site) {
+            self.objs[id].expr = BExpr::Unknown;
+            self.objs[id].virgin = false;
+            self.objs[id].frozen = true;
+        }
+    }
+
+    fn escalate(&mut self) {
+        if !self.dirty {
+            self.dirty = true;
+            self.escalated = true;
+            self.restart = true;
+        }
+    }
+
+    fn set_content(&mut self, id: usize, e: BExpr) {
+        if id == UNK {
+            // Write through a pointer we cannot attribute: could clobber
+            // any object, so content tracking is off for this export.
+            self.escalate();
+            return;
+        }
+        if self.objs[id].lit {
+            // Host write into the literal pool: pool decoding is unsound.
+            self.escalate();
+            return;
+        }
+        if self.objs[id].frozen {
+            return;
+        }
+        if self.objs[id].virgin {
+            self.objs[id].expr = e;
+            self.objs[id].virgin = false;
+            return;
+        }
+        if self.objs[id].expr == e {
+            return;
+        }
+        let site = self.objs[id].site;
+        self.force(site);
+    }
+
+    // -- literal pool ------------------------------------------------------
+
+    fn pool_bytes(&self, ptr: u64, len: u64) -> Option<Vec<u8>> {
+        if self.dirty {
+            return None;
+        }
+        if len == 0 {
+            return Some(Vec::new());
+        }
+        let end_req = ptr.checked_add(len)?;
+        for seg in &self.module.data {
+            let off = seg.offset as u64;
+            let end = off + seg.bytes.len() as u64;
+            if ptr >= off && end_req <= end {
+                let s = (ptr - off) as usize;
+                return Some(seg.bytes[s..s + len as usize].to_vec());
+            }
+        }
+        None
+    }
+
+    /// Resolve a handle-valued `AVal` to an object id (UNK when opaque).
+    fn resolve(&mut self, v: AVal) -> usize {
+        match v {
+            AVal::Bytes(x) => x,
+            AVal::Const(c) => {
+                let ptr = (c as u64) >> 32;
+                let len = (c as u64) & 0xffff_ffff;
+                match self.pool_bytes(ptr, len) {
+                    Some(b) => self.lit(b),
+                    None => UNK,
+                }
+            }
+            _ => UNK,
+        }
+    }
+
+    // -- key expressions ---------------------------------------------------
+
+    fn key_expr_of(&self, id: usize) -> KeyExpr {
+        if self.dirty {
+            return KeyExpr::any();
+        }
+        let mut segs = Vec::new();
+        let mut open = false;
+        self.collect_segs(id, 0, &mut segs, &mut open);
+        KeyExpr::new(segs, open)
+    }
+
+    fn collect_segs(&self, id: usize, depth: usize, segs: &mut Vec<KeySeg>, open: &mut bool) {
+        if *open {
+            return;
+        }
+        if depth > MAX_EXPR_DEPTH {
+            *open = true;
+            return;
+        }
+        match &self.objs[id].expr {
+            BExpr::Lit(b) => segs.push(KeySeg::Lit(b.clone())),
+            BExpr::Input => segs.push(KeySeg::InputWhole),
+            BExpr::Sender => segs.push(KeySeg::Sender),
+            BExpr::SenderHex => segs.push(KeySeg::SenderHex),
+            BExpr::JsonField(f) => segs.push(KeySeg::InputJson(f.clone())),
+            BExpr::Concat(ids) => {
+                for &c in ids {
+                    self.collect_segs(c, depth + 1, segs, open);
+                }
+            }
+            BExpr::Unknown => *open = true,
+        }
+    }
+
+    /// Storage key from an explicit (ptr, len) pair as passed to host calls.
+    fn key_of(&mut self, ptr: AVal, len: AVal) -> KeyExpr {
+        if self.dirty {
+            return KeyExpr::any();
+        }
+        match (ptr, len) {
+            (AVal::PtrOf(b), l) if b != UNK => {
+                let covers = matches!(l, AVal::LenOf(x) if x == b)
+                    || (l != AVal::Top && l == self.objs[b].len);
+                if covers {
+                    self.key_expr_of(b)
+                } else {
+                    KeyExpr::any()
+                }
+            }
+            (AVal::Const(p), AVal::Const(l)) if l >= 0 => {
+                match self.pool_bytes(p as u64, l as u64) {
+                    Some(bytes) => KeyExpr::new(vec![KeySeg::Lit(bytes)], false),
+                    None => KeyExpr::any(),
+                }
+            }
+            _ => KeyExpr::any(),
+        }
+    }
+
+    fn record(&mut self, site: u64, write: bool, key: KeyExpr) {
+        self.events.insert(site, (write, key));
+    }
+
+    // -- abstract interpretation ------------------------------------------
+
+    fn run_fn(
+        &mut self,
+        fidx: u32,
+        args: Vec<AVal>,
+        globals: Vec<AVal>,
+        ctx: u64,
+    ) -> Result<(Vec<AVal>, Vec<AVal>), Blown> {
+        if self.inline_stack.len() >= MAX_INLINE_DEPTH || self.inline_stack.contains(&fidx) {
+            return Err(Blown);
+        }
+        let module = self.module;
+        let f = module.functions.get(fidx as usize).ok_or(Blown)?;
+        let arity = *self.arity.get(fidx as usize).ok_or(Blown)? as usize;
+        if args.len() != f.param_count as usize {
+            return Err(Blown);
+        }
+        let mut locals = args;
+        locals.resize((f.param_count + f.local_count) as usize, AVal::Const(0));
+        self.inline_stack.push(fidx);
+        let r = self.run_fn_body(
+            f,
+            arity,
+            State {
+                stack: Vec::new(),
+                locals,
+                globals,
+            },
+            ctx,
+        );
+        self.inline_stack.pop();
+        r
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_fn_body(
+        &mut self,
+        f: &'a Function,
+        arity: usize,
+        entry: State,
+        ctx: u64,
+    ) -> Result<(Vec<AVal>, Vec<AVal>), Blown> {
+        let len = f.body.len();
+        let global_count = self.module.global_count as usize;
+        let mut exit: Option<(Vec<AVal>, Vec<AVal>)> = None;
+        let merge_exit =
+            |exit: &mut Option<(Vec<AVal>, Vec<AVal>)>, rets: Vec<AVal>, globals: Vec<AVal>| {
+                match exit {
+                    None => *exit = Some((rets, globals)),
+                    Some((r0, g0)) => {
+                        if r0.len() != rets.len() || g0.len() != globals.len() {
+                            return Err(Blown);
+                        }
+                        for (a, b) in r0.iter_mut().zip(rets) {
+                            *a = join(*a, b);
+                        }
+                        for (a, b) in g0.iter_mut().zip(globals) {
+                            *a = join(*a, b);
+                        }
+                    }
+                }
+                Ok(())
+            };
+        if len == 0 {
+            let mut st = entry;
+            let rets = pop_n(&mut st.stack, arity)?;
+            return Ok((rets, st.globals));
+        }
+        let mut states: Vec<Option<State>> = vec![None; len];
+        states[0] = Some(entry);
+        let mut work: Vec<usize> = vec![0];
+        while let Some(pc) = work.pop() {
+            self.steps += 1;
+            if self.steps > STEP_BUDGET {
+                return Err(Blown);
+            }
+            let mut st = states[pc].clone().ok_or(Blown)?;
+            let site = site_of(ctx, pc);
+            // (successor pc, state); pc == len means fall-through return.
+            let mut succs: Vec<(usize, State)> = Vec::new();
+            macro_rules! pop {
+                () => {
+                    st.stack.pop().ok_or(Blown)?
+                };
+            }
+            macro_rules! fall {
+                () => {
+                    succs.push((pc + 1, st))
+                };
+            }
+            match f.body[pc] {
+                Instr::Unreachable => {} // trap: no successors
+                Instr::Nop => fall!(),
+                Instr::I64Const(v) => {
+                    st.stack.push(AVal::Const(v));
+                    fall!();
+                }
+                Instr::LocalGet(n) => {
+                    let v = *st.locals.get(n as usize).ok_or(Blown)?;
+                    st.stack.push(v);
+                    fall!();
+                }
+                Instr::LocalSet(n) => {
+                    let v = pop!();
+                    *st.locals.get_mut(n as usize).ok_or(Blown)? = v;
+                    fall!();
+                }
+                Instr::LocalTee(n) => {
+                    let v = *st.stack.last().ok_or(Blown)?;
+                    *st.locals.get_mut(n as usize).ok_or(Blown)? = v;
+                    fall!();
+                }
+                Instr::GlobalGet(n) => {
+                    let v = *st.globals.get(n as usize).ok_or(Blown)?;
+                    st.stack.push(v);
+                    fall!();
+                }
+                Instr::GlobalSet(n) => {
+                    let v = pop!();
+                    *st.globals.get_mut(n as usize).ok_or(Blown)? = v;
+                    fall!();
+                }
+                Instr::Jmp(t) => succs.push((t as usize, st)),
+                Instr::JmpIf(t) => {
+                    let c = pop!();
+                    match c {
+                        AVal::Const(v) if v != 0 => succs.push((t as usize, st)),
+                        AVal::Const(_) => fall!(),
+                        _ => {
+                            succs.push((t as usize, st.clone()));
+                            fall!();
+                        }
+                    }
+                }
+                Instr::JmpIfZ(t) => {
+                    let c = pop!();
+                    match c {
+                        AVal::Const(0) => succs.push((t as usize, st)),
+                        AVal::Const(_) => fall!(),
+                        _ => {
+                            succs.push((t as usize, st.clone()));
+                            fall!();
+                        }
+                    }
+                }
+                Instr::Ret => {
+                    let rets = pop_n(&mut st.stack, arity)?;
+                    merge_exit(&mut exit, rets, st.globals)?;
+                }
+                Instr::Drop => {
+                    pop!();
+                    fall!();
+                }
+                Instr::Select => {
+                    let c = pop!();
+                    let b = pop!();
+                    let a = pop!();
+                    st.stack.push(match c {
+                        AVal::Const(v) => {
+                            if v != 0 {
+                                a
+                            } else {
+                                b
+                            }
+                        }
+                        _ => join(a, b),
+                    });
+                    fall!();
+                }
+                Instr::Load8U(off) => {
+                    self.load(&mut st, off, 1)?;
+                    fall!();
+                }
+                Instr::Load16U(off) => {
+                    self.load(&mut st, off, 2)?;
+                    fall!();
+                }
+                Instr::Load32U(off) => {
+                    self.load(&mut st, off, 4)?;
+                    fall!();
+                }
+                Instr::Load64(off) => {
+                    self.load(&mut st, off, 8)?;
+                    fall!();
+                }
+                // Raw stores only execute in dirty mode (prescan guarantees
+                // it), where loads and keys are already fully degraded —
+                // popping the operands is a sound transfer.
+                Instr::Store8(_) | Instr::Store16(_) | Instr::Store32(_) | Instr::Store64(_) => {
+                    pop!();
+                    pop!();
+                    fall!();
+                }
+                Instr::MemCopy | Instr::MemFill => {
+                    pop!();
+                    pop!();
+                    pop!();
+                    fall!();
+                }
+                Instr::Eqz => {
+                    let v = pop!();
+                    st.stack.push(match v {
+                        AVal::Const(c) => AVal::Const((c == 0) as i64),
+                        _ => AVal::Top,
+                    });
+                    fall!();
+                }
+                Instr::Call(fi) => {
+                    if let Some(&k) = self.known.get(&fi) {
+                        self.known_call(&mut st, k, site)?;
+                    } else {
+                        let module = self.module;
+                        let cf = module.functions.get(fi as usize).ok_or(Blown)?;
+                        let args = pop_n(&mut st.stack, cf.param_count as usize)?;
+                        let globals = std::mem::take(&mut st.globals);
+                        let (rets, g2) = self.run_fn(fi, args, globals, child_ctx(ctx, pc))?;
+                        st.globals = g2;
+                        st.stack.extend(rets);
+                    }
+                    fall!();
+                }
+                Instr::CallHost(h) => {
+                    self.do_host(&mut st, h, site)?;
+                    fall!();
+                }
+                Instr::Add
+                | Instr::Sub
+                | Instr::Mul
+                | Instr::DivS
+                | Instr::DivU
+                | Instr::RemS
+                | Instr::RemU
+                | Instr::And
+                | Instr::Or
+                | Instr::Xor
+                | Instr::Shl
+                | Instr::ShrS
+                | Instr::ShrU
+                | Instr::Eq
+                | Instr::Ne
+                | Instr::LtS
+                | Instr::LtU
+                | Instr::GtS
+                | Instr::GtU
+                | Instr::LeS
+                | Instr::LeU
+                | Instr::GeS
+                | Instr::GeU => {
+                    let b = pop!();
+                    let a = pop!();
+                    let r = self.binop_val(a, b, f.body[pc]);
+                    st.stack.push(r);
+                    fall!();
+                }
+                // Fusion output never appears in deploy-time bytecode.
+                Instr::FusedGetGet(..)
+                | Instr::FusedIncLocal(..)
+                | Instr::FusedAddConst(..)
+                | Instr::FusedBrIfLtS(..)
+                | Instr::FusedBrIfGeS(..)
+                | Instr::FusedBrIfEq(..)
+                | Instr::FusedBrIfNe(..)
+                | Instr::FusedLocalLoad8U(..) => return Err(Blown),
+            }
+            for (spc, sst) in succs {
+                if spc == len {
+                    let mut sst = sst;
+                    let rets = pop_n(&mut sst.stack, arity)?;
+                    merge_exit(&mut exit, rets, sst.globals)?;
+                    continue;
+                }
+                if spc > len {
+                    return Err(Blown);
+                }
+                match &states[spc] {
+                    None => {
+                        states[spc] = Some(sst);
+                        work.push(spc);
+                    }
+                    Some(old) => {
+                        let j = join_state(old, &sst)?;
+                        if j != *old {
+                            states[spc] = Some(j);
+                            work.push(spc);
+                        }
+                    }
+                }
+            }
+        }
+        match exit {
+            Some(e) => Ok(e),
+            // No reachable exit: the function diverges; any return value
+            // is vacuously sound.
+            None => Ok((vec![AVal::Top; arity], vec![AVal::Top; global_count])),
+        }
+    }
+
+    fn load(&mut self, st: &mut State, off: u32, width: u64) -> Result<(), Blown> {
+        let addr = st.stack.pop().ok_or(Blown)?;
+        let v = match addr {
+            AVal::Const(a) if a >= 0 => {
+                let start = (a as u64).wrapping_add(off as u64);
+                match self.pool_bytes(start, width) {
+                    Some(bytes) => {
+                        let mut v: i64 = 0;
+                        for (i, byte) in bytes.iter().enumerate() {
+                            v |= (*byte as i64) << (8 * i);
+                        }
+                        AVal::Const(v)
+                    }
+                    None => AVal::Top,
+                }
+            }
+            _ => AVal::Top,
+        };
+        st.stack.push(v);
+        Ok(())
+    }
+
+    /// Transfer for two-operand arithmetic, including the handle-packing
+    /// pattern rules of the CCL code generator.
+    fn binop_val(&mut self, a: AVal, b: AVal, instr: Instr) -> AVal {
+        use AVal::*;
+        match (instr, a, b) {
+            (Instr::ShrU, Bytes(x), Const(32)) => return PtrOf(x),
+            (Instr::And, Bytes(x), Const(c)) | (Instr::And, Const(c), Bytes(x))
+                if c == LEN_MASK =>
+            {
+                return LenOf(x)
+            }
+            (Instr::And, Bytes(x), Const(c)) | (Instr::And, Const(c), Bytes(x))
+                if c == PTR_MASK =>
+            {
+                return TakeHi(x)
+            }
+            (Instr::Shl, PtrOf(x), Const(32)) => return PtrHi(x),
+            (Instr::Or, PtrHi(x), l) | (Instr::Or, l, PtrHi(x)) => return self.pack(x, l),
+            (Instr::Or, TakeHi(x), l) | (Instr::Or, l, TakeHi(x)) => return self.take_pack(x, l),
+            _ => {}
+        }
+        if let (Const(x), Const(y)) = (a, b) {
+            if let Some(v) = fold(x, y, instr) {
+                return Const(v);
+            }
+        }
+        Top
+    }
+
+    /// `(PtrOf(x) << 32) | l`: a full handle over `x` only when `l`
+    /// provably equals `x`'s region length.
+    fn pack(&mut self, x: usize, l: AVal) -> AVal {
+        if x != UNK && l != AVal::Top && l == self.objs[x].len {
+            AVal::Bytes(x)
+        } else {
+            AVal::Top
+        }
+    }
+
+    /// `(Bytes(x) & PTR_MASK) | l` — the codegen `take(b, n)` idiom.
+    fn take_pack(&mut self, x: usize, l: AVal) -> AVal {
+        if x == UNK {
+            return AVal::Top;
+        }
+        if matches!(l, AVal::LenOf(y) if y == x) {
+            return AVal::Bytes(x);
+        }
+        if l != AVal::Top && l == self.objs[x].len {
+            return AVal::Bytes(x);
+        }
+        if let (BExpr::Lit(bytes), AVal::Const(n)) = (&self.objs[x].expr, l) {
+            if !self.dirty && n >= 0 && (n as usize) <= bytes.len() {
+                let p = bytes[..n as usize].to_vec();
+                let id = self.lit(p);
+                return AVal::Bytes(id);
+            }
+        }
+        AVal::Top
+    }
+
+    fn obj_with_expr(&mut self, site: u64, len: AVal, e: BExpr) -> usize {
+        let id = self.fresh(site, len);
+        self.set_content(id, e);
+        id
+    }
+
+    fn expr_of(&self, id: usize) -> BExpr {
+        self.objs[id].expr.clone()
+    }
+
+    /// Transfer for a recognized stdlib call: exact effects, no inlining.
+    fn known_call(&mut self, st: &mut State, k: KnownFn, site: u64) -> Result<(), Blown> {
+        let args = pop_n(&mut st.stack, k.param_count())?;
+        // Every stdlib helper may bump the allocator global; nothing in
+        // compiled code reads it outside `__alloc`, so just drop precision.
+        if let Some(g0) = st.globals.first_mut() {
+            *g0 = AVal::Top;
+        }
+        let result: Option<AVal> = match k {
+            KnownFn::Alloc => {
+                let n = args[0];
+                let nonneg = matches!(n, AVal::Const(c) if c >= 0)
+                    || matches!(n, AVal::InputLen | AVal::LenOf(_));
+                if !nonneg {
+                    // A negative size walks the bump pointer backwards over
+                    // the literal pool — give up on pool decoding.
+                    self.escalate();
+                }
+                Some(AVal::PtrOf(self.fresh(site, n)))
+            }
+            KnownFn::Concat => Some(self.concat_vals(site, &args[..2])),
+            KnownFn::Concat3 => Some(self.concat_vals(site, &args[..3])),
+            KnownFn::Slice => {
+                let xb = self.resolve(args[0]);
+                let folded = match (self.expr_of(xb), args[1], args[2]) {
+                    (BExpr::Lit(bytes), AVal::Const(s), AVal::Const(n))
+                        if s >= 0
+                            && n >= 0
+                            && s.checked_add(n)
+                                .is_some_and(|e| e as u64 <= bytes.len() as u64) =>
+                    {
+                        let p = bytes[s as usize..(s + n) as usize].to_vec();
+                        Some(AVal::Bytes(self.lit(p)))
+                    }
+                    _ => None,
+                };
+                Some(folded.unwrap_or_else(|| {
+                    let len = match args[2] {
+                        AVal::Const(c) if c >= 0 => args[2],
+                        AVal::InputLen | AVal::LenOf(_) => args[2],
+                        _ => AVal::Top,
+                    };
+                    AVal::Bytes(self.obj_with_expr(site, len, BExpr::Unknown))
+                }))
+            }
+            KnownFn::EqBytes => {
+                let xa = self.resolve(args[0]);
+                let xb = self.resolve(args[1]);
+                match (self.expr_of(xa), self.expr_of(xb)) {
+                    (BExpr::Lit(a), BExpr::Lit(b)) => Some(AVal::Const((a == b) as i64)),
+                    _ => Some(AVal::Top),
+                }
+            }
+            KnownFn::Find => {
+                let xh = self.resolve(args[0]);
+                let xn = self.resolve(args[1]);
+                match (self.expr_of(xh), self.expr_of(xn), args[2]) {
+                    (BExpr::Lit(h), BExpr::Lit(nd), AVal::Const(f)) => {
+                        Some(AVal::Const(ccl_find(&h, &nd, f)))
+                    }
+                    _ => Some(AVal::Top),
+                }
+            }
+            KnownFn::Itoa => match args[0] {
+                AVal::Const(v) => {
+                    let b = ccl_itoa(v);
+                    Some(AVal::Bytes(self.lit(b)))
+                }
+                _ => Some(AVal::Bytes(self.obj_with_expr(
+                    site,
+                    AVal::Top,
+                    BExpr::Unknown,
+                ))),
+            },
+            KnownFn::Atoi => {
+                let xb = self.resolve(args[0]);
+                match self.expr_of(xb) {
+                    BExpr::Lit(b) => Some(AVal::Const(ccl_atoi(&b))),
+                    _ => Some(AVal::Top),
+                }
+            }
+            KnownFn::I2b => match args[0] {
+                AVal::Const(v) => {
+                    let b = ccl_i2b(v);
+                    Some(AVal::Bytes(self.lit(b)))
+                }
+                _ => Some(AVal::Bytes(self.obj_with_expr(
+                    site,
+                    AVal::Const(8),
+                    BExpr::Unknown,
+                ))),
+            },
+            KnownFn::B2i => {
+                let xb = self.resolve(args[0]);
+                match self.expr_of(xb) {
+                    BExpr::Lit(b) => Some(AVal::Const(ccl_b2i(&b))),
+                    _ => Some(AVal::Top),
+                }
+            }
+            KnownFn::ToHex => {
+                let xb = self.resolve(args[0]);
+                match self.expr_of(xb) {
+                    BExpr::Lit(b) => {
+                        let h = ccl_to_hex(&b);
+                        Some(AVal::Bytes(self.lit(h)))
+                    }
+                    BExpr::Sender => Some(AVal::Bytes(self.obj_with_expr(
+                        site,
+                        AVal::Const(64),
+                        BExpr::SenderHex,
+                    ))),
+                    _ => Some(AVal::Bytes(self.obj_with_expr(
+                        site,
+                        AVal::Top,
+                        BExpr::Unknown,
+                    ))),
+                }
+            }
+            KnownFn::StorageGet => {
+                let kx = self.resolve(args[0]);
+                let key = self.key_expr_of(kx);
+                self.record(site, false, key);
+                Some(AVal::Bytes(self.obj_with_expr(
+                    site,
+                    AVal::Top,
+                    BExpr::Unknown,
+                )))
+            }
+            KnownFn::StorageHas => {
+                let kx = self.resolve(args[0]);
+                let key = self.key_expr_of(kx);
+                self.record(site, false, key);
+                Some(AVal::Top)
+            }
+            KnownFn::CallOut => {
+                self.calls_out = true;
+                Some(AVal::Bytes(self.obj_with_expr(
+                    site,
+                    AVal::Top,
+                    BExpr::Unknown,
+                )))
+            }
+            KnownFn::JsonGet => {
+                let xj = self.resolve(args[0]);
+                let xk = self.resolve(args[1]);
+                let v = match (self.expr_of(xj), self.expr_of(xk)) {
+                    (BExpr::Lit(j), BExpr::Lit(kb)) => {
+                        let r = ccl_json_get(&j, &kb);
+                        AVal::Bytes(self.lit(r))
+                    }
+                    (BExpr::Input, BExpr::Lit(kb)) => {
+                        AVal::Bytes(self.obj_with_expr(site, AVal::Top, BExpr::JsonField(kb)))
+                    }
+                    _ => AVal::Bytes(self.obj_with_expr(site, AVal::Top, BExpr::Unknown)),
+                };
+                Some(v)
+            }
+            KnownFn::JsonGetInt => {
+                let xj = self.resolve(args[0]);
+                let xk = self.resolve(args[1]);
+                match (self.expr_of(xj), self.expr_of(xk)) {
+                    (BExpr::Lit(j), BExpr::Lit(kb)) => {
+                        Some(AVal::Const(ccl_atoi(&ccl_json_get(&j, &kb))))
+                    }
+                    _ => Some(AVal::Top),
+                }
+            }
+        };
+        if let Some(v) = result {
+            st.stack.push(v);
+        }
+        Ok(())
+    }
+
+    fn concat_vals(&mut self, site: u64, parts: &[AVal]) -> AVal {
+        let ids: Vec<usize> = parts.iter().map(|&p| self.resolve(p)).collect();
+        // Fold when every part is a literal.
+        let mut all_lit: Option<Vec<u8>> = Some(Vec::new());
+        for &id in &ids {
+            match (&self.objs[id].expr, &mut all_lit) {
+                (BExpr::Lit(b), Some(acc)) => acc.extend_from_slice(b),
+                _ => all_lit = None,
+            }
+        }
+        if let Some(bytes) = all_lit {
+            if !self.dirty {
+                let id = self.lit(bytes);
+                return AVal::Bytes(id);
+            }
+        }
+        let len = ids
+            .iter()
+            .try_fold(0i64, |acc, &id| match self.objs[id].len {
+                AVal::Const(c) => acc.checked_add(c),
+                _ => None,
+            })
+            .map_or(AVal::Top, AVal::Const);
+        AVal::Bytes(self.obj_with_expr(site, len, BExpr::Concat(ids)))
+    }
+
+    /// Transfer for raw host calls. Host writes into linear memory are
+    /// only modeled when provably contained in one tracked buffer;
+    /// anything else escalates to dirty mode.
+    fn do_host(&mut self, st: &mut State, h: HostFn, site: u64) -> Result<(), Blown> {
+        macro_rules! pop {
+            () => {
+                st.stack.pop().ok_or(Blown)?
+            };
+        }
+        match h {
+            HostFn::InputLen => st.stack.push(AVal::InputLen),
+            HostFn::InputRead => {
+                let dst = pop!();
+                // Writes exactly input_len bytes: safe only into a buffer
+                // allocated with exactly that length.
+                match dst {
+                    AVal::PtrOf(b) if b != UNK && self.objs[b].len == AVal::InputLen => {
+                        self.set_content(b, BExpr::Input);
+                    }
+                    _ => self.escalate(),
+                }
+            }
+            HostFn::Ret => {
+                pop!();
+                pop!();
+            }
+            HostFn::GetStorage => {
+                let cap = pop!();
+                let vp = pop!();
+                let klen = pop!();
+                let kptr = pop!();
+                let key = self.key_of(kptr, klen);
+                self.record(site, false, key);
+                // The interpreter clamps the value write at `cap` bytes.
+                let contained = match (vp, cap) {
+                    (AVal::PtrOf(b), AVal::LenOf(x)) if b != UNK && x == b => true,
+                    (AVal::PtrOf(b), AVal::Const(c)) if b != UNK => {
+                        matches!(self.objs[b].len, AVal::Const(l) if c >= 0 && c <= l)
+                    }
+                    _ => false,
+                };
+                if contained {
+                    if let AVal::PtrOf(b) = vp {
+                        self.set_content(b, BExpr::Unknown);
+                    }
+                } else {
+                    self.escalate();
+                }
+                st.stack.push(AVal::Top);
+            }
+            HostFn::SetStorage => {
+                let _vlen = pop!();
+                let _vptr = pop!();
+                let klen = pop!();
+                let kptr = pop!();
+                let key = self.key_of(kptr, klen);
+                self.record(site, true, key);
+            }
+            HostFn::Sha256 | HostFn::Keccak256 => {
+                let out = pop!();
+                let _len = pop!();
+                let _ptr = pop!();
+                // Writes exactly 32 bytes.
+                match out {
+                    AVal::PtrOf(b)
+                        if b != UNK && matches!(self.objs[b].len, AVal::Const(c) if c >= 32) =>
+                    {
+                        self.set_content(b, BExpr::Unknown);
+                    }
+                    _ => self.escalate(),
+                }
+            }
+            HostFn::CallContract => {
+                let cap = pop!();
+                let out = pop!();
+                let _in_len = pop!();
+                let _in_ptr = pop!();
+                let _addr = pop!();
+                self.calls_out = true;
+                let contained = match (out, cap) {
+                    (AVal::PtrOf(b), AVal::LenOf(x)) if b != UNK && x == b => true,
+                    (AVal::PtrOf(b), AVal::Const(c)) if b != UNK => {
+                        matches!(self.objs[b].len, AVal::Const(l) if c >= 0 && c <= l)
+                    }
+                    _ => false,
+                };
+                if contained {
+                    if let AVal::PtrOf(b) = out {
+                        self.set_content(b, BExpr::Unknown);
+                    }
+                } else {
+                    self.escalate();
+                }
+                st.stack.push(AVal::Top);
+            }
+            HostFn::Sender => {
+                let out = pop!();
+                // Writes exactly 32 bytes.
+                match out {
+                    AVal::PtrOf(b)
+                        if b != UNK && matches!(self.objs[b].len, AVal::Const(c) if c >= 32) =>
+                    {
+                        self.set_content(b, BExpr::Sender);
+                    }
+                    _ => self.escalate(),
+                }
+            }
+            HostFn::Log => {
+                pop!();
+                pop!();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Constant folding with the interpreter's exact semantics; `None` for
+/// trapping cases (division by zero / overflow), which soundly degrade
+/// to `Top`.
+fn fold(a: i64, b: i64, instr: Instr) -> Option<i64> {
+    Some(match instr {
+        Instr::Add => a.wrapping_add(b),
+        Instr::Sub => a.wrapping_sub(b),
+        Instr::Mul => a.wrapping_mul(b),
+        Instr::DivS => {
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            a / b
+        }
+        Instr::DivU => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        Instr::RemS => {
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            a % b
+        }
+        Instr::RemU => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        Instr::And => a & b,
+        Instr::Or => a | b,
+        Instr::Xor => a ^ b,
+        Instr::Shl => a.wrapping_shl(b as u32),
+        Instr::ShrS => a.wrapping_shr(b as u32),
+        Instr::ShrU => ((a as u64).wrapping_shr(b as u32)) as i64,
+        Instr::Eq => (a == b) as i64,
+        Instr::Ne => (a != b) as i64,
+        Instr::LtS => (a < b) as i64,
+        Instr::LtU => ((a as u64) < (b as u64)) as i64,
+        Instr::GtS => (a > b) as i64,
+        Instr::GtU => ((a as u64) > (b as u64)) as i64,
+        Instr::LeS => (a <= b) as i64,
+        Instr::LeU => ((a as u64) <= (b as u64)) as i64,
+        Instr::GeS => (a >= b) as i64,
+        Instr::GeU => ((a as u64) >= (b as u64)) as i64,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FuncBuilder, ModuleBuilder};
+    use crate::opcode::Instr::*;
+
+    #[test]
+    fn ccl_ports_match_stdlib_semantics() {
+        assert_eq!(ccl_find(b"hello", b"ll", 0), 2);
+        assert_eq!(ccl_find(b"hello", b"ll", 3), -1);
+        assert_eq!(ccl_find(b"hello", b"", 3), 3);
+        assert_eq!(ccl_atoi(b"-123x9"), -123);
+        assert_eq!(ccl_atoi(b""), 0);
+        assert_eq!(ccl_itoa(0), b"0".to_vec());
+        assert_eq!(ccl_itoa(-45), b"-45".to_vec());
+        // 0 - i64::MIN wraps negative, so the digit loop never runs.
+        assert_eq!(ccl_itoa(i64::MIN), b"-".to_vec());
+        assert_eq!(ccl_b2i(&ccl_i2b(-7)), -7);
+        assert_eq!(ccl_to_hex(&[0x0f, 0xa0]), b"0fa0".to_vec());
+        assert_eq!(ccl_json_get(br#"{"to":"bob","n": 42 }"#, b"to"), b"bob");
+        assert_eq!(ccl_json_get(br#"{"to":"bob","n": 42 }"#, b"n"), b"42");
+        assert_eq!(ccl_json_get(br#"{"to":"bob"}"#, b"missing"), b"");
+    }
+
+    #[test]
+    fn key_matcher_and_instantiation() {
+        let k = KeyExpr::new(
+            vec![
+                KeySeg::Lit(b"bal:".to_vec()),
+                KeySeg::InputJson(b"to".to_vec()),
+            ],
+            false,
+        );
+        assert!(k.is_exact());
+        let m = k.instantiate(br#"{"to":"alice"}"#, &[0u8; 32]);
+        assert_eq!(m.exact_key(), Some(&b"bal:alice"[..]));
+        assert!(m.matches(b"bal:alice"));
+        assert!(!m.matches(b"bal:bob"));
+        let open = KeyExpr::new(vec![KeySeg::Lit(b"acct:".to_vec())], true);
+        let pm = open.instantiate(b"", &[0u8; 32]);
+        assert!(pm.matches(b"acct:anything"));
+        assert!(!pm.matches(b"acc"));
+        assert!(KeyExpr::any().instantiate(b"", &[0u8; 32]).matches(b"x"));
+    }
+
+    /// Constant key bytes passed straight from the literal pool resolve
+    /// to an exact literal key.
+    #[test]
+    fn const_pool_key_is_exact() {
+        let mut m = ModuleBuilder::new();
+        m.data(8, b"count");
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(8)
+            .i64(5)
+            .i64(0)
+            .i64(0)
+            .op(CallHost(crate::opcode::HostFn::SetStorage));
+        f.op(Ret);
+        m.func(f.finish());
+        let module = m.finish();
+        let acc = analyze_module(&module, &HashMap::new());
+        let s = acc.method("main").unwrap();
+        assert!(!s.top && !s.calls_out, "{s:?}");
+        assert_eq!(
+            s.writes,
+            vec![KeyExpr::new(vec![KeySeg::Lit(b"count".to_vec())], false)]
+        );
+        assert!(s.is_static());
+    }
+
+    /// A recognized storage_get with a packed-constant key handle records
+    /// an exact read.
+    #[test]
+    fn recognized_storage_get_records_exact_read() {
+        let mut m = ModuleBuilder::new();
+        m.data(8, b"count");
+        let mut g = FuncBuilder::new("", 1, 0);
+        g.op(LocalGet(0)).op(Ret);
+        m.func(g.finish()); // index 0, stand-in recognized as storage_get
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64((8i64 << 32) | 5).op(Call(0)).op(Drop).op(Ret);
+        m.func(f.finish());
+        let module = m.finish();
+        let mut known = HashMap::new();
+        known.insert(0u32, KnownFn::StorageGet);
+        let acc = analyze_module(&module, &known);
+        let s = acc.method("main").unwrap();
+        assert_eq!(
+            s.reads,
+            vec![KeyExpr::new(vec![KeySeg::Lit(b"count".to_vec())], false)]
+        );
+        assert!(s.is_static());
+    }
+
+    /// The compiled `input()` packing idiom yields a whole-input key.
+    #[test]
+    fn input_packing_idiom_is_recognized() {
+        let mut m = ModuleBuilder::new();
+        let mut a = FuncBuilder::new("", 1, 0);
+        a.op(LocalGet(0)).op(Ret);
+        m.func(a.finish()); // index 0, recognized as __alloc
+        let mut f = FuncBuilder::new("main", 0, 3);
+        use crate::opcode::HostFn;
+        f.op(CallHost(HostFn::InputLen)).op(LocalSet(0));
+        f.op(LocalGet(0)).op(Call(0)).op(LocalSet(1));
+        f.op(LocalGet(1)).op(CallHost(HostFn::InputRead));
+        f.op(LocalGet(1))
+            .i64(32)
+            .op(Shl)
+            .op(LocalGet(0))
+            .op(Or)
+            .op(LocalSet(2));
+        // storage_set(input_handle, empty)
+        f.op(LocalGet(2)).i64(32).op(ShrU);
+        f.op(LocalGet(2)).i64(0xffff_ffff).op(And);
+        f.i64(0).i64(0).op(CallHost(HostFn::SetStorage));
+        f.op(Ret);
+        m.func(f.finish());
+        let module = m.finish();
+        let mut known = HashMap::new();
+        known.insert(0u32, KnownFn::Alloc);
+        let acc = analyze_module(&module, &known);
+        let s = acc.method("main").unwrap();
+        assert_eq!(
+            s.writes,
+            vec![KeyExpr::new(vec![KeySeg::InputWhole], false)]
+        );
+        assert!(s.is_static());
+    }
+
+    /// Raw stores in reachable code force dirty mode: the summary stays
+    /// sound by degrading every key to the open prefix.
+    #[test]
+    fn raw_store_degrades_keys_to_open() {
+        let mut m = ModuleBuilder::new();
+        m.data(8, b"count");
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.i64(64).i64(1).op(Store8(0));
+        f.i64(8)
+            .i64(5)
+            .i64(0)
+            .i64(0)
+            .op(CallHost(crate::opcode::HostFn::SetStorage));
+        f.op(Ret);
+        m.func(f.finish());
+        let module = m.finish();
+        let acc = analyze_module(&module, &HashMap::new());
+        let s = acc.method("main").unwrap();
+        assert!(!s.top);
+        assert_eq!(s.writes, vec![KeyExpr::any()]);
+        assert!(!s.is_static());
+    }
+
+    /// Recursion defeats inlining: the summary must be Top, never absent.
+    #[test]
+    fn recursion_degrades_to_top() {
+        let mut m = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.op(Call(0)).op(Ret);
+        m.func(f.finish());
+        let module = m.finish();
+        let acc = analyze_module(&module, &HashMap::new());
+        let s = acc.method("main").unwrap();
+        assert!(s.top);
+        assert!(!s.is_static());
+    }
+
+    /// An unverifiable module still gets (Top) summaries for every export.
+    #[test]
+    fn unverifiable_module_is_all_top() {
+        let mut m = ModuleBuilder::new();
+        let mut f = FuncBuilder::new("main", 0, 0);
+        f.op(Drop).op(Ret); // stack underflow
+        m.func(f.finish());
+        let module = m.finish();
+        let acc = analyze_module(&module, &HashMap::new());
+        assert!(acc.method("main").unwrap().top);
+    }
+
+    /// Two branches writing different constant keys are both recorded.
+    #[test]
+    fn branches_record_all_keys() {
+        let mut m = ModuleBuilder::new();
+        m.data(8, b"aakey");
+        m.data(16, b"bbkey");
+        let mut f = FuncBuilder::new("main", 1, 0);
+        let other = f.label();
+        let done = f.label();
+        f.op(LocalGet(0));
+        f.jmp_if(other);
+        f.i64(8)
+            .i64(5)
+            .i64(0)
+            .i64(0)
+            .op(CallHost(crate::opcode::HostFn::SetStorage));
+        f.jmp(done);
+        f.bind(other);
+        f.i64(16)
+            .i64(5)
+            .i64(0)
+            .i64(0)
+            .op(CallHost(crate::opcode::HostFn::SetStorage));
+        f.bind(done);
+        f.op(Ret);
+        m.func(f.finish());
+        let module = m.finish();
+        let acc = analyze_module(&module, &HashMap::new());
+        let s = acc.method("main").unwrap();
+        assert_eq!(s.writes.len(), 2);
+        assert!(s.writes.iter().all(KeyExpr::is_exact));
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod builder;
 pub mod cache;
 pub mod fusion;
@@ -45,10 +46,13 @@ pub mod module;
 pub mod opcode;
 pub mod verify;
 
+pub use access::{
+    analyze_module, AccessSummary, KeyExpr, KeyMatcher, KeySeg, KnownFn, ModuleAccess,
+};
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use cache::{CodeCache, MemoryPool};
 pub use host::{HostApi, HostError, MockHost};
 pub use interp::{ExecConfig, ExecOutcome, ExecStats, Prepared, Trap, Vm};
 pub use module::{Function, Module};
 pub use opcode::Instr;
-pub use verify::{verify_module, VerifyError, VerifyErrorKind, VerifySummary};
+pub use verify::{verify_module, HostCallCounts, VerifyError, VerifyErrorKind, VerifySummary};

@@ -39,7 +39,7 @@
 //! carries over to the fused body the interpreter actually runs.
 
 use crate::module::Module;
-use crate::opcode::Instr;
+use crate::opcode::{HostFn, Instr};
 
 /// Upper bound on `param_count + local_count` per function (a crafted
 /// module must not make the interpreter allocate gigabyte local frames).
@@ -215,6 +215,24 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Static host-call occurrence counts for one function body. Reported by
+/// `confide-audit` and used by the access analyzer as a coverage
+/// cross-check (a function with zero storage host calls can never
+/// contribute storage events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostCallCounts {
+    /// `GetStorage` occurrences (state reads).
+    pub state_gets: u32,
+    /// `SetStorage` occurrences (state writes).
+    pub state_puts: u32,
+    /// Storage-delete occurrences. The VM has no delete host call —
+    /// deletion is an empty-value put — so this is always zero today; the
+    /// field keeps the audit schema stable if one is added.
+    pub state_deletes: u32,
+    /// `CallContract` occurrences (cross-contract calls).
+    pub contract_calls: u32,
+}
+
 /// Facts proven about a verified module.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifySummary {
@@ -222,6 +240,8 @@ pub struct VerifySummary {
     pub result_arity: Vec<u32>,
     /// Maximum abstract stack height of any single frame.
     pub max_frame_stack: u32,
+    /// Static host-call counts of every function, by index.
+    pub host_calls: Vec<HostCallCounts>,
 }
 
 /// Verify `module`, returning the proven summary or the first error.
@@ -271,7 +291,18 @@ pub fn verify_module(module: &Module) -> Result<VerifySummary, VerifyError> {
 
     // Final pass with every arity known: full structural verification.
     let mut max_frame_stack = 0u32;
+    let mut host_calls = Vec::with_capacity(n);
     for idx in 0..n {
+        let mut counts = HostCallCounts::default();
+        for instr in &module.functions[idx].body {
+            match instr {
+                Instr::CallHost(HostFn::GetStorage) => counts.state_gets += 1,
+                Instr::CallHost(HostFn::SetStorage) => counts.state_puts += 1,
+                Instr::CallHost(HostFn::CallContract) => counts.contract_calls += 1,
+                _ => {}
+            }
+        }
+        host_calls.push(counts);
         let r = analyze(module, idx as u32, &arities, true)?;
         max_frame_stack = max_frame_stack.max(r.max_height);
         match r.resolved {
@@ -295,6 +326,7 @@ pub fn verify_module(module: &Module) -> Result<VerifySummary, VerifyError> {
     Ok(VerifySummary {
         result_arity: arities.into_iter().map(|a| a.unwrap_or(0)).collect(),
         max_frame_stack,
+        host_calls,
     })
 }
 

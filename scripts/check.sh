@@ -40,6 +40,30 @@ else
     echo "ok: leaky.ccl rejected as expected"
 fi
 
+echo "== confide-audit over examples/ccl =="
+# The full static pipeline (lint + verify + access analysis + the
+# summary-vs-journal differential check), machine-readable. Clean
+# contracts must pass, and every exported method must survive the
+# differential soundness check (no "ok":false anywhere).
+AUDIT=(cargo run -q -p confide-core --bin confide-audit --)
+AUDIT_OUT=$(mktemp)
+"${AUDIT[@]}" --json --schema "$SCHEMA" \
+    examples/ccl/counter.ccl examples/ccl/bank.ccl >"$AUDIT_OUT"
+grep -q '"pass":true' "$AUDIT_OUT" \
+    || { echo "FAIL: confide-audit did not pass clean contracts" >&2; exit 1; }
+if grep -q '"ok":false' "$AUDIT_OUT"; then
+    echo "FAIL: confide-audit found a differential soundness violation" >&2
+    exit 1
+fi
+# The leaky contract must fail the audit (exit != 0).
+if "${AUDIT[@]}" --json --schema "$SCHEMA" examples/ccl/leaky.ccl >"$AUDIT_OUT"; then
+    echo "FAIL: leaky.ccl should not pass confide-audit" >&2
+    exit 1
+else
+    echo "ok: leaky.ccl fails confide-audit as expected"
+fi
+rm -f "$AUDIT_OUT"
+
 echo "== loopback smoke: confide-node + 100-tx loadgen burst =="
 cargo build -q --release -p confide-net
 
@@ -149,7 +173,10 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
                '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"' \
                '"parallel_exec"' '"threads"' '"model_tps"' '"speedup_vs_1"' \
                '"exec_threads"' '"recovery"' '"recover_ms"' \
-               '"recovered_blocks"' '"retries"' '"retries_exhausted"'; do
+               '"recovered_blocks"' '"retries"' '"retries_exhausted"' \
+               '"static_sched"' '"occ_spec_runs"' '"static_spec_runs"' \
+               '"plan_cycles"' '"modeled_speedup"' '"roots_match"' \
+               '"static_schedule"'; do
         if ! grep -q "$key" "$f"; then
             echo "FAIL: $f missing schema key $key" >&2
             exit 1

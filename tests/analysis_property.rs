@@ -1,0 +1,280 @@
+//! Property tests for the deploy-time static access analysis.
+//!
+//! Three invariants, all seeded-DRBG deterministic (no `proptest`):
+//!
+//! 1. **Port equivalence** — the analyzer's Rust ports of the CCL stdlib
+//!    (`ccl_find`, `ccl_atoi`, …) are bit-exact against the *real* VM
+//!    executing the real stdlib on random inputs. The ports are what let
+//!    `KeyExpr::instantiate` predict concrete storage keys, so any
+//!    divergence is an unsoundness hole.
+//! 2. **Journal ⊆ summary** — for randomly generated key-manipulating
+//!    contracts, every key the VM actually journals is admitted by the
+//!    method's instantiated static summary (or the summary is `Top`).
+//!    This is the same oracle the parallel executor debug-asserts,
+//!    exercised here across a much wider program space.
+//! 3. **Precision frontier** — constant-keyed programs must stay fully
+//!    static (exact keys, no `Top`), and hash-derived keys must degrade
+//!    *soundly* rather than to a wrong exact key.
+
+#![forbid(unsafe_code)]
+
+use confide::core::engine::full_key;
+use confide::core::{Engine, EngineConfig, ExecContext, VmKind};
+use confide::crypto::HmacDrbg;
+use confide::storage::StateDb;
+use confide::vm::access::{
+    ccl_atoi, ccl_b2i, ccl_find, ccl_i2b, ccl_itoa, ccl_json_get, ccl_to_hex,
+};
+use confide::vm::{analyze_module, AccessSummary, KeyMatcher, Module};
+
+const ADDR: [u8; 32] = [0x77; 32];
+const SENDER: [u8; 32] = [0x15; 32];
+
+/// Compile + deploy a CCL program on a fresh public engine.
+fn deploy(src: &str) -> (Engine, Vec<u8>) {
+    let code = confide::lang::build_vm(src).expect("compiles");
+    let engine = Engine::public(EngineConfig::default());
+    engine
+        .deploy(ADDR, &code, VmKind::ConfideVm, false)
+        .expect("deploys");
+    (engine, code)
+}
+
+/// Run `main` with `input` and return its output bytes (`None` on trap).
+fn run_main(engine: &Engine, state: &StateDb, input: &[u8]) -> Option<Vec<u8>> {
+    let mut ctx = ExecContext::new();
+    engine
+        .invoke_inner(state, &mut ctx, &ADDR, "main", input, &SENDER)
+        .ok()
+}
+
+/// The static summary of `main`, straight from the compiled module.
+fn summarize(code: &[u8]) -> AccessSummary {
+    let module = Module::decode(code).expect("decodes");
+    let known = confide::core::recognize_stdlib(&module);
+    analyze_module(&module, &known)
+        .method("main")
+        .expect("main summarized")
+        .clone()
+}
+
+/// Random printable-ish bytes (biased toward digits, quotes and braces so
+/// the parsing ports see hostile shapes too).
+fn rand_bytes(rng: &mut HmacDrbg, max_len: usize) -> Vec<u8> {
+    let len = (rng.gen_u64() as usize) % (max_len + 1);
+    (0..len)
+        .map(|_| {
+            let r = rng.gen_u64();
+            match r % 10 {
+                0..=3 => b'0' + (r / 16 % 10) as u8,
+                4..=6 => b'a' + (r / 16 % 26) as u8,
+                7 => b'"',
+                8 => b'{',
+                _ => (32 + (r / 16 % 95)) as u8,
+            }
+        })
+        .collect()
+}
+
+// ---- 1. Port equivalence ----------------------------------------------
+
+#[test]
+fn stdlib_ports_are_bit_exact_against_the_vm() {
+    // Each case: a CCL program applying a stdlib helper to input(), and
+    // the port-side prediction of what the VM must return.
+    type Predict = fn(&[u8]) -> Vec<u8>;
+    let cases: Vec<(&str, Predict)> = vec![
+        (
+            r#"export fn main() { ret(itoa(find(input(), b"ab", 0))); }"#,
+            |i| ccl_itoa(ccl_find(i, b"ab", 0)),
+        ),
+        (r#"export fn main() { ret(itoa(atoi(input()))); }"#, |i| {
+            ccl_itoa(ccl_atoi(i))
+        }),
+        (r#"export fn main() { ret(i2b(b2i(input()))); }"#, |i| {
+            ccl_i2b(ccl_b2i(i))
+        }),
+        (r#"export fn main() { ret(to_hex(input())); }"#, |i| {
+            ccl_to_hex(i)
+        }),
+        (
+            r#"export fn main() { ret(json_get(input(), b"k")); }"#,
+            |i| ccl_json_get(i, b"k"),
+        ),
+    ];
+    let mut rng = HmacDrbg::from_u64(0xACCE55);
+    for (src, predict) in cases {
+        let (engine, _) = deploy(src);
+        let state = StateDb::new();
+        for round in 0..40 {
+            let mut input = rand_bytes(&mut rng, 24);
+            if round % 5 == 0 {
+                // Force some inputs that actually hit the happy paths.
+                input = match round % 10 {
+                    0 => br#"{"k":"hit","n":42}"#.to_vec(),
+                    _ => b"-9034".to_vec(),
+                };
+            }
+            let got = run_main(&engine, &state, &input).expect("no trap");
+            let want = predict(&input);
+            assert_eq!(
+                got,
+                want,
+                "port diverges from VM for {src} on input {:?}",
+                String::from_utf8_lossy(&input)
+            );
+        }
+    }
+}
+
+// ---- 2. Journal ⊆ summary over random contracts ------------------------
+
+/// One random storage-key expression: `(ccl_source, uses_input)`.
+fn rand_key(rng: &mut HmacDrbg, idx: usize) -> String {
+    match rng.gen_u64() % 7 {
+        0 => format!("b\"k{idx}\""),
+        1 => format!("concat(b\"p{idx}:\", json_get(input(), b\"f1\"))"),
+        2 => format!("concat(b\"q{idx}:\", input())"),
+        3 => format!("concat(b\"s{idx}:\", to_hex(sender()))"),
+        4 => format!("concat3(b\"a{idx}\", b\"-\", b\"z\")"),
+        5 => format!("concat(b\"j{idx}:\", json_get(input(), b\"f2\"))"),
+        // Deliberately analysis-hostile: a key sliced out of the input.
+        _ => "take(input(), 4)".to_string(),
+    }
+}
+
+/// A random program: a few storage reads and writes through random keys.
+fn rand_program(rng: &mut HmacDrbg) -> String {
+    let reads = 1 + (rng.gen_u64() % 3) as usize;
+    let writes = 1 + (rng.gen_u64() % 3) as usize;
+    let mut body = String::new();
+    for i in 0..reads {
+        body.push_str(&format!(
+            "    let r{i}: bytes = storage_get({});\n",
+            rand_key(rng, i)
+        ));
+    }
+    for i in 0..writes {
+        let val = if i == 0 {
+            "r0".to_string()
+        } else {
+            format!("concat(r0, b\"x{i}\")")
+        };
+        body.push_str(&format!(
+            "    storage_set({}, {val});\n",
+            rand_key(rng, 10 + i)
+        ));
+    }
+    format!("export fn main() {{\n{body}    ret(b\"ok\");\n}}\n")
+}
+
+/// Check one execution's journal against the instantiated summary.
+fn journal_covered(engine: &Engine, state: &StateDb, summary: &AccessSummary, input: &[u8]) {
+    let lift = |m: KeyMatcher| match m {
+        KeyMatcher::Exact(k) => KeyMatcher::Exact(full_key(&ADDR, &k)),
+        KeyMatcher::Prefix(p) => KeyMatcher::Prefix(full_key(&ADDR, &p)),
+    };
+    let reads: Vec<KeyMatcher> = summary
+        .reads
+        .iter()
+        .map(|k| lift(k.instantiate(input, &SENDER)))
+        .collect();
+    let writes: Vec<KeyMatcher> = summary
+        .writes
+        .iter()
+        .map(|k| lift(k.instantiate(input, &SENDER)))
+        .collect();
+    let mut ctx = ExecContext::new();
+    ctx.begin_tx();
+    let res = engine.invoke_inner(state, &mut ctx, &ADDR, "main", input, &SENDER);
+    let rw = if res.is_ok() {
+        ctx.commit_tx()
+    } else {
+        ctx.rollback_tx()
+    };
+    assert!(
+        rw.covered_by(&reads, &writes),
+        "journal escapes static summary\n  input: {:?}\n  reads: {:?}\n  writes: {:?}\n  summary: {summary:?}",
+        String::from_utf8_lossy(input),
+        rw.reads,
+        rw.writes,
+    );
+}
+
+#[test]
+fn random_contracts_journal_within_their_summaries() {
+    let mut rng = HmacDrbg::from_u64(0x5EED50);
+    let mut non_top = 0usize;
+    for _ in 0..14 {
+        let src = rand_program(&mut rng);
+        let (engine, code) = deploy(&src);
+        let summary = summarize(&code);
+        if summary.top {
+            // Sound by construction — nothing to check dynamically.
+            continue;
+        }
+        non_top += 1;
+        let state = StateDb::new();
+        for round in 0..4 {
+            let input = match round {
+                0 => br#"{"f1":"alice","f2":"bob"}"#.to_vec(),
+                1 => b"raw-input-bytes".to_vec(),
+                _ => rand_bytes(&mut rng, 20),
+            };
+            journal_covered(&engine, &state, &summary, &input);
+        }
+    }
+    assert!(
+        non_top >= 4,
+        "generator too hostile: only {non_top} precise summaries — the property would be vacuous"
+    );
+}
+
+// ---- 3. Precision frontier ---------------------------------------------
+
+#[test]
+fn constant_keys_stay_fully_static() {
+    let src = r#"
+        export fn main() {
+            let a: bytes = storage_get(b"alpha");
+            let b: bytes = storage_get(concat3(b"be", b"t", b"a"));
+            storage_set(b"gamma", concat(a, b));
+            ret(b"ok");
+        }
+    "#;
+    let (_, code) = deploy(src);
+    let summary = summarize(&code);
+    assert!(!summary.top, "{summary:?}");
+    assert!(summary.is_static(), "{summary:?}");
+    let reads: Vec<String> = summary.reads.iter().map(|k| k.render()).collect();
+    let writes: Vec<String> = summary.writes.iter().map(|k| k.render()).collect();
+    assert!(reads.iter().any(|r| r.contains("alpha")), "{reads:?}");
+    assert!(reads.iter().any(|r| r.contains("beta")), "{reads:?}");
+    assert!(writes.iter().any(|w| w.contains("gamma")), "{writes:?}");
+}
+
+#[test]
+fn hash_derived_keys_degrade_soundly_not_wrongly() {
+    // sha256 is a raw builtin the analyzer has no transfer function for:
+    // the key is unpredictable, so the summary must either go Top or
+    // carry a non-exact expression — and if it stays non-Top, the dynamic
+    // journal must still be covered.
+    let src = r#"
+        export fn main() {
+            storage_set(sha256(input()), b"1");
+            ret(b"ok");
+        }
+    "#;
+    let (engine, code) = deploy(src);
+    let summary = summarize(&code);
+    assert!(
+        summary.top || summary.writes.iter().any(|k| !k.is_exact()),
+        "hash key must not look exact: {summary:?}"
+    );
+    if !summary.top {
+        let state = StateDb::new();
+        for input in [&b"abc"[..], b"", b"another-preimage"] {
+            journal_covered(&engine, &state, &summary, input);
+        }
+    }
+}

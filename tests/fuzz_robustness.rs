@@ -213,6 +213,106 @@ fn mutated_bytecode_is_rejected_or_runs_safely() {
 }
 
 #[test]
+fn mutated_bytecode_never_breaks_the_access_analyzer() {
+    // Single-byte mutation fuzzing of the *static access analyzer*: the
+    // analyzer consumes deploy-time bytecode, so it must never panic on a
+    // corrupted module — and when a mutant still verifies and yields a
+    // precise (non-`Top`) summary, that summary must remain *sound*: the
+    // dynamically journaled read/write keys stay inside the instantiated
+    // matchers. An unsound summary here would let the parallel executor
+    // schedule conflicting transactions concurrently.
+    use confide::core::engine::full_key;
+    use confide::core::{Engine, EngineConfig, ExecContext, VmKind};
+    use confide::storage::StateDb;
+    use confide::vm::{analyze_module, KeyMatcher, Module};
+
+    const ADDR: [u8; 32] = [0x66; 32];
+    const SENDER: [u8; 32] = [0x21; 32];
+    let src = r#"
+        export fn main() {
+            let who: bytes = json_get(input(), b"to");
+            let bal: bytes = storage_get(concat(b"bal:", who));
+            storage_set(concat(b"bal:", who), concat(bal, b"+"));
+            ret(b"ok");
+        }
+    "#;
+    let base = confide::lang::build_vm(src).unwrap();
+    let mut rng = HmacDrbg::from_u64(0xf013);
+    let (mut rejected, mut top_or_imprecise, mut checked) = (0u32, 0u32, 0u32);
+    for _ in 0..512 {
+        let mut code = base.clone();
+        let pos = rng.gen_range(code.len() as u64) as usize;
+        let mut b = [0u8; 1];
+        rng.fill(&mut b);
+        if code[pos] == b[0] {
+            continue;
+        }
+        code[pos] = b[0];
+
+        // The analyzer itself must survive arbitrary decodable mutants.
+        let Ok(module) = Module::decode(&code) else {
+            rejected += 1;
+            continue;
+        };
+        let known = confide::core::recognize_stdlib(&module);
+        let access = analyze_module(&module, &known);
+
+        // Engine-level deploy gates on the verifier; a mutant that fails
+        // it never reaches the scheduler.
+        let engine = Engine::public(EngineConfig::default());
+        if engine
+            .deploy(ADDR, &code, VmKind::ConfideVm, false)
+            .is_err()
+        {
+            rejected += 1;
+            continue;
+        }
+        let state = StateDb::new();
+        for (name, summary) in &access.methods {
+            if summary.top || summary.calls_out {
+                top_or_imprecise += 1;
+                continue;
+            }
+            let input = br#"{"to":"mutant","amount":3}"#;
+            let lift = |m: KeyMatcher| match m {
+                KeyMatcher::Exact(k) => KeyMatcher::Exact(full_key(&ADDR, &k)),
+                KeyMatcher::Prefix(p) => KeyMatcher::Prefix(full_key(&ADDR, &p)),
+            };
+            let reads: Vec<KeyMatcher> = summary
+                .reads
+                .iter()
+                .map(|k| lift(k.instantiate(input, &SENDER)))
+                .collect();
+            let writes: Vec<KeyMatcher> = summary
+                .writes
+                .iter()
+                .map(|k| lift(k.instantiate(input, &SENDER)))
+                .collect();
+            let mut ctx = ExecContext::new();
+            ctx.begin_tx();
+            let res = engine.invoke_inner(&state, &mut ctx, &ADDR, name, input, &SENDER);
+            let rw = if res.is_ok() {
+                ctx.commit_tx()
+            } else {
+                ctx.rollback_tx()
+            };
+            assert!(
+                rw.covered_by(&reads, &writes),
+                "mutant (byte {pos} -> {:#04x}) produced an unsound precise summary: \
+                 {summary:?} vs {rw:?}",
+                b[0]
+            );
+            checked += 1;
+        }
+    }
+    // Every regime must actually occur, or the corpus is vacuous.
+    assert!(
+        rejected > 0 && checked > 0,
+        "degenerate corpus: rejected={rejected} imprecise={top_or_imprecise} checked={checked}"
+    );
+}
+
+#[test]
 fn leb128_reader_never_panics() {
     let mut rng = HmacDrbg::from_u64(0xf00b);
     for _ in 0..CASES {
