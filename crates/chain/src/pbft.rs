@@ -192,8 +192,20 @@ impl ChainSim {
     }
 
     fn quorum(&self) -> usize {
-        let f = (self.config.nodes - 1) / 3;
-        2 * f + 1
+        // Shared with the wire protocol in `crates/consensus`, so the model
+        // and the real cluster can never disagree on quorum arithmetic.
+        confide_consensus::quorum(self.config.nodes)
+    }
+
+    /// The committed block log of `node`: `(seq, tx indices)` in sequence
+    /// order. Used by the sim-vs-wire differential test to compare the
+    /// ordering this model produces against the real `Replica`'s.
+    pub fn committed_blocks(&self, node: usize) -> Vec<(u64, Vec<usize>)> {
+        self.nodes[node]
+            .committed
+            .iter()
+            .map(|(seq, txs)| (*seq, txs.clone()))
+            .collect()
     }
 
     /// Submit transactions at given times and run to quiescence.

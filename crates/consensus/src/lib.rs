@@ -1,0 +1,75 @@
+//! Wire-level PBFT replication for the CONFIDE consortium (§2.2, Fig. 11).
+//!
+//! The discrete-event simulator in `crates/chain` models the fault-free
+//! three-phase protocol; this crate promotes the same ordering rules onto a
+//! real transport. It is deliberately transport-agnostic: [`Replica`] is a
+//! pure state machine that consumes [`PeerMsg`]s and emits [`Action`]s, and
+//! the networking layer (`crates/net`) owns sockets, attestation, and
+//! execution. That split keeps every consensus rule unit-testable with an
+//! in-memory bus, and keeps the enclave boundary where the paper puts it:
+//! consensus orders ciphertext envelopes *outside* the TEE, attested
+//! enclaves execute and seal.
+//!
+//! ## Fault model
+//!
+//! Peers exchange consensus traffic only after mutually attesting via the
+//! K-Protocol join path, so every participant is known to run the sanctioned
+//! enclave build. Arbitrary (Byzantine) *logic* is therefore excluded by
+//! attestation, and the protocol defends against the remaining consortium
+//! faults: crashes, restarts, partitions, and message loss/reordering. The
+//! quorum arithmetic keeps PBFT's 2f+1-of-3f+1 shape so the message
+//! complexity (and Fig. 11's latency behaviour) is preserved on the wire.
+//!
+//! Under that model the replica executes and persists a block once it is
+//! *prepared* (2f+1 matching `Prepare`s), then broadcasts `Commit`; the
+//! `Commit` quorum is what releases client acknowledgements. A view change
+//! carries each replica's full uncommitted suffix — including merely
+//! pre-prepared entries — so any block a crashed leader got executed
+//! anywhere is always re-proposed verbatim in the new view (see
+//! DESIGN.md §14 for the intersection argument).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod msg;
+pub mod replica;
+
+pub use msg::{block_digest, MsgError, PeerMsg, SuffixEntry};
+pub use replica::{Action, ProposeError, Replica, ReplicaConfig};
+
+/// PBFT quorum size for `n` replicas: `2f + 1` with `f = (n - 1) / 3`.
+///
+/// Shared with the discrete-event simulator in `crates/chain` so the wire
+/// protocol and the model can never disagree on what "prepared" means.
+pub fn quorum(n: usize) -> usize {
+    let f = n.saturating_sub(1) / 3;
+    2 * f + 1
+}
+
+/// Primary (leader) of a view under round-robin rotation.
+pub fn primary_of(view: u64, n: usize) -> u32 {
+    debug_assert!(n > 0);
+    (view % n as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_matches_pbft_arithmetic() {
+        assert_eq!(quorum(1), 1);
+        assert_eq!(quorum(4), 3); // f = 1
+        assert_eq!(quorum(7), 5); // f = 2
+        assert_eq!(quorum(10), 7); // f = 3
+        assert_eq!(quorum(16), 11); // f = 5
+    }
+
+    #[test]
+    fn primary_rotates_round_robin() {
+        assert_eq!(primary_of(0, 4), 0);
+        assert_eq!(primary_of(1, 4), 1);
+        assert_eq!(primary_of(5, 4), 1);
+        assert_eq!(primary_of(u64::from(u32::MAX) + 1, 4), 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Peer-to-peer PBFT message codec.
+//!
+//! Hand-rolled little-endian encoding, mirroring the T-Protocol frame
+//! conventions in `crates/net`: a one-byte tag followed by fixed-width
+//! integers and length-prefixed byte strings. The transport layer wraps one
+//! encoded [`PeerMsg`] per frame, so the frame-size cap already bounds every
+//! length field here; the decoder still validates each length against the
+//! remaining input before allocating.
+
+use confide_crypto::sha256;
+
+/// A consensus message exchanged between attested peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerMsg {
+    /// Leader's ordering proposal: the full transaction bodies for `seq`.
+    PrePrepare {
+        /// View the proposal belongs to.
+        view: u64,
+        /// Sequence number (equals chain height of the resulting block).
+        seq: u64,
+        /// Encoded `WireTx` bodies, in execution order.
+        txs: Vec<Vec<u8>>,
+    },
+    /// Acknowledgement that a replica holds `seq`'s payload in `view`.
+    Prepare {
+        /// View of the proposal being acknowledged.
+        view: u64,
+        /// Sequence number being acknowledged.
+        seq: u64,
+        /// Block wire-digest ([`block_digest`]) the sender holds.
+        digest: [u8; 32],
+        /// Sender's node id.
+        from: u32,
+    },
+    /// Announcement that the sender executed and durably logged `seq`.
+    Commit {
+        /// View the block prepared in.
+        view: u64,
+        /// Sequence number that was executed.
+        seq: u64,
+        /// Digest of the executed block.
+        digest: [u8; 32],
+        /// Sender's node id.
+        from: u32,
+    },
+    /// Vote to replace the current leader with the primary of `target`.
+    ViewChange {
+        /// Proposed new view.
+        target: u64,
+        /// Sender's node id.
+        from: u32,
+        /// Sender's last executed sequence number.
+        last_exec: u64,
+        /// The sender's full uncommitted suffix (pre-prepared *and*
+        /// prepared entries above `last_exec`) — the new leader re-proposes
+        /// from the union of these.
+        suffix: Vec<SuffixEntry>,
+    },
+    /// New leader's installation message for `view`.
+    NewView {
+        /// The view being installed.
+        view: u64,
+        /// The new leader's node id.
+        from: u32,
+        /// The new leader's execution height; laggards state-sync to here.
+        last_exec: u64,
+        /// Re-proposals for every in-flight sequence above `last_exec`.
+        repropose: Vec<(u64, Vec<Vec<u8>>)>,
+    },
+    /// Leader liveness beacon, also advertising execution progress.
+    Heartbeat {
+        /// Current view.
+        view: u64,
+        /// Sender's node id (the leader).
+        from: u32,
+        /// Sender's last executed sequence number.
+        last_exec: u64,
+    },
+}
+
+/// One in-flight entry reported in a [`PeerMsg::ViewChange`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixEntry {
+    /// Sequence number of the entry.
+    pub seq: u64,
+    /// View the entry was pre-prepared in.
+    pub view: u64,
+    /// Whether the sender saw a full prepare quorum for it.
+    pub prepared: bool,
+    /// The transaction bodies (empty if the sender never got the payload).
+    pub txs: Vec<Vec<u8>>,
+}
+
+/// Codec failure while decoding a [`PeerMsg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgError {
+    /// Input ended before the advertised structure was complete.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// Bytes remained after a complete message.
+    Trailing,
+}
+
+impl std::fmt::Display for MsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgError::Truncated => write!(f, "truncated peer message"),
+            MsgError::BadTag(t) => write!(f, "unknown peer message tag {t:#04x}"),
+            MsgError::Trailing => write!(f, "trailing bytes after peer message"),
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
+
+const T_PRE_PREPARE: u8 = 0;
+const T_PREPARE: u8 = 1;
+const T_COMMIT: u8 = 2;
+const T_VIEW_CHANGE: u8 = 3;
+const T_NEW_VIEW: u8 = 4;
+const T_HEARTBEAT: u8 = 5;
+
+/// Digest identifying a block's content and position: the wire-hash of the
+/// ordered transaction list bound to its sequence number. Deliberately
+/// view-independent, so a re-proposal after a view change carries the same
+/// digest and replicas that already executed the block can vote for it
+/// without re-executing.
+pub fn block_digest(seq: u64, txs: &[Vec<u8>]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(8 + 32 * txs.len());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    for tx in txs {
+        buf.extend_from_slice(&sha256(tx));
+    }
+    sha256(&buf)
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_tx_list(out: &mut Vec<u8>, txs: &[Vec<u8>]) {
+    out.extend_from_slice(&(txs.len() as u32).to_le_bytes());
+    for tx in txs {
+        put_bytes(out, tx);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MsgError> {
+        if self.buf.len() - self.pos < n {
+            return Err(MsgError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, MsgError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, MsgError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, MsgError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn digest(&mut self) -> Result<[u8; 32], MsgError> {
+        Ok(self.take(32)?.try_into().unwrap())
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, MsgError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn tx_list(&mut self) -> Result<Vec<Vec<u8>>, MsgError> {
+        let count = self.u32()? as usize;
+        // Each entry costs at least a 4-byte length prefix; reject counts
+        // the remaining input cannot possibly satisfy before allocating.
+        if count > (self.buf.len() - self.pos) / 4 {
+            return Err(MsgError::Truncated);
+        }
+        let mut txs = Vec::with_capacity(count);
+        for _ in 0..count {
+            txs.push(self.bytes()?);
+        }
+        Ok(txs)
+    }
+}
+
+impl PeerMsg {
+    /// Encode to the wire representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            PeerMsg::PrePrepare { view, seq, txs } => {
+                out.push(T_PRE_PREPARE);
+                out.extend_from_slice(&view.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                put_tx_list(&mut out, txs);
+            }
+            PeerMsg::Prepare {
+                view,
+                seq,
+                digest,
+                from,
+            } => {
+                out.push(T_PREPARE);
+                out.extend_from_slice(&view.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(digest);
+                out.extend_from_slice(&from.to_le_bytes());
+            }
+            PeerMsg::Commit {
+                view,
+                seq,
+                digest,
+                from,
+            } => {
+                out.push(T_COMMIT);
+                out.extend_from_slice(&view.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(digest);
+                out.extend_from_slice(&from.to_le_bytes());
+            }
+            PeerMsg::ViewChange {
+                target,
+                from,
+                last_exec,
+                suffix,
+            } => {
+                out.push(T_VIEW_CHANGE);
+                out.extend_from_slice(&target.to_le_bytes());
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&last_exec.to_le_bytes());
+                out.extend_from_slice(&(suffix.len() as u32).to_le_bytes());
+                for e in suffix {
+                    out.extend_from_slice(&e.seq.to_le_bytes());
+                    out.extend_from_slice(&e.view.to_le_bytes());
+                    out.push(u8::from(e.prepared));
+                    put_tx_list(&mut out, &e.txs);
+                }
+            }
+            PeerMsg::NewView {
+                view,
+                from,
+                last_exec,
+                repropose,
+            } => {
+                out.push(T_NEW_VIEW);
+                out.extend_from_slice(&view.to_le_bytes());
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&last_exec.to_le_bytes());
+                out.extend_from_slice(&(repropose.len() as u32).to_le_bytes());
+                for (seq, txs) in repropose {
+                    out.extend_from_slice(&seq.to_le_bytes());
+                    put_tx_list(&mut out, txs);
+                }
+            }
+            PeerMsg::Heartbeat {
+                view,
+                from,
+                last_exec,
+            } => {
+                out.push(T_HEARTBEAT);
+                out.extend_from_slice(&view.to_le_bytes());
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&last_exec.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode one message, requiring the input to be exactly consumed.
+    pub fn decode(bytes: &[u8]) -> Result<PeerMsg, MsgError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let tag = r.u8()?;
+        let msg = match tag {
+            T_PRE_PREPARE => PeerMsg::PrePrepare {
+                view: r.u64()?,
+                seq: r.u64()?,
+                txs: r.tx_list()?,
+            },
+            T_PREPARE => PeerMsg::Prepare {
+                view: r.u64()?,
+                seq: r.u64()?,
+                digest: r.digest()?,
+                from: r.u32()?,
+            },
+            T_COMMIT => PeerMsg::Commit {
+                view: r.u64()?,
+                seq: r.u64()?,
+                digest: r.digest()?,
+                from: r.u32()?,
+            },
+            T_VIEW_CHANGE => {
+                let target = r.u64()?;
+                let from = r.u32()?;
+                let last_exec = r.u64()?;
+                let count = r.u32()? as usize;
+                if count > (bytes.len() - r.pos) / 17 {
+                    return Err(MsgError::Truncated);
+                }
+                let mut suffix = Vec::with_capacity(count);
+                for _ in 0..count {
+                    suffix.push(SuffixEntry {
+                        seq: r.u64()?,
+                        view: r.u64()?,
+                        prepared: r.u8()? != 0,
+                        txs: r.tx_list()?,
+                    });
+                }
+                PeerMsg::ViewChange {
+                    target,
+                    from,
+                    last_exec,
+                    suffix,
+                }
+            }
+            T_NEW_VIEW => {
+                let view = r.u64()?;
+                let from = r.u32()?;
+                let last_exec = r.u64()?;
+                let count = r.u32()? as usize;
+                if count > (bytes.len() - r.pos) / 12 {
+                    return Err(MsgError::Truncated);
+                }
+                let mut repropose = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let seq = r.u64()?;
+                    repropose.push((seq, r.tx_list()?));
+                }
+                PeerMsg::NewView {
+                    view,
+                    from,
+                    last_exec,
+                    repropose,
+                }
+            }
+            T_HEARTBEAT => PeerMsg::Heartbeat {
+                view: r.u64()?,
+                from: r.u32()?,
+                last_exec: r.u64()?,
+            },
+            other => return Err(MsgError::BadTag(other)),
+        };
+        if r.pos != bytes.len() {
+            return Err(MsgError::Trailing);
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<PeerMsg> {
+        vec![
+            PeerMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                txs: vec![vec![1, 2, 3], vec![], vec![0xff; 100]],
+            },
+            PeerMsg::Prepare {
+                view: 3,
+                seq: 9,
+                digest: [7; 32],
+                from: 2,
+            },
+            PeerMsg::Commit {
+                view: 3,
+                seq: 9,
+                digest: [8; 32],
+                from: 1,
+            },
+            PeerMsg::ViewChange {
+                target: 4,
+                from: 3,
+                last_exec: 11,
+                suffix: vec![
+                    SuffixEntry {
+                        seq: 12,
+                        view: 3,
+                        prepared: true,
+                        txs: vec![vec![9; 40]],
+                    },
+                    SuffixEntry {
+                        seq: 13,
+                        view: 3,
+                        prepared: false,
+                        txs: vec![],
+                    },
+                ],
+            },
+            PeerMsg::NewView {
+                view: 4,
+                from: 0,
+                last_exec: 11,
+                repropose: vec![(12, vec![vec![9; 40]]), (13, vec![])],
+            },
+            PeerMsg::Heartbeat {
+                view: 4,
+                from: 0,
+                last_exec: 14,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            assert_eq!(PeerMsg::decode(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    PeerMsg::decode(&bytes[..cut]).is_err(),
+                    "{msg:?} decoded from {cut}/{} bytes",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes_and_bad_tags() {
+        let mut bytes = samples()[1].encode();
+        bytes.push(0);
+        assert_eq!(PeerMsg::decode(&bytes), Err(MsgError::Trailing));
+        assert_eq!(PeerMsg::decode(&[0x77]), Err(MsgError::BadTag(0x77)));
+        assert_eq!(PeerMsg::decode(&[]), Err(MsgError::Truncated));
+    }
+
+    #[test]
+    fn absurd_counts_rejected_before_allocation() {
+        // PrePrepare claiming u32::MAX transactions in a 40-byte body.
+        let mut bytes = vec![T_PRE_PREPARE];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 16]);
+        assert_eq!(PeerMsg::decode(&bytes), Err(MsgError::Truncated));
+    }
+
+    #[test]
+    fn digest_binds_sequence_and_content_not_view() {
+        let txs = vec![vec![1, 2], vec![3]];
+        let d = block_digest(5, &txs);
+        assert_eq!(d, block_digest(5, &txs));
+        assert_ne!(d, block_digest(6, &txs));
+        assert_ne!(d, block_digest(5, &[vec![1, 2]]));
+        // Tx boundaries matter: [1,2],[3] != [1],[2,3].
+        assert_ne!(d, block_digest(5, &[vec![1], vec![2, 3]]));
+    }
+}

@@ -1,0 +1,1089 @@
+//! The PBFT replica state machine.
+//!
+//! [`Replica`] is pure protocol logic: it owns no sockets, no threads, and
+//! no clock. The embedding driver feeds it peer messages ([`Replica::on_msg`]),
+//! proposals ([`Replica::propose`]), execution completions
+//! ([`Replica::on_executed`]) and periodic ticks ([`Replica::on_tick`]) with
+//! an externally supplied monotonic timestamp, and carries out the returned
+//! [`Action`]s. This mirrors the event-driven structure of the simulator in
+//! `crates/chain/src/pbft.rs` — same quorum arithmetic (via
+//! [`crate::quorum`]), same strictly in-order execution, same watermark
+//! back-pressure — with the two pieces the simulator deliberately omits
+//! layered on top: view changes and state-sync detection.
+//!
+//! ## Execute-at-prepared
+//!
+//! A replica executes a block (and durably logs it) as soon as the entry is
+//! *prepared* — 2f+1 matching `Prepare`s including its own — and only then
+//! broadcasts `Commit`. Client acknowledgements are released at
+//! [`Action::CommittedLocal`], i.e. after a 2f+1 `Commit` quorum, which
+//! certifies that a quorum has the block on disk. This is safe under the
+//! attested-crash fault model because a prepared entry has 2f+1 payload
+//! holders, so every view-change quorum of 2f+1 intersects those holders in
+//! at least f+1 replicas: the new leader always re-proposes (verbatim, same
+//! digest) any block that any replica may have executed. A sequence absent
+//! from every suffix in the view-change quorum was prepared nowhere, hence
+//! executed nowhere, and may be dropped.
+
+use crate::msg::{block_digest, PeerMsg, SuffixEntry};
+use crate::{primary_of, quorum};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Static configuration of one replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This replica's id (index into the consortium member list).
+    pub node_id: u32,
+    /// Consortium size.
+    pub n: usize,
+    /// Leader-silence window before a follower votes to change views (ms).
+    pub view_timeout_ms: u64,
+    /// Leader heartbeat interval (ms); must be well below the timeout.
+    pub heartbeat_ms: u64,
+    /// Max proposals in flight beyond `last_exec` (PBFT watermark), the
+    /// same back-pressure knob as the simulator's `ChainConfig`.
+    pub max_inflight: u64,
+}
+
+impl ReplicaConfig {
+    /// Sensible localhost defaults for an `n`-node cluster.
+    pub fn localhost(node_id: u32, n: usize) -> ReplicaConfig {
+        ReplicaConfig {
+            node_id,
+            n,
+            view_timeout_ms: 1_000,
+            heartbeat_ms: 200,
+            max_inflight: 4,
+        }
+    }
+}
+
+/// What the driver must do after feeding the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send to every peer (not to self).
+    Broadcast(PeerMsg),
+    /// Send to one peer.
+    Send(u32, PeerMsg),
+    /// Execute this block now (strictly the next in order) and durably log
+    /// it, then call [`Replica::on_executed`].
+    Execute {
+        /// Sequence number == resulting chain height.
+        seq: u64,
+        /// Encoded `WireTx` bodies in execution order.
+        txs: Vec<Vec<u8>>,
+        /// The block's consensus digest.
+        digest: [u8; 32],
+    },
+    /// A 2f+1 commit quorum exists for `seq`: release client acks.
+    CommittedLocal {
+        /// Committed sequence number.
+        seq: u64,
+        /// Digest of the committed block.
+        digest: [u8; 32],
+    },
+    /// This replica is behind: fetch WAL state from `peer` (who reported
+    /// progress past ours), then call [`Replica::on_caught_up`].
+    NeedSync {
+        /// A peer known to be ahead.
+        peer: u32,
+        /// Our current execution height.
+        have: u64,
+    },
+    /// The view changed; `leader` is the new primary.
+    LeaderChanged {
+        /// The newly installed view.
+        view: u64,
+        /// Primary of that view.
+        leader: u32,
+    },
+}
+
+/// Why a proposal was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposeError {
+    /// This replica is not the current primary.
+    NotLeader,
+    /// The watermark window is full; retry after the next commit.
+    Backpressure,
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProposeError::NotLeader => write!(f, "not the current primary"),
+            ProposeError::Backpressure => write!(f, "watermark window full"),
+        }
+    }
+}
+
+impl std::error::Error for ProposeError {}
+
+#[derive(Debug)]
+struct Entry {
+    view: u64,
+    digest: [u8; 32],
+    txs: Vec<Vec<u8>>,
+    has_payload: bool,
+    prepares: BTreeSet<u32>,
+    commits: BTreeSet<u32>,
+    exec_emitted: bool,
+    executed: bool,
+}
+
+/// How many executed-block digests to remember for answering re-proposals
+/// of sequences we already executed. Far above any sane watermark.
+const DIGEST_WINDOW: u64 = 256;
+
+/// One PBFT replica (see module docs for the protocol shape).
+pub struct Replica {
+    cfg: ReplicaConfig,
+    view: u64,
+    /// Highest view-change target we have voted for (>= view).
+    vc_target: u64,
+    last_exec: u64,
+    entries: BTreeMap<u64, Entry>,
+    executed_digests: BTreeMap<u64, [u8; 32]>,
+    /// target view -> (voter -> (voter's last_exec, voter's suffix)).
+    #[allow(clippy::type_complexity)]
+    vc_votes: BTreeMap<u64, BTreeMap<u32, (u64, Vec<SuffixEntry>)>>,
+    /// Set when we won an election but must state-sync before installing.
+    pending_new_view: Option<u64>,
+    last_progress_ms: u64,
+    last_hb_ms: u64,
+    view_changes: u64,
+}
+
+impl Replica {
+    /// Build a replica at view 0 with nothing executed.
+    pub fn new(cfg: ReplicaConfig, now_ms: u64) -> Replica {
+        assert!(cfg.n > 0, "empty consortium");
+        assert!((cfg.node_id as usize) < cfg.n, "node_id out of range");
+        Replica {
+            cfg,
+            view: 0,
+            vc_target: 0,
+            last_exec: 0,
+            entries: BTreeMap::new(),
+            executed_digests: BTreeMap::new(),
+            vc_votes: BTreeMap::new(),
+            pending_new_view: None,
+            last_progress_ms: now_ms,
+            last_hb_ms: now_ms,
+            view_changes: 0,
+        }
+    }
+
+    /// Resume a replica whose chain already reaches `height` (WAL recovery).
+    pub fn with_height(cfg: ReplicaConfig, height: u64, now_ms: u64) -> Replica {
+        let mut r = Replica::new(cfg, now_ms);
+        r.last_exec = height;
+        r
+    }
+
+    /// Current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Primary of the current view.
+    pub fn leader(&self) -> u32 {
+        primary_of(self.view, self.cfg.n)
+    }
+
+    /// Whether this replica is the current primary.
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.cfg.node_id
+    }
+
+    /// Last executed sequence number (== local chain height).
+    pub fn last_exec(&self) -> u64 {
+        self.last_exec
+    }
+
+    /// Number of view installations survived so far.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes
+    }
+
+    fn quorum(&self) -> usize {
+        quorum(self.cfg.n)
+    }
+
+    fn me(&self) -> u32 {
+        self.cfg.node_id
+    }
+
+    /// Propose the next block (primary only). `txs` are encoded `WireTx`s.
+    pub fn propose(&mut self, txs: Vec<Vec<u8>>, now_ms: u64) -> Result<Vec<Action>, ProposeError> {
+        if !self.is_leader() || self.pending_new_view.is_some() {
+            return Err(ProposeError::NotLeader);
+        }
+        let next_seq = self
+            .entries
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(self.last_exec)
+            .max(self.last_exec)
+            + 1;
+        if next_seq > self.last_exec + self.cfg.max_inflight {
+            return Err(ProposeError::Backpressure);
+        }
+        let digest = block_digest(next_seq, &txs);
+        let mut prepares = BTreeSet::new();
+        prepares.insert(self.me());
+        self.entries.insert(
+            next_seq,
+            Entry {
+                view: self.view,
+                digest,
+                txs: txs.clone(),
+                has_payload: true,
+                prepares,
+                commits: BTreeSet::new(),
+                exec_emitted: false,
+                executed: false,
+            },
+        );
+        // A proposal doubles as a liveness beacon; skip the next heartbeat.
+        self.last_hb_ms = now_ms;
+        let mut actions = vec![Action::Broadcast(PeerMsg::PrePrepare {
+            view: self.view,
+            seq: next_seq,
+            txs,
+        })];
+        self.check_prepared(next_seq, &mut actions);
+        Ok(actions)
+    }
+
+    /// Feed one peer message.
+    pub fn on_msg(&mut self, from: u32, msg: PeerMsg, now_ms: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        match msg {
+            PeerMsg::PrePrepare { view, seq, txs } => {
+                self.handle_preprepare(from, view, seq, txs, now_ms, &mut actions);
+            }
+            PeerMsg::Prepare {
+                seq, digest, from, ..
+            } => {
+                if seq > self.last_exec {
+                    self.record_vote(seq, digest, from, true);
+                    self.check_prepared(seq, &mut actions);
+                }
+            }
+            PeerMsg::Commit {
+                seq, digest, from, ..
+            } => {
+                self.record_vote(seq, digest, from, false);
+                self.check_committed(seq, &mut actions);
+            }
+            PeerMsg::ViewChange {
+                target,
+                from,
+                last_exec,
+                suffix,
+            } => {
+                self.handle_view_change(target, from, last_exec, suffix, now_ms, &mut actions);
+            }
+            PeerMsg::NewView {
+                view,
+                from,
+                last_exec,
+                repropose,
+            } => {
+                self.handle_new_view(view, from, last_exec, repropose, now_ms, &mut actions);
+            }
+            PeerMsg::Heartbeat {
+                view,
+                from,
+                last_exec,
+            } => {
+                if view > self.view && from == primary_of(view, self.cfg.n) {
+                    self.enter_view(view, now_ms, &mut actions);
+                }
+                if view == self.view && from == self.leader() {
+                    self.last_progress_ms = now_ms;
+                }
+                self.maybe_need_sync(from, last_exec, &mut actions);
+            }
+        }
+        actions
+    }
+
+    fn handle_preprepare(
+        &mut self,
+        from: u32,
+        view: u64,
+        seq: u64,
+        txs: Vec<Vec<u8>>,
+        now_ms: u64,
+        actions: &mut Vec<Action>,
+    ) {
+        if view < self.view || from != primary_of(view, self.cfg.n) {
+            return;
+        }
+        if view > self.view {
+            // A rightful primary announcing a higher view implies it won an
+            // election we missed; adopt (attested-crash trust).
+            self.enter_view(view, now_ms, actions);
+        }
+        self.last_progress_ms = now_ms;
+        if seq <= self.last_exec {
+            // Re-proposal of a block we already executed (post view change):
+            // refill the new quorums without re-executing.
+            if self.executed_digests.get(&seq) == Some(&block_digest(seq, &txs)) {
+                let digest = block_digest(seq, &txs);
+                actions.push(Action::Broadcast(PeerMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: self.me(),
+                }));
+                actions.push(Action::Broadcast(PeerMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    from: self.me(),
+                }));
+            }
+            return;
+        }
+        // A primary never proposes beyond its own execution horizon plus the
+        // watermark, so a sequence far past ours means we are lagging.
+        if seq > self.last_exec + self.cfg.max_inflight {
+            actions.push(Action::NeedSync {
+                peer: from,
+                have: self.last_exec,
+            });
+        }
+        let digest = block_digest(seq, &txs);
+        let replace = match self.entries.get(&seq) {
+            Some(e) => !e.has_payload || (e.digest != digest && view >= e.view) || e.view < view,
+            None => true,
+        };
+        if replace {
+            let stale_votes = self
+                .entries
+                .get(&seq)
+                .filter(|e| e.digest == digest)
+                .map(|e| (e.prepares.clone(), e.commits.clone()));
+            let (mut prepares, commits) = stale_votes.unwrap_or_default();
+            prepares.insert(from);
+            prepares.insert(self.me());
+            self.entries.insert(
+                seq,
+                Entry {
+                    view,
+                    digest,
+                    txs,
+                    has_payload: true,
+                    prepares,
+                    commits,
+                    exec_emitted: false,
+                    executed: false,
+                },
+            );
+            actions.push(Action::Broadcast(PeerMsg::Prepare {
+                view,
+                seq,
+                digest,
+                from: self.me(),
+            }));
+        } else {
+            let me = self.me();
+            if let Some(e) = self.entries.get_mut(&seq) {
+                if e.digest == digest {
+                    e.prepares.insert(from);
+                    e.prepares.insert(me);
+                }
+            }
+        }
+        self.check_prepared(seq, actions);
+    }
+
+    fn record_vote(&mut self, seq: u64, digest: [u8; 32], from: u32, prepare: bool) {
+        let entry = self.entries.entry(seq).or_insert_with(|| Entry {
+            view: self.view,
+            digest,
+            txs: Vec::new(),
+            has_payload: false,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            exec_emitted: false,
+            executed: false,
+        });
+        // Votes only count toward the digest we hold; a placeholder adopts
+        // the first digest it hears about.
+        if entry.digest == digest {
+            if prepare {
+                entry.prepares.insert(from);
+            } else {
+                entry.commits.insert(from);
+            }
+        }
+    }
+
+    fn check_prepared(&mut self, seq: u64, actions: &mut Vec<Action>) {
+        let q = self.quorum();
+        if seq != self.last_exec + 1 {
+            return; // execution is strictly in order
+        }
+        let Some(e) = self.entries.get_mut(&seq) else {
+            return;
+        };
+        if e.has_payload && !e.exec_emitted && !e.executed && e.prepares.len() >= q {
+            e.exec_emitted = true;
+            actions.push(Action::Execute {
+                seq,
+                txs: e.txs.clone(),
+                digest: e.digest,
+            });
+        }
+    }
+
+    /// The driver executed and durably logged `seq`. Emits the `Commit`
+    /// broadcast and chains execution of the next prepared entry.
+    pub fn on_executed(&mut self, seq: u64, now_ms: u64) -> Vec<Action> {
+        assert_eq!(seq, self.last_exec + 1, "out-of-order execution");
+        let mut actions = Vec::new();
+        self.last_exec = seq;
+        self.last_progress_ms = now_ms;
+        let me = self.me();
+        let Some(e) = self.entries.get_mut(&seq) else {
+            panic!("executed unknown sequence {seq}");
+        };
+        e.executed = true;
+        e.commits.insert(me);
+        let (view, digest) = (e.view, e.digest);
+        self.executed_digests.insert(seq, digest);
+        while let Some(first) = self.executed_digests.keys().next().copied() {
+            if first + DIGEST_WINDOW <= seq {
+                self.executed_digests.remove(&first);
+            } else {
+                break;
+            }
+        }
+        actions.push(Action::Broadcast(PeerMsg::Commit {
+            view,
+            seq,
+            digest,
+            from: me,
+        }));
+        self.check_committed(seq, &mut actions);
+        self.check_prepared(seq + 1, &mut actions);
+        actions
+    }
+
+    fn check_committed(&mut self, seq: u64, actions: &mut Vec<Action>) {
+        let q = self.quorum();
+        let Some(e) = self.entries.get(&seq) else {
+            return;
+        };
+        if e.executed && e.commits.len() >= q {
+            let digest = e.digest;
+            self.entries.remove(&seq);
+            actions.push(Action::CommittedLocal { seq, digest });
+        }
+    }
+
+    fn maybe_need_sync(&mut self, peer: u32, peer_last_exec: u64, actions: &mut Vec<Action>) {
+        if peer_last_exec <= self.last_exec {
+            return;
+        }
+        // If the next block is already prepared locally we will catch up on
+        // our own; sync only when the pipeline is actually missing data.
+        let next_inflight = self
+            .entries
+            .get(&(self.last_exec + 1))
+            .map(|e| e.has_payload && e.prepares.len() >= self.quorum())
+            .unwrap_or(false);
+        if !next_inflight {
+            actions.push(Action::NeedSync {
+                peer,
+                have: self.last_exec,
+            });
+        }
+    }
+
+    /// Own uncommitted suffix, reported in `ViewChange` votes.
+    fn suffix(&self) -> Vec<SuffixEntry> {
+        self.entries
+            .iter()
+            .filter(|(seq, _)| **seq > self.last_exec)
+            .map(|(seq, e)| SuffixEntry {
+                seq: *seq,
+                view: e.view,
+                prepared: e.prepares.len() >= self.quorum(),
+                txs: if e.has_payload {
+                    e.txs.clone()
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect()
+    }
+
+    fn broadcast_own_vote(&mut self, target: u64, actions: &mut Vec<Action>) {
+        self.vc_target = target;
+        let me = self.me();
+        let vote = (self.last_exec, self.suffix());
+        self.vc_votes.entry(target).or_default().insert(me, vote);
+        actions.push(Action::Broadcast(PeerMsg::ViewChange {
+            target,
+            from: self.me(),
+            last_exec: self.last_exec,
+            suffix: self.suffix(),
+        }));
+    }
+
+    fn handle_view_change(
+        &mut self,
+        target: u64,
+        from: u32,
+        last_exec: u64,
+        suffix: Vec<SuffixEntry>,
+        now_ms: u64,
+        actions: &mut Vec<Action>,
+    ) {
+        if target <= self.view {
+            return;
+        }
+        self.vc_votes
+            .entry(target)
+            .or_default()
+            .insert(from, (last_exec, suffix));
+        let votes = self.vc_votes[&target].len();
+        let f_plus_1 = (self.cfg.n.saturating_sub(1) / 3) + 1;
+        // Join rule: f+1 distinct voters cannot all be wrong about the
+        // leader being dead — vote along even if our own timer is quiet.
+        if votes >= f_plus_1 && self.vc_target < target {
+            self.broadcast_own_vote(target, actions);
+        }
+        let votes = self.vc_votes[&target].len();
+        if votes >= self.quorum()
+            && primary_of(target, self.cfg.n) == self.me()
+            && target > self.view
+        {
+            let max_le = self.vc_votes[&target]
+                .values()
+                .map(|(le, _)| *le)
+                .max()
+                .unwrap_or(0)
+                .max(self.last_exec);
+            if self.last_exec < max_le {
+                // Won the election while behind: sync first, install after.
+                self.pending_new_view = Some(target);
+                let ahead = self.vc_votes[&target]
+                    .iter()
+                    .max_by_key(|(_, (le, _))| *le)
+                    .map(|(id, _)| *id)
+                    .unwrap_or(from);
+                actions.push(Action::NeedSync {
+                    peer: ahead,
+                    have: self.last_exec,
+                });
+            } else {
+                self.install_new_view(target, now_ms, actions);
+            }
+        }
+    }
+
+    fn install_new_view(&mut self, target: u64, now_ms: u64, actions: &mut Vec<Action>) {
+        self.pending_new_view = None;
+        // Merge the quorum's suffixes with our own entries and re-propose
+        // every consecutive in-flight sequence above our execution horizon,
+        // preferring prepared reports, then the highest view.
+        let mut candidates: BTreeMap<u64, (bool, u64, Vec<Vec<u8>>)> = BTreeMap::new();
+        let mut consider = |seq: u64, prepared: bool, view: u64, txs: &Vec<Vec<u8>>| {
+            if txs.is_empty() || seq <= self.last_exec {
+                return;
+            }
+            let better = match candidates.get(&seq) {
+                Some((p, v, _)) => (prepared, view) > (*p, *v),
+                None => true,
+            };
+            if better {
+                candidates.insert(seq, (prepared, view, txs.clone()));
+            }
+        };
+        for (_, (_, suffix)) in self.vc_votes.get(&target).into_iter().flatten() {
+            for e in suffix {
+                consider(e.seq, e.prepared, e.view, &e.txs);
+            }
+        }
+        let q = self.quorum();
+        for (seq, e) in &self.entries {
+            if e.has_payload {
+                consider(*seq, e.prepares.len() >= q, e.view, &e.txs);
+            }
+        }
+        let mut repropose = Vec::new();
+        let mut seq = self.last_exec + 1;
+        while let Some((_, _, txs)) = candidates.get(&seq) {
+            repropose.push((seq, txs.clone()));
+            seq += 1;
+            // A gap means no quorum member holds a payload for that
+            // sequence, so it was prepared (hence executed) nowhere;
+            // everything beyond it is dropped and clients retry.
+        }
+        self.enter_view(target, now_ms, actions);
+        self.entries.retain(|s, _| *s <= self.last_exec);
+        for (seq, txs) in &repropose {
+            let digest = block_digest(*seq, txs);
+            let mut prepares = BTreeSet::new();
+            prepares.insert(self.me());
+            self.entries.insert(
+                *seq,
+                Entry {
+                    view: target,
+                    digest,
+                    txs: txs.clone(),
+                    has_payload: true,
+                    prepares,
+                    commits: BTreeSet::new(),
+                    exec_emitted: false,
+                    executed: false,
+                },
+            );
+        }
+        actions.push(Action::Broadcast(PeerMsg::NewView {
+            view: target,
+            from: self.me(),
+            last_exec: self.last_exec,
+            repropose,
+        }));
+        self.last_hb_ms = now_ms;
+        self.check_prepared(self.last_exec + 1, actions);
+    }
+
+    fn handle_new_view(
+        &mut self,
+        view: u64,
+        from: u32,
+        leader_last_exec: u64,
+        repropose: Vec<(u64, Vec<Vec<u8>>)>,
+        now_ms: u64,
+        actions: &mut Vec<Action>,
+    ) {
+        if view <= self.view || from != primary_of(view, self.cfg.n) {
+            return;
+        }
+        self.enter_view(view, now_ms, actions);
+        if leader_last_exec > self.last_exec {
+            actions.push(Action::NeedSync {
+                peer: from,
+                have: self.last_exec,
+            });
+        }
+        // Entries the new leader did not re-propose are dead.
+        let kept: BTreeSet<u64> = repropose.iter().map(|(s, _)| *s).collect();
+        self.entries
+            .retain(|s, _| *s <= self.last_exec || kept.contains(s));
+        for (seq, txs) in repropose {
+            self.handle_preprepare(from, view, seq, txs, now_ms, actions);
+        }
+    }
+
+    fn enter_view(&mut self, view: u64, now_ms: u64, actions: &mut Vec<Action>) {
+        debug_assert!(view > self.view);
+        self.view = view;
+        self.view_changes += 1;
+        self.vc_target = self.vc_target.max(view);
+        self.vc_votes.retain(|t, _| *t > view);
+        if self.pending_new_view.is_some_and(|t| t <= view) {
+            self.pending_new_view = None;
+        }
+        self.last_progress_ms = now_ms;
+        actions.push(Action::LeaderChanged {
+            view,
+            leader: primary_of(view, self.cfg.n),
+        });
+    }
+
+    /// The driver finished a state sync; the local chain now reaches
+    /// `height`. Fires a deferred `NewView` if we won an election while
+    /// behind.
+    pub fn on_caught_up(&mut self, height: u64, now_ms: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if height > self.last_exec {
+            self.last_exec = height;
+            self.entries.retain(|s, e| *s > height && !e.executed);
+            self.last_progress_ms = now_ms;
+        }
+        if let Some(target) = self.pending_new_view {
+            let max_le = self
+                .vc_votes
+                .get(&target)
+                .map(|v| v.values().map(|(le, _)| *le).max().unwrap_or(0))
+                .unwrap_or(0);
+            if self.last_exec >= max_le {
+                self.install_new_view(target, now_ms, &mut actions);
+            }
+        }
+        self.check_prepared(self.last_exec + 1, &mut actions);
+        actions
+    }
+
+    /// Periodic driver tick: leader heartbeats, follower timeout votes.
+    pub fn on_tick(&mut self, now_ms: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.pending_new_view.is_some() {
+            return actions; // syncing toward our own NewView
+        }
+        if self.is_leader() {
+            if now_ms.saturating_sub(self.last_hb_ms) >= self.cfg.heartbeat_ms {
+                self.last_hb_ms = now_ms;
+                actions.push(Action::Broadcast(PeerMsg::Heartbeat {
+                    view: self.view,
+                    from: self.me(),
+                    last_exec: self.last_exec,
+                }));
+            }
+        } else if now_ms.saturating_sub(self.last_progress_ms) >= self.cfg.view_timeout_ms {
+            // Escalate one target per silent timeout window, skipping over
+            // candidate leaders that are themselves dead.
+            let target = if self.vc_target <= self.view {
+                self.view + 1
+            } else {
+                self.vc_target + 1
+            };
+            self.last_progress_ms = now_ms;
+            self.broadcast_own_vote(target, &mut actions);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// In-memory bus driving N replicas with perfect (but reorderable)
+    /// links, synchronous execution, and a fake clock.
+    struct Bus {
+        replicas: Vec<Replica>,
+        /// Delivery queue of (from, to, msg).
+        queue: VecDeque<(u32, u32, PeerMsg)>,
+        /// Node ids that are crashed (drop everything to/from them).
+        dead: BTreeSet<u32>,
+        /// Per-replica executed blocks (seq, digest).
+        executed: Vec<Vec<(u64, [u8; 32])>>,
+        /// Per-replica committed seqs.
+        committed: Vec<Vec<u64>>,
+        /// Per-replica NeedSync requests observed.
+        syncs: Vec<Vec<(u32, u64)>>,
+        now: u64,
+    }
+
+    impl Bus {
+        fn new(n: usize) -> Bus {
+            let now = 0;
+            Bus {
+                replicas: (0..n)
+                    .map(|i| {
+                        let mut cfg = ReplicaConfig::localhost(i as u32, n);
+                        cfg.view_timeout_ms = 100;
+                        cfg.heartbeat_ms = 20;
+                        Replica::new(cfg, now)
+                    })
+                    .collect(),
+                queue: VecDeque::new(),
+                dead: BTreeSet::new(),
+                executed: vec![Vec::new(); n],
+                committed: vec![Vec::new(); n],
+                syncs: vec![Vec::new(); n],
+                now,
+            }
+        }
+
+        fn absorb(&mut self, node: u32, actions: Vec<Action>) {
+            let n = self.replicas.len() as u32;
+            for a in actions {
+                match a {
+                    Action::Broadcast(msg) => {
+                        for to in 0..n {
+                            if to != node {
+                                self.queue.push_back((node, to, msg.clone()));
+                            }
+                        }
+                    }
+                    Action::Send(to, msg) => self.queue.push_back((node, to, msg)),
+                    Action::Execute { seq, txs, digest } => {
+                        assert_eq!(digest, block_digest(seq, &txs));
+                        self.executed[node as usize].push((seq, digest));
+                        let more = self.replicas[node as usize].on_executed(seq, self.now);
+                        self.absorb(node, more);
+                    }
+                    Action::CommittedLocal { seq, .. } => {
+                        self.committed[node as usize].push(seq);
+                    }
+                    Action::NeedSync { peer, have } => {
+                        self.syncs[node as usize].push((peer, have));
+                    }
+                    Action::LeaderChanged { .. } => {}
+                }
+            }
+        }
+
+        /// Deliver queued messages until quiescence. `reversed` pops from
+        /// the back to stress out-of-order tolerance.
+        fn pump(&mut self, reversed: bool) {
+            while let Some((from, to, msg)) = if reversed {
+                self.queue.pop_back()
+            } else {
+                self.queue.pop_front()
+            } {
+                if self.dead.contains(&from) || self.dead.contains(&to) {
+                    continue;
+                }
+                let actions = self.replicas[to as usize].on_msg(from, msg, self.now);
+                self.absorb(to, actions);
+            }
+        }
+
+        fn propose(&mut self, node: u32, txs: Vec<Vec<u8>>) -> Result<(), ProposeError> {
+            let actions = self.replicas[node as usize].propose(txs, self.now)?;
+            self.absorb(node, actions);
+            Ok(())
+        }
+
+        fn tick_all(&mut self, advance_ms: u64) {
+            self.now += advance_ms;
+            for i in 0..self.replicas.len() {
+                if self.dead.contains(&(i as u32)) {
+                    continue;
+                }
+                let actions = self.replicas[i].on_tick(self.now);
+                self.absorb(i as u32, actions);
+            }
+        }
+
+        fn live(&self) -> Vec<usize> {
+            (0..self.replicas.len())
+                .filter(|i| !self.dead.contains(&(*i as u32)))
+                .collect()
+        }
+
+        fn assert_converged(&self, blocks: usize) {
+            let reference = self.executed[self.live()[0]].clone();
+            assert_eq!(reference.len(), blocks, "wrong block count");
+            for i in self.live() {
+                assert_eq!(
+                    self.executed[i], reference,
+                    "replica {i} diverged from the reference log"
+                );
+                assert_eq!(
+                    self.committed[i].len(),
+                    blocks,
+                    "replica {i} missing local commits"
+                );
+            }
+        }
+    }
+
+    fn block(tag: u8, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![tag, i as u8, 0xCF]).collect()
+    }
+
+    #[test]
+    fn four_replicas_commit_in_order() {
+        let mut bus = Bus::new(4);
+        for b in 0..3 {
+            bus.propose(0, block(b, 4)).unwrap();
+        }
+        bus.pump(false);
+        bus.assert_converged(3);
+        for r in &bus.replicas {
+            assert_eq!(r.last_exec(), 3);
+            assert_eq!(r.view(), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_delivery_still_converges() {
+        let mut bus = Bus::new(4);
+        for b in 0..4 {
+            bus.propose(0, block(b, 3)).unwrap();
+        }
+        bus.pump(true); // LIFO delivery: commits arrive before prepares
+        bus.assert_converged(4);
+    }
+
+    #[test]
+    fn single_replica_cluster_self_commits() {
+        let mut bus = Bus::new(1);
+        bus.propose(0, block(1, 2)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(1);
+    }
+
+    #[test]
+    fn watermark_backpressure_and_not_leader() {
+        let mut bus = Bus::new(4);
+        for b in 0..4 {
+            // Queue fills without any delivery: nothing executes.
+            bus.propose(0, block(b, 1)).unwrap();
+        }
+        assert_eq!(
+            bus.replicas[0].propose(block(9, 1), 0),
+            Err(ProposeError::Backpressure)
+        );
+        assert_eq!(
+            bus.replicas[1].propose(block(9, 1), 0),
+            Err(ProposeError::NotLeader)
+        );
+        bus.pump(false);
+        bus.assert_converged(4);
+        // Window cleared after commits.
+        bus.propose(0, block(9, 1)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(5);
+    }
+
+    #[test]
+    fn leader_crash_triggers_view_change_and_reproposal() {
+        let mut bus = Bus::new(4);
+        bus.propose(0, block(1, 4)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(1);
+
+        // Leader proposes block 2, the PrePrepare reaches everyone, then the
+        // leader dies before any Prepare exchange completes.
+        bus.propose(0, block(2, 4)).unwrap();
+        // Deliver only the PrePrepares (first 3 queued messages).
+        for _ in 0..3 {
+            let (from, to, msg) = bus.queue.pop_front().unwrap();
+            let actions = bus.replicas[to as usize].on_msg(from, msg, bus.now);
+            bus.absorb(to, actions);
+        }
+        bus.queue.clear();
+        bus.dead.insert(0);
+
+        // Followers time out, vote, and elect replica 1, which must
+        // re-propose block 2 verbatim.
+        bus.tick_all(150);
+        bus.pump(false);
+        for i in bus.live() {
+            assert_eq!(bus.replicas[i].view(), 1, "replica {i} stuck in view 0");
+            assert_eq!(bus.replicas[i].leader(), 1);
+            assert_eq!(bus.replicas[i].last_exec(), 2);
+            assert!(bus.replicas[i].view_changes() >= 1);
+        }
+        bus.assert_converged(2);
+
+        // The new leader keeps making progress.
+        bus.propose(1, block(3, 2)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(3);
+    }
+
+    #[test]
+    fn dead_candidate_escalates_to_next_view() {
+        // n=7 tolerates f=2: kill the leader AND the first candidate.
+        let mut bus = Bus::new(7);
+        bus.propose(0, block(1, 2)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(1);
+        bus.dead.insert(0);
+        bus.dead.insert(1);
+        // First timeout votes for view 1 (dead candidate), second escalates
+        // to view 2 whose primary is alive.
+        bus.tick_all(150);
+        bus.pump(false);
+        bus.tick_all(150);
+        bus.pump(false);
+        for i in bus.live() {
+            assert_eq!(bus.replicas[i].view(), 2, "replica {i} not in view 2");
+            assert_eq!(bus.replicas[i].leader(), 2);
+        }
+        bus.propose(2, block(2, 2)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(2);
+    }
+
+    #[test]
+    fn heartbeats_prevent_view_change() {
+        let mut bus = Bus::new(4);
+        bus.propose(0, block(1, 2)).unwrap();
+        bus.pump(false);
+        // Many quiet intervals shorter than the timeout, bridged by
+        // heartbeats: the view must hold.
+        for _ in 0..20 {
+            bus.tick_all(50);
+            bus.pump(false);
+        }
+        for r in &bus.replicas {
+            assert_eq!(r.view(), 0);
+        }
+        bus.assert_converged(1);
+    }
+
+    #[test]
+    fn lagging_replica_detects_gap_and_catches_up() {
+        let mut bus = Bus::new(4);
+        // Replica 3 misses two committed blocks.
+        bus.dead.insert(3);
+        bus.propose(0, block(1, 2)).unwrap();
+        bus.propose(0, block(2, 2)).unwrap();
+        bus.pump(false);
+        bus.dead.remove(&3);
+
+        // A heartbeat advertising progress triggers NeedSync on 3.
+        bus.tick_all(25);
+        bus.pump(false);
+        let (peer, have) = *bus.syncs[3].last().expect("no NeedSync emitted");
+        assert_eq!(peer, 0);
+        assert_eq!(have, 0);
+
+        // Driver syncs the WAL out of band and reports back.
+        let actions = bus.replicas[3].on_caught_up(2, bus.now);
+        bus.absorb(3, actions);
+        assert_eq!(bus.replicas[3].last_exec(), 2);
+
+        // And replica 3 participates in the next block normally.
+        bus.propose(0, block(3, 2)).unwrap();
+        bus.pump(false);
+        assert_eq!(bus.executed[3], vec![(3, block_digest(3, &block(3, 2)))]);
+        assert_eq!(bus.committed[3], vec![3]);
+    }
+
+    #[test]
+    fn elected_leader_syncs_before_new_view() {
+        let mut bus = Bus::new(4);
+        // Replica 1 (next leader) misses a block, then the leader dies.
+        bus.dead.insert(1);
+        bus.propose(0, block(1, 2)).unwrap();
+        bus.pump(false);
+        bus.dead.remove(&1);
+        bus.dead.insert(0);
+
+        bus.tick_all(150);
+        bus.pump(false);
+        // Replica 1 won but is behind: it must have requested a sync and
+        // deferred the NewView.
+        let (_, have) = *bus.syncs[1].last().expect("elected leader never synced");
+        assert_eq!(have, 0);
+        assert_eq!(bus.replicas[1].view(), 0, "installed view before syncing");
+
+        let actions = bus.replicas[1].on_caught_up(1, bus.now);
+        bus.absorb(1, actions);
+        bus.pump(false);
+        for i in bus.live() {
+            assert_eq!(bus.replicas[i].view(), 1);
+        }
+        bus.propose(1, block(2, 2)).unwrap();
+        bus.pump(false);
+        for i in bus.live() {
+            assert_eq!(bus.replicas[i].last_exec(), 2);
+        }
+    }
+
+    #[test]
+    fn resumed_replica_starts_at_recovered_height() {
+        let r = Replica::with_height(ReplicaConfig::localhost(2, 4), 7, 0);
+        assert_eq!(r.last_exec(), 7);
+        assert_eq!(r.view(), 0);
+    }
+}

@@ -120,6 +120,20 @@ pub struct RecoveryReport {
     pub deploys_replayed: usize,
 }
 
+/// What [`ConfideNode::catch_up_from_wal`] applied from a peer's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatchUpReport {
+    /// Blocks newly applied (heights at or below the tip are skipped).
+    pub blocks_applied: u64,
+    /// Post-catch-up chain height.
+    pub height: u64,
+    /// Post-catch-up state root.
+    pub state_root: [u8; 32],
+    /// Bytes of the fragment forming complete, applied record groups;
+    /// the caller keeps the remainder and retries once more data arrives.
+    pub bytes_consumed: usize,
+}
+
 /// Result of executing one block.
 #[derive(Debug)]
 pub struct BlockResult {
@@ -400,47 +414,7 @@ impl ConfideNode {
         let rec = BlockWal::recover(log);
         let mut deploys_replayed = 0usize;
         for wb in &rec.blocks {
-            let expected = self.state.height() + 1;
-            if wb.header.height != expected {
-                return Err(NodeError::Recover(RecoverError::Height {
-                    expected,
-                    found: wb.header.height,
-                }));
-            }
-            for (index, bytes) in wb.txs.iter().enumerate() {
-                let wire = WireTx::decode(bytes).map_err(|_| {
-                    NodeError::Recover(RecoverError::BadTx {
-                        height: wb.header.height,
-                        index,
-                    })
-                })?;
-                let engine = match &wire {
-                    WireTx::Public(_) => &self.public_engine,
-                    WireTx::Confidential(_) => &self.confidential_engine,
-                };
-                if engine
-                    .replay_deploy(&wire)
-                    .map_err(|e| NodeError::Recover(RecoverError::Deploy(e)))?
-                {
-                    deploys_replayed += 1;
-                }
-            }
-            let root = self
-                .state
-                .apply_block(wb.header.height, &wb.batch)
-                .map_err(NodeError::State)?;
-            if root != wb.header.state_root {
-                return Err(NodeError::Recover(RecoverError::RootMismatch {
-                    height: wb.header.height,
-                }));
-            }
-            self.blocks
-                .append(Block {
-                    header: wb.header.clone(),
-                    txs: wb.txs.clone(),
-                })
-                .map_err(NodeError::Blocks)?;
-            self.timestamp_ns = wb.header.timestamp_ns;
+            deploys_replayed += self.replay_wal_block(wb)?;
         }
         self.wal = BlockWal::from_recovered(log);
         Ok(RecoveryReport {
@@ -449,6 +423,89 @@ impl ConfideNode {
             state_root: self.state.root(),
             torn_bytes: rec.torn_bytes,
             deploys_replayed,
+        })
+    }
+
+    /// Replay one recovered WAL block onto the tip: re-run deployment
+    /// registry effects, re-apply the batch, assert the sealed root, and
+    /// re-link the block store. Returns the deploys replayed.
+    fn replay_wal_block(
+        &mut self,
+        wb: &confide_storage::wal::WalBlock,
+    ) -> Result<usize, NodeError> {
+        let expected = self.state.height() + 1;
+        if wb.header.height != expected {
+            return Err(NodeError::Recover(RecoverError::Height {
+                expected,
+                found: wb.header.height,
+            }));
+        }
+        let mut deploys_replayed = 0usize;
+        for (index, bytes) in wb.txs.iter().enumerate() {
+            let wire = WireTx::decode(bytes).map_err(|_| {
+                NodeError::Recover(RecoverError::BadTx {
+                    height: wb.header.height,
+                    index,
+                })
+            })?;
+            let engine = match &wire {
+                WireTx::Public(_) => &self.public_engine,
+                WireTx::Confidential(_) => &self.confidential_engine,
+            };
+            if engine
+                .replay_deploy(&wire)
+                .map_err(|e| NodeError::Recover(RecoverError::Deploy(e)))?
+            {
+                deploys_replayed += 1;
+            }
+        }
+        let root = self
+            .state
+            .apply_block(wb.header.height, &wb.batch)
+            .map_err(NodeError::State)?;
+        if root != wb.header.state_root {
+            return Err(NodeError::Recover(RecoverError::RootMismatch {
+                height: wb.header.height,
+            }));
+        }
+        self.blocks
+            .append(Block {
+                header: wb.header.clone(),
+                txs: wb.txs.clone(),
+            })
+            .map_err(NodeError::Blocks)?;
+        self.timestamp_ns = wb.header.timestamp_ns;
+        Ok(deploys_replayed)
+    }
+
+    /// Apply a fragment of a **peer's** WAL to a *running* node (state
+    /// sync). Unlike [`ConfideNode::recover_from_wal`] this does not
+    /// require a fresh node: blocks at or below the current tip are
+    /// skipped, the next block must continue the chain (a height gap is a
+    /// [`RecoverError::Height`] error), and every applied block is
+    /// re-framed into the local WAL. Because block sealing is fully
+    /// deterministic across replicas, the re-framed bytes are identical to
+    /// the peer's — so byte-offset sync cursors remain valid afterwards.
+    ///
+    /// The fragment may end mid-record-group (a chunked transfer);
+    /// complete groups are applied and `bytes_consumed` tells the caller
+    /// how much of the fragment was used.
+    pub fn catch_up_from_wal(&mut self, fragment: &[u8]) -> Result<CatchUpReport, NodeError> {
+        let rec = BlockWal::recover(fragment);
+        let mut applied = 0u64;
+        for wb in &rec.blocks {
+            if wb.header.height <= self.state.height() {
+                continue;
+            }
+            self.replay_wal_block(wb)?;
+            self.wal.append_block(&wb.header, &wb.txs, &wb.batch);
+            applied += 1;
+        }
+        Ok(CatchUpReport {
+            blocks_applied: applied,
+            height: self.blocks.height(),
+            state_root: self.state.root(),
+            bytes_consumed: rec.consumed,
         })
     }
 
@@ -1985,6 +2042,89 @@ mod tests {
         assert!(report.torn_bytes > 0);
         assert_eq!(recovered.state_root(), roots[2]);
         assert_eq!(recovered.blocks.height(), 3);
+    }
+
+    #[test]
+    fn catch_up_applies_new_blocks_onto_a_running_node() {
+        let mut node = fresh_node();
+        pump_blocks(&mut node, 5, 0);
+
+        // A lagging replica that executed only the first two blocks.
+        let mut lagging = fresh_node();
+        let report = lagging
+            .catch_up_from_wal(&node.wal_bytes()[..0])
+            .expect("empty fragment is a no-op");
+        assert_eq!(report.blocks_applied, 0);
+        pump_blocks(&mut lagging, 2, 0);
+        assert_eq!(lagging.blocks.height(), 2);
+        let resume_at = lagging.wal_bytes().len();
+        // Determinism: the shared prefix is byte-identical, so the local
+        // WAL length is a valid cursor into the peer's log.
+        assert_eq!(&node.wal_bytes()[..resume_at], lagging.wal_bytes());
+
+        let report = lagging
+            .catch_up_from_wal(&node.wal_bytes()[resume_at..])
+            .unwrap();
+        assert_eq!(report.blocks_applied, 3);
+        assert_eq!(report.height, 5);
+        assert_eq!(report.state_root, node.state_root());
+        assert_eq!(lagging.state_root(), node.state_root());
+        // The re-framed WAL is byte-identical to the peer's.
+        assert_eq!(lagging.wal_bytes(), node.wal_bytes());
+        assert!(lagging.blocks.verify_chain());
+
+        // Receipts of synced blocks are queryable on the caught-up node.
+        for tx in pump_blocks(&mut node, 1, 50) {
+            lagging
+                .execute_block_parallel(std::slice::from_ref(&tx), 2)
+                .unwrap();
+        }
+        assert_eq!(lagging.state_root(), node.state_root());
+    }
+
+    #[test]
+    fn catch_up_skips_known_blocks_and_stops_at_torn_chunks() {
+        let mut node = fresh_node();
+        let mut wal_ends = Vec::new();
+        for i in 0..3 {
+            pump_blocks(&mut node, 1, i * 3 + 1);
+            wal_ends.push(node.wal_bytes().len());
+        }
+        let mut follower = fresh_node();
+        // Overlapping fragment from offset 0 while the follower already
+        // has block 1: the known block is skipped, not an error.
+        follower
+            .catch_up_from_wal(&node.wal_bytes()[..wal_ends[0]])
+            .unwrap();
+        let report = follower
+            .catch_up_from_wal(&node.wal_bytes()[..wal_ends[1]])
+            .unwrap();
+        assert_eq!(report.blocks_applied, 1);
+        assert_eq!(report.height, 2);
+
+        // A chunk ending mid-record-group applies only the complete
+        // prefix and reports how many bytes it consumed.
+        let cut = (wal_ends[1] + wal_ends[2]) / 2;
+        let fragment = &node.wal_bytes()[wal_ends[1]..cut];
+        let report = follower.catch_up_from_wal(fragment).unwrap();
+        assert_eq!(report.blocks_applied, 0);
+        assert_eq!(report.bytes_consumed, 0);
+        // Completing the chunk applies the block.
+        let report = follower
+            .catch_up_from_wal(&node.wal_bytes()[wal_ends[1]..])
+            .unwrap();
+        assert_eq!(report.blocks_applied, 1);
+        assert_eq!(follower.state_root(), node.state_root());
+
+        // A gap (fragment starting beyond the tip) is a typed error.
+        let mut gapped = fresh_node();
+        match gapped.catch_up_from_wal(&node.wal_bytes()[wal_ends[0]..]) {
+            Err(NodeError::Recover(RecoverError::Height {
+                expected: 1,
+                found: 2,
+            })) => {}
+            other => panic!("expected height gap, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! `results/BENCH_net.json`.
 //!
 //! ```text
-//! confide-loadgen [--addr HOST:PORT | --self-host] [--threads N]
-//!                 [--txs N] [--mode closed|open|both] [--public]
+//! confide-loadgen [--addr HOST:PORT | --endpoint HOST:PORT .. | --self-host]
+//!                 [--threads N] [--txs N] [--mode closed|open|both] [--public]
 //!                 [--window N] [--queue-depth N] [--exec-threads N]
-//!                 [--out PATH] [--recover-ms N] [--recovered-blocks N]
+//!                 [--out PATH] [--recover-ms N] [--recovered-blocks N] [--probe]
 //! ```
+//!
+//! `--endpoint` may repeat: list every member of a consortium cluster
+//! and the workers spread their connections across them, follow typed
+//! `NotPrimary` redirects to whoever currently leads, rotate past dead
+//! members, and the emitted JSON gains a populated `consensus` section
+//! (view changes, state-sync blocks, redirects followed).
 //!
 //! `--recover-ms` / `--recovered-blocks` attach an externally measured
 //! crash-recovery datapoint (the `RECOVERED` line a restarted
@@ -18,19 +24,27 @@
 //! single command produces a complete benchmark. Exits non-zero when any
 //! accepted transaction's receipt fails to decrypt/verify — a bench run
 //! doubles as an end-to-end confidentiality check.
+//!
+//! With `--probe` the binary skips the load run entirely and prints one
+//! machine-readable `STATUS` line per reachable endpoint (node id, view,
+//! height, state root, …) — the hook `scripts/check.sh` uses to assert
+//! that cluster survivors converged to identical roots.
 
 use confide_net::demo::demo_node;
 use confide_net::loadgen::{
-    run, run_parallel_scaling, run_static_sched, to_json, LoadReport, LoadgenConfig, RecoveryInfo,
+    run, run_parallel_scaling, run_static_sched, to_json, ConsensusInfo, LoadReport, LoadgenConfig,
+    RecoveryInfo,
 };
+use confide_net::Conn;
 use confide_net::{NodeServer, ServerConfig};
 use std::net::SocketAddr;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: confide-loadgen [--addr HOST:PORT | --self-host] [--threads N] [--txs N] \
-         [--mode closed|open|both] [--public] [--window N] [--queue-depth N] \
-         [--exec-threads N] [--out PATH] [--recover-ms N] [--recovered-blocks N]"
+        "usage: confide-loadgen [--addr HOST:PORT | --endpoint HOST:PORT .. | --self-host] \
+         [--threads N] [--txs N] [--mode closed|open|both] [--public] [--window N] \
+         [--queue-depth N] [--exec-threads N] [--out PATH] [--recover-ms N] \
+         [--recovered-blocks N] [--probe]"
     );
     std::process::exit(2);
 }
@@ -46,7 +60,7 @@ fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
 }
 
 fn main() {
-    let mut addr: Option<SocketAddr> = None;
+    let mut endpoints: Vec<SocketAddr> = Vec::new();
     let mut self_host = false;
     let mut threads: usize = 4;
     let mut txs: usize = 250;
@@ -57,10 +71,11 @@ fn main() {
     let mut exec_threads: usize = ServerConfig::default().exec_threads;
     let mut out = String::from("results/BENCH_net.json");
     let mut recovery = RecoveryInfo::default();
+    let mut probe = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--addr" => addr = Some(parse("--addr", args.next())),
+            "--addr" | "--endpoint" => endpoints.push(parse(arg.as_str(), args.next())),
             "--self-host" => self_host = true,
             "--threads" => threads = parse("--threads", args.next()),
             "--txs" => txs = parse("--txs", args.next()),
@@ -74,6 +89,7 @@ fn main() {
             "--recovered-blocks" => {
                 recovery.recovered_blocks = parse("--recovered-blocks", args.next())
             }
+            "--probe" => probe = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("confide-loadgen: unknown flag {other}");
@@ -85,9 +101,33 @@ fn main() {
         eprintln!("confide-loadgen: --mode must be closed, open or both");
         usage();
     }
-    if addr.is_some() && self_host {
-        eprintln!("confide-loadgen: --addr and --self-host are mutually exclusive");
+    if !endpoints.is_empty() && self_host {
+        eprintln!("confide-loadgen: --addr/--endpoint and --self-host are mutually exclusive");
         usage();
+    }
+    if probe {
+        if endpoints.is_empty() {
+            eprintln!("confide-loadgen: --probe needs at least one --endpoint");
+            usage();
+        }
+        let mut reachable = 0usize;
+        for addr in &endpoints {
+            match Conn::connect_timeout(*addr, std::time::Duration::from_millis(800))
+                .and_then(|mut c| c.status())
+            {
+                Ok(s) => {
+                    reachable += 1;
+                    let root: String = s.state_root.iter().map(|b| format!("{b:02x}")).collect();
+                    println!(
+                        "STATUS {addr} node={} view={} leader={} height={} root={root} \
+                         view_changes={} sync_blocks={}",
+                        s.node_id, s.view, s.leader, s.height, s.view_changes, s.sync_blocks
+                    );
+                }
+                Err(e) => eprintln!("confide-loadgen: probe {addr}: {e}"),
+            }
+        }
+        std::process::exit(if reachable > 0 { 0 } else { 1 });
     }
 
     let server_cfg = ServerConfig {
@@ -96,7 +136,7 @@ fn main() {
         ..ServerConfig::default()
     };
     // Keep the in-process server alive for the whole run.
-    let server: Option<NodeServer> = if addr.is_none() {
+    let server: Option<NodeServer> = if endpoints.is_empty() {
         let s = NodeServer::spawn(demo_node(7), ("127.0.0.1", 0), server_cfg.clone())
             .unwrap_or_else(|e| {
                 eprintln!("confide-loadgen: self-host bind failed: {e}");
@@ -107,7 +147,9 @@ fn main() {
     } else {
         None
     };
-    let target = server.as_ref().map(|s| s.addr()).or(addr).expect("addr");
+    if let Some(s) = &server {
+        endpoints.push(s.addr());
+    }
 
     let mut reports: Vec<LoadReport> = Vec::new();
     let modes: Vec<&str> = match mode.as_str() {
@@ -118,7 +160,7 @@ fn main() {
     let mut all_verified = true;
     for m in &modes {
         let cfg = LoadgenConfig {
-            addr: target,
+            endpoints: endpoints.clone(),
             threads,
             txs_per_thread: txs,
             closed: *m == "closed",
@@ -140,14 +182,16 @@ fn main() {
         match run(&cfg) {
             Ok(report) => {
                 eprintln!(
-                    "confide-loadgen: {}: {}/{} verified, {:.1} tx/s, p50 {:.2} ms, p99 {:.2} ms, busy {}",
+                    "confide-loadgen: {}: {}/{} verified, {:.1} tx/s, p50 {:.2} ms, p99 {:.2} ms, \
+                     busy {}, redirects {}",
                     m,
                     report.receipts_verified,
                     report.accepted,
                     report.throughput_tps,
                     report.latency_ms.p50,
                     report.latency_ms.p99,
-                    report.busy
+                    report.busy,
+                    report.redirects
                 );
                 if report.receipts_verified != report.accepted {
                     all_verified = false;
@@ -206,7 +250,31 @@ fn main() {
     for r in &reports {
         recovery.retries += r.retries;
     }
-    let json = to_json(&reports, &scaling, &static_sched, &server_cfg, &recovery);
+    // The consensus section: probe every endpoint's status after the
+    // run. Single-node and self-hosted runs report n = 1 with zeroed
+    // counters, so the schema is identical across deployment shapes.
+    let tps = reports.first().map(|r| r.throughput_tps).unwrap_or(0.0);
+    let redirects: u64 = reports.iter().map(|r| r.redirects).sum();
+    let consensus = ConsensusInfo::probe(&endpoints, tps, redirects);
+    if consensus.n > 1 {
+        eprintln!(
+            "confide-loadgen: consensus: n {}, {:.1} tx/s, view_changes {}, sync_blocks {}, \
+             redirects {}",
+            consensus.n,
+            consensus.tps,
+            consensus.view_changes,
+            consensus.sync_blocks,
+            consensus.redirects
+        );
+    }
+    let json = to_json(
+        &reports,
+        &scaling,
+        &static_sched,
+        &server_cfg,
+        &recovery,
+        &consensus,
+    );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);

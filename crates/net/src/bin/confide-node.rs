@@ -30,15 +30,16 @@
 //! crash window the chaos tests exercise.
 
 use confide_core::keys::{seal_node_keys, unseal_node_keys};
-use confide_net::demo::{demo_keys, demo_node_with, demo_platform};
-use confide_net::{NodeServer, ServerConfig};
+use confide_net::demo::{cluster_platform, demo_keys, demo_node_with, demo_platform};
+use confide_net::{ClusterConfig, NodeServer, ServerConfig};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N] \
-         [--exec-threads N] [--wal PATH] [--crash-after N] [--svn N] [--min-svn N]"
+         [--exec-threads N] [--wal PATH] [--crash-after N] [--svn N] [--min-svn N] \
+         [--node-id N --peers HOST:PORT,.. [--cluster-keys SEED]]"
     );
     std::process::exit(2);
 }
@@ -56,6 +57,9 @@ fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
 fn main() {
     let mut port: u16 = 0;
     let mut seed: u64 = 7;
+    let mut node_id: Option<u32> = None;
+    let mut peers: Vec<String> = Vec::new();
+    let mut cluster_keys: Option<u64> = None;
     let mut config = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +73,12 @@ fn main() {
             "--crash-after" => config.crash_after = Some(parse("--crash-after", args.next())),
             "--svn" => config.join_svn = parse("--svn", args.next()),
             "--min-svn" => config.join_min_svn = parse("--min-svn", args.next()),
+            "--node-id" => node_id = Some(parse("--node-id", args.next())),
+            "--peers" => {
+                let list: String = parse("--peers", args.next());
+                peers = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--cluster-keys" => cluster_keys = Some(parse("--cluster-keys", args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("confide-node: unknown flag {other}");
@@ -77,10 +87,44 @@ fn main() {
         }
     }
 
+    // Cluster mode: `--peers` lists every member's advertised address
+    // indexed by node id (this node's own entry included). All members
+    // share the consortium seed (`--cluster-keys`, defaulting to
+    // `--seed`) — same keys, same deterministic execution — while each
+    // quotes from its own per-node platform.
+    let cluster = match (node_id, peers.is_empty()) {
+        (Some(id), false) => {
+            if (id as usize) >= peers.len() {
+                eprintln!(
+                    "confide-node: --node-id {id} out of range for {} peers",
+                    peers.len()
+                );
+                usage();
+            }
+            Some(ClusterConfig::demo(
+                id,
+                peers.clone(),
+                cluster_keys.unwrap_or(seed),
+            ))
+        }
+        (None, false) | (Some(_), true) => {
+            eprintln!("confide-node: --node-id and --peers must be given together");
+            usage();
+        }
+        (None, true) => None,
+    };
+
     // Rebuild "the same machine": the TEE platform is deterministic in
     // the seed; the consortium keys come from the sealed blob when one
     // survives, else are provisioned fresh and sealed for next time.
-    let platform = demo_platform(seed);
+    let boot_seed = match &cluster {
+        Some(_) => cluster_keys.unwrap_or(seed),
+        None => seed,
+    };
+    let platform = match &cluster {
+        Some(c) => cluster_platform(boot_seed, c.node_id),
+        None => demo_platform(seed),
+    };
     let (svn, min_svn) = (config.join_svn, config.join_min_svn);
     let keys = match config.wal_path.as_ref().map(|p| sealed_keys_path(p)) {
         Some(kp) if kp.exists() => {
@@ -103,9 +147,9 @@ fn main() {
             }
         }
         maybe_path => {
-            let keys = demo_keys(seed);
+            let keys = demo_keys(boot_seed);
             if let Some(kp) = maybe_path {
-                match seal_node_keys(&platform, svn, &keys, seed ^ 0x7365616c) {
+                match seal_node_keys(&platform, svn, &keys, boot_seed ^ 0x7365616c) {
                     Ok(blob) => {
                         if let Err(e) = std::fs::write(&kp, &blob) {
                             eprintln!("confide-node: cannot seal keys to {}: {e}", kp.display());
@@ -123,10 +167,15 @@ fn main() {
         }
     };
 
-    let mut node = demo_node_with(platform.clone(), keys, seed);
-    // This node trusts its own platform root for wire rejoins (the demo
-    // consortium is rooted in one deterministic platform registry).
-    config.join_roots = vec![platform.attestation_public_key()];
+    let mut node = demo_node_with(platform.clone(), keys, boot_seed);
+    // Wire-join trust: in cluster mode every peer's platform root (the
+    // mesh dials in through the same K-Protocol join clients would use);
+    // single-node, just this node's own deterministic root.
+    config.join_roots = match &cluster {
+        Some(c) => c.peer_roots.clone(),
+        None => vec![platform.attestation_public_key()],
+    };
+    config.cluster = cluster;
 
     if let Some(wal) = config.wal_path.as_ref() {
         if wal.exists() {
@@ -157,7 +206,27 @@ fn main() {
         }
     }
 
-    let server = match NodeServer::spawn(node, ("127.0.0.1", port), config) {
+    // Cluster mode must serve on its own advertised `--peers` entry —
+    // that address is what the mesh dials and what clients are
+    // redirected to. `--port` (non-zero) overrides for setups that
+    // advertise through a proxy.
+    let bind: (String, u16) = match &config.cluster {
+        Some(c) if port == 0 => {
+            let advertised = &c.peers[c.node_id as usize];
+            match advertised
+                .rsplit_once(':')
+                .and_then(|(host, p)| Some((host.to_string(), p.parse::<u16>().ok()?)))
+            {
+                Some(hp) => hp,
+                None => {
+                    eprintln!("confide-node: cannot parse own peer address {advertised}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => (String::from("127.0.0.1"), port),
+    };
+    let server = match NodeServer::spawn(node, (bind.0.as_str(), bind.1), config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("confide-node: bind failed: {e}");

@@ -13,6 +13,7 @@ use confide_core::seal_signed_tx;
 use confide_core::tx::WireTx;
 use confide_crypto::ed25519::VerifyingKey;
 use confide_crypto::HmacDrbg;
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -38,6 +39,8 @@ pub enum NetError {
     /// The gateway's connection pool stayed at its cap for the whole
     /// `pool_wait` window — every lease is held and none came back.
     PoolExhausted,
+    /// The node is a cluster follower; submissions belong at `leader`.
+    NotPrimary(String),
     /// Every attempt of a [`Gateway::submit_with_retry`] failed with a
     /// transient error; `last` is the final attempt's failure.
     RetriesExhausted {
@@ -58,6 +61,7 @@ impl std::fmt::Display for NetError {
             NetError::Busy => f.write_str("server busy (queue full)"),
             NetError::Crypto => f.write_str("cryptographic failure"),
             NetError::Attestation(e) => write!(f, "attestation: {e}"),
+            NetError::NotPrimary(leader) => write!(f, "not primary; leader is {leader}"),
             NetError::PoolExhausted => f.write_str("gateway pool exhausted (lease wait timed out)"),
             NetError::RetriesExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
@@ -174,6 +178,7 @@ impl Conn {
             Message::Accepted(h) => Ok(h),
             Message::Busy => Err(NetError::Busy),
             Message::Rejected(r) => Err(NetError::Rejected(r)),
+            Message::NotPrimary { leader } => Err(NetError::NotPrimary(leader)),
             other => Err(NetError::UnexpectedReply(other.kind())),
         }
     }
@@ -184,6 +189,17 @@ impl Conn {
         match self.request(&Message::SubmitTxWait(tx.clone()))? {
             Message::Committed { sealed, receipt } => Ok((sealed, receipt)),
             Message::Busy => Err(NetError::Busy),
+            Message::Rejected(r) => Err(NetError::Rejected(r)),
+            Message::NotPrimary { leader } => Err(NetError::NotPrimary(leader)),
+            other => Err(NetError::UnexpectedReply(other.kind())),
+        }
+    }
+
+    /// Fetch the node's live status line (height, state root, and — on a
+    /// cluster member — view/leader/sync counters).
+    pub fn status(&mut self) -> Result<crate::frame::NodeStatus, NetError> {
+        match self.request(&Message::GetStatus)? {
+            Message::StatusIs(s) => Ok(s),
             Message::Rejected(r) => Err(NetError::Rejected(r)),
             other => Err(NetError::UnexpectedReply(other.kind())),
         }
@@ -332,6 +348,12 @@ pub struct Gateway {
     pool_wait: Duration,
     conn_timeout: Duration,
     stats: RetryStats,
+    /// Attested `pk_tx`, cached **per endpoint address**. In a
+    /// multi-node pool every member quotes from its own platform, so
+    /// an attestation verified against one endpoint must never be
+    /// reused as the verdict for another — the key records exactly
+    /// which endpoint it was proven for.
+    attested_pk: Mutex<HashMap<SocketAddr, [u8; 32]>>,
 }
 
 struct PoolState {
@@ -427,6 +449,7 @@ impl Gateway {
             pool_wait: Duration::from_secs(5),
             conn_timeout: Duration::from_secs(10),
             stats: RetryStats::default(),
+            attested_pk: Mutex::new(HashMap::new()),
         })
     }
 
@@ -547,6 +570,37 @@ impl Gateway {
                 result
             }
         }
+    }
+
+    /// Fetch this endpoint's `pk_tx` with its attestation report
+    /// verified against `attestation_root` / `expected_mrenclave` /
+    /// `min_svn` — once. The verified key is cached per endpoint
+    /// address, so a process holding one gateway per cluster member
+    /// never cross-validates node A's enclave report under the verdict
+    /// obtained from node B: each cache entry records which endpoint
+    /// it was proven for, and a cache miss always re-runs the full
+    /// report verification over the wire.
+    pub fn pk_tx_attested(
+        &self,
+        attestation_root: &VerifyingKey,
+        expected_mrenclave: &[u8; 32],
+        min_svn: u16,
+    ) -> Result<[u8; 32], NetError> {
+        if let Some(pk) = self
+            .attested_pk
+            .lock()
+            .expect("pk cache lock")
+            .get(&self.addr)
+        {
+            return Ok(*pk);
+        }
+        let pk = self
+            .with_conn(|c| c.fetch_pk_tx_attested(attestation_root, expected_mrenclave, min_svn))?;
+        self.attested_pk
+            .lock()
+            .expect("pk cache lock")
+            .insert(self.addr, pk);
+        Ok(pk)
     }
 
     /// Submit a sealed transaction through the pool and wait for commit.

@@ -1,0 +1,910 @@
+//! The wire-level PBFT cluster runtime: the glue between the
+//! transport-agnostic [`confide_consensus::Replica`] state machine and a
+//! real [`crate::server::NodeServer`] process.
+//!
+//! Three pieces live here:
+//!
+//! * [`ClusterConfig`] — who the peers are, which TEE platform this node
+//!   quotes from, and which attestation roots it will trust for the mesh.
+//! * [`ClusterShared`] — lock-free counters the connection handlers read
+//!   (current view/leader for `NotPrimary` redirects, view-change and
+//!   state-sync totals for [`crate::frame::NodeStatus`]).
+//! * the **cluster driver** ([`cluster_loop`]) — the thread that replaces
+//!   the single-node batcher when [`crate::server::ServerConfig::cluster`]
+//!   is set. It owns the replica state machine, batches client jobs into
+//!   proposals when it is the leader, executes committed blocks through
+//!   the same `execute_block_parallel` + WAL-fsync path the batcher uses,
+//!   and runs the StateSync client when it falls behind.
+//!
+//! ## Attested mesh
+//!
+//! Peer connections are ordinary T-Protocol connections that first run
+//! the K-Protocol MAP join ([`crate::client::Conn::rejoin`]): the dialer
+//! quotes its KM enclave, the acceptor counter-quotes and wraps the
+//! consortium keys, and the dialer checks the unwrapped `pk_tx` equals
+//! its own. Only after that exchange does the acceptor mark the
+//! connection *attested* and accept [`crate::frame::Message::Peer`] or
+//! `StateSyncReq` frames on it — an unattested socket cannot inject
+//! consensus traffic or read the raw WAL. Attestation proves enclave
+//! build, not protocol honesty: the fault model stays crash-fault (see
+//! `crates/consensus`), matching the paper's consortium setting where
+//! members are identified and misbehaviour is contractually visible.
+
+use crate::client::{Conn, NetError};
+use crate::frame::Message;
+use crate::server::{InFlight, Job, ServerConfig, ServerStats};
+use confide_consensus::{primary_of, Action, PeerMsg, ProposeError, Replica, ReplicaConfig};
+use confide_core::node::ConfideNode;
+use confide_core::tx::WireTx;
+use confide_crypto::ed25519::VerifyingKey;
+use confide_tee::platform::TeePlatform;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Outbound per-peer queue depth. Consensus messages are small and
+/// retransmission is built into the protocol (heartbeats, re-broadcast on
+/// timeout), so a full queue drops the oldest traffic rather than
+/// blocking the driver.
+const PEER_QUEUE: usize = 1024;
+
+/// Max WAL bytes served per `StateSyncResp` chunk.
+pub const SYNC_CHUNK_MAX: u32 = 512 * 1024;
+
+/// Membership + identity of one node in a wire cluster.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// This node's index into `peers`.
+    pub node_id: u32,
+    /// Advertised `host:port` of every node, indexed by node id (this
+    /// node's own entry included — it is what `NotPrimary` redirects
+    /// carry when this node leads).
+    pub peers: Vec<String>,
+    /// The TEE platform this node quotes from when dialling peers.
+    pub platform: Arc<TeePlatform>,
+    /// Attestation root of every peer's platform, indexed by node id.
+    /// The mesh dialer verifies peer `i`'s counter-quote against
+    /// `peer_roots[i]`; the server side accepts joins from any of them.
+    pub peer_roots: Vec<VerifyingKey>,
+    /// SVN this node's KM enclave quotes at.
+    pub svn: u16,
+    /// Minimum SVN accepted from peers.
+    pub min_svn: u16,
+    /// Leader heartbeat period (ms).
+    pub heartbeat_ms: u64,
+    /// Follower silence window before a view change starts (ms).
+    pub view_timeout_ms: u64,
+    /// Consensus pipelining window (blocks proposed but not committed).
+    pub max_inflight: u64,
+    /// Base seed for the joiner side of mesh attestation handshakes
+    /// (mixed with a dial counter so ephemeral keys never repeat).
+    pub rejoin_seed: u64,
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("node_id", &self.node_id)
+            .field("peers", &self.peers)
+            .field("svn", &self.svn)
+            .field("min_svn", &self.min_svn)
+            .field("heartbeat_ms", &self.heartbeat_ms)
+            .field("view_timeout_ms", &self.view_timeout_ms)
+            .field("max_inflight", &self.max_inflight)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterConfig {
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Demo-consortium cluster config: deterministic per-node platforms
+    /// derived from `cluster_seed` (see [`crate::demo::cluster_platform`]),
+    /// so every node can compute every peer's attestation root without
+    /// talking to it. Timeouts default to localhost-friendly values.
+    pub fn demo(node_id: u32, peers: Vec<String>, cluster_seed: u64) -> ClusterConfig {
+        let peer_roots = (0..peers.len() as u32)
+            .map(|id| crate::demo::cluster_platform(cluster_seed, id).attestation_public_key())
+            .collect();
+        ClusterConfig {
+            node_id,
+            platform: crate::demo::cluster_platform(cluster_seed, node_id),
+            peer_roots,
+            peers,
+            svn: 1,
+            min_svn: 1,
+            heartbeat_ms: 150,
+            view_timeout_ms: 1200,
+            max_inflight: 4,
+            rejoin_seed: cluster_seed ^ 0x6d65_7368, // "mesh"
+        }
+    }
+}
+
+/// Live cluster state shared between the driver and connection handlers.
+#[derive(Debug)]
+pub struct ClusterShared {
+    /// This node's id.
+    pub node_id: u32,
+    /// Current view number.
+    pub view: AtomicU64,
+    /// Current leader's node id.
+    pub leader: AtomicU32,
+    /// View changes this node has participated in.
+    pub view_changes: AtomicU64,
+    /// Blocks applied through StateSync catch-up.
+    pub sync_blocks: AtomicU64,
+    peers: Vec<String>,
+}
+
+impl ClusterShared {
+    pub(crate) fn new(cfg: &ClusterConfig) -> ClusterShared {
+        ClusterShared {
+            node_id: cfg.node_id,
+            view: AtomicU64::new(0),
+            leader: AtomicU32::new(primary_of(0, cfg.n())),
+            view_changes: AtomicU64::new(0),
+            sync_blocks: AtomicU64::new(0),
+            peers: cfg.peers.clone(),
+        }
+    }
+
+    /// The advertised address of the current leader (for `NotPrimary`).
+    pub fn leader_addr(&self) -> String {
+        let id = self.leader.load(Ordering::Relaxed) as usize;
+        self.peers
+            .get(id % self.peers.len().max(1))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Does this node currently believe it is the leader?
+    pub fn is_leader(&self) -> bool {
+        self.leader.load(Ordering::Relaxed) == self.node_id
+    }
+}
+
+/// Per-connection cluster context handed to `handle_connection`.
+#[derive(Clone)]
+pub(crate) struct ClusterCtx {
+    pub shared: Arc<ClusterShared>,
+    pub peer_tx: mpsc::Sender<PeerMsg>,
+}
+
+/// Outbound half of the peer mesh: one sender thread per peer, each
+/// owning its socket, re-dialling (with the attestation handshake) on
+/// failure. Sends never block the driver; a full queue drops.
+struct PeerMesh {
+    queues: Vec<Option<SyncSender<PeerMsg>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl PeerMesh {
+    fn spawn(cfg: &ClusterConfig, expected_pk_tx: [u8; 32], stop: Arc<AtomicBool>) -> PeerMesh {
+        let mut queues = Vec::with_capacity(cfg.n());
+        let mut threads = Vec::new();
+        for (id, addr) in cfg.peers.iter().enumerate() {
+            if id as u32 == cfg.node_id {
+                queues.push(None);
+                continue;
+            }
+            let (tx, rx) = mpsc::sync_channel::<PeerMsg>(PEER_QUEUE);
+            queues.push(Some(tx));
+            let addr = addr.clone();
+            let platform = Arc::clone(&cfg.platform);
+            let root = cfg.peer_roots[id];
+            let (svn, min_svn) = (cfg.svn, cfg.min_svn);
+            let seed = cfg
+                .rejoin_seed
+                .wrapping_add((cfg.node_id as u64) << 32)
+                .wrapping_add((id as u64) << 16);
+            let stop = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name(format!("confide-mesh-{id}"))
+                .spawn(move || {
+                    peer_sender_loop(
+                        addr,
+                        platform,
+                        root,
+                        expected_pk_tx,
+                        svn,
+                        min_svn,
+                        seed,
+                        rx,
+                        stop,
+                    )
+                })
+                .expect("spawn mesh thread");
+            threads.push(handle);
+        }
+        PeerMesh { queues, threads }
+    }
+
+    fn send(&self, to: u32, msg: PeerMsg) {
+        if let Some(Some(q)) = self.queues.get(to as usize) {
+            let _ = q.try_send(msg);
+        }
+    }
+
+    fn broadcast(&self, msg: PeerMsg) {
+        for q in self.queues.iter().flatten() {
+            let _ = q.try_send(msg.clone());
+        }
+    }
+}
+
+/// Dial a peer and run the attestation handshake: K-Protocol MAP join
+/// against `root`, then check the unwrapped consortium `pk_tx` equals
+/// ours — a peer serving a different consortium (or a MITM substituting
+/// keys) fails here, before any consensus traffic flows.
+#[allow(clippy::too_many_arguments)]
+fn dial_attested(
+    addr: &str,
+    platform: &Arc<TeePlatform>,
+    root: &VerifyingKey,
+    expected_pk_tx: [u8; 32],
+    svn: u16,
+    min_svn: u16,
+    seed: u64,
+    timeout: Duration,
+) -> Result<Conn, NetError> {
+    let mut conn = Conn::connect_timeout(addr, timeout)?;
+    let keys = conn.rejoin(platform, root, svn, min_svn, seed)?;
+    if keys.pk_tx() != expected_pk_tx {
+        return Err(NetError::Attestation(
+            "peer consortium pk_tx mismatch".into(),
+        ));
+    }
+    Ok(conn)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn peer_sender_loop(
+    addr: String,
+    platform: Arc<TeePlatform>,
+    root: VerifyingKey,
+    expected_pk_tx: [u8; 32],
+    svn: u16,
+    min_svn: u16,
+    seed: u64,
+    rx: Receiver<PeerMsg>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut backoff = Duration::from_millis(50);
+    let mut dials = 0u64;
+    'redial: loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        dials += 1;
+        // Each dial mixes the attempt counter into the handshake seed so
+        // the joiner's ephemeral key never repeats across reconnects.
+        let dial_seed = seed.wrapping_add(dials.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut conn = match dial_attested(
+            &addr,
+            &platform,
+            &root,
+            expected_pk_tx,
+            svn,
+            min_svn,
+            dial_seed,
+            Duration::from_secs(2),
+        ) {
+            Ok(c) => c,
+            Err(_) => {
+                // Peer down or partitioned: drain stale traffic so the
+                // queue holds only fresh messages when it comes back.
+                while rx.try_recv().is_ok() {}
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(800));
+                continue 'redial;
+            }
+        };
+        backoff = Duration::from_millis(50);
+        loop {
+            match rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(msg) => {
+                    // Peer frames are fire-and-forget: the server never
+                    // replies on an attested mesh connection.
+                    if conn.send(&Message::Peer(msg)).is_err() {
+                        continue 'redial;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+/// The cluster driver thread: replaces `batcher_loop` when the server is
+/// in cluster mode. Owns the replica state machine; everything it does is
+/// driven by (a) peer messages, (b) client jobs, (c) the clock.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cluster_loop(
+    node: Arc<RwLock<ConfideNode>>,
+    jobs: Receiver<Job>,
+    peer_rx: Receiver<PeerMsg>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+    cluster: ClusterConfig,
+    shared: Arc<ClusterShared>,
+    in_flight: InFlight,
+    stop: Arc<AtomicBool>,
+) {
+    let mut driver = Driver::new(
+        node,
+        stats,
+        config,
+        cluster,
+        shared,
+        in_flight,
+        Arc::clone(&stop),
+    );
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // The peer-channel wait doubles as the driver's tick granularity.
+        match peer_rx.recv_timeout(Duration::from_millis(2)) {
+            Ok(msg) => {
+                driver.on_peer(msg);
+                while let Ok(more) = peer_rx.try_recv() {
+                    driver.on_peer(more);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        driver.pump_jobs(&jobs);
+        driver.maybe_propose();
+        driver.tick();
+        driver.maybe_sync();
+    }
+    // Wind down the mesh sender threads.
+    for t in driver.mesh.threads.drain(..) {
+        let _ = t.join();
+    }
+}
+
+struct Driver {
+    node: Arc<RwLock<ConfideNode>>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+    cluster: ClusterConfig,
+    shared: Arc<ClusterShared>,
+    in_flight: InFlight,
+    stop: Arc<AtomicBool>,
+    replica: Replica,
+    mesh: PeerMesh,
+    epoch: Instant,
+    wal_file: Option<(std::fs::File, usize)>,
+    /// Jobs accepted but not yet proposed (leader only).
+    pending: VecDeque<Job>,
+    first_pending_at: Option<Instant>,
+    /// Jobs whose transaction is inside a proposed-but-uncommitted block,
+    /// keyed by wire hash. Replies are delivered at CommittedLocal.
+    awaiting: HashMap<[u8; 32], Job>,
+    /// Replies computed at execution time, delivered at commit time.
+    ready: HashMap<u64, Vec<([u8; 32], Message)>>,
+    want_sync: Option<u32>,
+    last_sync_at: Option<Instant>,
+    sync_dials: u64,
+    expected_pk_tx: [u8; 32],
+}
+
+impl Driver {
+    fn new(
+        node: Arc<RwLock<ConfideNode>>,
+        stats: Arc<ServerStats>,
+        config: ServerConfig,
+        cluster: ClusterConfig,
+        shared: Arc<ClusterShared>,
+        in_flight: InFlight,
+        stop: Arc<AtomicBool>,
+    ) -> Driver {
+        let (expected_pk_tx, height, wal_snapshot) = {
+            let n = node.read().expect("node lock");
+            (
+                n.pk_tx(),
+                n.blocks.height(),
+                config.wal_path.as_ref().map(|_| n.wal_bytes().to_vec()),
+            )
+        };
+        // Durable log: same contract as the batcher — rewrite the
+        // committed prefix once, then append per block.
+        let wal_file = config.wal_path.as_ref().map(|path| {
+            let mut f = std::fs::File::create(path).expect("create wal file");
+            let snapshot = wal_snapshot.expect("wal snapshot");
+            f.write_all(&snapshot).expect("write wal prefix");
+            f.sync_all().expect("sync wal prefix");
+            (f, snapshot.len())
+        });
+        let rcfg = ReplicaConfig {
+            node_id: cluster.node_id,
+            n: cluster.n(),
+            view_timeout_ms: cluster.view_timeout_ms,
+            heartbeat_ms: cluster.heartbeat_ms,
+            max_inflight: cluster.max_inflight,
+        };
+        let epoch = Instant::now();
+        let replica = Replica::with_height(rcfg, height, 0);
+        let mesh = PeerMesh::spawn(&cluster, expected_pk_tx, Arc::clone(&stop));
+        let driver = Driver {
+            node,
+            stats,
+            config,
+            cluster,
+            shared,
+            in_flight,
+            stop,
+            replica,
+            mesh,
+            epoch,
+            wal_file,
+            pending: VecDeque::new(),
+            first_pending_at: None,
+            awaiting: HashMap::new(),
+            ready: HashMap::new(),
+            want_sync: None,
+            last_sync_at: None,
+            sync_dials: 0,
+            expected_pk_tx,
+        };
+        driver.publish();
+        driver
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn publish(&self) {
+        self.shared
+            .view
+            .store(self.replica.view(), Ordering::Relaxed);
+        self.shared
+            .leader
+            .store(self.replica.leader(), Ordering::Relaxed);
+        self.shared
+            .view_changes
+            .store(self.replica.view_changes(), Ordering::Relaxed);
+    }
+
+    /// Which node a peer message speaks for. PrePrepares and NewViews are
+    /// only ever valid from the view's rightful primary, so the embedded
+    /// view determines the sender; everything else carries `from`.
+    fn peer_from(&self, msg: &PeerMsg) -> u32 {
+        match msg {
+            PeerMsg::PrePrepare { view, .. } => primary_of(*view, self.cluster.n()),
+            PeerMsg::Prepare { from, .. }
+            | PeerMsg::Commit { from, .. }
+            | PeerMsg::ViewChange { from, .. }
+            | PeerMsg::NewView { from, .. }
+            | PeerMsg::Heartbeat { from, .. } => *from,
+        }
+    }
+
+    fn on_peer(&mut self, msg: PeerMsg) {
+        let from = self.peer_from(&msg);
+        let now = self.now_ms();
+        let actions = self.replica.on_msg(from, msg, now);
+        self.perform(actions);
+    }
+
+    fn tick(&mut self) {
+        let now = self.now_ms();
+        let actions = self.replica.on_tick(now);
+        self.perform(actions);
+    }
+
+    /// Drain the client job queue. The handlers already validated,
+    /// deduped and claimed each job; here the leader additionally answers
+    /// late duplicates from the committed index (a resubmission can race
+    /// past the handler check) and redirects if leadership moved while
+    /// the job sat in the queue.
+    fn pump_jobs(&mut self, jobs: &Receiver<Job>) {
+        while let Ok(job) = jobs.try_recv() {
+            if !self.replica.is_leader() {
+                self.redirect(job);
+                continue;
+            }
+            let committed = self
+                .node
+                .read()
+                .expect("node lock")
+                .committed_by_wire(&job.wire_hash);
+            if let Some((sealed, receipt)) = committed {
+                self.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                self.release(&job.wire_hash);
+                if let Some(done) = &job.done {
+                    crate::server::reply_waiter(
+                        done,
+                        Message::Committed { sealed, receipt },
+                        &self.stats,
+                    );
+                }
+                continue;
+            }
+            if self.first_pending_at.is_none() {
+                self.first_pending_at = Some(Instant::now());
+            }
+            self.pending.push_back(job);
+        }
+    }
+
+    /// Seal the pending batch into a proposal when it is full or the
+    /// linger window expired — the same cut rule as the single-node
+    /// batcher, with consensus back-pressure (`max_inflight`) on top.
+    fn maybe_propose(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        if !self.replica.is_leader() {
+            // Leadership moved with jobs queued: bounce them back.
+            while let Some(job) = self.pending.pop_front() {
+                self.redirect(job);
+            }
+            self.first_pending_at = None;
+            return;
+        }
+        let full = self.pending.len() >= self.config.max_batch;
+        let lingered = self
+            .first_pending_at
+            .map(|t| t.elapsed() >= self.config.batch_linger)
+            .unwrap_or(false);
+        if !full && !lingered {
+            return;
+        }
+        let take = self.pending.len().min(self.config.max_batch);
+        let batch: Vec<Job> = self.pending.drain(..take).collect();
+        self.first_pending_at = if self.pending.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        let tx_bytes: Vec<Vec<u8>> = batch.iter().map(|j| j.tx.encode()).collect();
+        let now = self.now_ms();
+        match self.replica.propose(tx_bytes, now) {
+            Ok(actions) => {
+                for job in batch {
+                    self.awaiting.insert(job.wire_hash, job);
+                }
+                self.perform(actions);
+            }
+            Err(ProposeError::Backpressure) => {
+                // Watermark window full: put the batch back and retry
+                // once commits free a slot.
+                for job in batch.into_iter().rev() {
+                    self.pending.push_front(job);
+                }
+                if self.first_pending_at.is_none() {
+                    self.first_pending_at = Some(Instant::now());
+                }
+            }
+            Err(ProposeError::NotLeader) => {
+                for job in batch {
+                    self.redirect(job);
+                }
+            }
+        }
+    }
+
+    fn perform(&mut self, actions: Vec<Action>) {
+        let mut queue: VecDeque<Action> = actions.into();
+        while let Some(action) = queue.pop_front() {
+            match action {
+                Action::Broadcast(msg) => self.mesh.broadcast(msg),
+                Action::Send(to, msg) => self.mesh.send(to, msg),
+                Action::Execute { seq, txs, .. } => {
+                    let more = self.execute(seq, &txs);
+                    queue.extend(more);
+                }
+                Action::CommittedLocal { seq, .. } => self.committed(seq),
+                Action::NeedSync { peer, .. } => {
+                    self.want_sync = Some(peer);
+                }
+                Action::LeaderChanged { .. } => {
+                    // Elected or demoted: either way, jobs waiting for a
+                    // proposal slot are only valid on the leader.
+                    if !self.replica.is_leader() {
+                        while let Some(job) = self.pending.pop_front() {
+                            self.redirect(job);
+                        }
+                        self.first_pending_at = None;
+                    }
+                }
+            }
+        }
+        self.publish();
+    }
+
+    /// Execute one committed-order block: the replica guarantees strictly
+    /// in-order delivery (`seq == height + 1`). This is the cluster's
+    /// durable-commit point — the WAL suffix is fsync'd before
+    /// `on_executed` lets the replica broadcast its Commit, so a vote for
+    /// "executed" is always backed by disk (the PR-5 contract, now a
+    /// consensus-safety requirement: a quorum certificate must imply a
+    /// quorum of durable copies).
+    fn execute(&mut self, seq: u64, txs_bytes: &[Vec<u8>]) -> Vec<Action> {
+        // Undecodable bytes can only come from a buggy peer; the decode
+        // verdict is deterministic on every replica, so skipping keeps
+        // state identical cluster-wide.
+        let mut decoded: Vec<(WireTx, [u8; 32])> = Vec::with_capacity(txs_bytes.len());
+        for bytes in txs_bytes {
+            if let Ok(tx) = WireTx::decode(bytes) {
+                let hash = tx.wire_hash();
+                decoded.push((tx, hash));
+            }
+        }
+        let txs: Vec<WireTx> = decoded.iter().map(|(tx, _)| tx.clone()).collect();
+        let threads = self.config.exec_threads.max(1);
+        let result = {
+            let mut node = self.node.write().expect("node lock");
+            let result = node.execute_block_parallel(&txs, threads);
+            if result.is_ok() {
+                if let Some((file, flushed)) = self.wal_file.as_mut() {
+                    let bytes = node.wal_bytes();
+                    file.write_all(&bytes[*flushed..]).expect("append wal");
+                    file.sync_all().expect("sync wal");
+                    *flushed = bytes.len();
+                }
+            }
+            result
+        };
+        for (_, hash) in &decoded {
+            self.release(hash);
+        }
+        let res = match result {
+            Ok(res) => res,
+            Err(e) => {
+                // A commit-level failure on agreed-order input is a local
+                // fault (disk, resource). Halting this replica is the safe
+                // move — the rest of the cluster keeps going without it.
+                eprintln!("confide-cluster: block {seq} failed to execute: {e}; halting replica");
+                self.stop.store(true, Ordering::SeqCst);
+                return Vec::new();
+            }
+        };
+        self.stats.blocks.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .committed
+            .fetch_add(res.accepted() as u64, Ordering::Relaxed);
+        // Chaos hook: die after the durable-commit point but before the
+        // Commit broadcast / any acknowledgement — the worst crash window
+        // for the cluster (peers hold a prepared block this node already
+        // executed).
+        if let Some(limit) = self.config.crash_after {
+            if self.stats.blocks.load(Ordering::Relaxed) >= limit {
+                eprintln!("confide-cluster: crash-after hook firing at block {limit}");
+                std::process::exit(101);
+            }
+        }
+        let mut replies = Vec::with_capacity(decoded.len());
+        for ((_, hash), outcome) in decoded.iter().zip(&res.outcomes) {
+            let reply = match outcome {
+                Ok((receipt, sealed)) => Message::Committed {
+                    sealed: sealed.is_some(),
+                    receipt: sealed.clone().unwrap_or_else(|| receipt.encode()),
+                },
+                Err(e) => {
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    Message::Rejected(e.to_string())
+                }
+            };
+            replies.push((*hash, reply));
+        }
+        self.ready.insert(seq, replies);
+        let now = self.now_ms();
+        self.replica.on_executed(seq, now)
+    }
+
+    /// CommittedLocal: 2f+1 replicas voted "executed and durable" — now
+    /// (and only now) waiting clients hear about their transaction.
+    fn committed(&mut self, seq: u64) {
+        let Some(replies) = self.ready.remove(&seq) else {
+            return;
+        };
+        for (hash, reply) in replies {
+            if let Some(job) = self.awaiting.remove(&hash) {
+                if let Some(done) = &job.done {
+                    crate::server::reply_waiter(done, reply, &self.stats);
+                }
+            }
+        }
+    }
+
+    fn redirect(&mut self, job: Job) {
+        self.release(&job.wire_hash);
+        if let Some(done) = &job.done {
+            crate::server::reply_waiter(
+                done,
+                Message::NotPrimary {
+                    leader: self.shared.leader_addr(),
+                },
+                &self.stats,
+            );
+        }
+    }
+
+    fn release(&self, wire_hash: &[u8; 32]) {
+        self.in_flight
+            .lock()
+            .expect("in-flight lock")
+            .remove(wire_hash);
+    }
+
+    /// StateSync client: fetch the missing WAL suffix from the peer that
+    /// revealed the gap, apply it chunk by chunk through
+    /// `catch_up_from_wal` (which re-frames each block byte-identically,
+    /// keeping the local byte cursor valid), and tell the replica the new
+    /// height when done.
+    fn maybe_sync(&mut self) {
+        let Some(peer) = self.want_sync.take() else {
+            return;
+        };
+        if let Some(last) = self.last_sync_at {
+            if last.elapsed() < Duration::from_millis(300) {
+                // Too soon — drop; NeedSync re-fires while the gap lasts.
+                return;
+            }
+        }
+        self.last_sync_at = Some(Instant::now());
+        // Count progress even when the transfer errors midway (peer
+        // died, read timeout): the blocks already applied are real, and
+        // the replica must learn its new height either way.
+        let mut applied = 0u64;
+        if let Err(e) = self.run_sync(peer, &mut applied) {
+            eprintln!(
+                "confide-cluster: state sync from {peer} interrupted after {applied} block(s): {e}"
+            );
+        }
+        if applied > 0 {
+            let height = self.node.read().expect("node lock").blocks.height();
+            let now = self.now_ms();
+            let actions = self.replica.on_caught_up(height, now);
+            self.perform(actions);
+        }
+    }
+
+    fn run_sync(&mut self, peer: u32, applied: &mut u64) -> Result<(), NetError> {
+        let addr = self
+            .cluster
+            .peers
+            .get(peer as usize)
+            .cloned()
+            .ok_or(NetError::Disconnected)?;
+        self.sync_dials += 1;
+        let seed = self
+            .cluster
+            .rejoin_seed
+            .wrapping_add(0x7379_6e63) // "sync"
+            .wrapping_add(self.sync_dials.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut conn = dial_attested(
+            &addr,
+            &self.cluster.platform,
+            &self.cluster.peer_roots[peer as usize],
+            self.expected_pk_tx,
+            self.cluster.svn,
+            self.cluster.min_svn,
+            seed,
+            Duration::from_secs(2),
+        )?;
+        let mut buf: Vec<u8> = Vec::new();
+        for _ in 0..10_000 {
+            let have = {
+                let node = self.node.read().expect("node lock");
+                node.wal_bytes().len() as u64 + buf.len() as u64
+            };
+            let resp = conn.request(&Message::StateSyncReq {
+                from: have,
+                max: SYNC_CHUNK_MAX,
+            })?;
+            let (total, bytes) = match resp {
+                Message::StateSyncResp { total, bytes, .. } => (total, bytes),
+                Message::Rejected(r) => return Err(NetError::Rejected(r)),
+                other => return Err(NetError::UnexpectedReply(other.kind())),
+            };
+            if bytes.is_empty() {
+                break;
+            }
+            buf.extend_from_slice(&bytes);
+            let report = {
+                let mut node = self.node.write().expect("node lock");
+                let report = node
+                    .catch_up_from_wal(&buf)
+                    .map_err(|e| NetError::Rejected(format!("state sync apply failed: {e}")))?;
+                // Publish per chunk and inside the node lock: a status
+                // probe that observes the synced height (read under the
+                // same lock) must already see these blocks attributed to
+                // state sync, even mid-transfer.
+                self.shared
+                    .sync_blocks
+                    .fetch_add(report.blocks_applied, Ordering::Relaxed);
+                report
+            };
+            buf.drain(..report.bytes_consumed);
+            *applied += report.blocks_applied;
+            // Keep the durable file in lockstep with the synced blocks.
+            if let Some((file, flushed)) = self.wal_file.as_mut() {
+                let node = self.node.read().expect("node lock");
+                let wal = node.wal_bytes();
+                if wal.len() > *flushed {
+                    file.write_all(&wal[*flushed..]).expect("append wal");
+                    file.sync_all().expect("sync wal");
+                    *flushed = wal.len();
+                }
+            }
+            if have + bytes.len() as u64 >= total {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serve one `StateSyncReq` against the node's WAL (called from the
+/// connection handler on attested connections): returns the chunk at
+/// `from`, clamped to [`SYNC_CHUNK_MAX`].
+pub(crate) fn serve_state_sync(node: &RwLock<ConfideNode>, from: u64, max: u32) -> Message {
+    let node = node.read().expect("node lock");
+    let wal = node.wal_bytes();
+    let total = wal.len() as u64;
+    let start = from.min(total) as usize;
+    let len = (max.min(SYNC_CHUNK_MAX) as usize).min(wal.len() - start);
+    Message::StateSyncResp {
+        height: node.blocks.height(),
+        total,
+        offset: start as u64,
+        bytes: wal[start..start + len].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_config_derives_matching_roots() {
+        let peers = vec!["a:1".into(), "b:2".into(), "c:3".into(), "d:4".into()];
+        let c0 = ClusterConfig::demo(0, peers.clone(), 99);
+        let c1 = ClusterConfig::demo(1, peers, 99);
+        // Every node derives the same root table without communication.
+        assert_eq!(c0.peer_roots.len(), 4);
+        for i in 0..4 {
+            assert_eq!(
+                c0.peer_roots[i].0, c1.peer_roots[i].0,
+                "root {i} must match across nodes"
+            );
+        }
+        // And each node's own platform quotes under its own root.
+        assert_eq!(c0.platform.attestation_public_key().0, c0.peer_roots[0].0);
+        assert_eq!(c1.platform.attestation_public_key().0, c1.peer_roots[1].0);
+    }
+
+    #[test]
+    fn shared_tracks_leader_addr() {
+        let cfg = ClusterConfig::demo(
+            0,
+            vec!["h:1".into(), "h:2".into(), "h:3".into(), "h:4".into()],
+            7,
+        );
+        let shared = ClusterShared::new(&cfg);
+        assert!(shared.is_leader());
+        assert_eq!(shared.leader_addr(), "h:1");
+        shared.leader.store(2, Ordering::Relaxed);
+        assert!(!shared.is_leader());
+        assert_eq!(shared.leader_addr(), "h:3");
+    }
+}

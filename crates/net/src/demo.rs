@@ -67,6 +67,30 @@ pub fn demo_node(seed: u64) -> ConfideNode {
     demo_node_with(demo_platform(seed), demo_keys(seed), seed)
 }
 
+/// Deterministic TEE platform of cluster member `node_id` under
+/// consortium seed `cluster_seed`: distinct per node (each member quotes
+/// under its own attestation root) yet computable by every member without
+/// communication, so the peer root table needs no exchange protocol.
+pub fn cluster_platform(cluster_seed: u64, node_id: u32) -> std::sync::Arc<TeePlatform> {
+    let mut x = cluster_seed ^ 0x0063_6c75_7374_6572; // "cluster"
+    x = x.wrapping_add((node_id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    demo_platform(x)
+}
+
+/// The demo consortium node for cluster member `node_id`: **shared**
+/// consortium keys and node seed (every member's execution, receipts and
+/// WAL bytes are identical — the determinism StateSync's byte cursors
+/// rely on), on the member's own per-node platform.
+pub fn demo_cluster_node(cluster_seed: u64, node_id: u32) -> ConfideNode {
+    demo_node_with(
+        cluster_platform(cluster_seed, node_id),
+        demo_keys(cluster_seed),
+        cluster_seed,
+    )
+}
+
 /// Demo invocation arguments for logical client `id`, iteration `n`.
 pub fn demo_args(id: usize, n: usize) -> Vec<u8> {
     format!(r#"{{"to":"user{id}","amount":{}}}"#, (n % 97) + 1).into_bytes()

@@ -40,6 +40,15 @@ pub struct FaultPlan {
     pub delay_per_mille: u32,
     /// Added latency for delayed chunks.
     pub delay_ms: u64,
+    /// Start of the partition window: once the proxy's shared chunk clock
+    /// (every chunk read, *either* direction, any connection) reaches this
+    /// value, chunks are silently blackholed — symmetrically, so both
+    /// sides just see silence, exactly like a cut link (no RST).
+    /// `partition_from_chunk == partition_until_chunk` disables the window.
+    pub partition_from_chunk: u64,
+    /// End of the partition window (half-open): the first chunk at or
+    /// beyond this clock value flows again — the healed link.
+    pub partition_until_chunk: u64,
 }
 
 impl FaultPlan {
@@ -54,14 +63,36 @@ impl FaultPlan {
             dup_per_mille: 0,
             delay_per_mille: 0,
             delay_ms: 0,
+            partition_from_chunk: 0,
+            partition_until_chunk: 0,
         }
+    }
+
+    /// A symmetric network partition: a clean relay until the shared
+    /// chunk clock hits `from_chunk`, a total bidirectional blackhole
+    /// until it reaches `until_chunk`, then a healed link. Because the
+    /// clock keeps counting *during* the outage (reads still happen, they
+    /// just go nowhere), steady background traffic — e.g. consensus
+    /// heartbeats — drives the heal deterministically in chunk count.
+    pub fn partition(seed: u64, from_chunk: u64, until_chunk: u64) -> FaultPlan {
+        FaultPlan {
+            partition_from_chunk: from_chunk,
+            partition_until_chunk: until_chunk,
+            ..FaultPlan::clean(seed)
+        }
+    }
+
+    /// Is the window active at shared-clock value `chunk`?
+    pub fn partitioned_at(&self, chunk: u64) -> bool {
+        self.partition_from_chunk < self.partition_until_chunk
+            && chunk >= self.partition_from_chunk
+            && chunk < self.partition_until_chunk
     }
 
     /// A lossy-link plan with every fault class armed at a low rate —
     /// the default chaos schedule of the fuzz tests.
     pub fn lossy(seed: u64) -> FaultPlan {
         FaultPlan {
-            seed,
             close_per_mille: 10,
             drop_per_mille: 20,
             truncate_per_mille: 20,
@@ -69,6 +100,7 @@ impl FaultPlan {
             dup_per_mille: 20,
             delay_per_mille: 50,
             delay_ms: 2,
+            ..FaultPlan::clean(seed)
         }
     }
 
@@ -80,14 +112,12 @@ impl FaultPlan {
     /// assertion is "typed errors only, server stays alive".
     pub fn interrupting(seed: u64) -> FaultPlan {
         FaultPlan {
-            seed,
             close_per_mille: 40,
             drop_per_mille: 40,
             truncate_per_mille: 40,
-            bitflip_per_mille: 0,
-            dup_per_mille: 0,
             delay_per_mille: 80,
             delay_ms: 1,
+            ..FaultPlan::clean(seed)
         }
     }
 }
@@ -111,6 +141,8 @@ pub struct FaultStats {
     pub duplicated: AtomicU64,
     /// Chunks delayed before forwarding.
     pub delayed: AtomicU64,
+    /// Chunks blackholed inside the partition window.
+    pub partitioned: AtomicU64,
 }
 
 impl FaultStats {
@@ -122,6 +154,7 @@ impl FaultStats {
             + self.bitflipped.load(Ordering::Relaxed)
             + self.duplicated.load(Ordering::Relaxed)
             + self.delayed.load(Ordering::Relaxed)
+            + self.partitioned.load(Ordering::Relaxed)
     }
 }
 
@@ -198,6 +231,7 @@ fn pump(
     plan: FaultPlan,
     mut dice: Dice,
     stats: Arc<FaultStats>,
+    clock: Arc<AtomicU64>,
 ) {
     let mut buf = [0u8; 4096];
     loop {
@@ -205,6 +239,16 @@ fn pump(
             Ok(0) | Err(_) => break,
             Ok(n) => n,
         };
+        // The partition window consults the proxy-wide chunk clock —
+        // shared by both directions and every connection — so the cut
+        // (and the heal) lands symmetrically on all traffic at once. It
+        // does not consume dice rolls: the same seed yields the same
+        // schedule for whatever gets through.
+        let tick = clock.fetch_add(1, Ordering::SeqCst);
+        if plan.partitioned_at(tick) {
+            stats.partitioned.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         let (fate, delayed) = decide(&mut dice, &plan, n);
         if delayed {
             stats.delayed.fetch_add(1, Ordering::Relaxed);
@@ -259,9 +303,11 @@ impl FaultProxy {
         let addr = listener.local_addr()?;
         let stats = Arc::new(FaultStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let clock = Arc::new(AtomicU64::new(0));
         let accept_thread = {
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
+            let clock = Arc::clone(&clock);
             std::thread::Builder::new()
                 .name("fault-proxy".into())
                 .spawn(move || {
@@ -282,13 +328,15 @@ impl FaultProxy {
                         let up_dice = Dice::new(plan.seed, conn_id, 0);
                         let down_dice = Dice::new(plan.seed, conn_id, 1);
                         let st = Arc::clone(&stats);
+                        let ck = Arc::clone(&clock);
                         let _ = std::thread::Builder::new()
                             .name("fault-up".into())
-                            .spawn(move || pump(client, server, plan, up_dice, st));
+                            .spawn(move || pump(client, server, plan, up_dice, st, ck));
                         let st = Arc::clone(&stats);
+                        let ck = Arc::clone(&clock);
                         let _ = std::thread::Builder::new()
                             .name("fault-down".into())
-                            .spawn(move || pump(s2, c2, plan, down_dice, st));
+                            .spawn(move || pump(s2, c2, plan, down_dice, st, ck));
                     }
                 })?
         };

@@ -19,6 +19,7 @@
 //! bodies, **not** on the transport (no TLS — the server itself is
 //! untrusted in CONFIDE's threat model, §3.3).
 
+use confide_consensus::PeerMsg;
 use confide_core::tx::WireTx;
 use confide_tee::attestation::Report;
 use std::io::{Read, Write};
@@ -110,6 +111,22 @@ pub enum Message {
         /// `pk_tx` fingerprint.
         report: Report,
     },
+    /// A PBFT consensus message between consortium members. Fire-and-forget
+    /// (no response frame), and only honoured on connections that completed
+    /// the K-Protocol attestation handshake.
+    Peer(PeerMsg),
+    /// Request a chunk of the peer's block WAL starting at byte `from`
+    /// (peers only, attested connections only). Drives crash/partition
+    /// catch-up: the WAL is deterministic and byte-identical across
+    /// replicas, so a byte-offset cursor is a consistent chain cursor.
+    StateSyncReq {
+        /// Byte offset into the serving replica's WAL.
+        from: u64,
+        /// Maximum chunk size the requester will accept.
+        max: u32,
+    },
+    /// Fetch the node's consensus status (view, leader, height, root).
+    GetStatus,
 
     // ── responses ───────────────────────────────────────────────────────
     /// Transaction enqueued for the next block; identified by wire hash.
@@ -147,6 +164,43 @@ pub enum Message {
         /// The member KM enclave's counter-quote.
         member_report: Report,
     },
+    /// This node is not the current PBFT primary; resubmit to `leader`.
+    NotPrimary {
+        /// Advertised `host:port` of the current primary.
+        leader: String,
+    },
+    /// One WAL chunk answering a [`Message::StateSyncReq`].
+    StateSyncResp {
+        /// The serving replica's chain height.
+        height: u64,
+        /// Total WAL length in bytes at the serving replica.
+        total: u64,
+        /// Byte offset this chunk starts at.
+        offset: u64,
+        /// The chunk (empty when `offset >= total`).
+        bytes: Vec<u8>,
+    },
+    /// Consensus status answering a [`Message::GetStatus`].
+    StatusIs(NodeStatus),
+}
+
+/// A node's consensus-level status snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// The node's consortium id.
+    pub node_id: u32,
+    /// Current PBFT view (0 and leader 0 for single-node deployments).
+    pub view: u64,
+    /// Primary of the current view.
+    pub leader: u32,
+    /// Chain height (last executed sequence).
+    pub height: u64,
+    /// Current state root.
+    pub state_root: [u8; 32],
+    /// View installations survived since process start.
+    pub view_changes: u64,
+    /// Blocks applied via state sync since process start.
+    pub sync_blocks: u64,
 }
 
 // Message kind bytes.
@@ -157,6 +211,9 @@ const K_GET_PK_TX: u8 = 0x04;
 const K_GET_ATTESTATION: u8 = 0x05;
 const K_PING: u8 = 0x06;
 const K_JOIN_REQUEST: u8 = 0x07;
+pub(crate) const K_PEER: u8 = 0x10;
+const K_STATE_SYNC_REQ: u8 = 0x11;
+const K_GET_STATUS: u8 = 0x12;
 const K_ACCEPTED: u8 = 0x81;
 const K_COMMITTED: u8 = 0x82;
 const K_BUSY: u8 = 0x83;
@@ -167,6 +224,9 @@ const K_PK_TX_IS: u8 = 0x87;
 const K_ATTESTATION_IS: u8 = 0x88;
 const K_PONG: u8 = 0x89;
 const K_JOIN_APPROVE: u8 = 0x8A;
+const K_NOT_PRIMARY: u8 = 0x8B;
+const K_STATE_SYNC_RESP: u8 = 0x8C;
+const K_STATUS_IS: u8 = 0x8D;
 
 /// Serialize an attestation report (fixed-width fields, 202 bytes).
 fn encode_report(r: &Report) -> Vec<u8> {
@@ -216,6 +276,9 @@ impl Message {
             Message::GetAttestation => K_GET_ATTESTATION,
             Message::Ping => K_PING,
             Message::JoinRequest { .. } => K_JOIN_REQUEST,
+            Message::Peer(_) => K_PEER,
+            Message::StateSyncReq { .. } => K_STATE_SYNC_REQ,
+            Message::GetStatus => K_GET_STATUS,
             Message::Accepted(_) => K_ACCEPTED,
             Message::Committed { .. } => K_COMMITTED,
             Message::Busy => K_BUSY,
@@ -226,6 +289,9 @@ impl Message {
             Message::AttestationIs(_) => K_ATTESTATION_IS,
             Message::Pong => K_PONG,
             Message::JoinApprove { .. } => K_JOIN_APPROVE,
+            Message::NotPrimary { .. } => K_NOT_PRIMARY,
+            Message::StateSyncResp { .. } => K_STATE_SYNC_RESP,
+            Message::StatusIs(_) => K_STATUS_IS,
         }
     }
 
@@ -259,9 +325,42 @@ impl Message {
                 out.extend_from_slice(&encode_report(member_report));
                 out
             }
+            Message::Peer(msg) => msg.encode(),
+            Message::StateSyncReq { from, max } => {
+                let mut out = Vec::with_capacity(12);
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&max.to_le_bytes());
+                out
+            }
+            Message::NotPrimary { leader } => leader.as_bytes().to_vec(),
+            Message::StateSyncResp {
+                height,
+                total,
+                offset,
+                bytes,
+            } => {
+                let mut out = Vec::with_capacity(24 + bytes.len());
+                out.extend_from_slice(&height.to_le_bytes());
+                out.extend_from_slice(&total.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(bytes);
+                out
+            }
+            Message::StatusIs(s) => {
+                let mut out = Vec::with_capacity(4 + 8 + 4 + 8 + 32 + 8 + 8);
+                out.extend_from_slice(&s.node_id.to_le_bytes());
+                out.extend_from_slice(&s.view.to_le_bytes());
+                out.extend_from_slice(&s.leader.to_le_bytes());
+                out.extend_from_slice(&s.height.to_le_bytes());
+                out.extend_from_slice(&s.state_root);
+                out.extend_from_slice(&s.view_changes.to_le_bytes());
+                out.extend_from_slice(&s.sync_blocks.to_le_bytes());
+                out
+            }
             Message::GetPkTx
             | Message::GetAttestation
             | Message::Ping
+            | Message::GetStatus
             | Message::Busy
             | Message::NotFound
             | Message::Pong => Vec::new(),
@@ -337,6 +436,47 @@ impl Message {
                     blob: body[4..4 + blob_len].to_vec(),
                     member_report: decode_report(&body[4 + blob_len..])?,
                 })
+            }
+            K_PEER => Ok(Message::Peer(
+                PeerMsg::decode(body).map_err(|_| FrameError::BadPayload)?,
+            )),
+            K_STATE_SYNC_REQ => {
+                if body.len() != 12 {
+                    return Err(FrameError::BadPayload);
+                }
+                Ok(Message::StateSyncReq {
+                    from: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                    max: u32::from_le_bytes(body[8..].try_into().expect("4 bytes")),
+                })
+            }
+            K_GET_STATUS => empty(body, Message::GetStatus),
+            K_NOT_PRIMARY => Ok(Message::NotPrimary {
+                leader: String::from_utf8(body.to_vec()).map_err(|_| FrameError::BadPayload)?,
+            }),
+            K_STATE_SYNC_RESP => {
+                if body.len() < 24 {
+                    return Err(FrameError::BadPayload);
+                }
+                Ok(Message::StateSyncResp {
+                    height: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                    total: u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")),
+                    offset: u64::from_le_bytes(body[16..24].try_into().expect("8 bytes")),
+                    bytes: body[24..].to_vec(),
+                })
+            }
+            K_STATUS_IS => {
+                if body.len() != 4 + 8 + 4 + 8 + 32 + 8 + 8 {
+                    return Err(FrameError::BadPayload);
+                }
+                Ok(Message::StatusIs(NodeStatus {
+                    node_id: u32::from_le_bytes(body[..4].try_into().expect("4 bytes")),
+                    view: u64::from_le_bytes(body[4..12].try_into().expect("8 bytes")),
+                    leader: u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")),
+                    height: u64::from_le_bytes(body[16..24].try_into().expect("8 bytes")),
+                    state_root: take32(&body[24..56])?,
+                    view_changes: u64::from_le_bytes(body[56..64].try_into().expect("8 bytes")),
+                    sync_blocks: u64::from_le_bytes(body[64..72].try_into().expect("8 bytes")),
+                }))
             }
             other => Err(FrameError::BadKind(other)),
         }
@@ -481,6 +621,45 @@ mod tests {
             Message::NotFound,
             Message::PkTxIs([3u8; 32]),
             Message::Pong,
+            Message::Peer(PeerMsg::PrePrepare {
+                view: 0,
+                seq: 4,
+                txs: vec![sample_tx().encode(), vec![]],
+            }),
+            Message::Peer(PeerMsg::Prepare {
+                view: 1,
+                seq: 4,
+                digest: [0xEE; 32],
+                from: 2,
+            }),
+            Message::Peer(PeerMsg::Heartbeat {
+                view: 1,
+                from: 1,
+                last_exec: 4,
+            }),
+            Message::StateSyncReq {
+                from: 4096,
+                max: 65536,
+            },
+            Message::GetStatus,
+            Message::NotPrimary {
+                leader: "127.0.0.1:7001".into(),
+            },
+            Message::StateSyncResp {
+                height: 9,
+                total: 120_000,
+                offset: 4096,
+                bytes: vec![0xAB; 200],
+            },
+            Message::StatusIs(NodeStatus {
+                node_id: 2,
+                view: 1,
+                leader: 1,
+                height: 9,
+                state_root: [0x55; 32],
+                view_changes: 1,
+                sync_blocks: 3,
+            }),
         ]
     }
 

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod demo;
 pub mod fault;
 pub mod frame;
@@ -46,6 +47,7 @@ pub mod loadgen;
 pub mod server;
 
 pub use client::{Client, Conn, Gateway, NetError, RetryPolicy, RetryStats};
+pub use cluster::{ClusterConfig, ClusterShared};
 pub use fault::{FaultPlan, FaultProxy, FaultStats};
-pub use frame::{FrameError, Message, DEFAULT_MAX_FRAME, WIRE_VERSION};
+pub use frame::{FrameError, Message, NodeStatus, DEFAULT_MAX_FRAME, WIRE_VERSION};
 pub use server::{NodeServer, ServerConfig, ServerStats};

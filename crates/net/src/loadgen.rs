@@ -30,8 +30,14 @@ use std::time::{Duration, Instant};
 /// Loadgen knobs.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Node address.
-    pub addr: SocketAddr,
+    /// Node addresses. One entry drives a single node; several entries
+    /// drive a consortium cluster — workers spread their initial
+    /// connections across the list, follow typed `NotPrimary`
+    /// redirects to whoever currently leads, and rotate to the next
+    /// endpoint when a member dies mid-stream (resubmission is safe:
+    /// the committed-wire-hash index answers retries of landed
+    /// transactions with the stored receipt).
+    pub endpoints: Vec<SocketAddr>,
     /// Worker threads (= concurrent logical clients in closed mode).
     pub threads: usize,
     /// Transactions per worker.
@@ -53,7 +59,7 @@ pub struct LoadgenConfig {
 impl Default for LoadgenConfig {
     fn default() -> LoadgenConfig {
         LoadgenConfig {
-            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            endpoints: vec![SocketAddr::from(([127, 0, 0, 1], 0))],
             threads: 4,
             txs_per_thread: 250,
             closed: true,
@@ -85,6 +91,9 @@ pub struct LoadReport {
     /// Resubmission attempts beyond each transaction's first (closed-loop
     /// backoff-and-retry on `Busy`).
     pub retries: u64,
+    /// Typed `NotPrimary` redirects followed (cluster runs: a worker
+    /// landed on a follower and was pointed at the leader).
+    pub redirects: u64,
     /// Receipts fetched and (for confidential txs) decrypted under `k_tx`.
     pub receipts_verified: u64,
     /// Wall-clock of the measured window, seconds.
@@ -135,8 +144,42 @@ struct WorkerResult {
     busy: u64,
     rejected: u64,
     retries: u64,
+    redirects: u64,
     receipts_verified: u64,
     latencies_us: Vec<u64>,
+}
+
+impl WorkerResult {
+    fn empty(cap: usize) -> WorkerResult {
+        WorkerResult {
+            submitted: 0,
+            accepted: 0,
+            busy: 0,
+            rejected: 0,
+            retries: 0,
+            redirects: 0,
+            receipts_verified: 0,
+            latencies_us: Vec::with_capacity(cap),
+        }
+    }
+}
+
+/// Dial some endpoint, starting at `*start` and rotating through the
+/// list (a dead member mid-run is expected in cluster chaos drills).
+fn connect_any(endpoints: &[SocketAddr], start: &mut usize) -> Result<Conn, NetError> {
+    let mut last = NetError::Disconnected;
+    for i in 0..endpoints.len() * 8 {
+        let idx = (*start + i) % endpoints.len();
+        match Conn::connect(endpoints[idx]) {
+            Ok(c) => {
+                *start = idx;
+                return Ok(c);
+            }
+            Err(e) => last = e,
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err(last)
 }
 
 /// One sealed (or signed public) transaction the worker retains enough
@@ -214,7 +257,8 @@ fn closed_worker(
     worker: usize,
     pk_tx: &[u8; 32],
 ) -> Result<WorkerResult, NetError> {
-    let mut conn = Conn::connect(cfg.addr)?;
+    let mut endpoint = worker % cfg.endpoints.len();
+    let mut conn = connect_any(&cfg.endpoints, &mut endpoint)?;
     let txs = prepare_txs(
         worker,
         cfg.txs_per_thread,
@@ -222,15 +266,7 @@ fn closed_worker(
         cfg.contract,
         pk_tx,
     )?;
-    let mut res = WorkerResult {
-        submitted: 0,
-        accepted: 0,
-        busy: 0,
-        rejected: 0,
-        retries: 0,
-        receipts_verified: 0,
-        latencies_us: Vec::with_capacity(txs.len()),
-    };
+    let mut res = WorkerResult::empty(txs.len());
     for tx in &txs {
         let t0 = Instant::now();
         let mut attempts = 0usize;
@@ -272,6 +308,41 @@ fn closed_worker(
                     res.rejected += 1;
                     break;
                 }
+                Err(NetError::NotPrimary(leader)) => {
+                    // A follower answered: chase the typed redirect.
+                    // A stale pointer (the leader just died) falls back
+                    // to rotating through the endpoint list.
+                    res.redirects += 1;
+                    attempts += 1;
+                    if attempts > cfg.busy_retries {
+                        break;
+                    }
+                    match leader.parse::<SocketAddr>().ok().and_then(|a| {
+                        cfg.endpoints.iter().position(|e| *e == a)?;
+                        Conn::connect(a).ok()
+                    }) {
+                        Some(c) => conn = c,
+                        None => {
+                            std::thread::sleep(Duration::from_millis(50));
+                            endpoint += 1;
+                            conn = connect_any(&cfg.endpoints, &mut endpoint)?;
+                        }
+                    }
+                }
+                Err(e) if transport_failure(&e) && cfg.endpoints.len() > 1 => {
+                    // The member died mid-conversation (a cluster chaos
+                    // drill kills the leader under load). Resubmitting
+                    // elsewhere is exactly-once safe: the committed
+                    // index deduplicates by wire hash.
+                    res.retries += 1;
+                    attempts += 1;
+                    if attempts > cfg.busy_retries {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1 << attempts.min(6)));
+                    endpoint += 1;
+                    conn = connect_any(&cfg.endpoints, &mut endpoint)?;
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -279,12 +350,18 @@ fn closed_worker(
     Ok(res)
 }
 
+/// Did the wire itself fail (as opposed to a typed protocol verdict)?
+fn transport_failure(e: &NetError) -> bool {
+    matches!(e, NetError::Frame(_) | NetError::Disconnected)
+}
+
 fn open_worker(
     cfg: &LoadgenConfig,
     worker: usize,
     pk_tx: &[u8; 32],
 ) -> Result<WorkerResult, NetError> {
-    let mut conn = Conn::connect(cfg.addr)?;
+    let mut endpoint = worker % cfg.endpoints.len();
+    let mut conn = connect_any(&cfg.endpoints, &mut endpoint)?;
     // Seal outside the timed window: open loop measures the *server*.
     let txs = prepare_txs(
         worker,
@@ -293,15 +370,7 @@ fn open_worker(
         cfg.contract,
         pk_tx,
     )?;
-    let mut res = WorkerResult {
-        submitted: 0,
-        accepted: 0,
-        busy: 0,
-        rejected: 0,
-        retries: 0,
-        receipts_verified: 0,
-        latencies_us: Vec::with_capacity(txs.len()),
-    };
+    let mut res = WorkerResult::empty(txs.len());
     let window = cfg.window.max(1);
     let mut sent_at: Vec<Instant> = Vec::with_capacity(txs.len());
     let mut next_to_send = 0usize;
@@ -324,6 +393,10 @@ fn open_worker(
             }
             Message::Busy => res.busy += 1,
             Message::Rejected(_) => res.rejected += 1,
+            // Open loop measures *one* server; a follower's redirect is
+            // recorded but deliberately not chased (the pipelined
+            // window has no per-tx conversation to move).
+            Message::NotPrimary { .. } => res.redirects += 1,
             other => return Err(NetError::UnexpectedReply(other.kind())),
         }
         next_to_read += 1;
@@ -347,9 +420,14 @@ fn open_worker(
     Ok(res)
 }
 
-/// Run one workload against a live node.
+/// Run one workload against a live node (or cluster).
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, NetError> {
-    let pk_tx = Conn::connect(cfg.addr)?.fetch_pk_tx()?;
+    if cfg.endpoints.is_empty() {
+        return Err(NetError::Disconnected);
+    }
+    // pk_tx is consortium-wide: any live member can hand it out.
+    let mut start = 0usize;
+    let pk_tx = connect_any(&cfg.endpoints, &mut start)?.fetch_pk_tx()?;
     let t0 = Instant::now();
     let results: Vec<Result<WorkerResult, NetError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
@@ -385,6 +463,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, NetError> {
         report.busy += r.busy;
         report.rejected += r.rejected;
         report.retries += r.retries;
+        report.redirects += r.redirects;
         report.receipts_verified += r.receipts_verified;
         latencies.extend(r.latencies_us);
     }
@@ -647,6 +726,48 @@ pub struct RecoveryInfo {
     pub retries_exhausted: u64,
 }
 
+/// The consensus-level datapoint of a cluster bench run: how many
+/// members were driven, what the cluster committed, and the view
+/// change / state sync counters its members report afterwards.
+/// Single-node runs emit the section with `n = 1` and zeroed counters,
+/// so the JSON schema never drifts between deployment shapes.
+#[derive(Debug, Clone, Default)]
+pub struct ConsensusInfo {
+    /// Cluster members the run targeted (1 = single node).
+    pub n: usize,
+    /// Committed throughput of the cluster workload, tx/s.
+    pub tps: f64,
+    /// View installations across members (max over members — every
+    /// survivor observes the same view change).
+    pub view_changes: u64,
+    /// Blocks applied via state sync, summed over members.
+    pub sync_blocks: u64,
+    /// `NotPrimary` redirects the workload followed.
+    pub redirects: u64,
+}
+
+impl ConsensusInfo {
+    /// Probe each endpoint's status and fold the counters into the
+    /// section; unreachable members (e.g. a killed leader) are skipped.
+    pub fn probe(endpoints: &[SocketAddr], tps: f64, redirects: u64) -> ConsensusInfo {
+        let mut info = ConsensusInfo {
+            n: endpoints.len(),
+            tps,
+            redirects,
+            ..ConsensusInfo::default()
+        };
+        for addr in endpoints {
+            let status = Conn::connect_timeout(*addr, Duration::from_millis(800))
+                .and_then(|mut c| c.status());
+            if let Ok(s) = status {
+                info.view_changes = info.view_changes.max(s.view_changes);
+                info.sync_blocks += s.sync_blocks;
+            }
+        }
+        info
+    }
+}
+
 /// Render reports as the `BENCH_net.json` document (hand-rolled JSON —
 /// the build stays zero-dependency).
 pub fn to_json(
@@ -655,10 +776,11 @@ pub fn to_json(
     static_sched: &StaticSchedReport,
     server_cfg: &crate::server::ServerConfig,
     recovery: &RecoveryInfo,
+    consensus: &ConsensusInfo,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str("  \"bench\": \"net_loopback\",\n");
     out.push_str(&format!(
         "  \"machine\": {{ \"cores\": {} }},\n",
@@ -681,6 +803,15 @@ pub fn to_json(
         recovery.recovered_blocks,
         recovery.retries,
         recovery.retries_exhausted
+    ));
+    out.push_str(&format!(
+        "  \"consensus\": {{ \"n\": {}, \"tps\": {}, \"view_changes\": {}, \
+         \"sync_blocks\": {}, \"redirects\": {} }},\n",
+        consensus.n,
+        fmt_f64(consensus.tps),
+        consensus.view_changes,
+        consensus.sync_blocks,
+        consensus.redirects
     ));
     out.push_str("  \"parallel_exec\": [\n");
     for (i, s) in scaling.iter().enumerate() {
@@ -736,6 +867,7 @@ pub fn to_json(
         out.push_str(&format!("      \"busy_rejects\": {},\n", r.busy));
         out.push_str(&format!("      \"rejected\": {},\n", r.rejected));
         out.push_str(&format!("      \"retries\": {},\n", r.retries));
+        out.push_str(&format!("      \"redirects\": {},\n", r.redirects));
         out.push_str(&format!(
             "      \"receipts_verified\": {},\n",
             r.receipts_verified
@@ -821,9 +953,21 @@ mod tests {
                 retries: 4,
                 retries_exhausted: 0,
             },
+            &ConsensusInfo {
+                n: 4,
+                tps: 120.0,
+                view_changes: 1,
+                sync_blocks: 7,
+                redirects: 3,
+            },
         );
         for key in [
-            "\"schema_version\"",
+            "\"schema_version\": 4",
+            "\"consensus\"",
+            "\"n\"",
+            "\"view_changes\"",
+            "\"sync_blocks\"",
+            "\"redirects\"",
             "\"bench\"",
             "\"workloads\"",
             "\"mode\"",

@@ -80,6 +80,13 @@ pub struct ServerConfig {
     /// Base seed of the per-join approval RNG (each approval mixes in a
     /// join counter so session keys and nonces never repeat).
     pub join_seed: u64,
+    /// Consortium cluster membership. `None` runs the single-node batcher
+    /// (exactly the pre-cluster behaviour); `Some` replaces it with the
+    /// wire-PBFT driver in [`crate::cluster`] — submissions are ordered by
+    /// consensus, followers redirect clients with
+    /// [`Message::NotPrimary`], and attested peers exchange
+    /// [`Message::Peer`] traffic over this same port.
+    pub cluster: Option<crate::cluster::ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +106,7 @@ impl Default for ServerConfig {
             join_svn: 1,
             join_min_svn: 1,
             join_seed: 0x6a6f696e, // "join"
+            cluster: None,
         }
     }
 }
@@ -135,16 +143,16 @@ pub struct ServerStats {
 
 /// One queued transaction plus the optional rendezvous back to the
 /// waiting `SubmitTxWait` handler.
-struct Job {
-    tx: WireTx,
-    wire_hash: [u8; 32],
-    done: Option<SyncSender<Message>>,
+pub(crate) struct Job {
+    pub(crate) tx: WireTx,
+    pub(crate) wire_hash: [u8; 32],
+    pub(crate) done: Option<SyncSender<Message>>,
 }
 
 /// Wire hashes currently queued or executing — a second submission of the
 /// same bytes while the first is in flight is turned away with `Busy`
 /// instead of executing twice.
-type InFlight = Arc<Mutex<HashSet<[u8; 32]>>>;
+pub(crate) type InFlight = Arc<Mutex<HashSet<[u8; 32]>>>;
 
 /// A running node server. Dropping it (or calling
 /// [`NodeServer::shutdown`]) stops the accept loop and the batcher.
@@ -155,6 +163,7 @@ pub struct NodeServer {
     accept_thread: Option<JoinHandle<()>>,
     batcher_thread: Option<JoinHandle<()>>,
     node: Arc<RwLock<ConfideNode>>,
+    cluster: Option<Arc<crate::cluster::ClusterShared>>,
 }
 
 impl NodeServer {
@@ -173,14 +182,42 @@ impl NodeServer {
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let in_flight: InFlight = Arc::new(Mutex::new(HashSet::new()));
 
-        let batcher = {
-            let node = Arc::clone(&node);
-            let stats = Arc::clone(&stats);
-            let config = config.clone();
-            let in_flight = Arc::clone(&in_flight);
-            std::thread::Builder::new()
-                .name("confide-batcher".into())
-                .spawn(move || batcher_loop(node, job_rx, stats, config, in_flight))?
+        // Cluster mode swaps the single-node batcher for the consensus
+        // driver; the job queue and its backpressure contract stay the
+        // same, the drain side changes.
+        let (shared, cluster_ctx, batcher) = match config.cluster.clone() {
+            Some(cluster) => {
+                let shared = Arc::new(crate::cluster::ClusterShared::new(&cluster));
+                let (peer_tx, peer_rx) = mpsc::channel();
+                let ctx = crate::cluster::ClusterCtx {
+                    shared: Arc::clone(&shared),
+                    peer_tx,
+                };
+                let node = Arc::clone(&node);
+                let stats = Arc::clone(&stats);
+                let config = config.clone();
+                let in_flight = Arc::clone(&in_flight);
+                let stop = Arc::clone(&stop);
+                let shared2 = Arc::clone(&shared);
+                let driver = std::thread::Builder::new()
+                    .name("confide-cluster".into())
+                    .spawn(move || {
+                        crate::cluster::cluster_loop(
+                            node, job_rx, peer_rx, stats, config, cluster, shared2, in_flight, stop,
+                        )
+                    })?;
+                (Some(shared), Some(ctx), driver)
+            }
+            None => {
+                let node = Arc::clone(&node);
+                let stats = Arc::clone(&stats);
+                let config = config.clone();
+                let in_flight = Arc::clone(&in_flight);
+                let batcher = std::thread::Builder::new()
+                    .name("confide-batcher".into())
+                    .spawn(move || batcher_loop(node, job_rx, stats, config, in_flight))?;
+                (None, None, batcher)
+            }
         };
 
         let accept = {
@@ -203,11 +240,19 @@ impl NodeServer {
                         let job_tx = job_tx.clone();
                         let config = config.clone();
                         let in_flight = Arc::clone(&in_flight);
+                        let cluster_ctx = cluster_ctx.clone();
                         let _ = std::thread::Builder::new()
                             .name("confide-conn".into())
                             .spawn(move || {
                                 let _ = handle_connection(
-                                    stream, node, job_tx, stats, stop, config, in_flight,
+                                    stream,
+                                    node,
+                                    job_tx,
+                                    stats,
+                                    stop,
+                                    config,
+                                    in_flight,
+                                    cluster_ctx,
                                 );
                             });
                     }
@@ -223,7 +268,13 @@ impl NodeServer {
             accept_thread: Some(accept),
             batcher_thread: Some(batcher),
             node,
+            cluster: shared,
         })
+    }
+
+    /// Live cluster state (`None` in single-node mode).
+    pub fn cluster(&self) -> Option<&Arc<crate::cluster::ClusterShared>> {
+        self.cluster.as_ref()
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -408,7 +459,7 @@ fn batcher_loop(
 /// mode is `Disconnected` — the waiter timed out and hung up. That is not
 /// silent: it is counted in [`ServerStats::reply_drops`] and logged, and
 /// the transaction's fate is still recorded in the committed block.
-fn reply_waiter(done: &SyncSender<Message>, reply: Message, stats: &ServerStats) {
+pub(crate) fn reply_waiter(done: &SyncSender<Message>, reply: Message, stats: &ServerStats) {
     if let Err(e) = done.try_send(reply) {
         stats.reply_drops.fetch_add(1, Ordering::Relaxed);
         let cause = match e {
@@ -459,6 +510,17 @@ fn read_one(stream: &mut TcpStream, max_frame: usize) -> Result<ReadOutcome, Fra
     }
 }
 
+/// In cluster mode, submissions are only accepted on the node that
+/// currently leads; everyone else answers with a typed redirect carrying
+/// the leader's advertised address. Returns `Some(leader_addr)` when this
+/// node should redirect.
+fn not_primary(cluster: &Option<crate::cluster::ClusterCtx>) -> Option<String> {
+    match cluster {
+        Some(ctx) if !ctx.shared.is_leader() => Some(ctx.shared.leader_addr()),
+        _ => None,
+    }
+}
+
 /// Try to enter `wire_hash` into the in-flight set. `false` means the
 /// same bytes are already queued or executing.
 fn claim(in_flight: &InFlight, wire_hash: [u8; 32]) -> bool {
@@ -469,6 +531,7 @@ fn release(in_flight: &InFlight, wire_hash: &[u8; 32]) {
     in_flight.lock().expect("in-flight lock").remove(wire_hash);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
     node: Arc<RwLock<ConfideNode>>,
@@ -477,6 +540,7 @@ fn handle_connection(
     stop: Arc<AtomicBool>,
     config: ServerConfig,
     in_flight: InFlight,
+    cluster: Option<crate::cluster::ClusterCtx>,
 ) -> Result<(), FrameError> {
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
@@ -486,6 +550,9 @@ fn handle_connection(
         let node = node.read().expect("node lock");
         (node.pk_tx(), node.attestation_report())
     };
+    // Did this connection complete a K-Protocol join (i.e. prove it runs
+    // an attested consortium enclave)? Gates peer/state-sync traffic.
+    let mut attested = false;
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
@@ -495,6 +562,23 @@ fn handle_connection(
             ReadOutcome::Idle => continue,
             ReadOutcome::Closed => return Ok(()),
         };
+        // Consensus traffic is fire-and-forget: no response frame, so it
+        // never interleaves replies into a peer's request pipeline.
+        if let Message::Peer(peer_msg) = msg {
+            match &cluster {
+                Some(ctx) if attested => {
+                    let _ = ctx.peer_tx.send(peer_msg);
+                    continue;
+                }
+                _ => {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Message::Rejected("peer traffic requires an attested connection".into()),
+                    );
+                    return Err(FrameError::BadKind(crate::frame::K_PEER));
+                }
+            }
+        }
         let reply = match msg {
             Message::Ping => Message::Pong,
             Message::GetPkTx => Message::PkTxIs(pk_tx),
@@ -518,8 +602,12 @@ fn handle_connection(
                 if committed.is_some() {
                     // Retry of an already-committed tx (e.g. after a
                     // crash between flush and reply): idempotent accept.
+                    // Served on followers too — committed state is
+                    // replicated, so a retry after a leader kill lands.
                     stats.deduped.fetch_add(1, Ordering::Relaxed);
                     Message::Accepted(wire_hash)
+                } else if let Some(leader) = not_primary(&cluster) {
+                    Message::NotPrimary { leader }
                 } else if !claim(&in_flight, wire_hash) {
                     stats.busy.fetch_add(1, Ordering::Relaxed);
                     Message::Busy
@@ -563,6 +651,8 @@ fn handle_connection(
                     // receipt instead of executing twice.
                     stats.deduped.fetch_add(1, Ordering::Relaxed);
                     Message::Committed { sealed, receipt }
+                } else if let Some(leader) = not_primary(&cluster) {
+                    Message::NotPrimary { leader }
                 } else if !claim(&in_flight, wire_hash) {
                     stats.busy.fetch_add(1, Ordering::Relaxed);
                     Message::Busy
@@ -632,8 +722,52 @@ fn handle_connection(
                             Err(e) => last_err = e.to_string(),
                         }
                     }
+                    if approved.is_some() {
+                        // The joiner's quote verified against a consortium
+                        // root: this socket now speaks for an attested
+                        // member enclave.
+                        attested = true;
+                    }
                     approved
                         .unwrap_or_else(|| Message::Rejected(format!("join refused: {last_err}")))
+                }
+            }
+            Message::GetStatus => {
+                let (height, state_root) = {
+                    let node = node.read().expect("node lock");
+                    (node.blocks.height(), node.state_root())
+                };
+                let status = match &cluster {
+                    Some(ctx) => crate::frame::NodeStatus {
+                        node_id: ctx.shared.node_id,
+                        view: ctx.shared.view.load(Ordering::Relaxed),
+                        leader: ctx.shared.leader.load(Ordering::Relaxed),
+                        height,
+                        state_root,
+                        view_changes: ctx.shared.view_changes.load(Ordering::Relaxed),
+                        sync_blocks: ctx.shared.sync_blocks.load(Ordering::Relaxed),
+                    },
+                    None => crate::frame::NodeStatus {
+                        node_id: 0,
+                        view: 0,
+                        leader: 0,
+                        height,
+                        state_root,
+                        view_changes: 0,
+                        sync_blocks: 0,
+                    },
+                };
+                Message::StatusIs(status)
+            }
+            Message::StateSyncReq { from, max } => {
+                // The WAL contains only sealed envelopes and sealed
+                // receipts, but serving it is still gated to attested
+                // members: topology and traffic volume are consortium
+                // business.
+                if attested && cluster.is_some() {
+                    crate::cluster::serve_state_sync(&node, from, max)
+                } else {
+                    Message::Rejected("state sync requires an attested connection".into())
                 }
             }
             // A response kind arriving at the server is a protocol abuse:

@@ -443,3 +443,91 @@ fn in_flight_duplicate_is_turned_away_busy_not_executed_twice() {
     assert_eq!(receipt.return_data, b"1", "executed more than once");
     assert!(server.stats().deduped.load(Ordering::Relaxed) >= 1);
 }
+
+/// Spawn a tiny echo upstream (every byte read is written straight
+/// back) accepting any number of connections; returns its address.
+fn echo_upstream() -> std::net::SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind echo");
+    let addr = listener.local_addr().expect("echo addr");
+    std::thread::spawn(move || {
+        while let Ok((mut s, _)) = listener.accept() {
+            std::thread::spawn(move || {
+                let mut back = s.try_clone().expect("clone echo stream");
+                let mut buf = [0u8; 4096];
+                loop {
+                    match std::io::Read::read(&mut s, &mut buf) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => {
+                            if std::io::Write::write_all(&mut back, &buf[..n]).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Satellite: the symmetric `partition` preset. One proxy-wide chunk
+/// clock governs both directions of every connection, so a window
+/// `[from, until)` cuts the link completely — requests vanish on the
+/// way up, responses on the way down — and heals on its own once
+/// enough chunks have ticked past the end of the window.
+#[test]
+fn partition_preset_blackholes_both_directions_then_heals() {
+    use std::io::{Read, Write};
+
+    let upstream = echo_upstream();
+
+    // Window [2, 6): round 0 (chunks 0 and 1) flows, then four chunks
+    // are blackholed, then the link heals. In lockstep rounds every
+    // delivered round costs two ticks (request + echo) while a
+    // blackholed request costs one (the echo never happens).
+    let mut proxy = FaultProxy::spawn(upstream, FaultPlan::partition(901, 2, 6)).expect("proxy");
+    let mut link = std::net::TcpStream::connect(proxy.addr()).expect("connect via proxy");
+    link.set_read_timeout(Some(Duration::from_millis(250)))
+        .expect("read timeout");
+
+    let mut buf = [0u8; 8];
+    link.write_all(b"r0").expect("write r0");
+    link.read_exact(&mut buf[..2])
+        .expect("pre-partition round echoes");
+    assert_eq!(&buf[..2], b"r0");
+
+    for round in 1..=4u32 {
+        link.write_all(format!("r{round}").as_bytes())
+            .expect("write");
+        assert!(
+            link.read(&mut buf).is_err(),
+            "round {round} should be blackholed"
+        );
+    }
+
+    link.write_all(b"r5").expect("write r5");
+    link.read_exact(&mut buf[..2])
+        .expect("post-heal round echoes");
+    assert_eq!(
+        &buf[..2],
+        b"r5",
+        "blackholed chunks are dropped, not delayed"
+    );
+    assert_eq!(proxy.stats().partitioned.load(Ordering::Relaxed), 4);
+    proxy.shutdown();
+
+    // The same clock cuts the *response* direction: with window [1, 2)
+    // the first request reaches the upstream but its echo is swallowed;
+    // the next round flows both ways and returns only its own payload.
+    let mut proxy = FaultProxy::spawn(upstream, FaultPlan::partition(902, 1, 2)).expect("proxy");
+    let mut link = std::net::TcpStream::connect(proxy.addr()).expect("connect via proxy");
+    link.set_read_timeout(Some(Duration::from_millis(250)))
+        .expect("read timeout");
+    link.write_all(b"aa").expect("write aa");
+    assert!(link.read(&mut buf).is_err(), "echo of aa is cut downstream");
+    link.write_all(b"bb").expect("write bb");
+    link.read_exact(&mut buf[..2]).expect("healed round echoes");
+    assert_eq!(&buf[..2], b"bb");
+    assert_eq!(proxy.stats().partitioned.load(Ordering::Relaxed), 1);
+    proxy.shutdown();
+}

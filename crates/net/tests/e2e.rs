@@ -143,7 +143,7 @@ fn overload_yields_busy_with_zero_silent_drops() {
         },
     );
     let cfg = LoadgenConfig {
-        addr: server.addr(),
+        endpoints: vec![server.addr()],
         threads: 2,
         txs_per_thread: 60,
         closed: false, // open loop: Busy replies are the measurement

@@ -15,8 +15,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Fixed-capacity single-producer single-consumer ring buffer of messages.
+///
+/// `head` is contended: the consumer advances it on `pop`, and the
+/// producer advances it when the buffer is full (overwrite-oldest).
+/// Both sides therefore claim positions with a compare-exchange, and
+/// each slot carries the sequence number it was written for — a reader
+/// that finds a later sequence in its claimed slot knows the producer
+/// lapped it and skips, so delivery stays unique and in order.
 pub struct RingBuffer<T> {
-    slots: Vec<confide_sync::Mutex<Option<T>>>,
+    slots: Vec<confide_sync::Mutex<Option<(u64, T)>>>,
     head: AtomicU64, // next slot to read
     tail: AtomicU64, // next slot to write
     capacity: u64,
@@ -83,14 +90,25 @@ impl<T> MonitorProducer<T> {
     pub fn push(&self, value: T) {
         let buf = &self.buf;
         let tail = buf.tail.load(Ordering::Relaxed);
-        let head = buf.head.load(Ordering::Acquire);
-        if tail - head >= buf.capacity {
-            // Overwrite-oldest: advance head, count the drop.
-            buf.head.store(head + 1, Ordering::Release);
-            buf.dropped.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let head = buf.head.load(Ordering::Acquire);
+            if tail - head < buf.capacity {
+                break;
+            }
+            // Overwrite-oldest: claim the head slot away from the
+            // consumer. A failed exchange means the consumer popped it
+            // first — re-check, there may be room now.
+            if buf
+                .head
+                .compare_exchange(head, head + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                buf.dropped.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
         }
         let idx = (tail % buf.capacity) as usize;
-        *buf.slots[idx].lock() = Some(value);
+        *buf.slots[idx].lock() = Some((tail, value));
         buf.tail.store(tail + 1, Ordering::Release);
     }
 }
@@ -104,15 +122,37 @@ impl<T> MonitorConsumer<T> {
     /// Pop the oldest pending record, if any.
     pub fn pop(&self) -> Option<T> {
         let buf = &self.buf;
-        let head = buf.head.load(Ordering::Relaxed);
-        let tail = buf.tail.load(Ordering::Acquire);
-        if head >= tail {
-            return None;
+        loop {
+            let head = buf.head.load(Ordering::Acquire);
+            let tail = buf.tail.load(Ordering::Acquire);
+            if head >= tail {
+                return None;
+            }
+            // Claim position `head`; losing the race means the producer
+            // dropped that record (buffer full), so try the next one.
+            if buf
+                .head
+                .compare_exchange(head, head + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let idx = (head % buf.capacity) as usize;
+            let mut slot = buf.slots[idx].lock();
+            match &*slot {
+                // Only deliver the record written for this position: a
+                // later sequence means the producer lapped us after we
+                // claimed — that record will be read at its own turn.
+                Some((seq, _)) if *seq == head => {
+                    let (_, value) = slot.take().expect("slot checked above");
+                    return Some(value);
+                }
+                _ => {
+                    buf.dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
         }
-        let idx = (head % buf.capacity) as usize;
-        let value = buf.slots[idx].lock().take();
-        buf.head.store(head + 1, Ordering::Release);
-        value
     }
 
     /// Drain everything currently pending.

@@ -163,6 +163,86 @@ echo "ok: recovered node serves traffic; recovery datapoint recorded"
 kill "$NODE_PID" 2>/dev/null || true
 trap - EXIT
 
+echo "== cluster smoke: 4-node consortium, leader kill, root convergence =="
+# DESIGN.md §14: four real confide-node processes form an attested PBFT
+# mesh; a 200-tx burst keeps flowing while the leader is SIGKILLed, and
+# the survivors must elect a new view and converge to byte-identical
+# state roots.
+CLUSTER_DIR=$(mktemp -d)
+# Reserve four ephemeral ports together so every member can be handed the
+# full peer list up front.
+read -r P0 P1 P2 P3 < <(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(4)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+PY
+)
+PEERS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$P3"
+CLUSTER_PIDS=()
+for i in 0 1 2 3; do
+    ./target/release/confide-node --node-id "$i" --peers "$PEERS" --cluster-keys 11 \
+        >"$CLUSTER_DIR/node$i.log" 2>&1 &
+    CLUSTER_PIDS+=($!)
+done
+trap 'kill "${CLUSTER_PIDS[@]}" 2>/dev/null || true' EXIT
+for i in 0 1 2 3; do
+    UP=""
+    for _ in $(seq 1 100); do
+        grep -q '^LISTENING ' "$CLUSTER_DIR/node$i.log" && { UP=1; break; }
+        sleep 0.1
+    done
+    [ -n "$UP" ] || { echo "FAIL: cluster node $i never reported LISTENING" >&2; exit 1; }
+done
+echo "cluster up on $PEERS"
+
+# 200 confidential txs spread across all four endpoints; kill the view-0
+# leader (node 0) mid-stream. Redirect-following plus wire-hash dedup
+# make the client-side retries exactly-once.
+./target/release/confide-loadgen \
+    --endpoint "127.0.0.1:$P0" --endpoint "127.0.0.1:$P1" \
+    --endpoint "127.0.0.1:$P2" --endpoint "127.0.0.1:$P3" \
+    --threads 4 --txs 50 --mode closed --out "$CLUSTER_DIR/BENCH_cluster.json" &
+LOAD_PID=$!
+sleep 0.3
+kill -9 "${CLUSTER_PIDS[0]}" 2>/dev/null || true
+wait "$LOAD_PID" \
+    || { echo "FAIL: cluster burst did not survive the leader kill" >&2; exit 1; }
+grep -q '"consensus"' "$CLUSTER_DIR/BENCH_cluster.json" \
+    || { echo "FAIL: cluster run emitted no consensus section" >&2; exit 1; }
+
+# Survivors: same height (>= 1), same root, and a view past 0.
+CONVERGED=""
+for _ in $(seq 1 100); do
+    STATUS=$(./target/release/confide-loadgen --probe \
+        --endpoint "127.0.0.1:$P1" --endpoint "127.0.0.1:$P2" \
+        --endpoint "127.0.0.1:$P3" 2>/dev/null || true)
+    if [ "$(echo "$STATUS" | grep -c '^STATUS ')" -eq 3 ]; then
+        ROOTS=$(echo "$STATUS" | sed -n 's/.* root=\([0-9a-f]*\) .*/\1/p' | sort -u)
+        HEIGHTS=$(echo "$STATUS" | sed -n 's/.* height=\([0-9]*\) .*/\1/p' | sort -u)
+        MIN_VIEW=$(echo "$STATUS" | sed -n 's/.* view=\([0-9]*\) .*/\1/p' | sort -n | head -1)
+        if [ "$(echo "$ROOTS" | wc -l)" -eq 1 ] \
+            && [ "$(echo "$HEIGHTS" | wc -l)" -eq 1 ] \
+            && [ "$HEIGHTS" -ge 1 ] && [ "${MIN_VIEW:-0}" -ge 1 ]; then
+            CONVERGED=1
+            break
+        fi
+    fi
+    sleep 0.2
+done
+if [ -z "$CONVERGED" ]; then
+    echo "FAIL: survivors did not converge after the leader kill" >&2
+    ./target/release/confide-loadgen --probe \
+        --endpoint "127.0.0.1:$P1" --endpoint "127.0.0.1:$P2" \
+        --endpoint "127.0.0.1:$P3" >&2 || true
+    exit 1
+fi
+echo "ok: survivors at height $HEIGHTS, view >= $MIN_VIEW, one root ${ROOTS:0:16}..."
+kill "${CLUSTER_PIDS[@]}" 2>/dev/null || true
+trap - EXIT
+rm -rf "$CLUSTER_DIR"
+
 echo "== BENCH_net.json schema check =="
 # Guard against schema drift in both the freshly emitted smoke report and
 # the checked-in results/BENCH_net.json.
@@ -176,7 +256,8 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
                '"recovered_blocks"' '"retries"' '"retries_exhausted"' \
                '"static_sched"' '"occ_spec_runs"' '"static_spec_runs"' \
                '"plan_cycles"' '"modeled_speedup"' '"roots_match"' \
-               '"static_schedule"'; do
+               '"static_schedule"' '"consensus"' '"n"' '"view_changes"' \
+               '"sync_blocks"' '"redirects"'; do
         if ! grep -q "$key" "$f"; then
             echo "FAIL: $f missing schema key $key" >&2
             exit 1
