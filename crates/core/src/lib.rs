@@ -46,7 +46,7 @@ pub use context::ExecContext;
 pub use counters::{OpCounters, TxStats};
 pub use engine::{Engine, EngineConfig, EngineError, TxPlan, VmKind};
 pub use keys::{KeyProtocolError, NodeKeys};
-pub use node::{ConfideNode, NodeError, SchedMode};
+pub use node::{ConfideNode, NodeError, SchedMode, WalDelta};
 pub use probe::recognize_stdlib;
 pub use receipt::Receipt;
 pub use tx::{RawTx, SignedTx, WireTx};

@@ -230,6 +230,18 @@ pub struct ParallelExecReport {
 }
 
 /// Result of executing one block on the parallel executor. Identical
+/// The WAL bytes one staged block appended — the input of the persist
+/// half of the split commit seam ([`ConfideNode::execute_block_staged`]).
+/// Acknowledging any transaction of height `height` before `bytes` is
+/// durable breaks the crash-safety triad.
+#[derive(Debug, Clone)]
+pub struct WalDelta {
+    /// Height of the block these bytes frame.
+    pub height: u64,
+    /// The framed record group (header, txs, batch, commit marker).
+    pub bytes: Vec<u8>,
+}
+
 /// state transition to [`ConfideNode::execute_block_parallel`] at any
 /// other thread count — the report is the only part that varies.
 #[derive(Debug)]
@@ -355,10 +367,12 @@ pub struct ConfideNode {
     pub state: StateDb,
     /// The hash-linked chain.
     pub blocks: BlockStore,
-    /// Plain execution.
-    pub public_engine: Engine,
-    /// In-enclave execution.
-    pub confidential_engine: Engine,
+    /// Plain execution. `Arc`-shared so a server front end can pre-verify
+    /// against the engine without holding the node lock (the engines are
+    /// internally synchronized; all their methods take `&self`).
+    pub public_engine: Arc<Engine>,
+    /// In-enclave execution (`Arc`-shared, same rationale).
+    pub confidential_engine: Arc<Engine>,
     /// The block-framed commit log: every sealed block lands here before
     /// the node acknowledges it (durable-commit seam; `confide-node`
     /// flushes it to disk incrementally).
@@ -378,8 +392,8 @@ impl ConfideNode {
         ConfideNode {
             state: StateDb::new(),
             blocks: BlockStore::new(),
-            public_engine: Engine::public(config),
-            confidential_engine: Engine::confidential(platform, keys, config),
+            public_engine: Arc::new(Engine::public(config)),
+            confidential_engine: Arc::new(Engine::confidential(platform, keys, config)),
             wal: BlockWal::new(),
             rng: HmacDrbg::from_u64(seed),
             timestamp_ns: 0,
@@ -393,6 +407,40 @@ impl ConfideNode {
     /// on restart.
     pub fn wal_bytes(&self) -> &[u8] {
         self.wal.bytes()
+    }
+
+    /// Byte length of the commit log — the flush cursor a file-backed
+    /// deployment tracks between incremental appends.
+    pub fn wal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// The **execute half** of the split commit seam: run
+    /// [`ConfideNode::execute_block_sched`] and hand back the WAL delta
+    /// this block appended, so the **persist half** (the commit stage of
+    /// a pipelined server) can make it durable *outside* the node lock.
+    ///
+    /// The durability contract moves with the delta: no transaction of
+    /// this block may be acknowledged until the returned bytes are
+    /// fsynced. Splitting the halves lets execution of block N+1 overlap
+    /// the fsync of block N (and lets several deltas share one fsync via
+    /// group commit) without weakening ack-implies-durable.
+    pub fn execute_block_staged(
+        &mut self,
+        txs: &[WireTx],
+        threads: usize,
+        mode: SchedMode,
+    ) -> Result<(ParallelBlockResult, WalDelta), NodeError> {
+        let from = self.wal.len();
+        let res = self.execute_block_sched(txs, threads, mode)?;
+        let bytes = self.wal.bytes()[from..].to_vec();
+        Ok((
+            res,
+            WalDelta {
+                height: self.blocks.height(),
+                bytes,
+            },
+        ))
     }
 
     /// Replay a commit log into this **freshly constructed** node:
@@ -1426,6 +1474,30 @@ impl ConfideNode {
         tx_hash.copy_from_slice(&v[..32]);
         let receipt = self.stored_receipt(&tx_hash)?;
         Some((v[32] == 1, receipt))
+    }
+
+    /// Enumerate every committed wire transaction as
+    /// `(wire_hash, sealed, receipt bytes)` — the full contents of the
+    /// wire-hash index. A server front end seeds its own dedup index from
+    /// this at spawn so the per-submission dedup check never has to take
+    /// the node lock (which block execution holds write-side for whole
+    /// blocks at a time).
+    pub fn committed_wire_entries(&self) -> Vec<([u8; 32], bool, Vec<u8>)> {
+        let prefix = b"wiretx|";
+        let mut out = Vec::new();
+        for (k, v) in self.state.scan_prefix(prefix) {
+            if k.len() != prefix.len() + 32 || v.len() != 33 {
+                continue;
+            }
+            let mut wire_hash = [0u8; 32];
+            wire_hash.copy_from_slice(&k[prefix.len()..]);
+            let mut tx_hash = [0u8; 32];
+            tx_hash.copy_from_slice(&v[..32]);
+            if let Some(receipt) = self.stored_receipt(&tx_hash) {
+                out.push((wire_hash, v[32] == 1, receipt));
+            }
+        }
+        out
     }
 
     /// Current state root.

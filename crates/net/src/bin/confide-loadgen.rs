@@ -32,8 +32,8 @@
 
 use confide_net::demo::demo_node;
 use confide_net::loadgen::{
-    run, run_parallel_scaling, run_static_sched, to_json, ConsensusInfo, LoadReport, LoadgenConfig,
-    RecoveryInfo,
+    run, run_parallel_scaling, run_pipeline_bench, run_static_sched, to_json, ConsensusInfo,
+    LoadReport, LoadgenConfig, PipelineBenchConfig, PipelineReport, RecoveryInfo,
 };
 use confide_net::Conn;
 use confide_net::{NodeServer, ServerConfig};
@@ -44,7 +44,8 @@ fn usage() -> ! {
         "usage: confide-loadgen [--addr HOST:PORT | --endpoint HOST:PORT .. | --self-host] \
          [--threads N] [--txs N] [--mode closed|open|both] [--public] [--window N] \
          [--queue-depth N] [--exec-threads N] [--out PATH] [--recover-ms N] \
-         [--recovered-blocks N] [--probe]"
+         [--recovered-blocks N] [--probe] [--pipeline] [--pipeline-idle N] \
+         [--pipeline-active N] [--pipeline-txs N]"
     );
     std::process::exit(2);
 }
@@ -72,6 +73,8 @@ fn main() {
     let mut out = String::from("results/BENCH_net.json");
     let mut recovery = RecoveryInfo::default();
     let mut probe = false;
+    let mut pipeline_on = false;
+    let mut pipeline_cfg = PipelineBenchConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,6 +93,19 @@ fn main() {
                 recovery.recovered_blocks = parse("--recovered-blocks", args.next())
             }
             "--probe" => probe = true,
+            "--pipeline" => pipeline_on = true,
+            "--pipeline-idle" => {
+                pipeline_on = true;
+                pipeline_cfg.idle_target = parse("--pipeline-idle", args.next());
+            }
+            "--pipeline-active" => {
+                pipeline_on = true;
+                pipeline_cfg.active_target = parse("--pipeline-active", args.next());
+            }
+            "--pipeline-txs" => {
+                pipeline_on = true;
+                pipeline_cfg.txs_per_conn = parse("--pipeline-txs", args.next());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("confide-loadgen: unknown flag {other}");
@@ -247,6 +263,37 @@ fn main() {
         std::process::exit(1);
     }
 
+    // The pipelined-reactor bench: fully in-process (it spawns its own
+    // reactor node), opt-in because the idle fleet alone costs thousands
+    // of descriptors.
+    let pipeline: Option<PipelineReport> = if pipeline_on {
+        match run_pipeline_bench(&pipeline_cfg) {
+            Ok(p) => {
+                eprintln!(
+                    "confide-loadgen: pipeline: {} idle + {} active conns, {}/{} accepted, \
+                     wire {:.0} tx/s vs model {:.0} tx/s (ratio {:.2}), \
+                     {:.1} blocks/fsync over {} fsyncs",
+                    p.idle_conns,
+                    p.active_conns,
+                    p.accepted,
+                    p.txs,
+                    p.wire_tps,
+                    p.model_tps,
+                    p.model_ratio,
+                    p.blocks_per_fsync,
+                    p.fsyncs
+                );
+                Some(p)
+            }
+            Err(e) => {
+                eprintln!("confide-loadgen: pipeline bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     for r in &reports {
         recovery.retries += r.retries;
     }
@@ -274,6 +321,7 @@ fn main() {
         &server_cfg,
         &recovery,
         &consensus,
+        pipeline.as_ref(),
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {

@@ -171,7 +171,10 @@ impl ClusterShared {
     }
 }
 
-/// Per-connection cluster context handed to `handle_connection`.
+/// Per-connection cluster context handed to the legacy runtime's
+/// `handle_connection` (the reactor path routes through
+/// `pipeline::WorkerCtx` instead).
+#[cfg(feature = "legacy-threaded")]
 #[derive(Clone)]
 pub(crate) struct ClusterCtx {
     pub shared: Arc<ClusterShared>,
@@ -528,13 +531,8 @@ impl Driver {
             if let Some((sealed, receipt)) = committed {
                 self.stats.deduped.fetch_add(1, Ordering::Relaxed);
                 self.release(&job.wire_hash);
-                if let Some(done) = &job.done {
-                    crate::server::reply_waiter(
-                        done,
-                        Message::Committed { sealed, receipt },
-                        &self.stats,
-                    );
-                }
+                job.reply
+                    .send(Message::Committed { sealed, receipt }, &self.stats);
                 continue;
             }
             if self.first_pending_at.is_none() {
@@ -718,24 +716,19 @@ impl Driver {
         };
         for (hash, reply) in replies {
             if let Some(job) = self.awaiting.remove(&hash) {
-                if let Some(done) = &job.done {
-                    crate::server::reply_waiter(done, reply, &self.stats);
-                }
+                job.reply.send(reply, &self.stats);
             }
         }
     }
 
     fn redirect(&mut self, job: Job) {
         self.release(&job.wire_hash);
-        if let Some(done) = &job.done {
-            crate::server::reply_waiter(
-                done,
-                Message::NotPrimary {
-                    leader: self.shared.leader_addr(),
-                },
-                &self.stats,
-            );
-        }
+        job.reply.send(
+            Message::NotPrimary {
+                leader: self.shared.leader_addr(),
+            },
+            &self.stats,
+        );
     }
 
     fn release(&self, wire_hash: &[u8; 32]) {

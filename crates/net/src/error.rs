@@ -1,0 +1,243 @@
+//! The consolidated error taxonomy of the `confide` workspace.
+//!
+//! Before this module, callers navigated ad-hoc `From` chains —
+//! [`crate::client::NetError`] wrapping [`crate::frame::FrameError`]
+//! wrapping `io::Error`, with `confide_core::node::NodeError` off to the
+//! side — and matched on stringly nested variants to classify a failure.
+//! [`Error`] is the one type the public client surface returns: a typed
+//! [`ErrorKind`] for programmatic dispatch (`e.kind() == ErrorKind::Busy`),
+//! a human message, and the full `source()` chain preserved for logging.
+
+use crate::client::NetError;
+use crate::frame::FrameError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Coarse, stable classification of a failure — what a caller should
+/// *do* about it, not where it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Socket-level I/O failure (dial, read, write, timeout).
+    Io,
+    /// The peer violated the wire protocol (bad frame, unexpected kind,
+    /// unexpected disconnect).
+    Protocol,
+    /// The server issued a terminal rejection; retrying the same bytes
+    /// will not help.
+    Rejected,
+    /// Typed backpressure (queue or ring full, duplicate in flight) —
+    /// transient, retry with backoff.
+    Busy,
+    /// The node is a cluster follower; resubmit at the leader carried in
+    /// [`Error::leader`].
+    NotPrimary,
+    /// Attestation verification failed — the peer's key material must
+    /// not be trusted.
+    Attestation,
+    /// Local cryptography failed (sealing, receipt decryption).
+    Crypto,
+    /// The client-side connection pool stayed exhausted for the whole
+    /// wait window.
+    Pool,
+    /// A retry loop ran out of attempts; `source()` holds the final
+    /// attempt's failure.
+    Retries,
+    /// Invalid configuration rejected before any I/O (builder
+    /// validation).
+    Config,
+    /// A node-side execution/commit failure surfaced locally (in-process
+    /// benches and embedded servers).
+    Node,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Io => "io",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::Busy => "busy",
+            ErrorKind::NotPrimary => "not-primary",
+            ErrorKind::Attestation => "attestation",
+            ErrorKind::Crypto => "crypto",
+            ErrorKind::Pool => "pool",
+            ErrorKind::Retries => "retries",
+            ErrorKind::Config => "config",
+            ErrorKind::Node => "node",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The top-level error of the `confide` facade (re-exported as
+/// `confide::Error`).
+#[derive(Debug)]
+pub struct Error {
+    kind: ErrorKind,
+    message: String,
+    leader: Option<String>,
+    source: Option<Box<dyn StdError + Send + Sync + 'static>>,
+}
+
+impl Error {
+    /// Build an error with no source chain.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Error {
+        Error {
+            kind,
+            message: message.into(),
+            leader: None,
+            source: None,
+        }
+    }
+
+    /// Attach a source error (preserved through `source()`).
+    pub fn with_source(
+        mut self,
+        source: impl Into<Box<dyn StdError + Send + Sync + 'static>>,
+    ) -> Error {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// The typed classification — the match target for callers.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// For [`ErrorKind::NotPrimary`]: the advertised leader address.
+    pub fn leader(&self) -> Option<&str> {
+        self.leader.as_deref()
+    }
+
+    /// Transient failures are worth retrying with backoff; terminal
+    /// verdicts are not. (The [`crate::RetryPolicy`] loops use this.)
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self.kind,
+            ErrorKind::Busy | ErrorKind::Io | ErrorKind::Protocol | ErrorKind::Pool
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        self.source
+            .as_ref()
+            .map(|s| s.as_ref() as &(dyn StdError + 'static))
+    }
+}
+
+impl From<NetError> for Error {
+    fn from(e: NetError) -> Error {
+        match e {
+            NetError::Busy => Error::new(ErrorKind::Busy, "server busy"),
+            NetError::Rejected(r) => Error::new(ErrorKind::Rejected, format!("rejected: {r}")),
+            NetError::NotPrimary(leader) => {
+                let mut err = Error::new(
+                    ErrorKind::NotPrimary,
+                    format!("not primary; leader is {leader}"),
+                );
+                err.leader = Some(leader);
+                err
+            }
+            NetError::Crypto => Error::new(ErrorKind::Crypto, "cryptographic failure"),
+            NetError::Attestation(m) => {
+                Error::new(ErrorKind::Attestation, format!("attestation: {m}"))
+            }
+            NetError::PoolExhausted => {
+                Error::new(ErrorKind::Pool, "connection pool exhausted").with_source(e)
+            }
+            NetError::Frame(FrameError::Io(_)) => {
+                Error::new(ErrorKind::Io, "transport i/o failed").with_source(e)
+            }
+            NetError::Frame(_) | NetError::Disconnected | NetError::UnexpectedReply(_) => {
+                Error::new(ErrorKind::Protocol, e.to_string()).with_source(e)
+            }
+            NetError::RetriesExhausted { attempts, .. } => Error::new(
+                ErrorKind::Retries,
+                format!("retries exhausted after {attempts} attempts"),
+            )
+            .with_source(e),
+        }
+    }
+}
+
+impl From<FrameError> for Error {
+    fn from(e: FrameError) -> Error {
+        Error::from(NetError::Frame(e))
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::new(ErrorKind::Io, "i/o failed").with_source(e)
+    }
+}
+
+impl From<confide_core::node::NodeError> for Error {
+    fn from(e: confide_core::node::NodeError) -> Error {
+        Error::new(ErrorKind::Node, e.to_string()).with_source(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    #[test]
+    fn kinds_classify_and_sources_chain() {
+        let io_err = io::Error::new(io::ErrorKind::ConnectionRefused, "refused");
+        let net = NetError::Frame(FrameError::Io(io_err));
+        let err = Error::from(net);
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(err.is_transient());
+        // Walk the chain: Error -> NetError -> FrameError -> io::Error.
+        let mut depth = 0;
+        let mut cur: &dyn StdError = &err;
+        while let Some(next) = cur.source() {
+            depth += 1;
+            cur = next;
+        }
+        assert!(depth >= 2, "source chain lost (depth {depth})");
+        assert!(cur.to_string().contains("refused"));
+    }
+
+    #[test]
+    fn not_primary_exposes_leader() {
+        let err = Error::from(NetError::NotPrimary("10.0.0.7:9000".into()));
+        assert_eq!(err.kind(), ErrorKind::NotPrimary);
+        assert_eq!(err.leader(), Some("10.0.0.7:9000"));
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn terminal_verdicts_are_not_transient() {
+        for e in [
+            NetError::Rejected("bad signature".into()),
+            NetError::Crypto,
+            NetError::Attestation("svn too old".into()),
+        ] {
+            assert!(!Error::from(e).is_transient());
+        }
+        assert!(Error::from(NetError::Busy).is_transient());
+    }
+
+    #[test]
+    fn retries_exhausted_keeps_the_last_failure_as_source() {
+        let err = Error::from(NetError::RetriesExhausted {
+            attempts: 6,
+            last: Box::new(NetError::Busy),
+        });
+        assert_eq!(err.kind(), ErrorKind::Retries);
+        let src = err.source().expect("source preserved");
+        assert!(src.to_string().contains("6 attempts"));
+    }
+}

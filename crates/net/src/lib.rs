@@ -4,20 +4,29 @@
 //! [`confide_core::node::ConfideNode`] behind a real TCP socket and drive
 //! it with real clients, while keeping PR 1's hermetic std-only build.
 //!
-//! Four layers:
+//! Layers:
 //!
 //! * [`frame`] — length-prefixed frame codec + the T-Protocol wire
 //!   message set (submit envelope-sealed transactions, poll sealed
 //!   receipts, fetch `pk_tx` and its attestation report), with a version
 //!   byte and a max-frame guard. Typed errors, no panicking parser.
-//! * [`server`] — [`server::NodeServer`]: thread-per-connection accept
-//!   loop feeding a **bounded** batching queue that drains into
-//!   block-sized batches. Queue-full is surfaced to the submitter as a
-//!   typed `Busy` response — never a silent drop.
-//! * [`client`] — [`client::Conn`] (framed transport),
-//!   [`client::Client`] (seals envelopes through the *same*
-//!   [`confide_core::seal_signed_tx`] path as the in-process client) and
-//!   [`client::Gateway`] (many logical clients over few pooled sockets).
+//! * [`server`] — [`server::NodeServer`]: a single-threaded nonblocking
+//!   reactor multiplexing every connection (adaptive idle backoff,
+//!   ordered reply sequencing, bounded write buffers), a preverify
+//!   worker pool, and a three-stage block pipeline — preverify ∥
+//!   execute ∥ group-commit fsync. Every queue is bounded; overflow is
+//!   surfaced to the submitter as a typed `Busy` response — never a
+//!   silent drop. Configuration is validated through
+//!   [`server::ServerConfig::builder`].
+//! * [`client`] — [`client::Conn`] (framed transport) and the unified
+//!   [`client::Client`]: a pooled, retrying, redirect-chasing handle
+//!   configured by [`client::ClientConfig`] that seals envelopes through
+//!   the *same* [`confide_core::seal_signed_tx`] path as the in-process
+//!   client. (The former `Gateway` and connect-style `Client` remain as
+//!   deprecated forwarders.)
+//! * [`error`] — the consolidated taxonomy: every public client call
+//!   returns [`error::Error`] with a typed [`error::ErrorKind`] and the
+//!   full `source()` chain preserved.
 //! * [`loadgen`] — open/closed-loop workload driver behind the
 //!   `confide-loadgen` binary; emits `results/BENCH_net.json`.
 //! * [`fault`] — [`fault::FaultProxy`]: a seeded fault-injecting TCP
@@ -41,13 +50,20 @@
 pub mod client;
 pub mod cluster;
 pub mod demo;
+pub mod error;
 pub mod fault;
 pub mod frame;
 pub mod loadgen;
+mod pipeline;
+mod reactor;
 pub mod server;
 
-pub use client::{Client, Conn, Gateway, NetError, RetryPolicy, RetryStats};
+#[allow(deprecated)]
+pub use client::Gateway;
+pub use client::{Client, ClientConfig, Conn, NetError, RetryPolicy, RetryStats};
 pub use cluster::{ClusterConfig, ClusterShared};
+pub use error::{Error, ErrorKind};
 pub use fault::{FaultPlan, FaultProxy, FaultStats};
 pub use frame::{FrameError, Message, NodeStatus, DEFAULT_MAX_FRAME, WIRE_VERSION};
-pub use server::{NodeServer, ServerConfig, ServerStats};
+pub use pipeline::PipelineStats;
+pub use server::{NodeServer, ServerConfig, ServerConfigBuilder, ServerStats};

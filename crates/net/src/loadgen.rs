@@ -16,7 +16,7 @@
 //! wire-level bench run is also an end-to-end confidentiality check.
 
 use crate::client::{Conn, NetError};
-use crate::frame::Message;
+use crate::frame::{FrameError, Message};
 use confide_core::client::ConfideClient;
 use confide_core::node::ConfideNode;
 use confide_core::receipt::Receipt;
@@ -80,7 +80,11 @@ pub struct LoadReport {
     pub confidential: bool,
     /// Worker threads.
     pub threads: usize,
-    /// Transactions submitted (accepted + busy + rejected).
+    /// Unique transactions submitted, deduplicated by wire hash: a
+    /// `Busy` reject followed by a successful retry is *one* submission
+    /// (the resends are counted under `retries`). Open loop sends each
+    /// transaction exactly once, so there `submitted` still equals
+    /// accepted + busy + rejected + redirects.
     pub submitted: u64,
     /// Transactions the server accepted into the queue.
     pub accepted: u64,
@@ -270,8 +274,12 @@ fn closed_worker(
     for tx in &txs {
         let t0 = Instant::now();
         let mut attempts = 0usize;
+        // One unique wire hash = one submission, however many times the
+        // Busy backoff loop resends it. Counting each resend used to
+        // inflate the tps denominator (a Busy reject + its retry were
+        // two "submissions"); retries are tallied separately below.
+        res.submitted += 1;
         loop {
-            res.submitted += 1;
             match conn.submit_wait(&tx.wire) {
                 Ok((sealed, receipt)) => {
                     res.accepted += 1;
@@ -702,6 +710,413 @@ pub fn run_static_sched(seed: u64) -> Result<StaticSchedReport, NetError> {
     })
 }
 
+/// Knobs of the pipelined-reactor benchmark ([`run_pipeline_bench`]).
+///
+/// Targets are *requests*: the run reads the process fd limit
+/// (`/proc/self/limits`) and scales both fleets down proportionally when
+/// the box cannot hold them — in-process loopback costs two descriptors
+/// per connection (client end + server end). The emitted report records
+/// the target and what was actually opened.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchConfig {
+    /// Idle connections to park on the reactor (default 10 000): they
+    /// handshake, then send nothing, and must cost the sweep loop ~zero.
+    pub idle_target: usize,
+    /// Active connections submitting transactions (default 1 000).
+    pub active_target: usize,
+    /// Pipelined transactions per active connection (one sender identity
+    /// per connection, so per-connection FIFO carries the nonce order).
+    pub txs_per_conn: usize,
+    /// Driver threads multiplexing the active fleet.
+    pub drivers: usize,
+    /// Ingest-ring bound for the bench server.
+    pub queue_depth: usize,
+    /// Execute-stage worker threads for the bench server.
+    pub exec_threads: usize,
+}
+
+impl Default for PipelineBenchConfig {
+    fn default() -> PipelineBenchConfig {
+        PipelineBenchConfig {
+            idle_target: 10_000,
+            active_target: 1_000,
+            txs_per_conn: 4,
+            drivers: 8,
+            queue_depth: 8192,
+            exec_threads: 4,
+        }
+    }
+}
+
+/// Outcome of one [`run_pipeline_bench`] run — the `"pipeline"` section
+/// of `BENCH_net.json`.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Idle connections requested.
+    pub idle_conns_target: usize,
+    /// Idle connections actually parked (fd-limit scaled).
+    pub idle_conns: usize,
+    /// Active connections actually driven.
+    pub active_conns: usize,
+    /// Transactions offered across the active fleet.
+    pub txs: u64,
+    /// Transactions the server accepted into the pipeline.
+    pub accepted: u64,
+    /// Typed `Busy` rejects (open loop: never retried).
+    pub busy: u64,
+    /// Typed `Rejected` verdicts.
+    pub rejected: u64,
+    /// Wall-clock of the wire phase (first byte offered → last accepted
+    /// transaction's receipt durable and fetched), seconds.
+    pub wire_elapsed_s: f64,
+    /// Accepted-and-committed throughput over the wire, tx/s.
+    pub wire_tps: f64,
+    /// Exec-only throughput of the same workload on an in-process twin
+    /// node (no sockets, no preverify pool, no fsync), tx/s.
+    pub model_tps: f64,
+    /// `model_tps / wire_tps` — how much the wire path gives up against
+    /// pure execution. The check gate requires ≤ 2.0.
+    pub model_ratio: f64,
+    /// Preverify-stage busy time over the wire phase, in worker-seconds
+    /// per wall-second (can exceed 1.0: the stage is a pool).
+    pub preverify_occupancy: f64,
+    /// Execute-stage busy time / wall (single thread: ≤ 1.0).
+    pub execute_occupancy: f64,
+    /// Commit-stage busy time / wall (single thread: ≤ 1.0).
+    pub commit_occupancy: f64,
+    /// Group commits (fsync batches) the commit stage issued.
+    pub fsyncs: u64,
+    /// Blocks made durable across those group commits.
+    pub fsync_blocks: u64,
+    /// Mean blocks amortized per fsync.
+    pub blocks_per_fsync: f64,
+    /// Largest single commit group, in blocks.
+    pub max_group: u64,
+    /// Group-size histogram; bucket labels are
+    /// [`confide_storage::GROUP_BUCKETS`].
+    pub group_hist: Vec<u64>,
+    /// Block height made durable by the end of the run.
+    pub durable_height: u64,
+}
+
+/// Soft fd limit of this process, from `/proc/self/limits` (fallback
+/// 1024 when the file is absent or unparseable — e.g. non-Linux).
+fn fd_soft_limit() -> usize {
+    let txt = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    for line in txt.lines() {
+        if let Some(rest) = line.strip_prefix("Max open files") {
+            let tok = rest.split_whitespace().next().unwrap_or("");
+            if tok == "unlimited" {
+                return 1 << 20;
+            }
+            if let Ok(v) = tok.parse::<usize>() {
+                return v;
+            }
+        }
+    }
+    1024
+}
+
+/// Scale `(idle, active)` targets to what the fd budget can hold:
+/// in-process loopback costs 2 fds per connection, and ~300 descriptors
+/// are reserved for the WAL, listener, stdio and the harness itself.
+fn scale_to_fd_budget(idle_target: usize, active_target: usize) -> (usize, usize) {
+    let cap = fd_soft_limit().saturating_sub(300) / 2;
+    let want = idle_target + active_target;
+    if want <= cap {
+        return (idle_target, active_target);
+    }
+    let f = cap as f64 / want.max(1) as f64;
+    let active = ((active_target as f64 * f) as usize).max(1);
+    let idle = cap.saturating_sub(active);
+    (idle, active)
+}
+
+/// Measure the three-stage pipeline end to end on an in-process reactor
+/// node: park an idle fleet (default 10 000 connections) to prove
+/// readiness sweeps don't tax quiet sockets, drive an active fleet
+/// (default 1 000 connections) open-loop with pipelined confidential
+/// submissions, and price the wire path against an exec-only twin of the
+/// same node running the identical workload. Stage-occupancy and
+/// group-commit-size numbers come from the server's own
+/// `PipelineStats` counters, delta'd over the measured window.
+pub fn run_pipeline_bench(cfg: &PipelineBenchConfig) -> Result<PipelineReport, NetError> {
+    let (idle_n, active_n) = scale_to_fd_budget(cfg.idle_target, cfg.active_target);
+    let txs_per_conn = cfg.txs_per_conn.max(1);
+
+    // Bench server: durable WAL in a scratch dir so the commit stage
+    // exercises real group fsyncs.
+    let scratch = std::env::temp_dir().join(format!("confide-pipebench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(FrameError::from)?;
+    let server_cfg = crate::server::ServerConfig::builder()
+        .queue_depth(cfg.queue_depth.max(active_n * txs_per_conn))
+        .exec_threads(cfg.exec_threads)
+        // Throughput posture: a generous linger floor lets blocks fill
+        // so per-block overhead (root recompute, WAL encode, fsync)
+        // amortizes — the same group-commit tuning a database bench
+        // would use. Interactive latency is not what this bench measures.
+        .batch_linger(Duration::from_millis(50))
+        .wal_path(scratch.join("bench.wal"))
+        .build()
+        .map_err(|e| NetError::Rejected(e.to_string()))?;
+    let max_batch = server_cfg.max_batch;
+    let mut server =
+        crate::server::NodeServer::spawn(crate::demo::demo_node(7), ("127.0.0.1", 0), server_cfg)
+            .map_err(FrameError::from)?;
+    let addr = server.addr();
+
+    // Park the idle fleet. A connect may transiently fail while the
+    // accept backlog churns; retry briefly, and settle for what landed
+    // (the report records the actual count).
+    let mut idle: Vec<std::net::TcpStream> = Vec::with_capacity(idle_n);
+    'park: for _ in 0..idle_n {
+        for attempt in 0..3 {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => {
+                    idle.push(s);
+                    continue 'park;
+                }
+                Err(_) if attempt < 2 => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => break 'park,
+            }
+        }
+    }
+
+    let pk_tx = Conn::connect(addr)?.fetch_pk_tx()?;
+
+    // Seal the whole workload before anything is timed: one sender
+    // identity per active connection, txs chained through that sender's
+    // nonce (per-connection FIFO on the wire preserves the order).
+    let drivers = cfg.drivers.clamp(1, active_n);
+    let mut prepared: Vec<Vec<PreparedTx>> = Vec::with_capacity(active_n);
+    {
+        let lanes: Vec<Result<Vec<Vec<PreparedTx>>, NetError>> = std::thread::scope(|scope| {
+            (0..drivers)
+                .map(|d| {
+                    let pk_tx = &pk_tx;
+                    scope.spawn(move || {
+                        (d..active_n)
+                            .step_by(drivers)
+                            .map(|c| {
+                                prepare_txs(
+                                    c,
+                                    txs_per_conn,
+                                    true,
+                                    crate::demo::DEMO_CONTRACT,
+                                    pk_tx,
+                                )
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(NetError::Disconnected)))
+                .collect()
+        });
+        let mut by_driver: Vec<std::vec::IntoIter<Vec<PreparedTx>>> = Vec::new();
+        for lane in lanes {
+            by_driver.push(lane?.into_iter());
+        }
+        for c in 0..active_n {
+            match by_driver[c % drivers].next() {
+                Some(txs) => prepared.push(txs),
+                None => return Err(NetError::Disconnected),
+            }
+        }
+    }
+
+    // Exec-only twin: demo_node is seed-deterministic, so the same
+    // sealed envelopes open under the twin's k_tx. Blocks are chunked
+    // round-robin across senders at the server's own max_batch, which
+    // both preserves each sender's nonce order and mirrors the block
+    // shape the wire path produces.
+    let model_tps = {
+        let mut twin = crate::demo::demo_node(7);
+        warm_up(&mut twin)?;
+        let mut flat: Vec<WireTx> = Vec::with_capacity(active_n * txs_per_conn);
+        for round in 0..txs_per_conn {
+            for txs in &prepared {
+                flat.push(txs[round].wire.clone());
+            }
+        }
+        let t0 = Instant::now();
+        for chunk in flat.chunks(max_batch) {
+            let res = twin
+                .execute_block_parallel(chunk, cfg.exec_threads)
+                .map_err(|e| NetError::Rejected(e.to_string()))?;
+            if res.accepted() != chunk.len() {
+                return Err(NetError::Rejected(format!(
+                    "exec-only twin rejected {} of {} txs",
+                    chunk.len() - res.accepted(),
+                    chunk.len()
+                )));
+            }
+        }
+        flat.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    // Wire phase. Drivers connect their conns first, rendezvous on a
+    // barrier, then the clock starts: pipelined sends round-robin across
+    // each driver's conns, with every connection's *last* transaction a
+    // `SubmitTxWait` — its reply is dispatched only after the group
+    // fsync covering its block, so draining the replies observes
+    // durability with zero polling traffic (a poll loop here would
+    // compete with ingest for the preverify workers and poison the
+    // measurement on small machines).
+    let pipe0 = snapshot_pipe(server.pipeline_stats());
+    let barrier = std::sync::Barrier::new(drivers + 1);
+    let t0;
+    let lane_results: Vec<Result<(u64, u64, u64), NetError>>;
+    {
+        let prepared = &prepared;
+        let barrier = &barrier;
+        let (t, r) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|d| {
+                    scope.spawn(move || -> Result<(u64, u64, u64), NetError> {
+                        let my: Vec<usize> = (d..active_n).step_by(drivers).collect();
+                        let mut conns: Vec<Conn> = my
+                            .iter()
+                            .map(|_| Conn::connect(addr))
+                            .collect::<Result<_, _>>()?;
+                        barrier.wait();
+                        #[allow(clippy::needless_range_loop)] // round-major send order is the point
+                        for round in 0..txs_per_conn {
+                            for (slot, &c) in my.iter().enumerate() {
+                                let wire = prepared[c][round].wire.clone();
+                                let msg = if round + 1 == txs_per_conn {
+                                    Message::SubmitTxWait(wire)
+                                } else {
+                                    Message::SubmitTx(wire)
+                                };
+                                conns[slot].send(&msg)?;
+                            }
+                        }
+                        let (mut accepted, mut busy, mut rejected) = (0u64, 0u64, 0u64);
+                        for (slot, &c) in my.iter().enumerate() {
+                            for tx in &prepared[c] {
+                                match conns[slot].recv()? {
+                                    Message::Accepted(_) => accepted += 1,
+                                    Message::Committed { sealed, receipt } => {
+                                        // The wait reply doubles as the
+                                        // end-to-end confidentiality
+                                        // check: the receipt must open
+                                        // under this tx's k_tx.
+                                        let ok = match &tx.k_tx {
+                                            Some(k_tx) => {
+                                                sealed
+                                                    && Receipt::open(&receipt, k_tx, &tx.tx_hash)
+                                                        .map(|r| r.tx_hash == tx.tx_hash)
+                                                        .unwrap_or(false)
+                                            }
+                                            None => !sealed,
+                                        };
+                                        if !ok {
+                                            return Err(NetError::Crypto);
+                                        }
+                                        accepted += 1;
+                                    }
+                                    Message::Busy => busy += 1,
+                                    Message::Rejected(_) => rejected += 1,
+                                    other => return Err(NetError::UnexpectedReply(other.kind())),
+                                }
+                            }
+                        }
+                        Ok((accepted, busy, rejected))
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let t0 = Instant::now();
+            let results: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(NetError::Disconnected)))
+                .collect();
+            (t0, results)
+        });
+        t0 = t;
+        lane_results = r;
+    }
+    let wire_elapsed = t0.elapsed().as_secs_f64();
+    let (mut accepted, mut busy, mut rejected) = (0u64, 0u64, 0u64);
+    for lane in lane_results {
+        let (a, b, r) = lane?;
+        accepted += a;
+        busy += b;
+        rejected += r;
+    }
+    let pipe1 = snapshot_pipe(server.pipeline_stats());
+    let idle_parked = idle.len();
+    drop(idle);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let wall_ns = (wire_elapsed * 1e9).max(1.0);
+    let wire_tps = accepted as f64 / wire_elapsed.max(1e-9);
+    let delta = |f: fn(&PipeSnapshot) -> u64| f(&pipe1).saturating_sub(f(&pipe0)) as f64;
+    let fsyncs = pipe1.fsyncs.saturating_sub(pipe0.fsyncs);
+    let fsync_blocks = pipe1.fsync_blocks.saturating_sub(pipe0.fsync_blocks);
+    Ok(PipelineReport {
+        idle_conns_target: cfg.idle_target,
+        idle_conns: idle_parked,
+        active_conns: active_n,
+        txs: (active_n * txs_per_conn) as u64,
+        accepted,
+        busy,
+        rejected,
+        wire_elapsed_s: wire_elapsed,
+        wire_tps,
+        model_tps,
+        model_ratio: model_tps / wire_tps.max(1e-9),
+        preverify_occupancy: delta(|s| s.preverify_ns) / wall_ns,
+        execute_occupancy: delta(|s| s.execute_ns) / wall_ns,
+        commit_occupancy: delta(|s| s.commit_ns) / wall_ns,
+        fsyncs,
+        fsync_blocks,
+        blocks_per_fsync: fsync_blocks as f64 / fsyncs.max(1) as f64,
+        max_group: pipe1.max_group,
+        group_hist: pipe1
+            .group_hist
+            .iter()
+            .zip(pipe0.group_hist.iter())
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect(),
+        durable_height: pipe1.durable_height,
+    })
+}
+
+/// Point-in-time copy of the server's pipeline counters (the live struct
+/// is atomics; the bench wants before/after deltas).
+struct PipeSnapshot {
+    preverify_ns: u64,
+    execute_ns: u64,
+    commit_ns: u64,
+    fsyncs: u64,
+    fsync_blocks: u64,
+    max_group: u64,
+    group_hist: Vec<u64>,
+    durable_height: u64,
+}
+
+fn snapshot_pipe(p: &crate::pipeline::PipelineStats) -> PipeSnapshot {
+    use std::sync::atomic::Ordering;
+    PipeSnapshot {
+        preverify_ns: p.preverify_ns.load(Ordering::Relaxed),
+        execute_ns: p.execute_ns.load(Ordering::Relaxed),
+        commit_ns: p.commit_ns.load(Ordering::Relaxed),
+        fsyncs: p.fsyncs.load(Ordering::Relaxed),
+        fsync_blocks: p.fsync_blocks.load(Ordering::Relaxed),
+        max_group: p.max_group.load(Ordering::Relaxed),
+        group_hist: p
+            .group_hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect(),
+        durable_height: p.durable_height.load(Ordering::Relaxed),
+    }
+}
+
 fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -777,10 +1192,11 @@ pub fn to_json(
     server_cfg: &crate::server::ServerConfig,
     recovery: &RecoveryInfo,
     consensus: &ConsensusInfo,
+    pipeline: Option<&PipelineReport>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str("  \"bench\": \"net_loopback\",\n");
     out.push_str(&format!(
         "  \"machine\": {{ \"cores\": {} }},\n",
@@ -856,6 +1272,54 @@ pub fn to_json(
         static_sched.roots_match,
         static_sched.static_schedule
     ));
+    // The pipelined-reactor section. `ran: false` (all-zero counters)
+    // marks a run that skipped the bench — the schema keys are always
+    // present so downstream parsers never branch on absence.
+    let zero = PipelineReport::default();
+    let (ran, p) = match pipeline {
+        Some(p) => (true, p),
+        None => (false, &zero),
+    };
+    out.push_str("  \"pipeline\": {\n");
+    out.push_str(&format!("    \"ran\": {ran},\n"));
+    out.push_str(&format!(
+        "    \"idle_conns_target\": {}, \"idle_conns\": {}, \"active_conns\": {},\n",
+        p.idle_conns_target, p.idle_conns, p.active_conns
+    ));
+    out.push_str(&format!(
+        "    \"txs\": {}, \"accepted\": {}, \"busy\": {}, \"rejected\": {},\n",
+        p.txs, p.accepted, p.busy, p.rejected
+    ));
+    out.push_str(&format!(
+        "    \"wire_elapsed_s\": {}, \"wire_tps\": {}, \"model_tps\": {}, \
+         \"model_ratio\": {},\n",
+        fmt_f64(p.wire_elapsed_s),
+        fmt_f64(p.wire_tps),
+        fmt_f64(p.model_tps),
+        fmt_f64(p.model_ratio)
+    ));
+    out.push_str(&format!(
+        "    \"stage_occupancy\": {{ \"preverify\": {}, \"execute\": {}, \"commit\": {} }},\n",
+        fmt_f64(p.preverify_occupancy),
+        fmt_f64(p.execute_occupancy),
+        fmt_f64(p.commit_occupancy)
+    ));
+    let hist_labels: Vec<String> = confide_storage::GROUP_BUCKETS
+        .iter()
+        .zip(p.group_hist.iter().chain(std::iter::repeat(&0)))
+        .map(|(label, count)| format!("{{ \"bucket\": \"{label}\", \"count\": {count} }}"))
+        .collect();
+    out.push_str(&format!(
+        "    \"group_commit\": {{ \"fsyncs\": {}, \"blocks\": {}, \"blocks_per_fsync\": {}, \
+         \"max_group\": {}, \"hist\": [{}] }},\n",
+        p.fsyncs,
+        p.fsync_blocks,
+        fmt_f64(p.blocks_per_fsync),
+        p.max_group,
+        hist_labels.join(", ")
+    ));
+    out.push_str(&format!("    \"durable_height\": {}\n", p.durable_height));
+    out.push_str("  },\n");
     out.push_str("  \"workloads\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str("    {\n");
@@ -872,9 +1336,12 @@ pub fn to_json(
             "      \"receipts_verified\": {},\n",
             r.receipts_verified
         ));
+        // Rate per wire *attempt*: unique submissions plus resends —
+        // `submitted` alone would overstate the rate now that retries of
+        // the same wire hash are deduplicated out of it.
         out.push_str(&format!(
             "      \"busy_reject_rate\": {},\n",
-            fmt_f64(r.busy as f64 / (r.submitted.max(1)) as f64)
+            fmt_f64(r.busy as f64 / (r.submitted + r.retries).max(1) as f64)
         ));
         out.push_str(&format!("      \"elapsed_s\": {},\n", fmt_f64(r.elapsed_s)));
         out.push_str(&format!(
@@ -942,6 +1409,27 @@ mod tests {
             roots_match: true,
             static_schedule: true,
         };
+        let pipeline = PipelineReport {
+            idle_conns_target: 10_000,
+            idle_conns: 9_000,
+            active_conns: 900,
+            txs: 3600,
+            accepted: 3600,
+            wire_elapsed_s: 2.0,
+            wire_tps: 1800.0,
+            model_tps: 2400.0,
+            model_ratio: 1.33,
+            preverify_occupancy: 1.2,
+            execute_occupancy: 0.8,
+            commit_occupancy: 0.3,
+            fsyncs: 10,
+            fsync_blocks: 25,
+            blocks_per_fsync: 2.5,
+            max_group: 4,
+            group_hist: vec![1, 2, 3, 4, 0, 0],
+            durable_height: 26,
+            ..PipelineReport::default()
+        };
         let json = to_json(
             &[report],
             &[scaling],
@@ -960,9 +1448,28 @@ mod tests {
                 sync_blocks: 7,
                 redirects: 3,
             },
+            Some(&pipeline),
         );
         for key in [
-            "\"schema_version\": 4",
+            "\"schema_version\": 5",
+            "\"pipeline\"",
+            "\"ran\": true",
+            "\"idle_conns_target\"",
+            "\"idle_conns\"",
+            "\"active_conns\"",
+            "\"wire_tps\"",
+            "\"model_ratio\"",
+            "\"stage_occupancy\"",
+            "\"preverify\"",
+            "\"execute\"",
+            "\"commit\"",
+            "\"group_commit\"",
+            "\"fsyncs\"",
+            "\"blocks_per_fsync\"",
+            "\"max_group\"",
+            "\"hist\"",
+            "\"bucket\"",
+            "\"durable_height\"",
             "\"consensus\"",
             "\"n\"",
             "\"view_changes\"",

@@ -1,69 +1,94 @@
-//! The networked node runtime: a framed-TCP front end over
-//! [`ConfideNode`].
+//! The networked node runtime: a nonblocking reactor front end over
+//! [`ConfideNode`] feeding a pipelined block producer.
 //!
 //! Architecture (one process):
 //!
 //! ```text
-//!  accept loop ──► handler thread per connection
-//!                     │  validate (decode + §5.2 preverify, off the
-//!                     │  block path, parallel across connections)
-//!                     ▼
-//!              bounded mpsc batching queue ──► batcher thread
-//!                     │ full ⇒ Busy                │ drains ≤ max_batch
-//!                     ▼                            ▼
-//!               typed response          node.execute_block_parallel
-//!                                       (exec_threads workers, §6.2)
+//!  reactor thread (reactor.rs)      preverify pool        block pipeline
+//!  ───────────────────────────      ──────────────        (pipeline.rs)
+//!  nonblocking accept + sweep       validate (§5.2),      ─────────────
+//!  frame decode, Ping/pk_tx    ──►  dedup, claim,    ──►  execute ∥
+//!  inline, reply sequencing         route to ingest       group fsync ∥
+//!  (10k+ connections, 1 thread)     (no node lock)        ordered reply
 //! ```
 //!
-//! Backpressure is explicit: when the queue is full the submitter gets a
-//! typed [`Message::Busy`] response — transactions are never silently
-//! dropped. Per-connection read/write timeouts bound how long a stalled
-//! peer can pin a handler thread.
+//! Backpressure is explicit at every hop: a full worker queue or ingest
+//! ring surfaces as a typed [`Message::Busy`] — transactions are never
+//! silently dropped. Cluster mode keeps the same front end but routes
+//! validated submissions into the wire-PBFT driver in [`crate::cluster`]
+//! instead of the local pipeline.
+//!
+//! The previous thread-per-connection front end survives behind the
+//! `legacy-threaded` cargo feature as
+//! `NodeServer::spawn_threaded` — an escape hatch while the reactor
+//! soaks, not a supported configuration.
 
-use crate::frame::{read_frame, write_frame, FrameError, Message, DEFAULT_MAX_FRAME};
-use confide_core::keys::JoinOffer;
+use crate::error::{Error, ErrorKind as ConfErrorKind};
+use crate::frame::{Message, DEFAULT_MAX_FRAME};
+use crate::pipeline::{self, CommitItem, Ingest, PipelineStats, WorkerCtx};
+use crate::reactor::{self, ConnToken, ReactorConfig, ReactorDeps, ReactorHandle, WorkQueue};
+use confide_core::engine::Engine;
 use confide_core::node::ConfideNode;
 use confide_core::tx::WireTx;
 use confide_crypto::ed25519::VerifyingKey;
+use confide_storage::WalFile;
+use confide_tee::IngestRing;
 use std::collections::HashSet;
-use std::io::{ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+#[cfg(feature = "legacy-threaded")]
+use std::sync::mpsc::SyncSender;
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Server tuning knobs.
+/// Server tuning knobs. Construct via [`ServerConfig::builder`] (which
+/// validates) or struct-literal over [`Default`] (legacy style, kept for
+/// in-tree churn and tests).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum transactions per block.
     pub max_batch: usize,
-    /// Bound of the batching queue; beyond this, submitters get
-    /// [`Message::Busy`].
+    /// Bound of the ingest ring (single-node) or consensus job queue
+    /// (cluster); beyond this, submitters get [`Message::Busy`].
     pub queue_depth: usize,
-    /// How long the batcher waits for more transactions after the first
-    /// one arrives before sealing a short block.
+    /// How long the execute stage waits for more transactions after the
+    /// first one arrives before sealing a short block.
     pub batch_linger: Duration,
-    /// Per-connection socket read timeout (mid-frame stalls kill the
-    /// connection; between frames the handler just keeps listening).
+    /// Mid-frame stall bound: a connection holding a partial frame
+    /// longer than this is dropped (idle connections between frames are
+    /// free under the reactor and live indefinitely).
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// Per-connection socket write timeout (legacy threaded path only;
+    /// the reactor bounds writers by `write_buf_limit` instead).
     pub write_timeout: Duration,
     /// Maximum accepted frame length.
     pub max_frame: usize,
     /// How long a `SubmitTxWait` waits for its block before reporting a
-    /// timeout to the client.
+    /// timeout to the client (legacy threaded path; the reactor holds no
+    /// per-request thread, so waiters are bounded by the client's own
+    /// patience).
     pub commit_timeout: Duration,
     /// Worker threads for parallel block execution (§6.2). Blocks commit
     /// with results bit-identical to serial execution regardless of this
     /// value; it only changes wall-clock/makespan. Clamped to ≥ 1.
     pub exec_threads: usize,
-    /// Durable-commit file: when set, the batcher appends each sealed
-    /// block's WAL record group here (fsync'd) **before** acknowledging
-    /// the block to any waiter. A crashed process recovers by feeding the
-    /// file through `ConfideNode::recover_from_wal` and respawning.
+    /// Preverify worker threads draining the reactor's work queue.
+    pub verify_threads: usize,
+    /// Bound of the execute → commit queue: how many executed-but-not-
+    /// yet-durable blocks may pile up before the execute stage blocks
+    /// (which in turn fills the ingest ring and surfaces `Busy`).
+    pub pipeline_depth: usize,
+    /// Slow-reader bound: a connection buffering more than this many
+    /// unflushed reply bytes is dropped.
+    pub write_buf_limit: usize,
+    /// Durable-commit file: when set, the commit stage appends each
+    /// sealed block's WAL record group here (group-fsync'd) **before**
+    /// acknowledging the block to any waiter. A crashed process recovers
+    /// by feeding the file through `ConfideNode::recover_from_wal` and
+    /// respawning.
     pub wal_path: Option<PathBuf>,
     /// Crash hook for chaos testing: after this many blocks have been
     /// sealed *and flushed*, kill the process without replying — the
@@ -80,12 +105,12 @@ pub struct ServerConfig {
     /// Base seed of the per-join approval RNG (each approval mixes in a
     /// join counter so session keys and nonces never repeat).
     pub join_seed: u64,
-    /// Consortium cluster membership. `None` runs the single-node batcher
-    /// (exactly the pre-cluster behaviour); `Some` replaces it with the
-    /// wire-PBFT driver in [`crate::cluster`] — submissions are ordered by
-    /// consensus, followers redirect clients with
-    /// [`Message::NotPrimary`], and attested peers exchange
-    /// [`Message::Peer`] traffic over this same port.
+    /// Consortium cluster membership. `None` runs the single-node block
+    /// pipeline; `Some` replaces it with the wire-PBFT driver in
+    /// [`crate::cluster`] — submissions are ordered by consensus,
+    /// followers redirect clients with [`Message::NotPrimary`], and
+    /// attested peers exchange [`Message::Peer`] traffic over this same
+    /// port.
     pub cluster: Option<crate::cluster::ClusterConfig>,
 }
 
@@ -100,6 +125,9 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             commit_timeout: Duration::from_secs(30),
             exec_threads: 4,
+            verify_threads: 2,
+            pipeline_depth: 4,
+            write_buf_limit: 4 * DEFAULT_MAX_FRAME,
             wal_path: None,
             crash_after: None,
             join_roots: Vec::new(),
@@ -111,12 +139,192 @@ impl Default for ServerConfig {
     }
 }
 
-/// Live counters, shared with the accept/handler/batcher threads.
+impl ServerConfig {
+    /// Start a validated configuration build.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`]: setters chain, [`build`] validates the
+/// whole configuration at once so a bad combination fails loudly before
+/// any socket is bound, with a typed [`ErrorKind::Config`] error.
+///
+/// [`build`]: ServerConfigBuilder::build
+/// [`ErrorKind::Config`]: crate::error::ErrorKind::Config
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Max transactions the execute stage folds into one block (≥ 1).
+    pub fn max_batch(mut self, v: usize) -> Self {
+        self.config.max_batch = v;
+        self
+    }
+    /// Ingest ring capacity; overflow is answered with `Busy` (≥ 1).
+    pub fn queue_depth(mut self, v: usize) -> Self {
+        self.config.queue_depth = v;
+        self
+    }
+    /// How long the execute stage lingers for stragglers before sealing
+    /// a non-full block.
+    pub fn batch_linger(mut self, v: Duration) -> Self {
+        self.config.batch_linger = v;
+        self
+    }
+    /// Idle-connection reap timeout on the reactor.
+    pub fn read_timeout(mut self, v: Duration) -> Self {
+        self.config.read_timeout = v;
+        self
+    }
+    /// Socket write timeout (legacy-threaded runtime only; the reactor
+    /// uses bounded write buffers instead).
+    pub fn write_timeout(mut self, v: Duration) -> Self {
+        self.config.write_timeout = v;
+        self
+    }
+    /// Max accepted frame size in bytes (≥ 64).
+    pub fn max_frame(mut self, v: usize) -> Self {
+        self.config.max_frame = v;
+        self
+    }
+    /// How long a `SubmitTxWait` caller may wait for its commit
+    /// (legacy-threaded runtime only).
+    pub fn commit_timeout(mut self, v: Duration) -> Self {
+        self.config.commit_timeout = v;
+        self
+    }
+    /// Worker threads for parallel block execution (≥ 1).
+    pub fn exec_threads(mut self, v: usize) -> Self {
+        self.config.exec_threads = v;
+        self
+    }
+    /// Preverify worker threads fed by the reactor (≥ 1).
+    pub fn verify_threads(mut self, v: usize) -> Self {
+        self.config.verify_threads = v;
+        self
+    }
+    /// Max executed-but-unsynced blocks queued at the commit stage (≥ 1);
+    /// the execute stage blocks when the group-commit fsync falls behind.
+    pub fn pipeline_depth(mut self, v: usize) -> Self {
+        self.config.pipeline_depth = v;
+        self
+    }
+    /// Per-connection outbound buffer cap in bytes (≥ `max_frame`); a
+    /// connection that stops reading past this is closed, not buffered.
+    pub fn write_buf_limit(mut self, v: usize) -> Self {
+        self.config.write_buf_limit = v;
+        self
+    }
+    /// Durable WAL path; enables crash recovery on restart.
+    pub fn wal_path(mut self, v: impl Into<PathBuf>) -> Self {
+        self.config.wal_path = Some(v.into());
+        self
+    }
+    /// Fault-injection hook: `exit(101)` after this many blocks are
+    /// fsynced (requires a `wal_path`).
+    pub fn crash_after(mut self, v: u64) -> Self {
+        self.config.crash_after = Some(v);
+        self
+    }
+    /// Attestation roots accepted for K-Protocol MAP join requests.
+    pub fn join_roots(mut self, v: Vec<VerifyingKey>) -> Self {
+        self.config.join_roots = v;
+        self
+    }
+    /// SVN this node advertises when counter-quoting a join.
+    pub fn join_svn(mut self, v: u16) -> Self {
+        self.config.join_svn = v;
+        self
+    }
+    /// Minimum SVN accepted from a joiner's quote.
+    pub fn join_min_svn(mut self, v: u16) -> Self {
+        self.config.join_min_svn = v;
+        self
+    }
+    /// Deterministic seed for the join key-wrap nonce stream.
+    pub fn join_seed(mut self, v: u64) -> Self {
+        self.config.join_seed = v;
+        self
+    }
+    /// Run as a consortium cluster member (requires peers, peer roots,
+    /// and join roots — validated in [`ServerConfigBuilder::build`]).
+    pub fn cluster(mut self, v: crate::cluster::ClusterConfig) -> Self {
+        self.config.cluster = Some(v);
+        self
+    }
+
+    /// Validate the accumulated configuration.
+    pub fn build(self) -> Result<ServerConfig, Error> {
+        let c = &self.config;
+        let fail = |m: String| Err(Error::new(ConfErrorKind::Config, m));
+        if c.max_batch == 0 {
+            return fail("max_batch must be >= 1".into());
+        }
+        if c.queue_depth == 0 {
+            return fail("queue_depth must be >= 1".into());
+        }
+        if c.exec_threads == 0 || c.verify_threads == 0 {
+            return fail("exec_threads and verify_threads must be >= 1".into());
+        }
+        if c.pipeline_depth == 0 {
+            return fail("pipeline_depth must be >= 1".into());
+        }
+        if c.max_frame < 64 {
+            return fail(format!("max_frame {} too small (min 64)", c.max_frame));
+        }
+        if c.write_buf_limit < c.max_frame {
+            return fail(format!(
+                "write_buf_limit {} smaller than max_frame {} (one reply could never flush)",
+                c.write_buf_limit, c.max_frame
+            ));
+        }
+        if c.crash_after.is_some() && c.wal_path.is_none() {
+            return fail(
+                "crash_after without wal_path: a crash hook on a non-durable node loses data by construction"
+                    .into(),
+            );
+        }
+        if let Some(cluster) = &c.cluster {
+            if cluster.peers.is_empty() {
+                return fail("cluster.peers must not be empty".into());
+            }
+            if cluster.node_id as usize >= cluster.peers.len() {
+                return fail(format!(
+                    "cluster.node_id {} out of range for {} peers",
+                    cluster.node_id,
+                    cluster.peers.len()
+                ));
+            }
+            if cluster.peer_roots.len() != cluster.peers.len() {
+                return fail(format!(
+                    "cluster.peer_roots has {} keys for {} peers (one attestation root per member)",
+                    cluster.peer_roots.len(),
+                    cluster.peers.len()
+                ));
+            }
+            if c.join_roots.is_empty() {
+                return fail(
+                    "cluster mode requires join_roots: the peer mesh attests over the wire join protocol"
+                        .into(),
+                );
+            }
+        }
+        Ok(self.config)
+    }
+}
+
+/// Live counters, shared with the reactor/worker/pipeline threads.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Transactions enqueued.
     pub accepted: AtomicU64,
-    /// Submissions turned away with `Busy` (queue full).
+    /// Submissions turned away with `Busy` (queue or ring full,
+    /// duplicate in flight).
     pub busy: AtomicU64,
     /// Submissions rejected at validation or execution.
     pub rejected: AtomicU64,
@@ -126,12 +334,10 @@ pub struct ServerStats {
     pub committed: AtomicU64,
     /// Connections served.
     pub connections: AtomicU64,
-    /// Commit replies the batcher could not deliver to a waiting
-    /// `SubmitTxWait` handler. Each job's rendezvous channel holds one
-    /// slot and receives exactly one reply, so `Full` is impossible; a
-    /// drop here means the waiter gave up (commit-timeout) and hung up
-    /// first. Non-zero values are normal under overload — the tx still
-    /// committed (or was rejected) exactly as reported in the block.
+    /// Replies that could not be delivered: the connection died (or was
+    /// dropped as a slow reader) while its request was in flight. Not
+    /// silent data loss — the transaction's fate is still recorded in
+    /// the committed block; only the notification bounced.
     pub reply_drops: AtomicU64,
     /// Resubmissions answered from the committed wire-hash index instead
     /// of re-executing (retry-after-crash idempotence).
@@ -141,34 +347,69 @@ pub struct ServerStats {
     pub joins: AtomicU64,
 }
 
-/// One queued transaction plus the optional rendezvous back to the
-/// waiting `SubmitTxWait` handler.
+/// Where a job's commit verdict goes.
+pub(crate) enum ReplyTo {
+    /// Fire-and-forget (`SubmitTx`): the client already got `Accepted`.
+    Fire,
+    /// Legacy thread-per-connection rendezvous (`SubmitTxWait` with a
+    /// handler thread parked on the channel).
+    #[cfg(feature = "legacy-threaded")]
+    Channel(SyncSender<Message>),
+    /// Reactor connection: the reply is posted as an ordered directive.
+    Conn {
+        handle: ReactorHandle,
+        conn: ConnToken,
+        seq: u64,
+    },
+}
+
+impl ReplyTo {
+    /// Deliver the commit verdict. Failures (waiter gone, connection
+    /// closed) are counted in [`ServerStats::reply_drops`], never silent.
+    pub(crate) fn send(self, msg: Message, stats: &ServerStats) {
+        match self {
+            ReplyTo::Fire => {}
+            #[cfg(feature = "legacy-threaded")]
+            ReplyTo::Channel(done) => legacy::reply_waiter(&done, msg, stats),
+            ReplyTo::Conn { handle, conn, seq } => {
+                let _ = stats; // drop accounting happens reactor-side
+                handle.reply(conn, seq, msg);
+            }
+        }
+    }
+}
+
+/// One queued transaction plus the route back to whoever awaits its
+/// commit verdict.
 pub(crate) struct Job {
     pub(crate) tx: WireTx,
     pub(crate) wire_hash: [u8; 32],
-    pub(crate) done: Option<SyncSender<Message>>,
+    pub(crate) reply: ReplyTo,
 }
 
 /// Wire hashes currently queued or executing — a second submission of the
 /// same bytes while the first is in flight is turned away with `Busy`
-/// instead of executing twice.
+/// instead of executing twice. On the pipelined path a claim is held
+/// until **after** the group fsync that makes its block durable.
 pub(crate) type InFlight = Arc<Mutex<HashSet<[u8; 32]>>>;
 
 /// A running node server. Dropping it (or calling
-/// [`NodeServer::shutdown`]) stops the accept loop and the batcher.
+/// [`NodeServer::shutdown`]) stops the reactor, drains the pipeline, and
+/// joins every thread.
 pub struct NodeServer {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
+    pipe: Arc<PipelineStats>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    batcher_thread: Option<JoinHandle<()>>,
+    reactor: Option<ReactorHandle>,
+    threads: Vec<JoinHandle<()>>,
     node: Arc<RwLock<ConfideNode>>,
     cluster: Option<Arc<crate::cluster::ClusterShared>>,
 }
 
 impl NodeServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `node`.
+    /// `node` on the reactor + pipeline runtime.
     pub fn spawn(
         node: ConfideNode,
         addr: impl ToSocketAddrs,
@@ -177,96 +418,166 @@ impl NodeServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
+        let pipe = Arc::new(PipelineStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        // Shared handle to the confidential engine so the preverify pool
+        // validates envelopes without contending on the node RwLock.
+        let conf_engine = Arc::clone(&node.confidential_engine);
+        // Dedup index seeded from the node's committed history (nonempty
+        // after a WAL recovery), then maintained by the commit stage.
+        let durable: pipeline::DurableIndex = Arc::new(Mutex::new(
+            node.committed_wire_entries()
+                .into_iter()
+                .map(|(wire, sealed, receipt)| (wire, (sealed, receipt)))
+                .collect(),
+        ));
         let node = Arc::new(RwLock::new(node));
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let in_flight: InFlight = Arc::new(Mutex::new(HashSet::new()));
+        // The work queue holds decoded-but-unvalidated requests; size it
+        // past the ingest bound so non-submit traffic (status, receipts)
+        // is not starved by a full block queue.
+        let work = WorkQueue::new(config.queue_depth + 1024, config.verify_threads.max(1));
+        let handle = ReactorHandle::new();
+        // Identity answers are immutable per process: cache once, serve
+        // from the reactor without the node lock.
+        let (pk_tx, report) = {
+            let n = node.read().expect("node lock");
+            (n.pk_tx(), n.attestation_report())
+        };
 
-        // Cluster mode swaps the single-node batcher for the consensus
-        // driver; the job queue and its backpressure contract stay the
-        // same, the drain side changes.
-        let (shared, cluster_ctx, batcher) = match config.cluster.clone() {
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+
+        // Cluster mode swaps the local pipeline for the consensus
+        // driver; the backpressure contract (bounded ingest, typed
+        // `Busy`) stays identical, the drain side changes.
+        let (ingest, peer_tx, shared) = match config.cluster.clone() {
             Some(cluster) => {
                 let shared = Arc::new(crate::cluster::ClusterShared::new(&cluster));
                 let (peer_tx, peer_rx) = mpsc::channel();
-                let ctx = crate::cluster::ClusterCtx {
-                    shared: Arc::clone(&shared),
-                    peer_tx,
-                };
+                let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
                 let node = Arc::clone(&node);
                 let stats = Arc::clone(&stats);
-                let config = config.clone();
+                let config2 = config.clone();
                 let in_flight = Arc::clone(&in_flight);
-                let stop = Arc::clone(&stop);
+                let stop2 = Arc::clone(&stop);
                 let shared2 = Arc::clone(&shared);
-                let driver = std::thread::Builder::new()
-                    .name("confide-cluster".into())
-                    .spawn(move || {
-                        crate::cluster::cluster_loop(
-                            node, job_rx, peer_rx, stats, config, cluster, shared2, in_flight, stop,
-                        )
-                    })?;
-                (Some(shared), Some(ctx), driver)
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("confide-cluster".into())
+                        .spawn(move || {
+                            crate::cluster::cluster_loop(
+                                node, job_rx, peer_rx, stats, config2, cluster, shared2, in_flight,
+                                stop2,
+                            )
+                        })?,
+                );
+                (Ingest::Cluster(job_tx), Some(peer_tx), Some(shared))
             }
             None => {
-                let node = Arc::clone(&node);
-                let stats = Arc::clone(&stats);
-                let config = config.clone();
-                let in_flight = Arc::clone(&in_flight);
-                let batcher = std::thread::Builder::new()
-                    .name("confide-batcher".into())
-                    .spawn(move || batcher_loop(node, job_rx, stats, config, in_flight))?;
-                (None, None, batcher)
+                let ring: Arc<IngestRing<Job>> = IngestRing::with_capacity(config.queue_depth);
+                let (commit_tx, commit_rx) =
+                    mpsc::sync_channel::<CommitItem>(config.pipeline_depth);
+                // Durable log: rewrite the committed prefix once at
+                // startup (a recovered node's in-memory WAL already
+                // replays the old file), then group-append per block.
+                let wal = match config.wal_path.as_ref() {
+                    Some(path) => {
+                        let snapshot = node.read().expect("node lock").wal_bytes().to_vec();
+                        let mut f = std::fs::File::create(path)?;
+                        f.write_all(&snapshot)?;
+                        f.sync_all()?;
+                        drop(f);
+                        Some(WalFile::open(path)?)
+                    }
+                    None => None,
+                };
+                {
+                    let node = Arc::clone(&node);
+                    let ring = Arc::clone(&ring);
+                    let stats = Arc::clone(&stats);
+                    let pipe = Arc::clone(&pipe);
+                    let config = config.clone();
+                    let stop = Arc::clone(&stop);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("confide-execute".into())
+                            .spawn(move || {
+                                pipeline::execute_loop(
+                                    node, ring, commit_tx, stats, pipe, config, stop,
+                                )
+                            })?,
+                    );
+                }
+                {
+                    let stats = Arc::clone(&stats);
+                    let pipe = Arc::clone(&pipe);
+                    let in_flight = Arc::clone(&in_flight);
+                    let durable = Arc::clone(&durable);
+                    let config = config.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("confide-commit".into())
+                            .spawn(move || {
+                                pipeline::commit_loop(
+                                    commit_rx, wal, stats, pipe, in_flight, durable, config,
+                                )
+                            })?,
+                    );
+                }
+                (Ingest::Ring(ring), None, None)
             }
         };
 
-        let accept = {
-            let node = Arc::clone(&node);
-            let stats = Arc::clone(&stats);
-            let stop = Arc::clone(&stop);
-            let config = config.clone();
-            std::thread::Builder::new()
-                .name("confide-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        stats.connections.fetch_add(1, Ordering::Relaxed);
-                        let node = Arc::clone(&node);
-                        let stats = Arc::clone(&stats);
-                        let stop = Arc::clone(&stop);
-                        let job_tx = job_tx.clone();
-                        let config = config.clone();
-                        let in_flight = Arc::clone(&in_flight);
-                        let cluster_ctx = cluster_ctx.clone();
-                        let _ = std::thread::Builder::new()
-                            .name("confide-conn".into())
-                            .spawn(move || {
-                                let _ = handle_connection(
-                                    stream,
-                                    node,
-                                    job_tx,
-                                    stats,
-                                    stop,
-                                    config,
-                                    in_flight,
-                                    cluster_ctx,
-                                );
-                            });
-                    }
-                    // job_tx clones die with the handlers; dropping ours here
-                    // lets the batcher drain and exit once handlers finish.
-                })?
-        };
+        let ctx = Arc::new(WorkerCtx {
+            node: Arc::clone(&node),
+            conf_engine,
+            durable,
+            stats: Arc::clone(&stats),
+            pipe: Arc::clone(&pipe),
+            in_flight: Arc::clone(&in_flight),
+            handle: handle.clone(),
+            work: Arc::clone(&work),
+            ingest,
+            cluster: shared.clone(),
+            config: config.clone(),
+        });
+        for i in 0..config.verify_threads.max(1) {
+            let ctx = Arc::clone(&ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("confide-verify-{i}"))
+                    .spawn(move || pipeline::preverify_worker(ctx, i))?,
+            );
+        }
+
+        {
+            let deps = ReactorDeps {
+                stats: Arc::clone(&stats),
+                work: Arc::clone(&work),
+                peer_tx,
+                pk_tx,
+                report,
+                config: ReactorConfig {
+                    max_frame: config.max_frame,
+                    read_timeout: config.read_timeout,
+                    write_buf_limit: config.write_buf_limit,
+                },
+            };
+            let rhandle = handle.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("confide-reactor".into())
+                    .spawn(move || reactor::run(listener, rhandle, deps))?,
+            );
+        }
 
         Ok(NodeServer {
             addr: local,
             stats,
+            pipe,
             stop,
-            accept_thread: Some(accept),
-            batcher_thread: Some(batcher),
+            reactor: Some(handle),
+            threads,
             node,
             cluster: shared,
         })
@@ -287,22 +598,30 @@ impl NodeServer {
         &self.stats
     }
 
+    /// Pipeline stage counters (all zero in cluster mode, where the
+    /// consensus driver commits blocks).
+    pub fn pipeline_stats(&self) -> &PipelineStats {
+        &self.pipe
+    }
+
     /// Read access to the underlying node (tests: state inspection).
     pub fn node(&self) -> &Arc<RwLock<ConfideNode>> {
         &self.node
     }
 
-    /// Stop accepting connections and wait for the batcher to drain.
+    /// Stop the reactor, drain the pipeline, and join every thread.
+    /// Shutdown cascade: reactor exits → closes every connection and
+    /// stops the work queue → preverify workers drain and exit →
+    /// dropping the last ingest sender lets the execute stage drain →
+    /// dropping the commit sender lets the commit stage drain.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Nudge the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(handle) = self.reactor.take() {
+            handle.stop();
         }
-        if let Some(t) = self.batcher_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -314,368 +633,409 @@ impl Drop for NodeServer {
     }
 }
 
-/// The batcher: drain the queue into blocks of at most `max_batch`
-/// transactions, lingering briefly for stragglers, and answer the
-/// waiters. With `wal_path` set, each block's WAL suffix is flushed and
-/// fsync'd **before** any waiter hears about it — the durable-commit
-/// point of the whole server.
-fn batcher_loop(
-    node: Arc<RwLock<ConfideNode>>,
-    jobs: Receiver<Job>,
-    stats: Arc<ServerStats>,
-    config: ServerConfig,
-    in_flight: InFlight,
-) {
-    // Durable log: rewrite the committed prefix once at startup (a
-    // recovered node's in-memory WAL already replays the old file), then
-    // append per block below.
-    let mut wal_file = config.wal_path.as_ref().map(|path| {
-        let mut f = std::fs::File::create(path).expect("create wal file");
-        let snapshot = node.read().expect("node lock").wal_bytes().to_vec();
-        f.write_all(&snapshot).expect("write wal prefix");
-        f.sync_all().expect("sync wal prefix");
-        (f, snapshot.len())
-    });
-    loop {
-        // Block until the first transaction of the next batch.
-        let first = match jobs.recv() {
-            Ok(job) => job,
-            Err(_) => return, // all senders gone — server shut down
-        };
-        let mut batch = vec![first];
-        let deadline = Instant::now() + config.batch_linger;
-        while batch.len() < config.max_batch {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                // Linger expired: top the batch up without waiting.
-                match jobs.try_recv() {
-                    Ok(job) => batch.push(job),
-                    Err(_) => break,
-                }
-            } else {
-                match jobs.recv_timeout(left) {
-                    Ok(job) => batch.push(job),
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        }
-        // Late dedup: a resubmission can race past the handler's check and
-        // sit in the queue behind the block that commits its twin. Answer
-        // those from the committed index instead of executing them again.
-        let mut fresh = Vec::with_capacity(batch.len());
-        {
-            let node = node.read().expect("node lock");
-            for job in batch {
-                match node.committed_by_wire(&job.wire_hash) {
-                    Some((sealed, receipt)) => {
-                        stats.deduped.fetch_add(1, Ordering::Relaxed);
-                        in_flight
-                            .lock()
-                            .expect("in-flight lock")
-                            .remove(&job.wire_hash);
-                        if let Some(done) = &job.done {
-                            reply_waiter(done, Message::Committed { sealed, receipt }, &stats);
-                        }
-                    }
-                    None => fresh.push(job),
-                }
-            }
-        }
-        let batch = fresh;
-        if batch.is_empty() {
-            continue;
-        }
-        let txs: Vec<WireTx> = batch.iter().map(|j| j.tx.clone()).collect();
-        let threads = config.exec_threads.max(1);
-        let result = {
-            let mut node = node.write().expect("node lock");
-            let result = node.execute_block_parallel(&txs, threads);
-            // Flush the new block's WAL suffix while still holding the
-            // write lock, so the file never lags a block another thread
-            // could already observe.
-            if result.is_ok() {
-                if let Some((file, flushed)) = wal_file.as_mut() {
-                    let bytes = node.wal_bytes();
-                    file.write_all(&bytes[*flushed..]).expect("append wal");
-                    file.sync_all().expect("sync wal");
-                    *flushed = bytes.len();
-                }
-            }
-            result
-        };
-        {
-            let mut set = in_flight.lock().expect("in-flight lock");
-            for job in &batch {
-                set.remove(&job.wire_hash);
-            }
-        }
-        match result {
-            Ok(res) => {
-                stats.blocks.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .committed
-                    .fetch_add(res.accepted() as u64, Ordering::Relaxed);
-                // Chaos hook: die after the durable-commit point but
-                // before any acknowledgement — the worst crash window.
-                if let Some(limit) = config.crash_after {
-                    if stats.blocks.load(Ordering::Relaxed) >= limit {
-                        eprintln!("confide-batcher: crash-after hook firing at block {limit}");
-                        std::process::exit(101);
-                    }
-                }
-                for (job, outcome) in batch.iter().zip(&res.outcomes) {
-                    let reply = match outcome {
-                        Ok((receipt, sealed)) => Message::Committed {
-                            sealed: sealed.is_some(),
-                            receipt: sealed.clone().unwrap_or_else(|| receipt.encode()),
-                        },
-                        Err(e) => {
-                            stats.rejected.fetch_add(1, Ordering::Relaxed);
-                            Message::Rejected(e.to_string())
-                        }
-                    };
-                    if let Some(done) = &job.done {
-                        reply_waiter(done, reply, &stats);
-                    }
-                }
-            }
-            Err(e) => {
-                // Commit-level failure: every waiter learns.
-                let msg = format!("block commit failed: {e}");
-                for job in &batch {
-                    stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    if let Some(done) = &job.done {
-                        reply_waiter(done, Message::Rejected(msg.clone()), &stats);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Deliver a commit reply to a `SubmitTxWait` rendezvous. The per-job
-/// channel is sized 1 and receives exactly one reply, so the only failure
-/// mode is `Disconnected` — the waiter timed out and hung up. That is not
-/// silent: it is counted in [`ServerStats::reply_drops`] and logged, and
-/// the transaction's fate is still recorded in the committed block.
-pub(crate) fn reply_waiter(done: &SyncSender<Message>, reply: Message, stats: &ServerStats) {
-    if let Err(e) = done.try_send(reply) {
-        stats.reply_drops.fetch_add(1, Ordering::Relaxed);
-        let cause = match e {
-            TrySendError::Full(_) => "channel full (waiter never drained its slot)",
-            TrySendError::Disconnected(_) => "waiter gone (commit-wait timeout)",
-        };
-        eprintln!("confide-batcher: dropped commit reply: {cause}");
-    }
-}
-
-/// Validate a submission *before* it is allowed into the batching queue:
+/// Validate a submission *before* it is allowed into the ingest path:
 /// confidential envelopes are opened and their inner signature verified
-/// (the §5.2 pre-verification pipeline, here running on the connection
-/// handler thread — i.e. in parallel with ordering and with other
-/// connections), so a garbage envelope never wastes block space.
-fn validate(node: &RwLock<ConfideNode>, tx: &WireTx) -> Result<(), String> {
+/// (the §5.2 pre-verification pipeline, here running on the preverify
+/// worker pool — i.e. in parallel with ordering and with other
+/// requests), so a garbage envelope never wastes block space.
+/// Takes the confidential engine directly — NOT the node lock — so the
+/// envelope crypto runs concurrently with block execution (which holds
+/// the node write lock for the whole block; routing preverify through
+/// `node.read()` would convoy the worker pool behind it).
+pub(crate) fn validate(conf_engine: &Engine, tx: &WireTx) -> Result<(), String> {
     match tx {
         WireTx::Public(signed) => signed.verify().map_err(|_| "bad signature".to_string()),
-        WireTx::Confidential(_) => {
-            let node = node.read().expect("node lock");
-            node.confidential_engine
-                .preverify(tx)
-                .map(|_| ())
-                .map_err(|e| e.to_string())
-        }
-    }
-}
-
-enum ReadOutcome {
-    Frame(Box<Message>),
-    Idle,
-    Closed,
-}
-
-/// Read one frame, mapping a timeout *between* frames to `Idle` (keep the
-/// connection) and any mid-frame stall or parse failure to an error that
-/// drops the connection.
-fn read_one(stream: &mut TcpStream, max_frame: usize) -> Result<ReadOutcome, FrameError> {
-    match read_frame(stream, max_frame) {
-        Ok(Some(msg)) => Ok(ReadOutcome::Frame(Box::new(msg))),
-        Ok(None) => Ok(ReadOutcome::Closed),
-        Err(FrameError::Io(e))
-            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-        {
-            Ok(ReadOutcome::Idle)
-        }
-        Err(e) => Err(e),
-    }
-}
-
-/// In cluster mode, submissions are only accepted on the node that
-/// currently leads; everyone else answers with a typed redirect carrying
-/// the leader's advertised address. Returns `Some(leader_addr)` when this
-/// node should redirect.
-fn not_primary(cluster: &Option<crate::cluster::ClusterCtx>) -> Option<String> {
-    match cluster {
-        Some(ctx) if !ctx.shared.is_leader() => Some(ctx.shared.leader_addr()),
-        _ => None,
+        WireTx::Confidential(_) => conf_engine
+            .preverify(tx)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
     }
 }
 
 /// Try to enter `wire_hash` into the in-flight set. `false` means the
 /// same bytes are already queued or executing.
-fn claim(in_flight: &InFlight, wire_hash: [u8; 32]) -> bool {
+pub(crate) fn claim(in_flight: &InFlight, wire_hash: [u8; 32]) -> bool {
     in_flight.lock().expect("in-flight lock").insert(wire_hash)
 }
 
-fn release(in_flight: &InFlight, wire_hash: &[u8; 32]) {
+pub(crate) fn release(in_flight: &InFlight, wire_hash: &[u8; 32]) {
     in_flight.lock().expect("in-flight lock").remove(wire_hash);
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    mut stream: TcpStream,
-    node: Arc<RwLock<ConfideNode>>,
-    job_tx: SyncSender<Job>,
-    stats: Arc<ServerStats>,
-    stop: Arc<AtomicBool>,
-    config: ServerConfig,
-    in_flight: InFlight,
-    cluster: Option<crate::cluster::ClusterCtx>,
-) -> Result<(), FrameError> {
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    stream.set_write_timeout(Some(config.write_timeout))?;
-    stream.set_nodelay(true)?;
-    // Cache the identity answers once per connection.
-    let (pk_tx, report) = {
-        let node = node.read().expect("node lock");
-        (node.pk_tx(), node.attestation_report())
-    };
-    // Did this connection complete a K-Protocol join (i.e. prove it runs
-    // an attested consortium enclave)? Gates peer/state-sync traffic.
-    let mut attested = false;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let msg = match read_one(&mut stream, config.max_frame)? {
-            ReadOutcome::Frame(msg) => *msg,
-            ReadOutcome::Idle => continue,
-            ReadOutcome::Closed => return Ok(()),
-        };
-        // Consensus traffic is fire-and-forget: no response frame, so it
-        // never interleaves replies into a peer's request pipeline.
-        if let Message::Peer(peer_msg) = msg {
-            match &cluster {
-                Some(ctx) if attested => {
-                    let _ = ctx.peer_tx.send(peer_msg);
-                    continue;
-                }
-                _ => {
-                    let _ = write_frame(
-                        &mut stream,
-                        &Message::Rejected("peer traffic requires an attested connection".into()),
+/// The pre-reactor thread-per-connection runtime, kept compiling behind
+/// a feature gate as a rollback escape hatch. `cargo build --features
+/// legacy-threaded` exercises it; nothing in the default build refers to
+/// it.
+#[cfg(feature = "legacy-threaded")]
+mod legacy {
+    use super::*;
+    use crate::frame::{read_frame, write_frame, FrameError};
+    use confide_core::keys::JoinOffer;
+    use std::io::ErrorKind;
+    use std::net::TcpStream;
+    use std::sync::mpsc::{Receiver, RecvTimeoutError, TrySendError};
+    use std::time::Instant;
+
+    impl NodeServer {
+        /// Bind `addr` and serve with the legacy thread-per-connection
+        /// front end and serial batcher (pre-reactor architecture).
+        pub fn spawn_threaded(
+            node: ConfideNode,
+            addr: impl ToSocketAddrs,
+            config: ServerConfig,
+        ) -> std::io::Result<NodeServer> {
+            let listener = TcpListener::bind(addr)?;
+            let local = listener.local_addr()?;
+            let stats = Arc::new(ServerStats::default());
+            let stop = Arc::new(AtomicBool::new(false));
+            let node = Arc::new(RwLock::new(node));
+            let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+            let in_flight: InFlight = Arc::new(Mutex::new(HashSet::new()));
+            let mut threads = Vec::new();
+
+            let cluster_ctx = match config.cluster.clone() {
+                Some(cluster) => {
+                    let shared = Arc::new(crate::cluster::ClusterShared::new(&cluster));
+                    let (peer_tx, peer_rx) = mpsc::channel();
+                    let ctx = crate::cluster::ClusterCtx {
+                        shared: Arc::clone(&shared),
+                        peer_tx,
+                    };
+                    let node = Arc::clone(&node);
+                    let stats = Arc::clone(&stats);
+                    let config = config.clone();
+                    let in_flight = Arc::clone(&in_flight);
+                    let stop = Arc::clone(&stop);
+                    let shared2 = Arc::clone(&shared);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("confide-cluster".into())
+                            .spawn(move || {
+                                crate::cluster::cluster_loop(
+                                    node, job_rx, peer_rx, stats, config, cluster, shared2,
+                                    in_flight, stop,
+                                )
+                            })?,
                     );
-                    return Err(FrameError::BadKind(crate::frame::K_PEER));
+                    Some((ctx, shared))
                 }
-            }
-        }
-        let reply = match msg {
-            Message::Ping => Message::Pong,
-            Message::GetPkTx => Message::PkTxIs(pk_tx),
-            Message::GetAttestation => match &report {
-                Some(r) => Message::AttestationIs(r.clone()),
-                None => Message::Rejected("node runs without a TEE".into()),
-            },
-            Message::GetReceipt(hash) => {
-                let stored = node.read().expect("node lock").stored_receipt(&hash);
-                match stored {
-                    Some(bytes) => Message::ReceiptIs(bytes),
-                    None => Message::NotFound,
+                None => {
+                    let node = Arc::clone(&node);
+                    let stats = Arc::clone(&stats);
+                    let config = config.clone();
+                    let in_flight = Arc::clone(&in_flight);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("confide-batcher".into())
+                            .spawn(move || batcher_loop(node, job_rx, stats, config, in_flight))?,
+                    );
+                    None
                 }
-            }
-            Message::SubmitTx(tx) => {
-                let wire_hash = tx.wire_hash();
-                let committed = node
-                    .read()
-                    .expect("node lock")
-                    .committed_by_wire(&wire_hash);
-                if committed.is_some() {
-                    // Retry of an already-committed tx (e.g. after a
-                    // crash between flush and reply): idempotent accept.
-                    // Served on followers too — committed state is
-                    // replicated, so a retry after a leader kill lands.
-                    stats.deduped.fetch_add(1, Ordering::Relaxed);
-                    Message::Accepted(wire_hash)
-                } else if let Some(leader) = not_primary(&cluster) {
-                    Message::NotPrimary { leader }
-                } else if !claim(&in_flight, wire_hash) {
-                    stats.busy.fetch_add(1, Ordering::Relaxed);
-                    Message::Busy
-                } else {
-                    match validate(&node, &tx) {
-                        Err(reason) => {
-                            release(&in_flight, &wire_hash);
-                            stats.rejected.fetch_add(1, Ordering::Relaxed);
-                            Message::Rejected(reason)
+            };
+            let (conn_ctx, shared) = match cluster_ctx {
+                Some((ctx, shared)) => (Some(ctx), Some(shared)),
+                None => (None, None),
+            };
+
+            let accept = {
+                let node = Arc::clone(&node);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name("confide-accept".into())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            stats.connections.fetch_add(1, Ordering::Relaxed);
+                            let node = Arc::clone(&node);
+                            let stats = Arc::clone(&stats);
+                            let stop = Arc::clone(&stop);
+                            let job_tx = job_tx.clone();
+                            let config = config.clone();
+                            let in_flight = Arc::clone(&in_flight);
+                            let cluster_ctx = conn_ctx.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("confide-conn".into())
+                                .spawn(move || {
+                                    let _ = handle_connection(
+                                        stream,
+                                        node,
+                                        job_tx,
+                                        stats,
+                                        stop,
+                                        config,
+                                        in_flight,
+                                        cluster_ctx,
+                                    );
+                                });
                         }
-                        Ok(()) => match job_tx.try_send(Job {
-                            tx,
-                            wire_hash,
-                            done: None,
-                        }) {
-                            Ok(()) => {
-                                stats.accepted.fetch_add(1, Ordering::Relaxed);
-                                Message::Accepted(wire_hash)
-                            }
-                            Err(TrySendError::Full(_)) => {
-                                release(&in_flight, &wire_hash);
-                                stats.busy.fetch_add(1, Ordering::Relaxed);
-                                Message::Busy
-                            }
-                            Err(TrySendError::Disconnected(_)) => {
-                                release(&in_flight, &wire_hash);
-                                Message::Rejected("server shutting down".into())
-                            }
-                        },
+                    })?
+            };
+            threads.push(accept);
+
+            Ok(NodeServer {
+                addr: local,
+                stats,
+                pipe: Arc::new(PipelineStats::default()),
+                stop,
+                reactor: None,
+                threads,
+                node,
+                cluster: shared,
+            })
+        }
+    }
+
+    /// The serial batcher: drain the queue into blocks of at most
+    /// `max_batch` transactions, fsyncing each block's WAL suffix before
+    /// any waiter hears about it.
+    fn batcher_loop(
+        node: Arc<RwLock<ConfideNode>>,
+        jobs: Receiver<Job>,
+        stats: Arc<ServerStats>,
+        config: ServerConfig,
+        in_flight: InFlight,
+    ) {
+        let mut wal_file = config.wal_path.as_ref().map(|path| {
+            let mut f = std::fs::File::create(path).expect("create wal file");
+            let snapshot = node.read().expect("node lock").wal_bytes().to_vec();
+            f.write_all(&snapshot).expect("write wal prefix");
+            f.sync_all().expect("sync wal prefix");
+            (f, snapshot.len())
+        });
+        loop {
+            let first = match jobs.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            };
+            let mut batch = vec![first];
+            let deadline = Instant::now() + config.batch_linger;
+            while batch.len() < config.max_batch {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    match jobs.try_recv() {
+                        Ok(job) => batch.push(job),
+                        Err(_) => break,
+                    }
+                } else {
+                    match jobs.recv_timeout(left) {
+                        Ok(job) => batch.push(job),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
             }
-            Message::SubmitTxWait(tx) => {
-                let wire_hash = tx.wire_hash();
-                let committed = node
-                    .read()
-                    .expect("node lock")
-                    .committed_by_wire(&wire_hash);
-                if let Some((sealed, receipt)) = committed {
-                    // Retry of an already-committed tx: return the stored
-                    // receipt instead of executing twice.
-                    stats.deduped.fetch_add(1, Ordering::Relaxed);
-                    Message::Committed { sealed, receipt }
-                } else if let Some(leader) = not_primary(&cluster) {
-                    Message::NotPrimary { leader }
-                } else if !claim(&in_flight, wire_hash) {
-                    stats.busy.fetch_add(1, Ordering::Relaxed);
-                    Message::Busy
-                } else {
-                    match validate(&node, &tx) {
-                        Err(reason) => {
-                            release(&in_flight, &wire_hash);
-                            stats.rejected.fetch_add(1, Ordering::Relaxed);
-                            Message::Rejected(reason)
+            let mut fresh = Vec::with_capacity(batch.len());
+            {
+                let node = node.read().expect("node lock");
+                for job in batch {
+                    match node.committed_by_wire(&job.wire_hash) {
+                        Some((sealed, receipt)) => {
+                            stats.deduped.fetch_add(1, Ordering::Relaxed);
+                            release(&in_flight, &job.wire_hash);
+                            job.reply
+                                .send(Message::Committed { sealed, receipt }, &stats);
                         }
-                        Ok(()) => {
-                            let (done_tx, done_rx) = mpsc::sync_channel::<Message>(1);
-                            match job_tx.try_send(Job {
+                        None => fresh.push(job),
+                    }
+                }
+            }
+            let batch = fresh;
+            if batch.is_empty() {
+                continue;
+            }
+            let txs: Vec<WireTx> = batch.iter().map(|j| j.tx.clone()).collect();
+            let threads = config.exec_threads.max(1);
+            let result = {
+                let mut node = node.write().expect("node lock");
+                let result = node.execute_block_parallel(&txs, threads);
+                if result.is_ok() {
+                    if let Some((file, flushed)) = wal_file.as_mut() {
+                        let bytes = node.wal_bytes();
+                        file.write_all(&bytes[*flushed..]).expect("append wal");
+                        file.sync_all().expect("sync wal");
+                        *flushed = bytes.len();
+                    }
+                }
+                result
+            };
+            {
+                let mut set = in_flight.lock().expect("in-flight lock");
+                for job in &batch {
+                    set.remove(&job.wire_hash);
+                }
+            }
+            match result {
+                Ok(res) => {
+                    stats.blocks.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .committed
+                        .fetch_add(res.accepted() as u64, Ordering::Relaxed);
+                    if let Some(limit) = config.crash_after {
+                        if stats.blocks.load(Ordering::Relaxed) >= limit {
+                            eprintln!("confide-batcher: crash-after hook firing at block {limit}");
+                            std::process::exit(101);
+                        }
+                    }
+                    for (job, outcome) in batch.into_iter().zip(&res.outcomes) {
+                        let reply = match outcome {
+                            Ok((receipt, sealed)) => Message::Committed {
+                                sealed: sealed.is_some(),
+                                receipt: sealed.clone().unwrap_or_else(|| receipt.encode()),
+                            },
+                            Err(e) => {
+                                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                Message::Rejected(e.to_string())
+                            }
+                        };
+                        job.reply.send(reply, &stats);
+                    }
+                }
+                Err(e) => {
+                    let msg = format!("block commit failed: {e}");
+                    for job in batch {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        job.reply.send(Message::Rejected(msg.clone()), &stats);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver a commit reply to a `SubmitTxWait` rendezvous.
+    pub(crate) fn reply_waiter(done: &SyncSender<Message>, reply: Message, stats: &ServerStats) {
+        if let Err(e) = done.try_send(reply) {
+            stats.reply_drops.fetch_add(1, Ordering::Relaxed);
+            let cause = match e {
+                TrySendError::Full(_) => "channel full (waiter never drained its slot)",
+                TrySendError::Disconnected(_) => "waiter gone (commit-wait timeout)",
+            };
+            eprintln!("confide-batcher: dropped commit reply: {cause}");
+        }
+    }
+
+    enum ReadOutcome {
+        Frame(Box<Message>),
+        Idle,
+        Closed,
+    }
+
+    fn read_one(stream: &mut TcpStream, max_frame: usize) -> Result<ReadOutcome, FrameError> {
+        match read_frame(stream, max_frame) {
+            Ok(Some(msg)) => Ok(ReadOutcome::Frame(Box::new(msg))),
+            Ok(None) => Ok(ReadOutcome::Closed),
+            Err(FrameError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                Ok(ReadOutcome::Idle)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn not_primary(cluster: &Option<crate::cluster::ClusterCtx>) -> Option<String> {
+        match cluster {
+            Some(ctx) if !ctx.shared.is_leader() => Some(ctx.shared.leader_addr()),
+            _ => None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_connection(
+        mut stream: TcpStream,
+        node: Arc<RwLock<ConfideNode>>,
+        job_tx: SyncSender<Job>,
+        stats: Arc<ServerStats>,
+        stop: Arc<AtomicBool>,
+        config: ServerConfig,
+        in_flight: InFlight,
+        cluster: Option<crate::cluster::ClusterCtx>,
+    ) -> Result<(), FrameError> {
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        stream.set_write_timeout(Some(config.write_timeout))?;
+        stream.set_nodelay(true)?;
+        let (pk_tx, report, conf_engine) = {
+            let node = node.read().expect("node lock");
+            (
+                node.pk_tx(),
+                node.attestation_report(),
+                Arc::clone(&node.confidential_engine),
+            )
+        };
+        let mut attested = false;
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let msg = match read_one(&mut stream, config.max_frame)? {
+                ReadOutcome::Frame(msg) => *msg,
+                ReadOutcome::Idle => continue,
+                ReadOutcome::Closed => return Ok(()),
+            };
+            if let Message::Peer(peer_msg) = msg {
+                match &cluster {
+                    Some(ctx) if attested => {
+                        let _ = ctx.peer_tx.send(peer_msg);
+                        continue;
+                    }
+                    _ => {
+                        let _ = write_frame(
+                            &mut stream,
+                            &Message::Rejected(
+                                "peer traffic requires an attested connection".into(),
+                            ),
+                        );
+                        return Err(FrameError::BadKind(crate::frame::K_PEER));
+                    }
+                }
+            }
+            let reply = match msg {
+                Message::Ping => Message::Pong,
+                Message::GetPkTx => Message::PkTxIs(pk_tx),
+                Message::GetAttestation => match &report {
+                    Some(r) => Message::AttestationIs(r.clone()),
+                    None => Message::Rejected("node runs without a TEE".into()),
+                },
+                Message::GetReceipt(hash) => {
+                    let stored = node.read().expect("node lock").stored_receipt(&hash);
+                    match stored {
+                        Some(bytes) => Message::ReceiptIs(bytes),
+                        None => Message::NotFound,
+                    }
+                }
+                Message::SubmitTx(tx) => {
+                    let wire_hash = tx.wire_hash();
+                    let committed = node
+                        .read()
+                        .expect("node lock")
+                        .committed_by_wire(&wire_hash);
+                    if committed.is_some() {
+                        stats.deduped.fetch_add(1, Ordering::Relaxed);
+                        Message::Accepted(wire_hash)
+                    } else if let Some(leader) = not_primary(&cluster) {
+                        Message::NotPrimary { leader }
+                    } else if !claim(&in_flight, wire_hash) {
+                        stats.busy.fetch_add(1, Ordering::Relaxed);
+                        Message::Busy
+                    } else {
+                        match validate(&conf_engine, &tx) {
+                            Err(reason) => {
+                                release(&in_flight, &wire_hash);
+                                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                Message::Rejected(reason)
+                            }
+                            Ok(()) => match job_tx.try_send(Job {
                                 tx,
                                 wire_hash,
-                                done: Some(done_tx),
+                                reply: ReplyTo::Fire,
                             }) {
                                 Ok(()) => {
                                     stats.accepted.fetch_add(1, Ordering::Relaxed);
-                                    match done_rx.recv_timeout(config.commit_timeout) {
-                                        Ok(reply) => reply,
-                                        Err(_) => Message::Rejected("commit wait timed out".into()),
-                                    }
+                                    Message::Accepted(wire_hash)
                                 }
                                 Err(TrySendError::Full(_)) => {
                                     release(&in_flight, &wire_hash);
@@ -686,100 +1046,144 @@ fn handle_connection(
                                     release(&in_flight, &wire_hash);
                                     Message::Rejected("server shutting down".into())
                                 }
+                            },
+                        }
+                    }
+                }
+                Message::SubmitTxWait(tx) => {
+                    let wire_hash = tx.wire_hash();
+                    let committed = node
+                        .read()
+                        .expect("node lock")
+                        .committed_by_wire(&wire_hash);
+                    if let Some((sealed, receipt)) = committed {
+                        stats.deduped.fetch_add(1, Ordering::Relaxed);
+                        Message::Committed { sealed, receipt }
+                    } else if let Some(leader) = not_primary(&cluster) {
+                        Message::NotPrimary { leader }
+                    } else if !claim(&in_flight, wire_hash) {
+                        stats.busy.fetch_add(1, Ordering::Relaxed);
+                        Message::Busy
+                    } else {
+                        match validate(&conf_engine, &tx) {
+                            Err(reason) => {
+                                release(&in_flight, &wire_hash);
+                                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                Message::Rejected(reason)
+                            }
+                            Ok(()) => {
+                                let (done_tx, done_rx) = mpsc::sync_channel::<Message>(1);
+                                match job_tx.try_send(Job {
+                                    tx,
+                                    wire_hash,
+                                    reply: ReplyTo::Channel(done_tx),
+                                }) {
+                                    Ok(()) => {
+                                        stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                        match done_rx.recv_timeout(config.commit_timeout) {
+                                            Ok(reply) => reply,
+                                            Err(_) => {
+                                                Message::Rejected("commit wait timed out".into())
+                                            }
+                                        }
+                                    }
+                                    Err(TrySendError::Full(_)) => {
+                                        release(&in_flight, &wire_hash);
+                                        stats.busy.fetch_add(1, Ordering::Relaxed);
+                                        Message::Busy
+                                    }
+                                    Err(TrySendError::Disconnected(_)) => {
+                                        release(&in_flight, &wire_hash);
+                                        Message::Rejected("server shutting down".into())
+                                    }
+                                }
                             }
                         }
                     }
                 }
-            }
-            Message::JoinRequest { eph_pk, report } => {
-                if config.join_roots.is_empty() {
-                    Message::Rejected("wire joins disabled".into())
-                } else {
-                    let offer = JoinOffer { eph_pk, report };
-                    // Each approval burns a unique seed: wrap_keys derives
-                    // its ephemeral secret and GCM nonce from it.
-                    let seed = config
-                        .join_seed
-                        .wrapping_add(stats.joins.fetch_add(1, Ordering::Relaxed));
-                    let node = node.read().expect("node lock");
-                    let mut approved = None;
-                    let mut last_err = String::from("no join roots configured");
-                    for root in &config.join_roots {
-                        match node.approve_join(
-                            root,
-                            &offer,
-                            config.join_svn,
-                            config.join_min_svn,
-                            seed,
-                        ) {
-                            Ok((blob, member_report)) => {
-                                approved = Some(Message::JoinApprove {
-                                    blob,
-                                    member_report,
-                                });
-                                break;
+                Message::JoinRequest { eph_pk, report } => {
+                    if config.join_roots.is_empty() {
+                        Message::Rejected("wire joins disabled".into())
+                    } else {
+                        let offer = JoinOffer { eph_pk, report };
+                        let seed = config
+                            .join_seed
+                            .wrapping_add(stats.joins.fetch_add(1, Ordering::Relaxed));
+                        let node = node.read().expect("node lock");
+                        let mut approved = None;
+                        let mut last_err = String::from("no join roots configured");
+                        for root in &config.join_roots {
+                            match node.approve_join(
+                                root,
+                                &offer,
+                                config.join_svn,
+                                config.join_min_svn,
+                                seed,
+                            ) {
+                                Ok((blob, member_report)) => {
+                                    approved = Some(Message::JoinApprove {
+                                        blob,
+                                        member_report,
+                                    });
+                                    break;
+                                }
+                                Err(e) => last_err = e.to_string(),
                             }
-                            Err(e) => last_err = e.to_string(),
                         }
+                        if approved.is_some() {
+                            attested = true;
+                        }
+                        approved.unwrap_or_else(|| {
+                            Message::Rejected(format!("join refused: {last_err}"))
+                        })
                     }
-                    if approved.is_some() {
-                        // The joiner's quote verified against a consortium
-                        // root: this socket now speaks for an attested
-                        // member enclave.
-                        attested = true;
+                }
+                Message::GetStatus => {
+                    let (height, state_root) = {
+                        let node = node.read().expect("node lock");
+                        (node.blocks.height(), node.state_root())
+                    };
+                    let status = match &cluster {
+                        Some(ctx) => crate::frame::NodeStatus {
+                            node_id: ctx.shared.node_id,
+                            view: ctx.shared.view.load(Ordering::Relaxed),
+                            leader: ctx.shared.leader.load(Ordering::Relaxed),
+                            height,
+                            state_root,
+                            view_changes: ctx.shared.view_changes.load(Ordering::Relaxed),
+                            sync_blocks: ctx.shared.sync_blocks.load(Ordering::Relaxed),
+                        },
+                        None => crate::frame::NodeStatus {
+                            node_id: 0,
+                            view: 0,
+                            leader: 0,
+                            height,
+                            state_root,
+                            view_changes: 0,
+                            sync_blocks: 0,
+                        },
+                    };
+                    Message::StatusIs(status)
+                }
+                Message::StateSyncReq { from, max } => {
+                    if attested && cluster.is_some() {
+                        crate::cluster::serve_state_sync(&node, from, max)
+                    } else {
+                        Message::Rejected("state sync requires an attested connection".into())
                     }
-                    approved
-                        .unwrap_or_else(|| Message::Rejected(format!("join refused: {last_err}")))
                 }
-            }
-            Message::GetStatus => {
-                let (height, state_root) = {
-                    let node = node.read().expect("node lock");
-                    (node.blocks.height(), node.state_root())
-                };
-                let status = match &cluster {
-                    Some(ctx) => crate::frame::NodeStatus {
-                        node_id: ctx.shared.node_id,
-                        view: ctx.shared.view.load(Ordering::Relaxed),
-                        leader: ctx.shared.leader.load(Ordering::Relaxed),
-                        height,
-                        state_root,
-                        view_changes: ctx.shared.view_changes.load(Ordering::Relaxed),
-                        sync_blocks: ctx.shared.sync_blocks.load(Ordering::Relaxed),
-                    },
-                    None => crate::frame::NodeStatus {
-                        node_id: 0,
-                        view: 0,
-                        leader: 0,
-                        height,
-                        state_root,
-                        view_changes: 0,
-                        sync_blocks: 0,
-                    },
-                };
-                Message::StatusIs(status)
-            }
-            Message::StateSyncReq { from, max } => {
-                // The WAL contains only sealed envelopes and sealed
-                // receipts, but serving it is still gated to attested
-                // members: topology and traffic volume are consortium
-                // business.
-                if attested && cluster.is_some() {
-                    crate::cluster::serve_state_sync(&node, from, max)
-                } else {
-                    Message::Rejected("state sync requires an attested connection".into())
+                other => {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Message::Rejected(format!(
+                            "unexpected message kind {:#04x}",
+                            other.kind()
+                        )),
+                    );
+                    return Err(FrameError::BadKind(other.kind()));
                 }
-            }
-            // A response kind arriving at the server is a protocol abuse:
-            // answer once, then drop the connection.
-            other => {
-                let _ = write_frame(
-                    &mut stream,
-                    &Message::Rejected(format!("unexpected message kind {:#04x}", other.kind())),
-                );
-                return Err(FrameError::BadKind(other.kind()));
-            }
-        };
-        write_frame(&mut stream, &reply)?;
+            };
+            write_frame(&mut stream, &reply)?;
+        }
     }
 }

@@ -12,7 +12,9 @@ use confide_core::tx::WireTx;
 use confide_crypto::HmacDrbg;
 use confide_net::demo::{demo_keys, demo_node_with, demo_platform, DEMO_CONTRACT};
 use confide_net::fault::{FaultPlan, FaultProxy};
-use confide_net::{Conn, Gateway, NetError, NodeServer, RetryPolicy, ServerConfig};
+use confide_net::{
+    Client, ClientConfig, Conn, ErrorKind, NetError, NodeServer, RetryPolicy, ServerConfig,
+};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -98,19 +100,23 @@ fn crash_mid_stream_under_faults_loses_nothing_and_executes_once() {
         ..FaultPlan::interrupting(0xC4A05)
     };
     let proxy = FaultProxy::spawn(server1.addr(), plan).expect("proxy spawns");
-    let mut gateway = Gateway::new(proxy.addr(), 2).expect("gateway");
-    gateway.set_conn_timeout(Duration::from_secs(2));
-    let policy = RetryPolicy {
-        max_attempts: 30,
-        base_backoff: Duration::from_millis(2),
-        max_backoff: Duration::from_millis(50),
-        ..RetryPolicy::default()
-    };
+    let client = ClientConfig::new()
+        .endpoint(proxy.addr())
+        .pool_size(2)
+        .conn_timeout(Duration::from_secs(2))
+        .retry(RetryPolicy {
+            max_attempts: 30,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        })
+        .connect()
+        .expect("client");
 
     let mut receipts: Vec<Vec<u8>> = Vec::with_capacity(TOTAL);
     for p in &stream[..CRASH_AT] {
-        let (sealed, bytes) = gateway
-            .submit_with_retry(&p.wire, &policy)
+        let (sealed, bytes) = client
+            .submit_with_retry(&p.wire)
             .expect("pre-crash tx commits through faults");
         assert!(sealed);
         receipts.push(bytes);
@@ -150,7 +156,7 @@ fn crash_mid_stream_under_faults_loses_nothing_and_executes_once() {
     // Invariant 1: no committed receipt lost — every acknowledged
     // transaction's receipt survived the crash, byte for byte.
     for (i, p) in stream[..CRASH_AT].iter().enumerate() {
-        let stored = gateway
+        let stored = client
             .with_conn(|c| c.get_receipt(&p.tx_hash))
             .expect("receipt fetch after recovery")
             .unwrap_or_else(|| panic!("receipt {i} lost in the crash"));
@@ -161,8 +167,8 @@ fn crash_mid_stream_under_faults_loses_nothing_and_executes_once() {
     // committed transaction returns the stored receipt via the wire-hash
     // index instead of executing again.
     for (i, p) in stream[..CRASH_AT].iter().enumerate() {
-        let (sealed, bytes) = gateway
-            .submit_with_retry(&p.wire, &policy)
+        let (sealed, bytes) = client
+            .submit_with_retry(&p.wire)
             .expect("resubmit after recovery");
         assert!(sealed);
         assert_eq!(bytes, receipts[i], "resubmit {i} re-executed");
@@ -174,8 +180,8 @@ fn crash_mid_stream_under_faults_loses_nothing_and_executes_once() {
 
     // Phase 4: finish the stream through the same faulty proxy.
     for p in &stream[CRASH_AT..] {
-        let (sealed, bytes) = gateway
-            .submit_with_retry(&p.wire, &policy)
+        let (sealed, bytes) = client
+            .submit_with_retry(&p.wire)
             .expect("post-crash tx commits");
         assert!(sealed);
         receipts.push(bytes);
@@ -220,23 +226,23 @@ fn crash_mid_stream_under_faults_loses_nothing_and_executes_once() {
     );
 
     assert!(
-        proxy_touched_something(&gateway),
+        proxy_touched_something(&client),
         "the fault schedule never fired — test proved nothing"
     );
     let _ = std::fs::remove_file(&wal);
 }
 
-/// The chaos run must actually have been chaotic: the gateway redialed
+/// The chaos run must actually have been chaotic: the client redialed
 /// or retried at least once.
-fn proxy_touched_something(gateway: &Gateway) -> bool {
-    let s = gateway.retry_stats();
+fn proxy_touched_something(client: &Client) -> bool {
+    let s = client.retry_stats();
     s.retries.load(Ordering::Relaxed) > 0 || s.redials.load(Ordering::Relaxed) > 0
 }
 
-// ── satellite: transparent gateway redial across a restart ──────────────
+// ── satellite: transparent client redial across a restart ───────────────
 
 #[test]
-fn gateway_redials_transparently_after_server_restart() {
+fn client_redials_transparently_after_server_restart() {
     let seed = 33;
     let server1 = NodeServer::spawn(
         demo_node_with(demo_platform(seed), demo_keys(seed), seed),
@@ -247,9 +253,13 @@ fn gateway_redials_transparently_after_server_restart() {
     let port = server1.addr().port();
     let addr = server1.addr();
 
-    let gateway = Gateway::new(addr, 1).expect("gateway");
+    let client = ClientConfig::new()
+        .endpoint(addr)
+        .pool_size(1)
+        .connect()
+        .expect("client");
     // First call pools its connection.
-    let pk1 = gateway.with_conn(|c| c.fetch_pk_tx()).expect("first call");
+    let pk1 = client.with_conn(|c| c.fetch_pk_tx()).expect("first call");
 
     // Kill the server between the two calls; its handler threads exit
     // within the read timeout and close the pooled socket's far end.
@@ -265,12 +275,12 @@ fn gateway_redials_transparently_after_server_restart() {
     // Second call leases the now-stale pooled connection, hits a
     // transport error, and must transparently redial — not surface the
     // stale-pool artifact to the caller.
-    let pk2 = gateway
+    let pk2 = client
         .with_conn(|c| c.fetch_pk_tx())
         .expect("second call survives the restart");
     assert_eq!(pk1, pk2, "same deterministic node key across restarts");
     assert_eq!(
-        gateway.retry_stats().redials.load(Ordering::Relaxed),
+        client.retry_stats().redials.load(Ordering::Relaxed),
         1,
         "exactly one transparent redial"
     );
@@ -293,25 +303,33 @@ fn submit_with_retry_exhausts_with_typed_error_when_server_stays_down() {
     let addr = server.addr();
     drop(server); // gone for good
 
-    let mut gateway = Gateway::new(addr, 1).expect("gateway");
-    gateway.set_conn_timeout(Duration::from_millis(200));
-    let policy = RetryPolicy {
-        max_attempts: 3,
-        base_backoff: Duration::from_millis(1),
-        max_backoff: Duration::from_millis(4),
-        ..RetryPolicy::default()
-    };
-    match gateway.submit_with_retry(&stream[0].wire, &policy) {
-        Err(NetError::RetriesExhausted { attempts, last }) => {
-            assert_eq!(attempts, 3);
+    let client = ClientConfig::new()
+        .endpoint(addr)
+        .pool_size(1)
+        .conn_timeout(Duration::from_millis(200))
+        .retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        })
+        .connect()
+        .expect("client");
+    match client.submit_with_retry(&stream[0].wire) {
+        Err(e) => {
+            assert_eq!(e.kind(), ErrorKind::Retries, "wrong kind: {e}");
+            assert!(e.to_string().contains("3 attempts"), "got: {e}");
+            // The source chain keeps the final attempt's transport error.
+            let src = std::error::Error::source(&e).expect("source preserved");
+            let last = src.to_string();
             assert!(
-                matches!(*last, NetError::Frame(_) | NetError::Disconnected),
-                "last error should be transport-level, got {last:?}"
+                last.contains("frame") || last.contains("disconnected"),
+                "last error should be transport-level, got {last}"
             );
         }
-        other => panic!("expected RetriesExhausted, got {other:?}"),
+        other => panic!("expected a Retries error, got {other:?}"),
     }
-    assert_eq!(gateway.retry_stats().exhausted.load(Ordering::Relaxed), 1);
+    assert_eq!(client.retry_stats().exhausted.load(Ordering::Relaxed), 1);
 }
 
 // ── satellite: enclave rejoin over the wire ─────────────────────────────

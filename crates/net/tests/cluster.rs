@@ -12,7 +12,9 @@ use confide_net::demo::{demo_args, demo_cluster_node, DEMO_CONTRACT};
 use confide_net::fault::{FaultPlan, FaultProxy};
 use confide_net::frame::NodeStatus;
 use confide_net::loadgen::{run as loadgen_run, LoadgenConfig};
-use confide_net::{Client, ClusterConfig, Conn, Gateway, NetError, NodeServer, ServerConfig};
+use confide_net::{
+    Client, ClientConfig, ClusterConfig, Conn, ErrorKind, NetError, NodeServer, ServerConfig,
+};
 use std::net::TcpListener;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
@@ -33,14 +35,14 @@ fn reserve_ports(n: usize) -> Vec<u16> {
 /// `peers` table (which may route some members through a fault proxy).
 fn spawn_member(seed: u64, peers: &[String], id: u32, bind: &str) -> NodeServer {
     let cluster = ClusterConfig::demo(id, peers.to_vec(), seed);
-    let config = ServerConfig {
-        batch_linger: Duration::from_millis(2),
-        read_timeout: Duration::from_millis(200),
-        commit_timeout: Duration::from_secs(20),
-        join_roots: cluster.peer_roots.clone(),
-        cluster: Some(cluster),
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::builder()
+        .batch_linger(Duration::from_millis(2))
+        .read_timeout(Duration::from_millis(200))
+        .commit_timeout(Duration::from_secs(20))
+        .join_roots(cluster.peer_roots.clone())
+        .cluster(cluster)
+        .build()
+        .expect("member config validates");
     NodeServer::spawn(demo_cluster_node(seed, id), bind, config).expect("member spawns")
 }
 
@@ -83,12 +85,7 @@ fn wait_converged<A: AsRef<str>>(
 
 /// Seal one call and land it on whichever member currently leads,
 /// chasing `NotPrimary` redirects and riding out a view change.
-fn commit_anywhere(
-    client: &mut Client,
-    peers: &[String],
-    args: &[u8],
-    deadline: Duration,
-) -> Receipt {
+fn commit_anywhere(client: &Client, peers: &[String], args: &[u8], deadline: Duration) -> Receipt {
     let (tx, tx_hash, k_tx) = client.seal(DEMO_CONTRACT, "main", args).expect("seal");
     let end = Instant::now() + deadline;
     let mut target = 0usize;
@@ -132,7 +129,11 @@ fn four_node_cluster_commits_and_followers_redirect() {
         .map(|id| spawn_member(31, &peers, id, &peers[id as usize]))
         .collect();
 
-    let mut client = Client::connect(&peers[0], [41u8; 32], [42u8; 32], 43).expect("client");
+    let client = ClientConfig::new()
+        .endpoint(&peers[0])
+        .identity([41u8; 32], [42u8; 32], 43)
+        .connect()
+        .expect("client");
     for i in 0..8 {
         let receipt = client
             .call_confidential(DEMO_CONTRACT, "main", &demo_args(1, i))
@@ -171,13 +172,17 @@ fn leader_kill_triggers_view_change_and_survivors_serve() {
         .map(|id| spawn_member(32, &peers, id, &peers[id as usize]))
         .collect();
 
-    let mut client = Client::connect(&peers[0], [51u8; 32], [52u8; 32], 53).expect("client");
+    let client = ClientConfig::new()
+        .endpoint(&peers[0])
+        .identity([51u8; 32], [52u8; 32], 53)
+        .connect()
+        .expect("client");
     let mut last = None;
     for i in 0..4 {
         let (tx, tx_hash, k_tx) = client
             .seal(DEMO_CONTRACT, "main", &demo_args(2, i))
             .expect("seal");
-        let (sealed, bytes) = client.conn().submit_wait(&tx).expect("commit via leader");
+        let (sealed, bytes) = client.submit_wait(&tx).expect("commit via leader");
         assert!(sealed);
         Receipt::open(&bytes, &k_tx, &tx_hash).expect("receipt opens");
         last = Some((tx_hash, k_tx));
@@ -198,7 +203,7 @@ fn leader_kill_triggers_view_change_and_survivors_serve() {
     let survivors = peers[1..].to_vec();
     for i in 0..3 {
         commit_anywhere(
-            &mut client,
+            &client,
             &survivors,
             &demo_args(3, i),
             Duration::from_secs(40),
@@ -234,7 +239,11 @@ fn late_joining_member_catches_up_via_state_sync() {
         .map(|id| spawn_member(33, &peers, id, &peers[id as usize]))
         .collect();
 
-    let mut client = Client::connect(&peers[0], [61u8; 32], [62u8; 32], 63).expect("client");
+    let client = ClientConfig::new()
+        .endpoint(&peers[0])
+        .identity([61u8; 32], [62u8; 32], 63)
+        .connect()
+        .expect("client");
     for i in 0..10 {
         client
             .call_confidential(DEMO_CONTRACT, "main", &demo_args(4, i))
@@ -295,14 +304,14 @@ fn loadgen_follows_redirects_across_the_cluster() {
     }
 }
 
-/// Satellite bugfix: a multi-node pool must verify each member's *own*
-/// enclave report. Cluster members share the consortium `pk_tx` but
-/// quote from distinct per-node platforms, so validating member 1's
-/// report under member 0's attestation root is exactly the
-/// cross-validation bug — the gateway's per-endpoint cache keys every
-/// verified key by the endpoint it was proven for.
+/// A multi-node pool must verify each member's *own* enclave report.
+/// Cluster members share the consortium `pk_tx` but quote from
+/// distinct per-node platforms, so validating member 1's report under
+/// member 0's attestation root is exactly the cross-validation bug —
+/// the client's per-endpoint cache keys every verified key by the
+/// endpoint it was proven for.
 #[test]
-fn gateway_caches_attested_pk_tx_per_endpoint() {
+fn client_caches_attested_pk_tx_per_endpoint() {
     let ports = reserve_ports(4);
     let peers: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
     // Attestation needs no quorum: two members of the four-seat table.
@@ -315,19 +324,27 @@ fn gateway_caches_attested_pk_tx_per_endpoint() {
     };
     let roots = ClusterConfig::demo(0, peers.clone(), 35).peer_roots;
 
-    let gw0 = Gateway::new(&peers[0], 2).expect("gateway 0");
-    let pk = gw0
+    let cl0 = ClientConfig::new()
+        .endpoint(&peers[0])
+        .pool_size(2)
+        .connect()
+        .expect("client 0");
+    let pk = cl0
         .pk_tx_attested(&roots[0], &reference.mrenclave, reference.isv_svn)
         .expect("member 0 verifies under its own root");
 
     // Member 1's report must not verify under member 0's root …
-    let gw1 = Gateway::new(&peers[1], 2).expect("gateway 1");
-    match gw1.pk_tx_attested(&roots[0], &reference.mrenclave, reference.isv_svn) {
-        Err(NetError::Attestation(_)) => {}
+    let cl1 = ClientConfig::new()
+        .endpoint(&peers[1])
+        .pool_size(2)
+        .connect()
+        .expect("client 1");
+    match cl1.pk_tx_attested(&roots[0], &reference.mrenclave, reference.isv_svn) {
+        Err(e) => assert_eq!(e.kind(), ErrorKind::Attestation, "wrong kind: {e}"),
         other => panic!("cross-endpoint enclave report accepted: {other:?}"),
     }
     // … and the refused attempt must not have poisoned the cache.
-    let pk1 = gw1
+    let pk1 = cl1
         .pk_tx_attested(&roots[1], &reference.mrenclave, reference.isv_svn)
         .expect("member 1 verifies under its own root");
     assert_eq!(pk, pk1, "the consortium pk_tx is shared");
@@ -335,7 +352,7 @@ fn gateway_caches_attested_pk_tx_per_endpoint() {
     // Once proven for an endpoint the verdict is sticky: it is served
     // from the cache even after the member goes away.
     servers[1].shutdown();
-    let cached = gw1
+    let cached = cl1
         .pk_tx_attested(&roots[1], &reference.mrenclave, reference.isv_svn)
         .expect("cached verdict survives the member");
     assert_eq!(cached, pk1);
@@ -366,11 +383,15 @@ fn partitioned_member_rejoins_after_heal_and_converges() {
 
     // Commit through whichever member currently leads — a slow CI box
     // can view-change spuriously, which must not fail the drill.
-    let mut client = Client::connect(&real[0], [71u8; 32], [72u8; 32], 73).expect("client");
+    let client = ClientConfig::new()
+        .endpoint(&real[0])
+        .identity([71u8; 32], [72u8; 32], 73)
+        .connect()
+        .expect("client");
     let majority: Vec<String> = real[..3].to_vec();
     for i in 0..6 {
         commit_anywhere(
-            &mut client,
+            &client,
             &majority,
             &demo_args(5, i),
             Duration::from_secs(60),

@@ -10,7 +10,7 @@ use confide_core::tx::WireTx;
 use confide_crypto::HmacDrbg;
 use confide_net::demo::{demo_args, demo_node, DEMO_CONTRACT, DEMO_PUBLIC_CONTRACT};
 use confide_net::loadgen::{run, LoadgenConfig};
-use confide_net::{Client, Conn, Gateway, Message, NetError, NodeServer, ServerConfig};
+use confide_net::{ClientConfig, Conn, ErrorKind, Message, NetError, NodeServer, ServerConfig};
 use confide_tee::platform::TeePlatform;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -79,7 +79,11 @@ fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
 #[test]
 fn confidential_round_trip_over_the_wire() {
     let server = spawn_server(11, ServerConfig::default());
-    let mut client = Client::connect(server.addr(), [1u8; 32], [2u8; 32], 3).expect("connect");
+    let client = ClientConfig::new()
+        .endpoint(server.addr())
+        .identity([1u8; 32], [2u8; 32], 3)
+        .connect()
+        .expect("connect");
     // Three sequential transfers accumulate in confidential state:
     // amounts 1, 2, 3 → running balances 1, 3, 6.
     for (n, expect) in [(0usize, b"1".as_slice()), (1, b"3"), (2, b"6")] {
@@ -97,7 +101,11 @@ fn sniffer_sees_no_plaintext_while_client_decrypts() {
     let (proxy_addr, captured) = sniffing_proxy(server.addr());
 
     let args = br#"{"to":"alice-utterly-unique-7c3f","amount":41}"#.to_vec();
-    let mut client = Client::connect(proxy_addr, [5u8; 32], [6u8; 32], 9).expect("connect");
+    let client = ClientConfig::new()
+        .endpoint(proxy_addr)
+        .identity([5u8; 32], [6u8; 32], 9)
+        .connect()
+        .expect("connect");
     let receipt = client
         .call_confidential(DEMO_CONTRACT, "main", &args)
         .expect("tx commits through the proxy");
@@ -175,19 +183,25 @@ fn overload_yields_busy_with_zero_silent_drops() {
 }
 
 #[test]
-fn gateway_pools_connections_under_cap() {
+fn client_pools_connections_under_cap() {
     let server = spawn_server(14, ServerConfig::default());
-    let gateway = Arc::new(Gateway::new(server.addr(), 2).expect("gateway"));
+    let client = Arc::new(
+        ClientConfig::new()
+            .endpoint(server.addr())
+            .pool_size(2)
+            .connect()
+            .expect("client"),
+    );
     // 8 logical clients × 5 txs over at most 2 sockets.
     std::thread::scope(|scope| {
         for id in 0..8usize {
-            let gateway = Arc::clone(&gateway);
+            let client = Arc::clone(&client);
             scope.spawn(move || {
                 let identity = [id as u8 + 1; 32];
                 let root = [id as u8 + 101; 32];
                 let mut inner = confide_core::client::ConfideClient::new(identity, root, id as u64);
                 let mut rng = confide_crypto::HmacDrbg::from_u64(id as u64 + 400);
-                let pk_tx = gateway
+                let pk_tx = client
                     .with_conn(|c| c.fetch_pk_tx())
                     .expect("pk_tx via pool");
                 for n in 0..5usize {
@@ -195,7 +209,7 @@ fn gateway_pools_connections_under_cap() {
                     let (wire, tx_hash, k_tx) =
                         confide_core::seal_signed_tx(&signed, &root, &pk_tx, &mut rng)
                             .expect("seal");
-                    let (sealed, receipt) = gateway.submit_wait(&wire).expect("commit via pool");
+                    let (sealed, receipt) = client.submit_wait(&wire).expect("commit via pool");
                     assert!(sealed);
                     let receipt = confide_core::receipt::Receipt::open(&receipt, &k_tx, &tx_hash)
                         .expect("receipt decrypts");
@@ -205,14 +219,14 @@ fn gateway_pools_connections_under_cap() {
         }
     });
     // The node never saw more sockets than the cap allows (plus the
-    // server-spawn handshake none — the gateway is the only client).
+    // server-spawn handshake none — the pooled client is the only one).
     let conns = server
         .stats()
         .connections
         .load(std::sync::atomic::Ordering::Relaxed);
     assert!(
         (1..=2).contains(&conns),
-        "gateway opened {conns} sockets with a cap of 2"
+        "client opened {conns} sockets with a cap of 2"
     );
 }
 
@@ -346,17 +360,22 @@ fn four_thread_node_matches_one_thread_node_bit_for_bit() {
 }
 
 #[test]
-fn gateway_lease_times_out_with_typed_pool_exhausted() {
+fn client_lease_times_out_with_typed_pool_exhausted() {
     // A listener that never serves: the single lease below stays busy, so
     // a second lease must fail with the typed error instead of blocking
     // its caller forever (the old Condvar::wait hang).
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
-    let mut gateway = Gateway::new(addr, 1).expect("gateway");
-    gateway.set_pool_wait(Duration::from_millis(200));
-    let gateway = Arc::new(gateway);
+    let client = Arc::new(
+        ClientConfig::new()
+            .endpoint(addr)
+            .pool_size(1)
+            .pool_wait(Duration::from_millis(200))
+            .connect()
+            .expect("client"),
+    );
     std::thread::scope(|scope| {
-        let holder = Arc::clone(&gateway);
+        let holder = Arc::clone(&client);
         scope.spawn(move || {
             let _ = holder.with_conn(|_conn| {
                 std::thread::sleep(Duration::from_millis(800));
@@ -365,9 +384,9 @@ fn gateway_lease_times_out_with_typed_pool_exhausted() {
         });
         std::thread::sleep(Duration::from_millis(100)); // let the holder win the lease
         let t0 = Instant::now();
-        match gateway.with_conn(|_conn| Ok(())) {
-            Err(NetError::PoolExhausted) => {}
-            other => panic!("expected PoolExhausted, got {other:?}"),
+        match client.with_conn(|_conn| Ok(())) {
+            Err(e) => assert_eq!(e.kind(), ErrorKind::Pool, "wrong kind: {e}"),
+            other => panic!("expected a Pool error, got {other:?}"),
         }
         assert!(
             t0.elapsed() >= Duration::from_millis(150),

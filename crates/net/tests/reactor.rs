@@ -1,0 +1,193 @@
+//! Reactor-specific end-to-end drills: connection-scale (an idle fleet
+//! in the ten-thousands must not starve active traffic), slow readers
+//! and writers trickling one byte at a time, and half-open / mid-frame
+//! abuse that the sweep loop has to reap without wedging the pipeline.
+
+use confide_net::demo::{demo_args, demo_node, DEMO_CONTRACT};
+use confide_net::{ClientConfig, Conn, Message, NodeServer, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+fn spawn_server(seed: u64, config: ServerConfig) -> NodeServer {
+    NodeServer::spawn(demo_node(seed), ("127.0.0.1", 0), config).expect("server spawns")
+}
+
+/// Soft fd limit from `/proc/self/limits`; generous fallback elsewhere.
+fn fd_soft_limit() -> usize {
+    let txt = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    for line in txt.lines() {
+        if let Some(rest) = line.strip_prefix("Max open files") {
+            let tok = rest.split_whitespace().next().unwrap_or("");
+            if tok == "unlimited" {
+                return 1 << 20;
+            }
+            if let Ok(v) = tok.parse::<usize>() {
+                return v;
+            }
+        }
+    }
+    1024
+}
+
+/// The tentpole scale drill: park an idle fleet of up to 10 000
+/// connections (scaled to the process fd budget — loopback in-process
+/// costs two descriptors per connection), then prove active traffic
+/// still flows: a 1 000-strong ping fleet gets answers, and real
+/// confidential submissions commit and decrypt. The adaptive idle
+/// backoff is what makes this cheap — a parked connection costs the
+/// sweep loop nothing until bytes arrive.
+#[test]
+fn idle_fleet_in_the_thousands_does_not_starve_active_traffic() {
+    let server = spawn_server(41, ServerConfig::default());
+    let addr = server.addr();
+
+    // Budget: 2 fds per in-process connection, minus headroom for the
+    // test harness, the active fleet below, and the other tests in this
+    // binary running concurrently.
+    let budget = fd_soft_limit().saturating_sub(1200) / 2;
+    let idle_target = 10_000.min(budget.saturating_sub(1_000)).max(64);
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(idle_target);
+    for _ in 0..idle_target {
+        match TcpStream::connect(addr) {
+            Ok(s) => idle.push(s),
+            // Transient accept-backlog churn: brief pause, then carry on
+            // with whatever fleet size actually landed.
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(
+        idle.len() >= idle_target / 2,
+        "parked only {} of {} idle connections",
+        idle.len(),
+        idle_target
+    );
+
+    // Active fleet: 1 000 fresh connections (scaled if fds are tight),
+    // each of which must get a pong while the idle fleet is parked.
+    let active_target = 1_000.min(budget.saturating_sub(idle.len()).max(64));
+    let drivers = 8usize;
+    let pinged: usize = std::thread::scope(|scope| {
+        (0..drivers)
+            .map(|d| {
+                scope.spawn(move || {
+                    let mut ok = 0usize;
+                    for _ in (d..active_target).step_by(drivers) {
+                        if let Ok(mut c) = Conn::connect(addr) {
+                            if c.ping().is_ok() {
+                                ok += 1;
+                            }
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("driver joins"))
+            .sum()
+    });
+    assert_eq!(pinged, active_target, "every active ping must be answered");
+
+    // And real work commits end to end under the parked fleet.
+    let client = ClientConfig::new()
+        .endpoint(addr)
+        .identity([7u8; 32], [8u8; 32], 41)
+        .connect()
+        .expect("client connects");
+    for n in 0..3 {
+        let receipt = client
+            .call_confidential(DEMO_CONTRACT, "main", &demo_args(0, n))
+            .expect("tx commits under idle load");
+        assert!(receipt.success, "iteration {n}");
+    }
+    drop(idle);
+}
+
+/// Trickle a Ping frame at one byte per write (with pauses), then read
+/// the Pong back one byte at a time: the reactor must assemble partial
+/// frames across sweeps and its write path must survive a reader that
+/// drains slowly.
+#[test]
+fn one_byte_at_a_time_reader_and_writer_still_get_served() {
+    let server = spawn_server(42, ServerConfig::default());
+    let mut s = TcpStream::connect(server.addr()).expect("connects");
+    let frame = Message::Ping.to_frame();
+    for b in &frame {
+        s.write_all(std::slice::from_ref(b)).expect("byte written");
+        s.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Read the reply a byte at a time until it parses as a full frame.
+    let mut got: Vec<u8> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let reply = loop {
+        assert!(Instant::now() < deadline, "no full reply within 10s");
+        let mut b = [0u8; 1];
+        let n = s.read(&mut b).expect("read byte");
+        assert!(n > 0, "server closed mid-reply after {} bytes", got.len());
+        got.push(b[0]);
+        std::thread::sleep(Duration::from_millis(2));
+        match confide_net::frame::read_frame(&mut &got[..], got.len().max(1024)) {
+            Ok(Some(msg)) => break msg,
+            _ => continue,
+        }
+    };
+    assert!(matches!(reply, Message::Pong), "got {reply:?}");
+}
+
+/// Half-open and mid-frame abuse: a connection that stalls inside a
+/// frame is reaped after `read_timeout`, an oversized length prefix is
+/// cut off immediately, and an abrupt mid-frame disconnect leaks
+/// nothing — while a well-behaved client keeps committing throughout.
+#[test]
+fn half_open_and_mid_frame_drops_are_reaped_without_wedging() {
+    let config = ServerConfig::builder()
+        .read_timeout(Duration::from_millis(300))
+        .build()
+        .expect("config validates");
+    let server = spawn_server(43, config);
+    let addr = server.addr();
+    let frame = Message::Ping.to_frame();
+
+    // (a) Abrupt mid-frame drop: send half a frame, vanish.
+    for _ in 0..8 {
+        let mut s = TcpStream::connect(addr).expect("connects");
+        s.write_all(&frame[..frame.len() / 2]).expect("half frame");
+        drop(s);
+    }
+
+    // (b) Half-open stall: half a frame, then shut down our write side
+    // and wait. The mid-frame stall bound must reap the connection —
+    // observed as EOF on our read side.
+    let mut half_open = TcpStream::connect(addr).expect("connects");
+    half_open
+        .write_all(&frame[..frame.len() / 2])
+        .expect("half frame");
+    half_open.shutdown(Shutdown::Write).expect("half-close");
+    half_open
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout set");
+    let mut buf = [0u8; 16];
+    let n = half_open.read(&mut buf).expect("reap observed as EOF");
+    assert_eq!(n, 0, "stalled half-open connection must be dropped");
+
+    // (c) Oversized length prefix: rejected by the frame bound.
+    let mut huge = TcpStream::connect(addr).expect("connects");
+    huge.write_all(&(u32::MAX).to_le_bytes()).expect("bad len");
+    huge.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout set");
+    let n = huge.read(&mut buf).expect("cut off");
+    assert_eq!(n, 0, "oversized frame must close the connection");
+
+    // (d) A well-behaved client is unaffected by all of the above.
+    let client = ClientConfig::new()
+        .endpoint(addr)
+        .identity([9u8; 32], [10u8; 32], 43)
+        .connect()
+        .expect("client connects");
+    let receipt = client
+        .call_confidential(DEMO_CONTRACT, "main", &demo_args(1, 0))
+        .expect("tx commits after abuse");
+    assert!(receipt.success);
+}

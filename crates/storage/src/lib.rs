@@ -30,6 +30,7 @@ pub mod kvlog;
 pub mod merkle;
 pub mod versioned;
 pub mod wal;
+pub mod walfile;
 
 pub use blockstore::{Block, BlockHeader, BlockStore, BlockStoreError};
 pub use kv::{KvStore, MemKv, WriteBatch};
@@ -37,3 +38,4 @@ pub use kvlog::LogKv;
 pub use merkle::{MerkleProof, MerkleTree};
 pub use versioned::{StateDb, StateError};
 pub use wal::{BlockWal, WalBlock, WalRecovery};
+pub use walfile::{GroupCommitStats, WalFile, GROUP_BUCKETS};

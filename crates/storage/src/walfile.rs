@@ -1,0 +1,169 @@
+//! Group-commit writer for the block-framed WAL file.
+//!
+//! [`crate::wal::BlockWal`] frames committed blocks into a byte log; a
+//! file-backed node must make each block's delta durable before it
+//! acknowledges the block. Fsyncing once per block puts a disk round
+//! trip on every block's critical path — the pipelined server instead
+//! hands the commit stage *batches* of block deltas and this writer
+//! amortizes one `write_all` + one `fsync` across the whole group
+//! (classic group commit: the durability barrier is preserved, its cost
+//! is divided by the group size).
+//!
+//! The writer records a group-size histogram so the benchmark can show
+//! how many blocks each fsync actually covered under load.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Bucket boundaries of the group-size histogram: groups of exactly 1,
+/// 2, 3–4, 5–8, 9–16, and 17+ blocks per fsync.
+pub const GROUP_BUCKETS: [&str; 6] = ["1", "2", "3-4", "5-8", "9-16", "17+"];
+
+/// Running group-commit accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Total fsync calls issued.
+    pub fsyncs: u64,
+    /// Total block deltas made durable.
+    pub blocks: u64,
+    /// Total bytes written.
+    pub bytes: u64,
+    /// Largest single group.
+    pub max_group: u64,
+    /// Histogram over [`GROUP_BUCKETS`].
+    pub group_hist: [u64; GROUP_BUCKETS.len()],
+}
+
+impl GroupCommitStats {
+    /// Mean blocks per fsync (1.0 when group commit never batched).
+    pub fn blocks_per_fsync(&self) -> f64 {
+        if self.fsyncs == 0 {
+            0.0
+        } else {
+            self.blocks as f64 / self.fsyncs as f64
+        }
+    }
+
+    fn note_group(&mut self, blocks: u64, bytes: u64) {
+        self.fsyncs += 1;
+        self.blocks += blocks;
+        self.bytes += bytes;
+        self.max_group = self.max_group.max(blocks);
+        let bucket = match blocks {
+            0 | 1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            _ => 5,
+        };
+        self.group_hist[bucket] += 1;
+    }
+}
+
+/// Append-only WAL file with group-commit flushing.
+pub struct WalFile {
+    file: File,
+    path: PathBuf,
+    stats: GroupCommitStats,
+}
+
+impl WalFile {
+    /// Open (create if absent) the WAL file for appending.
+    pub fn open(path: &Path) -> io::Result<WalFile> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WalFile {
+            file,
+            path: path.to_path_buf(),
+            stats: GroupCommitStats::default(),
+        })
+    }
+
+    /// The file path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &GroupCommitStats {
+        &self.stats
+    }
+
+    /// Make a group of block deltas durable: one buffered write of every
+    /// delta, then exactly one fsync. Returns only after the data *and*
+    /// file metadata are on disk — the caller may acknowledge every block
+    /// in the group once this returns.
+    ///
+    /// Empty deltas are permitted (an empty group is a no-op that costs
+    /// no fsync).
+    pub fn commit_group(&mut self, deltas: &[&[u8]]) -> io::Result<()> {
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = 0u64;
+        for delta in deltas {
+            self.file.write_all(delta)?;
+            bytes += delta.len() as u64;
+        }
+        self.file.sync_all()?;
+        self.stats.note_group(deltas.len() as u64, bytes);
+        Ok(())
+    }
+
+    /// Single-block convenience (a group of one).
+    pub fn commit_one(&mut self, delta: &[u8]) -> io::Result<()> {
+        self.commit_group(&[delta])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("confide-walfile-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn groups_are_appended_in_order_and_counted() {
+        let path = tmp("order");
+        let mut w = WalFile::open(&path).unwrap();
+        w.commit_group(&[b"aa", b"bb"]).unwrap();
+        w.commit_one(b"cc").unwrap();
+        w.commit_group(&[]).unwrap(); // no-op, no fsync
+        let s = w.stats().clone();
+        assert_eq!(s.fsyncs, 2);
+        assert_eq!(s.blocks, 3);
+        assert_eq!(s.bytes, 6);
+        assert_eq!(s.max_group, 2);
+        assert_eq!(s.group_hist[0], 1); // the group of 1
+        assert_eq!(s.group_hist[1], 1); // the group of 2
+        assert!((s.blocks_per_fsync() - 1.5).abs() < 1e-9);
+        drop(w);
+        assert_eq!(std::fs::read(&path).unwrap(), b"aabbcc");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_bytes() {
+        let path = tmp("reopen");
+        WalFile::open(&path).unwrap().commit_one(b"first|").unwrap();
+        WalFile::open(&path).unwrap().commit_one(b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first|second");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_large_groups() {
+        let mut s = GroupCommitStats::default();
+        for n in [1u64, 2, 3, 4, 5, 8, 9, 16, 17, 100] {
+            s.note_group(n, n);
+        }
+        assert_eq!(s.group_hist, [1, 1, 2, 2, 2, 2]);
+        assert_eq!(s.max_group, 100);
+    }
+}

@@ -18,9 +18,10 @@
 //!   of K-Protocol's Mutual Authenticated Protocol.
 //! * [`sealing`] — sealed storage bound to MRENCLAVE or signer, used to
 //!   persist enclave secrets across restarts.
-//! * [`ringbuf`] — the exit-less monitoring channel of §5.3: a lock-free
-//!   SPSC ring buffer that streams status messages out of the enclave
-//!   without paying enclave transitions.
+//! * [`ringbuf`] — the exit-less channels of §5.3: a lock-free SPSC ring
+//!   that streams status messages out of the enclave, and a bounded
+//!   no-overwrite MPSC ring ([`ringbuf::IngestRing`]) that feeds requests
+//!   in — neither direction pays enclave transitions.
 //!
 //! ## Substitution note (see DESIGN.md)
 //!
@@ -48,4 +49,4 @@ pub use enclave::{CrossingMode, Enclave, EnclaveConfig, EnclaveError, EnclaveId}
 pub use epc::{EpcError, EpcStats};
 pub use meter::{CostModel, CycleMeter};
 pub use platform::TeePlatform;
-pub use ringbuf::{MonitorConsumer, MonitorProducer, RingBuffer};
+pub use ringbuf::{IngestRing, MonitorConsumer, MonitorProducer, RingBuffer};

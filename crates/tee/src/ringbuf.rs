@@ -165,6 +165,134 @@ impl<T> MonitorConsumer<T> {
     }
 }
 
+/// The exit-less **request** channel: a bounded multi-producer
+/// single-consumer ring feeding transactions *into* the enclave-side
+/// executor without an ecall per request (§5.3 applied to the ingest
+/// direction, the way the monitor ring applies it to egress).
+///
+/// Unlike [`RingBuffer`], requests must never be silently dropped, so the
+/// producer side is **no-overwrite**: when the ring is full,
+/// [`IngestRing::try_push`] hands the value back and the caller surfaces
+/// typed backpressure (`Busy` on the wire). Producers claim tail slots
+/// with a compare-exchange (any number of pushing threads); the single
+/// consumer advances `head` with plain release stores.
+///
+/// Like the monitor ring, a push charges zero transition cycles — the
+/// ring lives in untrusted memory and the enclave side polls it.
+pub struct IngestRing<T> {
+    slots: Vec<confide_sync::Mutex<Option<(u64, T)>>>,
+    head: AtomicU64, // next slot to read (single consumer)
+    tail: AtomicU64, // next slot to write (CAS-claimed by producers)
+    capacity: u64,
+    pushed: AtomicU64,
+    full_rejects: AtomicU64,
+}
+
+impl<T> IngestRing<T> {
+    /// Create a ring with `capacity` slots (rounded up to at least 2).
+    pub fn with_capacity(capacity: usize) -> Arc<IngestRing<T>> {
+        let capacity = capacity.max(2);
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(confide_sync::Mutex::new(None));
+        }
+        Arc::new(IngestRing {
+            slots,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            capacity: capacity as u64,
+            pushed: AtomicU64::new(0),
+            full_rejects: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of requests currently claimed in the ring (some may still
+    /// be mid-publish by their producer).
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// True when no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total requests accepted so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Pushes refused because the ring was full (each one became a typed
+    /// `Busy` upstream — never a silent drop).
+    pub fn full_rejects(&self) -> u64 {
+        self.full_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue a request from any producer thread. Never blocks and never
+    /// overwrites: a full ring returns the value to the caller.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            let head = self.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(head) >= self.capacity {
+                self.full_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err(value);
+            }
+            // Claim slot `tail`. The capacity check above guarantees the
+            // slot's previous occupant (sequence `tail - capacity`) was
+            // already consumed, so the claim cannot clobber a request.
+            if self
+                .tail
+                .compare_exchange_weak(tail, tail + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let idx = (tail % self.capacity) as usize;
+                *self.slots[idx].lock() = Some((tail, value));
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+    }
+
+    /// Dequeue the oldest published request (single consumer).
+    ///
+    /// May transiently return `None` while `len() > 0`: a producer that
+    /// claimed the head slot's sequence but has not finished publishing
+    /// yet. The consumer polls, so the request is delivered on a later
+    /// call — never lost, never reordered.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head >= tail {
+            return None;
+        }
+        let idx = (head % self.capacity) as usize;
+        let mut slot = self.slots[idx].lock();
+        match &*slot {
+            Some((seq, _)) if *seq == head => {
+                let (_, value) = slot.take().expect("slot checked above");
+                drop(slot);
+                self.head.store(head + 1, Ordering::Release);
+                Some(value)
+            }
+            // Claimed but not yet published — come back on the next poll.
+            _ => None,
+        }
+    }
+
+    /// Drain everything currently published, stopping at the first
+    /// still-publishing slot.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +346,65 @@ mod tests {
         assert!(!got.is_empty());
         assert!(got.len() <= n as usize);
         assert!(got.windows(2).all(|w| w[0] < w[1]), "out-of-order delivery");
+    }
+
+    #[test]
+    fn ingest_fifo_and_full_rejects() {
+        let ring = IngestRing::with_capacity(4);
+        for i in 0..4 {
+            assert!(ring.try_push(i).is_ok());
+        }
+        // Full: the value comes back, nothing is overwritten.
+        assert_eq!(ring.try_push(99), Err(99));
+        assert_eq!(ring.full_rejects(), 1);
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3]);
+        assert!(ring.is_empty());
+        // Freed capacity is reusable across the wraparound.
+        assert!(ring.try_push(42).is_ok());
+        assert_eq!(ring.pop(), Some(42));
+        assert_eq!(ring.pushed(), 5);
+    }
+
+    #[test]
+    fn ingest_multi_producer_unique_complete_delivery() {
+        let ring = IngestRing::with_capacity(64);
+        let producers = 4u64;
+        let per = 2_500u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let ring = Arc::clone(&ring);
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    let mut v = p * per + i;
+                    // Spin on backpressure: no request may be dropped.
+                    loop {
+                        match ring.try_push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut got = Vec::new();
+        while got.len() < (producers * per) as usize {
+            match ring.pop() {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(ring.is_empty());
+        // Every request delivered exactly once — no loss, no duplication.
+        got.sort_unstable();
+        let want: Vec<u64> = (0..producers * per).collect();
+        assert_eq!(got, want);
+        assert_eq!(ring.pushed(), producers * per);
     }
 
     #[test]

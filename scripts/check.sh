@@ -8,11 +8,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The pipeline smoke parks thousands of loopback connections (2 fds
+# each in-process): raise the fd ceiling as far as the hard limit
+# allows before anything runs.
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== legacy-threaded escape hatch still builds =="
+# The pre-reactor thread-per-connection runtime stays available behind a
+# feature gate; a refactor must not silently rot it.
+cargo build -q -p confide-net --features legacy-threaded
 
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
@@ -87,9 +97,14 @@ fi
 echo "node up on $NODE_ADDR"
 
 # 100 confidential txs; the loadgen exits non-zero unless every accepted
-# receipt decrypts under its k_tx.
+# receipt decrypts under its k_tx. The --pipeline flags add the
+# pipelined-reactor bench (its own in-process node): a 2000-conn idle
+# fleet parked on the reactor plus a 200-conn active fleet, gated below
+# on model_ratio.
 ./target/release/confide-loadgen --addr "$NODE_ADDR" \
-    --threads 2 --txs 50 --mode closed --out "$SMOKE_OUT/BENCH_smoke.json"
+    --threads 2 --txs 50 --mode closed \
+    --pipeline --pipeline-idle 2000 --pipeline-active 200 --pipeline-txs 4 \
+    --out "$SMOKE_OUT/BENCH_smoke.json"
 echo "ok: 100-tx burst committed and all receipts decrypted"
 
 kill "$NODE_PID" 2>/dev/null || true
@@ -247,7 +262,7 @@ echo "== BENCH_net.json schema check =="
 # Guard against schema drift in both the freshly emitted smoke report and
 # the checked-in results/BENCH_net.json.
 for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
-    for key in '"schema_version"' '"bench"' '"machine"' '"cores"' \
+    for key in '"schema_version": 5' '"bench"' '"machine"' '"cores"' \
                '"workloads"' '"mode"' '"txs_submitted"' '"txs_accepted"' \
                '"busy_rejects"' '"busy_reject_rate"' '"receipts_verified"' \
                '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"' \
@@ -257,13 +272,40 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
                '"static_sched"' '"occ_spec_runs"' '"static_spec_runs"' \
                '"plan_cycles"' '"modeled_speedup"' '"roots_match"' \
                '"static_schedule"' '"consensus"' '"n"' '"view_changes"' \
-               '"sync_blocks"' '"redirects"'; do
+               '"sync_blocks"' '"redirects"' '"pipeline"' '"idle_conns"' \
+               '"active_conns"' '"wire_tps"' '"model_ratio"' \
+               '"stage_occupancy"' '"group_commit"' '"blocks_per_fsync"' \
+               '"durable_height"'; do
         if ! grep -q "$key" "$f"; then
             echo "FAIL: $f missing schema key $key" >&2
             exit 1
         fi
     done
     echo "ok: $f matches the BENCH_net schema"
+done
+
+echo "== pipeline gate: wire tps within 2x of exec-only model tps =="
+# The pipelined reactor must deliver open-loop wire throughput within 2x
+# of the same workload executed in-process with no sockets, no preverify
+# pool and no fsync (model_ratio = model_tps / wire_tps <= 2.0). Checked
+# on both the fresh smoke run and the checked-in results.
+for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
+    python3 - "$f" <<'PY'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+p = doc["pipeline"]
+if not p["ran"]:
+    sys.exit(f"FAIL: {path}: pipeline bench did not run")
+if p["accepted"] < 1:
+    sys.exit(f"FAIL: {path}: pipeline bench accepted no transactions")
+ratio = p["model_ratio"]
+if not (0 < ratio <= 2.0):
+    sys.exit(f"FAIL: {path}: pipeline model_ratio {ratio} outside (0, 2.0]")
+print(f"ok: {path}: model_ratio {ratio} <= 2.0 "
+      f"({p['idle_conns']} idle + {p['active_conns']} active conns, "
+      f"{p['group_commit']['blocks_per_fsync']} blocks/fsync)")
+PY
 done
 rm -rf "$SMOKE_OUT" "$CHAOS_DIR"
 

@@ -45,6 +45,10 @@ pub use confide_crypto as crypto;
 pub use confide_evm as evm;
 pub use confide_lang as lang;
 pub use confide_net as net;
+/// The consolidated client-facing error taxonomy ([`net::Error`]): one
+/// type with a stable [`ErrorKind`] to match on and the full `source()`
+/// chain preserved, whatever layer the failure originated in.
+pub use confide_net::{Error, ErrorKind};
 pub use confide_sim as sim;
 pub use confide_storage as storage;
 pub use confide_tee as tee;
