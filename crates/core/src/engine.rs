@@ -350,7 +350,10 @@ impl Engine {
     /// ([`confide_vm::verify_module`]) — stack discipline, jump targets,
     /// call arities, resource limits — or deployment is rejected with
     /// [`EngineError::Verify`]. Verified modules later execute on the
-    /// interpreter's unchecked fast path.
+    /// interpreter's unchecked fast path. EVM blobs go through the same
+    /// gate ([`confide_evm::verify_bytecode`]): opcode whitelist, JUMPDEST
+    /// analysis, static stack-depth bounds, and code-size limits — garbage
+    /// is rejected at deploy, not at first invoke.
     pub fn deploy(
         &self,
         address: [u8; 32],
@@ -380,6 +383,13 @@ impl Engine {
                 }
             }
         } else {
+            // EVM deploys get no static access summary (the scheduler
+            // falls back to whole-block OCC for them) but the bytecode is
+            // held to the same deploy-time standard as CONFIDE-VM.
+            if self.config.verify_bytecode {
+                confide_evm::verify_bytecode(code, &confide_evm::VerifyConfig::default())
+                    .map_err(|e| EngineError::Verify(e.to_string()))?;
+            }
             None
         };
         let stored = if confidential {
@@ -1652,6 +1662,95 @@ mod tests {
         assert_eq!(out, b"10");
         // EVM charges more cycles per instruction than CONFIDE-VM.
         assert!(ctx.counters.vm_instret > 0);
+    }
+
+    #[test]
+    fn garbage_evm_deploy_rejected_at_deploy_time() {
+        // Regression: the EVM branch of `deploy` used to skip verification
+        // entirely, so `verify_bytecode: true` was silently ignored and
+        // garbage only surfaced as a trap at first invoke.
+        let engine = confidential_engine();
+        let valid = confide_lang::build_evm(COUNTER_SRC).unwrap();
+
+        // A truncated blob (cut mid-code, dangling PUSH4 label fixups).
+        let truncated = &valid[..valid.len() / 2];
+        match engine.deploy(addr(5), truncated, VmKind::Evm, true) {
+            Err(EngineError::Verify(_)) => {}
+            other => panic!("truncated EVM blob deployed: {other:?}"),
+        }
+        // Arbitrary garbage bytes.
+        match engine.deploy(addr(5), &[0xcc, 0xdd, 0xee], VmKind::Evm, true) {
+            Err(EngineError::Verify(_)) => {}
+            other => panic!("garbage EVM blob deployed: {other:?}"),
+        }
+        assert!(!engine.has_contract(&addr(5)));
+
+        // With verification disabled the old permissive behavior remains
+        // reachable for harnesses that want raw bytes.
+        let lax = Engine::public(EngineConfig {
+            verify_bytecode: false,
+            ..EngineConfig::default()
+        });
+        lax.deploy(addr(5), &[0xcc, 0xdd, 0xee], VmKind::Evm, false)
+            .unwrap();
+        assert!(lax.has_contract(&addr(5)));
+    }
+
+    #[test]
+    fn ccl_contract_calls_evm_contract_confidentially() {
+        // Cross-engine call inside one enclave transaction: a CONFIDE-VM
+        // caller invokes an EVM callee through the SDM's `call_contract`
+        // seam; both contracts are confidential, and the callee's state
+        // lands sealed in the same journal/commit as the caller's.
+        let engine = confidential_engine();
+        let evm_callee = confide_lang::build_evm(COUNTER_SRC).unwrap();
+        engine
+            .deploy(addr(2), &evm_callee, VmKind::Evm, true)
+            .unwrap();
+        let caller_src = r#"
+            export fn main() {
+                let target: bytes = alloc(32);
+                let i: int = 0;
+                while (i < 32) { set_byte(target, i, 2); i = i + 1; }
+                ret(call(target, input()));
+            }
+        "#;
+        engine
+            .deploy(
+                addr(1),
+                &confide_lang_build(caller_src),
+                VmKind::ConfideVm,
+                true,
+            )
+            .unwrap();
+        let mut state = StateDb::new();
+        let mut ctx = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"5", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"5");
+        let out = engine
+            .invoke_inner(&state, &mut ctx, &addr(1), "main", b"3", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"8");
+        // Both engines ran in the same context: a CONFIDE-VM frame and
+        // EVM instructions were both metered.
+        assert_eq!(ctx.counters.contract_calls, 4); // 2 invokes × 2 frames
+        assert!(ctx.counters.vm_instret > 0);
+
+        // The EVM callee's counter commits sealed under *its* address —
+        // confidential fields crossed the engine boundary only through
+        // the SDM, never as plaintext state.
+        let batch = engine.commit_block(&mut ctx, 1).unwrap();
+        state.apply_block(1, &batch).unwrap();
+        let fk = full_key(&addr(2), b"count");
+        let stored = state.get(&fk).expect("callee state committed");
+        assert_ne!(stored, b"8".to_vec(), "callee state stored in plaintext");
+        let mut ctx2 = ExecContext::new();
+        let out = engine
+            .invoke_inner(&state, &mut ctx2, &addr(2), "main", b"0", &addr(9))
+            .unwrap();
+        assert_eq!(out, b"8", "callee state did not persist");
     }
 
     #[test]

@@ -2017,6 +2017,63 @@ mod tests {
         assert_eq!(roots[0], roots[1]);
     }
 
+    /// [`fresh_node`] plus a confidential EVM replica of the balance
+    /// contract, for mixed-engine blocks.
+    const EVM_CONTRACT: [u8; 32] = [5u8; 32];
+
+    fn fresh_node_with_evm() -> ConfideNode {
+        let node = fresh_node();
+        let code = confide_lang::build_evm(BALANCE_SRC).unwrap();
+        node.deploy(EVM_CONTRACT, &code, VmKind::Evm, true).unwrap();
+        node
+    }
+
+    #[test]
+    fn mixed_vm_evm_block_takes_occ_fallback_with_identical_roots() {
+        // EVM contracts carry no static access summary, so a block with
+        // even one EVM tx must never be statically planned: Static mode
+        // has to take the whole-block OCC fallback — and still commit
+        // byte-identical state roots at every thread count.
+        let pk_tx = fresh_node_with_evm().pk_tx();
+        let mut txs = Vec::new();
+        for s in 0..6u8 {
+            let mut c = ConfideClient::new([s + 1; 32], [s + 50; 32], s as u64);
+            let args = format!(r#"{{"to":"mx{s}","amount":{}}}"#, s + 1);
+            let contract = if s % 2 == 0 {
+                CONF_CONTRACT
+            } else {
+                EVM_CONTRACT
+            };
+            txs.push(
+                c.confidential_tx(&pk_tx, contract, "main", args.as_bytes())
+                    .unwrap()
+                    .0,
+            );
+        }
+        let mut serial = fresh_node_with_evm();
+        let rl = serial.execute_serial_equivalent(&txs, 1, 0).unwrap();
+        let want = fingerprint(serial.state_root(), &rl.block, &rl.outcomes);
+        for threads in [1usize, 4] {
+            let mut node = fresh_node_with_evm();
+            let res = node
+                .execute_block_sched(&txs, threads, SchedMode::Static)
+                .unwrap();
+            assert!(
+                !res.report.static_schedule,
+                "a block containing EVM txs must never be statically planned"
+            );
+            assert_eq!(
+                res.report.spec_runs,
+                txs.len(),
+                "fallback must speculate the whole block, not a subset"
+            );
+            assert!(!res.report.serial_fallback);
+            assert_eq!(res.accepted(), txs.len());
+            let got = fingerprint(node.state_root(), &res.block, &res.outcomes);
+            assert_eq!(got, want, "{threads} threads diverged from serial");
+        }
+    }
+
     #[test]
     fn zero_threads_is_a_typed_node_error() {
         let mut node = fresh_node();
@@ -2226,6 +2283,55 @@ mod tests {
             panic!("post-recovery invoke failed: {:?}", res.outcomes[0]);
         };
         assert_eq!(receipt.return_data, b"5"); // 4 + 1
+    }
+
+    #[test]
+    fn evm_deploys_and_invokes_replay_from_the_wal() {
+        // Crash-recovery parity for the EVM: a wire deploy plus a few
+        // invokes must replay from the WAL onto a wiped replica, and the
+        // recovered contract must continue bit-identically.
+        let code = confide_lang::build_evm(BALANCE_SRC).unwrap();
+        let mut payload = vec![1u8, 0u8]; // [vm=Evm][public]
+        payload.extend_from_slice(&code);
+        let mut node = fresh_node();
+        let mut deployer = ConfideClient::new([7u8; 32], [8u8; 32], 1);
+        let deploy = deployer.public_tx([0u8; 32], "deploy", &payload);
+        let res = node.execute_block_parallel(&[deploy], 2).unwrap();
+        let Ok((receipt, _)) = &res.outcomes[0] else {
+            panic!("EVM deploy rejected: {:?}", res.outcomes[0]);
+        };
+        assert!(receipt.success, "EVM deploy failed: {receipt:?}");
+        let address: [u8; 32] = receipt.return_data.as_slice().try_into().unwrap();
+        for amount in [4u64, 2, 1] {
+            let args = format!(r#"{{"to":"e","amount":{amount}}}"#);
+            let tx = deployer.public_tx(address, "main", args.as_bytes());
+            node.execute_block_parallel(&[tx], 2).unwrap();
+        }
+        let tip_root = node.state_root();
+
+        let mut recovered = fresh_node();
+        let report = recovered.recover_from_wal(node.wal_bytes()).unwrap();
+        assert_eq!(report.deploys_replayed, 1);
+        assert_eq!(report.state_root, tip_root);
+        assert_eq!(recovered.state_root(), tip_root);
+        assert!(recovered.public_engine.has_contract(&address));
+
+        // Survivor and recovered replica continue in lockstep.
+        let again = deployer.public_tx(address, "main", br#"{"to":"e","amount":10}"#);
+        node.execute_block_parallel(std::slice::from_ref(&again), 2)
+            .unwrap();
+        let res = recovered
+            .execute_block_parallel(std::slice::from_ref(&again), 2)
+            .unwrap();
+        let Ok((receipt, _)) = &res.outcomes[0] else {
+            panic!("post-recovery EVM invoke failed: {:?}", res.outcomes[0]);
+        };
+        assert_eq!(receipt.return_data, b"17"); // 4 + 2 + 1 + 10
+        assert_eq!(recovered.state_root(), node.state_root());
+        assert_eq!(
+            recovered.blocks.tip().header.hash(),
+            node.blocks.tip().header.hash()
+        );
     }
 
     #[test]

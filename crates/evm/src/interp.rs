@@ -179,6 +179,11 @@ impl Evm {
                     let b = pop!();
                     push!(a.srem(&b));
                 }
+                op::SIGNEXTEND => {
+                    let b = pop!();
+                    let x = pop!();
+                    push!(x.signextend(&b));
+                }
                 op::LT => {
                     let a = pop!();
                     let b = pop!();

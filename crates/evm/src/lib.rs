@@ -27,8 +27,10 @@ pub mod host;
 pub mod interp;
 pub mod opcode;
 pub mod u256;
+pub mod verify;
 
 pub use asm::Asm;
 pub use host::{EvmHost, MockEvmHost};
 pub use interp::{Evm, EvmConfig, EvmOutcome, EvmStats, EvmTrap};
 pub use u256::U256;
+pub use verify::{verify_bytecode, VerifyConfig, VerifyError};

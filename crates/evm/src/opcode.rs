@@ -11,6 +11,7 @@ pub const DIV: u8 = 0x04;
 pub const SDIV: u8 = 0x05;
 pub const MOD: u8 = 0x06;
 pub const SMOD: u8 = 0x07;
+pub const SIGNEXTEND: u8 = 0x0b;
 pub const LT: u8 = 0x10;
 pub const GT: u8 = 0x11;
 pub const SLT: u8 = 0x12;
@@ -67,6 +68,7 @@ pub fn name(op: u8) -> &'static str {
         SDIV => "SDIV",
         MOD => "MOD",
         SMOD => "SMOD",
+        SIGNEXTEND => "SIGNEXTEND",
         LT => "LT",
         GT => "GT",
         SLT => "SLT",

@@ -306,6 +306,23 @@ impl U256 {
         }
         self.to_be_bytes()[i]
     }
+
+    /// EVM SIGNEXTEND: treat `self` as a `(b+1)`-byte two's-complement
+    /// value and sign-extend it to 256 bits. `b` counts bytes from the
+    /// least-significant end; `b >= 31` (including values past u64) is the
+    /// identity, matching the yellow paper.
+    pub fn signextend(&self, b: &U256) -> U256 {
+        if !b.fits_u64() || b.0[0] >= 31 {
+            return *self;
+        }
+        let sign_bit = 8 * (b.0[0] as usize + 1) - 1;
+        let mask = U256::MAX.shl(sign_bit + 1); // bits above the sign bit
+        if self.bit(sign_bit) {
+            self.or(&mask)
+        } else {
+            self.and(&mask.not())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +400,26 @@ mod tests {
         assert_eq!(minus_8.sar(2), U256::from_u64(2).neg());
         assert_eq!(minus_8.sar(300), U256::MAX);
         assert_eq!(U256::from_u64(8).sar(2), U256::from_u64(2));
+    }
+
+    #[test]
+    fn signextend_matches_evm_semantics() {
+        // 0xff as a 1-byte value is -1.
+        assert_eq!(
+            U256::from_u64(0xff).signextend(&U256::ZERO),
+            U256::ONE.neg()
+        );
+        // 0x7f stays positive.
+        assert_eq!(
+            U256::from_u64(0x7f).signextend(&U256::ZERO),
+            U256::from_u64(0x7f)
+        );
+        // Upper garbage is cleared when the sign bit is 0.
+        assert_eq!(U256::from_u64(0xaa01).signextend(&U256::ZERO), U256::ONE);
+        // b >= 31 is the identity, even for huge b.
+        let x = U256([1, 2, 3, 4]);
+        assert_eq!(x.signextend(&U256::from_u64(31)), x);
+        assert_eq!(x.signextend(&U256::MAX), x);
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! Deploy-time EVM bytecode verification.
+//!
+//! CONFIDE's deploy path rejects malformed CONFIDE-VM modules before they
+//! ever reach the interpreter (`confide_vm::verify_module`); this module
+//! gives the EVM engine the same guarantee so `Engine::deploy` treats both
+//! VMs uniformly. Four checks run, all deterministic and linear-ish in code
+//! size:
+//!
+//! 1. **Code-size limits** — empty blobs and blobs past
+//!    [`VerifyConfig::max_code_size`] (EIP-170's 24 KiB by default) are
+//!    refused outright.
+//! 2. **Opcode whitelist** — every reachable byte position must hold an
+//!    opcode the interpreter implements (plus `INVALID`, the designated
+//!    abort). A `PUSH` immediate running past the end of code is a
+//!    truncated blob, not an implicit zero-pad.
+//! 3. **JUMPDEST analysis** — jump targets that are statically knowable
+//!    (a `PUSHn <imm>` feeding the very next `JUMP`/`JUMPI`, the only
+//!    shape `confide_lang`'s EVM backend emits for forward control flow)
+//!    must land on a `JUMPDEST` that is not inside a push immediate.
+//! 4. **Static stack-depth bounds** — an abstract walk from entry tracks
+//!    the exact operand-stack depth along every statically reachable path
+//!    and rejects definite underflows and >1024-deep growth at deploy.
+//!
+//! The stack walk follows fallthrough edges and constant-target jumps;
+//! paths that continue through a *dynamic* jump (the callee-return idiom:
+//! the target was pushed earlier as a return address) end there and stay
+//! guarded by the interpreter's runtime `checked_dest`/underflow traps.
+//! The verifier therefore never rejects code the interpreter would run —
+//! it only rejects code that provably traps on some statically reachable
+//! prefix, which is exactly the "garbage at deploy instead of at first
+//! invoke" contract the CONFIDE-VM path already honors.
+
+use crate::asm::jumpdests;
+use crate::opcode as op;
+use std::collections::HashSet;
+
+/// Limits for [`verify_bytecode`].
+#[derive(Clone, Debug)]
+pub struct VerifyConfig {
+    /// Maximum deployable code size in bytes (default: 24 KiB, EIP-170).
+    pub max_code_size: usize,
+    /// Operand-stack ceiling (default: the interpreter's 1024).
+    pub max_stack: usize,
+    /// Budget of distinct `(pc, depth)` states the static walk may visit
+    /// before giving up in favor of the runtime guards.
+    pub max_states: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            max_code_size: 24 * 1024,
+            max_stack: 1024,
+            max_states: 1 << 16,
+        }
+    }
+}
+
+/// A reason deploy-time verification refused a blob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Zero-length code deploys nothing callable.
+    EmptyCode,
+    /// Code exceeds [`VerifyConfig::max_code_size`].
+    CodeTooLarge {
+        /// Actual size in bytes.
+        size: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// An opcode the interpreter does not implement.
+    UnknownOpcode {
+        /// Byte offset of the opcode.
+        pc: usize,
+        /// The offending byte.
+        opcode: u8,
+    },
+    /// A `PUSHn` whose immediate runs past the end of code.
+    TruncatedPush {
+        /// Byte offset of the push opcode.
+        pc: usize,
+        /// Immediate bytes the opcode requires.
+        want: usize,
+        /// Immediate bytes actually present.
+        have: usize,
+    },
+    /// A constant jump target that is not a valid `JUMPDEST`.
+    BadStaticJump {
+        /// Byte offset of the jump opcode.
+        pc: usize,
+        /// The constant destination.
+        target: u64,
+    },
+    /// A statically reachable instruction pops more than the stack holds.
+    StackUnderflow {
+        /// Byte offset of the instruction.
+        pc: usize,
+        /// Operands the instruction pops.
+        need: usize,
+        /// Stack depth on entry to the instruction.
+        have: usize,
+    },
+    /// A statically reachable path grows the stack past the ceiling.
+    StackOverflow {
+        /// Byte offset of the instruction.
+        pc: usize,
+        /// Depth the instruction would reach.
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::EmptyCode => f.write_str("empty bytecode"),
+            VerifyError::CodeTooLarge { size, max } => {
+                write!(f, "code size {size} exceeds limit {max}")
+            }
+            VerifyError::UnknownOpcode { pc, opcode } => {
+                write!(f, "unknown opcode 0x{opcode:02x} at pc {pc}")
+            }
+            VerifyError::TruncatedPush { pc, want, have } => {
+                write!(
+                    f,
+                    "truncated PUSH at pc {pc}: wants {want} bytes, has {have}"
+                )
+            }
+            VerifyError::BadStaticJump { pc, target } => {
+                write!(f, "jump at pc {pc} targets {target}, not a JUMPDEST")
+            }
+            VerifyError::StackUnderflow { pc, need, have } => {
+                write!(
+                    f,
+                    "instruction at pc {pc} pops {need} with stack depth {have}"
+                )
+            }
+            VerifyError::StackOverflow { pc, depth } => {
+                write!(f, "stack would reach depth {depth} at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// `(pops, pushes)` for a whitelisted opcode, `None` for anything the
+/// interpreter would trap on with `InvalidOpcode`.
+fn arity(opcode: u8) -> Option<(usize, usize)> {
+    Some(match opcode {
+        op::STOP | op::JUMPDEST | op::INVALID => (0, 0),
+        op::ADD
+        | op::MUL
+        | op::SUB
+        | op::DIV
+        | op::SDIV
+        | op::MOD
+        | op::SMOD
+        | op::SIGNEXTEND
+        | op::LT
+        | op::GT
+        | op::SLT
+        | op::SGT
+        | op::EQ
+        | op::AND
+        | op::OR
+        | op::XOR
+        | op::BYTE
+        | op::SHL
+        | op::SHR
+        | op::SAR
+        | op::SHA3 => (2, 1),
+        op::ISZERO | op::NOT | op::CALLDATALOAD | op::MLOAD | op::SLOAD => (1, 1),
+        op::CALLER | op::CALLDATASIZE | op::RETURNDATASIZE | op::PC => (0, 1),
+        op::CALLDATACOPY | op::RETURNDATACOPY => (3, 0),
+        op::POP | op::JUMP => (1, 0),
+        op::MSTORE | op::MSTORE8 | op::SSTORE | op::JUMPI | op::LOG0 | op::RETURN | op::REVERT => {
+            (2, 0)
+        }
+        0x60..=0x7f => (0, 1), // PUSH1..32
+        0x80..=0x8f => (
+            (opcode - op::DUP1) as usize + 1,
+            (opcode - op::DUP1) as usize + 2,
+        ),
+        0x90..=0x9f => (
+            (opcode - op::SWAP1) as usize + 2,
+            (opcode - op::SWAP1) as usize + 2,
+        ),
+        op::CALL => (7, 1),
+        op::SLOADB => (4, 1),
+        op::SSTOREB => (4, 0),
+        _ => return None,
+    })
+}
+
+fn is_terminal(opcode: u8) -> bool {
+    matches!(opcode, op::STOP | op::RETURN | op::REVERT | op::INVALID)
+}
+
+/// Verify an EVM blob for deployment. See the module docs for the rules.
+pub fn verify_bytecode(code: &[u8], config: &VerifyConfig) -> Result<(), VerifyError> {
+    if code.is_empty() {
+        return Err(VerifyError::EmptyCode);
+    }
+    if code.len() > config.max_code_size {
+        return Err(VerifyError::CodeTooLarge {
+            size: code.len(),
+            max: config.max_code_size,
+        });
+    }
+
+    let dests = jumpdests(code);
+
+    // Pass 1: linear scan on instruction boundaries — whitelist, truncated
+    // pushes, and the PUSH-feeds-JUMP static target check.
+    let mut pc = 0usize;
+    let mut pending_const: Option<u64> = None; // value of a PUSH ending at `pc`
+    while pc < code.len() {
+        let opcode = code[pc];
+        if arity(opcode).is_none() {
+            return Err(VerifyError::UnknownOpcode { pc, opcode });
+        }
+        if matches!(opcode, op::JUMP | op::JUMPI) {
+            if let Some(target) = pending_const {
+                if !dests.contains_key(&(target as usize)) {
+                    return Err(VerifyError::BadStaticJump { pc, target });
+                }
+            }
+        }
+        pending_const = None;
+        if (0x60..=0x7f).contains(&opcode) {
+            let n = (opcode - op::PUSH1) as usize + 1;
+            let have = code.len().saturating_sub(pc + 1);
+            if have < n {
+                return Err(VerifyError::TruncatedPush { pc, want: n, have });
+            }
+            let imm = &code[pc + 1..pc + 1 + n];
+            if n <= 8 {
+                let mut v = 0u64;
+                for b in imm {
+                    v = (v << 8) | *b as u64;
+                }
+                pending_const = Some(v);
+            }
+            pc += 1 + n;
+        } else {
+            pc += 1;
+        }
+    }
+
+    // Pass 2: abstract stack walk from entry. Exact depths along
+    // statically reachable paths; dynamic jumps end the path (runtime
+    // `checked_dest` takes over there).
+    let mut worklist: Vec<(usize, usize)> = vec![(0, 0)];
+    let mut visited: HashSet<(usize, usize)> = HashSet::new();
+    while let Some((start, depth0)) = worklist.pop() {
+        let mut pc = start;
+        let mut depth = depth0;
+        let mut pending_const: Option<u64> = None;
+        loop {
+            if pc >= code.len() {
+                break; // implicit STOP
+            }
+            if !visited.insert((pc, depth)) {
+                break;
+            }
+            if visited.len() > config.max_states {
+                return Ok(()); // budget exhausted: defer to runtime guards
+            }
+            let opcode = code[pc];
+            let (pops, pushes) = arity(opcode).expect("pass 1 whitelisted every opcode");
+            if depth < pops {
+                return Err(VerifyError::StackUnderflow {
+                    pc,
+                    need: pops,
+                    have: depth,
+                });
+            }
+            let next_depth = depth - pops + pushes;
+            if next_depth > config.max_stack {
+                return Err(VerifyError::StackOverflow {
+                    pc,
+                    depth: next_depth,
+                });
+            }
+            if is_terminal(opcode) {
+                break;
+            }
+            match opcode {
+                op::JUMP => {
+                    if let Some(t) = pending_const {
+                        worklist.push((t as usize, next_depth));
+                    }
+                    break;
+                }
+                op::JUMPI => {
+                    if let Some(t) = pending_const {
+                        worklist.push((t as usize, next_depth));
+                    }
+                    pending_const = None;
+                    depth = next_depth;
+                    pc += 1;
+                }
+                0x60..=0x7f => {
+                    let n = (opcode - op::PUSH1) as usize + 1;
+                    pending_const = if n <= 8 {
+                        let mut v = 0u64;
+                        for b in &code[pc + 1..pc + 1 + n] {
+                            v = (v << 8) | *b as u64;
+                        }
+                        Some(v)
+                    } else {
+                        None
+                    };
+                    depth = next_depth;
+                    pc += 1 + n;
+                }
+                _ => {
+                    pending_const = None;
+                    depth = next_depth;
+                    pc += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::opcode as op;
+
+    fn cfg() -> VerifyConfig {
+        VerifyConfig::default()
+    }
+
+    #[test]
+    fn empty_and_oversized_blobs_are_rejected() {
+        assert_eq!(verify_bytecode(&[], &cfg()), Err(VerifyError::EmptyCode));
+        let huge = vec![op::JUMPDEST; 24 * 1024 + 1];
+        assert!(matches!(
+            verify_bytecode(&huge, &cfg()),
+            Err(VerifyError::CodeTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        // 0xcc is outside the implemented subset.
+        assert_eq!(
+            verify_bytecode(&[op::STOP, 0xcc], &cfg()),
+            Err(VerifyError::UnknownOpcode {
+                pc: 1,
+                opcode: 0xcc
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_push_is_rejected() {
+        // PUSH4 with only two immediate bytes left.
+        assert_eq!(
+            verify_bytecode(&[0x63, 0x01, 0x02], &cfg()),
+            Err(VerifyError::TruncatedPush {
+                pc: 0,
+                want: 4,
+                have: 2
+            })
+        );
+    }
+
+    #[test]
+    fn constant_jump_must_land_on_a_jumpdest() {
+        // PUSH1 3; JUMP — pc 3 is STOP, not JUMPDEST.
+        let code = vec![0x60, 0x03, op::JUMP, op::STOP];
+        assert_eq!(
+            verify_bytecode(&code, &cfg()),
+            Err(VerifyError::BadStaticJump { pc: 2, target: 3 })
+        );
+        // Same shape but targeting a real JUMPDEST passes.
+        let code = vec![0x60, 0x03, op::JUMP, op::JUMPDEST, op::STOP];
+        assert_eq!(verify_bytecode(&code, &cfg()), Ok(()));
+    }
+
+    #[test]
+    fn jumpdest_inside_push_immediate_does_not_count() {
+        // PUSH1 0x5b pushes the byte 0x5b; jumping to its offset is bad.
+        let code = vec![0x60, op::JUMPDEST, 0x60, 0x01, op::JUMP, op::STOP];
+        assert_eq!(
+            verify_bytecode(&code, &cfg()),
+            Err(VerifyError::BadStaticJump { pc: 4, target: 1 })
+        );
+    }
+
+    #[test]
+    fn entry_underflow_is_rejected() {
+        assert_eq!(
+            verify_bytecode(&[op::ADD], &cfg()),
+            Err(VerifyError::StackUnderflow {
+                pc: 0,
+                need: 2,
+                have: 0
+            })
+        );
+        // DUP3 with only two pushed words.
+        let code = vec![0x60, 0x01, 0x60, 0x02, 0x82, op::STOP];
+        assert!(matches!(
+            verify_bytecode(&code, &cfg()),
+            Err(VerifyError::StackUnderflow { pc: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_via_unbalanced_loop_is_rejected() {
+        // JUMPDEST; PUSH1 0; PUSH1 0; JUMPI-back... make a strictly
+        // growing straight line instead: 1025 pushes.
+        let mut a = Asm::new();
+        for _ in 0..1025 {
+            a.push_u64(1);
+        }
+        a.op(op::STOP);
+        assert!(matches!(
+            verify_bytecode(&a.finish(), &cfg()),
+            Err(VerifyError::StackOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_return_jumps_are_left_to_runtime() {
+        // The callee-return idiom: caller pushes a return address, callee
+        // jumps to it dynamically (SWAP1; JUMP). Statically unknowable, so
+        // the verifier must accept it.
+        let mut a = Asm::new();
+        let f = a.label();
+        let ret = a.label();
+        a.push_label(ret).jump(f);
+        a.bind(ret).op(op::STOP);
+        a.bind(f).push_u64(1).op(op::POP).op(op::JUMP);
+        assert_eq!(verify_bytecode(&a.finish(), &cfg()), Ok(()));
+    }
+}

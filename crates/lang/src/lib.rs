@@ -114,3 +114,56 @@ pub fn evm_calldata(method: &str, input: &[u8]) -> Vec<u8> {
     data.extend_from_slice(input);
     data
 }
+
+/// CCL source for a cross-engine forwarder stub: a contract whose `main`
+/// relays its whole input to the contract at `callee` via the `call`
+/// builtin and returns the callee's output verbatim.
+///
+/// The callee's engine is irrelevant at the language level — the host's
+/// `call_contract` seam dispatches on the callee's registered [`VmKind`]
+/// (CONFIDE-VM input passes through as-is; an EVM callee receives
+/// [`evm_calldata`]`("main", input)`), so the same stub exercises
+/// CCL→CCL and CCL→EVM calls. The address is embedded byte-by-byte to
+/// stay within CCL's literal syntax.
+///
+/// [`VmKind`]: https://docs.rs/confide-core
+pub fn cross_call_source(callee: &[u8; 32]) -> String {
+    let mut src = String::from("export fn main() {\n    let target: bytes = alloc(32);\n");
+    for (i, b) in callee.iter().enumerate() {
+        src.push_str(&format!("    set_byte(target, {i}, {b});\n"));
+    }
+    src.push_str("    ret(call(target, input()));\n}\n");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_call_stub_compiles_on_both_backends() {
+        let src = cross_call_source(&[0x44; 32]);
+        assert!(build_vm(&src).is_ok(), "CONFIDE-VM backend rejected stub");
+        let evm = build_evm(&src).expect("EVM backend rejected stub");
+        // Whatever the EVM backend emits must clear the deploy-time
+        // verifier — the same gate Engine::deploy applies.
+        confide_evm::verify_bytecode(&evm, &confide_evm::VerifyConfig::default())
+            .expect("compiled stub failed deploy-time verification");
+    }
+
+    #[test]
+    fn compiled_evm_modules_pass_the_deploy_verifier() {
+        let src = r#"
+            export fn main() {
+                let k: bytes = concat(b"bal:", json_get(input(), b"to"));
+                let v: int = atoi(storage_get(k)) + json_get_int(input(), b"amount");
+                storage_set(k, itoa(v));
+                ret(itoa(v));
+            }
+            export fn peek() { ret(storage_get(concat(b"bal:", input()))); }
+        "#;
+        let evm = build_evm(src).unwrap();
+        confide_evm::verify_bytecode(&evm, &confide_evm::VerifyConfig::default())
+            .expect("codegen output failed deploy-time verification");
+    }
+}

@@ -4,9 +4,15 @@
 //! ```text
 //! confide-loadgen [--addr HOST:PORT | --endpoint HOST:PORT .. | --self-host]
 //!                 [--threads N] [--txs N] [--mode closed|open|both] [--public]
-//!                 [--window N] [--queue-depth N] [--exec-threads N]
-//!                 [--out PATH] [--recover-ms N] [--recovered-blocks N] [--probe]
+//!                 [--vm confide|evm] [--window N] [--queue-depth N]
+//!                 [--exec-threads N] [--out PATH] [--recover-ms N]
+//!                 [--recovered-blocks N] [--probe]
 //! ```
+//!
+//! `--vm evm` points the wire workload at the demo node's confidential
+//! **EVM** contract instead of the CONFIDE-VM one — the same logical
+//! ledger on the other machine, so wire numbers for both engines come
+//! from one binary.
 //!
 //! `--endpoint` may repeat: list every member of a consortium cluster
 //! and the workers spread their connections across them, follow typed
@@ -32,8 +38,8 @@
 
 use confide_net::demo::demo_node;
 use confide_net::loadgen::{
-    run, run_parallel_scaling, run_pipeline_bench, run_static_sched, to_json, ConsensusInfo,
-    LoadReport, LoadgenConfig, PipelineBenchConfig, PipelineReport, RecoveryInfo,
+    run, run_evm_bench, run_parallel_scaling, run_pipeline_bench, run_static_sched, to_json,
+    ConsensusInfo, LoadReport, LoadgenConfig, PipelineBenchConfig, PipelineReport, RecoveryInfo,
 };
 use confide_net::Conn;
 use confide_net::{NodeServer, ServerConfig};
@@ -42,8 +48,8 @@ use std::net::SocketAddr;
 fn usage() -> ! {
     eprintln!(
         "usage: confide-loadgen [--addr HOST:PORT | --endpoint HOST:PORT .. | --self-host] \
-         [--threads N] [--txs N] [--mode closed|open|both] [--public] [--window N] \
-         [--queue-depth N] [--exec-threads N] [--out PATH] [--recover-ms N] \
+         [--threads N] [--txs N] [--mode closed|open|both] [--public] [--vm confide|evm] \
+         [--window N] [--queue-depth N] [--exec-threads N] [--out PATH] [--recover-ms N] \
          [--recovered-blocks N] [--probe] [--pipeline] [--pipeline-idle N] \
          [--pipeline-active N] [--pipeline-txs N]"
     );
@@ -67,6 +73,7 @@ fn main() {
     let mut txs: usize = 250;
     let mut mode = String::from("closed");
     let mut confidential = true;
+    let mut vm = String::from("confide");
     let mut window: usize = 64;
     let mut queue_depth: usize = ServerConfig::default().queue_depth;
     let mut exec_threads: usize = ServerConfig::default().exec_threads;
@@ -84,6 +91,7 @@ fn main() {
             "--txs" => txs = parse("--txs", args.next()),
             "--mode" => mode = parse("--mode", args.next()),
             "--public" => confidential = false,
+            "--vm" => vm = parse("--vm", args.next()),
             "--window" => window = parse("--window", args.next()),
             "--queue-depth" => queue_depth = parse("--queue-depth", args.next()),
             "--exec-threads" => exec_threads = parse("--exec-threads", args.next()),
@@ -117,6 +125,19 @@ fn main() {
         eprintln!("confide-loadgen: --mode must be closed, open or both");
         usage();
     }
+    if !matches!(vm.as_str(), "confide" | "evm") {
+        eprintln!("confide-loadgen: --vm must be confide or evm");
+        usage();
+    }
+    if vm == "evm" && !confidential {
+        eprintln!("confide-loadgen: the demo EVM contract is confidential; --vm evm needs sealing");
+        usage();
+    }
+    let contract = if vm == "evm" {
+        confide_net::demo::DEMO_EVM_CONTRACT
+    } else {
+        confide_net::demo::DEMO_CONTRACT
+    };
     if !endpoints.is_empty() && self_host {
         eprintln!("confide-loadgen: --addr/--endpoint and --self-host are mutually exclusive");
         usage();
@@ -182,10 +203,11 @@ fn main() {
             closed: *m == "closed",
             confidential,
             window,
+            contract,
             ..LoadgenConfig::default()
         };
         eprintln!(
-            "confide-loadgen: {} loop, {} thread(s) x {} tx, {} ...",
+            "confide-loadgen: {} loop, {} thread(s) x {} tx, {} ({} engine) ...",
             m,
             threads,
             txs,
@@ -193,7 +215,8 @@ fn main() {
                 "confidential"
             } else {
                 "public"
-            }
+            },
+            vm
         );
         match run(&cfg) {
             Ok(report) => {
@@ -263,6 +286,31 @@ fn main() {
         std::process::exit(1);
     }
 
+    // EVM-parity datapoints (in-process, deterministic): the Figure 10
+    // architecture gap, mixed-block scheduling soundness, and the
+    // CCL→EVM cross-engine call check.
+    let evm = match run_evm_bench(7) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("confide-loadgen: evm bench run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "confide-loadgen: evm: {:.0} model tx/s vs confide-vm {:.0} ({:.2}x), \
+         mixed_occ_fallback {}, mixed_roots_match {}, cross_call_ok {}",
+        evm.evm_model_tps,
+        evm.vm_model_tps,
+        evm.vm_vs_evm_speedup,
+        evm.mixed_occ_fallback,
+        evm.mixed_roots_match,
+        evm.cross_call_ok
+    );
+    if !evm.mixed_occ_fallback || !evm.mixed_roots_match || !evm.cross_call_ok {
+        eprintln!("confide-loadgen: FAIL — EVM parity checks failed");
+        std::process::exit(1);
+    }
+
     // The pipelined-reactor bench: fully in-process (it spawns its own
     // reactor node), opt-in because the idle fleet alone costs thousands
     // of descriptors.
@@ -318,6 +366,7 @@ fn main() {
         &reports,
         &scaling,
         &static_sched,
+        &evm,
         &server_cfg,
         &recovery,
         &consensus,

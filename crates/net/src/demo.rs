@@ -16,6 +16,17 @@ pub const DEMO_CONTRACT: [u8; 32] = [0x42; 32];
 /// both engines (and both block overlays) in one block.
 pub const DEMO_PUBLIC_CONTRACT: [u8; 32] = [0x43; 32];
 
+/// Address of the confidential **EVM** demo contract: the same ledger
+/// compiled by `confide_lang`'s EVM backend, so wire traffic can target
+/// either engine and mixed VM+EVM blocks form on every demo node.
+pub const DEMO_EVM_CONTRACT: [u8; 32] = [0x44; 32];
+
+/// Address of the confidential cross-engine forwarder: a CONFIDE-VM
+/// contract whose `main` relays its input to [`DEMO_EVM_CONTRACT`]
+/// through the SDM's `call_contract` seam — a CCL→EVM call inside one
+/// enclave transaction.
+pub const DEMO_CROSS_CONTRACT: [u8; 32] = [0x45; 32];
+
 /// The demo CCL contract: a per-account balance ledger (the same shape as
 /// the core test contract, so wire-level numbers are comparable with the
 /// in-process ones).
@@ -58,6 +69,13 @@ pub fn demo_node_with(
         .expect("demo contract deploys");
     node.deploy(DEMO_PUBLIC_CONTRACT, &code, VmKind::ConfideVm, false)
         .expect("public demo contract deploys");
+    let evm_code = confide_lang::build_evm(DEMO_CCL).expect("EVM demo contract compiles");
+    node.deploy(DEMO_EVM_CONTRACT, &evm_code, VmKind::Evm, true)
+        .expect("EVM demo contract deploys");
+    let cross_src = confide_lang::cross_call_source(&DEMO_EVM_CONTRACT);
+    let cross_code = confide_lang::build_vm(&cross_src).expect("forwarder compiles");
+    node.deploy(DEMO_CROSS_CONTRACT, &cross_code, VmKind::ConfideVm, true)
+        .expect("cross-engine forwarder deploys");
     node
 }
 
@@ -106,5 +124,7 @@ mod tests {
         assert_ne!(node.pk_tx(), [0u8; 32]);
         assert!(node.confidential_engine.has_contract(&DEMO_CONTRACT));
         assert!(node.public_engine.has_contract(&DEMO_PUBLIC_CONTRACT));
+        assert!(node.confidential_engine.has_contract(&DEMO_EVM_CONTRACT));
+        assert!(node.confidential_engine.has_contract(&DEMO_CROSS_CONTRACT));
     }
 }

@@ -509,11 +509,14 @@ pub struct ScalingReport {
 
 /// Seal `senders × txs_per_sender` confidential transfers, each sender
 /// paying into its *own* user key — cross-sender conflict-free, while a
-/// sender's own transactions chain through its nonce key.
-fn scaling_txs(
+/// sender's own transactions chain through its nonce key. `pick` chooses
+/// the target contract per sender, so the same generator produces
+/// single-engine and mixed VM+EVM blocks.
+fn scaling_txs_for(
     pk_tx: &[u8; 32],
     senders: usize,
     txs_per_sender: usize,
+    pick: impl Fn(usize) -> [u8; 32],
 ) -> Result<Vec<WireTx>, NetError> {
     let mut out = Vec::with_capacity(senders * txs_per_sender);
     for s in 0..senders {
@@ -526,7 +529,7 @@ fn scaling_txs(
         let mut rng = HmacDrbg::from_u64(s as u64 + 91_000);
         for i in 0..txs_per_sender {
             let args = format!(r#"{{"to":"scal{s}","amount":{}}}"#, i + 1);
-            let signed = client.build_raw(crate::demo::DEMO_CONTRACT, "main", args.as_bytes());
+            let signed = client.build_raw(pick(s), "main", args.as_bytes());
             let (wire, _, _) = seal_signed_tx(&signed, &root_key, pk_tx, &mut rng)
                 .map_err(|_| NetError::Crypto)?;
             out.push(wire);
@@ -535,22 +538,32 @@ fn scaling_txs(
     Ok(out)
 }
 
-/// Run one warm-up block so the contract's code cache is hot before the
+/// [`scaling_txs_for`] with every sender targeting the same `contract`.
+fn scaling_txs(
+    pk_tx: &[u8; 32],
+    contract: [u8; 32],
+    senders: usize,
+    txs_per_sender: usize,
+) -> Result<Vec<WireTx>, NetError> {
+    scaling_txs_for(pk_tx, senders, txs_per_sender, |_| contract)
+}
+
+/// Run one warm-up block so `contract`'s code cache is hot before the
 /// measured block — otherwise the single decrypt+decode miss is charged
 /// to whichever transaction runs first and skews the makespan.
-fn warm_up(node: &mut ConfideNode) -> Result<(), NetError> {
+fn warm_up_on(node: &mut ConfideNode, contract: [u8; 32]) -> Result<(), NetError> {
     let pk_tx = node.pk_tx();
     // A dedicated identity: the warm-up must not consume a nonce of any
-    // sender appearing in the measured block.
-    let identity = [0x5A; 32];
-    let root_key = [0x5B; 32];
+    // sender appearing in the measured block. Derived from the contract
+    // address, so warming several contracts on one node never reuses a
+    // nonce.
+    let mut identity = [0x5A; 32];
+    identity[0] ^= contract[0];
+    let mut root_key = [0x5B; 32];
+    root_key[0] ^= contract[0];
     let mut client = ConfideClient::new(identity, root_key, 424_242);
-    let mut rng = HmacDrbg::from_u64(424_242);
-    let signed = client.build_raw(
-        crate::demo::DEMO_CONTRACT,
-        "main",
-        br#"{"to":"warm","amount":1}"#,
-    );
+    let mut rng = HmacDrbg::from_u64(424_242 ^ contract[0] as u64);
+    let signed = client.build_raw(contract, "main", br#"{"to":"warm","amount":1}"#);
     let (wire, _, _) =
         seal_signed_tx(&signed, &root_key, &pk_tx, &mut rng).map_err(|_| NetError::Crypto)?;
     let res = node
@@ -587,8 +600,13 @@ pub fn run_parallel_scaling(seed: u64) -> Result<Vec<ScalingReport>, NetError> {
             // nonces, so re-running the same transactions needs a replica
             // starting from the identical state.
             let mut node = crate::demo::demo_node(seed);
-            warm_up(&mut node)?;
-            let txs = scaling_txs(&node.pk_tx(), senders, per_sender)?;
+            warm_up_on(&mut node, crate::demo::DEMO_CONTRACT)?;
+            let txs = scaling_txs(
+                &node.pk_tx(),
+                crate::demo::DEMO_CONTRACT,
+                senders,
+                per_sender,
+            )?;
             let res = node
                 .execute_block_parallel(&txs, threads)
                 .map_err(|e| NetError::Rejected(e.to_string()))?;
@@ -666,8 +684,8 @@ pub fn run_static_sched(seed: u64) -> Result<StaticSchedReport, NetError> {
 
     let run = |mode: confide_core::SchedMode| -> Result<_, NetError> {
         let mut node = crate::demo::demo_node(seed);
-        warm_up(&mut node)?;
-        let txs = scaling_txs(&node.pk_tx(), senders, 1)?;
+        warm_up_on(&mut node, crate::demo::DEMO_CONTRACT)?;
+        let txs = scaling_txs(&node.pk_tx(), crate::demo::DEMO_CONTRACT, senders, 1)?;
         let res = node
             .execute_block_sched(&txs, threads, mode)
             .map_err(|e| NetError::Rejected(e.to_string()))?;
@@ -707,6 +725,148 @@ pub fn run_static_sched(seed: u64) -> Result<StaticSchedReport, NetError> {
         modeled_speedup: occ_modeled_ms / static_modeled_ms,
         roots_match: occ.block.header.state_root == stat.block.header.state_root,
         static_schedule: stat.report.static_schedule,
+    })
+}
+
+/// The cross-engine (EVM-parity) datapoint: the same logical ledger
+/// block priced on both machines (Figure 10's architecture gap), the
+/// mixed VM+EVM block's scheduler behaviour and 1-vs-4-thread root
+/// equality, and a CCL→EVM confidential cross-engine call whose sealed
+/// receipt must open under `k_tx`.
+#[derive(Debug, Clone, Default)]
+pub struct EvmReport {
+    /// Transactions in each single-engine measured block.
+    pub txs: usize,
+    /// Modeled committed throughput of the EVM block (1 thread).
+    pub evm_model_tps: f64,
+    /// Modeled committed throughput of the CONFIDE-VM block (1 thread).
+    pub vm_model_tps: f64,
+    /// `vm_model_tps / evm_model_tps` — how much faster the Wasm-derived
+    /// machine runs the identical CCL program (paper Figure 10).
+    pub vm_vs_evm_speedup: f64,
+    /// Whether the mixed VM+EVM block under [`SchedMode::Static`] took
+    /// the whole-block OCC fallback (EVM transactions carry no static
+    /// access summary, so a static schedule would be unsound).
+    ///
+    /// [`SchedMode::Static`]: confide_core::SchedMode::Static
+    pub mixed_occ_fallback: bool,
+    /// Whether the mixed block sealed byte-identical state roots at
+    /// 1 and 4 execution threads.
+    pub mixed_roots_match: bool,
+    /// Whether the CCL→EVM cross-engine calls executed, chained state
+    /// through the EVM callee, and their sealed receipts opened under
+    /// `k_tx` with the expected ledger results.
+    pub cross_call_ok: bool,
+}
+
+/// Measure the EVM-parity datapoints on in-process nodes. Deterministic:
+/// seeded nodes, virtual-cycle makespans.
+pub fn run_evm_bench(seed: u64) -> Result<EvmReport, NetError> {
+    let senders = 8usize;
+    let model = CostModel::default();
+
+    // (1) Figure 10: the same CCL ledger block on each engine, 1 thread.
+    let measure = |contract: [u8; 32]| -> Result<f64, NetError> {
+        let mut node = crate::demo::demo_node(seed);
+        warm_up_on(&mut node, contract)?;
+        let txs = scaling_txs(&node.pk_tx(), contract, senders, 1)?;
+        let res = node
+            .execute_block_parallel(&txs, 1)
+            .map_err(|e| NetError::Rejected(e.to_string()))?;
+        if res.accepted() != txs.len() {
+            return Err(NetError::Rejected(format!(
+                "evm bench block rejected {} of {} txs",
+                txs.len() - res.accepted(),
+                txs.len()
+            )));
+        }
+        let ms = model.cycles_to_ms(res.report.makespan_cycles).max(1e-9);
+        Ok(txs.len() as f64 / (ms / 1000.0))
+    };
+    let evm_model_tps = measure(crate::demo::DEMO_EVM_CONTRACT)?;
+    let vm_model_tps = measure(crate::demo::DEMO_CONTRACT)?;
+
+    // (2) Mixed VM+EVM block under Static mode: must fall back to
+    // whole-block OCC and stay thread-count-invariant.
+    let mixed = |threads: usize| -> Result<_, NetError> {
+        let mut node = crate::demo::demo_node(seed);
+        warm_up_on(&mut node, crate::demo::DEMO_CONTRACT)?;
+        warm_up_on(&mut node, crate::demo::DEMO_EVM_CONTRACT)?;
+        let txs = scaling_txs_for(&node.pk_tx(), senders, 1, |s| {
+            if s % 2 == 0 {
+                crate::demo::DEMO_CONTRACT
+            } else {
+                crate::demo::DEMO_EVM_CONTRACT
+            }
+        })?;
+        let res = node
+            .execute_block_sched(&txs, threads, confide_core::SchedMode::Static)
+            .map_err(|e| NetError::Rejected(e.to_string()))?;
+        if res.accepted() != txs.len() {
+            return Err(NetError::Rejected(format!(
+                "mixed block rejected {} of {} txs",
+                txs.len() - res.accepted(),
+                txs.len()
+            )));
+        }
+        Ok(res)
+    };
+    let one = mixed(1)?;
+    let four = mixed(4)?;
+    let mixed_occ_fallback = !one.report.static_schedule
+        && !four.report.static_schedule
+        && one.report.spec_runs == senders
+        && four.report.spec_runs == senders;
+    let mixed_roots_match = one.block.header.state_root == four.block.header.state_root;
+
+    // (3) CCL→EVM cross-engine call over the forwarder contract: two
+    // chained transfers from one client, so the second receipt proves the
+    // EVM callee's storage carried state across the call boundary.
+    let cross_call_ok = {
+        let mut node = crate::demo::demo_node(seed);
+        let pk_tx = node.pk_tx();
+        let identity = [0x6A; 32];
+        let root_key = [0x6B; 32];
+        let mut client = ConfideClient::new(identity, root_key, 636_363);
+        let mut rng = HmacDrbg::from_u64(636_363);
+        let mut wires = Vec::new();
+        let mut opens = Vec::new();
+        for _ in 0..2 {
+            let signed = client.build_raw(
+                crate::demo::DEMO_CROSS_CONTRACT,
+                "main",
+                br#"{"to":"xeng","amount":7}"#,
+            );
+            let (wire, tx_hash, k_tx) = seal_signed_tx(&signed, &root_key, &pk_tx, &mut rng)
+                .map_err(|_| NetError::Crypto)?;
+            wires.push(wire);
+            opens.push((tx_hash, k_tx));
+        }
+        let res = node
+            .execute_block_parallel(&wires, 2)
+            .map_err(|e| NetError::Rejected(e.to_string()))?;
+        res.accepted() == 2
+            && res
+                .outcomes
+                .iter()
+                .zip(&opens)
+                .zip([b"7".as_slice(), b"14".as_slice()])
+                .all(|((outcome, (tx_hash, k_tx)), want)| match outcome {
+                    Ok((_, Some(sealed))) => Receipt::open(sealed, k_tx, tx_hash)
+                        .map(|r| r.success && r.return_data == want)
+                        .unwrap_or(false),
+                    _ => false,
+                })
+    };
+
+    Ok(EvmReport {
+        txs: senders,
+        evm_model_tps,
+        vm_model_tps,
+        vm_vs_evm_speedup: vm_model_tps / evm_model_tps.max(1e-9),
+        mixed_occ_fallback,
+        mixed_roots_match,
+        cross_call_ok,
     })
 }
 
@@ -933,7 +1093,7 @@ pub fn run_pipeline_bench(cfg: &PipelineBenchConfig) -> Result<PipelineReport, N
     // shape the wire path produces.
     let model_tps = {
         let mut twin = crate::demo::demo_node(7);
-        warm_up(&mut twin)?;
+        warm_up_on(&mut twin, crate::demo::DEMO_CONTRACT)?;
         let mut flat: Vec<WireTx> = Vec::with_capacity(active_n * txs_per_conn);
         for round in 0..txs_per_conn {
             for txs in &prepared {
@@ -1185,10 +1345,12 @@ impl ConsensusInfo {
 
 /// Render reports as the `BENCH_net.json` document (hand-rolled JSON —
 /// the build stays zero-dependency).
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     reports: &[LoadReport],
     scaling: &[ScalingReport],
     static_sched: &StaticSchedReport,
+    evm: &EvmReport,
     server_cfg: &crate::server::ServerConfig,
     recovery: &RecoveryInfo,
     consensus: &ConsensusInfo,
@@ -1196,7 +1358,7 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 5,\n");
+    out.push_str("  \"schema_version\": 6,\n");
     out.push_str("  \"bench\": \"net_loopback\",\n");
     out.push_str(&format!(
         "  \"machine\": {{ \"cores\": {} }},\n",
@@ -1271,6 +1433,18 @@ pub fn to_json(
         fmt_f64(static_sched.modeled_speedup),
         static_sched.roots_match,
         static_sched.static_schedule
+    ));
+    out.push_str(&format!(
+        "  \"evm\": {{ \"txs\": {}, \"evm_model_tps\": {}, \"vm_model_tps\": {}, \
+         \"vm_vs_evm_speedup\": {}, \"mixed_occ_fallback\": {}, \"mixed_roots_match\": {}, \
+         \"cross_call_ok\": {} }},\n",
+        evm.txs,
+        fmt_f64(evm.evm_model_tps),
+        fmt_f64(evm.vm_model_tps),
+        fmt_f64(evm.vm_vs_evm_speedup),
+        evm.mixed_occ_fallback,
+        evm.mixed_roots_match,
+        evm.cross_call_ok
     ));
     // The pipelined-reactor section. `ran: false` (all-zero counters)
     // marks a run that skipped the bench — the schema keys are always
@@ -1430,10 +1604,20 @@ mod tests {
             durable_height: 26,
             ..PipelineReport::default()
         };
+        let evm = EvmReport {
+            txs: 8,
+            evm_model_tps: 4_000.0,
+            vm_model_tps: 16_000.0,
+            vm_vs_evm_speedup: 4.0,
+            mixed_occ_fallback: true,
+            mixed_roots_match: true,
+            cross_call_ok: true,
+        };
         let json = to_json(
             &[report],
             &[scaling],
             &static_sched,
+            &evm,
             &crate::server::ServerConfig::default(),
             &RecoveryInfo {
                 recover_ms: 12,
@@ -1451,7 +1635,7 @@ mod tests {
             Some(&pipeline),
         );
         for key in [
-            "\"schema_version\": 5",
+            "\"schema_version\": 6",
             "\"pipeline\"",
             "\"ran\": true",
             "\"idle_conns_target\"",
@@ -1502,6 +1686,13 @@ mod tests {
             "\"modeled_speedup\"",
             "\"roots_match\"",
             "\"static_schedule\"",
+            "\"evm\"",
+            "\"evm_model_tps\"",
+            "\"vm_model_tps\"",
+            "\"vm_vs_evm_speedup\"",
+            "\"mixed_occ_fallback\"",
+            "\"mixed_roots_match\"",
+            "\"cross_call_ok\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -1524,6 +1715,33 @@ mod tests {
         assert_eq!(r.occ_spec_cycles, r2.occ_spec_cycles);
         assert_eq!(r.plan_cycles, r2.plan_cycles);
         assert!((r.modeled_speedup - r2.modeled_speedup).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn evm_bench_confirms_parity_and_the_architecture_gap() {
+        let r = run_evm_bench(7).expect("evm bench run");
+        assert!(
+            r.mixed_occ_fallback,
+            "mixed VM+EVM block must take the whole-block OCC fallback: {r:?}"
+        );
+        assert!(
+            r.mixed_roots_match,
+            "mixed block roots must be thread-count-invariant: {r:?}"
+        );
+        assert!(
+            r.cross_call_ok,
+            "CCL->EVM cross-engine call must verify end-to-end: {r:?}"
+        );
+        // Figure 10's direction: 256-bit words and word-granular memory
+        // make the EVM strictly slower on the identical CCL program.
+        assert!(
+            r.vm_vs_evm_speedup > 1.0,
+            "CONFIDE-VM must out-price the EVM: {r:?}"
+        );
+        // Deterministic: a rerun reproduces the modeled numbers exactly.
+        let r2 = run_evm_bench(7).expect("evm bench rerun");
+        assert!((r.evm_model_tps - r2.evm_model_tps).abs() < f64::EPSILON);
+        assert!((r.vm_model_tps - r2.vm_model_tps).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use confide_core::receipt::Receipt;
 use confide_core::seal_signed_tx;
 use confide_core::tx::WireTx;
 use confide_crypto::HmacDrbg;
-use confide_net::demo::{demo_args, demo_node, DEMO_CONTRACT, DEMO_PUBLIC_CONTRACT};
+use confide_net::demo::{
+    demo_args, demo_node, DEMO_CONTRACT, DEMO_CROSS_CONTRACT, DEMO_EVM_CONTRACT,
+    DEMO_PUBLIC_CONTRACT,
+};
 use confide_net::loadgen::{run, LoadgenConfig};
 use confide_net::{ClientConfig, Conn, ErrorKind, Message, NetError, NodeServer, ServerConfig};
 use confide_tee::platform::TeePlatform;
@@ -92,6 +95,87 @@ fn confidential_round_trip_over_the_wire() {
             .expect("tx commits");
         assert!(receipt.success);
         assert_eq!(receipt.return_data, expect, "iteration {n}");
+    }
+}
+
+#[test]
+fn evm_and_cross_engine_calls_commit_over_the_wire() {
+    // The EVM engine end to end through the pipelined server: direct
+    // invocations of the confidential EVM demo ledger, then CCL→EVM
+    // cross-engine calls through the forwarder contract — both sealed
+    // under the T-Protocol, receipts decrypting under each tx's `k_tx`
+    // (which `call_confidential` performs before returning).
+    let server = spawn_server(17, ServerConfig::default());
+    let client = ClientConfig::new()
+        .endpoint(server.addr())
+        .identity([11u8; 32], [12u8; 32], 5)
+        .connect()
+        .expect("connect");
+
+    // Direct EVM invocations: amounts 1, 2 → running balances 1, 3.
+    for (n, expect) in [(0usize, b"1".as_slice()), (1, b"3")] {
+        let receipt = client
+            .call_confidential(DEMO_EVM_CONTRACT, "main", &demo_args(3, n))
+            .expect("EVM tx commits");
+        assert!(receipt.success, "EVM iteration {n}");
+        assert_eq!(receipt.return_data, expect, "EVM iteration {n}");
+    }
+
+    // Cross-engine calls: the CONFIDE-VM forwarder relays the same
+    // arguments to the EVM contract inside one enclave transaction, so
+    // the balances continue from the state the direct calls left —
+    // proof the call crossed engines into the *same* callee state.
+    for (n, expect) in [(2usize, b"6".as_slice()), (3, b"10")] {
+        let receipt = client
+            .call_confidential(DEMO_CROSS_CONTRACT, "main", &demo_args(3, n))
+            .expect("cross-engine tx commits");
+        assert!(receipt.success, "cross iteration {n}");
+        assert_eq!(receipt.return_data, expect, "cross iteration {n}");
+    }
+}
+
+#[test]
+fn an_evm_contract_deploys_over_the_wire_and_serves_sealed_calls() {
+    // The README quickstart path: deploy EVM bytecode through a live node
+    // via a registry transaction to address zero — sealed under the
+    // T-Protocol like any confidential tx. Payload is
+    // `[vm_kind][confidential] ++ code` (vm_kind 1 = EVM); the receipt's
+    // return data is the deterministic 32-byte contract address.
+    let server = spawn_server(23, ServerConfig::default());
+    let client = ClientConfig::new()
+        .endpoint(server.addr())
+        .identity([21u8; 32], [22u8; 32], 9)
+        .connect()
+        .expect("connect");
+
+    let code = confide_lang::build_evm(confide_net::demo::DEMO_CCL).expect("demo EVM compiles");
+    let mut payload = vec![1u8, 1u8]; // [vm=Evm][confidential]
+    payload.extend_from_slice(&code);
+    let receipt = client
+        .call_confidential([0u8; 32], "deploy", &payload)
+        .expect("deploy commits");
+    assert!(receipt.success, "deploy failed: {receipt:?}");
+    let address: [u8; 32] = receipt
+        .return_data
+        .as_slice()
+        .try_into()
+        .expect("deploy returns a 32-byte address");
+
+    // Garbage bytecode never registers: the deploy-time verifier refuses
+    // it and the submission comes back as a typed reject.
+    let mut bad = vec![1u8, 1u8];
+    bad.extend_from_slice(&[0xfe, 0x60]); // INVALID opcode + truncated PUSH1
+    client
+        .call_confidential([0u8; 32], "deploy", &bad)
+        .expect_err("garbage EVM bytecode must be refused at deploy");
+
+    // The fresh contract serves sealed calls exactly like the genesis one.
+    for (n, expect) in [(0usize, b"1".as_slice()), (1, b"3")] {
+        let receipt = client
+            .call_confidential(address, "main", &demo_args(6, n))
+            .expect("EVM tx commits");
+        assert!(receipt.success, "post-deploy iteration {n}");
+        assert_eq!(receipt.return_data, expect, "post-deploy iteration {n}");
     }
 }
 
@@ -241,6 +325,9 @@ struct StreamTx {
 /// Build a 200-tx mixed stream: 10 senders × 20 txs, two thirds
 /// confidential (sealed to `pk_tx`) and one third public, paying into a
 /// small shared set of users so real cross-sender conflict groups form.
+/// A third of the confidential senders target the **EVM** demo contract,
+/// so every block this stream seals is a mixed VM+EVM block — the shape
+/// whose determinism the static scheduler's OCC fallback must preserve.
 fn mixed_stream(pk_tx: &[u8; 32]) -> Vec<StreamTx> {
     let mut stream = Vec::with_capacity(200);
     for s in 0..10usize {
@@ -252,7 +339,12 @@ fn mixed_stream(pk_tx: &[u8; 32]) -> Vec<StreamTx> {
         for n in 0..20usize {
             let args = format!(r#"{{"to":"mix{}","amount":{}}}"#, (s + n) % 7, n % 97 + 1);
             if confidential {
-                let signed = client.build_raw(DEMO_CONTRACT, "main", args.as_bytes());
+                let contract = if s % 3 == 1 {
+                    DEMO_EVM_CONTRACT
+                } else {
+                    DEMO_CONTRACT
+                };
+                let signed = client.build_raw(contract, "main", args.as_bytes());
                 let (wire, tx_hash, k_tx) =
                     seal_signed_tx(&signed, &root, pk_tx, &mut rng).expect("seal");
                 stream.push(StreamTx {

@@ -34,6 +34,13 @@ echo "== parallel-execution determinism gate =="
 cargo test -q -p confide-core parallel_execution_is_serial_equivalent_on_randomized_workloads
 cargo test -q -p confide-net --test e2e four_thread_node_matches_one_thread_node_bit_for_bit
 
+echo "== mixed-engine (VM+EVM) determinism gate =="
+# A block containing EVM transactions must take the whole-block OCC
+# fallback under static scheduling and stay root-identical at every
+# thread count — in-process and over the wire.
+cargo test -q -p confide-core mixed_vm_evm_block_takes_occ_fallback_with_identical_roots
+cargo test -q -p confide-net --test e2e evm_and_cross_engine_calls_commit_over_the_wire
+
 echo "== cclc --lint over examples/ccl =="
 CCLC=(cargo run -q -p confide-lang --bin cclc --)
 SCHEMA=examples/ccl/bank.ccle
@@ -109,6 +116,18 @@ echo "ok: 100-tx burst committed and all receipts decrypted"
 
 kill "$NODE_PID" 2>/dev/null || true
 trap - EXIT
+
+echo "== loadgen EVM smoke: wire workload on the EVM engine =="
+# The same wire burst pointed at the demo node's confidential EVM
+# contract (fresh self-hosted node: the worker identities are
+# deterministic, so reusing the node above would replay nonces). The
+# loadgen exits non-zero unless every receipt decrypts AND the emitted
+# `evm` section's parity checks pass (OCC fallback, root match,
+# cross-engine call).
+./target/release/confide-loadgen --self-host \
+    --threads 2 --txs 25 --mode closed --vm evm \
+    --out "$SMOKE_OUT/BENCH_smoke_evm.json"
+echo "ok: 50-tx EVM burst committed and all receipts decrypted"
 
 echo "== chaos smoke: crash-after, WAL replay, sealed-key unseal =="
 # Crash a durable node right after block 3 is fsync'd (worst-case window:
@@ -261,8 +280,9 @@ rm -rf "$CLUSTER_DIR"
 echo "== BENCH_net.json schema check =="
 # Guard against schema drift in both the freshly emitted smoke report and
 # the checked-in results/BENCH_net.json.
-for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
-    for key in '"schema_version": 5' '"bench"' '"machine"' '"cores"' \
+for f in "$SMOKE_OUT/BENCH_smoke.json" "$SMOKE_OUT/BENCH_smoke_evm.json" \
+         results/BENCH_net.json; do
+    for key in '"schema_version": 6' '"bench"' '"machine"' '"cores"' \
                '"workloads"' '"mode"' '"txs_submitted"' '"txs_accepted"' \
                '"busy_rejects"' '"busy_reject_rate"' '"receipts_verified"' \
                '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"' \
@@ -275,7 +295,9 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" results/BENCH_net.json; do
                '"sync_blocks"' '"redirects"' '"pipeline"' '"idle_conns"' \
                '"active_conns"' '"wire_tps"' '"model_ratio"' \
                '"stage_occupancy"' '"group_commit"' '"blocks_per_fsync"' \
-               '"durable_height"'; do
+               '"durable_height"' '"evm"' '"evm_model_tps"' \
+               '"vm_model_tps"' '"vm_vs_evm_speedup"' '"mixed_occ_fallback"' \
+               '"mixed_roots_match"' '"cross_call_ok"'; do
         if ! grep -q "$key" "$f"; then
             echo "FAIL: $f missing schema key $key" >&2
             exit 1
@@ -302,6 +324,11 @@ if p["accepted"] < 1:
 ratio = p["model_ratio"]
 if not (0 < ratio <= 2.0):
     sys.exit(f"FAIL: {path}: pipeline model_ratio {ratio} outside (0, 2.0]")
+e = doc["evm"]
+if not (e["mixed_occ_fallback"] and e["mixed_roots_match"] and e["cross_call_ok"]):
+    sys.exit(f"FAIL: {path}: EVM parity checks failed: {e}")
+if not e["vm_vs_evm_speedup"] > 1.0:
+    sys.exit(f"FAIL: {path}: EVM did not price slower than CONFIDE-VM: {e}")
 print(f"ok: {path}: model_ratio {ratio} <= 2.0 "
       f"({p['idle_conns']} idle + {p['active_conns']} active conns, "
       f"{p['group_commit']['blocks_per_fsync']} blocks/fsync)")

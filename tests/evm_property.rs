@@ -1,0 +1,239 @@
+//! Property tests for the EVM word type's *signed* arithmetic
+//! (`crates/evm/src/u256.rs`): SDIV / SMOD / SIGNEXTEND and the shift
+//! family, checked against independent reference models.
+//!
+//! Three oracles, all seeded-DRBG deterministic (no `proptest`):
+//!
+//! 1. **i128 lift** — operands that fit in `i128` must divide exactly as
+//!    `i128` does (Rust's `/` and `%` share the EVM's trunc-toward-zero
+//!    and sign-of-dividend conventions).
+//! 2. **Euclidean identity at full width** — for arbitrary 256-bit
+//!    operands, `a == q·b + r` (wrapping), `|r| < |b|`, and `r` is zero
+//!    or carries the dividend's sign. This is implementation-independent:
+//!    it holds for *the* correct SDIV/SMOD and fails for any divergence.
+//! 3. **Byte-array model for SIGNEXTEND** — sign-extending from byte `b`
+//!    must equal rewriting the big-endian bytes above position `31 - b`
+//!    with the sign fill, for every `b` in `0..=32` and beyond.
+//!
+//! The yellow-paper edge cases called out by the issue — `MIN / -1`,
+//! `MIN % -1`, division by zero, negative modulus, shift-by-≥256 — get
+//! explicit cases alongside the random sweeps.
+
+#![forbid(unsafe_code)]
+
+use confide::crypto::HmacDrbg;
+use confide::evm::U256;
+use std::cmp::Ordering;
+
+const CASES: u64 = 2048;
+
+/// The most negative i256: only the sign bit set.
+const MIN_I256: U256 = U256([0, 0, 0, 0x8000_0000_0000_0000]);
+/// `-1` as an i256.
+const NEG_ONE: U256 = U256::MAX;
+
+/// Lift an i128 into two's-complement 256-bit.
+fn from_i128(v: i128) -> U256 {
+    if v >= 0 {
+        U256::from_u128(v as u128)
+    } else {
+        U256::from_u128(v.unsigned_abs()).neg()
+    }
+}
+
+fn is_neg(v: &U256) -> bool {
+    v.bit(255)
+}
+
+/// Two's-complement magnitude (`|MIN|` stays `MIN`, which as an
+/// *unsigned* word is exactly 2^255 — what magnitude comparison needs).
+fn abs(v: &U256) -> U256 {
+    if is_neg(v) {
+        v.neg()
+    } else {
+        *v
+    }
+}
+
+fn gen_u256(rng: &mut HmacDrbg) -> U256 {
+    U256::from_be_bytes(&rng.gen32())
+}
+
+/// Random i128 with widely varying magnitude: a full-width draw shifted
+/// right by a random amount, so small, medium and extreme values (and
+/// both signs) all appear in the corpus.
+fn gen_i128(rng: &mut HmacDrbg) -> i128 {
+    let mut bytes = [0u8; 16];
+    rng.fill(&mut bytes);
+    let v = i128::from_le_bytes(bytes);
+    v >> rng.gen_range(127)
+}
+
+#[test]
+fn sdiv_srem_match_the_i128_reference() {
+    let mut rng = HmacDrbg::from_u64(0xe7_0001);
+    for _ in 0..CASES {
+        let a = gen_i128(&mut rng);
+        let b = gen_i128(&mut rng);
+        if a == i128::MIN && b == -1 {
+            // The one pair whose true quotient (2^127) escapes i128; the
+            // full-width identity test and the explicit MIN_I256 edge
+            // cases own this region.
+            continue;
+        }
+        let (ua, ub) = (from_i128(a), from_i128(b));
+        let want_q = if b == 0 { 0 } else { a / b };
+        let want_r = if b == 0 { 0 } else { a % b };
+        assert_eq!(
+            ua.sdiv(&ub),
+            from_i128(want_q),
+            "SDIV({a}, {b}) diverged from i128"
+        );
+        assert_eq!(
+            ua.srem(&ub),
+            from_i128(want_r),
+            "SMOD({a}, {b}) diverged from i128"
+        );
+    }
+}
+
+#[test]
+fn sdiv_srem_satisfy_the_euclidean_identity_at_full_width() {
+    let mut rng = HmacDrbg::from_u64(0xe7_0002);
+    for i in 0..CASES {
+        let a = gen_u256(&mut rng);
+        // Every eighth divisor is small/negative-small, so quotients near
+        // the wrap boundary are well represented.
+        let b = match i % 8 {
+            0 => from_i128(gen_i128(&mut rng) >> 96),
+            _ => gen_u256(&mut rng),
+        };
+        if b.is_zero() {
+            assert_eq!(a.sdiv(&b), U256::ZERO, "x / 0 must be 0");
+            assert_eq!(a.srem(&b), U256::ZERO, "x % 0 must be 0");
+            continue;
+        }
+        let q = a.sdiv(&b);
+        let r = a.srem(&b);
+        assert_eq!(
+            q.wrapping_mul(&b).wrapping_add(&r),
+            a,
+            "a != q*b + r for a={a:?} b={b:?} (q={q:?} r={r:?})"
+        );
+        assert_eq!(
+            abs(&r).cmp_u(&abs(&b)),
+            Ordering::Less,
+            "|r| >= |b| for a={a:?} b={b:?} (r={r:?})"
+        );
+        assert!(
+            r.is_zero() || is_neg(&r) == is_neg(&a),
+            "remainder sign must follow the dividend: a={a:?} b={b:?} r={r:?}"
+        );
+    }
+}
+
+#[test]
+fn signed_division_edge_cases_match_the_yellow_paper() {
+    // The overflow case the yellow paper pins explicitly: MIN / -1 wraps
+    // back to MIN (the quotient 2^255 is unrepresentable), remainder 0.
+    assert_eq!(
+        MIN_I256.sdiv(&NEG_ONE),
+        MIN_I256,
+        "MIN / -1 must wrap to MIN"
+    );
+    assert_eq!(MIN_I256.srem(&NEG_ONE), U256::ZERO, "MIN % -1 must be 0");
+    // Division/modulus by zero is 0, not a trap.
+    assert_eq!(MIN_I256.sdiv(&U256::ZERO), U256::ZERO);
+    assert_eq!(NEG_ONE.srem(&U256::ZERO), U256::ZERO);
+    // Negative modulus: the sign comes from the dividend, never the
+    // divisor (7 % -3 = 1, -7 % 3 = -1, -7 % -3 = -1).
+    assert_eq!(from_i128(7).srem(&from_i128(-3)), U256::ONE);
+    assert_eq!(from_i128(-7).srem(&from_i128(3)), NEG_ONE);
+    assert_eq!(from_i128(-7).srem(&from_i128(-3)), NEG_ONE);
+    // MIN is its own negation, so MIN / MIN = 1 and MIN / 1 = MIN.
+    assert_eq!(MIN_I256.sdiv(&MIN_I256), U256::ONE);
+    assert_eq!(MIN_I256.sdiv(&U256::ONE), MIN_I256);
+}
+
+#[test]
+fn shifts_by_256_or_more_saturate() {
+    let mut rng = HmacDrbg::from_u64(0xe7_0003);
+    for _ in 0..CASES / 8 {
+        let v = gen_u256(&mut rng);
+        for shift in [256usize, 257, 300, 1 << 20] {
+            assert_eq!(v.shl(shift), U256::ZERO, "SHL >= 256 must zero");
+            assert_eq!(v.shr(shift), U256::ZERO, "SHR >= 256 must zero");
+            let want = if is_neg(&v) { U256::MAX } else { U256::ZERO };
+            assert_eq!(v.sar(shift), want, "SAR >= 256 must saturate to sign");
+        }
+    }
+}
+
+#[test]
+fn sar_is_floor_division_by_powers_of_two() {
+    // For any x and s < 256: SAR(x, s) == NOT(SHR(NOT(x), s)) when x is
+    // negative (the classic floor-division identity), and == SHR
+    // otherwise. Independent of the fill-mask construction `sar` uses.
+    let mut rng = HmacDrbg::from_u64(0xe7_0004);
+    for _ in 0..CASES {
+        let v = gen_u256(&mut rng);
+        let s = rng.gen_range(256) as usize;
+        let want = if is_neg(&v) {
+            v.not().shr(s).not()
+        } else {
+            v.shr(s)
+        };
+        assert_eq!(v.sar(s), want, "SAR({v:?}, {s}) diverged");
+        // And SHL is multiplication by 2^s (wrapping), SHR its inverse on
+        // the surviving bits.
+        assert_eq!(
+            v.shl(s),
+            v.wrapping_mul(&U256::ONE.shl(s)),
+            "SHL({v:?}, {s}) != v * 2^s"
+        );
+        // SHR undoes SHL except for the s bits pushed off the top.
+        assert_eq!(v.shl(s).shr(s), v.and(&U256::MAX.shr(s)));
+    }
+}
+
+/// Reference SIGNEXTEND: rewrite the big-endian bytes above the sign
+/// byte with the sign fill.
+fn signextend_reference(x: &U256, b: u64) -> U256 {
+    if b >= 31 {
+        return *x;
+    }
+    let mut bytes = x.to_be_bytes();
+    let sign_index = 31 - b as usize;
+    let fill = if bytes[sign_index] & 0x80 != 0 {
+        0xff
+    } else {
+        0x00
+    };
+    for byte in bytes.iter_mut().take(sign_index) {
+        *byte = fill;
+    }
+    U256::from_be_bytes(&bytes)
+}
+
+#[test]
+fn signextend_matches_the_byte_array_reference() {
+    let mut rng = HmacDrbg::from_u64(0xe7_0005);
+    for _ in 0..CASES {
+        let x = gen_u256(&mut rng);
+        for b in 0..=32u64 {
+            assert_eq!(
+                x.signextend(&U256::from_u64(b)),
+                signextend_reference(&x, b),
+                "SIGNEXTEND({x:?}, {b}) diverged from the byte model"
+            );
+        }
+        // b out of u64 range: identity (the extension window covers the
+        // whole word).
+        assert_eq!(x.signextend(&U256::MAX), x);
+        assert_eq!(x.signextend(&U256([0, 1, 0, 0])), x);
+        // Idempotence: extending twice from the same byte is a no-op.
+        let b = rng.gen_range(31);
+        let once = x.signextend(&U256::from_u64(b));
+        assert_eq!(once.signextend(&U256::from_u64(b)), once);
+    }
+}

@@ -213,6 +213,62 @@ fn mutated_bytecode_is_rejected_or_runs_safely() {
 }
 
 #[test]
+fn mutated_evm_bytecode_is_rejected_or_runs_safely() {
+    // The EVM twin of the mutation fuzz above, attacking the deploy-time
+    // EVM verifier: start from well-formed compiled EVM bytecode, flip
+    // one byte, and require one of two outcomes — the verifier rejects
+    // the mutant with a typed error, or the mutant verifies and then
+    // executes fuel-bounded without panicking (trap/ok/revert all fine).
+    // This is the contract `Engine::deploy` now relies on for
+    // `VmKind::Evm` exactly as it does for CONFIDE-VM modules.
+    let src = r#"
+        export fn main() {
+            let n: int = atoi(storage_get(b"count"));
+            let i: int = 0;
+            while (i < 3) { n = n + atoi(input()); i = i + 1; }
+            storage_set(b"count", itoa(n));
+            ret(itoa(n));
+        }
+    "#;
+    let base = confide::lang::build_evm(src).unwrap();
+    confide::evm::verify_bytecode(&base, &confide::evm::VerifyConfig::default())
+        .expect("unmutated module must verify");
+    let mut rng = HmacDrbg::from_u64(0xf014);
+    let mut verify_rejects = 0u32;
+    let mut ran = 0u32;
+    let calldata = confide::lang::evm_calldata("main", b"7");
+    for _ in 0..1024 {
+        let mut code = base.clone();
+        let pos = rng.gen_range(code.len() as u64) as usize;
+        let mut b = [0u8; 1];
+        rng.fill(&mut b);
+        if code[pos] == b[0] {
+            continue; // identity mutation
+        }
+        code[pos] = b[0];
+        if confide::evm::verify_bytecode(&code, &confide::evm::VerifyConfig::default()).is_err() {
+            verify_rejects += 1;
+            continue;
+        }
+        let evm = confide::evm::Evm::new(
+            code,
+            confide::evm::EvmConfig {
+                fuel: 50_000,
+                max_memory: 1 << 20,
+            },
+        );
+        let mut host = confide::evm::MockEvmHost::default();
+        let _ = evm.run(&calldata, &mut host);
+        ran += 1;
+    }
+    // Both regimes must actually occur, or the corpus is vacuous.
+    assert!(
+        verify_rejects > 0 && ran > 0,
+        "degenerate corpus: verify={verify_rejects} ran={ran}"
+    );
+}
+
+#[test]
 fn mutated_bytecode_never_breaks_the_access_analyzer() {
     // Single-byte mutation fuzzing of the *static access analyzer*: the
     // analyzer consumes deploy-time bytecode, so it must never panic on a
