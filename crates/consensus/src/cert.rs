@@ -1,0 +1,311 @@
+//! Quorum certificates: transferable proofs of commitment.
+//!
+//! A [`QuorumCert`] for height `h` bundles 2f+1 detached Ed25519 signatures
+//! over [`vote_bytes`]`(h, state_root)`. Votes are view-independent — a
+//! block re-committed after a view change certifies the same `(height,
+//! root)` pair — and deliberately do *not* cover the proposal digest, so a
+//! certificate pins what execution produced rather than what the leader
+//! claimed. Any party holding the consortium key table can check a
+//! certificate offline; no trust in the peer that shipped it is needed.
+//!
+//! Certificates are persisted in a sidecar log next to the block WAL
+//! (see `confide_storage::wal::CertLog`) rather than inside the WAL byte
+//! stream: different replicas legitimately collect different 2f+1 vote
+//! subsets, and splicing replica-local bytes into the WAL would break the
+//! byte-identical-stream invariant state sync relies on.
+
+use confide_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use confide_crypto::sha256;
+
+use crate::quorum;
+
+/// Domain separator for certificate votes. Distinct from
+/// [`crate::msg::MSG_DOMAIN`] so a vote can never double as a peer-message
+/// envelope signature.
+pub const VOTE_DOMAIN: &[u8] = b"confide-commit-vote-v1";
+
+/// The bytes a certificate vote signs: domain tag, height, and the state
+/// root execution produced at that height.
+pub fn vote_bytes(height: u64, root: &[u8; 32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(VOTE_DOMAIN.len() + 8 + 32);
+    buf.extend_from_slice(VOTE_DOMAIN);
+    buf.extend_from_slice(&height.to_le_bytes());
+    buf.extend_from_slice(root);
+    buf
+}
+
+/// Sign a certificate vote for `(height, root)` as `node_id`.
+pub fn sign_vote(key: &SigningKey, height: u64, root: &[u8; 32]) -> [u8; 64] {
+    key.sign(&vote_bytes(height, root)).0
+}
+
+/// Why a certificate failed verification or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertError {
+    /// Encoding truncated or had trailing bytes.
+    Malformed,
+    /// Fewer than 2f+1 votes for the consortium size.
+    VoteDeficient {
+        /// Votes present.
+        got: usize,
+        /// Votes required (2f+1).
+        need: usize,
+    },
+    /// A voter id is outside the consortium member list.
+    UnknownVoter(u32),
+    /// Voter ids not strictly ascending (duplicate or unsorted).
+    DisorderedVoters,
+    /// A vote signature does not verify.
+    BadVote(u32),
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::Malformed => write!(f, "malformed certificate encoding"),
+            CertError::VoteDeficient { got, need } => {
+                write!(f, "vote-deficient certificate: {got} votes, need {need}")
+            }
+            CertError::UnknownVoter(id) => write!(f, "unknown voter id {id}"),
+            CertError::DisorderedVoters => write!(f, "voter ids not strictly ascending"),
+            CertError::BadVote(id) => write!(f, "bad vote signature from {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// A 2f+1 proof that the consortium committed `root` at `height`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumCert {
+    /// Block height (consensus sequence number) this certifies.
+    pub height: u64,
+    /// State root after executing the block at `height`.
+    pub root: [u8; 32],
+    /// `(voter id, signature over vote_bytes(height, root))`, ids strictly
+    /// ascending.
+    pub votes: Vec<(u32, [u8; 64])>,
+}
+
+impl QuorumCert {
+    /// Encode: height, root, vote count, then each `(id, sig)` pair.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 32 + 4 + self.votes.len() * 68);
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&self.root);
+        out.extend_from_slice(&(self.votes.len() as u32).to_le_bytes());
+        for (id, sig) in &self.votes {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(sig);
+        }
+        out
+    }
+
+    /// Decode with exact consumption. Structural only; call
+    /// [`QuorumCert::verify`] before trusting the result.
+    pub fn decode(bytes: &[u8]) -> Result<QuorumCert, CertError> {
+        if bytes.len() < 8 + 32 + 4 {
+            return Err(CertError::Malformed);
+        }
+        let height = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let root: [u8; 32] = bytes[8..40].try_into().unwrap();
+        let count = u32::from_le_bytes(bytes[40..44].try_into().unwrap()) as usize;
+        let body = &bytes[44..];
+        if body.len() != count.checked_mul(68).ok_or(CertError::Malformed)? {
+            return Err(CertError::Malformed);
+        }
+        let mut votes = Vec::with_capacity(count);
+        for chunk in body.chunks_exact(68) {
+            let id = u32::from_le_bytes(chunk[..4].try_into().unwrap());
+            let sig: [u8; 64] = chunk[4..].try_into().unwrap();
+            votes.push((id, sig));
+        }
+        Ok(QuorumCert {
+            height,
+            root,
+            votes,
+        })
+    }
+
+    /// Verify against a consortium of `n` members keyed by `keys` (indexed
+    /// by node id): strictly ascending known voter ids, at least 2f+1 of
+    /// them, every signature valid.
+    pub fn verify(&self, n: usize, keys: &[VerifyingKey]) -> Result<(), CertError> {
+        let need = quorum(n);
+        if self.votes.len() < need {
+            return Err(CertError::VoteDeficient {
+                got: self.votes.len(),
+                need,
+            });
+        }
+        let payload = vote_bytes(self.height, &self.root);
+        let mut prev: Option<u32> = None;
+        for (id, sig) in &self.votes {
+            if prev.is_some_and(|p| p >= *id) {
+                return Err(CertError::DisorderedVoters);
+            }
+            prev = Some(*id);
+            if *id as usize >= n {
+                return Err(CertError::UnknownVoter(*id));
+            }
+            let key = keys.get(*id as usize).ok_or(CertError::UnknownVoter(*id))?;
+            key.verify(&payload, &Signature(*sig))
+                .map_err(|_| CertError::BadVote(*id))?;
+        }
+        Ok(())
+    }
+}
+
+/// A replica's signing identity plus the full consortium key table.
+///
+/// Constructed from the K-Protocol enclave platforms in production (each
+/// member derives its consensus key from its fused TEE secret, and the
+/// demo cluster derivation lets every member compute every other member's
+/// verifying key) or from [`Keyring::deterministic`] in tests.
+#[derive(Clone)]
+pub struct Keyring {
+    /// This replica's signing key.
+    pub signer: SigningKey,
+    /// Verifying keys for all `n` members, indexed by node id.
+    pub keys: Vec<VerifyingKey>,
+}
+
+impl Keyring {
+    /// Build from an explicit signer and key table.
+    pub fn new(signer: SigningKey, keys: Vec<VerifyingKey>) -> Keyring {
+        Keyring { signer, keys }
+    }
+
+    /// Derive a deterministic `n`-member keyring for `node_id` from a
+    /// shared seed. Test/bench convenience; production keys come from TEE
+    /// platform secrets.
+    pub fn deterministic(seed: u64, node_id: u32, n: usize) -> Keyring {
+        let key_for = |id: u32| {
+            let mut buf = Vec::with_capacity(32);
+            buf.extend_from_slice(b"confide-test-consensus-key");
+            buf.extend_from_slice(&seed.to_le_bytes());
+            buf.extend_from_slice(&id.to_le_bytes());
+            SigningKey::from_seed(&sha256(&buf))
+        };
+        let keys = (0..n as u32)
+            .map(|id| key_for(id).verifying_key())
+            .collect();
+        Keyring {
+            signer: key_for(node_id),
+            keys,
+        }
+    }
+
+    /// Number of consortium members.
+    pub fn n(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rings(n: usize) -> Vec<Keyring> {
+        (0..n as u32)
+            .map(|id| Keyring::deterministic(7, id, n))
+            .collect()
+    }
+
+    fn cert_for(n: usize, height: u64, root: [u8; 32], voters: &[u32]) -> QuorumCert {
+        let rings = rings(n);
+        let votes = voters
+            .iter()
+            .map(|&id| (id, sign_vote(&rings[id as usize].signer, height, &root)))
+            .collect();
+        QuorumCert {
+            height,
+            root,
+            votes,
+        }
+    }
+
+    #[test]
+    fn valid_certificate_round_trips_and_verifies() {
+        let keys = rings(4)[0].keys.clone();
+        let cert = cert_for(4, 12, [5; 32], &[0, 2, 3]);
+        cert.verify(4, &keys).unwrap();
+        let back = QuorumCert::decode(&cert.encode()).unwrap();
+        assert_eq!(back, cert);
+        back.verify(4, &keys).unwrap();
+    }
+
+    #[test]
+    fn vote_deficient_certificate_rejected() {
+        let keys = rings(4)[0].keys.clone();
+        let cert = cert_for(4, 12, [5; 32], &[0, 2]);
+        assert_eq!(
+            cert.verify(4, &keys),
+            Err(CertError::VoteDeficient { got: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn forged_vote_rejected() {
+        let keys = rings(4)[0].keys.clone();
+        let mut cert = cert_for(4, 12, [5; 32], &[0, 1, 2]);
+        // Node 1's vote replaced by garbage.
+        cert.votes[1].1 = [0x41; 64];
+        assert_eq!(cert.verify(4, &keys), Err(CertError::BadVote(1)));
+        // A vote for a different root presented for this one.
+        let mut wrong = cert_for(4, 12, [5; 32], &[0, 1, 2]);
+        wrong.votes[2].1 = sign_vote(&rings(4)[2].signer, 12, &[6; 32]);
+        assert_eq!(wrong.verify(4, &keys), Err(CertError::BadVote(2)));
+    }
+
+    #[test]
+    fn duplicate_or_unknown_voters_rejected() {
+        let keys = rings(4)[0].keys.clone();
+        let r = rings(4);
+        let sig0 = sign_vote(&r[0].signer, 3, &[1; 32]);
+        let dup = QuorumCert {
+            height: 3,
+            root: [1; 32],
+            votes: vec![
+                (0, sig0),
+                (0, sig0),
+                (1, sign_vote(&r[1].signer, 3, &[1; 32])),
+            ],
+        };
+        assert_eq!(dup.verify(4, &keys), Err(CertError::DisorderedVoters));
+
+        let stranger = QuorumCert {
+            height: 3,
+            root: [1; 32],
+            votes: vec![
+                (0, sig0),
+                (1, sign_vote(&r[1].signer, 3, &[1; 32])),
+                (9, [0; 64]),
+            ],
+        };
+        assert_eq!(stranger.verify(4, &keys), Err(CertError::UnknownVoter(9)));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let cert = cert_for(4, 12, [5; 32], &[0, 1, 2]);
+        let bytes = cert.encode();
+        for cut in 0..bytes.len() {
+            assert!(QuorumCert::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(QuorumCert::decode(&trailing).is_err());
+        // Absurd count must not allocate or panic.
+        let mut absurd = vec![0u8; 44];
+        absurd[40..44].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(QuorumCert::decode(&absurd), Err(CertError::Malformed));
+    }
+
+    #[test]
+    fn vote_binds_height_and_root() {
+        let a = vote_bytes(1, &[2; 32]);
+        assert_ne!(a, vote_bytes(2, &[2; 32]));
+        assert_ne!(a, vote_bytes(1, &[3; 32]));
+    }
+}

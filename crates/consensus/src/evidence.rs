@@ -1,0 +1,293 @@
+//! Equivocation evidence: durable, self-certifying proof of Byzantine
+//! behaviour.
+//!
+//! A replica equivocates when it signs two *different* statements for the
+//! same consensus slot — e.g. two Prepares for `(view, seq)` with distinct
+//! digests, or two Commits for the same height with distinct roots. Because
+//! every [`SignedPeerMsg`](crate::msg::SignedPeerMsg) carries a
+//! transferable signature, the conflicting pair itself is the proof: an
+//! [`Evidence`] record holds both signed messages and verifies offline
+//! against the consortium key table, with no trust in whoever recorded it.
+//!
+//! Lifecycle: a replica that observes the conflict emits
+//! `Action::Evidence`, the node layer appends the record to a durable
+//! sidecar file (`<wal>.evidence`), the offender is blacklisted locally,
+//! and if the offender currently leads, a view change is forced.
+
+use crate::msg::{MsgError, PeerMsg, SignedPeerMsg};
+use confide_crypto::ed25519::VerifyingKey;
+use confide_crypto::sha256;
+
+/// The consensus slot an equivocation is judged in: `(tag, view, seq)` plus
+/// the content identity two conflicting messages must disagree on.
+///
+/// Returns `None` for message kinds that cannot equivocate in a provable
+/// per-slot sense (heartbeats, view-change family — those are handled by
+/// the view-change protocol itself).
+pub fn equivocation_slot(msg: &PeerMsg) -> Option<(u8, u64, u64, [u8; 32])> {
+    match msg {
+        PeerMsg::PrePrepare { view, seq, txs } => {
+            Some((0x01, *view, *seq, crate::msg::block_digest(*seq, txs)))
+        }
+        PeerMsg::Prepare {
+            view, seq, digest, ..
+        } => Some((0x02, *view, *seq, *digest)),
+        PeerMsg::Commit {
+            view,
+            seq,
+            digest,
+            root,
+            ..
+        } => {
+            // Commit content identity covers both the proposal digest and
+            // the claimed execution root: voting two roots for one height
+            // is equivocation even within one view.
+            let mut buf = Vec::with_capacity(64);
+            buf.extend_from_slice(digest);
+            buf.extend_from_slice(root);
+            Some((0x03, *view, *seq, sha256(&buf)))
+        }
+        PeerMsg::ViewChange { .. } | PeerMsg::NewView { .. } | PeerMsg::Heartbeat { .. } => None,
+    }
+}
+
+/// Why an [`Evidence`] record failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceError {
+    /// Encoding truncated or had trailing bytes.
+    Malformed,
+    /// A contained signature does not verify, or signer ids disagree with
+    /// the accused.
+    BadSignature,
+    /// The two messages do not actually conflict (same slot and content,
+    /// or different slots, or a non-equivocable kind).
+    NotConflicting,
+}
+
+impl std::fmt::Display for EvidenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvidenceError::Malformed => write!(f, "malformed evidence encoding"),
+            EvidenceError::BadSignature => write!(f, "evidence signature invalid"),
+            EvidenceError::NotConflicting => write!(f, "messages do not conflict"),
+        }
+    }
+}
+
+impl std::error::Error for EvidenceError {}
+
+/// Proof that `accused` signed two conflicting messages for one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evidence {
+    /// The equivocating replica's node id.
+    pub accused: u32,
+    /// View of the slot both messages occupy.
+    pub view: u64,
+    /// Sequence of the slot both messages occupy.
+    pub seq: u64,
+    /// Slot tag (0x01 PrePrepare, 0x02 Prepare, 0x03 Commit).
+    pub tag: u8,
+    /// First signed message observed.
+    pub first: SignedPeerMsg,
+    /// Conflicting signed message observed later.
+    pub second: SignedPeerMsg,
+}
+
+impl Evidence {
+    /// Encode: accused, view, seq, tag, then both length-prefixed
+    /// signed-message encodings.
+    pub fn encode(&self) -> Vec<u8> {
+        let a = self.first.encode();
+        let b = self.second.encode();
+        let mut out = Vec::with_capacity(4 + 8 + 8 + 1 + 8 + a.len() + b.len());
+        out.extend_from_slice(&self.accused.to_le_bytes());
+        out.extend_from_slice(&self.view.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(self.tag);
+        out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+        out.extend_from_slice(&a);
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        out.extend_from_slice(&b);
+        out
+    }
+
+    /// Decode with exact consumption. Structural only; call
+    /// [`Evidence::verify`] before trusting the accusation.
+    pub fn decode(bytes: &[u8]) -> Result<Evidence, EvidenceError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], EvidenceError> {
+            let end = pos.checked_add(n).ok_or(EvidenceError::Malformed)?;
+            let s = bytes.get(*pos..end).ok_or(EvidenceError::Malformed)?;
+            *pos = end;
+            Ok(s)
+        };
+        let accused = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let view = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let tag = take(&mut pos, 1)?[0];
+        let signed = |pos: &mut usize| -> Result<SignedPeerMsg, EvidenceError> {
+            let len = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+            let body = take(pos, len)?;
+            SignedPeerMsg::decode(body).map_err(|_: MsgError| EvidenceError::Malformed)
+        };
+        let first = signed(&mut pos)?;
+        let second = signed(&mut pos)?;
+        if pos != bytes.len() {
+            return Err(EvidenceError::Malformed);
+        }
+        Ok(Evidence {
+            accused,
+            view,
+            seq,
+            tag,
+            first,
+            second,
+        })
+    }
+
+    /// Verify the accusation: both messages carry valid signatures from
+    /// `accused`, occupy the same slot `(tag, view, seq)` matching the
+    /// record header, and disagree on content.
+    pub fn verify(&self, keys: &[VerifyingKey]) -> Result<(), EvidenceError> {
+        for m in [&self.first, &self.second] {
+            if m.from != self.accused {
+                return Err(EvidenceError::BadSignature);
+            }
+            m.verify(keys).map_err(|_| EvidenceError::BadSignature)?;
+        }
+        let a = equivocation_slot(&self.first.msg).ok_or(EvidenceError::NotConflicting)?;
+        let b = equivocation_slot(&self.second.msg).ok_or(EvidenceError::NotConflicting)?;
+        if (a.0, a.1, a.2) != (self.tag, self.view, self.seq)
+            || (b.0, b.1, b.2) != (self.tag, self.view, self.seq)
+        {
+            return Err(EvidenceError::NotConflicting);
+        }
+        if a.3 == b.3 {
+            return Err(EvidenceError::NotConflicting);
+        }
+        Ok(())
+    }
+}
+
+/// Append one evidence record to `buf` with a u32 length frame, the format
+/// of the `<wal>.evidence` sidecar file.
+pub fn append_framed(buf: &mut Vec<u8>, ev: &Evidence) {
+    let body = ev.encode();
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&body);
+}
+
+/// Parse a `<wal>.evidence` sidecar: u32-framed records back to back.
+/// Stops cleanly at a torn tail (a crash mid-append loses at most the last
+/// record); a structurally bad record is an error.
+pub fn read_framed(bytes: &[u8]) -> Result<Vec<Evidence>, EvidenceError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 4 {
+            break; // torn length prefix
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let Some(body) = bytes.get(pos + 4..pos + 4 + len) else {
+            break; // torn body
+        };
+        out.push(Evidence::decode(body)?);
+        pos += 4 + len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::Keyring;
+
+    fn conflicting_pair() -> (Evidence, Vec<VerifyingKey>) {
+        let n = 4;
+        let rings: Vec<Keyring> = (0..n as u32)
+            .map(|i| Keyring::deterministic(3, i, n))
+            .collect();
+        let m1 = PeerMsg::Prepare {
+            view: 2,
+            seq: 7,
+            digest: [1; 32],
+            from: 1,
+        };
+        let m2 = PeerMsg::Prepare {
+            view: 2,
+            seq: 7,
+            digest: [2; 32],
+            from: 1,
+        };
+        let ev = Evidence {
+            accused: 1,
+            view: 2,
+            seq: 7,
+            tag: 0x02,
+            first: SignedPeerMsg::sign(1, &rings[1].signer, m1),
+            second: SignedPeerMsg::sign(1, &rings[1].signer, m2),
+        };
+        (ev, rings[0].keys.clone())
+    }
+
+    #[test]
+    fn valid_evidence_round_trips_and_verifies() {
+        let (ev, keys) = conflicting_pair();
+        ev.verify(&keys).unwrap();
+        let back = Evidence::decode(&ev.encode()).unwrap();
+        assert_eq!(back, ev);
+        back.verify(&keys).unwrap();
+    }
+
+    #[test]
+    fn non_conflicting_or_forged_evidence_rejected() {
+        let (ev, keys) = conflicting_pair();
+
+        // Same message twice: no conflict.
+        let mut same = ev.clone();
+        same.second = same.first.clone();
+        assert_eq!(same.verify(&keys), Err(EvidenceError::NotConflicting));
+
+        // Header slot disagrees with the messages.
+        let mut wrong_slot = ev.clone();
+        wrong_slot.seq = 99;
+        assert_eq!(wrong_slot.verify(&keys), Err(EvidenceError::NotConflicting));
+
+        // Tampered signature.
+        let mut forged = ev.clone();
+        forged.second.sig[0] ^= 1;
+        assert_eq!(forged.verify(&keys), Err(EvidenceError::BadSignature));
+
+        // Accusing someone who didn't sign.
+        let mut framed_up = ev.clone();
+        framed_up.accused = 2;
+        assert_eq!(framed_up.verify(&keys), Err(EvidenceError::BadSignature));
+    }
+
+    #[test]
+    fn framed_file_round_trips_and_tolerates_torn_tail() {
+        let (ev, _) = conflicting_pair();
+        let mut buf = Vec::new();
+        append_framed(&mut buf, &ev);
+        append_framed(&mut buf, &ev);
+        let full = read_framed(&buf).unwrap();
+        assert_eq!(full.len(), 2);
+        assert_eq!(full[0], ev);
+
+        // Torn tail: drop the last byte — second record is lost, first kept.
+        let torn = read_framed(&buf[..buf.len() - 1]).unwrap();
+        assert_eq!(torn.len(), 1);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let (ev, _) = conflicting_pair();
+        let bytes = ev.encode();
+        for cut in 0..bytes.len() {
+            assert!(Evidence::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Evidence::decode(&trailing).is_err());
+    }
+}

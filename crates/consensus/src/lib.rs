@@ -14,11 +14,18 @@
 //!
 //! Peers exchange consensus traffic only after mutually attesting via the
 //! K-Protocol join path, so every participant is known to run the sanctioned
-//! enclave build. Arbitrary (Byzantine) *logic* is therefore excluded by
-//! attestation, and the protocol defends against the remaining consortium
-//! faults: crashes, restarts, partitions, and message loss/reordering. The
-//! quorum arithmetic keeps PBFT's 2f+1-of-3f+1 shape so the message
-//! complexity (and Fig. 11's latency behaviour) is preserved on the wire.
+//! enclave build. Attestation narrows but does not eliminate Byzantine
+//! behaviour — a member with a compromised host can still replay, reorder,
+//! suppress, or (via a rollback attack on sealed state) equivocate — so the
+//! protocol authenticates every message: each [`PeerMsg`] travels inside a
+//! [`SignedPeerMsg`] envelope signed with a key derived from the member's
+//! enclave identity, `Commit` decisions assemble transferable 2f+1
+//! [`QuorumCert`]s, and conflicting signed statements for one slot become
+//! durable [`Evidence`] that blacklists the offender and, if it leads,
+//! forces a view change. The quorum arithmetic keeps PBFT's 2f+1-of-3f+1
+//! shape, which tolerates f actively malicious members alongside the crash,
+//! restart, partition, and loss/reordering faults handled before. See
+//! DESIGN.md §17 for the full fault matrix.
 //!
 //! Under that model the replica executes and persists a block once it is
 //! *prepared* (2f+1 matching `Prepare`s), then broadcasts `Commit`; the
@@ -31,11 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cert;
+pub mod evidence;
 pub mod msg;
 pub mod replica;
 
-pub use msg::{block_digest, MsgError, PeerMsg, SuffixEntry};
-pub use replica::{Action, ProposeError, Replica, ReplicaConfig};
+pub use cert::{sign_vote, vote_bytes, CertError, Keyring, QuorumCert};
+pub use evidence::{Evidence, EvidenceError};
+pub use msg::{block_digest, AuthError, MsgError, PeerMsg, SignedPeerMsg, SuffixEntry};
+pub use replica::{Action, HandleError, ProposeError, Replica, ReplicaConfig};
 
 /// PBFT quorum size for `n` replicas: `2f + 1` with `f = (n - 1) / 3`.
 ///

@@ -1,12 +1,20 @@
-//! Peer-to-peer PBFT message codec.
+//! Peer-to-peer PBFT message codec and the signed message envelope.
 //!
 //! Hand-rolled little-endian encoding, mirroring the T-Protocol frame
 //! conventions in `crates/net`: a one-byte tag followed by fixed-width
 //! integers and length-prefixed byte strings. The transport layer wraps one
-//! encoded [`PeerMsg`] per frame, so the frame-size cap already bounds every
-//! length field here; the decoder still validates each length against the
-//! remaining input before allocating.
+//! encoded [`SignedPeerMsg`] per frame, so the frame-size cap already bounds
+//! every length field here; the decoder still validates each length against
+//! the remaining input before allocating.
+//!
+//! Every consensus message travels inside a [`SignedPeerMsg`]: the sender's
+//! node id plus an Ed25519 signature over a domain-separated digest of the
+//! encoded body. The signature makes votes *transferable* — a receiver can
+//! prove to a third party what a peer said, which is what turns conflicting
+//! messages into [`crate::evidence::Evidence`] and commit votes into
+//! [`crate::cert::QuorumCert`]s.
 
+use confide_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
 use confide_crypto::sha256;
 
 /// A consensus message exchanged between attested peers.
@@ -42,6 +50,13 @@ pub enum PeerMsg {
         digest: [u8; 32],
         /// Sender's node id.
         from: u32,
+        /// State root the sender's execution produced for `seq`.
+        root: [u8; 32],
+        /// Detached certificate vote: Ed25519 signature over
+        /// [`crate::cert::vote_bytes`]`(seq, root)`. View-independent, so
+        /// votes cast in different views aggregate into one
+        /// [`crate::cert::QuorumCert`].
+        vote_sig: [u8; 64],
     },
     /// Vote to replace the current leader with the primary of `target`.
     ViewChange {
@@ -178,6 +193,10 @@ impl<'a> Reader<'a> {
         Ok(self.take(32)?.try_into().unwrap())
     }
 
+    fn sig64(&mut self) -> Result<[u8; 64], MsgError> {
+        Ok(self.take(64)?.try_into().unwrap())
+    }
+
     fn bytes(&mut self) -> Result<Vec<u8>, MsgError> {
         let len = self.u32()? as usize;
         Ok(self.take(len)?.to_vec())
@@ -226,12 +245,16 @@ impl PeerMsg {
                 seq,
                 digest,
                 from,
+                root,
+                vote_sig,
             } => {
                 out.push(T_COMMIT);
                 out.extend_from_slice(&view.to_le_bytes());
                 out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(digest);
                 out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(root);
+                out.extend_from_slice(vote_sig);
             }
             PeerMsg::ViewChange {
                 target,
@@ -302,6 +325,8 @@ impl PeerMsg {
                 seq: r.u64()?,
                 digest: r.digest()?,
                 from: r.u32()?,
+                root: r.digest()?,
+                vote_sig: r.sig64()?,
             },
             T_VIEW_CHANGE => {
                 let target = r.u64()?;
@@ -359,6 +384,133 @@ impl PeerMsg {
         }
         Ok(msg)
     }
+
+    /// The node id embedded in the message body, when the kind carries one.
+    /// `PrePrepare` has no sender field: its rightful origin is implied by
+    /// `primary_of(view)`, which the replica checks separately.
+    pub fn sender(&self) -> Option<u32> {
+        match self {
+            PeerMsg::PrePrepare { .. } => None,
+            PeerMsg::Prepare { from, .. }
+            | PeerMsg::Commit { from, .. }
+            | PeerMsg::ViewChange { from, .. }
+            | PeerMsg::NewView { from, .. }
+            | PeerMsg::Heartbeat { from, .. } => Some(*from),
+        }
+    }
+}
+
+/// Domain separator for peer-message signatures. Distinct from
+/// [`crate::cert::VOTE_DOMAIN`] so an envelope signature can never be
+/// replayed as a certificate vote or vice versa.
+pub const MSG_DOMAIN: &[u8] = b"confide-peer-msg-v1";
+
+/// Authentication failure on a [`SignedPeerMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// The claimed signer id is outside the consortium member list.
+    UnknownSigner(u32),
+    /// The envelope signature does not verify under the signer's key.
+    BadSignature(u32),
+    /// The body's embedded `from` field disagrees with the envelope signer
+    /// (a replay of one member's words under another member's identity).
+    SenderMismatch {
+        /// Who signed the envelope.
+        signer: u32,
+        /// Who the body claims sent it.
+        embedded: u32,
+    },
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthError::UnknownSigner(id) => write!(f, "unknown signer id {id}"),
+            AuthError::BadSignature(id) => write!(f, "bad signature from {id}"),
+            AuthError::SenderMismatch { signer, embedded } => {
+                write!(f, "envelope signed by {signer} but body claims {embedded}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// A [`PeerMsg`] wrapped in the sender's transferable signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedPeerMsg {
+    /// The signer's consortium node id.
+    pub from: u32,
+    /// Ed25519 signature over [`SignedPeerMsg::signing_bytes`].
+    pub sig: [u8; 64],
+    /// The message itself.
+    pub msg: PeerMsg,
+}
+
+impl SignedPeerMsg {
+    /// The bytes the envelope signature covers: domain tag, signer id, and
+    /// the encoded message body.
+    pub fn signing_bytes(from: u32, encoded_msg: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(MSG_DOMAIN.len() + 4 + encoded_msg.len());
+        buf.extend_from_slice(MSG_DOMAIN);
+        buf.extend_from_slice(&from.to_le_bytes());
+        buf.extend_from_slice(encoded_msg);
+        buf
+    }
+
+    /// Sign `msg` as node `from`.
+    pub fn sign(from: u32, key: &SigningKey, msg: PeerMsg) -> SignedPeerMsg {
+        let body = msg.encode();
+        let sig = key.sign(&Self::signing_bytes(from, &body));
+        SignedPeerMsg {
+            from,
+            sig: sig.0,
+            msg,
+        }
+    }
+
+    /// Encode: signer id, signature, message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.msg.encode();
+        let mut out = Vec::with_capacity(4 + 64 + body.len());
+        out.extend_from_slice(&self.from.to_le_bytes());
+        out.extend_from_slice(&self.sig);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode one signed message, requiring exact consumption. Decoding
+    /// performs no signature check — call [`SignedPeerMsg::verify`].
+    pub fn decode(bytes: &[u8]) -> Result<SignedPeerMsg, MsgError> {
+        if bytes.len() < 4 + 64 {
+            return Err(MsgError::Truncated);
+        }
+        let from = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        let sig: [u8; 64] = bytes[4..68].try_into().unwrap();
+        let msg = PeerMsg::decode(&bytes[68..])?;
+        Ok(SignedPeerMsg { from, sig, msg })
+    }
+
+    /// Verify the envelope against the consortium key table (indexed by
+    /// node id): known signer, valid signature, and an embedded `from`
+    /// field (when present) matching the signer.
+    pub fn verify(&self, keys: &[VerifyingKey]) -> Result<(), AuthError> {
+        let Some(key) = keys.get(self.from as usize) else {
+            return Err(AuthError::UnknownSigner(self.from));
+        };
+        let body = self.msg.encode();
+        key.verify(&Self::signing_bytes(self.from, &body), &Signature(self.sig))
+            .map_err(|_| AuthError::BadSignature(self.from))?;
+        if let Some(embedded) = self.msg.sender() {
+            if embedded != self.from {
+                return Err(AuthError::SenderMismatch {
+                    signer: self.from,
+                    embedded,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +535,8 @@ mod tests {
                 seq: 9,
                 digest: [8; 32],
                 from: 1,
+                root: [0xAB; 32],
+                vote_sig: [0xCD; 64],
             },
             PeerMsg::ViewChange {
                 target: 4,
@@ -457,6 +611,81 @@ mod tests {
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(&[0; 16]);
         assert_eq!(PeerMsg::decode(&bytes), Err(MsgError::Truncated));
+    }
+
+    #[test]
+    fn signed_envelope_round_trips_and_verifies() {
+        let key = SigningKey::from_seed(&[42; 32]);
+        let keys = vec![
+            SigningKey::from_seed(&[1; 32]).verifying_key(),
+            SigningKey::from_seed(&[2; 32]).verifying_key(),
+            key.verifying_key(),
+        ];
+        for mut msg in samples() {
+            // Align the embedded sender (when present) with signer id 2.
+            match &mut msg {
+                PeerMsg::Prepare { from, .. }
+                | PeerMsg::Commit { from, .. }
+                | PeerMsg::ViewChange { from, .. }
+                | PeerMsg::NewView { from, .. }
+                | PeerMsg::Heartbeat { from, .. } => *from = 2,
+                PeerMsg::PrePrepare { .. } => {}
+            }
+            let signed = SignedPeerMsg::sign(2, &key, msg);
+            let bytes = signed.encode();
+            let back = SignedPeerMsg::decode(&bytes).unwrap();
+            assert_eq!(back, signed);
+            back.verify(&keys).unwrap();
+        }
+    }
+
+    #[test]
+    fn signed_envelope_rejects_tampering() {
+        let key = SigningKey::from_seed(&[42; 32]);
+        let keys: Vec<VerifyingKey> = (0..4u8)
+            .map(|i| {
+                if i == 2 {
+                    key.verifying_key()
+                } else {
+                    SigningKey::from_seed(&[i; 32]).verifying_key()
+                }
+            })
+            .collect();
+        let msg = PeerMsg::Prepare {
+            view: 1,
+            seq: 5,
+            digest: [9; 32],
+            from: 2,
+        };
+        let signed = SignedPeerMsg::sign(2, &key, msg.clone());
+        signed.verify(&keys).unwrap();
+
+        // Flip one bit anywhere in the encoding: decode either fails or the
+        // signature no longer verifies.
+        let bytes = signed.encode();
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x01;
+            if let Ok(m) = SignedPeerMsg::decode(&mutated) {
+                assert!(m.verify(&keys).is_err(), "bit flip at {i} accepted");
+            }
+        }
+
+        // Unknown signer id.
+        let stranger = SignedPeerMsg::sign(9, &key, msg.clone());
+        assert_eq!(stranger.verify(&keys), Err(AuthError::UnknownSigner(9)));
+
+        // Envelope signer 3 wrapping a body claiming from=2: signature by 3
+        // over a body embedding 2 is a sender mismatch.
+        let key3 = SigningKey::from_seed(&[3; 32]);
+        let relabeled = SignedPeerMsg::sign(3, &key3, msg);
+        assert_eq!(
+            relabeled.verify(&keys),
+            Err(AuthError::SenderMismatch {
+                signer: 3,
+                embedded: 2
+            })
+        );
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! The PBFT replica state machine.
 //!
 //! [`Replica`] is pure protocol logic: it owns no sockets, no threads, and
-//! no clock. The embedding driver feeds it peer messages ([`Replica::on_msg`]),
-//! proposals ([`Replica::propose`]), execution completions
-//! ([`Replica::on_executed`]) and periodic ticks ([`Replica::on_tick`]) with
-//! an externally supplied monotonic timestamp, and carries out the returned
-//! [`Action`]s. This mirrors the event-driven structure of the simulator in
-//! `crates/chain/src/pbft.rs` — same quorum arithmetic (via
-//! [`crate::quorum`]), same strictly in-order execution, same watermark
-//! back-pressure — with the two pieces the simulator deliberately omits
-//! layered on top: view changes and state-sync detection.
+//! no clock. The embedding driver feeds it authenticated peer messages
+//! ([`Replica::handle`]), proposals ([`Replica::propose`]), execution
+//! completions ([`Replica::on_executed`]) and periodic ticks
+//! ([`Replica::on_tick`]) with an externally supplied monotonic timestamp,
+//! and carries out the returned [`Action`]s. This mirrors the event-driven
+//! structure of the simulator in `crates/chain/src/pbft.rs` — same quorum
+//! arithmetic (via [`crate::quorum`]), same strictly in-order execution,
+//! same watermark back-pressure — with the pieces the simulator omits
+//! layered on top: view changes, state-sync detection, and Byzantine
+//! defences (signature verification, equivocation evidence, blacklisting).
 //!
 //! ## Execute-at-prepared
 //!
@@ -17,16 +18,29 @@
 //! *prepared* — 2f+1 matching `Prepare`s including its own — and only then
 //! broadcasts `Commit`. Client acknowledgements are released at
 //! [`Action::CommittedLocal`], i.e. after a 2f+1 `Commit` quorum, which
-//! certifies that a quorum has the block on disk. This is safe under the
-//! attested-crash fault model because a prepared entry has 2f+1 payload
-//! holders, so every view-change quorum of 2f+1 intersects those holders in
-//! at least f+1 replicas: the new leader always re-proposes (verbatim, same
-//! digest) any block that any replica may have executed. A sequence absent
-//! from every suffix in the view-change quorum was prepared nowhere, hence
-//! executed nowhere, and may be dropped.
+//! certifies that a quorum has the block on disk. A prepared entry has 2f+1
+//! payload holders, so every view-change quorum of 2f+1 intersects those
+//! holders in at least f+1 replicas: the new leader always re-proposes
+//! (verbatim, same digest) any block that any replica may have executed. A
+//! sequence absent from every suffix in the view-change quorum was prepared
+//! nowhere, hence executed nowhere, and may be dropped.
+//!
+//! ## Byzantine defences
+//!
+//! [`Replica::handle`] is the production entry point: it verifies the
+//! [`SignedPeerMsg`] envelope, refuses blacklisted peers, checks `Commit`
+//! certificate votes, and watches for equivocation — two conflicting signed
+//! statements for one slot become an [`Evidence`] action, blacklist the
+//! offender, and force a view change if the offender leads. Each `Commit`
+//! quorum additionally assembles a transferable [`QuorumCert`] delivered
+//! with [`Action::CommittedLocal`]. [`Replica::on_msg`] remains the
+//! unauthenticated core for in-memory tests and differential harnesses.
 
-use crate::msg::{block_digest, PeerMsg, SuffixEntry};
+use crate::cert::{sign_vote, vote_bytes, Keyring, QuorumCert};
+use crate::evidence::{equivocation_slot, Evidence};
+use crate::msg::{block_digest, AuthError, PeerMsg, SignedPeerMsg, SuffixEntry};
 use crate::{primary_of, quorum};
+use confide_crypto::ed25519::Signature;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Static configuration of one replica.
@@ -43,6 +57,10 @@ pub struct ReplicaConfig {
     /// Max proposals in flight beyond `last_exec` (PBFT watermark), the
     /// same back-pressure knob as the simulator's `ChainConfig`.
     pub max_inflight: u64,
+    /// Width of the deterministic per-replica spread added to the view
+    /// timeout (ms). Staggered timeouts keep simultaneous leader-death
+    /// detections from synchronizing into dueling view changes; 0 disables.
+    pub timeout_jitter_ms: u64,
 }
 
 impl ReplicaConfig {
@@ -54,19 +72,39 @@ impl ReplicaConfig {
             view_timeout_ms: 1_000,
             heartbeat_ms: 200,
             max_inflight: 4,
+            timeout_jitter_ms: 250,
         }
     }
 }
 
+/// Deterministic per-replica view-timeout jitter in `[0, spread_ms)`.
+///
+/// A splitmix64 mix of the node id, so the spread needs no shared
+/// configuration beyond the spread width itself and is reproducible in
+/// tests and across restarts.
+pub fn timeout_jitter(node_id: u32, spread_ms: u64) -> u64 {
+    if spread_ms == 0 {
+        return 0;
+    }
+    let mut z = (node_id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z % spread_ms
+}
+
 /// What the driver must do after feeding the state machine.
+// Evidence (two full signed envelopes) dominates the size; actions are
+// transient — drained per event, never stored — so boxing buys nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
-    /// Send to every peer (not to self).
+    /// Send to every peer (not to self). The driver signs the envelope.
     Broadcast(PeerMsg),
     /// Send to one peer.
     Send(u32, PeerMsg),
     /// Execute this block now (strictly the next in order) and durably log
-    /// it, then call [`Replica::on_executed`].
+    /// it, then call [`Replica::on_executed`] with the resulting state root.
     Execute {
         /// Sequence number == resulting chain height.
         seq: u64,
@@ -75,12 +113,15 @@ pub enum Action {
         /// The block's consensus digest.
         digest: [u8; 32],
     },
-    /// A 2f+1 commit quorum exists for `seq`: release client acks.
+    /// A 2f+1 commit quorum exists for `seq`: persist the certificate,
+    /// then release client acks.
     CommittedLocal {
         /// Committed sequence number.
         seq: u64,
         /// Digest of the committed block.
         digest: [u8; 32],
+        /// Transferable 2f+1 proof of the committed state root.
+        cert: QuorumCert,
     },
     /// This replica is behind: fetch WAL state from `peer` (who reported
     /// progress past ours), then call [`Replica::on_caught_up`].
@@ -97,6 +138,9 @@ pub enum Action {
         /// Primary of that view.
         leader: u32,
     },
+    /// A peer provably equivocated: persist the record durably. The
+    /// offender is already blacklisted locally.
+    Evidence(Evidence),
 }
 
 /// Why a proposal was refused.
@@ -119,6 +163,33 @@ impl std::fmt::Display for ProposeError {
 
 impl std::error::Error for ProposeError {}
 
+/// Why an authenticated message was refused by [`Replica::handle`].
+///
+/// Every variant is a typed rejection with **no** replica state mutated and
+/// no [`Action`] emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandleError {
+    /// The signed envelope failed verification.
+    Auth(AuthError),
+    /// The sender was previously caught equivocating.
+    Blacklisted(u32),
+    /// A `Commit` carried a certificate vote that does not verify for the
+    /// claimed `(height, root)`.
+    BadVoteSig(u32),
+}
+
+impl std::fmt::Display for HandleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandleError::Auth(e) => write!(f, "authentication failed: {e}"),
+            HandleError::Blacklisted(id) => write!(f, "peer {id} is blacklisted"),
+            HandleError::BadVoteSig(id) => write!(f, "bad certificate vote from {id}"),
+        }
+    }
+}
+
+impl std::error::Error for HandleError {}
+
 #[derive(Debug)]
 struct Entry {
     view: u64,
@@ -126,57 +197,103 @@ struct Entry {
     txs: Vec<Vec<u8>>,
     has_payload: bool,
     prepares: BTreeSet<u32>,
-    commits: BTreeSet<u32>,
+    /// voter -> (claimed digest, claimed root, detached vote signature).
+    #[allow(clippy::type_complexity)]
+    commit_votes: BTreeMap<u32, ([u8; 32], [u8; 32], [u8; 64])>,
+    /// State root our own execution produced (set by `on_executed`).
+    exec_root: Option<[u8; 32]>,
     exec_emitted: bool,
     executed: bool,
 }
 
-/// How many executed-block digests to remember for answering re-proposals
-/// of sequences we already executed. Far above any sane watermark.
+impl Entry {
+    fn fresh(view: u64, digest: [u8; 32], txs: Vec<Vec<u8>>, has_payload: bool) -> Entry {
+        Entry {
+            view,
+            digest,
+            txs,
+            has_payload,
+            prepares: BTreeSet::new(),
+            commit_votes: BTreeMap::new(),
+            exec_root: None,
+            exec_emitted: false,
+            executed: false,
+        }
+    }
+}
+
+/// How many executed-block digests/roots to remember for answering
+/// re-proposals of sequences we already executed, and for bounding the
+/// equivocation watch window. Far above any sane watermark.
 const DIGEST_WINDOW: u64 = 256;
 
 /// One PBFT replica (see module docs for the protocol shape).
 pub struct Replica {
     cfg: ReplicaConfig,
+    keyring: Keyring,
+    jitter_ms: u64,
     view: u64,
     /// Highest view-change target we have voted for (>= view).
     vc_target: u64,
     last_exec: u64,
     entries: BTreeMap<u64, Entry>,
     executed_digests: BTreeMap<u64, [u8; 32]>,
+    /// Execution roots for recent heights, for re-signing refill votes.
+    executed_roots: BTreeMap<u64, [u8; 32]>,
     /// target view -> (voter -> (voter's last_exec, voter's suffix)).
     #[allow(clippy::type_complexity)]
     vc_votes: BTreeMap<u64, BTreeMap<u32, (u64, Vec<SuffixEntry>)>>,
     /// Set when we won an election but must state-sync before installing.
     pending_new_view: Option<u64>,
+    /// (sender, tag, view, seq) -> (content id, first signed message).
+    #[allow(clippy::type_complexity)]
+    equiv_seen: BTreeMap<(u32, u8, u64, u64), ([u8; 32], SignedPeerMsg)>,
+    /// Peers caught equivocating; all their traffic is refused.
+    blacklist: BTreeSet<u32>,
+    evidence_emitted: u64,
     last_progress_ms: u64,
+    /// When the oldest still-unexecuted in-flight entry started waiting,
+    /// or `None` while the pipeline is drained. Heartbeats do NOT reset
+    /// this: a leader that beacons liveness while its proposals can never
+    /// quorum (equivocation, corrupted payloads) must still lose the
+    /// floor when the stall outlives the view timeout.
+    stalled_since_ms: Option<u64>,
     last_hb_ms: u64,
     view_changes: u64,
 }
 
 impl Replica {
     /// Build a replica at view 0 with nothing executed.
-    pub fn new(cfg: ReplicaConfig, now_ms: u64) -> Replica {
+    pub fn new(cfg: ReplicaConfig, keyring: Keyring, now_ms: u64) -> Replica {
         assert!(cfg.n > 0, "empty consortium");
         assert!((cfg.node_id as usize) < cfg.n, "node_id out of range");
+        assert_eq!(keyring.n(), cfg.n, "keyring size != consortium size");
+        let jitter_ms = timeout_jitter(cfg.node_id, cfg.timeout_jitter_ms);
         Replica {
             cfg,
+            keyring,
+            jitter_ms,
             view: 0,
             vc_target: 0,
             last_exec: 0,
             entries: BTreeMap::new(),
             executed_digests: BTreeMap::new(),
+            executed_roots: BTreeMap::new(),
             vc_votes: BTreeMap::new(),
             pending_new_view: None,
+            equiv_seen: BTreeMap::new(),
+            blacklist: BTreeSet::new(),
+            evidence_emitted: 0,
             last_progress_ms: now_ms,
+            stalled_since_ms: None,
             last_hb_ms: now_ms,
             view_changes: 0,
         }
     }
 
     /// Resume a replica whose chain already reaches `height` (WAL recovery).
-    pub fn with_height(cfg: ReplicaConfig, height: u64, now_ms: u64) -> Replica {
-        let mut r = Replica::new(cfg, now_ms);
+    pub fn with_height(cfg: ReplicaConfig, keyring: Keyring, height: u64, now_ms: u64) -> Replica {
+        let mut r = Replica::new(cfg, keyring, now_ms);
         r.last_exec = height;
         r
     }
@@ -206,6 +323,26 @@ impl Replica {
         self.view_changes
     }
 
+    /// This replica's signing identity and the consortium key table.
+    pub fn keyring(&self) -> &Keyring {
+        &self.keyring
+    }
+
+    /// Whether `id` has been caught equivocating.
+    pub fn is_blacklisted(&self, id: u32) -> bool {
+        self.blacklist.contains(&id)
+    }
+
+    /// Evidence records emitted so far.
+    pub fn evidence_count(&self) -> u64 {
+        self.evidence_emitted
+    }
+
+    /// Wrap an outbound message in this replica's signed envelope.
+    pub fn sign(&self, msg: PeerMsg) -> SignedPeerMsg {
+        SignedPeerMsg::sign(self.cfg.node_id, &self.keyring.signer, msg)
+    }
+
     fn quorum(&self) -> usize {
         quorum(self.cfg.n)
     }
@@ -231,21 +368,9 @@ impl Replica {
             return Err(ProposeError::Backpressure);
         }
         let digest = block_digest(next_seq, &txs);
-        let mut prepares = BTreeSet::new();
-        prepares.insert(self.me());
-        self.entries.insert(
-            next_seq,
-            Entry {
-                view: self.view,
-                digest,
-                txs: txs.clone(),
-                has_payload: true,
-                prepares,
-                commits: BTreeSet::new(),
-                exec_emitted: false,
-                executed: false,
-            },
-        );
+        let mut entry = Entry::fresh(self.view, digest, txs.clone(), true);
+        entry.prepares.insert(self.me());
+        self.entries.insert(next_seq, entry);
         // A proposal doubles as a liveness beacon; skip the next heartbeat.
         self.last_hb_ms = now_ms;
         let mut actions = vec![Action::Broadcast(PeerMsg::PrePrepare {
@@ -257,7 +382,79 @@ impl Replica {
         Ok(actions)
     }
 
-    /// Feed one peer message.
+    /// Authenticated entry point: verify the envelope, refuse blacklisted
+    /// peers, validate `Commit` certificate votes, detect equivocation,
+    /// then process. Every `Err` leaves the replica untouched.
+    pub fn handle(
+        &mut self,
+        signed: SignedPeerMsg,
+        now_ms: u64,
+    ) -> Result<Vec<Action>, HandleError> {
+        signed
+            .verify(&self.keyring.keys)
+            .map_err(HandleError::Auth)?;
+        let from = signed.from;
+        if self.blacklist.contains(&from) {
+            return Err(HandleError::Blacklisted(from));
+        }
+        if let PeerMsg::Commit {
+            seq,
+            root,
+            vote_sig,
+            ..
+        } = &signed.msg
+        {
+            // `verify` bounds `from` to the key table.
+            let key = &self.keyring.keys[from as usize];
+            if key
+                .verify(&vote_bytes(*seq, root), &Signature(*vote_sig))
+                .is_err()
+            {
+                return Err(HandleError::BadVoteSig(from));
+            }
+        }
+        let mut actions = Vec::new();
+        if let Some((tag, view, seq, content)) = equivocation_slot(&signed.msg) {
+            let slot = (from, tag, view, seq);
+            match self.equiv_seen.get(&slot) {
+                Some((prev_content, prev_signed)) if *prev_content != content => {
+                    // Two valid signatures, one slot, different content:
+                    // transferable proof of equivocation.
+                    let ev = Evidence {
+                        accused: from,
+                        view,
+                        seq,
+                        tag,
+                        first: prev_signed.clone(),
+                        second: signed,
+                    };
+                    self.blacklist.insert(from);
+                    self.evidence_emitted += 1;
+                    actions.push(Action::Evidence(ev));
+                    if from == self.leader() && self.pending_new_view.is_none() {
+                        // An equivocating leader must not keep the floor.
+                        let target = if self.vc_target <= self.view {
+                            self.view + 1
+                        } else {
+                            self.vc_target + 1
+                        };
+                        self.broadcast_own_vote(target, &mut actions);
+                    }
+                    return Ok(actions);
+                }
+                Some(_) => {} // identical retransmission: process normally
+                None => {
+                    self.equiv_seen.insert(slot, (content, signed.clone()));
+                }
+            }
+        }
+        actions.extend(self.on_msg(from, signed.msg, now_ms));
+        Ok(actions)
+    }
+
+    /// Feed one peer message, trusting `from`. The unauthenticated core of
+    /// [`Replica::handle`]; public for in-memory buses and differential
+    /// tests that bypass signatures.
     pub fn on_msg(&mut self, from: u32, msg: PeerMsg, now_ms: u64) -> Vec<Action> {
         let mut actions = Vec::new();
         match msg {
@@ -268,14 +465,19 @@ impl Replica {
                 seq, digest, from, ..
             } => {
                 if seq > self.last_exec {
-                    self.record_vote(seq, digest, from, true);
+                    self.record_prepare(seq, digest, from);
                     self.check_prepared(seq, &mut actions);
                 }
             }
             PeerMsg::Commit {
-                seq, digest, from, ..
+                seq,
+                digest,
+                from,
+                root,
+                vote_sig,
+                ..
             } => {
-                self.record_vote(seq, digest, from, false);
+                self.record_commit(seq, digest, from, root, vote_sig);
                 self.check_committed(seq, &mut actions);
             }
             PeerMsg::ViewChange {
@@ -325,7 +527,7 @@ impl Replica {
         }
         if view > self.view {
             // A rightful primary announcing a higher view implies it won an
-            // election we missed; adopt (attested-crash trust).
+            // election we missed; adopt.
             self.enter_view(view, now_ms, actions);
         }
         self.last_progress_ms = now_ms;
@@ -340,12 +542,17 @@ impl Replica {
                     digest,
                     from: self.me(),
                 }));
-                actions.push(Action::Broadcast(PeerMsg::Commit {
-                    view,
-                    seq,
-                    digest,
-                    from: self.me(),
-                }));
+                if let Some(root) = self.executed_roots.get(&seq).copied() {
+                    let vote_sig = sign_vote(&self.keyring.signer, seq, &root);
+                    actions.push(Action::Broadcast(PeerMsg::Commit {
+                        view,
+                        seq,
+                        digest,
+                        from: self.me(),
+                        root,
+                        vote_sig,
+                    }));
+                }
             }
             return;
         }
@@ -367,23 +574,19 @@ impl Replica {
                 .entries
                 .get(&seq)
                 .filter(|e| e.digest == digest)
-                .map(|e| (e.prepares.clone(), e.commits.clone()));
-            let (mut prepares, commits) = stale_votes.unwrap_or_default();
+                .map(|e| (e.prepares.clone(), e.commit_votes.clone()));
+            let (mut prepares, commit_votes) = stale_votes.unwrap_or_default();
             prepares.insert(from);
             prepares.insert(self.me());
-            self.entries.insert(
-                seq,
-                Entry {
-                    view,
-                    digest,
-                    txs,
-                    has_payload: true,
-                    prepares,
-                    commits,
-                    exec_emitted: false,
-                    executed: false,
-                },
-            );
+            let mut entry = Entry::fresh(view, digest, txs, true);
+            entry.prepares = prepares;
+            entry.commit_votes = commit_votes;
+            self.entries.insert(seq, entry);
+            // Arm the stall clock: this entry must execute within the
+            // view-timeout window or we vote the leader out.
+            if self.stalled_since_ms.is_none() {
+                self.stalled_since_ms = Some(now_ms);
+            }
             actions.push(Action::Broadcast(PeerMsg::Prepare {
                 view,
                 seq,
@@ -402,25 +605,37 @@ impl Replica {
         self.check_prepared(seq, actions);
     }
 
-    fn record_vote(&mut self, seq: u64, digest: [u8; 32], from: u32, prepare: bool) {
-        let entry = self.entries.entry(seq).or_insert_with(|| Entry {
-            view: self.view,
-            digest,
-            txs: Vec::new(),
-            has_payload: false,
-            prepares: BTreeSet::new(),
-            commits: BTreeSet::new(),
-            exec_emitted: false,
-            executed: false,
-        });
+    fn record_prepare(&mut self, seq: u64, digest: [u8; 32], from: u32) {
+        let entry = self
+            .entries
+            .entry(seq)
+            .or_insert_with(|| Entry::fresh(self.view, digest, Vec::new(), false));
         // Votes only count toward the digest we hold; a placeholder adopts
-        // the first digest it hears about.
+        // the first digest it hears about. A poisoned placeholder cannot
+        // stick: the PrePrepare payload replaces it and discards
+        // mismatching votes.
         if entry.digest == digest {
-            if prepare {
-                entry.prepares.insert(from);
-            } else {
-                entry.commits.insert(from);
-            }
+            entry.prepares.insert(from);
+        }
+    }
+
+    fn record_commit(
+        &mut self,
+        seq: u64,
+        digest: [u8; 32],
+        from: u32,
+        root: [u8; 32],
+        sig: [u8; 64],
+    ) {
+        let entry = self
+            .entries
+            .entry(seq)
+            .or_insert_with(|| Entry::fresh(self.view, digest, Vec::new(), false));
+        if entry.digest == digest {
+            entry
+                .commit_votes
+                .entry(from)
+                .or_insert((digest, root, sig));
         }
     }
 
@@ -442,37 +657,58 @@ impl Replica {
         }
     }
 
-    /// The driver executed and durably logged `seq`. Emits the `Commit`
-    /// broadcast and chains execution of the next prepared entry.
-    pub fn on_executed(&mut self, seq: u64, now_ms: u64) -> Vec<Action> {
+    /// The driver executed and durably logged `seq`, producing state root
+    /// `root`. Emits the `Commit` broadcast (carrying our signed
+    /// certificate vote) and chains execution of the next prepared entry.
+    pub fn on_executed(&mut self, seq: u64, root: [u8; 32], now_ms: u64) -> Vec<Action> {
         assert_eq!(seq, self.last_exec + 1, "out-of-order execution");
         let mut actions = Vec::new();
         self.last_exec = seq;
         self.last_progress_ms = now_ms;
         let me = self.me();
+        let vote_sig = sign_vote(&self.keyring.signer, seq, &root);
         let Some(e) = self.entries.get_mut(&seq) else {
             panic!("executed unknown sequence {seq}");
         };
         e.executed = true;
-        e.commits.insert(me);
+        e.exec_root = Some(root);
+        e.commit_votes.insert(me, (e.digest, root, vote_sig));
         let (view, digest) = (e.view, e.digest);
         self.executed_digests.insert(seq, digest);
+        self.executed_roots.insert(seq, root);
         while let Some(first) = self.executed_digests.keys().next().copied() {
             if first + DIGEST_WINDOW <= seq {
                 self.executed_digests.remove(&first);
+                self.executed_roots.remove(&first);
             } else {
                 break;
             }
         }
+        // Bound the equivocation watch window alongside.
+        self.equiv_seen
+            .retain(|(_, _, _, s), _| s + DIGEST_WINDOW > seq);
         actions.push(Action::Broadcast(PeerMsg::Commit {
             view,
             seq,
             digest,
             from: me,
+            root,
+            vote_sig,
         }));
         self.check_committed(seq, &mut actions);
         self.check_prepared(seq + 1, &mut actions);
+        self.rearm_stall_clock(now_ms);
         actions
+    }
+
+    /// Execution progressed (or the horizon moved): restart the stall
+    /// clock if in-flight work remains, clear it if the pipeline drained.
+    fn rearm_stall_clock(&mut self, now_ms: u64) {
+        self.stalled_since_ms = if self.entries.keys().any(|&s| s > self.last_exec) {
+            Some(now_ms)
+        } else {
+            None
+        };
     }
 
     fn check_committed(&mut self, seq: u64, actions: &mut Vec<Action>) {
@@ -480,10 +716,28 @@ impl Replica {
         let Some(e) = self.entries.get(&seq) else {
             return;
         };
-        if e.executed && e.commits.len() >= q {
+        let Some(root) = e.exec_root else {
+            return; // not executed here yet
+        };
+        // Only votes naming our digest AND our execution root count toward
+        // the certificate; a Byzantine vote for another root is ignored.
+        let votes: Vec<(u32, [u8; 64])> = e
+            .commit_votes
+            .iter()
+            .filter(|(_, (d, r, _))| *d == e.digest && *r == root)
+            .map(|(id, (_, _, s))| (*id, *s))
+            .collect();
+        if e.executed && votes.len() >= q {
             let digest = e.digest;
             self.entries.remove(&seq);
-            actions.push(Action::CommittedLocal { seq, digest });
+            // BTreeMap iteration yields strictly ascending voter ids, the
+            // canonical certificate order.
+            let cert = QuorumCert {
+                height: seq,
+                root,
+                votes,
+            };
+            actions.push(Action::CommittedLocal { seq, digest, cert });
         }
     }
 
@@ -591,12 +845,31 @@ impl Replica {
 
     fn install_new_view(&mut self, target: u64, now_ms: u64, actions: &mut Vec<Action>) {
         self.pending_new_view = None;
+        // Re-proposals must reach back to the *slowest quorum voter's*
+        // execution horizon, not ours. A block we executed at prepare
+        // quorum may never have gathered a commit quorum (an equivocating
+        // leader can split the followers so 2f+1 prepares form on one
+        // fork while the rest hold the other): that block has no
+        // certificate, so a stranded replica can neither replay it by
+        // consensus (its entry was dropped) nor fetch it by cert-verified
+        // state sync. Re-proposing down to the quorum floor lets laggards
+        // re-run the block and lets the commit quorum — and therefore the
+        // certificate — finally form.
+        let floor = self
+            .vc_votes
+            .get(&target)
+            .into_iter()
+            .flatten()
+            .map(|(_, (le, _))| *le)
+            .min()
+            .unwrap_or(self.last_exec)
+            .min(self.last_exec);
         // Merge the quorum's suffixes with our own entries and re-propose
-        // every consecutive in-flight sequence above our execution horizon,
-        // preferring prepared reports, then the highest view.
+        // every in-flight sequence above the floor, preferring prepared
+        // reports, then the highest view.
         let mut candidates: BTreeMap<u64, (bool, u64, Vec<Vec<u8>>)> = BTreeMap::new();
         let mut consider = |seq: u64, prepared: bool, view: u64, txs: &Vec<Vec<u8>>| {
-            if txs.is_empty() || seq <= self.last_exec {
+            if txs.is_empty() || seq <= floor {
                 return;
             }
             let better = match candidates.get(&seq) {
@@ -619,40 +892,71 @@ impl Replica {
             }
         }
         let mut repropose = Vec::new();
-        let mut seq = self.last_exec + 1;
-        while let Some((_, _, txs)) = candidates.get(&seq) {
-            repropose.push((seq, txs.clone()));
+        let mut seq = floor + 1;
+        while seq <= self.last_exec || candidates.contains_key(&seq) {
+            if let Some((_, _, txs)) = candidates.get(&seq) {
+                repropose.push((seq, txs.clone()));
+            }
+            // A sequence at or below our horizon with no candidate was
+            // committed here and its entry retired — it carries a quorum
+            // certificate, so laggards state-sync it instead. A gap
+            // *above* our horizon (which ends the loop) means no quorum
+            // member holds a payload for that sequence, so it was
+            // prepared (hence executed) nowhere; everything beyond it is
+            // dropped and clients retry.
             seq += 1;
-            // A gap means no quorum member holds a payload for that
-            // sequence, so it was prepared (hence executed) nowhere;
-            // everything beyond it is dropped and clients retry.
         }
         self.enter_view(target, now_ms, actions);
         self.entries.retain(|s, _| *s <= self.last_exec);
         for (seq, txs) in &repropose {
+            if *seq <= self.last_exec {
+                // Re-proposal of a block we executed: the retained entry
+                // already holds its payload, root and votes.
+                continue;
+            }
             let digest = block_digest(*seq, txs);
-            let mut prepares = BTreeSet::new();
-            prepares.insert(self.me());
-            self.entries.insert(
-                *seq,
-                Entry {
-                    view: target,
-                    digest,
-                    txs: txs.clone(),
-                    has_payload: true,
-                    prepares,
-                    commits: BTreeSet::new(),
-                    exec_emitted: false,
-                    executed: false,
-                },
-            );
+            let mut entry = Entry::fresh(target, digest, txs.clone(), true);
+            entry.prepares.insert(self.me());
+            self.entries.insert(*seq, entry);
         }
         actions.push(Action::Broadcast(PeerMsg::NewView {
             view: target,
             from: self.me(),
             last_exec: self.last_exec,
-            repropose,
+            repropose: repropose.clone(),
         }));
+        // Refill the new view's quorums for re-proposed blocks we already
+        // executed: followers re-vote when they replay the `NewView`, but
+        // the leader never processes its own broadcast — without this,
+        // recovering laggards end up one Commit vote short of 2f+1 and
+        // the block's certificate never forms. Sent *after* the `NewView`
+        // so receivers have replaced any conflicting entry first.
+        for (seq, txs) in &repropose {
+            if *seq > self.last_exec {
+                continue;
+            }
+            let digest = block_digest(*seq, txs);
+            if self.executed_digests.get(seq) != Some(&digest) {
+                continue;
+            }
+            actions.push(Action::Broadcast(PeerMsg::Prepare {
+                view: target,
+                seq: *seq,
+                digest,
+                from: self.me(),
+            }));
+            if let Some(root) = self.executed_roots.get(seq).copied() {
+                let vote_sig = sign_vote(&self.keyring.signer, *seq, &root);
+                actions.push(Action::Broadcast(PeerMsg::Commit {
+                    view: target,
+                    seq: *seq,
+                    digest,
+                    from: self.me(),
+                    root,
+                    vote_sig,
+                }));
+            }
+        }
         self.last_hb_ms = now_ms;
         self.check_prepared(self.last_exec + 1, actions);
     }
@@ -695,6 +999,7 @@ impl Replica {
             self.pending_new_view = None;
         }
         self.last_progress_ms = now_ms;
+        self.rearm_stall_clock(now_ms);
         actions.push(Action::LeaderChanged {
             view,
             leader: primary_of(view, self.cfg.n),
@@ -710,6 +1015,7 @@ impl Replica {
             self.last_exec = height;
             self.entries.retain(|s, e| *s > height && !e.executed);
             self.last_progress_ms = now_ms;
+            self.rearm_stall_clock(now_ms);
         }
         if let Some(target) = self.pending_new_view {
             let max_le = self
@@ -740,16 +1046,32 @@ impl Replica {
                     last_exec: self.last_exec,
                 }));
             }
-        } else if now_ms.saturating_sub(self.last_progress_ms) >= self.cfg.view_timeout_ms {
-            // Escalate one target per silent timeout window, skipping over
-            // candidate leaders that are themselves dead.
-            let target = if self.vc_target <= self.view {
-                self.view + 1
-            } else {
-                self.vc_target + 1
-            };
-            self.last_progress_ms = now_ms;
-            self.broadcast_own_vote(target, &mut actions);
+        } else {
+            let window = self.cfg.view_timeout_ms + self.jitter_ms;
+            let silent = now_ms.saturating_sub(self.last_progress_ms) >= window;
+            // A heartbeating leader whose proposals never execute is as
+            // dead as a silent one: equivocated or corrupted proposals can
+            // never quorum, and the beacon must not keep it on the floor.
+            let stalled = self
+                .stalled_since_ms
+                .is_some_and(|t| now_ms.saturating_sub(t) >= window);
+            if silent || stalled {
+                // Escalate one target per timeout window, skipping over
+                // candidate leaders that are themselves dead. The jittered
+                // deadline staggers detection so one replica votes first
+                // and the f+1 join rule pulls the rest in behind a single
+                // target.
+                let target = if self.vc_target <= self.view {
+                    self.view + 1
+                } else {
+                    self.vc_target + 1
+                };
+                self.last_progress_ms = now_ms;
+                if let Some(t) = self.stalled_since_ms.as_mut() {
+                    *t = now_ms;
+                }
+                self.broadcast_own_vote(target, &mut actions);
+            }
         }
         actions
     }
@@ -760,17 +1082,21 @@ mod tests {
     use super::*;
     use std::collections::VecDeque;
 
+    const SEED: u64 = 0xC0FF1DE;
+
     /// In-memory bus driving N replicas with perfect (but reorderable)
-    /// links, synchronous execution, and a fake clock.
+    /// links, synchronous execution, a fake clock, and real signatures:
+    /// every delivery goes through the authenticated [`Replica::handle`].
     struct Bus {
         replicas: Vec<Replica>,
+        rings: Vec<Keyring>,
         /// Delivery queue of (from, to, msg).
         queue: VecDeque<(u32, u32, PeerMsg)>,
         /// Node ids that are crashed (drop everything to/from them).
         dead: BTreeSet<u32>,
         /// Per-replica executed blocks (seq, digest).
         executed: Vec<Vec<(u64, [u8; 32])>>,
-        /// Per-replica committed seqs.
+        /// Per-replica committed seqs (each carried a verified cert).
         committed: Vec<Vec<u64>>,
         /// Per-replica NeedSync requests observed.
         syncs: Vec<Vec<(u32, u64)>>,
@@ -780,15 +1106,20 @@ mod tests {
     impl Bus {
         fn new(n: usize) -> Bus {
             let now = 0;
+            let rings: Vec<Keyring> = (0..n as u32)
+                .map(|i| Keyring::deterministic(SEED, i, n))
+                .collect();
             Bus {
                 replicas: (0..n)
                     .map(|i| {
                         let mut cfg = ReplicaConfig::localhost(i as u32, n);
                         cfg.view_timeout_ms = 100;
                         cfg.heartbeat_ms = 20;
-                        Replica::new(cfg, now)
+                        cfg.timeout_jitter_ms = 30;
+                        Replica::new(cfg, rings[i].clone(), now)
                     })
                     .collect(),
+                rings,
                 queue: VecDeque::new(),
                 dead: BTreeSet::new(),
                 executed: vec![Vec::new(); n],
@@ -813,18 +1144,35 @@ mod tests {
                     Action::Execute { seq, txs, digest } => {
                         assert_eq!(digest, block_digest(seq, &txs));
                         self.executed[node as usize].push((seq, digest));
-                        let more = self.replicas[node as usize].on_executed(seq, self.now);
+                        // Tests use the block digest as the stand-in root.
+                        let more = self.replicas[node as usize].on_executed(seq, digest, self.now);
                         self.absorb(node, more);
                     }
-                    Action::CommittedLocal { seq, .. } => {
+                    Action::CommittedLocal { seq, digest, cert } => {
+                        assert_eq!(cert.height, seq);
+                        assert_eq!(cert.root, digest);
+                        cert.verify(self.replicas.len(), &self.rings[0].keys)
+                            .expect("commit released without a valid certificate");
                         self.committed[node as usize].push(seq);
                     }
                     Action::NeedSync { peer, have } => {
                         self.syncs[node as usize].push((peer, have));
                     }
                     Action::LeaderChanged { .. } => {}
+                    Action::Evidence(ev) => {
+                        panic!("honest cluster produced evidence: {ev:?}");
+                    }
                 }
             }
+        }
+
+        /// Sign and deliver one message through the authenticated path.
+        fn deliver(&mut self, from: u32, to: u32, msg: PeerMsg) {
+            let signed = SignedPeerMsg::sign(from, &self.rings[from as usize].signer, msg);
+            let actions = self.replicas[to as usize]
+                .handle(signed, self.now)
+                .expect("honest message rejected");
+            self.absorb(to, actions);
         }
 
         /// Deliver queued messages until quiescence. `reversed` pops from
@@ -838,8 +1186,7 @@ mod tests {
                 if self.dead.contains(&from) || self.dead.contains(&to) {
                     continue;
                 }
-                let actions = self.replicas[to as usize].on_msg(from, msg, self.now);
-                self.absorb(to, actions);
+                self.deliver(from, to, msg);
             }
         }
 
@@ -955,8 +1302,7 @@ mod tests {
         // Deliver only the PrePrepares (first 3 queued messages).
         for _ in 0..3 {
             let (from, to, msg) = bus.queue.pop_front().unwrap();
-            let actions = bus.replicas[to as usize].on_msg(from, msg, bus.now);
-            bus.absorb(to, actions);
+            bus.deliver(from, to, msg);
         }
         bus.queue.clear();
         bus.dead.insert(0);
@@ -1082,8 +1428,329 @@ mod tests {
 
     #[test]
     fn resumed_replica_starts_at_recovered_height() {
-        let r = Replica::with_height(ReplicaConfig::localhost(2, 4), 7, 0);
+        let ring = Keyring::deterministic(SEED, 2, 4);
+        let r = Replica::with_height(ReplicaConfig::localhost(2, 4), ring, 7, 0);
         assert_eq!(r.last_exec(), 7);
         assert_eq!(r.view(), 0);
+    }
+
+    #[test]
+    fn equivocating_follower_yields_evidence_and_blacklist() {
+        let mut bus = Bus::new(4);
+        bus.propose(0, block(1, 2)).unwrap();
+        bus.pump(false);
+        // Node 1 signs two conflicting Prepares for the same slot.
+        let prep = |d: u8| PeerMsg::Prepare {
+            view: 0,
+            seq: 2,
+            digest: [d; 32],
+            from: 1,
+        };
+        let sign1 = |m: PeerMsg| SignedPeerMsg::sign(1, &bus.rings[1].signer, m);
+        let a1 = bus.replicas[2].handle(sign1(prep(1)), 0).unwrap();
+        assert!(!a1.iter().any(|a| matches!(a, Action::Evidence(_))));
+        let a2 = bus.replicas[2].handle(sign1(prep(2)), 0).unwrap();
+        let ev = a2
+            .iter()
+            .find_map(|a| match a {
+                Action::Evidence(e) => Some(e.clone()),
+                _ => None,
+            })
+            .expect("conflicting signed prepares produced no evidence");
+        assert_eq!(ev.accused, 1);
+        ev.verify(&bus.rings[0].keys).unwrap();
+        assert!(bus.replicas[2].is_blacklisted(1));
+        assert_eq!(bus.replicas[2].evidence_count(), 1);
+        // Follower equivocation does not force a view change.
+        assert!(!a2
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(PeerMsg::ViewChange { .. }))));
+        // Further traffic from the offender is refused.
+        assert!(matches!(
+            bus.replicas[2].handle(sign1(prep(3)), 0),
+            Err(HandleError::Blacklisted(1))
+        ));
+    }
+
+    #[test]
+    fn equivocating_leader_forces_view_change() {
+        let mut bus = Bus::new(4);
+        // Leader 0 signs two conflicting PrePrepares for (view 0, seq 1).
+        let pp = |tag: u8| PeerMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            txs: block(tag, 2),
+        };
+        let sign0 = |m: PeerMsg| SignedPeerMsg::sign(0, &bus.rings[0].signer, m);
+        bus.replicas[1].handle(sign0(pp(1)), 0).unwrap();
+        let actions = bus.replicas[1].handle(sign0(pp(2)), 0).unwrap();
+        assert!(actions.iter().any(|a| matches!(a, Action::Evidence(_))));
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Broadcast(PeerMsg::ViewChange { target: 1, .. }))),
+            "equivocating leader kept the floor: {actions:?}"
+        );
+        assert!(bus.replicas[1].is_blacklisted(0));
+    }
+
+    #[test]
+    fn tampered_or_spoofed_envelopes_rejected_without_effect() {
+        let mut bus = Bus::new(4);
+        let msg = PeerMsg::Prepare {
+            view: 0,
+            seq: 1,
+            digest: [7; 32],
+            from: 1,
+        };
+        let mut tampered = SignedPeerMsg::sign(1, &bus.rings[1].signer, msg.clone());
+        tampered.sig[0] ^= 1;
+        assert!(matches!(
+            bus.replicas[2].handle(tampered, 0),
+            Err(HandleError::Auth(AuthError::BadSignature(1)))
+        ));
+        // Node 3 signing a body that claims from=1.
+        let spoofed = SignedPeerMsg::sign(3, &bus.rings[3].signer, msg);
+        assert!(matches!(
+            bus.replicas[2].handle(spoofed, 0),
+            Err(HandleError::Auth(AuthError::SenderMismatch { .. }))
+        ));
+        // A signer id outside the consortium.
+        let stray = SignedPeerMsg::sign(
+            9,
+            &bus.rings[0].signer,
+            PeerMsg::Heartbeat {
+                view: 0,
+                from: 9,
+                last_exec: 5,
+            },
+        );
+        assert!(matches!(
+            bus.replicas[2].handle(stray, 0),
+            Err(HandleError::Auth(AuthError::UnknownSigner(9)))
+        ));
+        // None of it moved the replica.
+        assert_eq!(bus.replicas[2].view(), 0);
+        assert_eq!(bus.replicas[2].last_exec(), 0);
+        assert_eq!(bus.replicas[2].evidence_count(), 0);
+    }
+
+    #[test]
+    fn forged_commit_vote_rejected() {
+        let mut bus = Bus::new(4);
+        // Correct envelope, but the detached certificate vote signs a
+        // different root than the message claims.
+        let bad_vote = sign_vote(&bus.rings[1].signer, 1, &[8; 32]);
+        let msg = PeerMsg::Commit {
+            view: 0,
+            seq: 1,
+            digest: [7; 32],
+            from: 1,
+            root: [9; 32],
+            vote_sig: bad_vote,
+        };
+        let signed = SignedPeerMsg::sign(1, &bus.rings[1].signer, msg);
+        assert!(matches!(
+            bus.replicas[2].handle(signed, 0),
+            Err(HandleError::BadVoteSig(1))
+        ));
+    }
+
+    #[test]
+    fn timeout_jitter_is_deterministic_and_bounded() {
+        assert_eq!(timeout_jitter(3, 0), 0);
+        let spread = 40;
+        let js: Vec<u64> = (0..8).map(|i| timeout_jitter(i, spread)).collect();
+        for (i, j) in js.iter().enumerate() {
+            assert!(*j < spread);
+            assert_eq!(*j, timeout_jitter(i as u32, spread), "not deterministic");
+        }
+        // The spread must actually spread: not every replica on one value.
+        assert!(js.iter().collect::<BTreeSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn staggered_timeouts_elect_in_one_round() {
+        let mut bus = Bus::new(4);
+        bus.propose(0, block(1, 2)).unwrap();
+        bus.pump(false);
+        bus.dead.insert(0);
+        // Walk time forward in fine steps, delivering between steps:
+        // replicas time out at distinct jittered instants, the first
+        // voter's f+1 join rule pulls the rest in, and exactly one view
+        // change installs.
+        for _ in 0..40 {
+            bus.tick_all(10);
+            bus.pump(false);
+        }
+        for i in bus.live() {
+            assert_eq!(bus.replicas[i].view(), 1, "replica {i} overshot view 1");
+            assert_eq!(bus.replicas[i].view_changes(), 1, "replica {i} dueled");
+        }
+        bus.propose(1, block(2, 2)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(2);
+    }
+
+    #[test]
+    fn stalled_pipeline_votes_out_a_heartbeating_leader() {
+        // A Byzantine primary can stall the pipeline while staying
+        // "alive": it equivocates or corrupts proposals (so nothing ever
+        // quorums) yet keeps heartbeating so the silence timer never
+        // fires. The stall clock must vote it out anyway.
+        let rings: Vec<Keyring> = (0..4).map(|i| Keyring::deterministic(SEED, i, 4)).collect();
+        let mut cfg = ReplicaConfig::localhost(1, 4);
+        cfg.view_timeout_ms = 100;
+        cfg.heartbeat_ms = 20;
+        cfg.timeout_jitter_ms = 0;
+        let mut r = Replica::new(cfg, rings[1].clone(), 0);
+        let pp = SignedPeerMsg::sign(
+            0,
+            &rings[0].signer,
+            PeerMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                txs: vec![b"stuck".to_vec()],
+            },
+        );
+        r.handle(pp, 0).unwrap();
+
+        let mut voted_at = None;
+        for now in (20..=400).step_by(20) {
+            // Fresh heartbeat every tick: the leader is never silent.
+            let hb = SignedPeerMsg::sign(
+                0,
+                &rings[0].signer,
+                PeerMsg::Heartbeat {
+                    view: 0,
+                    from: 0,
+                    last_exec: 0,
+                },
+            );
+            r.handle(hb, now).unwrap();
+            let actions = r.on_tick(now);
+            if actions
+                .iter()
+                .any(|a| matches!(a, Action::Broadcast(PeerMsg::ViewChange { target: 1, .. })))
+            {
+                voted_at = Some(now);
+                break;
+            }
+        }
+        let at = voted_at.expect("stalled replica never voted out the heartbeating leader");
+        assert!(
+            (100..=200).contains(&at),
+            "stall vote fired at {at}ms, outside one timeout window"
+        );
+
+        // Once the stall drains (the entry executes), the clock disarms:
+        // continued heartbeats keep the new pipeline quiet.
+        let digest = block_digest(1, &[b"stuck".to_vec()]);
+        for peer in [2u32, 3] {
+            let prep = SignedPeerMsg::sign(
+                peer,
+                &rings[peer as usize].signer,
+                PeerMsg::Prepare {
+                    view: 0,
+                    seq: 1,
+                    digest,
+                    from: peer,
+                },
+            );
+            r.handle(prep, at).unwrap();
+        }
+        r.on_executed(1, [7; 32], at);
+        for now in (at + 20..=at + 400).step_by(20) {
+            let hb = SignedPeerMsg::sign(
+                0,
+                &rings[0].signer,
+                PeerMsg::Heartbeat {
+                    view: 0,
+                    from: 0,
+                    last_exec: 1,
+                },
+            );
+            r.handle(hb, now).unwrap();
+            assert!(
+                r.on_tick(now).is_empty(),
+                "drained pipeline still voted at {now}ms"
+            );
+        }
+    }
+
+    #[test]
+    fn equivocated_prepare_split_heals_via_quorum_floor_repropose() {
+        // An equivocating leader sends one payload for seq 1 to replica 2
+        // and a conflicting one to replicas 1 and 3. The fork gathers
+        // 2f+1 prepares (the leader's implicit vote counts on both
+        // sides), so 1 and 3 execute it — but the commit quorum is stuck
+        // at two votes, so no certificate ever forms, and replica 2 holds
+        // a payload that can never quorum. The new leader must re-propose
+        // down to the quorum's *minimum* execution horizon so replica 2
+        // re-runs the block by consensus and the certificate finally
+        // forms on every survivor.
+        let mut bus = Bus::new(4);
+        let honest = block(0xAA, 2);
+        let fork = block(0xFF, 2);
+        for (to, txs) in [(1u32, &fork), (2, &honest), (3, &fork)] {
+            bus.deliver(
+                0,
+                to,
+                PeerMsg::PrePrepare {
+                    view: 0,
+                    seq: 1,
+                    txs: txs.clone(),
+                },
+            );
+        }
+        bus.pump(false);
+        assert_eq!(
+            bus.replicas[1].last_exec(),
+            1,
+            "fork side failed to execute"
+        );
+        assert_eq!(
+            bus.replicas[3].last_exec(),
+            1,
+            "fork side failed to execute"
+        );
+        assert_eq!(
+            bus.replicas[2].last_exec(),
+            0,
+            "split side executed a minority digest"
+        );
+        assert!(
+            bus.committed.iter().all(|c| c.is_empty()),
+            "a split block must not certify"
+        );
+
+        // The equivocator goes dark; the survivors elect replica 1.
+        bus.dead.insert(0);
+        for _ in 0..40 {
+            bus.tick_all(10);
+            bus.pump(false);
+        }
+        for i in bus.live() {
+            assert_eq!(bus.replicas[i].view(), 1, "replica {i} not in view 1");
+            assert_eq!(
+                bus.replicas[i].last_exec(),
+                1,
+                "replica {i} did not recover seq 1 from the re-proposal"
+            );
+            assert_eq!(
+                bus.committed[i],
+                vec![1],
+                "replica {i} never certified the recovered block"
+            );
+        }
+        // All survivors converged on the fork digest (the prepared side).
+        let fork_digest = block_digest(1, &fork);
+        for i in bus.live() {
+            assert_eq!(bus.executed[i].last(), Some(&(1, fork_digest)));
+        }
+        // And the healed cluster keeps committing normally.
+        bus.propose(1, block(2, 2)).unwrap();
+        bus.pump(false);
+        bus.assert_converged(2);
     }
 }

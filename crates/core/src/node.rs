@@ -11,7 +11,7 @@ use confide_crypto::{sha256, HmacDrbg};
 use confide_storage::blockstore::{Block, BlockHeader, BlockStore, BlockStoreError};
 use confide_storage::kv::WriteBatch;
 use confide_storage::versioned::{StateDb, StateError};
-use confide_storage::wal::BlockWal;
+use confide_storage::wal::{BlockWal, CertLog};
 use confide_tee::platform::TeePlatform;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -377,6 +377,11 @@ pub struct ConfideNode {
     /// the node acknowledges it (durable-commit seam; `confide-node`
     /// flushes it to disk incrementally).
     wal: BlockWal,
+    /// Sidecar log of quorum certificates, one opaque record per committed
+    /// height. Opaque to the core (encoding and verification live in the
+    /// consensus crate); kept out of the block WAL so replica-local vote
+    /// subsets never perturb the byte-identical WAL stream.
+    certs: CertLog,
     rng: HmacDrbg,
     timestamp_ns: u64,
 }
@@ -395,6 +400,7 @@ impl ConfideNode {
             public_engine: Arc::new(Engine::public(config)),
             confidential_engine: Arc::new(Engine::confidential(platform, keys, config)),
             wal: BlockWal::new(),
+            certs: CertLog::new(),
             rng: HmacDrbg::from_u64(seed),
             timestamp_ns: 0,
         }
@@ -413,6 +419,61 @@ impl ConfideNode {
     /// deployment tracks between incremental appends.
     pub fn wal_len(&self) -> usize {
         self.wal.len()
+    }
+
+    /// Record the quorum certificate for `height` in the sidecar log.
+    /// Must be called *before* acknowledging the height's transactions, so
+    /// every acked block is provable to a light peer.
+    pub fn record_cert(&mut self, height: u64, cert: &[u8]) {
+        self.certs.append_cert(height, cert);
+    }
+
+    /// The raw certificate sidecar bytes (flushed incrementally next to
+    /// the WAL, at `<wal>.certs`).
+    pub fn cert_sidecar_bytes(&self) -> &[u8] {
+        self.certs.bytes()
+    }
+
+    /// Byte length of the certificate sidecar — its flush cursor.
+    pub fn cert_sidecar_len(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Restore the certificate sidecar from recovered file bytes (only
+    /// the intact prefix is kept). Call alongside WAL recovery.
+    pub fn load_cert_sidecar(&mut self, bytes: &[u8]) {
+        self.certs = CertLog::from_recovered(bytes);
+    }
+
+    /// The stored certificate for `height`, if any.
+    pub fn cert_for(&self, height: u64) -> Option<Vec<u8>> {
+        CertLog::recover(self.certs.bytes())
+            .certs
+            .into_iter()
+            .rev()
+            .find(|(h, _)| *h == height)
+            .map(|(_, c)| c)
+    }
+
+    /// All stored certificates for heights in `(from, to]`, ascending.
+    pub fn certs_in(&self, from: u64, to: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = CertLog::recover(self.certs.bytes())
+            .certs
+            .into_iter()
+            .filter(|(h, _)| *h > from && *h <= to)
+            .collect();
+        out.sort_by_key(|(h, _)| *h);
+        out.dedup_by_key(|(h, _)| *h);
+        out
+    }
+
+    /// Highest height with a stored certificate (None when empty).
+    pub fn last_certified(&self) -> Option<u64> {
+        CertLog::recover(self.certs.bytes())
+            .certs
+            .iter()
+            .map(|(h, _)| *h)
+            .max()
     }
 
     /// The **execute half** of the split commit seam: run
@@ -2446,6 +2507,35 @@ mod tests {
         let (a, _) = two_nodes();
         let report = a.attestation_report().unwrap();
         assert_eq!(report.report_data[..32], confide_crypto::sha256(&a.pk_tx()));
+    }
+
+    #[test]
+    fn cert_sidecar_records_survive_reload_and_answer_queries() {
+        let (mut a, _) = two_nodes();
+        assert_eq!(a.last_certified(), None);
+        a.record_cert(1, &[0x11; 40]);
+        a.record_cert(2, &[0x22; 44]);
+        a.record_cert(3, &[0x33; 48]);
+        assert_eq!(a.last_certified(), Some(3));
+        assert_eq!(a.cert_for(2), Some(vec![0x22; 44]));
+        assert_eq!(a.cert_for(9), None);
+        assert_eq!(
+            a.certs_in(1, 3),
+            vec![(2, vec![0x22; 44]), (3, vec![0x33; 48])]
+        );
+
+        // Reload from file bytes, including a torn tail.
+        let mut bytes = a.cert_sidecar_bytes().to_vec();
+        let (mut b, _) = two_nodes();
+        b.load_cert_sidecar(&bytes);
+        assert_eq!(b.last_certified(), Some(3));
+        bytes.pop();
+        let (mut c, _) = two_nodes();
+        c.load_cert_sidecar(&bytes);
+        assert_eq!(c.last_certified(), Some(2));
+        // Re-certifying the repaired height appends cleanly.
+        c.record_cert(3, &[0x44; 48]);
+        assert_eq!(c.cert_for(3), Some(vec![0x44; 48]));
     }
 
     #[test]

@@ -38,8 +38,9 @@
 
 use confide_net::demo::demo_node;
 use confide_net::loadgen::{
-    run, run_evm_bench, run_parallel_scaling, run_pipeline_bench, run_static_sched, to_json,
-    ConsensusInfo, LoadReport, LoadgenConfig, PipelineBenchConfig, PipelineReport, RecoveryInfo,
+    cert_microbench, run, run_evm_bench, run_parallel_scaling, run_pipeline_bench,
+    run_static_sched, to_json, ByzantineReport, ConsensusInfo, LoadReport, LoadgenConfig,
+    PipelineBenchConfig, PipelineReport, RecoveryInfo,
 };
 use confide_net::Conn;
 use confide_net::{NodeServer, ServerConfig};
@@ -51,7 +52,8 @@ fn usage() -> ! {
          [--threads N] [--txs N] [--mode closed|open|both] [--public] [--vm confide|evm] \
          [--window N] [--queue-depth N] [--exec-threads N] [--out PATH] [--recover-ms N] \
          [--recovered-blocks N] [--probe] [--pipeline] [--pipeline-idle N] \
-         [--pipeline-active N] [--pipeline-txs N]"
+         [--pipeline-active N] [--pipeline-txs N] [--byzantine-preset NAME] \
+         [--byzantine-evidence N] [--view-change-ms N] [--repair-blocks N] [--repair-ms N]"
     );
     std::process::exit(2);
 }
@@ -79,6 +81,7 @@ fn main() {
     let mut exec_threads: usize = ServerConfig::default().exec_threads;
     let mut out = String::from("results/BENCH_net.json");
     let mut recovery = RecoveryInfo::default();
+    let mut byzantine = ByzantineReport::default();
     let mut probe = false;
     let mut pipeline_on = false;
     let mut pipeline_cfg = PipelineBenchConfig::default();
@@ -100,6 +103,13 @@ fn main() {
             "--recovered-blocks" => {
                 recovery.recovered_blocks = parse("--recovered-blocks", args.next())
             }
+            "--byzantine-preset" => byzantine.preset = parse("--byzantine-preset", args.next()),
+            "--byzantine-evidence" => {
+                byzantine.evidence = parse("--byzantine-evidence", args.next())
+            }
+            "--view-change-ms" => byzantine.view_change_ms = parse("--view-change-ms", args.next()),
+            "--repair-blocks" => byzantine.repair_blocks = parse("--repair-blocks", args.next()),
+            "--repair-ms" => byzantine.repair_ms = parse("--repair-ms", args.next()),
             "--probe" => probe = true,
             "--pipeline" => pipeline_on = true,
             "--pipeline-idle" => {
@@ -157,8 +167,14 @@ fn main() {
                     let root: String = s.state_root.iter().map(|b| format!("{b:02x}")).collect();
                     println!(
                         "STATUS {addr} node={} view={} leader={} height={} root={root} \
-                         view_changes={} sync_blocks={}",
-                        s.node_id, s.view, s.leader, s.height, s.view_changes, s.sync_blocks
+                         view_changes={} sync_blocks={} evidence={}",
+                        s.node_id,
+                        s.view,
+                        s.leader,
+                        s.height,
+                        s.view_changes,
+                        s.sync_blocks,
+                        s.evidence
                     );
                 }
                 Err(e) => eprintln!("confide-loadgen: probe {addr}: {e}"),
@@ -354,14 +370,25 @@ fn main() {
     if consensus.n > 1 {
         eprintln!(
             "confide-loadgen: consensus: n {}, {:.1} tx/s, view_changes {}, sync_blocks {}, \
-             redirects {}",
+             redirects {}, evidence {}",
             consensus.n,
             consensus.tps,
             consensus.view_changes,
             consensus.sync_blocks,
-            consensus.redirects
+            consensus.redirects,
+            consensus.evidence
         );
     }
+    // The cert hot path is measured in-process on every run: it is the
+    // marginal per-block cost authenticated consensus adds, independent
+    // of whether a chaos drill supplied the other counters.
+    let (sign_us, verify_us) = cert_microbench(4, 200);
+    byzantine.cert_sign_us = sign_us;
+    byzantine.cert_verify_us = verify_us;
+    eprintln!(
+        "confide-loadgen: cert path: sign {sign_us:.1} us/vote, verify {verify_us:.1} us/cert \
+         (n=4, 2f+1=3)"
+    );
     let json = to_json(
         &reports,
         &scaling,
@@ -370,6 +397,7 @@ fn main() {
         &server_cfg,
         &recovery,
         &consensus,
+        &byzantine,
         pipeline.as_ref(),
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {

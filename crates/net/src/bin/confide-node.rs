@@ -25,11 +25,25 @@
 //! RECOVERED blocks=<n> height=<h> torn=<bytes> ms=<elapsed>
 //! ```
 //!
+//! A WAL whose committed *prefix* is corrupt (bit rot, partial sector
+//! write) no longer kills the process: the node truncates back to the
+//! longest replayable prefix — preferring the last height covered by a
+//! verified quorum certificate from the `PATH.certs` sidecar — prints a
+//! `REPAIRED height=<h> dropped=<bytes>` line, and rejoins the cluster,
+//! which backfills the lost suffix through certificate-verified state
+//! sync. Equivocation evidence persists at `PATH.evidence`.
+//!
 //! `--crash-after N` kills the process (exit 101) right after block `N`
 //! is durable but **before** any client hears about it — the worst-case
 //! crash window the chaos tests exercise.
+//!
+//! `--byzantine PRESET` (cluster mode only) runs this member as a
+//! scripted attacker: `equivocate`, `conflicting-vote`,
+//! `corrupt-proposal` or `silent-leader`. The chaos e2e tests drive an
+//! honest majority against one such node.
 
 use confide_core::keys::{seal_node_keys, unseal_node_keys};
+use confide_net::cluster::{cert_sidecar_path, ByzantinePreset};
 use confide_net::demo::{cluster_platform, demo_keys, demo_node_with, demo_platform};
 use confide_net::{ClusterConfig, NodeServer, ServerConfig};
 use std::path::PathBuf;
@@ -39,7 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: confide-node [--port N] [--seed N] [--max-batch N] [--queue-depth N] \
          [--exec-threads N] [--wal PATH] [--crash-after N] [--svn N] [--min-svn N] \
-         [--node-id N --peers HOST:PORT,.. [--cluster-keys SEED]]"
+         [--node-id N --peers HOST:PORT,.. [--cluster-keys SEED] [--byzantine PRESET]]"
     );
     std::process::exit(2);
 }
@@ -60,6 +74,7 @@ fn main() {
     let mut node_id: Option<u32> = None;
     let mut peers: Vec<String> = Vec::new();
     let mut cluster_keys: Option<u64> = None;
+    let mut byzantine: Option<ByzantinePreset> = None;
     let mut config = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,6 +94,7 @@ fn main() {
                 peers = list.split(',').map(|s| s.trim().to_string()).collect();
             }
             "--cluster-keys" => cluster_keys = Some(parse("--cluster-keys", args.next())),
+            "--byzantine" => byzantine = Some(parse("--byzantine", args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("confide-node: unknown flag {other}");
@@ -101,17 +117,24 @@ fn main() {
                 );
                 usage();
             }
-            Some(ClusterConfig::demo(
-                id,
-                peers.clone(),
-                cluster_keys.unwrap_or(seed),
-            ))
+            let mut c = ClusterConfig::demo(id, peers.clone(), cluster_keys.unwrap_or(seed));
+            if let Some(preset) = byzantine {
+                eprintln!("confide-node: running node {id} with byzantine preset {preset:?}");
+                c.byzantine = Some(preset);
+            }
+            Some(c)
         }
         (None, false) | (Some(_), true) => {
             eprintln!("confide-node: --node-id and --peers must be given together");
             usage();
         }
-        (None, true) => None,
+        (None, true) => {
+            if byzantine.is_some() {
+                eprintln!("confide-node: --byzantine requires cluster mode (--node-id/--peers)");
+                usage();
+            }
+            None
+        }
     };
 
     // Rebuild "the same machine": the TEE platform is deterministic in
@@ -167,7 +190,7 @@ fn main() {
         }
     };
 
-    let mut node = demo_node_with(platform.clone(), keys, boot_seed);
+    let mut node = demo_node_with(platform.clone(), keys.clone(), boot_seed);
     // Wire-join trust: in cluster mode every peer's platform root (the
     // mesh dials in through the same K-Protocol join clients would use);
     // single-node, just this node's own deterministic root.
@@ -183,25 +206,80 @@ fn main() {
                 eprintln!("confide-node: cannot read WAL {}: {e}", wal.display());
                 std::process::exit(1);
             });
+            let cert_bytes = std::fs::read(cert_sidecar_path(wal)).unwrap_or_default();
             if !log.is_empty() {
                 let t0 = Instant::now();
-                match node.recover_from_wal(&log) {
-                    Ok(rep) => {
-                        // Machine-readable, like LISTENING: the chaos
-                        // harness parses this line.
-                        println!(
-                            "RECOVERED blocks={} height={} torn={} ms={}",
-                            rep.blocks_replayed,
-                            rep.height,
-                            rep.torn_bytes,
-                            t0.elapsed().as_millis()
-                        );
+                // Structural scan first: `BlockWal::recover` stops at the
+                // first bad CRC, so `consumed` is the longest intact
+                // prefix whether the damage is a torn tail or bit rot in
+                // the middle of the file.
+                let recovery = confide_storage::BlockWal::recover(&log);
+                let mut cut = recovery.consumed;
+                let rep = loop {
+                    match node.recover_from_wal(&log[..cut]) {
+                        Ok(rep) => break rep,
+                        Err(e) => {
+                            // Structurally valid but semantically wrong
+                            // (root mismatch, undeployable tx): a failed
+                            // replay may have applied part of the prefix,
+                            // so retry on a fresh bootstrap with a
+                            // shorter cut — preferring the last height a
+                            // verified quorum certificate vouches for.
+                            eprintln!(
+                                "confide-node: replay of {cut}-byte prefix failed ({e}); \
+                                 cutting back"
+                            );
+                            node = demo_node_with(platform.clone(), keys.clone(), boot_seed);
+                            cut = certified_cut(&recovery, &cert_bytes, cut, &config)
+                                .unwrap_or_else(|| {
+                                    recovery
+                                        .ends
+                                        .iter()
+                                        .rev()
+                                        .find(|&&end| end < cut)
+                                        .copied()
+                                        .unwrap_or(0)
+                                });
+                            if cut == 0 {
+                                break confide_core::node::RecoveryReport {
+                                    blocks_replayed: 0,
+                                    height: 0,
+                                    state_root: node.state_root(),
+                                    torn_bytes: log.len(),
+                                    deploys_replayed: 0,
+                                };
+                            }
+                        }
                     }
-                    Err(e) => {
-                        eprintln!("confide-node: WAL recovery failed: {e}");
+                };
+                if cut < log.len() {
+                    // Self-healing: truncate the durable file to the
+                    // replayable prefix so appends and state-sync byte
+                    // cursors stay valid, and let the cluster backfill
+                    // the lost suffix through cert-verified state sync.
+                    if let Err(e) = truncate_file(wal, &log[..cut]) {
+                        eprintln!("confide-node: cannot truncate WAL {}: {e}", wal.display());
                         std::process::exit(1);
                     }
+                    println!(
+                        "REPAIRED height={} dropped={} ms={}",
+                        rep.height,
+                        log.len() - cut,
+                        t0.elapsed().as_millis()
+                    );
                 }
+                // Machine-readable, like LISTENING: the chaos harness
+                // parses this line.
+                println!(
+                    "RECOVERED blocks={} height={} torn={} ms={}",
+                    rep.blocks_replayed,
+                    rep.height,
+                    rep.torn_bytes,
+                    t0.elapsed().as_millis()
+                );
+            }
+            if !cert_bytes.is_empty() {
+                node.load_cert_sidecar(&cert_bytes);
             }
         }
     }
@@ -250,6 +328,49 @@ fn sealed_keys_path(wal: &std::path::Path) -> PathBuf {
     let mut os = wal.as_os_str().to_os_string();
     os.push(".keys");
     PathBuf::from(os)
+}
+
+/// The longest prefix end `< cut` whose final block carries a *verified*
+/// quorum certificate from the sidecar: 2f+1 consortium members signed
+/// that exact (height, state root), so replaying up to there can never
+/// accept state the cluster didn't agree on. `None` when no certificate
+/// applies (single-node mode, empty sidecar, or all certs at or past the
+/// failed cut).
+fn certified_cut(
+    recovery: &confide_storage::WalRecovery,
+    cert_bytes: &[u8],
+    cut: usize,
+    config: &ServerConfig,
+) -> Option<usize> {
+    let cluster = config.cluster.as_ref()?;
+    let n = cluster.peers.len();
+    let keys = &cluster.consensus_keys;
+    let mut best: Option<usize> = None;
+    for (height, raw) in confide_storage::CertLog::recover(cert_bytes).certs {
+        let Ok(cert) = confide_consensus::QuorumCert::decode(&raw) else {
+            continue;
+        };
+        if cert.height != height || cert.verify(n, keys).is_err() {
+            continue;
+        }
+        for (block, &end) in recovery.blocks.iter().zip(&recovery.ends) {
+            if end < cut
+                && block.header.height == cert.height
+                && block.header.state_root == cert.root
+                && best.is_none_or(|b| end > b)
+            {
+                best = Some(end);
+            }
+        }
+    }
+    best
+}
+
+/// Rewrite `path` to exactly `prefix` (write-to-temp + rename would be
+/// stronger, but the server rewrites this file from the in-memory log on
+/// spawn anyway; what matters here is that the garbage suffix is gone).
+fn truncate_file(path: &std::path::Path, prefix: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, prefix)
 }
 
 fn hex_prefix(b: &[u8; 32]) -> String {

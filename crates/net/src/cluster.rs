@@ -25,15 +25,25 @@
 //! its own. Only after that exchange does the acceptor mark the
 //! connection *attested* and accept [`crate::frame::Message::Peer`] or
 //! `StateSyncReq` frames on it — an unattested socket cannot inject
-//! consensus traffic or read the raw WAL. Attestation proves enclave
-//! build, not protocol honesty: the fault model stays crash-fault (see
-//! `crates/consensus`), matching the paper's consortium setting where
-//! members are identified and misbehaviour is contractually visible.
+//! consensus traffic or read the raw WAL. Attestation narrows the fault
+//! model but does not eliminate misbehaviour: a compromised host can
+//! still replay, delay or mutate traffic around its enclave. Every
+//! consensus message therefore travels in a [`SignedPeerMsg`] envelope
+//! under the member's enclave-held consensus key, commits carry signed
+//! votes that fold into persisted [`QuorumCert`]s, and conflicting signed
+//! messages become transferable [`Evidence`] (see `crates/consensus`).
+//! The driver can also *play* the Byzantine side: [`ByzantinePreset`]
+//! intercepts outbound traffic to equivocate, split votes, corrupt
+//! proposals or go silent — the chaos harness the e2e tests drive.
 
 use crate::client::{Conn, NetError};
 use crate::frame::Message;
 use crate::server::{InFlight, Job, ServerConfig, ServerStats};
-use confide_consensus::{primary_of, Action, PeerMsg, ProposeError, Replica, ReplicaConfig};
+use confide_consensus::evidence::{append_framed, read_framed};
+use confide_consensus::{
+    primary_of, Action, Evidence, Keyring, PeerMsg, ProposeError, QuorumCert, Replica,
+    ReplicaConfig, SignedPeerMsg,
+};
 use confide_core::node::ConfideNode;
 use confide_core::tx::WireTx;
 use confide_crypto::ed25519::VerifyingKey;
@@ -52,8 +62,52 @@ use std::time::{Duration, Instant};
 /// blocking the driver.
 const PEER_QUEUE: usize = 1024;
 
-/// Max WAL bytes served per `StateSyncResp` chunk.
-pub const SYNC_CHUNK_MAX: u32 = 512 * 1024;
+/// Max WAL bytes served per `StateSyncResp` chunk. Sized so a chunk plus
+/// its certificate payload stays well under the 1 MiB frame ceiling.
+pub const SYNC_CHUNK_MAX: u32 = 256 * 1024;
+
+/// Max bytes of encoded quorum certificates attached to one sync chunk.
+/// A joiner that needs more certs than fit simply re-requests: it only
+/// applies the cert-covered prefix, so the next request's `have_height`
+/// picks up where the budget ran out.
+pub const SYNC_CERT_BUDGET: usize = 300 * 1024;
+
+/// A scripted misbehaviour the driver injects into its *outbound*
+/// consensus traffic (inbound handling stays honest, so the faulty node's
+/// local state remains well-defined). Used by `confide-node --byzantine`
+/// and the chaos e2e tests; composes with [`crate::fault::FaultProxy`]
+/// for network-level faults on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantinePreset {
+    /// As leader, send one proposal to half the peers and a different
+    /// (reordered/padded) proposal for the same (view, seq) to the rest —
+    /// the classic equivocation the evidence machinery exists to catch.
+    Equivocate,
+    /// Send conflicting Prepare/Commit digests to different peers.
+    ConflictingVote,
+    /// As leader, broadcast proposals whose transaction bytes are
+    /// corrupted relative to the copy it executes itself.
+    CorruptProposal,
+    /// As leader, send nothing at all (no proposals, no heartbeats) and
+    /// force the followers to elect around the silence.
+    SilentLeader,
+}
+
+impl std::str::FromStr for ByzantinePreset {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ByzantinePreset, String> {
+        match s {
+            "equivocate" => Ok(ByzantinePreset::Equivocate),
+            "conflicting-vote" => Ok(ByzantinePreset::ConflictingVote),
+            "corrupt-proposal" => Ok(ByzantinePreset::CorruptProposal),
+            "silent-leader" => Ok(ByzantinePreset::SilentLeader),
+            other => Err(format!(
+                "unknown byzantine preset {other:?} (want equivocate, conflicting-vote, \
+                 corrupt-proposal or silent-leader)"
+            )),
+        }
+    }
+}
 
 /// Membership + identity of one node in a wire cluster.
 #[derive(Clone)]
@@ -70,6 +124,11 @@ pub struct ClusterConfig {
     /// The mesh dialer verifies peer `i`'s counter-quote against
     /// `peer_roots[i]`; the server side accepts joins from any of them.
     pub peer_roots: Vec<VerifyingKey>,
+    /// Consensus verifying key of every member, indexed by node id — the
+    /// consortium roster the replica authenticates peer messages and
+    /// quorum certificates against. Derived from each member's platform
+    /// provisioning ([`TeePlatform::consensus_public_key`]).
+    pub consensus_keys: Vec<VerifyingKey>,
     /// SVN this node's KM enclave quotes at.
     pub svn: u16,
     /// Minimum SVN accepted from peers.
@@ -80,9 +139,16 @@ pub struct ClusterConfig {
     pub view_timeout_ms: u64,
     /// Consensus pipelining window (blocks proposed but not committed).
     pub max_inflight: u64,
+    /// Spread for the deterministic per-node view-timeout jitter
+    /// ([`confide_consensus::timeout_jitter`]): staggers follower
+    /// timeouts so one election round usually settles a dead leader.
+    pub timeout_jitter_ms: u64,
     /// Base seed for the joiner side of mesh attestation handshakes
     /// (mixed with a dial counter so ephemeral keys never repeat).
     pub rejoin_seed: u64,
+    /// Scripted misbehaviour to inject into outbound consensus traffic
+    /// (`None` = honest). See [`ByzantinePreset`].
+    pub byzantine: Option<ByzantinePreset>,
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -95,6 +161,8 @@ impl std::fmt::Debug for ClusterConfig {
             .field("heartbeat_ms", &self.heartbeat_ms)
             .field("view_timeout_ms", &self.view_timeout_ms)
             .field("max_inflight", &self.max_inflight)
+            .field("timeout_jitter_ms", &self.timeout_jitter_ms)
+            .field("byzantine", &self.byzantine)
             .finish_non_exhaustive()
     }
 }
@@ -113,17 +181,23 @@ impl ClusterConfig {
         let peer_roots = (0..peers.len() as u32)
             .map(|id| crate::demo::cluster_platform(cluster_seed, id).attestation_public_key())
             .collect();
+        let consensus_keys = (0..peers.len() as u32)
+            .map(|id| crate::demo::cluster_platform(cluster_seed, id).consensus_public_key())
+            .collect();
         ClusterConfig {
             node_id,
             platform: crate::demo::cluster_platform(cluster_seed, node_id),
             peer_roots,
+            consensus_keys,
             peers,
             svn: 1,
             min_svn: 1,
             heartbeat_ms: 150,
             view_timeout_ms: 1200,
             max_inflight: 4,
+            timeout_jitter_ms: 250,
             rejoin_seed: cluster_seed ^ 0x6d65_7368, // "mesh"
+            byzantine: None,
         }
     }
 }
@@ -141,6 +215,8 @@ pub struct ClusterShared {
     pub view_changes: AtomicU64,
     /// Blocks applied through StateSync catch-up.
     pub sync_blocks: AtomicU64,
+    /// Equivocation evidence records this node has persisted.
+    pub evidence: AtomicU64,
     peers: Vec<String>,
 }
 
@@ -152,6 +228,7 @@ impl ClusterShared {
             leader: AtomicU32::new(primary_of(0, cfg.n())),
             view_changes: AtomicU64::new(0),
             sync_blocks: AtomicU64::new(0),
+            evidence: AtomicU64::new(0),
             peers: cfg.peers.clone(),
         }
     }
@@ -178,14 +255,14 @@ impl ClusterShared {
 #[derive(Clone)]
 pub(crate) struct ClusterCtx {
     pub shared: Arc<ClusterShared>,
-    pub peer_tx: mpsc::Sender<PeerMsg>,
+    pub peer_tx: mpsc::Sender<SignedPeerMsg>,
 }
 
 /// Outbound half of the peer mesh: one sender thread per peer, each
 /// owning its socket, re-dialling (with the attestation handshake) on
 /// failure. Sends never block the driver; a full queue drops.
 struct PeerMesh {
-    queues: Vec<Option<SyncSender<PeerMsg>>>,
+    queues: Vec<Option<SyncSender<SignedPeerMsg>>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -198,7 +275,7 @@ impl PeerMesh {
                 queues.push(None);
                 continue;
             }
-            let (tx, rx) = mpsc::sync_channel::<PeerMsg>(PEER_QUEUE);
+            let (tx, rx) = mpsc::sync_channel::<SignedPeerMsg>(PEER_QUEUE);
             queues.push(Some(tx));
             let addr = addr.clone();
             let platform = Arc::clone(&cfg.platform);
@@ -230,13 +307,13 @@ impl PeerMesh {
         PeerMesh { queues, threads }
     }
 
-    fn send(&self, to: u32, msg: PeerMsg) {
+    fn send(&self, to: u32, msg: SignedPeerMsg) {
         if let Some(Some(q)) = self.queues.get(to as usize) {
             let _ = q.try_send(msg);
         }
     }
 
-    fn broadcast(&self, msg: PeerMsg) {
+    fn broadcast(&self, msg: SignedPeerMsg) {
         for q in self.queues.iter().flatten() {
             let _ = q.try_send(msg.clone());
         }
@@ -277,7 +354,7 @@ fn peer_sender_loop(
     svn: u16,
     min_svn: u16,
     seed: u64,
-    rx: Receiver<PeerMsg>,
+    rx: Receiver<SignedPeerMsg>,
     stop: Arc<AtomicBool>,
 ) {
     let mut backoff = Duration::from_millis(50);
@@ -338,7 +415,7 @@ fn peer_sender_loop(
 pub(crate) fn cluster_loop(
     node: Arc<RwLock<ConfideNode>>,
     jobs: Receiver<Job>,
-    peer_rx: Receiver<PeerMsg>,
+    peer_rx: Receiver<SignedPeerMsg>,
     stats: Arc<ServerStats>,
     config: ServerConfig,
     cluster: ClusterConfig,
@@ -346,7 +423,7 @@ pub(crate) fn cluster_loop(
     in_flight: InFlight,
     stop: Arc<AtomicBool>,
 ) {
-    let mut driver = Driver::new(
+    let mut driver = match Driver::new(
         node,
         stats,
         config,
@@ -354,7 +431,17 @@ pub(crate) fn cluster_loop(
         shared,
         in_flight,
         Arc::clone(&stop),
-    );
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            // Fail-stop: a durable-log setup failure means this replica
+            // cannot honour the "vote implies disk" contract. Refuse to
+            // participate rather than vote on state it might lose.
+            eprintln!("confide-cluster: driver init failed: {e}; halting replica");
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    };
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -393,6 +480,12 @@ struct Driver {
     mesh: PeerMesh,
     epoch: Instant,
     wal_file: Option<(std::fs::File, usize)>,
+    /// Durable quorum-certificate sidecar (`<wal>.certs`), kept in
+    /// lockstep with the in-memory [`confide_core::node::ConfideNode`]
+    /// cert log: the cert is on disk before any client hears "committed".
+    cert_file: Option<(std::fs::File, usize)>,
+    /// Durable equivocation-evidence sidecar (`<wal>.evidence`).
+    evidence_file: Option<std::fs::File>,
     /// Jobs accepted but not yet proposed (leader only).
     pending: VecDeque<Job>,
     first_pending_at: Option<Instant>,
@@ -403,6 +496,9 @@ struct Driver {
     ready: HashMap<u64, Vec<([u8; 32], Message)>>,
     want_sync: Option<u32>,
     last_sync_at: Option<Instant>,
+    /// Capped exponential backoff between sync attempts; resets once a
+    /// transfer makes progress.
+    sync_backoff: Duration,
     sync_dials: u64,
     expected_pk_tx: [u8; 32],
 }
@@ -416,33 +512,78 @@ impl Driver {
         shared: Arc<ClusterShared>,
         in_flight: InFlight,
         stop: Arc<AtomicBool>,
-    ) -> Driver {
-        let (expected_pk_tx, height, wal_snapshot) = {
+    ) -> Result<Driver, String> {
+        let (expected_pk_tx, height, wal_snapshot, cert_snapshot) = {
             let n = node.read().expect("node lock");
             (
                 n.pk_tx(),
                 n.blocks.height(),
                 config.wal_path.as_ref().map(|_| n.wal_bytes().to_vec()),
+                config
+                    .wal_path
+                    .as_ref()
+                    .map(|_| n.cert_sidecar_bytes().to_vec()),
             )
         };
-        // Durable log: same contract as the batcher — rewrite the
-        // committed prefix once, then append per block.
-        let wal_file = config.wal_path.as_ref().map(|path| {
-            let mut f = std::fs::File::create(path).expect("create wal file");
-            let snapshot = wal_snapshot.expect("wal snapshot");
-            f.write_all(&snapshot).expect("write wal prefix");
-            f.sync_all().expect("sync wal prefix");
-            (f, snapshot.len())
-        });
+        // Durable logs: same contract as the batcher — rewrite the
+        // committed prefix once, then append per block. Setup failures
+        // are fail-stop (typed `Err`), not panics.
+        let durable = |path: &std::path::Path, snapshot: &[u8]| -> Result<_, String> {
+            let mut f = std::fs::File::create(path)
+                .map_err(|e| format!("create {}: {e}", path.display()))?;
+            f.write_all(snapshot)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            f.sync_all()
+                .map_err(|e| format!("sync {}: {e}", path.display()))?;
+            Ok((f, snapshot.len()))
+        };
+        let mut wal_file = None;
+        let mut cert_file = None;
+        let mut evidence_file = None;
+        if let Some(path) = config.wal_path.as_ref() {
+            wal_file = Some(durable(path, &wal_snapshot.expect("wal snapshot"))?);
+            cert_file = Some(durable(
+                &cert_sidecar_path(path),
+                &cert_snapshot.expect("cert snapshot"),
+            )?);
+            // Evidence is append-only across restarts: accusations stay
+            // on the record even after the view moves on.
+            let ev_path = evidence_sidecar_path(path);
+            let prior = std::fs::read(&ev_path).unwrap_or_default();
+            let records = read_framed(&prior)
+                .map_err(|e| format!("evidence sidecar {} is corrupt: {e}", ev_path.display()))?;
+            shared
+                .evidence
+                .store(records.len() as u64, Ordering::Relaxed);
+            evidence_file = Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&ev_path)
+                    .map_err(|e| format!("open {}: {e}", ev_path.display()))?,
+            );
+        }
         let rcfg = ReplicaConfig {
             node_id: cluster.node_id,
             n: cluster.n(),
             view_timeout_ms: cluster.view_timeout_ms,
             heartbeat_ms: cluster.heartbeat_ms,
             max_inflight: cluster.max_inflight,
+            timeout_jitter_ms: cluster.timeout_jitter_ms,
         };
+        if cluster.consensus_keys.len() != cluster.n() {
+            return Err(format!(
+                "consensus roster has {} keys for {} peers",
+                cluster.consensus_keys.len(),
+                cluster.n()
+            ));
+        }
+        let keyring = Keyring::new(
+            cluster.platform.consensus_signing_key(),
+            cluster.consensus_keys.clone(),
+        );
         let epoch = Instant::now();
-        let replica = Replica::with_height(rcfg, height, 0);
+        let replica = Replica::with_height(rcfg, keyring, height, 0);
         let mesh = PeerMesh::spawn(&cluster, expected_pk_tx, Arc::clone(&stop));
         let driver = Driver {
             node,
@@ -456,17 +597,20 @@ impl Driver {
             mesh,
             epoch,
             wal_file,
+            cert_file,
+            evidence_file,
             pending: VecDeque::new(),
             first_pending_at: None,
             awaiting: HashMap::new(),
             ready: HashMap::new(),
             want_sync: None,
             last_sync_at: None,
+            sync_backoff: Duration::from_millis(300),
             sync_dials: 0,
             expected_pk_tx,
         };
         driver.publish();
-        driver
+        Ok(driver)
     }
 
     fn now_ms(&self) -> u64 {
@@ -485,25 +629,124 @@ impl Driver {
             .store(self.replica.view_changes(), Ordering::Relaxed);
     }
 
-    /// Which node a peer message speaks for. PrePrepares and NewViews are
-    /// only ever valid from the view's rightful primary, so the embedded
-    /// view determines the sender; everything else carries `from`.
-    fn peer_from(&self, msg: &PeerMsg) -> u32 {
-        match msg {
-            PeerMsg::PrePrepare { view, .. } => primary_of(*view, self.cluster.n()),
-            PeerMsg::Prepare { from, .. }
-            | PeerMsg::Commit { from, .. }
-            | PeerMsg::ViewChange { from, .. }
-            | PeerMsg::NewView { from, .. }
-            | PeerMsg::Heartbeat { from, .. } => *from,
+    /// Authenticated inbound path: the replica verifies the envelope
+    /// signature, the embedded sender, the commit vote signature and the
+    /// equivocation record before any protocol state moves. A rejected
+    /// message is logged and dropped — `handle` guarantees it had no
+    /// effect.
+    fn on_peer(&mut self, signed: SignedPeerMsg) {
+        let now = self.now_ms();
+        match self.replica.handle(signed, now) {
+            Ok(actions) => self.perform(actions),
+            Err(e) => {
+                eprintln!(
+                    "confide-cluster: node {} dropped peer message: {e}",
+                    self.cluster.node_id
+                );
+            }
         }
     }
 
-    fn on_peer(&mut self, msg: PeerMsg) {
-        let from = self.peer_from(&msg);
-        let now = self.now_ms();
-        let actions = self.replica.on_msg(from, msg, now);
-        self.perform(actions);
+    /// Outbound signing point — and the Byzantine chaos hook. An honest
+    /// node signs the message the replica produced and ships it
+    /// everywhere; a node running a [`ByzantinePreset`] splits, corrupts
+    /// or swallows its *leader-side* traffic here. Both variants of an
+    /// equivocation are genuinely signed with this node's key, which is
+    /// exactly what makes the resulting [`Evidence`] irrefutable.
+    fn emit(&mut self, to: Option<u32>, msg: PeerMsg) {
+        let Some(preset) = self.cluster.byzantine else {
+            let signed = self.replica.sign(msg);
+            match to {
+                Some(id) => self.mesh.send(id, signed),
+                None => self.mesh.broadcast(signed),
+            }
+            return;
+        };
+        match (preset, &msg) {
+            (ByzantinePreset::SilentLeader, _) if self.replica.is_leader() => {
+                // Say nothing; let the followers time out around us.
+            }
+            (ByzantinePreset::Equivocate, PeerMsg::PrePrepare { view, seq, txs })
+                if to.is_none() =>
+            {
+                // Two conflicting, validly-signed proposals for the same
+                // slot: pad the second so its digest differs.
+                let mut forked = txs.clone();
+                forked.push(b"equivocation-fork".to_vec());
+                let honest = self.replica.sign(msg.clone());
+                let fork = self.replica.sign(PeerMsg::PrePrepare {
+                    view: *view,
+                    seq: *seq,
+                    txs: forked,
+                });
+                self.split_send(honest, fork);
+            }
+            (
+                ByzantinePreset::ConflictingVote,
+                PeerMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from,
+                },
+            ) if to.is_none() => {
+                let honest = self.replica.sign(msg.clone());
+                let mut flipped = *digest;
+                flipped[0] ^= 0xFF;
+                let fork = self.replica.sign(PeerMsg::Prepare {
+                    view: *view,
+                    seq: *seq,
+                    digest: flipped,
+                    from: *from,
+                });
+                self.split_send(honest, fork);
+            }
+            (ByzantinePreset::CorruptProposal, PeerMsg::PrePrepare { view, seq, txs })
+                if to.is_none() && !txs.is_empty() && !txs[0].is_empty() =>
+            {
+                // Broadcast a proposal whose payload differs from the one
+                // this node keeps locally: peers prepare a digest the
+                // leader never matches, so the round stalls and the
+                // cluster elects around it.
+                let mut corrupt = txs.clone();
+                corrupt[0][0] ^= 0xFF;
+                let signed = self.replica.sign(PeerMsg::PrePrepare {
+                    view: *view,
+                    seq: *seq,
+                    txs: corrupt,
+                });
+                self.mesh.broadcast(signed);
+            }
+            _ => {
+                let signed = self.replica.sign(msg);
+                match to {
+                    Some(id) => self.mesh.send(id, signed),
+                    None => self.mesh.broadcast(signed),
+                }
+            }
+        }
+    }
+
+    /// Deliver one signed statement to the even peers and a conflicting
+    /// one to the odd peers — then double-deal the highest peer with the
+    /// opposite variant. The double-deal is what real equivocators do: a
+    /// clean split can never quorum either digest (each side holds at
+    /// most 2 of the 2f+1 votes), so the attacker courts a swing voter
+    /// with both stories — and that peer now holds two validly-signed
+    /// conflicting statements, the transferable [`Evidence`] pair.
+    fn split_send(&mut self, honest: SignedPeerMsg, fork: SignedPeerMsg) {
+        let me = self.cluster.node_id;
+        for peer in 0..self.cluster.n() as u32 {
+            if peer == me {
+                continue;
+            }
+            let variant = if peer % 2 == 0 { &honest } else { &fork };
+            self.mesh.send(peer, variant.clone());
+        }
+        if let Some(swing) = (0..self.cluster.n() as u32).rev().find(|&p| p != me) {
+            let other = if swing % 2 == 0 { fork } else { honest };
+            self.mesh.send(swing, other);
+        }
     }
 
     fn tick(&mut self) {
@@ -603,15 +846,23 @@ impl Driver {
         let mut queue: VecDeque<Action> = actions.into();
         while let Some(action) = queue.pop_front() {
             match action {
-                Action::Broadcast(msg) => self.mesh.broadcast(msg),
-                Action::Send(to, msg) => self.mesh.send(to, msg),
+                Action::Broadcast(msg) => self.emit(None, msg),
+                Action::Send(to, msg) => self.emit(Some(to), msg),
                 Action::Execute { seq, txs, .. } => {
                     let more = self.execute(seq, &txs);
                     queue.extend(more);
                 }
-                Action::CommittedLocal { seq, .. } => self.committed(seq),
+                Action::CommittedLocal { seq, cert, .. } => self.committed(seq, cert),
                 Action::NeedSync { peer, .. } => {
-                    self.want_sync = Some(peer);
+                    // Don't clobber a pending retry target: after a
+                    // failed transfer the driver rotates to the next
+                    // member, and the protocol's NeedSync re-arms (which
+                    // always name the peer that reported being ahead —
+                    // usually the leader) must not drag the retry back to
+                    // the dead source before its backoff expires.
+                    if self.want_sync.is_none() {
+                        self.want_sync = Some(peer);
+                    }
                 }
                 Action::LeaderChanged { .. } => {
                     // Elected or demoted: either way, jobs waiting for a
@@ -623,9 +874,31 @@ impl Driver {
                         self.first_pending_at = None;
                     }
                 }
+                Action::Evidence(ev) => self.record_evidence(&ev),
             }
         }
         self.publish();
+    }
+
+    /// Persist an equivocation record: the two conflicting signed
+    /// messages are self-certifying, so the sidecar is a transferable
+    /// accusation any consortium auditor can re-verify offline.
+    fn record_evidence(&mut self, ev: &Evidence) {
+        eprintln!(
+            "confide-cluster: node {} recorded equivocation evidence against node {} \
+             (view {}, seq {})",
+            self.cluster.node_id, ev.accused, ev.view, ev.seq
+        );
+        if let Some(file) = self.evidence_file.as_mut() {
+            let mut buf = Vec::new();
+            append_framed(&mut buf, ev);
+            if let Err(e) = file.write_all(&buf).and_then(|()| file.sync_all()) {
+                eprintln!("confide-cluster: evidence append failed: {e}; halting replica");
+                self.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+        self.shared.evidence.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Execute one committed-order block: the replica guarantees strictly
@@ -648,19 +921,32 @@ impl Driver {
         }
         let txs: Vec<WireTx> = decoded.iter().map(|(tx, _)| tx.clone()).collect();
         let threads = self.config.exec_threads.max(1);
+        let mut durability_fault = None;
         let result = {
             let mut node = self.node.write().expect("node lock");
             let result = node.execute_block_parallel(&txs, threads);
             if result.is_ok() {
                 if let Some((file, flushed)) = self.wal_file.as_mut() {
                     let bytes = node.wal_bytes();
-                    file.write_all(&bytes[*flushed..]).expect("append wal");
-                    file.sync_all().expect("sync wal");
-                    *flushed = bytes.len();
+                    let io = file
+                        .write_all(&bytes[*flushed..])
+                        .and_then(|()| file.sync_all());
+                    match io {
+                        Ok(()) => *flushed = bytes.len(),
+                        Err(e) => durability_fault = Some(e),
+                    }
                 }
             }
             result
         };
+        if let Some(e) = durability_fault {
+            // Fail-stop, not panic: a replica that cannot make a block
+            // durable must not vote for it (a quorum certificate implies
+            // a quorum of disk copies). Halt before `on_executed`.
+            eprintln!("confide-cluster: wal append for block {seq} failed: {e}; halting replica");
+            self.stop.store(true, Ordering::SeqCst);
+            return Vec::new();
+        }
         for (_, hash) in &decoded {
             self.release(hash);
         }
@@ -705,12 +991,37 @@ impl Driver {
         }
         self.ready.insert(seq, replies);
         let now = self.now_ms();
-        self.replica.on_executed(seq, now)
+        let root = self.node.read().expect("node lock").state_root();
+        self.replica.on_executed(seq, root, now)
     }
 
-    /// CommittedLocal: 2f+1 replicas voted "executed and durable" — now
-    /// (and only now) waiting clients hear about their transaction.
-    fn committed(&mut self, seq: u64) {
+    /// CommittedLocal: 2f+1 replicas signed "executed and durable" votes
+    /// over this height and state root. Persist the assembled quorum
+    /// certificate *first* — only then do waiting clients hear about
+    /// their transaction, so every acknowledged commit is provable to a
+    /// third party from the sidecar alone.
+    fn committed(&mut self, seq: u64, cert: QuorumCert) {
+        {
+            let mut node = self.node.write().expect("node lock");
+            node.record_cert(seq, &cert.encode());
+            if let Some((file, flushed)) = self.cert_file.as_mut() {
+                let bytes = node.cert_sidecar_bytes();
+                let io = file
+                    .write_all(&bytes[*flushed..])
+                    .and_then(|()| file.sync_all());
+                match io {
+                    Ok(()) => *flushed = bytes.len(),
+                    Err(e) => {
+                        eprintln!(
+                            "confide-cluster: cert append for block {seq} failed: {e}; \
+                             halting replica"
+                        );
+                        self.stop.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+        }
         let Some(replies) = self.ready.remove(&seq) else {
             return;
         };
@@ -738,18 +1049,21 @@ impl Driver {
             .remove(wire_hash);
     }
 
-    /// StateSync client: fetch the missing WAL suffix from the peer that
-    /// revealed the gap, apply it chunk by chunk through
-    /// `catch_up_from_wal` (which re-frames each block byte-identically,
-    /// keeping the local byte cursor valid), and tell the replica the new
-    /// height when done.
+    /// StateSync client: fetch the missing WAL suffix, apply only the
+    /// prefix covered by verified quorum certificates, and tell the
+    /// replica the new height. A failed transfer rotates to the next
+    /// peer under a capped exponential backoff, so a dead or lying sync
+    /// source costs one backoff step, not liveness.
     fn maybe_sync(&mut self) {
         let Some(peer) = self.want_sync.take() else {
             return;
         };
         if let Some(last) = self.last_sync_at {
-            if last.elapsed() < Duration::from_millis(300) {
-                // Too soon — drop; NeedSync re-fires while the gap lasts.
+            if last.elapsed() < self.sync_backoff {
+                // Too soon — re-arm; NeedSync also re-fires while the
+                // gap lasts, but a mid-stream failure must not wait for
+                // the protocol to notice again.
+                self.want_sync = Some(peer);
                 return;
             }
         }
@@ -762,13 +1076,28 @@ impl Driver {
             eprintln!(
                 "confide-cluster: state sync from {peer} interrupted after {applied} block(s): {e}"
             );
+            // Retry against the next member, backing off 300ms → 2.4s.
+            let next = self.next_sync_peer(peer);
+            self.want_sync = Some(next);
+            self.sync_backoff = (self.sync_backoff * 2).min(Duration::from_millis(2400));
         }
         if applied > 0 {
+            self.sync_backoff = Duration::from_millis(300);
             let height = self.node.read().expect("node lock").blocks.height();
             let now = self.now_ms();
             let actions = self.replica.on_caught_up(height, now);
             self.perform(actions);
         }
+    }
+
+    /// Round-robin over the other members, skipping ourselves.
+    fn next_sync_peer(&self, failed: u32) -> u32 {
+        let n = self.cluster.n() as u32;
+        let mut next = (failed + 1) % n;
+        if next == self.cluster.node_id {
+            next = (next + 1) % n;
+        }
+        next
     }
 
     fn run_sync(&mut self, peer: u32, applied: &mut u64) -> Result<(), NetError> {
@@ -784,6 +1113,9 @@ impl Driver {
             .rejoin_seed
             .wrapping_add(0x7379_6e63) // "sync"
             .wrapping_add(self.sync_dials.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // The dial timeout doubles as the per-chunk read deadline: a peer
+        // that dies mid-stream surfaces as a timeout here, and the caller
+        // rotates to a different member.
         let mut conn = dial_attested(
             &addr,
             &self.cluster.platform,
@@ -795,53 +1127,154 @@ impl Driver {
             Duration::from_secs(2),
         )?;
         let mut buf: Vec<u8> = Vec::new();
+        let mut got_bytes = false;
         for _ in 0..10_000 {
-            let have = {
+            let (have, have_height) = {
                 let node = self.node.read().expect("node lock");
-                node.wal_bytes().len() as u64 + buf.len() as u64
+                (
+                    node.wal_bytes().len() as u64 + buf.len() as u64,
+                    node.blocks.height(),
+                )
             };
             let resp = conn.request(&Message::StateSyncReq {
                 from: have,
                 max: SYNC_CHUNK_MAX,
+                have_height,
             })?;
-            let (total, bytes) = match resp {
-                Message::StateSyncResp { total, bytes, .. } => (total, bytes),
+            let (total, bytes, certs) = match resp {
+                Message::StateSyncResp {
+                    total,
+                    bytes,
+                    certs,
+                    ..
+                } => (total, bytes, certs),
                 Message::Rejected(r) => return Err(NetError::Rejected(r)),
                 other => return Err(NetError::UnexpectedReply(other.kind())),
             };
             if bytes.is_empty() {
                 break;
             }
+            got_bytes = true;
             buf.extend_from_slice(&bytes);
-            let report = {
-                let mut node = self.node.write().expect("node lock");
-                let report = node
-                    .catch_up_from_wal(&buf)
-                    .map_err(|e| NetError::Rejected(format!("state sync apply failed: {e}")))?;
-                // Publish per chunk and inside the node lock: a status
-                // probe that observes the synced height (read under the
-                // same lock) must already see these blocks attributed to
-                // state sync, even mid-transfer.
-                self.shared
-                    .sync_blocks
-                    .fetch_add(report.blocks_applied, Ordering::Relaxed);
-                report
-            };
-            buf.drain(..report.bytes_consumed);
-            *applied += report.blocks_applied;
-            // Keep the durable file in lockstep with the synced blocks.
-            if let Some((file, flushed)) = self.wal_file.as_mut() {
-                let node = self.node.read().expect("node lock");
-                let wal = node.wal_bytes();
-                if wal.len() > *flushed {
-                    file.write_all(&wal[*flushed..]).expect("append wal");
-                    file.sync_all().expect("sync wal");
-                    *flushed = wal.len();
-                }
-            }
+            self.apply_certified(&mut buf, &certs, applied)?;
             if have + bytes.len() as u64 >= total {
                 break;
             }
+        }
+        if got_bytes && *applied == 0 {
+            // The peer served WAL bytes but none of them carried a
+            // verifiable quorum certificate. Treat this as a failed
+            // transfer — silently looping here would retry the same
+            // uncertified prefix forever — so the caller logs it, backs
+            // off, and rotates to a different member.
+            return Err(NetError::Rejected("peer served no certified blocks".into()));
+        }
+        Ok(())
+    }
+
+    /// Apply the longest prefix of `buf` whose blocks carry verified
+    /// quorum certificates. The serving peer is *untrusted* here: a
+    /// forged chunk fails either the cert check (no 2f+1 consortium
+    /// signatures over that height/root) or `catch_up_from_wal`'s own
+    /// hash-chain and root checks. Verified bytes are drained from
+    /// `buf`; uncertified tail bytes stay for the next round.
+    fn apply_certified(
+        &mut self,
+        buf: &mut Vec<u8>,
+        certs: &[Vec<u8>],
+        applied: &mut u64,
+    ) -> Result<(), NetError> {
+        // Index the certs that actually verify against the roster.
+        let n = self.cluster.n();
+        let keys = &self.replica.keyring().keys;
+        let mut verified: HashMap<u64, QuorumCert> = HashMap::new();
+        for raw in certs {
+            let Ok(cert) = QuorumCert::decode(raw) else {
+                return Err(NetError::Rejected("malformed sync certificate".into()));
+            };
+            if cert.verify(n, keys).is_err() {
+                return Err(NetError::Rejected(format!(
+                    "sync certificate for height {} fails quorum verification",
+                    cert.height
+                )));
+            }
+            verified.insert(cert.height, cert);
+        }
+        // Walk the complete blocks in the buffer and cut at the first
+        // height without a verified matching-root certificate.
+        let recovery = confide_storage::BlockWal::recover(buf);
+        let mut certified_end = 0usize;
+        let mut take: Vec<QuorumCert> = Vec::new();
+        for (block, end) in recovery.blocks.iter().zip(&recovery.ends) {
+            let h = block.header.height;
+            match verified.get(&h) {
+                Some(cert) if cert.root == block.header.state_root => {
+                    certified_end = *end;
+                    take.push(cert.clone());
+                }
+                Some(_) => {
+                    return Err(NetError::Rejected(format!(
+                        "sync certificate root mismatch at height {h}"
+                    )));
+                }
+                None => break,
+            }
+        }
+        if certified_end == 0 {
+            return Ok(());
+        }
+        let report = {
+            let mut node = self.node.write().expect("node lock");
+            let report = node
+                .catch_up_from_wal(&buf[..certified_end])
+                .map_err(|e| NetError::Rejected(format!("state sync apply failed: {e}")))?;
+            for cert in &take {
+                node.record_cert(cert.height, &cert.encode());
+            }
+            // Publish per chunk and inside the node lock: a status
+            // probe that observes the synced height (read under the
+            // same lock) must already see these blocks attributed to
+            // state sync, even mid-transfer.
+            self.shared
+                .sync_blocks
+                .fetch_add(report.blocks_applied, Ordering::Relaxed);
+            report
+        };
+        buf.drain(..report.bytes_consumed);
+        *applied += report.blocks_applied;
+        // Keep the durable files in lockstep with the synced blocks.
+        let mut fault = None;
+        {
+            let node = self.node.read().expect("node lock");
+            if let Some((file, flushed)) = self.wal_file.as_mut() {
+                let wal = node.wal_bytes();
+                if wal.len() > *flushed {
+                    match file
+                        .write_all(&wal[*flushed..])
+                        .and_then(|()| file.sync_all())
+                    {
+                        Ok(()) => *flushed = wal.len(),
+                        Err(e) => fault = Some(e),
+                    }
+                }
+            }
+            if let Some((file, flushed)) = self.cert_file.as_mut() {
+                let bytes = node.cert_sidecar_bytes();
+                if bytes.len() > *flushed && fault.is_none() {
+                    match file
+                        .write_all(&bytes[*flushed..])
+                        .and_then(|()| file.sync_all())
+                    {
+                        Ok(()) => *flushed = bytes.len(),
+                        Err(e) => fault = Some(e),
+                    }
+                }
+            }
+        }
+        if let Some(e) = fault {
+            eprintln!("confide-cluster: durable append during sync failed: {e}; halting replica");
+            self.stop.store(true, Ordering::SeqCst);
+            return Err(NetError::Disconnected);
         }
         Ok(())
     }
@@ -849,19 +1282,50 @@ impl Driver {
 
 /// Serve one `StateSyncReq` against the node's WAL (called from the
 /// connection handler on attested connections): returns the chunk at
-/// `from`, clamped to [`SYNC_CHUNK_MAX`].
-pub(crate) fn serve_state_sync(node: &RwLock<ConfideNode>, from: u64, max: u32) -> Message {
+/// `from`, clamped to [`SYNC_CHUNK_MAX`], plus the quorum certificates
+/// for heights above `have_height` (clamped to [`SYNC_CERT_BUDGET`]) so
+/// the requester can verify the blocks before applying them.
+pub(crate) fn serve_state_sync(
+    node: &RwLock<ConfideNode>,
+    from: u64,
+    max: u32,
+    have_height: u64,
+) -> Message {
     let node = node.read().expect("node lock");
     let wal = node.wal_bytes();
     let total = wal.len() as u64;
     let start = from.min(total) as usize;
     let len = (max.min(SYNC_CHUNK_MAX) as usize).min(wal.len() - start);
+    let mut certs = Vec::new();
+    let mut budget = SYNC_CERT_BUDGET;
+    for (_, bytes) in node.certs_in(have_height, node.blocks.height()) {
+        if bytes.len() + 4 > budget {
+            break;
+        }
+        budget -= bytes.len() + 4;
+        certs.push(bytes);
+    }
     Message::StateSyncResp {
         height: node.blocks.height(),
         total,
         offset: start as u64,
         bytes: wal[start..start + len].to_vec(),
+        certs,
     }
+}
+
+/// `<wal>.certs`: the quorum-certificate sidecar next to a WAL file.
+pub fn cert_sidecar_path(wal: &std::path::Path) -> std::path::PathBuf {
+    let mut os = wal.as_os_str().to_os_string();
+    os.push(".certs");
+    std::path::PathBuf::from(os)
+}
+
+/// `<wal>.evidence`: the equivocation-evidence sidecar next to a WAL file.
+pub fn evidence_sidecar_path(wal: &std::path::Path) -> std::path::PathBuf {
+    let mut os = wal.as_os_str().to_os_string();
+    os.push(".evidence");
+    std::path::PathBuf::from(os)
 }
 
 #[cfg(test)]

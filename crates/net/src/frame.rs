@@ -19,7 +19,7 @@
 //! bodies, **not** on the transport (no TLS — the server itself is
 //! untrusted in CONFIDE's threat model, §3.3).
 
-use confide_consensus::PeerMsg;
+use confide_consensus::SignedPeerMsg;
 use confide_core::tx::WireTx;
 use confide_tee::attestation::Report;
 use std::io::{Read, Write};
@@ -118,10 +118,11 @@ pub enum Message {
         /// `pk_tx` fingerprint.
         report: Report,
     },
-    /// A PBFT consensus message between consortium members. Fire-and-forget
-    /// (no response frame), and only honoured on connections that completed
-    /// the K-Protocol attestation handshake.
-    Peer(PeerMsg),
+    /// A PBFT consensus message between consortium members, wrapped in the
+    /// sender's transferable signature (verified by the replica before
+    /// processing). Fire-and-forget (no response frame), and only honoured
+    /// on connections that completed the K-Protocol attestation handshake.
+    Peer(SignedPeerMsg),
     /// Request a chunk of the peer's block WAL starting at byte `from`
     /// (peers only, attested connections only). Drives crash/partition
     /// catch-up: the WAL is deterministic and byte-identical across
@@ -131,6 +132,9 @@ pub enum Message {
         from: u64,
         /// Maximum chunk size the requester will accept.
         max: u32,
+        /// The requester's current chain height; the server ships quorum
+        /// certificates for heights above this alongside the chunk.
+        have_height: u64,
     },
     /// Fetch the node's consensus status (view, leader, height, root).
     GetStatus,
@@ -186,6 +190,12 @@ pub enum Message {
         offset: u64,
         /// The chunk (empty when `offset >= total`).
         bytes: Vec<u8>,
+        /// Encoded quorum certificates (`QuorumCert::encode`) for heights
+        /// the requester is missing, byte-budgeted per response. The
+        /// joiner verifies these against the consortium key table before
+        /// applying the corresponding blocks — it never has to trust the
+        /// serving peer.
+        certs: Vec<Vec<u8>>,
     },
     /// Consensus status answering a [`Message::GetStatus`].
     StatusIs(NodeStatus),
@@ -208,6 +218,8 @@ pub struct NodeStatus {
     pub view_changes: u64,
     /// Blocks applied via state sync since process start.
     pub sync_blocks: u64,
+    /// Equivocation evidence records persisted since process start.
+    pub evidence: u64,
 }
 
 // Message kind bytes.
@@ -333,10 +345,15 @@ impl Message {
                 out
             }
             Message::Peer(msg) => msg.encode(),
-            Message::StateSyncReq { from, max } => {
-                let mut out = Vec::with_capacity(12);
+            Message::StateSyncReq {
+                from,
+                max,
+                have_height,
+            } => {
+                let mut out = Vec::with_capacity(20);
                 out.extend_from_slice(&from.to_le_bytes());
                 out.extend_from_slice(&max.to_le_bytes());
+                out.extend_from_slice(&have_height.to_le_bytes());
                 out
             }
             Message::NotPrimary { leader } => leader.as_bytes().to_vec(),
@@ -345,16 +362,24 @@ impl Message {
                 total,
                 offset,
                 bytes,
+                certs,
             } => {
-                let mut out = Vec::with_capacity(24 + bytes.len());
+                let cert_bytes: usize = certs.iter().map(|c| 4 + c.len()).sum();
+                let mut out = Vec::with_capacity(24 + 4 + bytes.len() + 4 + cert_bytes);
                 out.extend_from_slice(&height.to_le_bytes());
                 out.extend_from_slice(&total.to_le_bytes());
                 out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                 out.extend_from_slice(bytes);
+                out.extend_from_slice(&(certs.len() as u32).to_le_bytes());
+                for cert in certs {
+                    out.extend_from_slice(&(cert.len() as u32).to_le_bytes());
+                    out.extend_from_slice(cert);
+                }
                 out
             }
             Message::StatusIs(s) => {
-                let mut out = Vec::with_capacity(4 + 8 + 4 + 8 + 32 + 8 + 8);
+                let mut out = Vec::with_capacity(4 + 8 + 4 + 8 + 32 + 8 + 8 + 8);
                 out.extend_from_slice(&s.node_id.to_le_bytes());
                 out.extend_from_slice(&s.view.to_le_bytes());
                 out.extend_from_slice(&s.leader.to_le_bytes());
@@ -362,6 +387,7 @@ impl Message {
                 out.extend_from_slice(&s.state_root);
                 out.extend_from_slice(&s.view_changes.to_le_bytes());
                 out.extend_from_slice(&s.sync_blocks.to_le_bytes());
+                out.extend_from_slice(&s.evidence.to_le_bytes());
                 out
             }
             Message::GetPkTx
@@ -445,15 +471,16 @@ impl Message {
                 })
             }
             K_PEER => Ok(Message::Peer(
-                PeerMsg::decode(body).map_err(|_| FrameError::BadPayload)?,
+                SignedPeerMsg::decode(body).map_err(|_| FrameError::BadPayload)?,
             )),
             K_STATE_SYNC_REQ => {
-                if body.len() != 12 {
+                if body.len() != 20 {
                     return Err(FrameError::BadPayload);
                 }
                 Ok(Message::StateSyncReq {
                     from: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
-                    max: u32::from_le_bytes(body[8..].try_into().expect("4 bytes")),
+                    max: u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")),
+                    have_height: u64::from_le_bytes(body[12..].try_into().expect("8 bytes")),
                 })
             }
             K_GET_STATUS => empty(body, Message::GetStatus),
@@ -461,18 +488,52 @@ impl Message {
                 leader: String::from_utf8(body.to_vec()).map_err(|_| FrameError::BadPayload)?,
             }),
             K_STATE_SYNC_RESP => {
-                if body.len() < 24 {
+                if body.len() < 28 {
+                    return Err(FrameError::BadPayload);
+                }
+                let chunk_len =
+                    u32::from_le_bytes(body[24..28].try_into().expect("4 bytes")) as usize;
+                let mut pos = 28usize;
+                if body.len() < pos + chunk_len + 4 {
+                    return Err(FrameError::BadPayload);
+                }
+                let bytes = body[pos..pos + chunk_len].to_vec();
+                pos += chunk_len;
+                let cert_count =
+                    u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                pos += 4;
+                // An absurd count can't allocate more than the body holds:
+                // each cert costs at least its 4-byte length prefix.
+                if cert_count > body.len().saturating_sub(pos) / 4 + 1 {
+                    return Err(FrameError::BadPayload);
+                }
+                let mut certs = Vec::with_capacity(cert_count);
+                for _ in 0..cert_count {
+                    if body.len() < pos + 4 {
+                        return Err(FrameError::BadPayload);
+                    }
+                    let len = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes"))
+                        as usize;
+                    pos += 4;
+                    if body.len() < pos + len {
+                        return Err(FrameError::BadPayload);
+                    }
+                    certs.push(body[pos..pos + len].to_vec());
+                    pos += len;
+                }
+                if pos != body.len() {
                     return Err(FrameError::BadPayload);
                 }
                 Ok(Message::StateSyncResp {
                     height: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
                     total: u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")),
                     offset: u64::from_le_bytes(body[16..24].try_into().expect("8 bytes")),
-                    bytes: body[24..].to_vec(),
+                    bytes,
+                    certs,
                 })
             }
             K_STATUS_IS => {
-                if body.len() != 4 + 8 + 4 + 8 + 32 + 8 + 8 {
+                if body.len() != 4 + 8 + 4 + 8 + 32 + 8 + 8 + 8 {
                     return Err(FrameError::BadPayload);
                 }
                 Ok(Message::StatusIs(NodeStatus {
@@ -483,6 +544,7 @@ impl Message {
                     state_root: take32(&body[24..56])?,
                     view_changes: u64::from_le_bytes(body[56..64].try_into().expect("8 bytes")),
                     sync_blocks: u64::from_le_bytes(body[64..72].try_into().expect("8 bytes")),
+                    evidence: u64::from_le_bytes(body[72..80].try_into().expect("8 bytes")),
                 }))
             }
             other => Err(FrameError::BadKind(other)),
@@ -567,6 +629,7 @@ pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Message>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use confide_consensus::{Keyring, PeerMsg};
     use confide_core::tx::{RawTx, SignedTx};
     use confide_crypto::ed25519::SigningKey;
     use confide_crypto::HmacDrbg;
@@ -628,25 +691,38 @@ mod tests {
             Message::NotFound,
             Message::PkTxIs([3u8; 32]),
             Message::Pong,
-            Message::Peer(PeerMsg::PrePrepare {
-                view: 0,
-                seq: 4,
-                txs: vec![sample_tx().encode(), vec![]],
-            }),
-            Message::Peer(PeerMsg::Prepare {
-                view: 1,
-                seq: 4,
-                digest: [0xEE; 32],
-                from: 2,
-            }),
-            Message::Peer(PeerMsg::Heartbeat {
-                view: 1,
-                from: 1,
-                last_exec: 4,
-            }),
+            Message::Peer(SignedPeerMsg::sign(
+                0,
+                &Keyring::deterministic(7, 0, 4).signer,
+                PeerMsg::PrePrepare {
+                    view: 0,
+                    seq: 4,
+                    txs: vec![sample_tx().encode(), vec![]],
+                },
+            )),
+            Message::Peer(SignedPeerMsg::sign(
+                2,
+                &Keyring::deterministic(7, 2, 4).signer,
+                PeerMsg::Prepare {
+                    view: 1,
+                    seq: 4,
+                    digest: [0xEE; 32],
+                    from: 2,
+                },
+            )),
+            Message::Peer(SignedPeerMsg::sign(
+                1,
+                &Keyring::deterministic(7, 1, 4).signer,
+                PeerMsg::Heartbeat {
+                    view: 1,
+                    from: 1,
+                    last_exec: 4,
+                },
+            )),
             Message::StateSyncReq {
                 from: 4096,
                 max: 65536,
+                have_height: 3,
             },
             Message::GetStatus,
             Message::NotPrimary {
@@ -657,6 +733,14 @@ mod tests {
                 total: 120_000,
                 offset: 4096,
                 bytes: vec![0xAB; 200],
+                certs: vec![vec![0x01; 44], vec![0x02; 112]],
+            },
+            Message::StateSyncResp {
+                height: 0,
+                total: 0,
+                offset: 0,
+                bytes: Vec::new(),
+                certs: Vec::new(),
             },
             Message::StatusIs(NodeStatus {
                 node_id: 2,
@@ -666,6 +750,7 @@ mod tests {
                 state_root: [0x55; 32],
                 view_changes: 1,
                 sync_blocks: 3,
+                evidence: 2,
             }),
         ]
     }
@@ -767,6 +852,40 @@ mod tests {
         frame[..4].copy_from_slice(&len.to_le_bytes());
         assert!(matches!(
             read_frame(&mut frame.as_slice(), 1024),
+            Err(FrameError::BadPayload)
+        ));
+    }
+
+    #[test]
+    fn sync_resp_cert_framing_rejects_truncation_and_absurd_counts() {
+        let msg = Message::StateSyncResp {
+            height: 5,
+            total: 100,
+            offset: 0,
+            bytes: vec![0xAB; 50],
+            certs: vec![vec![0x01; 44]],
+        };
+        let frame = msg.to_frame();
+        // Any truncation of the body must be rejected, never panic.
+        for cut in 6..frame.len() {
+            let mut short = frame[..cut].to_vec();
+            let len = (short.len() - 4) as u32;
+            short[..4].copy_from_slice(&len.to_le_bytes());
+            assert!(
+                matches!(
+                    read_frame(&mut short.as_slice(), DEFAULT_MAX_FRAME),
+                    Err(FrameError::BadPayload)
+                ),
+                "cut={cut}"
+            );
+        }
+        // An absurd cert count must fail before allocating.
+        let mut evil = frame.clone();
+        let chunk_len = 50usize;
+        let count_at = 4 + 2 + 28 + chunk_len;
+        evil[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut evil.as_slice(), DEFAULT_MAX_FRAME),
             Err(FrameError::BadPayload)
         ));
     }

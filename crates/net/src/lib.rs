@@ -61,7 +61,7 @@ pub mod server;
 #[allow(deprecated)]
 pub use client::Gateway;
 pub use client::{Client, ClientConfig, Conn, NetError, RetryPolicy, RetryStats};
-pub use cluster::{ClusterConfig, ClusterShared};
+pub use cluster::{ByzantinePreset, ClusterConfig, ClusterShared};
 pub use error::{Error, ErrorKind};
 pub use fault::{FaultPlan, FaultProxy, FaultStats};
 pub use frame::{FrameError, Message, NodeStatus, DEFAULT_MAX_FRAME, WIRE_VERSION};

@@ -1319,6 +1319,9 @@ pub struct ConsensusInfo {
     pub sync_blocks: u64,
     /// `NotPrimary` redirects the workload followed.
     pub redirects: u64,
+    /// Equivocation evidence records, summed over members (non-zero
+    /// only when a run overlapped a Byzantine drill).
+    pub evidence: u64,
 }
 
 impl ConsensusInfo {
@@ -1337,10 +1340,95 @@ impl ConsensusInfo {
             if let Ok(s) = status {
                 info.view_changes = info.view_changes.max(s.view_changes);
                 info.sync_blocks += s.sync_blocks;
+                info.evidence += s.evidence;
             }
         }
         info
     }
+}
+
+/// The Byzantine-robustness datapoint of a bench run: the signed-vote /
+/// quorum-certificate hot path measured in-process on every run, plus
+/// chaos-drill counters plumbed in via `confide-loadgen` flags when
+/// `scripts/check.sh byzantine-chaos` ran a drill first (zeroed and
+/// `preset: "none"` otherwise, so the schema never drifts).
+#[derive(Debug, Clone)]
+pub struct ByzantineReport {
+    /// Chaos preset the drill ran (`"none"` when the run had no drill).
+    pub preset: String,
+    /// Equivocation evidence records across members after the drill.
+    pub evidence: u64,
+    /// Milliseconds from attack start until the honest majority
+    /// re-elected and resumed committing (0 = no drill / no election).
+    pub view_change_ms: u64,
+    /// Blocks a corrupted member re-applied via cert-verified state
+    /// sync during self-healing WAL repair.
+    pub repair_blocks: u64,
+    /// Milliseconds the WAL repair (truncate + certified sync) took.
+    pub repair_ms: u64,
+    /// Microbench: microseconds to Ed25519-sign one commit vote.
+    pub cert_sign_us: f64,
+    /// Microbench: microseconds to verify one 2f+1 quorum certificate
+    /// against the consortium roster.
+    pub cert_verify_us: f64,
+}
+
+impl Default for ByzantineReport {
+    fn default() -> ByzantineReport {
+        ByzantineReport {
+            preset: "none".into(),
+            evidence: 0,
+            view_change_ms: 0,
+            repair_blocks: 0,
+            repair_ms: 0,
+            cert_sign_us: 0.0,
+            cert_verify_us: 0.0,
+        }
+    }
+}
+
+/// Measure the quorum-certificate hot path in-process: per-vote Ed25519
+/// signing and full 2f+1 certificate verification against a
+/// deterministic `n`-member roster. This is the marginal cost PR 10's
+/// authenticated consensus adds to every committed block, so the bench
+/// records it alongside the throughput numbers it taxes.
+pub fn cert_microbench(n: usize, iters: u32) -> (f64, f64) {
+    use confide_consensus::{quorum, sign_vote, Keyring, QuorumCert};
+    let rings: Vec<Keyring> = (0..n as u32)
+        .map(|id| Keyring::deterministic(0xbe9c, id, n))
+        .collect();
+    let root = [0x5a; 32];
+    let iters = iters.max(1);
+    let t0 = Instant::now();
+    let mut last_sig = [0u8; 64];
+    for i in 0..iters {
+        last_sig = sign_vote(&rings[0].signer, u64::from(i) + 1, &root);
+    }
+    let sign_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+    // One realistic cert: the first 2f+1 members vote for the same
+    // (height, root); verification checks every signature.
+    let height = u64::from(iters);
+    let cert = QuorumCert {
+        height,
+        root,
+        votes: (0..quorum(n) as u32)
+            .map(|id| {
+                let sig = if id == 0 {
+                    last_sig
+                } else {
+                    sign_vote(&rings[id as usize].signer, height, &root)
+                };
+                (id, sig)
+            })
+            .collect(),
+    };
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        cert.verify(n, &rings[0].keys)
+            .expect("microbench cert verifies");
+    }
+    let verify_us = t1.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+    (sign_us, verify_us)
 }
 
 /// Render reports as the `BENCH_net.json` document (hand-rolled JSON —
@@ -1354,11 +1442,12 @@ pub fn to_json(
     server_cfg: &crate::server::ServerConfig,
     recovery: &RecoveryInfo,
     consensus: &ConsensusInfo,
+    byzantine: &ByzantineReport,
     pipeline: Option<&PipelineReport>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 6,\n");
+    out.push_str("  \"schema_version\": 7,\n");
     out.push_str("  \"bench\": \"net_loopback\",\n");
     out.push_str(&format!(
         "  \"machine\": {{ \"cores\": {} }},\n",
@@ -1384,12 +1473,25 @@ pub fn to_json(
     ));
     out.push_str(&format!(
         "  \"consensus\": {{ \"n\": {}, \"tps\": {}, \"view_changes\": {}, \
-         \"sync_blocks\": {}, \"redirects\": {} }},\n",
+         \"sync_blocks\": {}, \"redirects\": {}, \"evidence\": {} }},\n",
         consensus.n,
         fmt_f64(consensus.tps),
         consensus.view_changes,
         consensus.sync_blocks,
-        consensus.redirects
+        consensus.redirects,
+        consensus.evidence
+    ));
+    out.push_str(&format!(
+        "  \"byzantine\": {{ \"preset\": \"{}\", \"evidence\": {}, \"view_change_ms\": {}, \
+         \"repair_blocks\": {}, \"repair_ms\": {}, \"cert_sign_us\": {}, \
+         \"cert_verify_us\": {} }},\n",
+        byzantine.preset,
+        byzantine.evidence,
+        byzantine.view_change_ms,
+        byzantine.repair_blocks,
+        byzantine.repair_ms,
+        fmt_f64(byzantine.cert_sign_us),
+        fmt_f64(byzantine.cert_verify_us)
     ));
     out.push_str("  \"parallel_exec\": [\n");
     for (i, s) in scaling.iter().enumerate() {
@@ -1553,6 +1655,16 @@ mod tests {
     }
 
     #[test]
+    fn cert_microbench_reports_positive_costs() {
+        let (sign_us, verify_us) = cert_microbench(4, 4);
+        assert!(sign_us.is_finite() && sign_us > 0.0, "sign_us {sign_us}");
+        assert!(
+            verify_us.is_finite() && verify_us > 0.0,
+            "verify_us {verify_us}"
+        );
+    }
+
+    #[test]
     fn json_contains_required_schema_keys() {
         let report = LoadReport {
             mode: "closed".into(),
@@ -1631,11 +1743,21 @@ mod tests {
                 view_changes: 1,
                 sync_blocks: 7,
                 redirects: 3,
+                evidence: 2,
+            },
+            &ByzantineReport {
+                preset: "equivocate".into(),
+                evidence: 2,
+                view_change_ms: 1400,
+                repair_blocks: 9,
+                repair_ms: 350,
+                cert_sign_us: 14.0,
+                cert_verify_us: 90.0,
             },
             Some(&pipeline),
         );
         for key in [
-            "\"schema_version\": 6",
+            "\"schema_version\": 7",
             "\"pipeline\"",
             "\"ran\": true",
             "\"idle_conns_target\"",
@@ -1659,6 +1781,14 @@ mod tests {
             "\"view_changes\"",
             "\"sync_blocks\"",
             "\"redirects\"",
+            "\"evidence\"",
+            "\"byzantine\"",
+            "\"preset\": \"equivocate\"",
+            "\"view_change_ms\"",
+            "\"repair_blocks\"",
+            "\"repair_ms\"",
+            "\"cert_sign_us\"",
+            "\"cert_verify_us\"",
             "\"bench\"",
             "\"workloads\"",
             "\"mode\"",

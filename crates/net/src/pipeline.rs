@@ -194,6 +194,7 @@ fn handle_work(ctx: &WorkerCtx, work: Work) {
                     state_root,
                     view_changes: shared.view_changes.load(Ordering::Relaxed),
                     sync_blocks: shared.sync_blocks.load(Ordering::Relaxed),
+                    evidence: shared.evidence.load(Ordering::Relaxed),
                 },
                 None => crate::frame::NodeStatus {
                     node_id: 0,
@@ -203,6 +204,7 @@ fn handle_work(ctx: &WorkerCtx, work: Work) {
                     state_root,
                     view_changes: 0,
                     sync_blocks: 0,
+                    evidence: 0,
                 },
             };
             ctx.handle.reply(conn, seq, Message::StatusIs(status));
@@ -254,9 +256,13 @@ fn handle_work(ctx: &WorkerCtx, work: Work) {
                 ),
             }
         }
-        Message::StateSyncReq { from, max } => {
+        Message::StateSyncReq {
+            from,
+            max,
+            have_height,
+        } => {
             let reply = if attested && ctx.cluster.is_some() {
-                crate::cluster::serve_state_sync(&ctx.node, from, max)
+                crate::cluster::serve_state_sync(&ctx.node, from, max, have_height)
             } else {
                 Message::Rejected("state sync requires an attested connection".into())
             };

@@ -259,7 +259,7 @@ pub(crate) struct ReactorDeps {
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) work: Arc<WorkQueue>,
     /// Cluster peer ingress (attested connections only).
-    pub(crate) peer_tx: Option<mpsc::Sender<confide_consensus::PeerMsg>>,
+    pub(crate) peer_tx: Option<mpsc::Sender<confide_consensus::SignedPeerMsg>>,
     /// Cached identity answers, served inline without the node lock.
     pub(crate) pk_tx: [u8; 32],
     pub(crate) report: Option<confide_tee::attestation::Report>,

@@ -1152,6 +1152,7 @@ mod legacy {
                             state_root,
                             view_changes: ctx.shared.view_changes.load(Ordering::Relaxed),
                             sync_blocks: ctx.shared.sync_blocks.load(Ordering::Relaxed),
+                            evidence: ctx.shared.evidence.load(Ordering::Relaxed),
                         },
                         None => crate::frame::NodeStatus {
                             node_id: 0,
@@ -1161,13 +1162,18 @@ mod legacy {
                             state_root,
                             view_changes: 0,
                             sync_blocks: 0,
+                            evidence: 0,
                         },
                     };
                     Message::StatusIs(status)
                 }
-                Message::StateSyncReq { from, max } => {
+                Message::StateSyncReq {
+                    from,
+                    max,
+                    have_height,
+                } => {
                     if attested && cluster.is_some() {
-                        crate::cluster::serve_state_sync(&node, from, max)
+                        crate::cluster::serve_state_sync(&node, from, max, have_height)
                     } else {
                         Message::Rejected("state sync requires an attested connection".into())
                     }

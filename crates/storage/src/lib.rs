@@ -37,5 +37,5 @@ pub use kv::{KvStore, MemKv, WriteBatch};
 pub use kvlog::LogKv;
 pub use merkle::{MerkleProof, MerkleTree};
 pub use versioned::{StateDb, StateError};
-pub use wal::{BlockWal, WalBlock, WalRecovery};
+pub use wal::{BlockWal, CertLog, CertRecovery, WalBlock, WalRecovery};
 pub use walfile::{GroupCommitStats, WalFile, GROUP_BUCKETS};

@@ -28,6 +28,7 @@ const OP_HEADER: u8 = 0x10;
 const OP_TX: u8 = 0x11;
 const OP_PUT: u8 = 0x12;
 const OP_DEL: u8 = 0x13;
+const OP_CERT: u8 = 0x1E;
 const OP_COMMIT: u8 = 0x1F;
 
 /// One fully committed block recovered from the log.
@@ -46,6 +47,11 @@ pub struct WalBlock {
 pub struct WalRecovery {
     /// Every block with an intact commit marker, in height order.
     pub blocks: Vec<WalBlock>,
+    /// Byte offset of each block's end (just past its commit marker),
+    /// parallel to `blocks`. `ends[i]` is the log length that replays
+    /// exactly `blocks[..=i]` — the truncation points certificate-gated
+    /// repair cuts back to.
+    pub ends: Vec<usize>,
     /// Bytes of the committed prefix (everything after is the torn tail).
     pub consumed: usize,
     /// Bytes discarded after the last commit marker (0 on a clean log).
@@ -121,6 +127,7 @@ impl BlockWal {
     /// group without its marker ends the committed prefix right there.
     pub fn recover(log: &[u8]) -> WalRecovery {
         let mut blocks = Vec::new();
+        let mut ends = Vec::new();
         let mut consumed = 0usize;
         let mut pos = 0usize;
         // The group being accumulated (no commit marker seen yet).
@@ -165,6 +172,7 @@ impl BlockWal {
                         break;
                     }
                     blocks.push(block);
+                    ends.push(next);
                     consumed = next;
                 }
                 _ => break, // op out of place
@@ -173,6 +181,7 @@ impl BlockWal {
         }
         WalRecovery {
             blocks,
+            ends,
             torn_bytes: log.len() - consumed,
             consumed,
         }
@@ -185,6 +194,91 @@ fn decode_header_record(key: &[u8], value: &[u8]) -> Option<BlockHeader> {
         return None;
     }
     Some(header)
+}
+
+/// Outcome of scanning a certificate sidecar log.
+#[derive(Debug)]
+pub struct CertRecovery {
+    /// `(height, opaque certificate bytes)` in append order.
+    pub certs: Vec<(u64, Vec<u8>)>,
+    /// Bytes of the intact prefix.
+    pub consumed: usize,
+    /// Bytes discarded after the last intact record.
+    pub torn_bytes: usize,
+}
+
+/// Sidecar log of quorum certificates, one CRC'd record per committed
+/// height, stored *next to* the block WAL (`<wal>.certs`) rather than in
+/// it: different replicas legitimately assemble different 2f+1 vote
+/// subsets, so splicing certificates into the block stream would break the
+/// byte-identical-WAL invariant that state-sync byte cursors rely on.
+///
+/// Certificate bytes are opaque here — encoding and verification belong to
+/// the consensus crate; storage only promises crash-consistent framing
+/// (same record format and torn-tail semantics as [`BlockWal`]).
+#[derive(Default)]
+pub struct CertLog {
+    log: Vec<u8>,
+}
+
+impl CertLog {
+    /// Fresh empty log.
+    pub fn new() -> CertLog {
+        CertLog::default()
+    }
+
+    /// Rebuild from recovered bytes, keeping only the intact prefix.
+    pub fn from_recovered(log: &[u8]) -> CertLog {
+        let rec = CertLog::recover(log);
+        CertLog {
+            log: log[..rec.consumed].to_vec(),
+        }
+    }
+
+    /// The raw log bytes (flushed incrementally like the block WAL).
+    pub fn bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Total log length — the flush cursor seam.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True when no certificate has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Append the certificate for `height`.
+    pub fn append_cert(&mut self, height: u64, cert: &[u8]) {
+        append_record(&mut self.log, OP_CERT, &height.to_le_bytes(), cert);
+    }
+
+    /// Scan `log` and return every intact certificate record. Never
+    /// panics; a torn or corrupt record ends the prefix right there.
+    pub fn recover(log: &[u8]) -> CertRecovery {
+        let mut certs = Vec::new();
+        let mut consumed = 0usize;
+        let mut pos = 0usize;
+        while pos < log.len() {
+            let Some((op, key, value, next)) = read_record(log, pos) else {
+                break;
+            };
+            if op != OP_CERT || key.len() != 8 {
+                break;
+            }
+            let height = u64::from_le_bytes(key.try_into().expect("len checked"));
+            certs.push((height, value.to_vec()));
+            consumed = next;
+            pos = next;
+        }
+        CertRecovery {
+            certs,
+            torn_bytes: log.len() - consumed,
+            consumed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +382,106 @@ mod tests {
         let rec = BlockWal::recover(wal.bytes());
         assert_eq!(rec.blocks.len(), 1);
         assert!(rec.torn_bytes > 0);
+    }
+
+    #[test]
+    fn cert_log_round_trips_and_survives_torn_tail() {
+        let mut certs = CertLog::new();
+        certs.append_cert(1, &[0xAA; 40]);
+        certs.append_cert(2, &[0xBB; 44]);
+        certs.append_cert(3, &[0xCC; 48]);
+        let rec = CertLog::recover(certs.bytes());
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(
+            rec.certs,
+            vec![
+                (1, vec![0xAA; 40]),
+                (2, vec![0xBB; 44]),
+                (3, vec![0xCC; 48]),
+            ]
+        );
+        // Torn tail: every truncation keeps an intact prefix.
+        for cut in 0..certs.len() {
+            let rec = CertLog::recover(&certs.bytes()[..cut]);
+            assert!(rec.certs.len() <= 3, "cut={cut}");
+            for (i, (h, _)) in rec.certs.iter().enumerate() {
+                assert_eq!(*h, i as u64 + 1, "cut={cut}");
+            }
+        }
+        let rebuilt = CertLog::from_recovered(&certs.bytes()[..certs.len() - 3]);
+        assert_eq!(CertLog::recover(rebuilt.bytes()).certs.len(), 2);
+    }
+
+    /// Satellite: flip one byte in every record kind (HEADER/TX/PUT/DEL/
+    /// COMMIT in the block WAL, CERT in the sidecar) at the head, middle,
+    /// and tail of the record. Recovery must never panic and must yield a
+    /// strict prefix of the uncorrupted content — corrupt state is never
+    /// silently accepted.
+    #[test]
+    fn corruption_matrix_every_record_kind_and_position() {
+        let wal = sample_wal(3);
+        let full = BlockWal::recover(wal.bytes());
+        assert_eq!(full.blocks.len(), 3);
+        // Walk the record stream to find each record's op and extent.
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while let Some((op, _, _, next)) = crate::kvlog::read_record(wal.bytes(), pos) {
+            records.push((op, pos, next));
+            pos = next;
+        }
+        let kinds: std::collections::BTreeSet<u8> = records.iter().map(|(op, _, _)| *op).collect();
+        assert_eq!(
+            kinds,
+            [OP_HEADER, OP_TX, OP_PUT, OP_DEL, OP_COMMIT]
+                .into_iter()
+                .collect(),
+            "matrix must cover every block-WAL record kind"
+        );
+        for (op, start, end) in &records {
+            for at in [*start, (*start + *end) / 2, *end - 1] {
+                let mut log = wal.bytes().to_vec();
+                log[at] ^= 0x01;
+                let rec = BlockWal::recover(&log);
+                assert!(
+                    rec.blocks.len() <= full.blocks.len(),
+                    "op={op:#x} at={at}: grew the chain"
+                );
+                assert_eq!(
+                    &full.blocks[..rec.blocks.len()],
+                    &rec.blocks[..],
+                    "op={op:#x} at={at}: accepted corrupt content"
+                );
+                assert_eq!(&full.ends[..rec.blocks.len()], &rec.ends[..]);
+            }
+        }
+        // And the CERT sidecar kind.
+        let mut certs = CertLog::new();
+        for h in 1..=3u64 {
+            certs.append_cert(h, &[h as u8; 32]);
+        }
+        let clean = CertLog::recover(certs.bytes()).certs;
+        let len = certs.len();
+        for at in [0, len / 2, len - 1] {
+            let mut log = certs.bytes().to_vec();
+            log[at] ^= 0x01;
+            let rec = CertLog::recover(&log);
+            assert!(rec.certs.len() <= clean.len(), "cert at={at}");
+            assert_eq!(&clean[..rec.certs.len()], &rec.certs[..], "cert at={at}");
+        }
+    }
+
+    #[test]
+    fn recovery_ends_mark_block_boundaries() {
+        let wal = sample_wal(4);
+        let rec = BlockWal::recover(wal.bytes());
+        assert_eq!(rec.ends.len(), 4);
+        assert_eq!(*rec.ends.last().unwrap(), wal.len());
+        for (i, end) in rec.ends.iter().enumerate() {
+            // Truncating at ends[i] replays exactly i+1 blocks.
+            let cut = BlockWal::recover(&wal.bytes()[..*end]);
+            assert_eq!(cut.blocks.len(), i + 1);
+            assert_eq!(cut.torn_bytes, 0);
+        }
     }
 
     #[test]

@@ -67,6 +67,21 @@ impl TeePlatform {
         hkdf::derive_key32(label, &self.fuse_secret, b"fuse-derive")
     }
 
+    /// The consensus signing identity of this member: an Ed25519 key
+    /// derived from the fused platform secret, so it exists only inside
+    /// the sanctioned enclave build. Peers that know a member's platform
+    /// provisioning (the consortium roster) derive the matching verifying
+    /// key via [`TeePlatform::consensus_public_key`] on an equally-seeded
+    /// platform, which is how the demo cluster builds its key table.
+    pub fn consensus_signing_key(&self) -> SigningKey {
+        SigningKey::from_seed(&self.derive_fuse_key(b"consensus-vote"))
+    }
+
+    /// The public half of [`TeePlatform::consensus_signing_key`].
+    pub fn consensus_public_key(&self) -> confide_crypto::ed25519::VerifyingKey {
+        self.consensus_signing_key().verifying_key()
+    }
+
     /// Shared EPC pool of this package.
     pub fn epc(&self) -> &EpcManager {
         &self.epc
@@ -101,6 +116,17 @@ mod tests {
         let b = TeePlatform::new(2, 99);
         assert_ne!(a.attestation_public_key(), b.attestation_public_key());
         assert_ne!(a.derive_fuse_key(b"x"), b.derive_fuse_key(b"x"));
+    }
+
+    #[test]
+    fn consensus_keys_track_the_platform() {
+        let a = TeePlatform::new(1, 99);
+        let b = TeePlatform::new(1, 99);
+        let c = TeePlatform::new(2, 99);
+        assert_eq!(a.consensus_public_key(), b.consensus_public_key());
+        assert_ne!(a.consensus_public_key(), c.consensus_public_key());
+        // Distinct from the attestation identity.
+        assert_ne!(a.consensus_public_key(), a.attestation_public_key());
     }
 
     #[test]

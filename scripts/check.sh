@@ -277,12 +277,148 @@ kill "${CLUSTER_PIDS[@]}" 2>/dev/null || true
 trap - EXIT
 rm -rf "$CLUSTER_DIR"
 
+echo "== byzantine chaos smoke: equivocating leader, evidence, WAL self-heal =="
+# DESIGN.md §17: four confide-node processes, member 0 armed with the
+# `equivocate` preset. The honest 3-of-4 must evict the offender
+# (view >= 1), record durable equivocation evidence, keep committing a
+# client burst, and converge to one root. Then member 3's WAL gets a
+# byte flipped in the *middle* of the file; on restart it must print
+# REPAIRED, backfill the dropped suffix over cert-verified state sync,
+# and land back on the quorum root.
+BYZ_DIR=$(mktemp -d)
+read -r B0 B1 B2 B3 < <(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(4)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+PY
+)
+BPEERS="127.0.0.1:$B0,127.0.0.1:$B1,127.0.0.1:$B2,127.0.0.1:$B3"
+BYZ_PIDS=()
+for i in 0 1 2 3; do
+    EXTRA=()
+    [ "$i" -eq 0 ] && EXTRA+=(--byzantine equivocate)
+    [ "$i" -eq 3 ] && EXTRA+=(--wal "$BYZ_DIR/node3.wal")
+    ./target/release/confide-node --node-id "$i" --peers "$BPEERS" \
+        --cluster-keys 17 "${EXTRA[@]}" >"$BYZ_DIR/node$i.log" 2>&1 &
+    BYZ_PIDS+=($!)
+done
+trap 'kill "${BYZ_PIDS[@]}" 2>/dev/null || true' EXIT
+for i in 0 1 2 3; do
+    UP=""
+    for _ in $(seq 1 100); do
+        grep -q '^LISTENING ' "$BYZ_DIR/node$i.log" && { UP=1; break; }
+        sleep 0.1
+    done
+    [ -n "$UP" ] || { echo "FAIL: byzantine node $i never reported LISTENING" >&2; exit 1; }
+done
+VC_T0=$(date +%s%3N)
+# Burst across the full roster — the equivocating leader included, so
+# its forked proposals actually reach the honest members (the loadgen
+# only follows redirects to listed endpoints) and the forced view
+# change is exercised mid-stream.
+./target/release/confide-loadgen \
+    --endpoint "127.0.0.1:$B0" --endpoint "127.0.0.1:$B1" \
+    --endpoint "127.0.0.1:$B2" --endpoint "127.0.0.1:$B3" \
+    --threads 2 --txs 15 --mode closed --out "$BYZ_DIR/ignored.json" \
+    || { echo "FAIL: burst did not survive the equivocating leader" >&2; exit 1; }
+BYZ_OK=""
+for _ in $(seq 1 150); do
+    STATUS=$(./target/release/confide-loadgen --probe \
+        --endpoint "127.0.0.1:$B1" --endpoint "127.0.0.1:$B2" \
+        --endpoint "127.0.0.1:$B3" 2>/dev/null || true)
+    if [ "$(echo "$STATUS" | grep -c '^STATUS ')" -eq 3 ]; then
+        ROOTS=$(echo "$STATUS" | sed -n 's/.* root=\([0-9a-f]*\) .*/\1/p' | sort -u)
+        HEIGHTS=$(echo "$STATUS" | sed -n 's/.* height=\([0-9]*\) .*/\1/p' | sort -u)
+        MIN_VIEW=$(echo "$STATUS" | sed -n 's/.* view=\([0-9]*\) .*/\1/p' | sort -n | head -1)
+        EVIDENCE=$(echo "$STATUS" | sed -n 's/.*evidence=\([0-9]*\)$/\1/p' \
+            | awk '{s+=$1} END{print s+0}')
+        if [ "$(echo "$ROOTS" | wc -l)" -eq 1 ] \
+            && [ "$(echo "$HEIGHTS" | wc -l)" -eq 1 ] \
+            && [ "$HEIGHTS" -ge 1 ] && [ "${MIN_VIEW:-0}" -ge 1 ] \
+            && [ "${EVIDENCE:-0}" -ge 1 ]; then
+            BYZ_OK=1
+            break
+        fi
+    fi
+    sleep 0.2
+done
+VC_MS=$(( $(date +%s%3N) - VC_T0 ))
+if [ -z "$BYZ_OK" ]; then
+    echo "FAIL: honest members did not converge with evidence under attack" >&2
+    ./target/release/confide-loadgen --probe \
+        --endpoint "127.0.0.1:$B1" --endpoint "127.0.0.1:$B2" \
+        --endpoint "127.0.0.1:$B3" >&2 || true
+    exit 1
+fi
+echo "ok: leader evicted in ~${VC_MS}ms; evidence=$EVIDENCE; honest root ${ROOTS:0:16}..."
+
+# Self-heal leg: flip a byte mid-WAL on member 3 and restart it.
+kill "${BYZ_PIDS[3]}" 2>/dev/null || true
+wait "${BYZ_PIDS[3]}" 2>/dev/null || true
+python3 - "$BYZ_DIR/node3.wal" <<'PY'
+import sys
+path = sys.argv[1]
+b = bytearray(open(path, "rb").read())
+assert len(b) > 128, f"wal too small to corrupt: {len(b)} bytes"
+b[len(b) // 2] ^= 0xFF
+open(path, "wb").write(b)
+PY
+./target/release/confide-node --node-id 3 --peers "$BPEERS" --cluster-keys 17 \
+    --wal "$BYZ_DIR/node3.wal" >"$BYZ_DIR/node3b.log" 2>&1 &
+BYZ_PIDS[3]=$!
+REPAIRED=""
+for _ in $(seq 1 100); do
+    REPAIRED=$(awk '/^REPAIRED /{print; exit}' "$BYZ_DIR/node3b.log" || true)
+    [ -n "$REPAIRED" ] && break
+    sleep 0.1
+done
+[ -n "$REPAIRED" ] || { echo "FAIL: corrupted member printed no REPAIRED line" >&2; exit 1; }
+echo "$REPAIRED"
+REPAIR_MS=$(echo "$REPAIRED" | sed -n 's/.*ms=\([0-9]*\).*/\1/p')
+REPAIR_HEIGHT=$(echo "$REPAIRED" | sed -n 's/.*height=\([0-9]*\).*/\1/p')
+HEAL_OK=""
+for _ in $(seq 1 150); do
+    STATUS=$(./target/release/confide-loadgen --probe \
+        --endpoint "127.0.0.1:$B1" --endpoint "127.0.0.1:$B2" \
+        --endpoint "127.0.0.1:$B3" 2>/dev/null || true)
+    if [ "$(echo "$STATUS" | grep -c '^STATUS ')" -eq 3 ]; then
+        HROOTS=$(echo "$STATUS" | sed -n 's/.* root=\([0-9a-f]*\) .*/\1/p' | sort -u)
+        HHEIGHTS=$(echo "$STATUS" | sed -n 's/.* height=\([0-9]*\) .*/\1/p' | sort -u)
+        if [ "$(echo "$HROOTS" | wc -l)" -eq 1 ] \
+            && [ "$(echo "$HHEIGHTS" | wc -l)" -eq 1 ] \
+            && [ "$HHEIGHTS" -ge "$HEIGHTS" ]; then
+            HEAL_OK=1
+            break
+        fi
+    fi
+    sleep 0.2
+done
+[ -n "$HEAL_OK" ] || { echo "FAIL: healed member did not rejoin the quorum root" >&2; exit 1; }
+REPAIR_BLOCKS=$(( HHEIGHTS - ${REPAIR_HEIGHT:-0} ))
+echo "ok: member 3 self-healed (replayed to $REPAIR_HEIGHT, backfilled $REPAIR_BLOCKS blocks)"
+
+# The measured drill feeds the schema-v7 byzantine section end to end.
+./target/release/confide-loadgen --endpoint "127.0.0.1:$B1" \
+    --threads 1 --txs 10 --mode closed \
+    --byzantine-preset equivocate --byzantine-evidence "$EVIDENCE" \
+    --view-change-ms "$VC_MS" --repair-blocks "$REPAIR_BLOCKS" \
+    --repair-ms "${REPAIR_MS:-0}" --out "$BYZ_DIR/BENCH_byz.json" \
+    || { echo "FAIL: post-attack burst against the healed cluster failed" >&2; exit 1; }
+grep -q '"preset": "equivocate"' "$BYZ_DIR/BENCH_byz.json" \
+    || { echo "FAIL: byzantine drill datapoint missing from BENCH_byz.json" >&2; exit 1; }
+echo "ok: byzantine drill datapoint recorded in the v7 schema"
+kill "${BYZ_PIDS[@]}" 2>/dev/null || true
+trap - EXIT
+rm -rf "$BYZ_DIR"
+
 echo "== BENCH_net.json schema check =="
 # Guard against schema drift in both the freshly emitted smoke report and
 # the checked-in results/BENCH_net.json.
 for f in "$SMOKE_OUT/BENCH_smoke.json" "$SMOKE_OUT/BENCH_smoke_evm.json" \
          results/BENCH_net.json; do
-    for key in '"schema_version": 6' '"bench"' '"machine"' '"cores"' \
+    for key in '"schema_version": 7' '"bench"' '"machine"' '"cores"' \
                '"workloads"' '"mode"' '"txs_submitted"' '"txs_accepted"' \
                '"busy_rejects"' '"busy_reject_rate"' '"receipts_verified"' \
                '"throughput_tps"' '"latency_ms"' '"p50"' '"p99"' \
@@ -292,7 +428,10 @@ for f in "$SMOKE_OUT/BENCH_smoke.json" "$SMOKE_OUT/BENCH_smoke_evm.json" \
                '"static_sched"' '"occ_spec_runs"' '"static_spec_runs"' \
                '"plan_cycles"' '"modeled_speedup"' '"roots_match"' \
                '"static_schedule"' '"consensus"' '"n"' '"view_changes"' \
-               '"sync_blocks"' '"redirects"' '"pipeline"' '"idle_conns"' \
+               '"sync_blocks"' '"redirects"' '"evidence"' '"byzantine"' \
+               '"preset"' '"view_change_ms"' '"repair_blocks"' \
+               '"repair_ms"' '"cert_sign_us"' '"cert_verify_us"' \
+               '"pipeline"' '"idle_conns"' \
                '"active_conns"' '"wire_tps"' '"model_ratio"' \
                '"stage_occupancy"' '"group_commit"' '"blocks_per_fsync"' \
                '"durable_height"' '"evm"' '"evm_model_tps"' \

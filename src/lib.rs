@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 pub use confide_ccle as ccle;
 pub use confide_chain as chain;
+pub use confide_consensus as consensus;
 pub use confide_contracts as contracts;
 pub use confide_core as core;
 pub use confide_crypto as crypto;

@@ -6,7 +6,7 @@
 //! identical block partition — and executing either partition on real
 //! nodes must seal byte-identical state roots.
 
-use confide_consensus::{Action, PeerMsg, Replica, ReplicaConfig};
+use confide_consensus::{Action, Keyring, PeerMsg, Replica, ReplicaConfig};
 use confide_net::demo::{demo_args, demo_cluster_node, demo_node, DEMO_CONTRACT};
 use confide_sim::event::US;
 use confide_sim::network::NetworkModel;
@@ -45,7 +45,9 @@ impl Bus {
                         view_timeout_ms: 60_000,
                         heartbeat_ms: 10_000,
                         max_inflight: 8,
+                        timeout_jitter_ms: 0,
                     },
+                    Keyring::deterministic(SEED, id as u32, N),
                     0,
                 )
             })
@@ -68,15 +70,24 @@ impl Bus {
                     }
                 }
                 Action::Send(to, msg) => self.inbox.push_back((to as usize, who as u32, msg)),
-                Action::Execute { seq, txs, .. } => {
+                Action::Execute { seq, txs, digest } => {
                     self.executed[who].push((seq, txs));
-                    for a in self.replicas[who].on_executed(seq, 0) {
+                    // The digest stands in for the state root: this bus
+                    // never touches real state, and all it needs is a
+                    // deterministic per-block value every replica shares.
+                    for a in self.replicas[who].on_executed(seq, digest, 0) {
                         work.push_back((who, a));
                     }
                 }
                 Action::CommittedLocal { .. } | Action::LeaderChanged { .. } => {}
                 Action::NeedSync { peer, have } => {
                     panic!("replica {who} wants sync from {peer} at {have} in a clean run")
+                }
+                Action::Evidence(ev) => {
+                    panic!(
+                        "replica {who} produced equivocation evidence against {} in an honest run",
+                        ev.accused
+                    )
                 }
             }
         }
